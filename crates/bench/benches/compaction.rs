@@ -1,0 +1,88 @@
+//! Bench E16: constraint satisfaction (Electric-style longest-path
+//! compaction, thesis §2.1) solving layout placements that propagation
+//! can only verify (§7.4's division of labour).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use stem_compact::RowSpec;
+use stem_core::kinds::Predicate;
+use stem_core::{Justification, Network, Value};
+
+fn row(n: usize) -> RowSpec {
+    let mut spec = RowSpec {
+        min_separation: 2,
+        ..Default::default()
+    };
+    for i in 0..n {
+        spec.cell(format!("c{i}"), 6 + (i % 5) as i64 * 2);
+    }
+    // Sparse long-range exact offsets to exercise the cycle handling.
+    for i in (0..n.saturating_sub(10)).step_by(10) {
+        spec.exact_offsets.push((i, i + 10, 120));
+    }
+    spec
+}
+
+fn solve_vs_verify(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compaction/solve_vs_verify");
+    for n in [50usize, 200, 800] {
+        g.bench_with_input(BenchmarkId::new("solve", n), &n, |b, &n| {
+            let spec = row(n);
+            b.iter(|| stem_compact::compact_row(&spec).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("verify", n), &n, |b, &n| {
+            // Verification with a STEM predicate network: assign all
+            // solved positions and sweep.
+            let spec = row(n);
+            let (sol, ids) = stem_compact::compact_row(&spec).unwrap();
+            let positions: Vec<i64> = ids.iter().map(|&e| sol.position(e)).collect();
+            let widths: Vec<i64> = spec.cells.iter().map(|c| c.width).collect();
+            b.iter_batched(
+                || {
+                    let mut net = Network::new();
+                    let xs: Vec<_> = (0..n)
+                        .map(|i| net.add_variable(format!("x{i}")))
+                        .collect();
+                    for i in 0..n - 1 {
+                        let gap = widths[i] + 2;
+                        net.add_constraint_quiet(
+                            Predicate::custom("minSep", move |vals| {
+                                match (vals[0].as_i64(), vals[1].as_i64()) {
+                                    (Some(a), Some(b)) => b >= a + gap,
+                                    _ => true,
+                                }
+                            }),
+                            [xs[i], xs[i + 1]],
+                        );
+                    }
+                    (net, xs)
+                },
+                |(mut net, xs)| {
+                    net.set_propagation_enabled(false);
+                    for (i, &x) in xs.iter().enumerate() {
+                        net.set(x, Value::Int(positions[i]), Justification::Application)
+                            .unwrap();
+                    }
+                    net.set_propagation_enabled(true);
+                    assert!(net.check_all().is_empty());
+                    net
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+/// Quick profile so `cargo bench --workspace` finishes in minutes.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+        .sample_size(15)
+}
+
+criterion_group!(
+    name = benches;
+    config = quick();
+    targets = solve_vs_verify);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Bench E13: consistency maintenance (§6.3) — lazy calculated views and
+//! update-constraint erasure vs. eager recomputation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use stem_cells::CellKit;
+use stem_compilers::CompilerView;
+use stem_design::ChangeKey;
+
+/// Many reads, few changes: the lazy view recalculates only after changes.
+fn lazy_views(c: &mut Criterion) {
+    let mut g = c.benchmark_group("consistency/lazy_views");
+    g.sample_size(20);
+    g.bench_function("lazy_100_reads_5_changes", |b| {
+        b.iter_batched(
+            || {
+                let mut kit = CellKit::new();
+                let fa = kit.full_adder("FA");
+                let view = CompilerView::new(&mut kit.design, fa);
+                (kit, fa, view)
+            },
+            |(mut kit, fa, view)| {
+                for round in 0..5 {
+                    kit.design.notify_changed(fa, ChangeKey::Layout);
+                    for _ in 0..20 {
+                        view.data(&mut kit.design).unwrap();
+                    }
+                    let _ = round;
+                }
+                assert_eq!(view.recalc_count(), 5);
+                kit
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("eager_100_reads_5_changes", |b| {
+        b.iter_batched(
+            || {
+                let mut kit = CellKit::new();
+                let fa = kit.full_adder("FA");
+                (kit, fa)
+            },
+            |(mut kit, fa)| {
+                // Eager strategy: recompute the view data on every read.
+                for round in 0..5 {
+                    kit.design.notify_changed(fa, ChangeKey::Layout);
+                    for _ in 0..20 {
+                        let view = CompilerView::new(&mut kit.design, fa);
+                        view.data(&mut kit.design).unwrap();
+                        view.release(&mut kit.design);
+                    }
+                    let _ = round;
+                }
+                kit
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+
+/// Quick profile so `cargo bench --workspace` finishes in minutes; pass
+/// `-- --sample-size 100` etc. on the command line for precision runs.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+        .sample_size(15)
+}
+
+criterion_group!(
+    name = benches;
+    config = quick();
+    targets = lazy_views);
+criterion_main!(benches);

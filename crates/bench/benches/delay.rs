@@ -1,0 +1,114 @@
+//! Bench E7: hierarchical delay networks (§7.3) — build + evaluate cost
+//! and incremental re-propagation cost for ripple-carry adders.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use stem_cells::CellKit;
+
+fn build_and_evaluate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("delay/hier_network");
+    g.sample_size(20);
+    for w in [4usize, 8, 16] {
+        g.bench_with_input(BenchmarkId::new("build", w), &w, |b, &w| {
+            b.iter_batched(
+                || {
+                    let mut kit = CellKit::new();
+                    let rca = kit.ripple_carry_adder(&format!("RCA{w}"), w);
+                    (kit, rca)
+                },
+                |(mut kit, rca)| {
+                    let t = kit
+                        .analyzer
+                        .delay(&mut kit.design, rca, "cin", "cout")
+                        .unwrap()
+                        .unwrap();
+                    assert!(t > 0.0);
+                    kit
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        // Incremental: once built, a leaf re-characterisation propagates
+        // up without rebuilding ("propagated up the design hierarchy as
+        // soon as they are available", §7.3).
+        g.bench_with_input(BenchmarkId::new("repropagate", w), &w, |b, &w| {
+            b.iter_batched(
+                || {
+                    let mut kit = CellKit::new();
+                    let rca = kit.ripple_carry_adder(&format!("RCA{w}"), w);
+                    kit.analyzer
+                        .delay(&mut kit.design, rca, "cin", "cout")
+                        .unwrap()
+                        .unwrap();
+                    let and2 = kit.gates.and2;
+                    (kit, and2, 0u32)
+                },
+                |(mut kit, and2, _)| {
+                    // Alternate the AND gate's characteristic delay.
+                    kit.analyzer.clear_estimate(&mut kit.design, and2, "a", "y");
+                    kit.analyzer
+                        .set_estimate(&mut kit.design, and2, "a", "y", 1.6)
+                        .unwrap();
+                    kit
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+
+/// E17 — the ripple vs. carry-select trade-off, timed end-to-end: build
+/// the structural adder and evaluate its carry-path estimate.
+fn adder_tradeoff(c: &mut Criterion) {
+    let mut g = c.benchmark_group("delay/adder_tradeoff");
+    g.sample_size(10);
+    g.bench_function("ripple8", |b| {
+        b.iter_batched(
+            CellKit::new,
+            |mut kit| {
+                let rca = kit.ripple_carry_adder("RCA8", 8);
+                let t = kit
+                    .analyzer
+                    .delay(&mut kit.design, rca, "cin", "cout")
+                    .unwrap()
+                    .unwrap();
+                assert!(t > 0.0);
+                kit
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("carry_select8", |b| {
+        b.iter_batched(
+            CellKit::new,
+            |mut kit| {
+                let csa = kit.carry_select_adder("CSA8", 8);
+                let t = kit
+                    .analyzer
+                    .delay(&mut kit.design, csa, "cin", "cout")
+                    .unwrap()
+                    .unwrap();
+                assert!(t > 0.0);
+                kit
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+/// Quick profile so `cargo bench --workspace` finishes in minutes; pass
+/// `-- --sample-size 100` etc. on the command line for precision runs.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+        .sample_size(15)
+}
+
+criterion_group!(
+    name = benches;
+    config = quick();
+    targets = build_and_evaluate, adder_tradeoff);
+criterion_main!(benches);

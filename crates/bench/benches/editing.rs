@@ -1,0 +1,73 @@
+//! Bench E12: network editing — constraint addition with re-propagation
+//! (Fig. 4.13) and removal with dependency-directed erasure (Fig. 4.14).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use stem_bench::workloads;
+use stem_core::kinds::Equality;
+
+fn add_constraint(c: &mut Criterion) {
+    let mut g = c.benchmark_group("editing/add_constraint");
+    for n in [100usize, 1000] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter_batched(
+                || {
+                    let (mut net, vars) = workloads::equality_chain(n);
+                    workloads::drive(&mut net, vars[0], 7);
+                    let side = net.add_variable("side");
+                    (net, vars, side)
+                },
+                |(mut net, vars, side)| {
+                    // Attaching pulls the chain's value into the new var.
+                    net.add_constraint(Equality::new(), [vars[n / 2], side])
+                        .unwrap();
+                    net
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn remove_constraint(c: &mut Criterion) {
+    let mut g = c.benchmark_group("editing/remove_constraint");
+    for n in [100usize, 1000] {
+        // Removing the middle link of a fully propagated chain erases the
+        // downstream half only (dependency-directed).
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter_batched(
+                || {
+                    let (mut net, vars) = workloads::equality_chain(n);
+                    workloads::drive(&mut net, vars[0], 7);
+                    // The middle constraint is cid n/2 - 1 by construction;
+                    // recover it via the variable's constraint list.
+                    let mid = vars[n / 2];
+                    let cid = net.constraints_of(mid)[0];
+                    (net, cid)
+                },
+                |(mut net, cid)| {
+                    net.remove_constraint(cid);
+                    net
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+
+/// Quick profile so `cargo bench --workspace` finishes in minutes; pass
+/// `-- --sample-size 100` etc. on the command line for precision runs.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+        .sample_size(15)
+}
+
+criterion_group!(
+    name = benches;
+    config = quick();
+    targets = add_constraint, remove_constraint);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Bench E3: hierarchical constraint propagation (Fig. 5.1) — a shared
+//! internal network evaluated once vs. flat per-instance replication.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use stem_bench::workloads;
+
+const INTERNAL: usize = 200;
+
+fn internal_once(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hierarchy/internal_once");
+    for n in [2usize, 8, 32] {
+        g.bench_with_input(BenchmarkId::new("hierarchical", n), &n, |b, &n| {
+            b.iter_batched(
+                || workloads::hierarchical_fanout(INTERNAL, n),
+                |(mut net, input, _)| {
+                    workloads::drive(&mut net, input, 1);
+                    net
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        g.bench_with_input(BenchmarkId::new("flat", n), &n, |b, &n| {
+            b.iter_batched(
+                || workloads::flat_replication(INTERNAL, n),
+                |(mut net, input, _)| {
+                    workloads::drive(&mut net, input, 1);
+                    net
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+
+/// Quick profile so `cargo bench --workspace` finishes in minutes; pass
+/// `-- --sample-size 100` etc. on the command line for precision runs.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+        .sample_size(15)
+}
+
+criterion_group!(
+    name = benches;
+    config = quick();
+    targets = internal_once);
+criterion_main!(benches);

@@ -1,0 +1,188 @@
+//! Bench E9: module selection efficiency (§8.2) — generate-and-test with
+//! and without tree pruning and selective testing.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use stem_cells::{synthetic_pruning_family, CellKit};
+use stem_design::{CellInstanceId, SignalDir};
+use stem_geom::Transform;
+use stem_modsel::{select_realizations, SelectionOptions, TestKind};
+
+fn context(groups: usize, leaves: usize) -> (CellKit, CellInstanceId) {
+    let mut kit = CellKit::new();
+    let fam = synthetic_pruning_family(&mut kit, groups, leaves);
+    let d = &mut kit.design;
+    let top = d.define_class("TOP");
+    d.add_signal(top, "a", SignalDir::Input);
+    d.set_signal_bit_width(top, "a", 8).unwrap();
+    d.add_signal(top, "s", SignalDir::Output);
+    d.set_signal_bit_width(top, "s", 8).unwrap();
+    let inst = d
+        .instantiate(fam.root, top, "add", Transform::IDENTITY)
+        .unwrap();
+    let na = d.add_net(top, "na");
+    d.connect_io(na, "a").unwrap();
+    d.connect(na, inst, "a").unwrap();
+    let ns = d.add_net(top, "ns");
+    d.connect(ns, inst, "s").unwrap();
+    d.connect_io(ns, "s").unwrap();
+    kit.analyzer.declare_delay(&mut kit.design, top, "a", "s");
+    kit.analyzer
+        .constrain_max(&mut kit.design, top, "a", "s", 7.9)
+        .unwrap();
+    (kit, inst)
+}
+
+fn pruning(c: &mut Criterion) {
+    let mut g = c.benchmark_group("modsel/pruning");
+    g.sample_size(20);
+    for (groups, leaves) in [(4usize, 8usize), (8, 16)] {
+        let label = format!("{groups}x{leaves}");
+        g.bench_with_input(
+            BenchmarkId::new("pruned", &label),
+            &(groups, leaves),
+            |b, &(gr, lv)| {
+                b.iter_batched(
+                    || context(gr, lv),
+                    |(mut kit, inst)| {
+                        let out = select_realizations(
+                            &mut kit.design,
+                            &mut kit.analyzer,
+                            inst,
+                            &SelectionOptions::default(),
+                        )
+                        .unwrap();
+                        assert!(!out.valid.is_empty());
+                        kit
+                    },
+                    BatchSize::SmallInput,
+                )
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("unpruned", &label),
+            &(groups, leaves),
+            |b, &(gr, lv)| {
+                b.iter_batched(
+                    || context(gr, lv),
+                    |(mut kit, inst)| {
+                        let out = select_realizations(
+                            &mut kit.design,
+                            &mut kit.analyzer,
+                            inst,
+                            &SelectionOptions {
+                                prune: false,
+                                ..Default::default()
+                            },
+                        )
+                        .unwrap();
+                        assert!(!out.valid.is_empty());
+                        kit
+                    },
+                    BatchSize::SmallInput,
+                )
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("delays_only", &label),
+            &(groups, leaves),
+            |b, &(gr, lv)| {
+                b.iter_batched(
+                    || context(gr, lv),
+                    |(mut kit, inst)| {
+                        let out = select_realizations(
+                            &mut kit.design,
+                            &mut kit.analyzer,
+                            inst,
+                            &SelectionOptions {
+                                priorities: vec![TestKind::Delays],
+                                prune: true,
+                            },
+                        )
+                        .unwrap();
+                        assert!(!out.valid.is_empty());
+                        kit
+                    },
+                    BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    g.finish();
+}
+
+
+/// E18 — joint selection over a two-adder pipeline (backtracking with
+/// snapshot rollback).
+fn joint(c: &mut Criterion) {
+    use stem_cells::{adder8_family, ADDER_UNIT_WIDTH};
+    use stem_geom::Point;
+    use stem_modsel::select_joint_realizations;
+
+    let mut g = c.benchmark_group("modsel/joint");
+    g.sample_size(15);
+    g.bench_function("two_adder_pipeline", |b| {
+        b.iter_batched(
+            || {
+                let mut kit = CellKit::new();
+                let family = adder8_family(&mut kit);
+                let d = &mut kit.design;
+                let top = d.define_class("PIPE");
+                d.add_signal(top, "in", SignalDir::Input);
+                d.set_signal_bit_width(top, "in", 8).unwrap();
+                d.add_signal(top, "out", SignalDir::Output);
+                d.set_signal_bit_width(top, "out", 8).unwrap();
+                let a1 = d.instantiate(family.generic, top, "a1", Transform::IDENTITY).unwrap();
+                let a2 = d
+                    .instantiate(
+                        family.generic,
+                        top,
+                        "a2",
+                        Transform::translation(Point::new(3 * ADDER_UNIT_WIDTH, 0)),
+                    )
+                    .unwrap();
+                let n1 = d.add_net(top, "n1");
+                d.connect_io(n1, "in").unwrap();
+                d.connect(n1, a1, "a").unwrap();
+                let n2 = d.add_net(top, "n2");
+                d.connect(n2, a1, "s").unwrap();
+                d.connect(n2, a2, "a").unwrap();
+                let n3 = d.add_net(top, "n3");
+                d.connect(n3, a2, "s").unwrap();
+                d.connect_io(n3, "out").unwrap();
+                kit.analyzer.declare_delay(&mut kit.design, top, "in", "out");
+                kit.analyzer
+                    .constrain_max(&mut kit.design, top, "in", "out", 14.0)
+                    .unwrap();
+                (kit, a1, a2)
+            },
+            |(mut kit, a1, a2)| {
+                let out = select_joint_realizations(
+                    &mut kit.design,
+                    &mut kit.analyzer,
+                    &[a1, a2],
+                    &SelectionOptions::default(),
+                )
+                .unwrap();
+                assert_eq!(out.combinations.len(), 3);
+                kit
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+/// Quick profile so `cargo bench --workspace` finishes in minutes; pass
+/// `-- --sample-size 100` etc. on the command line for precision runs.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+        .sample_size(15)
+}
+
+criterion_group!(
+    name = benches;
+    config = quick();
+    targets = pruning, joint);
+criterion_main!(benches);

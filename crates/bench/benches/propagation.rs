@@ -1,0 +1,191 @@
+//! Benches E1/E2/E10/E11: raw propagation cost of the core engine.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use stem_bench::workloads;
+use stem_core::kinds::{Equality, Functional};
+use stem_core::{Justification, Network, Value};
+
+/// E1 — the Fig. 4.5 network: one user assignment through an equality and
+/// a scheduled maximum.
+fn simple_network(c: &mut Criterion) {
+    c.bench_function("propagation/simple_network", |b| {
+        b.iter_batched(
+            || {
+                let mut net = Network::new();
+                let v1 = net.add_variable("V1");
+                let v2 = net.add_variable("V2");
+                let v3 = net.add_variable("V3");
+                let v4 = net.add_variable("V4");
+                net.add_constraint(Equality::new(), [v1, v2]).unwrap();
+                net.add_constraint(Functional::uni_maximum(), [v2, v3, v4])
+                    .unwrap();
+                net.set(v3, Value::Int(7), Justification::User).unwrap();
+                (net, v1)
+            },
+            |(mut net, v1)| {
+                net.set(v1, Value::Int(9), Justification::User).unwrap();
+                net
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+/// E2 — the Fig. 4.9 cycle: violation detection plus full restoration.
+fn cycle_detect(c: &mut Criterion) {
+    c.bench_function("propagation/cycle_detect", |b| {
+        b.iter_batched(
+            || {
+                let mut net = Network::new();
+                let v1 = net.add_variable("V1");
+                let v2 = net.add_variable("V2");
+                let v3 = net.add_variable("V3");
+                let plus = |k: i64| {
+                    Functional::custom("plusConst", move |vals| {
+                        vals[0].as_i64().map(|x| Value::Int(x + k))
+                    })
+                };
+                net.add_constraint(plus(1), [v1, v2]).unwrap();
+                net.add_constraint(plus(3), [v2, v3]).unwrap();
+                net.add_constraint(plus(2), [v3, v1]).unwrap();
+                (net, v1)
+            },
+            |(mut net, v1)| {
+                let err = net.set(v1, Value::Int(10), Justification::User);
+                assert!(err.is_err());
+                net
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+/// E10 — the §9.2.3 complexity claim: flood time across shapes and sizes.
+fn complexity_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("propagation/complexity_scaling");
+    for n in [100usize, 400, 1600] {
+        g.bench_with_input(BenchmarkId::new("chain", n), &n, |b, &n| {
+            b.iter_batched(
+                || workloads::equality_chain(n),
+                |(mut net, vars)| {
+                    workloads::drive(&mut net, vars[0], 1);
+                    net
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        g.bench_with_input(BenchmarkId::new("star", n), &n, |b, &n| {
+            b.iter_batched(
+                || workloads::equality_star(n),
+                |(mut net, hub)| {
+                    workloads::drive(&mut net, hub, 1);
+                    net
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        let side = (n as f64).sqrt() as usize;
+        g.bench_with_input(BenchmarkId::new("grid", n), &side, |b, &side| {
+            b.iter_batched(
+                || workloads::equality_grid(side, side),
+                |(mut net, corner)| {
+                    workloads::drive(&mut net, corner, 1);
+                    net
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+/// E11 — agenda batching vs. immediate recomputation of a wide sum.
+fn agenda_batching(c: &mut Criterion) {
+    let mut g = c.benchmark_group("propagation/agenda_batching");
+    for fan in [8usize, 64] {
+        g.bench_with_input(BenchmarkId::new("scheduled", fan), &fan, |b, &fan| {
+            b.iter_batched(
+                || workloads::fan_in_sum(fan, true),
+                |(mut net, src, _)| {
+                    workloads::drive(&mut net, src, 3);
+                    net
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        g.bench_with_input(BenchmarkId::new("immediate", fan), &fan, |b, &fan| {
+            b.iter_batched(
+                || workloads::fan_in_sum(fan, false),
+                |(mut net, src, _)| {
+                    workloads::drive(&mut net, src, 3);
+                    net
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+
+/// E15 — compiled straight-line evaluation vs. interpreted propagation
+/// over a functional adder tree (§9.3 network compilation).
+fn compiled_vs_interpreted(c: &mut Criterion) {
+    use stem_core::compile_functional;
+    let mut g = c.benchmark_group("propagation/compiled_vs_interpreted");
+    for n in [64usize, 256] {
+        g.bench_with_input(BenchmarkId::new("interpreted", n), &n, |b, &n| {
+            b.iter_batched(
+                || workloads::adder_tree(n),
+                |(mut net, leaves, _)| {
+                    for (i, &l) in leaves.iter().enumerate() {
+                        net.set(l, Value::Int(i as i64), Justification::User).unwrap();
+                    }
+                    net
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        g.bench_with_input(BenchmarkId::new("compiled", n), &n, |b, &n| {
+            b.iter_batched(
+                || {
+                    let (net, leaves, root) = workloads::adder_tree(n);
+                    let plan = compile_functional(&net).unwrap();
+                    (net, leaves, root, plan)
+                },
+                |(mut net, leaves, _, plan)| {
+                    net.set_propagation_enabled(false);
+                    for (i, &l) in leaves.iter().enumerate() {
+                        net.set(l, Value::Int(i as i64), Justification::User).unwrap();
+                    }
+                    net.set_propagation_enabled(true);
+                    plan.evaluate(&mut net).unwrap();
+                    net
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+/// Quick profile so `cargo bench --workspace` finishes in minutes; pass
+/// `-- --sample-size 100` etc. on the command line for precision runs.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+        .sample_size(15)
+}
+
+criterion_group!(
+    name = benches;
+    config = quick();
+    targets =
+    simple_network,
+    cycle_detect,
+    complexity_scaling,
+    agenda_batching,
+    compiled_vs_interpreted
+);
+criterion_main!(benches);

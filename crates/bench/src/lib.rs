@@ -1,0 +1,45 @@
+//! # stem-bench — workloads and experiment tables
+//!
+//! Shared workload builders for the Criterion benches and the
+//! `experiments` binary (see DESIGN.md §4 for the experiment index and
+//! EXPERIMENTS.md for recorded results).
+
+
+#![warn(missing_docs)]
+pub mod workloads;
+
+pub mod experiments;
+
+/// Renders rows as a markdown table.
+pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "\n### {title}\n");
+    let _ = writeln!(out, "| {} |", header.join(" | "));
+    let _ = writeln!(
+        out,
+        "|{}|",
+        header.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
+    for row in rows {
+        let _ = writeln!(out, "| {} |", row.join(" | "));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders() {
+        let t = render_table(
+            "T",
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+        );
+        assert!(t.contains("### T"));
+        assert!(t.contains("| 1 | 2 |"));
+        assert!(t.contains("|---|---|"));
+    }
+}

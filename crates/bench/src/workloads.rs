@@ -1,0 +1,307 @@
+//! Constraint-network and design workload builders used by the benches
+//! and the experiments binary.
+
+use std::rc::Rc;
+
+use stem_core::kinds::{EqualLink, Equality, Functional, ImplicitLink};
+use stem_core::{
+    Activation, ConstraintId, ConstraintKind, DependencyRecord, Justification, Network, Value,
+    VarId, Violation,
+};
+
+/// A chain of equality constraints: `v0 = v1 = … = v(n-1)`, linked
+/// pairwise. Σ_v #constraints(v) ≈ 2n.
+pub fn equality_chain(n: usize) -> (Network, Vec<VarId>) {
+    let mut net = Network::new();
+    let vars: Vec<VarId> = (0..n).map(|i| net.add_variable(format!("v{i}"))).collect();
+    for w in vars.windows(2) {
+        net.add_constraint(Equality::new(), [w[0], w[1]]).unwrap();
+    }
+    (net, vars)
+}
+
+/// A star: `hub = spoke_i` for each of `n` spokes (the hub carries `n`
+/// constraints). Σ_v #constraints(v) ≈ 2n.
+pub fn equality_star(n: usize) -> (Network, VarId) {
+    let mut net = Network::new();
+    let hub = net.add_variable("hub");
+    for i in 0..n {
+        let spoke = net.add_variable(format!("s{i}"));
+        net.add_constraint(Equality::new(), [hub, spoke]).unwrap();
+    }
+    (net, hub)
+}
+
+/// A `w × h` grid of variables connected right and down by equalities.
+/// Σ_v #constraints(v) ≈ 4wh.
+pub fn equality_grid(w: usize, h: usize) -> (Network, VarId) {
+    let mut net = Network::new();
+    let ids: Vec<VarId> = (0..w * h)
+        .map(|i| net.add_variable(format!("g{}_{}", i % w, i / w)))
+        .collect();
+    let at = |x: usize, y: usize| ids[y * w + x];
+    for y in 0..h {
+        for x in 0..w {
+            if x + 1 < w {
+                net.add_constraint(Equality::new(), [at(x, y), at(x + 1, y)])
+                    .unwrap();
+            }
+            if y + 1 < h {
+                net.add_constraint(Equality::new(), [at(x, y), at(x, y + 1)])
+                    .unwrap();
+            }
+        }
+    }
+    (net, at(0, 0))
+}
+
+/// The Σ_v #constraints(v) complexity measure of thesis §9.2.3.
+pub fn complexity_measure(net: &Network) -> usize {
+    net.variables()
+        .map(|v| net.constraints_of(v).len())
+        .sum()
+}
+
+/// A binary tree of `UniAddition` constraints over `n` leaves; returns the
+/// leaves and root.
+pub fn adder_tree(n: usize) -> (Network, Vec<VarId>, VarId) {
+    let mut net = Network::new();
+    let leaves: Vec<VarId> = (0..n).map(|i| net.add_variable(format!("l{i}"))).collect();
+    let mut layer = leaves.clone();
+    while layer.len() > 1 {
+        let mut next = Vec::new();
+        for pair in layer.chunks(2) {
+            if pair.len() == 2 {
+                let out = net.add_variable("sum");
+                net.add_constraint(Functional::uni_addition(), [pair[0], pair[1], out])
+                    .unwrap();
+                next.push(out);
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        layer = next;
+    }
+    let root = layer[0];
+    (net, leaves, root)
+}
+
+/// An *immediate* (unscheduled) sum constraint — the control arm of the
+/// agenda-batching experiment (E11). Identical semantics to
+/// `Functional::uni_addition`, but it recomputes eagerly on every argument
+/// change instead of batching on the `functional` agenda.
+#[derive(Debug, Clone, Copy)]
+pub struct ImmediateSum;
+
+impl ConstraintKind for ImmediateSum {
+    fn kind_name(&self) -> &str {
+        "immediateSum"
+    }
+
+    fn activation(&self) -> Activation {
+        Activation::Immediate
+    }
+
+    fn should_activate(&self, net: &Network, cid: ConstraintId, changed: VarId) -> bool {
+        net.args(cid).last() != Some(&changed)
+    }
+
+    fn infer(
+        &self,
+        net: &mut Network,
+        cid: ConstraintId,
+        _changed: Option<VarId>,
+    ) -> Result<(), Violation> {
+        let args = net.args(cid).to_vec();
+        let Some((&result, inputs)) = args.split_last() else {
+            return Ok(());
+        };
+        let mut acc = Value::Int(0);
+        for &v in inputs {
+            let val = net.value(v);
+            if val.is_nil() {
+                return Ok(());
+            }
+            acc = acc.numeric_add(val).expect("numeric inputs");
+        }
+        net.propagate_set(result, acc, cid, DependencyRecord::All)?;
+        Ok(())
+    }
+
+    fn is_satisfied(&self, _net: &Network, _cid: ConstraintId) -> bool {
+        true
+    }
+}
+
+/// The agenda-batching workload (E11): one source mirrored into `fan`
+/// variables that all feed a single sum constraint. With scheduling, one
+/// source change costs one sum evaluation; with an immediate sum it costs
+/// `fan` evaluations of transient results.
+pub fn fan_in_sum(fan: usize, scheduled: bool) -> (Network, VarId, VarId) {
+    let mut net = Network::new();
+    let src = net.add_variable("src");
+    let mirrors: Vec<VarId> = (0..fan)
+        .map(|i| {
+            let m = net.add_variable(format!("m{i}"));
+            net.add_constraint(Equality::new(), [src, m]).unwrap();
+            m
+        })
+        .collect();
+    let out = net.add_variable("out");
+    let mut args = mirrors;
+    args.push(out);
+    if scheduled {
+        net.add_constraint(Functional::uni_addition(), args).unwrap();
+    } else {
+        net.add_constraint(ImmediateSum, args).unwrap();
+    }
+    (net, src, out)
+}
+
+/// The two-level hierarchy of thesis Fig. 5.1 (E3), at the constraint
+/// level: one shared internal chain of `internal_len` +1 stages computing
+/// a "class characteristic", fanned out to `n_instances` external
+/// consumers through implicit links. Returns the network, the internal
+/// input, and the external outputs.
+pub fn hierarchical_fanout(
+    internal_len: usize,
+    n_instances: usize,
+) -> (Network, VarId, Vec<VarId>) {
+    let mut net = Network::new();
+    let input = net.add_variable("internal.in");
+    let mut cur = input;
+    for i in 0..internal_len {
+        let next = net.add_variable(format!("internal.{i}"));
+        net.add_constraint(plus_one(), [cur, next]).unwrap();
+        cur = next;
+    }
+    let class_var = cur; // the class characteristic
+    let mut outs = Vec::new();
+    for i in 0..n_instances {
+        let inst = net.add_variable(format!("inst{i}.char"));
+        net.add_constraint(ImplicitLink::new(EqualLink), [class_var, inst])
+            .unwrap();
+        let out = net.add_variable(format!("inst{i}.out"));
+        net.add_constraint(plus_one(), [inst, out]).unwrap();
+        outs.push(out);
+    }
+    (net, input, outs)
+}
+
+/// The flat control arm of E3: the internal chain is *replicated* once per
+/// instance ("without hierarchical constraint propagation, the lower level
+/// constraints … would be propagated twice: once for each of the two upper
+/// level networks containing them", Fig. 5.1). All replicas share the same
+/// input variable.
+pub fn flat_replication(
+    internal_len: usize,
+    n_instances: usize,
+) -> (Network, VarId, Vec<VarId>) {
+    let mut net = Network::new();
+    let input = net.add_variable("in");
+    let mut outs = Vec::new();
+    for i in 0..n_instances {
+        let mut cur = input;
+        for j in 0..internal_len {
+            let next = net.add_variable(format!("r{i}.{j}"));
+            net.add_constraint(plus_one(), [cur, next]).unwrap();
+            cur = next;
+        }
+        let out = net.add_variable(format!("r{i}.out"));
+        net.add_constraint(plus_one(), [cur, out]).unwrap();
+        outs.push(out);
+    }
+    (net, input, outs)
+}
+
+fn plus_one() -> Functional {
+    Functional::custom("plusOne", |vals| {
+        vals[0].as_i64().map(|x| Value::Int(x + 1))
+    })
+}
+
+/// Drives a workload once: external user assignment of `value`.
+pub fn drive(net: &mut Network, var: VarId, value: i64) {
+    net.set(var, Value::Int(value), Justification::User)
+        .expect("workloads are consistent");
+}
+
+/// Convenience: a shared Rc'd equality kind for bulk wiring.
+pub fn shared_equality() -> Rc<dyn ConstraintKind> {
+    Rc::new(Equality::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_floods() {
+        let (mut net, vars) = equality_chain(10);
+        drive(&mut net, vars[0], 3);
+        assert_eq!(net.value(vars[9]), &Value::Int(3));
+        assert_eq!(complexity_measure(&net), 18);
+    }
+
+    #[test]
+    fn star_floods() {
+        let (mut net, hub) = equality_star(8);
+        drive(&mut net, hub, 5);
+        for v in net.variables() {
+            assert_eq!(net.value(v), &Value::Int(5));
+        }
+    }
+
+    #[test]
+    fn grid_floods() {
+        let (mut net, corner) = equality_grid(5, 4);
+        drive(&mut net, corner, 2);
+        for v in net.variables() {
+            assert_eq!(net.value(v), &Value::Int(2));
+        }
+    }
+
+    #[test]
+    fn adder_tree_sums() {
+        let (mut net, leaves, root) = adder_tree(8);
+        for (i, &l) in leaves.iter().enumerate() {
+            drive(&mut net, l, i as i64);
+        }
+        assert_eq!(net.value(root), &Value::Int(28));
+    }
+
+    #[test]
+    fn fan_in_results_match_but_costs_differ() {
+        let (mut sched, s1, o1) = fan_in_sum(6, true);
+        let (mut imm, s2, o2) = fan_in_sum(6, false);
+        sched.reset_stats();
+        imm.reset_stats();
+        drive(&mut sched, s1, 2);
+        drive(&mut imm, s2, 2);
+        assert_eq!(sched.value(o1), &Value::Int(12));
+        assert_eq!(imm.value(o2), &Value::Int(12));
+        assert!(
+            imm.stats().inferences > sched.stats().inferences,
+            "immediate recomputation is more expensive: {} vs {}",
+            imm.stats().inferences,
+            sched.stats().inferences
+        );
+    }
+
+    #[test]
+    fn hierarchy_beats_flat_replication() {
+        let (mut hier, hi, houts) = hierarchical_fanout(20, 8);
+        let (mut flat, fi, fouts) = flat_replication(20, 8);
+        hier.reset_stats();
+        flat.reset_stats();
+        drive(&mut hier, hi, 0);
+        drive(&mut flat, fi, 0);
+        // Same results…
+        for (&a, &b) in houts.iter().zip(&fouts) {
+            assert_eq!(hier.value(a), flat.value(b));
+            assert_eq!(hier.value(a), &Value::Int(21), "20 chain stages + 1");
+        }
+        // …but the shared internal chain evaluated once, not 8 times.
+        assert!(hier.stats().inferences * 4 < flat.stats().inferences);
+    }
+}

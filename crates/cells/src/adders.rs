@@ -1,0 +1,331 @@
+//! Structural adders: a gate-level full adder and N-bit ripple-carry
+//! adders built from it.
+
+use crate::kit::CellKit;
+use stem_design::{CellClassId, CellInstanceId, Design, NetId, SignalDir};
+use stem_geom::{Point, Transform};
+
+fn wire(d: &mut Design, net: NetId, pins: &[(CellInstanceId, &str)]) {
+    for (inst, sig) in pins {
+        d.connect(net, *inst, sig).expect("gate wiring is type-clean");
+    }
+}
+
+impl CellKit {
+    /// Builds a structural 1-bit full adder:
+    /// `s = a ⊕ b ⊕ cin`, `cout = a·b + (a⊕b)·cin` — five gates.
+    ///
+    /// Declares the critical delays `a→s`, `a→cout`, `cin→s`, `cin→cout`
+    /// so containing cells can route delay paths through it (§7.3).
+    pub fn full_adder(&mut self, name: &str) -> CellClassId {
+        let g = self.gates;
+        let d = &mut self.design;
+        let fa = d.define_class(name);
+        for s in ["a", "b", "cin"] {
+            d.add_signal(fa, s, SignalDir::Input);
+            d.set_signal_bit_width(fa, s, 1).unwrap();
+        }
+        for s in ["s", "cout"] {
+            d.add_signal(fa, s, SignalDir::Output);
+            d.set_signal_bit_width(fa, s, 1).unwrap();
+        }
+
+        let place = |x: i64| Transform::translation(Point::new(x, 0));
+        let x1 = d.instantiate(g.xor2, fa, "x1", place(0)).unwrap();
+        let x2 = d.instantiate(g.xor2, fa, "x2", place(8)).unwrap();
+        let g1 = d.instantiate(g.and2, fa, "g1", place(16)).unwrap();
+        let g2 = d.instantiate(g.and2, fa, "g2", place(24)).unwrap();
+        let o1 = d.instantiate(g.or2, fa, "o1", place(32)).unwrap();
+
+        let na = d.add_net(fa, "na");
+        d.connect_io(na, "a").unwrap();
+        wire(d, na, &[(x1, "a"), (g1, "a")]);
+        let nb = d.add_net(fa, "nb");
+        d.connect_io(nb, "b").unwrap();
+        wire(d, nb, &[(x1, "b"), (g1, "b")]);
+        let ncin = d.add_net(fa, "ncin");
+        d.connect_io(ncin, "cin").unwrap();
+        wire(d, ncin, &[(x2, "b"), (g2, "b")]);
+        let nx1 = d.add_net(fa, "nx1");
+        wire(d, nx1, &[(x1, "y"), (x2, "a"), (g2, "a")]);
+        let ns = d.add_net(fa, "ns");
+        wire(d, ns, &[(x2, "y")]);
+        d.connect_io(ns, "s").unwrap();
+        let ng1 = d.add_net(fa, "ng1");
+        wire(d, ng1, &[(g1, "y"), (o1, "a")]);
+        let ng2 = d.add_net(fa, "ng2");
+        wire(d, ng2, &[(g2, "y"), (o1, "b")]);
+        let ncout = d.add_net(fa, "ncout");
+        wire(d, ncout, &[(o1, "y")]);
+        d.connect_io(ncout, "cout").unwrap();
+
+        // Io-pins on the computed bounding box for compiler use.
+        let bbox = d.class_bounding_box(fa).expect("gates placed");
+        d.set_signal_pin(fa, "cin", Point::new(bbox.min().x, 5));
+        d.set_signal_pin(fa, "cout", Point::new(bbox.max().x, 5));
+        d.set_signal_pin(fa, "a", Point::new(3, bbox.max().y));
+        d.set_signal_pin(fa, "b", Point::new(7, bbox.max().y));
+        d.set_signal_pin(fa, "s", Point::new(20, bbox.min().y));
+
+        for from in ["a", "b", "cin"] {
+            for to in ["s", "cout"] {
+                self.analyzer.declare_delay(&mut self.design, fa, from, to);
+            }
+        }
+        fa
+    }
+
+    /// Builds a structural N-bit ripple-carry adder from full-adder
+    /// slices, with clean signal names `a0…`, `b0…`, `s0…`, `cin`, `cout`.
+    ///
+    /// Declares the carry-chain and sum critical delays.
+    ///
+    /// # Panics
+    ///
+    /// Panics for `width == 0`.
+    pub fn ripple_carry_adder(&mut self, name: &str, width: usize) -> CellClassId {
+        assert!(width > 0, "zero-width adder");
+        let fa = self.full_adder(&format!("{name}_FA"));
+        let d = &mut self.design;
+        let rca = d.define_class(name);
+        for i in 0..width {
+            for s in [format!("a{i}"), format!("b{i}")] {
+                d.add_signal(rca, &s, SignalDir::Input);
+                d.set_signal_bit_width(rca, &s, 1).unwrap();
+            }
+            d.add_signal(rca, format!("s{i}"), SignalDir::Output);
+            d.set_signal_bit_width(rca, &format!("s{i}"), 1).unwrap();
+        }
+        d.add_signal(rca, "cin", SignalDir::Input);
+        d.add_signal(rca, "cout", SignalDir::Output);
+        d.set_signal_bit_width(rca, "cin", 1).unwrap();
+        d.set_signal_bit_width(rca, "cout", 1).unwrap();
+
+        let fa_width = d.class_bounding_box(fa).expect("built").width();
+        let mut slices = Vec::new();
+        for i in 0..width {
+            let t = Transform::translation(Point::new(fa_width * i as i64, 0));
+            slices.push(d.instantiate(fa, rca, format!("fa{i}"), t).unwrap());
+        }
+        // Operand and sum nets.
+        for (i, &slice) in slices.iter().enumerate() {
+            let na = d.add_net(rca, format!("na{i}"));
+            d.connect_io(na, &format!("a{i}")).unwrap();
+            d.connect(na, slice, "a").unwrap();
+            let nb = d.add_net(rca, format!("nb{i}"));
+            d.connect_io(nb, &format!("b{i}")).unwrap();
+            d.connect(nb, slice, "b").unwrap();
+            let ns = d.add_net(rca, format!("ns{i}"));
+            d.connect(ns, slice, "s").unwrap();
+            d.connect_io(ns, &format!("s{i}")).unwrap();
+        }
+        // Carry chain.
+        let nc_in = d.add_net(rca, "nc0");
+        d.connect_io(nc_in, "cin").unwrap();
+        d.connect(nc_in, slices[0], "cin").unwrap();
+        for i in 1..width {
+            let nc = d.add_net(rca, format!("nc{i}"));
+            d.connect(nc, slices[i - 1], "cout").unwrap();
+            d.connect(nc, slices[i], "cin").unwrap();
+        }
+        let nc_out = d.add_net(rca, "ncout");
+        d.connect(nc_out, slices[width - 1], "cout").unwrap();
+        d.connect_io(nc_out, "cout").unwrap();
+
+        self.analyzer.declare_delay(&mut self.design, rca, "cin", "cout");
+        self.analyzer
+            .declare_delay(&mut self.design, rca, "a0", "cout");
+        self.analyzer
+            .declare_delay(&mut self.design, rca, "cin", &format!("s{}", width - 1));
+        self.analyzer
+            .declare_delay(&mut self.design, rca, "a0", &format!("s{}", width - 1));
+        rca
+    }
+
+    /// Builds a structural 2-to-1 multiplexer: `y = s ? b : a`, from four
+    /// gates (`inv`, two `and2`, `or2`).
+    pub fn mux2(&mut self, name: &str) -> CellClassId {
+        let g = self.gates;
+        let d = &mut self.design;
+        let mux = d.define_class(name);
+        for sgn in ["a", "b", "s"] {
+            d.add_signal(mux, sgn, SignalDir::Input);
+            d.set_signal_bit_width(mux, sgn, 1).unwrap();
+        }
+        d.add_signal(mux, "y", SignalDir::Output);
+        d.set_signal_bit_width(mux, "y", 1).unwrap();
+
+        let place = |x: i64| Transform::translation(Point::new(x, 0));
+        let n1 = d.instantiate(g.inv, mux, "n1", place(0)).unwrap();
+        let g1 = d.instantiate(g.and2, mux, "g1", place(8)).unwrap();
+        let g2 = d.instantiate(g.and2, mux, "g2", place(16)).unwrap();
+        let o1 = d.instantiate(g.or2, mux, "o1", place(24)).unwrap();
+
+        let ns = d.add_net(mux, "ns");
+        d.connect_io(ns, "s").unwrap();
+        wire(d, ns, &[(n1, "a"), (g2, "b")]);
+        let nns = d.add_net(mux, "nns");
+        wire(d, nns, &[(n1, "y"), (g1, "b")]);
+        let na = d.add_net(mux, "na");
+        d.connect_io(na, "a").unwrap();
+        wire(d, na, &[(g1, "a")]);
+        let nb = d.add_net(mux, "nb");
+        d.connect_io(nb, "b").unwrap();
+        wire(d, nb, &[(g2, "a")]);
+        let ng1 = d.add_net(mux, "ng1");
+        wire(d, ng1, &[(g1, "y"), (o1, "a")]);
+        let ng2 = d.add_net(mux, "ng2");
+        wire(d, ng2, &[(g2, "y"), (o1, "b")]);
+        let ny = d.add_net(mux, "ny");
+        wire(d, ny, &[(o1, "y")]);
+        d.connect_io(ny, "y").unwrap();
+
+        for from in ["a", "b", "s"] {
+            self.analyzer.declare_delay(&mut self.design, mux, from, "y");
+        }
+        mux
+    }
+
+    /// Builds a structural N-bit carry-select adder: the low half is a
+    /// ripple-carry block; the high half is computed twice (carry-in 0 and
+    /// carry-in 1 via tie cells) and selected by the low block's carry —
+    /// the `ADD8.CS` of Fig. 8.1, built from real gates so its
+    /// speed/area trade-off against the ripple-carry adder is *measured*,
+    /// not asserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `width` is even and ≥ 4.
+    pub fn carry_select_adder(&mut self, name: &str, width: usize) -> CellClassId {
+        assert!(width >= 4 && width.is_multiple_of(2), "width must be even and ≥ 4");
+        let half = width / 2;
+        let lo_block = self.ripple_carry_adder(&format!("{name}_LO"), half);
+        let hi_block = self.ripple_carry_adder(&format!("{name}_HI"), half);
+        let mux = self.mux2(&format!("{name}_MUX"));
+        let (tie0, tie1) = (self.gates.tie0, self.gates.tie1);
+
+        let d = &mut self.design;
+        let csa = d.define_class(name);
+        for i in 0..width {
+            for sgn in [format!("a{i}"), format!("b{i}")] {
+                d.add_signal(csa, &sgn, SignalDir::Input);
+                d.set_signal_bit_width(csa, &sgn, 1).unwrap();
+            }
+            d.add_signal(csa, format!("s{i}"), SignalDir::Output);
+            d.set_signal_bit_width(csa, &format!("s{i}"), 1).unwrap();
+        }
+        d.add_signal(csa, "cin", SignalDir::Input);
+        d.set_signal_bit_width(csa, "cin", 1).unwrap();
+        d.add_signal(csa, "cout", SignalDir::Output);
+        d.set_signal_bit_width(csa, "cout", 1).unwrap();
+
+        let w_lo = d.class_bounding_box(lo_block).expect("built").width();
+        let lo = d.instantiate(lo_block, csa, "lo", Transform::IDENTITY).unwrap();
+        let h0 = d
+            .instantiate(hi_block, csa, "h0", Transform::translation(Point::new(w_lo + 4, 0)))
+            .unwrap();
+        let h1 = d
+            .instantiate(
+                hi_block,
+                csa,
+                "h1",
+                Transform::translation(Point::new(w_lo + 4, 12)),
+            )
+            .unwrap();
+        let t0 = d
+            .instantiate(tie0, csa, "t0", Transform::translation(Point::new(w_lo, 0)))
+            .unwrap();
+        let t1 = d
+            .instantiate(tie1, csa, "t1", Transform::translation(Point::new(w_lo, 12)))
+            .unwrap();
+
+        // Low-half operands and sums.
+        for i in 0..half {
+            let na = d.add_net(csa, format!("na{i}"));
+            d.connect_io(na, &format!("a{i}")).unwrap();
+            d.connect(na, lo, &format!("a{i}")).unwrap();
+            let nb = d.add_net(csa, format!("nb{i}"));
+            d.connect_io(nb, &format!("b{i}")).unwrap();
+            d.connect(nb, lo, &format!("b{i}")).unwrap();
+            let ns = d.add_net(csa, format!("ns{i}"));
+            d.connect(ns, lo, &format!("s{i}")).unwrap();
+            d.connect_io(ns, &format!("s{i}")).unwrap();
+        }
+        // High-half operands fan out to both speculative blocks.
+        for i in 0..half {
+            let gi = half + i;
+            let na = d.add_net(csa, format!("na{gi}"));
+            d.connect_io(na, &format!("a{gi}")).unwrap();
+            d.connect(na, h0, &format!("a{i}")).unwrap();
+            d.connect(na, h1, &format!("a{i}")).unwrap();
+            let nb = d.add_net(csa, format!("nb{gi}"));
+            d.connect_io(nb, &format!("b{gi}")).unwrap();
+            d.connect(nb, h0, &format!("b{i}")).unwrap();
+            d.connect(nb, h1, &format!("b{i}")).unwrap();
+        }
+        // Carry-in, speculative carries, and the select net.
+        let ncin = d.add_net(csa, "ncin");
+        d.connect_io(ncin, "cin").unwrap();
+        d.connect(ncin, lo, "cin").unwrap();
+        let n0 = d.add_net(csa, "ntie0");
+        d.connect(n0, t0, "y").unwrap();
+        d.connect(n0, h0, "cin").unwrap();
+        let n1 = d.add_net(csa, "ntie1");
+        d.connect(n1, t1, "y").unwrap();
+        d.connect(n1, h1, "cin").unwrap();
+        let nsel = d.add_net(csa, "nsel");
+        d.connect(nsel, lo, "cout").unwrap();
+
+        // Selection muxes for the high sums and the carry out.
+        let mux_w = d.class_bounding_box(mux).expect("built").width();
+        let base_x = w_lo + 4 + d.class_bounding_box(hi_block).expect("built").width() + 4;
+        for i in 0..half {
+            let gi = half + i;
+            let m = d
+                .instantiate(
+                    mux,
+                    csa,
+                    format!("m{gi}"),
+                    Transform::translation(Point::new(base_x + mux_w * i as i64, 0)),
+                )
+                .unwrap();
+            let n_a = d.add_net(csa, format!("nh0s{i}"));
+            d.connect(n_a, h0, &format!("s{i}")).unwrap();
+            d.connect(n_a, m, "a").unwrap();
+            let n_b = d.add_net(csa, format!("nh1s{i}"));
+            d.connect(n_b, h1, &format!("s{i}")).unwrap();
+            d.connect(n_b, m, "b").unwrap();
+            d.connect(nsel, m, "s").unwrap();
+            let n_y = d.add_net(csa, format!("nsum{gi}"));
+            d.connect(n_y, m, "y").unwrap();
+            d.connect_io(n_y, &format!("s{gi}")).unwrap();
+        }
+        let mc = d
+            .instantiate(
+                mux,
+                csa,
+                "mc",
+                Transform::translation(Point::new(base_x + mux_w * half as i64, 0)),
+            )
+            .unwrap();
+        let n_c0 = d.add_net(csa, "nh0c");
+        d.connect(n_c0, h0, "cout").unwrap();
+        d.connect(n_c0, mc, "a").unwrap();
+        let n_c1 = d.add_net(csa, "nh1c");
+        d.connect(n_c1, h1, "cout").unwrap();
+        d.connect(n_c1, mc, "b").unwrap();
+        d.connect(nsel, mc, "s").unwrap();
+        let n_cout = d.add_net(csa, "ncout");
+        d.connect(n_cout, mc, "y").unwrap();
+        d.connect_io(n_cout, "cout").unwrap();
+
+        self.analyzer.declare_delay(&mut self.design, csa, "cin", "cout");
+        self.analyzer
+            .declare_delay(&mut self.design, csa, "a0", "cout");
+        self.analyzer
+            .declare_delay(&mut self.design, csa, "cin", &format!("s{}", width - 1));
+        self.analyzer
+            .declare_delay(&mut self.design, csa, "a0", &format!("s{}", width - 1));
+        csa
+    }
+}

@@ -1,0 +1,103 @@
+//! The thesis's running composite example, built structurally: an
+//! ACCUMULATOR "built by cascading an 8-bit REGISTER to an ADDER" (§5.1),
+//! with the adder's output fed back into the register.
+
+use crate::kit::CellKit;
+use stem_design::{CellClassId, Design, NetId, SignalDir};
+use stem_geom::{Point, Transform};
+
+fn wire(d: &mut Design, net: NetId, pins: &[(stem_design::CellInstanceId, String)]) {
+    for (inst, sig) in pins {
+        d.connect(net, *inst, sig).expect("datapath wiring is type-clean");
+    }
+}
+
+impl CellKit {
+    /// Builds a structural N-bit accumulator: on each rising clock edge
+    /// the register captures `sum = acc + in`, so the register output
+    /// accumulates the input stream.
+    ///
+    /// Signals: `in0…`, `acc0…` (the registered value), `clk`, `cout`.
+    /// Declares the critical `clk → acc(width-1)` and combinational
+    /// feedback delays.
+    ///
+    /// # Panics
+    ///
+    /// Panics for `width == 0`.
+    pub fn accumulator(&mut self, name: &str, width: usize) -> CellClassId {
+        assert!(width > 0, "zero-width accumulator");
+        let adder = self.ripple_carry_adder(&format!("{name}_ADD"), width);
+        let register = self.register_cell(&format!("{name}_REG"), width);
+
+        let d = &mut self.design;
+        let acc = d.define_class(name);
+        for i in 0..width {
+            d.add_signal(acc, format!("in{i}"), SignalDir::Input);
+            d.set_signal_bit_width(acc, &format!("in{i}"), 1).unwrap();
+            d.add_signal(acc, format!("acc{i}"), SignalDir::Output);
+            d.set_signal_bit_width(acc, &format!("acc{i}"), 1).unwrap();
+        }
+        d.add_signal(acc, "clk", SignalDir::Input);
+        d.set_signal_bit_width(acc, "clk", 1).unwrap();
+        d.add_signal(acc, "cout", SignalDir::Output);
+        d.set_signal_bit_width(acc, "cout", 1).unwrap();
+
+        let add_w = d.class_bounding_box(adder).expect("built").width();
+        let add = d.instantiate(adder, acc, "add", Transform::IDENTITY).unwrap();
+        let reg = d
+            .instantiate(
+                register,
+                acc,
+                "reg",
+                Transform::translation(Point::new(add_w + 4, 0)),
+            )
+            .unwrap();
+
+        // Clock and external operand.
+        let nclk = d.add_net(acc, "nclk");
+        d.connect_io(nclk, "clk").unwrap();
+        d.connect(nclk, reg, "clk").unwrap();
+        for i in 0..width {
+            let nin = d.add_net(acc, format!("nin{i}"));
+            d.connect_io(nin, &format!("in{i}")).unwrap();
+            wire(d, nin, &[(add, format!("b{i}"))]);
+        }
+        // Feedback: register q → adder a, and out to the interface.
+        for i in 0..width {
+            let nq = d.add_net(acc, format!("nq{i}"));
+            wire(
+                d,
+                nq,
+                &[(reg, format!("q{i}")), (add, format!("a{i}"))],
+            );
+            d.connect_io(nq, &format!("acc{i}")).unwrap();
+            // Sum back into the register.
+            let ns = d.add_net(acc, format!("nsum{i}"));
+            wire(
+                d,
+                ns,
+                &[(add, format!("s{i}")), (reg, format!("d{i}"))],
+            );
+        }
+        // Carry-in tied low; carry-out exposed.
+        let t0 = d
+            .instantiate(
+                self.gates.tie0,
+                acc,
+                "t0",
+                Transform::translation(Point::new(-6, 0)),
+            )
+            .unwrap();
+        let ncin = d.add_net(acc, "ncin");
+        wire(d, ncin, &[(t0, "y".to_string()), (add, "cin".to_string())]);
+        let ncout = d.add_net(acc, "ncout");
+        wire(d, ncout, &[(add, "cout".to_string())]);
+        d.connect_io(ncout, "cout").unwrap();
+
+        self.analyzer
+            .declare_delay(&mut self.design, acc, "clk", &format!("acc{}", width - 1));
+        self.analyzer
+            .declare_delay(&mut self.design, acc, "in0", "cout");
+        acc
+    }
+}

@@ -1,0 +1,275 @@
+//! Characterised adder families and the ALU fixture of thesis Fig. 8.1 and
+//! Fig. 8.4, for module-selection experiments.
+//!
+//! Fig. 8.1: a generic 8-bit adder `ADD8` with two realisations —
+//! `ADD8.RC` (ripple-carry: delay 8D, area A) and `ADD8.CS` (carry-select:
+//! delay 5D, area 2.2A) — used inside an `ALU` cascaded after a logic unit
+//! `LU8` (delay 3D, area 2A).
+//!
+//! Fig. 8.4: a deeper generic hierarchy for search-tree pruning, where each
+//! generic cell carries the *ideal* characteristics of its descendants
+//! ("the best case estimates of what their descendents can attain").
+
+use crate::gates::GATE_DELAY_NS;
+use crate::kit::CellKit;
+use stem_core::Violation;
+use stem_design::{CellClassId, CellInstanceId, SignalDir};
+use stem_geom::{Point, Rect, Transform};
+
+/// The base area unit "A" of Fig. 8.1, as a rectangle width (height is
+/// always [`ADDER_HEIGHT`]): area A = `ADDER_UNIT_WIDTH × ADDER_HEIGHT`.
+pub const ADDER_UNIT_WIDTH: i64 = 80;
+
+/// Common datapath height of the characterised cells.
+pub const ADDER_HEIGHT: i64 = 20;
+
+fn unit_rect(units_times_10: i64) -> Rect {
+    // width = units/10 · 80, so 22 → 2.2A.
+    Rect::with_extent(Point::ORIGIN, ADDER_UNIT_WIDTH * units_times_10 / 10, ADDER_HEIGHT)
+}
+
+/// An 8-bit-adder interface class: bus signals `a`, `b`, `s` (8 bits) plus
+/// `cin`, `cout`.
+pub fn adder8_interface(kit: &mut CellKit, name: &str) -> CellClassId {
+    let d = &mut kit.design;
+    let c = d.define_class(name);
+    for s in ["a", "b"] {
+        d.add_signal(c, s, SignalDir::Input);
+        d.set_signal_bit_width(c, s, 8).unwrap();
+    }
+    d.add_signal(c, "s", SignalDir::Output);
+    d.set_signal_bit_width(c, "s", 8).unwrap();
+    d.add_signal(c, "cin", SignalDir::Input);
+    d.set_signal_bit_width(c, "cin", 1).unwrap();
+    d.add_signal(c, "cout", SignalDir::Output);
+    d.set_signal_bit_width(c, "cout", 1).unwrap();
+    c
+}
+
+/// Characterises an adder class: bounding box (in tenths of the area unit
+/// A) and `a → s` delay (in units of D).
+pub fn characterize_adder8(
+    kit: &mut CellKit,
+    class: CellClassId,
+    delay_d: f64,
+    area_tenths: i64,
+) -> Result<(), Violation> {
+    kit.design
+        .set_class_bounding_box(class, unit_rect(area_tenths))?;
+    kit.analyzer.declare_delay(&mut kit.design, class, "a", "s");
+    kit.analyzer
+        .set_estimate(&mut kit.design, class, "a", "s", delay_d * GATE_DELAY_NS)
+}
+
+/// The Fig. 8.1 adder family.
+#[derive(Debug, Clone, Copy)]
+pub struct Adder8Family {
+    /// Generic `ADD8` (ideal: delay 5D, area A).
+    pub generic: CellClassId,
+    /// `ADD8.RC`: delay 8D, area A.
+    pub rc: CellClassId,
+    /// `ADD8.CS`: delay 5D, area 2.2A.
+    pub cs: CellClassId,
+}
+
+/// Builds the Fig. 8.1 family.
+pub fn adder8_family(kit: &mut CellKit) -> Adder8Family {
+    let generic = adder8_interface(kit, "ADD8");
+    kit.design.set_generic(generic, true);
+    // Ideal estimates: best delay of any subclass, best area of any.
+    characterize_adder8(kit, generic, 5.0, 10).unwrap();
+
+    let rc = kit.design.derive_class("ADD8.RC", generic);
+    kit.analyzer.declare_delay(&mut kit.design, rc, "a", "s");
+    kit.analyzer
+        .set_estimate(&mut kit.design, rc, "a", "s", 8.0 * GATE_DELAY_NS)
+        .unwrap();
+    kit.design.set_class_bounding_box(rc, unit_rect(10)).unwrap();
+
+    let cs = kit.design.derive_class("ADD8.CS", generic);
+    kit.analyzer.declare_delay(&mut kit.design, cs, "a", "s");
+    kit.analyzer
+        .set_estimate(&mut kit.design, cs, "a", "s", 5.0 * GATE_DELAY_NS)
+        .unwrap();
+    kit.design.set_class_bounding_box(cs, unit_rect(22)).unwrap();
+
+    Adder8Family { generic, rc, cs }
+}
+
+/// The Fig. 8.1 ALU fixture: `ALU = LU8 → ADD8(generic)`.
+#[derive(Debug, Clone, Copy)]
+pub struct AluFixture {
+    /// The composite ALU class (delay = 3D + adder; area = 2A + adder).
+    pub alu: CellClassId,
+    /// The logic unit class (delay 3D, area 2A).
+    pub lu8: CellClassId,
+    /// The generic adder instance inside the ALU.
+    pub adder_inst: CellInstanceId,
+    /// The logic-unit instance inside the ALU.
+    pub lu_inst: CellInstanceId,
+    /// The adder family.
+    pub family: Adder8Family,
+}
+
+/// Builds the ALU of Fig. 8.1 with a generic adder instance.
+pub fn alu_fixture(kit: &mut CellKit) -> AluFixture {
+    let family = adder8_family(kit);
+
+    // LU8: characterised leaf, delay 3D, area 2A.
+    let lu8 = {
+        let d = &mut kit.design;
+        let c = d.define_class("LU8");
+        d.add_signal(c, "a", SignalDir::Input);
+        d.set_signal_bit_width(c, "a", 8).unwrap();
+        d.add_signal(c, "y", SignalDir::Output);
+        d.set_signal_bit_width(c, "y", 8).unwrap();
+        d.set_class_bounding_box(c, unit_rect(20)).unwrap();
+        c
+    };
+    kit.analyzer.declare_delay(&mut kit.design, lu8, "a", "y");
+    kit.analyzer
+        .set_estimate(&mut kit.design, lu8, "a", "y", 3.0 * GATE_DELAY_NS)
+        .unwrap();
+
+    let d = &mut kit.design;
+    let alu = d.define_class("ALU");
+    d.add_signal(alu, "in", SignalDir::Input);
+    d.set_signal_bit_width(alu, "in", 8).unwrap();
+    d.add_signal(alu, "b", SignalDir::Input);
+    d.set_signal_bit_width(alu, "b", 8).unwrap();
+    d.add_signal(alu, "out", SignalDir::Output);
+    d.set_signal_bit_width(alu, "out", 8).unwrap();
+
+    let lu_inst = d.instantiate(lu8, alu, "lu", Transform::IDENTITY).unwrap();
+    let adder_inst = d
+        .instantiate(
+            family.generic,
+            alu,
+            "add",
+            Transform::translation(Point::new(2 * ADDER_UNIT_WIDTH, 0)),
+        )
+        .unwrap();
+
+    let n_in = d.add_net(alu, "n_in");
+    d.connect_io(n_in, "in").unwrap();
+    d.connect(n_in, lu_inst, "a").unwrap();
+    let n_mid = d.add_net(alu, "n_mid");
+    d.connect(n_mid, lu_inst, "y").unwrap();
+    d.connect(n_mid, adder_inst, "a").unwrap();
+    let n_b = d.add_net(alu, "n_b");
+    d.connect_io(n_b, "b").unwrap();
+    d.connect(n_b, adder_inst, "b").unwrap();
+    let n_out = d.add_net(alu, "n_out");
+    d.connect(n_out, adder_inst, "s").unwrap();
+    d.connect_io(n_out, "out").unwrap();
+
+    kit.analyzer.declare_delay(&mut kit.design, alu, "in", "out");
+
+    AluFixture {
+        alu,
+        lu8,
+        adder_inst,
+        lu_inst,
+        family,
+    }
+}
+
+/// The Fig. 8.4 pruning hierarchy: `Adder8` (generic root) with generic
+/// sub-families whose leaves trade delay against area.
+#[derive(Debug, Clone)]
+pub struct PruningFamily {
+    /// The generic root.
+    pub root: CellClassId,
+    /// `(generic group, leaves)` pairs.
+    pub groups: Vec<(CellClassId, Vec<CellClassId>)>,
+}
+
+/// Builds the Fig. 8.4 hierarchy: `RippleCarryAdder8` (ideal 8D / 8A) with
+/// leaves `RCAdd8S` (16D, 8A) and `RCAdd8F` (8D, 16A), plus a
+/// `CarrySelectAdder8` group (ideal 5D / 16A) with leaves `CSAdd8S`
+/// (7D, 16A) and `CSAdd8F` (5D, 24A).
+pub fn fig8_4_family(kit: &mut CellKit) -> PruningFamily {
+    let root = adder8_interface(kit, "Adder8");
+    kit.design.set_generic(root, true);
+    // Root ideals: best delay 5D, best area 8A.
+    characterize_adder8(kit, root, 5.0, 80).unwrap();
+
+    let derive = |kit: &mut CellKit, name: &str, parent, delay, area, generic| {
+        let c = kit.design.derive_class(name, parent);
+        kit.design.set_generic(c, generic);
+        kit.analyzer.declare_delay(&mut kit.design, c, "a", "s");
+        kit.analyzer
+            .set_estimate(&mut kit.design, c, "a", "s", delay * GATE_DELAY_NS)
+            .unwrap();
+        kit.design
+            .set_class_bounding_box(c, unit_rect(area))
+            .unwrap();
+        c
+    };
+
+    let ripple = derive(kit, "RippleCarryAdder8", root, 8.0, 80, true);
+    let rc_s = derive(kit, "RCAdd8S", ripple, 16.0, 80, false);
+    let rc_f = derive(kit, "RCAdd8F", ripple, 8.0, 160, false);
+
+    let select = derive(kit, "CarrySelectAdder8", root, 5.0, 160, true);
+    let cs_s = derive(kit, "CSAdd8S", select, 7.0, 160, false);
+    let cs_f = derive(kit, "CSAdd8F", select, 5.0, 240, false);
+
+    PruningFamily {
+        root,
+        groups: vec![(ripple, vec![rc_s, rc_f]), (select, vec![cs_s, cs_f])],
+    }
+}
+
+/// A synthetic pruning hierarchy of configurable width for the selection
+/// benchmarks (DESIGN.md E9): `n_groups` generic groups each holding
+/// `leaves_per_group` realisations. Group `g` has ideal delay `5 + 3g` D
+/// and ideal area `(8 + 4g)` A; its leaves degrade from the ideal.
+pub fn synthetic_pruning_family(
+    kit: &mut CellKit,
+    n_groups: usize,
+    leaves_per_group: usize,
+) -> PruningFamily {
+    let root = adder8_interface(kit, "GenericAdder8");
+    kit.design.set_generic(root, true);
+    characterize_adder8(kit, root, 5.0, 80).unwrap();
+
+    let mut groups = Vec::new();
+    for g in 0..n_groups {
+        let ideal_delay = 5.0 + 3.0 * g as f64;
+        let ideal_area = 80 + 40 * g as i64;
+        let group = kit
+            .design
+            .derive_class(format!("Group{g}"), root);
+        kit.design.set_generic(group, true);
+        kit.analyzer.declare_delay(&mut kit.design, group, "a", "s");
+        kit.analyzer
+            .set_estimate(&mut kit.design, group, "a", "s", ideal_delay * GATE_DELAY_NS)
+            .unwrap();
+        kit.design
+            .set_class_bounding_box(group, unit_rect(ideal_area))
+            .unwrap();
+        let mut leaves = Vec::new();
+        for l in 0..leaves_per_group {
+            let leaf = kit
+                .design
+                .derive_class(format!("Group{g}Leaf{l}"), group);
+            kit.analyzer.declare_delay(&mut kit.design, leaf, "a", "s");
+            kit.analyzer
+                .set_estimate(
+                    &mut kit.design,
+                    leaf,
+                    "a",
+                    "s",
+                    (ideal_delay + l as f64) * GATE_DELAY_NS,
+                )
+                .unwrap();
+            kit.design
+                .set_class_bounding_box(leaf, unit_rect(ideal_area + 10 * l as i64))
+                .unwrap();
+            leaves.push(leaf);
+        }
+        groups.push((group, leaves));
+    }
+    PruningFamily { root, groups }
+}

@@ -1,0 +1,254 @@
+//! Primitive gate cells: geometry, electrical parameters, declared delays
+//! and simulator models.
+
+use stem_checking::{DelayAnalyzer, ElectricalParams};
+use stem_design::{CellClassId, Design, SignalDir};
+use stem_geom::{Point, Rect};
+use stem_sim::{PrimitiveKind, PrimitiveLibrary, PrimitiveSpec};
+
+/// The unit gate delay "D" used throughout the library, in nanoseconds.
+pub const GATE_DELAY_NS: f64 = 1.0;
+
+/// Default input capacitance of a gate pin, in pF.
+pub const GATE_IN_CAP_PF: f64 = 0.1;
+
+/// Default output resistance of a gate driver, in kΩ.
+pub const GATE_OUT_RES_KOHM: f64 = 1.0;
+
+/// Setup time of the library flip-flop, in nanoseconds.
+pub const DFF_SETUP_NS: f64 = 0.5;
+
+/// Handles to the primitive gate classes.
+#[derive(Debug, Clone, Copy)]
+pub struct Gates {
+    /// Inverter `a → y`.
+    pub inv: CellClassId,
+    /// Buffer `a → y`.
+    pub buf: CellClassId,
+    /// 2-input NAND `a, b → y`.
+    pub nand2: CellClassId,
+    /// 2-input NOR `a, b → y`.
+    pub nor2: CellClassId,
+    /// 2-input AND `a, b → y`.
+    pub and2: CellClassId,
+    /// 2-input OR `a, b → y`.
+    pub or2: CellClassId,
+    /// 2-input XOR `a, b → y`.
+    pub xor2: CellClassId,
+    /// D flip-flop `d, clk → q`.
+    pub dff: CellClassId,
+    /// Constant low driver `→ y`.
+    pub tie0: CellClassId,
+    /// Constant high driver `→ y`.
+    pub tie1: CellClassId,
+}
+
+/// Delay (in units of [`GATE_DELAY_NS`]) of each gate kind.
+pub fn gate_delay_units(kind: PrimitiveKind) -> f64 {
+    match kind {
+        PrimitiveKind::Inverter | PrimitiveKind::Buffer => 1.0,
+        PrimitiveKind::Nand | PrimitiveKind::Nor => 1.2,
+        PrimitiveKind::And | PrimitiveKind::Or => 1.5,
+        PrimitiveKind::Xor => 2.0,
+        PrimitiveKind::Dff => 2.0,
+        PrimitiveKind::Const(_) => 0.0,
+    }
+}
+
+/// Builds all primitive gates into a design, registering simulator models
+/// and declared delays.
+pub fn build_gates(
+    d: &mut Design,
+    primitives: &mut PrimitiveLibrary,
+    analyzer: &mut DelayAnalyzer,
+) -> Gates {
+    let one_input = |d: &mut Design,
+                         primitives: &mut PrimitiveLibrary,
+                         analyzer: &mut DelayAnalyzer,
+                         name: &str,
+                         kind: PrimitiveKind|
+     -> CellClassId {
+        let c = d.define_class(name);
+        d.add_signal(c, "a", SignalDir::Input);
+        d.add_signal(c, "y", SignalDir::Output);
+        d.set_signal_bit_width(c, "a", 1).unwrap();
+        d.set_signal_bit_width(c, "y", 1).unwrap();
+        d.set_class_bounding_box(c, Rect::with_extent(Point::ORIGIN, 6, 10))
+            .unwrap();
+        d.set_signal_pin(c, "a", Point::new(0, 5));
+        d.set_signal_pin(c, "y", Point::new(6, 5));
+        let delay = gate_delay_units(kind) * GATE_DELAY_NS;
+        analyzer.declare_delay(d, c, "a", "y");
+        analyzer.set_estimate(d, c, "a", "y", delay).unwrap();
+        analyzer.set_electrical(
+            c,
+            "a",
+            ElectricalParams {
+                in_capacitance: GATE_IN_CAP_PF,
+                ..Default::default()
+            },
+        );
+        analyzer.set_electrical(
+            c,
+            "y",
+            ElectricalParams {
+                out_resistance: GATE_OUT_RES_KOHM,
+                ..Default::default()
+            },
+        );
+        primitives.register(
+            c,
+            PrimitiveSpec {
+                kind,
+                inputs: vec!["a".into()],
+                output: "y".into(),
+                delay_ps: (delay * 1000.0) as u64,
+                setup_ps: 0,
+            },
+        );
+        c
+    };
+
+    let two_input = |d: &mut Design,
+                         primitives: &mut PrimitiveLibrary,
+                         analyzer: &mut DelayAnalyzer,
+                         name: &str,
+                         kind: PrimitiveKind|
+     -> CellClassId {
+        let c = d.define_class(name);
+        d.add_signal(c, "a", SignalDir::Input);
+        d.add_signal(c, "b", SignalDir::Input);
+        d.add_signal(c, "y", SignalDir::Output);
+        for s in ["a", "b", "y"] {
+            d.set_signal_bit_width(c, s, 1).unwrap();
+        }
+        d.set_class_bounding_box(c, Rect::with_extent(Point::ORIGIN, 8, 10))
+            .unwrap();
+        d.set_signal_pin(c, "a", Point::new(0, 3));
+        d.set_signal_pin(c, "b", Point::new(0, 7));
+        d.set_signal_pin(c, "y", Point::new(8, 5));
+        let delay = gate_delay_units(kind) * GATE_DELAY_NS;
+        for from in ["a", "b"] {
+            analyzer.declare_delay(d, c, from, "y");
+            analyzer.set_estimate(d, c, from, "y", delay).unwrap();
+            analyzer.set_electrical(
+                c,
+                from,
+                ElectricalParams {
+                    in_capacitance: GATE_IN_CAP_PF,
+                    ..Default::default()
+                },
+            );
+        }
+        analyzer.set_electrical(
+            c,
+            "y",
+            ElectricalParams {
+                out_resistance: GATE_OUT_RES_KOHM,
+                ..Default::default()
+            },
+        );
+        primitives.register(
+            c,
+            PrimitiveSpec {
+                kind,
+                inputs: vec!["a".into(), "b".into()],
+                output: "y".into(),
+                delay_ps: (delay * 1000.0) as u64,
+                setup_ps: 0,
+            },
+        );
+        c
+    };
+
+    let inv = one_input(d, primitives, analyzer, "INV", PrimitiveKind::Inverter);
+    let buf = one_input(d, primitives, analyzer, "BUF", PrimitiveKind::Buffer);
+    let nand2 = two_input(d, primitives, analyzer, "NAND2", PrimitiveKind::Nand);
+    let nor2 = two_input(d, primitives, analyzer, "NOR2", PrimitiveKind::Nor);
+    let and2 = two_input(d, primitives, analyzer, "AND2", PrimitiveKind::And);
+    let or2 = two_input(d, primitives, analyzer, "OR2", PrimitiveKind::Or);
+    let xor2 = two_input(d, primitives, analyzer, "XOR2", PrimitiveKind::Xor);
+
+    // D flip-flop.
+    let dff = d.define_class("DFF");
+    d.add_signal(dff, "d", SignalDir::Input);
+    d.add_signal(dff, "clk", SignalDir::Input);
+    d.add_signal(dff, "q", SignalDir::Output);
+    for s in ["d", "clk", "q"] {
+        d.set_signal_bit_width(dff, s, 1).unwrap();
+    }
+    d.set_class_bounding_box(dff, Rect::with_extent(Point::ORIGIN, 12, 10))
+        .unwrap();
+    d.set_signal_pin(dff, "d", Point::new(0, 3));
+    d.set_signal_pin(dff, "clk", Point::new(0, 7));
+    d.set_signal_pin(dff, "q", Point::new(12, 5));
+    let dff_delay = gate_delay_units(PrimitiveKind::Dff) * GATE_DELAY_NS;
+    analyzer.declare_delay(d, dff, "clk", "q");
+    analyzer.set_estimate(d, dff, "clk", "q", dff_delay).unwrap();
+    analyzer.set_electrical(
+        dff,
+        "d",
+        ElectricalParams {
+            in_capacitance: GATE_IN_CAP_PF,
+            ..Default::default()
+        },
+    );
+    analyzer.set_electrical(
+        dff,
+        "q",
+        ElectricalParams {
+            out_resistance: GATE_OUT_RES_KOHM,
+            ..Default::default()
+        },
+    );
+    primitives.register(
+        dff,
+        PrimitiveSpec {
+            kind: PrimitiveKind::Dff,
+            inputs: vec!["d".into(), "clk".into()],
+            output: "q".into(),
+            delay_ps: (dff_delay * 1000.0) as u64,
+            setup_ps: (DFF_SETUP_NS * 1000.0) as u64,
+        },
+    );
+
+    // Constant tie cells (no inputs).
+    let tie = |d: &mut Design,
+                   primitives: &mut PrimitiveLibrary,
+                   name: &str,
+                   level: stem_sim::Level|
+     -> CellClassId {
+        let c = d.define_class(name);
+        d.add_signal(c, "y", SignalDir::Output);
+        d.set_signal_bit_width(c, "y", 1).unwrap();
+        d.set_class_bounding_box(c, Rect::with_extent(Point::ORIGIN, 4, 10))
+            .unwrap();
+        d.set_signal_pin(c, "y", Point::new(4, 5));
+        primitives.register(
+            c,
+            PrimitiveSpec {
+                kind: PrimitiveKind::Const(level),
+                inputs: vec![],
+                output: "y".into(),
+                delay_ps: 0,
+                setup_ps: 0,
+            },
+        );
+        c
+    };
+    let tie0 = tie(d, primitives, "TIE0", stem_sim::Level::L0);
+    let tie1 = tie(d, primitives, "TIE1", stem_sim::Level::L1);
+
+    Gates {
+        inv,
+        buf,
+        nand2,
+        nor2,
+        and2,
+        or2,
+        xor2,
+        dff,
+        tie0,
+        tie1,
+    }
+}

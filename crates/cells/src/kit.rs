@@ -1,0 +1,123 @@
+//! The cell kit: one design environment pre-loaded with the gate library,
+//! a primitive registry for the simulator, and a delay analyzer.
+
+use crate::gates::{build_gates, Gates};
+use stem_checking::DelayAnalyzer;
+use stem_design::{CellClassId, Design, SignalDir};
+use stem_sim::PrimitiveLibrary;
+
+/// A design environment bundled with the standard-cell library and the
+/// checking/simulation tool state the library cells were characterised
+/// with.
+#[derive(Debug)]
+pub struct CellKit {
+    /// The design environment.
+    pub design: Design,
+    /// Simulator models for the primitive gates.
+    pub primitives: PrimitiveLibrary,
+    /// Delay-checking tool state (declared delays, electrical parameters).
+    pub analyzer: DelayAnalyzer,
+    /// Primitive gate classes.
+    pub gates: Gates,
+}
+
+impl Default for CellKit {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CellKit {
+    /// Creates a kit with the gate library built.
+    pub fn new() -> Self {
+        let mut design = Design::new();
+        let mut primitives = PrimitiveLibrary::new();
+        let mut analyzer = DelayAnalyzer::new();
+        let gates = build_gates(&mut design, &mut primitives, &mut analyzer);
+        CellKit {
+            design,
+            primitives,
+            analyzer,
+            gates,
+        }
+    }
+
+    /// Builds an N-bit register from D flip-flops: signals `d0…`, `q0…`,
+    /// `clk`, with the `clk → q(width-1)` delay declared.
+    ///
+    /// # Panics
+    ///
+    /// Panics for `width == 0`.
+    pub fn register_cell(&mut self, name: &str, width: usize) -> CellClassId {
+        assert!(width > 0, "zero-width register");
+        let dff = self.gates.dff;
+        let d = &mut self.design;
+        let reg = d.define_class(name);
+        for i in 0..width {
+            d.add_signal(reg, format!("d{i}"), SignalDir::Input);
+            d.set_signal_bit_width(reg, &format!("d{i}"), 1).unwrap();
+            d.add_signal(reg, format!("q{i}"), SignalDir::Output);
+            d.set_signal_bit_width(reg, &format!("q{i}"), 1).unwrap();
+        }
+        d.add_signal(reg, "clk", SignalDir::Input);
+        d.set_signal_bit_width(reg, "clk", 1).unwrap();
+
+        let dff_w = d.class_bounding_box(dff).expect("gate box").width();
+        let nclk = d.add_net(reg, "nclk");
+        d.connect_io(nclk, "clk").unwrap();
+        for i in 0..width {
+            let t = stem_geom::Transform::translation(stem_geom::Point::new(
+                dff_w * i as i64,
+                0,
+            ));
+            let ff = d.instantiate(dff, reg, format!("ff{i}"), t).unwrap();
+            let nd = d.add_net(reg, format!("nd{i}"));
+            d.connect_io(nd, &format!("d{i}")).unwrap();
+            d.connect(nd, ff, "d").unwrap();
+            let nq = d.add_net(reg, format!("nq{i}"));
+            d.connect(nq, ff, "q").unwrap();
+            d.connect_io(nq, &format!("q{i}")).unwrap();
+            d.connect(nclk, ff, "clk").unwrap();
+        }
+        self.analyzer
+            .declare_delay(&mut self.design, reg, "clk", &format!("q{}", width - 1));
+        reg
+    }
+
+    /// Builds an N-bit logic unit (bitwise NAND): signals `a0…`, `b0…`,
+    /// `y0…`, with the bit-0 delay declared.
+    ///
+    /// # Panics
+    ///
+    /// Panics for `width == 0`.
+    pub fn logic_unit(&mut self, name: &str, width: usize) -> CellClassId {
+        assert!(width > 0, "zero-width logic unit");
+        let nand = self.gates.nand2;
+        let d = &mut self.design;
+        let lu = d.define_class(name);
+        for i in 0..width {
+            d.add_signal(lu, format!("a{i}"), SignalDir::Input);
+            d.add_signal(lu, format!("b{i}"), SignalDir::Input);
+            d.add_signal(lu, format!("y{i}"), SignalDir::Output);
+            for s in [format!("a{i}"), format!("b{i}"), format!("y{i}")] {
+                d.set_signal_bit_width(lu, &s, 1).unwrap();
+            }
+        }
+        let w = d.class_bounding_box(nand).expect("gate box").width();
+        for i in 0..width {
+            let t = stem_geom::Transform::translation(stem_geom::Point::new(w * i as i64, 0));
+            let g = d.instantiate(nand, lu, format!("g{i}"), t).unwrap();
+            let na = d.add_net(lu, format!("na{i}"));
+            d.connect_io(na, &format!("a{i}")).unwrap();
+            d.connect(na, g, "a").unwrap();
+            let nb = d.add_net(lu, format!("nb{i}"));
+            d.connect_io(nb, &format!("b{i}")).unwrap();
+            d.connect(nb, g, "b").unwrap();
+            let ny = d.add_net(lu, format!("ny{i}"));
+            d.connect(ny, g, "y").unwrap();
+            d.connect_io(ny, &format!("y{i}")).unwrap();
+        }
+        self.analyzer.declare_delay(&mut self.design, lu, "a0", "y0");
+        lu
+    }
+}

@@ -1,0 +1,44 @@
+//! # stem-cells — standard cell library for the STEM reproduction
+//!
+//! The concrete cells the thesis's worked examples are built from:
+//! primitive gates (with geometry, electrical parameters, declared delays
+//! and simulator models), structural full adders and ripple-carry adders,
+//! registers, logic units, and the characterised adder families of the
+//! module-selection chapter (Figs. 8.1 and 8.4).
+//!
+//! Everything hangs off a [`CellKit`], which bundles a
+//! [`Design`](stem_design::Design) with the tool state the cells were
+//! characterised against.
+//!
+//! ```
+//! use stem_cells::CellKit;
+//!
+//! let mut kit = CellKit::new();
+//! let adder4 = kit.ripple_carry_adder("RCA4", 4);
+//! // The carry chain's worst-case delay is computed hierarchically.
+//! let t = kit
+//!     .analyzer
+//!     .delay(&mut kit.design, adder4, "cin", "cout")
+//!     .unwrap()
+//!     .unwrap();
+//! assert!(t > 0.0);
+//! ```
+
+
+#![warn(missing_docs)]
+mod adders;
+mod datapath;
+mod families;
+mod gates;
+mod kit;
+
+pub use families::{
+    adder8_family, adder8_interface, alu_fixture, characterize_adder8, fig8_4_family,
+    synthetic_pruning_family, Adder8Family, AluFixture, PruningFamily, ADDER_HEIGHT,
+    ADDER_UNIT_WIDTH,
+};
+pub use gates::{
+    build_gates, gate_delay_units, Gates, DFF_SETUP_NS, GATE_DELAY_NS, GATE_IN_CAP_PF,
+    GATE_OUT_RES_KOHM,
+};
+pub use kit::CellKit;

@@ -1,0 +1,256 @@
+//! Library-level integration: structural adders verified functionally with
+//! the simulator (E14 round trip) and temporally with the delay analyzer.
+
+use stem_cells::{alu_fixture, fig8_4_family, CellKit, GATE_DELAY_NS};
+use stem_core::Value;
+use stem_sim::{flatten, Level, SimSession, Simulator};
+
+/// Drives the n-bit RCA inputs with two operand values and returns the
+/// decoded sum after quiescence.
+fn add_on_silicon(sim: &mut Simulator, width: usize, a: u64, b: u64, cin: bool) -> (u64, bool) {
+    let t = sim.time() + 10;
+    for i in 0..width {
+        let pa = sim.port(&format!("a{i}")).unwrap();
+        let pb = sim.port(&format!("b{i}")).unwrap();
+        sim.drive(pa, Level::from_bool(a >> i & 1 == 1), t);
+        sim.drive(pb, Level::from_bool(b >> i & 1 == 1), t);
+    }
+    let pc = sim.port("cin").unwrap();
+    sim.drive(pc, Level::from_bool(cin), t);
+    sim.run_to_quiescence().unwrap();
+    let mut s = 0u64;
+    for i in 0..width {
+        let ps = sim.port(&format!("s{i}")).unwrap();
+        if sim.value(ps) == Level::L1 {
+            s |= 1 << i;
+        }
+    }
+    let cout = sim.value(sim.port("cout").unwrap()) == Level::L1;
+    (s, cout)
+}
+
+#[test]
+fn full_adder_truth_table_on_simulator() {
+    let mut kit = CellKit::new();
+    let fa = kit.full_adder("FA");
+    let flat = flatten(&kit.design, &kit.primitives, fa).unwrap();
+    let mut sim = Simulator::new(flat);
+    for a in [false, true] {
+        for b in [false, true] {
+            for c in [false, true] {
+                let t = sim.time() + 100;
+                let (pa, pb, pc) = (
+                    sim.port("a").unwrap(),
+                    sim.port("b").unwrap(),
+                    sim.port("cin").unwrap(),
+                );
+                sim.drive(pa, a.into(), t);
+                sim.drive(pb, b.into(), t);
+                sim.drive(pc, c.into(), t);
+                sim.run_to_quiescence().unwrap();
+                let total = a as u8 + b as u8 + c as u8;
+                assert_eq!(
+                    sim.value(sim.port("s").unwrap()),
+                    Level::from_bool(total & 1 == 1),
+                    "sum for {a}{b}{c}"
+                );
+                assert_eq!(
+                    sim.value(sim.port("cout").unwrap()),
+                    Level::from_bool(total >= 2),
+                    "carry for {a}{b}{c}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn ripple_carry_adder_adds_exhaustively_4bit() {
+    let mut kit = CellKit::new();
+    let rca = kit.ripple_carry_adder("RCA4", 4);
+    let flat = flatten(&kit.design, &kit.primitives, rca).unwrap();
+    let mut sim = Simulator::new(flat);
+    for a in 0..16u64 {
+        for b in 0..16u64 {
+            let (s, cout) = add_on_silicon(&mut sim, 4, a, b, false);
+            let expect = a + b;
+            assert_eq!(s, expect & 0xF, "{a} + {b}");
+            assert_eq!(cout, expect > 0xF, "{a} + {b} carry");
+        }
+    }
+}
+
+#[test]
+fn adder_delay_scales_with_width() {
+    let mut kit = CellKit::new();
+    let rca2 = kit.ripple_carry_adder("RCA2", 2);
+    let rca8 = kit.ripple_carry_adder("RCA8", 8);
+    let d2 = kit
+        .analyzer
+        .delay(&mut kit.design, rca2, "cin", "cout")
+        .unwrap()
+        .unwrap();
+    let d8 = kit
+        .analyzer
+        .delay(&mut kit.design, rca8, "cin", "cout")
+        .unwrap()
+        .unwrap();
+    assert!(d8 > d2, "longer carry chain is slower: {d2} vs {d8}");
+    // The carry chain grows by one (AND + OR + loading) stage per bit.
+    let per_bit = (d8 - d2) / 6.0;
+    assert!((2.9..=3.5).contains(&per_bit), "per-bit carry delay {per_bit}");
+}
+
+#[test]
+fn analyzer_estimate_matches_simulator_critical_path_shape() {
+    // The analyzer's worst-case estimate must upper-bound the simulator's
+    // measured cin→cout propagation (same gates, loading included in the
+    // estimate only).
+    let mut kit = CellKit::new();
+    let rca = kit.ripple_carry_adder("RCA4", 4);
+    let est_ns = kit
+        .analyzer
+        .delay(&mut kit.design, rca, "cin", "cout")
+        .unwrap()
+        .unwrap();
+
+    let flat = flatten(&kit.design, &kit.primitives, rca).unwrap();
+    let mut sim = Simulator::new(flat);
+    // Prime: a = 1111, b = 0000, cin 0 → carry chain sensitised.
+    add_on_silicon(&mut sim, 4, 0xF, 0x0, false);
+    let pcin = sim.port("cin").unwrap();
+    let pcout = sim.port("cout").unwrap();
+    sim.record(pcin);
+    sim.record(pcout);
+    let t = sim.time() + 100;
+    sim.drive(pcin, Level::L1, t);
+    sim.run_to_quiescence().unwrap();
+    let measured_ps = sim.measure_delay(pcin, pcout).unwrap();
+    let measured_ns = measured_ps as f64 / 1000.0;
+    assert!(
+        est_ns >= measured_ns,
+        "estimate {est_ns} must bound measurement {measured_ns}"
+    );
+    assert!(
+        est_ns <= measured_ns * 2.0,
+        "estimate {est_ns} should be the same order as {measured_ns}"
+    );
+}
+
+#[test]
+fn register_samples_on_clock() {
+    let mut kit = CellKit::new();
+    let reg = kit.register_cell("REG4", 4);
+    let flat = flatten(&kit.design, &kit.primitives, reg).unwrap();
+    let mut sim = Simulator::new(flat);
+    let clk = sim.port("clk").unwrap();
+    sim.drive(clk, Level::L0, 0);
+    for i in 0..4 {
+        let p = sim.port(&format!("d{i}")).unwrap();
+        sim.drive(p, Level::from_bool(i % 2 == 0), 10);
+    }
+    sim.run_to_quiescence().unwrap();
+    // Clock after the flop setup window (500 ps in the library).
+    sim.drive(clk, Level::L1, 1000);
+    sim.run_to_quiescence().unwrap();
+    for i in 0..4 {
+        let q = sim.port(&format!("q{i}")).unwrap();
+        assert_eq!(sim.value(q), Level::from_bool(i % 2 == 0), "q{i}");
+    }
+}
+
+/// E14 — Fig. 6.3: session round trip with outdating on netlist edits.
+#[test]
+fn fig6_3_session_roundtrip_and_outdating() {
+    let mut kit = CellKit::new();
+    let fa = kit.full_adder("FA");
+    let session = SimSession::open(&mut kit.design, &kit.primitives, fa).unwrap();
+    assert!(!session.is_outdated());
+    assert!(session.deck().text.contains("XXOR"));
+    assert_eq!(session.deck().n_cards(), 5, "five gates in a full adder");
+
+    // Run the "external process".
+    let mut sim = session.simulator();
+    let (pa, ps) = (sim.port("a").unwrap(), sim.port("s").unwrap());
+    sim.drive(pa, Level::L1, 0);
+    sim.drive(sim.port("b").unwrap(), Level::L0, 0);
+    sim.drive(sim.port("cin").unwrap(), Level::L0, 0);
+    sim.run_to_quiescence().unwrap();
+    assert_eq!(sim.value(ps), Level::L1);
+
+    // Editing the cell's netlist marks the session outdated.
+    let some_net = kit.design.nets_of(fa)[0];
+    let (inst, sig) = kit.design.net_connections(some_net)[0].clone();
+    kit.design.disconnect(some_net, inst, &sig).unwrap();
+    assert!(session.is_outdated());
+
+    // Refresh re-extracts.
+    let mut session = session;
+    kit.design.connect(some_net, inst, &sig).unwrap();
+    session.refresh(&mut kit.design, &kit.primitives).unwrap();
+    assert!(!session.is_outdated());
+    session.close(&mut kit.design);
+}
+
+#[test]
+fn alu_fixture_delays_match_fig8_1() {
+    let mut kit = CellKit::new();
+    let fx = alu_fixture(&mut kit);
+    // With the generic adder's ideal 5D estimate: ALU = 3D + 5D = 8D.
+    let d = kit
+        .analyzer
+        .delay(&mut kit.design, fx.alu, "in", "out")
+        .unwrap()
+        .unwrap();
+    assert!((d - 8.0 * GATE_DELAY_NS).abs() < 1e-9, "3D + 5D = {d}");
+    // The instance delay variable mirrors the generic class delay.
+    let iv = kit.analyzer.instance_delay_var(fx.adder_inst, "a", "s").unwrap();
+    assert_eq!(kit.design.network().value(iv), &Value::Float(5.0));
+}
+
+#[test]
+fn fig8_4_family_shape() {
+    let mut kit = CellKit::new();
+    let fam = fig8_4_family(&mut kit);
+    assert!(kit.design.is_generic(fam.root));
+    assert_eq!(fam.groups.len(), 2);
+    for (group, leaves) in &fam.groups {
+        assert!(kit.design.is_generic(*group));
+        assert_eq!(leaves.len(), 2);
+        for &leaf in leaves {
+            assert!(!kit.design.is_generic(leaf));
+            assert!(kit.design.is_descendant(leaf, fam.root));
+            // Generic ideals really are best-case: leaf delay ≥ group delay,
+            // leaf area ≥ group area.
+            let gd = kit.analyzer.class_delay_var(*group, "a", "s").unwrap();
+            let ld = kit.analyzer.class_delay_var(leaf, "a", "s").unwrap();
+            let (gd, ld) = (
+                kit.design.network().value(gd).as_f64().unwrap(),
+                kit.design.network().value(ld).as_f64().unwrap(),
+            );
+            assert!(ld >= gd, "leaf {ld} ≥ ideal {gd}");
+            let ga = kit.design.class_bounding_box(*group).unwrap().area();
+            let la = kit.design.class_bounding_box(leaf).unwrap().area();
+            assert!(la >= ga);
+        }
+    }
+}
+
+#[test]
+fn logic_unit_is_bitwise_nand() {
+    let mut kit = CellKit::new();
+    let lu = kit.logic_unit("LU4", 4);
+    let flat = flatten(&kit.design, &kit.primitives, lu).unwrap();
+    let mut sim = Simulator::new(flat);
+    for i in 0..4 {
+        let pa = sim.port(&format!("a{i}")).unwrap();
+        let pb = sim.port(&format!("b{i}")).unwrap();
+        sim.drive(pa, Level::from_bool(i % 2 == 0), 0);
+        sim.drive(pb, Level::L1, 0);
+    }
+    sim.run_to_quiescence().unwrap();
+    for i in 0..4 {
+        let py = sim.port(&format!("y{i}")).unwrap();
+        assert_eq!(sim.value(py), Level::from_bool(i % 2 != 0), "y{i}");
+    }
+}

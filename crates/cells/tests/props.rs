@@ -1,0 +1,86 @@
+//! Property-based tests over the cell library: both adder architectures
+//! implement addition for random operands and widths, and the delay
+//! analyzer's estimates stay monotone in width.
+
+use proptest::prelude::*;
+use stem_cells::CellKit;
+use stem_sim::{flatten, Level, Simulator};
+
+fn run_add(sim: &mut Simulator, width: usize, a: u64, b: u64, cin: bool) -> (u64, bool) {
+    let t = sim.time() + 100;
+    for i in 0..width {
+        let pa = sim.port(&format!("a{i}")).unwrap();
+        let pb = sim.port(&format!("b{i}")).unwrap();
+        sim.drive(pa, Level::from_bool(a >> i & 1 == 1), t);
+        sim.drive(pb, Level::from_bool(b >> i & 1 == 1), t);
+    }
+    sim.drive(sim.port("cin").unwrap(), Level::from_bool(cin), t);
+    sim.run_to_quiescence().unwrap();
+    let mut s = 0u64;
+    for i in 0..width {
+        if sim.value(sim.port(&format!("s{i}")).unwrap()) == Level::L1 {
+            s |= 1 << i;
+        }
+    }
+    (s, sim.value(sim.port("cout").unwrap()) == Level::L1)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random operand sequences through a ripple-carry adder of random
+    /// width match u64 addition.
+    #[test]
+    fn rca_implements_addition(
+        width in 1usize..9,
+        ops in proptest::collection::vec((any::<u64>(), any::<u64>(), any::<bool>()), 1..8),
+    ) {
+        let mut kit = CellKit::new();
+        let rca = kit.ripple_carry_adder("RCA", width);
+        let flat = flatten(&kit.design, &kit.primitives, rca).unwrap();
+        let mut sim = Simulator::new(flat);
+        let mask = (1u64 << width) - 1;
+        for (a, b, cin) in ops {
+            let (a, b) = (a & mask, b & mask);
+            let (s, cout) = run_add(&mut sim, width, a, b, cin);
+            let expect = a + b + cin as u64;
+            prop_assert_eq!(s, expect & mask);
+            prop_assert_eq!(cout, expect > mask);
+        }
+    }
+
+    /// The carry-select adder computes the same function as the
+    /// ripple-carry adder.
+    #[test]
+    fn csa_matches_rca(
+        half in 2usize..5,
+        ops in proptest::collection::vec((any::<u64>(), any::<u64>(), any::<bool>()), 1..6),
+    ) {
+        let width = half * 2;
+        let mut kit = CellKit::new();
+        let csa = kit.carry_select_adder("CSA", width);
+        let flat = flatten(&kit.design, &kit.primitives, csa).unwrap();
+        let mut sim = Simulator::new(flat);
+        sim.run_to_quiescence().unwrap();
+        let mask = (1u64 << width) - 1;
+        for (a, b, cin) in ops {
+            let (a, b) = (a & mask, b & mask);
+            let (s, cout) = run_add(&mut sim, width, a, b, cin);
+            let expect = a + b + cin as u64;
+            prop_assert_eq!(s, expect & mask, "{} + {} + {}", a, b, cin);
+            prop_assert_eq!(cout, expect > mask);
+        }
+    }
+
+    /// Carry-chain delay estimates are strictly monotone in adder width.
+    #[test]
+    fn rca_delay_monotone_in_width(w1 in 1usize..6, extra in 1usize..4) {
+        let w2 = w1 + extra;
+        let mut kit = CellKit::new();
+        let a1 = kit.ripple_carry_adder("A1", w1);
+        let a2 = kit.ripple_carry_adder("A2", w2);
+        let d1 = kit.analyzer.delay(&mut kit.design, a1, "cin", "cout").unwrap().unwrap();
+        let d2 = kit.analyzer.delay(&mut kit.design, a2, "cin", "cout").unwrap().unwrap();
+        prop_assert!(d2 > d1, "{w2}-bit ({d2}) must be slower than {w1}-bit ({d1})");
+    }
+}

@@ -1,0 +1,187 @@
+//! Bounding-box predicate constraints (thesis §7.2, Fig. 7.9): aspect
+//! ratio, area and pitch-matching constraints that designers declare on
+//! bounding-box variables.
+
+use stem_core::kinds::Predicate;
+use stem_core::{ConstraintId, Justification, Value, VarId, Violation};
+use stem_design::{CellClassId, Design, BOUNDING_BOX};
+
+/// The `AspectRatioPredicate` of Fig. 7.9: every (non-`Nil`) rectangle
+/// argument must have `width / height == ratio` (within `tol`).
+pub fn aspect_ratio_predicate(ratio: f64, tol: f64) -> Predicate {
+    Predicate::custom("aspectRatioPredicate", move |vals| {
+        vals.iter().all(|v| match v.as_rect() {
+            Some(r) => match r.aspect_ratio() {
+                Some(a) => (a - ratio).abs() <= tol,
+                None => false,
+            },
+            None => v.is_nil(),
+        })
+    })
+}
+
+/// Area constraint: every rectangle argument has area ≤ `max_area`.
+pub fn area_at_most_predicate(max_area: i64) -> Predicate {
+    Predicate::custom("areaPredicate", move |vals| {
+        vals.iter().all(|v| match v.as_rect() {
+            Some(r) => r.area() <= max_area,
+            None => v.is_nil(),
+        })
+    })
+}
+
+/// Pitch-matching constraint: all rectangle arguments share the same
+/// height (for abutting cells in a datapath).
+pub fn pitch_match_predicate() -> Predicate {
+    Predicate::custom("pitchMatchPredicate", move |vals| {
+        let mut h: Option<i64> = None;
+        for v in vals {
+            if let Some(r) = v.as_rect() {
+                match h {
+                    None => h = Some(r.height()),
+                    Some(x) if x == r.height() => {}
+                    Some(_) => return false,
+                }
+            } else if !v.is_nil() {
+                return false;
+            }
+        }
+        true
+    })
+}
+
+/// Declares an aspect-ratio constraint on a class's bounding box.
+///
+/// # Errors
+///
+/// Returns a violation if the current box already breaks the ratio.
+///
+/// # Panics
+///
+/// Panics if the class lacks the built-in bounding-box property.
+pub fn constrain_aspect_ratio(
+    d: &mut Design,
+    class: CellClassId,
+    ratio: f64,
+    tol: f64,
+) -> Result<ConstraintId, Violation> {
+    let var = d
+        .class_property_var(class, BOUNDING_BOX)
+        .expect("built-in boundingBox");
+    d.network_mut()
+        .add_constraint(aspect_ratio_predicate(ratio, tol), [var])
+}
+
+/// Declares a maximum-area constraint on a class's bounding box.
+///
+/// # Errors
+///
+/// Returns a violation if the current box is already too large.
+///
+/// # Panics
+///
+/// Panics if the class lacks the built-in bounding-box property.
+pub fn constrain_area_at_most(
+    d: &mut Design,
+    class: CellClassId,
+    max_area: i64,
+) -> Result<ConstraintId, Violation> {
+    let var = d
+        .class_property_var(class, BOUNDING_BOX)
+        .expect("built-in boundingBox");
+    d.network_mut()
+        .add_constraint(area_at_most_predicate(max_area), [var])
+}
+
+/// Declares a pitch-match constraint across several classes' bounding
+/// boxes.
+///
+/// # Errors
+///
+/// Returns a violation if current boxes already disagree in height.
+///
+/// # Panics
+///
+/// Panics if a class lacks the built-in bounding-box property.
+pub fn constrain_pitch_match(
+    d: &mut Design,
+    classes: &[CellClassId],
+) -> Result<ConstraintId, Violation> {
+    let vars: Vec<VarId> = classes
+        .iter()
+        .map(|&c| {
+            d.class_property_var(c, BOUNDING_BOX)
+                .expect("built-in boundingBox")
+        })
+        .collect();
+    d.network_mut().add_constraint(pitch_match_predicate(), vars)
+}
+
+/// Helper: assigns a user bounding box, returning the violation if any
+/// declared predicate rejects it.
+///
+/// # Errors
+///
+/// Returns the violation raised by a rejecting predicate.
+pub fn set_bbox_checked(
+    d: &mut Design,
+    class: CellClassId,
+    r: stem_geom::Rect,
+) -> Result<(), Violation> {
+    let var = d
+        .class_property_var(class, BOUNDING_BOX)
+        .expect("built-in boundingBox");
+    d.network_mut()
+        .set(var, Value::Rect(r), Justification::User)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stem_geom::{Point, Rect};
+
+    fn rect(w: i64, h: i64) -> Rect {
+        Rect::with_extent(Point::ORIGIN, w, h)
+    }
+
+    #[test]
+    fn aspect_ratio_accepts_and_rejects() {
+        let mut d = Design::new();
+        let c = d.define_class("C");
+        constrain_aspect_ratio(&mut d, c, 2.0, 1e-9).unwrap();
+        assert!(set_bbox_checked(&mut d, c, rect(8, 4)).is_ok());
+        assert!(set_bbox_checked(&mut d, c, rect(9, 4)).is_err());
+        // Restored to the last valid value.
+        assert_eq!(d.class_bounding_box(c), Some(rect(8, 4)));
+    }
+
+    #[test]
+    fn area_constraint() {
+        let mut d = Design::new();
+        let c = d.define_class("C");
+        constrain_area_at_most(&mut d, c, 100).unwrap();
+        assert!(set_bbox_checked(&mut d, c, rect(10, 10)).is_ok());
+        assert!(set_bbox_checked(&mut d, c, rect(11, 10)).is_err());
+    }
+
+    #[test]
+    fn pitch_matching_across_classes() {
+        let mut d = Design::new();
+        let a = d.define_class("A");
+        let b = d.define_class("B");
+        constrain_pitch_match(&mut d, &[a, b]).unwrap();
+        set_bbox_checked(&mut d, a, rect(10, 6)).unwrap();
+        assert!(set_bbox_checked(&mut d, b, rect(20, 6)).is_ok());
+        assert!(set_bbox_checked(&mut d, b, rect(20, 7)).is_err());
+    }
+
+    #[test]
+    fn constraint_applies_retroactively_on_add() {
+        let mut d = Design::new();
+        let c = d.define_class("C");
+        set_bbox_checked(&mut d, c, rect(9, 4)).unwrap();
+        // Adding a 2:1 constraint against an existing 9:4 box violates
+        // immediately (Fig. 4.13 re-initialisation check).
+        assert!(constrain_aspect_ratio(&mut d, c, 2.0, 1e-9).is_err());
+    }
+}

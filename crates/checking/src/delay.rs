@@ -1,0 +1,729 @@
+//! Hierarchical delay estimation networks (thesis §7.3).
+//!
+//! Delay constraints "incrementally compute the worst case delay estimates
+//! between input and output signals of cells by searching for the longest
+//! paths in the delay networks", using the RC model of Fig. 7.10
+//! (`delay = internal + R_out · C_load`) and the assumption that delays of
+//! cascaded components are additive.
+//!
+//! For each declared class delay (an input→output pair the designer marked
+//! critical), every instance gets a dual *instance delay* variable linked
+//! to the class delay with a loading adjustment. Delay paths through a
+//! composite cell are enumerated (only via declared subcell delays —
+//! "this gives cell designers the ability to focus STEM's attention to the
+//! critical delay paths … and reduces the extent of combinatorial
+//! explosion"), summed by `UniAdditionConstraint`s and maximised into the
+//! composite's class delay by a `UniMaximumConstraint` (Fig. 7.12).
+//!
+//! Networks are erased whenever the internal structure changes and rebuilt
+//! only when delay values are requested (§7.3: "incremental editing of
+//! delay networks is not implemented due to efficiency considerations").
+//!
+//! Re-characterising a leaf cell under a *deep* hierarchy propagates
+//! through one implicit link per sibling, so each level's path sum
+//! legitimately recomputes twice — the thesis's §9.2.3 scheduling
+//! limitation. Its suggested remedy is built in: raise
+//! [`Network::set_value_change_limit`](stem_core::Network::set_value_change_limit)
+//! to 2 (see `tests/scale.rs`), or invalidate and rebuild instead.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+use std::sync::Arc;
+
+use stem_core::kinds::{Functional, ImplicitLink, LinkSemantics, Predicate};
+use stem_core::{
+    ConstraintId, Justification, Network, PlainKind, Value, VarId, Violation,
+};
+use stem_design::{CellClassId, CellInstanceId, Design, SignalDir, StructureEvent};
+
+/// Electrical parameters of one io-signal, for the RC delay model
+/// (Fig. 7.10). With resistance in kΩ and capacitance in pF, the product
+/// is directly in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ElectricalParams {
+    /// Output (driver) resistance in kΩ; meaningful on output signals.
+    pub out_resistance: f64,
+    /// Input (load) capacitance in pF; meaningful on input signals.
+    pub in_capacitance: f64,
+}
+
+/// Link semantics for dual delay variables (Fig. 7.11): the instance delay
+/// is the class delay plus the RC loading adjustment of the instance's
+/// output net. Instance delays never propagate back to class delays.
+#[derive(Debug, Clone, Copy)]
+pub struct DelayLink {
+    /// `R_out · C_load` of this instance's context, in nanoseconds.
+    pub load_adjust: f64,
+}
+
+impl LinkSemantics for DelayLink {
+    fn name(&self) -> &str {
+        "delayLink"
+    }
+
+    fn downward(&self, net: &Network, class_var: VarId, _inst_var: VarId) -> Option<Value> {
+        let d = net.value(class_var).as_f64()?;
+        Some(Value::Float(d + self.load_adjust))
+    }
+
+    fn is_satisfied(&self, _net: &Network, _class_var: VarId, _inst_var: VarId) -> bool {
+        // A pure propagation link: consistency of the duals is maintained
+        // by downward propagation alone ("delay variables in the cell
+        // instances do not propagate to their dual delay variables in the
+        // cell class", §5.1.1), and module validation (Fig. 8.2) must be
+        // able to tentatively override an instance delay with a candidate
+        // realisation's value without the link itself objecting.
+        true
+    }
+}
+
+/// One declared class delay: a critical input→output pair.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DelayDecl {
+    /// Source (input) signal name.
+    pub from: String,
+    /// Destination (output) signal name.
+    pub to: String,
+}
+
+#[derive(Debug, Default)]
+struct BuiltNetwork {
+    constraints: Vec<ConstraintId>,
+}
+
+/// The delay-checking tool: declared delays, electrical parameters, and
+/// the on-demand delay networks it builds over a [`Design`].
+///
+/// This plays the role of STEM's delay subsystem: a tool integrated into
+/// the environment through constraints, with its own state.
+#[derive(Debug)]
+pub struct DelayAnalyzer {
+    /// Declared class delays with their class-side variables.
+    declared: HashMap<CellClassId, Vec<(DelayDecl, VarId)>>,
+    electrical: HashMap<(CellClassId, String), ElectricalParams>,
+    /// Persistent dual instance-delay variables.
+    inst_vars: HashMap<(CellInstanceId, String, String), VarId>,
+    built: HashMap<CellClassId, BuiltNetwork>,
+    dirty: HashSet<CellClassId>,
+    /// Cap on enumerated delay paths per declared delay, guarding against
+    /// the "combinatorial explosion in delay path generation" (§7.3).
+    max_paths: usize,
+}
+
+impl Default for DelayAnalyzer {
+    fn default() -> Self {
+        DelayAnalyzer {
+            declared: HashMap::new(),
+            electrical: HashMap::new(),
+            inst_vars: HashMap::new(),
+            built: HashMap::new(),
+            dirty: HashSet::new(),
+            max_paths: 10_000,
+        }
+    }
+}
+
+impl DelayAnalyzer {
+    /// Creates an empty analyzer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the per-delay path-enumeration cap (§7.3's explosion guard).
+    ///
+    /// # Panics
+    ///
+    /// Panics for a zero cap.
+    pub fn set_max_paths(&mut self, cap: usize) {
+        assert!(cap > 0, "path cap must be positive");
+        self.max_paths = cap;
+    }
+
+    /// Registers the analyzer's invalidation hooks on a design, so
+    /// structural edits erase affected delay networks (§7.3). Returns the
+    /// shared handle through which the analyzer is used afterwards.
+    pub fn install(self, d: &mut Design) -> Rc<RefCell<DelayAnalyzer>> {
+        let shared = Rc::new(RefCell::new(self));
+        let weak = Rc::downgrade(&shared);
+        d.add_hook(move |d, ev| {
+            let Some(analyzer) = weak.upgrade() else {
+                return;
+            };
+            let class = match ev {
+                StructureEvent::InstanceAdded { instance }
+                | StructureEvent::TransformChanged { instance } => d.instance_parent(*instance),
+                StructureEvent::InstanceRemoved { parent, .. } => *parent,
+                StructureEvent::NetConnected { net, .. }
+                | StructureEvent::NetDisconnected { net, .. } => d.net_parent(*net),
+            };
+            analyzer.borrow_mut().invalidate(d, class);
+        });
+        shared
+    }
+
+    /// Sets the electrical parameters of a signal (used for loading
+    /// adjustments).
+    pub fn set_electrical(
+        &mut self,
+        class: CellClassId,
+        signal: &str,
+        params: ElectricalParams,
+    ) {
+        self.electrical.insert((class, signal.to_string()), params);
+    }
+
+    /// The electrical parameters of a signal (defaults to zeros).
+    pub fn electrical(&self, class: CellClassId, signal: &str) -> ElectricalParams {
+        self.electrical
+            .get(&(class, signal.to_string()))
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Declares a critical class delay `from → to` on a class, creating
+    /// its class-side variable. Containing cells will route delay paths
+    /// through this declaration.
+    pub fn declare_delay(
+        &mut self,
+        d: &mut Design,
+        class: CellClassId,
+        from: &str,
+        to: &str,
+    ) -> VarId {
+        if let Some(v) = self.class_delay_var(class, from, to) {
+            return v;
+        }
+        let owner: Arc<str> = Arc::from(d.class_name(class));
+        let var = d.network_mut().add_variable_with(
+            format!("delay:{from}->{to}"),
+            Some(owner),
+            Rc::new(PlainKind),
+        );
+        self.declared.entry(class).or_default().push((
+            DelayDecl {
+                from: from.to_string(),
+                to: to.to_string(),
+            },
+            var,
+        ));
+        // New edges may appear in any containing cell's delay graph.
+        self.dirty.extend(self.built.keys().copied());
+        var
+    }
+
+    /// Declared delays of a class.
+    pub fn declared(&self, class: CellClassId) -> &[(DelayDecl, VarId)] {
+        self.declared.get(&class).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The class-side delay variable of a declaration.
+    pub fn class_delay_var(&self, class: CellClassId, from: &str, to: &str) -> Option<VarId> {
+        self.declared.get(&class)?.iter().find_map(|(decl, v)| {
+            (decl.from == from && decl.to == to).then_some(*v)
+        })
+    }
+
+    /// The dual instance-delay variable, if it has been created.
+    pub fn instance_delay_var(
+        &self,
+        inst: CellInstanceId,
+        from: &str,
+        to: &str,
+    ) -> Option<VarId> {
+        self.inst_vars
+            .get(&(inst, from.to_string(), to.to_string()))
+            .copied()
+    }
+
+    /// Sets a designer's delay estimate on a class delay (used before the
+    /// internal structure exists, §7.3).
+    ///
+    /// # Errors
+    ///
+    /// Returns a violation when containing networks reject the value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the delay was not declared.
+    pub fn set_estimate(
+        &mut self,
+        d: &mut Design,
+        class: CellClassId,
+        from: &str,
+        to: &str,
+        ns: f64,
+    ) -> Result<(), Violation> {
+        let var = self
+            .class_delay_var(class, from, to)
+            .expect("delay not declared");
+        d.network_mut().set(var, Value::Float(ns), Justification::User)
+    }
+
+    /// Removes a designer estimate so the computed value can take over.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the delay was not declared.
+    pub fn clear_estimate(&mut self, d: &mut Design, class: CellClassId, from: &str, to: &str) {
+        let var = self
+            .class_delay_var(class, from, to)
+            .expect("delay not declared");
+        let enabled = d.network().is_propagation_enabled();
+        d.network_mut().set_propagation_enabled(false);
+        d.network_mut()
+            .set(var, Value::Nil, Justification::Update)
+            .expect("plain store");
+        d.network_mut().set_propagation_enabled(enabled);
+        self.dirty.insert(class);
+    }
+
+    /// Adds a maximum-delay specification (`delay from A to B must not be
+    /// longer than …`, §5.3) as a predicate constraint on the class delay.
+    ///
+    /// # Errors
+    ///
+    /// Returns a violation if the current delay already exceeds the bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the delay was not declared.
+    pub fn constrain_max(
+        &mut self,
+        d: &mut Design,
+        class: CellClassId,
+        from: &str,
+        to: &str,
+        ns: f64,
+    ) -> Result<ConstraintId, Violation> {
+        let var = self
+            .class_delay_var(class, from, to)
+            .expect("delay not declared");
+        d.network_mut()
+            .add_constraint(Predicate::le_const(Value::Float(ns)), [var])
+    }
+
+    /// Tears down the built delay network of a class (structure changed).
+    pub fn invalidate(&mut self, d: &mut Design, class: CellClassId) {
+        if let Some(built) = self.built.remove(&class) {
+            for cid in built.constraints {
+                if d.network().is_active(cid) {
+                    d.network_mut().remove_constraint(cid);
+                }
+            }
+        }
+        self.dirty.insert(class);
+    }
+
+    /// The worst-case delay `from → to` of a class, building the delay
+    /// network on demand. Returns `None` when no value can be derived
+    /// (leaf cell without estimate, or no connecting path).
+    ///
+    /// # Errors
+    ///
+    /// Returns a violation when building the network exposes a conflict
+    /// (e.g. a computed delay exceeding a user specification).
+    pub fn delay(
+        &mut self,
+        d: &mut Design,
+        class: CellClassId,
+        from: &str,
+        to: &str,
+    ) -> Result<Option<f64>, Violation> {
+        self.ensure_built(d, class)?;
+        let Some(var) = self.class_delay_var(class, from, to) else {
+            return Ok(None);
+        };
+        Ok(d.network().value(var).as_f64())
+    }
+
+    /// Builds (or rebuilds) the delay network of `class` if needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation raised while wiring the network.
+    pub fn ensure_built(&mut self, d: &mut Design, class: CellClassId) -> Result<(), Violation> {
+        if self.built.contains_key(&class) && !self.dirty.contains(&class) {
+            return Ok(());
+        }
+        // Subcell classes must be evaluated first so their class delays
+        // hold values (bottom-up characteristics, §5.1). Recurse.
+        let sub_classes: HashSet<CellClassId> = d
+            .subcells(class)
+            .iter()
+            .map(|&i| d.instance_class(i))
+            .collect();
+        for sc in sub_classes {
+            if sc != class {
+                self.ensure_built(d, sc)?;
+            }
+        }
+        self.invalidate(d, class);
+        self.dirty.remove(&class);
+        if d.subcells(class).is_empty() {
+            // Leaf cell: its class delays are estimates/measurements.
+            self.built.insert(class, BuiltNetwork::default());
+            return Ok(());
+        }
+        let result = self.build(d, class);
+        if result.is_err() {
+            // Leave marked dirty so a later query retries.
+            self.dirty.insert(class);
+        }
+        result
+    }
+
+    fn build(&mut self, d: &mut Design, class: CellClassId) -> Result<(), Violation> {
+        let mut built = BuiltNetwork::default();
+
+        // 1. Dual instance-delay variables with RC loading links.
+        let subcells: Vec<CellInstanceId> = d.subcells(class).to_vec();
+        for &inst in &subcells {
+            let ic = d.instance_class(inst);
+            let decls: Vec<(DelayDecl, VarId)> = self.declared(ic).to_vec();
+            for (decl, class_var) in decls {
+                let key = (inst, decl.from.clone(), decl.to.clone());
+                let inst_var = *self.inst_vars.entry(key).or_insert_with(|| {
+                    let owner: Arc<str> = Arc::from(
+                        format!("{}.{}", d.class_name(class), d.instance_name(inst)).as_str(),
+                    );
+                    d.network_mut().add_variable_with(
+                        format!("delay:{}->{}", decl.from, decl.to),
+                        Some(owner),
+                        Rc::new(PlainKind),
+                    )
+                });
+                let load_adjust = self.load_adjust(d, inst, &decl.to);
+                let cid = d.network_mut().add_constraint(
+                    ImplicitLink::new(DelayLink { load_adjust }),
+                    [class_var, inst_var],
+                )?;
+                built.constraints.push(cid);
+            }
+        }
+
+        // 2. Delay paths for each of the composite's declared delays.
+        let comp_decls: Vec<(DelayDecl, VarId)> = self.declared(class).to_vec();
+        for (decl, comp_var) in comp_decls {
+            // Skip if the designer pinned an estimate: the network would
+            // fight the user value (§7.3: estimates removed before
+            // computing).
+            if d.network().justification(comp_var).is_user() {
+                continue;
+            }
+            let paths = self.enumerate_paths(d, class, &decl.from, &decl.to);
+            if paths.len() > self.max_paths {
+                return Err(Violation::custom(
+                    format!(
+                        "delay path explosion: {} paths for {}->{} in {} (cap {}); declare fewer subcell delays or raise the cap",
+                        paths.len(), decl.from, decl.to, d.class_name(class), self.max_paths
+                    ),
+                    None,
+                ));
+            }
+            if paths.is_empty() {
+                continue;
+            }
+            let mut path_vars = Vec::new();
+            for (i, path) in paths.iter().enumerate() {
+                let owner: Arc<str> = Arc::from(d.class_name(class));
+                let pv = d.network_mut().add_variable_with(
+                    format!("path{}:{}->{}", i, decl.from, decl.to),
+                    Some(owner),
+                    Rc::new(PlainKind),
+                );
+                let mut args = path.clone();
+                args.push(pv);
+                let cid = d
+                    .network_mut()
+                    .add_constraint(Functional::uni_addition(), args)?;
+                built.constraints.push(cid);
+                path_vars.push(pv);
+            }
+            let mut args = path_vars;
+            args.push(comp_var);
+            let cid = d
+                .network_mut()
+                .add_constraint(Functional::uni_maximum(), args)?;
+            built.constraints.push(cid);
+        }
+        self.built.insert(class, built);
+        Ok(())
+    }
+
+    /// `R_out · C_load` for an instance's output signal: the driver
+    /// resistance times the sum of the input capacitances of every sink
+    /// pin on the connected net. Public because module validation
+    /// (Fig. 8.2, `validDelaysFor:`) adjusts candidate delays with the
+    /// instance's loading context.
+    pub fn load_adjust(&self, d: &Design, inst: CellInstanceId, out_signal: &str) -> f64 {
+        let ic = d.instance_class(inst);
+        let r = self.electrical(ic, out_signal).out_resistance;
+        if r == 0.0 {
+            return 0.0;
+        }
+        let Some(net) = d.connection(inst, out_signal) else {
+            return 0.0;
+        };
+        let mut c_load = 0.0;
+        for (sink, sig) in d.net_connections(net) {
+            if *sink == inst && sig == out_signal {
+                continue;
+            }
+            let sc = d.instance_class(*sink);
+            c_load += self.electrical(sc, sig).in_capacitance;
+        }
+        r * c_load
+    }
+
+    /// All simple delay paths from io-signal `from` to io-signal `to` of
+    /// `class`, as sequences of instance-delay variables (Fig. 7.12).
+    fn enumerate_paths(
+        &mut self,
+        d: &Design,
+        class: CellClassId,
+        from: &str,
+        to: &str,
+    ) -> Vec<Vec<VarId>> {
+        // Net reachable from the io input.
+        let io_net = |sig: &str| -> Option<stem_design::NetId> {
+            d.nets_of(class)
+                .iter()
+                .copied()
+                .find(|&n| d.net_io_connections(n).iter().any(|s| s == sig))
+        };
+        let Some(start_net) = io_net(from) else {
+            return Vec::new();
+        };
+        let mut paths = Vec::new();
+        let mut visited_insts: HashSet<CellInstanceId> = HashSet::new();
+        let mut prefix: Vec<VarId> = Vec::new();
+        self.dfs_paths(
+            d,
+            class,
+            start_net,
+            to,
+            &mut visited_insts,
+            &mut prefix,
+            &mut paths,
+        );
+        paths
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn dfs_paths(
+        &self,
+        d: &Design,
+        class: CellClassId,
+        net: stem_design::NetId,
+        to: &str,
+        visited: &mut HashSet<CellInstanceId>,
+        prefix: &mut Vec<VarId>,
+        out: &mut Vec<Vec<VarId>>,
+    ) {
+        // Reached the destination io-signal?
+        if !prefix.is_empty() && d.net_io_connections(net).iter().any(|s| s == to) {
+            out.push(prefix.clone());
+        }
+        // Hop into each subcell whose input pin sits on this net.
+        for (inst, sig) in d.net_connections(net).to_vec() {
+            if visited.contains(&inst) {
+                continue;
+            }
+            let ic = d.instance_class(inst);
+            let Some(sd) = d.signal_def(ic, &sig) else {
+                continue;
+            };
+            if sd.dir == SignalDir::Output {
+                continue;
+            }
+            // Traverse each declared delay of the subcell from this input.
+            for (decl, _) in self.declared(ic).to_vec() {
+                if decl.from != sig {
+                    continue;
+                }
+                let Some(iv) = self.instance_delay_var(inst, &decl.from, &decl.to) else {
+                    continue;
+                };
+                let Some(next_net) = d.connection(inst, &decl.to) else {
+                    continue;
+                };
+                visited.insert(inst);
+                prefix.push(iv);
+                self.dfs_paths(d, class, next_net, to, visited, prefix, out);
+                prefix.pop();
+                visited.remove(&inst);
+            }
+        }
+        let _ = class;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stem_design::SignalDir;
+    use stem_geom::Transform;
+
+    fn leaf_cell(d: &mut Design, an: &mut DelayAnalyzer, name: &str, delay: f64) -> CellClassId {
+        let c = d.define_class(name);
+        d.add_signal(c, "in", SignalDir::Input);
+        d.add_signal(c, "out", SignalDir::Output);
+        an.declare_delay(d, c, "in", "out");
+        an.set_estimate(d, c, "in", "out", delay).unwrap();
+        c
+    }
+
+    #[test]
+    fn leaf_estimate_is_returned() {
+        let mut d = Design::new();
+        let mut an = DelayAnalyzer::new();
+        let c = leaf_cell(&mut d, &mut an, "INV", 2.0);
+        assert_eq!(an.delay(&mut d, c, "in", "out").unwrap(), Some(2.0));
+    }
+
+    #[test]
+    fn cascade_sums_delays() {
+        let mut d = Design::new();
+        let mut an = DelayAnalyzer::new();
+        let a = leaf_cell(&mut d, &mut an, "A", 2.0);
+        let b = leaf_cell(&mut d, &mut an, "B", 3.0);
+        let top = d.define_class("TOP");
+        d.add_signal(top, "in", SignalDir::Input);
+        d.add_signal(top, "out", SignalDir::Output);
+        an.declare_delay(&mut d, top, "in", "out");
+        let ia = d.instantiate(a, top, "a1", Transform::IDENTITY).unwrap();
+        let ib = d.instantiate(b, top, "b1", Transform::IDENTITY).unwrap();
+        let n_in = d.add_net(top, "n_in");
+        d.connect_io(n_in, "in").unwrap();
+        d.connect(n_in, ia, "in").unwrap();
+        let n_mid = d.add_net(top, "n_mid");
+        d.connect(n_mid, ia, "out").unwrap();
+        d.connect(n_mid, ib, "in").unwrap();
+        let n_out = d.add_net(top, "n_out");
+        d.connect(n_out, ib, "out").unwrap();
+        d.connect_io(n_out, "out").unwrap();
+
+        assert_eq!(an.delay(&mut d, top, "in", "out").unwrap(), Some(5.0));
+    }
+
+    #[test]
+    fn parallel_paths_take_maximum() {
+        let mut d = Design::new();
+        let mut an = DelayAnalyzer::new();
+        let fast = leaf_cell(&mut d, &mut an, "FAST", 1.0);
+        let slow = leaf_cell(&mut d, &mut an, "SLOW", 7.0);
+        let top = d.define_class("TOP");
+        d.add_signal(top, "in", SignalDir::Input);
+        d.add_signal(top, "out", SignalDir::Output);
+        an.declare_delay(&mut d, top, "in", "out");
+        let i1 = d.instantiate(fast, top, "f", Transform::IDENTITY).unwrap();
+        let i2 = d.instantiate(slow, top, "s", Transform::IDENTITY).unwrap();
+        let n_in = d.add_net(top, "ni");
+        d.connect_io(n_in, "in").unwrap();
+        d.connect(n_in, i1, "in").unwrap();
+        d.connect(n_in, i2, "in").unwrap();
+        let n_out = d.add_net(top, "no");
+        d.connect(n_out, i1, "out").unwrap();
+        d.connect(n_out, i2, "out").unwrap();
+        d.connect_io(n_out, "out").unwrap();
+
+        assert_eq!(an.delay(&mut d, top, "in", "out").unwrap(), Some(7.0));
+    }
+
+    #[test]
+    fn rc_loading_adjusts_instance_delay() {
+        let mut d = Design::new();
+        let mut an = DelayAnalyzer::new();
+        let a = leaf_cell(&mut d, &mut an, "DRV", 2.0);
+        an.set_electrical(
+            a,
+            "out",
+            ElectricalParams {
+                out_resistance: 2.0, // kΩ
+                ..Default::default()
+            },
+        );
+        let b = leaf_cell(&mut d, &mut an, "LOAD", 1.0);
+        an.set_electrical(
+            b,
+            "in",
+            ElectricalParams {
+                in_capacitance: 0.5, // pF
+                ..Default::default()
+            },
+        );
+        let top = d.define_class("TOP");
+        d.add_signal(top, "in", SignalDir::Input);
+        d.add_signal(top, "out", SignalDir::Output);
+        an.declare_delay(&mut d, top, "in", "out");
+        let ia = d.instantiate(a, top, "drv", Transform::IDENTITY).unwrap();
+        let ib = d.instantiate(b, top, "ld", Transform::IDENTITY).unwrap();
+        let ni = d.add_net(top, "ni");
+        d.connect_io(ni, "in").unwrap();
+        d.connect(ni, ia, "in").unwrap();
+        let nm = d.add_net(top, "nm");
+        d.connect(nm, ia, "out").unwrap();
+        d.connect(nm, ib, "in").unwrap();
+        let no = d.add_net(top, "no");
+        d.connect(no, ib, "out").unwrap();
+        d.connect_io(no, "out").unwrap();
+
+        // DRV sees 2.0 + 2kΩ·0.5pF = 3.0 ns; LOAD drives the io (no load).
+        assert_eq!(an.delay(&mut d, top, "in", "out").unwrap(), Some(4.0));
+        let iv = an.instance_delay_var(ia, "in", "out").unwrap();
+        assert_eq!(d.network().value(iv), &Value::Float(3.0));
+    }
+
+    #[test]
+    fn spec_violation_on_build() {
+        let mut d = Design::new();
+        let mut an = DelayAnalyzer::new();
+        let slow = leaf_cell(&mut d, &mut an, "SLOW", 9.0);
+        let top = d.define_class("TOP");
+        d.add_signal(top, "in", SignalDir::Input);
+        d.add_signal(top, "out", SignalDir::Output);
+        an.declare_delay(&mut d, top, "in", "out");
+        an.constrain_max(&mut d, top, "in", "out", 5.0).unwrap();
+        let i = d.instantiate(slow, top, "s", Transform::IDENTITY).unwrap();
+        let ni = d.add_net(top, "ni");
+        d.connect_io(ni, "in").unwrap();
+        d.connect(ni, i, "in").unwrap();
+        let no = d.add_net(top, "no");
+        d.connect(no, i, "out").unwrap();
+        d.connect_io(no, "out").unwrap();
+
+        let err = an.delay(&mut d, top, "in", "out").unwrap_err();
+        let _ = err;
+        // Improving the subcell makes the build succeed.
+        an.clear_estimate(&mut d, slow, "in", "out");
+        an.set_estimate(&mut d, slow, "in", "out", 4.0).unwrap();
+        assert_eq!(an.delay(&mut d, top, "in", "out").unwrap(), Some(4.0));
+    }
+
+    #[test]
+    fn class_delay_change_repropagates_hierarchically() {
+        let mut d = Design::new();
+        let mut an = DelayAnalyzer::new();
+        let a = leaf_cell(&mut d, &mut an, "A", 2.0);
+        let top = d.define_class("TOP");
+        d.add_signal(top, "in", SignalDir::Input);
+        d.add_signal(top, "out", SignalDir::Output);
+        an.declare_delay(&mut d, top, "in", "out");
+        let ia = d.instantiate(a, top, "a", Transform::IDENTITY).unwrap();
+        let ni = d.add_net(top, "ni");
+        d.connect_io(ni, "in").unwrap();
+        d.connect(ni, ia, "in").unwrap();
+        let no = d.add_net(top, "no");
+        d.connect(no, ia, "out").unwrap();
+        d.connect_io(no, "out").unwrap();
+        assert_eq!(an.delay(&mut d, top, "in", "out").unwrap(), Some(2.0));
+
+        // Refine the leaf's characteristic: the change flows up without a
+        // rebuild ("propagated up the design hierarchy as soon as they are
+        // available", §7.3).
+        an.clear_estimate(&mut d, a, "in", "out");
+        an.set_estimate(&mut d, a, "in", "out", 3.5).unwrap();
+        assert_eq!(an.delay(&mut d, top, "in", "out").unwrap(), Some(3.5));
+    }
+}

@@ -1,0 +1,34 @@
+//! # stem-checking — incremental design checking (thesis ch. 7)
+//!
+//! The second sample application of the constraint-propagation framework:
+//! constraints that capture design specifications and derive design
+//! characteristics incrementally, so that "design characteristics in low
+//! levels of the design hierarchy can be propagated up the hierarchy and
+//! checked against design specifications at higher levels".
+//!
+//! Three checkers:
+//!
+//! - **Signal types** (§7.1) live in `stem-design` (they are installed by
+//!   the environment whenever nets connect) and are re-exported here.
+//! - **Bounding boxes** (§7.2): the dual class/instance box machinery is
+//!   built into `stem-design`; this crate adds the designer-declared
+//!   predicates of Fig. 7.9 ([`aspect_ratio_predicate`],
+//!   [`area_at_most_predicate`], [`pitch_match_predicate`]).
+//! - **Delays** (§7.3): the [`DelayAnalyzer`] builds hierarchical delay
+//!   networks from `UniAddition`/`UniMaximum` constraints over dual delay
+//!   variables with RC loading adjustments.
+
+
+#![warn(missing_docs)]
+mod bbox;
+mod delay;
+
+pub use bbox::{
+    area_at_most_predicate, aspect_ratio_predicate, constrain_area_at_most,
+    constrain_aspect_ratio, constrain_pitch_match, pitch_match_predicate, set_bbox_checked,
+};
+pub use delay::{DelayAnalyzer, DelayDecl, DelayLink, ElectricalParams};
+
+// Signal typing is implemented in the environment substrate (§7.1 installs
+// its constraints from net wiring); re-export the pieces for discoverability.
+pub use stem_design::{BitWidthKind, Compatible, SignalTypeKind, TypeForests, TypeHierarchy};

@@ -1,0 +1,254 @@
+//! E7 — the ADDER/ACCUMULATOR worked example of thesis §5.1 and the
+//! hierarchical delay networks of Fig. 7.12.
+//!
+//! "When a designer first designs an eight-bit ADDER, a delay constraint of
+//! '120ns or less' may be specified … an instance of the ADDER cell may be
+//! used in an ACCUMULATOR cell, built by cascading an 8-bit REGISTER to an
+//! ADDER, which has an overall delay constraint of '160ns or less'. If the
+//! characteristic delay of the REGISTER instance is 60ns and that of the
+//! ADDER instance is 110ns (after adjustment for loading), then a
+//! constraint violation is triggered."
+
+use stem_checking::{DelayAnalyzer, ElectricalParams};
+use stem_core::Value;
+use stem_design::{CellClassId, Design, SignalDir};
+use stem_geom::Transform;
+
+struct Fixture {
+    d: Design,
+    an: DelayAnalyzer,
+    adder: CellClassId,
+    register: CellClassId,
+    accumulator: CellClassId,
+}
+
+/// Builds the ACCUMULATOR = REGISTER → ADDER cascade.
+fn build(reg_delay: f64, adder_delay: f64, adder_load_ns: f64) -> Fixture {
+    let mut d = Design::new();
+    let mut an = DelayAnalyzer::new();
+
+    let adder = d.define_class("ADDER");
+    d.add_signal(adder, "a", SignalDir::Input);
+    d.add_signal(adder, "sum", SignalDir::Output);
+    d.set_signal_bit_width(adder, "a", 8).unwrap();
+    d.set_signal_bit_width(adder, "sum", 8).unwrap();
+    an.declare_delay(&mut d, adder, "a", "sum");
+    an.set_estimate(&mut d, adder, "a", "sum", adder_delay).unwrap();
+    // Loading: adder drives the accumulator output; model the load as
+    // R_out · C_load = adder_load_ns.
+    an.set_electrical(
+        adder,
+        "sum",
+        ElectricalParams {
+            out_resistance: 1.0,
+            ..Default::default()
+        },
+    );
+
+    let register = d.define_class("REGISTER");
+    d.add_signal(register, "d", SignalDir::Input);
+    d.add_signal(register, "q", SignalDir::Output);
+    d.set_signal_bit_width(register, "d", 8).unwrap();
+    d.set_signal_bit_width(register, "q", 8).unwrap();
+    an.declare_delay(&mut d, register, "d", "q");
+    an.set_estimate(&mut d, register, "d", "q", reg_delay).unwrap();
+
+    // An output buffer providing the adder's load capacitance.
+    let obuf = d.define_class("OBUF");
+    d.add_signal(obuf, "in", SignalDir::Input);
+    d.add_signal(obuf, "out", SignalDir::Output);
+    d.set_signal_bit_width(obuf, "in", 8).unwrap();
+    d.set_signal_bit_width(obuf, "out", 8).unwrap();
+    an.declare_delay(&mut d, obuf, "in", "out");
+    an.set_estimate(&mut d, obuf, "in", "out", 0.0).unwrap();
+    an.set_electrical(
+        obuf,
+        "in",
+        ElectricalParams {
+            in_capacitance: adder_load_ns, // with R_out = 1 kΩ, ns directly
+            ..Default::default()
+        },
+    );
+
+    let accumulator = d.define_class("ACCUMULATOR");
+    d.add_signal(accumulator, "in", SignalDir::Input);
+    d.add_signal(accumulator, "out", SignalDir::Output);
+    an.declare_delay(&mut d, accumulator, "in", "out");
+
+    let reg = d
+        .instantiate(register, accumulator, "reg", Transform::IDENTITY)
+        .unwrap();
+    let add = d
+        .instantiate(adder, accumulator, "add", Transform::IDENTITY)
+        .unwrap();
+    let buf = d
+        .instantiate(obuf, accumulator, "buf", Transform::IDENTITY)
+        .unwrap();
+
+    let n_in = d.add_net(accumulator, "n_in");
+    d.connect_io(n_in, "in").unwrap();
+    d.connect(n_in, reg, "d").unwrap();
+    let n_mid = d.add_net(accumulator, "n_mid");
+    d.connect(n_mid, reg, "q").unwrap();
+    d.connect(n_mid, add, "a").unwrap();
+    let n_sum = d.add_net(accumulator, "n_sum");
+    d.connect(n_sum, add, "sum").unwrap();
+    d.connect(n_sum, buf, "in").unwrap();
+    let n_out = d.add_net(accumulator, "n_out");
+    d.connect(n_out, buf, "out").unwrap();
+    d.connect_io(n_out, "out").unwrap();
+
+    Fixture {
+        d,
+        an,
+        adder,
+        register,
+        accumulator,
+    }
+}
+
+#[test]
+fn accumulator_meets_spec_when_components_are_fast_enough() {
+    // REGISTER 60 + ADDER 90 (+10 loading) = 160 ≤ 160: OK.
+    let mut f = build(60.0, 90.0, 10.0);
+    f.an
+        .constrain_max(&mut f.d, f.accumulator, "in", "out", 160.0)
+        .unwrap();
+    let total = f
+        .an
+        .delay(&mut f.d, f.accumulator, "in", "out")
+        .unwrap()
+        .unwrap();
+    assert!((total - 160.0).abs() < 1e-9, "60 + 90 + 10 = {total}");
+}
+
+#[test]
+fn accumulator_violates_160ns_spec_as_in_the_thesis() {
+    // The thesis numbers: REGISTER 60 ns, ADDER 110 ns after loading
+    // (here 100 intrinsic + 10 load) — total 170 > 160 → violation.
+    let mut f = build(60.0, 100.0, 10.0);
+    f.an
+        .constrain_max(&mut f.d, f.accumulator, "in", "out", 160.0)
+        .unwrap();
+    let err = f.an.delay(&mut f.d, f.accumulator, "in", "out").unwrap_err();
+    let _ = err;
+}
+
+#[test]
+fn adder_class_delay_spec_constrains_internal_design() {
+    // "As the internal structure of the ADDER is designed, constraint
+    // violation is triggered if a delay value greater than 120ns is
+    // propagated to this delay variable."
+    let mut f = build(60.0, 100.0, 0.0);
+    f.an
+        .constrain_max(&mut f.d, f.adder, "a", "sum", 120.0)
+        .unwrap();
+    // Re-characterising the adder at 130ns violates its own spec.
+    f.an.clear_estimate(&mut f.d, f.adder, "a", "sum");
+    assert!(f
+        .an
+        .set_estimate(&mut f.d, f.adder, "a", "sum", 130.0)
+        .is_err());
+    assert!(f
+        .an
+        .set_estimate(&mut f.d, f.adder, "a", "sum", 110.0)
+        .is_ok());
+}
+
+#[test]
+fn register_improvement_relaxes_the_budget_least_commitment() {
+    // The least-commitment story (§1.1): only the *sum* is constrained.
+    // A slow adder (105) fails with a nominal register (60)…
+    let mut f = build(60.0, 105.0, 0.0);
+    f.an
+        .constrain_max(&mut f.d, f.accumulator, "in", "out", 160.0)
+        .unwrap();
+    assert!(f.an.delay(&mut f.d, f.accumulator, "in", "out").is_err());
+    // …but a faster register (50) relaxes the implicit adder budget and
+    // the same adder now passes.
+    f.an.clear_estimate(&mut f.d, f.register, "d", "q");
+    f.an.set_estimate(&mut f.d, f.register, "d", "q", 50.0)
+        .unwrap();
+    let total = f
+        .an
+        .delay(&mut f.d, f.accumulator, "in", "out")
+        .unwrap()
+        .unwrap();
+    assert!((total - 155.0).abs() < 1e-9);
+}
+
+#[test]
+fn structure_edit_invalidates_network_via_hook() {
+    let f = build(60.0, 90.0, 0.0);
+    let mut d = f.d;
+    let shared = f.an.install(&mut d);
+    let acc = f.accumulator;
+    let total = shared
+        .borrow_mut()
+        .delay(&mut d, acc, "in", "out")
+        .unwrap()
+        .unwrap();
+    assert!((total - 150.0).abs() < 1e-9);
+
+    // Remove the register: the hook invalidates; the rebuilt network has
+    // no in→out path (the io input now reaches nothing).
+    let reg_inst = d.subcells(acc)[0];
+    d.remove_instance(reg_inst);
+    let after = shared.borrow_mut().delay(&mut d, acc, "in", "out").unwrap();
+    assert_eq!(after, None);
+}
+
+#[test]
+fn instance_delay_vars_carry_adjusted_values() {
+    let mut f = build(60.0, 90.0, 10.0);
+    f.an
+        .delay(&mut f.d, f.accumulator, "in", "out")
+        .unwrap()
+        .unwrap();
+    let add_inst = f.d.subcells(f.accumulator)[1];
+    let iv = f.an.instance_delay_var(add_inst, "a", "sum").unwrap();
+    assert_eq!(f.d.network().value(iv), &Value::Float(100.0), "90 + 10 load");
+    let reg_inst = f.d.subcells(f.accumulator)[0];
+    let rv = f.an.instance_delay_var(reg_inst, "d", "q").unwrap();
+    assert_eq!(f.d.network().value(rv), &Value::Float(60.0));
+}
+
+/// §7.3's combinatorial-explosion guard: a cell with many parallel
+/// declared-delay branches exceeds a tiny path cap and is reported, not
+/// silently exploded.
+#[test]
+fn delay_path_explosion_is_guarded() {
+    use stem_design::Design;
+
+    let mut d = Design::new();
+    let mut an = DelayAnalyzer::new();
+    an.set_max_paths(4);
+
+    let branch = d.define_class("BR");
+    d.add_signal(branch, "in", SignalDir::Input);
+    d.add_signal(branch, "out", SignalDir::Output);
+    an.declare_delay(&mut d, branch, "in", "out");
+    an.set_estimate(&mut d, branch, "in", "out", 1.0).unwrap();
+
+    let top = d.define_class("WIDE");
+    d.add_signal(top, "in", SignalDir::Input);
+    d.add_signal(top, "out", SignalDir::Output);
+    an.declare_delay(&mut d, top, "in", "out");
+    let n_in = d.add_net(top, "ni");
+    d.connect_io(n_in, "in").unwrap();
+    let n_out = d.add_net(top, "no");
+    d.connect_io(n_out, "out").unwrap();
+    for i in 0..6 {
+        let b = d
+            .instantiate(branch, top, format!("b{i}"), Transform::IDENTITY)
+            .unwrap();
+        d.connect(n_in, b, "in").unwrap();
+        d.connect(n_out, b, "out").unwrap();
+    }
+    let err = an.delay(&mut d, top, "in", "out").unwrap_err();
+    assert!(err.to_string().contains("explosion"), "{err}");
+
+    // Raising the cap recovers.
+    an.set_max_paths(100);
+    assert_eq!(an.delay(&mut d, top, "in", "out").unwrap(), Some(1.0));
+}

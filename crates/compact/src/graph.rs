@@ -1,0 +1,321 @@
+//! The 1D constraint graph and its longest-path solver.
+
+use std::error::Error;
+use std::fmt;
+
+/// Handle to a layout element in a [`CompactionGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ElementId(u32);
+
+impl ElementId {
+    /// Arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ElementId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// The constraint system is infeasible: a positive cycle exists in the
+/// constraint graph (e.g. contradictory exact offsets).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Infeasible {
+    /// An edge still relaxable after |V| passes (part of the cycle).
+    pub witness: (usize, usize, i64),
+}
+
+impl fmt::Display for Infeasible {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (u, v, w) = self.witness;
+        write!(
+            f,
+            "infeasible constraint system (positive cycle through x{v} >= x{u} + {w})"
+        )
+    }
+}
+
+impl Error for Infeasible {}
+
+/// A solved placement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Compacted {
+    positions: Vec<i64>,
+    widths: Vec<i64>,
+    /// Rightmost extent of any element (the compacted row width).
+    pub total_extent: i64,
+}
+
+impl Compacted {
+    /// Left edge of an element.
+    pub fn position(&self, e: ElementId) -> i64 {
+        self.positions[e.index()]
+    }
+
+    /// Right edge of an element.
+    pub fn right_edge(&self, e: ElementId) -> i64 {
+        self.positions[e.index()] + self.widths[e.index()]
+    }
+
+    /// All left-edge positions, indexed by element.
+    pub fn positions(&self) -> &[i64] {
+        &self.positions
+    }
+}
+
+/// A horizontal (or vertical) constraint graph over layout elements
+/// (thesis §2.1): variables are element positions, edges are linear
+/// inequalities `x_to ≥ x_from + w`.
+#[derive(Debug, Clone, Default)]
+pub struct CompactionGraph {
+    widths: Vec<i64>,
+    /// `(from, to, w)` meaning `x_to ≥ x_from + w`.
+    edges: Vec<(usize, usize, i64)>,
+    /// Pinned absolute positions (element, position).
+    fixed: Vec<(usize, i64)>,
+}
+
+impl CompactionGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a layout element of the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative width.
+    pub fn add_element(&mut self, width: i64) -> ElementId {
+        assert!(width >= 0, "negative width");
+        let id = ElementId(self.widths.len() as u32);
+        self.widths.push(width);
+        id
+    }
+
+    /// Number of elements.
+    pub fn n_elements(&self) -> usize {
+        self.widths.len()
+    }
+
+    /// Width of an element.
+    pub fn width(&self, e: ElementId) -> i64 {
+        self.widths[e.index()]
+    }
+
+    /// Raw linear inequality: `x_b ≥ x_a + d`.
+    pub fn min_distance(&mut self, a: ElementId, b: ElementId, d: i64) {
+        self.edges.push((a.index(), b.index(), d));
+    }
+
+    /// Design-rule separation: `b`'s left edge at least `sep` past `a`'s
+    /// right edge (`x_b ≥ x_a + width(a) + sep`).
+    pub fn min_separation(&mut self, a: ElementId, b: ElementId, sep: i64) {
+        let w = self.widths[a.index()];
+        self.min_distance(a, b, w + sep);
+    }
+
+    /// Exact offset: `x_b = x_a + d` (connectivity / abutment), encoded as
+    /// two opposing inequalities.
+    pub fn exact_offset(&mut self, a: ElementId, b: ElementId, d: i64) {
+        self.min_distance(a, b, d);
+        self.min_distance(b, a, -d);
+    }
+
+    /// Abutment: `b` starts exactly at `a`'s right edge.
+    pub fn abut(&mut self, a: ElementId, b: ElementId) {
+        let w = self.widths[a.index()];
+        self.exact_offset(a, b, w);
+    }
+
+    /// Pins an element at an absolute position (both a lower and an upper
+    /// bound).
+    pub fn fix(&mut self, a: ElementId, pos: i64) {
+        self.fixed.push((a.index(), pos));
+    }
+
+    /// Solves for leftmost positions by longest paths from the virtual
+    /// origin (Bellman–Ford over the inequality graph).
+    ///
+    /// Every element implicitly satisfies `x ≥ 0`.
+    ///
+    /// # Errors
+    ///
+    /// [`Infeasible`] when the constraints contain a positive cycle.
+    pub fn solve(&self) -> Result<Compacted, Infeasible> {
+        let n = self.widths.len();
+        // dist[i] = longest constraint path to element i; the implicit
+        // x ≥ 0 floor seeds every node at 0.
+        let mut dist = vec![0i64; n];
+        let mut all_edges = self.edges.clone();
+        for &(i, pos) in &self.fixed {
+            // Lower bound x_i ≥ pos from the implicit origin (usize::MAX
+            // marks it, at distance 0); the matching upper bound x_i ≤ pos
+            // is verified after relaxation, since Bellman–Ford only pushes
+            // lower bounds upward.
+            all_edges.push((usize::MAX, i, pos));
+        }
+        let upper_bounds: Vec<(usize, i64)> = self.fixed.clone();
+        for _ in 0..=n {
+            let mut changed = false;
+            for &(u, v, w) in &all_edges {
+                let du = if u == usize::MAX { 0 } else { dist[u] };
+                if du + w > dist[v] {
+                    dist[v] = du + w;
+                    changed = true;
+                }
+            }
+            if !changed {
+                // Early convergence.
+                let compacted = self.finish(dist, &upper_bounds)?;
+                return Ok(compacted);
+            }
+        }
+        // Still changing after n+1 passes: positive cycle.
+        for &(u, v, w) in &all_edges {
+            let du = if u == usize::MAX { 0 } else { dist[u] };
+            if du + w > dist[v] {
+                return Err(Infeasible {
+                    witness: (if u == usize::MAX { v } else { u }, v, w),
+                });
+            }
+        }
+        self.finish(dist, &upper_bounds)
+    }
+
+    fn finish(
+        &self,
+        dist: Vec<i64>,
+        upper_bounds: &[(usize, i64)],
+    ) -> Result<Compacted, Infeasible> {
+        // Fixed positions are equalities: the longest path must not have
+        // pushed a pinned element past its pin.
+        for &(i, pos) in upper_bounds {
+            if dist[i] > pos {
+                return Err(Infeasible {
+                    witness: (i, i, dist[i] - pos),
+                });
+            }
+        }
+        let total_extent = dist
+            .iter()
+            .zip(&self.widths)
+            .map(|(&x, &w)| x + w)
+            .max()
+            .unwrap_or(0);
+        Ok(Compacted {
+            positions: dist,
+            widths: self.widths.clone(),
+            total_extent,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_packs_leftmost() {
+        let mut g = CompactionGraph::new();
+        let a = g.add_element(10);
+        let b = g.add_element(5);
+        g.min_separation(a, b, 3);
+        let s = g.solve().unwrap();
+        assert_eq!(s.position(a), 0);
+        assert_eq!(s.position(b), 13);
+        assert_eq!(s.total_extent, 18);
+        assert_eq!(s.right_edge(b), 18);
+    }
+
+    #[test]
+    fn order_of_insertion_is_irrelevant() {
+        let mut g = CompactionGraph::new();
+        let a = g.add_element(4);
+        let b = g.add_element(4);
+        let c = g.add_element(4);
+        // Wire constraints backwards.
+        g.min_separation(b, c, 1);
+        g.min_separation(a, b, 1);
+        let s = g.solve().unwrap();
+        assert_eq!(s.positions(), &[0, 5, 10]);
+    }
+
+    #[test]
+    fn exact_offsets_and_abutment() {
+        let mut g = CompactionGraph::new();
+        let a = g.add_element(10);
+        let b = g.add_element(10);
+        let c = g.add_element(10);
+        g.abut(a, b);
+        g.exact_offset(a, c, 25);
+        let s = g.solve().unwrap();
+        assert_eq!(s.position(b), 10);
+        assert_eq!(s.position(c), 25);
+    }
+
+    #[test]
+    fn fixed_positions() {
+        let mut g = CompactionGraph::new();
+        let a = g.add_element(10);
+        let b = g.add_element(10);
+        g.fix(b, 100);
+        g.min_separation(a, b, 0);
+        let s = g.solve().unwrap();
+        assert_eq!(s.position(a), 0, "a stays leftmost");
+        assert_eq!(s.position(b), 100);
+    }
+
+    #[test]
+    fn fixed_position_conflicts_are_infeasible() {
+        let mut g = CompactionGraph::new();
+        let a = g.add_element(10);
+        let b = g.add_element(10);
+        g.fix(b, 5);
+        g.min_separation(a, b, 0); // needs x_b >= 10
+        assert!(g.solve().is_err());
+    }
+
+    #[test]
+    fn contradictory_exact_offsets_are_infeasible() {
+        let mut g = CompactionGraph::new();
+        let a = g.add_element(1);
+        let b = g.add_element(1);
+        g.exact_offset(a, b, 5);
+        g.exact_offset(a, b, 6);
+        let err = g.solve().unwrap_err();
+        let _ = err.to_string();
+    }
+
+    #[test]
+    fn positive_cycle_detected() {
+        let mut g = CompactionGraph::new();
+        let a = g.add_element(1);
+        let b = g.add_element(1);
+        g.min_distance(a, b, 3);
+        g.min_distance(b, a, -3); // x_a ≥ x_b − 3 & x_b ≥ x_a + 3: tight but ok
+        assert!(g.solve().is_ok());
+        g.min_distance(b, a, -2); // cycle weight 3 − 2 = +1: infeasible
+        assert!(g.solve().is_err());
+    }
+
+    #[test]
+    fn diamond_takes_the_maximally_constrained_path() {
+        // a fans to b (short) and c (long), both reach d: d's position is
+        // the longest path — the thesis's "maximally constrained paths".
+        let mut g = CompactionGraph::new();
+        let a = g.add_element(2);
+        let b = g.add_element(2);
+        let c = g.add_element(20);
+        let d = g.add_element(2);
+        g.min_separation(a, b, 0);
+        g.min_separation(a, c, 0);
+        g.min_separation(b, d, 0);
+        g.min_separation(c, d, 0);
+        let s = g.solve().unwrap();
+        assert_eq!(s.position(d), 22, "via c, not via b (which would give 6)");
+    }
+}

@@ -1,0 +1,52 @@
+//! # stem-compact — the Electric-style constraint-satisfaction baseline
+//!
+//! The thesis's related work (§2.1) contrasts STEM's propagation with
+//! systems built on *linear inequality constraint satisfaction*:
+//! "graph-based compaction algorithms build vertical and horizontal
+//! constraint graphs, solve for the maximally constrained paths in the
+//! graphs, and then assign node positions to satisfy all constraints" —
+//! the approach of Electric \[Rubi87\] and constraint layout languages.
+//! §7.4 then argues the division of labour: "low-level design checks, such
+//! as layout design rule checking, are not suitable candidate applications
+//! for \[propagation\] because more specialized data structures … and
+//! constraint satisfaction algorithms (e.g., shortest-path algorithms on
+//! graphs) are necessary".
+//!
+//! This crate implements that baseline so the claim is reproducible
+//! (experiment E16): a 1D constraint graph over layout elements with
+//! minimum-separation, exact-offset and fixed-position constraints, solved
+//! by longest paths (Bellman–Ford, since exact constraints introduce
+//! cycles whose positive variants signal infeasibility). Solutions are
+//! *leftmost*: every position is exactly the longest constraint path
+//! reaching it, the "maximally constrained path".
+//!
+//! It also reproduces Electric's documented limitation ("the constraint
+//! that a component must be centered between two others cannot be
+//! expressed in terms of linear inequality constraints", §2.1.1) and
+//! STEM's answer to it — see the `centering` integration test.
+//!
+//! ```
+//! use stem_compact::CompactionGraph;
+//!
+//! let mut g = CompactionGraph::new();
+//! let a = g.add_element(10);
+//! let b = g.add_element(20);
+//! let c = g.add_element(10);
+//! g.min_separation(a, b, 2); // b starts ≥ 2 past a's right edge
+//! g.min_separation(b, c, 2);
+//! let sol = g.solve().unwrap();
+//! assert_eq!(sol.position(a), 0);
+//! assert_eq!(sol.position(b), 12);
+//! assert_eq!(sol.position(c), 34);
+//! assert_eq!(sol.total_extent, 44);
+//! ```
+
+
+#![warn(missing_docs)]
+mod graph;
+mod row;
+mod two_d;
+
+pub use graph::{CompactionGraph, Compacted, ElementId, Infeasible};
+pub use row::{compact_row, RowCell, RowSpec};
+pub use two_d::compact_2d;

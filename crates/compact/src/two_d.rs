@@ -1,0 +1,169 @@
+//! Two-dimensional compaction by alternating 1D passes — the "vertical
+//! and horizontal constraint graphs" of thesis §2.1: separation
+//! constraints are generated from the layout's own adjacencies, then each
+//! axis is solved by longest paths.
+
+use crate::graph::{CompactionGraph, Infeasible};
+use stem_geom::{Point, Rect};
+
+/// Compacts a set of non-overlapping rectangles toward the origin,
+/// preserving relative order on both axes and keeping at least `spacing`
+/// between rectangles that face each other. Returns the new positions
+/// (minimum corners), index-aligned with the input.
+///
+/// The classic two-pass scheme: the X pass constrains every pair whose Y
+/// spans overlap (ordered by their original X), then the Y pass constrains
+/// every pair whose *new* X spans overlap. Each pass is a longest-path
+/// solve, so the result is leftmost/bottommost.
+///
+/// # Errors
+///
+/// [`Infeasible`] is impossible for overlap-free input (all generated
+/// constraints are acyclic); it is surfaced for robustness.
+///
+/// # Panics
+///
+/// Panics if two input rectangles properly overlap.
+pub fn compact_2d(rects: &[Rect], spacing: i64) -> Result<Vec<Point>, Infeasible> {
+    for (i, a) in rects.iter().enumerate() {
+        for b in &rects[i + 1..] {
+            if let Some(x) = a.intersection(*b) {
+                assert!(x.is_empty(), "input rectangles overlap: {a} and {b}");
+            }
+        }
+    }
+    let spans_overlap = |a_lo: i64, a_hi: i64, b_lo: i64, b_hi: i64| a_lo < b_hi && b_lo < a_hi;
+
+    // X pass.
+    let mut gx = CompactionGraph::new();
+    let ids: Vec<_> = rects.iter().map(|r| gx.add_element(r.width())).collect();
+    for i in 0..rects.len() {
+        for j in 0..rects.len() {
+            if i == j {
+                continue;
+            }
+            let (a, b) = (rects[i], rects[j]);
+            if spans_overlap(a.min().y, a.max().y, b.min().y, b.max().y)
+                && a.min().x <= b.min().x
+                && (a.min().x < b.min().x || i < j)
+            {
+                gx.min_separation(ids[i], ids[j], spacing);
+            }
+        }
+    }
+    let sx = gx.solve()?;
+
+    // Y pass against the new X positions.
+    let mut gy = CompactionGraph::new();
+    let idsy: Vec<_> = rects.iter().map(|r| gy.add_element(r.height())).collect();
+    for i in 0..rects.len() {
+        for j in 0..rects.len() {
+            if i == j {
+                continue;
+            }
+            let (a, b) = (rects[i], rects[j]);
+            let (ax, bx) = (sx.position(ids[i]), sx.position(ids[j]));
+            if spans_overlap(ax, ax + a.width(), bx, bx + b.width())
+                && a.min().y <= b.min().y
+                && (a.min().y < b.min().y || i < j)
+            {
+                gy.min_separation(idsy[i], idsy[j], spacing);
+            }
+        }
+    }
+    let sy = gy.solve()?;
+
+    Ok((0..rects.len())
+        .map(|i| Point::new(sx.position(ids[i]), sy.position(idsy[i])))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(x: i64, y: i64, w: i64, h: i64) -> Rect {
+        Rect::with_extent(Point::new(x, y), w, h)
+    }
+
+    fn placed(rects: &[Rect], positions: &[Point]) -> Vec<Rect> {
+        rects
+            .iter()
+            .zip(positions)
+            .map(|(r0, p)| Rect::with_extent(*p, r0.width(), r0.height()))
+            .collect()
+    }
+
+    fn overlap_free(rs: &[Rect]) -> bool {
+        for (i, a) in rs.iter().enumerate() {
+            for b in &rs[i + 1..] {
+                if let Some(x) = a.intersection(*b) {
+                    if !x.is_empty() {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn sparse_row_slides_together() {
+        let rects = [r(0, 0, 10, 10), r(50, 0, 10, 10), r(120, 0, 10, 10)];
+        let pos = compact_2d(&rects, 2).unwrap();
+        assert_eq!(pos, vec![
+            Point::new(0, 0),
+            Point::new(12, 0),
+            Point::new(24, 0)
+        ]);
+    }
+
+    #[test]
+    fn column_drops_down() {
+        let rects = [r(0, 100, 10, 10), r(0, 40, 10, 10)];
+        let pos = compact_2d(&rects, 0).unwrap();
+        // Bottom-most first: the lower original lands at y = 0.
+        assert_eq!(pos[1], Point::new(0, 0));
+        assert_eq!(pos[0], Point::new(0, 10));
+    }
+
+    #[test]
+    fn l_shape_compacts_both_axes() {
+        let rects = [r(0, 0, 20, 10), r(100, 0, 10, 10), r(0, 100, 10, 20)];
+        let pos = compact_2d(&rects, 1).unwrap();
+        let out = placed(&rects, &pos);
+        assert!(overlap_free(&out));
+        // Everything hugs the origin area.
+        let bb = Rect::union_all(out.iter().copied()).unwrap();
+        assert!(bb.max().x <= 32, "{bb}");
+        assert!(bb.max().y <= 31, "{bb}");
+    }
+
+    #[test]
+    fn diagonal_collapses_to_corner() {
+        // Diagonally placed cells share no row or column: both passes can
+        // pull them to the origin without conflict.
+        let rects = [r(0, 0, 10, 10), r(50, 50, 10, 10)];
+        let pos = compact_2d(&rects, 0).unwrap();
+        assert_eq!(pos[0], Point::new(0, 0));
+        // The second slides fully left (no original y-overlap) and fully
+        // down (no x-overlap at the new positions… unless the X pass put
+        // them in the same column — in which case Y separates them).
+        let out = placed(&rects, &pos);
+        assert!(overlap_free(&out));
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn overlapping_input_rejected() {
+        let rects = [r(0, 0, 10, 10), r(5, 5, 10, 10)];
+        let _ = compact_2d(&rects, 0);
+    }
+
+    #[test]
+    fn preserves_relative_order() {
+        let rects = [r(0, 0, 8, 8), r(20, 2, 8, 8), r(40, 0, 8, 8)];
+        let pos = compact_2d(&rects, 3).unwrap();
+        assert!(pos[0].x < pos[1].x && pos[1].x < pos[2].x);
+    }
+}

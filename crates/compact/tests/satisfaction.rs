@@ -1,0 +1,238 @@
+//! Property tests of the satisfaction solver, plus the two bridge
+//! experiments of thesis §2.1.1 / §7.4:
+//!
+//! - a compacted solution can be *verified* by a STEM constraint network
+//!   (propagation checks what satisfaction solved) — experiment E16;
+//! - the centering relation Electric cannot express as linear
+//!   inequalities is a one-liner functional constraint in STEM.
+
+use proptest::prelude::*;
+use stem_compact::{compact_row, CompactionGraph, RowSpec};
+use stem_core::kinds::{Functional, Predicate};
+use stem_core::{Justification, Network, Value};
+
+proptest! {
+    /// Every solution satisfies every constraint, and each position is
+    /// tight: reducing it by 1 would break some constraint (leftmost /
+    /// maximally-constrained-path property).
+    #[test]
+    fn solutions_satisfy_and_are_tight(
+        widths in proptest::collection::vec(1i64..30, 2..20),
+        seps in proptest::collection::vec(0i64..5, 2..20),
+        extra_seed in any::<u64>(),
+    ) {
+        let mut g = CompactionGraph::new();
+        let ids: Vec<_> = widths.iter().map(|&w| g.add_element(w)).collect();
+        let mut constraints: Vec<(usize, usize, i64)> = Vec::new();
+        for (i, w) in ids.windows(2).enumerate() {
+            let sep = seps[i % seps.len()];
+            g.min_separation(w[0], w[1], sep);
+            constraints.push((i, i + 1, widths[i] + sep));
+        }
+        // A few random long-range orderings (always left→right: no cycles).
+        let mut s = extra_seed;
+        for _ in 0..widths.len() / 2 {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let i = (s >> 33) as usize % widths.len();
+            let j = (s >> 17) as usize % widths.len();
+            if i < j {
+                let d = (s % 40) as i64;
+                g.min_distance(ids[i], ids[j], d);
+                constraints.push((i, j, d));
+            }
+        }
+        let sol = g.solve().unwrap();
+        // Satisfied:
+        for &(a, b, d) in &constraints {
+            prop_assert!(sol.position(ids[b]) >= sol.position(ids[a]) + d);
+        }
+        // Non-negative and tight:
+        for (i, &id) in ids.enumerate_helper() {
+            let x = sol.position(id);
+            prop_assert!(x >= 0);
+            if x > 0 {
+                // Some incoming constraint must pin x exactly.
+                let tight = constraints
+                    .iter()
+                    .any(|&(a, b, d)| b == i && sol.position(ids[a]) + d == x);
+                prop_assert!(tight, "position {x} of e{i} is not maximally constrained");
+            }
+        }
+    }
+
+    /// Row compaction width equals the sum of widths plus separations when
+    /// no extra constraints stretch it.
+    #[test]
+    fn plain_row_width_is_exact(
+        widths in proptest::collection::vec(1i64..50, 1..30),
+        sep in 0i64..10,
+    ) {
+        let mut spec = RowSpec { min_separation: sep, ..Default::default() };
+        for (i, &w) in widths.iter().enumerate() {
+            spec.cell(format!("c{i}"), w);
+        }
+        let (sol, _) = compact_row(&spec).unwrap();
+        let expect: i64 = widths.iter().sum::<i64>() + sep * (widths.len() as i64 - 1);
+        prop_assert_eq!(sol.total_extent, expect);
+    }
+}
+
+/// Tiny helper: enumerate with index over a slice of ids.
+trait EnumerateHelper {
+    fn enumerate_helper(&self) -> std::iter::Enumerate<std::slice::Iter<'_, stem_compact::ElementId>>;
+}
+
+impl EnumerateHelper for Vec<stem_compact::ElementId> {
+    fn enumerate_helper(&self) -> std::iter::Enumerate<std::slice::Iter<'_, stem_compact::ElementId>> {
+        self.iter().enumerate()
+    }
+}
+
+/// E16 — satisfaction solves, propagation verifies: the compacted
+/// placement is loaded into a STEM network whose predicates encode the
+/// same inequalities; the network accepts the solution and rejects a
+/// perturbed one.
+#[test]
+fn compacted_solution_verifies_in_a_stem_network() {
+    let mut spec = RowSpec {
+        min_separation: 2,
+        ..Default::default()
+    };
+    let widths = [6i64, 8, 12, 6, 8];
+    for (i, &w) in widths.iter().enumerate() {
+        spec.cell(format!("c{i}"), w);
+    }
+    spec.exact_offsets.push((0, 3, 40));
+    let (sol, ids) = compact_row(&spec).unwrap();
+
+    // Mirror the constraints as STEM predicates over position variables.
+    let mut net = Network::new();
+    let xs: Vec<_> = (0..widths.len())
+        .map(|i| net.add_variable(format!("x{i}")))
+        .collect();
+    for i in 0..widths.len() - 1 {
+        let gap = widths[i] + 2;
+        net.add_constraint(
+            Predicate::custom("minSep", move |vals| {
+                match (vals[0].as_i64(), vals[1].as_i64()) {
+                    (Some(a), Some(b)) => b >= a + gap,
+                    _ => true,
+                }
+            }),
+            [xs[i], xs[i + 1]],
+        )
+        .unwrap();
+    }
+    net.add_constraint(
+        Predicate::custom("exactOffset", |vals| {
+            match (vals[0].as_i64(), vals[1].as_i64()) {
+                (Some(a), Some(b)) => b == a + 40,
+                _ => true,
+            }
+        }),
+        [xs[0], xs[3]],
+    )
+    .unwrap();
+
+    // Loading the solved placement raises no violations…
+    for (i, &x) in xs.iter().enumerate() {
+        net.set(x, Value::Int(sol.position(ids[i])), Justification::Application)
+            .unwrap();
+    }
+    assert!(net.check_all().is_empty());
+    // …while perturbing one cell violates immediately.
+    assert!(net
+        .set(xs[1], Value::Int(sol.position(ids[1]) - 1), Justification::User)
+        .is_err());
+}
+
+/// §2.1.1: "the constraint that a component must be centered between two
+/// others cannot be expressed in terms of linear inequality constraints in
+/// Electric's constraint system" — in STEM it is one functional
+/// constraint.
+#[test]
+fn centering_is_inexpressible_linearly_but_trivial_in_stem() {
+    // STEM side: mid = (left + right) / 2, kept live by propagation.
+    let mut net = Network::new();
+    let left = net.add_variable("left");
+    let right = net.add_variable("right");
+    let mid = net.add_variable("mid");
+    net.add_constraint(
+        Functional::custom("centerOf", |vals| {
+            Some(Value::Int((vals[0].as_i64()? + vals[1].as_i64()?) / 2))
+        }),
+        [left, right, mid],
+    )
+    .unwrap();
+    net.set(left, Value::Int(10), Justification::User).unwrap();
+    net.set(right, Value::Int(50), Justification::User).unwrap();
+    assert_eq!(net.value(mid), &Value::Int(30));
+    // Moving an anchor re-centres automatically.
+    net.set(right, Value::Int(90), Justification::User).unwrap();
+    assert_eq!(net.value(mid), &Value::Int(50));
+
+    // Electric side: min-distance inequalities can sandwich `mid` but the
+    // sandwich does not re-centre when an anchor moves — the leftmost
+    // solution hugs the lower bound instead of the centre.
+    let mut g = CompactionGraph::new();
+    let l = g.add_element(0);
+    let r = g.add_element(0);
+    let m = g.add_element(0);
+    g.fix(l, 10);
+    g.fix(r, 90);
+    g.min_distance(l, m, 1);
+    g.min_distance(m, r, 1);
+    let sol = g.solve().unwrap();
+    assert_eq!(sol.position(m), 11, "leftmost, not centred (50)");
+}
+
+proptest! {
+    /// 2D compaction of random non-overlapping placements is overlap-free
+    /// and never grows the bounding box.
+    #[test]
+    fn compact_2d_is_overlap_free_and_shrinks(
+        cells in proptest::collection::vec(
+            ((0i64..8, 0i64..8), (2i64..12, 2i64..12)),
+            1..12,
+        ),
+        spacing in 0i64..3,
+    ) {
+        use stem_compact::compact_2d;
+        use stem_geom::{Point, Rect};
+        // Place on a coarse grid so inputs never overlap.
+        let rects: Vec<Rect> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, ((gx, gy), (w, h)))| {
+                let gx = (gx + i as i64) % 8;
+                let gy = (gy + i as i64 / 8) % 8;
+                Rect::with_extent(Point::new(gx * 20, gy * 20), *w, *h)
+            })
+            .collect();
+        // Deduplicate identical grid slots (two cells in one slot overlap).
+        let mut seen = std::collections::HashSet::new();
+        let rects: Vec<Rect> = rects
+            .into_iter()
+            .filter(|r| seen.insert(r.min()))
+            .collect();
+        let pos = compact_2d(&rects, spacing).unwrap();
+        let out: Vec<Rect> = rects
+            .iter()
+            .zip(&pos)
+            .map(|(r, p)| Rect::with_extent(*p, r.width(), r.height()))
+            .collect();
+        for (i, a) in out.iter().enumerate() {
+            for b in &out[i + 1..] {
+                if let Some(x) = a.intersection(*b) {
+                    prop_assert!(x.is_empty(), "{a} overlaps {b}");
+                }
+            }
+        }
+        if spacing == 0 {
+            let before = Rect::union_all(rects.iter().copied()).unwrap();
+            let after = Rect::union_all(out.iter().copied()).unwrap();
+            prop_assert!(after.area() <= before.area(),
+                "compaction must not grow: {} -> {}", before.area(), after.area());
+        }
+    }
+}

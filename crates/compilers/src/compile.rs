@@ -1,0 +1,454 @@
+//! The tile-based module compilers of thesis §6.4.1 (after [Law85]):
+//! "a VectorCompiler builds a linear array of subcells, a WordCompiler
+//! builds a vector of subcells with special end-cells, and a
+//! MatrixCompiler generates a two-dimensional array of subcells. A
+//! GraphCompiler allows the user to graphically specify module builders
+//! that are able to generate more complicated structures."
+//!
+//! All compilers reduce to the [`GraphCompiler`]: place subcells, connect
+//! butting io-pins (pins landing on the same point), honour disallowed
+//! pins ("which withdraws the non-connecting io-pins from the boundary"),
+//! and export remaining boundary pins as io-signals of the compiled cell.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::error::Error;
+use std::fmt;
+
+use crate::view::CompilerView;
+use stem_core::Violation;
+use stem_design::{CellClassId, CellInstanceId, Design, NetId, SignalDir};
+use stem_geom::{Point, Side, Transform};
+
+/// Result of a compilation: what was built inside the target class.
+#[derive(Debug, Clone)]
+pub struct CompiledStructure {
+    /// The placed subcells, in placement order.
+    pub instances: Vec<CellInstanceId>,
+    /// The nets created (butting + explicit groups + export nets).
+    pub nets: Vec<NetId>,
+    /// Names of the io-signals exported onto the compiled cell.
+    pub exported: Vec<String>,
+}
+
+/// Why a compilation failed.
+#[derive(Debug)]
+pub enum CompileError {
+    /// A placed class has no bounding box, so pins cannot be located.
+    MissingBoundingBox(CellClassId),
+    /// An explicit connection referenced an unknown placement name.
+    UnknownInstance(String),
+    /// An explicit connection referenced an unknown signal.
+    UnknownSignal(String, String),
+    /// Wiring raised a constraint violation (e.g. incompatible types).
+    Violation(Violation),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::MissingBoundingBox(c) => {
+                write!(f, "placed class {c} has no bounding box")
+            }
+            CompileError::UnknownInstance(n) => write!(f, "unknown placement {n:?}"),
+            CompileError::UnknownSignal(i, s) => write!(f, "no signal {s:?} on placement {i:?}"),
+            CompileError::Violation(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl Error for CompileError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CompileError::Violation(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+impl From<Violation> for CompileError {
+    fn from(v: Violation) -> Self {
+        CompileError::Violation(v)
+    }
+}
+
+/// One placement in a graph compilation.
+#[derive(Debug, Clone)]
+pub struct Placement {
+    /// The class to place.
+    pub class: CellClassId,
+    /// Instance name (unique within the compilation).
+    pub name: String,
+    /// Placement transform.
+    pub transform: Transform,
+}
+
+/// The general module builder (Fig. 6.2): explicit placements, butting
+/// connections, disallowed pins, extra connection groups, boundary export.
+#[derive(Debug, Default)]
+pub struct GraphCompiler {
+    placements: Vec<Placement>,
+    disallowed: HashSet<(String, String)>,
+    extra_nets: Vec<Vec<(String, String)>>,
+    export_boundary: bool,
+}
+
+impl GraphCompiler {
+    /// Creates an empty compiler with boundary export enabled.
+    pub fn new() -> Self {
+        GraphCompiler {
+            export_boundary: true,
+            ..Default::default()
+        }
+    }
+
+    /// Places an instance of `class` named `name` at `transform`.
+    pub fn place(
+        &mut self,
+        class: CellClassId,
+        name: impl Into<String>,
+        transform: Transform,
+    ) -> &mut Self {
+        self.placements.push(Placement {
+            class,
+            name: name.into(),
+            transform,
+        });
+        self
+    }
+
+    /// Disallows connections on one pin; the pin is withdrawn from butting
+    /// and from the exported boundary.
+    pub fn disallow(&mut self, instance: impl Into<String>, signal: impl Into<String>) -> &mut Self {
+        self.disallowed.insert((instance.into(), signal.into()));
+        self
+    }
+
+    /// Adds an explicit net over `(instance, signal)` pins that do not
+    /// butt geometrically.
+    pub fn connect_group(&mut self, pins: &[(&str, &str)]) -> &mut Self {
+        self.extra_nets.push(
+            pins.iter()
+                .map(|(i, s)| (i.to_string(), s.to_string()))
+                .collect(),
+        );
+        self
+    }
+
+    /// Enables or disables exporting boundary pins as io-signals.
+    pub fn set_export_boundary(&mut self, export: bool) -> &mut Self {
+        self.export_boundary = export;
+        self
+    }
+
+    /// Builds the structure inside `target`.
+    ///
+    /// # Errors
+    ///
+    /// See [`CompileError`].
+    pub fn compile(&self, d: &mut Design, target: CellClassId) -> Result<CompiledStructure, CompileError> {
+        let mut out = CompiledStructure {
+            instances: Vec::new(),
+            nets: Vec::new(),
+            exported: Vec::new(),
+        };
+        // Compiler views per distinct placed class (§6.4.1: subcells are
+        // black boxes seen through views).
+        let mut views: HashMap<CellClassId, CompilerView> = HashMap::new();
+        let mut by_name: HashMap<String, CellInstanceId> = HashMap::new();
+
+        // 1. Place.
+        for p in &self.placements {
+            views
+                .entry(p.class)
+                .or_insert_with(|| CompilerView::new(d, p.class));
+            if views[&p.class].data(d).is_none() {
+                return Err(CompileError::MissingBoundingBox(p.class));
+            }
+            let inst = d
+                .instantiate(p.class, target, p.name.clone(), p.transform)
+                .map_err(CompileError::Violation)?;
+            by_name.insert(p.name.clone(), inst);
+            out.instances.push(inst);
+        }
+
+        // 2. Collect transformed pins.
+        // BTreeMap keyed by point for deterministic net ordering.
+        let mut groups: BTreeMap<Point, Vec<(CellInstanceId, String, SignalDir)>> =
+            BTreeMap::new();
+        let mut explicit_pins: HashSet<(CellInstanceId, String)> = HashSet::new();
+        for group in &self.extra_nets {
+            for (iname, sig) in group {
+                let inst = *by_name
+                    .get(iname)
+                    .ok_or_else(|| CompileError::UnknownInstance(iname.clone()))?;
+                explicit_pins.insert((inst, sig.clone()));
+            }
+        }
+        for p in &self.placements {
+            let inst = by_name[&p.name];
+            let data = views[&p.class].data(d).expect("checked above");
+            let all_pins = data
+                .pins
+                .top
+                .iter()
+                .chain(&data.pins.bottom)
+                .chain(&data.pins.left)
+                .chain(&data.pins.right);
+            for (sig, pin) in all_pins {
+                if self.disallowed.contains(&(p.name.clone(), sig.clone())) {
+                    continue;
+                }
+                if explicit_pins.contains(&(inst, sig.clone())) {
+                    continue;
+                }
+                let dir = d
+                    .signal_def(p.class, sig)
+                    .map(|s| s.dir)
+                    .unwrap_or(SignalDir::InOut);
+                groups
+                    .entry(p.transform.apply(*pin))
+                    .or_default()
+                    .push((inst, sig.clone(), dir));
+            }
+        }
+
+        // 3. Butting nets.
+        let mut net_no = 0usize;
+        let mut singletons: Vec<(Point, CellInstanceId, String, SignalDir)> = Vec::new();
+        for (point, pins) in &groups {
+            if pins.len() >= 2 {
+                let net = d.add_net(target, format!("butt{net_no}"));
+                net_no += 1;
+                for (inst, sig, _) in pins {
+                    d.connect(net, *inst, sig).map_err(CompileError::Violation)?;
+                }
+                out.nets.push(net);
+            } else {
+                let (inst, sig, dir) = pins[0].clone();
+                singletons.push((*point, inst, sig, dir));
+            }
+        }
+
+        // 4. Explicit connection groups.
+        for group in &self.extra_nets {
+            let net = d.add_net(target, format!("conn{net_no}"));
+            net_no += 1;
+            for (iname, sig) in group {
+                let inst = *by_name
+                    .get(iname)
+                    .ok_or_else(|| CompileError::UnknownInstance(iname.clone()))?;
+                let class = d.instance_class(inst);
+                if d.signal_def(class, sig).is_none() {
+                    return Err(CompileError::UnknownSignal(iname.clone(), sig.clone()));
+                }
+                d.connect(net, inst, sig).map_err(CompileError::Violation)?;
+            }
+            out.nets.push(net);
+        }
+
+        // 5. Export boundary singletons as io-signals of the compiled cell.
+        if self.export_boundary {
+            let Some(bbox) = d.class_bounding_box(target) else {
+                return Ok(out);
+            };
+            for (point, inst, sig, dir) in singletons {
+                if Side::of(bbox, point).is_none() {
+                    continue;
+                }
+                let export = format!("{}_{}", d.instance_name(inst), sig);
+                // Recompilation reuses surviving io-signals from a previous
+                // generation instead of colliding on the name.
+                if d.signal_def(target, &export).is_none() {
+                    d.add_signal(target, export.clone(), dir);
+                }
+                d.set_signal_pin(target, &export, point);
+                let net = d.add_net(target, format!("io_{export}"));
+                d.connect(net, inst, &sig).map_err(CompileError::Violation)?;
+                d.connect_io(net, &export).map_err(CompileError::Violation)?;
+                out.nets.push(net);
+                out.exported.push(export);
+            }
+        }
+        for (_, v) in views {
+            v.release(d);
+        }
+        Ok(out)
+    }
+}
+
+/// Clears a compiled cell's internal structure — every subcell and net —
+/// so a module compiler can regenerate it with new parameters (§6.4.1:
+/// the compiler is the cell's `structureLayout`; re-specifying its
+/// parameters rebuilds the structure). Io-signals survive, so connected
+/// contexts keep their interface; dependency-directed erasure resets any
+/// values the removed structure justified.
+pub fn clear_structure(d: &mut Design, class: CellClassId) {
+    for inst in d.subcells(class).to_vec() {
+        d.remove_instance(inst);
+    }
+    for net in d.nets_of(class).to_vec() {
+        d.remove_net(net);
+    }
+    d.invalidate_class_bbox(class);
+}
+
+/// Direction a vector grows in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GrowDirection {
+    /// Placements advance in +x.
+    #[default]
+    Right,
+    /// Placements advance in +y.
+    Up,
+}
+
+/// Linear array of `count` copies of one cell (§6.4.1).
+#[derive(Debug, Clone)]
+pub struct VectorCompiler {
+    /// Cell to repeat.
+    pub cell: CellClassId,
+    /// Number of copies.
+    pub count: usize,
+    /// Gap between copies in lambda (0 = abutting).
+    pub spacing: i64,
+    /// Growth direction.
+    pub direction: GrowDirection,
+}
+
+impl VectorCompiler {
+    /// Creates an abutting vector.
+    pub fn new(cell: CellClassId, count: usize) -> Self {
+        VectorCompiler {
+            cell,
+            count,
+            spacing: 0,
+            direction: GrowDirection::Right,
+        }
+    }
+
+    /// Builds the vector inside `target`.
+    ///
+    /// # Errors
+    ///
+    /// See [`CompileError`].
+    pub fn compile(&self, d: &mut Design, target: CellClassId) -> Result<CompiledStructure, CompileError> {
+        let bbox = d
+            .class_bounding_box(self.cell)
+            .ok_or(CompileError::MissingBoundingBox(self.cell))?;
+        let step = match self.direction {
+            GrowDirection::Right => Point::new(bbox.width() + self.spacing, 0),
+            GrowDirection::Up => Point::new(0, bbox.height() + self.spacing),
+        };
+        let mut g = GraphCompiler::new();
+        for i in 0..self.count {
+            let offset = Point::new(step.x * i as i64, step.y * i as i64);
+            g.place(
+                self.cell,
+                format!("{}.{}", d.class_name(self.cell), i),
+                Transform::translation(offset),
+            );
+        }
+        g.compile(d, target)
+    }
+}
+
+/// Vector with special end cells (§6.4.1).
+#[derive(Debug, Clone)]
+pub struct WordCompiler {
+    /// Left end-cell.
+    pub left_end: CellClassId,
+    /// Repeated body cell.
+    pub body: CellClassId,
+    /// Right end-cell.
+    pub right_end: CellClassId,
+    /// Number of body copies.
+    pub count: usize,
+}
+
+impl WordCompiler {
+    /// Creates a word compiler.
+    pub fn new(left_end: CellClassId, body: CellClassId, right_end: CellClassId, count: usize) -> Self {
+        WordCompiler {
+            left_end,
+            body,
+            right_end,
+            count,
+        }
+    }
+
+    /// Builds `left_end body × count right_end` inside `target`.
+    ///
+    /// # Errors
+    ///
+    /// See [`CompileError`].
+    pub fn compile(&self, d: &mut Design, target: CellClassId) -> Result<CompiledStructure, CompileError> {
+        let w_left = d
+            .class_bounding_box(self.left_end)
+            .ok_or(CompileError::MissingBoundingBox(self.left_end))?
+            .width();
+        let w_body = d
+            .class_bounding_box(self.body)
+            .ok_or(CompileError::MissingBoundingBox(self.body))?
+            .width();
+        let mut g = GraphCompiler::new();
+        g.place(self.left_end, "left", Transform::IDENTITY);
+        let mut x = w_left;
+        for i in 0..self.count {
+            g.place(
+                self.body,
+                format!("body.{i}"),
+                Transform::translation(Point::new(x, 0)),
+            );
+            x += w_body;
+        }
+        g.place(
+            self.right_end,
+            "right",
+            Transform::translation(Point::new(x, 0)),
+        );
+        g.compile(d, target)
+    }
+}
+
+/// Two-dimensional array of one cell (§6.4.1).
+#[derive(Debug, Clone)]
+pub struct MatrixCompiler {
+    /// Cell to tile.
+    pub cell: CellClassId,
+    /// Rows (y direction).
+    pub rows: usize,
+    /// Columns (x direction).
+    pub cols: usize,
+}
+
+impl MatrixCompiler {
+    /// Creates an abutting matrix.
+    pub fn new(cell: CellClassId, rows: usize, cols: usize) -> Self {
+        MatrixCompiler { cell, rows, cols }
+    }
+
+    /// Builds the matrix inside `target`.
+    ///
+    /// # Errors
+    ///
+    /// See [`CompileError`].
+    pub fn compile(&self, d: &mut Design, target: CellClassId) -> Result<CompiledStructure, CompileError> {
+        let bbox = d
+            .class_bounding_box(self.cell)
+            .ok_or(CompileError::MissingBoundingBox(self.cell))?;
+        let mut g = GraphCompiler::new();
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                g.place(
+                    self.cell,
+                    format!("m{r}_{c}"),
+                    Transform::translation(Point::new(
+                        bbox.width() * c as i64,
+                        bbox.height() * r as i64,
+                    )),
+                );
+            }
+        }
+        g.compile(d, target)
+    }
+}

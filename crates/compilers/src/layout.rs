@@ -1,0 +1,191 @@
+//! The `structureLayout` association of thesis §6.4.1: "the cell designer
+//! specifies the kind of module compiler to be used for the cell, and an
+//! instance of that compiler class is created and assigned to the cell as
+//! its structureLayout instance variable". Re-specifying the compiler's
+//! parameters regenerates the cell's structure.
+
+use crate::compile::{
+    clear_structure, CompileError, CompiledStructure, MatrixCompiler, VectorCompiler,
+    WordCompiler,
+};
+use std::collections::HashMap;
+use stem_design::{CellClassId, Design};
+
+/// Any of the parameterised (non-graph) module compilers, as storable data.
+#[derive(Debug, Clone)]
+pub enum AnyCompiler {
+    /// Linear array.
+    Vector(VectorCompiler),
+    /// Vector with end cells.
+    Word(WordCompiler),
+    /// Two-dimensional array.
+    Matrix(MatrixCompiler),
+}
+
+impl AnyCompiler {
+    /// Runs the compiler into `target`.
+    ///
+    /// # Errors
+    ///
+    /// See [`CompileError`].
+    pub fn compile(
+        &self,
+        d: &mut Design,
+        target: CellClassId,
+    ) -> Result<CompiledStructure, CompileError> {
+        match self {
+            AnyCompiler::Vector(c) => c.compile(d, target),
+            AnyCompiler::Word(c) => c.compile(d, target),
+            AnyCompiler::Matrix(c) => c.compile(d, target),
+        }
+    }
+}
+
+impl From<VectorCompiler> for AnyCompiler {
+    fn from(c: VectorCompiler) -> Self {
+        AnyCompiler::Vector(c)
+    }
+}
+
+impl From<WordCompiler> for AnyCompiler {
+    fn from(c: WordCompiler) -> Self {
+        AnyCompiler::Word(c)
+    }
+}
+
+impl From<MatrixCompiler> for AnyCompiler {
+    fn from(c: MatrixCompiler) -> Self {
+        AnyCompiler::Matrix(c)
+    }
+}
+
+/// Registry of compiled cells' structure generators.
+#[derive(Debug, Clone, Default)]
+pub struct StructureLayouts {
+    map: HashMap<CellClassId, AnyCompiler>,
+}
+
+impl StructureLayouts {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Assigns a compiler to a cell and builds its structure.
+    ///
+    /// # Errors
+    ///
+    /// See [`CompileError`]; on failure nothing is assigned.
+    pub fn assign(
+        &mut self,
+        d: &mut Design,
+        target: CellClassId,
+        compiler: impl Into<AnyCompiler>,
+    ) -> Result<CompiledStructure, CompileError> {
+        let compiler = compiler.into();
+        let built = compiler.compile(d, target)?;
+        self.map.insert(target, compiler);
+        Ok(built)
+    }
+
+    /// The compiler assigned to a cell, if any.
+    pub fn layout_of(&self, class: CellClassId) -> Option<&AnyCompiler> {
+        self.map.get(&class)
+    }
+
+    /// Re-specifies a compiled cell's parameters and regenerates its
+    /// structure (old subcells and nets are cleared first; the interface
+    /// persists).
+    ///
+    /// # Errors
+    ///
+    /// See [`CompileError`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell has no assigned compiler.
+    pub fn regenerate(
+        &mut self,
+        d: &mut Design,
+        target: CellClassId,
+        compiler: impl Into<AnyCompiler>,
+    ) -> Result<CompiledStructure, CompileError> {
+        assert!(
+            self.map.contains_key(&target),
+            "cell has no structureLayout; use assign first"
+        );
+        clear_structure(d, target);
+        let compiler = compiler.into();
+        let built = compiler.compile(d, target)?;
+        self.map.insert(target, compiler);
+        Ok(built)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stem_design::SignalDir;
+    use stem_geom::{Point, Rect};
+
+    fn slice(d: &mut Design) -> CellClassId {
+        let c = d.define_class("SLICE");
+        d.add_signal(c, "w", SignalDir::Input);
+        d.add_signal(c, "e", SignalDir::Output);
+        d.set_class_bounding_box(c, Rect::with_extent(Point::ORIGIN, 10, 10))
+            .unwrap();
+        d.set_signal_pin(c, "w", Point::new(0, 5));
+        d.set_signal_pin(c, "e", Point::new(10, 5));
+        c
+    }
+
+    #[test]
+    fn assign_then_regenerate_with_new_parameters() {
+        let mut d = Design::new();
+        let s = slice(&mut d);
+        let row = d.define_class("ROW");
+        let mut layouts = StructureLayouts::new();
+        let built = layouts
+            .assign(&mut d, row, VectorCompiler::new(s, 3))
+            .unwrap();
+        assert_eq!(built.instances.len(), 3);
+        assert!(matches!(layouts.layout_of(row), Some(AnyCompiler::Vector(_))));
+
+        let built = layouts
+            .regenerate(&mut d, row, VectorCompiler::new(s, 6))
+            .unwrap();
+        assert_eq!(built.instances.len(), 6);
+        assert_eq!(d.class_bounding_box(row).unwrap().width(), 60);
+    }
+
+    #[test]
+    #[should_panic(expected = "no structureLayout")]
+    fn regenerate_requires_assignment() {
+        let mut d = Design::new();
+        let s = slice(&mut d);
+        let row = d.define_class("ROW");
+        let mut layouts = StructureLayouts::new();
+        let _ = layouts.regenerate(&mut d, row, VectorCompiler::new(s, 2));
+    }
+
+    #[test]
+    fn matrix_layout_roundtrip() {
+        let mut d = Design::new();
+        let tile = d.define_class("TILE");
+        d.add_signal(tile, "n", SignalDir::InOut);
+        d.add_signal(tile, "s", SignalDir::InOut);
+        d.set_class_bounding_box(tile, Rect::with_extent(Point::ORIGIN, 10, 10))
+            .unwrap();
+        d.set_signal_pin(tile, "n", Point::new(5, 10));
+        d.set_signal_pin(tile, "s", Point::new(5, 0));
+        let arr = d.define_class("ARR");
+        let mut layouts = StructureLayouts::new();
+        layouts
+            .assign(&mut d, arr, MatrixCompiler::new(tile, 2, 3))
+            .unwrap();
+        let built = layouts
+            .regenerate(&mut d, arr, MatrixCompiler::new(tile, 3, 3))
+            .unwrap();
+        assert_eq!(built.instances.len(), 9);
+    }
+}

@@ -1,0 +1,41 @@
+//! # stem-compilers — tile-based module compilers (thesis §6.4.1)
+//!
+//! Module compilers "generate a compiled cell's internal structure based
+//! on the placement, orientation and size parameters specified in the
+//! compilers", treating subcells as black boxes seen through
+//! [`CompilerView`]s (bounding box + sorted border pins only, lazily
+//! recalculated). Butting io-pins establish connections between their
+//! respective signals; remaining boundary pins export as io-signals of the
+//! compiled cell.
+//!
+//! ```
+//! use stem_compilers::VectorCompiler;
+//! use stem_design::{Design, SignalDir};
+//! use stem_geom::{Point, Rect};
+//!
+//! let mut d = Design::new();
+//! let slice = d.define_class("SLICE");
+//! d.add_signal(slice, "w", SignalDir::Input);
+//! d.add_signal(slice, "e", SignalDir::Output);
+//! d.set_class_bounding_box(slice, Rect::with_extent(Point::ORIGIN, 10, 6)).unwrap();
+//! d.set_signal_pin(slice, "w", Point::new(0, 3));
+//! d.set_signal_pin(slice, "e", Point::new(10, 3));
+//!
+//! let row = d.define_class("ROW");
+//! let built = VectorCompiler::new(slice, 4).compile(&mut d, row).unwrap();
+//! assert_eq!(built.instances.len(), 4);
+//! assert_eq!(built.nets.len(), 3 + 2, "3 butting nets + 2 exported ends");
+//! ```
+
+
+#![warn(missing_docs)]
+mod compile;
+mod layout;
+mod view;
+
+pub use compile::{
+    clear_structure, CompileError, CompiledStructure, GraphCompiler, GrowDirection,
+    MatrixCompiler, Placement, VectorCompiler, WordCompiler,
+};
+pub use layout::{AnyCompiler, StructureLayouts};
+pub use view::{CompilerView, SidePins, ViewData};

@@ -1,0 +1,179 @@
+//! The `CompilerView` of thesis §6.4.1: a calculated view interfacing the
+//! module compilers to database cells.
+//!
+//! "Only the bounding box and the io-pins of a subcell are visible through
+//! its compiler view. Moreover, the compiler views organize the io-pins of
+//! their models in four lists (top, bottom, left and right), sorted
+//! according to their locations … Data in views are erased whenever their
+//! models change, and recalculation is triggered the next time the
+//! compilation routines access the views for data."
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use stem_design::{CellClassId, ChangeKey, Design, ViewHandle};
+use stem_geom::{Point, Rect, Side};
+
+/// Io-pins of a cell grouped by bounding-box side, sorted by increasing
+/// coordinate along the side.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SidePins {
+    /// Pins on the top edge, sorted by x.
+    pub top: Vec<(String, Point)>,
+    /// Pins on the bottom edge, sorted by x.
+    pub bottom: Vec<(String, Point)>,
+    /// Pins on the left edge, sorted by y.
+    pub left: Vec<(String, Point)>,
+    /// Pins on the right edge, sorted by y.
+    pub right: Vec<(String, Point)>,
+}
+
+/// Cached view data: class bounding box plus sorted pins.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViewData {
+    /// The class bounding box.
+    pub bbox: Rect,
+    /// Border pins by side.
+    pub pins: SidePins,
+}
+
+/// A lazily recalculated compiler view over one cell class.
+///
+/// Erasure is driven by the design's `#changed:key` broadcast; pure
+/// [`ChangeKey::Values`] changes do not erase (the geometry is unchanged).
+#[derive(Debug)]
+pub struct CompilerView {
+    model: CellClassId,
+    cache: Rc<RefCell<Option<ViewData>>>,
+    recalcs: Rc<Cell<usize>>,
+    handle: ViewHandle,
+}
+
+impl CompilerView {
+    /// Creates a view over `model`, registering its erasure callback.
+    pub fn new(d: &mut Design, model: CellClassId) -> Self {
+        let cache: Rc<RefCell<Option<ViewData>>> = Rc::new(RefCell::new(None));
+        let cache2 = cache.clone();
+        let handle = d.register_view(model, move |key| {
+            if key != ChangeKey::Values {
+                *cache2.borrow_mut() = None;
+            }
+        });
+        CompilerView {
+            model,
+            cache,
+            recalcs: Rc::new(Cell::new(0)),
+            handle,
+        }
+    }
+
+    /// The model class.
+    pub fn model(&self) -> CellClassId {
+        self.model
+    }
+
+    /// How many times the view data has been recalculated (for the lazy
+    /// consistency experiments, DESIGN.md E13).
+    pub fn recalc_count(&self) -> usize {
+        self.recalcs.get()
+    }
+
+    /// Unregisters the view's erasure callback.
+    pub fn release(&self, d: &mut Design) {
+        d.unregister_view(self.handle);
+    }
+
+    /// The view data, recalculating if erased. Returns `None` when the
+    /// model has no bounding box yet.
+    pub fn data(&self, d: &mut Design) -> Option<ViewData> {
+        if let Some(data) = self.cache.borrow().clone() {
+            return Some(data);
+        }
+        let bbox = d.class_bounding_box(self.model)?;
+        let mut pins = SidePins::default();
+        for s in d.signals(self.model).to_vec() {
+            let Some(p) = s.pin else { continue };
+            match Side::of(bbox, p) {
+                Some(Side::Top) => pins.top.push((s.name.clone(), p)),
+                Some(Side::Bottom) => pins.bottom.push((s.name.clone(), p)),
+                Some(Side::Left) => pins.left.push((s.name.clone(), p)),
+                Some(Side::Right) => pins.right.push((s.name.clone(), p)),
+                None => {}
+            }
+        }
+        pins.top.sort_by_key(|(_, p)| p.x);
+        pins.bottom.sort_by_key(|(_, p)| p.x);
+        pins.left.sort_by_key(|(_, p)| p.y);
+        pins.right.sort_by_key(|(_, p)| p.y);
+        let data = ViewData { bbox, pins };
+        *self.cache.borrow_mut() = Some(data.clone());
+        self.recalcs.set(self.recalcs.get() + 1);
+        Some(data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stem_design::SignalDir;
+
+    fn model() -> (Design, CellClassId) {
+        let mut d = Design::new();
+        let c = d.define_class("SLICE");
+        d.add_signal(c, "w", SignalDir::Input);
+        d.add_signal(c, "e", SignalDir::Output);
+        d.add_signal(c, "n", SignalDir::Input);
+        d.set_class_bounding_box(c, Rect::with_extent(Point::ORIGIN, 10, 6))
+            .unwrap();
+        d.set_signal_pin(c, "w", Point::new(0, 3));
+        d.set_signal_pin(c, "e", Point::new(10, 3));
+        d.set_signal_pin(c, "n", Point::new(5, 6));
+        (d, c)
+    }
+
+    #[test]
+    fn sorts_pins_by_side() {
+        let (mut d, c) = model();
+        let v = CompilerView::new(&mut d, c);
+        let data = v.data(&mut d).unwrap();
+        assert_eq!(data.pins.left, vec![("w".to_string(), Point::new(0, 3))]);
+        assert_eq!(data.pins.right, vec![("e".to_string(), Point::new(10, 3))]);
+        assert_eq!(data.pins.top, vec![("n".to_string(), Point::new(5, 6))]);
+        assert!(data.pins.bottom.is_empty());
+    }
+
+    #[test]
+    fn caches_until_model_changes() {
+        let (mut d, c) = model();
+        let v = CompilerView::new(&mut d, c);
+        v.data(&mut d).unwrap();
+        v.data(&mut d).unwrap();
+        assert_eq!(v.recalc_count(), 1, "second read served from cache");
+
+        d.notify_changed(c, ChangeKey::Layout);
+        v.data(&mut d).unwrap();
+        assert_eq!(v.recalc_count(), 2, "erased and recalculated");
+    }
+
+    #[test]
+    fn value_changes_do_not_erase() {
+        let (mut d, c) = model();
+        let v = CompilerView::new(&mut d, c);
+        v.data(&mut d).unwrap();
+        d.notify_changed(c, ChangeKey::Values);
+        v.data(&mut d).unwrap();
+        assert_eq!(v.recalc_count(), 1);
+    }
+
+    #[test]
+    fn released_view_stops_erasing() {
+        let (mut d, c) = model();
+        let v = CompilerView::new(&mut d, c);
+        v.data(&mut d).unwrap();
+        v.release(&mut d);
+        d.notify_changed(c, ChangeKey::Layout);
+        // Cache still warm because the callback is gone.
+        v.data(&mut d).unwrap();
+        assert_eq!(v.recalc_count(), 1);
+    }
+}

@@ -1,0 +1,296 @@
+//! E13 — thesis Fig. 6.2: building a 5-bit adder from 2-bit slices with a
+//! GraphCompiler, plus the other compilers and the lazy-view behaviour.
+
+use stem_compilers::{
+    CompileError, GraphCompiler, GrowDirection, MatrixCompiler, VectorCompiler, WordCompiler,
+};
+use stem_design::{CellClassId, Design, SignalDir};
+use stem_geom::{Point, Rect, Transform};
+
+/// A 2-bit adder slice: carry in on the left, carry out on the right,
+/// operand/sum pins on top/bottom.
+fn adder_slice2(d: &mut Design, name: &str) -> CellClassId {
+    let c = d.define_class(name);
+    d.add_signal(c, "cin", SignalDir::Input);
+    d.add_signal(c, "cout", SignalDir::Output);
+    for i in 0..2 {
+        d.add_signal(c, format!("a{i}"), SignalDir::Input);
+        d.add_signal(c, format!("b{i}"), SignalDir::Input);
+        d.add_signal(c, format!("s{i}"), SignalDir::Output);
+    }
+    d.set_class_bounding_box(c, Rect::with_extent(Point::ORIGIN, 20, 10))
+        .unwrap();
+    d.set_signal_pin(c, "cin", Point::new(0, 5));
+    d.set_signal_pin(c, "cout", Point::new(20, 5));
+    for i in 0..2i64 {
+        d.set_signal_pin(c, &format!("a{i}"), Point::new(3 + 10 * i, 10));
+        d.set_signal_pin(c, &format!("b{i}"), Point::new(7 + 10 * i, 10));
+        d.set_signal_pin(c, &format!("s{i}"), Point::new(5 + 10 * i, 0));
+    }
+    c
+}
+
+/// A 1-bit adder slice with the same pitch.
+fn adder_slice1(d: &mut Design, name: &str) -> CellClassId {
+    let c = d.define_class(name);
+    d.add_signal(c, "cin", SignalDir::Input);
+    d.add_signal(c, "cout", SignalDir::Output);
+    d.add_signal(c, "a0", SignalDir::Input);
+    d.add_signal(c, "b0", SignalDir::Input);
+    d.add_signal(c, "s0", SignalDir::Output);
+    d.set_class_bounding_box(c, Rect::with_extent(Point::ORIGIN, 10, 10))
+        .unwrap();
+    d.set_signal_pin(c, "cin", Point::new(0, 5));
+    d.set_signal_pin(c, "cout", Point::new(10, 5));
+    d.set_signal_pin(c, "a0", Point::new(3, 10));
+    d.set_signal_pin(c, "b0", Point::new(7, 10));
+    d.set_signal_pin(c, "s0", Point::new(5, 0));
+    c
+}
+
+/// Fig. 6.2: a 5-bit adder built from two 2-bit slices plus a 1-bit slice;
+/// butting carry pins chain automatically, everything else exports.
+#[test]
+fn fig6_2_five_bit_adder_with_graph_compiler() {
+    let mut d = Design::new();
+    let s2 = adder_slice2(&mut d, "SLICE2");
+    let s1 = adder_slice1(&mut d, "SLICE1");
+    let adder5 = d.define_class("ADDER5");
+
+    let mut g = GraphCompiler::new();
+    g.place(s2, "lo", Transform::IDENTITY)
+        .place(s2, "mid", Transform::translation(Point::new(20, 0)))
+        .place(s1, "hi", Transform::translation(Point::new(40, 0)));
+    let built = g.compile(&mut d, adder5).unwrap();
+
+    assert_eq!(built.instances.len(), 3);
+    assert_eq!(d.class_bounding_box(adder5), Some(Rect::with_extent(Point::ORIGIN, 50, 10)));
+
+    // Two internal carry nets: lo.cout↔mid.cin and mid.cout↔hi.cin.
+    let butt_nets: Vec<_> = built
+        .nets
+        .iter()
+        .filter(|&&n| d.net_name(n).starts_with("butt"))
+        .collect();
+    assert_eq!(butt_nets.len(), 2);
+
+    // Exports: 5×(a,b,s) + cin + cout = 17 io-signals.
+    assert_eq!(built.exported.len(), 17);
+    assert!(built.exported.contains(&"lo_cin".to_string()));
+    assert!(built.exported.contains(&"hi_cout".to_string()));
+    assert!(built.exported.contains(&"mid_s1".to_string()));
+    assert_eq!(d.signals(adder5).len(), 17);
+}
+
+#[test]
+fn disallowed_pins_are_withdrawn() {
+    let mut d = Design::new();
+    let s2 = adder_slice2(&mut d, "SLICE2");
+    let top = d.define_class("TOP");
+    let mut g = GraphCompiler::new();
+    g.place(s2, "only", Transform::IDENTITY);
+    g.disallow("only", "cin").disallow("only", "cout");
+    let built = g.compile(&mut d, top).unwrap();
+    // Carries not exported ("withdraws the non-connecting io-pins from
+    // the boundary").
+    assert!(!built.exported.iter().any(|e| e.contains("cin")));
+    assert!(!built.exported.iter().any(|e| e.contains("cout")));
+    assert_eq!(built.exported.len(), 6);
+}
+
+#[test]
+fn explicit_connection_groups() {
+    let mut d = Design::new();
+    let s1 = adder_slice1(&mut d, "SLICE1");
+    let top = d.define_class("TOP");
+    let mut g = GraphCompiler::new();
+    // Two slices far apart (no butting); wire carry explicitly.
+    g.place(s1, "a", Transform::IDENTITY)
+        .place(s1, "b", Transform::translation(Point::new(100, 0)));
+    g.connect_group(&[("a", "cout"), ("b", "cin")]);
+    let built = g.compile(&mut d, top).unwrap();
+    let conn = built
+        .nets
+        .iter()
+        .find(|&&n| d.net_name(n).starts_with("conn"))
+        .copied()
+        .unwrap();
+    assert_eq!(d.net_connections(conn).len(), 2);
+    // The explicitly wired pins are not exported.
+    assert!(!built.exported.contains(&"a_cout".to_string()));
+    assert!(!built.exported.contains(&"b_cin".to_string()));
+}
+
+#[test]
+fn vector_compiler_chains_carries() {
+    let mut d = Design::new();
+    let s1 = adder_slice1(&mut d, "SLICE1");
+    let row = d.define_class("ROW8");
+    let built = VectorCompiler::new(s1, 8).compile(&mut d, row).unwrap();
+    assert_eq!(built.instances.len(), 8);
+    let butt = built
+        .nets
+        .iter()
+        .filter(|&&n| d.net_name(n).starts_with("butt"))
+        .count();
+    assert_eq!(butt, 7, "seven internal carry nets");
+    assert_eq!(d.class_bounding_box(row).unwrap().width(), 80);
+}
+
+#[test]
+fn vector_compiler_grows_up() {
+    let mut d = Design::new();
+    let s1 = adder_slice1(&mut d, "SLICE1");
+    let col = d.define_class("COL");
+    let mut v = VectorCompiler::new(s1, 3);
+    v.direction = GrowDirection::Up;
+    let built = v.compile(&mut d, col).unwrap();
+    assert_eq!(built.instances.len(), 3);
+    assert_eq!(d.class_bounding_box(col).unwrap().height(), 30);
+}
+
+#[test]
+fn word_compiler_uses_end_cells() {
+    let mut d = Design::new();
+    // End cells terminate the carry chain.
+    let lend = d.define_class("LEND");
+    d.add_signal(lend, "cout", SignalDir::Output);
+    d.set_class_bounding_box(lend, Rect::with_extent(Point::ORIGIN, 4, 10))
+        .unwrap();
+    d.set_signal_pin(lend, "cout", Point::new(4, 5));
+    let rend = d.define_class("REND");
+    d.add_signal(rend, "cin", SignalDir::Input);
+    d.set_class_bounding_box(rend, Rect::with_extent(Point::ORIGIN, 4, 10))
+        .unwrap();
+    d.set_signal_pin(rend, "cin", Point::new(0, 5));
+    let s1 = adder_slice1(&mut d, "SLICE1");
+
+    let word = d.define_class("WORD4");
+    let built = WordCompiler::new(lend, s1, rend, 4)
+        .compile(&mut d, word)
+        .unwrap();
+    assert_eq!(built.instances.len(), 6);
+    // No carry pins remain on the boundary.
+    assert!(!built.exported.iter().any(|e| e.contains("cin") || e.contains("cout")));
+    assert_eq!(d.class_bounding_box(word).unwrap().width(), 4 + 40 + 4);
+}
+
+#[test]
+fn matrix_compiler_tiles_2d() {
+    let mut d = Design::new();
+    // A tile with north/south and east/west feedthroughs.
+    let tile = d.define_class("TILE");
+    d.add_signal(tile, "n", SignalDir::InOut);
+    d.add_signal(tile, "s", SignalDir::InOut);
+    d.add_signal(tile, "e", SignalDir::InOut);
+    d.add_signal(tile, "w", SignalDir::InOut);
+    d.set_class_bounding_box(tile, Rect::with_extent(Point::ORIGIN, 10, 10))
+        .unwrap();
+    d.set_signal_pin(tile, "n", Point::new(5, 10));
+    d.set_signal_pin(tile, "s", Point::new(5, 0));
+    d.set_signal_pin(tile, "e", Point::new(10, 5));
+    d.set_signal_pin(tile, "w", Point::new(0, 5));
+
+    let arr = d.define_class("ARR");
+    let built = MatrixCompiler::new(tile, 3, 4).compile(&mut d, arr).unwrap();
+    assert_eq!(built.instances.len(), 12);
+    let butt = built
+        .nets
+        .iter()
+        .filter(|&&n| d.net_name(n).starts_with("butt"))
+        .count();
+    // Internal seams: 3 rows × 3 vertical seams + 2 horizontal seams × 4.
+    assert_eq!(butt, 3 * 3 + 2 * 4);
+    assert_eq!(
+        d.class_bounding_box(arr),
+        Some(Rect::with_extent(Point::ORIGIN, 40, 30))
+    );
+    // Boundary pins exported: 4 top + 4 bottom + 3 left + 3 right.
+    assert_eq!(built.exported.len(), 14);
+}
+
+#[test]
+fn missing_bbox_is_reported() {
+    let mut d = Design::new();
+    let c = d.define_class("NOBOX");
+    let t = d.define_class("T");
+    let err = VectorCompiler::new(c, 2).compile(&mut d, t).unwrap_err();
+    assert!(matches!(err, CompileError::MissingBoundingBox(_)));
+}
+
+#[test]
+fn unknown_instance_in_group_is_reported() {
+    let mut d = Design::new();
+    let s1 = adder_slice1(&mut d, "SLICE1");
+    let t = d.define_class("T");
+    let mut g = GraphCompiler::new();
+    g.place(s1, "a", Transform::IDENTITY);
+    g.connect_group(&[("a", "cout"), ("ghost", "cin")]);
+    let err = g.compile(&mut d, t).unwrap_err();
+    assert!(matches!(err, CompileError::UnknownInstance(_)));
+}
+
+#[test]
+fn bit_widths_flow_through_compiled_structure() {
+    let mut d = Design::new();
+    let s1 = adder_slice1(&mut d, "SLICE1");
+    d.set_signal_bit_width(s1, "a0", 1).unwrap();
+    d.set_signal_bit_width(s1, "cin", 1).unwrap();
+    d.set_signal_bit_width(s1, "cout", 1).unwrap();
+    let row = d.define_class("ROW2");
+    let built = VectorCompiler::new(s1, 2).compile(&mut d, row).unwrap();
+    // Exported io-signal inherits the width through the net equality.
+    let exported_a = built
+        .exported
+        .iter()
+        .find(|e| e.ends_with("_a0"))
+        .unwrap()
+        .clone();
+    assert_eq!(d.signal_bit_width(row, &exported_a), Some(1));
+}
+
+/// §6.4.1: the compiler is the cell's structure generator — re-running it
+/// with different parameters regenerates the internal structure while the
+/// cell identity (and surviving io-signals) persist.
+#[test]
+fn parameterized_regeneration() {
+    let mut d = Design::new();
+    let s1 = adder_slice1(&mut d, "SLICE1");
+    let row = d.define_class("ROW");
+    let built4 = VectorCompiler::new(s1, 4).compile(&mut d, row).unwrap();
+    assert_eq!(built4.instances.len(), 4);
+    assert_eq!(d.class_bounding_box(row).unwrap().width(), 40);
+    let n_signals_4 = d.signals(row).len();
+
+    stem_compilers::clear_structure(&mut d, row);
+    assert!(d.subcells(row).is_empty());
+    assert!(d.nets_of(row).is_empty());
+
+    // Regenerate wider: same cell, new parameter.
+    let built8 = VectorCompiler::new(s1, 8).compile(&mut d, row).unwrap();
+    assert_eq!(built8.instances.len(), 8);
+    assert_eq!(d.class_bounding_box(row).unwrap().width(), 80);
+    // The shared end-pin signals were reused, new per-slice ones added.
+    assert!(d.signals(row).len() > n_signals_4);
+    // The regenerated structure is electrically sound: cin chain intact.
+    let butt = built8
+        .nets
+        .iter()
+        .filter(|&&n| d.net_name(n).starts_with("butt"))
+        .count();
+    assert_eq!(butt, 7);
+}
+
+/// Regeneration at the same parameters is idempotent in interface size.
+#[test]
+fn regeneration_is_interface_stable() {
+    let mut d = Design::new();
+    let s1 = adder_slice1(&mut d, "SLICE1");
+    let row = d.define_class("ROW");
+    VectorCompiler::new(s1, 4).compile(&mut d, row).unwrap();
+    let sig_names: Vec<String> = d.signals(row).iter().map(|s| s.name.clone()).collect();
+    stem_compilers::clear_structure(&mut d, row);
+    VectorCompiler::new(s1, 4).compile(&mut d, row).unwrap();
+    let again: Vec<String> = d.signals(row).iter().map(|s| s.name.clone()).collect();
+    assert_eq!(sig_names, again);
+}

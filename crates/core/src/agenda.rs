@@ -1,0 +1,245 @@
+use crate::ids::{ConstraintId, VarId};
+use std::collections::{HashSet, VecDeque};
+
+/// Name of the agenda functional constraints schedule on (thesis Fig. 4.7,
+/// `#functionalConstraints`).
+pub const FUNCTIONAL_AGENDA: &str = "functional";
+
+/// Name of the lowest-priority agenda implicit (hierarchical) constraints
+/// schedule on (thesis Fig. 5.3, `#implicitConstraints`). Its low priority
+/// makes propagation "tend to completely propagate constraint networks in
+/// one level of the hierarchy before propagating … another level" (§5.1.2).
+pub const IMPLICIT_AGENDA: &str = "implicit";
+
+/// Default priority of [`FUNCTIONAL_AGENDA`].
+pub const FUNCTIONAL_PRIORITY: i32 = 10;
+
+/// Default priority of [`IMPLICIT_AGENDA`].
+pub const IMPLICIT_PRIORITY: i32 = -10;
+
+type Entry = (ConstraintId, Option<VarId>);
+
+/// One agenda: a first-in-first-out queue without duplicate entries
+/// (thesis §4.2.1).
+#[derive(Debug)]
+struct Agenda {
+    name: &'static str,
+    priority: i32,
+    queue: VecDeque<Entry>,
+    members: HashSet<Entry>,
+}
+
+impl Agenda {
+    fn new(name: &'static str, priority: i32) -> Self {
+        Agenda {
+            name,
+            priority,
+            queue: VecDeque::new(),
+            members: HashSet::new(),
+        }
+    }
+
+    fn push(&mut self, entry: Entry) -> bool {
+        if self.members.insert(entry) {
+            self.queue.push_back(entry);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn pop(&mut self) -> Option<Entry> {
+        let entry = self.queue.pop_front()?;
+        self.members.remove(&entry);
+        Some(entry)
+    }
+}
+
+/// Multi-queue, fixed-priority scheduler for constraint propagation
+/// (thesis §4.2.1, Fig. 4.8).
+///
+/// Constraints scheduled in agendas are propagated one at a time, always
+/// from the highest-priority non-empty agenda. Two agendas exist by
+/// default: [`FUNCTIONAL_AGENDA`] and [`IMPLICIT_AGENDA`]; custom agendas
+/// may be declared with [`AgendaScheduler::define`] or spring into
+/// existence at priority 0 on first use.
+#[derive(Debug)]
+pub struct AgendaScheduler {
+    /// Kept sorted by priority, highest first.
+    agendas: Vec<Agenda>,
+}
+
+impl Default for AgendaScheduler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AgendaScheduler {
+    /// Creates a scheduler with the two default agendas.
+    pub fn new() -> Self {
+        let mut s = AgendaScheduler {
+            agendas: Vec::new(),
+        };
+        s.define(FUNCTIONAL_AGENDA, FUNCTIONAL_PRIORITY);
+        s.define(IMPLICIT_AGENDA, IMPLICIT_PRIORITY);
+        s
+    }
+
+    /// Declares (or re-prioritises) an agenda. Re-prioritising is only
+    /// allowed while the agenda is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics when changing the priority of a non-empty agenda.
+    pub fn define(&mut self, name: &'static str, priority: i32) {
+        if let Some(a) = self.agendas.iter_mut().find(|a| a.name == name) {
+            assert!(
+                a.queue.is_empty(),
+                "cannot re-prioritise non-empty agenda {name:?}"
+            );
+            a.priority = priority;
+        } else {
+            self.agendas.push(Agenda::new(name, priority));
+        }
+        self.agendas.sort_by_key(|a| std::cmp::Reverse(a.priority));
+    }
+
+    /// The priority of `name`, if declared.
+    pub fn priority(&self, name: &str) -> Option<i32> {
+        self.agendas
+            .iter()
+            .find(|a| a.name == name)
+            .map(|a| a.priority)
+    }
+
+    /// Schedules `(cid, var)` on agenda `name`, creating the agenda at
+    /// priority 0 if unknown. Returns `false` when the identical entry was
+    /// already queued (no duplicates, §4.2.1).
+    pub fn schedule(
+        &mut self,
+        name: &'static str,
+        cid: ConstraintId,
+        var: Option<VarId>,
+    ) -> bool {
+        if self.priority(name).is_none() {
+            self.define(name, 0);
+        }
+        self.agendas
+            .iter_mut()
+            .find(|a| a.name == name)
+            .expect("agenda just defined")
+            .push((cid, var))
+    }
+
+    /// Removes and returns the first entry of the highest-priority
+    /// non-empty agenda (`removeHighestPriorityScheduledEntry`, Fig. 4.8).
+    pub fn pop_highest(&mut self) -> Option<Entry> {
+        self.agendas.iter_mut().find_map(|a| a.pop())
+    }
+
+    /// Whether every agenda is empty.
+    pub fn is_empty(&self) -> bool {
+        self.agendas.iter().all(|a| a.queue.is_empty())
+    }
+
+    /// Total queued entries across agendas.
+    pub fn len(&self) -> usize {
+        self.agendas.iter().map(|a| a.queue.len()).sum()
+    }
+
+    /// Discards all queued entries (used when a cycle aborts).
+    pub fn clear(&mut self) {
+        for a in &mut self.agendas {
+            a.queue.clear();
+            a.members.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(i: u32) -> ConstraintId {
+        ConstraintId(i)
+    }
+
+    fn v(i: u32) -> VarId {
+        VarId(i)
+    }
+
+    #[test]
+    fn fifo_within_an_agenda() {
+        let mut s = AgendaScheduler::new();
+        s.schedule(FUNCTIONAL_AGENDA, c(1), None);
+        s.schedule(FUNCTIONAL_AGENDA, c(2), None);
+        assert_eq!(s.pop_highest(), Some((c(1), None)));
+        assert_eq!(s.pop_highest(), Some((c(2), None)));
+        assert_eq!(s.pop_highest(), None);
+    }
+
+    #[test]
+    fn no_duplicate_entries() {
+        let mut s = AgendaScheduler::new();
+        assert!(s.schedule(FUNCTIONAL_AGENDA, c(1), None));
+        assert!(!s.schedule(FUNCTIONAL_AGENDA, c(1), None));
+        // Distinct variable component is a distinct entry.
+        assert!(s.schedule(FUNCTIONAL_AGENDA, c(1), Some(v(2))));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn priority_ordering_across_agendas() {
+        let mut s = AgendaScheduler::new();
+        s.schedule(IMPLICIT_AGENDA, c(9), Some(v(1)));
+        s.schedule(FUNCTIONAL_AGENDA, c(1), None);
+        // Functional has higher priority than implicit.
+        assert_eq!(s.pop_highest(), Some((c(1), None)));
+        assert_eq!(s.pop_highest(), Some((c(9), Some(v(1)))));
+    }
+
+    #[test]
+    fn custom_agenda_auto_defined_at_zero() {
+        let mut s = AgendaScheduler::new();
+        s.schedule("custom", c(5), None);
+        assert_eq!(s.priority("custom"), Some(0));
+        // priority 0 beats implicit (-10), loses to functional (10)
+        s.schedule(IMPLICIT_AGENDA, c(7), None);
+        s.schedule(FUNCTIONAL_AGENDA, c(6), None);
+        assert_eq!(s.pop_highest().unwrap().0, c(6));
+        assert_eq!(s.pop_highest().unwrap().0, c(5));
+        assert_eq!(s.pop_highest().unwrap().0, c(7));
+    }
+
+    #[test]
+    fn redefine_empty_agenda_priority() {
+        let mut s = AgendaScheduler::new();
+        s.define("custom", 99);
+        assert_eq!(s.priority("custom"), Some(99));
+        s.schedule("custom", c(1), None);
+        s.schedule(FUNCTIONAL_AGENDA, c(2), None);
+        assert_eq!(s.pop_highest().unwrap().0, c(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty agenda")]
+    fn cannot_reprioritise_nonempty() {
+        let mut s = AgendaScheduler::new();
+        s.schedule(FUNCTIONAL_AGENDA, c(1), None);
+        s.define(FUNCTIONAL_AGENDA, 3);
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let mut s = AgendaScheduler::new();
+        s.schedule(FUNCTIONAL_AGENDA, c(1), None);
+        s.schedule(IMPLICIT_AGENDA, c(2), Some(v(3)));
+        assert!(!s.is_empty());
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        // After clear, previously queued entries can be scheduled again.
+        assert!(s.schedule(FUNCTIONAL_AGENDA, c(1), None));
+    }
+}

@@ -1,0 +1,79 @@
+use std::fmt;
+
+/// Handle to a variable object in a [`Network`](crate::Network).
+///
+/// The thesis identifies a variable uniquely by its parent object plus field
+/// name (§4.1.1); in the arena representation the handle is the identity and
+/// the parent/name pair is carried as metadata for display.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub(crate) u32);
+
+impl VarId {
+    /// The arena index of this variable.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Handle to a constraint object in a [`Network`](crate::Network).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ConstraintId(pub(crate) u32);
+
+impl ConstraintId {
+    /// The arena index of this constraint.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ConstraintId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Either node kind of a constraint network, used by dependency analysis
+/// reports (thesis Fig. 4.11 collects both variables and constraints into
+/// the antecedent set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Entity {
+    /// A variable node.
+    Var(VarId),
+    /// A constraint edge.
+    Constraint(ConstraintId),
+}
+
+impl fmt::Display for Entity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Entity::Var(v) => write!(f, "{v}"),
+            Entity::Constraint(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(VarId(3).to_string(), "v3");
+        assert_eq!(ConstraintId(7).to_string(), "c7");
+        assert_eq!(Entity::Var(VarId(3)).to_string(), "v3");
+        assert_eq!(Entity::Constraint(ConstraintId(7)).to_string(), "c7");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(VarId(1) < VarId(2));
+        assert_eq!(VarId(4).index(), 4);
+        assert_eq!(ConstraintId(9).index(), 9);
+    }
+}

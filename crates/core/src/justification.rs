@@ -1,0 +1,181 @@
+use crate::ids::{ConstraintId, VarId};
+use std::fmt;
+
+/// Why a variable holds its current value — the `lastSetBy` field of thesis
+/// §4.2.4.
+///
+/// A justification is either a symbol naming a source external to the
+/// constraint networks (`User`, `Application`, …) or, for propagated values,
+/// the source constraint plus a [`DependencyRecord`] that the constraint can
+/// later interpret during dependency analysis.
+///
+/// The default overwrite rule: user-specified values have priority over
+/// propagated and calculated values; variable kinds may refine this (e.g.
+/// signal-type variables use the least-abstract rule of Fig. 7.4).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Justification {
+    /// The variable has never been assigned (or was erased to `Nil`).
+    #[default]
+    Unset,
+    /// Assigned directly by the designer (`#USER`). Protected from being
+    /// overwritten by propagation under the default rule.
+    User,
+    /// Calculated by an application program (`#APPLICATION`).
+    Application,
+    /// Erased/refreshed by consistency maintenance (`#UPDATE`, Fig. 7.8).
+    Update,
+    /// Tentatively assigned by a validity probe (`#TENTATIVE`, Fig. 8.2);
+    /// always rolled back.
+    Tentative,
+    /// A default value inherited from a class definition.
+    DefaultValue,
+    /// Propagated by a constraint during constraint propagation.
+    Propagated {
+        /// The source constraint that assigned the value.
+        constraint: ConstraintId,
+        /// Data letting the source constraint trace the variable values
+        /// responsible for this one.
+        record: DependencyRecord,
+    },
+}
+
+impl Justification {
+    /// Whether the value came from constraint propagation.
+    pub fn is_propagated(&self) -> bool {
+        matches!(self, Justification::Propagated { .. })
+    }
+
+    /// Whether the value was directly entered by the user.
+    pub fn is_user(&self) -> bool {
+        matches!(self, Justification::User)
+    }
+
+    /// The source constraint for propagated values.
+    pub fn source_constraint(&self) -> Option<ConstraintId> {
+        match self {
+            Justification::Propagated { constraint, .. } => Some(*constraint),
+            _ => None,
+        }
+    }
+
+    /// The dependency record for propagated values.
+    pub fn record(&self) -> Option<&DependencyRecord> {
+        match self {
+            Justification::Propagated { record, .. } => Some(record),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Justification {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Justification::Unset => write!(f, "#UNSET"),
+            Justification::User => write!(f, "#USER"),
+            Justification::Application => write!(f, "#APPLICATION"),
+            Justification::Update => write!(f, "#UPDATE"),
+            Justification::Tentative => write!(f, "#TENTATIVE"),
+            Justification::DefaultValue => write!(f, "#DEFAULT"),
+            Justification::Propagated { constraint, record } => {
+                write!(f, "{constraint} via {record}")
+            }
+        }
+    }
+}
+
+/// Dependency data attached to a propagated value (thesis §4.2.4).
+///
+/// "Since dependency records are only interpreted by the constraints that
+/// formulate them, they vary greatly among different types of constraints" —
+/// the enum covers the shapes used by the built-in kinds, plus an opaque
+/// word for custom kinds, which must then override
+/// [`ConstraintKind::depends_on`](crate::ConstraintKind::depends_on).
+#[derive(Debug, Clone, PartialEq)]
+pub enum DependencyRecord {
+    /// Depends on every argument of the source constraint (the null record
+    /// of functional constraints).
+    All,
+    /// Depends on the single variable that activated the constraint (the
+    /// record of equality constraints).
+    Single(VarId),
+    /// Depends on an explicit set of variables.
+    Vars(Vec<VarId>),
+    /// Custom data interpreted only by the originating constraint kind.
+    Opaque(u64),
+}
+
+impl fmt::Display for DependencyRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DependencyRecord::All => write!(f, "all-args"),
+            DependencyRecord::Single(v) => write!(f, "{v}"),
+            DependencyRecord::Vars(vs) => {
+                write!(f, "{{")?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "}}")
+            }
+            DependencyRecord::Opaque(x) => write!(f, "opaque({x})"),
+        }
+    }
+}
+
+impl DependencyRecord {
+    /// Default membership interpretation, shared by the built-in kinds:
+    /// does a value carrying this record depend on `arg`?
+    pub fn default_membership(&self, arg: VarId) -> bool {
+        match self {
+            DependencyRecord::All => true,
+            DependencyRecord::Single(v) => *v == arg,
+            DependencyRecord::Vars(vs) => vs.contains(&arg),
+            DependencyRecord::Opaque(_) => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let j = Justification::Propagated {
+            constraint: ConstraintId(2),
+            record: DependencyRecord::Single(VarId(5)),
+        };
+        assert!(j.is_propagated());
+        assert!(!j.is_user());
+        assert_eq!(j.source_constraint(), Some(ConstraintId(2)));
+        assert_eq!(j.record(), Some(&DependencyRecord::Single(VarId(5))));
+        assert!(Justification::User.is_user());
+        assert_eq!(Justification::User.source_constraint(), None);
+    }
+
+    #[test]
+    fn membership_defaults() {
+        assert!(DependencyRecord::All.default_membership(VarId(1)));
+        assert!(DependencyRecord::Single(VarId(1)).default_membership(VarId(1)));
+        assert!(!DependencyRecord::Single(VarId(1)).default_membership(VarId(2)));
+        assert!(DependencyRecord::Vars(vec![VarId(1), VarId(3)]).default_membership(VarId(3)));
+        assert!(!DependencyRecord::Vars(vec![]).default_membership(VarId(3)));
+        assert!(DependencyRecord::Opaque(9).default_membership(VarId(3)));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Justification::User.to_string(), "#USER");
+        let j = Justification::Propagated {
+            constraint: ConstraintId(2),
+            record: DependencyRecord::All,
+        };
+        assert_eq!(j.to_string(), "c2 via all-args");
+        assert_eq!(
+            DependencyRecord::Vars(vec![VarId(1), VarId(2)]).to_string(),
+            "{v1 v2}"
+        );
+    }
+}

@@ -1,0 +1,177 @@
+use crate::constraint::ConstraintKind;
+use crate::ids::{ConstraintId, VarId};
+use crate::justification::DependencyRecord;
+use crate::network::Network;
+use crate::value::Value;
+use crate::violation::Violation;
+
+/// The equality constraint of thesis Fig. 4.4: all arguments must hold the
+/// same value; inference sets every other argument to the changed
+/// variable's value.
+///
+/// Propagation is immediate (first-come-first-served) because the direction
+/// depends on which variable changed (§4.2.1). `Nil` is treated as "no
+/// value": a `Nil` change propagates nothing and `is_satisfied` compares
+/// only non-`Nil` arguments.
+///
+/// ```
+/// use stem_core::{Network, Value, Justification};
+/// use stem_core::kinds::Equality;
+///
+/// let mut net = Network::new();
+/// let a = net.add_variable("a");
+/// let b = net.add_variable("b");
+/// let c = net.add_variable("c");
+/// net.add_constraint(Equality::new(), [a, b, c]).unwrap();
+/// net.set(b, Value::Int(4), Justification::User).unwrap();
+/// assert_eq!(net.value(a), &Value::Int(4));
+/// assert_eq!(net.value(c), &Value::Int(4));
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Equality;
+
+impl Equality {
+    /// Creates an equality constraint kind.
+    pub fn new() -> Self {
+        Equality
+    }
+}
+
+impl ConstraintKind for Equality {
+    fn kind_name(&self) -> &str {
+        "equality"
+    }
+
+    fn infer(
+        &self,
+        net: &mut Network,
+        cid: ConstraintId,
+        changed: Option<VarId>,
+    ) -> Result<(), Violation> {
+        // Without a changed variable (re-initialisation), the precedence
+        // ordering of Fig. 4.13 dispatches per-argument, so nothing to do.
+        let Some(source) = changed else {
+            return Ok(());
+        };
+        let new_value = net.value(source).clone();
+        if new_value.is_nil() {
+            return Ok(());
+        }
+        for arg in net.args(cid).to_vec() {
+            if arg != source {
+                net.propagate_set(
+                    arg,
+                    new_value.clone(),
+                    cid,
+                    DependencyRecord::Single(source),
+                )?;
+            }
+        }
+        Ok(())
+    }
+
+    fn is_satisfied(&self, net: &Network, cid: ConstraintId) -> bool {
+        let mut seen: Option<&Value> = None;
+        for &arg in net.args(cid) {
+            let v = net.value(arg);
+            if v.is_nil() {
+                continue;
+            }
+            match seen {
+                None => seen = Some(v),
+                Some(first) => {
+                    if first != v {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Justification;
+
+    #[test]
+    fn propagates_to_all_arguments() {
+        let mut net = Network::new();
+        let vs: Vec<_> = (0..5).map(|i| net.add_variable(format!("v{i}"))).collect();
+        net.add_constraint(Equality::new(), vs.clone()).unwrap();
+        net.set(vs[2], Value::Int(7), Justification::User).unwrap();
+        for &v in &vs {
+            assert_eq!(net.value(v), &Value::Int(7));
+        }
+    }
+
+    #[test]
+    fn nil_change_propagates_nothing() {
+        let mut net = Network::new();
+        let a = net.add_variable("a");
+        let b = net.add_variable("b");
+        net.add_constraint(Equality::new(), [a, b]).unwrap();
+        net.set(b, Value::Int(3), Justification::Application)
+            .unwrap();
+        net.set(a, Value::Nil, Justification::Application).unwrap();
+        // b keeps its value; the constraint is (vacuously) satisfied.
+        assert_eq!(net.value(b), &Value::Int(3));
+    }
+
+    #[test]
+    fn satisfied_ignores_nil_arguments() {
+        let mut net = Network::new();
+        let a = net.add_variable("a");
+        let b = net.add_variable("b");
+        let c = net.add_variable("c");
+        let cid = net.add_constraint_quiet(Equality::new(), [a, b, c]);
+        assert!(net.is_satisfied(cid));
+        net.set_propagation_enabled(false);
+        net.set(a, Value::Int(1), Justification::User).unwrap();
+        assert!(net.is_satisfied(cid));
+        net.set(c, Value::Int(2), Justification::User).unwrap();
+        assert!(!net.is_satisfied(cid));
+        net.set(c, Value::Int(1), Justification::User).unwrap();
+        assert!(net.is_satisfied(cid));
+    }
+
+    #[test]
+    fn conflicting_user_values_violate_on_add() {
+        let mut net = Network::new();
+        let a = net.add_variable("a");
+        let b = net.add_variable("b");
+        net.set(a, Value::Int(1), Justification::User).unwrap();
+        net.set(b, Value::Int(2), Justification::User).unwrap();
+        let err = net.add_constraint(Equality::new(), [a, b]).unwrap_err();
+        // Constraint was rolled back; values intact.
+        assert_eq!(net.n_constraints(), 0);
+        assert_eq!(net.value(a), &Value::Int(1));
+        assert_eq!(net.value(b), &Value::Int(2));
+        let _ = err;
+    }
+
+    #[test]
+    fn adding_constraint_propagates_existing_value() {
+        let mut net = Network::new();
+        let a = net.add_variable("a");
+        let b = net.add_variable("b");
+        net.set(a, Value::Int(9), Justification::User).unwrap();
+        net.add_constraint(Equality::new(), [a, b]).unwrap();
+        assert_eq!(net.value(b), &Value::Int(9));
+        assert!(net.justification(b).is_propagated());
+    }
+
+    #[test]
+    fn dependency_record_is_single_source() {
+        let mut net = Network::new();
+        let a = net.add_variable("a");
+        let b = net.add_variable("b");
+        net.add_constraint(Equality::new(), [a, b]).unwrap();
+        net.set(a, Value::Int(5), Justification::User).unwrap();
+        assert_eq!(
+            net.justification(b).record(),
+            Some(&DependencyRecord::Single(a))
+        );
+    }
+}

@@ -1,0 +1,392 @@
+use crate::agenda::FUNCTIONAL_AGENDA;
+use crate::constraint::{Activation, ConstraintKind};
+use crate::ids::{ConstraintId, VarId};
+use crate::justification::DependencyRecord;
+use crate::network::Network;
+use crate::value::Value;
+use crate::violation::Violation;
+use std::fmt;
+use std::rc::Rc;
+
+/// Signature of a custom functional computation: input values in, result
+/// out (`None` = cannot compute, treated like a `Nil` input).
+pub type CustomFn = dyn Fn(&[Value]) -> Option<Value>;
+
+/// The function computed by a [`Functional`] constraint over its input
+/// arguments.
+#[derive(Clone)]
+pub enum FunctionalOp {
+    /// Sum of inputs — the thesis's `UniAdditionConstraint` (§7.3), used to
+    /// total the instance delays along a delay path.
+    Sum,
+    /// Maximum of inputs — the thesis's `UniMaximumConstraint` (§7.3), used
+    /// to take the longest delay path.
+    Max,
+    /// Minimum of inputs.
+    Min,
+    /// Product of inputs.
+    Product,
+    /// Affine map of a single input: `gain * x + offset` (RC load
+    /// adjustments).
+    Scale {
+        /// Multiplier.
+        gain: f64,
+        /// Addend.
+        offset: f64,
+    },
+    /// Arbitrary function of the input values; `None` means "cannot
+    /// compute" (treated like a `Nil` input).
+    Custom(&'static str, Rc<CustomFn>),
+}
+
+impl fmt::Debug for FunctionalOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FunctionalOp::Sum => write!(f, "Sum"),
+            FunctionalOp::Max => write!(f, "Max"),
+            FunctionalOp::Min => write!(f, "Min"),
+            FunctionalOp::Product => write!(f, "Product"),
+            FunctionalOp::Scale { gain, offset } => write!(f, "Scale({gain}, {offset})"),
+            FunctionalOp::Custom(name, _) => write!(f, "Custom({name})"),
+        }
+    }
+}
+
+impl FunctionalOp {
+    fn apply(&self, inputs: &[Value]) -> Option<Value> {
+        match self {
+            FunctionalOp::Sum => inputs
+                .iter()
+                .try_fold(Value::Int(0), |acc, v| acc.numeric_add(v)),
+            FunctionalOp::Max => {
+                let mut it = inputs.iter();
+                let first = it.next()?.clone();
+                it.try_fold(first, |acc, v| acc.numeric_max(v))
+            }
+            FunctionalOp::Min => {
+                let mut it = inputs.iter();
+                let first = it.next()?.clone();
+                it.try_fold(first, |acc, v| acc.numeric_min(v))
+            }
+            FunctionalOp::Product => inputs.iter().try_fold(1.0_f64, |acc, v| {
+                v.as_f64().map(|x| acc * x)
+            }).map(Value::Float),
+            FunctionalOp::Scale { gain, offset } => {
+                if inputs.len() != 1 {
+                    return None;
+                }
+                Some(Value::Float(gain * inputs[0].as_f64()? + offset))
+            }
+            FunctionalOp::Custom(_, f) => f(inputs),
+        }
+    }
+
+    fn name(&self) -> &str {
+        match self {
+            FunctionalOp::Sum => "uniAddition",
+            FunctionalOp::Max => "uniMaximum",
+            FunctionalOp::Min => "uniMinimum",
+            FunctionalOp::Product => "uniProduct",
+            FunctionalOp::Scale { .. } => "uniScale",
+            FunctionalOp::Custom(name, _) => name,
+        }
+    }
+}
+
+/// A unidirectional functional constraint (thesis §4.2.1): the **last**
+/// argument is the result variable, computed as a function of the others.
+///
+/// Functional constraints are scheduled on the `functional` agenda rather
+/// than propagated immediately, so that "propagation can be delayed until
+/// all argument variables have had a chance to change. This reduces
+/// redundant calculations of transient results." A change of the result
+/// variable itself does not activate the constraint
+/// (`permitChangesByVariable:`, Fig. 4.7).
+///
+/// If any input is `Nil` the constraint does not fire (no information), and
+/// `is_satisfied` is vacuously true.
+///
+/// ```
+/// use stem_core::{Network, Value, Justification};
+/// use stem_core::kinds::Functional;
+///
+/// let mut net = Network::new();
+/// let a = net.add_variable("a");
+/// let b = net.add_variable("b");
+/// let sum = net.add_variable("sum");
+/// net.add_constraint(Functional::uni_addition(), [a, b, sum]).unwrap();
+/// net.set(a, Value::Float(1.5), Justification::User).unwrap();
+/// net.set(b, Value::Float(2.0), Justification::User).unwrap();
+/// assert_eq!(net.value(sum), &Value::Float(3.5));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Functional {
+    op: FunctionalOp,
+}
+
+impl Functional {
+    /// Creates a functional constraint with the given operation; the result
+    /// variable is the last argument at wiring time.
+    pub fn new(op: FunctionalOp) -> Self {
+        Functional { op }
+    }
+
+    /// The thesis's `UniAdditionConstraint`: result = Σ inputs.
+    pub fn uni_addition() -> Self {
+        Functional::new(FunctionalOp::Sum)
+    }
+
+    /// The thesis's `UniMaximumConstraint`: result = max(inputs).
+    pub fn uni_maximum() -> Self {
+        Functional::new(FunctionalOp::Max)
+    }
+
+    /// result = min(inputs).
+    pub fn uni_minimum() -> Self {
+        Functional::new(FunctionalOp::Min)
+    }
+
+    /// result = gain · input + offset (single input).
+    pub fn uni_scale(gain: f64, offset: f64) -> Self {
+        Functional::new(FunctionalOp::Scale { gain, offset })
+    }
+
+    /// result = f(inputs); `name` labels the kind for inspection.
+    pub fn custom(
+        name: &'static str,
+        f: impl Fn(&[Value]) -> Option<Value> + 'static,
+    ) -> Self {
+        Functional::new(FunctionalOp::Custom(name, Rc::new(f)))
+    }
+
+    fn split<'n>(&self, net: &'n Network, cid: ConstraintId) -> Option<(&'n [VarId], VarId)> {
+        let args = net.args(cid);
+        let (&result, inputs) = args.split_last()?;
+        Some((inputs, result))
+    }
+
+    fn computed(&self, net: &Network, cid: ConstraintId) -> Option<Value> {
+        let (inputs, _) = self.split(net, cid)?;
+        let values: Vec<Value> = inputs.iter().map(|&v| net.value(v).clone()).collect();
+        if values.iter().any(Value::is_nil) {
+            return None;
+        }
+        self.op.apply(&values)
+    }
+}
+
+impl ConstraintKind for Functional {
+    fn kind_name(&self) -> &str {
+        self.op.name()
+    }
+
+    fn activation(&self) -> Activation {
+        Activation::Scheduled(FUNCTIONAL_AGENDA)
+    }
+
+    fn should_activate(&self, net: &Network, cid: ConstraintId, changed: VarId) -> bool {
+        // Fig. 4.7: "returns false if aVariable is my result variable".
+        match self.split(net, cid) {
+            Some((_, result)) => changed != result,
+            None => false,
+        }
+    }
+
+    fn infer(
+        &self,
+        net: &mut Network,
+        cid: ConstraintId,
+        _changed: Option<VarId>,
+    ) -> Result<(), Violation> {
+        let Some((_, result)) = self.split(net, cid) else {
+            return Ok(());
+        };
+        let Some(value) = self.computed(net, cid) else {
+            return Ok(());
+        };
+        net.propagate_set(result, value, cid, DependencyRecord::All)?;
+        Ok(())
+    }
+
+    fn outputs(&self, net: &Network, cid: ConstraintId) -> Vec<VarId> {
+        match self.split(net, cid) {
+            Some((_, result)) => vec![result],
+            None => Vec::new(),
+        }
+    }
+
+    fn is_satisfied(&self, net: &Network, cid: ConstraintId) -> bool {
+        let Some((_, result)) = self.split(net, cid) else {
+            return true;
+        };
+        let current = net.value(result);
+        if current.is_nil() {
+            return true;
+        }
+        match self.computed(net, cid) {
+            Some(expected) => &expected == current,
+            None => true, // some input Nil: vacuous
+        }
+    }
+
+    fn depends_on(
+        &self,
+        net: &Network,
+        cid: ConstraintId,
+        record: &DependencyRecord,
+        arg: VarId,
+    ) -> bool {
+        // "a functional constraint sets up a null dependency record since it
+        // is implicitly understood that the functional variable depends on
+        // every argument" — every *input* argument, not the result itself.
+        match record {
+            DependencyRecord::All => match self.split(net, cid) {
+                Some((inputs, _)) => inputs.contains(&arg),
+                None => false,
+            },
+            other => other.default_membership(arg),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Justification, Stats};
+
+    fn three(net: &mut Network, op: Functional) -> (VarId, VarId, VarId) {
+        let a = net.add_variable("a");
+        let b = net.add_variable("b");
+        let r = net.add_variable("r");
+        net.add_constraint(op, [a, b, r]).unwrap();
+        (a, b, r)
+    }
+
+    #[test]
+    fn sum_and_max_and_min() {
+        let mut net = Network::new();
+        let (a, b, r) = three(&mut net, Functional::uni_addition());
+        net.set(a, Value::Int(2), Justification::User).unwrap();
+        net.set(b, Value::Int(3), Justification::User).unwrap();
+        assert_eq!(net.value(r), &Value::Int(5));
+
+        let (c, d, m) = three(&mut net, Functional::uni_maximum());
+        net.set(c, Value::Float(2.5), Justification::User).unwrap();
+        net.set(d, Value::Int(2), Justification::User).unwrap();
+        assert_eq!(net.value(m), &Value::Float(2.5));
+
+        let (e, f, n) = three(&mut net, Functional::uni_minimum());
+        net.set(e, Value::Float(2.5), Justification::User).unwrap();
+        net.set(f, Value::Int(2), Justification::User).unwrap();
+        assert_eq!(net.value(n), &Value::Int(2));
+    }
+
+    #[test]
+    fn scale_applies_affine_map() {
+        let mut net = Network::new();
+        let x = net.add_variable("x");
+        let y = net.add_variable("y");
+        net.add_constraint(Functional::uni_scale(2.0, 1.0), [x, y])
+            .unwrap();
+        net.set(x, Value::Float(3.0), Justification::User).unwrap();
+        assert_eq!(net.value(y), &Value::Float(7.0));
+    }
+
+    #[test]
+    fn does_not_fire_on_partial_inputs() {
+        let mut net = Network::new();
+        let (a, _b, r) = three(&mut net, Functional::uni_addition());
+        net.set(a, Value::Int(2), Justification::User).unwrap();
+        assert!(net.value(r).is_nil());
+    }
+
+    #[test]
+    fn result_change_does_not_recompute_inputs() {
+        let mut net = Network::new();
+        let (a, b, r) = three(&mut net, Functional::uni_addition());
+        net.set(a, Value::Int(2), Justification::User).unwrap();
+        net.set(b, Value::Int(3), Justification::User).unwrap();
+        let Stats { inferences, .. } = net.stats();
+        // Setting the result by hand violates the (now-inconsistent)
+        // constraint at the final check, but never schedules the kind.
+        let err = net.set(r, Value::Int(99), Justification::User);
+        assert!(err.is_err());
+        assert_eq!(net.value(r), &Value::Int(5), "restored");
+        assert_eq!(net.stats().inferences, inferences);
+    }
+
+    #[test]
+    fn transitive_functional_chain() {
+        let mut net = Network::new();
+        let a = net.add_variable("a");
+        let b = net.add_variable("b");
+        let s1 = net.add_variable("s1");
+        let c = net.add_variable("c");
+        let s2 = net.add_variable("s2");
+        net.add_constraint(Functional::uni_addition(), [a, b, s1])
+            .unwrap();
+        net.add_constraint(Functional::uni_addition(), [s1, c, s2])
+            .unwrap();
+        net.set(a, Value::Int(1), Justification::User).unwrap();
+        net.set(b, Value::Int(2), Justification::User).unwrap();
+        net.set(c, Value::Int(10), Justification::User).unwrap();
+        assert_eq!(net.value(s2), &Value::Int(13));
+    }
+
+    #[test]
+    fn custom_op() {
+        let mut net = Network::new();
+        let x = net.add_variable("x");
+        let y = net.add_variable("y");
+        let f = Functional::custom("square", |vals| {
+            Some(Value::Float(vals[0].as_f64()?.powi(2)))
+        });
+        net.add_constraint(f, [x, y]).unwrap();
+        net.set(x, Value::Float(3.0), Justification::User).unwrap();
+        assert_eq!(net.value(y), &Value::Float(9.0));
+    }
+
+    #[test]
+    fn agenda_batches_recomputation() {
+        // With scheduling, a single external set of one input runs the
+        // functional inference exactly once even though the constraint has
+        // many inputs changed downstream of an equality fan-in.
+        let mut net = Network::new();
+        let src = net.add_variable("src");
+        let mirrors: Vec<VarId> = (0..4).map(|i| net.add_variable(format!("m{i}"))).collect();
+        for &m in &mirrors {
+            net.add_constraint(Equality2::kind(), [src, m]).unwrap();
+        }
+        let r = net.add_variable("r");
+        let mut args = mirrors.clone();
+        args.push(r);
+        net.add_constraint(Functional::uni_addition(), args).unwrap();
+        net.reset_stats();
+        net.set(src, Value::Int(2), Justification::User).unwrap();
+        assert_eq!(net.value(r), &Value::Int(8));
+        // All four mirror changes funnel into one scheduled run.
+        assert_eq!(net.stats().scheduled_runs, 1);
+    }
+
+    // Local alias so the test above reads clearly.
+    struct Equality2;
+    impl Equality2 {
+        fn kind() -> crate::kinds::Equality {
+            crate::kinds::Equality::new()
+        }
+    }
+
+    #[test]
+    fn depends_on_inputs_not_result() {
+        let mut net = Network::new();
+        let (a, b, r) = three(&mut net, Functional::uni_addition());
+        net.set(a, Value::Int(1), Justification::User).unwrap();
+        net.set(b, Value::Int(2), Justification::User).unwrap();
+        let (ante_vars, ante_cons) = net.antecedents(r);
+        assert!(ante_vars.contains(&a));
+        assert!(ante_vars.contains(&b));
+        assert_eq!(ante_cons.len(), 1);
+        // Consequences of an input include the result.
+        assert!(net.consequences(a).contains(&r));
+    }
+}

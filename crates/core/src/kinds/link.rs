@@ -1,0 +1,287 @@
+use crate::agenda::IMPLICIT_AGENDA;
+use crate::constraint::{Activation, ConstraintKind};
+use crate::ids::{ConstraintId, VarId};
+use crate::justification::DependencyRecord;
+use crate::network::Network;
+use crate::value::Value;
+use crate::violation::Violation;
+use std::fmt;
+use std::rc::Rc;
+
+/// The semantics of one dual-variable link between a cell-class variable
+/// and the corresponding cell-instance variable (thesis §5.1.1).
+///
+/// The thesis encodes these links as `ImplicitConstraintVariable`
+/// subclasses (`ClassInstVar` / `InstanceInstVar`) that respond to
+/// constraint protocol; here the pair is an explicit [`ImplicitLink`]
+/// constraint parameterised by a `LinkSemantics`, which preserves the same
+/// activation, scheduling and overwrite behaviour (see DESIGN.md,
+/// substitution table).
+///
+/// The two directions are asymmetric:
+/// - **downward** (class changed → instance): properties propagate, with
+///   per-kind adjustment (bounding-box transformation, delay RC loading);
+/// - **upward** (instance changed → class): "never from instances to
+///   classes" — check-only by default.
+pub trait LinkSemantics: fmt::Debug {
+    /// Label for inspection output.
+    fn name(&self) -> &str;
+
+    /// Value to assign to the instance variable when the class variable
+    /// changed (with any instance-context adjustment), or `None` to leave
+    /// it alone.
+    fn downward(&self, net: &Network, class_var: VarId, inst_var: VarId) -> Option<Value>;
+
+    /// Value to assign to the class variable when the instance variable
+    /// changed; `None` (the default) for the standard check-only upward
+    /// direction.
+    fn upward(&self, net: &Network, class_var: VarId, inst_var: VarId) -> Option<Value> {
+        let _ = (net, class_var, inst_var);
+        None
+    }
+
+    /// Consistency test between the duals (e.g. the instance bounding box
+    /// must contain the class bounding box; a parameter value must lie in
+    /// the class range).
+    fn is_satisfied(&self, net: &Network, class_var: VarId, inst_var: VarId) -> bool;
+}
+
+/// Property link whose instance value simply mirrors the class value — the
+/// common case for unadjusted properties.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EqualLink;
+
+impl LinkSemantics for EqualLink {
+    fn name(&self) -> &str {
+        "equalLink"
+    }
+
+    fn downward(&self, net: &Network, class_var: VarId, _inst_var: VarId) -> Option<Value> {
+        let v = net.value(class_var);
+        if v.is_nil() {
+            None
+        } else {
+            Some(v.clone())
+        }
+    }
+
+    fn is_satisfied(&self, net: &Network, class_var: VarId, inst_var: VarId) -> bool {
+        let (c, i) = (net.value(class_var), net.value(inst_var));
+        c.is_nil() || i.is_nil() || c == i
+    }
+}
+
+/// The implicit constraint linking a dual class/instance variable pair for
+/// hierarchical constraint propagation (thesis §5.1).
+///
+/// Arguments are wired as `[class_var, instance_var]`. The link is
+/// scheduled on the lowest-priority `implicit` agenda with the changed
+/// variable recorded (Fig. 5.3), so "hierarchical constraint propagation
+/// tends to completely propagate constraint networks in one level of the
+/// hierarchy before propagating … another level" (§5.1.2).
+///
+/// A user-specified target value is never overwritten by the link
+/// (Fig. 7.7's guard); a conflicting user value will instead surface in the
+/// final satisfaction sweep via [`LinkSemantics::is_satisfied`].
+#[derive(Debug, Clone)]
+pub struct ImplicitLink {
+    semantics: Rc<dyn LinkSemantics>,
+}
+
+impl ImplicitLink {
+    /// Creates a link with the given semantics; wire with
+    /// `[class_var, instance_var]`.
+    pub fn new(semantics: impl LinkSemantics + 'static) -> Self {
+        ImplicitLink {
+            semantics: Rc::new(semantics),
+        }
+    }
+
+    /// Creates a link from a shared semantics object.
+    pub fn from_rc(semantics: Rc<dyn LinkSemantics>) -> Self {
+        ImplicitLink { semantics }
+    }
+
+    fn pair(&self, net: &Network, cid: ConstraintId) -> Option<(VarId, VarId)> {
+        let args = net.args(cid);
+        if args.len() == 2 {
+            Some((args[0], args[1]))
+        } else {
+            None
+        }
+    }
+}
+
+impl ConstraintKind for ImplicitLink {
+    fn kind_name(&self) -> &str {
+        self.semantics.name()
+    }
+
+    fn activation(&self) -> Activation {
+        Activation::Scheduled(IMPLICIT_AGENDA)
+    }
+
+    fn schedules_with_variable(&self) -> bool {
+        // Fig. 5.3: `scheduleConstraint:self variable:aVar`.
+        true
+    }
+
+    fn infer(
+        &self,
+        net: &mut Network,
+        cid: ConstraintId,
+        changed: Option<VarId>,
+    ) -> Result<(), Violation> {
+        let Some((class_var, inst_var)) = self.pair(net, cid) else {
+            return Ok(());
+        };
+        // Re-initialisation without a specific direction defaults downward.
+        let source = changed.unwrap_or(class_var);
+        let (target, value) = if source == class_var {
+            (inst_var, self.semantics.downward(net, class_var, inst_var))
+        } else {
+            (class_var, self.semantics.upward(net, class_var, inst_var))
+        };
+        if let Some(value) = value {
+            // Fig. 7.7's guard: a user-specified dual is left alone; the
+            // final sweep decides whether that is a conflict.
+            if !net.justification(target).is_user() {
+                net.propagate_set(target, value, cid, DependencyRecord::Single(source))?;
+            }
+        }
+        Ok(())
+    }
+
+    fn outputs(&self, net: &Network, cid: ConstraintId) -> Vec<VarId> {
+        // The standard direction is downward (class → instance).
+        match self.pair(net, cid) {
+            Some((_, inst_var)) => vec![inst_var],
+            None => Vec::new(),
+        }
+    }
+
+    fn is_satisfied(&self, net: &Network, cid: ConstraintId) -> bool {
+        match self.pair(net, cid) {
+            Some((class_var, inst_var)) => self.semantics.is_satisfied(net, class_var, inst_var),
+            None => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Span;
+    use crate::Justification;
+
+    #[test]
+    fn downward_mirrors_class_value() {
+        let mut net = Network::new();
+        let class_v = net.add_variable("class.delay");
+        let inst_v = net.add_variable("inst.delay");
+        net.add_constraint(ImplicitLink::new(EqualLink), [class_v, inst_v])
+            .unwrap();
+        net.set(class_v, Value::Float(5.0), Justification::Application)
+            .unwrap();
+        assert_eq!(net.value(inst_v), &Value::Float(5.0));
+    }
+
+    #[test]
+    fn upward_is_check_only() {
+        let mut net = Network::new();
+        let class_v = net.add_variable("class.p");
+        let inst_v = net.add_variable("inst.p");
+        net.add_constraint(ImplicitLink::new(EqualLink), [class_v, inst_v])
+            .unwrap();
+        // Setting the instance does not push a class value…
+        net.set(inst_v, Value::Int(3), Justification::Application)
+            .unwrap();
+        assert!(net.value(class_v).is_nil());
+        // …and once the class value exists, a conflicting instance value is
+        // a violation via is_satisfied.
+        net.set(class_v, Value::Int(3), Justification::Application)
+            .unwrap();
+        assert!(net
+            .set(inst_v, Value::Int(4), Justification::Application)
+            .is_err());
+    }
+
+    #[test]
+    fn user_specified_instance_value_is_not_overwritten() {
+        let mut net = Network::new();
+        let class_v = net.add_variable("class.p");
+        let inst_v = net.add_variable("inst.p");
+        net.set(inst_v, Value::Int(7), Justification::User).unwrap();
+        net.add_constraint(ImplicitLink::new(EqualLink), [class_v, inst_v])
+            .unwrap();
+        // Class propagation leaves the user value; mismatch surfaces as an
+        // unsatisfied-link violation instead of an overwrite.
+        let err = net
+            .set(class_v, Value::Int(9), Justification::Application)
+            .unwrap_err();
+        assert_eq!(net.value(inst_v), &Value::Int(7));
+        assert!(net.value(class_v).is_nil(), "class set rolled back");
+        let _ = err;
+    }
+
+    /// A parameter link: class side holds a `Span`, instance side a number
+    /// that must stay inside it (§5.1.1, parameters).
+    #[derive(Debug)]
+    struct ParamRange;
+
+    impl LinkSemantics for ParamRange {
+        fn name(&self) -> &str {
+            "paramRange"
+        }
+
+        fn downward(&self, _: &Network, _: VarId, _: VarId) -> Option<Value> {
+            None // ranges do not give the instance a value
+        }
+
+        fn is_satisfied(&self, net: &Network, class_var: VarId, inst_var: VarId) -> bool {
+            match (net.value(class_var).as_span(), net.value(inst_var).as_f64()) {
+                (Some(span), Some(x)) => span.contains(x),
+                _ => true,
+            }
+        }
+    }
+
+    #[test]
+    fn parameter_range_checking() {
+        let mut net = Network::new();
+        let class_v = net.add_variable("class.width");
+        let inst_v = net.add_variable("inst.width");
+        net.add_constraint(ImplicitLink::new(ParamRange), [class_v, inst_v])
+            .unwrap();
+        net.set(class_v, Value::Span(Span::new(1.0, 8.0)), Justification::User)
+            .unwrap();
+        assert!(net.set(inst_v, Value::Float(4.0), Justification::User).is_ok());
+        assert!(net
+            .set(inst_v, Value::Float(9.0), Justification::User)
+            .is_err());
+        assert_eq!(net.value(inst_v), &Value::Float(4.0));
+        // Narrowing the class range below the instance value also violates.
+        assert!(net
+            .set(class_v, Value::Span(Span::new(5.0, 8.0)), Justification::User)
+            .is_err());
+    }
+
+    #[test]
+    fn implicit_agenda_runs_after_functional() {
+        // An internal functional network plus an implicit link: the link
+        // fires only after the functional agenda drains (§5.1.2).
+        let mut net = Network::new();
+        let a = net.add_variable("a");
+        let b = net.add_variable("b");
+        let class_sum = net.add_variable("class.sum");
+        let inst_sum = net.add_variable("inst.sum");
+        net.add_constraint(crate::kinds::Functional::uni_addition(), [a, b, class_sum])
+            .unwrap();
+        net.add_constraint(ImplicitLink::new(EqualLink), [class_sum, inst_sum])
+            .unwrap();
+        net.set(a, Value::Int(1), Justification::User).unwrap();
+        net.set(b, Value::Int(2), Justification::User).unwrap();
+        assert_eq!(net.value(class_sum), &Value::Int(3));
+        assert_eq!(net.value(inst_sum), &Value::Int(3));
+    }
+}

@@ -1,0 +1,29 @@
+//! Built-in constraint kinds (thesis §4.1.2 and Fig. 4.4, §4.2.1, §5.1,
+//! §6.5.1).
+//!
+//! Each kind implements [`ConstraintKind`](crate::ConstraintKind):
+//!
+//! - [`Equality`] — all arguments equal (Fig. 4.4); immediate.
+//! - [`Functional`] — one result variable as a function of the others
+//!   (§4.2.1 "functional constraints"), scheduled on the `functional`
+//!   agenda; includes the thesis's `UniAdditionConstraint` and
+//!   `UniMaximumConstraint` (§7.3).
+//! - [`Predicate`] — check-only assertions (value bounds, Fig. 7.9-style
+//!   predicates); immediate, never assigns.
+//! - [`UpdateConstraint`] — erases derived property variables when their
+//!   inputs change (§6.5.1); immediate.
+//! - [`ImplicitLink`] — the class↔instance dual-variable link driving
+//!   hierarchical propagation (§5.1), scheduled on the lowest-priority
+//!   `implicit` agenda.
+
+mod equality;
+mod functional;
+mod link;
+mod predicate;
+mod update;
+
+pub use equality::Equality;
+pub use functional::{Functional, FunctionalOp};
+pub use link::{EqualLink, ImplicitLink, LinkSemantics};
+pub use predicate::{PredOp, Predicate};
+pub use update::UpdateConstraint;

@@ -1,0 +1,263 @@
+use crate::constraint::ConstraintKind;
+use crate::ids::{ConstraintId, VarId};
+use crate::network::Network;
+use crate::value::Value;
+use crate::violation::Violation;
+use std::fmt;
+use std::rc::Rc;
+
+/// Signature of a custom predicate test over the argument values.
+pub type CustomTest = dyn Fn(&[Value]) -> bool;
+
+/// The test applied by a [`Predicate`] constraint.
+#[derive(Clone)]
+pub enum PredOp {
+    /// Every argument ≤ the bound (e.g. the "120 ns or less" delay
+    /// specification of thesis §5.1).
+    LeConst(Value),
+    /// Every argument ≥ the bound.
+    GeConst(Value),
+    /// Every argument = the constant.
+    EqConst(Value),
+    /// Every argument within `[lo, hi]`.
+    RangeConst {
+        /// Inclusive lower bound.
+        lo: Value,
+        /// Inclusive upper bound.
+        hi: Value,
+    },
+    /// `args[0] ≤ args[1]` (two arguments).
+    Le,
+    /// `args[0] < args[1]` (two arguments).
+    Lt,
+    /// Arbitrary test of all argument values (`Nil`s filtered out by the
+    /// caller's choice); `name` labels the kind.
+    Custom(&'static str, Rc<CustomTest>),
+}
+
+impl fmt::Debug for PredOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PredOp::LeConst(v) => write!(f, "LeConst({v})"),
+            PredOp::GeConst(v) => write!(f, "GeConst({v})"),
+            PredOp::EqConst(v) => write!(f, "EqConst({v})"),
+            PredOp::RangeConst { lo, hi } => write!(f, "RangeConst({lo}, {hi})"),
+            PredOp::Le => write!(f, "Le"),
+            PredOp::Lt => write!(f, "Lt"),
+            PredOp::Custom(name, _) => write!(f, "Custom({name})"),
+        }
+    }
+}
+
+/// A check-only constraint: performs no inference, only participates in the
+/// satisfaction sweep — the `PredicateConstraint` family of thesis Fig. 7.9.
+///
+/// Arguments with `Nil` values are skipped (`arg value isNil ifFalse:`),
+/// making unspecified designs vacuously valid: the predicate bites as soon
+/// as propagation supplies a value.
+///
+/// ```
+/// use stem_core::{Network, Value, Justification};
+/// use stem_core::kinds::{Predicate, PredOp};
+///
+/// let mut net = Network::new();
+/// let delay = net.add_variable("delay");
+/// net.add_constraint(Predicate::new(PredOp::LeConst(Value::Float(120.0))), [delay])
+///     .unwrap();
+/// assert!(net.set(delay, Value::Float(100.0), Justification::Application).is_ok());
+/// assert!(net.set(delay, Value::Float(130.0), Justification::Application).is_err());
+/// // Violation restored the previous value.
+/// assert_eq!(net.value(delay), &Value::Float(100.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Predicate {
+    op: PredOp,
+}
+
+impl Predicate {
+    /// Creates a predicate constraint with the given test.
+    pub fn new(op: PredOp) -> Self {
+        Predicate { op }
+    }
+
+    /// `arg ≤ bound` for every argument.
+    pub fn le_const(bound: impl Into<Value>) -> Self {
+        Predicate::new(PredOp::LeConst(bound.into()))
+    }
+
+    /// `arg ≥ bound` for every argument.
+    pub fn ge_const(bound: impl Into<Value>) -> Self {
+        Predicate::new(PredOp::GeConst(bound.into()))
+    }
+
+    /// `arg = constant` for every argument.
+    pub fn eq_const(value: impl Into<Value>) -> Self {
+        Predicate::new(PredOp::EqConst(value.into()))
+    }
+
+    /// Arbitrary named test over the argument values.
+    pub fn custom(name: &'static str, f: impl Fn(&[Value]) -> bool + 'static) -> Self {
+        Predicate::new(PredOp::Custom(name, Rc::new(f)))
+    }
+
+    fn test(&self, values: &[Value]) -> bool {
+        use std::cmp::Ordering;
+        let le = |a: &Value, b: &Value| {
+            matches!(
+                a.numeric_cmp(b),
+                Some(Ordering::Less) | Some(Ordering::Equal)
+            )
+        };
+        match &self.op {
+            PredOp::LeConst(bound) => values
+                .iter()
+                .filter(|v| !v.is_nil())
+                .all(|v| le(v, bound)),
+            PredOp::GeConst(bound) => values
+                .iter()
+                .filter(|v| !v.is_nil())
+                .all(|v| le(bound, v)),
+            PredOp::EqConst(c) => values.iter().filter(|v| !v.is_nil()).all(|v| v == c),
+            PredOp::RangeConst { lo, hi } => values
+                .iter()
+                .filter(|v| !v.is_nil())
+                .all(|v| le(lo, v) && le(v, hi)),
+            PredOp::Le => {
+                if values.len() != 2 || values.iter().any(Value::is_nil) {
+                    return true;
+                }
+                le(&values[0], &values[1])
+            }
+            PredOp::Lt => {
+                if values.len() != 2 || values.iter().any(Value::is_nil) {
+                    return true;
+                }
+                values[0].numeric_cmp(&values[1]) == Some(Ordering::Less)
+            }
+            PredOp::Custom(_, f) => f(values),
+        }
+    }
+}
+
+impl ConstraintKind for Predicate {
+    fn kind_name(&self) -> &str {
+        match &self.op {
+            PredOp::LeConst(_) => "lessEqualPredicate",
+            PredOp::GeConst(_) => "greaterEqualPredicate",
+            PredOp::EqConst(_) => "equalPredicate",
+            PredOp::RangeConst { .. } => "rangePredicate",
+            PredOp::Le => "orderPredicate",
+            PredOp::Lt => "strictOrderPredicate",
+            PredOp::Custom(name, _) => name,
+        }
+    }
+
+    fn infer(
+        &self,
+        _net: &mut Network,
+        _cid: ConstraintId,
+        _changed: Option<VarId>,
+    ) -> Result<(), Violation> {
+        // Check-only: the propagation method "does not assign values to any
+        // variable" — termination case 1 of §4.2.2.
+        Ok(())
+    }
+
+    fn outputs(&self, _net: &Network, _cid: ConstraintId) -> Vec<VarId> {
+        Vec::new() // pure check: assigns nothing
+    }
+
+    fn is_satisfied(&self, net: &Network, cid: ConstraintId) -> bool {
+        let values: Vec<Value> = net.args(cid).iter().map(|&v| net.value(v).clone()).collect();
+        self.test(&values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Justification;
+
+    #[test]
+    fn le_const_accepts_and_rejects() {
+        let mut net = Network::new();
+        let d = net.add_variable("d");
+        net.add_constraint(Predicate::le_const(Value::Float(120.0)), [d])
+            .unwrap();
+        assert!(net.set(d, Value::Float(119.0), Justification::User).is_ok());
+        let err = net
+            .set(d, Value::Float(121.0), Justification::User)
+            .unwrap_err();
+        assert_eq!(err.constraint.map(|c| c.index()), Some(0));
+        assert_eq!(net.value(d), &Value::Float(119.0));
+    }
+
+    #[test]
+    fn ge_eq_range() {
+        let mut net = Network::new();
+        let a = net.add_variable("a");
+        net.add_constraint(Predicate::ge_const(Value::Int(2)), [a])
+            .unwrap();
+        assert!(net.set(a, Value::Int(1), Justification::User).is_err());
+        assert!(net.set(a, Value::Int(2), Justification::User).is_ok());
+
+        let b = net.add_variable("b");
+        net.add_constraint(
+            Predicate::new(PredOp::RangeConst {
+                lo: Value::Int(0),
+                hi: Value::Int(10),
+            }),
+            [b],
+        )
+        .unwrap();
+        assert!(net.set(b, Value::Int(10), Justification::User).is_ok());
+        assert!(net.set(b, Value::Int(11), Justification::User).is_err());
+
+        let c = net.add_variable("c");
+        net.add_constraint(Predicate::eq_const(Value::str("ttl")), [c])
+            .unwrap();
+        assert!(net.set(c, Value::str("ttl"), Justification::User).is_ok());
+        assert!(net.set(c, Value::str("cmos"), Justification::User).is_err());
+    }
+
+    #[test]
+    fn binary_order() {
+        let mut net = Network::new();
+        let a = net.add_variable("a");
+        let b = net.add_variable("b");
+        net.add_constraint(Predicate::new(PredOp::Lt), [a, b])
+            .unwrap();
+        net.set(a, Value::Int(1), Justification::User).unwrap();
+        assert!(net.set(b, Value::Int(2), Justification::User).is_ok());
+        assert!(net.set(b, Value::Int(1), Justification::User).is_err());
+        assert!(net.set(b, Value::Int(0), Justification::User).is_err());
+    }
+
+    #[test]
+    fn nil_is_vacuous() {
+        let mut net = Network::new();
+        let a = net.add_variable("a");
+        let cid = net
+            .add_constraint(Predicate::le_const(Value::Int(5)), [a])
+            .unwrap();
+        assert!(net.is_satisfied(cid));
+    }
+
+    #[test]
+    fn custom_predicate() {
+        let mut net = Network::new();
+        let a = net.add_variable("a");
+        let b = net.add_variable("b");
+        // a and b must differ by at most 1 when both known.
+        let p = Predicate::custom("closePair", |vals| {
+            match (vals[0].as_f64(), vals[1].as_f64()) {
+                (Some(x), Some(y)) => (x - y).abs() <= 1.0,
+                _ => true,
+            }
+        });
+        net.add_constraint(p, [a, b]).unwrap();
+        net.set(a, Value::Int(5), Justification::User).unwrap();
+        assert!(net.set(b, Value::Int(6), Justification::User).is_ok());
+        assert!(net.set(b, Value::Int(8), Justification::User).is_err());
+    }
+}

@@ -1,0 +1,192 @@
+use crate::constraint::ConstraintKind;
+use crate::ids::{ConstraintId, VarId};
+use crate::justification::DependencyRecord;
+use crate::network::Network;
+use crate::value::Value;
+use crate::violation::Violation;
+
+/// The update-constraint of thesis §6.5.1: declares that a set of derived
+/// property variables depends on a set of source variables. Whenever any
+/// source changes, every target is erased to `Nil`; implicit invocation
+/// ([`Network::value_or_recalc`]) re-derives the targets lazily.
+///
+/// Arguments are wired as `sources ++ targets`, with `n_sources` marking
+/// the split. Changes of a *target* do not re-trigger the constraint.
+///
+/// "This combination of constraint propagation and delayed recalculation
+/// ensures the internal data consistency of the database and reduces
+/// recalculation of data" (§6.3).
+///
+/// ```
+/// use stem_core::{Network, Value, Justification};
+/// use stem_core::kinds::UpdateConstraint;
+///
+/// let mut net = Network::new();
+/// let structure = net.add_variable("structure");
+/// let bbox = net.add_variable("boundingBox");
+/// net.add_constraint(UpdateConstraint::new(1), [structure, bbox]).unwrap();
+/// net.set(bbox, Value::Int(42), Justification::Application).unwrap();
+/// net.set(structure, Value::Int(1), Justification::User).unwrap();
+/// assert!(net.value(bbox).is_nil(), "derived value erased");
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct UpdateConstraint {
+    n_sources: usize,
+}
+
+impl UpdateConstraint {
+    /// Creates an update constraint whose first `n_sources` arguments are
+    /// the watched sources; the rest are the erased targets.
+    pub fn new(n_sources: usize) -> Self {
+        UpdateConstraint { n_sources }
+    }
+
+    fn split<'n>(&self, net: &'n Network, cid: ConstraintId) -> (&'n [VarId], &'n [VarId]) {
+        let args = net.args(cid);
+        let k = self.n_sources.min(args.len());
+        args.split_at(k)
+    }
+}
+
+impl ConstraintKind for UpdateConstraint {
+    fn kind_name(&self) -> &str {
+        "update"
+    }
+
+    fn should_activate(&self, net: &Network, cid: ConstraintId, changed: VarId) -> bool {
+        let (sources, _) = self.split(net, cid);
+        sources.contains(&changed)
+    }
+
+    fn infer(
+        &self,
+        net: &mut Network,
+        cid: ConstraintId,
+        changed: Option<VarId>,
+    ) -> Result<(), Violation> {
+        // During re-initialisation (`changed == None`) a freshly added
+        // update-constraint does not erase anything: the current derived
+        // values are still justified by the data already present.
+        let Some(source) = changed else {
+            return Ok(());
+        };
+        let (_, targets) = self.split(net, cid);
+        let targets: Vec<_> = targets.to_vec();
+        for target in targets {
+            if !net.value(target).is_nil() {
+                net.propagate_set(
+                    target,
+                    Value::Nil,
+                    cid,
+                    DependencyRecord::Single(source),
+                )?;
+            }
+        }
+        Ok(())
+    }
+
+    fn outputs(&self, net: &Network, cid: ConstraintId) -> Vec<VarId> {
+        let (_, targets) = self.split(net, cid);
+        targets.to_vec()
+    }
+
+    fn is_satisfied(&self, _net: &Network, _cid: ConstraintId) -> bool {
+        // An update dependency is a directive, not an assertion.
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::variable::PropertyKind;
+    use crate::Justification;
+    use std::rc::Rc;
+
+    #[test]
+    fn erases_all_targets_on_any_source_change() {
+        let mut net = Network::new();
+        let s1 = net.add_variable("s1");
+        let s2 = net.add_variable("s2");
+        let t1 = net.add_variable("t1");
+        let t2 = net.add_variable("t2");
+        net.add_constraint(UpdateConstraint::new(2), [s1, s2, t1, t2])
+            .unwrap();
+        net.set(t1, Value::Int(10), Justification::Application)
+            .unwrap();
+        net.set(t2, Value::Int(20), Justification::Application)
+            .unwrap();
+        net.set(s2, Value::Int(1), Justification::User).unwrap();
+        assert!(net.value(t1).is_nil());
+        assert!(net.value(t2).is_nil());
+    }
+
+    #[test]
+    fn target_change_does_not_retrigger() {
+        let mut net = Network::new();
+        let s = net.add_variable("s");
+        let t = net.add_variable("t");
+        net.add_constraint(UpdateConstraint::new(1), [s, t]).unwrap();
+        net.reset_stats();
+        net.set(t, Value::Int(5), Justification::Application)
+            .unwrap();
+        assert_eq!(net.stats().inferences, 0);
+        assert_eq!(net.value(t), &Value::Int(5));
+    }
+
+    #[test]
+    fn chained_updates_cascade() {
+        let mut net = Network::new();
+        let s = net.add_variable("s");
+        let mid = net.add_variable("mid");
+        let leaf = net.add_variable("leaf");
+        net.add_constraint(UpdateConstraint::new(1), [s, mid]).unwrap();
+        net.add_constraint(UpdateConstraint::new(1), [mid, leaf])
+            .unwrap();
+        net.set(mid, Value::Int(1), Justification::Application)
+            .unwrap();
+        net.set(leaf, Value::Int(2), Justification::Application)
+            .unwrap();
+        net.set(s, Value::Int(9), Justification::User).unwrap();
+        assert!(net.value(mid).is_nil());
+        assert!(net.value(leaf).is_nil());
+    }
+
+    #[test]
+    fn pairs_with_lazy_recalculation() {
+        // The full consistency-maintenance loop of §6.5.1: erase on change,
+        // recalculate on demand.
+        let mut net = Network::new();
+        let src = net.add_variable("src");
+        let derived = net.add_variable_with("derived", None, Rc::new(PropertyKind));
+        net.add_constraint(UpdateConstraint::new(1), [src, derived])
+            .unwrap();
+        net.set_recalc(derived, move |net, var| {
+            let doubled = net
+                .value(crate::ids::VarId(0))
+                .as_i64()
+                .map(|x| Value::Int(x * 2))
+                .unwrap_or(Value::Nil);
+            net.set(var, doubled, Justification::Application).unwrap();
+        });
+        net.set(src, Value::Int(21), Justification::User).unwrap();
+        assert!(net.value(derived).is_nil());
+        assert_eq!(net.value_or_recalc(derived), Value::Int(42));
+        // Now change the source; derived is erased and recalculated fresh.
+        net.set(src, Value::Int(5), Justification::User).unwrap();
+        assert!(net.value(derived).is_nil());
+        assert_eq!(net.value_or_recalc(derived), Value::Int(10));
+    }
+
+    #[test]
+    fn erasure_can_override_user_marked_property() {
+        // PropertyKind always accepts erasure to Nil.
+        let mut net = Network::new();
+        let s = net.add_variable("s");
+        let t = net.add_variable_with("t", None, Rc::new(PropertyKind));
+        net.add_constraint(UpdateConstraint::new(1), [s, t]).unwrap();
+        net.set(t, Value::Int(1), Justification::User).unwrap();
+        net.set(s, Value::Int(2), Justification::User).unwrap();
+        assert!(net.value(t).is_nil());
+    }
+}

@@ -1,0 +1,1154 @@
+use crate::agenda::AgendaScheduler;
+use crate::constraint::{Activation, ConstraintData, ConstraintKind};
+use crate::ids::{ConstraintId, VarId};
+use crate::justification::{DependencyRecord, Justification};
+use crate::value::Value;
+use crate::variable::{Overwrite, PlainKind, VariableData, VariableKind};
+use crate::violation::Violation;
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// Result of one propagated assignment ([`Network::propagate_set`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetStatus {
+    /// The value was assigned and activations were queued.
+    Changed,
+    /// The variable already held the propagated value — a termination
+    /// criterion of §4.2.2.
+    Unchanged,
+    /// The variable kind kept its current value silently (Fig. 7.4); the
+    /// final satisfaction sweep decides whether that is a conflict.
+    Ignored,
+}
+
+/// Counters accumulated across propagation cycles, used by the benchmark
+/// harness to verify the efficiency claims of §5.1 (hierarchical networks
+/// propagate shared internals once) and §9.2.3 (complexity ∝ Σ_v
+/// #constraints(v)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Stats {
+    /// Completed `set` cycles.
+    pub cycles: u64,
+    /// Variable assignments performed (external + propagated).
+    pub assignments: u64,
+    /// Constraint activations dispatched (`propagateVariable:` sends).
+    pub activations: u64,
+    /// `infer` executions (immediate + scheduled).
+    pub inferences: u64,
+    /// Agenda enqueue attempts that added a new entry.
+    pub schedules: u64,
+    /// Entries popped from agendas and run.
+    pub scheduled_runs: u64,
+    /// Violations raised.
+    pub violations: u64,
+}
+
+/// Saved pre-propagation state of a visited variable, for restoration on
+/// violation (the global `VisitedConstraintsAndVariables` dictionary of
+/// §4.2.2).
+#[derive(Debug, Clone)]
+struct SavedVar {
+    value: Value,
+    justification: Justification,
+}
+
+/// Per-cycle propagation state.
+#[derive(Debug, Default)]
+struct PropState {
+    visited_vars: HashMap<VarId, SavedVar>,
+    /// Non-Nil value changes per variable this cycle, for the (optionally
+    /// relaxed) one-value-change rule.
+    change_counts: HashMap<VarId, u32>,
+    visited_constraints: Vec<ConstraintId>,
+    visited_cset: std::collections::HashSet<ConstraintId>,
+    /// Depth-first activation stack for immediate constraints.
+    pending: Vec<(ConstraintId, VarId)>,
+    /// Violation handlers are suppressed for tentative probes.
+    silent: bool,
+    /// Compiled straight-line execution: activations are not queued
+    /// (`run_compiled`).
+    compiled: bool,
+}
+
+/// Callback invoked (after state restoration) whenever a propagation cycle
+/// ends in a violation — the violation-handler hook of §4.2.3/5.2.
+pub type ViolationHandler = dyn Fn(&Network, &Violation);
+
+/// A full checkpoint of variable values and justifications
+/// ([`Network::snapshot`] / [`Network::restore_snapshot`]).
+#[derive(Debug, Clone)]
+pub struct ValueSnapshot {
+    entries: Vec<(Value, Justification)>,
+}
+
+impl ValueSnapshot {
+    /// Number of variables captured.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the snapshot is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// A constraint network: the arena of variable and constraint objects plus
+/// the propagation engine of thesis chapter 4.
+///
+/// # Example: the network of Fig. 4.5
+///
+/// ```
+/// use stem_core::{Network, Value, Justification};
+/// use stem_core::kinds::{Equality, Functional};
+///
+/// let mut net = Network::new();
+/// let v1 = net.add_variable("V1");
+/// let v2 = net.add_variable("V2");
+/// let v3 = net.add_variable("V3");
+/// let v4 = net.add_variable("V4");
+/// net.add_constraint(Equality::new(), [v1, v2]).unwrap();
+/// // V4 = max(V2, V3); the result variable is last.
+/// net.add_constraint(Functional::uni_maximum(), [v2, v3, v4]).unwrap();
+///
+/// net.set(v3, Value::Int(7), Justification::User).unwrap();
+/// net.set(v1, Value::Int(9), Justification::User).unwrap();
+/// assert_eq!(net.value(v2), &Value::Int(9));
+/// assert_eq!(net.value(v4), &Value::Int(9));
+/// ```
+pub struct Network {
+    vars: Vec<VariableData>,
+    constraints: Vec<ConstraintData>,
+    scheduler: AgendaScheduler,
+    state: Option<PropState>,
+    /// The global `CPSwitch` of §5.3: when `false`, assignments are plain
+    /// stores without propagation or checking.
+    enabled: bool,
+    /// Maximum non-Nil value changes per variable per cycle. 1 is the
+    /// thesis's one-value-change rule; larger values are the relaxation
+    /// suggested in §9.2.3 for reconvergent fanouts.
+    value_change_limit: u32,
+    handlers: Vec<Rc<ViolationHandler>>,
+    stats: Stats,
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Network")
+            .field("variables", &self.vars.len())
+            .field("constraints", &self.constraints.len())
+            .field("enabled", &self.enabled)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl Default for Network {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Network {
+    /// Creates an empty network with propagation enabled and the default
+    /// agendas declared.
+    pub fn new() -> Self {
+        Network {
+            vars: Vec::new(),
+            constraints: Vec::new(),
+            scheduler: AgendaScheduler::new(),
+            state: None,
+            enabled: true,
+            value_change_limit: 1,
+            handlers: Vec::new(),
+            stats: Stats::default(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Construction
+    // ------------------------------------------------------------------
+
+    /// Adds a plain variable (value `Nil`, justification `Unset`).
+    pub fn add_variable(&mut self, name: impl Into<String>) -> VarId {
+        self.add_variable_with(name, None, Rc::new(PlainKind))
+    }
+
+    /// Adds a variable with an owner path (its "parent" for display) and a
+    /// behaviour kind.
+    pub fn add_variable_with(
+        &mut self,
+        name: impl Into<String>,
+        owner: Option<Arc<str>>,
+        kind: Rc<dyn VariableKind>,
+    ) -> VarId {
+        let id = VarId(self.vars.len() as u32);
+        self.vars.push(VariableData::new(name.into(), owner, kind));
+        id
+    }
+
+    /// Installs a lazy recalculation hook on `var` (thesis Fig. 6.1). The
+    /// hook runs from [`Network::value_or_recalc`] when the value is `Nil`;
+    /// it should compute and [`set`](Network::set) the value itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range.
+    pub fn set_recalc(&mut self, var: VarId, f: impl Fn(&mut Network, VarId) + 'static) {
+        self.vars[var.index()].recalc = Some(Rc::new(f));
+    }
+
+    /// Adds a constraint over `args` and re-initialises it by propagating
+    /// the arguments' existing values along it in precedence order
+    /// (Fig. 4.13): user-specified first, then constraint-dependent, then
+    /// other independents.
+    ///
+    /// # Errors
+    ///
+    /// If re-initialisation raises a violation, every visited variable is
+    /// restored, the constraint is removed again, and the violation is
+    /// returned — the NIL validity feedback of §5.2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any argument id is out of range or if called during an
+    /// active propagation cycle.
+    pub fn add_constraint(
+        &mut self,
+        kind: impl ConstraintKind + 'static,
+        args: impl IntoIterator<Item = VarId>,
+    ) -> Result<ConstraintId, Violation> {
+        self.add_constraint_rc(Rc::new(kind), args)
+    }
+
+    /// [`add_constraint`](Network::add_constraint) for pre-shared kinds.
+    pub fn add_constraint_rc(
+        &mut self,
+        kind: Rc<dyn ConstraintKind>,
+        args: impl IntoIterator<Item = VarId>,
+    ) -> Result<ConstraintId, Violation> {
+        assert!(self.state.is_none(), "cannot edit network mid-propagation");
+        let cid = self.add_constraint_quiet_rc(kind, args);
+        if !self.enabled {
+            return Ok(cid);
+        }
+        match self.reinitialize(cid) {
+            Ok(()) => Ok(cid),
+            Err(v) => {
+                self.remove_constraint_quiet(cid);
+                Err(v)
+            }
+        }
+    }
+
+    /// Adds a constraint without re-initialising (bulk construction; also
+    /// what happens implicitly while propagation is disabled).
+    pub fn add_constraint_quiet(
+        &mut self,
+        kind: impl ConstraintKind + 'static,
+        args: impl IntoIterator<Item = VarId>,
+    ) -> ConstraintId {
+        self.add_constraint_quiet_rc(Rc::new(kind), args)
+    }
+
+    /// [`add_constraint_quiet`](Network::add_constraint_quiet) for
+    /// pre-shared kinds.
+    pub fn add_constraint_quiet_rc(
+        &mut self,
+        kind: Rc<dyn ConstraintKind>,
+        args: impl IntoIterator<Item = VarId>,
+    ) -> ConstraintId {
+        let args: Vec<VarId> = args.into_iter().collect();
+        for &a in &args {
+            assert!(a.index() < self.vars.len(), "argument {a} out of range");
+        }
+        let cid = ConstraintId(self.constraints.len() as u32);
+        for &a in &args {
+            self.vars[a.index()].constraints.push(cid);
+        }
+        self.constraints.push(ConstraintData {
+            kind,
+            args,
+            active: true,
+            enabled: true,
+        });
+        cid
+    }
+
+    /// Removes a constraint (Fig. 4.14 generalised to the whole
+    /// constraint): every value propagated by it — and every consequence of
+    /// those values — is erased to `Nil`, then the constraint is unwired.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called during an active propagation cycle.
+    pub fn remove_constraint(&mut self, cid: ConstraintId) {
+        assert!(self.state.is_none(), "cannot edit network mid-propagation");
+        if !self.constraints[cid.index()].active {
+            return;
+        }
+        if self.enabled {
+            let mut to_reset: Vec<VarId> = Vec::new();
+            for &arg in self.constraints[cid.index()].args.clone().iter() {
+                if self.vars[arg.index()].justification.source_constraint() == Some(cid) {
+                    for v in self.consequences(arg) {
+                        if !to_reset.contains(&v) {
+                            to_reset.push(v);
+                        }
+                    }
+                }
+            }
+            for v in to_reset {
+                self.reset(v);
+            }
+        }
+        self.remove_constraint_quiet(cid);
+    }
+
+    /// Unwires and tombstones a constraint without any erasure.
+    fn remove_constraint_quiet(&mut self, cid: ConstraintId) {
+        let args = std::mem::take(&mut self.constraints[cid.index()].args);
+        for a in args {
+            self.vars[a.index()].constraints.retain(|&c| c != cid);
+        }
+        self.constraints[cid.index()].active = false;
+    }
+
+    /// Detaches one argument from a constraint (`removeConstraint:` on a
+    /// variable, Fig. 4.14): erases values that depended on the pair, then
+    /// re-initialises the constraint over its remaining arguments.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any violation raised by the re-initialisation (values are
+    /// restored; the detachment itself stands).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called during an active propagation cycle.
+    pub fn detach_arg(&mut self, cid: ConstraintId, var: VarId) -> Result<(), Violation> {
+        assert!(self.state.is_none(), "cannot edit network mid-propagation");
+        if !self.constraints[cid.index()].args.contains(&var) {
+            return Ok(());
+        }
+        if self.enabled {
+            if self.vars[var.index()].justification.source_constraint() == Some(cid) {
+                // My value was last set by this constraint: reset me and all
+                // my consequences.
+                for v in self.consequences(var) {
+                    self.reset(v);
+                }
+            } else {
+                // Reset all variables that are consequences of me
+                // propagating through this constraint.
+                let mut out = Vec::new();
+                self.constraint_consequences(cid, var, &mut out);
+                for v in out {
+                    self.reset(v);
+                }
+            }
+        }
+        self.constraints[cid.index()].args.retain(|&a| a != var);
+        self.vars[var.index()].constraints.retain(|&c| c != cid);
+        if self.enabled && !self.constraints[cid.index()].args.is_empty() {
+            self.reinitialize(cid)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Attaches an additional argument to an existing constraint
+    /// (`addConstraint:` on a variable, Fig. 4.13) and re-initialises.
+    ///
+    /// # Errors
+    ///
+    /// On violation the attachment is rolled back and the violation
+    /// returned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called during an active propagation cycle.
+    pub fn attach_arg(&mut self, cid: ConstraintId, var: VarId) -> Result<(), Violation> {
+        assert!(self.state.is_none(), "cannot edit network mid-propagation");
+        assert!(self.constraints[cid.index()].active, "constraint removed");
+        if self.constraints[cid.index()].args.contains(&var) {
+            return Ok(());
+        }
+        self.constraints[cid.index()].args.push(var);
+        self.vars[var.index()].constraints.push(cid);
+        if !self.enabled {
+            return Ok(());
+        }
+        match self.reinitialize(cid) {
+            Ok(()) => Ok(()),
+            Err(v) => {
+                self.constraints[cid.index()].args.retain(|&a| a != var);
+                self.vars[var.index()].constraints.retain(|&c| c != cid);
+                Err(v)
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Access
+    // ------------------------------------------------------------------
+
+    /// Current value of `var`.
+    pub fn value(&self, var: VarId) -> &Value {
+        &self.vars[var.index()].value
+    }
+
+    /// Current value, running the lazy recalculation hook first when the
+    /// value is `Nil` (implicit invocation, Fig. 6.1).
+    pub fn value_or_recalc(&mut self, var: VarId) -> Value {
+        let d = &self.vars[var.index()];
+        if d.value.is_nil() && !d.evaluating {
+            if let Some(f) = d.recalc.clone() {
+                self.vars[var.index()].evaluating = true;
+                f(self, var);
+                self.vars[var.index()].evaluating = false;
+            }
+        }
+        self.vars[var.index()].value.clone()
+    }
+
+    /// Justification of `var`'s current value (`lastSetBy`).
+    pub fn justification(&self, var: VarId) -> &Justification {
+        &self.vars[var.index()].justification
+    }
+
+    /// Declared name of `var`.
+    pub fn var_name(&self, var: VarId) -> &str {
+        &self.vars[var.index()].name
+    }
+
+    /// `owner.name` display path of `var` (§4.1.1).
+    pub fn var_path(&self, var: VarId) -> String {
+        self.vars[var.index()].path()
+    }
+
+    /// Kind label of `var`.
+    pub fn var_kind_name(&self, var: VarId) -> String {
+        self.vars[var.index()].kind.kind_name().to_string()
+    }
+
+    /// Constraints referencing `var`.
+    pub fn constraints_of(&self, var: VarId) -> &[ConstraintId] {
+        &self.vars[var.index()].constraints
+    }
+
+    /// Argument list of `cid`.
+    pub fn args(&self, cid: ConstraintId) -> &[VarId] {
+        &self.constraints[cid.index()].args
+    }
+
+    /// Kind label of `cid`.
+    pub fn constraint_kind_name(&self, cid: ConstraintId) -> String {
+        self.constraints[cid.index()].kind.kind_name().to_string()
+    }
+
+    /// The arguments `cid`'s kind may assign during inference
+    /// ([`ConstraintKind::outputs`]), used by network compilation.
+    pub fn constraint_outputs(&self, cid: ConstraintId) -> Vec<VarId> {
+        self.constraints[cid.index()].kind.outputs(self, cid)
+    }
+
+    /// The strength of `cid`'s kind ([`ConstraintKind::strength`]).
+    pub fn constraint_strength(&self, cid: ConstraintId) -> u8 {
+        self.constraints[cid.index()].kind.strength()
+    }
+
+    /// Whether `cid` is still installed.
+    pub fn is_active(&self, cid: ConstraintId) -> bool {
+        self.constraints[cid.index()].active
+    }
+
+    /// Whether `cid` is currently satisfied by its arguments' values.
+    pub fn is_satisfied(&self, cid: ConstraintId) -> bool {
+        let d = &self.constraints[cid.index()];
+        !d.active || !d.enabled || d.kind.is_satisfied(self, cid)
+    }
+
+    /// Number of variables ever created.
+    pub fn n_variables(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of active constraints.
+    pub fn n_constraints(&self) -> usize {
+        self.constraints.iter().filter(|c| c.active).count()
+    }
+
+    /// Iterator over all variable ids.
+    pub fn variables(&self) -> impl Iterator<Item = VarId> + '_ {
+        (0..self.vars.len() as u32).map(VarId)
+    }
+
+    /// Iterator over all active constraint ids.
+    pub fn all_constraints(&self) -> impl Iterator<Item = ConstraintId> + '_ {
+        (0..self.constraints.len() as u32)
+            .map(ConstraintId)
+            .filter(move |c| self.constraints[c.index()].active)
+    }
+
+    /// Sweeps every active constraint for violations — useful after
+    /// re-enabling propagation, which the thesis notes has "no support …
+    /// for recovery from constraint inconsistency" (§5.3); this sweep is
+    /// that recovery aid.
+    pub fn check_all(&self) -> Vec<Violation> {
+        self.all_constraints()
+            .filter(|&c| !self.is_satisfied(c))
+            .map(|c| Violation::unsatisfied(c).with_kind_name(self.constraint_kind_name(c)))
+            .collect()
+    }
+
+    /// Accumulated engine counters.
+    pub fn stats(&self) -> Stats {
+        self.stats
+    }
+
+    /// Resets the engine counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = Stats::default();
+    }
+
+    /// The `CPSwitch` (§5.3): enables or disables constraint propagation
+    /// globally. While disabled, `set` performs plain assignments.
+    pub fn set_propagation_enabled(&mut self, enabled: bool) {
+        assert!(self.state.is_none(), "cannot toggle mid-propagation");
+        self.enabled = enabled;
+    }
+
+    /// Whether propagation is enabled.
+    pub fn is_propagation_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Enables or disables one constraint — the finer-grained control of
+    /// thesis §9.3: a disabled constraint neither propagates nor
+    /// participates in satisfaction checks, but stays wired and can be
+    /// re-enabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called during an active propagation cycle.
+    pub fn set_constraint_enabled(&mut self, cid: ConstraintId, enabled: bool) {
+        assert!(self.state.is_none(), "cannot toggle mid-propagation");
+        self.constraints[cid.index()].enabled = enabled;
+    }
+
+    /// Whether a constraint is individually enabled.
+    pub fn is_constraint_enabled(&self, cid: ConstraintId) -> bool {
+        self.constraints[cid.index()].enabled
+    }
+
+    /// Enables or disables every active constraint whose kind label equals
+    /// `kind_name` (§9.3: "specified types of constraints"). Returns how
+    /// many constraints were toggled.
+    pub fn set_kind_enabled(&mut self, kind_name: &str, enabled: bool) -> usize {
+        assert!(self.state.is_none(), "cannot toggle mid-propagation");
+        let mut n = 0;
+        for d in &mut self.constraints {
+            if d.active && d.kind.kind_name() == kind_name {
+                d.enabled = enabled;
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Sets the maximum number of non-`Nil` value changes a variable may
+    /// undergo per propagation cycle. `1` (the default) is the thesis's
+    /// one-value-change rule; §9.2.3 suggests relaxing it "to allow N
+    /// value changes in each propagation cycle" for reconvergent fanouts.
+    ///
+    /// # Panics
+    ///
+    /// Panics for `limit == 0` or if called during an active cycle.
+    pub fn set_value_change_limit(&mut self, limit: u32) {
+        assert!(limit >= 1, "the change limit must be at least 1");
+        assert!(self.state.is_none(), "cannot change mid-propagation");
+        self.value_change_limit = limit;
+    }
+
+    /// The current per-cycle value-change limit.
+    pub fn value_change_limit(&self) -> u32 {
+        self.value_change_limit
+    }
+
+    /// Executes a pre-compiled constraint order (thesis §9.3's "simple
+    /// topological sorts of the constraint networks"): each constraint is
+    /// inferred exactly once, in the given order, with no activation
+    /// discovery, then the executed constraints are checked.
+    ///
+    /// Build the order with [`compile_functional`](crate::compile_functional).
+    ///
+    /// # Errors
+    ///
+    /// On violation every visited variable is restored and the violation
+    /// returned, exactly as for [`Network::set`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if called re-entrantly.
+    pub fn run_compiled(&mut self, order: &[ConstraintId]) -> Result<(), Violation> {
+        assert!(self.state.is_none(), "run_compiled is not re-entrant");
+        if !self.enabled {
+            return Ok(());
+        }
+        self.begin_cycle(false);
+        self.state.as_mut().expect("cycle active").compiled = true;
+        let mut result = Ok(());
+        for &cid in order {
+            let d = &self.constraints[cid.index()];
+            if !d.active || !d.enabled {
+                continue;
+            }
+            {
+                let st = self.state.as_mut().expect("cycle active");
+                if st.visited_cset.insert(cid) {
+                    st.visited_constraints.push(cid);
+                }
+            }
+            let kind = self.constraints[cid.index()].kind.clone();
+            self.stats.inferences += 1;
+            result = kind.infer(self, cid, None);
+            if result.is_err() {
+                break;
+            }
+        }
+        self.finish_cycle(result)
+    }
+
+    /// Registers a violation handler, called after restoration whenever a
+    /// non-tentative cycle aborts (§4.2.3).
+    pub fn add_violation_handler(&mut self, f: impl Fn(&Network, &Violation) + 'static) {
+        self.handlers.push(Rc::new(f));
+    }
+
+    /// Declares (or re-prioritises) a scheduling agenda (§4.2.1).
+    pub fn define_agenda(&mut self, name: &'static str, priority: i32) {
+        self.scheduler.define(name, priority);
+    }
+
+    // ------------------------------------------------------------------
+    // Assignment & propagation
+    // ------------------------------------------------------------------
+
+    /// Erases `var` to `Nil`/`Unset` without propagation — the dependency
+    /// erasure primitive of Fig. 4.14.
+    pub fn reset(&mut self, var: VarId) {
+        let d = &mut self.vars[var.index()];
+        d.value = Value::Nil;
+        d.justification = Justification::Unset;
+    }
+
+    /// Captures every variable's value and justification — a checkpoint
+    /// for search procedures that tentatively commit whole candidate
+    /// combinations (joint module selection) and for the editor's
+    /// "restore all visited variables" function (§5.4) generalised.
+    pub fn snapshot(&self) -> ValueSnapshot {
+        ValueSnapshot {
+            entries: self
+                .vars
+                .iter()
+                .map(|d| (d.value.clone(), d.justification.clone()))
+                .collect(),
+        }
+    }
+
+    /// Restores a snapshot taken on this network: plain stores, no
+    /// propagation (the network returns to a state that was consistent
+    /// when captured). Variables created after the snapshot keep their
+    /// current values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called during an active propagation cycle.
+    pub fn restore_snapshot(&mut self, snapshot: &ValueSnapshot) {
+        assert!(self.state.is_none(), "cannot restore mid-propagation");
+        for (i, (value, justification)) in snapshot.entries.iter().enumerate() {
+            if let Some(d) = self.vars.get_mut(i) {
+                d.value = value.clone();
+                d.justification = justification.clone();
+            }
+        }
+    }
+
+    /// External assignment (`setTo:justification:`, Fig. 4.2): assigns
+    /// `value` to `var`, triggers full constraint propagation, drains the
+    /// agendas, and finally checks every visited constraint (Fig. 4.6).
+    ///
+    /// While propagation is disabled (§5.3) this is a plain store.
+    ///
+    /// # Errors
+    ///
+    /// On violation, every visited variable (including `var`) is restored
+    /// to its pre-call state, handlers run, and the violation is returned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called re-entrantly from inside a constraint kind; kinds
+    /// must use [`Network::propagate_set`].
+    pub fn set(
+        &mut self,
+        var: VarId,
+        value: Value,
+        justification: Justification,
+    ) -> Result<(), Violation> {
+        assert!(
+            self.state.is_none(),
+            "Network::set is not re-entrant; constraint kinds must use propagate_set"
+        );
+        if let Justification::Propagated { constraint, .. } = &justification {
+            // External setters use the symbolic justifications; forged
+            // propagated records would corrupt dependency analysis (and an
+            // id from another arena could index out of bounds).
+            assert!(
+                constraint.index() < self.constraints.len(),
+                "Propagated justification references an unknown constraint; \
+                 external assignments should use User/Application/… instead"
+            );
+        }
+        if !self.enabled {
+            self.assign_raw(var, value, justification);
+            return Ok(());
+        }
+        self.begin_cycle(false);
+        self.save_visited(var);
+        self.pin_root(var);
+        self.assign_raw(var, value, justification);
+        self.push_activations(var, None);
+        let result = self.run_cycle();
+        self.finish_cycle(result)
+    }
+
+    /// Tentative validity probe (`canBeSetTo:`, Fig. 8.2): assigns `value`
+    /// with [`Justification::Tentative`], propagates, then restores all
+    /// visited variables unconditionally. Returns whether propagation
+    /// completed without violation. Handlers are not notified.
+    ///
+    /// While propagation is disabled this always returns `true`.
+    pub fn can_be_set_to(&mut self, var: VarId, value: Value) -> bool {
+        assert!(self.state.is_none(), "can_be_set_to is not re-entrant");
+        if !self.enabled {
+            return true;
+        }
+        self.begin_cycle(true);
+        self.save_visited(var);
+        self.pin_root(var);
+        self.assign_raw(var, value, Justification::Tentative);
+        self.push_activations(var, None);
+        let mut result = self.run_cycle();
+        if result.is_ok() {
+            result = self.final_check();
+        }
+        // Always restore (Fig. 8.2: "propagate, then restore prev values").
+        let state = self.state.take().expect("cycle active");
+        self.restore(&state);
+        self.scheduler.clear();
+        if result.is_err() {
+            self.stats.violations += 1;
+        }
+        result.is_ok()
+    }
+
+    /// Propagated assignment (`setTo:constraint:justification:`, Fig. 4.3),
+    /// called by constraint kinds from `infer`. Applies the termination
+    /// criteria of §4.2.2:
+    ///
+    /// 1. equal value → [`SetStatus::Unchanged`], propagation stops here;
+    /// 2. already visited with a different value → revisit violation
+    ///    (the one-value-change rule);
+    /// 3. the variable kind may `Deny` (violation) or `Ignore` (silent
+    ///    keep) the overwrite;
+    ///
+    /// otherwise the value is assigned and the variable's other constraints
+    /// are activated.
+    ///
+    /// # Errors
+    ///
+    /// Returns the violation for cases 2 and 3; the caller should abort
+    /// (`?`) so the engine can restore.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no propagation cycle is active.
+    pub fn propagate_set(
+        &mut self,
+        var: VarId,
+        value: Value,
+        source: ConstraintId,
+        record: DependencyRecord,
+    ) -> Result<SetStatus, Violation> {
+        assert!(
+            self.state.is_some(),
+            "propagate_set outside a propagation cycle"
+        );
+        let current_is_nil = {
+            let current = &self.vars[var.index()].value;
+            if *current == value {
+                return Ok(SetStatus::Unchanged);
+            }
+            current.is_nil()
+        };
+        // One-value-change rule: a visited variable may not change its
+        // (non-Nil) value again — or, when the limit is relaxed per §9.2.3,
+        // not more than `value_change_limit` times. Filling in a Nil is a
+        // first assignment, not a change — variables "can change value to
+        // or from NIL freely" (Fig. 7.4), which is also what lets
+        // re-initialisation (Fig. 4.13) seed all arguments as visited
+        // before propagating them.
+        if !current_is_nil {
+            let st = self.state.as_ref().expect("cycle active");
+            if st.visited_vars.contains_key(&var) {
+                let changes = st.change_counts.get(&var).copied().unwrap_or(0);
+                if changes >= self.value_change_limit {
+                    return Err(Violation::revisit(var, source, value));
+                }
+            }
+        }
+        if !current_is_nil {
+            let kind = self.vars[var.index()].kind.clone();
+            match kind.overwrite(self, var, &value, Some(source)) {
+                Overwrite::Deny => {
+                    return Err(Violation::overwrite_denied(var, Some(source), value))
+                }
+                Overwrite::Ignore => return Ok(SetStatus::Ignored),
+                Overwrite::Allow => {}
+            }
+        }
+        self.save_visited(var);
+        if !current_is_nil {
+            *self
+                .state
+                .as_mut()
+                .expect("cycle active")
+                .change_counts
+                .entry(var)
+                .or_insert(0) += 1;
+        }
+        self.assign_raw(
+            var,
+            value,
+            Justification::Propagated {
+                constraint: source,
+                record,
+            },
+        );
+        self.push_activations(var, Some(source));
+        Ok(SetStatus::Changed)
+    }
+
+    // ------------------------------------------------------------------
+    // Engine internals
+    // ------------------------------------------------------------------
+
+    fn assign_raw(&mut self, var: VarId, value: Value, justification: Justification) {
+        let d = &mut self.vars[var.index()];
+        d.value = value;
+        d.justification = justification;
+        self.stats.assignments += 1;
+    }
+
+    /// Marks the externally assigned root of a cycle as having consumed
+    /// its full change budget: propagation must never overwrite the value
+    /// the user just set (this is what turns the Fig. 4.9 cycle into a
+    /// violation at the first wrap-around).
+    fn pin_root(&mut self, var: VarId) {
+        let limit = self.value_change_limit;
+        self.state
+            .as_mut()
+            .expect("cycle active")
+            .change_counts
+            .insert(var, limit);
+    }
+
+    fn save_visited(&mut self, var: VarId) {
+        let saved = SavedVar {
+            value: self.vars[var.index()].value.clone(),
+            justification: self.vars[var.index()].justification.clone(),
+        };
+        self.state
+            .as_mut()
+            .expect("cycle active")
+            .visited_vars
+            .entry(var)
+            .or_insert(saved);
+    }
+
+    /// Pushes `(constraint, var)` activations for every constraint of
+    /// `var` except `exclude` (the source that just set it, Fig. 4.3), in
+    /// reverse list order so the stack pops them first-to-last — the
+    /// depth-first traversal of §4.2.
+    fn push_activations(&mut self, var: VarId, exclude: Option<ConstraintId>) {
+        let cids = self.vars[var.index()].constraints.clone();
+        let st = self.state.as_mut().expect("cycle active");
+        if st.compiled {
+            // Straight-line compiled execution evaluates constraints in a
+            // precomputed order; no discovery.
+            return;
+        }
+        for &cid in cids.iter().rev() {
+            if Some(cid) != exclude {
+                st.pending.push((cid, var));
+            }
+        }
+    }
+
+    fn begin_cycle(&mut self, silent: bool) {
+        debug_assert!(self.scheduler.is_empty(), "agendas leaked between cycles");
+        self.state = Some(PropState {
+            silent,
+            ..PropState::default()
+        });
+        self.stats.cycles += 1;
+    }
+
+    /// Drains the depth-first stack, then the agendas by priority, until
+    /// both are exhausted (the loop of Fig. 4.8).
+    fn run_cycle(&mut self) -> Result<(), Violation> {
+        loop {
+            let next = self.state.as_mut().expect("cycle active").pending.pop();
+            if let Some((cid, var)) = next {
+                self.dispatch(cid, var)?;
+            } else if let Some((cid, var)) = self.scheduler.pop_highest() {
+                {
+                    let d = &self.constraints[cid.index()];
+                    if !d.active || !d.enabled {
+                        continue;
+                    }
+                }
+                self.stats.scheduled_runs += 1;
+                self.stats.inferences += 1;
+                let kind = self.constraints[cid.index()].kind.clone();
+                kind.infer(self, cid, var)?;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Delivers one `propagateVariable:` activation.
+    fn dispatch(&mut self, cid: ConstraintId, changed: VarId) -> Result<(), Violation> {
+        {
+            let d = &self.constraints[cid.index()];
+            if !d.active || !d.enabled {
+                return Ok(());
+            }
+        }
+        self.stats.activations += 1;
+        {
+            let st = self.state.as_mut().expect("cycle active");
+            if st.visited_cset.insert(cid) {
+                st.visited_constraints.push(cid);
+            }
+        }
+        let kind = self.constraints[cid.index()].kind.clone();
+        if !kind.should_activate(self, cid, changed) {
+            return Ok(());
+        }
+        match kind.activation() {
+            Activation::Immediate => {
+                self.stats.inferences += 1;
+                kind.infer(self, cid, Some(changed))
+            }
+            Activation::Scheduled(agenda) => {
+                let entry_var = kind.schedules_with_variable().then_some(changed);
+                if self.scheduler.schedule(agenda, cid, entry_var) {
+                    self.stats.schedules += 1;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Final satisfaction sweep plus commit/restore (Figs. 4.6 and 4.10).
+    fn finish_cycle(&mut self, result: Result<(), Violation>) -> Result<(), Violation> {
+        let result = result.and_then(|()| self.final_check());
+        let state = self.state.take().expect("cycle active");
+        match result {
+            Ok(()) => Ok(()),
+            Err(v) => {
+                self.restore(&state);
+                self.scheduler.clear();
+                self.stats.violations += 1;
+                if !state.silent {
+                    let handlers = self.handlers.clone();
+                    for h in &handlers {
+                        h(self, &v);
+                    }
+                }
+                Err(v)
+            }
+        }
+    }
+
+    fn final_check(&self) -> Result<(), Violation> {
+        let st = self.state.as_ref().expect("cycle active");
+        for &cid in &st.visited_constraints {
+            let d = &self.constraints[cid.index()];
+            if d.active && d.enabled && !d.kind.is_satisfied(self, cid) {
+                let name = d.kind.kind_name().to_string();
+                return Err(Violation::unsatisfied(cid).with_kind_name(name));
+            }
+        }
+        Ok(())
+    }
+
+    fn restore(&mut self, state: &PropState) {
+        for (&var, saved) in &state.visited_vars {
+            let d = &mut self.vars[var.index()];
+            d.value = saved.value.clone();
+            d.justification = saved.justification.clone();
+        }
+    }
+
+    /// Re-initialises an edited constraint (`reInitializeVariables` /
+    /// `rePropagate`, Fig. 4.13): arguments are grouped as user-specified,
+    /// constraint-dependent and other-independent, then each yet-unvisited
+    /// argument asserts its value along the edited constraint, in that
+    /// precedence order.
+    fn reinitialize(&mut self, cid: ConstraintId) -> Result<(), Violation> {
+        self.begin_cycle(false);
+        let args = self.constraints[cid.index()].args.clone();
+        let mut user = Vec::new();
+        let mut dependents = Vec::new();
+        let mut others = Vec::new();
+        for a in args {
+            match self.vars[a.index()].justification {
+                Justification::User => user.push(a),
+                Justification::Propagated { .. } => dependents.push(a),
+                _ => others.push(a),
+            }
+        }
+        let ordered: Vec<VarId> = user
+            .into_iter()
+            .chain(dependents)
+            .chain(others)
+            .collect();
+        let mut result = Ok(());
+        for arg in ordered {
+            let fresh = !self
+                .state
+                .as_ref()
+                .expect("cycle active")
+                .visited_vars
+                .contains_key(&arg);
+            if fresh {
+                self.save_visited(arg);
+                result = self.dispatch(cid, arg).and_then(|()| self.run_cycle());
+                if result.is_err() {
+                    break;
+                }
+            }
+        }
+        self.finish_cycle(result)
+    }
+
+    // ------------------------------------------------------------------
+    // Dependency analysis (§4.2.4, Figs. 4.11–4.12)
+    // ------------------------------------------------------------------
+
+    /// All variables and constraints responsible for `var`'s current value:
+    /// a backward traversal of the dependency graph (`antecedents:`,
+    /// Fig. 4.11). The result includes `var` itself, in discovery order.
+    pub fn antecedents(&self, var: VarId) -> (Vec<VarId>, Vec<ConstraintId>) {
+        let mut vars = Vec::new();
+        let mut cons = Vec::new();
+        let mut seen_vars = std::collections::HashSet::new();
+        let mut seen_cons = std::collections::HashSet::new();
+        // Explicit work stack: dependency chains can be as deep as the
+        // network is long, so recursion would overflow (see tests/scale.rs).
+        let mut work = vec![var];
+        while let Some(var) = work.pop() {
+            if !seen_vars.insert(var) {
+                continue;
+            }
+            vars.push(var);
+            let just = &self.vars[var.index()].justification;
+            if let Justification::Propagated { constraint, record } = just {
+                let cid = *constraint;
+                if seen_cons.insert(cid) {
+                    cons.push(cid);
+                }
+                let kind = self.constraints[cid.index()].kind.clone();
+                let record = record.clone();
+                for &arg in self.constraints[cid.index()].args.iter().rev() {
+                    if arg != var && kind.depends_on(self, cid, &record, arg) {
+                        work.push(arg);
+                    }
+                }
+            }
+        }
+        (vars, cons)
+    }
+
+    /// All variables whose values depend on `var`'s current value: a
+    /// forward traversal of the dependency graph (`consequences:`,
+    /// Fig. 4.12). Includes `var` itself, in discovery order.
+    pub fn consequences(&self, var: VarId) -> Vec<VarId> {
+        let mut out = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        self.consequences_iterative(vec![var], &mut out, &mut seen);
+        out
+    }
+
+    /// Iterative forward walk (explicit stack; chains can be arbitrarily
+    /// deep, see tests/scale.rs).
+    fn consequences_iterative(
+        &self,
+        mut work: Vec<VarId>,
+        out: &mut Vec<VarId>,
+        seen: &mut std::collections::HashSet<VarId>,
+    ) {
+        while let Some(var) = work.pop() {
+            if !seen.insert(var) {
+                continue;
+            }
+            out.push(var);
+            for &cid in self.vars[var.index()].constraints.iter() {
+                if !self.constraints[cid.index()].active {
+                    continue;
+                }
+                let kind = self.constraints[cid.index()].kind.clone();
+                for &arg in self.constraints[cid.index()].args.iter().rev() {
+                    if arg == var {
+                        continue;
+                    }
+                    let just = &self.vars[arg.index()].justification;
+                    if let Justification::Propagated { constraint, record } = just {
+                        if *constraint == cid && kind.depends_on(self, cid, record, var) {
+                            work.push(arg);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Consequences of `source` flowing through one constraint
+    /// (`consequences:ofVariable:`, Fig. 4.12): arguments last set by this
+    /// constraint whose dependency record contains `source`.
+    fn constraint_consequences(&self, cid: ConstraintId, source: VarId, out: &mut Vec<VarId>) {
+        if !self.constraints[cid.index()].active {
+            return;
+        }
+        let mut seen: std::collections::HashSet<VarId> = out.iter().copied().collect();
+        let kind = self.constraints[cid.index()].kind.clone();
+        let mut work = Vec::new();
+        for &arg in self.constraints[cid.index()].args.iter() {
+            if arg == source {
+                continue;
+            }
+            let just = &self.vars[arg.index()].justification;
+            if let Justification::Propagated { constraint, record } = just {
+                if *constraint == cid && kind.depends_on(self, cid, record, source) {
+                    work.push(arg);
+                }
+            }
+        }
+        self.consequences_iterative(work, out, &mut seen);
+    }
+}

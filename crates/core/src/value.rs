@@ -1,0 +1,356 @@
+use std::fmt;
+use std::sync::Arc;
+
+use stem_geom::Rect;
+
+/// A closed interval of reals, used for parameter ranges: the class-side
+/// variable of a parameter "characterizes the range of the parameter values
+/// that can be handled by the cell" (thesis §5.1.1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Span {
+    /// Inclusive lower bound.
+    pub lo: f64,
+    /// Inclusive upper bound.
+    pub hi: f64,
+}
+
+impl Span {
+    /// Creates a span.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or either bound is NaN.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo <= hi, "span bounds out of order: {lo} > {hi}");
+        Span { lo, hi }
+    }
+
+    /// Whether `x` lies in the span.
+    pub fn contains(&self, x: f64) -> bool {
+        self.lo <= x && x <= self.hi
+    }
+
+    /// Whether `other` is entirely inside `self`.
+    pub fn contains_span(&self, other: Span) -> bool {
+        self.lo <= other.lo && other.hi <= self.hi
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+/// Reference to a node in a signal-type hierarchy (thesis §7.1, Fig. 7.2).
+///
+/// The hierarchy itself lives outside the core crate (in `stem-checking`'s
+/// `TypeHierarchy`); the core value only needs identity so that equality
+/// comparisons and dependency records work. `hierarchy` disambiguates
+/// between forests (data types vs. electrical types).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TypeTag {
+    /// Which type forest the node belongs to.
+    pub hierarchy: u32,
+    /// Node index within the forest.
+    pub node: u32,
+}
+
+impl fmt::Display for TypeTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "type#{}.{}", self.hierarchy, self.node)
+    }
+}
+
+/// The value held by a constraint variable.
+///
+/// STEM variables hold heterogeneous Smalltalk objects; this closed enum
+/// covers every value the thesis propagates: numbers, bit widths, signal
+/// types, bounding boxes, delays (as floats, in nanoseconds), parameter
+/// ranges, strings, and lists. `Nil` is the distinguished "no value yet"
+/// used throughout chapter 4 (erased/propagatable state).
+///
+/// ```
+/// use stem_core::Value;
+/// assert!(Value::Nil.is_nil());
+/// assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+/// assert_eq!(Value::BitWidth(8).as_f64(), Some(8.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// No value (Smalltalk `nil`). Propagating into `Nil` is always allowed;
+    /// `Nil` itself carries no information to propagate.
+    #[default]
+    Nil,
+    /// Boolean.
+    Bool(bool),
+    /// Integer (counts, parameters).
+    Int(i64),
+    /// Real (delays in nanoseconds, resistances, capacitances).
+    Float(f64),
+    /// Interned string (names, options).
+    Str(Arc<str>),
+    /// Signal bit width (§7.1).
+    BitWidth(u32),
+    /// Parameter range (§5.1.1).
+    Span(Span),
+    /// Signal data/electrical type (§7.1).
+    TypeRef(TypeTag),
+    /// Bounding box (§7.2).
+    Rect(Rect),
+    /// Ordered list of values.
+    List(Vec<Value>),
+}
+
+impl Value {
+    /// Convenience constructor for interned strings.
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Whether this is [`Value::Nil`].
+    pub fn is_nil(&self) -> bool {
+        matches!(self, Value::Nil)
+    }
+
+    /// Numeric view of the value: `Int`, `Float` and `BitWidth` coerce;
+    /// everything else is `None`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            Value::BitWidth(w) => Some(*w as f64),
+            _ => None,
+        }
+    }
+
+    /// Integer view (exact): `Int` and `BitWidth` only.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::BitWidth(w) => Some(*w as i64),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Rectangle view.
+    pub fn as_rect(&self) -> Option<Rect> {
+        match self {
+            Value::Rect(r) => Some(*r),
+            _ => None,
+        }
+    }
+
+    /// Type-tag view.
+    pub fn as_type(&self) -> Option<TypeTag> {
+        match self {
+            Value::TypeRef(t) => Some(*t),
+            _ => None,
+        }
+    }
+
+    /// Span view.
+    pub fn as_span(&self) -> Option<Span> {
+        match self {
+            Value::Span(s) => Some(*s),
+            _ => None,
+        }
+    }
+
+    /// Bit-width view.
+    pub fn as_bit_width(&self) -> Option<u32> {
+        match self {
+            Value::BitWidth(w) => Some(*w),
+            _ => None,
+        }
+    }
+
+    /// Numeric comparison between two values, when both are numeric.
+    pub fn numeric_cmp(&self, other: &Value) -> Option<std::cmp::Ordering> {
+        match (self.as_f64(), other.as_f64()) {
+            (Some(a), Some(b)) => a.partial_cmp(&b),
+            _ => None,
+        }
+    }
+
+    /// Numeric addition preserving integer-ness where possible.
+    pub fn numeric_add(&self, other: &Value) -> Option<Value> {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => Some(Value::Int(a + b)),
+            _ => Some(Value::Float(self.as_f64()? + other.as_f64()?)),
+        }
+    }
+
+    /// Numeric maximum preserving representation of the larger operand.
+    pub fn numeric_max(&self, other: &Value) -> Option<Value> {
+        let (a, b) = (self.as_f64()?, other.as_f64()?);
+        Some(if a >= b { self.clone() } else { other.clone() })
+    }
+
+    /// Numeric minimum preserving representation of the smaller operand.
+    pub fn numeric_min(&self, other: &Value) -> Option<Value> {
+        let (a, b) = (self.as_f64()?, other.as_f64()?);
+        Some(if a <= b { self.clone() } else { other.clone() })
+    }
+
+    /// Short label of the value's kind, used by the network inspector.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Value::Nil => "nil",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Str(_) => "str",
+            Value::BitWidth(_) => "bitWidth",
+            Value::Span(_) => "span",
+            Value::TypeRef(_) => "type",
+            Value::Rect(_) => "rect",
+            Value::List(_) => "list",
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Nil => write!(f, "nil"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::BitWidth(w) => write!(f, "{w}b"),
+            Value::Span(s) => write!(f, "{s}"),
+            Value::TypeRef(t) => write!(f, "{t}"),
+            Value::Rect(r) => write!(f, "{r}"),
+            Value::List(vs) => {
+                write!(f, "(")?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(x: f64) -> Self {
+        Value::Float(x)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<Rect> for Value {
+    fn from(r: Rect) -> Self {
+        Value::Rect(r)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stem_geom::Point;
+
+    #[test]
+    fn span_containment() {
+        let s = Span::new(1.0, 4.0);
+        assert!(s.contains(1.0));
+        assert!(s.contains(4.0));
+        assert!(!s.contains(4.5));
+        assert!(s.contains_span(Span::new(2.0, 3.0)));
+        assert!(!s.contains_span(Span::new(0.0, 3.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn span_rejects_inverted_bounds() {
+        let _ = Span::new(2.0, 1.0);
+    }
+
+    #[test]
+    fn coercions() {
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Float(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::BitWidth(8).as_i64(), Some(8));
+        assert_eq!(Value::Nil.as_f64(), None);
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::str("x").as_bool(), None);
+    }
+
+    #[test]
+    fn arithmetic_preserves_int() {
+        assert_eq!(
+            Value::Int(2).numeric_add(&Value::Int(3)),
+            Some(Value::Int(5))
+        );
+        assert_eq!(
+            Value::Int(2).numeric_add(&Value::Float(0.5)),
+            Some(Value::Float(2.5))
+        );
+        assert_eq!(Value::Nil.numeric_add(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn max_min() {
+        assert_eq!(
+            Value::Int(2).numeric_max(&Value::Float(3.0)),
+            Some(Value::Float(3.0))
+        );
+        assert_eq!(
+            Value::Int(2).numeric_min(&Value::Float(3.0)),
+            Some(Value::Int(2))
+        );
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Nil.to_string(), "nil");
+        assert_eq!(Value::BitWidth(8).to_string(), "8b");
+        assert_eq!(
+            Value::List(vec![Value::Int(1), Value::Int(2)]).to_string(),
+            "(1 2)"
+        );
+        assert_eq!(
+            Value::Rect(Rect::new(Point::new(0, 0), Point::new(1, 1))).to_string(),
+            "[(0, 0) .. (1, 1)]"
+        );
+    }
+
+    #[test]
+    fn equality_by_content() {
+        assert_eq!(Value::str("abc"), Value::str("abc"));
+        assert_ne!(Value::Int(1), Value::Float(1.0));
+        assert_eq!(
+            Value::TypeRef(TypeTag { hierarchy: 0, node: 2 }),
+            Value::TypeRef(TypeTag { hierarchy: 0, node: 2 })
+        );
+    }
+}

@@ -1,0 +1,165 @@
+use crate::ids::{ConstraintId, VarId};
+use crate::value::Value;
+use std::error::Error;
+use std::fmt;
+
+/// Why a propagation cycle was aborted (thesis §4.2.2–4.2.3).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ViolationKind {
+    /// A constraint tried to change a variable that already changed value
+    /// during this propagation — the one-value-change rule, which also
+    /// rejects cyclic propagation (Fig. 4.9).
+    Revisit,
+    /// A propagated value disagreed with a protected (e.g. user-specified)
+    /// value and the variable kind denied the overwrite.
+    OverwriteDenied,
+    /// A visited constraint's `is_satisfied` test failed in the final check
+    /// (Fig. 4.6) or during re-initialisation.
+    Unsatisfied,
+    /// A constraint kind raised a violation of its own.
+    Custom(String),
+}
+
+impl fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ViolationKind::Revisit => write!(f, "revisit (one-value-change rule)"),
+            ViolationKind::OverwriteDenied => write!(f, "overwrite denied"),
+            ViolationKind::Unsatisfied => write!(f, "constraint unsatisfied"),
+            ViolationKind::Custom(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// A constraint violation.
+///
+/// When propagation detects a violation the engine restores every visited
+/// variable to its pre-propagation state (the default violation handler of
+/// Fig. 4.10), notifies registered handlers, and returns the violation as an
+/// `Err` — the NIL validity feedback of thesis §5.2, in `Result` form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// What went wrong.
+    pub kind: ViolationKind,
+    /// The variable at which the violation was detected, if any.
+    pub variable: Option<VarId>,
+    /// The constraint that detected (or failed) the check, if any.
+    pub constraint: Option<ConstraintId>,
+    /// The value whose assignment was rejected, if any.
+    pub rejected: Option<Value>,
+    /// Kind label of the failing constraint, when known (for diagnostics).
+    pub kind_name: Option<String>,
+}
+
+impl Violation {
+    /// A one-value-change-rule violation at `variable`, caused while
+    /// `constraint` was propagating.
+    pub fn revisit(variable: VarId, constraint: ConstraintId, rejected: Value) -> Self {
+        Violation {
+            kind: ViolationKind::Revisit,
+            variable: Some(variable),
+            constraint: Some(constraint),
+            rejected: Some(rejected),
+            kind_name: None,
+        }
+    }
+
+    /// An overwrite-denied violation at `variable`.
+    pub fn overwrite_denied(
+        variable: VarId,
+        constraint: Option<ConstraintId>,
+        rejected: Value,
+    ) -> Self {
+        Violation {
+            kind: ViolationKind::OverwriteDenied,
+            variable: Some(variable),
+            constraint,
+            rejected: Some(rejected),
+            kind_name: None,
+        }
+    }
+
+    /// An `is_satisfied` failure of `constraint`.
+    pub fn unsatisfied(constraint: ConstraintId) -> Self {
+        Violation {
+            kind: ViolationKind::Unsatisfied,
+            variable: None,
+            constraint: Some(constraint),
+            rejected: None,
+            kind_name: None,
+        }
+    }
+
+    /// Attaches the failing constraint's kind label for diagnostics.
+    #[must_use]
+    pub fn with_kind_name(mut self, name: impl Into<String>) -> Self {
+        self.kind_name = Some(name.into());
+        self
+    }
+
+    /// A custom violation raised by a constraint kind.
+    pub fn custom(message: impl Into<String>, constraint: Option<ConstraintId>) -> Self {
+        Violation {
+            kind: ViolationKind::Custom(message.into()),
+            variable: None,
+            constraint,
+            rejected: None,
+            kind_name: None,
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "constraint violation: {}", self.kind)?;
+        if let Some(v) = self.variable {
+            write!(f, " at {v}")?;
+        }
+        if let Some(c) = self.constraint {
+            write!(f, " by {c}")?;
+            if let Some(name) = &self.kind_name {
+                write!(f, " ({name})")?;
+            }
+        }
+        if let Some(val) = &self.rejected {
+            write!(f, " (rejected value {val})")?;
+        }
+        Ok(())
+    }
+}
+
+impl Error for Violation {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_fill_fields() {
+        let v = Violation::revisit(VarId(1), ConstraintId(2), Value::Int(5));
+        assert_eq!(v.kind, ViolationKind::Revisit);
+        assert_eq!(v.variable, Some(VarId(1)));
+        assert_eq!(v.constraint, Some(ConstraintId(2)));
+        assert_eq!(v.rejected, Some(Value::Int(5)));
+
+        let u = Violation::unsatisfied(ConstraintId(3));
+        assert_eq!(u.kind, ViolationKind::Unsatisfied);
+        assert_eq!(u.variable, None);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let v = Violation::revisit(VarId(1), ConstraintId(2), Value::Int(16));
+        let s = v.to_string();
+        assert!(s.contains("one-value-change"));
+        assert!(s.contains("v1"));
+        assert!(s.contains("c2"));
+        assert!(s.contains("16"));
+    }
+
+    #[test]
+    fn error_trait() {
+        fn takes_error<E: Error>(_: E) {}
+        takes_error(Violation::unsatisfied(ConstraintId(0)));
+    }
+}

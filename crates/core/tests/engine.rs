@@ -1,0 +1,351 @@
+//! Engine-level integration tests reproducing the worked examples of thesis
+//! chapter 4 (experiments E1, E2 of DESIGN.md) plus the editing and
+//! dependency-analysis behaviours of §4.2.4–4.2.5.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use stem_core::kinds::{Equality, Functional, Predicate, UpdateConstraint};
+use stem_core::{
+    DependencyRecord, Justification, Network, NetworkInspector, Value, ViolationKind,
+};
+
+/// E1 — thesis Fig. 4.5: V1 = V2, V4 = max(V2, V3); with V3 = 7, setting
+/// V1 := 9 propagates V2 := 9 and V4 := 9.
+#[test]
+fn fig4_5_simple_network() {
+    let mut net = Network::new();
+    let v1 = net.add_variable("V1");
+    let v2 = net.add_variable("V2");
+    let v3 = net.add_variable("V3");
+    let v4 = net.add_variable("V4");
+    net.add_constraint(Equality::new(), [v1, v2]).unwrap();
+    net.add_constraint(Functional::uni_maximum(), [v2, v3, v4])
+        .unwrap();
+
+    // Initial state of the figure: V1=7, V2=7, V3=7(ish), V4=7.
+    net.set(v3, Value::Int(7), Justification::User).unwrap();
+    net.set(v1, Value::Int(7), Justification::User).unwrap();
+    assert_eq!(net.value(v2), &Value::Int(7));
+    assert_eq!(net.value(v4), &Value::Int(7));
+
+    // Fig. 4.5(b): user changes V1 to 9.
+    net.set(v1, Value::Int(9), Justification::User).unwrap();
+    assert_eq!(net.value(v2), &Value::Int(9));
+    assert_eq!(net.value(v4), &Value::Int(9), "max(9, 7) = 9");
+}
+
+/// E2 — thesis Fig. 4.9: the cyclic network V2 = V1+1, V3 = V2+3,
+/// V1 = V3+2 cannot be satisfied. Setting V1 := 10 propagates 11 and 14,
+/// then the attempt to assign V1 := 16 violates the one-value-change rule
+/// and the network is restored.
+#[test]
+fn fig4_9_cyclic_constraints() {
+    let mut net = Network::new();
+    let v1 = net.add_variable("V1");
+    let v2 = net.add_variable("V2");
+    let v3 = net.add_variable("V3");
+    let plus = |k: i64| {
+        Functional::custom("plusConst", move |vals| {
+            vals[0].as_i64().map(|x| Value::Int(x + k))
+        })
+    };
+    net.add_constraint(plus(1), [v1, v2]).unwrap();
+    net.add_constraint(plus(3), [v2, v3]).unwrap();
+    net.add_constraint(plus(2), [v3, v1]).unwrap();
+
+    let err = net.set(v1, Value::Int(10), Justification::User).unwrap_err();
+    assert_eq!(err.kind, ViolationKind::Revisit);
+    assert_eq!(err.variable, Some(v1));
+    assert_eq!(err.rejected, Some(Value::Int(16)), "10+1+3+2");
+
+    // Default violation handling (Fig. 4.10): every visited variable is
+    // restored to its pre-propagation state.
+    assert!(net.value(v1).is_nil());
+    assert!(net.value(v2).is_nil());
+    assert!(net.value(v3).is_nil());
+}
+
+/// Cyclic constraints that happen to be *consistent* propagate fine: the
+/// thesis prohibits cyclic propagation, not cyclic constraints.
+#[test]
+fn consistent_cycle_terminates() {
+    let mut net = Network::new();
+    let a = net.add_variable("a");
+    let b = net.add_variable("b");
+    // a = b and b = a (two equality constraints forming a cycle).
+    net.add_constraint(Equality::new(), [a, b]).unwrap();
+    net.add_constraint(Equality::new(), [b, a]).unwrap();
+    net.set(a, Value::Int(4), Justification::User).unwrap();
+    assert_eq!(net.value(b), &Value::Int(4));
+}
+
+#[test]
+fn user_value_blocks_propagation_with_violation() {
+    let mut net = Network::new();
+    let a = net.add_variable("a");
+    let b = net.add_variable("b");
+    net.set(b, Value::Int(1), Justification::User).unwrap();
+    net.add_constraint(Equality::new(), [a, b]).unwrap();
+    // b is user-specified; propagating 2 into it must fail and restore.
+    let err = net.set(a, Value::Int(2), Justification::User).unwrap_err();
+    assert_eq!(err.kind, ViolationKind::OverwriteDenied);
+    assert_eq!(net.value(a), &Value::Int(1), "a keeps the propagated 1");
+    assert_eq!(net.value(b), &Value::Int(1));
+}
+
+#[test]
+fn application_value_is_overwritten_by_propagation() {
+    let mut net = Network::new();
+    let a = net.add_variable("a");
+    let b = net.add_variable("b");
+    net.set(b, Value::Int(1), Justification::Application).unwrap();
+    net.add_constraint(Equality::new(), [a, b]).unwrap();
+    net.set(a, Value::Int(2), Justification::User).unwrap();
+    assert_eq!(net.value(b), &Value::Int(2));
+}
+
+#[test]
+fn violation_handlers_run_after_restore() {
+    let mut net = Network::new();
+    let a = net.add_variable("a");
+    net.add_constraint(Predicate::le_const(Value::Int(5)), [a])
+        .unwrap();
+    net.set(a, Value::Int(3), Justification::Application).unwrap();
+    let log: Rc<RefCell<Vec<String>>> = Rc::new(RefCell::new(Vec::new()));
+    let log2 = log.clone();
+    net.add_violation_handler(move |net, v| {
+        // At handler time the network is already restored: `a` is back to 3.
+        log2.borrow_mut().push(format!("{v} a={}", net.value(a)));
+    });
+    let _ = net.set(a, Value::Int(9), Justification::User);
+    assert_eq!(log.borrow().len(), 1);
+    assert!(log.borrow()[0].contains("unsatisfied"), "{:?}", log.borrow());
+    assert!(log.borrow()[0].contains("a=3"), "{:?}", log.borrow());
+}
+
+#[test]
+fn cpswitch_disables_propagation_and_checking() {
+    let mut net = Network::new();
+    let a = net.add_variable("a");
+    let b = net.add_variable("b");
+    let cid = net.add_constraint(Equality::new(), [a, b]).unwrap();
+    net.set_propagation_enabled(false);
+    net.set(a, Value::Int(1), Justification::User).unwrap();
+    net.set(b, Value::Int(2), Justification::User).unwrap();
+    assert!(net.value(a) != net.value(b), "no propagation while disabled");
+    assert!(!net.is_satisfied(cid));
+    // check_all is the recovery sweep after re-enabling (§5.3 notes STEM
+    // itself offered none).
+    net.set_propagation_enabled(true);
+    let violations = net.check_all();
+    assert_eq!(violations.len(), 1);
+    assert_eq!(violations[0].constraint, Some(cid));
+}
+
+#[test]
+fn tentative_probe_always_restores() {
+    let mut net = Network::new();
+    let a = net.add_variable("a");
+    let b = net.add_variable("b");
+    net.add_constraint(Equality::new(), [a, b]).unwrap();
+    net.add_constraint(Predicate::le_const(Value::Int(10)), [b])
+        .unwrap();
+    net.set(a, Value::Int(3), Justification::Application).unwrap();
+
+    assert!(net.can_be_set_to(a, Value::Int(7)));
+    assert_eq!(net.value(a), &Value::Int(3), "probe restored");
+    assert_eq!(net.value(b), &Value::Int(3));
+
+    assert!(!net.can_be_set_to(a, Value::Int(11)), "would violate b <= 10");
+    assert_eq!(net.value(a), &Value::Int(3));
+    assert_eq!(net.value(b), &Value::Int(3));
+}
+
+#[test]
+fn tentative_probe_does_not_call_handlers() {
+    let mut net = Network::new();
+    let a = net.add_variable("a");
+    net.add_constraint(Predicate::le_const(Value::Int(5)), [a])
+        .unwrap();
+    let count = Rc::new(RefCell::new(0));
+    let c2 = count.clone();
+    net.add_violation_handler(move |_, _| *c2.borrow_mut() += 1);
+    assert!(!net.can_be_set_to(a, Value::Int(9)));
+    assert_eq!(*count.borrow(), 0);
+    let _ = net.set(a, Value::Int(9), Justification::User);
+    assert_eq!(*count.borrow(), 1);
+}
+
+/// Fig. 4.13: adding a constraint re-propagates existing values in
+/// precedence order — user-specified values win over calculated ones.
+#[test]
+fn add_constraint_precedence_user_over_application() {
+    let mut net = Network::new();
+    let a = net.add_variable("a");
+    let b = net.add_variable("b");
+    net.set(a, Value::Int(1), Justification::Application).unwrap();
+    net.set(b, Value::Int(2), Justification::User).unwrap();
+    net.add_constraint(Equality::new(), [a, b]).unwrap();
+    // The user value (2) asserts first; the application value yields.
+    assert_eq!(net.value(a), &Value::Int(2));
+    assert_eq!(net.value(b), &Value::Int(2));
+}
+
+/// Fig. 4.14: removing a constraint erases the values it justified, plus
+/// their consequences — dependency-directed erasure.
+#[test]
+fn remove_constraint_erases_dependents() {
+    let mut net = Network::new();
+    let a = net.add_variable("a");
+    let b = net.add_variable("b");
+    let c = net.add_variable("c");
+    let eq_ab = net.add_constraint(Equality::new(), [a, b]).unwrap();
+    net.add_constraint(Equality::new(), [b, c]).unwrap();
+    net.set(a, Value::Int(5), Justification::User).unwrap();
+    assert_eq!(net.value(c), &Value::Int(5));
+
+    net.remove_constraint(eq_ab);
+    assert_eq!(net.value(a), &Value::Int(5), "independent value survives");
+    assert!(net.value(b).is_nil(), "b was justified by the removed constraint");
+    assert!(net.value(c).is_nil(), "c was a consequence of b");
+}
+
+#[test]
+fn detach_arg_erases_and_repropagates_remaining() {
+    let mut net = Network::new();
+    let a = net.add_variable("a");
+    let b = net.add_variable("b");
+    let c = net.add_variable("c");
+    let eq = net.add_constraint(Equality::new(), [a, b, c]).unwrap();
+    net.set(a, Value::Int(3), Justification::User).unwrap();
+    assert_eq!(net.value(c), &Value::Int(3));
+
+    // Detach a (the source of everyone's value): b and c are erased, then
+    // the constraint re-initialises over {b, c} with nothing to assert.
+    net.detach_arg(eq, a).unwrap();
+    assert_eq!(net.value(a), &Value::Int(3));
+    assert!(net.value(b).is_nil());
+    assert!(net.value(c).is_nil());
+    assert_eq!(net.args(eq), &[b, c]);
+
+    // New values flow only between the remaining arguments.
+    net.set(b, Value::Int(8), Justification::User).unwrap();
+    assert_eq!(net.value(c), &Value::Int(8));
+    assert_eq!(net.value(a), &Value::Int(3), "a detached, unaffected");
+}
+
+#[test]
+fn attach_arg_pulls_new_variable_into_the_relation() {
+    let mut net = Network::new();
+    let a = net.add_variable("a");
+    let b = net.add_variable("b");
+    let d = net.add_variable("d");
+    let eq = net.add_constraint(Equality::new(), [a, b]).unwrap();
+    net.set(a, Value::Int(4), Justification::User).unwrap();
+    net.attach_arg(eq, d).unwrap();
+    assert_eq!(net.value(d), &Value::Int(4));
+}
+
+#[test]
+fn attach_arg_rolls_back_on_violation() {
+    let mut net = Network::new();
+    let a = net.add_variable("a");
+    let b = net.add_variable("b");
+    let d = net.add_variable("d");
+    let eq = net.add_constraint(Equality::new(), [a, b]).unwrap();
+    net.set(a, Value::Int(4), Justification::User).unwrap();
+    net.set(d, Value::Int(9), Justification::User).unwrap();
+    assert!(net.attach_arg(eq, d).is_err());
+    assert_eq!(net.args(eq), &[a, b], "attachment rolled back");
+    assert_eq!(net.value(d), &Value::Int(9));
+}
+
+/// §4.2.4: dependency analysis walks antecedents (backward) and
+/// consequences (forward) through mixed constraint kinds.
+#[test]
+fn dependency_analysis_through_mixed_kinds() {
+    let mut net = Network::new();
+    let a = net.add_variable("a");
+    let b = net.add_variable("b");
+    let sum = net.add_variable("sum");
+    let mirror = net.add_variable("mirror");
+    net.add_constraint(Functional::uni_addition(), [a, b, sum])
+        .unwrap();
+    net.add_constraint(Equality::new(), [sum, mirror]).unwrap();
+    net.set(a, Value::Int(1), Justification::User).unwrap();
+    net.set(b, Value::Int(2), Justification::User).unwrap();
+    assert_eq!(net.value(mirror), &Value::Int(3));
+
+    let (ante_vars, ante_cons) = net.antecedents(mirror);
+    assert!(ante_vars.contains(&a) && ante_vars.contains(&b) && ante_vars.contains(&sum));
+    assert_eq!(ante_cons.len(), 2);
+
+    let cons_a = net.consequences(a);
+    assert!(cons_a.contains(&sum) && cons_a.contains(&mirror));
+    // b's value does not depend on a (both are user inputs).
+    assert!(!cons_a.contains(&b));
+}
+
+#[test]
+fn equality_dependency_is_directional() {
+    // In an equality chain a -> b -> c set from a, consequences of c must
+    // be empty (nothing depends on c) even though it shares constraints.
+    let mut net = Network::new();
+    let a = net.add_variable("a");
+    let b = net.add_variable("b");
+    let c = net.add_variable("c");
+    net.add_constraint(Equality::new(), [a, b]).unwrap();
+    net.add_constraint(Equality::new(), [b, c]).unwrap();
+    net.set(a, Value::Int(1), Justification::User).unwrap();
+    assert_eq!(net.consequences(c), vec![c]);
+    let (av, _) = net.antecedents(c);
+    assert_eq!(av, vec![c, b, a], "backward chain in discovery order");
+}
+
+#[test]
+fn update_constraint_and_recalc_roundtrip_with_inspection() {
+    let mut net = Network::new();
+    let src = net.add_variable("netlist");
+    let view = net.add_variable_with("spiceDeck", None, Rc::new(stem_core::PropertyKind));
+    net.add_constraint(UpdateConstraint::new(1), [src, view])
+        .unwrap();
+    net.set_recalc(view, move |net, var| {
+        net.set(var, Value::str("deck-v2"), Justification::Application)
+            .unwrap();
+    });
+    net.set(src, Value::Int(1), Justification::User).unwrap();
+    assert_eq!(net.value_or_recalc(view), Value::str("deck-v2"));
+
+    let insp = NetworkInspector::new(&net);
+    let d = insp.describe_variable(view);
+    assert!(d.contains("property"), "{d}");
+}
+
+#[test]
+fn stats_count_cycles_and_assignments() {
+    let mut net = Network::new();
+    let a = net.add_variable("a");
+    let b = net.add_variable("b");
+    net.add_constraint(Equality::new(), [a, b]).unwrap();
+    net.reset_stats();
+    net.set(a, Value::Int(1), Justification::User).unwrap();
+    let s = net.stats();
+    assert_eq!(s.cycles, 1);
+    assert_eq!(s.assignments, 2, "a plus propagated b");
+    assert!(s.activations >= 1);
+    assert_eq!(s.violations, 0);
+}
+
+#[test]
+fn dependency_record_shapes() {
+    let mut net = Network::new();
+    let a = net.add_variable("a");
+    let b = net.add_variable("b");
+    let r = net.add_variable("r");
+    net.add_constraint(Functional::uni_addition(), [a, b, r])
+        .unwrap();
+    net.set(a, Value::Int(1), Justification::User).unwrap();
+    net.set(b, Value::Int(1), Justification::User).unwrap();
+    assert_eq!(net.justification(r).record(), Some(&DependencyRecord::All));
+}

@@ -1,0 +1,444 @@
+//! Tests for the thesis's §9.3 future-work features implemented as
+//! extensions: per-constraint enable/disable, the relaxed N-value-change
+//! rule (§9.2.3), and compiled network evaluation.
+
+use stem_core::kinds::{Equality, Functional, Predicate};
+use stem_core::{compile_functional, Justification, Network, Value, ViolationKind};
+
+#[test]
+fn individual_constraint_disable_and_reenable() {
+    let mut net = Network::new();
+    let a = net.add_variable("a");
+    let b = net.add_variable("b");
+    let eq = net.add_constraint(Equality::new(), [a, b]).unwrap();
+
+    net.set_constraint_enabled(eq, false);
+    assert!(!net.is_constraint_enabled(eq));
+    net.set(a, Value::Int(1), Justification::User).unwrap();
+    assert!(net.value(b).is_nil(), "disabled constraint does not propagate");
+    assert!(net.is_satisfied(eq), "disabled constraint does not check");
+    assert!(net.check_all().is_empty());
+
+    net.set_constraint_enabled(eq, true);
+    net.set(a, Value::Int(2), Justification::User).unwrap();
+    assert_eq!(net.value(b), &Value::Int(2), "re-enabled constraint works");
+}
+
+#[test]
+fn disable_by_kind_name() {
+    let mut net = Network::new();
+    let a = net.add_variable("a");
+    let b = net.add_variable("b");
+    let c = net.add_variable("c");
+    net.add_constraint(Equality::new(), [a, b]).unwrap();
+    net.add_constraint(Equality::new(), [b, c]).unwrap();
+    net.add_constraint(Predicate::le_const(Value::Int(10)), [c])
+        .unwrap();
+
+    assert_eq!(net.set_kind_enabled("equality", false), 2);
+    net.set(a, Value::Int(99), Justification::User).unwrap();
+    assert!(net.value(b).is_nil());
+    // The predicate kind is still live.
+    assert!(net.set(c, Value::Int(11), Justification::User).is_err());
+    assert_eq!(net.set_kind_enabled("equality", true), 2);
+}
+
+/// §9.2.3's reconvergent fanout problem: with immediate constraints, a
+/// reconvergence point may legitimately change twice in one cycle —
+/// spuriously violating under the one-value-change rule, fixed by the
+/// suggested N-change relaxation.
+#[test]
+fn reconvergent_fanout_needs_relaxed_change_rule() {
+    let build = || {
+        let mut net = Network::new();
+        let src = net.add_variable("src");
+        let a = net.add_variable("a");
+        let b = net.add_variable("b");
+        let s = net.add_variable("s");
+        let plus = |k: i64| {
+            stem_bench_free_plus(k)
+        };
+        net.add_constraint(plus(1), [src, a]).unwrap();
+        net.add_constraint(plus(2), [src, b]).unwrap();
+        net.add_constraint(ImmediateSum2, [a, b, s]).unwrap();
+        (net, src, s)
+    };
+
+    // Prime a consistent state so the reconvergence point holds a value.
+    let (mut net, src, s) = build();
+    net.set(src, Value::Int(1), Justification::User).unwrap();
+    assert_eq!(net.value(s), &Value::Int(5), "2 + 3");
+
+    // Under the default limit the second transient change of `s` violates.
+    let err = net.set(src, Value::Int(10), Justification::User).unwrap_err();
+    assert_eq!(err.kind, ViolationKind::Revisit);
+    assert_eq!(net.value(s), &Value::Int(5), "restored");
+
+    // Relaxing to two changes per cycle lets the fanout reconverge.
+    net.set_value_change_limit(2);
+    net.set(src, Value::Int(10), Justification::User).unwrap();
+    assert_eq!(net.value(s), &Value::Int(23), "11 + 12");
+}
+
+/// An immediate (unscheduled) eager sum, used to expose the transient.
+#[derive(Debug, Clone, Copy)]
+struct ImmediateSum2;
+
+impl stem_core::ConstraintKind for ImmediateSum2 {
+    fn kind_name(&self) -> &str {
+        "immediateSum"
+    }
+
+    fn should_activate(
+        &self,
+        net: &Network,
+        cid: stem_core::ConstraintId,
+        changed: stem_core::VarId,
+    ) -> bool {
+        net.args(cid).last() != Some(&changed)
+    }
+
+    fn infer(
+        &self,
+        net: &mut Network,
+        cid: stem_core::ConstraintId,
+        _changed: Option<stem_core::VarId>,
+    ) -> Result<(), stem_core::Violation> {
+        let args = net.args(cid).to_vec();
+        let Some((&result, inputs)) = args.split_last() else {
+            return Ok(());
+        };
+        let mut acc = Value::Int(0);
+        for &v in inputs {
+            let val = net.value(v);
+            if val.is_nil() {
+                return Ok(());
+            }
+            acc = acc.numeric_add(val).expect("numeric");
+        }
+        net.propagate_set(result, acc, cid, stem_core::DependencyRecord::All)?;
+        Ok(())
+    }
+
+    fn outputs(
+        &self,
+        net: &Network,
+        cid: stem_core::ConstraintId,
+    ) -> Vec<stem_core::VarId> {
+        net.args(cid).last().copied().into_iter().collect()
+    }
+
+    fn is_satisfied(&self, _net: &Network, _cid: stem_core::ConstraintId) -> bool {
+        true
+    }
+}
+
+fn stem_bench_free_plus(k: i64) -> Functional {
+    Functional::custom("plusConst", move |vals| {
+        vals[0].as_i64().map(|x| Value::Int(x + k))
+    })
+}
+
+#[test]
+fn relaxed_rule_still_terminates_on_true_cycles() {
+    let mut net = Network::new();
+    net.set_value_change_limit(3);
+    let a = net.add_variable("a");
+    let b = net.add_variable("b");
+    net.add_constraint(stem_bench_free_plus(1), [a, b]).unwrap();
+    net.add_constraint(stem_bench_free_plus(1), [b, a]).unwrap();
+    let err = net.set(a, Value::Int(0), Justification::User).unwrap_err();
+    assert_eq!(err.kind, ViolationKind::Revisit);
+    assert!(net.value(a).is_nil() && net.value(b).is_nil(), "restored");
+}
+
+#[test]
+fn externally_set_root_is_never_overwritten_even_when_relaxed() {
+    let mut net = Network::new();
+    net.set_value_change_limit(5);
+    let a = net.add_variable("a");
+    let b = net.add_variable("b");
+    net.add_constraint(stem_bench_free_plus(1), [a, b]).unwrap();
+    net.add_constraint(stem_bench_free_plus(1), [b, a]).unwrap();
+    let err = net.set(a, Value::Int(0), Justification::User).unwrap_err();
+    // The cycle wraps back to `a` immediately: the user's value is pinned.
+    assert_eq!(err.variable, Some(a));
+    assert_eq!(err.rejected, Some(Value::Int(2)));
+}
+
+#[test]
+fn compiled_plan_bulk_evaluation() {
+    // Bulk data entry with propagation off, then one compiled pass — the
+    // §9.3 efficiency pattern.
+    let mut net = Network::new();
+    let xs: Vec<_> = (0..10).map(|i| net.add_variable(format!("x{i}"))).collect();
+    let mut sums = Vec::new();
+    let mut prev = xs[0];
+    for &x in &xs[1..] {
+        let s = net.add_variable("s");
+        net.add_constraint(Functional::uni_addition(), [prev, x, s])
+            .unwrap();
+        sums.push(s);
+        prev = s;
+    }
+    let plan = compile_functional(&net).unwrap();
+    assert_eq!(plan.n_directional, 9);
+
+    net.set_propagation_enabled(false);
+    for (i, &x) in xs.iter().enumerate() {
+        net.set(x, Value::Int(i as i64 + 1), Justification::User)
+            .unwrap();
+    }
+    net.set_propagation_enabled(true);
+    plan.evaluate(&mut net).unwrap();
+    assert_eq!(net.value(*sums.last().unwrap()), &Value::Int(55));
+}
+
+#[test]
+fn compiled_plan_detects_violations_and_restores() {
+    let mut net = Network::new();
+    let a = net.add_variable("a");
+    let b = net.add_variable("b");
+    let s = net.add_variable("s");
+    net.add_constraint(Functional::uni_addition(), [a, b, s])
+        .unwrap();
+    net.add_constraint(Predicate::le_const(Value::Int(10)), [s])
+        .unwrap();
+    let plan = compile_functional(&net).unwrap();
+
+    net.set_propagation_enabled(false);
+    net.set(a, Value::Int(6), Justification::User).unwrap();
+    net.set(b, Value::Int(7), Justification::User).unwrap();
+    net.set_propagation_enabled(true);
+    let err = plan.evaluate(&mut net).unwrap_err();
+    assert_eq!(err.kind, ViolationKind::Unsatisfied);
+    assert!(net.value(s).is_nil(), "inferred sum rolled back");
+
+    // With feasible inputs the same plan succeeds.
+    net.set_propagation_enabled(false);
+    net.set(b, Value::Int(3), Justification::User).unwrap();
+    net.set_propagation_enabled(true);
+    plan.evaluate(&mut net).unwrap();
+    assert_eq!(net.value(s), &Value::Int(9));
+}
+
+#[test]
+fn compiled_plan_is_stale_safe_after_removal() {
+    // A removed constraint in the plan is skipped silently.
+    let mut net = Network::new();
+    let a = net.add_variable("a");
+    let s = net.add_variable("s");
+    let cid = net
+        .add_constraint(Functional::uni_addition(), [a, s])
+        .unwrap();
+    let plan = compile_functional(&net).unwrap();
+    net.remove_constraint(cid);
+    net.set_propagation_enabled(false);
+    net.set(a, Value::Int(1), Justification::User).unwrap();
+    net.set_propagation_enabled(true);
+    plan.evaluate(&mut net).unwrap();
+    assert!(net.value(s).is_nil(), "removed constraint did not fire");
+}
+
+#[test]
+fn snapshot_restores_exact_state() {
+    let mut net = Network::new();
+    let a = net.add_variable("a");
+    let b = net.add_variable("b");
+    net.add_constraint(Equality::new(), [a, b]).unwrap();
+    net.set(a, Value::Int(1), Justification::User).unwrap();
+    let snap = net.snapshot();
+    assert_eq!(snap.len(), 2);
+    assert!(!snap.is_empty());
+
+    net.set(a, Value::Int(9), Justification::User).unwrap();
+    assert_eq!(net.value(b), &Value::Int(9));
+    net.restore_snapshot(&snap);
+    assert_eq!(net.value(a), &Value::Int(1));
+    assert_eq!(net.value(b), &Value::Int(1));
+    assert!(net.justification(a).is_user());
+    assert!(net.justification(b).is_propagated());
+    assert!(net.check_all().is_empty());
+}
+
+#[test]
+fn snapshot_tolerates_later_variables() {
+    let mut net = Network::new();
+    let a = net.add_variable("a");
+    net.set(a, Value::Int(1), Justification::User).unwrap();
+    let snap = net.snapshot();
+    let b = net.add_variable("b");
+    net.set(b, Value::Int(2), Justification::User).unwrap();
+    net.restore_snapshot(&snap);
+    assert_eq!(net.value(a), &Value::Int(1));
+    assert_eq!(net.value(b), &Value::Int(2), "new variable untouched");
+}
+
+/// §4.2.1: "propagation can be made more efficient by assigning higher
+/// priorities to critical constraint types" — a custom kind on a
+/// high-priority agenda drains before the default functional agenda.
+#[test]
+fn custom_agenda_priorities_order_execution() {
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    use stem_core::{Activation, ConstraintId, ConstraintKind, DependencyRecord, VarId, Violation};
+
+    #[derive(Debug)]
+    struct Logger {
+        name: &'static str,
+        agenda: &'static str,
+        log: Rc<RefCell<Vec<&'static str>>>,
+    }
+
+    impl ConstraintKind for Logger {
+        fn kind_name(&self) -> &str {
+            self.name
+        }
+        fn activation(&self) -> Activation {
+            Activation::Scheduled(self.agenda)
+        }
+        fn infer(
+            &self,
+            _net: &mut Network,
+            _cid: ConstraintId,
+            _changed: Option<VarId>,
+        ) -> Result<(), Violation> {
+            self.log.borrow_mut().push(self.name);
+            Ok(())
+        }
+        fn is_satisfied(&self, _net: &Network, _cid: ConstraintId) -> bool {
+            true
+        }
+        fn depends_on(
+            &self,
+            _net: &Network,
+            _cid: ConstraintId,
+            record: &DependencyRecord,
+            arg: VarId,
+        ) -> bool {
+            record.default_membership(arg)
+        }
+    }
+
+    let mut net = Network::new();
+    net.define_agenda("critical", 100);
+    net.define_agenda("background", -100);
+    let log: Rc<RefCell<Vec<&'static str>>> = Rc::new(RefCell::new(Vec::new()));
+    let v = net.add_variable("v");
+    // Wire in low-priority order; execution must follow priorities.
+    net.add_constraint(
+        Logger { name: "bg", agenda: "background", log: log.clone() },
+        [v],
+    )
+    .unwrap();
+    net.add_constraint(
+        Logger { name: "crit", agenda: "critical", log: log.clone() },
+        [v],
+    )
+    .unwrap();
+    log.borrow_mut().clear();
+    net.set(v, Value::Int(1), Justification::User).unwrap();
+    assert_eq!(&*log.borrow(), &["crit", "bg"]);
+}
+
+/// §4.2.4's suggested (and there unimplemented) refinement, built here:
+/// "variables can recognize different strengths of constraints, and allow
+/// one type of constraints to overwrite values from another type of
+/// constraints, but not the other way around."
+#[test]
+fn constraint_strengths_order_overwrites() {
+    use stem_core::{ConstraintId, ConstraintKind, DependencyRecord, VarId, Violation};
+
+    #[derive(Debug)]
+    struct Writer {
+        name: &'static str,
+        strength: u8,
+        value: i64,
+    }
+
+    impl ConstraintKind for Writer {
+        fn kind_name(&self) -> &str {
+            self.name
+        }
+        fn strength(&self) -> u8 {
+            self.strength
+        }
+        fn should_activate(
+            &self,
+            net: &Network,
+            cid: ConstraintId,
+            changed: stem_core::VarId,
+        ) -> bool {
+            net.args(cid).last() != Some(&changed)
+        }
+        fn infer(
+            &self,
+            net: &mut Network,
+            cid: ConstraintId,
+            _changed: Option<VarId>,
+        ) -> Result<(), Violation> {
+            let target = *net.args(cid).last().expect("has target");
+            net.propagate_set(target, Value::Int(self.value), cid, DependencyRecord::All)?;
+            Ok(())
+        }
+        fn is_satisfied(&self, _net: &Network, _cid: ConstraintId) -> bool {
+            true // advisory writers; precedence is the point
+        }
+        fn outputs(&self, net: &Network, cid: ConstraintId) -> Vec<VarId> {
+            net.args(cid).last().copied().into_iter().collect()
+        }
+    }
+
+    // Weak writer fires first (wired first), strong second: strong wins.
+    let mut net = Network::new();
+    let trigger = net.add_variable("trigger");
+    let target = net.add_variable("target");
+    net.add_constraint(Writer { name: "weak", strength: 1, value: 10 }, [trigger, target])
+        .unwrap();
+    net.add_constraint(Writer { name: "strong", strength: 5, value: 20 }, [trigger, target])
+        .unwrap();
+    net.set_value_change_limit(2); // let the stronger writer supersede
+    net.set(trigger, Value::Int(1), Justification::User).unwrap();
+    assert_eq!(net.value(target), &Value::Int(20), "strong overwrote weak");
+
+    // Reverse wiring order: strong fires first; the weak write is
+    // silently ignored by the default strength rule.
+    let mut net = Network::new();
+    let trigger = net.add_variable("trigger");
+    let target = net.add_variable("target");
+    net.add_constraint(Writer { name: "strong", strength: 5, value: 20 }, [trigger, target])
+        .unwrap();
+    net.add_constraint(Writer { name: "weak", strength: 1, value: 10 }, [trigger, target])
+        .unwrap();
+    net.set_value_change_limit(2);
+    net.set(trigger, Value::Int(1), Justification::User).unwrap();
+    assert_eq!(net.value(target), &Value::Int(20), "weak could not downgrade");
+}
+
+/// Equal-strength propagation keeps the historical behaviour: a later
+/// same-strength writer may overwrite an earlier one (subject to the
+/// change budget), so all pre-strength code is unaffected.
+#[test]
+fn equal_strength_preserves_default_behaviour() {
+    let mut net = Network::new();
+    let a = net.add_variable("a");
+    let b = net.add_variable("b");
+    let c = net.add_variable("c");
+    // One-directional writers of equal (default) strength.
+    let copy = || {
+        Functional::custom("copy", |vals| Some(vals[0].clone()))
+    };
+    net.add_constraint(copy(), [a, c]).unwrap();
+    net.add_constraint(copy(), [b, c]).unwrap();
+    net.set(a, Value::Int(1), Justification::User).unwrap();
+    assert_eq!(net.value(c), &Value::Int(1));
+    // The second source's propagation is *allowed* by the strength rule
+    // (equal strength); the stale first functional then objects in the
+    // final sweep — exactly the pre-strength behaviour for conflicting
+    // same-strength sources.
+    let err = net.set(b, Value::Int(2), Justification::User).unwrap_err();
+    assert_eq!(err.kind, ViolationKind::Unsatisfied);
+    // Consistent same-strength updates flow through fine.
+    net.set(b, Value::Int(1), Justification::User).unwrap();
+    assert_eq!(net.value(c), &Value::Int(1));
+}

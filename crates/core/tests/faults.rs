@@ -1,0 +1,234 @@
+//! Fault-injection and misuse tests: the engine's guard rails — re-entrancy
+//! asserts, handler coverage across every violation kind, and recovery
+//! behaviour under deliberately hostile constraint kinds.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use stem_core::kinds::{Equality, Functional, Predicate};
+use stem_core::{
+    ConstraintId, ConstraintKind, DependencyRecord, Justification, Network, Value, VarId,
+    Violation, ViolationKind,
+};
+
+/// A hostile kind that raises a custom violation on every inference.
+#[derive(Debug)]
+struct AlwaysViolates;
+
+impl ConstraintKind for AlwaysViolates {
+    fn kind_name(&self) -> &str {
+        "alwaysViolates"
+    }
+
+    fn infer(
+        &self,
+        _net: &mut Network,
+        cid: ConstraintId,
+        _changed: Option<VarId>,
+    ) -> Result<(), Violation> {
+        Err(Violation::custom("deliberate failure", Some(cid)))
+    }
+
+    fn is_satisfied(&self, _net: &Network, _cid: ConstraintId) -> bool {
+        true
+    }
+}
+
+/// A kind that tries to re-enter `Network::set` from inside inference —
+/// a programming error the engine must catch loudly, not corrupt state.
+#[derive(Debug)]
+struct ReentrantSet;
+
+impl ConstraintKind for ReentrantSet {
+    fn kind_name(&self) -> &str {
+        "reentrantSet"
+    }
+
+    fn infer(
+        &self,
+        net: &mut Network,
+        cid: ConstraintId,
+        _changed: Option<VarId>,
+    ) -> Result<(), Violation> {
+        let victim = net.args(cid)[0];
+        // Forbidden: external entry point from inside a cycle.
+        net.set(victim, Value::Int(0), Justification::Application)?;
+        Ok(())
+    }
+
+    fn is_satisfied(&self, _net: &Network, _cid: ConstraintId) -> bool {
+        true
+    }
+}
+
+#[test]
+fn handlers_see_every_violation_kind() {
+    let kinds: Rc<RefCell<Vec<ViolationKind>>> = Rc::new(RefCell::new(Vec::new()));
+
+    // Unsatisfied (predicate).
+    let mut net = Network::new();
+    let k = kinds.clone();
+    net.add_violation_handler(move |_, v| k.borrow_mut().push(v.kind.clone()));
+    let a = net.add_variable("a");
+    net.add_constraint(Predicate::le_const(Value::Int(5)), [a])
+        .unwrap();
+    let _ = net.set(a, Value::Int(9), Justification::User);
+
+    // OverwriteDenied (user value).
+    let mut net = Network::new();
+    let k = kinds.clone();
+    net.add_violation_handler(move |_, v| k.borrow_mut().push(v.kind.clone()));
+    let a = net.add_variable("a");
+    let b = net.add_variable("b");
+    net.set(b, Value::Int(1), Justification::User).unwrap();
+    net.add_constraint(Equality::new(), [a, b]).unwrap();
+    let _ = net.set(a, Value::Int(2), Justification::User);
+
+    // Revisit (cycle).
+    let mut net = Network::new();
+    let k = kinds.clone();
+    net.add_violation_handler(move |_, v| k.borrow_mut().push(v.kind.clone()));
+    let a = net.add_variable("a");
+    let b = net.add_variable("b");
+    let plus1 = || {
+        Functional::custom("plus1", |vals| vals[0].as_i64().map(|x| Value::Int(x + 1)))
+    };
+    net.add_constraint(plus1(), [a, b]).unwrap();
+    net.add_constraint(plus1(), [b, a]).unwrap();
+    let _ = net.set(a, Value::Int(0), Justification::User);
+
+    // Custom (hostile kind).
+    let mut net = Network::new();
+    let k = kinds.clone();
+    net.add_violation_handler(move |_, v| k.borrow_mut().push(v.kind.clone()));
+    let a = net.add_variable("a");
+    net.add_constraint_quiet(AlwaysViolates, [a]);
+    let _ = net.set(a, Value::Int(1), Justification::User);
+
+    let seen = kinds.borrow();
+    assert!(seen.contains(&ViolationKind::Unsatisfied), "{seen:?}");
+    assert!(seen.contains(&ViolationKind::OverwriteDenied), "{seen:?}");
+    assert!(seen.contains(&ViolationKind::Revisit), "{seen:?}");
+    assert!(
+        seen.iter().any(|v| matches!(v, ViolationKind::Custom(_))),
+        "{seen:?}"
+    );
+}
+
+#[test]
+fn hostile_kind_rolls_back_cleanly() {
+    let mut net = Network::new();
+    let a = net.add_variable("a");
+    let b = net.add_variable("b");
+    net.add_constraint(Equality::new(), [a, b]).unwrap();
+    net.add_constraint_quiet(AlwaysViolates, [b]);
+    net.set(a, Value::Int(1), Justification::Application).ok();
+    // Whatever the hostile kind did, the network is consistent.
+    assert!(net.value(a).is_nil());
+    assert!(net.value(b).is_nil());
+    // And the network remains usable after disabling the saboteur.
+    assert_eq!(net.set_kind_enabled("alwaysViolates", false), 1);
+    net.set(a, Value::Int(1), Justification::Application).unwrap();
+    assert_eq!(net.value(b), &Value::Int(1));
+}
+
+#[test]
+#[should_panic(expected = "not re-entrant")]
+fn reentrant_set_is_a_loud_error() {
+    let mut net = Network::new();
+    let a = net.add_variable("a");
+    let b = net.add_variable("b");
+    net.add_constraint_quiet(ReentrantSet, [b]);
+    net.add_constraint_quiet(Equality::new(), [a, b]);
+    let _ = net.set(a, Value::Int(1), Justification::User);
+}
+
+#[test]
+#[should_panic(expected = "mid-propagation")]
+fn mid_cycle_edits_are_a_loud_error() {
+    #[derive(Debug)]
+    struct EditsMidCycle;
+    impl ConstraintKind for EditsMidCycle {
+        fn kind_name(&self) -> &str {
+            "editsMidCycle"
+        }
+        fn infer(
+            &self,
+            net: &mut Network,
+            _cid: ConstraintId,
+            _changed: Option<VarId>,
+        ) -> Result<(), Violation> {
+            let v = net.add_variable("sneaky");
+            net.add_constraint(Equality::new(), [v])?; // must panic
+            Ok(())
+        }
+        fn is_satisfied(&self, _net: &Network, _cid: ConstraintId) -> bool {
+            true
+        }
+    }
+    let mut net = Network::new();
+    let a = net.add_variable("a");
+    net.add_constraint_quiet(EditsMidCycle, [a]);
+    let _ = net.set(a, Value::Int(1), Justification::User);
+}
+
+#[test]
+#[should_panic(expected = "argument")]
+fn out_of_range_argument_is_a_loud_error() {
+    let mut a_net = Network::new();
+    let mut b_net = Network::new();
+    let _a = a_net.add_variable("a");
+    let foreign = b_net.add_variable("b");
+    let _b2 = b_net.add_variable("b2");
+    // `foreign` indexes b_net; a_net has one variable. Constructing with a
+    // handle from the wrong arena must be rejected.
+    let _ = a_net.add_constraint_quiet(Equality::new(), [foreign, foreign]);
+    // (If the ids happen to alias, the explicit out-of-range one fails.)
+    let oob = _b2;
+    let _ = a_net.add_constraint_quiet(Equality::new(), [oob]);
+}
+
+#[test]
+fn propagate_set_outside_cycle_panics() {
+    let result = std::panic::catch_unwind(|| {
+        let mut net = Network::new();
+        let a = net.add_variable("a");
+        let cid = net.add_constraint_quiet(Equality::new(), [a]);
+        let _ = net.propagate_set(a, Value::Int(1), cid, DependencyRecord::All);
+    });
+    assert!(result.is_err(), "must panic outside a cycle");
+}
+
+#[test]
+fn violation_during_tentative_probe_is_contained() {
+    let mut net = Network::new();
+    let a = net.add_variable("a");
+    net.add_constraint_quiet(AlwaysViolates, [a]);
+    assert!(!net.can_be_set_to(a, Value::Int(1)));
+    // No state change, no handler storm, still usable.
+    assert!(net.value(a).is_nil());
+    assert_eq!(net.stats().violations, 1);
+}
+
+/// Review fix regression: a forged Propagated justification from outside
+/// is rejected loudly instead of corrupting dependency analysis.
+#[test]
+#[should_panic(expected = "unknown constraint")]
+fn forged_propagated_justification_is_rejected() {
+    let mut other = Network::new();
+    let ov = other.add_variable("o");
+    let oc = other.add_constraint_quiet(Equality::new(), [ov]);
+    let _ = other;
+
+    let mut net = Network::new();
+    let a = net.add_variable("a");
+    // `oc` indexes the *other* network's arena (out of range here).
+    let _ = net.set(
+        a,
+        Value::Int(1),
+        Justification::Propagated {
+            constraint: oc,
+            record: DependencyRecord::All,
+        },
+    );
+}

@@ -1,0 +1,188 @@
+//! Textual cell browsing — the "Cell Browser" user interface of STEM
+//! ([Girc87], referenced throughout the thesis: module selection, for
+//! instance, "is implemented as a menu action in the Cell Browser"),
+//! rendered as a report.
+
+use crate::defs::BOUNDING_BOX;
+use crate::design::Design;
+use crate::ids::CellClassId;
+use std::fmt::Write as _;
+
+/// Renders a full report of one cell class: identity, interface,
+/// parameters, properties, internal structure and uses.
+pub fn class_report(d: &mut Design, class: CellClassId) -> String {
+    let mut out = String::new();
+    let name = d.class_name(class).to_string();
+    let _ = writeln!(out, "╔═ cell class {name} {}", if d.is_generic(class) { "(generic)" } else { "" });
+    if let Some(sup) = d.superclass(class) {
+        let _ = writeln!(out, "║ superclass: {}", d.class_name(sup));
+    }
+    let subs: Vec<&str> = d
+        .subclasses(class)
+        .to_vec()
+        .into_iter()
+        .map(|c| d.class_name(c))
+        .collect();
+    if !subs.is_empty() {
+        let _ = writeln!(out, "║ subclasses: {}", subs.join(", "));
+    }
+    if !d.doc(class).is_empty() {
+        let _ = writeln!(out, "║ doc: {}", d.doc(class));
+    }
+    if let Some(b) = d.class_bounding_box(class) {
+        let _ = writeln!(out, "║ bounding box: {b} (area {})", b.area());
+    }
+
+    let _ = writeln!(out, "║ interface:");
+    for s in d.signals(class).to_vec() {
+        let width = d
+            .network()
+            .value(s.class_bit_width)
+            .as_bit_width()
+            .map(|w| format!("{w}b"))
+            .unwrap_or_else(|| "?".into());
+        let forests = d.forests().clone();
+        let dt = d
+            .network()
+            .value(s.class_data_type)
+            .as_type()
+            .map(|t| forests.borrow().data.name(t).to_string())
+            .unwrap_or_else(|| "-".into());
+        let et = d
+            .network()
+            .value(s.class_electrical_type)
+            .as_type()
+            .map(|t| forests.borrow().electrical.name(t).to_string())
+            .unwrap_or_else(|| "-".into());
+        let pin = s
+            .pin
+            .map(|p| format!(" pin {p}"))
+            .unwrap_or_default();
+        let _ = writeln!(out, "║   {:8} {:5} {width:4} {dt}/{et}{pin}", s.name, s.dir.to_string());
+    }
+    for p in d.parameters(class).to_vec() {
+        let _ = writeln!(
+            out,
+            "║   param {} = {} (default {})",
+            p.name,
+            d.network().value(p.class_var),
+            p.default
+                .as_ref()
+                .map(|v| v.to_string())
+                .unwrap_or_else(|| "-".into()),
+        );
+    }
+    for p in d.properties(class).to_vec() {
+        if p.name == BOUNDING_BOX {
+            continue; // reported above
+        }
+        let _ = writeln!(
+            out,
+            "║   property {} = {}",
+            p.name,
+            d.network().value(p.class_var)
+        );
+    }
+
+    let subcells = d.subcells(class).to_vec();
+    let _ = writeln!(out, "║ structure: {} subcells, {} nets", subcells.len(), d.nets_of(class).len());
+    for inst in subcells {
+        let _ = writeln!(
+            out,
+            "║   {} : {} @ {}",
+            d.instance_name(inst),
+            d.class_name(d.instance_class(inst)),
+            d.instance_transform(inst),
+        );
+    }
+    for net in d.nets_of(class).to_vec() {
+        let _ = writeln!(
+            out,
+            "║   net {} ({} pins, {} io)",
+            d.net_name(net),
+            d.net_connections(net).len(),
+            d.net_io_connections(net).len(),
+        );
+    }
+    let _ = writeln!(out, "║ used in {} place(s)", d.instances_of(class).len());
+    let _ = writeln!(out, "╚═");
+    out
+}
+
+/// One line per class in the library, as the browser's class list pane.
+pub fn library_listing(d: &Design) -> String {
+    let mut out = String::new();
+    for c in d.classes() {
+        let _ = writeln!(
+            out,
+            "{}{} ({} subcells, used {}×)",
+            d.class_name(c),
+            if d.is_generic(c) { " [generic]" } else { "" },
+            d.subcells(c).len(),
+            d.instances_of(c).len(),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::defs::SignalDir;
+    use stem_geom::{Point, Rect, Transform};
+
+    #[test]
+    fn report_covers_everything() {
+        let mut d = Design::new();
+        let inv = d.define_class("INV");
+        d.add_signal(inv, "a", SignalDir::Input);
+        d.set_signal_bit_width(inv, "a", 1).unwrap();
+        d.set_signal_data_type(inv, "a", "Bit").unwrap();
+        d.set_signal_pin(inv, "a", Point::new(0, 5));
+        d.set_class_bounding_box(inv, Rect::with_extent(Point::ORIGIN, 6, 10))
+            .unwrap();
+        d.set_doc(inv, "a humble inverter");
+        d.add_parameter(inv, "drive", Some(stem_core::Value::Int(1)));
+
+        let top = d.define_class("TOP");
+        d.instantiate(inv, top, "i1", Transform::IDENTITY).unwrap();
+        let n = d.add_net(top, "n1");
+        let i1 = d.subcells(top)[0];
+        d.connect(n, i1, "a").unwrap();
+
+        let rep = class_report(&mut d, inv);
+        for needle in [
+            "cell class INV",
+            "a humble inverter",
+            "1b",
+            "Bit",
+            "pin (0, 5)",
+            "param drive",
+            "used in 1 place(s)",
+        ] {
+            assert!(rep.contains(needle), "missing {needle:?} in:\n{rep}");
+        }
+
+        let rep_top = class_report(&mut d, top);
+        assert!(rep_top.contains("i1 : INV"), "{rep_top}");
+        assert!(rep_top.contains("net n1 (1 pins, 0 io)"), "{rep_top}");
+
+        let listing = library_listing(&d);
+        assert!(listing.contains("INV"));
+        assert!(listing.contains("TOP"));
+    }
+
+    #[test]
+    fn generic_and_hierarchy_flags() {
+        let mut d = Design::new();
+        let root = d.define_class("ROOT");
+        d.set_generic(root, true);
+        let leaf = d.derive_class("LEAF", root);
+        let rep = class_report(&mut d, root);
+        assert!(rep.contains("(generic)"));
+        assert!(rep.contains("subclasses: LEAF"));
+        let rep = class_report(&mut d, leaf);
+        assert!(rep.contains("superclass: ROOT"));
+        assert!(library_listing(&d).contains("ROOT [generic]"));
+    }
+}

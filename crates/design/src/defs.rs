@@ -1,0 +1,127 @@
+//! Interface definitions of a cell class: signals, parameters and
+//! properties, each dual-declared (thesis §3.3.2): the class-side variable
+//! holds the characteristic/limit, the instance-side variable (created per
+//! placement) holds the contextual value.
+
+use crate::design::Design;
+use crate::ids::CellInstanceId;
+use stem_core::kinds::LinkSemantics;
+use stem_core::{Value, VarId};
+use stem_geom::Point;
+use std::fmt;
+use std::rc::Rc;
+
+/// Direction of an io-signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SignalDir {
+    /// Driven from outside the cell.
+    Input,
+    /// Driven by the cell.
+    Output,
+    /// Bidirectional.
+    InOut,
+}
+
+impl fmt::Display for SignalDir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SignalDir::Input => write!(f, "in"),
+            SignalDir::Output => write!(f, "out"),
+            SignalDir::InOut => write!(f, "inout"),
+        }
+    }
+}
+
+/// An io-signal of a cell class, with its class-side type variables
+/// (§3.3.2: "this instance variable contains the data type, electrical
+/// type, bit width … of the signal").
+#[derive(Debug, Clone)]
+pub struct SignalDef {
+    /// Signal name, unique within the class.
+    pub name: String,
+    /// Direction.
+    pub dir: SignalDir,
+    /// Class-side bit-width variable.
+    pub class_bit_width: VarId,
+    /// Class-side data-type variable (shared by all instances, §7.1).
+    pub class_data_type: VarId,
+    /// Class-side electrical-type variable (shared by all instances).
+    pub class_electrical_type: VarId,
+    /// Pin location on the class bounding-box border, in class-local
+    /// coordinates (for butting and stretching, §7.2).
+    pub pin: Option<Point>,
+}
+
+/// A parameter of a cell class (§5.1.1): the class-side variable
+/// characterises the legal range ([`Value::Span`]); instance-side variables
+/// hold actual values, checked against the range by an implicit link.
+#[derive(Debug, Clone)]
+pub struct ParamDef {
+    /// Parameter name, unique within the class.
+    pub name: String,
+    /// Class-side range variable.
+    pub class_var: VarId,
+    /// Default value propagated to fresh instances.
+    pub default: Option<Value>,
+}
+
+/// Factory producing the link semantics tying one instance's property
+/// variable to the class variable, with access to the instance context
+/// (transform, loading, …).
+pub type LinkFactory = Rc<dyn Fn(&Design, CellInstanceId) -> Rc<dyn LinkSemantics>>;
+
+/// How a property's dual variables are linked (§5.1.1, properties).
+#[derive(Clone)]
+pub enum PropertyLink {
+    /// Instance value mirrors the class value unchanged.
+    Mirror,
+    /// Per-instance semantics from a factory (bounding boxes apply the
+    /// placement transform; delays apply RC loading adjustments).
+    Custom(LinkFactory),
+    /// No implicit link: the duals are independent.
+    Independent,
+}
+
+impl fmt::Debug for PropertyLink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PropertyLink::Mirror => write!(f, "Mirror"),
+            PropertyLink::Custom(_) => write!(f, "Custom(..)"),
+            PropertyLink::Independent => write!(f, "Independent"),
+        }
+    }
+}
+
+/// A property of a cell class (delay, bounding box, area, …): the
+/// class-side variable characterises the nominal value; instance-side
+/// variables hold values "adjusted to the contexts of each cell instance".
+#[derive(Debug, Clone)]
+pub struct PropDef {
+    /// Property name, unique within the class.
+    pub name: String,
+    /// Class-side nominal variable.
+    pub class_var: VarId,
+    /// Link semantics for instances.
+    pub link: PropertyLink,
+}
+
+/// The built-in property every cell class carries: its bounding box (§7.2).
+pub const BOUNDING_BOX: &str = "boundingBox";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direction_display() {
+        assert_eq!(SignalDir::Input.to_string(), "in");
+        assert_eq!(SignalDir::Output.to_string(), "out");
+        assert_eq!(SignalDir::InOut.to_string(), "inout");
+    }
+
+    #[test]
+    fn property_link_debug() {
+        assert_eq!(format!("{:?}", PropertyLink::Mirror), "Mirror");
+        assert_eq!(format!("{:?}", PropertyLink::Independent), "Independent");
+    }
+}

@@ -1,0 +1,1479 @@
+//! The design environment facade: an arena of cell classes, instances and
+//! nets built over one constraint [`Network`], implementing STEM's
+//! two-level model of the design hierarchy with dual instance variables
+//! (thesis §3.3.2, Fig. 3.2/3.3) and hierarchical constraint propagation
+//! (ch. 5).
+
+use crate::compat::Compatible;
+use crate::defs::{ParamDef, PropDef, PropertyLink, SignalDef, SignalDir, BOUNDING_BOX};
+use crate::events::{ChangeKey, StructureEvent, StructureHook, ViewHandle, ViewRegistration};
+use crate::ids::{CellClassId, CellInstanceId, NetId};
+use crate::types::{BitWidthKind, SharedForests, SignalTypeKind, TypeForests};
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+use std::sync::Arc;
+
+use stem_core::kinds::{Equality, ImplicitLink, LinkSemantics, UpdateConstraint};
+use stem_core::{
+    ConstraintId, Justification, Network, PlainKind, Value, VarId, VariableKind, Violation,
+};
+use stem_geom::{stretch_pin, Point, Rect, Transform};
+
+/// Link semantics for bounding boxes (thesis Fig. 7.7): the class box
+/// propagates down transformed by the placement; the instance box must be
+/// able to contain the transformed class box.
+#[derive(Debug, Clone, Copy)]
+pub struct BBoxLink {
+    /// Placement transform of the instance.
+    pub transform: Transform,
+}
+
+impl LinkSemantics for BBoxLink {
+    fn name(&self) -> &str {
+        "bboxLink"
+    }
+
+    fn downward(&self, net: &Network, class_var: VarId, _inst_var: VarId) -> Option<Value> {
+        let r = net.value(class_var).as_rect()?;
+        Some(Value::Rect(self.transform.apply_rect(r)))
+    }
+
+    fn is_satisfied(&self, net: &Network, class_var: VarId, inst_var: VarId) -> bool {
+        let (Some(class_box), Some(inst_box)) = (
+            net.value(class_var).as_rect(),
+            net.value(inst_var).as_rect(),
+        ) else {
+            return true;
+        };
+        inst_box.can_contain_extent(self.transform.apply_rect(class_box))
+    }
+}
+
+/// Link semantics for parameters (thesis §5.1.1): the class side holds the
+/// legal range as a [`Value::Span`]; the instance value must lie inside it.
+/// No value propagation in either direction (defaults are handled at
+/// instantiation).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ParamRangeLink;
+
+impl LinkSemantics for ParamRangeLink {
+    fn name(&self) -> &str {
+        "paramRangeLink"
+    }
+
+    fn downward(&self, _: &Network, _: VarId, _: VarId) -> Option<Value> {
+        None
+    }
+
+    fn is_satisfied(&self, net: &Network, class_var: VarId, inst_var: VarId) -> bool {
+        match (net.value(class_var).as_span(), net.value(inst_var).as_f64()) {
+            (Some(range), Some(x)) => range.contains(x),
+            _ => true,
+        }
+    }
+}
+
+/// Link semantics for signal bit widths: instance mirrors class when the
+/// class width is fixed; a user-parameterised instance width must agree
+/// with a fixed class width.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BitWidthLink;
+
+impl LinkSemantics for BitWidthLink {
+    fn name(&self) -> &str {
+        "bitWidthLink"
+    }
+
+    fn downward(&self, net: &Network, class_var: VarId, _inst_var: VarId) -> Option<Value> {
+        let v = net.value(class_var);
+        if v.is_nil() {
+            None
+        } else {
+            Some(v.clone())
+        }
+    }
+
+    fn is_satisfied(&self, net: &Network, class_var: VarId, inst_var: VarId) -> bool {
+        let (c, i) = (net.value(class_var), net.value(inst_var));
+        c.is_nil() || i.is_nil() || c == i
+    }
+}
+
+pub(crate) struct CellClassData {
+    pub(crate) name: String,
+    pub(crate) superclass: Option<CellClassId>,
+    pub(crate) subclasses: Vec<CellClassId>,
+    pub(crate) generic: bool,
+    pub(crate) signals: Vec<SignalDef>,
+    pub(crate) params: Vec<ParamDef>,
+    pub(crate) props: Vec<PropDef>,
+    /// Subcells of this class's internal structure.
+    pub(crate) subcells: Vec<CellInstanceId>,
+    /// Nets of this class's internal structure.
+    pub(crate) nets: Vec<NetId>,
+    /// Instances *of* this class placed anywhere.
+    pub(crate) instances_of: Vec<CellInstanceId>,
+    pub(crate) doc: String,
+}
+
+pub(crate) struct CellInstanceData {
+    pub(crate) name: String,
+    pub(crate) class: CellClassId,
+    pub(crate) parent: CellClassId,
+    pub(crate) transform: Transform,
+    pub(crate) bit_width_vars: HashMap<String, VarId>,
+    pub(crate) param_vars: HashMap<String, VarId>,
+    pub(crate) prop_vars: HashMap<String, VarId>,
+    /// Implicit-link constraints keyed by property/`bw:<signal>` name.
+    pub(crate) links: HashMap<String, ConstraintId>,
+    pub(crate) update_cids: Vec<ConstraintId>,
+    pub(crate) connections: HashMap<String, NetId>,
+    pub(crate) active: bool,
+}
+
+pub(crate) struct NetData {
+    pub(crate) name: String,
+    pub(crate) parent: CellClassId,
+    pub(crate) bit_width: VarId,
+    pub(crate) data_type: VarId,
+    pub(crate) electrical_type: VarId,
+    pub(crate) eq_bit_width: ConstraintId,
+    pub(crate) compat_data: ConstraintId,
+    pub(crate) compat_electrical: ConstraintId,
+    pub(crate) connections: Vec<(CellInstanceId, String)>,
+    pub(crate) io_connections: Vec<String>,
+    pub(crate) active: bool,
+}
+
+/// The integrated design environment: cell library + design hierarchy +
+/// constraint network.
+///
+/// ```
+/// use stem_design::{Design, SignalDir};
+/// use stem_core::{Value, Justification};
+///
+/// let mut d = Design::new();
+/// let adder = d.define_class("ADDER");
+/// d.add_signal(adder, "in1", SignalDir::Input);
+/// d.set_signal_bit_width(adder, "in1", 8).unwrap();
+/// assert_eq!(d.signal_bit_width(adder, "in1"), Some(8));
+/// ```
+pub struct Design {
+    network: Network,
+    forests: SharedForests,
+    classes: Vec<CellClassData>,
+    instances: Vec<CellInstanceData>,
+    nets: Vec<NetData>,
+    by_name: HashMap<String, CellClassId>,
+    hooks: Vec<StructureHook>,
+    views: Vec<ViewRegistration>,
+    signal_type_kind: Rc<SignalTypeKind>,
+    bit_width_kind: Rc<BitWidthKind>,
+}
+
+impl std::fmt::Debug for Design {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Design")
+            .field("classes", &self.classes.len())
+            .field("instances", &self.instances.len())
+            .field("nets", &self.nets.len())
+            .field("network", &self.network)
+            .finish()
+    }
+}
+
+impl Default for Design {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Design {
+    /// Creates an empty design environment with the standard type forests.
+    pub fn new() -> Self {
+        Self::with_forests(TypeForests::default())
+    }
+
+    /// Creates a design environment over custom type forests.
+    pub fn with_forests(forests: TypeForests) -> Self {
+        let forests: SharedForests = Rc::new(RefCell::new(forests));
+        Design {
+            network: Network::new(),
+            signal_type_kind: Rc::new(SignalTypeKind::new(forests.clone())),
+            bit_width_kind: Rc::new(BitWidthKind),
+            forests,
+            classes: Vec::new(),
+            instances: Vec::new(),
+            nets: Vec::new(),
+            by_name: HashMap::new(),
+            hooks: Vec::new(),
+            views: Vec::new(),
+        }
+    }
+
+    /// The underlying constraint network.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// Mutable access to the underlying constraint network (for tools that
+    /// add their own constraints, the STEM extension story).
+    pub fn network_mut(&mut self) -> &mut Network {
+        &mut self.network
+    }
+
+    /// The shared type forests.
+    pub fn forests(&self) -> &SharedForests {
+        &self.forests
+    }
+
+    // ------------------------------------------------------------------
+    // Classes
+    // ------------------------------------------------------------------
+
+    /// Defines a new root cell class. Every class carries the built-in
+    /// `boundingBox` property (§7.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a duplicate class name.
+    pub fn define_class(&mut self, name: impl Into<String>) -> CellClassId {
+        let name = name.into();
+        assert!(
+            !self.by_name.contains_key(&name),
+            "duplicate cell class {name:?}"
+        );
+        let id = CellClassId(self.classes.len() as u32);
+        let owner: Arc<str> = Arc::from(name.as_str());
+        let bbox_var = self.network.add_variable_with(
+            BOUNDING_BOX,
+            Some(owner),
+            Rc::new(PlainKind),
+        );
+        self.classes.push(CellClassData {
+            name: name.clone(),
+            superclass: None,
+            subclasses: Vec::new(),
+            generic: false,
+            signals: Vec::new(),
+            params: Vec::new(),
+            props: vec![PropDef {
+                name: BOUNDING_BOX.to_string(),
+                class_var: bbox_var,
+                link: PropertyLink::Custom(Rc::new(|d: &Design, inst: CellInstanceId| {
+                    Rc::new(BBoxLink {
+                        transform: d.instance_transform(inst),
+                    }) as Rc<dyn LinkSemantics>
+                })),
+            }],
+            subcells: Vec::new(),
+            nets: Vec::new(),
+            instances_of: Vec::new(),
+            doc: String::new(),
+        });
+        self.by_name.insert(name, id);
+        id
+    }
+
+    /// Defines a subclass inheriting the superclass's interface — signals,
+    /// parameters and properties are copied with *fresh* class-side
+    /// variables ("values of the inherited variables can be different among
+    /// different subclasses", §3.3.2); current non-`Nil` class values are
+    /// copied over.
+    pub fn derive_class(&mut self, name: impl Into<String>, superclass: CellClassId) -> CellClassId {
+        let id = self.define_class(name);
+        self.classes[id.index()].superclass = Some(superclass);
+        self.classes[superclass.index()].subclasses.push(id);
+
+        // Copy signals.
+        for i in 0..self.classes[superclass.index()].signals.len() {
+            let (sig_name, dir, pin) = {
+                let s = &self.classes[superclass.index()].signals[i];
+                (s.name.clone(), s.dir, s.pin)
+            };
+            self.add_signal(id, sig_name.clone(), dir);
+            if let Some(p) = pin {
+                self.set_signal_pin(id, &sig_name, p);
+            }
+            let (src, dst) = {
+                let s = &self.classes[superclass.index()].signals[i];
+                let d = self
+                    .classes[id.index()]
+                    .signals
+                    .iter()
+                    .find(|x| x.name == sig_name)
+                    .expect("just added");
+                (
+                    [s.class_bit_width, s.class_data_type, s.class_electrical_type],
+                    [d.class_bit_width, d.class_data_type, d.class_electrical_type],
+                )
+            };
+            for (s, d) in src.into_iter().zip(dst) {
+                self.copy_class_value(s, d);
+            }
+        }
+        // Copy parameters.
+        for i in 0..self.classes[superclass.index()].params.len() {
+            let (p_name, default, src) = {
+                let p = &self.classes[superclass.index()].params[i];
+                (p.name.clone(), p.default.clone(), p.class_var)
+            };
+            let dst = self.add_parameter(id, p_name, default);
+            self.copy_class_value(src, dst);
+        }
+        // Copy non-built-in properties (boundingBox already exists).
+        for i in 0..self.classes[superclass.index()].props.len() {
+            let (p_name, link, src) = {
+                let p = &self.classes[superclass.index()].props[i];
+                (p.name.clone(), p.link.clone(), p.class_var)
+            };
+            let dst = if p_name == BOUNDING_BOX {
+                self.class_property_var(id, BOUNDING_BOX).expect("built-in")
+            } else {
+                self.add_property(id, p_name, link)
+            };
+            self.copy_class_value(src, dst);
+        }
+        id
+    }
+
+    fn copy_class_value(&mut self, src: VarId, dst: VarId) {
+        let v = self.network.value(src).clone();
+        if !v.is_nil() {
+            let just = match self.network.justification(src) {
+                Justification::User => Justification::User,
+                _ => Justification::Application,
+            };
+            self.network
+                .set(dst, v, just)
+                .expect("fresh variable accepts copy");
+        }
+    }
+
+    /// Looks up a class by name.
+    pub fn class_by_name(&self, name: &str) -> Option<CellClassId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The class's name.
+    pub fn class_name(&self, class: CellClassId) -> &str {
+        &self.classes[class.index()].name
+    }
+
+    /// Sets the documentation string of a class.
+    pub fn set_doc(&mut self, class: CellClassId, doc: impl Into<String>) {
+        self.classes[class.index()].doc = doc.into();
+    }
+
+    /// The documentation string of a class.
+    pub fn doc(&self, class: CellClassId) -> &str {
+        &self.classes[class.index()].doc
+    }
+
+    /// Marks a class as generic — no physical realisation; a stand-in whose
+    /// descendants are candidate implementations (ch. 8).
+    pub fn set_generic(&mut self, class: CellClassId, generic: bool) {
+        self.classes[class.index()].generic = generic;
+    }
+
+    /// Whether the class is generic.
+    pub fn is_generic(&self, class: CellClassId) -> bool {
+        self.classes[class.index()].generic
+    }
+
+    /// The direct superclass.
+    pub fn superclass(&self, class: CellClassId) -> Option<CellClassId> {
+        self.classes[class.index()].superclass
+    }
+
+    /// Direct subclasses, in definition order.
+    pub fn subclasses(&self, class: CellClassId) -> &[CellClassId] {
+        &self.classes[class.index()].subclasses
+    }
+
+    /// All transitive subclasses (excluding `class` itself), pre-order —
+    /// Smalltalk's `allSubclasses` used by module selection (Fig. 7.3, 8.3).
+    pub fn all_subclasses(&self, class: CellClassId) -> Vec<CellClassId> {
+        let mut out = Vec::new();
+        let mut stack: Vec<CellClassId> = self.subclasses(class).to_vec();
+        stack.reverse();
+        while let Some(c) = stack.pop() {
+            out.push(c);
+            for &s in self.subclasses(c).iter().rev() {
+                stack.push(s);
+            }
+        }
+        out
+    }
+
+    /// Whether `descendant` is `ancestor` or below it in the class tree.
+    pub fn is_descendant(&self, descendant: CellClassId, ancestor: CellClassId) -> bool {
+        let mut cur = Some(descendant);
+        while let Some(c) = cur {
+            if c == ancestor {
+                return true;
+            }
+            cur = self.superclass(c);
+        }
+        false
+    }
+
+    /// Iterator over all class ids.
+    pub fn classes(&self) -> impl Iterator<Item = CellClassId> + '_ {
+        (0..self.classes.len() as u32).map(CellClassId)
+    }
+
+    // ------------------------------------------------------------------
+    // Signals
+    // ------------------------------------------------------------------
+
+    /// Adds an io-signal to a class, creating its class-side bit-width and
+    /// type variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a duplicate signal name.
+    pub fn add_signal(&mut self, class: CellClassId, name: impl Into<String>, dir: SignalDir) {
+        let name = name.into();
+        assert!(
+            self.signal_def(class, &name).is_none(),
+            "duplicate signal {name:?}"
+        );
+        let owner: Arc<str> = Arc::from(format!("{}.{}", self.class_name(class), name).as_str());
+        let bw = self.network.add_variable_with(
+            "bitWidth",
+            Some(owner.clone()),
+            self.bit_width_kind.clone() as Rc<dyn VariableKind>,
+        );
+        let dt = self.network.add_variable_with(
+            "dataType",
+            Some(owner.clone()),
+            self.signal_type_kind.clone() as Rc<dyn VariableKind>,
+        );
+        let et = self.network.add_variable_with(
+            "electricalType",
+            Some(owner),
+            self.signal_type_kind.clone() as Rc<dyn VariableKind>,
+        );
+        self.classes[class.index()].signals.push(SignalDef {
+            name,
+            dir,
+            class_bit_width: bw,
+            class_data_type: dt,
+            class_electrical_type: et,
+            pin: None,
+        });
+    }
+
+    /// The signal definitions of a class.
+    pub fn signals(&self, class: CellClassId) -> &[SignalDef] {
+        &self.classes[class.index()].signals
+    }
+
+    /// One signal definition by name.
+    pub fn signal_def(&self, class: CellClassId, name: &str) -> Option<&SignalDef> {
+        self.classes[class.index()]
+            .signals
+            .iter()
+            .find(|s| s.name == name)
+    }
+
+    /// Sets a signal's pin location (class-local border coordinates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the signal does not exist.
+    pub fn set_signal_pin(&mut self, class: CellClassId, signal: &str, pin: Point) {
+        let s = self.classes[class.index()]
+            .signals
+            .iter_mut()
+            .find(|s| s.name == signal)
+            .unwrap_or_else(|| panic!("no signal {signal:?}"));
+        s.pin = Some(pin);
+    }
+
+    /// Sets the class-side bit width of a signal (designer specification).
+    ///
+    /// # Errors
+    ///
+    /// Returns a violation if propagation detects a conflict.
+    pub fn set_signal_bit_width(
+        &mut self,
+        class: CellClassId,
+        signal: &str,
+        width: u32,
+    ) -> Result<(), Violation> {
+        let var = self
+            .signal_def(class, signal)
+            .unwrap_or_else(|| panic!("no signal {signal:?}"))
+            .class_bit_width;
+        self.network
+            .set(var, Value::BitWidth(width), Justification::User)
+    }
+
+    /// The class-side bit width of a signal, if known.
+    pub fn signal_bit_width(&self, class: CellClassId, signal: &str) -> Option<u32> {
+        self.signal_def(class, signal)
+            .and_then(|s| self.network.value(s.class_bit_width).as_bit_width())
+    }
+
+    /// Sets a signal's data type by hierarchy name (e.g. `"IntegerSignal"`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a violation on type conflicts.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown signal or type name.
+    pub fn set_signal_data_type(
+        &mut self,
+        class: CellClassId,
+        signal: &str,
+        type_name: &str,
+    ) -> Result<(), Violation> {
+        let tag = self
+            .forests
+            .borrow()
+            .data
+            .tag(type_name)
+            .unwrap_or_else(|| panic!("unknown data type {type_name:?}"));
+        let var = self
+            .signal_def(class, signal)
+            .unwrap_or_else(|| panic!("no signal {signal:?}"))
+            .class_data_type;
+        self.network
+            .set(var, Value::TypeRef(tag), Justification::User)
+    }
+
+    /// Sets a signal's electrical type by hierarchy name (e.g. `"CMOS"`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a violation on type conflicts.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown signal or type name.
+    pub fn set_signal_electrical_type(
+        &mut self,
+        class: CellClassId,
+        signal: &str,
+        type_name: &str,
+    ) -> Result<(), Violation> {
+        let tag = self
+            .forests
+            .borrow()
+            .electrical
+            .tag(type_name)
+            .unwrap_or_else(|| panic!("unknown electrical type {type_name:?}"));
+        let var = self
+            .signal_def(class, signal)
+            .unwrap_or_else(|| panic!("no signal {signal:?}"))
+            .class_electrical_type;
+        self.network
+            .set(var, Value::TypeRef(tag), Justification::User)
+    }
+
+    // ------------------------------------------------------------------
+    // Parameters & properties
+    // ------------------------------------------------------------------
+
+    /// Adds a parameter to a class; returns the class-side range variable.
+    pub fn add_parameter(
+        &mut self,
+        class: CellClassId,
+        name: impl Into<String>,
+        default: Option<Value>,
+    ) -> VarId {
+        let name = name.into();
+        let owner: Arc<str> = Arc::from(self.class_name(class));
+        let var = self
+            .network
+            .add_variable_with(name.clone(), Some(owner), Rc::new(PlainKind));
+        self.classes[class.index()].params.push(ParamDef {
+            name,
+            class_var: var,
+            default,
+        });
+        var
+    }
+
+    /// Adds a property to a class; returns the class-side variable.
+    pub fn add_property(
+        &mut self,
+        class: CellClassId,
+        name: impl Into<String>,
+        link: PropertyLink,
+    ) -> VarId {
+        let name = name.into();
+        let owner: Arc<str> = Arc::from(self.class_name(class));
+        let var = self
+            .network
+            .add_variable_with(name.clone(), Some(owner), Rc::new(PlainKind));
+        self.classes[class.index()].props.push(PropDef {
+            name,
+            class_var: var,
+            link,
+        });
+        var
+    }
+
+    /// The property definitions of a class.
+    pub fn properties(&self, class: CellClassId) -> &[PropDef] {
+        &self.classes[class.index()].props
+    }
+
+    /// The parameter definitions of a class.
+    pub fn parameters(&self, class: CellClassId) -> &[ParamDef] {
+        &self.classes[class.index()].params
+    }
+
+    /// The class-side variable of a property.
+    pub fn class_property_var(&self, class: CellClassId, name: &str) -> Option<VarId> {
+        self.classes[class.index()]
+            .props
+            .iter()
+            .find(|p| p.name == name)
+            .map(|p| p.class_var)
+    }
+
+    /// The class-side variable of a parameter.
+    pub fn class_parameter_var(&self, class: CellClassId, name: &str) -> Option<VarId> {
+        self.classes[class.index()]
+            .params
+            .iter()
+            .find(|p| p.name == name)
+            .map(|p| p.class_var)
+    }
+
+    /// Assigns a class property value; propagates hierarchically.
+    ///
+    /// # Errors
+    ///
+    /// Returns a violation on conflicts.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown property.
+    pub fn set_class_property(
+        &mut self,
+        class: CellClassId,
+        name: &str,
+        value: Value,
+        justification: Justification,
+    ) -> Result<(), Violation> {
+        let var = self
+            .class_property_var(class, name)
+            .unwrap_or_else(|| panic!("no property {name:?}"));
+        self.network.set(var, value, justification)
+    }
+
+    // ------------------------------------------------------------------
+    // Instances
+    // ------------------------------------------------------------------
+
+    /// Places an instance of `class` inside `parent`'s internal structure
+    /// (`addCell`). Creates the dual instance variables, implicit links,
+    /// the parent-bbox update constraint (Fig. 7.8), propagates parameter
+    /// defaults, fires [`StructureEvent::InstanceAdded`] and broadcasts
+    /// `#changed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a violation when the class's current characteristics
+    /// conflict with constraints in the parent context.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parent == class`.
+    pub fn instantiate(
+        &mut self,
+        class: CellClassId,
+        parent: CellClassId,
+        name: impl Into<String>,
+        transform: Transform,
+    ) -> Result<CellInstanceId, Violation> {
+        assert!(
+            !self.structure_contains(class, parent),
+            "containment cycle: {} already contains {} (directly or transitively)",
+            self.class_name(class),
+            self.class_name(parent),
+        );
+        let id = CellInstanceId(self.instances.len() as u32);
+        let name = name.into();
+        self.instances.push(CellInstanceData {
+            name: name.clone(),
+            class,
+            parent,
+            transform,
+            bit_width_vars: HashMap::new(),
+            param_vars: HashMap::new(),
+            prop_vars: HashMap::new(),
+            links: HashMap::new(),
+            update_cids: Vec::new(),
+            connections: HashMap::new(),
+            active: true,
+        });
+        let owner: Arc<str> = Arc::from(
+            format!("{}.{}", self.class_name(parent), name).as_str(),
+        );
+
+        // Dual bit-width variables per signal.
+        for i in 0..self.classes[class.index()].signals.len() {
+            let (sig_name, class_bw) = {
+                let s = &self.classes[class.index()].signals[i];
+                (s.name.clone(), s.class_bit_width)
+            };
+            let inst_bw = self.network.add_variable_with(
+                format!("{sig_name}.bitWidth"),
+                Some(owner.clone()),
+                self.bit_width_kind.clone() as Rc<dyn VariableKind>,
+            );
+            self.instances[id.index()]
+                .bit_width_vars
+                .insert(sig_name.clone(), inst_bw);
+            let cid = self
+                .network
+                .add_constraint(ImplicitLink::new(BitWidthLink), [class_bw, inst_bw])?;
+            self.instances[id.index()]
+                .links
+                .insert(format!("bw:{sig_name}"), cid);
+        }
+
+        // Dual parameter variables.
+        for i in 0..self.classes[class.index()].params.len() {
+            let (p_name, class_var, default) = {
+                let p = &self.classes[class.index()].params[i];
+                (p.name.clone(), p.class_var, p.default.clone())
+            };
+            let inst_var = self.network.add_variable_with(
+                p_name.clone(),
+                Some(owner.clone()),
+                Rc::new(PlainKind),
+            );
+            self.instances[id.index()]
+                .param_vars
+                .insert(p_name.clone(), inst_var);
+            if let Some(v) = default {
+                self.network
+                    .set(inst_var, v, Justification::DefaultValue)?;
+            }
+            let cid = self
+                .network
+                .add_constraint(ImplicitLink::new(ParamRangeLink), [class_var, inst_var])?;
+            self.instances[id.index()]
+                .links
+                .insert(format!("param:{p_name}"), cid);
+        }
+
+        // Dual property variables + links.
+        for i in 0..self.classes[class.index()].props.len() {
+            let (p_name, class_var, link) = {
+                let p = &self.classes[class.index()].props[i];
+                (p.name.clone(), p.class_var, p.link.clone())
+            };
+            let inst_var = self.network.add_variable_with(
+                p_name.clone(),
+                Some(owner.clone()),
+                Rc::new(PlainKind),
+            );
+            self.instances[id.index()]
+                .prop_vars
+                .insert(p_name.clone(), inst_var);
+            let semantics: Option<Rc<dyn LinkSemantics>> = match link {
+                PropertyLink::Mirror => Some(Rc::new(stem_core::kinds::EqualLink)),
+                PropertyLink::Custom(factory) => Some(factory(self, id)),
+                PropertyLink::Independent => None,
+            };
+            if let Some(sem) = semantics {
+                let cid = self
+                    .network
+                    .add_constraint(ImplicitLink::from_rc(sem), [class_var, inst_var])?;
+                self.instances[id.index()].links.insert(p_name.clone(), cid);
+            }
+        }
+
+        // Parent bounding box depends on every subcell bounding box
+        // (Fig. 7.8, expressed as an update-constraint).
+        let inst_bbox = self.instances[id.index()].prop_vars[BOUNDING_BOX];
+        let parent_bbox = self
+            .class_property_var(parent, BOUNDING_BOX)
+            .expect("built-in");
+        let upd = self
+            .network
+            .add_constraint(UpdateConstraint::new(1), [inst_bbox, parent_bbox])?;
+        self.instances[id.index()].update_cids.push(upd);
+
+        self.classes[class.index()].instances_of.push(id);
+        self.classes[parent.index()].subcells.push(id);
+        self.invalidate_class_bbox(parent);
+        self.fire(StructureEvent::InstanceAdded { instance: id });
+        self.notify_changed(parent, ChangeKey::Structure);
+        Ok(id)
+    }
+
+    /// Removes an instance (`removeCell`): disconnects its nets, removes
+    /// its implicit links and update constraints (with dependency-directed
+    /// erasure), and broadcasts the change.
+    pub fn remove_instance(&mut self, inst: CellInstanceId) {
+        if !self.instances[inst.index()].active {
+            return;
+        }
+        // Disconnect from all nets first.
+        let conns: Vec<(String, NetId)> = self.instances[inst.index()]
+            .connections
+            .iter()
+            .map(|(s, &n)| (s.clone(), n))
+            .collect();
+        for (signal, net) in conns {
+            let _ = self.disconnect(net, inst, &signal);
+        }
+        let links: Vec<ConstraintId> =
+            self.instances[inst.index()].links.values().copied().collect();
+        for cid in links {
+            self.network.remove_constraint(cid);
+        }
+        let upds = std::mem::take(&mut self.instances[inst.index()].update_cids);
+        for cid in upds {
+            self.network.remove_constraint(cid);
+        }
+        let parent = self.instances[inst.index()].parent;
+        let class = self.instances[inst.index()].class;
+        self.instances[inst.index()].active = false;
+        self.classes[parent.index()].subcells.retain(|&i| i != inst);
+        self.classes[class.index()].instances_of.retain(|&i| i != inst);
+        self.invalidate_class_bbox(parent);
+        self.fire(StructureEvent::InstanceRemoved {
+            instance: inst,
+            parent,
+        });
+        self.notify_changed(parent, ChangeKey::Structure);
+    }
+
+    /// Whether `inner`'s internal structure (transitively) uses `outer` —
+    /// including `inner == outer`. Used to reject containment cycles.
+    pub fn structure_contains(&self, inner: CellClassId, outer: CellClassId) -> bool {
+        if inner == outer {
+            return true;
+        }
+        let mut stack = vec![inner];
+        let mut seen = HashSet::new();
+        while let Some(c) = stack.pop() {
+            if !seen.insert(c) {
+                continue;
+            }
+            for &i in self.subcells(c) {
+                let sc = self.instance_class(i);
+                if sc == outer {
+                    return true;
+                }
+                stack.push(sc);
+            }
+        }
+        false
+    }
+
+    /// The class an instance instantiates.
+    pub fn instance_class(&self, inst: CellInstanceId) -> CellClassId {
+        self.instances[inst.index()].class
+    }
+
+    /// The composite cell containing an instance.
+    pub fn instance_parent(&self, inst: CellInstanceId) -> CellClassId {
+        self.instances[inst.index()].parent
+    }
+
+    /// The instance's name.
+    pub fn instance_name(&self, inst: CellInstanceId) -> &str {
+        &self.instances[inst.index()].name
+    }
+
+    /// Whether the instance is still placed.
+    pub fn instance_active(&self, inst: CellInstanceId) -> bool {
+        self.instances[inst.index()].active
+    }
+
+    /// The instance's placement transform.
+    pub fn instance_transform(&self, inst: CellInstanceId) -> Transform {
+        self.instances[inst.index()].transform
+    }
+
+    /// Moves an instance: rebuilds its bounding-box link with the new
+    /// transform and invalidates the parent bounding box.
+    ///
+    /// # Errors
+    ///
+    /// Returns a violation — and leaves the instance where it was — when
+    /// the new orientation no longer fits a user-allotted instance box.
+    pub fn set_instance_transform(
+        &mut self,
+        inst: CellInstanceId,
+        transform: Transform,
+    ) -> Result<(), Violation> {
+        let previous = self.instances[inst.index()].transform;
+        self.instances[inst.index()].transform = transform;
+        // Rebuild the bbox link so its baked transform is current.
+        if let Some(&old) = self.instances[inst.index()].links.get(BOUNDING_BOX) {
+            self.network.remove_constraint(old);
+            let class_var = self
+                .class_property_var(self.instance_class(inst), BOUNDING_BOX)
+                .expect("built-in");
+            let inst_var = self.instances[inst.index()].prop_vars[BOUNDING_BOX];
+            let cid = match self
+                .network
+                .add_constraint(ImplicitLink::new(BBoxLink { transform }), [class_var, inst_var])
+            {
+                Ok(cid) => cid,
+                Err(v) => {
+                    // Roll the move back: restore the old transform/link.
+                    self.instances[inst.index()].transform = previous;
+                    let cid = self
+                        .network
+                        .add_constraint(
+                            ImplicitLink::new(BBoxLink { transform: previous }),
+                            [class_var, inst_var],
+                        )
+                        .expect("previous placement was consistent");
+                    self.instances[inst.index()]
+                        .links
+                        .insert(BOUNDING_BOX.to_string(), cid);
+                    return Err(v);
+                }
+            };
+            self.instances[inst.index()]
+                .links
+                .insert(BOUNDING_BOX.to_string(), cid);
+        }
+        let parent = self.instance_parent(inst);
+        self.invalidate_class_bbox(parent);
+        self.fire(StructureEvent::TransformChanged { instance: inst });
+        self.notify_changed(parent, ChangeKey::Layout);
+        Ok(())
+    }
+
+    /// The subcells of a class's internal structure.
+    pub fn subcells(&self, class: CellClassId) -> &[CellInstanceId] {
+        &self.classes[class.index()].subcells
+    }
+
+    /// All placements of a class anywhere in the environment.
+    pub fn instances_of(&self, class: CellClassId) -> &[CellInstanceId] {
+        &self.classes[class.index()].instances_of
+    }
+
+    /// The instance-side variable of a property.
+    pub fn instance_property_var(&self, inst: CellInstanceId, name: &str) -> Option<VarId> {
+        self.instances[inst.index()].prop_vars.get(name).copied()
+    }
+
+    /// The instance-side variable of a parameter.
+    pub fn instance_parameter_var(&self, inst: CellInstanceId, name: &str) -> Option<VarId> {
+        self.instances[inst.index()].param_vars.get(name).copied()
+    }
+
+    /// The instance-side bit-width variable of a signal.
+    pub fn instance_bit_width_var(&self, inst: CellInstanceId, signal: &str) -> Option<VarId> {
+        self.instances[inst.index()]
+            .bit_width_vars
+            .get(signal)
+            .copied()
+    }
+
+    /// Assigns an instance parameter value (checked against the class
+    /// range by the implicit link).
+    ///
+    /// # Errors
+    ///
+    /// Returns a violation when the value falls outside the class range or
+    /// conflicts with other constraints.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown parameter.
+    pub fn set_parameter(
+        &mut self,
+        inst: CellInstanceId,
+        name: &str,
+        value: Value,
+    ) -> Result<(), Violation> {
+        let var = self
+            .instance_parameter_var(inst, name)
+            .unwrap_or_else(|| panic!("no parameter {name:?}"));
+        self.network.set(var, value, Justification::User)
+    }
+
+    /// The net a signal of an instance is connected to, if any.
+    pub fn connection(&self, inst: CellInstanceId, signal: &str) -> Option<NetId> {
+        self.instances[inst.index()].connections.get(signal).copied()
+    }
+
+    // ------------------------------------------------------------------
+    // Bounding boxes (lazy recomputation, §6.5.1 + §7.2)
+    // ------------------------------------------------------------------
+
+    /// Erases a class bounding box (it will be recomputed on demand).
+    pub fn invalidate_class_bbox(&mut self, class: CellClassId) {
+        let var = self
+            .class_property_var(class, BOUNDING_BOX)
+            .expect("built-in");
+        if !self.network.value(var).is_nil() {
+            // Plain store: erasure must not be blocked by propagation
+            // conflicts (it is consistency maintenance, not a design step).
+            let enabled = self.network.is_propagation_enabled();
+            self.network.set_propagation_enabled(false);
+            self.network
+                .set(var, Value::Nil, Justification::Update)
+                .expect("plain store");
+            self.network.set_propagation_enabled(enabled);
+        }
+    }
+
+    /// The class bounding box, recomputing it from the internal structure
+    /// when erased (`calculateBoundingBox`): the union of all subcell
+    /// instance boxes. Leaf cells (no subcells) return whatever value the
+    /// designer assigned, or `None`.
+    pub fn class_bounding_box(&mut self, class: CellClassId) -> Option<Rect> {
+        let var = self
+            .class_property_var(class, BOUNDING_BOX)
+            .expect("built-in");
+        if let Some(r) = self.network.value(var).as_rect() {
+            return Some(r);
+        }
+        let subs = self.classes[class.index()].subcells.clone();
+        if subs.is_empty() {
+            return None;
+        }
+        let mut boxes = Vec::new();
+        for s in subs {
+            if let Some(b) = self.instance_bounding_box(s) {
+                boxes.push(b);
+            }
+        }
+        let union = Rect::union_all(boxes)?;
+        // Assign with propagation: instances of this class get fresh
+        // default boxes, and their parents' boxes are invalidated in turn.
+        match self
+            .network
+            .set(var, Value::Rect(union), Justification::Application)
+        {
+            Ok(()) => Some(union),
+            Err(_) => Some(union), // conflicting spec: report value, keep spec
+        }
+    }
+
+    /// Sets a (leaf) class's bounding box directly.
+    ///
+    /// # Errors
+    ///
+    /// Returns a violation when instances cannot accommodate the new box.
+    pub fn set_class_bounding_box(&mut self, class: CellClassId, r: Rect) -> Result<(), Violation> {
+        let var = self
+            .class_property_var(class, BOUNDING_BOX)
+            .expect("built-in");
+        self.network.set(var, Value::Rect(r), Justification::User)
+    }
+
+    /// The bounding box of an instance, in parent coordinates: the stored
+    /// instance box if any, else the transformed class box.
+    pub fn instance_bounding_box(&mut self, inst: CellInstanceId) -> Option<Rect> {
+        let class = self.instance_class(inst);
+        let class_box = self.class_bounding_box(class);
+        let var = self.instances[inst.index()].prop_vars[BOUNDING_BOX];
+        if let Some(r) = self.network.value(var).as_rect() {
+            return Some(r);
+        }
+        class_box.map(|r| self.instance_transform(inst).apply_rect(r))
+    }
+
+    /// Stretches an instance into a larger area (§7.2): the instance box
+    /// must be able to contain the transformed class box.
+    ///
+    /// # Errors
+    ///
+    /// Returns a violation if the area is too small.
+    pub fn set_instance_bounding_box(
+        &mut self,
+        inst: CellInstanceId,
+        r: Rect,
+    ) -> Result<(), Violation> {
+        let var = self.instances[inst.index()].prop_vars[BOUNDING_BOX];
+        self.network.set(var, Value::Rect(r), Justification::User)
+    }
+
+    /// The io-pins of an instance in parent coordinates, stretched to the
+    /// instance bounding box (Fig. 7.6).
+    pub fn instance_pins(&mut self, inst: CellInstanceId) -> Vec<(String, Point)> {
+        let class = self.instance_class(inst);
+        let Some(class_box) = self.class_bounding_box(class) else {
+            return Vec::new();
+        };
+        let t = self.instance_transform(inst);
+        let inst_box = self
+            .instance_bounding_box(inst)
+            .unwrap_or_else(|| t.apply_rect(class_box));
+        let local_target = t.inverse().apply_rect(inst_box);
+        self.classes[class.index()]
+            .signals
+            .iter()
+            .filter_map(|s| {
+                let pin = s.pin?;
+                let stretched = stretch_pin(pin, class_box, local_target);
+                Some((s.name.clone(), t.apply(stretched)))
+            })
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Nets
+    // ------------------------------------------------------------------
+
+    /// Creates a net inside `parent`'s internal structure, with its typing
+    /// variables and (initially single-argument) typing constraints.
+    pub fn add_net(&mut self, parent: CellClassId, name: impl Into<String>) -> NetId {
+        let name = name.into();
+        let id = NetId(self.nets.len() as u32);
+        let owner: Arc<str> =
+            Arc::from(format!("{}.{}", self.class_name(parent), name).as_str());
+        let bw = self.network.add_variable_with(
+            "bitWidth",
+            Some(owner.clone()),
+            self.bit_width_kind.clone() as Rc<dyn VariableKind>,
+        );
+        let dt = self.network.add_variable_with(
+            "dataType",
+            Some(owner.clone()),
+            self.signal_type_kind.clone() as Rc<dyn VariableKind>,
+        );
+        let et = self.network.add_variable_with(
+            "electricalType",
+            Some(owner),
+            self.signal_type_kind.clone() as Rc<dyn VariableKind>,
+        );
+        let eq = self.network.add_constraint_quiet(Equality::new(), [bw]);
+        let cd = self
+            .network
+            .add_constraint_quiet(Compatible::new(self.forests.clone()), [dt]);
+        let ce = self
+            .network
+            .add_constraint_quiet(Compatible::new(self.forests.clone()), [et]);
+        self.nets.push(NetData {
+            name,
+            parent,
+            bit_width: bw,
+            data_type: dt,
+            electrical_type: et,
+            eq_bit_width: eq,
+            compat_data: cd,
+            compat_electrical: ce,
+            connections: Vec::new(),
+            io_connections: Vec::new(),
+            active: true,
+        });
+        self.classes[parent.index()].nets.push(id);
+        id
+    }
+
+    /// The nets of a class's internal structure.
+    pub fn nets_of(&self, class: CellClassId) -> &[NetId] {
+        &self.classes[class.index()].nets
+    }
+
+    /// The net's name.
+    pub fn net_name(&self, net: NetId) -> &str {
+        &self.nets[net.index()].name
+    }
+
+    /// The cell class whose internal structure contains the net.
+    pub fn net_parent(&self, net: NetId) -> CellClassId {
+        self.nets[net.index()].parent
+    }
+
+    /// The net's typing variables `(bitWidth, dataType, electricalType)`.
+    pub fn net_type_vars(&self, net: NetId) -> (VarId, VarId, VarId) {
+        let n = &self.nets[net.index()];
+        (n.bit_width, n.data_type, n.electrical_type)
+    }
+
+    /// Instance-pin connections of a net.
+    pub fn net_connections(&self, net: NetId) -> &[(CellInstanceId, String)] {
+        &self.nets[net.index()].connections
+    }
+
+    /// Io-signal connections of a net (signals of the *parent* cell).
+    pub fn net_io_connections(&self, net: NetId) -> &[String] {
+        &self.nets[net.index()].io_connections
+    }
+
+    /// Connects an instance pin to a net, installing the signal typing
+    /// constraints of §7.1 (bit-width equality plus data/electrical
+    /// compatibility). This is where Fig. 7.1's bit-width violation fires.
+    ///
+    /// # Errors
+    ///
+    /// Returns a violation on type/width conflicts; the connection is
+    /// rolled back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instance has no such signal or lives in a different
+    /// parent cell.
+    pub fn connect(
+        &mut self,
+        net: NetId,
+        inst: CellInstanceId,
+        signal: &str,
+    ) -> Result<(), Violation> {
+        assert_eq!(
+            self.instances[inst.index()].parent,
+            self.nets[net.index()].parent,
+            "net and instance belong to different cells"
+        );
+        let inst_bw = self
+            .instance_bit_width_var(inst, signal)
+            .unwrap_or_else(|| panic!("no signal {signal:?} on {inst}"));
+        let class = self.instance_class(inst);
+        let sig = self
+            .signal_def(class, signal)
+            .expect("signal exists on class")
+            .clone();
+        let (eq, cd, ce) = {
+            let n = &self.nets[net.index()];
+            (n.eq_bit_width, n.compat_data, n.compat_electrical)
+        };
+        self.network.attach_arg(eq, inst_bw)?;
+        if let Err(v) = self.network.attach_arg(cd, sig.class_data_type) {
+            let _ = self.network.detach_arg(eq, inst_bw);
+            return Err(v);
+        }
+        if let Err(v) = self.network.attach_arg(ce, sig.class_electrical_type) {
+            let _ = self.network.detach_arg(eq, inst_bw);
+            let _ = self.network.detach_arg(cd, sig.class_data_type);
+            return Err(v);
+        }
+        self.nets[net.index()]
+            .connections
+            .push((inst, signal.to_string()));
+        self.instances[inst.index()]
+            .connections
+            .insert(signal.to_string(), net);
+        let parent = self.nets[net.index()].parent;
+        self.fire(StructureEvent::NetConnected {
+            net,
+            instance: Some(inst),
+            signal: signal.to_string(),
+        });
+        self.notify_changed(parent, ChangeKey::Netlist);
+        Ok(())
+    }
+
+    /// Connects a net to one of the *parent cell's own* io-signals,
+    /// linking internal structure to the cell interface.
+    ///
+    /// # Errors
+    ///
+    /// Returns a violation on type/width conflicts; rolled back.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown signal.
+    pub fn connect_io(&mut self, net: NetId, signal: &str) -> Result<(), Violation> {
+        let parent = self.nets[net.index()].parent;
+        let sig = self
+            .signal_def(parent, signal)
+            .unwrap_or_else(|| panic!("no io-signal {signal:?}"))
+            .clone();
+        let (eq, cd, ce) = {
+            let n = &self.nets[net.index()];
+            (n.eq_bit_width, n.compat_data, n.compat_electrical)
+        };
+        self.network.attach_arg(eq, sig.class_bit_width)?;
+        if let Err(v) = self.network.attach_arg(cd, sig.class_data_type) {
+            let _ = self.network.detach_arg(eq, sig.class_bit_width);
+            return Err(v);
+        }
+        if let Err(v) = self.network.attach_arg(ce, sig.class_electrical_type) {
+            let _ = self.network.detach_arg(eq, sig.class_bit_width);
+            let _ = self.network.detach_arg(cd, sig.class_data_type);
+            return Err(v);
+        }
+        self.nets[net.index()].io_connections.push(signal.to_string());
+        self.fire(StructureEvent::NetConnected {
+            net,
+            instance: None,
+            signal: signal.to_string(),
+        });
+        self.notify_changed(parent, ChangeKey::Netlist);
+        Ok(())
+    }
+
+    /// Disconnects an instance pin from a net, removing its contribution
+    /// to the typing constraints (dependency-directed erasure applies).
+    ///
+    /// # Errors
+    ///
+    /// Propagates violations raised while the remaining arguments
+    /// re-assert their values.
+    pub fn disconnect(
+        &mut self,
+        net: NetId,
+        inst: CellInstanceId,
+        signal: &str,
+    ) -> Result<(), Violation> {
+        let Some(pos) = self.nets[net.index()]
+            .connections
+            .iter()
+            .position(|(i, s)| *i == inst && s == signal)
+        else {
+            return Ok(());
+        };
+        self.nets[net.index()].connections.remove(pos);
+        self.instances[inst.index()].connections.remove(signal);
+        let inst_bw = self
+            .instance_bit_width_var(inst, signal)
+            .expect("signal exists");
+        let class = self.instance_class(inst);
+        let sig = self.signal_def(class, signal).expect("signal exists").clone();
+        let (eq, cd, ce) = {
+            let n = &self.nets[net.index()];
+            (n.eq_bit_width, n.compat_data, n.compat_electrical)
+        };
+        let still_used = |d: &Design, var: VarId| {
+            d.nets[net.index()].connections.iter().any(|(i, s)| {
+                let c = d.instance_class(*i);
+                d.signal_def(c, s)
+                    .map(|sd| sd.class_data_type == var || sd.class_electrical_type == var)
+                    .unwrap_or(false)
+            })
+        };
+        self.network.detach_arg(eq, inst_bw)?;
+        // Class-side type vars may be shared by sibling instances of the
+        // same class on this net; detach only when no longer used.
+        if !still_used(self, sig.class_data_type) {
+            self.network.detach_arg(cd, sig.class_data_type)?;
+        }
+        if !still_used(self, sig.class_electrical_type) {
+            self.network.detach_arg(ce, sig.class_electrical_type)?;
+        }
+        let parent = self.nets[net.index()].parent;
+        self.fire(StructureEvent::NetDisconnected {
+            net,
+            instance: Some(inst),
+            signal: signal.to_string(),
+        });
+        self.notify_changed(parent, ChangeKey::Netlist);
+        Ok(())
+    }
+
+    /// Removes a net entirely: disconnects everything and removes the
+    /// typing constraints (dependency-directed erasure resets inferred
+    /// signal types).
+    pub fn remove_net(&mut self, net: NetId) {
+        if !self.nets[net.index()].active {
+            return;
+        }
+        let conns = self.nets[net.index()].connections.clone();
+        for (inst, signal) in conns {
+            let _ = self.disconnect(net, inst, &signal);
+        }
+        let (eq, cd, ce) = {
+            let n = &self.nets[net.index()];
+            (n.eq_bit_width, n.compat_data, n.compat_electrical)
+        };
+        self.network.remove_constraint(eq);
+        self.network.remove_constraint(cd);
+        self.network.remove_constraint(ce);
+        let parent = self.nets[net.index()].parent;
+        self.nets[net.index()].io_connections.clear();
+        self.nets[net.index()].active = false;
+        self.classes[parent.index()].nets.retain(|&n| n != net);
+        self.invalidate_class_bbox(parent);
+        self.notify_changed(parent, ChangeKey::Structure);
+    }
+
+    /// Whether the net still exists.
+    pub fn net_active(&self, net: NetId) -> bool {
+        self.nets[net.index()].active
+    }
+
+    // ------------------------------------------------------------------
+    // Hooks, views and change broadcast (§6.5.2)
+    // ------------------------------------------------------------------
+
+    /// Registers a structural-edit hook (tool integration: signal typing,
+    /// delay networks, …).
+    pub fn add_hook(&mut self, hook: impl Fn(&mut Design, &StructureEvent) + 'static) {
+        self.hooks.push(Rc::new(hook));
+    }
+
+    fn fire(&mut self, ev: StructureEvent) {
+        let hooks = self.hooks.clone();
+        for h in &hooks {
+            h(self, &ev);
+        }
+    }
+
+    /// Registers a calculated view's erasure callback against its model
+    /// class. The callback receives the change key and decides whether to
+    /// erase (selective erasure, `#changed:key`).
+    pub fn register_view(
+        &mut self,
+        model: CellClassId,
+        callback: impl Fn(ChangeKey) + 'static,
+    ) -> ViewHandle {
+        let h = ViewHandle(self.views.len());
+        self.views.push(ViewRegistration {
+            model,
+            callback: Rc::new(callback),
+            active: true,
+        });
+        h
+    }
+
+    /// Unregisters a view.
+    pub fn unregister_view(&mut self, handle: ViewHandle) {
+        if let Some(v) = self.views.get_mut(handle.0) {
+            v.active = false;
+        }
+    }
+
+    /// Broadcasts `#changed:key` from a model class: its views erase, and
+    /// — when the key can affect external properties — the change
+    /// propagates to every cell containing an instance of it (§6.5.2).
+    pub fn notify_changed(&mut self, class: CellClassId, key: ChangeKey) {
+        let mut seen = HashSet::new();
+        self.notify_changed_inner(class, key, &mut seen);
+    }
+
+    fn notify_changed_inner(
+        &mut self,
+        class: CellClassId,
+        key: ChangeKey,
+        seen: &mut HashSet<CellClassId>,
+    ) {
+        if !seen.insert(class) {
+            return;
+        }
+        let callbacks: Vec<Rc<dyn Fn(ChangeKey)>> = self
+            .views
+            .iter()
+            .filter(|v| v.active && v.model == class)
+            .map(|v| v.callback.clone())
+            .collect();
+        for cb in callbacks {
+            cb(key);
+        }
+        if key.propagates_up() {
+            let parents: Vec<CellClassId> = self.classes[class.index()]
+                .instances_of
+                .iter()
+                .filter(|&&i| self.instances[i.index()].active)
+                .map(|&i| self.instances[i.index()].parent)
+                .collect();
+            for p in parents {
+                self.notify_changed_inner(p, key, seen);
+            }
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Structure events, tool-integration hooks, and the change-broadcast
+//! mechanism of thesis §6.5.2.
+//!
+//! Views are dependents of their models: "whenever an object changes a
+//! database object (a model), it must send the database object the message
+//! `#changed`", optionally qualified with a key describing the nature of
+//! the change. Changes also propagate up the design hierarchy, terminating
+//! at cells whose external properties are unaffected.
+
+use crate::ids::{CellClassId, CellInstanceId, NetId};
+use std::fmt;
+use std::rc::Rc;
+
+/// What kind of change a `#changed:key` broadcast describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChangeKey {
+    /// Internal structure changed (subcells or nets added/removed).
+    Structure,
+    /// Only the layout changed ("no electrical connectivity has been
+    /// modified" — a SpiceNet view need not erase).
+    Layout,
+    /// Electrical connectivity changed.
+    Netlist,
+    /// A characteristic value changed without structural edits.
+    Values,
+}
+
+impl ChangeKey {
+    /// Whether a change of this kind can affect the external properties of
+    /// containing cells, and so must propagate up the hierarchy (§6.5.2).
+    pub fn propagates_up(self) -> bool {
+        !matches!(self, ChangeKey::Values)
+    }
+}
+
+impl fmt::Display for ChangeKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// A structural edit of a design, delivered to registered hooks so design
+/// tools (signal typing, delay networks, …) can install or remove their
+/// constraints (§5.3: "delay constraints are instantiated when subcells are
+/// added and removed when subcells are removed").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StructureEvent {
+    /// A subcell was placed.
+    InstanceAdded {
+        /// The new instance.
+        instance: CellInstanceId,
+    },
+    /// A subcell was removed.
+    InstanceRemoved {
+        /// The removed instance (already inactive).
+        instance: CellInstanceId,
+        /// The composite it was removed from.
+        parent: CellClassId,
+    },
+    /// A signal was connected to a net.
+    NetConnected {
+        /// The net.
+        net: NetId,
+        /// The connected instance, or `None` for the parent cell's own
+        /// io-signal.
+        instance: Option<CellInstanceId>,
+        /// Signal name.
+        signal: String,
+    },
+    /// A signal was disconnected from a net.
+    NetDisconnected {
+        /// The net.
+        net: NetId,
+        /// The disconnected instance, or `None` for an io-signal.
+        instance: Option<CellInstanceId>,
+        /// Signal name.
+        signal: String,
+    },
+    /// A subcell's placement transform changed.
+    TransformChanged {
+        /// The moved instance.
+        instance: CellInstanceId,
+    },
+}
+
+/// Hook invoked after each structural edit.
+pub type StructureHook = Rc<dyn Fn(&mut crate::Design, &StructureEvent)>;
+
+/// Handle returned by [`Design::register_view`](crate::Design::register_view),
+/// used to unregister.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ViewHandle(pub(crate) usize);
+
+/// Registration record of a calculated view's erasure callback.
+pub(crate) struct ViewRegistration {
+    pub(crate) model: CellClassId,
+    pub(crate) callback: Rc<dyn Fn(ChangeKey)>,
+    pub(crate) active: bool,
+}
+
+impl fmt::Debug for ViewRegistration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ViewRegistration")
+            .field("model", &self.model)
+            .field("active", &self.active)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn propagation_policy() {
+        assert!(ChangeKey::Structure.propagates_up());
+        assert!(ChangeKey::Layout.propagates_up());
+        assert!(ChangeKey::Netlist.propagates_up());
+        assert!(!ChangeKey::Values.propagates_up());
+    }
+}

@@ -1,0 +1,67 @@
+use std::fmt;
+
+/// Handle to a cell class — the library version of a cell, encapsulating
+/// its characteristics, interface and internal structure (thesis §3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CellClassId(pub(crate) u32);
+
+impl CellClassId {
+    /// Arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for CellClassId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "class#{}", self.0)
+    }
+}
+
+/// Handle to a cell instance — an individual placement of a cell class as a
+/// component of a larger design (thesis §3.2, Fig. 3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CellInstanceId(pub(crate) u32);
+
+impl CellInstanceId {
+    /// Arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for CellInstanceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "inst#{}", self.0)
+    }
+}
+
+/// Handle to a net inside a cell class's internal structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NetId(pub(crate) u32);
+
+impl NetId {
+    /// Arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "net#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_index() {
+        assert_eq!(CellClassId(1).to_string(), "class#1");
+        assert_eq!(CellInstanceId(2).to_string(), "inst#2");
+        assert_eq!(NetId(3).to_string(), "net#3");
+        assert_eq!(CellClassId(4).index(), 4);
+    }
+}

@@ -1,0 +1,60 @@
+//! # stem-design — the object-oriented IC design environment substrate
+//!
+//! STEM's design representation (thesis ch. 3) and its integration with
+//! constraint propagation (ch. 5–6):
+//!
+//! - **Cell classes** encapsulate a cell's interface (signals with bit
+//!   width / data type / electrical type, parameters, properties) and
+//!   internal structure (subcells, nets); **cell instances** are individual
+//!   placements carrying contextual values.
+//! - **Dual variables** (Fig. 3.3): every signal/parameter/property is
+//!   declared twice — a class-side characteristic variable and a per-
+//!   instance contextual variable, joined by implicit-link constraints on
+//!   the lowest-priority agenda. This is what makes constraint propagation
+//!   *hierarchical* (ch. 5): internal networks of a cell propagate once
+//!   and fan out to every use of the cell.
+//! - **Signal typing** (§7.1): nets install bit-width equality and
+//!   data/electrical compatible-constraints as signals connect, with the
+//!   least-abstract overwrite rule of Fig. 7.4.
+//! - **Consistency maintenance** (ch. 6): lazy bounding-box recomputation,
+//!   update-constraints, calculated-view registration and `#changed:key`
+//!   broadcast up the hierarchy.
+//!
+//! ```
+//! use stem_design::{Design, SignalDir};
+//! use stem_geom::Transform;
+//!
+//! let mut d = Design::new();
+//! let inv = d.define_class("INV");
+//! d.add_signal(inv, "a", SignalDir::Input);
+//! d.add_signal(inv, "y", SignalDir::Output);
+//!
+//! let buf = d.define_class("BUF");
+//! let i1 = d.instantiate(inv, buf, "inv1", Transform::IDENTITY).unwrap();
+//! let i2 = d.instantiate(inv, buf, "inv2", Transform::IDENTITY).unwrap();
+//! let n = d.add_net(buf, "mid");
+//! d.connect(n, i1, "y").unwrap();
+//! d.connect(n, i2, "a").unwrap();
+//! assert_eq!(d.net_connections(n).len(), 2);
+//! ```
+
+
+#![warn(missing_docs)]
+mod browser;
+mod compat;
+mod defs;
+mod design;
+mod events;
+mod ids;
+mod types;
+
+pub use browser::{class_report, library_listing};
+pub use compat::Compatible;
+pub use defs::{LinkFactory, ParamDef, PropDef, PropertyLink, SignalDef, SignalDir, BOUNDING_BOX};
+pub use design::{BBoxLink, BitWidthLink, Design, ParamRangeLink};
+pub use events::{ChangeKey, StructureEvent, StructureHook, ViewHandle};
+pub use ids::{CellClassId, CellInstanceId, NetId};
+pub use types::{
+    BitWidthKind, SharedForests, SignalTypeKind, TypeForests, TypeHierarchy,
+    DATA_TYPE_HIERARCHY, ELECTRICAL_TYPE_HIERARCHY,
+};

@@ -1,0 +1,380 @@
+//! Signal type hierarchies (thesis §7.1, Fig. 7.2) and the signal-variable
+//! overwrite rules (Fig. 7.4).
+//!
+//! Data and electrical types of signals "are defined hierarchically, with
+//! the most abstract types at the roots". Compatibility is purely
+//! positional: two types are compatible iff one is an ancestor of the
+//! other; the less abstract of two compatible types is the descendant.
+
+use std::collections::HashMap;
+use stem_core::{Network, Overwrite, TypeTag, Value, VarId, VariableKind};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Identifier of the data-type forest created by
+/// [`TypeHierarchy::standard_data_types`].
+pub const DATA_TYPE_HIERARCHY: u32 = 0;
+
+/// Identifier of the electrical-type forest created by
+/// [`TypeHierarchy::standard_electrical_types`].
+pub const ELECTRICAL_TYPE_HIERARCHY: u32 = 1;
+
+/// A rooted type tree; node 0 is the (most abstract) root.
+///
+/// ```
+/// use stem_design::TypeHierarchy;
+/// let h = TypeHierarchy::standard_data_types();
+/// let bit = h.tag("Bit").unwrap();
+/// let bcd = h.tag("BCDSignal").unwrap();
+/// let int = h.tag("IntegerSignal").unwrap();
+/// assert!(h.is_compatible(int, bcd));
+/// assert!(!h.is_compatible(bit, bcd));
+/// assert_eq!(h.less_abstract(int, bcd), Some(bcd));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TypeHierarchy {
+    id: u32,
+    names: Vec<String>,
+    parents: Vec<Option<u32>>,
+    by_name: HashMap<String, u32>,
+}
+
+impl TypeHierarchy {
+    /// Creates a hierarchy with a single root type.
+    pub fn new(id: u32, root: impl Into<String>) -> Self {
+        let root = root.into();
+        let mut by_name = HashMap::new();
+        by_name.insert(root.clone(), 0);
+        TypeHierarchy {
+            id,
+            names: vec![root],
+            parents: vec![None],
+            by_name,
+        }
+    }
+
+    /// The hierarchy id (used inside [`TypeTag`]s).
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Adds a type under `parent`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parent` belongs to another hierarchy or the name exists.
+    pub fn add(&mut self, name: impl Into<String>, parent: TypeTag) -> TypeTag {
+        assert_eq!(parent.hierarchy, self.id, "parent from another hierarchy");
+        assert!((parent.node as usize) < self.names.len(), "bad parent");
+        let name = name.into();
+        assert!(
+            !self.by_name.contains_key(&name),
+            "duplicate type name {name:?}"
+        );
+        let node = self.names.len() as u32;
+        self.by_name.insert(name.clone(), node);
+        self.names.push(name);
+        self.parents.push(Some(parent.node));
+        TypeTag {
+            hierarchy: self.id,
+            node,
+        }
+    }
+
+    /// The root tag.
+    pub fn root(&self) -> TypeTag {
+        TypeTag {
+            hierarchy: self.id,
+            node: 0,
+        }
+    }
+
+    /// Looks up a type by name.
+    pub fn tag(&self, name: &str) -> Option<TypeTag> {
+        self.by_name.get(name).map(|&node| TypeTag {
+            hierarchy: self.id,
+            node,
+        })
+    }
+
+    /// Name of a tag.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tag` is not from this hierarchy.
+    pub fn name(&self, tag: TypeTag) -> &str {
+        assert_eq!(tag.hierarchy, self.id);
+        &self.names[tag.node as usize]
+    }
+
+    /// Whether `a` is an ancestor of, or equal to, `b` (i.e. `a` is at
+    /// least as abstract).
+    pub fn is_ancestor(&self, a: TypeTag, b: TypeTag) -> bool {
+        if a.hierarchy != self.id || b.hierarchy != self.id {
+            return false;
+        }
+        let mut cur = Some(b.node);
+        while let Some(n) = cur {
+            if n == a.node {
+                return true;
+            }
+            cur = self.parents[n as usize];
+        }
+        false
+    }
+
+    /// `isCompatibleWith:` (Fig. 7.3): compatible iff one is a sub-type of
+    /// the other (or equal).
+    pub fn is_compatible(&self, a: TypeTag, b: TypeTag) -> bool {
+        self.is_ancestor(a, b) || self.is_ancestor(b, a)
+    }
+
+    /// Of two compatible types, the less abstract one (the descendant);
+    /// `None` when incompatible.
+    pub fn less_abstract(&self, a: TypeTag, b: TypeTag) -> Option<TypeTag> {
+        if self.is_ancestor(a, b) {
+            Some(b)
+        } else if self.is_ancestor(b, a) {
+            Some(a)
+        } else {
+            None
+        }
+    }
+
+    /// The data-type hierarchy of thesis Fig. 7.2.
+    pub fn standard_data_types() -> Self {
+        let mut h = TypeHierarchy::new(DATA_TYPE_HIERARCHY, "DataType");
+        let root = h.root();
+        h.add("Bit", root);
+        let float = h.add("FloatSignal", root);
+        let _ = float;
+        let int = h.add("IntegerSignal", root);
+        h.add("A2CIntSignal", int);
+        h.add("BCDSignal", int);
+        h.add("SignedMagIntSignal", int);
+        h.add("WholeSignal", int);
+        h
+    }
+
+    /// The electrical-type hierarchy of thesis Fig. 7.2.
+    pub fn standard_electrical_types() -> Self {
+        let mut h = TypeHierarchy::new(ELECTRICAL_TYPE_HIERARCHY, "ElectricalType");
+        let root = h.root();
+        h.add("Analog", root);
+        let digital = h.add("Digital", root);
+        h.add("BIPOLAR", digital);
+        h.add("TTL", digital);
+        h.add("CMOS", digital);
+        h
+    }
+}
+
+/// The pair of forests every design carries (data + electrical).
+#[derive(Debug, Clone)]
+pub struct TypeForests {
+    /// Data types (integer, boolean, …).
+    pub data: TypeHierarchy,
+    /// Electrical types (analog, digital families).
+    pub electrical: TypeHierarchy,
+}
+
+impl Default for TypeForests {
+    fn default() -> Self {
+        TypeForests {
+            data: TypeHierarchy::standard_data_types(),
+            electrical: TypeHierarchy::standard_electrical_types(),
+        }
+    }
+}
+
+impl TypeForests {
+    /// The forest a tag belongs to, if any.
+    pub fn forest(&self, tag: TypeTag) -> Option<&TypeHierarchy> {
+        if tag.hierarchy == self.data.id() {
+            Some(&self.data)
+        } else if tag.hierarchy == self.electrical.id() {
+            Some(&self.electrical)
+        } else {
+            None
+        }
+    }
+
+    /// Compatibility across whichever forest the tags share.
+    pub fn is_compatible(&self, a: TypeTag, b: TypeTag) -> bool {
+        a.hierarchy == b.hierarchy
+            && self
+                .forest(a)
+                .map(|h| h.is_compatible(a, b))
+                .unwrap_or(false)
+    }
+}
+
+/// Shared, mutable handle to the forests: the overwrite rule of signal
+/// variables must consult the hierarchy at propagation time, so the kind
+/// objects and the [`Design`](crate::Design) share one copy.
+pub type SharedForests = Rc<RefCell<TypeForests>>;
+
+/// Variable kind for signal *type* variables (dataType / electricalType),
+/// implementing the overwrite rule of thesis Fig. 7.4 and §7.1: a
+/// propagated type may replace the current one only if it is **less
+/// abstract** (a strict descendant); otherwise the variable silently keeps
+/// its value and the compatible-constraint's satisfaction check decides
+/// whether that is a conflict.
+#[derive(Debug, Clone)]
+pub struct SignalTypeKind {
+    forests: SharedForests,
+}
+
+impl SignalTypeKind {
+    /// Creates the kind over shared forests.
+    pub fn new(forests: SharedForests) -> Self {
+        SignalTypeKind { forests }
+    }
+}
+
+impl VariableKind for SignalTypeKind {
+    fn kind_name(&self) -> &str {
+        "signalType"
+    }
+
+    fn overwrite(
+        &self,
+        net: &Network,
+        var: VarId,
+        new: &Value,
+        _source: Option<stem_core::ConstraintId>,
+    ) -> Overwrite {
+        // To or from Nil is free (handled by the engine before this call
+        // for Nil current values; here current is non-Nil).
+        if new.is_nil() {
+            return Overwrite::Allow;
+        }
+        let (Some(cur), Some(new)) = (net.value(var).as_type(), new.as_type()) else {
+            return Overwrite::Ignore;
+        };
+        let forests = self.forests.borrow();
+        let Some(h) = forests.forest(cur) else {
+            return Overwrite::Ignore;
+        };
+        if h.is_ancestor(cur, new) && cur != new {
+            Overwrite::Allow
+        } else {
+            Overwrite::Ignore
+        }
+    }
+}
+
+/// Variable kind for signal bit-width variables: "a propagated bitWidth
+/// value is rejected by a signal variable if the signal has a constrained
+/// bitWidth that has a different value" (§7.1) — rejection is silent; the
+/// equality constraint's final check raises the violation (Fig. 7.1).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BitWidthKind;
+
+impl VariableKind for BitWidthKind {
+    fn kind_name(&self) -> &str {
+        "bitWidth"
+    }
+
+    fn overwrite(
+        &self,
+        _net: &Network,
+        _var: VarId,
+        new: &Value,
+        _source: Option<stem_core::ConstraintId>,
+    ) -> Overwrite {
+        if new.is_nil() {
+            Overwrite::Allow
+        } else {
+            Overwrite::Ignore
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_hierarchies_match_fig7_2() {
+        let d = TypeHierarchy::standard_data_types();
+        for name in [
+            "DataType",
+            "Bit",
+            "FloatSignal",
+            "IntegerSignal",
+            "A2CIntSignal",
+            "BCDSignal",
+            "SignedMagIntSignal",
+            "WholeSignal",
+        ] {
+            assert!(d.tag(name).is_some(), "{name} missing");
+        }
+        let e = TypeHierarchy::standard_electrical_types();
+        for name in ["ElectricalType", "Analog", "Digital", "BIPOLAR", "TTL", "CMOS"] {
+            assert!(e.tag(name).is_some(), "{name} missing");
+        }
+    }
+
+    #[test]
+    fn ancestry() {
+        let d = TypeHierarchy::standard_data_types();
+        let root = d.root();
+        let int = d.tag("IntegerSignal").unwrap();
+        let bcd = d.tag("BCDSignal").unwrap();
+        assert!(d.is_ancestor(root, bcd));
+        assert!(d.is_ancestor(int, bcd));
+        assert!(d.is_ancestor(bcd, bcd));
+        assert!(!d.is_ancestor(bcd, int));
+    }
+
+    #[test]
+    fn compatibility_is_ancestor_or_descendant() {
+        let e = TypeHierarchy::standard_electrical_types();
+        let digital = e.tag("Digital").unwrap();
+        let ttl = e.tag("TTL").unwrap();
+        let cmos = e.tag("CMOS").unwrap();
+        let analog = e.tag("Analog").unwrap();
+        assert!(e.is_compatible(digital, ttl));
+        assert!(e.is_compatible(ttl, digital));
+        assert!(!e.is_compatible(ttl, cmos), "siblings are incompatible");
+        assert!(!e.is_compatible(analog, ttl));
+    }
+
+    #[test]
+    fn less_abstract_picks_descendant() {
+        let e = TypeHierarchy::standard_electrical_types();
+        let digital = e.tag("Digital").unwrap();
+        let ttl = e.tag("TTL").unwrap();
+        assert_eq!(e.less_abstract(digital, ttl), Some(ttl));
+        assert_eq!(e.less_abstract(ttl, digital), Some(ttl));
+        assert_eq!(e.less_abstract(ttl, ttl), Some(ttl));
+        let cmos = e.tag("CMOS").unwrap();
+        assert_eq!(e.less_abstract(ttl, cmos), None);
+    }
+
+    #[test]
+    fn forests_route_by_hierarchy_id() {
+        let f = TypeForests::default();
+        let bit = f.data.tag("Bit").unwrap();
+        let ttl = f.electrical.tag("TTL").unwrap();
+        assert!(f.forest(bit).is_some());
+        assert!(!f.is_compatible(bit, ttl), "cross-forest never compatible");
+    }
+
+    #[test]
+    fn tags_are_stable_across_clone() {
+        let d = TypeHierarchy::standard_data_types();
+        let t = d.tag("WholeSignal").unwrap();
+        let d2 = d.clone();
+        assert_eq!(d2.name(t), "WholeSignal");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate type name")]
+    fn duplicate_names_rejected() {
+        let mut d = TypeHierarchy::standard_data_types();
+        let root = d.root();
+        d.add("Bit", root);
+    }
+}

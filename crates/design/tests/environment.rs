@@ -1,0 +1,505 @@
+//! Environment-level integration tests: dual variables, hierarchical
+//! propagation, signal typing on nets (thesis Figs. 5.1, 7.1, 7.5, 7.6),
+//! views and change broadcast.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use stem_core::{Justification, Span, Value};
+use stem_design::{ChangeKey, Design, PropertyLink, SignalDir, StructureEvent, BOUNDING_BOX};
+use stem_geom::{Point, Rect, Transform};
+
+fn rect(x0: i64, y0: i64, x1: i64, y1: i64) -> Rect {
+    Rect::new(Point::new(x0, y0), Point::new(x1, y1))
+}
+
+/// E4 — thesis Fig. 7.1: a cell class whose input signal is constrained to
+/// 8 bits; connecting a 4-bit net to that signal in an instance raises a
+/// bit-width constraint violation.
+#[test]
+fn fig7_1_bit_width_violation() {
+    let mut d = Design::new();
+    let class_a = d.define_class("ClassA");
+    d.add_signal(class_a, "in", SignalDir::Input);
+    d.set_signal_bit_width(class_a, "in", 8).unwrap();
+
+    let new_cell = d.define_class("NewCell");
+    let inst_a = d
+        .instantiate(class_a, new_cell, "A.1", Transform::IDENTITY)
+        .unwrap();
+    // The instance's dual bit-width variable mirrors the class's 8.
+    let inst_bw = d.instance_bit_width_var(inst_a, "in").unwrap();
+    assert_eq!(d.network().value(inst_bw), &Value::BitWidth(8));
+
+    // A 4-bit net (width constrained by another connection).
+    let class_b = d.define_class("ClassB");
+    d.add_signal(class_b, "out", SignalDir::Output);
+    d.set_signal_bit_width(class_b, "out", 4).unwrap();
+    let inst_b = d
+        .instantiate(class_b, new_cell, "B.1", Transform::IDENTITY)
+        .unwrap();
+
+    let net = d.add_net(new_cell, "n1");
+    d.connect(net, inst_b, "out").unwrap();
+    let (net_bw, _, _) = d.net_type_vars(net);
+    assert_eq!(d.network().value(net_bw), &Value::BitWidth(4));
+
+    // Connecting the 8-bit input to the 4-bit net violates.
+    let err = d.connect(net, inst_a, "in").unwrap_err();
+    let _ = err;
+    // Rolled back: the connection was not recorded.
+    assert_eq!(d.net_connections(net).len(), 1);
+    assert_eq!(d.connection(inst_a, "in"), None);
+}
+
+/// Unspecified bit widths are inferred from net connections (§7.1: "the
+/// signal types of other unspecified signals on the same net are inferred
+/// and propagated").
+#[test]
+fn bit_width_inference_through_net() {
+    let mut d = Design::new();
+    let a = d.define_class("A");
+    d.add_signal(a, "out", SignalDir::Output);
+    let b = d.define_class("B");
+    d.add_signal(b, "in", SignalDir::Input);
+    let top = d.define_class("TOP");
+    let ia = d.instantiate(a, top, "a1", Transform::IDENTITY).unwrap();
+    let ib = d.instantiate(b, top, "b1", Transform::IDENTITY).unwrap();
+    let n = d.add_net(top, "n");
+    d.connect(n, ia, "out").unwrap();
+    d.connect(n, ib, "in").unwrap();
+
+    // Now specify one side: the net and the other signal follow.
+    let bw_a = d.instance_bit_width_var(ia, "out").unwrap();
+    d.network_mut()
+        .set(bw_a, Value::BitWidth(16), Justification::User)
+        .unwrap();
+    let (net_bw, _, _) = d.net_type_vars(n);
+    assert_eq!(d.network().value(net_bw), &Value::BitWidth(16));
+    let bw_b = d.instance_bit_width_var(ib, "in").unwrap();
+    assert_eq!(d.network().value(bw_b), &Value::BitWidth(16));
+}
+
+/// E5 — thesis Fig. 7.5: signal *type* variables are class-side and shared
+/// by all instances, so one net's type requirement reaches a cell used in
+/// a completely different context.
+#[test]
+fn fig7_5_shared_class_type_variables() {
+    let mut d = Design::new();
+    let a = d.define_class("A");
+    d.add_signal(a, "p", SignalDir::InOut);
+    let b = d.define_class("B");
+    d.add_signal(b, "q", SignalDir::InOut);
+    d.set_signal_electrical_type(b, "q", "TTL").unwrap();
+    let c = d.define_class("C");
+    d.add_signal(c, "r", SignalDir::InOut);
+
+    // Instance A.1 inside B-ish context connects to the TTL net …
+    let ctx1 = d.define_class("Ctx1");
+    let a1 = d.instantiate(a, ctx1, "A.1", Transform::IDENTITY).unwrap();
+    let b1 = d.instantiate(b, ctx1, "B.1", Transform::IDENTITY).unwrap();
+    let n1 = d.add_net(ctx1, "n1");
+    d.connect(n1, a1, "p").unwrap();
+    d.connect(n1, b1, "q").unwrap();
+
+    // … which types A's class-side signal as TTL.
+    let forests = d.forests().clone();
+    let ttl = forests.borrow().electrical.tag("TTL").unwrap();
+    let sig = d.signal_def(a, "p").unwrap().class_electrical_type;
+    assert_eq!(d.network().value(sig).as_type(), Some(ttl));
+
+    // A second instance of A elsewhere now carries TTL to its own net:
+    // connecting it to a CMOS cell violates.
+    let cmos_cell = d.define_class("CmosCell");
+    d.add_signal(cmos_cell, "s", SignalDir::InOut);
+    d.set_signal_electrical_type(cmos_cell, "s", "CMOS").unwrap();
+    let ctx2 = d.define_class("Ctx2");
+    let a2 = d.instantiate(a, ctx2, "A.2", Transform::IDENTITY).unwrap();
+    let m1 = d.instantiate(cmos_cell, ctx2, "M.1", Transform::IDENTITY).unwrap();
+    let n2 = d.add_net(ctx2, "n2");
+    d.connect(n2, a2, "p").unwrap();
+    assert!(d.connect(n2, m1, "s").is_err(), "TTL vs CMOS must conflict");
+}
+
+/// Hierarchical propagation (Fig. 5.1): a class characteristic set once
+/// propagates to every instance's dual variable — the internal network is
+/// evaluated once, external networks each see the result.
+#[test]
+fn class_characteristic_reaches_all_instances() {
+    let mut d = Design::new();
+    let cell = d.define_class("CELL");
+    let delay_var = d.add_property(cell, "delay", PropertyLink::Mirror);
+
+    let top1 = d.define_class("TOP1");
+    let top2 = d.define_class("TOP2");
+    let i1 = d.instantiate(cell, top1, "c1", Transform::IDENTITY).unwrap();
+    let i2 = d.instantiate(cell, top1, "c2", Transform::IDENTITY).unwrap();
+    let i3 = d.instantiate(cell, top2, "c3", Transform::IDENTITY).unwrap();
+
+    d.network_mut()
+        .set(delay_var, Value::Float(12.5), Justification::Application)
+        .unwrap();
+    for i in [i1, i2, i3] {
+        let v = d.instance_property_var(i, "delay").unwrap();
+        assert_eq!(d.network().value(v), &Value::Float(12.5));
+    }
+}
+
+#[test]
+fn parameter_defaults_and_range_checking() {
+    let mut d = Design::new();
+    let cell = d.define_class("PARAM_CELL");
+    let range_var = d.add_parameter(cell, "width", Some(Value::Int(4)));
+    d.network_mut()
+        .set(range_var, Value::Span(Span::new(1.0, 8.0)), Justification::User)
+        .unwrap();
+
+    let top = d.define_class("TOP");
+    let inst = d.instantiate(cell, top, "p1", Transform::IDENTITY).unwrap();
+    let pv = d.instance_parameter_var(inst, "width").unwrap();
+    assert_eq!(d.network().value(pv), &Value::Int(4), "default propagated");
+    assert_eq!(d.network().justification(pv), &Justification::DefaultValue);
+
+    assert!(d.set_parameter(inst, "width", Value::Int(6)).is_ok());
+    assert!(d.set_parameter(inst, "width", Value::Int(9)).is_err());
+    assert_eq!(d.network().value(pv), &Value::Int(6), "restored after violation");
+}
+
+#[test]
+fn out_of_range_default_fails_instantiation() {
+    let mut d = Design::new();
+    let cell = d.define_class("BAD_DEFAULT");
+    let range_var = d.add_parameter(cell, "w", Some(Value::Int(40)));
+    d.network_mut()
+        .set(range_var, Value::Span(Span::new(1.0, 8.0)), Justification::User)
+        .unwrap();
+    let top = d.define_class("TOP");
+    assert!(d
+        .instantiate(cell, top, "x", Transform::IDENTITY)
+        .is_err());
+}
+
+/// E6 — thesis §7.2 / Fig. 7.6: instance placed in a larger area; pins
+/// stretch to the new perimeter. A smaller area violates.
+#[test]
+fn fig7_6_bounding_box_and_pin_stretching() {
+    let mut d = Design::new();
+    let leaf = d.define_class("LEAF");
+    d.add_signal(leaf, "a", SignalDir::Input);
+    d.add_signal(leaf, "y", SignalDir::Output);
+    d.set_class_bounding_box(leaf, rect(0, 0, 10, 10)).unwrap();
+    d.set_signal_pin(leaf, "a", Point::new(0, 5));
+    d.set_signal_pin(leaf, "y", Point::new(10, 5));
+
+    let top = d.define_class("TOP");
+    let inst = d
+        .instantiate(leaf, top, "l1", Transform::translation(Point::new(100, 0)))
+        .unwrap();
+    // Default instance box: transformed class box.
+    assert_eq!(d.instance_bounding_box(inst), Some(rect(100, 0, 110, 10)));
+
+    // Stretch to double width.
+    d.set_instance_bounding_box(inst, rect(100, 0, 120, 10)).unwrap();
+    let pins = d.instance_pins(inst);
+    let a = pins.iter().find(|(n, _)| n == "a").unwrap().1;
+    let y = pins.iter().find(|(n, _)| n == "y").unwrap().1;
+    assert_eq!(a, Point::new(100, 5), "left pin stays on left edge");
+    assert_eq!(y, Point::new(120, 5), "right pin stretched to new edge");
+
+    // Shrinking below the class box violates.
+    assert!(d
+        .set_instance_bounding_box(inst, rect(100, 0, 105, 10))
+        .is_err());
+}
+
+/// Parent bounding boxes recompute lazily from subcells and invalidate up
+/// the hierarchy (Fig. 7.8 + §6.5.1).
+#[test]
+fn parent_bbox_recomputes_from_subcells() {
+    let mut d = Design::new();
+    let leaf = d.define_class("LEAF");
+    d.set_class_bounding_box(leaf, rect(0, 0, 10, 10)).unwrap();
+    let mid = d.define_class("MID");
+    let _l1 = d
+        .instantiate(leaf, mid, "l1", Transform::IDENTITY)
+        .unwrap();
+    let _l2 = d
+        .instantiate(leaf, mid, "l2", Transform::translation(Point::new(10, 0)))
+        .unwrap();
+    assert_eq!(d.class_bounding_box(mid), Some(rect(0, 0, 20, 10)));
+
+    let top = d.define_class("TOP");
+    let _m1 = d.instantiate(mid, top, "m1", Transform::IDENTITY).unwrap();
+    assert_eq!(d.class_bounding_box(top), Some(rect(0, 0, 20, 10)));
+
+    // Growing the leaf invalidates ancestors; lazily recomputed views see
+    // the new extent.
+    d.set_class_bounding_box(leaf, rect(0, 0, 12, 10)).unwrap();
+    assert_eq!(d.class_bounding_box(mid), Some(rect(0, 0, 22, 10)));
+    assert_eq!(d.class_bounding_box(top), Some(rect(0, 0, 22, 10)));
+}
+
+#[test]
+fn transform_change_moves_instance_and_invalidates_parent() {
+    let mut d = Design::new();
+    let leaf = d.define_class("LEAF");
+    d.set_class_bounding_box(leaf, rect(0, 0, 10, 4)).unwrap();
+    let top = d.define_class("TOP");
+    let i = d.instantiate(leaf, top, "l", Transform::IDENTITY).unwrap();
+    assert_eq!(d.class_bounding_box(top), Some(rect(0, 0, 10, 4)));
+    d.set_instance_transform(i, Transform::translation(Point::new(5, 5)))
+        .unwrap();
+    assert_eq!(d.instance_bounding_box(i), Some(rect(5, 5, 15, 9)));
+    assert_eq!(d.class_bounding_box(top), Some(rect(5, 5, 15, 9)));
+}
+
+#[test]
+fn derive_class_copies_interface_with_fresh_variables() {
+    let mut d = Design::new();
+    let adder = d.define_class("ADDER");
+    d.add_signal(adder, "a", SignalDir::Input);
+    d.set_signal_bit_width(adder, "a", 8).unwrap();
+    d.add_parameter(adder, "speed", Some(Value::Int(1)));
+    d.add_property(adder, "delay", PropertyLink::Mirror);
+    d.set_class_property(adder, "delay", Value::Float(8.0), Justification::Application)
+        .unwrap();
+
+    let rc = d.derive_class("ADDER.RC", adder);
+    assert_eq!(d.superclass(rc), Some(adder));
+    assert_eq!(d.subclasses(adder), &[rc]);
+    assert!(d.is_descendant(rc, adder));
+    assert!(!d.is_descendant(adder, rc));
+
+    // Interface copied, values copied, variables fresh.
+    assert_eq!(d.signal_bit_width(rc, "a"), Some(8));
+    let delay_rc = d.class_property_var(rc, "delay").unwrap();
+    let delay_super = d.class_property_var(adder, "delay").unwrap();
+    assert_ne!(delay_rc, delay_super);
+    assert_eq!(d.network().value(delay_rc), &Value::Float(8.0));
+
+    // Subclass value can now diverge (the point of per-class variables).
+    d.set_class_property(rc, "delay", Value::Float(16.0), Justification::Application)
+        .unwrap();
+    assert_eq!(d.network().value(delay_super), &Value::Float(8.0));
+}
+
+#[test]
+fn all_subclasses_preorder() {
+    let mut d = Design::new();
+    let root = d.define_class("R");
+    let a = d.derive_class("A", root);
+    let b = d.derive_class("B", root);
+    let a1 = d.derive_class("A1", a);
+    let a2 = d.derive_class("A2", a);
+    assert_eq!(d.all_subclasses(root), vec![a, a1, a2, b]);
+    assert!(d.all_subclasses(a2).is_empty());
+}
+
+#[test]
+fn views_erase_on_change_with_selective_keys() {
+    let mut d = Design::new();
+    let cell = d.define_class("CELL");
+    let log: Rc<RefCell<Vec<ChangeKey>>> = Rc::new(RefCell::new(Vec::new()));
+    let log2 = log.clone();
+    d.register_view(cell, move |key| log2.borrow_mut().push(key));
+
+    d.notify_changed(cell, ChangeKey::Layout);
+    d.notify_changed(cell, ChangeKey::Netlist);
+    assert_eq!(&*log.borrow(), &[ChangeKey::Layout, ChangeKey::Netlist]);
+}
+
+#[test]
+fn change_broadcast_walks_up_the_hierarchy() {
+    let mut d = Design::new();
+    let leaf = d.define_class("LEAF");
+    let mid = d.define_class("MID");
+    let top = d.define_class("TOP");
+    d.instantiate(leaf, mid, "l", Transform::IDENTITY).unwrap();
+    d.instantiate(mid, top, "m", Transform::IDENTITY).unwrap();
+
+    let hits: Rc<RefCell<Vec<&'static str>>> = Rc::new(RefCell::new(Vec::new()));
+    let h1 = hits.clone();
+    d.register_view(top, move |_| h1.borrow_mut().push("top"));
+    let h2 = hits.clone();
+    d.register_view(mid, move |_| h2.borrow_mut().push("mid"));
+
+    d.notify_changed(leaf, ChangeKey::Structure);
+    assert_eq!(&*hits.borrow(), &["mid", "top"]);
+
+    hits.borrow_mut().clear();
+    // Values changes do not propagate up (§6.5.2: stops where external
+    // properties are unaffected).
+    d.notify_changed(leaf, ChangeKey::Values);
+    assert!(hits.borrow().is_empty());
+}
+
+#[test]
+fn structure_hooks_observe_edits() {
+    let mut d = Design::new();
+    let events: Rc<RefCell<Vec<String>>> = Rc::new(RefCell::new(Vec::new()));
+    let ev = events.clone();
+    d.add_hook(move |_d, e| {
+        ev.borrow_mut().push(match e {
+            StructureEvent::InstanceAdded { .. } => "add".to_string(),
+            StructureEvent::InstanceRemoved { .. } => "remove".to_string(),
+            StructureEvent::NetConnected { signal, .. } => format!("connect:{signal}"),
+            StructureEvent::NetDisconnected { signal, .. } => format!("disconnect:{signal}"),
+            StructureEvent::TransformChanged { .. } => "move".to_string(),
+        });
+    });
+    let leaf = d.define_class("LEAF");
+    d.add_signal(leaf, "x", SignalDir::InOut);
+    let top = d.define_class("TOP");
+    let i = d.instantiate(leaf, top, "l", Transform::IDENTITY).unwrap();
+    let n = d.add_net(top, "n");
+    d.connect(n, i, "x").unwrap();
+    d.disconnect(n, i, "x").unwrap();
+    d.remove_instance(i);
+    assert_eq!(
+        &*events.borrow(),
+        &["add", "connect:x", "disconnect:x", "remove"]
+    );
+}
+
+#[test]
+fn remove_instance_cleans_up_links() {
+    let mut d = Design::new();
+    let cell = d.define_class("CELL");
+    let delay = d.add_property(cell, "delay", PropertyLink::Mirror);
+    let top = d.define_class("TOP");
+    let i = d.instantiate(cell, top, "c", Transform::IDENTITY).unwrap();
+    d.network_mut()
+        .set(delay, Value::Float(3.0), Justification::Application)
+        .unwrap();
+    let iv = d.instance_property_var(i, "delay").unwrap();
+    assert_eq!(d.network().value(iv), &Value::Float(3.0));
+
+    let n_before = d.network().n_constraints();
+    d.remove_instance(i);
+    assert!(!d.instance_active(i));
+    assert!(d.network().n_constraints() < n_before);
+    assert!(d.network().value(iv).is_nil(), "propagated value erased");
+    // Class value untouched.
+    assert_eq!(d.network().value(delay), &Value::Float(3.0));
+    assert!(d.subcells(top).is_empty());
+}
+
+#[test]
+fn disconnect_erases_inferred_types() {
+    let mut d = Design::new();
+    let a = d.define_class("A");
+    d.add_signal(a, "out", SignalDir::Output);
+    d.set_signal_bit_width(a, "out", 8).unwrap();
+    let b = d.define_class("B");
+    d.add_signal(b, "in", SignalDir::Input);
+    let top = d.define_class("TOP");
+    let ia = d.instantiate(a, top, "a", Transform::IDENTITY).unwrap();
+    let ib = d.instantiate(b, top, "b", Transform::IDENTITY).unwrap();
+    let n = d.add_net(top, "n");
+    d.connect(n, ia, "out").unwrap();
+    d.connect(n, ib, "in").unwrap();
+    let bw_b = d.instance_bit_width_var(ib, "in").unwrap();
+    assert_eq!(d.network().value(bw_b), &Value::BitWidth(8));
+
+    d.disconnect(n, ia, "out").unwrap();
+    let (net_bw, _, _) = d.net_type_vars(n);
+    assert!(d.network().value(net_bw).is_nil(), "net width was inferred from a");
+    assert!(d.network().value(bw_b).is_nil(), "b's width was a consequence");
+}
+
+#[test]
+fn remove_net_detaches_everything() {
+    let mut d = Design::new();
+    let a = d.define_class("A");
+    d.add_signal(a, "x", SignalDir::InOut);
+    let top = d.define_class("TOP");
+    let ia = d.instantiate(a, top, "a", Transform::IDENTITY).unwrap();
+    let n = d.add_net(top, "n");
+    d.connect(n, ia, "x").unwrap();
+    d.remove_net(n);
+    assert!(!d.net_active(n));
+    assert!(d.nets_of(top).is_empty());
+    assert_eq!(d.connection(ia, "x"), None);
+}
+
+#[test]
+fn bounding_box_is_builtin_property() {
+    let mut d = Design::new();
+    let c = d.define_class("C");
+    assert!(d.class_property_var(c, BOUNDING_BOX).is_some());
+}
+
+/// Rotated placements: the bbox link bakes the placement transform, so a
+/// rotated instance's default box has swapped extents and its pins land
+/// on the rotated border.
+#[test]
+fn rotated_instance_bbox_and_pins() {
+    use stem_geom::Orientation;
+
+    let mut d = Design::new();
+    let leaf = d.define_class("LEAF");
+    d.add_signal(leaf, "p", SignalDir::InOut);
+    d.set_class_bounding_box(leaf, rect(0, 0, 20, 10)).unwrap();
+    d.set_signal_pin(leaf, "p", Point::new(20, 5));
+
+    let top = d.define_class("TOP");
+    let t = Transform::new(Orientation::R90, Point::new(50, 0));
+    let inst = d.instantiate(leaf, top, "l", t).unwrap();
+
+    let b = d.instance_bounding_box(inst).unwrap();
+    assert_eq!(b.width(), 10, "R90 swaps extents");
+    assert_eq!(b.height(), 20);
+    assert_eq!(b, t.apply_rect(rect(0, 0, 20, 10)));
+
+    let pins = d.instance_pins(inst);
+    let p = pins.iter().find(|(n, _)| n == "p").unwrap().1;
+    assert_eq!(p, t.apply(Point::new(20, 5)));
+    assert!(b.contains(p), "rotated pin stays on the instance border");
+
+    // A rotated instance cannot be squeezed into the unrotated extent.
+    assert!(d
+        .set_instance_bounding_box(inst, t.apply_rect(rect(0, 0, 20, 10)))
+        .is_ok());
+    let bad = Rect::with_extent(b.min(), 20, 10); // unswapped extents
+    assert!(d.set_instance_bounding_box(inst, bad).is_err());
+}
+
+/// Review fix regression: transitive containment cycles are rejected at
+/// instantiation instead of overflowing the stack later.
+#[test]
+#[should_panic(expected = "containment cycle")]
+fn containment_cycles_are_rejected() {
+    let mut d = Design::new();
+    let a = d.define_class("A");
+    let b = d.define_class("B");
+    d.instantiate(a, b, "a_in_b", Transform::IDENTITY).unwrap();
+    // B already contains A; placing B inside A closes the cycle.
+    let _ = d.instantiate(b, a, "b_in_a", Transform::IDENTITY);
+}
+
+/// Review fix regression: an orientation change that breaks a user
+/// allotment is reported and rolled back, not a panic.
+#[test]
+fn incompatible_rotation_is_rolled_back() {
+    use stem_geom::Orientation;
+
+    let mut d = Design::new();
+    let leaf = d.define_class("LEAF");
+    d.set_class_bounding_box(leaf, rect(0, 0, 20, 10)).unwrap();
+    let top = d.define_class("TOP");
+    let i = d.instantiate(leaf, top, "l", Transform::IDENTITY).unwrap();
+    // User allots exactly the unrotated extent.
+    d.set_instance_bounding_box(i, rect(0, 0, 20, 10)).unwrap();
+    // R90 swaps extents: 10×20 cannot fit the 20×10 allotment.
+    let err = d.set_instance_transform(i, Transform::new(Orientation::R90, Point::ORIGIN));
+    assert!(err.is_err());
+    assert_eq!(
+        d.instance_transform(i),
+        Transform::IDENTITY,
+        "move rolled back"
+    );
+    assert!(d.network().check_all().is_empty(), "still consistent");
+    // A compatible move still works.
+    d.set_instance_transform(i, Transform::translation(Point::new(100, 0)))
+        .unwrap();
+}

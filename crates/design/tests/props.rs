@@ -1,0 +1,128 @@
+//! Property-based tests over the design environment: bounding-box
+//! composition, hierarchical propagation, and connect/disconnect
+//! round-trips on random structures.
+
+use proptest::prelude::*;
+use stem_core::{Justification, Value};
+use stem_design::{Design, PropertyLink, SignalDir};
+use stem_geom::{Point, Rect, Transform};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// A parent's computed bounding box is exactly the union of its
+    /// subcells' placed boxes, for random placements.
+    #[test]
+    fn parent_bbox_is_union_of_subcells(
+        boxes in proptest::collection::vec(
+            ((1i64..40, 1i64..40), (-100i64..100, -100i64..100)),
+            1..10,
+        ),
+    ) {
+        let mut d = Design::new();
+        let top = d.define_class("TOP");
+        let mut expect: Option<Rect> = None;
+        for (i, ((w, h), (x, y))) in boxes.iter().enumerate() {
+            let leaf = d.define_class(format!("LEAF{i}"));
+            d.set_class_bounding_box(leaf, Rect::with_extent(Point::ORIGIN, *w, *h))
+                .unwrap();
+            let t = Transform::translation(Point::new(*x, *y));
+            d.instantiate(leaf, top, format!("l{i}"), t).unwrap();
+            let placed = t.apply_rect(Rect::with_extent(Point::ORIGIN, *w, *h));
+            expect = Some(match expect {
+                None => placed,
+                Some(r) => r.union(placed),
+            });
+        }
+        prop_assert_eq!(d.class_bounding_box(top), expect);
+    }
+
+    /// A mirrored class property reaches every instance across a random
+    /// two-level hierarchy, whatever the fan-out.
+    #[test]
+    fn mirrored_property_reaches_all_instances(
+        fanouts in proptest::collection::vec(1usize..6, 1..5),
+        value in -1000i64..1000,
+    ) {
+        let mut d = Design::new();
+        let cell = d.define_class("CELL");
+        let prop = d.add_property(cell, "delay", PropertyLink::Mirror);
+        let mut instances = Vec::new();
+        for (p, &n) in fanouts.iter().enumerate() {
+            let parent = d.define_class(format!("P{p}"));
+            for i in 0..n {
+                instances.push(
+                    d.instantiate(cell, parent, format!("c{i}"), Transform::IDENTITY)
+                        .unwrap(),
+                );
+            }
+        }
+        d.network_mut()
+            .set(prop, Value::Int(value), Justification::Application)
+            .unwrap();
+        for inst in instances {
+            let v = d.instance_property_var(inst, "delay").unwrap();
+            prop_assert_eq!(d.network().value(v), &Value::Int(value));
+        }
+    }
+
+    /// Connect → disconnect round-trips leave no inferred widths behind,
+    /// for random connect orders.
+    #[test]
+    fn connect_disconnect_roundtrip(order in Just(()).prop_flat_map(|_| any::<u64>())) {
+        let mut d = Design::new();
+        let a = d.define_class("A");
+        d.add_signal(a, "out", SignalDir::Output);
+        d.set_signal_bit_width(a, "out", 8).unwrap();
+        let b = d.define_class("B");
+        d.add_signal(b, "in", SignalDir::Input);
+        let top = d.define_class("TOP");
+        let ia = d.instantiate(a, top, "a", Transform::IDENTITY).unwrap();
+        let ib = d.instantiate(b, top, "b", Transform::IDENTITY).unwrap();
+        let n = d.add_net(top, "n");
+        // Random connect order.
+        if order % 2 == 0 {
+            d.connect(n, ia, "out").unwrap();
+            d.connect(n, ib, "in").unwrap();
+        } else {
+            d.connect(n, ib, "in").unwrap();
+            d.connect(n, ia, "out").unwrap();
+        }
+        let bw_b = d.instance_bit_width_var(ib, "in").unwrap();
+        prop_assert_eq!(d.network().value(bw_b), &Value::BitWidth(8));
+
+        d.disconnect(n, ia, "out").unwrap();
+        d.disconnect(n, ib, "in").unwrap();
+        prop_assert!(d.network().value(bw_b).is_nil(), "inference erased");
+        let (net_bw, _, _) = d.net_type_vars(n);
+        prop_assert!(d.network().value(net_bw).is_nil());
+        prop_assert!(d.network().check_all().is_empty());
+    }
+
+    /// Instantiate/remove cycles never leave dangling constraints or
+    /// violations.
+    #[test]
+    fn instantiate_remove_cycles_are_clean(rounds in 1usize..6) {
+        let mut d = Design::new();
+        let cell = d.define_class("CELL");
+        d.add_signal(cell, "x", SignalDir::InOut);
+        d.set_signal_bit_width(cell, "x", 4).unwrap();
+        d.set_class_bounding_box(cell, Rect::with_extent(Point::ORIGIN, 10, 10))
+            .unwrap();
+        let top = d.define_class("TOP");
+        let baseline = d.network().n_constraints();
+        for r in 0..rounds {
+            let inst = d
+                .instantiate(cell, top, format!("i{r}"), Transform::IDENTITY)
+                .unwrap();
+            let n = d.add_net(top, format!("n{r}"));
+            d.connect(n, inst, "x").unwrap();
+            d.remove_instance(inst);
+            d.remove_net(n);
+        }
+        prop_assert!(d.subcells(top).is_empty());
+        prop_assert!(d.nets_of(top).is_empty());
+        prop_assert_eq!(d.network().n_constraints(), baseline);
+        prop_assert!(d.network().check_all().is_empty());
+    }
+}

@@ -1,0 +1,28 @@
+//! Layout geometry substrate for the STEM reproduction.
+//!
+//! STEM's bounding-box checking (thesis §7.2), io-pin stretching (Fig. 7.6)
+//! and module compilers (ch. 6) all work on integer lambda-grid geometry:
+//! points, axis-aligned rectangles, the eight layout symmetries, and affine
+//! placement transforms composed of an orientation and a translation.
+//!
+//! ```
+//! use stem_geom::{Point, Rect, Orientation, Transform};
+//!
+//! let cell = Rect::new(Point::new(0, 0), Point::new(40, 20));
+//! let place = Transform::new(Orientation::R90, Point::new(100, 0));
+//! let placed = place.apply_rect(cell);
+//! assert_eq!(placed.width(), 20);
+//! assert_eq!(placed.height(), 40);
+//! ```
+
+
+#![warn(missing_docs)]
+mod point;
+mod rect;
+mod stretch;
+mod transform;
+
+pub use point::Point;
+pub use rect::Rect;
+pub use stretch::{stretch_pin, Side};
+pub use transform::{Orientation, Transform};

@@ -1,0 +1,112 @@
+use std::fmt;
+use std::ops::{Add, Neg, Sub};
+
+/// A point on the integer lambda grid.
+///
+/// All STEM layout coordinates are integers; the unit is the technology
+/// lambda, which keeps the geometry technology-independent (thesis §2.1,
+/// constraint layout languages).
+///
+/// ```
+/// use stem_geom::Point;
+/// assert_eq!(Point::new(1, 2) + Point::new(3, 4), Point::new(4, 6));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Point {
+    /// Horizontal coordinate in lambda.
+    pub x: i64,
+    /// Vertical coordinate in lambda.
+    pub y: i64,
+}
+
+impl Point {
+    /// The origin, `(0, 0)`.
+    pub const ORIGIN: Point = Point { x: 0, y: 0 };
+
+    /// Creates a point from its coordinates.
+    pub const fn new(x: i64, y: i64) -> Self {
+        Point { x, y }
+    }
+
+    /// Component-wise minimum of two points.
+    pub fn min(self, other: Point) -> Point {
+        Point::new(self.x.min(other.x), self.y.min(other.y))
+    }
+
+    /// Component-wise maximum of two points.
+    pub fn max(self, other: Point) -> Point {
+        Point::new(self.x.max(other.x), self.y.max(other.y))
+    }
+
+    /// Manhattan (L1) distance to `other`, used by the delay RC estimator
+    /// for wire-length heuristics.
+    pub fn manhattan(self, other: Point) -> i64 {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Neg for Point {
+    type Output = Point;
+    fn neg(self) -> Point {
+        Point::new(-self.x, -self.y)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl From<(i64, i64)> for Point {
+    fn from((x, y): (i64, i64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Point::new(3, -2);
+        let b = Point::new(1, 5);
+        assert_eq!(a + b, Point::new(4, 3));
+        assert_eq!(a - b, Point::new(2, -7));
+        assert_eq!(-a, Point::new(-3, 2));
+    }
+
+    #[test]
+    fn min_max() {
+        let a = Point::new(3, -2);
+        let b = Point::new(1, 5);
+        assert_eq!(a.min(b), Point::new(1, -2));
+        assert_eq!(a.max(b), Point::new(3, 5));
+    }
+
+    #[test]
+    fn manhattan_distance() {
+        assert_eq!(Point::new(0, 0).manhattan(Point::new(3, 4)), 7);
+        assert_eq!(Point::new(-1, -1).manhattan(Point::new(1, 1)), 4);
+    }
+
+    #[test]
+    fn display_and_from() {
+        assert_eq!(Point::from((2, 3)).to_string(), "(2, 3)");
+    }
+}

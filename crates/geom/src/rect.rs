@@ -1,0 +1,242 @@
+use crate::Point;
+use std::fmt;
+
+/// An axis-aligned rectangle on the lambda grid, stored as inclusive
+/// min / exclusive-ish max corners (`min <= max` component-wise).
+///
+/// Rectangles back STEM's bounding-box variables (thesis §7.2): the class
+/// bounding box is the smallest rectangle containing a cell's internal
+/// structure, and an instance bounding box is the (possibly larger) area a
+/// placement fills.
+///
+/// ```
+/// use stem_geom::{Point, Rect};
+/// let r = Rect::new(Point::new(0, 0), Point::new(8, 4));
+/// assert_eq!(r.area(), 32);
+/// assert!(r.contains_rect(Rect::new(Point::new(1, 1), Point::new(3, 3))));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Rect {
+    min: Point,
+    max: Point,
+}
+
+impl Rect {
+    /// Creates a rectangle from two opposite corners (normalised so the
+    /// stored `min` is component-wise below the stored `max`).
+    pub fn new(a: Point, b: Point) -> Self {
+        Rect {
+            min: a.min(b),
+            max: a.max(b),
+        }
+    }
+
+    /// Creates a rectangle from an origin and a width/height extent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `height` is negative.
+    pub fn with_extent(origin: Point, width: i64, height: i64) -> Self {
+        assert!(width >= 0 && height >= 0, "extent must be non-negative");
+        Rect::new(origin, origin + Point::new(width, height))
+    }
+
+    /// The lower-left corner.
+    pub fn min(&self) -> Point {
+        self.min
+    }
+
+    /// The upper-right corner.
+    pub fn max(&self) -> Point {
+        self.max
+    }
+
+    /// Horizontal extent.
+    pub fn width(&self) -> i64 {
+        self.max.x - self.min.x
+    }
+
+    /// Vertical extent.
+    pub fn height(&self) -> i64 {
+        self.max.y - self.min.y
+    }
+
+    /// `(width, height)` as a point, matching Smalltalk's `extent`.
+    pub fn extent(&self) -> Point {
+        self.max - self.min
+    }
+
+    /// Enclosed area in square lambda.
+    pub fn area(&self) -> i64 {
+        self.width() * self.height()
+    }
+
+    /// The centre point (rounded toward `min`).
+    pub fn center(&self) -> Point {
+        Point::new(
+            self.min.x + self.width() / 2,
+            self.min.y + self.height() / 2,
+        )
+    }
+
+    /// Whether the rectangle is degenerate (zero area).
+    pub fn is_empty(&self) -> bool {
+        self.width() == 0 || self.height() == 0
+    }
+
+    /// Whether `p` lies inside or on the border.
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Whether `other` lies entirely inside (or on the border of) `self`.
+    pub fn contains_rect(&self, other: Rect) -> bool {
+        self.contains(other.min) && self.contains(other.max)
+    }
+
+    /// Whether this rectangle's extent can cover `other`'s extent — the
+    /// `InstanceBBox >= ClassBBox` test of thesis Fig. 7.7
+    /// (`bBox extent >= selfBBox extent`).
+    pub fn can_contain_extent(&self, other: Rect) -> bool {
+        self.width() >= other.width() && self.height() >= other.height()
+    }
+
+    /// Smallest rectangle containing both.
+    pub fn union(&self, other: Rect) -> Rect {
+        Rect {
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
+    }
+
+    /// Intersection, or `None` when disjoint.
+    pub fn intersection(&self, other: Rect) -> Option<Rect> {
+        let min = self.min.max(other.min);
+        let max = self.max.min(other.max);
+        if min.x <= max.x && min.y <= max.y {
+            Some(Rect { min, max })
+        } else {
+            None
+        }
+    }
+
+    /// The rectangle shifted by `delta`.
+    pub fn translated(&self, delta: Point) -> Rect {
+        Rect {
+            min: self.min + delta,
+            max: self.max + delta,
+        }
+    }
+
+    /// The rectangle grown by `margin` on every side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a negative `margin` would invert the rectangle.
+    pub fn inflated(&self, margin: i64) -> Rect {
+        let r = Rect {
+            min: self.min - Point::new(margin, margin),
+            max: self.max + Point::new(margin, margin),
+        };
+        assert!(r.min.x <= r.max.x && r.min.y <= r.max.y, "inflation inverted rect");
+        r
+    }
+
+    /// Aspect ratio `width / height` as a float, `None` for zero height —
+    /// used by the `AspectRatioPredicate` of thesis Fig. 7.9.
+    pub fn aspect_ratio(&self) -> Option<f64> {
+        if self.height() == 0 {
+            None
+        } else {
+            Some(self.width() as f64 / self.height() as f64)
+        }
+    }
+
+    /// Union over an iterator of rectangles; `None` for an empty iterator.
+    /// This is `calculateBoundingBox` over subcells and nets (§7.2).
+    pub fn union_all<I: IntoIterator<Item = Rect>>(rects: I) -> Option<Rect> {
+        rects.into_iter().reduce(|a, b| a.union(b))
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} .. {}]", self.min, self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(x0: i64, y0: i64, x1: i64, y1: i64) -> Rect {
+        Rect::new(Point::new(x0, y0), Point::new(x1, y1))
+    }
+
+    #[test]
+    fn normalises_corners() {
+        let a = Rect::new(Point::new(5, 7), Point::new(1, 2));
+        assert_eq!(a.min(), Point::new(1, 2));
+        assert_eq!(a.max(), Point::new(5, 7));
+    }
+
+    #[test]
+    fn extent_area_center() {
+        let a = r(0, 0, 8, 4);
+        assert_eq!(a.extent(), Point::new(8, 4));
+        assert_eq!(a.area(), 32);
+        assert_eq!(a.center(), Point::new(4, 2));
+        assert!(!a.is_empty());
+        assert!(r(0, 0, 0, 4).is_empty());
+    }
+
+    #[test]
+    fn containment() {
+        let a = r(0, 0, 10, 10);
+        assert!(a.contains(Point::new(0, 0)));
+        assert!(a.contains(Point::new(10, 10)));
+        assert!(!a.contains(Point::new(11, 5)));
+        assert!(a.contains_rect(r(2, 2, 8, 8)));
+        assert!(!a.contains_rect(r(2, 2, 12, 8)));
+    }
+
+    #[test]
+    fn extent_containment_ignores_position() {
+        // The thesis's class-vs-instance bbox test compares extents only.
+        assert!(r(100, 100, 110, 104).can_contain_extent(r(0, 0, 10, 4)));
+        assert!(!r(100, 100, 109, 104).can_contain_extent(r(0, 0, 10, 4)));
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let a = r(0, 0, 4, 4);
+        let b = r(2, 2, 6, 6);
+        assert_eq!(a.union(b), r(0, 0, 6, 6));
+        assert_eq!(a.intersection(b), Some(r(2, 2, 4, 4)));
+        assert_eq!(a.intersection(r(5, 5, 6, 6)), None);
+        // Touching rectangles intersect in a degenerate rect.
+        assert_eq!(a.intersection(r(4, 0, 8, 4)), Some(r(4, 0, 4, 4)));
+    }
+
+    #[test]
+    fn translate_inflate() {
+        let a = r(0, 0, 4, 4).translated(Point::new(10, -2));
+        assert_eq!(a, r(10, -2, 14, 2));
+        assert_eq!(a.inflated(1), r(9, -3, 15, 3));
+    }
+
+    #[test]
+    fn aspect_ratio() {
+        assert_eq!(r(0, 0, 8, 4).aspect_ratio(), Some(2.0));
+        assert_eq!(r(0, 0, 8, 0).aspect_ratio(), None);
+    }
+
+    #[test]
+    fn union_all() {
+        assert_eq!(Rect::union_all([]), None);
+        assert_eq!(
+            Rect::union_all([r(0, 0, 1, 1), r(5, 5, 6, 6), r(-1, 0, 0, 2)]),
+            Some(r(-1, 0, 6, 6))
+        );
+    }
+}

@@ -1,0 +1,160 @@
+use crate::{Point, Rect};
+
+/// A side of a rectangle, used to classify which border an io-pin sits on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// The `y == max.y` edge.
+    Top,
+    /// The `y == min.y` edge.
+    Bottom,
+    /// The `x == min.x` edge.
+    Left,
+    /// The `x == max.x` edge.
+    Right,
+}
+
+impl Side {
+    /// Classifies a border point of `rect` onto a side. Corners resolve to
+    /// `Left`/`Right` before `Top`/`Bottom`. Returns `None` for interior or
+    /// exterior points.
+    pub fn of(rect: Rect, p: Point) -> Option<Side> {
+        if !rect.contains(p) {
+            return None;
+        }
+        if p.x == rect.min().x {
+            Some(Side::Left)
+        } else if p.x == rect.max().x {
+            Some(Side::Right)
+        } else if p.y == rect.min().y {
+            Some(Side::Bottom)
+        } else if p.y == rect.max().y {
+            Some(Side::Top)
+        } else {
+            None
+        }
+    }
+}
+
+/// Stretches an io-pin from the border of `from` to the border of `to`,
+/// preserving its side and its proportional position along that side.
+///
+/// This reproduces STEM's stretching routines that "extend signal ports to
+/// the perimeter of the bounding box" when an instance is placed in an area
+/// larger than its class bounding box (thesis §7.2, Fig. 7.6). Pins not on
+/// the border of `from` are returned translated with the box origin, since
+/// only border pins participate in butting connections.
+///
+/// ```
+/// use stem_geom::{stretch_pin, Point, Rect};
+/// let small = Rect::with_extent(Point::ORIGIN, 10, 10);
+/// let big = Rect::with_extent(Point::ORIGIN, 20, 10);
+/// // A pin centred on the top edge stays centred on the top edge.
+/// assert_eq!(stretch_pin(Point::new(5, 10), small, big), Point::new(10, 10));
+/// ```
+pub fn stretch_pin(pin: Point, from: Rect, to: Rect) -> Point {
+    let Some(side) = Side::of(from, pin) else {
+        // Interior pin: keep its offset from the box origin.
+        return pin - from.min() + to.min();
+    };
+    let scale = |v: i64, f_lo: i64, f_hi: i64, t_lo: i64, t_hi: i64| -> i64 {
+        let f_span = f_hi - f_lo;
+        if f_span == 0 {
+            t_lo
+        } else {
+            // Round to nearest grid point.
+            t_lo + ((v - f_lo) * (t_hi - t_lo) + f_span / 2) / f_span
+        }
+    };
+    match side {
+        Side::Left => Point::new(
+            to.min().x,
+            scale(pin.y, from.min().y, from.max().y, to.min().y, to.max().y),
+        ),
+        Side::Right => Point::new(
+            to.max().x,
+            scale(pin.y, from.min().y, from.max().y, to.min().y, to.max().y),
+        ),
+        Side::Bottom => Point::new(
+            scale(pin.x, from.min().x, from.max().x, to.min().x, to.max().x),
+            to.min().y,
+        ),
+        Side::Top => Point::new(
+            scale(pin.x, from.min().x, from.max().x, to.min().x, to.max().x),
+            to.max().y,
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(x0: i64, y0: i64, x1: i64, y1: i64) -> Rect {
+        Rect::new(Point::new(x0, y0), Point::new(x1, y1))
+    }
+
+    #[test]
+    fn side_classification() {
+        let b = r(0, 0, 10, 10);
+        assert_eq!(Side::of(b, Point::new(0, 5)), Some(Side::Left));
+        assert_eq!(Side::of(b, Point::new(10, 5)), Some(Side::Right));
+        assert_eq!(Side::of(b, Point::new(5, 0)), Some(Side::Bottom));
+        assert_eq!(Side::of(b, Point::new(5, 10)), Some(Side::Top));
+        // Corners resolve to left/right.
+        assert_eq!(Side::of(b, Point::new(0, 0)), Some(Side::Left));
+        assert_eq!(Side::of(b, Point::new(10, 10)), Some(Side::Right));
+        assert_eq!(Side::of(b, Point::new(5, 5)), None);
+        assert_eq!(Side::of(b, Point::new(11, 5)), None);
+    }
+
+    #[test]
+    fn stretch_keeps_side_and_proportion() {
+        let from = r(0, 0, 10, 10);
+        let to = r(0, 0, 30, 10);
+        assert_eq!(stretch_pin(Point::new(5, 10), from, to), Point::new(15, 10));
+        assert_eq!(stretch_pin(Point::new(5, 0), from, to), Point::new(15, 0));
+        assert_eq!(stretch_pin(Point::new(0, 3), from, to), Point::new(0, 3));
+        assert_eq!(stretch_pin(Point::new(10, 3), from, to), Point::new(30, 3));
+    }
+
+    #[test]
+    fn stretch_to_translated_box() {
+        let from = r(0, 0, 10, 10);
+        let to = r(100, 100, 120, 120);
+        assert_eq!(
+            stretch_pin(Point::new(5, 10), from, to),
+            Point::new(110, 120)
+        );
+    }
+
+    #[test]
+    fn interior_pin_translates() {
+        let from = r(0, 0, 10, 10);
+        let to = r(100, 100, 140, 140);
+        assert_eq!(
+            stretch_pin(Point::new(4, 6), from, to),
+            Point::new(104, 106)
+        );
+    }
+
+    #[test]
+    fn identity_stretch_is_noop() {
+        let b = r(0, 0, 10, 10);
+        for p in [
+            Point::new(0, 5),
+            Point::new(10, 0),
+            Point::new(3, 10),
+            Point::new(7, 0),
+        ] {
+            assert_eq!(stretch_pin(p, b, b), p);
+        }
+    }
+
+    #[test]
+    fn degenerate_from_side() {
+        // Zero-width source span collapses to the low edge of the target.
+        let from = r(0, 0, 0, 10);
+        let to = r(0, 0, 10, 10);
+        assert_eq!(stretch_pin(Point::new(0, 5), from, to), Point::new(0, 5));
+    }
+}

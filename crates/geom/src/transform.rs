@@ -1,0 +1,238 @@
+use crate::{Point, Rect};
+use std::fmt;
+
+/// One of the eight layout symmetries (the dihedral group D4): four
+/// rotations, optionally mirrored about the Y axis first.
+///
+/// STEM cell instances carry a placement transformation (thesis §3.3.2,
+/// Fig. 3.3); these are its orientation part.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Orientation {
+    /// Identity.
+    #[default]
+    R0,
+    /// Rotate 90° counter-clockwise.
+    R90,
+    /// Rotate 180°.
+    R180,
+    /// Rotate 270° counter-clockwise.
+    R270,
+    /// Mirror about the Y axis (x → −x).
+    MY,
+    /// Mirror about Y, then rotate 90°.
+    MY90,
+    /// Mirror about the X axis (y → −y); equals MY180.
+    MX,
+    /// Mirror about X, then rotate 90°; equals MY270.
+    MX90,
+}
+
+impl Orientation {
+    /// All eight orientations, for exhaustive iteration in tests and
+    /// compilers.
+    pub const ALL: [Orientation; 8] = [
+        Orientation::R0,
+        Orientation::R90,
+        Orientation::R180,
+        Orientation::R270,
+        Orientation::MY,
+        Orientation::MY90,
+        Orientation::MX,
+        Orientation::MX90,
+    ];
+
+    /// Applies the orientation to a point about the origin.
+    pub fn apply(self, p: Point) -> Point {
+        use Orientation::*;
+        match self {
+            R0 => p,
+            R90 => Point::new(-p.y, p.x),
+            R180 => Point::new(-p.x, -p.y),
+            R270 => Point::new(p.y, -p.x),
+            MY => Point::new(-p.x, p.y),
+            MY90 => Point::new(-p.y, -p.x),
+            MX => Point::new(p.x, -p.y),
+            MX90 => Point::new(p.y, p.x),
+        }
+    }
+
+    /// Whether the orientation swaps the X and Y extents.
+    pub fn swaps_axes(self) -> bool {
+        use Orientation::*;
+        matches!(self, R90 | R270 | MY90 | MX90)
+    }
+
+    /// The orientation `self ∘ other` (apply `other` first, then `self`).
+    pub fn compose(self, other: Orientation) -> Orientation {
+        // Derive composition by probing with two independent points.
+        let probe = |o: Orientation| {
+            (
+                o.apply(Point::new(1, 0)),
+                o.apply(Point::new(0, 1)),
+            )
+        };
+        let target = (
+            self.apply(other.apply(Point::new(1, 0))),
+            self.apply(other.apply(Point::new(0, 1))),
+        );
+        Orientation::ALL
+            .into_iter()
+            .find(|&o| probe(o) == target)
+            .expect("D4 is closed under composition")
+    }
+
+    /// The inverse orientation.
+    pub fn inverse(self) -> Orientation {
+        Orientation::ALL
+            .into_iter()
+            .find(|&o| o.compose(self) == Orientation::R0)
+            .expect("every D4 element has an inverse")
+    }
+}
+
+impl fmt::Display for Orientation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// A placement transform: an orientation about the origin followed by a
+/// translation. This mirrors the `transformation` instance variable of STEM
+/// cell instances (thesis Fig. 3.3).
+///
+/// ```
+/// use stem_geom::{Orientation, Point, Rect, Transform};
+/// let t = Transform::new(Orientation::R90, Point::new(10, 0));
+/// let r = t.apply_rect(Rect::with_extent(Point::ORIGIN, 4, 2));
+/// assert_eq!(r.extent(), Point::new(2, 4));
+/// assert_eq!(t.inverse().apply_rect(r).extent(), Point::new(4, 2));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Transform {
+    /// Orientation applied about the origin first.
+    pub orient: Orientation,
+    /// Translation applied after orienting.
+    pub translate: Point,
+}
+
+impl Transform {
+    /// The identity transform.
+    pub const IDENTITY: Transform = Transform {
+        orient: Orientation::R0,
+        translate: Point::ORIGIN,
+    };
+
+    /// Creates a transform from an orientation and translation.
+    pub const fn new(orient: Orientation, translate: Point) -> Self {
+        Transform { orient, translate }
+    }
+
+    /// A pure translation.
+    pub const fn translation(delta: Point) -> Self {
+        Transform {
+            orient: Orientation::R0,
+            translate: delta,
+        }
+    }
+
+    /// Applies the transform to a point.
+    pub fn apply(self, p: Point) -> Point {
+        self.orient.apply(p) + self.translate
+    }
+
+    /// Applies the transform to a rectangle (the image of an axis-aligned
+    /// rectangle under a D4 symmetry is axis-aligned).
+    pub fn apply_rect(self, r: Rect) -> Rect {
+        Rect::new(self.apply(r.min()), self.apply(r.max()))
+    }
+
+    /// The transform `self ∘ other` (apply `other` first).
+    pub fn compose(self, other: Transform) -> Transform {
+        Transform {
+            orient: self.orient.compose(other.orient),
+            translate: self.apply(other.translate),
+        }
+    }
+
+    /// The inverse transform.
+    pub fn inverse(self) -> Transform {
+        let inv = self.orient.inverse();
+        Transform {
+            orient: inv,
+            translate: inv.apply(-self.translate),
+        }
+    }
+}
+
+impl fmt::Display for Transform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} + {}", self.orient, self.translate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rotations() {
+        let p = Point::new(3, 1);
+        assert_eq!(Orientation::R0.apply(p), p);
+        assert_eq!(Orientation::R90.apply(p), Point::new(-1, 3));
+        assert_eq!(Orientation::R180.apply(p), Point::new(-3, -1));
+        assert_eq!(Orientation::R270.apply(p), Point::new(1, -3));
+    }
+
+    #[test]
+    fn mirrors() {
+        let p = Point::new(3, 1);
+        assert_eq!(Orientation::MY.apply(p), Point::new(-3, 1));
+        assert_eq!(Orientation::MX.apply(p), Point::new(3, -1));
+        assert_eq!(Orientation::MY90.apply(p), Point::new(-1, -3));
+        assert_eq!(Orientation::MX90.apply(p), Point::new(1, 3));
+    }
+
+    #[test]
+    fn group_closure_and_inverse() {
+        for a in Orientation::ALL {
+            for b in Orientation::ALL {
+                let c = a.compose(b);
+                // compose really is function composition
+                let p = Point::new(2, 5);
+                assert_eq!(c.apply(p), a.apply(b.apply(p)), "{a} ∘ {b}");
+            }
+            assert_eq!(a.inverse().compose(a), Orientation::R0);
+            assert_eq!(a.compose(a.inverse()), Orientation::R0);
+        }
+    }
+
+    #[test]
+    fn swaps_axes_matches_extent() {
+        let r = Rect::with_extent(Point::ORIGIN, 4, 2);
+        for o in Orientation::ALL {
+            let t = Transform::new(o, Point::ORIGIN);
+            let e = t.apply_rect(r).extent();
+            if o.swaps_axes() {
+                assert_eq!(e, Point::new(2, 4), "{o}");
+            } else {
+                assert_eq!(e, Point::new(4, 2), "{o}");
+            }
+        }
+    }
+
+    #[test]
+    fn transform_roundtrip() {
+        let t = Transform::new(Orientation::MY90, Point::new(17, -4));
+        let p = Point::new(3, 9);
+        assert_eq!(t.inverse().apply(t.apply(p)), p);
+        assert_eq!(t.compose(t.inverse()), Transform::IDENTITY);
+    }
+
+    #[test]
+    fn transform_composition_associates_with_application() {
+        let a = Transform::new(Orientation::R90, Point::new(5, 0));
+        let b = Transform::new(Orientation::MX, Point::new(-2, 3));
+        let p = Point::new(1, 1);
+        assert_eq!(a.compose(b).apply(p), a.apply(b.apply(p)));
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests for the geometry substrate.
+
+use proptest::prelude::*;
+use stem_geom::{stretch_pin, Orientation, Point, Rect, Side, Transform};
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (-1000i64..1000, -1000i64..1000).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (arb_point(), arb_point()).prop_map(|(a, b)| Rect::new(a, b))
+}
+
+fn arb_orient() -> impl Strategy<Value = Orientation> {
+    (0usize..8).prop_map(|i| Orientation::ALL[i])
+}
+
+fn arb_transform() -> impl Strategy<Value = Transform> {
+    (arb_orient(), arb_point()).prop_map(|(o, t)| Transform::new(o, t))
+}
+
+proptest! {
+    #[test]
+    fn rect_union_contains_both(a in arb_rect(), b in arb_rect()) {
+        let u = a.union(b);
+        prop_assert!(u.contains_rect(a));
+        prop_assert!(u.contains_rect(b));
+    }
+
+    #[test]
+    fn rect_union_commutative_associative(a in arb_rect(), b in arb_rect(), c in arb_rect()) {
+        prop_assert_eq!(a.union(b), b.union(a));
+        prop_assert_eq!(a.union(b).union(c), a.union(b.union(c)));
+    }
+
+    #[test]
+    fn rect_intersection_inside_both(a in arb_rect(), b in arb_rect()) {
+        if let Some(i) = a.intersection(b) {
+            prop_assert!(a.contains_rect(i));
+            prop_assert!(b.contains_rect(i));
+        }
+    }
+
+    #[test]
+    fn transform_preserves_extent_up_to_swap(t in arb_transform(), r in arb_rect()) {
+        let img = t.apply_rect(r);
+        if t.orient.swaps_axes() {
+            prop_assert_eq!(img.width(), r.height());
+            prop_assert_eq!(img.height(), r.width());
+        } else {
+            prop_assert_eq!(img.width(), r.width());
+            prop_assert_eq!(img.height(), r.height());
+        }
+        prop_assert_eq!(img.area(), r.area());
+    }
+
+    #[test]
+    fn transform_inverse_roundtrip(t in arb_transform(), p in arb_point()) {
+        prop_assert_eq!(t.inverse().apply(t.apply(p)), p);
+    }
+
+    #[test]
+    fn transform_compose_matches_application(
+        a in arb_transform(), b in arb_transform(), p in arb_point()
+    ) {
+        prop_assert_eq!(a.compose(b).apply(p), a.apply(b.apply(p)));
+    }
+
+    #[test]
+    fn stretched_border_pin_lands_on_same_side(
+        w1 in 1i64..200, h1 in 1i64..200,
+        w2 in 1i64..200, h2 in 1i64..200,
+        ox in -100i64..100, oy in -100i64..100,
+        frac in 0.0f64..=1.0,
+        side in 0usize..4,
+    ) {
+        let from = Rect::with_extent(Point::ORIGIN, w1, h1);
+        let to = Rect::with_extent(Point::new(ox, oy), w2, h2);
+        let pin = match side {
+            0 => Point::new((frac * w1 as f64) as i64, h1), // top
+            1 => Point::new((frac * w1 as f64) as i64, 0),  // bottom
+            2 => Point::new(0, (frac * h1 as f64) as i64),  // left
+            _ => Point::new(w1, (frac * h1 as f64) as i64), // right
+        };
+        let expect = match side {
+            0 => Side::Top,
+            1 => Side::Bottom,
+            2 => Side::Left,
+            _ => Side::Right,
+        };
+        // Corner pins may legitimately classify to an adjacent side; restrict
+        // the assertion to pins strictly inside an edge.
+        if Side::of(from, pin) == Some(expect) {
+            let out = stretch_pin(pin, from, to);
+            prop_assert!(to.contains(out), "stretched pin must be on target border");
+            // Must at least be on the border of `to`.
+            prop_assert!(Side::of(to, out).is_some());
+        }
+    }
+}

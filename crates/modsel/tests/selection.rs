@@ -1,0 +1,312 @@
+//! E8/E9 — thesis Fig. 8.1 (ALU module selection under tight area vs.
+//! tight delay specs) and Fig. 8.4 (search-tree pruning via generic-cell
+//! ideals).
+
+use stem_cells::{alu_fixture, fig8_4_family, CellKit, ADDER_UNIT_WIDTH};
+use stem_design::{CellClassId, CellInstanceId, SignalDir};
+use stem_geom::{Point, Rect, Transform};
+use stem_modsel::{select_realizations, SelectionOptions, TestKind};
+
+/// Allot the adder instance an area budget of `tenths`/10 × A at its
+/// placement.
+fn allot_adder_area(kit: &mut CellKit, inst: CellInstanceId, tenths: i64) {
+    let t = kit.design.instance_transform(inst);
+    let origin = t.apply(Point::ORIGIN);
+    let budget = Rect::with_extent(origin, ADDER_UNIT_WIDTH * tenths / 10, 20);
+    kit.design.set_instance_bounding_box(inst, budget).unwrap();
+}
+
+/// Fig. 8.1(b): tight area (adder budget 1.2A), relaxed delay (≤ 11D) →
+/// the ripple-carry realisation is selected.
+#[test]
+fn fig8_1b_tight_area_selects_rc() {
+    let mut kit = CellKit::new();
+    let fx = alu_fixture(&mut kit);
+    kit.analyzer
+        .constrain_max(&mut kit.design, fx.alu, "in", "out", 11.0)
+        .unwrap();
+    allot_adder_area(&mut kit, fx.adder_inst, 12);
+
+    let out = select_realizations(
+        &mut kit.design,
+        &mut kit.analyzer,
+        fx.adder_inst,
+        &SelectionOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(out.valid, vec![fx.family.rc], "only ADD8.RC fits the area");
+}
+
+/// Fig. 8.1(c): tight delay (≤ 8D), relaxed area (adder budget 2.2A) →
+/// the carry-select realisation is selected.
+#[test]
+fn fig8_1c_tight_delay_selects_cs() {
+    let mut kit = CellKit::new();
+    let fx = alu_fixture(&mut kit);
+    kit.analyzer
+        .constrain_max(&mut kit.design, fx.alu, "in", "out", 8.0)
+        .unwrap();
+    allot_adder_area(&mut kit, fx.adder_inst, 22);
+
+    let out = select_realizations(
+        &mut kit.design,
+        &mut kit.analyzer,
+        fx.adder_inst,
+        &SelectionOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(out.valid, vec![fx.family.cs], "only ADD8.CS meets 8D");
+}
+
+/// Relaxed specs admit both realisations.
+#[test]
+fn relaxed_specs_admit_both() {
+    let mut kit = CellKit::new();
+    let fx = alu_fixture(&mut kit);
+    kit.analyzer
+        .constrain_max(&mut kit.design, fx.alu, "in", "out", 11.0)
+        .unwrap();
+    allot_adder_area(&mut kit, fx.adder_inst, 22);
+
+    let out = select_realizations(
+        &mut kit.design,
+        &mut kit.analyzer,
+        fx.adder_inst,
+        &SelectionOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(out.valid, vec![fx.family.rc, fx.family.cs]);
+}
+
+/// Impossible specs reject everything; the probe leaves no trace.
+#[test]
+fn impossible_specs_reject_all_and_restore() {
+    let mut kit = CellKit::new();
+    let fx = alu_fixture(&mut kit);
+    kit.analyzer
+        .constrain_max(&mut kit.design, fx.alu, "in", "out", 8.0)
+        .unwrap();
+    allot_adder_area(&mut kit, fx.adder_inst, 12); // 1.2A and 8D: nobody fits
+
+    let before = kit
+        .analyzer
+        .delay(&mut kit.design, fx.alu, "in", "out")
+        .unwrap();
+    let out = select_realizations(
+        &mut kit.design,
+        &mut kit.analyzer,
+        fx.adder_inst,
+        &SelectionOptions::default(),
+    )
+    .unwrap();
+    assert!(out.valid.is_empty());
+    let after = kit
+        .analyzer
+        .delay(&mut kit.design, fx.alu, "in", "out")
+        .unwrap();
+    assert_eq!(before, after, "tentative probes restored everything");
+}
+
+/// A non-generic instance is its own realisation (Fig. 8.3's base case).
+#[test]
+fn non_generic_instance_returns_itself() {
+    let mut kit = CellKit::new();
+    let fx = alu_fixture(&mut kit);
+    let out = select_realizations(
+        &mut kit.design,
+        &mut kit.analyzer,
+        fx.lu_inst,
+        &SelectionOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(out.valid, vec![fx.lu8]);
+}
+
+/// Selective testing (§8.2): restricting the priorities to `#(#bBox)`
+/// skips the delay tests entirely, so the slow adder passes a tight-delay
+/// context.
+#[test]
+fn selective_testing_restricts_properties() {
+    let mut kit = CellKit::new();
+    let fx = alu_fixture(&mut kit);
+    kit.analyzer
+        .constrain_max(&mut kit.design, fx.alu, "in", "out", 8.0)
+        .unwrap();
+    allot_adder_area(&mut kit, fx.adder_inst, 22);
+
+    let opts = SelectionOptions {
+        priorities: vec![TestKind::BBox],
+        prune: true,
+    };
+    let out =
+        select_realizations(&mut kit.design, &mut kit.analyzer, fx.adder_inst, &opts).unwrap();
+    assert_eq!(out.valid, vec![fx.family.rc, fx.family.cs]);
+}
+
+/// Builds a bare context holding one instance of the Fig. 8.4 generic
+/// root, with a delay path through it and a spec.
+fn fig8_4_context(
+    kit: &mut CellKit,
+    spec_d: f64,
+) -> (CellClassId, CellInstanceId, stem_cells::PruningFamily) {
+    let fam = fig8_4_family(kit);
+    let d = &mut kit.design;
+    let top = d.define_class("TOP");
+    d.add_signal(top, "a", SignalDir::Input);
+    d.set_signal_bit_width(top, "a", 8).unwrap();
+    d.add_signal(top, "s", SignalDir::Output);
+    d.set_signal_bit_width(top, "s", 8).unwrap();
+    let inst = d
+        .instantiate(fam.root, top, "add", Transform::IDENTITY)
+        .unwrap();
+    let na = d.add_net(top, "na");
+    d.connect_io(na, "a").unwrap();
+    d.connect(na, inst, "a").unwrap();
+    let ns = d.add_net(top, "ns");
+    d.connect(ns, inst, "s").unwrap();
+    d.connect_io(ns, "s").unwrap();
+    kit.analyzer.declare_delay(&mut kit.design, top, "a", "s");
+    kit.analyzer
+        .constrain_max(&mut kit.design, top, "a", "s", spec_d)
+        .unwrap();
+    (top, inst, fam)
+}
+
+/// Fig. 8.4: with a 7D spec the whole ripple-carry subtree (ideal 8D) is
+/// pruned without testing its leaves.
+#[test]
+fn fig8_4_pruning_skips_failing_subtree() {
+    let mut kit = CellKit::new();
+    let (_top, inst, fam) = fig8_4_context(&mut kit, 7.0);
+
+    let out = select_realizations(
+        &mut kit.design,
+        &mut kit.analyzer,
+        inst,
+        &SelectionOptions::default(),
+    )
+    .unwrap();
+    let (_, cs_leaves) = &fam.groups[1];
+    assert_eq!(out.valid, *cs_leaves, "only the carry-select leaves pass");
+    assert_eq!(out.stats.pruned_subtrees, 1, "ripple subtree pruned");
+    // Tested: 2 generics + 2 carry-select leaves.
+    assert_eq!(out.stats.candidates_tested, 4);
+}
+
+/// Without pruning, every leaf is tested (no generic probes, more leaf
+/// tests).
+#[test]
+fn pruning_reduces_candidates_tested() {
+    let mut kit = CellKit::new();
+    let (_top, inst, fam) = fig8_4_context(&mut kit, 7.0);
+
+    let no_prune = SelectionOptions {
+        prune: false,
+        ..Default::default()
+    };
+    let out =
+        select_realizations(&mut kit.design, &mut kit.analyzer, inst, &no_prune).unwrap();
+    let (_, cs_leaves) = &fam.groups[1];
+    assert_eq!(out.valid, *cs_leaves, "same result without pruning");
+    assert_eq!(out.stats.pruned_subtrees, 0);
+    assert_eq!(out.stats.candidates_tested, 4, "all four leaves tested");
+    // Same candidate count here (small tree), but the pruned run never
+    // touched the expensive failing leaves; with wider trees the gap grows
+    // (benchmarked in E9).
+}
+
+/// An 8D spec admits the ripple subtree again.
+#[test]
+fn fig8_4_relaxed_spec_passes_ripple_fast_leaf() {
+    let mut kit = CellKit::new();
+    let (_top, inst, fam) = fig8_4_context(&mut kit, 8.0);
+    let out = select_realizations(
+        &mut kit.design,
+        &mut kit.analyzer,
+        inst,
+        &SelectionOptions::default(),
+    )
+    .unwrap();
+    let (_, rc_leaves) = &fam.groups[0];
+    let (_, cs_leaves) = &fam.groups[1];
+    // RCAdd8F (8D) plus both carry-select leaves.
+    assert_eq!(out.valid, vec![rc_leaves[1], cs_leaves[0], cs_leaves[1]]);
+    assert_eq!(out.stats.pruned_subtrees, 0);
+}
+
+/// Interface mismatches fail the signals test.
+#[test]
+fn signal_interface_mismatch_rejected() {
+    let mut kit = CellKit::new();
+    let (_top, inst, fam) = fig8_4_context(&mut kit, 20.0);
+    // A bogus subclass missing the interface (fresh class, not derived).
+    let bogus = kit.design.define_class("Bogus8");
+    kit.design.set_generic(bogus, false);
+    // Manually graft it under the root via derive-free path: derive a real
+    // one and compare against a non-derived sibling through priorities.
+    let mut stats = stem_modsel::SelectionStats::default();
+    let opts = SelectionOptions::default();
+    assert!(!stem_modsel::is_valid_realization(
+        &mut kit.design,
+        &mut kit.analyzer,
+        bogus,
+        inst,
+        &opts,
+        &mut stats,
+    ));
+    let _ = fam;
+}
+
+/// Bit-width conflicts fail the signals test: a 16-bit variant of the
+/// adder cannot realise an instance wired to 8-bit nets.
+#[test]
+fn wrong_bit_width_candidate_rejected() {
+    let mut kit = CellKit::new();
+    let (_top, inst, fam) = fig8_4_context(&mut kit, 20.0);
+    let wide = kit.design.derive_class("Adder16", fam.root);
+    // Overwrite the interface widths.
+    let d = &mut kit.design;
+    let bw = d.signal_def(wide, "a").unwrap().class_bit_width;
+    d.network_mut().reset(bw);
+    d.set_signal_bit_width(wide, "a", 16).unwrap();
+    kit.analyzer.declare_delay(&mut kit.design, wide, "a", "s");
+    kit.analyzer
+        .set_estimate(&mut kit.design, wide, "a", "s", 5.0)
+        .unwrap();
+    kit.design
+        .set_class_bounding_box(wide, Rect::with_extent(Point::ORIGIN, 80, 20))
+        .unwrap();
+
+    let mut stats = stem_modsel::SelectionStats::default();
+    assert!(!stem_modsel::is_valid_realization(
+        &mut kit.design,
+        &mut kit.analyzer,
+        wide,
+        inst,
+        &SelectionOptions::default(),
+        &mut stats,
+    ));
+}
+
+/// Sanity: selection works the same through the `Design`-level entry when
+/// the generic has no subclasses at all.
+#[test]
+fn generic_without_subclasses_yields_nothing() {
+    let mut kit = CellKit::new();
+    let lonely = stem_cells::adder8_interface(&mut kit, "Lonely8");
+    kit.design.set_generic(lonely, true);
+    let top = kit.design.define_class("T");
+    let inst = kit
+        .design
+        .instantiate(lonely, top, "x", Transform::IDENTITY)
+        .unwrap();
+    let out = select_realizations(
+        &mut kit.design,
+        &mut kit.analyzer,
+        inst,
+        &SelectionOptions::default(),
+    )
+    .unwrap();
+    assert!(out.valid.is_empty());
+    assert_eq!(out.stats.candidates_tested, 0);
+}

@@ -1,0 +1,102 @@
+//! Multi-bit bus conveniences over indexed port families (`a0`, `a1`, …),
+//! the naming convention of the standard-cell library's datapath cells.
+
+use crate::level::Level;
+use crate::simulator::Simulator;
+
+/// Drives the `width` ports `{prefix}0 … {prefix}{width-1}` with the bits
+/// of `value` (bit *i* to port *i*) at time `at`.
+///
+/// # Panics
+///
+/// Panics if any port is missing.
+pub fn drive_bus(sim: &mut Simulator, prefix: &str, width: usize, value: u64, at: u64) {
+    for i in 0..width {
+        let port = sim
+            .port(&format!("{prefix}{i}"))
+            .unwrap_or_else(|| panic!("no port {prefix}{i}"));
+        sim.drive(port, Level::from_bool(value >> i & 1 == 1), at);
+    }
+}
+
+/// Reads `{prefix}0 … {prefix}{width-1}` as an unsigned integer. Returns
+/// `None` if any bit is indeterminate (`X`/`Z`).
+///
+/// # Panics
+///
+/// Panics if any port is missing.
+pub fn read_bus(sim: &Simulator, prefix: &str, width: usize) -> Option<u64> {
+    let mut out = 0u64;
+    for i in 0..width {
+        let port = sim
+            .port(&format!("{prefix}{i}"))
+            .unwrap_or_else(|| panic!("no port {prefix}{i}"));
+        match sim.value(port).to_bool() {
+            Some(true) => out |= 1 << i,
+            Some(false) => {}
+            None => return None,
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flatten::{FlatElement, FlatNetlist, NodeId};
+    use crate::primitive::PrimitiveKind;
+    use std::collections::HashMap;
+
+    /// Two independent inverters as a 2-bit bus.
+    fn netlist() -> FlatNetlist {
+        FlatNetlist {
+            nodes: (0..4).map(|i| format!("n{i}")).collect(),
+            elements: vec![
+                FlatElement {
+                    path: "i0".into(),
+                    kind: PrimitiveKind::Inverter,
+                    inputs: vec![NodeId(0)],
+                    output: NodeId(2),
+                    delay_ps: 10,
+                setup_ps: 0,
+                },
+                FlatElement {
+                    path: "i1".into(),
+                    kind: PrimitiveKind::Inverter,
+                    inputs: vec![NodeId(1)],
+                    output: NodeId(3),
+                    delay_ps: 10,
+                setup_ps: 0,
+                },
+            ],
+            ports: HashMap::from([
+                ("a0".to_string(), NodeId(0)),
+                ("a1".to_string(), NodeId(1)),
+                ("y0".to_string(), NodeId(2)),
+                ("y1".to_string(), NodeId(3)),
+            ]),
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut sim = Simulator::new(netlist());
+        drive_bus(&mut sim, "a", 2, 0b10, 0);
+        sim.run_to_quiescence().unwrap();
+        assert_eq!(read_bus(&sim, "a", 2), Some(0b10));
+        assert_eq!(read_bus(&sim, "y", 2), Some(0b01), "inverted");
+    }
+
+    #[test]
+    fn indeterminate_reads_none() {
+        let sim = Simulator::new(netlist());
+        assert_eq!(read_bus(&sim, "y", 2), None, "all X initially");
+    }
+
+    #[test]
+    #[should_panic(expected = "no port a2")]
+    fn missing_port_panics() {
+        let mut sim = Simulator::new(netlist());
+        drive_bus(&mut sim, "a", 3, 0, 0);
+    }
+}

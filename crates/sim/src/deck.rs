@@ -1,0 +1,133 @@
+//! SPICE-like deck writing — the `SpiceNet` analog (thesis §6.4.2):
+//! "SpiceNet maintains correspondence pointers between words in a SPICE
+//! net-list and the actual subcells and nets, abstracting a database cell
+//! into a paragraph of text."
+
+use crate::flatten::FlatNetlist;
+use crate::primitive::PrimitiveKind;
+use std::fmt::Write as _;
+
+/// A rendered deck plus the correspondence map from text lines back to
+/// netlist elements.
+#[derive(Debug, Clone)]
+pub struct Deck {
+    /// The deck text.
+    pub text: String,
+    /// For each line of `text`, the element index it describes (comment,
+    /// port and control lines map to `None`).
+    pub element_of_line: Vec<Option<usize>>,
+}
+
+impl Deck {
+    /// The element described by a given (0-based) line, if any.
+    pub fn element_at_line(&self, line: usize) -> Option<usize> {
+        self.element_of_line.get(line).copied().flatten()
+    }
+
+    /// Number of element cards in the deck.
+    pub fn n_cards(&self) -> usize {
+        self.element_of_line.iter().filter(|e| e.is_some()).count()
+    }
+}
+
+/// Renders a flat netlist as a SPICE-like deck.
+pub fn write_deck(title: &str, netlist: &FlatNetlist) -> Deck {
+    let mut text = String::new();
+    let mut map: Vec<Option<usize>> = Vec::new();
+    let push = |text: &mut String, map: &mut Vec<Option<usize>>, line: String, el: Option<usize>| {
+        let _ = writeln!(text, "{line}");
+        map.push(el);
+    };
+    push(&mut text, &mut map, format!("* {title}"), None);
+    push(
+        &mut text,
+        &mut map,
+        format!("* {} nodes, {} elements", netlist.n_nodes(), netlist.elements.len()),
+        None,
+    );
+    let mut ports: Vec<(&String, _)> = netlist.ports.iter().collect();
+    ports.sort();
+    for (name, node) in ports {
+        push(&mut text, &mut map, format!("* .PORT {name} {node}"), None);
+    }
+    for (i, e) in netlist.elements.iter().enumerate() {
+        let mut line = format!("{}_{} {}", e.kind.card(), sanitize(&e.path), e.output);
+        for input in &e.inputs {
+            let _ = write!(line, " {input}");
+        }
+        match e.kind {
+            PrimitiveKind::Const(level) => {
+                let _ = write!(line, " DC {level}");
+            }
+            _ => {
+                let _ = write!(line, " TD={}PS", e.delay_ps);
+            }
+        }
+        push(&mut text, &mut map, line, Some(i));
+    }
+    push(&mut text, &mut map, ".END".to_string(), None);
+    Deck {
+        text,
+        element_of_line: map,
+    }
+}
+
+fn sanitize(path: &str) -> String {
+    path.replace(['/', ':', '.'], "_")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flatten::{FlatElement, NodeId};
+    use crate::level::Level;
+    use std::collections::HashMap;
+
+    fn sample() -> FlatNetlist {
+        FlatNetlist {
+            nodes: vec!["a".into(), "y".into(), "vdd".into()],
+            elements: vec![
+                FlatElement {
+                    path: "top/i1".into(),
+                    kind: PrimitiveKind::Inverter,
+                    inputs: vec![NodeId(0)],
+                    output: NodeId(1),
+                    delay_ps: 120,
+                setup_ps: 0,
+                },
+                FlatElement {
+                    path: "top/v1".into(),
+                    kind: PrimitiveKind::Const(Level::L1),
+                    inputs: vec![],
+                    output: NodeId(2),
+                    delay_ps: 0,
+                setup_ps: 0,
+                },
+            ],
+            ports: HashMap::from([("a".to_string(), NodeId(0)), ("y".to_string(), NodeId(1))]),
+        }
+    }
+
+    #[test]
+    fn deck_structure() {
+        let deck = write_deck("test circuit", &sample());
+        assert!(deck.text.starts_with("* test circuit\n"));
+        assert!(deck.text.contains("XINV_top_i1 n1 n0 TD=120PS"));
+        assert!(deck.text.contains("V_top_v1 n2 DC 1"));
+        assert!(deck.text.trim_end().ends_with(".END"));
+        assert!(deck.text.contains("* .PORT a n0"));
+        assert_eq!(deck.n_cards(), 2);
+    }
+
+    #[test]
+    fn correspondence_map_points_back() {
+        let deck = write_deck("t", &sample());
+        let lines: Vec<&str> = deck.text.lines().collect();
+        let inv_line = lines
+            .iter()
+            .position(|l| l.starts_with("XINV"))
+            .unwrap();
+        assert_eq!(deck.element_at_line(inv_line), Some(0));
+        assert_eq!(deck.element_at_line(0), None, "title line");
+    }
+}

@@ -1,0 +1,404 @@
+//! Netlist extraction: flattening a hierarchical design into a flat net
+//! list of primitive elements — the "extraction of SPICE net-lists"
+//! (thesis §6.4.2) over the gate-level primitive library.
+
+use crate::primitive::{PrimitiveKind, PrimitiveLibrary};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use stem_design::{CellClassId, Design};
+
+/// Handle to a flat electrical node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Creates a node handle from an index — for hand-built
+    /// [`FlatNetlist`]s (whose fields are public precisely so tools and
+    /// tests can construct netlists without a `Design`).
+    pub fn from_index(i: usize) -> NodeId {
+        NodeId(i as u32)
+    }
+
+    /// Arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// One flattened primitive element.
+#[derive(Debug, Clone)]
+pub struct FlatElement {
+    /// Hierarchical path (`top/add/fa0`).
+    pub path: String,
+    /// Behaviour.
+    pub kind: PrimitiveKind,
+    /// Input nodes, in spec order.
+    pub inputs: Vec<NodeId>,
+    /// Output node.
+    pub output: NodeId,
+    /// Propagation delay in picoseconds.
+    pub delay_ps: u64,
+    /// Setup time in picoseconds (sequential elements).
+    pub setup_ps: u64,
+}
+
+/// A flattened design: nodes, elements, and the top-level ports.
+#[derive(Debug, Clone)]
+pub struct FlatNetlist {
+    /// Canonical node names (one representative hierarchical key each).
+    pub nodes: Vec<String>,
+    /// Primitive elements.
+    pub elements: Vec<FlatElement>,
+    /// Top-level io-signal name → node.
+    pub ports: HashMap<String, NodeId>,
+}
+
+impl FlatNetlist {
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Node of a top-level port.
+    pub fn port(&self, name: &str) -> Option<NodeId> {
+        self.ports.get(name).copied()
+    }
+}
+
+/// Why flattening failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlattenError {
+    /// A leaf cell (no internal structure) is not a registered primitive.
+    UnregisteredLeaf {
+        /// The offending class.
+        class: CellClassId,
+        /// Where it was found.
+        path: String,
+    },
+    /// A primitive spec references a signal the class does not declare.
+    BadSpec {
+        /// The offending class.
+        class: CellClassId,
+        /// The missing signal.
+        signal: String,
+    },
+}
+
+impl fmt::Display for FlattenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlattenError::UnregisteredLeaf { class, path } => {
+                write!(f, "leaf cell {class} at {path:?} has no primitive model")
+            }
+            FlattenError::BadSpec { class, signal } => {
+                write!(f, "primitive spec of {class} names unknown signal {signal:?}")
+            }
+        }
+    }
+}
+
+impl Error for FlattenError {}
+
+/// Raw element record accumulated during the walk:
+/// `(path, kind, input keys, output key, delay_ps, setup_ps)`.
+type RawElement = (String, PrimitiveKind, Vec<String>, String, u64, u64);
+
+/// Union-find over hierarchical terminal keys.
+#[derive(Debug, Default)]
+struct Merge {
+    index: HashMap<String, usize>,
+    parent: Vec<usize>,
+}
+
+impl Merge {
+    fn id(&mut self, key: &str) -> usize {
+        if let Some(&i) = self.index.get(key) {
+            return i;
+        }
+        let i = self.parent.len();
+        self.parent.push(i);
+        self.index.insert(key.to_string(), i);
+        i
+    }
+
+    fn find(&mut self, mut i: usize) -> usize {
+        while self.parent[i] != i {
+            self.parent[i] = self.parent[self.parent[i]];
+            i = self.parent[i];
+        }
+        i
+    }
+
+    fn union(&mut self, a: &str, b: &str) {
+        let (ia, ib) = (self.id(a), self.id(b));
+        let (ra, rb) = (self.find(ia), self.find(ib));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+/// Flattens `top` over the primitive library.
+///
+/// # Errors
+///
+/// See [`FlattenError`].
+pub fn flatten(
+    d: &Design,
+    lib: &PrimitiveLibrary,
+    top: CellClassId,
+) -> Result<FlatNetlist, FlattenError> {
+    let mut merge = Merge::default();
+    // Terminal keys: `{path}:{signal}` for cell pins, `{path}/{net}` for
+    // internal nets.
+    let mut raw_elements: Vec<RawElement> = Vec::new();
+    let top_path = d.class_name(top).to_string();
+    walk(d, lib, top, &top_path, &mut merge, &mut raw_elements)?;
+
+    // Ensure top ports exist as keys even when unconnected.
+    for s in d.signals(top) {
+        merge.id(&format!("{top_path}:{}", s.name));
+    }
+
+    // Compact roots into NodeIds with stable, readable names.
+    let mut node_of_root: HashMap<usize, NodeId> = HashMap::new();
+    let mut nodes: Vec<String> = Vec::new();
+    let keys: Vec<(String, usize)> = merge
+        .index
+        .iter()
+        .map(|(k, &i)| (k.clone(), i))
+        .collect();
+    let mut sorted = keys;
+    sorted.sort();
+    let mut resolve = |merge: &mut Merge, nodes: &mut Vec<String>, key: &str| -> NodeId {
+        let i = merge.id(key);
+        let root = merge.find(i);
+        *node_of_root.entry(root).or_insert_with(|| {
+            let id = NodeId(nodes.len() as u32);
+            nodes.push(key.to_string());
+            id
+        })
+    };
+    // Resolve in sorted order so canonical names are deterministic.
+    for (key, _) in &sorted {
+        resolve(&mut merge, &mut nodes, key);
+    }
+
+    let mut elements = Vec::new();
+    for (path, kind, in_keys, out_key, delay, setup) in raw_elements {
+        let inputs = in_keys
+            .iter()
+            .map(|k| resolve(&mut merge, &mut nodes, k))
+            .collect();
+        let output = resolve(&mut merge, &mut nodes, &out_key);
+        elements.push(FlatElement {
+            path,
+            kind,
+            inputs,
+            output,
+            delay_ps: delay,
+            setup_ps: setup,
+        });
+    }
+    let mut ports = HashMap::new();
+    for s in d.signals(top) {
+        let key = format!("{top_path}:{}", s.name);
+        ports.insert(s.name.clone(), resolve(&mut merge, &mut nodes, &key));
+    }
+    Ok(FlatNetlist {
+        nodes,
+        elements,
+        ports,
+    })
+}
+
+fn walk(
+    d: &Design,
+    lib: &PrimitiveLibrary,
+    class: CellClassId,
+    path: &str,
+    merge: &mut Merge,
+    elements: &mut Vec<RawElement>,
+) -> Result<(), FlattenError> {
+    if let Some(spec) = lib.spec(class) {
+        for sig in spec.inputs.iter().chain(std::iter::once(&spec.output)) {
+            if d.signal_def(class, sig).is_none() {
+                return Err(FlattenError::BadSpec {
+                    class,
+                    signal: sig.clone(),
+                });
+            }
+        }
+        let in_keys = spec
+            .inputs
+            .iter()
+            .map(|s| format!("{path}:{s}"))
+            .collect();
+        let out_key = format!("{path}:{}", spec.output);
+        elements.push((
+            path.to_string(),
+            spec.kind,
+            in_keys,
+            out_key,
+            spec.delay_ps,
+            spec.setup_ps,
+        ));
+        return Ok(());
+    }
+    let subs = d.subcells(class);
+    if subs.is_empty() {
+        return Err(FlattenError::UnregisteredLeaf {
+            class,
+            path: path.to_string(),
+        });
+    }
+    for &net in d.nets_of(class) {
+        let nk = format!("{path}/{}", d.net_name(net));
+        merge.id(&nk);
+        for io in d.net_io_connections(net) {
+            merge.union(&nk, &format!("{path}:{io}"));
+        }
+        for (inst, sig) in d.net_connections(net) {
+            let iname = d.instance_name(*inst);
+            merge.union(&nk, &format!("{path}/{iname}:{sig}"));
+        }
+    }
+    for &inst in subs {
+        let child_path = format!("{path}/{}", d.instance_name(inst));
+        walk(d, lib, d.instance_class(inst), &child_path, merge, elements)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primitive::PrimitiveSpec;
+    use stem_design::SignalDir;
+    use stem_geom::Transform;
+
+    fn inverter(d: &mut Design, lib: &mut PrimitiveLibrary, name: &str) -> CellClassId {
+        let c = d.define_class(name);
+        d.add_signal(c, "a", SignalDir::Input);
+        d.add_signal(c, "y", SignalDir::Output);
+        lib.register(
+            c,
+            PrimitiveSpec {
+                kind: PrimitiveKind::Inverter,
+                inputs: vec!["a".into()],
+                output: "y".into(),
+                delay_ps: 100,
+                setup_ps: 0,
+            },
+        );
+        c
+    }
+
+    #[test]
+    fn flattens_two_level_hierarchy() {
+        let mut d = Design::new();
+        let mut lib = PrimitiveLibrary::new();
+        let inv = inverter(&mut d, &mut lib, "INV");
+
+        // BUF = two cascaded inverters.
+        let buf = d.define_class("BUF");
+        d.add_signal(buf, "in", SignalDir::Input);
+        d.add_signal(buf, "out", SignalDir::Output);
+        let i1 = d.instantiate(inv, buf, "i1", Transform::IDENTITY).unwrap();
+        let i2 = d.instantiate(inv, buf, "i2", Transform::IDENTITY).unwrap();
+        let n_in = d.add_net(buf, "nin");
+        d.connect_io(n_in, "in").unwrap();
+        d.connect(n_in, i1, "a").unwrap();
+        let n_mid = d.add_net(buf, "nmid");
+        d.connect(n_mid, i1, "y").unwrap();
+        d.connect(n_mid, i2, "a").unwrap();
+        let n_out = d.add_net(buf, "nout");
+        d.connect(n_out, i2, "y").unwrap();
+        d.connect_io(n_out, "out").unwrap();
+
+        // TOP = two cascaded BUFs.
+        let top = d.define_class("TOP");
+        d.add_signal(top, "x", SignalDir::Input);
+        d.add_signal(top, "z", SignalDir::Output);
+        let b1 = d.instantiate(buf, top, "b1", Transform::IDENTITY).unwrap();
+        let b2 = d.instantiate(buf, top, "b2", Transform::IDENTITY).unwrap();
+        let nx = d.add_net(top, "nx");
+        d.connect_io(nx, "x").unwrap();
+        d.connect(nx, b1, "in").unwrap();
+        let nm = d.add_net(top, "nm");
+        d.connect(nm, b1, "out").unwrap();
+        d.connect(nm, b2, "in").unwrap();
+        let nz = d.add_net(top, "nz");
+        d.connect(nz, b2, "out").unwrap();
+        d.connect_io(nz, "z").unwrap();
+
+        let flat = flatten(&d, &lib, top).unwrap();
+        assert_eq!(flat.elements.len(), 4, "four inverters after flattening");
+        // Chain check: element i's output is element i+1's input.
+        let by_path: HashMap<&str, &FlatElement> = flat
+            .elements
+            .iter()
+            .map(|e| (e.path.as_str(), e))
+            .collect();
+        assert_eq!(
+            by_path["TOP/b1/i1"].output,
+            by_path["TOP/b1/i2"].inputs[0]
+        );
+        assert_eq!(
+            by_path["TOP/b1/i2"].output,
+            by_path["TOP/b2/i1"].inputs[0]
+        );
+        assert_eq!(flat.port("x").unwrap(), by_path["TOP/b1/i1"].inputs[0]);
+        assert_eq!(flat.port("z").unwrap(), by_path["TOP/b2/i2"].output);
+    }
+
+    #[test]
+    fn unregistered_leaf_is_an_error() {
+        let mut d = Design::new();
+        let lib = PrimitiveLibrary::new();
+        let mystery = d.define_class("MYSTERY");
+        let top = d.define_class("TOP");
+        d.instantiate(mystery, top, "m", Transform::IDENTITY).unwrap();
+        let err = flatten(&d, &lib, top).unwrap_err();
+        assert!(matches!(err, FlattenError::UnregisteredLeaf { .. }));
+    }
+
+    #[test]
+    fn bad_spec_is_an_error() {
+        let mut d = Design::new();
+        let mut lib = PrimitiveLibrary::new();
+        let c = d.define_class("C");
+        d.add_signal(c, "a", SignalDir::Input);
+        lib.register(
+            c,
+            PrimitiveSpec {
+                kind: PrimitiveKind::Buffer,
+                inputs: vec!["a".into()],
+                output: "nonexistent".into(),
+                delay_ps: 1,
+                setup_ps: 0,
+            },
+        );
+        let err = flatten(&d, &lib, c).unwrap_err();
+        assert!(matches!(err, FlattenError::BadSpec { .. }));
+    }
+
+    #[test]
+    fn unconnected_ports_still_appear() {
+        let mut d = Design::new();
+        let mut lib = PrimitiveLibrary::new();
+        let inv = inverter(&mut d, &mut lib, "INV");
+        let top = d.define_class("TOP");
+        d.add_signal(top, "floating", SignalDir::Input);
+        d.instantiate(inv, top, "i", Transform::IDENTITY).unwrap();
+        let flat = flatten(&d, &lib, top).unwrap();
+        assert!(flat.port("floating").is_some());
+    }
+}

@@ -1,0 +1,151 @@
+use std::fmt;
+
+/// A four-valued logic level (IEEE-1164 subset): the value set of the
+/// gate-level simulator standing in for SPICE's analog waveforms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Level {
+    /// Logic low.
+    L0,
+    /// Logic high.
+    L1,
+    /// Unknown (uninitialised or conflicting).
+    #[default]
+    X,
+    /// High impedance (undriven).
+    Z,
+}
+
+impl Level {
+    /// From a boolean.
+    pub fn from_bool(b: bool) -> Level {
+        if b {
+            Level::L1
+        } else {
+            Level::L0
+        }
+    }
+
+    /// To a boolean, when determinate.
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            Level::L0 => Some(false),
+            Level::L1 => Some(true),
+            _ => None,
+        }
+    }
+
+    /// Logical NOT.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Level {
+        match self {
+            Level::L0 => Level::L1,
+            Level::L1 => Level::L0,
+            _ => Level::X,
+        }
+    }
+
+    /// Logical AND with dominance: `0 AND x = 0` even for unknown `x`.
+    pub fn and(self, other: Level) -> Level {
+        match (self, other) {
+            (Level::L0, _) | (_, Level::L0) => Level::L0,
+            (Level::L1, Level::L1) => Level::L1,
+            _ => Level::X,
+        }
+    }
+
+    /// Logical OR with dominance: `1 OR x = 1`.
+    pub fn or(self, other: Level) -> Level {
+        match (self, other) {
+            (Level::L1, _) | (_, Level::L1) => Level::L1,
+            (Level::L0, Level::L0) => Level::L0,
+            _ => Level::X,
+        }
+    }
+
+    /// Logical XOR (unknown if either operand is unknown).
+    pub fn xor(self, other: Level) -> Level {
+        match (self.to_bool(), other.to_bool()) {
+            (Some(a), Some(b)) => Level::from_bool(a ^ b),
+            _ => Level::X,
+        }
+    }
+
+    /// Wired resolution of two drivers: `Z` yields, conflict gives `X`.
+    pub fn resolve(self, other: Level) -> Level {
+        match (self, other) {
+            (Level::Z, x) | (x, Level::Z) => x,
+            (a, b) if a == b => a,
+            _ => Level::X,
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Level::L0 => write!(f, "0"),
+            Level::L1 => write!(f, "1"),
+            Level::X => write!(f, "X"),
+            Level::Z => write!(f, "Z"),
+        }
+    }
+}
+
+impl From<bool> for Level {
+    fn from(b: bool) -> Self {
+        Level::from_bool(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn not_table() {
+        assert_eq!(Level::L0.not(), Level::L1);
+        assert_eq!(Level::L1.not(), Level::L0);
+        assert_eq!(Level::X.not(), Level::X);
+        assert_eq!(Level::Z.not(), Level::X);
+    }
+
+    #[test]
+    fn and_dominance() {
+        assert_eq!(Level::L0.and(Level::X), Level::L0);
+        assert_eq!(Level::X.and(Level::L0), Level::L0);
+        assert_eq!(Level::L1.and(Level::L1), Level::L1);
+        assert_eq!(Level::L1.and(Level::X), Level::X);
+        assert_eq!(Level::Z.and(Level::L1), Level::X);
+    }
+
+    #[test]
+    fn or_dominance() {
+        assert_eq!(Level::L1.or(Level::X), Level::L1);
+        assert_eq!(Level::L0.or(Level::L0), Level::L0);
+        assert_eq!(Level::L0.or(Level::X), Level::X);
+    }
+
+    #[test]
+    fn xor_strictness() {
+        assert_eq!(Level::L1.xor(Level::L0), Level::L1);
+        assert_eq!(Level::L1.xor(Level::L1), Level::L0);
+        assert_eq!(Level::L1.xor(Level::X), Level::X);
+    }
+
+    #[test]
+    fn resolution() {
+        assert_eq!(Level::Z.resolve(Level::L1), Level::L1);
+        assert_eq!(Level::L0.resolve(Level::Z), Level::L0);
+        assert_eq!(Level::L0.resolve(Level::L0), Level::L0);
+        assert_eq!(Level::L0.resolve(Level::L1), Level::X);
+        assert_eq!(Level::Z.resolve(Level::Z), Level::Z);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Level::from(true), Level::L1);
+        assert_eq!(Level::L0.to_bool(), Some(false));
+        assert_eq!(Level::X.to_bool(), None);
+        assert_eq!(Level::L1.to_string(), "1");
+    }
+}

@@ -1,0 +1,58 @@
+//! # stem-sim — the external analysis tool substitute (thesis §6.4.2)
+//!
+//! STEM integrates SPICE as an external program: net-lists are extracted
+//! and filed out, the process runs in the background, and results are
+//! filed back in, with all dependent windows marked outdated when the
+//! cell's netlist changes. This crate reproduces that integration shape
+//! with a self-contained analysis engine (see DESIGN.md, substitution
+//! table): hierarchical netlist [`flatten`]ing over a [`PrimitiveLibrary`],
+//! a SPICE-like deck writer with line↔element correspondence
+//! ([`write_deck`]), an event-driven four-valued [`Simulator`], and the
+//! [`SimSession`] façade tying them to a design cell with outdating.
+//!
+//! ```
+//! use stem_sim::{flatten, PrimitiveKind, PrimitiveLibrary, PrimitiveSpec, Level};
+//! use stem_design::{Design, SignalDir};
+//! use stem_geom::Transform;
+//!
+//! let mut d = Design::new();
+//! let inv = d.define_class("INV");
+//! d.add_signal(inv, "a", SignalDir::Input);
+//! d.add_signal(inv, "y", SignalDir::Output);
+//! let mut lib = PrimitiveLibrary::new();
+//! lib.register(inv, PrimitiveSpec {
+//!     kind: PrimitiveKind::Inverter,
+//!     inputs: vec!["a".into()],
+//!     output: "y".into(),
+//!     delay_ps: 100,
+//!     setup_ps: 0,
+//! });
+//! let flat = flatten(&d, &lib, inv).unwrap();
+//! let mut sim = stem_sim::Simulator::new(flat);
+//! let (a, y) = (sim.port("a").unwrap(), sim.port("y").unwrap());
+//! sim.drive(a, Level::L0, 0);
+//! sim.run_to_quiescence().unwrap();
+//! assert_eq!(sim.value(y), Level::L1);
+//! ```
+
+
+#![warn(missing_docs)]
+mod bus;
+mod deck;
+mod flatten;
+mod level;
+mod plot;
+mod primitive;
+mod session;
+mod simulator;
+mod vcd;
+
+pub use bus::{drive_bus, read_bus};
+pub use deck::{write_deck, Deck};
+pub use flatten::{flatten, FlatElement, FlatNetlist, FlattenError, NodeId};
+pub use level::Level;
+pub use plot::{level_at, nth_transition, render_waveforms};
+pub use primitive::{PrimitiveKind, PrimitiveLibrary, PrimitiveSpec};
+pub use session::SimSession;
+pub use simulator::{SimError, Simulator, TimingViolation};
+pub use vcd::write_vcd;

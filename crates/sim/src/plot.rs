@@ -1,0 +1,141 @@
+//! Textual waveform rendering — the `SpicePlot` analog of thesis Fig. 6.3:
+//! "graphical display and measurement of SPICE output waveforms", here as
+//! terminal text with the same point-to-point measurement facilities the
+//! thesis mentions.
+
+use crate::flatten::NodeId;
+use crate::level::Level;
+use crate::simulator::Simulator;
+use std::fmt::Write as _;
+
+/// Renders recorded waveforms of `signals` over `[t0, t1]` picoseconds
+/// into a fixed-width character plot. Levels map to `‾` (1), `_` (0),
+/// `x` (unknown) and `z` (high-impedance); transitions print `|`.
+///
+/// Nodes must have been [`Simulator::record`]ed before simulation; without
+/// a trace the initial level is assumed unknown.
+pub fn render_waveforms(
+    sim: &Simulator,
+    signals: &[(&str, NodeId)],
+    t0: u64,
+    t1: u64,
+    columns: usize,
+) -> String {
+    assert!(t1 > t0, "empty time window");
+    assert!(columns >= 2, "too few columns");
+    let label_width = signals
+        .iter()
+        .map(|(name, _)| name.len())
+        .max()
+        .unwrap_or(0)
+        .max(4);
+    let dt = (t1 - t0) as f64 / columns as f64;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:label_width$} {} ps .. {} ps ({:.0} ps/col)",
+        "", t0, t1, dt
+    );
+    for (name, node) in signals {
+        let _ = write!(out, "{name:label_width$} ");
+        let mut prev: Option<Level> = None;
+        for col in 0..columns {
+            let t = t0 + ((col as f64 + 0.5) * dt) as u64;
+            let level = level_at(sim, *node, t);
+            let ch = match (prev, level) {
+                (Some(p), l) if p != l => '|',
+                (_, Level::L1) => '‾',
+                (_, Level::L0) => '_',
+                (_, Level::X) => 'x',
+                (_, Level::Z) => 'z',
+            };
+            out.push(ch);
+            prev = Some(level);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// The level a recorded node held at time `t` (the last transition at or
+/// before `t`; unknown before the first).
+pub fn level_at(sim: &Simulator, node: NodeId, t: u64) -> Level {
+    let trace = sim.trace(node);
+    let mut level = Level::X;
+    for &(time, l) in trace {
+        if time > t {
+            break;
+        }
+        level = l;
+    }
+    level
+}
+
+/// Point-to-point measurement (the thesis's SpicePlot measurements): time
+/// of the `n`-th recorded transition of a node, if any.
+pub fn nth_transition(sim: &Simulator, node: NodeId, n: usize) -> Option<u64> {
+    sim.trace(node).get(n).map(|&(t, _)| t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flatten::{FlatElement, FlatNetlist};
+    use crate::primitive::PrimitiveKind;
+    use std::collections::HashMap;
+
+    fn inverter_netlist() -> FlatNetlist {
+        FlatNetlist {
+            nodes: vec!["a".into(), "y".into()],
+            elements: vec![FlatElement {
+                path: "i".into(),
+                kind: PrimitiveKind::Inverter,
+                inputs: vec![NodeId(0)],
+                output: NodeId(1),
+                delay_ps: 100,
+            setup_ps: 0,
+            }],
+            ports: HashMap::from([("a".to_string(), NodeId(0)), ("y".to_string(), NodeId(1))]),
+        }
+    }
+
+    #[test]
+    fn renders_transitions() {
+        let mut sim = Simulator::new(inverter_netlist());
+        let (a, y) = (sim.port("a").unwrap(), sim.port("y").unwrap());
+        sim.record(a);
+        sim.record(y);
+        sim.drive(a, Level::L0, 0);
+        sim.drive(a, Level::L1, 500);
+        sim.run_to_quiescence().unwrap();
+
+        let plot = render_waveforms(&sim, &[("a", a), ("y", y)], 0, 1000, 20);
+        let lines: Vec<&str> = plot.lines().collect();
+        assert_eq!(lines.len(), 3, "header + two signals");
+        assert!(lines[1].contains('_'), "a starts low: {}", lines[1]);
+        assert!(lines[1].contains('‾'), "a ends high: {}", lines[1]);
+        assert!(lines[1].contains('|'), "transition marked: {}", lines[1]);
+        assert!(lines[2].contains('‾') && lines[2].contains('_'));
+    }
+
+    #[test]
+    fn level_lookup_and_measurement() {
+        let mut sim = Simulator::new(inverter_netlist());
+        let (a, y) = (sim.port("a").unwrap(), sim.port("y").unwrap());
+        sim.record(y);
+        sim.drive(a, Level::L0, 0);
+        sim.run_to_quiescence().unwrap();
+        assert_eq!(level_at(&sim, y, 50), Level::X, "before the gate settles");
+        assert_eq!(level_at(&sim, y, 150), Level::L1);
+        assert_eq!(nth_transition(&sim, y, 0), Some(100));
+        assert_eq!(nth_transition(&sim, y, 1), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty time window")]
+    fn rejects_empty_window() {
+        let sim = Simulator::new(inverter_netlist());
+        let a = sim.port("a").unwrap();
+        let _ = render_waveforms(&sim, &[("a", a)], 10, 10, 10);
+    }
+}

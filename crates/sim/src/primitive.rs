@@ -1,0 +1,176 @@
+//! Primitive cell behaviours for the gate-level simulator, and the
+//! registry mapping design cell classes to them.
+
+use crate::level::Level;
+use std::collections::HashMap;
+use stem_design::CellClassId;
+
+/// Behaviour of a leaf (primitive) cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrimitiveKind {
+    /// One input, one output, inverted.
+    Inverter,
+    /// One input, one output.
+    Buffer,
+    /// N inputs AND.
+    And,
+    /// N inputs NAND.
+    Nand,
+    /// N inputs OR.
+    Or,
+    /// N inputs NOR.
+    Nor,
+    /// N inputs XOR (parity).
+    Xor,
+    /// Positive-edge-triggered D flip-flop; inputs `[d, clk]`, output `q`.
+    Dff,
+    /// Constant driver.
+    Const(Level),
+}
+
+impl PrimitiveKind {
+    /// Combinationally evaluates the output from `inputs`; `Dff` and
+    /// `Const` are handled by the simulator itself and return `None` here.
+    pub fn eval(self, inputs: &[Level]) -> Option<Level> {
+        let fold = |init: Level, f: fn(Level, Level) -> Level| {
+            inputs.iter().copied().fold(init, f)
+        };
+        match self {
+            PrimitiveKind::Inverter => Some(inputs.first()?.not()),
+            PrimitiveKind::Buffer => Some(*inputs.first()?),
+            PrimitiveKind::And => Some(fold(Level::L1, Level::and)),
+            PrimitiveKind::Nand => Some(fold(Level::L1, Level::and).not()),
+            PrimitiveKind::Or => Some(fold(Level::L0, Level::or)),
+            PrimitiveKind::Nor => Some(fold(Level::L0, Level::or).not()),
+            PrimitiveKind::Xor => Some(fold(Level::L0, Level::xor)),
+            PrimitiveKind::Dff | PrimitiveKind::Const(_) => None,
+        }
+    }
+
+    /// Deck card letter for the SPICE-like writer.
+    pub fn card(self) -> &'static str {
+        match self {
+            PrimitiveKind::Inverter => "XINV",
+            PrimitiveKind::Buffer => "XBUF",
+            PrimitiveKind::And => "XAND",
+            PrimitiveKind::Nand => "XNAND",
+            PrimitiveKind::Or => "XOR",
+            PrimitiveKind::Nor => "XNOR",
+            PrimitiveKind::Xor => "XXOR",
+            PrimitiveKind::Dff => "XDFF",
+            PrimitiveKind::Const(_) => "V",
+        }
+    }
+}
+
+/// How a design cell class maps to a primitive: behaviour, ordered input
+/// signal names, the output signal name, and a propagation delay.
+#[derive(Debug, Clone)]
+pub struct PrimitiveSpec {
+    /// Behaviour.
+    pub kind: PrimitiveKind,
+    /// Input signal names, in evaluation order (`[d, clk]` for `Dff`).
+    pub inputs: Vec<String>,
+    /// Output signal name.
+    pub output: String,
+    /// Propagation delay in picoseconds.
+    pub delay_ps: u64,
+    /// Setup time in picoseconds (sequential elements): an input changing
+    /// within this window before a sampling clock edge yields `X` and a
+    /// recorded timing violation. Zero disables the check.
+    pub setup_ps: u64,
+}
+
+impl PrimitiveSpec {
+    /// Convenience constructor for a purely combinational spec
+    /// (`setup_ps = 0`).
+    pub fn combinational(
+        kind: PrimitiveKind,
+        inputs: Vec<String>,
+        output: impl Into<String>,
+        delay_ps: u64,
+    ) -> Self {
+        PrimitiveSpec {
+            kind,
+            inputs,
+            output: output.into(),
+            delay_ps,
+            setup_ps: 0,
+        }
+    }
+}
+
+/// Registry of primitive cell classes — the simulator's "model library".
+#[derive(Debug, Clone, Default)]
+pub struct PrimitiveLibrary {
+    specs: HashMap<CellClassId, PrimitiveSpec>,
+}
+
+impl PrimitiveLibrary {
+    /// Creates an empty library.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a class as a primitive.
+    pub fn register(&mut self, class: CellClassId, spec: PrimitiveSpec) {
+        self.specs.insert(class, spec);
+    }
+
+    /// The spec of a class, if primitive.
+    pub fn spec(&self, class: CellClassId) -> Option<&PrimitiveSpec> {
+        self.specs.get(&class)
+    }
+
+    /// Whether a class is a registered primitive.
+    pub fn is_primitive(&self, class: CellClassId) -> bool {
+        self.specs.contains_key(&class)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_truth_tables() {
+        use Level::*;
+        assert_eq!(PrimitiveKind::Inverter.eval(&[L0]), Some(L1));
+        assert_eq!(PrimitiveKind::Buffer.eval(&[L1]), Some(L1));
+        assert_eq!(PrimitiveKind::And.eval(&[L1, L1, L1]), Some(L1));
+        assert_eq!(PrimitiveKind::And.eval(&[L1, L0]), Some(L0));
+        assert_eq!(PrimitiveKind::Nand.eval(&[L1, L1]), Some(L0));
+        assert_eq!(PrimitiveKind::Or.eval(&[L0, L0]), Some(L0));
+        assert_eq!(PrimitiveKind::Nor.eval(&[L0, L0]), Some(L1));
+        assert_eq!(PrimitiveKind::Xor.eval(&[L1, L1, L1]), Some(L1));
+        assert_eq!(PrimitiveKind::Xor.eval(&[L1, L1]), Some(L0));
+        assert_eq!(PrimitiveKind::Dff.eval(&[L1, L1]), None);
+    }
+
+    #[test]
+    fn empty_input_gates() {
+        assert_eq!(PrimitiveKind::Inverter.eval(&[]), None);
+        assert_eq!(PrimitiveKind::And.eval(&[]), Some(Level::L1), "empty AND identity");
+        assert_eq!(PrimitiveKind::Or.eval(&[]), Some(Level::L0));
+    }
+
+    #[test]
+    fn library_roundtrip() {
+        let mut d = stem_design::Design::new();
+        let inv = d.define_class("INV");
+        let mut lib = PrimitiveLibrary::new();
+        assert!(!lib.is_primitive(inv));
+        lib.register(
+            inv,
+            PrimitiveSpec {
+                kind: PrimitiveKind::Inverter,
+                inputs: vec!["a".into()],
+                output: "y".into(),
+                delay_ps: 100,
+                setup_ps: 0,
+            },
+        );
+        assert!(lib.is_primitive(inv));
+        assert_eq!(lib.spec(inv).unwrap().delay_ps, 100);
+    }
+}

@@ -1,0 +1,103 @@
+//! The simulation session façade — Fig. 6.3's SpiceNet / SpiceSimulation /
+//! SpicePlot round trip: extract the netlist (file-out), run the external
+//! analysis engine, read results back (file-in), and mark everything
+//! outdated when the cell's netlist changes.
+
+use crate::deck::{write_deck, Deck};
+use crate::flatten::{flatten, FlatNetlist, FlattenError};
+use crate::primitive::PrimitiveLibrary;
+use crate::simulator::Simulator;
+use std::cell::Cell;
+use std::rc::Rc;
+
+use stem_design::{CellClassId, ChangeKey, Design, ViewHandle};
+
+/// A simulation session bound to one cell: deck + netlist + outdating.
+#[derive(Debug)]
+pub struct SimSession {
+    top: CellClassId,
+    deck: Deck,
+    netlist: FlatNetlist,
+    outdated: Rc<Cell<bool>>,
+    handle: ViewHandle,
+}
+
+impl SimSession {
+    /// Extracts the cell's netlist and opens a session. The session is
+    /// marked outdated whenever the cell's connectivity changes
+    /// (`#changed` with a netlist-affecting key, §6.4.2: "all
+    /// SpiceSimulation and SpicePlot windows on a cell are marked outdated
+    /// when the cell's net-list is changed"). Pure layout changes do not
+    /// outdate it.
+    ///
+    /// # Errors
+    ///
+    /// See [`FlattenError`].
+    pub fn open(
+        d: &mut Design,
+        lib: &PrimitiveLibrary,
+        top: CellClassId,
+    ) -> Result<Self, FlattenError> {
+        let netlist = flatten(d, lib, top)?;
+        let deck = write_deck(d.class_name(top), &netlist);
+        let outdated = Rc::new(Cell::new(false));
+        let flag = outdated.clone();
+        let handle = d.register_view(top, move |key| {
+            if matches!(key, ChangeKey::Netlist | ChangeKey::Structure) {
+                flag.set(true);
+            }
+        });
+        Ok(SimSession {
+            top,
+            deck,
+            netlist,
+            outdated,
+            handle,
+        })
+    }
+
+    /// The cell under simulation.
+    pub fn model(&self) -> CellClassId {
+        self.top
+    }
+
+    /// Whether the design changed since extraction.
+    pub fn is_outdated(&self) -> bool {
+        self.outdated.get()
+    }
+
+    /// The extracted SPICE-like deck (the file-out text).
+    pub fn deck(&self) -> &Deck {
+        &self.deck
+    }
+
+    /// The extracted flat netlist.
+    pub fn netlist(&self) -> &FlatNetlist {
+        &self.netlist
+    }
+
+    /// Re-extracts after design changes.
+    ///
+    /// # Errors
+    ///
+    /// See [`FlattenError`].
+    pub fn refresh(&mut self, d: &mut Design, lib: &PrimitiveLibrary) -> Result<(), FlattenError> {
+        self.netlist = flatten(d, lib, self.top)?;
+        self.deck = write_deck(d.class_name(self.top), &self.netlist);
+        self.outdated.set(false);
+        Ok(())
+    }
+
+    /// Launches the "external process": a fresh simulator over the
+    /// extracted netlist. Control returns immediately (the thesis runs
+    /// SPICE in the background); the caller drives stimuli and collects
+    /// waveforms.
+    pub fn simulator(&self) -> Simulator {
+        Simulator::new(self.netlist.clone())
+    }
+
+    /// Closes the session, unregistering the outdating callback.
+    pub fn close(self, d: &mut Design) {
+        d.unregister_view(self.handle);
+    }
+}

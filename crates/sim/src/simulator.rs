@@ -1,0 +1,458 @@
+//! Event-driven gate-level simulation over a [`FlatNetlist`] — the
+//! analysis engine standing in for the external SPICE process of thesis
+//! §6.4.2 (see DESIGN.md, substitution table).
+
+use crate::flatten::{FlatNetlist, NodeId};
+use crate::level::Level;
+use crate::primitive::PrimitiveKind;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::error::Error;
+use std::fmt;
+
+/// Simulation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The event budget was exhausted before quiescence — usually an
+    /// oscillating combinational loop.
+    Oscillation {
+        /// Events processed before giving up.
+        events: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Oscillation { events } => {
+                write!(f, "no quiescence after {events} events (oscillation?)")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+type Event = (u64, u64, NodeId, Level); // (time, seq, node, level)
+
+/// A recorded setup-time violation: a sequential element sampled an input
+/// that changed within its setup window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimingViolation {
+    /// Hierarchical path of the offending element.
+    pub element: String,
+    /// Time of the sampling clock edge (ps).
+    pub at: u64,
+    /// How long before the edge the data input last changed (ps).
+    pub data_age: u64,
+    /// The element's required setup time (ps).
+    pub required: u64,
+}
+
+/// The event-driven simulator.
+///
+/// All nodes start at [`Level::X`]; constant elements fire at t = 0;
+/// stimuli are scheduled with [`Simulator::drive`]. Time is in
+/// picoseconds.
+#[derive(Debug)]
+pub struct Simulator {
+    netlist: FlatNetlist,
+    values: Vec<Level>,
+    queue: BinaryHeap<Reverse<Event>>,
+    /// Element indices to re-evaluate when a node changes.
+    fanout: Vec<Vec<usize>>,
+    traces: HashMap<NodeId, Vec<(u64, Level)>>,
+    /// Last transition time per node (for setup checks).
+    last_change: Vec<u64>,
+    timing_violations: Vec<TimingViolation>,
+    time: u64,
+    seq: u64,
+    events_processed: usize,
+    /// Event budget for [`Simulator::run_to_quiescence`].
+    pub max_events: usize,
+}
+
+impl Simulator {
+    /// Creates a simulator over a flattened netlist.
+    pub fn new(netlist: FlatNetlist) -> Self {
+        let n = netlist.n_nodes();
+        let mut fanout = vec![Vec::new(); n];
+        for (i, e) in netlist.elements.iter().enumerate() {
+            for &input in &e.inputs {
+                fanout[input.index()].push(i);
+            }
+        }
+        let mut sim = Simulator {
+            netlist,
+            values: vec![Level::X; n],
+            queue: BinaryHeap::new(),
+            fanout,
+            traces: HashMap::new(),
+            last_change: vec![0; n],
+            timing_violations: Vec::new(),
+            time: 0,
+            seq: 0,
+            events_processed: 0,
+            max_events: 1_000_000,
+        };
+        // Constant sources fire at t = 0.
+        for i in 0..sim.netlist.elements.len() {
+            if let PrimitiveKind::Const(level) = sim.netlist.elements[i].kind {
+                let out = sim.netlist.elements[i].output;
+                sim.schedule(0, out, level);
+            }
+        }
+        sim
+    }
+
+    /// The underlying netlist.
+    pub fn netlist(&self) -> &FlatNetlist {
+        &self.netlist
+    }
+
+    /// Current simulation time (ps).
+    pub fn time(&self) -> u64 {
+        self.time
+    }
+
+    /// Node of a top-level port.
+    pub fn port(&self, name: &str) -> Option<NodeId> {
+        self.netlist.port(name)
+    }
+
+    /// Current level of a node.
+    pub fn value(&self, node: NodeId) -> Level {
+        self.values[node.index()]
+    }
+
+    /// Schedules an external stimulus.
+    ///
+    /// # Panics
+    ///
+    /// Panics when driving into the past.
+    pub fn drive(&mut self, node: NodeId, level: Level, at: u64) {
+        assert!(at >= self.time, "cannot drive into the past");
+        self.schedule(at, node, level);
+    }
+
+    /// Starts recording a node's waveform.
+    pub fn record(&mut self, node: NodeId) {
+        self.traces.entry(node).or_default();
+    }
+
+    /// The recorded waveform of a node (empty unless [`record`]ed).
+    ///
+    /// [`record`]: Simulator::record
+    pub fn trace(&self, node: NodeId) -> &[(u64, Level)] {
+        self.traces.get(&node).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Time of the last recorded transition on a node.
+    pub fn last_event(&self, node: NodeId) -> Option<u64> {
+        self.trace(node).last().map(|&(t, _)| t)
+    }
+
+    fn schedule(&mut self, at: u64, node: NodeId, level: Level) {
+        self.seq += 1;
+        self.queue.push(Reverse((at, self.seq, node, level)));
+    }
+
+    /// Processes events up to and including time `until`. Returns the
+    /// number of events processed.
+    pub fn run_until(&mut self, until: u64) -> usize {
+        let mut processed = 0;
+        while let Some(&Reverse((t, ..))) = self.queue.peek() {
+            if t > until {
+                break;
+            }
+            self.step();
+            processed += 1;
+        }
+        self.time = self.time.max(until);
+        processed
+    }
+
+    /// Runs until no events remain.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Oscillation`] when `max_events` is exhausted.
+    pub fn run_to_quiescence(&mut self) -> Result<u64, SimError> {
+        let start = self.events_processed;
+        while !self.queue.is_empty() {
+            if self.events_processed - start >= self.max_events {
+                return Err(SimError::Oscillation {
+                    events: self.events_processed - start,
+                });
+            }
+            self.step();
+        }
+        Ok(self.time)
+    }
+
+    fn step(&mut self) {
+        let Some(Reverse((t, _, node, level))) = self.queue.pop() else {
+            return;
+        };
+        self.time = t;
+        self.events_processed += 1;
+        let old = self.values[node.index()];
+        if old == level {
+            return;
+        }
+        self.values[node.index()] = level;
+        self.last_change[node.index()] = t;
+        if let Some(tr) = self.traces.get_mut(&node) {
+            tr.push((t, level));
+        }
+        for &ei in self.fanout[node.index()].clone().iter() {
+            self.eval_element(ei, node, old, t);
+        }
+    }
+
+    fn eval_element(&mut self, ei: usize, changed: NodeId, old: Level, now: u64) {
+        let (kind, inputs, output, delay, setup) = {
+            let e = &self.netlist.elements[ei];
+            (e.kind, e.inputs.clone(), e.output, e.delay_ps, e.setup_ps)
+        };
+        match kind {
+            PrimitiveKind::Dff => {
+                // inputs = [d, clk]; positive edge on clk samples d.
+                if inputs.len() != 2 {
+                    return;
+                }
+                let clk = inputs[1];
+                if changed == clk {
+                    let new_clk = self.values[clk.index()];
+                    // A rising edge is a clean 0→1; transitions through X
+                    // do not sample.
+                    let rising = old == Level::L0 && new_clk == Level::L1;
+                    if rising {
+                        let d_node = inputs[0];
+                        let mut d = self.values[d_node.index()];
+                        // Setup check: data changing within the setup
+                        // window before the edge samples metastably (X).
+                        let data_age = now.saturating_sub(self.last_change[d_node.index()]);
+                        if setup > 0 && data_age < setup {
+                            self.timing_violations.push(TimingViolation {
+                                element: self.netlist.elements[ei].path.clone(),
+                                at: now,
+                                data_age,
+                                required: setup,
+                            });
+                            d = Level::X;
+                        }
+                        self.schedule(now + delay, output, d);
+                    }
+                }
+            }
+            PrimitiveKind::Const(_) => {}
+            _ => {
+                let levels: Vec<Level> =
+                    inputs.iter().map(|&n| self.values[n.index()]).collect();
+                if let Some(out) = kind.eval(&levels) {
+                    self.schedule(now + delay, output, out);
+                }
+            }
+        }
+    }
+
+    /// Setup-time violations recorded so far (in detection order).
+    pub fn timing_violations(&self) -> &[TimingViolation] {
+        &self.timing_violations
+    }
+
+    /// Propagation delay measured between the last recorded transitions of
+    /// two nodes (both must be recorded).
+    pub fn measure_delay(&self, from: NodeId, to: NodeId) -> Option<u64> {
+        let tf = self.last_event(from)?;
+        let tt = self.last_event(to)?;
+        tt.checked_sub(tf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flatten::FlatElement;
+    use std::collections::HashMap;
+
+    /// Hand-built netlist helper.
+    fn netlist(
+        n_nodes: usize,
+        elements: Vec<FlatElement>,
+        ports: &[(&str, u32)],
+    ) -> FlatNetlist {
+        FlatNetlist {
+            nodes: (0..n_nodes).map(|i| format!("n{i}")).collect(),
+            elements,
+            ports: ports
+                .iter()
+                .map(|(name, id)| (name.to_string(), NodeId(*id)))
+                .collect(),
+        }
+    }
+
+    fn el(kind: PrimitiveKind, inputs: &[u32], output: u32, delay: u64) -> FlatElement {
+        FlatElement {
+            path: "t".into(),
+            kind,
+            inputs: inputs.iter().map(|&i| NodeId(i)).collect(),
+            output: NodeId(output),
+            delay_ps: delay,
+        setup_ps: 0,
+        }
+    }
+
+    #[test]
+    fn inverter_chain_accumulates_delay() {
+        let nl = netlist(
+            4,
+            vec![
+                el(PrimitiveKind::Inverter, &[0], 1, 100),
+                el(PrimitiveKind::Inverter, &[1], 2, 100),
+                el(PrimitiveKind::Inverter, &[2], 3, 100),
+            ],
+            &[("in", 0), ("out", 3)],
+        );
+        let mut sim = Simulator::new(nl);
+        let (a, y) = (sim.port("in").unwrap(), sim.port("out").unwrap());
+        sim.record(a);
+        sim.record(y);
+        sim.drive(a, Level::L0, 0);
+        sim.run_to_quiescence().unwrap();
+        assert_eq!(sim.value(y), Level::L1);
+        sim.drive(a, Level::L1, 1000);
+        sim.run_to_quiescence().unwrap();
+        assert_eq!(sim.value(y), Level::L0);
+        assert_eq!(sim.measure_delay(a, y), Some(300));
+    }
+
+    #[test]
+    fn nand_gate_truth() {
+        let nl = netlist(
+            3,
+            vec![el(PrimitiveKind::Nand, &[0, 1], 2, 50)],
+            &[("a", 0), ("b", 1), ("y", 2)],
+        );
+        let mut sim = Simulator::new(nl);
+        let (a, b, y) = (
+            sim.port("a").unwrap(),
+            sim.port("b").unwrap(),
+            sim.port("y").unwrap(),
+        );
+        let check = |va: Level, vb: Level, expect: Level, sim: &mut Simulator| {
+            let t = sim.time() + 10;
+            sim.drive(a, va, t);
+            sim.drive(b, vb, t);
+            sim.run_to_quiescence().unwrap();
+            assert_eq!(sim.value(y), expect, "{va} NAND {vb}");
+        };
+        check(Level::L0, Level::L0, Level::L1, &mut sim);
+        check(Level::L0, Level::L1, Level::L1, &mut sim);
+        check(Level::L1, Level::L0, Level::L1, &mut sim);
+        check(Level::L1, Level::L1, Level::L0, &mut sim);
+    }
+
+    #[test]
+    fn dff_samples_on_rising_edge() {
+        let nl = netlist(
+            3,
+            vec![el(PrimitiveKind::Dff, &[0, 1], 2, 20)],
+            &[("d", 0), ("clk", 1), ("q", 2)],
+        );
+        let mut sim = Simulator::new(nl);
+        let (dn, clk, q) = (
+            sim.port("d").unwrap(),
+            sim.port("clk").unwrap(),
+            sim.port("q").unwrap(),
+        );
+        sim.drive(clk, Level::L0, 0);
+        sim.drive(dn, Level::L1, 10);
+        sim.run_to_quiescence().unwrap();
+        assert_eq!(sim.value(q), Level::X, "not clocked yet");
+        sim.drive(clk, Level::L1, 100);
+        sim.run_to_quiescence().unwrap();
+        assert_eq!(sim.value(q), Level::L1, "sampled d on rising edge");
+        // d changes while clk high: q holds.
+        sim.drive(dn, Level::L0, 200);
+        sim.run_to_quiescence().unwrap();
+        assert_eq!(sim.value(q), Level::L1);
+        // Falling edge: no sample.
+        sim.drive(clk, Level::L0, 300);
+        sim.run_to_quiescence().unwrap();
+        assert_eq!(sim.value(q), Level::L1);
+        // Next rising edge samples the new d.
+        sim.drive(clk, Level::L1, 400);
+        sim.run_to_quiescence().unwrap();
+        assert_eq!(sim.value(q), Level::L0);
+    }
+
+    #[test]
+    fn const_drives_at_time_zero() {
+        let nl = netlist(
+            2,
+            vec![
+                el(PrimitiveKind::Const(Level::L1), &[], 0, 0),
+                el(PrimitiveKind::Inverter, &[0], 1, 10),
+            ],
+            &[("y", 1)],
+        );
+        let mut sim = Simulator::new(nl);
+        sim.run_to_quiescence().unwrap();
+        assert_eq!(sim.value(sim.port("y").unwrap()), Level::L0);
+    }
+
+    #[test]
+    fn ring_oscillator_detected() {
+        // Odd inverter ring oscillates forever.
+        let nl = netlist(
+            3,
+            vec![
+                el(PrimitiveKind::Inverter, &[0], 1, 10),
+                el(PrimitiveKind::Inverter, &[1], 2, 10),
+                el(PrimitiveKind::Inverter, &[2], 0, 10),
+            ],
+            &[("a", 0)],
+        );
+        let mut sim = Simulator::new(nl);
+        sim.max_events = 1000;
+        let a = sim.port("a").unwrap();
+        sim.drive(a, Level::L0, 0);
+        let err = sim.run_to_quiescence().unwrap_err();
+        assert!(matches!(err, SimError::Oscillation { .. }));
+    }
+
+    #[test]
+    fn run_until_stops_at_time() {
+        let nl = netlist(
+            2,
+            vec![el(PrimitiveKind::Buffer, &[0], 1, 500)],
+            &[("a", 0), ("y", 1)],
+        );
+        let mut sim = Simulator::new(nl);
+        let (a, y) = (sim.port("a").unwrap(), sim.port("y").unwrap());
+        sim.drive(a, Level::L1, 0);
+        sim.run_until(100);
+        assert_eq!(sim.value(y), Level::X, "output event still pending");
+        sim.run_until(500);
+        assert_eq!(sim.value(y), Level::L1);
+    }
+
+    #[test]
+    fn traces_record_transitions() {
+        let nl = netlist(
+            2,
+            vec![el(PrimitiveKind::Inverter, &[0], 1, 10)],
+            &[("a", 0), ("y", 1)],
+        );
+        let mut sim = Simulator::new(nl);
+        let (a, y) = (sim.port("a").unwrap(), sim.port("y").unwrap());
+        sim.record(y);
+        sim.drive(a, Level::L0, 0);
+        sim.drive(a, Level::L1, 100);
+        sim.run_to_quiescence().unwrap();
+        assert_eq!(sim.trace(y), &[(10, Level::L1), (110, Level::L0)]);
+        let _ = HashMap::<u8, u8>::new();
+    }
+}

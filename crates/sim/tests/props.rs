@@ -1,0 +1,131 @@
+//! Property tests of the event-driven simulator: at quiescence, a
+//! combinational DAG's node values equal the direct recursive evaluation
+//! of its gates — event ordering and delays must not matter for the final
+//! state.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use stem_sim::{FlatElement, FlatNetlist, Level, NodeId, PrimitiveKind, Simulator};
+
+const KINDS: [PrimitiveKind; 7] = [
+    PrimitiveKind::Inverter,
+    PrimitiveKind::Buffer,
+    PrimitiveKind::And,
+    PrimitiveKind::Nand,
+    PrimitiveKind::Or,
+    PrimitiveKind::Nor,
+    PrimitiveKind::Xor,
+];
+
+/// Builds a random combinational DAG: `n_inputs` primary inputs followed
+/// by `gates` gate outputs, each gate reading earlier nodes only.
+fn random_dag(
+    n_inputs: usize,
+    gate_seeds: &[(usize, u64)],
+) -> (FlatNetlist, Vec<NodeId>, Vec<NodeId>) {
+    let mut elements = Vec::new();
+    let mut n_nodes = n_inputs;
+    for &(kind_ix, seed) in gate_seeds {
+        let kind = KINDS[kind_ix % KINDS.len()];
+        let n_in = match kind {
+            PrimitiveKind::Inverter | PrimitiveKind::Buffer => 1,
+            _ => 2,
+        };
+        let inputs: Vec<NodeId> = (0..n_in)
+            .map(|k| {
+                let pick = (seed.rotate_left(k as u32 * 13)) as usize % n_nodes;
+                NodeId::from_index(pick)
+            })
+            .collect();
+        let output = NodeId::from_index(n_nodes);
+        elements.push(FlatElement {
+            path: format!("g{n_nodes}"),
+            kind,
+            inputs,
+            output,
+            delay_ps: 1 + (seed % 97),
+            setup_ps: 0,
+        });
+        n_nodes += 1;
+    }
+    let mut ports = HashMap::new();
+    for i in 0..n_inputs {
+        ports.insert(format!("in{i}"), NodeId::from_index(i));
+    }
+    let inputs: Vec<NodeId> = (0..n_inputs).map(NodeId::from_index).collect();
+    let outputs: Vec<NodeId> = (n_inputs..n_nodes).map(NodeId::from_index).collect();
+    (
+        FlatNetlist {
+            nodes: (0..n_nodes).map(|i| format!("n{i}")).collect(),
+            elements,
+            ports,
+        },
+        inputs,
+        outputs,
+    )
+}
+
+/// Direct reference evaluation (topological — gates read earlier nodes).
+fn reference_eval(nl: &FlatNetlist, input_levels: &[Level]) -> Vec<Level> {
+    let mut values = vec![Level::X; nl.n_nodes()];
+    values[..input_levels.len()].copy_from_slice(input_levels);
+    for e in &nl.elements {
+        let ins: Vec<Level> = e.inputs.iter().map(|n| values[n.index()]).collect();
+        if let Some(out) = e.kind.eval(&ins) {
+            values[e.output.index()] = out;
+        }
+    }
+    values
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn quiescent_state_matches_direct_evaluation(
+        n_inputs in 1usize..6,
+        gate_seeds in proptest::collection::vec((0usize..7, any::<u64>()), 1..40),
+        input_bits in any::<u32>(),
+    ) {
+        let (nl, inputs, _) = random_dag(n_inputs, &gate_seeds);
+        let mut sim = Simulator::new(nl.clone());
+        let levels: Vec<Level> = (0..n_inputs)
+            .map(|i| Level::from_bool(input_bits >> i & 1 == 1))
+            .collect();
+        for (node, &level) in inputs.iter().zip(&levels) {
+            sim.drive(*node, level, 0);
+        }
+        sim.run_to_quiescence().unwrap();
+        let expect = reference_eval(&nl, &levels);
+        for (i, &want) in expect.iter().enumerate() {
+            let node = NodeId::from_index(i);
+            prop_assert_eq!(
+                sim.value(node), want,
+                "node {} of {} gates", i, gate_seeds.len()
+            );
+        }
+    }
+
+    /// Re-driving the same inputs is idempotent (no residual events).
+    #[test]
+    fn redriving_same_inputs_is_quiet(
+        n_inputs in 1usize..5,
+        gate_seeds in proptest::collection::vec((0usize..7, any::<u64>()), 1..20),
+        input_bits in any::<u32>(),
+    ) {
+        let (nl, inputs, outputs) = random_dag(n_inputs, &gate_seeds);
+        let mut sim = Simulator::new(nl);
+        for (i, node) in inputs.iter().enumerate() {
+            sim.drive(*node, Level::from_bool(input_bits >> i & 1 == 1), 0);
+        }
+        sim.run_to_quiescence().unwrap();
+        let before: Vec<Level> = outputs.iter().map(|&n| sim.value(n)).collect();
+        let t = sim.time() + 10;
+        for (i, node) in inputs.iter().enumerate() {
+            sim.drive(*node, Level::from_bool(input_bits >> i & 1 == 1), t);
+        }
+        sim.run_to_quiescence().unwrap();
+        let after: Vec<Level> = outputs.iter().map(|&n| sim.value(n)).collect();
+        prop_assert_eq!(before, after);
+    }
+}

@@ -1,0 +1,128 @@
+//! The ADDER / ACCUMULATOR story of thesis §5.1 — hierarchical constraint
+//! propagation supporting a least-commitment design flow.
+//!
+//! A designer specifies an 8-bit ADDER with a "120 ns or less" delay spec,
+//! uses it (together with a REGISTER) inside an ACCUMULATOR with a
+//! "160 ns or less" overall spec, and then refines component
+//! characteristics bottom-up. Characteristics propagate up the hierarchy
+//! and are checked against specifications at every level, as soon as they
+//! become available.
+//!
+//! Run with: `cargo run --example adder_accumulator`
+
+use stem::checking::{DelayAnalyzer, ElectricalParams};
+use stem::design::{Design, SignalDir};
+use stem::geom::Transform;
+
+fn main() {
+    let mut d = Design::new();
+    let mut an = DelayAnalyzer::new();
+
+    // ------------------------------------------------------------------
+    // Top-down: interfaces and specifications first (least commitment —
+    // no internal structures are designed yet).
+    // ------------------------------------------------------------------
+    let adder = d.define_class("ADDER");
+    d.add_signal(adder, "a", SignalDir::Input);
+    d.add_signal(adder, "sum", SignalDir::Output);
+    d.set_signal_bit_width(adder, "a", 8).unwrap();
+    d.set_signal_bit_width(adder, "sum", 8).unwrap();
+    an.declare_delay(&mut d, adder, "a", "sum");
+    an.constrain_max(&mut d, adder, "a", "sum", 120.0).unwrap();
+    an.set_electrical(
+        adder,
+        "sum",
+        ElectricalParams {
+            out_resistance: 1.0,
+            ..Default::default()
+        },
+    );
+    println!("ADDER declared with spec: delay(a→sum) ≤ 120 ns");
+
+    let register = d.define_class("REGISTER");
+    d.add_signal(register, "d", SignalDir::Input);
+    d.add_signal(register, "q", SignalDir::Output);
+    d.set_signal_bit_width(register, "d", 8).unwrap();
+    d.set_signal_bit_width(register, "q", 8).unwrap();
+    an.declare_delay(&mut d, register, "d", "q");
+
+    let obuf = d.define_class("OBUF");
+    d.add_signal(obuf, "in", SignalDir::Input);
+    d.add_signal(obuf, "out", SignalDir::Output);
+    d.set_signal_bit_width(obuf, "in", 8).unwrap();
+    d.set_signal_bit_width(obuf, "out", 8).unwrap();
+    an.declare_delay(&mut d, obuf, "in", "out");
+    an.set_estimate(&mut d, obuf, "in", "out", 0.0).unwrap();
+    an.set_electrical(
+        obuf,
+        "in",
+        ElectricalParams {
+            in_capacitance: 10.0, // 1 kΩ × 10 pF = 10 ns of loading
+            ..Default::default()
+        },
+    );
+
+    // The ACCUMULATOR: REGISTER → ADDER → output buffer.
+    let acc = d.define_class("ACCUMULATOR");
+    d.add_signal(acc, "in", SignalDir::Input);
+    d.add_signal(acc, "out", SignalDir::Output);
+    an.declare_delay(&mut d, acc, "in", "out");
+    an.constrain_max(&mut d, acc, "in", "out", 160.0).unwrap();
+    println!("ACCUMULATOR declared with spec: delay(in→out) ≤ 160 ns");
+
+    let reg = d
+        .instantiate(register, acc, "reg", Transform::IDENTITY)
+        .unwrap();
+    let add = d.instantiate(adder, acc, "add", Transform::IDENTITY).unwrap();
+    let buf = d.instantiate(obuf, acc, "buf", Transform::IDENTITY).unwrap();
+    let n_in = d.add_net(acc, "n_in");
+    d.connect_io(n_in, "in").unwrap();
+    d.connect(n_in, reg, "d").unwrap();
+    let n_mid = d.add_net(acc, "n_mid");
+    d.connect(n_mid, reg, "q").unwrap();
+    d.connect(n_mid, add, "a").unwrap();
+    let n_sum = d.add_net(acc, "n_sum");
+    d.connect(n_sum, add, "sum").unwrap();
+    d.connect(n_sum, buf, "in").unwrap();
+    let n_out = d.add_net(acc, "n_out");
+    d.connect(n_out, buf, "out").unwrap();
+    d.connect_io(n_out, "out").unwrap();
+
+    // ------------------------------------------------------------------
+    // Bottom-up: characteristics arrive and propagate up the hierarchy.
+    // ------------------------------------------------------------------
+    println!("\nregister characterised at 60 ns; adder still unknown:");
+    an.set_estimate(&mut d, register, "d", "q", 60.0).unwrap();
+    let total = an.delay(&mut d, acc, "in", "out").unwrap();
+    println!("  accumulator delay: {total:?} (incomplete — adder missing)");
+
+    println!("\nadder characterised at 100 ns (+10 ns output loading):");
+    match an.set_estimate(&mut d, adder, "a", "sum", 100.0) {
+        Err(v) => {
+            println!("  the moment the characteristic becomes available, hierarchical");
+            println!("  propagation checks it against the ACCUMULATOR spec: {v}");
+            println!("  60 + (100 + 10) = 170 ns > 160 ns — and the value is rolled back.");
+        }
+        Ok(()) => unreachable!("170 ns cannot satisfy the 160 ns spec"),
+    }
+
+    // Least commitment: the spec constrains only the *sum* — a faster
+    // register relaxes the adder's implicit budget.
+    println!("\na faster register (45 ns) relaxes the adder's implicit budget:");
+    an.clear_estimate(&mut d, register, "d", "q");
+    an.set_estimate(&mut d, register, "d", "q", 45.0).unwrap();
+    an.set_estimate(&mut d, adder, "a", "sum", 100.0).unwrap();
+    let total = an.delay(&mut d, acc, "in", "out").unwrap().unwrap();
+    println!("  the same 100 ns adder is now accepted: 45 + 110 = {total} ns ≤ 160 ns");
+
+    // The adder's own 120 ns spec still constrains its internal design.
+    println!("\nre-characterising the adder at 125 ns violates its own spec:");
+    an.clear_estimate(&mut d, adder, "a", "sum");
+    match an.set_estimate(&mut d, adder, "a", "sum", 125.0) {
+        Err(v) => println!("  rejected: {v}"),
+        Ok(()) => unreachable!(),
+    }
+    an.set_estimate(&mut d, adder, "a", "sum", 100.0).unwrap();
+    let total = an.delay(&mut d, acc, "in", "out").unwrap().unwrap();
+    println!("  final design: adder 100 ns, accumulator {total} ns — all specs met");
+}

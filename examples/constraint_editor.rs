@@ -1,0 +1,91 @@
+//! A scripted session with the constraint editor's functions (thesis
+//! §5.4): walk a network, trace antecedents and consequences, instantiate
+//! and remove constraints, assign values, and toggle propagation —
+//! everything the Smalltalk editor window offered, as library calls.
+//!
+//! Run with: `cargo run --example constraint_editor`
+
+use stem::core::kinds::{Equality, Functional, Predicate};
+use stem::core::{Justification, Network, NetworkInspector, Value};
+
+fn main() {
+    // A small delay-budget network: two stage delays, their sum, a spec.
+    let mut net = Network::new();
+    let stage1 = net.add_variable("stage1.delay");
+    let stage2 = net.add_variable("stage2.delay");
+    let total = net.add_variable("total.delay");
+    let mirror = net.add_variable("report.delay");
+    net.add_constraint(Functional::uni_addition(), [stage1, stage2, total])
+        .unwrap();
+    net.add_constraint(Equality::new(), [total, mirror]).unwrap();
+    let spec = net
+        .add_constraint(Predicate::le_const(Value::Float(10.0)), [total])
+        .unwrap();
+
+    net.set(stage1, Value::Float(4.0), Justification::User).unwrap();
+    net.set(stage2, Value::Float(5.0), Justification::User).unwrap();
+
+    println!("── walk through the network (the editor's list panes):\n");
+    let insp = NetworkInspector::new(&net);
+    print!("{}", insp.dump());
+
+    println!("\n── \"trace all antecedents of a variable value\":\n");
+    print!("{}", insp.trace_antecedents(mirror));
+
+    println!("\n── \"trace all consequences of a variable\":\n");
+    print!("{}", insp.trace_consequences(stage1));
+
+    // Make value assignments through the editor.
+    println!("\n── assign stage2 := 7 (would break the 10 ns spec):");
+    match net.set(stage2, Value::Float(7.0), Justification::User) {
+        Err(v) => println!("   violation reported and state restored: {v}"),
+        Ok(()) => unreachable!(),
+    }
+    println!("   stage2 is still {}", net.value(stage2));
+
+    // "Turn off or on constraint propagation in the system."
+    println!("\n── disable propagation (CPSwitch), make the edit anyway:");
+    net.set_propagation_enabled(false);
+    net.set(stage2, Value::Float(7.0), Justification::User).unwrap();
+    println!("   stage2 = {} with checking deferred", net.value(stage2));
+    net.set_propagation_enabled(true);
+    for v in net.check_all() {
+        println!("   recovery sweep finds: {v}");
+    }
+
+    // "Instantiate or remove a constraint … through the constraint editor."
+    println!("\n── remove the violated spec constraint and re-propagate:");
+    net.remove_constraint(spec);
+    net.set(stage2, Value::Float(7.0), Justification::User).unwrap();
+    println!(
+        "   total recomputed to {}; violations now: {}",
+        net.value(total),
+        if net.check_all().is_empty() { "none" } else { "some" }
+    );
+
+    println!("\n── relax instead: new spec ≤ 12 ns over the same variable:");
+    let relaxed = net
+        .add_constraint(Predicate::le_const(Value::Float(12.0)), [total])
+        .unwrap();
+    println!("   installed {relaxed}; network says:");
+    // Recompute the (stale) sum by re-asserting an input.
+    net.set(stage1, Value::Float(4.0), Justification::User).unwrap();
+    net.set(stage2, Value::Float(7.0), Justification::User).unwrap();
+    let insp = NetworkInspector::new(&net);
+    print!("{}", insp.violations());
+
+    // Per-constraint disable — the finer control of §9.3.
+    println!("── disable just the relaxed spec (§9.3 extension):");
+    net.set_constraint_enabled(relaxed, false);
+    net.set(stage2, Value::Float(20.0), Justification::User).unwrap();
+    println!(
+        "   stage2 = {} accepted while the spec sleeps; total = {}",
+        net.value(stage2),
+        net.value(total)
+    );
+    net.set_constraint_enabled(relaxed, true);
+    println!(
+        "   re-enabled: check_all reports {} violation(s)",
+        net.check_all().len()
+    );
+}

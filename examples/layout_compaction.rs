@@ -1,0 +1,92 @@
+//! The Electric-style satisfaction baseline (thesis §2.1) next to STEM's
+//! propagation: the compactor *solves* a standard-cell row placement by
+//! longest paths; a STEM predicate network *verifies* it; and the
+//! centering relation that linear inequalities cannot express (§2.1.1) is
+//! a single functional constraint in STEM.
+//!
+//! Run with: `cargo run --example layout_compaction`
+
+use stem::compact::{compact_row, RowSpec};
+use stem::core::kinds::{Functional, Predicate};
+use stem::core::{Justification, Network, Value};
+
+fn main() {
+    // ------------------------------------------------------------------
+    // Solve: a row of cells with design-rule separations, one alignment.
+    // ------------------------------------------------------------------
+    let mut spec = RowSpec {
+        min_separation: 2,
+        ..Default::default()
+    };
+    let cells = [("inv", 6i64), ("nand", 8), ("ff", 12), ("nand2", 8), ("buf", 6)];
+    for (name, w) in cells {
+        spec.cell(name, w);
+    }
+    // Routing requires cell 3 to start exactly 40λ past cell 0.
+    spec.exact_offsets.push((0, 3, 40));
+    let (sol, ids) = compact_row(&spec).unwrap();
+    println!("compacted row ({}λ total):", sol.total_extent);
+    for (i, (name, w)) in cells.iter().enumerate() {
+        println!(
+            "  {name:6} x = {:3}  width {w:2}  right edge {:3}",
+            sol.position(ids[i]),
+            sol.right_edge(ids[i])
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Verify with STEM propagation: load positions into a predicate
+    // network — the division of labour of §7.4.
+    // ------------------------------------------------------------------
+    let mut net = Network::new();
+    let xs: Vec<_> = cells
+        .iter()
+        .map(|(n, _)| net.add_variable(format!("x_{n}")))
+        .collect();
+    for i in 0..cells.len() - 1 {
+        let gap = cells[i].1 + 2;
+        net.add_constraint(
+            Predicate::custom("minSep", move |vals| {
+                match (vals[0].as_i64(), vals[1].as_i64()) {
+                    (Some(a), Some(b)) => b >= a + gap,
+                    _ => true,
+                }
+            }),
+            [xs[i], xs[i + 1]],
+        )
+        .unwrap();
+    }
+    for (i, &x) in xs.iter().enumerate() {
+        net.set(x, Value::Int(sol.position(ids[i])), Justification::Application)
+            .unwrap();
+    }
+    println!(
+        "\nSTEM verification of the placement: {}",
+        if net.check_all().is_empty() { "clean" } else { "VIOLATED" }
+    );
+    match net.set(xs[1], Value::Int(sol.position(ids[1]) - 1), Justification::User) {
+        Err(v) => println!("nudging 'nand' 1λ left is caught: {v}"),
+        Ok(()) => unreachable!(),
+    }
+
+    // ------------------------------------------------------------------
+    // §2.1.1's limitation, and STEM's answer.
+    // ------------------------------------------------------------------
+    println!("\ncentering (inexpressible as linear inequalities, §2.1.1):");
+    let mut net = Network::new();
+    let left = net.add_variable("left");
+    let right = net.add_variable("right");
+    let mid = net.add_variable("mid");
+    net.add_constraint(
+        Functional::custom("centerOf", |vals| {
+            Some(Value::Int((vals[0].as_i64()? + vals[1].as_i64()?) / 2))
+        }),
+        [left, right, mid],
+    )
+    .unwrap();
+    net.set(left, Value::Int(0), Justification::User).unwrap();
+    net.set(right, Value::Int(100), Justification::User).unwrap();
+    println!("  anchors 0 / 100 → centred component at {}", net.value(mid));
+    net.set(right, Value::Int(60), Justification::User).unwrap();
+    println!("  move right anchor to 60 → re-centred at {}", net.value(mid));
+}

@@ -1,0 +1,72 @@
+//! Module selection — thesis Fig. 8.1.
+//!
+//! An ALU contains a *generic* 8-bit adder instance. Depending on the
+//! design constraints of the ALU, module selection picks a different
+//! realisation: a tight area spec selects the ripple-carry adder
+//! (`ADD8.RC`), a tight delay spec selects the carry-select adder
+//! (`ADD8.CS`).
+//!
+//! Run with: `cargo run --example module_selection`
+
+use stem::cells::{alu_fixture, CellKit, ADDER_UNIT_WIDTH};
+use stem::geom::{Point, Rect};
+use stem::modsel::{select_realizations, SelectionOptions};
+
+fn scenario(name: &str, delay_spec_d: f64, adder_area_tenths: i64) {
+    let mut kit = CellKit::new();
+    let fx = alu_fixture(&mut kit);
+    println!("\n── scenario: {name}");
+    println!("   ALU delay spec ≤ {delay_spec_d} D, adder area budget {}.{} A",
+        adder_area_tenths / 10, adder_area_tenths % 10);
+
+    kit.analyzer
+        .constrain_max(&mut kit.design, fx.alu, "in", "out", delay_spec_d)
+        .unwrap();
+    let t = kit.design.instance_transform(fx.adder_inst);
+    let budget = Rect::with_extent(
+        t.apply(Point::ORIGIN),
+        ADDER_UNIT_WIDTH * adder_area_tenths / 10,
+        20,
+    );
+    kit.design
+        .set_instance_bounding_box(fx.adder_inst, budget)
+        .unwrap();
+
+    let out = select_realizations(
+        &mut kit.design,
+        &mut kit.analyzer,
+        fx.adder_inst,
+        &SelectionOptions::default(),
+    )
+    .unwrap();
+
+    print!("   valid realisations:");
+    if out.valid.is_empty() {
+        print!(" (none)");
+    }
+    for c in &out.valid {
+        print!(" {}", kit.design.class_name(*c));
+    }
+    println!();
+    println!(
+        "   search effort: {} candidates tested, {} property tests, {} subtrees pruned",
+        out.stats.candidates_tested, out.stats.property_tests, out.stats.pruned_subtrees
+    );
+}
+
+fn main() {
+    println!("Fig. 8.1 — ADD8 has two subclasses:");
+    println!("  ADD8.RC  delay 8D, area 1.0A  (ripple carry)");
+    println!("  ADD8.CS  delay 5D, area 2.2A  (carry select)");
+    println!("The ALU adds 3D of logic-unit delay and 2A of area in front.");
+
+    // Fig. 8.1(b): tight area spec → ripple carry.
+    scenario("tight area (Fig. 8.1b)", 11.0, 12);
+    // Fig. 8.1(c): tight delay spec → carry select.
+    scenario("tight delay (Fig. 8.1c)", 8.0, 22);
+    // Relaxed: both qualify; "a more intelligent module selection
+    // algorithm is necessary to differentiate relative merits" (§8.3).
+    scenario("relaxed specs", 11.0, 22);
+    // Impossible: neither fits.
+    scenario("impossible specs", 8.0, 12);
+}

@@ -1,0 +1,84 @@
+//! Quickstart: the constraint-propagation core in five minutes.
+//!
+//! Reproduces the propagation walk-through of thesis Fig. 4.5, a cyclic
+//! violation (Fig. 4.9), and a dependency-analysis trace (§4.2.4).
+//!
+//! Run with: `cargo run --example quickstart`
+
+use stem::core::kinds::{Equality, Functional, Predicate};
+use stem::core::{Justification, Network, NetworkInspector, Value};
+
+fn main() {
+    // ------------------------------------------------------------------
+    // Fig. 4.5: V1 = V2, V4 = max(V2, V3).
+    // ------------------------------------------------------------------
+    let mut net = Network::new();
+    let v1 = net.add_variable("V1");
+    let v2 = net.add_variable("V2");
+    let v3 = net.add_variable("V3");
+    let v4 = net.add_variable("V4");
+    net.add_constraint(Equality::new(), [v1, v2]).unwrap();
+    net.add_constraint(Functional::uni_maximum(), [v2, v3, v4])
+        .unwrap();
+
+    net.set(v3, Value::Int(7), Justification::User).unwrap();
+    net.set(v1, Value::Int(7), Justification::User).unwrap();
+    println!("initial state (all satisfy their constraints):");
+    let insp = NetworkInspector::new(&net);
+    print!("{}", insp.dump());
+
+    println!("\nuser sets V1 := 9 — propagation floods the network:");
+    net.set(v1, Value::Int(9), Justification::User).unwrap();
+    println!("  V2 = {}  (through the equality constraint)", net.value(v2));
+    println!("  V4 = {}  (max of V2=9 and V3=7)", net.value(v4));
+
+    // Every propagated value is justified; walk its antecedents.
+    println!("\ndependency analysis — why does V4 hold 9?");
+    let insp = NetworkInspector::new(&net);
+    print!("{}", insp.trace_antecedents(v4));
+
+    // ------------------------------------------------------------------
+    // Fig. 4.9: an unsatisfiable cycle.
+    // ------------------------------------------------------------------
+    println!("\ncyclic network: V2 = V1+1, V3 = V2+3, V1 = V3+2");
+    let mut cyc = Network::new();
+    let c1 = cyc.add_variable("V1");
+    let c2 = cyc.add_variable("V2");
+    let c3 = cyc.add_variable("V3");
+    let plus = |k: i64| {
+        Functional::custom("plusConst", move |vals| {
+            vals[0].as_i64().map(|x| Value::Int(x + k))
+        })
+    };
+    cyc.add_constraint(plus(1), [c1, c2]).unwrap();
+    cyc.add_constraint(plus(3), [c2, c3]).unwrap();
+    cyc.add_constraint(plus(2), [c3, c1]).unwrap();
+    match cyc.set(c1, Value::Int(10), Justification::User) {
+        Err(v) => println!("  rejected, as it must be: {v}"),
+        Ok(()) => unreachable!("the cycle cannot be satisfied"),
+    }
+    println!(
+        "  after restoration: V1={} V2={} V3={}",
+        cyc.value(c1),
+        cyc.value(c2),
+        cyc.value(c3)
+    );
+
+    // ------------------------------------------------------------------
+    // Specifications as predicates: validity feedback (§5.2).
+    // ------------------------------------------------------------------
+    println!("\na delay specification: delay <= 120");
+    let mut spec = Network::new();
+    let delay = spec.add_variable("delay");
+    spec.add_constraint(Predicate::le_const(Value::Float(120.0)), [delay])
+        .unwrap();
+    assert!(spec
+        .set(delay, Value::Float(100.0), Justification::Application)
+        .is_ok());
+    println!("  100 ns accepted");
+    match spec.set(delay, Value::Float(130.0), Justification::Application) {
+        Err(v) => println!("  130 ns rejected: {v}"),
+        Ok(()) => unreachable!(),
+    }
+    println!("  value after rejection: {} (restored)", spec.value(delay));
+}

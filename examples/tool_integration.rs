@@ -1,0 +1,113 @@
+//! Tool integration and consistency maintenance — thesis ch. 6.
+//!
+//! Builds a 4-bit ripple-carry adder from gate-level full adders, compiles
+//! a tiled row with the module compilers through lazily recalculated
+//! compiler views (Fig. 6.2), then runs the external-analysis round trip
+//! of Fig. 6.3: extract a SPICE-like deck, simulate, read results back,
+//! and watch the session go stale when the netlist is edited.
+//!
+//! Run with: `cargo run --example tool_integration`
+
+use stem::cells::CellKit;
+use stem::compilers::{CompilerView, VectorCompiler};
+use stem::design::ChangeKey;
+use stem::sim::{Level, SimSession};
+
+fn main() {
+    let mut kit = CellKit::new();
+
+    // ------------------------------------------------------------------
+    // A structural 4-bit adder from full-adder slices.
+    // ------------------------------------------------------------------
+    let rca = kit.ripple_carry_adder("RCA4", 4);
+    println!(
+        "built RCA4: {} subcells, {} nets",
+        kit.design.subcells(rca).len(),
+        kit.design.nets_of(rca).len()
+    );
+
+    // ------------------------------------------------------------------
+    // Module compilers + lazy views (Fig. 6.2): tile the full adder.
+    // ------------------------------------------------------------------
+    let fa = kit.design.class_by_name("RCA4_FA").unwrap();
+    let view = CompilerView::new(&mut kit.design, fa);
+    let row = kit.design.define_class("FA_ROW8");
+    let built = VectorCompiler::new(fa, 8)
+        .compile(&mut kit.design, row)
+        .unwrap();
+    println!(
+        "compiled FA_ROW8: {} instances, {} nets, {} exported io-signals",
+        built.instances.len(),
+        built.nets.len(),
+        built.exported.len()
+    );
+    let data = view.data(&mut kit.design).unwrap();
+    println!(
+        "compiler view of the slice: bbox {} with {}/{}/{}/{} pins on T/B/L/R (recalculated {}×)",
+        data.bbox,
+        data.pins.top.len(),
+        data.pins.bottom.len(),
+        data.pins.left.len(),
+        data.pins.right.len(),
+        view.recalc_count()
+    );
+    // A layout-only change erases the view; the next read recalculates.
+    kit.design.notify_changed(fa, ChangeKey::Layout);
+    view.data(&mut kit.design).unwrap();
+    println!("after a layout change the view recalculated: {}×", view.recalc_count());
+
+    // ------------------------------------------------------------------
+    // The external-tool round trip (Fig. 6.3).
+    // ------------------------------------------------------------------
+    let session = SimSession::open(&mut kit.design, &kit.primitives, rca).unwrap();
+    println!(
+        "\nextracted deck for RCA4 ({} element cards); first lines:",
+        session.deck().n_cards()
+    );
+    for line in session.deck().text.lines().take(6) {
+        println!("  | {line}");
+    }
+
+    // "Run spice": 7 + 9 = 16 on the simulated silicon.
+    let mut sim = session.simulator();
+    let (a, b) = (7u64, 9u64);
+    for i in 0..4 {
+        let pa = sim.port(&format!("a{i}")).unwrap();
+        let pb = sim.port(&format!("b{i}")).unwrap();
+        sim.drive(pa, Level::from_bool(a >> i & 1 == 1), 0);
+        sim.drive(pb, Level::from_bool(b >> i & 1 == 1), 0);
+    }
+    sim.drive(sim.port("cin").unwrap(), Level::L0, 0);
+    let end = sim.run_to_quiescence().unwrap();
+    let mut s = 0u64;
+    for i in 0..4 {
+        if sim.value(sim.port(&format!("s{i}")).unwrap()) == Level::L1 {
+            s |= 1 << i;
+        }
+    }
+    let cout = sim.value(sim.port("cout").unwrap()) == Level::L1;
+    println!("\nsimulated {a} + {b} = {s} carry {cout} (quiescent after {end} ps)");
+
+    // Editing the netlist outdates the session, like the thesis's window
+    // labels.
+    println!("\nsession outdated? {}", session.is_outdated());
+    let net = kit.design.nets_of(rca)[0];
+    let (inst, sig) = kit.design.net_connections(net)[0].clone();
+    kit.design.disconnect(net, inst, &sig).unwrap();
+    println!("after disconnecting a pin: outdated? {}", session.is_outdated());
+    kit.design.connect(net, inst, &sig).unwrap();
+    let mut session = session;
+    session.refresh(&mut kit.design, &kit.primitives).unwrap();
+    println!("after refresh: outdated? {}", session.is_outdated());
+    session.close(&mut kit.design);
+
+    // ------------------------------------------------------------------
+    // Delay checking agrees with the simulated timing order.
+    // ------------------------------------------------------------------
+    let est = kit
+        .analyzer
+        .delay(&mut kit.design, rca, "cin", "cout")
+        .unwrap()
+        .unwrap();
+    println!("\nanalyzer worst-case cin→cout estimate: {est:.1} ns");
+}

@@ -1,0 +1,49 @@
+//! # STEM — constraint propagation in an object-oriented IC design environment
+//!
+//! This is a Rust reproduction of the system described in Tai A. Ly's thesis
+//! *"Managing Design Interactions with Constraint Propagation in an
+//! Object-Oriented IC Design Environment"* (University of Alberta, 1988/89;
+//! published at DAC 1988). The facade re-exports every subsystem crate:
+//!
+//! - [`core`] — the constraint-propagation framework (thesis ch. 4–5):
+//!   variables, constraints, depth-first propagation with fixed-priority
+//!   agendas, justifications, dependency analysis, violation handling.
+//! - [`geom`] — layout geometry substrate (points, rectangles, transforms).
+//! - [`design`] — the design-environment substrate: cell classes and
+//!   instances with dual variables, nets, hierarchy, lazy property variables
+//!   and calculated views (ch. 3, 5, 6).
+//! - [`checking`] — incremental design checking: signal types, bounding
+//!   boxes, hierarchical delay networks (ch. 7).
+//! - [`compilers`] — tile-based module compilers (ch. 6).
+//! - [`sim`] — netlist extraction plus a gate-level simulator standing in
+//!   for the external SPICE process (ch. 6).
+//! - [`cells`] — a standard-cell library used by the examples and benches.
+//! - [`modsel`] — module validation and selection (ch. 8).
+//! - [`compact`] — the Electric-style linear-inequality satisfaction
+//!   baseline of the related-work chapter (§2.1).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use stem::core::{Network, Value, Justification};
+//! use stem::core::kinds::Equality;
+//!
+//! let mut net = Network::new();
+//! let a = net.add_variable("a");
+//! let b = net.add_variable("b");
+//! net.add_constraint(Equality::new(), [a, b]).unwrap();
+//! net.set(a, Value::Int(7), Justification::User).unwrap();
+//! assert_eq!(net.value(b), &Value::Int(7));
+//! ```
+
+
+#![warn(missing_docs)]
+pub use stem_checking as checking;
+pub use stem_compact as compact;
+pub use stem_cells as cells;
+pub use stem_compilers as compilers;
+pub use stem_core as core;
+pub use stem_design as design;
+pub use stem_geom as geom;
+pub use stem_modsel as modsel;
+pub use stem_sim as sim;

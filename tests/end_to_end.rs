@@ -1,0 +1,152 @@
+//! Whole-system integration: all subsystems collaborating on one design,
+//! exercised through the `stem` facade.
+
+use stem::cells::{alu_fixture, CellKit};
+use stem::compilers::{CompilerView, VectorCompiler};
+use stem::core::{Justification, NetworkInspector, Value};
+use stem::design::ChangeKey;
+use stem::modsel::{select_realizations, SelectionOptions};
+use stem::sim::{Level, SimSession};
+
+/// Build → check → compile → simulate → select, in one session, sharing a
+/// single constraint network.
+#[test]
+fn full_design_session() {
+    let mut kit = CellKit::new();
+
+    // 1. Structural design with incremental checking: the adder's wiring
+    // installs typing constraints as it goes.
+    let rca = kit.ripple_carry_adder("RCA4", 4);
+    assert_eq!(kit.design.signal_bit_width(rca, "a0"), Some(1));
+
+    // 2. Hierarchical delay estimation over the same network.
+    let est = kit
+        .analyzer
+        .delay(&mut kit.design, rca, "cin", "cout")
+        .unwrap()
+        .unwrap();
+    assert!(est > 0.0);
+
+    // 3. Module compilation through lazy views.
+    let fa = kit.design.class_by_name("RCA4_FA").unwrap();
+    let view = CompilerView::new(&mut kit.design, fa);
+    let row = kit.design.define_class("ROW4");
+    let built = VectorCompiler::new(fa, 4).compile(&mut kit.design, row).unwrap();
+    assert_eq!(built.instances.len(), 4);
+    // Our own view is independent of the compiler's internal ones: one
+    // lazy recalculation serves repeated reads.
+    view.data(&mut kit.design).unwrap();
+    view.data(&mut kit.design).unwrap();
+    assert_eq!(view.recalc_count(), 1, "one view recalculation served all");
+
+    // 4. External-tool round trip.
+    let session = SimSession::open(&mut kit.design, &kit.primitives, rca).unwrap();
+    let mut sim = session.simulator();
+    for i in 0..4 {
+        let pa = sim.port(&format!("a{i}")).unwrap();
+        let pb = sim.port(&format!("b{i}")).unwrap();
+        sim.drive(pa, Level::from_bool(0b0101 >> i & 1 == 1), 0);
+        sim.drive(pb, Level::from_bool(0b0011 >> i & 1 == 1), 0);
+    }
+    sim.drive(sim.port("cin").unwrap(), Level::L0, 0);
+    sim.run_to_quiescence().unwrap();
+    let mut s = 0u64;
+    for i in 0..4 {
+        if sim.value(sim.port(&format!("s{i}")).unwrap()) == Level::L1 {
+            s |= 1 << i;
+        }
+    }
+    assert_eq!(s, 0b1000, "5 + 3 = 8");
+    session.close(&mut kit.design);
+
+    // 5. Module selection in the same environment.
+    let fx = alu_fixture(&mut kit);
+    kit.analyzer
+        .constrain_max(&mut kit.design, fx.alu, "in", "out", 8.0)
+        .unwrap();
+    let out = select_realizations(
+        &mut kit.design,
+        &mut kit.analyzer,
+        fx.adder_inst,
+        &SelectionOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(out.valid, vec![fx.family.cs]);
+
+    // The one shared network remains globally consistent.
+    assert!(kit.design.network().check_all().is_empty());
+}
+
+/// The CPSwitch (§5.3): extensive revisions with propagation disabled,
+/// then a recovery sweep.
+#[test]
+fn cpswitch_design_revision_cycle() {
+    let mut kit = CellKit::new();
+    let rca = kit.ripple_carry_adder("RCA2", 2);
+    assert!(kit.design.network().check_all().is_empty());
+
+    kit.design.network_mut().set_propagation_enabled(false);
+    // Massive (temporarily inconsistent) revision: force a width clash.
+    let bw = kit.design.signal_def(rca, "a0").unwrap().class_bit_width;
+    kit.design
+        .network_mut()
+        .set(bw, Value::BitWidth(4), Justification::User)
+        .unwrap();
+    let violations = kit.design.network().check_all();
+    assert!(!violations.is_empty(), "inconsistency parked while disabled");
+
+    // Undo and re-enable: consistent again.
+    kit.design
+        .network_mut()
+        .set(bw, Value::BitWidth(1), Justification::User)
+        .unwrap();
+    kit.design.network_mut().set_propagation_enabled(true);
+    assert!(kit.design.network().check_all().is_empty());
+}
+
+/// The inspector can describe a large cross-crate network without panics
+/// and reflects violations faithfully.
+#[test]
+fn inspector_over_full_environment() {
+    let mut kit = CellKit::new();
+    let _rca = kit.ripple_carry_adder("RCA2", 2);
+    let text = {
+        let insp = NetworkInspector::new(kit.design.network());
+        insp.dump()
+    };
+    assert!(text.contains("bitWidth"));
+    assert!(text.contains("equality"));
+    let insp = NetworkInspector::new(kit.design.network());
+    assert_eq!(insp.violations(), "no violations\n");
+}
+
+/// Change broadcast reaches sessions and views registered at different
+/// levels of the same hierarchy.
+#[test]
+fn broadcast_reaches_all_registered_dependents() {
+    let mut kit = CellKit::new();
+    let rca = kit.ripple_carry_adder("RCA2", 2);
+    let fa = kit.design.class_by_name("RCA2_FA").unwrap();
+
+    let session = SimSession::open(&mut kit.design, &kit.primitives, rca).unwrap();
+    let fa_view = CompilerView::new(&mut kit.design, fa);
+    fa_view.data(&mut kit.design).unwrap();
+
+    // Editing the FA's internals outdates the RCA session (change
+    // propagates up) and erases the FA view.
+    let net0 = kit.design.nets_of(fa)[0];
+    let (inst, sig) = kit.design.net_connections(net0)[0].clone();
+    kit.design.disconnect(net0, inst, &sig).unwrap();
+    assert!(session.is_outdated());
+    fa_view.data(&mut kit.design).unwrap();
+    assert_eq!(fa_view.recalc_count(), 2);
+
+    kit.design.connect(net0, inst, &sig).unwrap();
+    session.close(&mut kit.design);
+
+    // Values-only changes do not walk the hierarchy (§6.5.2).
+    let session2 = SimSession::open(&mut kit.design, &kit.primitives, rca).unwrap();
+    kit.design.notify_changed(fa, ChangeKey::Values);
+    assert!(!session2.is_outdated());
+    session2.close(&mut kit.design);
+}

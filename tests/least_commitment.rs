@@ -1,0 +1,189 @@
+//! The least-commitment design strategy end-to-end (thesis §1.1 + ch. 8):
+//! generic placeholders with partial default characteristics let the rest
+//! of a design proceed and be checked, and implementation decisions are
+//! deferred until the surrounding context is known.
+
+use stem::cells::{adder8_interface, characterize_adder8, CellKit, GATE_DELAY_NS};
+use stem::core::Value;
+use stem::design::{CellClassId, CellInstanceId, SignalDir};
+use stem::geom::{Point, Rect, Transform};
+use stem::modsel::{select_realizations, SelectionOptions};
+
+struct Datapath {
+    kit: CellKit,
+    top: CellClassId,
+    adder_inst: CellInstanceId,
+    generic: CellClassId,
+}
+
+/// A datapath with a generic adder placeholder: REG-like front stage
+/// (characterised) feeding the yet-undecided adder.
+fn datapath() -> Datapath {
+    let mut kit = CellKit::new();
+    let generic = adder8_interface(&mut kit, "GenAdder");
+    kit.design.set_generic(generic, true);
+    // Partial default characteristics (§8: "generic cells with partial
+    // default characteristics for parts of a design").
+    characterize_adder8(&mut kit, generic, 5.0, 10).unwrap();
+
+    let front = adder8_interface(&mut kit, "FrontStage");
+    characterize_adder8(&mut kit, front, 4.0, 10).unwrap();
+
+    let d = &mut kit.design;
+    let top = d.define_class("DATAPATH");
+    d.add_signal(top, "in", SignalDir::Input);
+    d.set_signal_bit_width(top, "in", 8).unwrap();
+    d.add_signal(top, "out", SignalDir::Output);
+    d.set_signal_bit_width(top, "out", 8).unwrap();
+    let f = d.instantiate(front, top, "front", Transform::IDENTITY).unwrap();
+    let a = d
+        .instantiate(generic, top, "add", Transform::translation(Point::new(80, 0)))
+        .unwrap();
+    let n_in = d.add_net(top, "n_in");
+    d.connect_io(n_in, "in").unwrap();
+    d.connect(n_in, f, "a").unwrap();
+    let n_mid = d.add_net(top, "n_mid");
+    d.connect(n_mid, f, "s").unwrap();
+    d.connect(n_mid, a, "a").unwrap();
+    let n_out = d.add_net(top, "n_out");
+    d.connect(n_out, a, "s").unwrap();
+    d.connect_io(n_out, "out").unwrap();
+    kit.analyzer.declare_delay(&mut kit.design, top, "in", "out");
+    Datapath {
+        kit,
+        top,
+        adder_inst: a,
+        generic,
+    }
+}
+
+#[test]
+fn design_checking_proceeds_against_generic_defaults() {
+    let mut dp = datapath();
+    // The design is checkable before any adder implementation exists:
+    // front 4D + generic ideal 5D = 9D.
+    let total = dp
+        .kit
+        .analyzer
+        .delay(&mut dp.kit.design, dp.top, "in", "out")
+        .unwrap()
+        .unwrap();
+    assert!((total - 9.0 * GATE_DELAY_NS).abs() < 1e-9);
+
+    // A 10D spec is satisfiable against the ideals…
+    dp.kit
+        .analyzer
+        .constrain_max(&mut dp.kit.design, dp.top, "in", "out", 10.0)
+        .unwrap();
+    // …an 8D spec is immediately flagged, before committing to anything.
+    assert!(dp
+        .kit
+        .analyzer
+        .constrain_max(&mut dp.kit.design, dp.top, "in", "out", 8.0)
+        .is_err());
+}
+
+#[test]
+fn deferred_decision_resolves_when_context_is_known() {
+    let mut dp = datapath();
+    dp.kit
+        .analyzer
+        .constrain_max(&mut dp.kit.design, dp.top, "in", "out", 10.0)
+        .unwrap();
+
+    // Implementations arrive later, with different trade-offs.
+    let fast = dp.kit.design.derive_class("GenAdder.F", dp.generic);
+    dp.kit.analyzer.declare_delay(&mut dp.kit.design, fast, "a", "s");
+    dp.kit
+        .analyzer
+        .set_estimate(&mut dp.kit.design, fast, "a", "s", 5.5)
+        .unwrap();
+    dp.kit
+        .design
+        .set_class_bounding_box(fast, Rect::with_extent(Point::ORIGIN, 160, 20))
+        .unwrap();
+    let slow = dp.kit.design.derive_class("GenAdder.S", dp.generic);
+    dp.kit.analyzer.declare_delay(&mut dp.kit.design, slow, "a", "s");
+    dp.kit
+        .analyzer
+        .set_estimate(&mut dp.kit.design, slow, "a", "s", 9.0)
+        .unwrap();
+    dp.kit
+        .design
+        .set_class_bounding_box(slow, Rect::with_extent(Point::ORIGIN, 80, 20))
+        .unwrap();
+
+    // The 10D budget leaves 6D for the adder: only the fast one fits.
+    let out = select_realizations(
+        &mut dp.kit.design,
+        &mut dp.kit.analyzer,
+        dp.adder_inst,
+        &SelectionOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(out.valid, vec![fast]);
+
+    // Improving the front stage relaxes the budget; both now qualify —
+    // the decision genuinely depended on the rest of the design.
+    let front = dp.kit.design.class_by_name("FrontStage").unwrap();
+    dp.kit.analyzer.clear_estimate(&mut dp.kit.design, front, "a", "s");
+    dp.kit
+        .analyzer
+        .set_estimate(&mut dp.kit.design, front, "a", "s", 1.0)
+        .unwrap();
+    let out = select_realizations(
+        &mut dp.kit.design,
+        &mut dp.kit.analyzer,
+        dp.adder_inst,
+        &SelectionOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(out.valid, vec![fast, slow]);
+}
+
+#[test]
+fn signal_types_refine_incrementally_across_uses() {
+    // §7.1's closing claim: "type specifications of a cell's signals can
+    // be incrementally refined by different uses of the cell".
+    let mut kit = CellKit::new();
+    let cell = adder8_interface(&mut kit, "Shared");
+    let d = &mut kit.design;
+
+    // Context 1 types the net (hence the shared class signal) as Digital.
+    let ctx1 = d.define_class("Ctx1");
+    let i1 = d.instantiate(cell, ctx1, "u1", Transform::IDENTITY).unwrap();
+    let n1 = d.add_net(ctx1, "n1");
+    d.connect(n1, i1, "a").unwrap();
+    let (_, _, net_et) = d.net_type_vars(n1);
+    let digital = d.forests().borrow().electrical.tag("Digital").unwrap();
+    d.network_mut()
+        .set(net_et, Value::TypeRef(digital), stem::core::Justification::User)
+        .unwrap();
+
+    // Context 2 refines it further to CMOS through a different instance.
+    let ctx2 = d.define_class("Ctx2");
+    let i2 = d.instantiate(cell, ctx2, "u2", Transform::IDENTITY).unwrap();
+    let n2 = d.add_net(ctx2, "n2");
+    d.connect(n2, i2, "a").unwrap();
+    let (_, _, net_et2) = d.net_type_vars(n2);
+    let cmos = d.forests().borrow().electrical.tag("CMOS").unwrap();
+    d.network_mut()
+        .set(net_et2, Value::TypeRef(cmos), stem::core::Justification::User)
+        .unwrap();
+
+    // The class-side signal now carries the least abstract refinement.
+    let sig = d.signal_def(cell, "a").unwrap().class_electrical_type;
+    assert_eq!(d.network().value(sig).as_type(), Some(cmos));
+
+    // And a third context demanding TTL conflicts.
+    let ctx3 = d.define_class("Ctx3");
+    let i3 = d.instantiate(cell, ctx3, "u3", Transform::IDENTITY).unwrap();
+    let n3 = d.add_net(ctx3, "n3");
+    d.connect(n3, i3, "a").unwrap();
+    let (_, _, net_et3) = d.net_type_vars(n3);
+    let ttl = d.forests().borrow().electrical.tag("TTL").unwrap();
+    assert!(d
+        .network_mut()
+        .set(net_et3, Value::TypeRef(ttl), stem::core::Justification::User)
+        .is_err());
+}
