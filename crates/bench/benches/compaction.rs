@@ -2,7 +2,8 @@
 //! compaction, thesis §2.1) solving layout placements that propagation
 //! can only verify (§7.4's division of labour).
 
-use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use stem_bench::harness::{BatchSize, BenchmarkId, Criterion};
+use stem_bench::{criterion_group, criterion_main};
 use stem_compact::RowSpec;
 use stem_core::kinds::Predicate;
 use stem_core::{Justification, Network, Value};
@@ -39,9 +40,7 @@ fn solve_vs_verify(c: &mut Criterion) {
             b.iter_batched(
                 || {
                     let mut net = Network::new();
-                    let xs: Vec<_> = (0..n)
-                        .map(|i| net.add_variable(format!("x{i}")))
-                        .collect();
+                    let xs: Vec<_> = (0..n).map(|i| net.add_variable(format!("x{i}"))).collect();
                     for i in 0..n - 1 {
                         let gap = widths[i] + 2;
                         net.add_constraint_quiet(

@@ -1,7 +1,8 @@
 //! Bench E13: consistency maintenance (§6.3) — lazy calculated views and
 //! update-constraint erasure vs. eager recomputation.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use stem_bench::harness::{BatchSize, Criterion};
+use stem_bench::{criterion_group, criterion_main};
 use stem_cells::CellKit;
 use stem_compilers::CompilerView;
 use stem_design::ChangeKey;
@@ -57,7 +58,6 @@ fn lazy_views(c: &mut Criterion) {
     });
     g.finish();
 }
-
 
 /// Quick profile so `cargo bench --workspace` finishes in minutes; pass
 /// `-- --sample-size 100` etc. on the command line for precision runs.

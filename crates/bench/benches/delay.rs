@@ -1,7 +1,8 @@
 //! Bench E7: hierarchical delay networks (§7.3) — build + evaluate cost
 //! and incremental re-propagation cost for ripple-carry adders.
 
-use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use stem_bench::harness::{BatchSize, BenchmarkId, Criterion};
+use stem_bench::{criterion_group, criterion_main};
 use stem_cells::CellKit;
 
 fn build_and_evaluate(c: &mut Criterion) {
@@ -56,7 +57,6 @@ fn build_and_evaluate(c: &mut Criterion) {
     }
     g.finish();
 }
-
 
 /// E17 — the ripple vs. carry-select trade-off, timed end-to-end: build
 /// the structural adder and evaluate its carry-path estimate.

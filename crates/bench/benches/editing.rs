@@ -1,8 +1,9 @@
 //! Bench E12: network editing — constraint addition with re-propagation
 //! (Fig. 4.13) and removal with dependency-directed erasure (Fig. 4.14).
 
-use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use stem_bench::harness::{BatchSize, BenchmarkId, Criterion};
 use stem_bench::workloads;
+use stem_bench::{criterion_group, criterion_main};
 use stem_core::kinds::Equality;
 
 fn add_constraint(c: &mut Criterion) {
@@ -55,7 +56,6 @@ fn remove_constraint(c: &mut Criterion) {
     }
     g.finish();
 }
-
 
 /// Quick profile so `cargo bench --workspace` finishes in minutes; pass
 /// `-- --sample-size 100` etc. on the command line for precision runs.

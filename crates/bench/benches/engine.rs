@@ -1,0 +1,95 @@
+//! Engine-level benches: batch round-trip latency through a worker and
+//! pipelined multi-session throughput (T-E19's workload at bench scale).
+
+use stem_bench::harness::{BenchmarkId, Criterion};
+use stem_bench::{criterion_group, criterion_main};
+use stem_core::{Value, VarId};
+use stem_engine::{Command, ConstraintSpec, Engine, EngineConfig, Source};
+
+fn chain_session(engine: &Engine, len: usize) -> stem_engine::SessionId {
+    let s = engine.create_session();
+    let mut cmds: Vec<Command> = (0..len)
+        .map(|i| Command::AddVariable {
+            name: format!("v{i}"),
+        })
+        .collect();
+    for i in 0..len - 1 {
+        cmds.push(Command::AddConstraint {
+            spec: ConstraintSpec::Equality,
+            args: vec![VarId::from_index(i), VarId::from_index(i + 1)],
+        });
+    }
+    engine.apply(s, cmds).unwrap();
+    s
+}
+
+/// One `Set` batch applied synchronously: submit → propagate a 100-var
+/// equality chain → reply. Measures the full engine round trip.
+fn batch_round_trip(c: &mut Criterion) {
+    let engine = Engine::new(1);
+    let session = chain_session(&engine, 100);
+    let head = VarId::from_index(0);
+    let mut tick = 0i64;
+    c.bench_function("engine/batch_round_trip_chain100", |b| {
+        b.iter(|| {
+            tick += 1;
+            engine
+                .apply(
+                    session,
+                    vec![Command::Set {
+                        var: head,
+                        value: Value::Int(tick),
+                        source: Source::User,
+                    }],
+                )
+                .unwrap()
+        })
+    });
+}
+
+/// Pipelined throughput over 8 sessions for several worker counts: all
+/// batches are submitted before any ticket is awaited, so workers drain
+/// their queues concurrently.
+fn pipelined_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/pipelined_8x50");
+    for &workers in &[1usize, 2, 4] {
+        let engine = Engine::with_config(EngineConfig {
+            workers,
+            queue_capacity: 128,
+            step_budget: None,
+        });
+        let sessions: Vec<_> = (0..8).map(|_| chain_session(&engine, 100)).collect();
+        let head = VarId::from_index(0);
+        let mut tick = 0i64;
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, _| {
+            b.iter(|| {
+                tick += 1;
+                let tickets: Vec<_> = (0..50)
+                    .flat_map(|round| {
+                        sessions
+                            .iter()
+                            .map(move |&s| (s, round))
+                            .collect::<Vec<_>>()
+                    })
+                    .map(|(s, round)| {
+                        engine.submit(
+                            s,
+                            vec![Command::Set {
+                                var: head,
+                                value: Value::Int(tick * 1000 + round),
+                                source: Source::User,
+                            }],
+                        )
+                    })
+                    .collect();
+                for t in tickets {
+                    t.wait().unwrap();
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, batch_round_trip, pipelined_throughput);
+criterion_main!(benches);

@@ -1,8 +1,9 @@
 //! Bench E3: hierarchical constraint propagation (Fig. 5.1) — a shared
 //! internal network evaluated once vs. flat per-instance replication.
 
-use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use stem_bench::harness::{BatchSize, BenchmarkId, Criterion};
 use stem_bench::workloads;
+use stem_bench::{criterion_group, criterion_main};
 
 const INTERNAL: usize = 200;
 
@@ -32,7 +33,6 @@ fn internal_once(c: &mut Criterion) {
     }
     g.finish();
 }
-
 
 /// Quick profile so `cargo bench --workspace` finishes in minutes; pass
 /// `-- --sample-size 100` etc. on the command line for precision runs.

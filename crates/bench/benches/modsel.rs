@@ -1,7 +1,8 @@
 //! Bench E9: module selection efficiency (§8.2) — generate-and-test with
 //! and without tree pruning and selective testing.
 
-use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use stem_bench::harness::{BatchSize, BenchmarkId, Criterion};
+use stem_bench::{criterion_group, criterion_main};
 use stem_cells::{synthetic_pruning_family, CellKit};
 use stem_design::{CellInstanceId, SignalDir};
 use stem_geom::Transform;
@@ -110,7 +111,6 @@ fn pruning(c: &mut Criterion) {
     g.finish();
 }
 
-
 /// E18 — joint selection over a two-adder pipeline (backtracking with
 /// snapshot rollback).
 fn joint(c: &mut Criterion) {
@@ -131,7 +131,9 @@ fn joint(c: &mut Criterion) {
                 d.set_signal_bit_width(top, "in", 8).unwrap();
                 d.add_signal(top, "out", SignalDir::Output);
                 d.set_signal_bit_width(top, "out", 8).unwrap();
-                let a1 = d.instantiate(family.generic, top, "a1", Transform::IDENTITY).unwrap();
+                let a1 = d
+                    .instantiate(family.generic, top, "a1", Transform::IDENTITY)
+                    .unwrap();
                 let a2 = d
                     .instantiate(
                         family.generic,
@@ -149,7 +151,8 @@ fn joint(c: &mut Criterion) {
                 let n3 = d.add_net(top, "n3");
                 d.connect(n3, a2, "s").unwrap();
                 d.connect_io(n3, "out").unwrap();
-                kit.analyzer.declare_delay(&mut kit.design, top, "in", "out");
+                kit.analyzer
+                    .declare_delay(&mut kit.design, top, "in", "out");
                 kit.analyzer
                     .constrain_max(&mut kit.design, top, "in", "out", 14.0)
                     .unwrap();

@@ -1,7 +1,8 @@
 //! Benches E1/E2/E10/E11: raw propagation cost of the core engine.
 
-use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use stem_bench::harness::{BatchSize, BenchmarkId, Criterion};
 use stem_bench::workloads;
+use stem_bench::{criterion_group, criterion_main};
 use stem_core::kinds::{Equality, Functional};
 use stem_core::{Justification, Network, Value};
 
@@ -127,7 +128,6 @@ fn agenda_batching(c: &mut Criterion) {
     g.finish();
 }
 
-
 /// E15 — compiled straight-line evaluation vs. interpreted propagation
 /// over a functional adder tree (§9.3 network compilation).
 fn compiled_vs_interpreted(c: &mut Criterion) {
@@ -139,7 +139,8 @@ fn compiled_vs_interpreted(c: &mut Criterion) {
                 || workloads::adder_tree(n),
                 |(mut net, leaves, _)| {
                     for (i, &l) in leaves.iter().enumerate() {
-                        net.set(l, Value::Int(i as i64), Justification::User).unwrap();
+                        net.set(l, Value::Int(i as i64), Justification::User)
+                            .unwrap();
                     }
                     net
                 },
@@ -156,7 +157,8 @@ fn compiled_vs_interpreted(c: &mut Criterion) {
                 |(mut net, leaves, _, plan)| {
                     net.set_propagation_enabled(false);
                     for (i, &l) in leaves.iter().enumerate() {
-                        net.set(l, Value::Int(i as i64), Justification::User).unwrap();
+                        net.set(l, Value::Int(i as i64), Justification::User)
+                            .unwrap();
                     }
                     net.set_propagation_enabled(true);
                     plan.evaluate(&mut net).unwrap();

@@ -27,7 +27,13 @@ fn main() {
         "{}",
         render_table(
             "T-E7 — hierarchical delay estimates vs. simulation (ripple-carry adders)",
-            &["width", "analyzer est (ns)", "simulated (ns)", "est/meas", "est ms"],
+            &[
+                "width",
+                "analyzer est (ns)",
+                "simulated (ns)",
+                "est/meas",
+                "est ms"
+            ],
             &experiments::t_e7_delay(&[2, 4, 8, 16]),
         )
     );
@@ -59,7 +65,14 @@ fn main() {
         "{}",
         render_table(
             "T-E10 — complexity ∝ Σ_v #constraints(v) (§9.2.3)",
-            &["shape", "n", "Σ #constraints", "activations", "ms", "ns per unit"],
+            &[
+                "shape",
+                "n",
+                "Σ #constraints",
+                "activations",
+                "ms",
+                "ns per unit"
+            ],
             &experiments::t_e10_complexity(&[100, 400, 1600, 6400]),
         )
     );
@@ -68,7 +81,12 @@ fn main() {
         "{}",
         render_table(
             "T-E11 — agenda batching of functional constraints (§4.2.1)",
-            &["fan-in", "inferences (scheduled)", "inferences (immediate)", "saving"],
+            &[
+                "fan-in",
+                "inferences (scheduled)",
+                "inferences (immediate)",
+                "saving"
+            ],
             &experiments::t_e11_agenda(&[2, 8, 32, 128]),
         )
     );
@@ -104,7 +122,14 @@ fn main() {
         "{}",
         render_table(
             "T-E15 — compiled vs. interpreted evaluation (§9.3 network compilation)",
-            &["leaves", "inferences (interp)", "inferences (compiled)", "interp ms", "compiled ms", "speedup"],
+            &[
+                "leaves",
+                "inferences (interp)",
+                "inferences (compiled)",
+                "interp ms",
+                "compiled ms",
+                "speedup"
+            ],
             &experiments::t_e15_compiled(&[64, 256, 1024]),
         )
     );
@@ -113,7 +138,13 @@ fn main() {
         "{}",
         render_table(
             "T-E16 — satisfaction solves, propagation verifies (§2.1/§7.4 baseline)",
-            &["row cells", "compacted extent", "solve ms", "verify ms", "verified"],
+            &[
+                "row cells",
+                "compacted extent",
+                "solve ms",
+                "verify ms",
+                "verified"
+            ],
             &experiments::t_e16_compaction(&[50, 200, 800]),
         )
     );
@@ -122,7 +153,15 @@ fn main() {
         "{}",
         render_table(
             "T-E17 — Fig. 8.1's premise measured from gate structure: ripple vs. carry-select",
-            &["width", "RC delay (ns)", "CS delay (ns)", "speedup", "RC area", "CS area", "area cost"],
+            &[
+                "width",
+                "RC delay (ns)",
+                "CS delay (ns)",
+                "speedup",
+                "RC area",
+                "CS area",
+                "area cost"
+            ],
             &experiments::t_e17_adder_tradeoff(&[4, 8, 16]),
         )
     );
@@ -131,8 +170,30 @@ fn main() {
         "{}",
         render_table(
             "T-E18 — joint selection over a two-adder pipeline (shared delay budget)",
-            &["pipeline spec", "valid combos", "combinations", "commits tried"],
+            &[
+                "pipeline spec",
+                "valid combos",
+                "combinations",
+                "commits tried"
+            ],
             &experiments::t_e18_joint_selection(&[18.0, 14.0, 10.0]),
+        )
+    );
+
+    print!(
+        "{}",
+        render_table(
+            "T-E20 — engine throughput: 16 sessions, 200-var chains, pipelined single-Set batches",
+            &[
+                "workers",
+                "batches",
+                "assignments",
+                "ms",
+                "batches/s",
+                "speedup",
+                "queue HWM"
+            ],
+            &experiments::t_e20_engine_throughput(&[1, 2, 4]),
         )
     );
 }

@@ -158,11 +158,7 @@ pub fn t_e9_pruning(sizes: &[(usize, usize)]) -> Vec<Vec<String>> {
 pub fn t_e10_complexity(sizes: &[usize]) -> Vec<Vec<String>> {
     let mut rows = Vec::new();
     for &n in sizes {
-        for (shape, build) in [
-            ("chain", 0usize),
-            ("star", 1),
-            ("grid", 2),
-        ] {
+        for (shape, build) in [("chain", 0usize), ("star", 1), ("grid", 2)] {
             let (mut net, start) = match build {
                 0 => {
                     let (net, vars) = workloads::equality_chain(n);
@@ -280,10 +276,7 @@ pub fn t_e12_erasure(sizes: &[usize]) -> Vec<Vec<String>> {
         let t0 = Instant::now();
         net.remove_constraint(branch);
         let dt = t0.elapsed();
-        let erased = net
-            .variables()
-            .filter(|&v| net.value(v).is_nil())
-            .count();
+        let erased = net.variables().filter(|&v| net.value(v).is_nil()).count();
         rows.push(vec![
             n.to_string(),
             erased.to_string(),
@@ -312,10 +305,7 @@ pub fn t_e13_lazy_views(reads: usize, changes: usize) -> Vec<Vec<String>> {
     }
     let after_changes = view.recalc_count();
     vec![
-        vec![
-            format!("{reads} reads, 0 changes"),
-            after_reads.to_string(),
-        ],
+        vec![format!("{reads} reads, 0 changes"), after_reads.to_string()],
         vec![
             format!("+{changes} change/read pairs"),
             after_changes.to_string(),
@@ -362,9 +352,7 @@ pub fn t_e14_sim_vs_analyzer() -> Vec<Vec<String>> {
         let t = sim.time() + 1000;
         sim.drive(pin, Level::L1.resolve(sim.value(pin).not()), t);
         sim.run_to_quiescence().unwrap();
-        let measured = sim
-            .measure_delay(pin, pout)
-            .map(|ps| ps as f64 / 1000.0);
+        let measured = sim.measure_delay(pin, pout).map(|ps| ps as f64 / 1000.0);
         rows.push(vec![
             format!("{from} → {to}"),
             format!("{est:.1}"),
@@ -390,7 +378,8 @@ pub fn t_e15_compiled(sizes: &[usize]) -> Vec<Vec<String>> {
         net.reset_stats();
         let t0 = Instant::now();
         for (i, &l) in leaves.iter().enumerate() {
-            net.set(l, Value::Int(i as i64), Justification::User).unwrap();
+            net.set(l, Value::Int(i as i64), Justification::User)
+                .unwrap();
         }
         let t_interp = t0.elapsed();
         let interp_inferences = net.stats().inferences;
@@ -403,7 +392,8 @@ pub fn t_e15_compiled(sizes: &[usize]) -> Vec<Vec<String>> {
         let t0 = Instant::now();
         net2.set_propagation_enabled(false);
         for (i, &l) in leaves2.iter().enumerate() {
-            net2.set(l, Value::Int(i as i64), Justification::User).unwrap();
+            net2.set(l, Value::Int(i as i64), Justification::User)
+                .unwrap();
         }
         net2.set_propagation_enabled(true);
         plan.evaluate(&mut net2).unwrap();
@@ -461,8 +451,12 @@ pub fn t_e16_compaction(sizes: &[usize]) -> Vec<Vec<String>> {
         }
         net.set_propagation_enabled(false);
         for (i, &x) in xs.iter().enumerate() {
-            net.set(x, Value::Int(sol.position(ids[i])), Justification::Application)
-                .unwrap();
+            net.set(
+                x,
+                Value::Int(sol.position(ids[i])),
+                Justification::Application,
+            )
+            .unwrap();
         }
         net.set_propagation_enabled(true);
         let t0 = Instant::now();
@@ -547,7 +541,8 @@ pub fn t_e18_joint_selection(specs: &[f64]) -> Vec<Vec<String>> {
         let n_out = d.add_net(top, "n_out");
         d.connect(n_out, add2, "s").unwrap();
         d.connect_io(n_out, "out").unwrap();
-        kit.analyzer.declare_delay(&mut kit.design, top, "in", "out");
+        kit.analyzer
+            .declare_delay(&mut kit.design, top, "in", "out");
         kit.analyzer
             .constrain_max(&mut kit.design, top, "in", "out", spec)
             .unwrap();
@@ -605,7 +600,11 @@ pub fn e1_e2_walkthroughs() -> Vec<String> {
         "E1 Fig4.5: V1:=9 ⇒ V2={} V4={}  [{}]",
         net.value(v2),
         net.value(v4),
-        if net.value(v4) == &Value::Int(9) { "ok" } else { "FAIL" }
+        if net.value(v4) == &Value::Int(9) {
+            "ok"
+        } else {
+            "FAIL"
+        }
     ));
     // E2.
     let mut cyc = Network::new();
@@ -627,4 +626,87 @@ pub fn e1_e2_walkthroughs() -> Vec<String> {
         if rejected && restored { "ok" } else { "FAIL" }
     ));
     lines
+}
+
+/// T-E20 — engine throughput scaling: N independent sessions of
+/// equality-chain networks served by 1..k workers, single submitting
+/// driver, pipelined batches (bounded queues provide backpressure).
+///
+/// Each batch is one `Set` on the chain head that floods the whole chain
+/// (`chain` assignments per batch). Reported speedups are relative to the
+/// 1-worker row; genuine parallel speedup requires as many free cores as
+/// workers.
+pub fn t_e20_engine_throughput(worker_counts: &[usize]) -> Vec<Vec<String>> {
+    use stem_engine::{Command, ConstraintSpec, Engine, EngineConfig, Source};
+
+    const SESSIONS: usize = 16;
+    const CHAIN: usize = 200;
+    const ROUNDS: i64 = 100;
+
+    let mut rows = Vec::new();
+    let mut base_bps = None;
+    for &workers in worker_counts {
+        let engine = Engine::with_config(EngineConfig {
+            workers,
+            queue_capacity: 64,
+            step_budget: None,
+        });
+        let sessions: Vec<_> = (0..SESSIONS).map(|_| engine.create_session()).collect();
+        for &s in &sessions {
+            let mut cmds: Vec<Command> = (0..CHAIN)
+                .map(|i| Command::AddVariable {
+                    name: format!("v{i}"),
+                })
+                .collect();
+            for i in 0..CHAIN - 1 {
+                cmds.push(Command::AddConstraint {
+                    spec: ConstraintSpec::Equality,
+                    args: vec![
+                        stem_core::VarId::from_index(i),
+                        stem_core::VarId::from_index(i + 1),
+                    ],
+                });
+            }
+            engine.apply(s, cmds).unwrap();
+        }
+        let head = stem_core::VarId::from_index(0);
+        let t0 = Instant::now();
+        let mut tickets = Vec::with_capacity(SESSIONS * ROUNDS as usize);
+        for round in 0..ROUNDS {
+            for &s in &sessions {
+                tickets.push(engine.submit(
+                    s,
+                    vec![Command::Set {
+                        var: head,
+                        value: stem_core::Value::Int(round),
+                        source: Source::User,
+                    }],
+                ));
+            }
+        }
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        let dt = t0.elapsed();
+        let stats = engine.stats();
+        let batches = SESSIONS as u64 * ROUNDS as u64;
+        let bps = batches as f64 / dt.as_secs_f64();
+        let speedup = match base_bps {
+            None => {
+                base_bps = Some(bps);
+                "1.00×".to_string()
+            }
+            Some(b) => format!("{:.2}×", bps / b),
+        };
+        rows.push(vec![
+            workers.to_string(),
+            batches.to_string(),
+            stats.assignments.to_string(),
+            ms(dt),
+            format!("{bps:.0}"),
+            speedup,
+            stats.queue_depth_hwm.to_string(),
+        ]);
+    }
+    rows
 }

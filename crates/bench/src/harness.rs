@@ -1,0 +1,314 @@
+//! Minimal Criterion-compatible benchmark harness.
+//!
+//! The repository builds with zero registry access, so the external
+//! `criterion` crate is unavailable; this module re-implements the small
+//! slice of its API the benches use (`Criterion`, `Bencher`,
+//! `BenchmarkGroup`, `BenchmarkId`, `BatchSize`, `criterion_group!`,
+//! `criterion_main!`). Bench files keep their structure and only change
+//! their import line.
+//!
+//! Methodology: each benchmark warms up for `warm_up_time`, estimates the
+//! per-iteration cost, sizes its samples so `sample_size` samples fill
+//! `measurement_time`, then reports min / median / mean over the samples.
+//! Setup closures passed to [`Bencher::iter_batched`] run outside the
+//! timed region, matching Criterion's semantics.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped per measurement (accepted for
+/// compatibility; the harness always times one routine call at a time, so
+/// the variants are equivalent here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// A benchmark identifier composed of a function name and a parameter,
+/// rendered `name/param` (or just `param` via
+/// [`BenchmarkId::from_parameter`]).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `new("solve", 25)` renders as `solve/25`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// `from_parameter(25)` renders as `25`.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Config {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            warm_up: Duration::from_millis(500),
+            measurement: Duration::from_secs(2),
+            sample_size: 50,
+        }
+    }
+}
+
+/// The benchmark driver (API-compatible subset of `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    config: Config,
+}
+
+impl Criterion {
+    /// Sets the warm-up duration (builder style).
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.config.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement duration (builder style).
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.config.measurement = d;
+        self
+    }
+
+    /// Sets the number of samples (builder style).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.config.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(name, self.config, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let config = self.config;
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            config,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    config: Config,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n.max(2);
+        self
+    }
+
+    /// Overrides the measurement duration for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement = d;
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.id), self.config, f);
+        self
+    }
+
+    /// Runs one parameterised benchmark inside the group.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.id), self.config, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (a no-op; present for API compatibility).
+    pub fn finish(self) {}
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Per-benchmark measurement driver handed to the bench closure.
+pub struct Bencher {
+    config: Config,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        self.iter_batched(|| (), |()| routine(), BatchSize::SmallInput);
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; only the routine is
+    /// inside the timed region.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        // Warm up and estimate the per-iteration cost.
+        let warm_end = Instant::now() + self.config.warm_up;
+        let mut spent = Duration::ZERO;
+        let mut iters: u32 = 0;
+        loop {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            spent += t.elapsed();
+            iters += 1;
+            if Instant::now() >= warm_end && iters >= 1 {
+                break;
+            }
+        }
+        let est = (spent / iters.max(1)).max(Duration::from_nanos(1));
+        // Size samples so `sample_size` of them fill the measurement time.
+        let per_sample =
+            (self.config.measurement.as_nanos() / self.config.sample_size as u128 / est.as_nanos())
+                .clamp(1, 1_000_000) as u32;
+        self.samples_ns.clear();
+        for _ in 0..self.config.sample_size {
+            let mut sample = Duration::ZERO;
+            for _ in 0..per_sample {
+                let input = setup();
+                let t = Instant::now();
+                black_box(routine(input));
+                sample += t.elapsed();
+            }
+            self.samples_ns
+                .push(sample.as_nanos() as f64 / per_sample as f64);
+        }
+    }
+}
+
+fn run_one(name: &str, config: Config, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        config,
+        samples_ns: Vec::new(),
+    };
+    f(&mut b);
+    if b.samples_ns.is_empty() {
+        println!("{name:<48} (no measurement)");
+        return;
+    }
+    b.samples_ns.sort_by(|a, x| a.total_cmp(x));
+    let n = b.samples_ns.len();
+    let min = b.samples_ns[0];
+    let median = if n.is_multiple_of(2) {
+        (b.samples_ns[n / 2 - 1] + b.samples_ns[n / 2]) / 2.0
+    } else {
+        b.samples_ns[n / 2]
+    };
+    let mean = b.samples_ns.iter().sum::<f64>() / n as f64;
+    println!(
+        "{name:<48} time: [{} {} {}] ({n} samples)",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(mean),
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::harness::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_formats() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+            .sample_size(3);
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        g.bench_with_input(BenchmarkId::new("sq", 4), &4u64, |b, &x| b.iter(|| x * x));
+        g.finish();
+        assert_eq!(fmt_ns(10.0), "10.0 ns");
+        assert_eq!(fmt_ns(2_500.0), "2.50 µs");
+        assert_eq!(fmt_ns(3_000_000.0), "3.00 ms");
+    }
+}

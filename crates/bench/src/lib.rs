@@ -4,8 +4,8 @@
 //! `experiments` binary (see DESIGN.md §4 for the experiment index and
 //! EXPERIMENTS.md for recorded results).
 
-
 #![warn(missing_docs)]
+pub mod harness;
 pub mod workloads;
 
 pub mod experiments;

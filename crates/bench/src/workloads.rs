@@ -57,9 +57,7 @@ pub fn equality_grid(w: usize, h: usize) -> (Network, VarId) {
 
 /// The Σ_v #constraints(v) complexity measure of thesis §9.2.3.
 pub fn complexity_measure(net: &Network) -> usize {
-    net.variables()
-        .map(|v| net.constraints_of(v).len())
-        .sum()
+    net.variables().map(|v| net.constraints_of(v).len()).sum()
 }
 
 /// A binary tree of `UniAddition` constraints over `n` leaves; returns the
@@ -151,7 +149,8 @@ pub fn fan_in_sum(fan: usize, scheduled: bool) -> (Network, VarId, VarId) {
     let mut args = mirrors;
     args.push(out);
     if scheduled {
-        net.add_constraint(Functional::uni_addition(), args).unwrap();
+        net.add_constraint(Functional::uni_addition(), args)
+            .unwrap();
     } else {
         net.add_constraint(ImmediateSum, args).unwrap();
     }
@@ -193,10 +192,7 @@ pub fn hierarchical_fanout(
 /// constraints … would be propagated twice: once for each of the two upper
 /// level networks containing them", Fig. 5.1). All replicas share the same
 /// input variable.
-pub fn flat_replication(
-    internal_len: usize,
-    n_instances: usize,
-) -> (Network, VarId, Vec<VarId>) {
+pub fn flat_replication(internal_len: usize, n_instances: usize) -> (Network, VarId, Vec<VarId>) {
     let mut net = Network::new();
     let input = net.add_variable("in");
     let mut outs = Vec::new();

@@ -7,7 +7,8 @@ use stem_geom::{Point, Transform};
 
 fn wire(d: &mut Design, net: NetId, pins: &[(CellInstanceId, &str)]) {
     for (inst, sig) in pins {
-        d.connect(net, *inst, sig).expect("gate wiring is type-clean");
+        d.connect(net, *inst, sig)
+            .expect("gate wiring is type-clean");
     }
 }
 
@@ -132,7 +133,8 @@ impl CellKit {
         d.connect(nc_out, slices[width - 1], "cout").unwrap();
         d.connect_io(nc_out, "cout").unwrap();
 
-        self.analyzer.declare_delay(&mut self.design, rca, "cin", "cout");
+        self.analyzer
+            .declare_delay(&mut self.design, rca, "cin", "cout");
         self.analyzer
             .declare_delay(&mut self.design, rca, "a0", "cout");
         self.analyzer
@@ -181,7 +183,8 @@ impl CellKit {
         d.connect_io(ny, "y").unwrap();
 
         for from in ["a", "b", "s"] {
-            self.analyzer.declare_delay(&mut self.design, mux, from, "y");
+            self.analyzer
+                .declare_delay(&mut self.design, mux, from, "y");
         }
         mux
     }
@@ -197,7 +200,10 @@ impl CellKit {
     ///
     /// Panics unless `width` is even and ≥ 4.
     pub fn carry_select_adder(&mut self, name: &str, width: usize) -> CellClassId {
-        assert!(width >= 4 && width.is_multiple_of(2), "width must be even and ≥ 4");
+        assert!(
+            width >= 4 && width.is_multiple_of(2),
+            "width must be even and ≥ 4"
+        );
         let half = width / 2;
         let lo_block = self.ripple_carry_adder(&format!("{name}_LO"), half);
         let hi_block = self.ripple_carry_adder(&format!("{name}_HI"), half);
@@ -220,9 +226,16 @@ impl CellKit {
         d.set_signal_bit_width(csa, "cout", 1).unwrap();
 
         let w_lo = d.class_bounding_box(lo_block).expect("built").width();
-        let lo = d.instantiate(lo_block, csa, "lo", Transform::IDENTITY).unwrap();
+        let lo = d
+            .instantiate(lo_block, csa, "lo", Transform::IDENTITY)
+            .unwrap();
         let h0 = d
-            .instantiate(hi_block, csa, "h0", Transform::translation(Point::new(w_lo + 4, 0)))
+            .instantiate(
+                hi_block,
+                csa,
+                "h0",
+                Transform::translation(Point::new(w_lo + 4, 0)),
+            )
             .unwrap();
         let h1 = d
             .instantiate(
@@ -236,7 +249,12 @@ impl CellKit {
             .instantiate(tie0, csa, "t0", Transform::translation(Point::new(w_lo, 0)))
             .unwrap();
         let t1 = d
-            .instantiate(tie1, csa, "t1", Transform::translation(Point::new(w_lo, 12)))
+            .instantiate(
+                tie1,
+                csa,
+                "t1",
+                Transform::translation(Point::new(w_lo, 12)),
+            )
             .unwrap();
 
         // Low-half operands and sums.
@@ -319,7 +337,8 @@ impl CellKit {
         d.connect(n_cout, mc, "y").unwrap();
         d.connect_io(n_cout, "cout").unwrap();
 
-        self.analyzer.declare_delay(&mut self.design, csa, "cin", "cout");
+        self.analyzer
+            .declare_delay(&mut self.design, csa, "cin", "cout");
         self.analyzer
             .declare_delay(&mut self.design, csa, "a0", "cout");
         self.analyzer

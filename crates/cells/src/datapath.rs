@@ -8,7 +8,8 @@ use stem_geom::{Point, Transform};
 
 fn wire(d: &mut Design, net: NetId, pins: &[(stem_design::CellInstanceId, String)]) {
     for (inst, sig) in pins {
-        d.connect(net, *inst, sig).expect("datapath wiring is type-clean");
+        d.connect(net, *inst, sig)
+            .expect("datapath wiring is type-clean");
     }
 }
 
@@ -43,7 +44,9 @@ impl CellKit {
         d.set_signal_bit_width(acc, "cout", 1).unwrap();
 
         let add_w = d.class_bounding_box(adder).expect("built").width();
-        let add = d.instantiate(adder, acc, "add", Transform::IDENTITY).unwrap();
+        let add = d
+            .instantiate(adder, acc, "add", Transform::IDENTITY)
+            .unwrap();
         let reg = d
             .instantiate(
                 register,
@@ -65,19 +68,11 @@ impl CellKit {
         // Feedback: register q → adder a, and out to the interface.
         for i in 0..width {
             let nq = d.add_net(acc, format!("nq{i}"));
-            wire(
-                d,
-                nq,
-                &[(reg, format!("q{i}")), (add, format!("a{i}"))],
-            );
+            wire(d, nq, &[(reg, format!("q{i}")), (add, format!("a{i}"))]);
             d.connect_io(nq, &format!("acc{i}")).unwrap();
             // Sum back into the register.
             let ns = d.add_net(acc, format!("nsum{i}"));
-            wire(
-                d,
-                ns,
-                &[(add, format!("s{i}")), (reg, format!("d{i}"))],
-            );
+            wire(d, ns, &[(add, format!("s{i}")), (reg, format!("d{i}"))]);
         }
         // Carry-in tied low; carry-out exposed.
         let t0 = d

@@ -25,7 +25,11 @@ pub const ADDER_HEIGHT: i64 = 20;
 
 fn unit_rect(units_times_10: i64) -> Rect {
     // width = units/10 · 80, so 22 → 2.2A.
-    Rect::with_extent(Point::ORIGIN, ADDER_UNIT_WIDTH * units_times_10 / 10, ADDER_HEIGHT)
+    Rect::with_extent(
+        Point::ORIGIN,
+        ADDER_UNIT_WIDTH * units_times_10 / 10,
+        ADDER_HEIGHT,
+    )
 }
 
 /// An 8-bit-adder interface class: bus signals `a`, `b`, `s` (8 bits) plus
@@ -84,14 +88,18 @@ pub fn adder8_family(kit: &mut CellKit) -> Adder8Family {
     kit.analyzer
         .set_estimate(&mut kit.design, rc, "a", "s", 8.0 * GATE_DELAY_NS)
         .unwrap();
-    kit.design.set_class_bounding_box(rc, unit_rect(10)).unwrap();
+    kit.design
+        .set_class_bounding_box(rc, unit_rect(10))
+        .unwrap();
 
     let cs = kit.design.derive_class("ADD8.CS", generic);
     kit.analyzer.declare_delay(&mut kit.design, cs, "a", "s");
     kit.analyzer
         .set_estimate(&mut kit.design, cs, "a", "s", 5.0 * GATE_DELAY_NS)
         .unwrap();
-    kit.design.set_class_bounding_box(cs, unit_rect(22)).unwrap();
+    kit.design
+        .set_class_bounding_box(cs, unit_rect(22))
+        .unwrap();
 
     Adder8Family { generic, rc, cs }
 }
@@ -163,7 +171,8 @@ pub fn alu_fixture(kit: &mut CellKit) -> AluFixture {
     d.connect(n_out, adder_inst, "s").unwrap();
     d.connect_io(n_out, "out").unwrap();
 
-    kit.analyzer.declare_delay(&mut kit.design, alu, "in", "out");
+    kit.analyzer
+        .declare_delay(&mut kit.design, alu, "in", "out");
 
     AluFixture {
         alu,
@@ -238,22 +247,24 @@ pub fn synthetic_pruning_family(
     for g in 0..n_groups {
         let ideal_delay = 5.0 + 3.0 * g as f64;
         let ideal_area = 80 + 40 * g as i64;
-        let group = kit
-            .design
-            .derive_class(format!("Group{g}"), root);
+        let group = kit.design.derive_class(format!("Group{g}"), root);
         kit.design.set_generic(group, true);
         kit.analyzer.declare_delay(&mut kit.design, group, "a", "s");
         kit.analyzer
-            .set_estimate(&mut kit.design, group, "a", "s", ideal_delay * GATE_DELAY_NS)
+            .set_estimate(
+                &mut kit.design,
+                group,
+                "a",
+                "s",
+                ideal_delay * GATE_DELAY_NS,
+            )
             .unwrap();
         kit.design
             .set_class_bounding_box(group, unit_rect(ideal_area))
             .unwrap();
         let mut leaves = Vec::new();
         for l in 0..leaves_per_group {
-            let leaf = kit
-                .design
-                .derive_class(format!("Group{g}Leaf{l}"), group);
+            let leaf = kit.design.derive_class(format!("Group{g}Leaf{l}"), group);
             kit.analyzer.declare_delay(&mut kit.design, leaf, "a", "s");
             kit.analyzer
                 .set_estimate(

@@ -63,10 +63,10 @@ pub fn build_gates(
     analyzer: &mut DelayAnalyzer,
 ) -> Gates {
     let one_input = |d: &mut Design,
-                         primitives: &mut PrimitiveLibrary,
-                         analyzer: &mut DelayAnalyzer,
-                         name: &str,
-                         kind: PrimitiveKind|
+                     primitives: &mut PrimitiveLibrary,
+                     analyzer: &mut DelayAnalyzer,
+                     name: &str,
+                     kind: PrimitiveKind|
      -> CellClassId {
         let c = d.define_class(name);
         d.add_signal(c, "a", SignalDir::Input);
@@ -110,10 +110,10 @@ pub fn build_gates(
     };
 
     let two_input = |d: &mut Design,
-                         primitives: &mut PrimitiveLibrary,
-                         analyzer: &mut DelayAnalyzer,
-                         name: &str,
-                         kind: PrimitiveKind|
+                     primitives: &mut PrimitiveLibrary,
+                     analyzer: &mut DelayAnalyzer,
+                     name: &str,
+                     kind: PrimitiveKind|
      -> CellClassId {
         let c = d.define_class(name);
         d.add_signal(c, "a", SignalDir::Input);
@@ -184,7 +184,9 @@ pub fn build_gates(
     d.set_signal_pin(dff, "q", Point::new(12, 5));
     let dff_delay = gate_delay_units(PrimitiveKind::Dff) * GATE_DELAY_NS;
     analyzer.declare_delay(d, dff, "clk", "q");
-    analyzer.set_estimate(d, dff, "clk", "q", dff_delay).unwrap();
+    analyzer
+        .set_estimate(d, dff, "clk", "q", dff_delay)
+        .unwrap();
     analyzer.set_electrical(
         dff,
         "d",
@@ -214,9 +216,9 @@ pub fn build_gates(
 
     // Constant tie cells (no inputs).
     let tie = |d: &mut Design,
-                   primitives: &mut PrimitiveLibrary,
-                   name: &str,
-                   level: stem_sim::Level|
+               primitives: &mut PrimitiveLibrary,
+               name: &str,
+               level: stem_sim::Level|
      -> CellClassId {
         let c = d.define_class(name);
         d.add_signal(c, "y", SignalDir::Output);

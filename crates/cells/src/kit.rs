@@ -66,10 +66,7 @@ impl CellKit {
         let nclk = d.add_net(reg, "nclk");
         d.connect_io(nclk, "clk").unwrap();
         for i in 0..width {
-            let t = stem_geom::Transform::translation(stem_geom::Point::new(
-                dff_w * i as i64,
-                0,
-            ));
+            let t = stem_geom::Transform::translation(stem_geom::Point::new(dff_w * i as i64, 0));
             let ff = d.instantiate(dff, reg, format!("ff{i}"), t).unwrap();
             let nd = d.add_net(reg, format!("nd{i}"));
             d.connect_io(nd, &format!("d{i}")).unwrap();
@@ -117,7 +114,8 @@ impl CellKit {
             d.connect(ny, g, "y").unwrap();
             d.connect_io(ny, &format!("y{i}")).unwrap();
         }
-        self.analyzer.declare_delay(&mut self.design, lu, "a0", "y0");
+        self.analyzer
+            .declare_delay(&mut self.design, lu, "a0", "y0");
         lu
     }
 }

@@ -24,7 +24,6 @@
 //! assert!(t > 0.0);
 //! ```
 
-
 #![warn(missing_docs)]
 mod adders;
 mod datapath;

@@ -83,7 +83,12 @@ fn carry_select_8bit_spot_checks() {
     let flat = flatten(&kit.design, &kit.primitives, csa).unwrap();
     let mut sim = Simulator::new(flat);
     sim.run_to_quiescence().unwrap();
-    for (a, b, cin) in [(0, 0, false), (255, 1, false), (170, 85, true), (200, 100, false)] {
+    for (a, b, cin) in [
+        (0, 0, false),
+        (255, 1, false),
+        (170, 85, true),
+        (200, 100, false),
+    ] {
         let (s, cout) = drive_add(&mut sim, 8, a, b, cin);
         let expect = a + b + cin as u64;
         assert_eq!(s, expect & 0xFF, "{a}+{b}+{cin}");

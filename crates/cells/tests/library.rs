@@ -98,7 +98,10 @@ fn adder_delay_scales_with_width() {
     assert!(d8 > d2, "longer carry chain is slower: {d2} vs {d8}");
     // The carry chain grows by one (AND + OR + loading) stage per bit.
     let per_bit = (d8 - d2) / 6.0;
-    assert!((2.9..=3.5).contains(&per_bit), "per-bit carry delay {per_bit}");
+    assert!(
+        (2.9..=3.5).contains(&per_bit),
+        "per-bit carry delay {per_bit}"
+    );
 }
 
 #[test]
@@ -204,7 +207,10 @@ fn alu_fixture_delays_match_fig8_1() {
         .unwrap();
     assert!((d - 8.0 * GATE_DELAY_NS).abs() < 1e-9, "3D + 5D = {d}");
     // The instance delay variable mirrors the generic class delay.
-    let iv = kit.analyzer.instance_delay_var(fx.adder_inst, "a", "s").unwrap();
+    let iv = kit
+        .analyzer
+        .instance_delay_var(fx.adder_inst, "a", "s")
+        .unwrap();
     assert_eq!(kit.design.network().value(iv), &Value::Float(5.0));
 }
 

@@ -1,10 +1,12 @@
-//! Property-based tests over the cell library: both adder architectures
-//! implement addition for random operands and widths, and the delay
-//! analyzer's estimates stay monotone in width.
+//! Randomised (seeded, fully deterministic) tests over the cell library:
+//! both adder architectures implement addition for random operands and
+//! widths, and the delay analyzer's estimates stay monotone in width.
 
-use proptest::prelude::*;
 use stem_cells::CellKit;
+use stem_core::prng::SplitMix64;
 use stem_sim::{flatten, Level, Simulator};
+
+const ITERS: usize = 16;
 
 fn run_add(sim: &mut Simulator, width: usize, a: u64, b: u64, cin: bool) -> (u64, bool) {
     let t = sim.time() + 100;
@@ -25,16 +27,16 @@ fn run_add(sim: &mut Simulator, width: usize, a: u64, b: u64, cin: bool) -> (u64
     (s, sim.value(sim.port("cout").unwrap()) == Level::L1)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// Random operand sequences through a ripple-carry adder of random
-    /// width match u64 addition.
-    #[test]
-    fn rca_implements_addition(
-        width in 1usize..9,
-        ops in proptest::collection::vec((any::<u64>(), any::<u64>(), any::<bool>()), 1..8),
-    ) {
+/// Random operand sequences through a ripple-carry adder of random width
+/// match u64 addition.
+#[test]
+fn rca_implements_addition() {
+    let mut rng = SplitMix64::new(0xCE_01);
+    for _ in 0..ITERS {
+        let width = rng.range_usize(1, 9);
+        let ops: Vec<(u64, u64, bool)> = (0..rng.range_usize(1, 8))
+            .map(|_| (rng.next_u64(), rng.next_u64(), rng.next_bool()))
+            .collect();
         let mut kit = CellKit::new();
         let rca = kit.ripple_carry_adder("RCA", width);
         let flat = flatten(&kit.design, &kit.primitives, rca).unwrap();
@@ -44,18 +46,22 @@ proptest! {
             let (a, b) = (a & mask, b & mask);
             let (s, cout) = run_add(&mut sim, width, a, b, cin);
             let expect = a + b + cin as u64;
-            prop_assert_eq!(s, expect & mask);
-            prop_assert_eq!(cout, expect > mask);
+            assert_eq!(s, expect & mask);
+            assert_eq!(cout, expect > mask);
         }
     }
+}
 
-    /// The carry-select adder computes the same function as the
-    /// ripple-carry adder.
-    #[test]
-    fn csa_matches_rca(
-        half in 2usize..5,
-        ops in proptest::collection::vec((any::<u64>(), any::<u64>(), any::<bool>()), 1..6),
-    ) {
+/// The carry-select adder computes the same function as the ripple-carry
+/// adder.
+#[test]
+fn csa_matches_rca() {
+    let mut rng = SplitMix64::new(0xCE_02);
+    for _ in 0..ITERS {
+        let half = rng.range_usize(2, 5);
+        let ops: Vec<(u64, u64, bool)> = (0..rng.range_usize(1, 6))
+            .map(|_| (rng.next_u64(), rng.next_u64(), rng.next_bool()))
+            .collect();
         let width = half * 2;
         let mut kit = CellKit::new();
         let csa = kit.carry_select_adder("CSA", width);
@@ -67,20 +73,35 @@ proptest! {
             let (a, b) = (a & mask, b & mask);
             let (s, cout) = run_add(&mut sim, width, a, b, cin);
             let expect = a + b + cin as u64;
-            prop_assert_eq!(s, expect & mask, "{} + {} + {}", a, b, cin);
-            prop_assert_eq!(cout, expect > mask);
+            assert_eq!(s, expect & mask, "{} + {} + {}", a, b, cin);
+            assert_eq!(cout, expect > mask);
         }
     }
+}
 
-    /// Carry-chain delay estimates are strictly monotone in adder width.
-    #[test]
-    fn rca_delay_monotone_in_width(w1 in 1usize..6, extra in 1usize..4) {
-        let w2 = w1 + extra;
+/// Carry-chain delay estimates are strictly monotone in adder width.
+#[test]
+fn rca_delay_monotone_in_width() {
+    let mut rng = SplitMix64::new(0xCE_03);
+    for _ in 0..ITERS {
+        let w1 = rng.range_usize(1, 6);
+        let w2 = w1 + rng.range_usize(1, 4);
         let mut kit = CellKit::new();
         let a1 = kit.ripple_carry_adder("A1", w1);
         let a2 = kit.ripple_carry_adder("A2", w2);
-        let d1 = kit.analyzer.delay(&mut kit.design, a1, "cin", "cout").unwrap().unwrap();
-        let d2 = kit.analyzer.delay(&mut kit.design, a2, "cin", "cout").unwrap().unwrap();
-        prop_assert!(d2 > d1, "{w2}-bit ({d2}) must be slower than {w1}-bit ({d1})");
+        let d1 = kit
+            .analyzer
+            .delay(&mut kit.design, a1, "cin", "cout")
+            .unwrap()
+            .unwrap();
+        let d2 = kit
+            .analyzer
+            .delay(&mut kit.design, a2, "cin", "cout")
+            .unwrap()
+            .unwrap();
+        assert!(
+            d2 > d1,
+            "{w2}-bit ({d2}) must be slower than {w1}-bit ({d1})"
+        );
     }
 }

@@ -20,7 +20,12 @@ fn run_at_period(period_ps: u64) -> (bool, Vec<TimingViolation>) {
     sim.run_to_quiescence().unwrap();
     let t0 = sim.time() + 1;
     for i in 0..4 {
-        let q = sim.netlist().ports.get(&format!("acc{i}")).copied().unwrap();
+        let q = sim
+            .netlist()
+            .ports
+            .get(&format!("acc{i}"))
+            .copied()
+            .unwrap();
         sim.drive(q, Level::L0, t0);
     }
     sim.run_to_quiescence().unwrap();

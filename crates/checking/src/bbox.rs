@@ -114,7 +114,8 @@ pub fn constrain_pitch_match(
                 .expect("built-in boundingBox")
         })
         .collect();
-    d.network_mut().add_constraint(pitch_match_predicate(), vars)
+    d.network_mut()
+        .add_constraint(pitch_match_predicate(), vars)
 }
 
 /// Helper: assigns a user bounding box, returning the violation if any

@@ -32,9 +32,7 @@ use std::rc::Rc;
 use std::sync::Arc;
 
 use stem_core::kinds::{Functional, ImplicitLink, LinkSemantics, Predicate};
-use stem_core::{
-    ConstraintId, Justification, Network, PlainKind, Value, VarId, Violation,
-};
+use stem_core::{ConstraintId, Justification, Network, PlainKind, Value, VarId, Violation};
 use stem_design::{CellClassId, CellInstanceId, Design, SignalDir, StructureEvent};
 
 /// Electrical parameters of one io-signal, for the RC delay model
@@ -164,12 +162,7 @@ impl DelayAnalyzer {
 
     /// Sets the electrical parameters of a signal (used for loading
     /// adjustments).
-    pub fn set_electrical(
-        &mut self,
-        class: CellClassId,
-        signal: &str,
-        params: ElectricalParams,
-    ) {
+    pub fn set_electrical(&mut self, class: CellClassId, signal: &str, params: ElectricalParams) {
         self.electrical.insert((class, signal.to_string()), params);
     }
 
@@ -219,18 +212,14 @@ impl DelayAnalyzer {
 
     /// The class-side delay variable of a declaration.
     pub fn class_delay_var(&self, class: CellClassId, from: &str, to: &str) -> Option<VarId> {
-        self.declared.get(&class)?.iter().find_map(|(decl, v)| {
-            (decl.from == from && decl.to == to).then_some(*v)
-        })
+        self.declared
+            .get(&class)?
+            .iter()
+            .find_map(|(decl, v)| (decl.from == from && decl.to == to).then_some(*v))
     }
 
     /// The dual instance-delay variable, if it has been created.
-    pub fn instance_delay_var(
-        &self,
-        inst: CellInstanceId,
-        from: &str,
-        to: &str,
-    ) -> Option<VarId> {
+    pub fn instance_delay_var(&self, inst: CellInstanceId, from: &str, to: &str) -> Option<VarId> {
         self.inst_vars
             .get(&(inst, from.to_string(), to.to_string()))
             .copied()
@@ -257,7 +246,8 @@ impl DelayAnalyzer {
         let var = self
             .class_delay_var(class, from, to)
             .expect("delay not declared");
-        d.network_mut().set(var, Value::Float(ns), Justification::User)
+        d.network_mut()
+            .set(var, Value::Float(ns), Justification::User)
     }
 
     /// Removes a designer estimate so the computed value can take over.

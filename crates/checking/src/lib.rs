@@ -18,14 +18,13 @@
 //!   networks from `UniAddition`/`UniMaximum` constraints over dual delay
 //!   variables with RC loading adjustments.
 
-
 #![warn(missing_docs)]
 mod bbox;
 mod delay;
 
 pub use bbox::{
-    area_at_most_predicate, aspect_ratio_predicate, constrain_area_at_most,
-    constrain_aspect_ratio, constrain_pitch_match, pitch_match_predicate, set_bbox_checked,
+    area_at_most_predicate, aspect_ratio_predicate, constrain_area_at_most, constrain_aspect_ratio,
+    constrain_pitch_match, pitch_match_predicate, set_bbox_checked,
 };
 pub use delay::{DelayAnalyzer, DelayDecl, DelayLink, ElectricalParams};
 

@@ -33,7 +33,8 @@ fn build(reg_delay: f64, adder_delay: f64, adder_load_ns: f64) -> Fixture {
     d.set_signal_bit_width(adder, "a", 8).unwrap();
     d.set_signal_bit_width(adder, "sum", 8).unwrap();
     an.declare_delay(&mut d, adder, "a", "sum");
-    an.set_estimate(&mut d, adder, "a", "sum", adder_delay).unwrap();
+    an.set_estimate(&mut d, adder, "a", "sum", adder_delay)
+        .unwrap();
     // Loading: adder drives the accumulator output; model the load as
     // R_out · C_load = adder_load_ns.
     an.set_electrical(
@@ -51,7 +52,8 @@ fn build(reg_delay: f64, adder_delay: f64, adder_load_ns: f64) -> Fixture {
     d.set_signal_bit_width(register, "d", 8).unwrap();
     d.set_signal_bit_width(register, "q", 8).unwrap();
     an.declare_delay(&mut d, register, "d", "q");
-    an.set_estimate(&mut d, register, "d", "q", reg_delay).unwrap();
+    an.set_estimate(&mut d, register, "d", "q", reg_delay)
+        .unwrap();
 
     // An output buffer providing the adder's load capacitance.
     let obuf = d.define_class("OBUF");
@@ -111,14 +113,12 @@ fn build(reg_delay: f64, adder_delay: f64, adder_load_ns: f64) -> Fixture {
 fn accumulator_meets_spec_when_components_are_fast_enough() {
     // REGISTER 60 + ADDER 90 (+10 loading) = 160 ≤ 160: OK.
     let mut f = build(60.0, 90.0, 10.0);
-    f.an
-        .constrain_max(&mut f.d, f.accumulator, "in", "out", 160.0)
+    f.an.constrain_max(&mut f.d, f.accumulator, "in", "out", 160.0)
         .unwrap();
-    let total = f
-        .an
-        .delay(&mut f.d, f.accumulator, "in", "out")
-        .unwrap()
-        .unwrap();
+    let total =
+        f.an.delay(&mut f.d, f.accumulator, "in", "out")
+            .unwrap()
+            .unwrap();
     assert!((total - 160.0).abs() < 1e-9, "60 + 90 + 10 = {total}");
 }
 
@@ -127,10 +127,11 @@ fn accumulator_violates_160ns_spec_as_in_the_thesis() {
     // The thesis numbers: REGISTER 60 ns, ADDER 110 ns after loading
     // (here 100 intrinsic + 10 load) — total 170 > 160 → violation.
     let mut f = build(60.0, 100.0, 10.0);
-    f.an
-        .constrain_max(&mut f.d, f.accumulator, "in", "out", 160.0)
+    f.an.constrain_max(&mut f.d, f.accumulator, "in", "out", 160.0)
         .unwrap();
-    let err = f.an.delay(&mut f.d, f.accumulator, "in", "out").unwrap_err();
+    let err =
+        f.an.delay(&mut f.d, f.accumulator, "in", "out")
+            .unwrap_err();
     let _ = err;
 }
 
@@ -140,8 +141,7 @@ fn adder_class_delay_spec_constrains_internal_design() {
     // violation is triggered if a delay value greater than 120ns is
     // propagated to this delay variable."
     let mut f = build(60.0, 100.0, 0.0);
-    f.an
-        .constrain_max(&mut f.d, f.adder, "a", "sum", 120.0)
+    f.an.constrain_max(&mut f.d, f.adder, "a", "sum", 120.0)
         .unwrap();
     // Re-characterising the adder at 130ns violates its own spec.
     f.an.clear_estimate(&mut f.d, f.adder, "a", "sum");
@@ -160,8 +160,7 @@ fn register_improvement_relaxes_the_budget_least_commitment() {
     // The least-commitment story (§1.1): only the *sum* is constrained.
     // A slow adder (105) fails with a nominal register (60)…
     let mut f = build(60.0, 105.0, 0.0);
-    f.an
-        .constrain_max(&mut f.d, f.accumulator, "in", "out", 160.0)
+    f.an.constrain_max(&mut f.d, f.accumulator, "in", "out", 160.0)
         .unwrap();
     assert!(f.an.delay(&mut f.d, f.accumulator, "in", "out").is_err());
     // …but a faster register (50) relaxes the implicit adder budget and
@@ -169,11 +168,10 @@ fn register_improvement_relaxes_the_budget_least_commitment() {
     f.an.clear_estimate(&mut f.d, f.register, "d", "q");
     f.an.set_estimate(&mut f.d, f.register, "d", "q", 50.0)
         .unwrap();
-    let total = f
-        .an
-        .delay(&mut f.d, f.accumulator, "in", "out")
-        .unwrap()
-        .unwrap();
+    let total =
+        f.an.delay(&mut f.d, f.accumulator, "in", "out")
+            .unwrap()
+            .unwrap();
     assert!((total - 155.0).abs() < 1e-9);
 }
 
@@ -201,13 +199,16 @@ fn structure_edit_invalidates_network_via_hook() {
 #[test]
 fn instance_delay_vars_carry_adjusted_values() {
     let mut f = build(60.0, 90.0, 10.0);
-    f.an
-        .delay(&mut f.d, f.accumulator, "in", "out")
+    f.an.delay(&mut f.d, f.accumulator, "in", "out")
         .unwrap()
         .unwrap();
     let add_inst = f.d.subcells(f.accumulator)[1];
     let iv = f.an.instance_delay_var(add_inst, "a", "sum").unwrap();
-    assert_eq!(f.d.network().value(iv), &Value::Float(100.0), "90 + 10 load");
+    assert_eq!(
+        f.d.network().value(iv),
+        &Value::Float(100.0),
+        "90 + 10 load"
+    );
     let reg_inst = f.d.subcells(f.accumulator)[0];
     let rv = f.an.instance_delay_var(reg_inst, "d", "q").unwrap();
     assert_eq!(f.d.network().value(rv), &Value::Float(60.0));

@@ -41,12 +41,11 @@
 //! assert_eq!(sol.total_extent, 44);
 //! ```
 
-
 #![warn(missing_docs)]
 mod graph;
 mod row;
 mod two_d;
 
-pub use graph::{CompactionGraph, Compacted, ElementId, Infeasible};
+pub use graph::{Compacted, CompactionGraph, ElementId, Infeasible};
 pub use row::{compact_row, RowCell, RowSpec};
 pub use two_d::compact_2d;

@@ -2,7 +2,7 @@
 //! standard-cell row with design-rule separations and alignment groups —
 //! the workload generator for experiment E16.
 
-use crate::graph::{CompactionGraph, Compacted, ElementId, Infeasible};
+use crate::graph::{Compacted, CompactionGraph, ElementId, Infeasible};
 
 /// One cell of a row.
 #[derive(Debug, Clone)]

@@ -111,11 +111,10 @@ mod tests {
     fn sparse_row_slides_together() {
         let rects = [r(0, 0, 10, 10), r(50, 0, 10, 10), r(120, 0, 10, 10)];
         let pos = compact_2d(&rects, 2).unwrap();
-        assert_eq!(pos, vec![
-            Point::new(0, 0),
-            Point::new(12, 0),
-            Point::new(24, 0)
-        ]);
+        assert_eq!(
+            pos,
+            vec![Point::new(0, 0), Point::new(12, 0), Point::new(24, 0)]
+        );
     }
 
     #[test]

@@ -1,26 +1,31 @@
-//! Property tests of the satisfaction solver, plus the two bridge
-//! experiments of thesis §2.1.1 / §7.4:
+//! Randomised (seeded, fully deterministic) tests of the satisfaction
+//! solver, plus the two bridge experiments of thesis §2.1.1 / §7.4:
 //!
 //! - a compacted solution can be *verified* by a STEM constraint network
 //!   (propagation checks what satisfaction solved) — experiment E16;
 //! - the centering relation Electric cannot express as linear
 //!   inequalities is a one-liner functional constraint in STEM.
 
-use proptest::prelude::*;
 use stem_compact::{compact_row, CompactionGraph, RowSpec};
 use stem_core::kinds::{Functional, Predicate};
+use stem_core::prng::SplitMix64;
 use stem_core::{Justification, Network, Value};
 
-proptest! {
-    /// Every solution satisfies every constraint, and each position is
-    /// tight: reducing it by 1 would break some constraint (leftmost /
-    /// maximally-constrained-path property).
-    #[test]
-    fn solutions_satisfy_and_are_tight(
-        widths in proptest::collection::vec(1i64..30, 2..20),
-        seps in proptest::collection::vec(0i64..5, 2..20),
-        extra_seed in any::<u64>(),
-    ) {
+const ITERS: usize = 48;
+
+/// Every solution satisfies every constraint, and each position is tight:
+/// reducing it by 1 would break some constraint (leftmost /
+/// maximally-constrained-path property).
+#[test]
+fn solutions_satisfy_and_are_tight() {
+    let mut rng = SplitMix64::new(0xC0_01);
+    for _ in 0..ITERS {
+        let widths: Vec<i64> = (0..rng.range_usize(2, 20))
+            .map(|_| rng.range_i64(1, 30))
+            .collect();
+        let seps: Vec<i64> = (0..rng.range_usize(2, 20))
+            .map(|_| rng.range_i64(0, 5))
+            .collect();
         let mut g = CompactionGraph::new();
         let ids: Vec<_> = widths.iter().map(|&w| g.add_element(w)).collect();
         let mut constraints: Vec<(usize, usize, i64)> = Vec::new();
@@ -30,13 +35,11 @@ proptest! {
             constraints.push((i, i + 1, widths[i] + sep));
         }
         // A few random long-range orderings (always left→right: no cycles).
-        let mut s = extra_seed;
         for _ in 0..widths.len() / 2 {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            let i = (s >> 33) as usize % widths.len();
-            let j = (s >> 17) as usize % widths.len();
+            let i = rng.range_usize(0, widths.len());
+            let j = rng.range_usize(0, widths.len());
             if i < j {
-                let d = (s % 40) as i64;
+                let d = rng.range_i64(0, 40);
                 g.min_distance(ids[i], ids[j], d);
                 constraints.push((i, j, d));
             }
@@ -44,47 +47,43 @@ proptest! {
         let sol = g.solve().unwrap();
         // Satisfied:
         for &(a, b, d) in &constraints {
-            prop_assert!(sol.position(ids[b]) >= sol.position(ids[a]) + d);
+            assert!(sol.position(ids[b]) >= sol.position(ids[a]) + d);
         }
         // Non-negative and tight:
-        for (i, &id) in ids.enumerate_helper() {
+        for (i, &id) in ids.iter().enumerate() {
             let x = sol.position(id);
-            prop_assert!(x >= 0);
+            assert!(x >= 0);
             if x > 0 {
                 // Some incoming constraint must pin x exactly.
                 let tight = constraints
                     .iter()
                     .any(|&(a, b, d)| b == i && sol.position(ids[a]) + d == x);
-                prop_assert!(tight, "position {x} of e{i} is not maximally constrained");
+                assert!(tight, "position {x} of e{i} is not maximally constrained");
             }
         }
     }
+}
 
-    /// Row compaction width equals the sum of widths plus separations when
-    /// no extra constraints stretch it.
-    #[test]
-    fn plain_row_width_is_exact(
-        widths in proptest::collection::vec(1i64..50, 1..30),
-        sep in 0i64..10,
-    ) {
-        let mut spec = RowSpec { min_separation: sep, ..Default::default() };
+/// Row compaction width equals the sum of widths plus separations when no
+/// extra constraints stretch it.
+#[test]
+fn plain_row_width_is_exact() {
+    let mut rng = SplitMix64::new(0xC0_02);
+    for _ in 0..ITERS {
+        let widths: Vec<i64> = (0..rng.range_usize(1, 30))
+            .map(|_| rng.range_i64(1, 50))
+            .collect();
+        let sep = rng.range_i64(0, 10);
+        let mut spec = RowSpec {
+            min_separation: sep,
+            ..Default::default()
+        };
         for (i, &w) in widths.iter().enumerate() {
             spec.cell(format!("c{i}"), w);
         }
         let (sol, _) = compact_row(&spec).unwrap();
         let expect: i64 = widths.iter().sum::<i64>() + sep * (widths.len() as i64 - 1);
-        prop_assert_eq!(sol.total_extent, expect);
-    }
-}
-
-/// Tiny helper: enumerate with index over a slice of ids.
-trait EnumerateHelper {
-    fn enumerate_helper(&self) -> std::iter::Enumerate<std::slice::Iter<'_, stem_compact::ElementId>>;
-}
-
-impl EnumerateHelper for Vec<stem_compact::ElementId> {
-    fn enumerate_helper(&self) -> std::iter::Enumerate<std::slice::Iter<'_, stem_compact::ElementId>> {
-        self.iter().enumerate()
+        assert_eq!(sol.total_extent, expect);
     }
 }
 
@@ -136,13 +135,21 @@ fn compacted_solution_verifies_in_a_stem_network() {
 
     // Loading the solved placement raises no violations…
     for (i, &x) in xs.iter().enumerate() {
-        net.set(x, Value::Int(sol.position(ids[i])), Justification::Application)
-            .unwrap();
+        net.set(
+            x,
+            Value::Int(sol.position(ids[i])),
+            Justification::Application,
+        )
+        .unwrap();
     }
     assert!(net.check_all().is_empty());
     // …while perturbing one cell violates immediately.
     assert!(net
-        .set(xs[1], Value::Int(sol.position(ids[1]) - 1), Justification::User)
+        .set(
+            xs[1],
+            Value::Int(sol.position(ids[1]) - 1),
+            Justification::User
+        )
         .is_err());
 }
 
@@ -186,19 +193,23 @@ fn centering_is_inexpressible_linearly_but_trivial_in_stem() {
     assert_eq!(sol.position(m), 11, "leftmost, not centred (50)");
 }
 
-proptest! {
-    /// 2D compaction of random non-overlapping placements is overlap-free
-    /// and never grows the bounding box.
-    #[test]
-    fn compact_2d_is_overlap_free_and_shrinks(
-        cells in proptest::collection::vec(
-            ((0i64..8, 0i64..8), (2i64..12, 2i64..12)),
-            1..12,
-        ),
-        spacing in 0i64..3,
-    ) {
-        use stem_compact::compact_2d;
-        use stem_geom::{Point, Rect};
+/// 2D compaction of random non-overlapping placements is overlap-free and
+/// never grows the bounding box.
+#[test]
+fn compact_2d_is_overlap_free_and_shrinks() {
+    use stem_compact::compact_2d;
+    use stem_geom::{Point, Rect};
+    let mut rng = SplitMix64::new(0xC0_03);
+    for _ in 0..ITERS {
+        let cells: Vec<((i64, i64), (i64, i64))> = (0..rng.range_usize(1, 12))
+            .map(|_| {
+                (
+                    (rng.range_i64(0, 8), rng.range_i64(0, 8)),
+                    (rng.range_i64(2, 12), rng.range_i64(2, 12)),
+                )
+            })
+            .collect();
+        let spacing = rng.range_i64(0, 3);
         // Place on a coarse grid so inputs never overlap.
         let rects: Vec<Rect> = cells
             .iter()
@@ -211,10 +222,7 @@ proptest! {
             .collect();
         // Deduplicate identical grid slots (two cells in one slot overlap).
         let mut seen = std::collections::HashSet::new();
-        let rects: Vec<Rect> = rects
-            .into_iter()
-            .filter(|r| seen.insert(r.min()))
-            .collect();
+        let rects: Vec<Rect> = rects.into_iter().filter(|r| seen.insert(r.min())).collect();
         let pos = compact_2d(&rects, spacing).unwrap();
         let out: Vec<Rect> = rects
             .iter()
@@ -224,15 +232,19 @@ proptest! {
         for (i, a) in out.iter().enumerate() {
             for b in &out[i + 1..] {
                 if let Some(x) = a.intersection(*b) {
-                    prop_assert!(x.is_empty(), "{a} overlaps {b}");
+                    assert!(x.is_empty(), "{a} overlaps {b}");
                 }
             }
         }
         if spacing == 0 {
             let before = Rect::union_all(rects.iter().copied()).unwrap();
             let after = Rect::union_all(out.iter().copied()).unwrap();
-            prop_assert!(after.area() <= before.area(),
-                "compaction must not grow: {} -> {}", before.area(), after.area());
+            assert!(
+                after.area() <= before.area(),
+                "compaction must not grow: {} -> {}",
+                before.area(),
+                after.area()
+            );
         }
     }
 }

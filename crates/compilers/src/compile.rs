@@ -118,7 +118,11 @@ impl GraphCompiler {
 
     /// Disallows connections on one pin; the pin is withdrawn from butting
     /// and from the exported boundary.
-    pub fn disallow(&mut self, instance: impl Into<String>, signal: impl Into<String>) -> &mut Self {
+    pub fn disallow(
+        &mut self,
+        instance: impl Into<String>,
+        signal: impl Into<String>,
+    ) -> &mut Self {
         self.disallowed.insert((instance.into(), signal.into()));
         self
     }
@@ -145,7 +149,11 @@ impl GraphCompiler {
     /// # Errors
     ///
     /// See [`CompileError`].
-    pub fn compile(&self, d: &mut Design, target: CellClassId) -> Result<CompiledStructure, CompileError> {
+    pub fn compile(
+        &self,
+        d: &mut Design,
+        target: CellClassId,
+    ) -> Result<CompiledStructure, CompileError> {
         let mut out = CompiledStructure {
             instances: Vec::new(),
             nets: Vec::new(),
@@ -173,8 +181,7 @@ impl GraphCompiler {
 
         // 2. Collect transformed pins.
         // BTreeMap keyed by point for deterministic net ordering.
-        let mut groups: BTreeMap<Point, Vec<(CellInstanceId, String, SignalDir)>> =
-            BTreeMap::new();
+        let mut groups: BTreeMap<Point, Vec<(CellInstanceId, String, SignalDir)>> = BTreeMap::new();
         let mut explicit_pins: HashSet<(CellInstanceId, String)> = HashSet::new();
         for group in &self.extra_nets {
             for (iname, sig) in group {
@@ -220,7 +227,8 @@ impl GraphCompiler {
                 let net = d.add_net(target, format!("butt{net_no}"));
                 net_no += 1;
                 for (inst, sig, _) in pins {
-                    d.connect(net, *inst, sig).map_err(CompileError::Violation)?;
+                    d.connect(net, *inst, sig)
+                        .map_err(CompileError::Violation)?;
                 }
                 out.nets.push(net);
             } else {
@@ -263,8 +271,10 @@ impl GraphCompiler {
                 }
                 d.set_signal_pin(target, &export, point);
                 let net = d.add_net(target, format!("io_{export}"));
-                d.connect(net, inst, &sig).map_err(CompileError::Violation)?;
-                d.connect_io(net, &export).map_err(CompileError::Violation)?;
+                d.connect(net, inst, &sig)
+                    .map_err(CompileError::Violation)?;
+                d.connect_io(net, &export)
+                    .map_err(CompileError::Violation)?;
                 out.nets.push(net);
                 out.exported.push(export);
             }
@@ -331,7 +341,11 @@ impl VectorCompiler {
     /// # Errors
     ///
     /// See [`CompileError`].
-    pub fn compile(&self, d: &mut Design, target: CellClassId) -> Result<CompiledStructure, CompileError> {
+    pub fn compile(
+        &self,
+        d: &mut Design,
+        target: CellClassId,
+    ) -> Result<CompiledStructure, CompileError> {
         let bbox = d
             .class_bounding_box(self.cell)
             .ok_or(CompileError::MissingBoundingBox(self.cell))?;
@@ -367,7 +381,12 @@ pub struct WordCompiler {
 
 impl WordCompiler {
     /// Creates a word compiler.
-    pub fn new(left_end: CellClassId, body: CellClassId, right_end: CellClassId, count: usize) -> Self {
+    pub fn new(
+        left_end: CellClassId,
+        body: CellClassId,
+        right_end: CellClassId,
+        count: usize,
+    ) -> Self {
         WordCompiler {
             left_end,
             body,
@@ -381,7 +400,11 @@ impl WordCompiler {
     /// # Errors
     ///
     /// See [`CompileError`].
-    pub fn compile(&self, d: &mut Design, target: CellClassId) -> Result<CompiledStructure, CompileError> {
+    pub fn compile(
+        &self,
+        d: &mut Design,
+        target: CellClassId,
+    ) -> Result<CompiledStructure, CompileError> {
         let w_left = d
             .class_bounding_box(self.left_end)
             .ok_or(CompileError::MissingBoundingBox(self.left_end))?
@@ -432,7 +455,11 @@ impl MatrixCompiler {
     /// # Errors
     ///
     /// See [`CompileError`].
-    pub fn compile(&self, d: &mut Design, target: CellClassId) -> Result<CompiledStructure, CompileError> {
+    pub fn compile(
+        &self,
+        d: &mut Design,
+        target: CellClassId,
+    ) -> Result<CompiledStructure, CompileError> {
         let bbox = d
             .class_bounding_box(self.cell)
             .ok_or(CompileError::MissingBoundingBox(self.cell))?;

@@ -5,8 +5,7 @@
 //! parameters regenerates the cell's structure.
 
 use crate::compile::{
-    clear_structure, CompileError, CompiledStructure, MatrixCompiler, VectorCompiler,
-    WordCompiler,
+    clear_structure, CompileError, CompiledStructure, MatrixCompiler, VectorCompiler, WordCompiler,
 };
 use std::collections::HashMap;
 use stem_design::{CellClassId, Design};
@@ -149,7 +148,10 @@ mod tests {
             .assign(&mut d, row, VectorCompiler::new(s, 3))
             .unwrap();
         assert_eq!(built.instances.len(), 3);
-        assert!(matches!(layouts.layout_of(row), Some(AnyCompiler::Vector(_))));
+        assert!(matches!(
+            layouts.layout_of(row),
+            Some(AnyCompiler::Vector(_))
+        ));
 
         let built = layouts
             .regenerate(&mut d, row, VectorCompiler::new(s, 6))

@@ -27,15 +27,14 @@
 //! assert_eq!(built.nets.len(), 3 + 2, "3 butting nets + 2 exported ends");
 //! ```
 
-
 #![warn(missing_docs)]
 mod compile;
 mod layout;
 mod view;
 
 pub use compile::{
-    clear_structure, CompileError, CompiledStructure, GraphCompiler, GrowDirection,
-    MatrixCompiler, Placement, VectorCompiler, WordCompiler,
+    clear_structure, CompileError, CompiledStructure, GraphCompiler, GrowDirection, MatrixCompiler,
+    Placement, VectorCompiler, WordCompiler,
 };
 pub use layout::{AnyCompiler, StructureLayouts};
 pub use view::{CompilerView, SidePins, ViewData};

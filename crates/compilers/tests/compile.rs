@@ -64,7 +64,10 @@ fn fig6_2_five_bit_adder_with_graph_compiler() {
     let built = g.compile(&mut d, adder5).unwrap();
 
     assert_eq!(built.instances.len(), 3);
-    assert_eq!(d.class_bounding_box(adder5), Some(Rect::with_extent(Point::ORIGIN, 50, 10)));
+    assert_eq!(
+        d.class_bounding_box(adder5),
+        Some(Rect::with_extent(Point::ORIGIN, 50, 10))
+    );
 
     // Two internal carry nets: lo.cout↔mid.cin and mid.cout↔hi.cin.
     let butt_nets: Vec<_> = built
@@ -105,8 +108,11 @@ fn explicit_connection_groups() {
     let top = d.define_class("TOP");
     let mut g = GraphCompiler::new();
     // Two slices far apart (no butting); wire carry explicitly.
-    g.place(s1, "a", Transform::IDENTITY)
-        .place(s1, "b", Transform::translation(Point::new(100, 0)));
+    g.place(s1, "a", Transform::IDENTITY).place(
+        s1,
+        "b",
+        Transform::translation(Point::new(100, 0)),
+    );
     g.connect_group(&[("a", "cout"), ("b", "cin")]);
     let built = g.compile(&mut d, top).unwrap();
     let conn = built
@@ -171,7 +177,10 @@ fn word_compiler_uses_end_cells() {
         .unwrap();
     assert_eq!(built.instances.len(), 6);
     // No carry pins remain on the boundary.
-    assert!(!built.exported.iter().any(|e| e.contains("cin") || e.contains("cout")));
+    assert!(!built
+        .exported
+        .iter()
+        .any(|e| e.contains("cin") || e.contains("cout")));
     assert_eq!(d.class_bounding_box(word).unwrap().width(), 4 + 40 + 4);
 }
 
@@ -192,7 +201,9 @@ fn matrix_compiler_tiles_2d() {
     d.set_signal_pin(tile, "w", Point::new(0, 5));
 
     let arr = d.define_class("ARR");
-    let built = MatrixCompiler::new(tile, 3, 4).compile(&mut d, arr).unwrap();
+    let built = MatrixCompiler::new(tile, 3, 4)
+        .compile(&mut d, arr)
+        .unwrap();
     assert_eq!(built.instances.len(), 12);
     let butt = built
         .nets

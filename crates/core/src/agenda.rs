@@ -21,7 +21,7 @@ type Entry = (ConstraintId, Option<VarId>);
 
 /// One agenda: a first-in-first-out queue without duplicate entries
 /// (thesis §4.2.1).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Agenda {
     name: &'static str,
     priority: i32,
@@ -63,7 +63,7 @@ impl Agenda {
 /// default: [`FUNCTIONAL_AGENDA`] and [`IMPLICIT_AGENDA`]; custom agendas
 /// may be declared with [`AgendaScheduler::define`] or spring into
 /// existence at priority 0 on first use.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct AgendaScheduler {
     /// Kept sorted by priority, highest first.
     agendas: Vec<Agenda>,
@@ -116,12 +116,7 @@ impl AgendaScheduler {
     /// Schedules `(cid, var)` on agenda `name`, creating the agenda at
     /// priority 0 if unknown. Returns `false` when the identical entry was
     /// already queued (no duplicates, §4.2.1).
-    pub fn schedule(
-        &mut self,
-        name: &'static str,
-        cid: ConstraintId,
-        var: Option<VarId>,
-    ) -> bool {
+    pub fn schedule(&mut self, name: &'static str, cid: ConstraintId, var: Option<VarId>) -> bool {
         if self.priority(name).is_none() {
             self.define(name, 0);
         }

@@ -198,7 +198,8 @@ mod tests {
         let mut net = Network::new();
         let a = net.add_variable("a");
         let s = net.add_variable("s");
-        net.add_constraint(Functional::uni_addition(), [a, s]).unwrap();
+        net.add_constraint(Functional::uni_addition(), [a, s])
+            .unwrap();
         net.add_constraint(Predicate::le_const(Value::Int(5)), [s])
             .unwrap();
         let plan = compile_functional(&net).unwrap();

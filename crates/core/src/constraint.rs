@@ -117,6 +117,8 @@ pub trait ConstraintKind: fmt::Debug {
 }
 
 /// Internal storage for one constraint: behaviour plus connectivity.
+/// Cloning shares the (immutable) kind and copies the connectivity.
+#[derive(Clone)]
 pub(crate) struct ConstraintData {
     pub(crate) kind: std::rc::Rc<dyn ConstraintKind>,
     pub(crate) args: Vec<VarId>,

@@ -13,6 +13,15 @@ impl VarId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Builds a handle from an arena index. Ids are allocated sequentially
+    /// by [`Network::add_variable`](crate::Network::add_variable), so
+    /// clients driving a network remotely (e.g. through a batch protocol)
+    /// can predict the handles a batch will allocate. Using an index that
+    /// was never allocated panics on first access.
+    pub fn from_index(index: usize) -> Self {
+        VarId(u32::try_from(index).expect("variable index fits in u32"))
+    }
 }
 
 impl fmt::Display for VarId {
@@ -29,6 +38,11 @@ impl ConstraintId {
     /// The arena index of this constraint.
     pub fn index(self) -> usize {
         self.0 as usize
+    }
+
+    /// Builds a handle from an arena index (see [`VarId::from_index`]).
+    pub fn from_index(index: usize) -> Self {
+        ConstraintId(u32::try_from(index).expect("constraint index fits in u32"))
     }
 }
 

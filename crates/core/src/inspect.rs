@@ -63,7 +63,11 @@ impl<'n> NetworkInspector<'n> {
         format!(
             "{cid} {kind} [{sat}] args({args})",
             kind = n.constraint_kind_name(cid),
-            sat = if n.is_satisfied(cid) { "ok" } else { "VIOLATED" },
+            sat = if n.is_satisfied(cid) {
+                "ok"
+            } else {
+                "VIOLATED"
+            },
             args = args.join(", "),
         )
     }
@@ -261,10 +265,7 @@ mod tests {
     fn violation_diagnostic_is_rich() {
         let (mut net, a, _, _) = sample();
         let limit = net
-            .add_constraint(
-                crate::kinds::Predicate::le_const(Value::Int(5)),
-                [a],
-            )
+            .add_constraint(crate::kinds::Predicate::le_const(Value::Int(5)), [a])
             .unwrap();
         let err = net.set(a, Value::Int(9), Justification::User).unwrap_err();
         let insp = NetworkInspector::new(&net);

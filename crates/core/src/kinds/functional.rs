@@ -68,9 +68,10 @@ impl FunctionalOp {
                 let first = it.next()?.clone();
                 it.try_fold(first, |acc, v| acc.numeric_min(v))
             }
-            FunctionalOp::Product => inputs.iter().try_fold(1.0_f64, |acc, v| {
-                v.as_f64().map(|x| acc * x)
-            }).map(Value::Float),
+            FunctionalOp::Product => inputs
+                .iter()
+                .try_fold(1.0_f64, |acc, v| v.as_f64().map(|x| acc * x))
+                .map(Value::Float),
             FunctionalOp::Scale { gain, offset } => {
                 if inputs.len() != 1 {
                     return None;
@@ -152,10 +153,7 @@ impl Functional {
     }
 
     /// result = f(inputs); `name` labels the kind for inspection.
-    pub fn custom(
-        name: &'static str,
-        f: impl Fn(&[Value]) -> Option<Value> + 'static,
-    ) -> Self {
+    pub fn custom(name: &'static str, f: impl Fn(&[Value]) -> Option<Value> + 'static) -> Self {
         Functional::new(FunctionalOp::Custom(name, Rc::new(f)))
     }
 
@@ -360,7 +358,8 @@ mod tests {
         let r = net.add_variable("r");
         let mut args = mirrors.clone();
         args.push(r);
-        net.add_constraint(Functional::uni_addition(), args).unwrap();
+        net.add_constraint(Functional::uni_addition(), args)
+            .unwrap();
         net.reset_stats();
         net.set(src, Value::Int(2), Justification::User).unwrap();
         assert_eq!(net.value(r), &Value::Int(8));

@@ -253,16 +253,26 @@ mod tests {
         let inst_v = net.add_variable("inst.width");
         net.add_constraint(ImplicitLink::new(ParamRange), [class_v, inst_v])
             .unwrap();
-        net.set(class_v, Value::Span(Span::new(1.0, 8.0)), Justification::User)
-            .unwrap();
-        assert!(net.set(inst_v, Value::Float(4.0), Justification::User).is_ok());
+        net.set(
+            class_v,
+            Value::Span(Span::new(1.0, 8.0)),
+            Justification::User,
+        )
+        .unwrap();
+        assert!(net
+            .set(inst_v, Value::Float(4.0), Justification::User)
+            .is_ok());
         assert!(net
             .set(inst_v, Value::Float(9.0), Justification::User)
             .is_err());
         assert_eq!(net.value(inst_v), &Value::Float(4.0));
         // Narrowing the class range below the instance value also violates.
         assert!(net
-            .set(class_v, Value::Span(Span::new(5.0, 8.0)), Justification::User)
+            .set(
+                class_v,
+                Value::Span(Span::new(5.0, 8.0)),
+                Justification::User
+            )
             .is_err());
     }
 

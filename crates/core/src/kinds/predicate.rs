@@ -109,14 +109,8 @@ impl Predicate {
             )
         };
         match &self.op {
-            PredOp::LeConst(bound) => values
-                .iter()
-                .filter(|v| !v.is_nil())
-                .all(|v| le(v, bound)),
-            PredOp::GeConst(bound) => values
-                .iter()
-                .filter(|v| !v.is_nil())
-                .all(|v| le(bound, v)),
+            PredOp::LeConst(bound) => values.iter().filter(|v| !v.is_nil()).all(|v| le(v, bound)),
+            PredOp::GeConst(bound) => values.iter().filter(|v| !v.is_nil()).all(|v| le(bound, v)),
             PredOp::EqConst(c) => values.iter().filter(|v| !v.is_nil()).all(|v| v == c),
             PredOp::RangeConst { lo, hi } => values
                 .iter()
@@ -168,7 +162,11 @@ impl ConstraintKind for Predicate {
     }
 
     fn is_satisfied(&self, net: &Network, cid: ConstraintId) -> bool {
-        let values: Vec<Value> = net.args(cid).iter().map(|&v| net.value(v).clone()).collect();
+        let values: Vec<Value> = net
+            .args(cid)
+            .iter()
+            .map(|&v| net.value(v).clone())
+            .collect();
         self.test(&values)
     }
 }

@@ -74,12 +74,7 @@ impl ConstraintKind for UpdateConstraint {
         let targets: Vec<_> = targets.to_vec();
         for target in targets {
             if !net.value(target).is_nil() {
-                net.propagate_set(
-                    target,
-                    Value::Nil,
-                    cid,
-                    DependencyRecord::Single(source),
-                )?;
+                net.propagate_set(target, Value::Nil, cid, DependencyRecord::Single(source))?;
             }
         }
         Ok(())
@@ -126,7 +121,8 @@ mod tests {
         let mut net = Network::new();
         let s = net.add_variable("s");
         let t = net.add_variable("t");
-        net.add_constraint(UpdateConstraint::new(1), [s, t]).unwrap();
+        net.add_constraint(UpdateConstraint::new(1), [s, t])
+            .unwrap();
         net.reset_stats();
         net.set(t, Value::Int(5), Justification::Application)
             .unwrap();
@@ -140,7 +136,8 @@ mod tests {
         let s = net.add_variable("s");
         let mid = net.add_variable("mid");
         let leaf = net.add_variable("leaf");
-        net.add_constraint(UpdateConstraint::new(1), [s, mid]).unwrap();
+        net.add_constraint(UpdateConstraint::new(1), [s, mid])
+            .unwrap();
         net.add_constraint(UpdateConstraint::new(1), [mid, leaf])
             .unwrap();
         net.set(mid, Value::Int(1), Justification::Application)
@@ -184,7 +181,8 @@ mod tests {
         let mut net = Network::new();
         let s = net.add_variable("s");
         let t = net.add_variable_with("t", None, Rc::new(PropertyKind));
-        net.add_constraint(UpdateConstraint::new(1), [s, t]).unwrap();
+        net.add_constraint(UpdateConstraint::new(1), [s, t])
+            .unwrap();
         net.set(t, Value::Int(1), Justification::User).unwrap();
         net.set(s, Value::Int(2), Justification::User).unwrap();
         assert!(net.value(t).is_nil());

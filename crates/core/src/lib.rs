@@ -55,7 +55,6 @@
 //! [`Network::restore_snapshot`] checkpoint whole value states for search
 //! procedures such as joint module selection.
 
-
 #![warn(missing_docs)]
 mod agenda;
 mod compile;
@@ -65,6 +64,7 @@ mod inspect;
 mod justification;
 pub mod kinds;
 mod network;
+pub mod prng;
 mod value;
 mod variable;
 mod violation;

@@ -64,6 +64,9 @@ struct PropState {
     visited_cset: std::collections::HashSet<ConstraintId>,
     /// Depth-first activation stack for immediate constraints.
     pending: Vec<(ConstraintId, VarId)>,
+    /// Propagation steps (activations + scheduled inferences) performed
+    /// this cycle, checked against [`Network::set_step_limit`].
+    steps: u64,
     /// Violation handlers are suppressed for tentative probes.
     silent: bool,
     /// Compiled straight-line execution: activations are not queued
@@ -129,6 +132,8 @@ pub struct Network {
     /// thesis's one-value-change rule; larger values are the relaxation
     /// suggested in §9.2.3 for reconvergent fanouts.
     value_change_limit: u32,
+    /// Per-cycle propagation step budget; `None` is unlimited.
+    step_limit: Option<u64>,
     handlers: Vec<Rc<ViolationHandler>>,
     stats: Stats,
 }
@@ -150,6 +155,32 @@ impl Default for Network {
     }
 }
 
+/// Cloning a quiescent network duplicates variables, connectivity and
+/// counters; constraint/variable *kinds*, recalc hooks and violation
+/// handlers are shared (they are immutable behaviour). This is the cheap
+/// fork primitive transactional services build on: apply speculative edits
+/// to the clone, swap it in on success, drop it on failure.
+///
+/// # Panics
+///
+/// Panics if called during an active propagation cycle.
+impl Clone for Network {
+    fn clone(&self) -> Self {
+        assert!(self.state.is_none(), "cannot clone mid-propagation");
+        Network {
+            vars: self.vars.clone(),
+            constraints: self.constraints.clone(),
+            scheduler: self.scheduler.clone(),
+            state: None,
+            enabled: self.enabled,
+            value_change_limit: self.value_change_limit,
+            step_limit: self.step_limit,
+            handlers: self.handlers.clone(),
+            stats: self.stats,
+        }
+    }
+}
+
 impl Network {
     /// Creates an empty network with propagation enabled and the default
     /// agendas declared.
@@ -161,6 +192,7 @@ impl Network {
             state: None,
             enabled: true,
             value_change_limit: 1,
+            step_limit: None,
             handlers: Vec::new(),
             stats: Stats::default(),
         }
@@ -480,6 +512,14 @@ impl Network {
         self.constraints.iter().filter(|c| c.active).count()
     }
 
+    /// Number of constraint slots ever allocated, including removed
+    /// (tombstoned) ones — the exclusive upper bound on valid
+    /// [`ConstraintId`] indices. Lets services validate client-supplied
+    /// ids without risking an out-of-range panic.
+    pub fn n_constraint_slots(&self) -> usize {
+        self.constraints.len()
+    }
+
     /// Iterator over all variable ids.
     pub fn variables(&self) -> impl Iterator<Item = VarId> + '_ {
         (0..self.vars.len() as u32).map(VarId)
@@ -575,6 +615,42 @@ impl Network {
     /// The current per-cycle value-change limit.
     pub fn value_change_limit(&self) -> u32 {
         self.value_change_limit
+    }
+
+    /// Caps the number of propagation steps (constraint activations plus
+    /// scheduled inferences) any single cycle may perform. When a wave
+    /// exhausts the budget it aborts through the normal violation path —
+    /// every visited variable is restored and
+    /// [`ViolationKind::BudgetExceeded`](crate::ViolationKind::BudgetExceeded)
+    /// is returned — so a runaway wave cannot wedge the caller. `None`
+    /// (the default) is unlimited.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called during an active propagation cycle.
+    pub fn set_step_limit(&mut self, limit: Option<u64>) {
+        assert!(self.state.is_none(), "cannot change mid-propagation");
+        self.step_limit = limit;
+    }
+
+    /// The current per-cycle propagation step budget.
+    pub fn step_limit(&self) -> Option<u64> {
+        self.step_limit
+    }
+
+    /// Aborts an in-flight propagation cycle, restoring every visited
+    /// variable and clearing the agendas. A no-op when no cycle is active.
+    ///
+    /// The engine normally finishes cycles itself; this hook exists for
+    /// supervisors that catch a panic unwinding out of a constraint kind
+    /// (via `catch_unwind`) and need the network returned to its pre-cycle
+    /// state instead of being poisoned mid-cycle.
+    pub fn abort_cycle(&mut self) {
+        if let Some(state) = self.state.take() {
+            self.restore(&state);
+            self.scheduler.clear();
+            self.stats.violations += 1;
+        }
     }
 
     /// Executes a pre-compiled constraint order (thesis §9.3's "simple
@@ -865,6 +941,16 @@ impl Network {
             .insert(var, limit);
     }
 
+    /// Charges one propagation step against the cycle's budget.
+    fn charge_step(&mut self) -> Result<(), Violation> {
+        let st = self.state.as_mut().expect("cycle active");
+        st.steps += 1;
+        match self.step_limit {
+            Some(limit) if st.steps > limit => Err(Violation::budget_exceeded(limit)),
+            _ => Ok(()),
+        }
+    }
+
     fn save_visited(&mut self, var: VarId) {
         let saved = SavedVar {
             value: self.vars[var.index()].value.clone(),
@@ -920,6 +1006,7 @@ impl Network {
                         continue;
                     }
                 }
+                self.charge_step()?;
                 self.stats.scheduled_runs += 1;
                 self.stats.inferences += 1;
                 let kind = self.constraints[cid.index()].kind.clone();
@@ -938,6 +1025,7 @@ impl Network {
                 return Ok(());
             }
         }
+        self.charge_step()?;
         self.stats.activations += 1;
         {
             let st = self.state.as_mut().expect("cycle active");
@@ -1023,11 +1111,7 @@ impl Network {
                 _ => others.push(a),
             }
         }
-        let ordered: Vec<VarId> = user
-            .into_iter()
-            .chain(dependents)
-            .chain(others)
-            .collect();
+        let ordered: Vec<VarId> = user.into_iter().chain(dependents).chain(others).collect();
         let mut result = Ok(());
         for arg in ordered {
             let fresh = !self

@@ -1,0 +1,117 @@
+//! Small deterministic pseudo-random number generator used by the test
+//! suites and benchmark workloads.
+//!
+//! The workspace builds hermetically — no registry access — so instead of
+//! depending on the `rand` crate, randomized tests and workload generators
+//! seed this SplitMix64 generator (Steele, Lea & Flood, OOPSLA 2014). It is
+//! *not* cryptographic; it exists to derive reproducible, well-mixed case
+//! streams from small integer seeds.
+//!
+//! ```
+//! use stem_core::prng::SplitMix64;
+//! let mut a = SplitMix64::new(42);
+//! let mut b = SplitMix64::new(42);
+//! assert_eq!(a.next_u64(), b.next_u64()); // fully deterministic
+//! assert!(a.range_usize(0, 10) < 10);
+//! ```
+
+/// A SplitMix64 generator: one `u64` of state, one multiply-xor-shift mix
+/// per draw, equidistributed over the full 64-bit output space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed. Equal seeds yield equal streams.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[lo, hi)` as `i64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        let span = (hi - lo) as u64;
+        lo + (self.next_u64() % span) as i64
+    }
+
+    /// Uniform draw in `[lo, hi)` as `usize`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + (self.next_u64() as usize) % (hi - lo)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Fair coin flip.
+    pub fn next_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.range_usize(0, i + 1);
+            xs.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_mixed() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        // Consecutive draws differ (no trivial fixed point).
+        assert!(xs.windows(2).all(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = SplitMix64::new(0);
+        for _ in 0..1000 {
+            let x = r.range_i64(-5, 5);
+            assert!((-5..5).contains(&x));
+            let u = r.range_usize(3, 9);
+            assert!((3..9).contains(&u));
+            let f = r.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = SplitMix64::new(99);
+        let mut xs: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
+    }
+}

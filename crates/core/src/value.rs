@@ -349,8 +349,14 @@ mod tests {
         assert_eq!(Value::str("abc"), Value::str("abc"));
         assert_ne!(Value::Int(1), Value::Float(1.0));
         assert_eq!(
-            Value::TypeRef(TypeTag { hierarchy: 0, node: 2 }),
-            Value::TypeRef(TypeTag { hierarchy: 0, node: 2 })
+            Value::TypeRef(TypeTag {
+                hierarchy: 0,
+                node: 2
+            }),
+            Value::TypeRef(TypeTag {
+                hierarchy: 0,
+                node: 2
+            })
         );
     }
 }

@@ -111,6 +111,10 @@ pub type RecalcFn = dyn Fn(&mut Network, VarId);
 
 /// Internal storage for one variable object (thesis Fig. 4.1: parent, name,
 /// value, constraints, lastSetBy).
+///
+/// Cloning shares the behaviour kind and recalc hook (both immutable) and
+/// copies everything else — the basis of [`Network`]'s `Clone`.
+#[derive(Clone)]
 pub(crate) struct VariableData {
     pub(crate) name: String,
     pub(crate) owner: Option<Arc<str>>,

@@ -18,6 +18,13 @@ pub enum ViolationKind {
     Unsatisfied,
     /// A constraint kind raised a violation of its own.
     Custom(String),
+    /// The propagation wave exceeded the cycle's step budget
+    /// ([`crate::Network::set_step_limit`]) and was aborted; all visited
+    /// state was restored. Used by batch services to contain runaway waves.
+    BudgetExceeded {
+        /// The budget that was exhausted.
+        limit: u64,
+    },
 }
 
 impl fmt::Display for ViolationKind {
@@ -27,6 +34,9 @@ impl fmt::Display for ViolationKind {
             ViolationKind::OverwriteDenied => write!(f, "overwrite denied"),
             ViolationKind::Unsatisfied => write!(f, "constraint unsatisfied"),
             ViolationKind::Custom(s) => write!(f, "{s}"),
+            ViolationKind::BudgetExceeded { limit } => {
+                write!(f, "propagation step budget ({limit}) exceeded")
+            }
         }
     }
 }
@@ -95,6 +105,18 @@ impl Violation {
     pub fn with_kind_name(mut self, name: impl Into<String>) -> Self {
         self.kind_name = Some(name.into());
         self
+    }
+
+    /// A budget-exhaustion violation: the cycle performed more propagation
+    /// steps than [`crate::Network::set_step_limit`] allows.
+    pub fn budget_exceeded(limit: u64) -> Self {
+        Violation {
+            kind: ViolationKind::BudgetExceeded { limit },
+            variable: None,
+            constraint: None,
+            rejected: None,
+            kind_name: None,
+        }
     }
 
     /// A custom violation raised by a constraint kind.

@@ -6,9 +6,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use stem_core::kinds::{Equality, Functional, Predicate, UpdateConstraint};
-use stem_core::{
-    DependencyRecord, Justification, Network, NetworkInspector, Value, ViolationKind,
-};
+use stem_core::{DependencyRecord, Justification, Network, NetworkInspector, Value, ViolationKind};
 
 /// E1 — thesis Fig. 4.5: V1 = V2, V4 = max(V2, V3); with V3 = 7, setting
 /// V1 := 9 propagates V2 := 9 and V4 := 9.
@@ -54,7 +52,9 @@ fn fig4_9_cyclic_constraints() {
     net.add_constraint(plus(3), [v2, v3]).unwrap();
     net.add_constraint(plus(2), [v3, v1]).unwrap();
 
-    let err = net.set(v1, Value::Int(10), Justification::User).unwrap_err();
+    let err = net
+        .set(v1, Value::Int(10), Justification::User)
+        .unwrap_err();
     assert_eq!(err.kind, ViolationKind::Revisit);
     assert_eq!(err.variable, Some(v1));
     assert_eq!(err.rejected, Some(Value::Int(16)), "10+1+3+2");
@@ -99,7 +99,8 @@ fn application_value_is_overwritten_by_propagation() {
     let mut net = Network::new();
     let a = net.add_variable("a");
     let b = net.add_variable("b");
-    net.set(b, Value::Int(1), Justification::Application).unwrap();
+    net.set(b, Value::Int(1), Justification::Application)
+        .unwrap();
     net.add_constraint(Equality::new(), [a, b]).unwrap();
     net.set(a, Value::Int(2), Justification::User).unwrap();
     assert_eq!(net.value(b), &Value::Int(2));
@@ -111,7 +112,8 @@ fn violation_handlers_run_after_restore() {
     let a = net.add_variable("a");
     net.add_constraint(Predicate::le_const(Value::Int(5)), [a])
         .unwrap();
-    net.set(a, Value::Int(3), Justification::Application).unwrap();
+    net.set(a, Value::Int(3), Justification::Application)
+        .unwrap();
     let log: Rc<RefCell<Vec<String>>> = Rc::new(RefCell::new(Vec::new()));
     let log2 = log.clone();
     net.add_violation_handler(move |net, v| {
@@ -120,7 +122,11 @@ fn violation_handlers_run_after_restore() {
     });
     let _ = net.set(a, Value::Int(9), Justification::User);
     assert_eq!(log.borrow().len(), 1);
-    assert!(log.borrow()[0].contains("unsatisfied"), "{:?}", log.borrow());
+    assert!(
+        log.borrow()[0].contains("unsatisfied"),
+        "{:?}",
+        log.borrow()
+    );
     assert!(log.borrow()[0].contains("a=3"), "{:?}", log.borrow());
 }
 
@@ -133,7 +139,10 @@ fn cpswitch_disables_propagation_and_checking() {
     net.set_propagation_enabled(false);
     net.set(a, Value::Int(1), Justification::User).unwrap();
     net.set(b, Value::Int(2), Justification::User).unwrap();
-    assert!(net.value(a) != net.value(b), "no propagation while disabled");
+    assert!(
+        net.value(a) != net.value(b),
+        "no propagation while disabled"
+    );
     assert!(!net.is_satisfied(cid));
     // check_all is the recovery sweep after re-enabling (§5.3 notes STEM
     // itself offered none).
@@ -151,13 +160,17 @@ fn tentative_probe_always_restores() {
     net.add_constraint(Equality::new(), [a, b]).unwrap();
     net.add_constraint(Predicate::le_const(Value::Int(10)), [b])
         .unwrap();
-    net.set(a, Value::Int(3), Justification::Application).unwrap();
+    net.set(a, Value::Int(3), Justification::Application)
+        .unwrap();
 
     assert!(net.can_be_set_to(a, Value::Int(7)));
     assert_eq!(net.value(a), &Value::Int(3), "probe restored");
     assert_eq!(net.value(b), &Value::Int(3));
 
-    assert!(!net.can_be_set_to(a, Value::Int(11)), "would violate b <= 10");
+    assert!(
+        !net.can_be_set_to(a, Value::Int(11)),
+        "would violate b <= 10"
+    );
     assert_eq!(net.value(a), &Value::Int(3));
     assert_eq!(net.value(b), &Value::Int(3));
 }
@@ -184,7 +197,8 @@ fn add_constraint_precedence_user_over_application() {
     let mut net = Network::new();
     let a = net.add_variable("a");
     let b = net.add_variable("b");
-    net.set(a, Value::Int(1), Justification::Application).unwrap();
+    net.set(a, Value::Int(1), Justification::Application)
+        .unwrap();
     net.set(b, Value::Int(2), Justification::User).unwrap();
     net.add_constraint(Equality::new(), [a, b]).unwrap();
     // The user value (2) asserts first; the application value yields.
@@ -207,7 +221,10 @@ fn remove_constraint_erases_dependents() {
 
     net.remove_constraint(eq_ab);
     assert_eq!(net.value(a), &Value::Int(5), "independent value survives");
-    assert!(net.value(b).is_nil(), "b was justified by the removed constraint");
+    assert!(
+        net.value(b).is_nil(),
+        "b was justified by the removed constraint"
+    );
     assert!(net.value(c).is_nil(), "c was a consequence of b");
 }
 

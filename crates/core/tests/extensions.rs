@@ -15,7 +15,10 @@ fn individual_constraint_disable_and_reenable() {
     net.set_constraint_enabled(eq, false);
     assert!(!net.is_constraint_enabled(eq));
     net.set(a, Value::Int(1), Justification::User).unwrap();
-    assert!(net.value(b).is_nil(), "disabled constraint does not propagate");
+    assert!(
+        net.value(b).is_nil(),
+        "disabled constraint does not propagate"
+    );
     assert!(net.is_satisfied(eq), "disabled constraint does not check");
     assert!(net.check_all().is_empty());
 
@@ -55,9 +58,7 @@ fn reconvergent_fanout_needs_relaxed_change_rule() {
         let a = net.add_variable("a");
         let b = net.add_variable("b");
         let s = net.add_variable("s");
-        let plus = |k: i64| {
-            stem_bench_free_plus(k)
-        };
+        let plus = |k: i64| stem_bench_free_plus(k);
         net.add_constraint(plus(1), [src, a]).unwrap();
         net.add_constraint(plus(2), [src, b]).unwrap();
         net.add_constraint(ImmediateSum2, [a, b, s]).unwrap();
@@ -70,7 +71,9 @@ fn reconvergent_fanout_needs_relaxed_change_rule() {
     assert_eq!(net.value(s), &Value::Int(5), "2 + 3");
 
     // Under the default limit the second transient change of `s` violates.
-    let err = net.set(src, Value::Int(10), Justification::User).unwrap_err();
+    let err = net
+        .set(src, Value::Int(10), Justification::User)
+        .unwrap_err();
     assert_eq!(err.kind, ViolationKind::Revisit);
     assert_eq!(net.value(s), &Value::Int(5), "restored");
 
@@ -120,11 +123,7 @@ impl stem_core::ConstraintKind for ImmediateSum2 {
         Ok(())
     }
 
-    fn outputs(
-        &self,
-        net: &Network,
-        cid: stem_core::ConstraintId,
-    ) -> Vec<stem_core::VarId> {
+    fn outputs(&self, net: &Network, cid: stem_core::ConstraintId) -> Vec<stem_core::VarId> {
         net.args(cid).last().copied().into_iter().collect()
     }
 
@@ -327,12 +326,20 @@ fn custom_agenda_priorities_order_execution() {
     let v = net.add_variable("v");
     // Wire in low-priority order; execution must follow priorities.
     net.add_constraint(
-        Logger { name: "bg", agenda: "background", log: log.clone() },
+        Logger {
+            name: "bg",
+            agenda: "background",
+            log: log.clone(),
+        },
         [v],
     )
     .unwrap();
     net.add_constraint(
-        Logger { name: "crit", agenda: "critical", log: log.clone() },
+        Logger {
+            name: "crit",
+            agenda: "critical",
+            log: log.clone(),
+        },
         [v],
     )
     .unwrap();
@@ -393,12 +400,27 @@ fn constraint_strengths_order_overwrites() {
     let mut net = Network::new();
     let trigger = net.add_variable("trigger");
     let target = net.add_variable("target");
-    net.add_constraint(Writer { name: "weak", strength: 1, value: 10 }, [trigger, target])
-        .unwrap();
-    net.add_constraint(Writer { name: "strong", strength: 5, value: 20 }, [trigger, target])
-        .unwrap();
+    net.add_constraint(
+        Writer {
+            name: "weak",
+            strength: 1,
+            value: 10,
+        },
+        [trigger, target],
+    )
+    .unwrap();
+    net.add_constraint(
+        Writer {
+            name: "strong",
+            strength: 5,
+            value: 20,
+        },
+        [trigger, target],
+    )
+    .unwrap();
     net.set_value_change_limit(2); // let the stronger writer supersede
-    net.set(trigger, Value::Int(1), Justification::User).unwrap();
+    net.set(trigger, Value::Int(1), Justification::User)
+        .unwrap();
     assert_eq!(net.value(target), &Value::Int(20), "strong overwrote weak");
 
     // Reverse wiring order: strong fires first; the weak write is
@@ -406,13 +428,32 @@ fn constraint_strengths_order_overwrites() {
     let mut net = Network::new();
     let trigger = net.add_variable("trigger");
     let target = net.add_variable("target");
-    net.add_constraint(Writer { name: "strong", strength: 5, value: 20 }, [trigger, target])
-        .unwrap();
-    net.add_constraint(Writer { name: "weak", strength: 1, value: 10 }, [trigger, target])
-        .unwrap();
+    net.add_constraint(
+        Writer {
+            name: "strong",
+            strength: 5,
+            value: 20,
+        },
+        [trigger, target],
+    )
+    .unwrap();
+    net.add_constraint(
+        Writer {
+            name: "weak",
+            strength: 1,
+            value: 10,
+        },
+        [trigger, target],
+    )
+    .unwrap();
     net.set_value_change_limit(2);
-    net.set(trigger, Value::Int(1), Justification::User).unwrap();
-    assert_eq!(net.value(target), &Value::Int(20), "weak could not downgrade");
+    net.set(trigger, Value::Int(1), Justification::User)
+        .unwrap();
+    assert_eq!(
+        net.value(target),
+        &Value::Int(20),
+        "weak could not downgrade"
+    );
 }
 
 /// Equal-strength propagation keeps the historical behaviour: a later
@@ -425,9 +466,7 @@ fn equal_strength_preserves_default_behaviour() {
     let b = net.add_variable("b");
     let c = net.add_variable("c");
     // One-directional writers of equal (default) strength.
-    let copy = || {
-        Functional::custom("copy", |vals| Some(vals[0].clone()))
-    };
+    let copy = || Functional::custom("copy", |vals| Some(vals[0].clone()));
     net.add_constraint(copy(), [a, c]).unwrap();
     net.add_constraint(copy(), [b, c]).unwrap();
     net.set(a, Value::Int(1), Justification::User).unwrap();

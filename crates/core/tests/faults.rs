@@ -90,9 +90,7 @@ fn handlers_see_every_violation_kind() {
     net.add_violation_handler(move |_, v| k.borrow_mut().push(v.kind.clone()));
     let a = net.add_variable("a");
     let b = net.add_variable("b");
-    let plus1 = || {
-        Functional::custom("plus1", |vals| vals[0].as_i64().map(|x| Value::Int(x + 1)))
-    };
+    let plus1 = || Functional::custom("plus1", |vals| vals[0].as_i64().map(|x| Value::Int(x + 1)));
     net.add_constraint(plus1(), [a, b]).unwrap();
     net.add_constraint(plus1(), [b, a]).unwrap();
     let _ = net.set(a, Value::Int(0), Justification::User);
@@ -128,7 +126,8 @@ fn hostile_kind_rolls_back_cleanly() {
     assert!(net.value(b).is_nil());
     // And the network remains usable after disabling the saboteur.
     assert_eq!(net.set_kind_enabled("alwaysViolates", false), 1);
-    net.set(a, Value::Int(1), Justification::Application).unwrap();
+    net.set(a, Value::Int(1), Justification::Application)
+        .unwrap();
     assert_eq!(net.value(b), &Value::Int(1));
 }
 

@@ -1,96 +1,121 @@
-//! Property-based tests of the propagation engine's invariants:
-//! convergence of equality networks, exact restoration on violation, purity
-//! of tentative probes, and correctness of functional DAG evaluation.
+//! Randomised (seeded, fully deterministic) tests of the propagation
+//! engine's invariants: convergence of equality networks, exact
+//! restoration on violation, purity of tentative probes, and correctness
+//! of functional DAG evaluation.
 
-use proptest::prelude::*;
 use stem_core::kinds::{Equality, Functional, Predicate};
+use stem_core::prng::SplitMix64;
 use stem_core::{Justification, Network, Value, VarId};
+
+const ITERS: usize = 64;
 
 /// Snapshot of all variable values for restoration checks.
 fn snapshot(net: &Network) -> Vec<Value> {
     net.variables().map(|v| net.value(v).clone()).collect()
 }
 
-proptest! {
-    /// A random spanning tree of equality constraints over N variables:
-    /// setting any variable floods the value everywhere, with exactly N
-    /// assignments (each variable changes once — the one-value-change rule
-    /// doubles as an efficiency property).
-    #[test]
-    fn equality_tree_floods(
-        n in 2usize..40,
-        edges_seed in any::<u64>(),
-        start_index in any::<usize>(),
-        value in -1000i64..1000,
-    ) {
+/// A random spanning tree of equality constraints over N variables:
+/// setting any variable floods the value everywhere, with exactly N
+/// assignments (each variable changes once — the one-value-change rule
+/// doubles as an efficiency property).
+#[test]
+fn equality_tree_floods() {
+    let mut rng = SplitMix64::new(0xE0_01);
+    for _ in 0..ITERS {
+        let n = rng.range_usize(2, 40);
+        let value = rng.range_i64(-1000, 1000);
         let mut net = Network::new();
         let vars: Vec<VarId> = (0..n).map(|i| net.add_variable(format!("v{i}"))).collect();
-        // Random tree: node i connects to a previous node chosen by seed.
-        let mut s = edges_seed;
+        // Random tree: node i connects to a random previous node.
         for i in 1..n {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            let j = (s >> 33) as usize % i;
-            net.add_constraint(Equality::new(), [vars[j], vars[i]]).unwrap();
+            let j = rng.range_usize(0, i);
+            net.add_constraint(Equality::new(), [vars[j], vars[i]])
+                .unwrap();
         }
-        let start = vars[start_index % n];
+        let start = vars[rng.range_usize(0, n)];
         net.reset_stats();
-        net.set(start, Value::Int(value), Justification::User).unwrap();
+        net.set(start, Value::Int(value), Justification::User)
+            .unwrap();
         for &v in &vars {
-            prop_assert_eq!(net.value(v), &Value::Int(value));
+            assert_eq!(net.value(v), &Value::Int(value));
         }
-        prop_assert_eq!(net.stats().assignments, n as u64);
+        assert_eq!(net.stats().assignments, n as u64);
     }
+}
 
-    /// Violations restore the network to exactly its prior state.
-    #[test]
-    fn violation_restores_exactly(
-        n in 2usize..20,
-        bound in 0i64..50,
-        initial in 0i64..50,
-        attempt in 51i64..200,
-    ) {
+/// Violations restore the network to exactly its prior state.
+#[test]
+fn violation_restores_exactly() {
+    let mut rng = SplitMix64::new(0xE0_02);
+    for _ in 0..ITERS {
+        let n = rng.range_usize(2, 20);
+        let bound = rng.range_i64(0, 50);
+        let initial = rng.range_i64(0, 50);
+        let attempt = rng.range_i64(51, 200);
         let mut net = Network::new();
         let vars: Vec<VarId> = (0..n).map(|i| net.add_variable(format!("v{i}"))).collect();
         for w in vars.windows(2) {
             net.add_constraint(Equality::new(), [w[0], w[1]]).unwrap();
         }
         // Bound the far end of the chain.
-        net.add_constraint(Predicate::le_const(Value::Int(bound.max(initial))), [*vars.last().unwrap()]).unwrap();
-        net.set(vars[0], Value::Int(initial.min(bound)), Justification::Application).unwrap();
+        net.add_constraint(
+            Predicate::le_const(Value::Int(bound.max(initial))),
+            [*vars.last().unwrap()],
+        )
+        .unwrap();
+        net.set(
+            vars[0],
+            Value::Int(initial.min(bound)),
+            Justification::Application,
+        )
+        .unwrap();
         let before = snapshot(&net);
         let result = net.set(vars[0], Value::Int(attempt), Justification::Application);
-        prop_assert!(result.is_err());
-        prop_assert_eq!(snapshot(&net), before);
+        assert!(result.is_err());
+        assert_eq!(snapshot(&net), before);
     }
+}
 
-    /// `can_be_set_to` never mutates, whatever the outcome.
-    #[test]
-    fn tentative_probe_is_pure(
-        n in 2usize..15,
-        bound in 0i64..100,
-        probe in -50i64..200,
-    ) {
+/// `can_be_set_to` never mutates, whatever the outcome.
+#[test]
+fn tentative_probe_is_pure() {
+    let mut rng = SplitMix64::new(0xE0_03);
+    for _ in 0..ITERS {
+        let n = rng.range_usize(2, 15);
+        let bound = rng.range_i64(0, 100);
+        let probe = rng.range_i64(-50, 200);
         let mut net = Network::new();
         let vars: Vec<VarId> = (0..n).map(|i| net.add_variable(format!("v{i}"))).collect();
         for w in vars.windows(2) {
             net.add_constraint(Equality::new(), [w[0], w[1]]).unwrap();
         }
-        net.add_constraint(Predicate::le_const(Value::Int(bound)), [*vars.last().unwrap()]).unwrap();
-        net.set(vars[0], Value::Int(bound.min(0)), Justification::Application).unwrap();
+        net.add_constraint(
+            Predicate::le_const(Value::Int(bound)),
+            [*vars.last().unwrap()],
+        )
+        .unwrap();
+        net.set(
+            vars[0],
+            Value::Int(bound.min(0)),
+            Justification::Application,
+        )
+        .unwrap();
         let before = snapshot(&net);
         let ok = net.can_be_set_to(vars[0], Value::Int(probe));
-        prop_assert_eq!(ok, probe <= bound);
-        prop_assert_eq!(snapshot(&net), before);
+        assert_eq!(ok, probe <= bound);
+        assert_eq!(snapshot(&net), before);
     }
+}
 
-    /// A layered adder DAG (binary tree of UniAddition constraints)
-    /// computes the exact sum of its leaves, regardless of assignment
-    /// order.
-    #[test]
-    fn functional_tree_sums_leaves(
-        leaves in proptest::collection::vec(-100i64..100, 2..17),
-        order_seed in any::<u64>(),
-    ) {
+/// A layered adder DAG (binary tree of UniAddition constraints) computes
+/// the exact sum of its leaves, regardless of assignment order.
+#[test]
+fn functional_tree_sums_leaves() {
+    let mut rng = SplitMix64::new(0xE0_04);
+    for _ in 0..ITERS {
+        let leaves: Vec<i64> = (0..rng.range_usize(2, 17))
+            .map(|_| rng.range_i64(-100, 100))
+            .collect();
         let mut net = Network::new();
         let leaf_vars: Vec<VarId> = (0..leaves.len())
             .map(|i| net.add_variable(format!("leaf{i}")))
@@ -102,7 +127,8 @@ proptest! {
             for pair in layer.chunks(2) {
                 if pair.len() == 2 {
                     let out = net.add_variable("sum");
-                    net.add_constraint(Functional::uni_addition(), [pair[0], pair[1], out]).unwrap();
+                    net.add_constraint(Functional::uni_addition(), [pair[0], pair[1], out])
+                        .unwrap();
                     next.push(out);
                 } else {
                     next.push(pair[0]);
@@ -113,25 +139,26 @@ proptest! {
         let root = layer[0];
         // Assign leaves in a pseudo-random order.
         let mut idx: Vec<usize> = (0..leaves.len()).collect();
-        let mut s = order_seed;
-        for i in (1..idx.len()).rev() {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            idx.swap(i, (s >> 33) as usize % (i + 1));
-        }
+        rng.shuffle(&mut idx);
         for &i in &idx {
-            net.set(leaf_vars[i], Value::Int(leaves[i]), Justification::User).unwrap();
+            net.set(leaf_vars[i], Value::Int(leaves[i]), Justification::User)
+                .unwrap();
         }
         let expected: i64 = leaves.iter().sum();
-        prop_assert_eq!(net.value(root), &Value::Int(expected));
+        assert_eq!(net.value(root), &Value::Int(expected));
     }
+}
 
-    /// Inconsistent cycles always violate and always restore (Fig. 4.9
-    /// generalised): a +k1, +k2, ..., +kn cycle with Σk ≠ 0.
-    #[test]
-    fn inconsistent_cycles_violate(
-        ks in proptest::collection::vec(1i64..10, 2..6),
-        init in -100i64..100,
-    ) {
+/// Inconsistent cycles always violate and always restore (Fig. 4.9
+/// generalised): a +k1, +k2, ..., +kn cycle with Σk ≠ 0.
+#[test]
+fn inconsistent_cycles_violate() {
+    let mut rng = SplitMix64::new(0xE0_05);
+    for _ in 0..ITERS {
+        let ks: Vec<i64> = (0..rng.range_usize(2, 6))
+            .map(|_| rng.range_i64(1, 10))
+            .collect();
+        let init = rng.range_i64(-100, 100);
         let mut net = Network::new();
         let n = ks.len();
         let vars: Vec<VarId> = (0..n).map(|i| net.add_variable(format!("v{i}"))).collect();
@@ -146,52 +173,56 @@ proptest! {
         }
         let before = snapshot(&net);
         let result = net.set(vars[0], Value::Int(init), Justification::User);
-        prop_assert!(result.is_err(), "Σk > 0 cycle can never be satisfied");
-        prop_assert_eq!(snapshot(&net), before);
+        assert!(result.is_err(), "Σk > 0 cycle can never be satisfied");
+        assert_eq!(snapshot(&net), before);
     }
+}
 
-    /// Adding then removing an equality constraint erases exactly the
-    /// values it justified; pre-existing independent values survive.
-    #[test]
-    fn add_remove_roundtrip(
-        a_val in -100i64..100,
-        n in 2usize..10,
-    ) {
+/// Adding then removing an equality constraint erases exactly the values
+/// it justified; pre-existing independent values survive.
+#[test]
+fn add_remove_roundtrip() {
+    let mut rng = SplitMix64::new(0xE0_06);
+    for _ in 0..ITERS {
+        let a_val = rng.range_i64(-100, 100);
+        let n = rng.range_usize(2, 10);
         let mut net = Network::new();
         let vars: Vec<VarId> = (0..n).map(|i| net.add_variable(format!("v{i}"))).collect();
-        net.set(vars[0], Value::Int(a_val), Justification::User).unwrap();
+        net.set(vars[0], Value::Int(a_val), Justification::User)
+            .unwrap();
         let cid = net.add_constraint(Equality::new(), vars.clone()).unwrap();
         for &v in &vars {
-            prop_assert_eq!(net.value(v), &Value::Int(a_val));
+            assert_eq!(net.value(v), &Value::Int(a_val));
         }
         net.remove_constraint(cid);
-        prop_assert_eq!(net.value(vars[0]), &Value::Int(a_val));
+        assert_eq!(net.value(vars[0]), &Value::Int(a_val));
         for &v in &vars[1..] {
-            prop_assert!(net.value(v).is_nil());
+            assert!(net.value(v).is_nil());
         }
-        prop_assert_eq!(net.n_constraints(), 0);
+        assert_eq!(net.n_constraints(), 0);
     }
+}
 
-    /// Consequences and antecedents are mutually consistent: if b is a
-    /// consequence of a, then a is an antecedent of b.
-    #[test]
-    fn dependency_duality(
-        n in 2usize..20,
-        seed in any::<u64>(),
-    ) {
+/// Consequences and antecedents are mutually consistent: if b is a
+/// consequence of a, then a is an antecedent of b.
+#[test]
+fn dependency_duality() {
+    let mut rng = SplitMix64::new(0xE0_07);
+    for _ in 0..ITERS {
+        let n = rng.range_usize(2, 20);
         let mut net = Network::new();
         let vars: Vec<VarId> = (0..n).map(|i| net.add_variable(format!("v{i}"))).collect();
-        let mut s = seed;
         for i in 1..n {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            let j = (s >> 33) as usize % i;
-            net.add_constraint(Equality::new(), [vars[j], vars[i]]).unwrap();
+            let j = rng.range_usize(0, i);
+            net.add_constraint(Equality::new(), [vars[j], vars[i]])
+                .unwrap();
         }
-        net.set(vars[0], Value::Int(1), Justification::User).unwrap();
+        net.set(vars[0], Value::Int(1), Justification::User)
+            .unwrap();
         for &a in &vars {
             for &b in net.consequences(a).iter() {
                 let (ante, _) = net.antecedents(b);
-                prop_assert!(ante.contains(&a), "{a} -> {b} but no back-edge");
+                assert!(ante.contains(&a), "{a} -> {b} but no back-edge");
             }
         }
     }

@@ -13,7 +13,11 @@ use std::fmt::Write as _;
 pub fn class_report(d: &mut Design, class: CellClassId) -> String {
     let mut out = String::new();
     let name = d.class_name(class).to_string();
-    let _ = writeln!(out, "╔═ cell class {name} {}", if d.is_generic(class) { "(generic)" } else { "" });
+    let _ = writeln!(
+        out,
+        "╔═ cell class {name} {}",
+        if d.is_generic(class) { "(generic)" } else { "" }
+    );
     if let Some(sup) = d.superclass(class) {
         let _ = writeln!(out, "║ superclass: {}", d.class_name(sup));
     }
@@ -54,11 +58,13 @@ pub fn class_report(d: &mut Design, class: CellClassId) -> String {
             .as_type()
             .map(|t| forests.borrow().electrical.name(t).to_string())
             .unwrap_or_else(|| "-".into());
-        let pin = s
-            .pin
-            .map(|p| format!(" pin {p}"))
-            .unwrap_or_default();
-        let _ = writeln!(out, "║   {:8} {:5} {width:4} {dt}/{et}{pin}", s.name, s.dir.to_string());
+        let pin = s.pin.map(|p| format!(" pin {p}")).unwrap_or_default();
+        let _ = writeln!(
+            out,
+            "║   {:8} {:5} {width:4} {dt}/{et}{pin}",
+            s.name,
+            s.dir.to_string()
+        );
     }
     for p in d.parameters(class).to_vec() {
         let _ = writeln!(
@@ -85,7 +91,12 @@ pub fn class_report(d: &mut Design, class: CellClassId) -> String {
     }
 
     let subcells = d.subcells(class).to_vec();
-    let _ = writeln!(out, "║ structure: {} subcells, {} nets", subcells.len(), d.nets_of(class).len());
+    let _ = writeln!(
+        out,
+        "║ structure: {} subcells, {} nets",
+        subcells.len(),
+        d.nets_of(class).len()
+    );
     for inst in subcells {
         let _ = writeln!(
             out,

@@ -5,11 +5,11 @@
 
 use crate::design::Design;
 use crate::ids::CellInstanceId;
+use std::fmt;
+use std::rc::Rc;
 use stem_core::kinds::LinkSemantics;
 use stem_core::{Value, VarId};
 use stem_geom::Point;
-use std::fmt;
-use std::rc::Rc;
 
 /// Direction of an io-signal.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

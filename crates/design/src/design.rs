@@ -246,11 +246,9 @@ impl Design {
         );
         let id = CellClassId(self.classes.len() as u32);
         let owner: Arc<str> = Arc::from(name.as_str());
-        let bbox_var = self.network.add_variable_with(
-            BOUNDING_BOX,
-            Some(owner),
-            Rc::new(PlainKind),
-        );
+        let bbox_var =
+            self.network
+                .add_variable_with(BOUNDING_BOX, Some(owner), Rc::new(PlainKind));
         self.classes.push(CellClassData {
             name: name.clone(),
             superclass: None,
@@ -281,7 +279,11 @@ impl Design {
     /// variables ("values of the inherited variables can be different among
     /// different subclasses", §3.3.2); current non-`Nil` class values are
     /// copied over.
-    pub fn derive_class(&mut self, name: impl Into<String>, superclass: CellClassId) -> CellClassId {
+    pub fn derive_class(
+        &mut self,
+        name: impl Into<String>,
+        superclass: CellClassId,
+    ) -> CellClassId {
         let id = self.define_class(name);
         self.classes[id.index()].superclass = Some(superclass);
         self.classes[superclass.index()].subclasses.push(id);
@@ -298,15 +300,22 @@ impl Design {
             }
             let (src, dst) = {
                 let s = &self.classes[superclass.index()].signals[i];
-                let d = self
-                    .classes[id.index()]
+                let d = self.classes[id.index()]
                     .signals
                     .iter()
                     .find(|x| x.name == sig_name)
                     .expect("just added");
                 (
-                    [s.class_bit_width, s.class_data_type, s.class_electrical_type],
-                    [d.class_bit_width, d.class_data_type, d.class_electrical_type],
+                    [
+                        s.class_bit_width,
+                        s.class_data_type,
+                        s.class_electrical_type,
+                    ],
+                    [
+                        d.class_bit_width,
+                        d.class_data_type,
+                        d.class_electrical_type,
+                    ],
                 )
             };
             for (s, d) in src.into_iter().zip(dst) {
@@ -716,9 +725,7 @@ impl Design {
             connections: HashMap::new(),
             active: true,
         });
-        let owner: Arc<str> = Arc::from(
-            format!("{}.{}", self.class_name(parent), name).as_str(),
-        );
+        let owner: Arc<str> = Arc::from(format!("{}.{}", self.class_name(parent), name).as_str());
 
         // Dual bit-width variables per signal.
         for i in 0..self.classes[class.index()].signals.len() {
@@ -757,8 +764,7 @@ impl Design {
                 .param_vars
                 .insert(p_name.clone(), inst_var);
             if let Some(v) = default {
-                self.network
-                    .set(inst_var, v, Justification::DefaultValue)?;
+                self.network.set(inst_var, v, Justification::DefaultValue)?;
             }
             let cid = self
                 .network
@@ -830,8 +836,11 @@ impl Design {
         for (signal, net) in conns {
             let _ = self.disconnect(net, inst, &signal);
         }
-        let links: Vec<ConstraintId> =
-            self.instances[inst.index()].links.values().copied().collect();
+        let links: Vec<ConstraintId> = self.instances[inst.index()]
+            .links
+            .values()
+            .copied()
+            .collect();
         for cid in links {
             self.network.remove_constraint(cid);
         }
@@ -843,7 +852,9 @@ impl Design {
         let class = self.instances[inst.index()].class;
         self.instances[inst.index()].active = false;
         self.classes[parent.index()].subcells.retain(|&i| i != inst);
-        self.classes[class.index()].instances_of.retain(|&i| i != inst);
+        self.classes[class.index()]
+            .instances_of
+            .retain(|&i| i != inst);
         self.invalidate_class_bbox(parent);
         self.fire(StructureEvent::InstanceRemoved {
             instance: inst,
@@ -921,10 +932,10 @@ impl Design {
                 .class_property_var(self.instance_class(inst), BOUNDING_BOX)
                 .expect("built-in");
             let inst_var = self.instances[inst.index()].prop_vars[BOUNDING_BOX];
-            let cid = match self
-                .network
-                .add_constraint(ImplicitLink::new(BBoxLink { transform }), [class_var, inst_var])
-            {
+            let cid = match self.network.add_constraint(
+                ImplicitLink::new(BBoxLink { transform }),
+                [class_var, inst_var],
+            ) {
                 Ok(cid) => cid,
                 Err(v) => {
                     // Roll the move back: restore the old transform/link.
@@ -932,7 +943,9 @@ impl Design {
                     let cid = self
                         .network
                         .add_constraint(
-                            ImplicitLink::new(BBoxLink { transform: previous }),
+                            ImplicitLink::new(BBoxLink {
+                                transform: previous,
+                            }),
                             [class_var, inst_var],
                         )
                         .expect("previous placement was consistent");
@@ -1006,7 +1019,10 @@ impl Design {
 
     /// The net a signal of an instance is connected to, if any.
     pub fn connection(&self, inst: CellInstanceId, signal: &str) -> Option<NetId> {
-        self.instances[inst.index()].connections.get(signal).copied()
+        self.instances[inst.index()]
+            .connections
+            .get(signal)
+            .copied()
     }
 
     // ------------------------------------------------------------------
@@ -1134,8 +1150,7 @@ impl Design {
     pub fn add_net(&mut self, parent: CellClassId, name: impl Into<String>) -> NetId {
         let name = name.into();
         let id = NetId(self.nets.len() as u32);
-        let owner: Arc<str> =
-            Arc::from(format!("{}.{}", self.class_name(parent), name).as_str());
+        let owner: Arc<str> = Arc::from(format!("{}.{}", self.class_name(parent), name).as_str());
         let bw = self.network.add_variable_with(
             "bitWidth",
             Some(owner.clone()),
@@ -1298,7 +1313,9 @@ impl Design {
             let _ = self.network.detach_arg(cd, sig.class_data_type);
             return Err(v);
         }
-        self.nets[net.index()].io_connections.push(signal.to_string());
+        self.nets[net.index()]
+            .io_connections
+            .push(signal.to_string());
         self.fire(StructureEvent::NetConnected {
             net,
             instance: None,
@@ -1334,7 +1351,10 @@ impl Design {
             .instance_bit_width_var(inst, signal)
             .expect("signal exists");
         let class = self.instance_class(inst);
-        let sig = self.signal_def(class, signal).expect("signal exists").clone();
+        let sig = self
+            .signal_def(class, signal)
+            .expect("signal exists")
+            .clone();
         let (eq, cd, ce) = {
             let n = &self.nets[net.index()];
             (n.eq_bit_width, n.compat_data, n.compat_electrical)

@@ -38,7 +38,6 @@
 //! assert_eq!(d.net_connections(n).len(), 2);
 //! ```
 
-
 #![warn(missing_docs)]
 mod browser;
 mod compat;
@@ -55,6 +54,6 @@ pub use design::{BBoxLink, BitWidthLink, Design, ParamRangeLink};
 pub use events::{ChangeKey, StructureEvent, StructureHook, ViewHandle};
 pub use ids::{CellClassId, CellInstanceId, NetId};
 pub use types::{
-    BitWidthKind, SharedForests, SignalTypeKind, TypeForests, TypeHierarchy,
-    DATA_TYPE_HIERARCHY, ELECTRICAL_TYPE_HIERARCHY,
+    BitWidthKind, SharedForests, SignalTypeKind, TypeForests, TypeHierarchy, DATA_TYPE_HIERARCHY,
+    ELECTRICAL_TYPE_HIERARCHY,
 };

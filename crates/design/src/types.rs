@@ -6,10 +6,10 @@
 //! positional: two types are compatible iff one is an ancestor of the
 //! other; the less abstract of two compatible types is the descendant.
 
-use std::collections::HashMap;
-use stem_core::{Network, Overwrite, TypeTag, Value, VarId, VariableKind};
 use std::cell::RefCell;
+use std::collections::HashMap;
 use std::rc::Rc;
+use stem_core::{Network, Overwrite, TypeTag, Value, VarId, VariableKind};
 
 /// Identifier of the data-type forest created by
 /// [`TypeHierarchy::standard_data_types`].
@@ -311,7 +311,14 @@ mod tests {
             assert!(d.tag(name).is_some(), "{name} missing");
         }
         let e = TypeHierarchy::standard_electrical_types();
-        for name in ["ElectricalType", "Analog", "Digital", "BIPOLAR", "TTL", "CMOS"] {
+        for name in [
+            "ElectricalType",
+            "Analog",
+            "Digital",
+            "BIPOLAR",
+            "TTL",
+            "CMOS",
+        ] {
             assert!(e.tag(name).is_some(), "{name} missing");
         }
     }

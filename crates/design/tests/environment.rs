@@ -112,10 +112,13 @@ fn fig7_5_shared_class_type_variables() {
     // connecting it to a CMOS cell violates.
     let cmos_cell = d.define_class("CmosCell");
     d.add_signal(cmos_cell, "s", SignalDir::InOut);
-    d.set_signal_electrical_type(cmos_cell, "s", "CMOS").unwrap();
+    d.set_signal_electrical_type(cmos_cell, "s", "CMOS")
+        .unwrap();
     let ctx2 = d.define_class("Ctx2");
     let a2 = d.instantiate(a, ctx2, "A.2", Transform::IDENTITY).unwrap();
-    let m1 = d.instantiate(cmos_cell, ctx2, "M.1", Transform::IDENTITY).unwrap();
+    let m1 = d
+        .instantiate(cmos_cell, ctx2, "M.1", Transform::IDENTITY)
+        .unwrap();
     let n2 = d.add_net(ctx2, "n2");
     d.connect(n2, a2, "p").unwrap();
     assert!(d.connect(n2, m1, "s").is_err(), "TTL vs CMOS must conflict");
@@ -132,9 +135,15 @@ fn class_characteristic_reaches_all_instances() {
 
     let top1 = d.define_class("TOP1");
     let top2 = d.define_class("TOP2");
-    let i1 = d.instantiate(cell, top1, "c1", Transform::IDENTITY).unwrap();
-    let i2 = d.instantiate(cell, top1, "c2", Transform::IDENTITY).unwrap();
-    let i3 = d.instantiate(cell, top2, "c3", Transform::IDENTITY).unwrap();
+    let i1 = d
+        .instantiate(cell, top1, "c1", Transform::IDENTITY)
+        .unwrap();
+    let i2 = d
+        .instantiate(cell, top1, "c2", Transform::IDENTITY)
+        .unwrap();
+    let i3 = d
+        .instantiate(cell, top2, "c3", Transform::IDENTITY)
+        .unwrap();
 
     d.network_mut()
         .set(delay_var, Value::Float(12.5), Justification::Application)
@@ -151,7 +160,11 @@ fn parameter_defaults_and_range_checking() {
     let cell = d.define_class("PARAM_CELL");
     let range_var = d.add_parameter(cell, "width", Some(Value::Int(4)));
     d.network_mut()
-        .set(range_var, Value::Span(Span::new(1.0, 8.0)), Justification::User)
+        .set(
+            range_var,
+            Value::Span(Span::new(1.0, 8.0)),
+            Justification::User,
+        )
         .unwrap();
 
     let top = d.define_class("TOP");
@@ -162,7 +175,11 @@ fn parameter_defaults_and_range_checking() {
 
     assert!(d.set_parameter(inst, "width", Value::Int(6)).is_ok());
     assert!(d.set_parameter(inst, "width", Value::Int(9)).is_err());
-    assert_eq!(d.network().value(pv), &Value::Int(6), "restored after violation");
+    assert_eq!(
+        d.network().value(pv),
+        &Value::Int(6),
+        "restored after violation"
+    );
 }
 
 #[test]
@@ -171,12 +188,14 @@ fn out_of_range_default_fails_instantiation() {
     let cell = d.define_class("BAD_DEFAULT");
     let range_var = d.add_parameter(cell, "w", Some(Value::Int(40)));
     d.network_mut()
-        .set(range_var, Value::Span(Span::new(1.0, 8.0)), Justification::User)
+        .set(
+            range_var,
+            Value::Span(Span::new(1.0, 8.0)),
+            Justification::User,
+        )
         .unwrap();
     let top = d.define_class("TOP");
-    assert!(d
-        .instantiate(cell, top, "x", Transform::IDENTITY)
-        .is_err());
+    assert!(d.instantiate(cell, top, "x", Transform::IDENTITY).is_err());
 }
 
 /// E6 — thesis §7.2 / Fig. 7.6: instance placed in a larger area; pins
@@ -199,7 +218,8 @@ fn fig7_6_bounding_box_and_pin_stretching() {
     assert_eq!(d.instance_bounding_box(inst), Some(rect(100, 0, 110, 10)));
 
     // Stretch to double width.
-    d.set_instance_bounding_box(inst, rect(100, 0, 120, 10)).unwrap();
+    d.set_instance_bounding_box(inst, rect(100, 0, 120, 10))
+        .unwrap();
     let pins = d.instance_pins(inst);
     let a = pins.iter().find(|(n, _)| n == "a").unwrap().1;
     let y = pins.iter().find(|(n, _)| n == "y").unwrap().1;
@@ -220,9 +240,7 @@ fn parent_bbox_recomputes_from_subcells() {
     let leaf = d.define_class("LEAF");
     d.set_class_bounding_box(leaf, rect(0, 0, 10, 10)).unwrap();
     let mid = d.define_class("MID");
-    let _l1 = d
-        .instantiate(leaf, mid, "l1", Transform::IDENTITY)
-        .unwrap();
+    let _l1 = d.instantiate(leaf, mid, "l1", Transform::IDENTITY).unwrap();
     let _l2 = d
         .instantiate(leaf, mid, "l2", Transform::translation(Point::new(10, 0)))
         .unwrap();
@@ -261,8 +279,13 @@ fn derive_class_copies_interface_with_fresh_variables() {
     d.set_signal_bit_width(adder, "a", 8).unwrap();
     d.add_parameter(adder, "speed", Some(Value::Int(1)));
     d.add_property(adder, "delay", PropertyLink::Mirror);
-    d.set_class_property(adder, "delay", Value::Float(8.0), Justification::Application)
-        .unwrap();
+    d.set_class_property(
+        adder,
+        "delay",
+        Value::Float(8.0),
+        Justification::Application,
+    )
+    .unwrap();
 
     let rc = d.derive_class("ADDER.RC", adder);
     assert_eq!(d.superclass(rc), Some(adder));
@@ -403,8 +426,14 @@ fn disconnect_erases_inferred_types() {
 
     d.disconnect(n, ia, "out").unwrap();
     let (net_bw, _, _) = d.net_type_vars(n);
-    assert!(d.network().value(net_bw).is_nil(), "net width was inferred from a");
-    assert!(d.network().value(bw_b).is_nil(), "b's width was a consequence");
+    assert!(
+        d.network().value(net_bw).is_nil(),
+        "net width was inferred from a"
+    );
+    assert!(
+        d.network().value(bw_b).is_nil(),
+        "b's width was a consequence"
+    );
 }
 
 #[test]

@@ -1,24 +1,28 @@
-//! Property-based tests over the design environment: bounding-box
-//! composition, hierarchical propagation, and connect/disconnect
-//! round-trips on random structures.
+//! Randomised (seeded, fully deterministic) tests over the design
+//! environment: bounding-box composition, hierarchical propagation, and
+//! connect/disconnect round-trips on random structures.
 
-use proptest::prelude::*;
+use stem_core::prng::SplitMix64;
 use stem_core::{Justification, Value};
 use stem_design::{Design, PropertyLink, SignalDir};
 use stem_geom::{Point, Rect, Transform};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+const ITERS: usize = 32;
 
-    /// A parent's computed bounding box is exactly the union of its
-    /// subcells' placed boxes, for random placements.
-    #[test]
-    fn parent_bbox_is_union_of_subcells(
-        boxes in proptest::collection::vec(
-            ((1i64..40, 1i64..40), (-100i64..100, -100i64..100)),
-            1..10,
-        ),
-    ) {
+/// A parent's computed bounding box is exactly the union of its subcells'
+/// placed boxes, for random placements.
+#[test]
+fn parent_bbox_is_union_of_subcells() {
+    let mut rng = SplitMix64::new(0xDE_01);
+    for _ in 0..ITERS {
+        let boxes: Vec<((i64, i64), (i64, i64))> = (0..rng.range_usize(1, 10))
+            .map(|_| {
+                (
+                    (rng.range_i64(1, 40), rng.range_i64(1, 40)),
+                    (rng.range_i64(-100, 100), rng.range_i64(-100, 100)),
+                )
+            })
+            .collect();
         let mut d = Design::new();
         let top = d.define_class("TOP");
         let mut expect: Option<Rect> = None;
@@ -34,16 +38,20 @@ proptest! {
                 Some(r) => r.union(placed),
             });
         }
-        prop_assert_eq!(d.class_bounding_box(top), expect);
+        assert_eq!(d.class_bounding_box(top), expect);
     }
+}
 
-    /// A mirrored class property reaches every instance across a random
-    /// two-level hierarchy, whatever the fan-out.
-    #[test]
-    fn mirrored_property_reaches_all_instances(
-        fanouts in proptest::collection::vec(1usize..6, 1..5),
-        value in -1000i64..1000,
-    ) {
+/// A mirrored class property reaches every instance across a random
+/// two-level hierarchy, whatever the fan-out.
+#[test]
+fn mirrored_property_reaches_all_instances() {
+    let mut rng = SplitMix64::new(0xDE_02);
+    for _ in 0..ITERS {
+        let fanouts: Vec<usize> = (0..rng.range_usize(1, 5))
+            .map(|_| rng.range_usize(1, 6))
+            .collect();
+        let value = rng.range_i64(-1000, 1000);
         let mut d = Design::new();
         let cell = d.define_class("CELL");
         let prop = d.add_property(cell, "delay", PropertyLink::Mirror);
@@ -62,14 +70,16 @@ proptest! {
             .unwrap();
         for inst in instances {
             let v = d.instance_property_var(inst, "delay").unwrap();
-            prop_assert_eq!(d.network().value(v), &Value::Int(value));
+            assert_eq!(d.network().value(v), &Value::Int(value));
         }
     }
+}
 
-    /// Connect → disconnect round-trips leave no inferred widths behind,
-    /// for random connect orders.
-    #[test]
-    fn connect_disconnect_roundtrip(order in Just(()).prop_flat_map(|_| any::<u64>())) {
+/// Connect → disconnect round-trips leave no inferred widths behind, for
+/// either connect order.
+#[test]
+fn connect_disconnect_roundtrip() {
+    for order in 0..2u64 {
         let mut d = Design::new();
         let a = d.define_class("A");
         d.add_signal(a, "out", SignalDir::Output);
@@ -80,7 +90,6 @@ proptest! {
         let ia = d.instantiate(a, top, "a", Transform::IDENTITY).unwrap();
         let ib = d.instantiate(b, top, "b", Transform::IDENTITY).unwrap();
         let n = d.add_net(top, "n");
-        // Random connect order.
         if order % 2 == 0 {
             d.connect(n, ia, "out").unwrap();
             d.connect(n, ib, "in").unwrap();
@@ -89,20 +98,24 @@ proptest! {
             d.connect(n, ia, "out").unwrap();
         }
         let bw_b = d.instance_bit_width_var(ib, "in").unwrap();
-        prop_assert_eq!(d.network().value(bw_b), &Value::BitWidth(8));
+        assert_eq!(d.network().value(bw_b), &Value::BitWidth(8));
 
         d.disconnect(n, ia, "out").unwrap();
         d.disconnect(n, ib, "in").unwrap();
-        prop_assert!(d.network().value(bw_b).is_nil(), "inference erased");
+        assert!(d.network().value(bw_b).is_nil(), "inference erased");
         let (net_bw, _, _) = d.net_type_vars(n);
-        prop_assert!(d.network().value(net_bw).is_nil());
-        prop_assert!(d.network().check_all().is_empty());
+        assert!(d.network().value(net_bw).is_nil());
+        assert!(d.network().check_all().is_empty());
     }
+}
 
-    /// Instantiate/remove cycles never leave dangling constraints or
-    /// violations.
-    #[test]
-    fn instantiate_remove_cycles_are_clean(rounds in 1usize..6) {
+/// Instantiate/remove cycles never leave dangling constraints or
+/// violations.
+#[test]
+fn instantiate_remove_cycles_are_clean() {
+    let mut rng = SplitMix64::new(0xDE_04);
+    for _ in 0..ITERS {
+        let rounds = rng.range_usize(1, 6);
         let mut d = Design::new();
         let cell = d.define_class("CELL");
         d.add_signal(cell, "x", SignalDir::InOut);
@@ -120,9 +133,9 @@ proptest! {
             d.remove_instance(inst);
             d.remove_net(n);
         }
-        prop_assert!(d.subcells(top).is_empty());
-        prop_assert!(d.nets_of(top).is_empty());
-        prop_assert_eq!(d.network().n_constraints(), baseline);
-        prop_assert!(d.network().check_all().is_empty());
+        assert!(d.subcells(top).is_empty());
+        assert!(d.nets_of(top).is_empty());
+        assert_eq!(d.network().n_constraints(), baseline);
+        assert!(d.network().check_all().is_empty());
     }
 }

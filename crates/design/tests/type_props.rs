@@ -1,38 +1,41 @@
-//! Property tests over signal-type hierarchies (thesis §7.1): the
-//! compatibility relation's algebra and the least-abstract refinement.
+//! Randomised (seeded, fully deterministic) tests over signal-type
+//! hierarchies (thesis §7.1): the compatibility relation's algebra and the
+//! least-abstract refinement.
 
-use proptest::prelude::*;
+use stem_core::prng::SplitMix64;
 use stem_design::TypeHierarchy;
 
+const ITERS: usize = 32;
+
 /// Builds a random hierarchy of `n` nodes, each parented to an earlier
-/// node chosen by `seed`.
-fn random_hierarchy(n: usize, seed: u64) -> (TypeHierarchy, Vec<stem_core::TypeTag>) {
+/// node chosen by the rng.
+fn random_hierarchy(n: usize, rng: &mut SplitMix64) -> (TypeHierarchy, Vec<stem_core::TypeTag>) {
     let mut h = TypeHierarchy::new(7, "Root");
     let mut tags = vec![h.root()];
-    let mut s = seed;
     for i in 1..n {
-        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-        let parent = tags[(s >> 33) as usize % tags.len()];
+        let parent = tags[rng.range_usize(0, tags.len())];
         tags.push(h.add(format!("T{i}"), parent));
     }
     (h, tags)
 }
 
-proptest! {
-    /// Compatibility is reflexive and symmetric; ancestry is antisymmetric
-    /// (up to equality) and transitive.
-    #[test]
-    fn compatibility_algebra(n in 2usize..30, seed in any::<u64>()) {
-        let (h, tags) = random_hierarchy(n, seed);
+/// Compatibility is reflexive and symmetric; ancestry is antisymmetric
+/// (up to equality) and transitive.
+#[test]
+fn compatibility_algebra() {
+    let mut rng = SplitMix64::new(0x71_01);
+    for _ in 0..ITERS {
+        let n = rng.range_usize(2, 30);
+        let (h, tags) = random_hierarchy(n, &mut rng);
         for &a in &tags {
-            prop_assert!(h.is_compatible(a, a), "reflexive");
-            prop_assert!(h.is_ancestor(a, a), "ancestry reflexive");
+            assert!(h.is_compatible(a, a), "reflexive");
+            assert!(h.is_ancestor(a, a), "ancestry reflexive");
         }
         for &a in &tags {
             for &b in &tags {
-                prop_assert_eq!(h.is_compatible(a, b), h.is_compatible(b, a), "symmetric");
+                assert_eq!(h.is_compatible(a, b), h.is_compatible(b, a), "symmetric");
                 if a != b && h.is_ancestor(a, b) {
-                    prop_assert!(!h.is_ancestor(b, a), "antisymmetric");
+                    assert!(!h.is_ancestor(b, a), "antisymmetric");
                 }
             }
         }
@@ -41,55 +44,69 @@ proptest! {
             for &b in &tags[i..] {
                 for &c in &tags {
                     if h.is_ancestor(a, b) && h.is_ancestor(b, c) {
-                        prop_assert!(h.is_ancestor(a, c), "transitive");
+                        assert!(h.is_ancestor(a, c), "transitive");
                     }
                 }
             }
         }
     }
+}
 
-    /// The root is an ancestor of everything, so everything is compatible
-    /// with it.
-    #[test]
-    fn root_is_universal(n in 1usize..40, seed in any::<u64>()) {
-        let (h, tags) = random_hierarchy(n, seed);
+/// The root is an ancestor of everything, so everything is compatible
+/// with it.
+#[test]
+fn root_is_universal() {
+    let mut rng = SplitMix64::new(0x71_02);
+    for _ in 0..ITERS {
+        let n = rng.range_usize(1, 40);
+        let (h, tags) = random_hierarchy(n, &mut rng);
         for &t in &tags {
-            prop_assert!(h.is_ancestor(h.root(), t));
-            prop_assert!(h.is_compatible(h.root(), t));
+            assert!(h.is_ancestor(h.root(), t));
+            assert!(h.is_compatible(h.root(), t));
         }
     }
+}
 
-    /// `less_abstract` returns the descendant of two compatible tags, is
-    /// commutative, and is `None` exactly when incompatible.
-    #[test]
-    fn least_abstract_properties(n in 2usize..30, seed in any::<u64>()) {
-        let (h, tags) = random_hierarchy(n, seed);
+/// `less_abstract` returns the descendant of two compatible tags, is
+/// commutative, and is `None` exactly when incompatible.
+#[test]
+fn least_abstract_properties() {
+    let mut rng = SplitMix64::new(0x71_03);
+    for _ in 0..ITERS {
+        let n = rng.range_usize(2, 30);
+        let (h, tags) = random_hierarchy(n, &mut rng);
         for &a in &tags {
             for &b in &tags {
                 let ab = h.less_abstract(a, b);
-                prop_assert_eq!(ab, h.less_abstract(b, a), "commutative");
+                assert_eq!(ab, h.less_abstract(b, a), "commutative");
                 match ab {
                     Some(r) => {
-                        prop_assert!(r == a || r == b);
-                        prop_assert!(h.is_ancestor(a, r) && h.is_ancestor(b, r),
-                            "result is below both");
+                        assert!(r == a || r == b);
+                        assert!(
+                            h.is_ancestor(a, r) && h.is_ancestor(b, r),
+                            "result is below both"
+                        );
                     }
-                    None => prop_assert!(!h.is_compatible(a, b)),
+                    None => assert!(!h.is_compatible(a, b)),
                 }
             }
         }
     }
+}
 
-    /// Siblings (distinct children of one parent) are never compatible.
-    #[test]
-    fn siblings_are_incompatible(k in 2usize..10) {
+/// Siblings (distinct children of one parent) are never compatible.
+#[test]
+fn siblings_are_incompatible() {
+    let mut rng = SplitMix64::new(0x71_04);
+    for _ in 0..ITERS {
+        let k = rng.range_usize(2, 10);
         let mut h = TypeHierarchy::new(9, "Root");
         let root = h.root();
         let kids: Vec<_> = (0..k).map(|i| h.add(format!("K{i}"), root)).collect();
         for (i, &a) in kids.iter().enumerate() {
             for &b in &kids[i + 1..] {
-                prop_assert!(!h.is_compatible(a, b));
-                prop_assert_eq!(h.less_abstract(a, b), None);
+                assert!(!h.is_compatible(a, b));
+                assert_eq!(h.less_abstract(a, b), None);
             }
         }
     }

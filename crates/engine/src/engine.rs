@@ -1,0 +1,654 @@
+//! The engine proper: a fixed pool of worker threads, each owning the
+//! networks of the sessions sharded onto it.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Instant;
+
+use stem_core::{Network, Stats};
+
+use crate::command::{BatchError, BatchOutcome, Command, Output};
+use crate::stats::{Counters, EngineStats, SessionStats};
+
+/// Identifies one design session — an independent constraint network owned
+/// by exactly one worker. Ids are engine-unique and never reused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(pub u64);
+
+impl fmt::Display for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Engine construction parameters ([`Engine::with_config`]).
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Worker threads; sessions are sharded `id % workers`. Minimum 1.
+    pub workers: usize,
+    /// Bounded per-worker queue capacity. [`Engine::submit`] blocks when
+    /// the target queue is full (backpressure); [`Engine::try_submit`]
+    /// returns [`BatchError::Backpressure`] instead. Minimum 1.
+    pub queue_capacity: usize,
+    /// Per-cycle propagation step budget installed in every session
+    /// network; `None` is unlimited. A wave exceeding the budget aborts
+    /// cleanly with `ViolationKind::BudgetExceeded` and rolls its batch
+    /// back.
+    pub step_budget: Option<u64>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: thread::available_parallelism().map_or(4, |n| n.get().min(8)),
+            queue_capacity: 128,
+            step_budget: None,
+        }
+    }
+}
+
+/// In-flight batch handle returned by [`Engine::submit`] /
+/// [`Engine::try_submit`]; redeem it with [`BatchTicket::wait`].
+#[derive(Debug)]
+pub struct BatchTicket {
+    reply: Receiver<Result<BatchOutcome, BatchError>>,
+}
+
+impl BatchTicket {
+    /// Blocks until the owning worker replies. Returns
+    /// [`BatchError::Shutdown`] if the engine stopped before processing
+    /// the batch.
+    pub fn wait(self) -> Result<BatchOutcome, BatchError> {
+        self.reply.recv().unwrap_or(Err(BatchError::Shutdown))
+    }
+}
+
+enum Job {
+    Batch {
+        session: SessionId,
+        commands: Vec<Command>,
+        reply: mpsc::Sender<Result<BatchOutcome, BatchError>>,
+        enqueued: Instant,
+    },
+    SessionStats {
+        session: SessionId,
+        reply: mpsc::Sender<SessionStats>,
+    },
+    LiftQuarantine {
+        session: SessionId,
+        reply: mpsc::Sender<bool>,
+    },
+    CloseSession {
+        session: SessionId,
+        reply: mpsc::Sender<bool>,
+    },
+    Shutdown,
+}
+
+/// A concurrent multi-session propagation service.
+///
+/// The engine owns a fixed pool of worker threads. Each session — an
+/// independent [`Network`] — is pinned to the worker `session_id %
+/// workers`, which serialises that session's batches (they apply in
+/// submission order) while distinct sessions on distinct workers run in
+/// parallel. Networks never cross threads: they are created, mutated and
+/// dropped inside their owning worker, which is what lets the
+/// single-threaded `Rc`-based core serve concurrent traffic without locks
+/// on the hot path.
+///
+/// ```
+/// use stem_engine::{Command, ConstraintSpec, Engine, Output, Source};
+/// use stem_core::{Value, VarId};
+///
+/// let engine = Engine::new(2);
+/// let s = engine.create_session();
+/// let out = engine
+///     .apply(s, vec![
+///         Command::AddVariable { name: "a".into() },
+///         Command::AddVariable { name: "b".into() },
+///         // Ids are sequential, so a batch may wire what it just created.
+///         Command::AddConstraint {
+///             spec: ConstraintSpec::Equality,
+///             args: vec![VarId::from_index(0), VarId::from_index(1)],
+///         },
+///         Command::Set {
+///             var: VarId::from_index(0),
+///             value: Value::Int(7),
+///             source: Source::User,
+///         },
+///         Command::Get { var: VarId::from_index(1) },
+///     ])
+///     .unwrap();
+/// assert_eq!(out.outputs[4], Output::Value(Value::Int(7)));
+/// ```
+pub struct Engine {
+    senders: Vec<SyncSender<Job>>,
+    depths: Vec<Arc<AtomicUsize>>,
+    counters: Arc<Counters>,
+    handles: Vec<JoinHandle<()>>,
+    next_session: AtomicU64,
+    config: EngineConfig,
+}
+
+impl fmt::Debug for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Engine")
+            .field("workers", &self.senders.len())
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+impl Engine {
+    /// Creates an engine with `workers` threads and default queue/budget
+    /// settings.
+    pub fn new(workers: usize) -> Self {
+        Engine::with_config(EngineConfig {
+            workers,
+            ..EngineConfig::default()
+        })
+    }
+
+    /// Creates an engine from an explicit configuration.
+    pub fn with_config(config: EngineConfig) -> Self {
+        let workers = config.workers.max(1);
+        let queue = config.queue_capacity.max(1);
+        let counters = Arc::new(Counters::default());
+        let mut senders = Vec::with_capacity(workers);
+        let mut depths = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for ix in 0..workers {
+            let (tx, rx) = mpsc::sync_channel::<Job>(queue);
+            let depth = Arc::new(AtomicUsize::new(0));
+            let worker_depth = depth.clone();
+            let worker_counters = counters.clone();
+            let step_budget = config.step_budget;
+            handles.push(
+                thread::Builder::new()
+                    .name(format!("stem-engine-{ix}"))
+                    .spawn(move || {
+                        // Networks are !Send, so the worker — and every
+                        // session it will own — is built inside its thread.
+                        Worker {
+                            rx,
+                            depth: worker_depth,
+                            counters: worker_counters,
+                            step_budget,
+                            sessions: HashMap::new(),
+                        }
+                        .run()
+                    })
+                    .expect("spawn engine worker"),
+            );
+            senders.push(tx);
+            depths.push(depth);
+        }
+        Engine {
+            senders,
+            depths,
+            counters,
+            handles,
+            next_session: AtomicU64::new(0),
+            config,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// The configuration the engine was built with.
+    pub fn config(&self) -> EngineConfig {
+        self.config
+    }
+
+    /// Allocates a new session id. The session's network materialises
+    /// lazily in its worker on first use; ids are never reused.
+    pub fn create_session(&self) -> SessionId {
+        SessionId(self.next_session.fetch_add(1, Ordering::Relaxed))
+    }
+
+    fn shard(&self, session: SessionId) -> usize {
+        (session.0 % self.senders.len() as u64) as usize
+    }
+
+    fn note_enqueue(&self, shard: usize) {
+        let depth = self.depths[shard].fetch_add(1, Ordering::Relaxed) + 1;
+        self.counters.observe_queue_depth(depth as u64);
+    }
+
+    /// Enqueues a batch, blocking while the worker's queue is full
+    /// (backpressure), and returns a ticket for the reply.
+    pub fn submit(&self, session: SessionId, commands: Vec<Command>) -> BatchTicket {
+        let shard = self.shard(session);
+        let (reply_tx, reply_rx) = mpsc::channel();
+        self.note_enqueue(shard);
+        let job = Job::Batch {
+            session,
+            commands,
+            reply: reply_tx,
+            enqueued: Instant::now(),
+        };
+        if self.senders[shard].send(job).is_err() {
+            self.depths[shard].fetch_sub(1, Ordering::Relaxed);
+        }
+        BatchTicket { reply: reply_rx }
+    }
+
+    /// Enqueues a batch without blocking; a full queue returns
+    /// [`BatchError::Backpressure`] and the batch is not accepted.
+    pub fn try_submit(
+        &self,
+        session: SessionId,
+        commands: Vec<Command>,
+    ) -> Result<BatchTicket, BatchError> {
+        let shard = self.shard(session);
+        let (reply_tx, reply_rx) = mpsc::channel();
+        self.note_enqueue(shard);
+        let job = Job::Batch {
+            session,
+            commands,
+            reply: reply_tx,
+            enqueued: Instant::now(),
+        };
+        match self.senders[shard].try_send(job) {
+            Ok(()) => Ok(BatchTicket { reply: reply_rx }),
+            Err(err) => {
+                self.depths[shard].fetch_sub(1, Ordering::Relaxed);
+                match err {
+                    TrySendError::Full(_) => {
+                        self.counters
+                            .backpressure_rejections
+                            .fetch_add(1, Ordering::Relaxed);
+                        Err(BatchError::Backpressure)
+                    }
+                    TrySendError::Disconnected(_) => Err(BatchError::Shutdown),
+                }
+            }
+        }
+    }
+
+    /// Submits a batch and waits for its outcome — the synchronous
+    /// convenience over [`Engine::submit`] + [`BatchTicket::wait`].
+    pub fn apply(
+        &self,
+        session: SessionId,
+        commands: Vec<Command>,
+    ) -> Result<BatchOutcome, BatchError> {
+        self.submit(session, commands).wait()
+    }
+
+    /// Fetches a session's counters (creating the session if it never ran
+    /// a batch). Travels the session's queue, so it also observes ordering
+    /// with in-flight batches.
+    pub fn session_stats(&self, session: SessionId) -> SessionStats {
+        let shard = self.shard(session);
+        let (tx, rx) = mpsc::channel();
+        self.note_enqueue(shard);
+        if self.senders[shard]
+            .send(Job::SessionStats { session, reply: tx })
+            .is_err()
+        {
+            self.depths[shard].fetch_sub(1, Ordering::Relaxed);
+            return SessionStats::default();
+        }
+        rx.recv().unwrap_or_default()
+    }
+
+    /// Lifts a session's quarantine, re-admitting mutating batches.
+    /// Returns whether the session was quarantined.
+    pub fn lift_quarantine(&self, session: SessionId) -> bool {
+        let shard = self.shard(session);
+        let (tx, rx) = mpsc::channel();
+        self.note_enqueue(shard);
+        if self.senders[shard]
+            .send(Job::LiftQuarantine { session, reply: tx })
+            .is_err()
+        {
+            self.depths[shard].fetch_sub(1, Ordering::Relaxed);
+            return false;
+        }
+        rx.recv().unwrap_or(false)
+    }
+
+    /// Drops a session's network and counters. Returns whether the session
+    /// existed. The id is retired, not recycled.
+    pub fn close_session(&self, session: SessionId) -> bool {
+        let shard = self.shard(session);
+        let (tx, rx) = mpsc::channel();
+        self.note_enqueue(shard);
+        if self.senders[shard]
+            .send(Job::CloseSession { session, reply: tx })
+            .is_err()
+        {
+            self.depths[shard].fetch_sub(1, Ordering::Relaxed);
+            return false;
+        }
+        rx.recv().unwrap_or(false)
+    }
+
+    /// Snapshot of the engine-wide counters.
+    pub fn stats(&self) -> EngineStats {
+        self.counters.snapshot()
+    }
+
+    /// Stops every worker after it drains its queue, then joins them.
+    /// Also runs on drop.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        for tx in &self.senders {
+            let _ = tx.send(Job::Shutdown);
+        }
+        self.senders.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Worker side
+// ---------------------------------------------------------------------
+
+struct Session {
+    net: Network,
+    stats: SessionStats,
+    quarantined: bool,
+}
+
+struct Worker {
+    rx: Receiver<Job>,
+    depth: Arc<AtomicUsize>,
+    counters: Arc<Counters>,
+    step_budget: Option<u64>,
+    sessions: HashMap<SessionId, Session>,
+}
+
+impl Worker {
+    fn run(mut self) {
+        while let Ok(job) = self.rx.recv() {
+            self.depth.fetch_sub(1, Ordering::Relaxed);
+            match job {
+                Job::Batch {
+                    session,
+                    commands,
+                    reply,
+                    enqueued,
+                } => {
+                    let result = self.process_batch(session, commands);
+                    self.counters
+                        .observe_latency_us(enqueued.elapsed().as_micros() as u64);
+                    let _ = reply.send(result);
+                }
+                Job::SessionStats { session, reply } => {
+                    let sess = self.session_entry(session);
+                    let mut stats = sess.stats;
+                    stats.n_variables = sess.net.n_variables() as u64;
+                    stats.n_constraints = sess.net.n_constraints() as u64;
+                    stats.quarantined = sess.quarantined;
+                    let _ = reply.send(stats);
+                }
+                Job::LiftQuarantine { session, reply } => {
+                    let sess = self.session_entry(session);
+                    let was = sess.quarantined;
+                    sess.quarantined = false;
+                    let _ = reply.send(was);
+                }
+                Job::CloseSession { session, reply } => {
+                    let _ = reply.send(self.sessions.remove(&session).is_some());
+                }
+                Job::Shutdown => break,
+            }
+        }
+    }
+
+    fn session_entry(&mut self, id: SessionId) -> &mut Session {
+        let counters = &self.counters;
+        let step_budget = self.step_budget;
+        self.sessions.entry(id).or_insert_with(|| {
+            counters.sessions_created.fetch_add(1, Ordering::Relaxed);
+            let mut net = Network::new();
+            net.set_step_limit(step_budget);
+            Session {
+                net,
+                stats: SessionStats::default(),
+                quarantined: false,
+            }
+        })
+    }
+
+    fn process_batch(
+        &mut self,
+        id: SessionId,
+        commands: Vec<Command>,
+    ) -> Result<BatchOutcome, BatchError> {
+        let counters = self.counters.clone();
+        counters.batches.fetch_add(1, Ordering::Relaxed);
+        let sess = self.session_entry(id);
+        sess.stats.batches += 1;
+
+        if sess.quarantined && commands.iter().any(Command::is_mutating) {
+            return Err(BatchError::Quarantined);
+        }
+        validate(&sess.net, &commands)?;
+
+        let structural = commands.iter().any(Command::is_structural);
+        let before: Stats = sess.net.stats();
+        let result = if structural {
+            // Structure cannot be rolled back by a value snapshot: run the
+            // batch on a clone and swap it in only on success.
+            let mut work = sess.net.clone();
+            match catch_unwind(AssertUnwindSafe(|| apply_all(&mut work, &commands))) {
+                Ok(Ok(outputs)) => {
+                    let delta = delta(before, work.stats());
+                    sess.net = work;
+                    Ok((outputs, delta))
+                }
+                Ok(Err((index, violation))) => Err(BatchError::Violation { index, violation }),
+                Err(payload) => Err(BatchError::Panicked {
+                    index: usize::MAX,
+                    message: panic_message(payload),
+                }),
+            }
+        } else {
+            // Value-only batch: snapshot/restore is enough and avoids the
+            // clone.
+            let snap = sess.net.snapshot();
+            let net = &mut sess.net;
+            match catch_unwind(AssertUnwindSafe(|| apply_all(net, &commands))) {
+                Ok(Ok(outputs)) => {
+                    let delta = delta(before, sess.net.stats());
+                    Ok((outputs, delta))
+                }
+                Ok(Err((index, violation))) => {
+                    sess.net.restore_snapshot(&snap);
+                    Err(BatchError::Violation { index, violation })
+                }
+                Err(payload) => {
+                    // The panic may have unwound out of an active cycle;
+                    // finish its restoration before re-imposing the
+                    // pre-batch snapshot.
+                    sess.net.abort_cycle();
+                    sess.net.restore_snapshot(&snap);
+                    Err(BatchError::Panicked {
+                        index: usize::MAX,
+                        message: panic_message(payload),
+                    })
+                }
+            }
+        };
+
+        match result {
+            Ok((outputs, (waves, assignments))) => {
+                counters.batches_ok.fetch_add(1, Ordering::Relaxed);
+                counters.waves.fetch_add(waves, Ordering::Relaxed);
+                counters
+                    .assignments
+                    .fetch_add(assignments, Ordering::Relaxed);
+                sess.stats.batches_ok += 1;
+                sess.stats.waves += waves;
+                sess.stats.assignments += assignments;
+                Ok(BatchOutcome {
+                    outputs,
+                    waves,
+                    assignments,
+                })
+            }
+            Err(err) => {
+                match &err {
+                    BatchError::Violation { .. } => {
+                        counters.violations.fetch_add(1, Ordering::Relaxed);
+                        counters.rollbacks.fetch_add(1, Ordering::Relaxed);
+                        sess.stats.violations += 1;
+                    }
+                    BatchError::Panicked { .. } => {
+                        counters.panics.fetch_add(1, Ordering::Relaxed);
+                        counters.rollbacks.fetch_add(1, Ordering::Relaxed);
+                        counters
+                            .sessions_quarantined
+                            .fetch_add(1, Ordering::Relaxed);
+                        sess.stats.panics += 1;
+                        sess.quarantined = true;
+                    }
+                    _ => {}
+                }
+                Err(err)
+            }
+        }
+    }
+}
+
+fn delta(before: Stats, after: Stats) -> (u64, u64) {
+    (
+        after.cycles.saturating_sub(before.cycles),
+        after.assignments.saturating_sub(before.assignments),
+    )
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Pre-flight validation: every referenced id must exist, counting ids the
+/// batch itself will allocate before the referencing command runs. Runs
+/// before any command executes, so an invalid batch is a no-op.
+fn validate(net: &Network, commands: &[Command]) -> Result<(), BatchError> {
+    let mut n_vars = net.n_variables();
+    let mut n_cons = net.n_constraint_slots();
+    let invalid = |index: usize, reason: String| BatchError::InvalidCommand { index, reason };
+    for (ix, cmd) in commands.iter().enumerate() {
+        match cmd {
+            Command::AddVariable { .. } => n_vars += 1,
+            Command::Set { var, .. }
+            | Command::Unset { var }
+            | Command::Probe { var, .. }
+            | Command::Get { var } => {
+                if var.index() >= n_vars {
+                    return Err(invalid(ix, format!("unknown variable {var}")));
+                }
+            }
+            Command::AddConstraint { args, .. } => {
+                for arg in args {
+                    if arg.index() >= n_vars {
+                        return Err(invalid(ix, format!("unknown argument {arg}")));
+                    }
+                }
+                n_cons += 1;
+            }
+            Command::RemoveConstraint { constraint }
+            | Command::EnableConstraint { constraint, .. } => {
+                if constraint.index() >= n_cons {
+                    return Err(invalid(ix, format!("unknown constraint {constraint}")));
+                }
+            }
+            Command::SetValueChangeLimit { limit } => {
+                if *limit == 0 {
+                    return Err(invalid(ix, "value-change limit must be ≥ 1".into()));
+                }
+            }
+            Command::SetKindEnabled { .. } | Command::DumpValues | Command::CheckAll => {}
+        }
+    }
+    Ok(())
+}
+
+type CommandFailure = (usize, stem_core::Violation);
+
+fn apply_all(net: &mut Network, commands: &[Command]) -> Result<Vec<Output>, CommandFailure> {
+    let mut outputs = Vec::with_capacity(commands.len());
+    for (ix, cmd) in commands.iter().enumerate() {
+        outputs.push(apply_one(net, cmd).map_err(|v| (ix, v))?);
+    }
+    Ok(outputs)
+}
+
+fn apply_one(net: &mut Network, cmd: &Command) -> Result<Output, stem_core::Violation> {
+    use stem_core::Justification;
+    Ok(match cmd {
+        Command::AddVariable { name } => Output::Var(net.add_variable(name.clone())),
+        Command::Set { var, value, source } => {
+            net.set(*var, value.clone(), Justification::from(*source))?;
+            Output::Unit
+        }
+        Command::Unset { var } => {
+            net.reset(*var);
+            Output::Unit
+        }
+        Command::Probe { var, value } => Output::Feasible(net.can_be_set_to(*var, value.clone())),
+        Command::Get { var } => Output::Value(net.value(*var).clone()),
+        Command::AddConstraint { spec, args } => {
+            Output::Constraint(net.add_constraint_rc(spec.build(), args.iter().copied())?)
+        }
+        Command::RemoveConstraint { constraint } => {
+            net.remove_constraint(*constraint);
+            Output::Unit
+        }
+        Command::EnableConstraint {
+            constraint,
+            enabled,
+        } => {
+            net.set_constraint_enabled(*constraint, *enabled);
+            Output::Unit
+        }
+        Command::SetKindEnabled { kind_name, enabled } => {
+            Output::Count(net.set_kind_enabled(kind_name, *enabled))
+        }
+        Command::SetValueChangeLimit { limit } => {
+            net.set_value_change_limit(*limit);
+            Output::Unit
+        }
+        Command::DumpValues => Output::Dump(
+            net.variables()
+                .map(|v| {
+                    (
+                        net.var_name(v).to_string(),
+                        net.value(v).clone(),
+                        net.justification(v).clone(),
+                    )
+                })
+                .collect(),
+        ),
+        Command::CheckAll => Output::Violations(net.check_all()),
+    })
+}

@@ -1,0 +1,128 @@
+//! Engine- and session-level observability counters.
+//!
+//! Engine-wide counters are lock-free atomics shared by every worker and
+//! read by [`crate::Engine::stats`] without stopping traffic. Per-session
+//! counters live inside the owning worker and are fetched over the same
+//! queue the session's batches use, so a stats read also measures queue
+//! health.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Upper bounds (exclusive, in microseconds) of the coarse batch-latency
+/// buckets; the final bucket is unbounded. Latency is measured from
+/// enqueue to reply, so it includes queue wait.
+pub const LATENCY_BUCKET_BOUNDS_US: [u64; 6] = [50, 200, 1_000, 5_000, 20_000, 100_000];
+
+/// Number of latency buckets (the bounds plus one overflow bucket).
+pub const N_LATENCY_BUCKETS: usize = LATENCY_BUCKET_BOUNDS_US.len() + 1;
+
+/// Lock-free engine-wide counters, updated by workers.
+#[derive(Debug, Default)]
+pub(crate) struct Counters {
+    pub batches: AtomicU64,
+    pub batches_ok: AtomicU64,
+    pub violations: AtomicU64,
+    pub rollbacks: AtomicU64,
+    pub panics: AtomicU64,
+    pub waves: AtomicU64,
+    pub assignments: AtomicU64,
+    pub sessions_created: AtomicU64,
+    pub sessions_quarantined: AtomicU64,
+    pub backpressure_rejections: AtomicU64,
+    pub queue_depth_hwm: AtomicU64,
+    pub latency_buckets: [AtomicU64; N_LATENCY_BUCKETS],
+}
+
+impl Counters {
+    /// Raises the queue-depth high-water mark to at least `depth`.
+    pub fn observe_queue_depth(&self, depth: u64) {
+        self.queue_depth_hwm.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Files one batch latency into its coarse bucket.
+    pub fn observe_latency_us(&self, us: u64) {
+        let ix = LATENCY_BUCKET_BOUNDS_US
+            .iter()
+            .position(|&bound| us < bound)
+            .unwrap_or(N_LATENCY_BUCKETS - 1);
+        self.latency_buckets[ix].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> EngineStats {
+        let mut latency_buckets = [0u64; N_LATENCY_BUCKETS];
+        for (out, bucket) in latency_buckets.iter_mut().zip(&self.latency_buckets) {
+            *out = bucket.load(Ordering::Relaxed);
+        }
+        EngineStats {
+            batches: self.batches.load(Ordering::Relaxed),
+            batches_ok: self.batches_ok.load(Ordering::Relaxed),
+            violations: self.violations.load(Ordering::Relaxed),
+            rollbacks: self.rollbacks.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
+            waves: self.waves.load(Ordering::Relaxed),
+            assignments: self.assignments.load(Ordering::Relaxed),
+            sessions_created: self.sessions_created.load(Ordering::Relaxed),
+            sessions_quarantined: self.sessions_quarantined.load(Ordering::Relaxed),
+            backpressure_rejections: self.backpressure_rejections.load(Ordering::Relaxed),
+            queue_depth_hwm: self.queue_depth_hwm.load(Ordering::Relaxed),
+            latency_buckets,
+        }
+    }
+}
+
+/// Point-in-time snapshot of the engine-wide counters
+/// ([`crate::Engine::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineStats {
+    /// Batches processed (committed + rolled back + refused).
+    pub batches: u64,
+    /// Batches committed.
+    pub batches_ok: u64,
+    /// Batches rolled back on a constraint violation (includes step-budget
+    /// aborts).
+    pub violations: u64,
+    /// Rollbacks performed (violations + panics).
+    pub rollbacks: u64,
+    /// Batches that panicked (each also quarantined its session).
+    pub panics: u64,
+    /// Propagation waves (cycles) run across all sessions.
+    pub waves: u64,
+    /// Variable assignments performed across all sessions.
+    pub assignments: u64,
+    /// Sessions materialised in workers.
+    pub sessions_created: u64,
+    /// Quarantine events.
+    pub sessions_quarantined: u64,
+    /// `try_submit` calls refused because a queue was full.
+    pub backpressure_rejections: u64,
+    /// Highest observed per-worker queue depth (queued + being submitted).
+    pub queue_depth_hwm: u64,
+    /// Batch latency histogram; bucket `i` counts batches with
+    /// enqueue-to-reply latency under [`LATENCY_BUCKET_BOUNDS_US`]`[i]` µs
+    /// (last bucket: everything slower).
+    pub latency_buckets: [u64; N_LATENCY_BUCKETS],
+}
+
+/// Per-session counters ([`crate::Engine::session_stats`]), maintained by
+/// the owning worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SessionStats {
+    /// Batches processed for this session.
+    pub batches: u64,
+    /// Batches committed.
+    pub batches_ok: u64,
+    /// Batches rolled back on violation.
+    pub violations: u64,
+    /// Batches rolled back after a panic.
+    pub panics: u64,
+    /// Propagation waves run on behalf of committed work.
+    pub waves: u64,
+    /// Assignments performed by committed work.
+    pub assignments: u64,
+    /// Variables currently in the session's network.
+    pub n_variables: u64,
+    /// Active constraints currently in the session's network.
+    pub n_constraints: u64,
+    /// Whether the session is quarantined.
+    pub quarantined: bool,
+}

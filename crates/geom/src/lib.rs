@@ -15,7 +15,6 @@
 //! assert_eq!(placed.height(), 40);
 //! ```
 
-
 #![warn(missing_docs)]
 mod point;
 mod rect;

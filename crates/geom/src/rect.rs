@@ -138,7 +138,10 @@ impl Rect {
             min: self.min - Point::new(margin, margin),
             max: self.max + Point::new(margin, margin),
         };
-        assert!(r.min.x <= r.max.x && r.min.y <= r.max.y, "inflation inverted rect");
+        assert!(
+            r.min.x <= r.max.x && r.min.y <= r.max.y,
+            "inflation inverted rect"
+        );
         r
     }
 

@@ -65,12 +65,7 @@ impl Orientation {
     /// The orientation `self ∘ other` (apply `other` first, then `self`).
     pub fn compose(self, other: Orientation) -> Orientation {
         // Derive composition by probing with two independent points.
-        let probe = |o: Orientation| {
-            (
-                o.apply(Point::new(1, 0)),
-                o.apply(Point::new(0, 1)),
-            )
-        };
+        let probe = |o: Orientation| (o.apply(Point::new(1, 0)), o.apply(Point::new(0, 1)));
         let target = (
             self.apply(other.apply(Point::new(1, 0))),
             self.apply(other.apply(Point::new(0, 1))),

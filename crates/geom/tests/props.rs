@@ -1,79 +1,128 @@
-//! Property-based tests for the geometry substrate.
+//! Randomised (seeded, fully deterministic) tests for the geometry
+//! substrate.
+//!
+//! `stem-geom` sits below `stem-core` in the dependency graph, so it
+//! cannot borrow `stem_core::prng`; a minimal SplitMix64 copy lives here
+//! instead.
 
-use proptest::prelude::*;
 use stem_geom::{stretch_pin, Orientation, Point, Rect, Side, Transform};
 
-fn arb_point() -> impl Strategy<Value = Point> {
-    (-1000i64..1000, -1000i64..1000).prop_map(|(x, y)| Point::new(x, y))
+const ITERS: usize = 128;
+
+/// Minimal SplitMix64 (same algorithm as `stem_core::prng::SplitMix64`).
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + (self.next_u64() % (hi - lo) as u64) as i64
+    }
+
+    fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() % (hi - lo) as u64) as usize
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn point(&mut self) -> Point {
+        Point::new(self.range_i64(-1000, 1000), self.range_i64(-1000, 1000))
+    }
+
+    fn rect(&mut self) -> Rect {
+        Rect::new(self.point(), self.point())
+    }
+
+    fn transform(&mut self) -> Transform {
+        Transform::new(Orientation::ALL[self.range_usize(0, 8)], self.point())
+    }
 }
 
-fn arb_rect() -> impl Strategy<Value = Rect> {
-    (arb_point(), arb_point()).prop_map(|(a, b)| Rect::new(a, b))
-}
-
-fn arb_orient() -> impl Strategy<Value = Orientation> {
-    (0usize..8).prop_map(|i| Orientation::ALL[i])
-}
-
-fn arb_transform() -> impl Strategy<Value = Transform> {
-    (arb_orient(), arb_point()).prop_map(|(o, t)| Transform::new(o, t))
-}
-
-proptest! {
-    #[test]
-    fn rect_union_contains_both(a in arb_rect(), b in arb_rect()) {
+#[test]
+fn rect_union_contains_both() {
+    let mut rng = Rng(0x6E_01);
+    for _ in 0..ITERS {
+        let (a, b) = (rng.rect(), rng.rect());
         let u = a.union(b);
-        prop_assert!(u.contains_rect(a));
-        prop_assert!(u.contains_rect(b));
+        assert!(u.contains_rect(a));
+        assert!(u.contains_rect(b));
     }
+}
 
-    #[test]
-    fn rect_union_commutative_associative(a in arb_rect(), b in arb_rect(), c in arb_rect()) {
-        prop_assert_eq!(a.union(b), b.union(a));
-        prop_assert_eq!(a.union(b).union(c), a.union(b.union(c)));
+#[test]
+fn rect_union_commutative_associative() {
+    let mut rng = Rng(0x6E_02);
+    for _ in 0..ITERS {
+        let (a, b, c) = (rng.rect(), rng.rect(), rng.rect());
+        assert_eq!(a.union(b), b.union(a));
+        assert_eq!(a.union(b).union(c), a.union(b.union(c)));
     }
+}
 
-    #[test]
-    fn rect_intersection_inside_both(a in arb_rect(), b in arb_rect()) {
+#[test]
+fn rect_intersection_inside_both() {
+    let mut rng = Rng(0x6E_03);
+    for _ in 0..ITERS {
+        let (a, b) = (rng.rect(), rng.rect());
         if let Some(i) = a.intersection(b) {
-            prop_assert!(a.contains_rect(i));
-            prop_assert!(b.contains_rect(i));
+            assert!(a.contains_rect(i));
+            assert!(b.contains_rect(i));
         }
     }
+}
 
-    #[test]
-    fn transform_preserves_extent_up_to_swap(t in arb_transform(), r in arb_rect()) {
+#[test]
+fn transform_preserves_extent_up_to_swap() {
+    let mut rng = Rng(0x6E_04);
+    for _ in 0..ITERS {
+        let (t, r) = (rng.transform(), rng.rect());
         let img = t.apply_rect(r);
         if t.orient.swaps_axes() {
-            prop_assert_eq!(img.width(), r.height());
-            prop_assert_eq!(img.height(), r.width());
+            assert_eq!(img.width(), r.height());
+            assert_eq!(img.height(), r.width());
         } else {
-            prop_assert_eq!(img.width(), r.width());
-            prop_assert_eq!(img.height(), r.height());
+            assert_eq!(img.width(), r.width());
+            assert_eq!(img.height(), r.height());
         }
-        prop_assert_eq!(img.area(), r.area());
+        assert_eq!(img.area(), r.area());
     }
+}
 
-    #[test]
-    fn transform_inverse_roundtrip(t in arb_transform(), p in arb_point()) {
-        prop_assert_eq!(t.inverse().apply(t.apply(p)), p);
+#[test]
+fn transform_inverse_roundtrip() {
+    let mut rng = Rng(0x6E_05);
+    for _ in 0..ITERS {
+        let (t, p) = (rng.transform(), rng.point());
+        assert_eq!(t.inverse().apply(t.apply(p)), p);
     }
+}
 
-    #[test]
-    fn transform_compose_matches_application(
-        a in arb_transform(), b in arb_transform(), p in arb_point()
-    ) {
-        prop_assert_eq!(a.compose(b).apply(p), a.apply(b.apply(p)));
+#[test]
+fn transform_compose_matches_application() {
+    let mut rng = Rng(0x6E_06);
+    for _ in 0..ITERS {
+        let (a, b, p) = (rng.transform(), rng.transform(), rng.point());
+        assert_eq!(a.compose(b).apply(p), a.apply(b.apply(p)));
     }
+}
 
-    #[test]
-    fn stretched_border_pin_lands_on_same_side(
-        w1 in 1i64..200, h1 in 1i64..200,
-        w2 in 1i64..200, h2 in 1i64..200,
-        ox in -100i64..100, oy in -100i64..100,
-        frac in 0.0f64..=1.0,
-        side in 0usize..4,
-    ) {
+#[test]
+fn stretched_border_pin_lands_on_same_side() {
+    let mut rng = Rng(0x6E_07);
+    for _ in 0..ITERS {
+        let (w1, h1) = (rng.range_i64(1, 200), rng.range_i64(1, 200));
+        let (w2, h2) = (rng.range_i64(1, 200), rng.range_i64(1, 200));
+        let (ox, oy) = (rng.range_i64(-100, 100), rng.range_i64(-100, 100));
+        let frac = rng.next_f64();
+        let side = rng.range_usize(0, 4);
         let from = Rect::with_extent(Point::ORIGIN, w1, h1);
         let to = Rect::with_extent(Point::new(ox, oy), w2, h2);
         let pin = match side {
@@ -92,9 +141,9 @@ proptest! {
         // the assertion to pins strictly inside an edge.
         if Side::of(from, pin) == Some(expect) {
             let out = stretch_pin(pin, from, to);
-            prop_assert!(to.contains(out), "stretched pin must be on target border");
+            assert!(to.contains(out), "stretched pin must be on target border");
             // Must at least be on the border of `to`.
-            prop_assert!(Side::of(to, out).is_some());
+            assert!(Side::of(to, out).is_some());
         }
     }
 }

@@ -19,7 +19,6 @@
 //!
 //! [`Network::can_be_set_to`]: stem_core::Network::can_be_set_to
 
-
 #![warn(missing_docs)]
 use stem_checking::DelayAnalyzer;
 use stem_core::{Justification, Value, Violation};

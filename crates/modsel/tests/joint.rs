@@ -45,7 +45,8 @@ fn pipeline(spec_d: f64) -> Pipeline {
     let n_out = d.add_net(top, "n_out");
     d.connect(n_out, add2, "s").unwrap();
     d.connect_io(n_out, "out").unwrap();
-    kit.analyzer.declare_delay(&mut kit.design, top, "in", "out");
+    kit.analyzer
+        .declare_delay(&mut kit.design, top, "in", "out");
     kit.analyzer
         .constrain_max(&mut kit.design, top, "in", "out", spec_d)
         .unwrap();
@@ -123,7 +124,10 @@ fn per_instance_area_allotments_compose() {
     // Allot add1 only 1.2 A: it must be the ripple-carry realisation.
     let t = p.kit.design.instance_transform(p.add1);
     let budget = Rect::with_extent(t.apply(Point::ORIGIN), ADDER_UNIT_WIDTH * 12 / 10, 20);
-    p.kit.design.set_instance_bounding_box(p.add1, budget).unwrap();
+    p.kit
+        .design
+        .set_instance_bounding_box(p.add1, budget)
+        .unwrap();
     let combos = run(&mut p);
     let (rc, cs) = (p.family.rc, p.family.cs);
     assert_eq!(combos.len(), 2);
@@ -173,7 +177,10 @@ fn cross_exclusive_budgets_yield_no_combinations() {
     for inst in [p.add1, p.add2] {
         let t = p.kit.design.instance_transform(inst);
         let budget = Rect::with_extent(t.apply(Point::ORIGIN), ADDER_UNIT_WIDTH * 12 / 10, 20);
-        p.kit.design.set_instance_bounding_box(inst, budget).unwrap();
+        p.kit
+            .design
+            .set_instance_bounding_box(inst, budget)
+            .unwrap();
     }
     let out = select_joint_realizations(
         &mut p.kit.design,

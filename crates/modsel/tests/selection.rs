@@ -204,8 +204,7 @@ fn pruning_reduces_candidates_tested() {
         prune: false,
         ..Default::default()
     };
-    let out =
-        select_realizations(&mut kit.design, &mut kit.analyzer, inst, &no_prune).unwrap();
+    let out = select_realizations(&mut kit.design, &mut kit.analyzer, inst, &no_prune).unwrap();
     let (_, cs_leaves) = &fam.groups[1];
     assert_eq!(out.valid, *cs_leaves, "same result without pruning");
     assert_eq!(out.stats.pruned_subtrees, 0);

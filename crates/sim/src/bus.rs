@@ -58,7 +58,7 @@ mod tests {
                     inputs: vec![NodeId(0)],
                     output: NodeId(2),
                     delay_ps: 10,
-                setup_ps: 0,
+                    setup_ps: 0,
                 },
                 FlatElement {
                     path: "i1".into(),
@@ -66,7 +66,7 @@ mod tests {
                     inputs: vec![NodeId(1)],
                     output: NodeId(3),
                     delay_ps: 10,
-                setup_ps: 0,
+                    setup_ps: 0,
                 },
             ],
             ports: HashMap::from([

@@ -34,15 +34,20 @@ impl Deck {
 pub fn write_deck(title: &str, netlist: &FlatNetlist) -> Deck {
     let mut text = String::new();
     let mut map: Vec<Option<usize>> = Vec::new();
-    let push = |text: &mut String, map: &mut Vec<Option<usize>>, line: String, el: Option<usize>| {
-        let _ = writeln!(text, "{line}");
-        map.push(el);
-    };
+    let push =
+        |text: &mut String, map: &mut Vec<Option<usize>>, line: String, el: Option<usize>| {
+            let _ = writeln!(text, "{line}");
+            map.push(el);
+        };
     push(&mut text, &mut map, format!("* {title}"), None);
     push(
         &mut text,
         &mut map,
-        format!("* {} nodes, {} elements", netlist.n_nodes(), netlist.elements.len()),
+        format!(
+            "* {} nodes, {} elements",
+            netlist.n_nodes(),
+            netlist.elements.len()
+        ),
         None,
     );
     let mut ports: Vec<(&String, _)> = netlist.ports.iter().collect();
@@ -93,7 +98,7 @@ mod tests {
                     inputs: vec![NodeId(0)],
                     output: NodeId(1),
                     delay_ps: 120,
-                setup_ps: 0,
+                    setup_ps: 0,
                 },
                 FlatElement {
                     path: "top/v1".into(),
@@ -101,7 +106,7 @@ mod tests {
                     inputs: vec![],
                     output: NodeId(2),
                     delay_ps: 0,
-                setup_ps: 0,
+                    setup_ps: 0,
                 },
             ],
             ports: HashMap::from([("a".to_string(), NodeId(0)), ("y".to_string(), NodeId(1))]),
@@ -123,10 +128,7 @@ mod tests {
     fn correspondence_map_points_back() {
         let deck = write_deck("t", &sample());
         let lines: Vec<&str> = deck.text.lines().collect();
-        let inv_line = lines
-            .iter()
-            .position(|l| l.starts_with("XINV"))
-            .unwrap();
+        let inv_line = lines.iter().position(|l| l.starts_with("XINV")).unwrap();
         assert_eq!(deck.element_at_line(inv_line), Some(0));
         assert_eq!(deck.element_at_line(0), None, "title line");
     }

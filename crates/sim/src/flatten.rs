@@ -98,7 +98,10 @@ impl fmt::Display for FlattenError {
                 write!(f, "leaf cell {class} at {path:?} has no primitive model")
             }
             FlattenError::BadSpec { class, signal } => {
-                write!(f, "primitive spec of {class} names unknown signal {signal:?}")
+                write!(
+                    f,
+                    "primitive spec of {class} names unknown signal {signal:?}"
+                )
             }
         }
     }
@@ -170,11 +173,7 @@ pub fn flatten(
     // Compact roots into NodeIds with stable, readable names.
     let mut node_of_root: HashMap<usize, NodeId> = HashMap::new();
     let mut nodes: Vec<String> = Vec::new();
-    let keys: Vec<(String, usize)> = merge
-        .index
-        .iter()
-        .map(|(k, &i)| (k.clone(), i))
-        .collect();
+    let keys: Vec<(String, usize)> = merge.index.iter().map(|(k, &i)| (k.clone(), i)).collect();
     let mut sorted = keys;
     sorted.sort();
     let mut resolve = |merge: &mut Merge, nodes: &mut Vec<String>, key: &str| -> NodeId {
@@ -236,11 +235,7 @@ fn walk(
                 });
             }
         }
-        let in_keys = spec
-            .inputs
-            .iter()
-            .map(|s| format!("{path}:{s}"))
-            .collect();
+        let in_keys = spec.inputs.iter().map(|s| format!("{path}:{s}")).collect();
         let out_key = format!("{path}:{}", spec.output);
         elements.push((
             path.to_string(),
@@ -342,19 +337,10 @@ mod tests {
         let flat = flatten(&d, &lib, top).unwrap();
         assert_eq!(flat.elements.len(), 4, "four inverters after flattening");
         // Chain check: element i's output is element i+1's input.
-        let by_path: HashMap<&str, &FlatElement> = flat
-            .elements
-            .iter()
-            .map(|e| (e.path.as_str(), e))
-            .collect();
-        assert_eq!(
-            by_path["TOP/b1/i1"].output,
-            by_path["TOP/b1/i2"].inputs[0]
-        );
-        assert_eq!(
-            by_path["TOP/b1/i2"].output,
-            by_path["TOP/b2/i1"].inputs[0]
-        );
+        let by_path: HashMap<&str, &FlatElement> =
+            flat.elements.iter().map(|e| (e.path.as_str(), e)).collect();
+        assert_eq!(by_path["TOP/b1/i1"].output, by_path["TOP/b1/i2"].inputs[0]);
+        assert_eq!(by_path["TOP/b1/i2"].output, by_path["TOP/b2/i1"].inputs[0]);
         assert_eq!(flat.port("x").unwrap(), by_path["TOP/b1/i1"].inputs[0]);
         assert_eq!(flat.port("z").unwrap(), by_path["TOP/b2/i2"].output);
     }
@@ -365,7 +351,8 @@ mod tests {
         let lib = PrimitiveLibrary::new();
         let mystery = d.define_class("MYSTERY");
         let top = d.define_class("TOP");
-        d.instantiate(mystery, top, "m", Transform::IDENTITY).unwrap();
+        d.instantiate(mystery, top, "m", Transform::IDENTITY)
+            .unwrap();
         let err = flatten(&d, &lib, top).unwrap_err();
         assert!(matches!(err, FlattenError::UnregisteredLeaf { .. }));
     }

@@ -35,7 +35,6 @@
 //! assert_eq!(sim.value(y), Level::L1);
 //! ```
 
-
 #![warn(missing_docs)]
 mod bus;
 mod deck;

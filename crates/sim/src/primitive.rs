@@ -32,9 +32,7 @@ impl PrimitiveKind {
     /// Combinationally evaluates the output from `inputs`; `Dff` and
     /// `Const` are handled by the simulator itself and return `None` here.
     pub fn eval(self, inputs: &[Level]) -> Option<Level> {
-        let fold = |init: Level, f: fn(Level, Level) -> Level| {
-            inputs.iter().copied().fold(init, f)
-        };
+        let fold = |init: Level, f: fn(Level, Level) -> Level| inputs.iter().copied().fold(init, f);
         match self {
             PrimitiveKind::Inverter => Some(inputs.first()?.not()),
             PrimitiveKind::Buffer => Some(*inputs.first()?),
@@ -150,7 +148,11 @@ mod tests {
     #[test]
     fn empty_input_gates() {
         assert_eq!(PrimitiveKind::Inverter.eval(&[]), None);
-        assert_eq!(PrimitiveKind::And.eval(&[]), Some(Level::L1), "empty AND identity");
+        assert_eq!(
+            PrimitiveKind::And.eval(&[]),
+            Some(Level::L1),
+            "empty AND identity"
+        );
         assert_eq!(PrimitiveKind::Or.eval(&[]), Some(Level::L0));
     }
 

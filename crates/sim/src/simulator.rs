@@ -248,8 +248,7 @@ impl Simulator {
             }
             PrimitiveKind::Const(_) => {}
             _ => {
-                let levels: Vec<Level> =
-                    inputs.iter().map(|&n| self.values[n.index()]).collect();
+                let levels: Vec<Level> = inputs.iter().map(|&n| self.values[n.index()]).collect();
                 if let Some(out) = kind.eval(&levels) {
                     self.schedule(now + delay, output, out);
                 }
@@ -278,11 +277,7 @@ mod tests {
     use std::collections::HashMap;
 
     /// Hand-built netlist helper.
-    fn netlist(
-        n_nodes: usize,
-        elements: Vec<FlatElement>,
-        ports: &[(&str, u32)],
-    ) -> FlatNetlist {
+    fn netlist(n_nodes: usize, elements: Vec<FlatElement>, ports: &[(&str, u32)]) -> FlatNetlist {
         FlatNetlist {
             nodes: (0..n_nodes).map(|i| format!("n{i}")).collect(),
             elements,
@@ -300,7 +295,7 @@ mod tests {
             inputs: inputs.iter().map(|&i| NodeId(i)).collect(),
             output: NodeId(output),
             delay_ps: delay,
-        setup_ps: 0,
+            setup_ps: 0,
         }
     }
 

@@ -96,7 +96,7 @@ mod tests {
                 inputs: vec![NodeId(0)],
                 output: NodeId(1),
                 delay_ps: 100,
-            setup_ps: 0,
+                setup_ps: 0,
             }],
             ports: HashMap::from([("a".to_string(), NodeId(0)), ("y".to_string(), NodeId(1))]),
         };

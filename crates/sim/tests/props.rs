@@ -1,11 +1,13 @@
-//! Property tests of the event-driven simulator: at quiescence, a
-//! combinational DAG's node values equal the direct recursive evaluation
-//! of its gates — event ordering and delays must not matter for the final
-//! state.
+//! Randomised (seeded, fully deterministic) tests of the event-driven
+//! simulator: at quiescence, a combinational DAG's node values equal the
+//! direct recursive evaluation of its gates — event ordering and delays
+//! must not matter for the final state.
 
-use proptest::prelude::*;
 use std::collections::HashMap;
+use stem_core::prng::SplitMix64;
 use stem_sim::{FlatElement, FlatNetlist, Level, NodeId, PrimitiveKind, Simulator};
+
+const ITERS: usize = 64;
 
 const KINDS: [PrimitiveKind; 7] = [
     PrimitiveKind::Inverter,
@@ -78,15 +80,19 @@ fn reference_eval(nl: &FlatNetlist, input_levels: &[Level]) -> Vec<Level> {
     values
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn random_gate_seeds(rng: &mut SplitMix64, max_gates: usize) -> Vec<(usize, u64)> {
+    (0..rng.range_usize(1, max_gates))
+        .map(|_| (rng.range_usize(0, 7), rng.next_u64()))
+        .collect()
+}
 
-    #[test]
-    fn quiescent_state_matches_direct_evaluation(
-        n_inputs in 1usize..6,
-        gate_seeds in proptest::collection::vec((0usize..7, any::<u64>()), 1..40),
-        input_bits in any::<u32>(),
-    ) {
+#[test]
+fn quiescent_state_matches_direct_evaluation() {
+    let mut rng = SplitMix64::new(0x51_01);
+    for _ in 0..ITERS {
+        let n_inputs = rng.range_usize(1, 6);
+        let gate_seeds = random_gate_seeds(&mut rng, 40);
+        let input_bits = rng.next_u64() as u32;
         let (nl, inputs, _) = random_dag(n_inputs, &gate_seeds);
         let mut sim = Simulator::new(nl.clone());
         let levels: Vec<Level> = (0..n_inputs)
@@ -99,20 +105,25 @@ proptest! {
         let expect = reference_eval(&nl, &levels);
         for (i, &want) in expect.iter().enumerate() {
             let node = NodeId::from_index(i);
-            prop_assert_eq!(
-                sim.value(node), want,
-                "node {} of {} gates", i, gate_seeds.len()
+            assert_eq!(
+                sim.value(node),
+                want,
+                "node {} of {} gates",
+                i,
+                gate_seeds.len()
             );
         }
     }
+}
 
-    /// Re-driving the same inputs is idempotent (no residual events).
-    #[test]
-    fn redriving_same_inputs_is_quiet(
-        n_inputs in 1usize..5,
-        gate_seeds in proptest::collection::vec((0usize..7, any::<u64>()), 1..20),
-        input_bits in any::<u32>(),
-    ) {
+/// Re-driving the same inputs is idempotent (no residual events).
+#[test]
+fn redriving_same_inputs_is_quiet() {
+    let mut rng = SplitMix64::new(0x51_02);
+    for _ in 0..ITERS {
+        let n_inputs = rng.range_usize(1, 5);
+        let gate_seeds = random_gate_seeds(&mut rng, 20);
+        let input_bits = rng.next_u64() as u32;
         let (nl, inputs, outputs) = random_dag(n_inputs, &gate_seeds);
         let mut sim = Simulator::new(nl);
         for (i, node) in inputs.iter().enumerate() {
@@ -126,6 +137,6 @@ proptest! {
         }
         sim.run_to_quiescence().unwrap();
         let after: Vec<Level> = outputs.iter().map(|&n| sim.value(n)).collect();
-        prop_assert_eq!(before, after);
+        assert_eq!(before, after);
     }
 }

@@ -73,8 +73,12 @@ fn main() {
     let reg = d
         .instantiate(register, acc, "reg", Transform::IDENTITY)
         .unwrap();
-    let add = d.instantiate(adder, acc, "add", Transform::IDENTITY).unwrap();
-    let buf = d.instantiate(obuf, acc, "buf", Transform::IDENTITY).unwrap();
+    let add = d
+        .instantiate(adder, acc, "add", Transform::IDENTITY)
+        .unwrap();
+    let buf = d
+        .instantiate(obuf, acc, "buf", Transform::IDENTITY)
+        .unwrap();
     let n_in = d.add_net(acc, "n_in");
     d.connect_io(n_in, "in").unwrap();
     d.connect(n_in, reg, "d").unwrap();

@@ -17,13 +17,16 @@ fn main() {
     let mirror = net.add_variable("report.delay");
     net.add_constraint(Functional::uni_addition(), [stage1, stage2, total])
         .unwrap();
-    net.add_constraint(Equality::new(), [total, mirror]).unwrap();
+    net.add_constraint(Equality::new(), [total, mirror])
+        .unwrap();
     let spec = net
         .add_constraint(Predicate::le_const(Value::Float(10.0)), [total])
         .unwrap();
 
-    net.set(stage1, Value::Float(4.0), Justification::User).unwrap();
-    net.set(stage2, Value::Float(5.0), Justification::User).unwrap();
+    net.set(stage1, Value::Float(4.0), Justification::User)
+        .unwrap();
+    net.set(stage2, Value::Float(5.0), Justification::User)
+        .unwrap();
 
     println!("── walk through the network (the editor's list panes):\n");
     let insp = NetworkInspector::new(&net);
@@ -46,7 +49,8 @@ fn main() {
     // "Turn off or on constraint propagation in the system."
     println!("\n── disable propagation (CPSwitch), make the edit anyway:");
     net.set_propagation_enabled(false);
-    net.set(stage2, Value::Float(7.0), Justification::User).unwrap();
+    net.set(stage2, Value::Float(7.0), Justification::User)
+        .unwrap();
     println!("   stage2 = {} with checking deferred", net.value(stage2));
     net.set_propagation_enabled(true);
     for v in net.check_all() {
@@ -56,11 +60,16 @@ fn main() {
     // "Instantiate or remove a constraint … through the constraint editor."
     println!("\n── remove the violated spec constraint and re-propagate:");
     net.remove_constraint(spec);
-    net.set(stage2, Value::Float(7.0), Justification::User).unwrap();
+    net.set(stage2, Value::Float(7.0), Justification::User)
+        .unwrap();
     println!(
         "   total recomputed to {}; violations now: {}",
         net.value(total),
-        if net.check_all().is_empty() { "none" } else { "some" }
+        if net.check_all().is_empty() {
+            "none"
+        } else {
+            "some"
+        }
     );
 
     println!("\n── relax instead: new spec ≤ 12 ns over the same variable:");
@@ -69,15 +78,18 @@ fn main() {
         .unwrap();
     println!("   installed {relaxed}; network says:");
     // Recompute the (stale) sum by re-asserting an input.
-    net.set(stage1, Value::Float(4.0), Justification::User).unwrap();
-    net.set(stage2, Value::Float(7.0), Justification::User).unwrap();
+    net.set(stage1, Value::Float(4.0), Justification::User)
+        .unwrap();
+    net.set(stage2, Value::Float(7.0), Justification::User)
+        .unwrap();
     let insp = NetworkInspector::new(&net);
     print!("{}", insp.violations());
 
     // Per-constraint disable — the finer control of §9.3.
     println!("── disable just the relaxed spec (§9.3 extension):");
     net.set_constraint_enabled(relaxed, false);
-    net.set(stage2, Value::Float(20.0), Justification::User).unwrap();
+    net.set(stage2, Value::Float(20.0), Justification::User)
+        .unwrap();
     println!(
         "   stage2 = {} accepted while the spec sleeps; total = {}",
         net.value(stage2),

@@ -1,0 +1,133 @@
+//! Engine sessions: the concurrent multi-session propagation service.
+//!
+//! Demonstrates `stem-engine` (DESIGN.md §5c): independent design
+//! sessions sharded across a worker pool, transactional batches that
+//! either commit atomically or roll back on violation, backpressure,
+//! step budgets, and engine-level statistics.
+//!
+//! Run with: `cargo run --example engine_sessions`
+
+use stem::core::{Value, VarId};
+use stem::engine::{BatchError, Command, ConstraintSpec, Engine, EngineConfig, Source};
+
+fn main() {
+    // ------------------------------------------------------------------
+    // An engine with 4 workers; sessions are sharded session_id % 4.
+    // ------------------------------------------------------------------
+    let engine = Engine::with_config(EngineConfig {
+        workers: 4,
+        queue_capacity: 64,
+        step_budget: Some(10_000),
+    });
+
+    // Two independent design sessions — different networks, possibly
+    // different workers, never blocking one another.
+    let alice = engine.create_session();
+    let bob = engine.create_session();
+    println!(
+        "sessions: {alice} and {bob} on {} workers",
+        engine.workers()
+    );
+
+    // ------------------------------------------------------------------
+    // A structural batch builds alice's network atomically: ids are
+    // allocated sequentially, so the batch can reference the variables
+    // it creates (v0, v1) in the constraint it adds.
+    // ------------------------------------------------------------------
+    let (width, height) = (VarId::from_index(0), VarId::from_index(1));
+    engine
+        .apply(
+            alice,
+            vec![
+                Command::AddVariable {
+                    name: "width".into(),
+                },
+                Command::AddVariable {
+                    name: "height".into(),
+                },
+                Command::AddConstraint {
+                    spec: ConstraintSpec::Equality,
+                    args: vec![width, height],
+                },
+                Command::Set {
+                    var: width,
+                    value: Value::Int(40),
+                    source: Source::User,
+                },
+            ],
+        )
+        .unwrap();
+    let out = engine
+        .apply(alice, vec![Command::Get { var: height }])
+        .unwrap();
+    println!(
+        "alice: width := 40 propagated, height = {:?}",
+        out.outputs[0]
+    );
+
+    // Bob's session is untouched by any of that — it is a different
+    // network entirely.
+    let out = engine
+        .apply(
+            bob,
+            vec![
+                Command::AddVariable {
+                    name: "area".into(),
+                },
+                Command::Set {
+                    var: VarId::from_index(0),
+                    value: Value::Int(800),
+                    source: Source::Application,
+                },
+            ],
+        )
+        .unwrap();
+    println!(
+        "bob:   independent network, {} propagation wave(s)",
+        out.waves
+    );
+
+    // ------------------------------------------------------------------
+    // Rollback: a batch that ends in a violation leaves no trace. The
+    // equality constraint protects alice's user-justified width=40, so
+    // setting height to a conflicting value violates — and the earlier
+    // commands of the *same batch* are rolled back with it.
+    // ------------------------------------------------------------------
+    let err = engine
+        .apply(
+            alice,
+            vec![
+                Command::AddVariable {
+                    name: "junk".into(),
+                },
+                Command::Set {
+                    var: height,
+                    value: Value::Int(99),
+                    source: Source::Application,
+                },
+            ],
+        )
+        .unwrap_err();
+    match err {
+        BatchError::Violation { index, violation } => {
+            println!("alice: batch violated at command {index}: {violation}");
+        }
+        other => println!("alice: unexpected error {other}"),
+    }
+    let out = engine.apply(alice, vec![Command::DumpValues]).unwrap();
+    println!(
+        "alice: after rollback the network is unchanged: {:?}",
+        out.outputs[0]
+    );
+
+    // ------------------------------------------------------------------
+    // Engine statistics aggregate across all sessions and workers.
+    // ------------------------------------------------------------------
+    let stats = engine.stats();
+    println!(
+        "stats: {} batches ({} ok), {} violations, {} rollbacks, {} assignments",
+        stats.batches, stats.batches_ok, stats.violations, stats.rollbacks, stats.assignments
+    );
+
+    engine.shutdown();
+}

@@ -18,7 +18,13 @@ fn main() {
         min_separation: 2,
         ..Default::default()
     };
-    let cells = [("inv", 6i64), ("nand", 8), ("ff", 12), ("nand2", 8), ("buf", 6)];
+    let cells = [
+        ("inv", 6i64),
+        ("nand", 8),
+        ("ff", 12),
+        ("nand2", 8),
+        ("buf", 6),
+    ];
     for (name, w) in cells {
         spec.cell(name, w);
     }
@@ -57,14 +63,26 @@ fn main() {
         .unwrap();
     }
     for (i, &x) in xs.iter().enumerate() {
-        net.set(x, Value::Int(sol.position(ids[i])), Justification::Application)
-            .unwrap();
+        net.set(
+            x,
+            Value::Int(sol.position(ids[i])),
+            Justification::Application,
+        )
+        .unwrap();
     }
     println!(
         "\nSTEM verification of the placement: {}",
-        if net.check_all().is_empty() { "clean" } else { "VIOLATED" }
+        if net.check_all().is_empty() {
+            "clean"
+        } else {
+            "VIOLATED"
+        }
     );
-    match net.set(xs[1], Value::Int(sol.position(ids[1]) - 1), Justification::User) {
+    match net.set(
+        xs[1],
+        Value::Int(sol.position(ids[1]) - 1),
+        Justification::User,
+    ) {
         Err(v) => println!("nudging 'nand' 1λ left is caught: {v}"),
         Ok(()) => unreachable!(),
     }
@@ -85,8 +103,15 @@ fn main() {
     )
     .unwrap();
     net.set(left, Value::Int(0), Justification::User).unwrap();
-    net.set(right, Value::Int(100), Justification::User).unwrap();
-    println!("  anchors 0 / 100 → centred component at {}", net.value(mid));
+    net.set(right, Value::Int(100), Justification::User)
+        .unwrap();
+    println!(
+        "  anchors 0 / 100 → centred component at {}",
+        net.value(mid)
+    );
     net.set(right, Value::Int(60), Justification::User).unwrap();
-    println!("  move right anchor to 60 → re-centred at {}", net.value(mid));
+    println!(
+        "  move right anchor to 60 → re-centred at {}",
+        net.value(mid)
+    );
 }

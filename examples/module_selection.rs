@@ -16,8 +16,11 @@ fn scenario(name: &str, delay_spec_d: f64, adder_area_tenths: i64) {
     let mut kit = CellKit::new();
     let fx = alu_fixture(&mut kit);
     println!("\n── scenario: {name}");
-    println!("   ALU delay spec ≤ {delay_spec_d} D, adder area budget {}.{} A",
-        adder_area_tenths / 10, adder_area_tenths % 10);
+    println!(
+        "   ALU delay spec ≤ {delay_spec_d} D, adder area budget {}.{} A",
+        adder_area_tenths / 10,
+        adder_area_tenths % 10
+    );
 
     kit.analyzer
         .constrain_max(&mut kit.design, fx.alu, "in", "out", delay_spec_d)

@@ -29,7 +29,10 @@ fn main() {
 
     println!("\nuser sets V1 := 9 — propagation floods the network:");
     net.set(v1, Value::Int(9), Justification::User).unwrap();
-    println!("  V2 = {}  (through the equality constraint)", net.value(v2));
+    println!(
+        "  V2 = {}  (through the equality constraint)",
+        net.value(v2)
+    );
     println!("  V4 = {}  (max of V2=9 and V3=7)", net.value(v4));
 
     // Every propagated value is justified; walk its antecedents.

@@ -39,7 +39,12 @@ fn main() {
     sim.run_to_quiescence().unwrap();
     let t0 = sim.time() + 1;
     for i in 0..4 {
-        let q = sim.netlist().ports.get(&format!("acc{i}")).copied().unwrap();
+        let q = sim
+            .netlist()
+            .ports
+            .get(&format!("acc{i}"))
+            .copied()
+            .unwrap();
         sim.drive(q, Level::L0, t0);
     }
     sim.run_to_quiescence().unwrap();

@@ -54,7 +54,10 @@ fn main() {
     // A layout-only change erases the view; the next read recalculates.
     kit.design.notify_changed(fa, ChangeKey::Layout);
     view.data(&mut kit.design).unwrap();
-    println!("after a layout change the view recalculated: {}×", view.recalc_count());
+    println!(
+        "after a layout change the view recalculated: {}×",
+        view.recalc_count()
+    );
 
     // ------------------------------------------------------------------
     // The external-tool round trip (Fig. 6.3).
@@ -94,7 +97,10 @@ fn main() {
     let net = kit.design.nets_of(rca)[0];
     let (inst, sig) = kit.design.net_connections(net)[0].clone();
     kit.design.disconnect(net, inst, &sig).unwrap();
-    println!("after disconnecting a pin: outdated? {}", session.is_outdated());
+    println!(
+        "after disconnecting a pin: outdated? {}",
+        session.is_outdated()
+    );
     kit.design.connect(net, inst, &sig).unwrap();
     let mut session = session;
     session.refresh(&mut kit.design, &kit.primitives).unwrap();

@@ -21,6 +21,10 @@
 //! - [`modsel`] — module validation and selection (ch. 8).
 //! - [`compact`] — the Electric-style linear-inequality satisfaction
 //!   baseline of the related-work chapter (§2.1).
+//! - [`engine`] — a concurrent multi-session propagation service: many
+//!   independent networks behind a transactional batch API, sharded across
+//!   a worker pool, with rollback, panic quarantine, step budgets,
+//!   backpressure and engine-level statistics.
 //!
 //! ## Quickstart
 //!
@@ -36,14 +40,14 @@
 //! assert_eq!(net.value(b), &Value::Int(7));
 //! ```
 
-
 #![warn(missing_docs)]
+pub use stem_cells as cells;
 pub use stem_checking as checking;
 pub use stem_compact as compact;
-pub use stem_cells as cells;
 pub use stem_compilers as compilers;
 pub use stem_core as core;
 pub use stem_design as design;
+pub use stem_engine as engine;
 pub use stem_geom as geom;
 pub use stem_modsel as modsel;
 pub use stem_sim as sim;

@@ -31,7 +31,9 @@ fn full_design_session() {
     let fa = kit.design.class_by_name("RCA4_FA").unwrap();
     let view = CompilerView::new(&mut kit.design, fa);
     let row = kit.design.define_class("ROW4");
-    let built = VectorCompiler::new(fa, 4).compile(&mut kit.design, row).unwrap();
+    let built = VectorCompiler::new(fa, 4)
+        .compile(&mut kit.design, row)
+        .unwrap();
     assert_eq!(built.instances.len(), 4);
     // Our own view is independent of the compiler's internal ones: one
     // lazy recalculation serves repeated reads.
@@ -93,7 +95,10 @@ fn cpswitch_design_revision_cycle() {
         .set(bw, Value::BitWidth(4), Justification::User)
         .unwrap();
     let violations = kit.design.network().check_all();
-    assert!(!violations.is_empty(), "inconsistency parked while disabled");
+    assert!(
+        !violations.is_empty(),
+        "inconsistency parked while disabled"
+    );
 
     // Undo and re-enable: consistent again.
     kit.design

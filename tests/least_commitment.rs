@@ -35,9 +35,16 @@ fn datapath() -> Datapath {
     d.set_signal_bit_width(top, "in", 8).unwrap();
     d.add_signal(top, "out", SignalDir::Output);
     d.set_signal_bit_width(top, "out", 8).unwrap();
-    let f = d.instantiate(front, top, "front", Transform::IDENTITY).unwrap();
+    let f = d
+        .instantiate(front, top, "front", Transform::IDENTITY)
+        .unwrap();
     let a = d
-        .instantiate(generic, top, "add", Transform::translation(Point::new(80, 0)))
+        .instantiate(
+            generic,
+            top,
+            "add",
+            Transform::translation(Point::new(80, 0)),
+        )
         .unwrap();
     let n_in = d.add_net(top, "n_in");
     d.connect_io(n_in, "in").unwrap();
@@ -48,7 +55,8 @@ fn datapath() -> Datapath {
     let n_out = d.add_net(top, "n_out");
     d.connect(n_out, a, "s").unwrap();
     d.connect_io(n_out, "out").unwrap();
-    kit.analyzer.declare_delay(&mut kit.design, top, "in", "out");
+    kit.analyzer
+        .declare_delay(&mut kit.design, top, "in", "out");
     Datapath {
         kit,
         top,
@@ -93,7 +101,9 @@ fn deferred_decision_resolves_when_context_is_known() {
 
     // Implementations arrive later, with different trade-offs.
     let fast = dp.kit.design.derive_class("GenAdder.F", dp.generic);
-    dp.kit.analyzer.declare_delay(&mut dp.kit.design, fast, "a", "s");
+    dp.kit
+        .analyzer
+        .declare_delay(&mut dp.kit.design, fast, "a", "s");
     dp.kit
         .analyzer
         .set_estimate(&mut dp.kit.design, fast, "a", "s", 5.5)
@@ -103,7 +113,9 @@ fn deferred_decision_resolves_when_context_is_known() {
         .set_class_bounding_box(fast, Rect::with_extent(Point::ORIGIN, 160, 20))
         .unwrap();
     let slow = dp.kit.design.derive_class("GenAdder.S", dp.generic);
-    dp.kit.analyzer.declare_delay(&mut dp.kit.design, slow, "a", "s");
+    dp.kit
+        .analyzer
+        .declare_delay(&mut dp.kit.design, slow, "a", "s");
     dp.kit
         .analyzer
         .set_estimate(&mut dp.kit.design, slow, "a", "s", 9.0)
@@ -126,7 +138,9 @@ fn deferred_decision_resolves_when_context_is_known() {
     // Improving the front stage relaxes the budget; both now qualify —
     // the decision genuinely depended on the rest of the design.
     let front = dp.kit.design.class_by_name("FrontStage").unwrap();
-    dp.kit.analyzer.clear_estimate(&mut dp.kit.design, front, "a", "s");
+    dp.kit
+        .analyzer
+        .clear_estimate(&mut dp.kit.design, front, "a", "s");
     dp.kit
         .analyzer
         .set_estimate(&mut dp.kit.design, front, "a", "s", 1.0)
@@ -151,24 +165,36 @@ fn signal_types_refine_incrementally_across_uses() {
 
     // Context 1 types the net (hence the shared class signal) as Digital.
     let ctx1 = d.define_class("Ctx1");
-    let i1 = d.instantiate(cell, ctx1, "u1", Transform::IDENTITY).unwrap();
+    let i1 = d
+        .instantiate(cell, ctx1, "u1", Transform::IDENTITY)
+        .unwrap();
     let n1 = d.add_net(ctx1, "n1");
     d.connect(n1, i1, "a").unwrap();
     let (_, _, net_et) = d.net_type_vars(n1);
     let digital = d.forests().borrow().electrical.tag("Digital").unwrap();
     d.network_mut()
-        .set(net_et, Value::TypeRef(digital), stem::core::Justification::User)
+        .set(
+            net_et,
+            Value::TypeRef(digital),
+            stem::core::Justification::User,
+        )
         .unwrap();
 
     // Context 2 refines it further to CMOS through a different instance.
     let ctx2 = d.define_class("Ctx2");
-    let i2 = d.instantiate(cell, ctx2, "u2", Transform::IDENTITY).unwrap();
+    let i2 = d
+        .instantiate(cell, ctx2, "u2", Transform::IDENTITY)
+        .unwrap();
     let n2 = d.add_net(ctx2, "n2");
     d.connect(n2, i2, "a").unwrap();
     let (_, _, net_et2) = d.net_type_vars(n2);
     let cmos = d.forests().borrow().electrical.tag("CMOS").unwrap();
     d.network_mut()
-        .set(net_et2, Value::TypeRef(cmos), stem::core::Justification::User)
+        .set(
+            net_et2,
+            Value::TypeRef(cmos),
+            stem::core::Justification::User,
+        )
         .unwrap();
 
     // The class-side signal now carries the least abstract refinement.
@@ -177,13 +203,19 @@ fn signal_types_refine_incrementally_across_uses() {
 
     // And a third context demanding TTL conflicts.
     let ctx3 = d.define_class("Ctx3");
-    let i3 = d.instantiate(cell, ctx3, "u3", Transform::IDENTITY).unwrap();
+    let i3 = d
+        .instantiate(cell, ctx3, "u3", Transform::IDENTITY)
+        .unwrap();
     let n3 = d.add_net(ctx3, "n3");
     d.connect(n3, i3, "a").unwrap();
     let (_, _, net_et3) = d.net_type_vars(n3);
     let ttl = d.forests().borrow().electrical.tag("TTL").unwrap();
     assert!(d
         .network_mut()
-        .set(net_et3, Value::TypeRef(ttl), stem::core::Justification::User)
+        .set(
+            net_et3,
+            Value::TypeRef(ttl),
+            stem::core::Justification::User
+        )
         .is_err());
 }

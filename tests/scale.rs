@@ -30,7 +30,9 @@ fn deep_hierarchy_delay_rollup() {
         d.add_signal(cur, "out", SignalDir::Output);
         an.declare_delay(&mut d, cur, "in", "out");
         let w = d.class_bounding_box(below).unwrap().width();
-        let i1 = d.instantiate(below, cur, "s1", Transform::IDENTITY).unwrap();
+        let i1 = d
+            .instantiate(below, cur, "s1", Transform::IDENTITY)
+            .unwrap();
         let i2 = d
             .instantiate(below, cur, "s2", Transform::translation(Point::new(w, 0)))
             .unwrap();
@@ -61,7 +63,11 @@ fn deep_hierarchy_delay_rollup() {
     // link and its second (corrected) value counts as a second change.
     an.clear_estimate(&mut d, leaf, "in", "out");
     let err = an.set_estimate(&mut d, leaf, "in", "out", 2.0).unwrap_err();
-    assert_eq!(err.kind, stem::core::ViolationKind::Revisit, "§9.2.3 reproduced");
+    assert_eq!(
+        err.kind,
+        stem::core::ViolationKind::Revisit,
+        "§9.2.3 reproduced"
+    );
 
     // The thesis's suggested remedy — "relax the one-value-change rule to
     // allow N value changes" — with N = 2 (one recomputation per sibling)
@@ -110,13 +116,12 @@ fn wide_fanout_propagation() {
 fn long_chain_is_stack_safe() {
     let mut net = stem::core::Network::new();
     let n = 50_000;
-    let vars: Vec<_> = (0..n)
-        .map(|i| net.add_variable(format!("v{i}")))
-        .collect();
+    let vars: Vec<_> = (0..n).map(|i| net.add_variable(format!("v{i}"))).collect();
     for w in vars.windows(2) {
         net.add_constraint_quiet(stem::core::kinds::Equality::new(), [w[0], w[1]]);
     }
-    net.set(vars[0], Value::Int(5), Justification::User).unwrap();
+    net.set(vars[0], Value::Int(5), Justification::User)
+        .unwrap();
     assert_eq!(net.value(vars[n - 1]), &Value::Int(5));
 
     // Dependency analysis over the whole chain is also iterativeish and
