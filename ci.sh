@@ -7,13 +7,19 @@ cd "$(dirname "$0")"
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
-echo "==> cargo clippy (deny warnings)"
-cargo clippy --workspace --all-targets --offline -- -D warnings
+echo "==> cargo clippy (deny warnings, incl. redundant clones)"
+cargo clippy --workspace --all-targets --offline -- -D warnings -W clippy::redundant-clone
 
 echo "==> cargo build --release"
 cargo build --workspace --release --offline
 
 echo "==> cargo test"
 cargo test --workspace -q --offline
+
+echo "==> cargo bench --smoke (regression JSON)"
+cargo bench -p stem-bench --bench propagation --offline -- --smoke
+cargo bench -p stem-bench --bench engine --offline -- --smoke
+test -s BENCH_propagation.json || { echo "missing BENCH_propagation.json"; exit 1; }
+test -s BENCH_engine.json || { echo "missing BENCH_engine.json"; exit 1; }
 
 echo "CI OK"

@@ -1,10 +1,10 @@
 //! Engine-level benches: batch round-trip latency through a worker and
 //! pipelined multi-session throughput (T-E19's workload at bench scale).
 
-use stem_bench::harness::{BenchmarkId, Criterion};
+use stem_bench::harness::{smoke, BenchmarkId, Criterion};
 use stem_bench::{criterion_group, criterion_main};
 use stem_core::{Value, VarId};
-use stem_engine::{Command, ConstraintSpec, Engine, EngineConfig, Source};
+use stem_engine::{Command, ConstraintSpec, Engine, EngineConfig, RollbackStrategy, Source};
 
 fn chain_session(engine: &Engine, len: usize) -> stem_engine::SessionId {
     let s = engine.create_session();
@@ -57,6 +57,7 @@ fn pipelined_throughput(c: &mut Criterion) {
             workers,
             queue_capacity: 128,
             step_budget: None,
+            ..EngineConfig::default()
         });
         let sessions: Vec<_> = (0..8).map(|_| chain_session(&engine, 100)).collect();
         let head = VarId::from_index(0);
@@ -91,5 +92,85 @@ fn pipelined_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, batch_round_trip, pipelined_throughput);
+/// A session of `n` variables where only two are ever touched: an
+/// equality `v0 = v1` with a `v1 ≤ 60` tripwire. A violating `Set v0`
+/// touches exactly two variables regardless of `n`.
+fn sparse_session(engine: &Engine, n: usize) -> stem_engine::SessionId {
+    let s = engine.create_session();
+    let mut next = 0usize;
+    while next < n {
+        let hi = (next + 10_000).min(n);
+        let cmds: Vec<Command> = (next..hi)
+            .map(|i| Command::AddVariable {
+                name: format!("v{i}"),
+            })
+            .collect();
+        engine.apply(s, cmds).unwrap();
+        next = hi;
+    }
+    engine
+        .apply(
+            s,
+            vec![
+                Command::AddConstraint {
+                    spec: ConstraintSpec::Equality,
+                    args: vec![VarId::from_index(0), VarId::from_index(1)],
+                },
+                Command::AddConstraint {
+                    spec: ConstraintSpec::LeConst(Value::Int(60)),
+                    args: vec![VarId::from_index(1)],
+                },
+            ],
+        )
+        .unwrap();
+    s
+}
+
+/// Rollback latency of a violating two-variable batch as network size
+/// grows. The journaled path replays two pre-images whatever the size;
+/// the legacy snapshot path copies every variable, so its curve exposes
+/// the O(network) cost the journal removes (§9.2.3 cost model).
+fn rollback_latency(c: &mut Criterion) {
+    let sizes: &[usize] = if smoke() {
+        &[100, 1_000]
+    } else {
+        &[100, 1_000, 10_000, 100_000]
+    };
+    let mut group = c.benchmark_group("engine/rollback_latency");
+    for &(strategy, label) in &[
+        (RollbackStrategy::Journal, "journal"),
+        (RollbackStrategy::Snapshot, "snapshot"),
+    ] {
+        for &n in sizes {
+            let engine = Engine::with_config(EngineConfig {
+                workers: 1,
+                rollback: strategy,
+                ..EngineConfig::default()
+            });
+            let session = sparse_session(&engine, n);
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| {
+                    engine
+                        .apply(
+                            session,
+                            vec![Command::Set {
+                                var: VarId::from_index(0),
+                                value: Value::Int(100),
+                                source: Source::Application,
+                            }],
+                        )
+                        .unwrap_err()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    batch_round_trip,
+    pipelined_throughput,
+    rollback_latency
+);
 criterion_main!(benches);

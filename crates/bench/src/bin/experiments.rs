@@ -196,4 +196,22 @@ fn main() {
             &experiments::t_e20_engine_throughput(&[1, 2, 4]),
         )
     );
+
+    print!(
+        "{}",
+        render_table(
+            "T-E21 — journaled vs. snapshot rollback: 200-var chain, value-only batches",
+            &[
+                "workload",
+                "strategy",
+                "batches",
+                "ms",
+                "batches/s",
+                "speedup",
+                "net snapshots",
+                "net clones"
+            ],
+            &experiments::t_e21_rollback_strategies(),
+        )
+    );
 }

@@ -650,6 +650,7 @@ pub fn t_e20_engine_throughput(worker_counts: &[usize]) -> Vec<Vec<String>> {
             workers,
             queue_capacity: 64,
             step_budget: None,
+            ..EngineConfig::default()
         });
         let sessions: Vec<_> = (0..SESSIONS).map(|_| engine.create_session()).collect();
         for &s in &sessions {
@@ -688,7 +689,9 @@ pub fn t_e20_engine_throughput(worker_counts: &[usize]) -> Vec<Vec<String>> {
             t.wait().unwrap();
         }
         let dt = t0.elapsed();
-        let stats = engine.stats();
+        // Snapshot-and-reset so each measured burst reports its own
+        // high-water mark even if the engine were reused for another round.
+        let stats = engine.stats_and_reset_queue_hwm();
         let batches = SESSIONS as u64 * ROUNDS as u64;
         let bps = batches as f64 / dt.as_secs_f64();
         let speedup = match base_bps {
@@ -707,6 +710,115 @@ pub fn t_e20_engine_throughput(worker_counts: &[usize]) -> Vec<Vec<String>> {
             speedup,
             stats.queue_depth_hwm.to_string(),
         ]);
+    }
+    rows
+}
+
+/// T-E21 — journaled vs. snapshot rollback on a 200-var equality chain
+/// (single session, one worker, value-only batches).
+///
+/// Two workloads: *commit flood* (every batch sets the chain head to a
+/// fresh value and propagation floods all 200 variables) isolates the
+/// per-batch checkpoint overhead when the touched set IS the network;
+/// *rollback sparse* (the second variable holds a user-pinned value, so a
+/// conflicting Set on the head is denied after touching one variable —
+/// the §4.2.4 overwrite rule violating mid-propagation) isolates rollback
+/// cost when the touched set is tiny. The snapshot strategy pays
+/// O(network) for checkpoint and restore either way; the journal pays
+/// O(touched) (§9.2.3 cost model). Speedups are journal relative to
+/// snapshot per workload.
+pub fn t_e21_rollback_strategies() -> Vec<Vec<String>> {
+    use stem_engine::{Command, ConstraintSpec, Engine, EngineConfig, RollbackStrategy, Source};
+
+    const CHAIN: usize = 200;
+    const ROUNDS: i64 = 2_000;
+
+    let build = |rollback: RollbackStrategy, pin: bool| {
+        let engine = Engine::with_config(EngineConfig {
+            workers: 1,
+            queue_capacity: 64,
+            step_budget: None,
+            rollback,
+        });
+        let s = engine.create_session();
+        let mut cmds: Vec<Command> = (0..CHAIN)
+            .map(|i| Command::AddVariable {
+                name: format!("v{i}"),
+            })
+            .collect();
+        for i in 0..CHAIN - 1 {
+            cmds.push(Command::AddConstraint {
+                spec: ConstraintSpec::Equality,
+                args: vec![
+                    stem_core::VarId::from_index(i),
+                    stem_core::VarId::from_index(i + 1),
+                ],
+            });
+        }
+        if pin {
+            // User values deny propagation overwrites, so a conflicting
+            // Set on the head violates after touching only the head.
+            cmds.push(Command::Set {
+                var: stem_core::VarId::from_index(1),
+                value: stem_core::Value::Int(50),
+                source: Source::User,
+            });
+        }
+        engine.apply(s, cmds).unwrap();
+        (engine, s)
+    };
+
+    let head = stem_core::VarId::from_index(0);
+    let run = |rollback: RollbackStrategy, violate: bool| {
+        let (engine, s) = build(rollback, violate);
+        let t0 = Instant::now();
+        for round in 0..ROUNDS {
+            let value = if violate {
+                stem_core::Value::Int(100)
+            } else {
+                stem_core::Value::Int(round % 50)
+            };
+            let result = engine.apply(
+                s,
+                vec![Command::Set {
+                    var: head,
+                    value,
+                    source: Source::Application,
+                }],
+            );
+            assert_eq!(result.is_err(), violate);
+        }
+        let dt = t0.elapsed();
+        let stats = engine.session_stats(s);
+        (dt, stats)
+    };
+
+    let mut rows = Vec::new();
+    for (workload, violate) in [("commit flood", false), ("rollback sparse", true)] {
+        let mut snapshot_bps = 0.0;
+        for (label, rollback) in [
+            ("snapshot", RollbackStrategy::Snapshot),
+            ("journal", RollbackStrategy::Journal),
+        ] {
+            let (dt, stats) = run(rollback, violate);
+            let bps = ROUNDS as f64 / dt.as_secs_f64();
+            let speedup = if label == "snapshot" {
+                snapshot_bps = bps;
+                "1.00×".to_string()
+            } else {
+                format!("{:.2}×", bps / snapshot_bps)
+            };
+            rows.push(vec![
+                workload.to_string(),
+                label.to_string(),
+                ROUNDS.to_string(),
+                ms(dt),
+                format!("{bps:.0}"),
+                speedup,
+                stats.net_snapshots.to_string(),
+                stats.net_clones.to_string(),
+            ]);
+        }
     }
     rows
 }

@@ -14,7 +14,112 @@
 //! timed region, matching Criterion's semantics.
 
 use std::hint::black_box;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
+
+/// Whether the bench binary was invoked with `--smoke`: a fast regression
+/// profile (tiny warm-up/measurement windows) for CI, where the JSON
+/// artifacts matter more than statistical depth.
+pub fn smoke() -> bool {
+    static SMOKE: OnceLock<bool> = OnceLock::new();
+    *SMOKE.get_or_init(|| std::env::args().any(|a| a == "--smoke"))
+}
+
+/// One benchmark's summary, as written to the `BENCH_<name>.json` artifact.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Full benchmark id, e.g. `engine/batch_round_trip_chain100`.
+    pub id: String,
+    /// Fastest sample, in nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Median sample.
+    pub median_ns: f64,
+    /// Mean over all samples.
+    pub mean_ns: f64,
+    /// Number of samples.
+    pub samples: usize,
+    /// Iterations per second at the median (`1e9 / median_ns`).
+    pub ops_per_sec: f64,
+}
+
+fn registry() -> &'static Mutex<Vec<BenchRecord>> {
+    static RECORDS: OnceLock<Mutex<Vec<BenchRecord>>> = OnceLock::new();
+    RECORDS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Drains every recorded result into `BENCH_<name>.json` (machine-readable
+/// regression tracking; one file per bench binary). Called by
+/// [`criterion_main!`] with the binary's stem, so plain `cargo bench`
+/// produces the artifacts in the working directory.
+pub fn export_json(bench_name: &str) {
+    let records = std::mem::take(&mut *registry().lock().unwrap());
+    if records.is_empty() {
+        return;
+    }
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"bench\": \"{}\",\n", json_escape(bench_name)));
+    out.push_str(&format!("  \"smoke\": {},\n", smoke()));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"id\": \"{}\", \"min_ns\": {:.1}, \"median_ns\": {:.1}, \
+             \"mean_ns\": {:.1}, \"samples\": {}, \"ops_per_sec\": {:.2}}}{}\n",
+            json_escape(&r.id),
+            r.min_ns,
+            r.median_ns,
+            r.mean_ns,
+            r.samples,
+            r.ops_per_sec,
+            if i + 1 == records.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    let path = workspace_root().join(format!("BENCH_{bench_name}.json"));
+    match std::fs::write(&path, out) {
+        Ok(()) => println!("wrote {} ({} results)", path.display(), records.len()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}
+
+/// Cargo runs benches with the *package* directory as cwd; artifacts
+/// belong at the workspace root, found by walking up to `Cargo.lock`.
+fn workspace_root() -> std::path::PathBuf {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| ".".into());
+    let mut dir = cwd.as_path();
+    loop {
+        if dir.join("Cargo.lock").exists() {
+            return dir.to_path_buf();
+        }
+        match dir.parent() {
+            Some(p) => dir = p,
+            None => return cwd,
+        }
+    }
+}
+
+/// Derives the bench name from `argv[0]` (cargo names the binary
+/// `<bench>-<hash>`) and exports the JSON artifact.
+pub fn export_json_auto() {
+    let arg0 = std::env::args().next().unwrap_or_default();
+    let stem = std::path::Path::new(&arg0)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("bench");
+    // Strip cargo's `-<hex hash>` suffix if present.
+    let name = match stem.rsplit_once('-') {
+        Some((base, suffix))
+            if !base.is_empty() && suffix.chars().all(|c| c.is_ascii_hexdigit()) =>
+        {
+            base
+        }
+        _ => stem,
+    };
+    export_json(name);
+}
 
 /// How batched inputs are grouped per measurement (accepted for
 /// compatibility; the harness always times one routine call at a time, so
@@ -226,7 +331,16 @@ impl Bencher {
     }
 }
 
-fn run_one(name: &str, config: Config, mut f: impl FnMut(&mut Bencher)) {
+fn run_one(name: &str, mut config: Config, mut f: impl FnMut(&mut Bencher)) {
+    if smoke() {
+        // CI regression profile: enough iterations to populate the JSON
+        // artifact, not enough for publication-grade statistics.
+        config = Config {
+            warm_up: Duration::from_millis(20),
+            measurement: Duration::from_millis(60),
+            sample_size: 5,
+        };
+    }
     let mut b = Bencher {
         config,
         samples_ns: Vec::new(),
@@ -251,6 +365,14 @@ fn run_one(name: &str, config: Config, mut f: impl FnMut(&mut Bencher)) {
         fmt_ns(median),
         fmt_ns(mean),
     );
+    registry().lock().unwrap().push(BenchRecord {
+        id: name.to_string(),
+        min_ns: min,
+        median_ns: median,
+        mean_ns: mean,
+        samples: n,
+        ops_per_sec: 1e9 / median.max(f64::MIN_POSITIVE),
+    });
 }
 
 fn fmt_ns(ns: f64) -> String {
@@ -282,12 +404,15 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares the bench binary's `main`, mirroring `criterion_main!`.
+/// Declares the bench binary's `main`, mirroring `criterion_main!`; after
+/// the groups run, the collected results are exported to
+/// `BENCH_<binary>.json` for regression tracking.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::harness::export_json_auto();
         }
     };
 }

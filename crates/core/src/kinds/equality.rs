@@ -57,7 +57,11 @@ impl ConstraintKind for Equality {
         if new_value.is_nil() {
             return Ok(());
         }
-        for arg in net.args(cid).to_vec() {
+        // Index-based walk: the argument list is stable mid-cycle (edits
+        // are barred), so re-borrowing each step avoids the `to_vec` that
+        // would otherwise allocate on every activation.
+        for i in 0..net.args(cid).len() {
+            let arg = net.args(cid)[i];
             if arg != source {
                 net.propagate_set(
                     arg,

@@ -53,32 +53,34 @@ impl fmt::Debug for FunctionalOp {
 }
 
 impl FunctionalOp {
-    fn apply(&self, inputs: &[Value]) -> Option<Value> {
+    // Generic over an iterator so built-in ops can fold over values read
+    // in place from the network — the hot path allocates no buffer. Only
+    // `Custom` materialises a `Vec` (its function signature takes a slice).
+    fn apply<'a, I: Iterator<Item = &'a Value>>(&self, mut inputs: I) -> Option<Value> {
         match self {
-            FunctionalOp::Sum => inputs
-                .iter()
-                .try_fold(Value::Int(0), |acc, v| acc.numeric_add(v)),
+            FunctionalOp::Sum => inputs.try_fold(Value::Int(0), |acc, v| acc.numeric_add(v)),
             FunctionalOp::Max => {
-                let mut it = inputs.iter();
-                let first = it.next()?.clone();
-                it.try_fold(first, |acc, v| acc.numeric_max(v))
+                let first = inputs.next()?.clone();
+                inputs.try_fold(first, |acc, v| acc.numeric_max(v))
             }
             FunctionalOp::Min => {
-                let mut it = inputs.iter();
-                let first = it.next()?.clone();
-                it.try_fold(first, |acc, v| acc.numeric_min(v))
+                let first = inputs.next()?.clone();
+                inputs.try_fold(first, |acc, v| acc.numeric_min(v))
             }
             FunctionalOp::Product => inputs
-                .iter()
                 .try_fold(1.0_f64, |acc, v| v.as_f64().map(|x| acc * x))
                 .map(Value::Float),
             FunctionalOp::Scale { gain, offset } => {
-                if inputs.len() != 1 {
+                let x = inputs.next()?.as_f64()?;
+                if inputs.next().is_some() {
                     return None;
                 }
-                Some(Value::Float(gain * inputs[0].as_f64()? + offset))
+                Some(Value::Float(gain * x + offset))
             }
-            FunctionalOp::Custom(_, f) => f(inputs),
+            FunctionalOp::Custom(_, f) => {
+                let values: Vec<Value> = inputs.cloned().collect();
+                f(&values)
+            }
         }
     }
 
@@ -165,11 +167,10 @@ impl Functional {
 
     fn computed(&self, net: &Network, cid: ConstraintId) -> Option<Value> {
         let (inputs, _) = self.split(net, cid)?;
-        let values: Vec<Value> = inputs.iter().map(|&v| net.value(v).clone()).collect();
-        if values.iter().any(Value::is_nil) {
+        if inputs.iter().any(|&v| net.value(v).is_nil()) {
             return None;
         }
-        self.op.apply(&values)
+        self.op.apply(inputs.iter().map(|&v| net.value(v)))
     }
 }
 
@@ -356,7 +357,7 @@ mod tests {
             net.add_constraint(Equality2::kind(), [src, m]).unwrap();
         }
         let r = net.add_variable("r");
-        let mut args = mirrors.clone();
+        let mut args = mirrors;
         args.push(r);
         net.add_constraint(Functional::uni_addition(), args)
             .unwrap();

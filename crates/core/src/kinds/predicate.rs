@@ -99,38 +99,6 @@ impl Predicate {
     pub fn custom(name: &'static str, f: impl Fn(&[Value]) -> bool + 'static) -> Self {
         Predicate::new(PredOp::Custom(name, Rc::new(f)))
     }
-
-    fn test(&self, values: &[Value]) -> bool {
-        use std::cmp::Ordering;
-        let le = |a: &Value, b: &Value| {
-            matches!(
-                a.numeric_cmp(b),
-                Some(Ordering::Less) | Some(Ordering::Equal)
-            )
-        };
-        match &self.op {
-            PredOp::LeConst(bound) => values.iter().filter(|v| !v.is_nil()).all(|v| le(v, bound)),
-            PredOp::GeConst(bound) => values.iter().filter(|v| !v.is_nil()).all(|v| le(bound, v)),
-            PredOp::EqConst(c) => values.iter().filter(|v| !v.is_nil()).all(|v| v == c),
-            PredOp::RangeConst { lo, hi } => values
-                .iter()
-                .filter(|v| !v.is_nil())
-                .all(|v| le(lo, v) && le(v, hi)),
-            PredOp::Le => {
-                if values.len() != 2 || values.iter().any(Value::is_nil) {
-                    return true;
-                }
-                le(&values[0], &values[1])
-            }
-            PredOp::Lt => {
-                if values.len() != 2 || values.iter().any(Value::is_nil) {
-                    return true;
-                }
-                values[0].numeric_cmp(&values[1]) == Some(Ordering::Less)
-            }
-            PredOp::Custom(_, f) => f(values),
-        }
-    }
 }
 
 impl ConstraintKind for Predicate {
@@ -162,12 +130,49 @@ impl ConstraintKind for Predicate {
     }
 
     fn is_satisfied(&self, net: &Network, cid: ConstraintId) -> bool {
-        let values: Vec<Value> = net
-            .args(cid)
-            .iter()
-            .map(|&v| net.value(v).clone())
-            .collect();
-        self.test(&values)
+        use std::cmp::Ordering;
+        // Custom tests take a contiguous `&[Value]`, the one form that must
+        // materialise the values; the built-in ops read them in place so
+        // the satisfaction sweep stays allocation-free.
+        if let PredOp::Custom(_, f) = &self.op {
+            let values: Vec<Value> = net
+                .args(cid)
+                .iter()
+                .map(|&v| net.value(v).clone())
+                .collect();
+            return f(&values);
+        }
+        let le = |a: &Value, b: &Value| {
+            matches!(
+                a.numeric_cmp(b),
+                Some(Ordering::Less) | Some(Ordering::Equal)
+            )
+        };
+        let args = net.args(cid);
+        let vals = args.iter().map(|&v| net.value(v));
+        match &self.op {
+            PredOp::LeConst(bound) => vals.filter(|v| !v.is_nil()).all(|v| le(v, bound)),
+            PredOp::GeConst(bound) => vals.filter(|v| !v.is_nil()).all(|v| le(bound, v)),
+            PredOp::EqConst(c) => vals.filter(|v| !v.is_nil()).all(|v| *v == *c),
+            PredOp::RangeConst { lo, hi } => {
+                vals.filter(|v| !v.is_nil()).all(|v| le(lo, v) && le(v, hi))
+            }
+            PredOp::Le | PredOp::Lt => {
+                if args.len() != 2 {
+                    return true;
+                }
+                let (a, b) = (net.value(args[0]), net.value(args[1]));
+                if a.is_nil() || b.is_nil() {
+                    return true;
+                }
+                if matches!(self.op, PredOp::Le) {
+                    le(a, b)
+                } else {
+                    a.numeric_cmp(b) == Some(Ordering::Less)
+                }
+            }
+            PredOp::Custom(..) => unreachable!("handled above"),
+        }
     }
 }
 

@@ -70,9 +70,11 @@ impl ConstraintKind for UpdateConstraint {
         let Some(source) = changed else {
             return Ok(());
         };
-        let (_, targets) = self.split(net, cid);
-        let targets: Vec<_> = targets.to_vec();
-        for target in targets {
+        // Index-based walk over the stable argument list (edits are barred
+        // mid-cycle) — no `to_vec` allocation per activation.
+        let n_sources = self.n_sources;
+        for i in n_sources..net.args(cid).len() {
+            let target = net.args(cid)[i];
             if !net.value(target).is_nil() {
                 net.propagate_set(target, Value::Nil, cid, DependencyRecord::Single(source))?;
             }

@@ -74,6 +74,68 @@ struct PropState {
     compiled: bool,
 }
 
+impl PropState {
+    /// Empties the per-cycle collections while keeping their allocated
+    /// capacity, so the pooled instance starts the next cycle without
+    /// touching the heap (steady-state propagation is allocation-free).
+    fn recycle(&mut self) {
+        self.visited_vars.clear();
+        self.change_counts.clear();
+        self.visited_constraints.clear();
+        self.visited_cset.clear();
+        self.pending.clear();
+        self.steps = 0;
+        self.silent = false;
+        self.compiled = false;
+    }
+}
+
+/// One undo record in the change journal (newest last; rollback replays in
+/// reverse).
+#[derive(Debug)]
+enum JournalEntry {
+    /// Pre-image of a variable's first write since `begin_journal`.
+    Value {
+        var: VarId,
+        value: Value,
+        justification: Justification,
+    },
+    /// A variable was appended to the arena (undo: pop it).
+    VarAdded,
+    /// A constraint slot was appended and wired (undo: pop and unwire).
+    ConstraintAdded,
+    /// One constraint's individual enable flag changed.
+    EnabledChanged { cid: ConstraintId, was: bool },
+    /// The per-cycle value-change limit changed.
+    LimitChanged { was: u32 },
+}
+
+/// The change journal: variable pre-images (first write wins) plus
+/// structural add/toggle records, accumulated between
+/// [`Network::begin_journal`] and commit/rollback. Undoing a batch replays
+/// the journal in reverse — O(touched set), not O(network) like
+/// [`Network::snapshot`].
+#[derive(Debug, Default)]
+struct Journal {
+    entries: Vec<JournalEntry>,
+    /// Flag per variable index: pre-image already recorded. A flat vector
+    /// beats a hash set on the write path (one indexed load per write);
+    /// clearing walks the entries, so it stays O(touched), and the buffer
+    /// itself is pooled across transactions via `spare_journal`.
+    seen: Vec<bool>,
+}
+
+impl Journal {
+    /// Clears for reuse, keeping both buffers' capacity. O(touched).
+    fn recycle(&mut self) {
+        for e in self.entries.drain(..) {
+            if let JournalEntry::Value { var, .. } = e {
+                self.seen[var.index()] = false;
+            }
+        }
+    }
+}
+
 /// Callback invoked (after state restoration) whenever a propagation cycle
 /// ends in a violation — the violation-handler hook of §4.2.3/5.2.
 pub type ViolationHandler = dyn Fn(&Network, &Violation);
@@ -125,6 +187,12 @@ pub struct Network {
     constraints: Vec<ConstraintData>,
     scheduler: AgendaScheduler,
     state: Option<PropState>,
+    /// Retired cycle state, reused by the next cycle (capacity pooling).
+    spare_state: PropState,
+    /// Active change journal, when one is open ([`Network::begin_journal`]).
+    journal: Option<Journal>,
+    /// Retired journal, reused by the next `begin_journal`.
+    spare_journal: Journal,
     /// The global `CPSwitch` of §5.3: when `false`, assignments are plain
     /// stores without propagation or checking.
     enabled: bool,
@@ -136,6 +204,11 @@ pub struct Network {
     step_limit: Option<u64>,
     handlers: Vec<Rc<ViolationHandler>>,
     stats: Stats,
+    /// Times `snapshot()` was taken — observability for rollback-path
+    /// audits (the engine's journal path must never take one).
+    snapshots_taken: std::cell::Cell<u64>,
+    /// Times this network (or an ancestor it was cloned from) was cloned.
+    clones_taken: std::cell::Cell<u64>,
 }
 
 impl std::fmt::Debug for Network {
@@ -167,16 +240,22 @@ impl Default for Network {
 impl Clone for Network {
     fn clone(&self) -> Self {
         assert!(self.state.is_none(), "cannot clone mid-propagation");
+        self.clones_taken.set(self.clones_taken.get() + 1);
         Network {
             vars: self.vars.clone(),
             constraints: self.constraints.clone(),
             scheduler: self.scheduler.clone(),
             state: None,
+            spare_state: PropState::default(),
+            journal: None,
+            spare_journal: Journal::default(),
             enabled: self.enabled,
             value_change_limit: self.value_change_limit,
             step_limit: self.step_limit,
             handlers: self.handlers.clone(),
             stats: self.stats,
+            snapshots_taken: self.snapshots_taken.clone(),
+            clones_taken: self.clones_taken.clone(),
         }
     }
 }
@@ -190,11 +269,16 @@ impl Network {
             constraints: Vec::new(),
             scheduler: AgendaScheduler::new(),
             state: None,
+            spare_state: PropState::default(),
+            journal: None,
+            spare_journal: Journal::default(),
             enabled: true,
             value_change_limit: 1,
             step_limit: None,
             handlers: Vec::new(),
             stats: Stats::default(),
+            snapshots_taken: std::cell::Cell::new(0),
+            clones_taken: std::cell::Cell::new(0),
         }
     }
 
@@ -217,6 +301,9 @@ impl Network {
     ) -> VarId {
         let id = VarId(self.vars.len() as u32);
         self.vars.push(VariableData::new(name.into(), owner, kind));
+        if let Some(j) = &mut self.journal {
+            j.entries.push(JournalEntry::VarAdded);
+        }
         id
     }
 
@@ -305,6 +392,9 @@ impl Network {
             active: true,
             enabled: true,
         });
+        if let Some(j) = &mut self.journal {
+            j.entries.push(JournalEntry::ConstraintAdded);
+        }
         cid
     }
 
@@ -317,12 +407,17 @@ impl Network {
     /// Panics if called during an active propagation cycle.
     pub fn remove_constraint(&mut self, cid: ConstraintId) {
         assert!(self.state.is_none(), "cannot edit network mid-propagation");
+        assert!(
+            self.journal.is_none(),
+            "remove_constraint is not journalable; commit or roll back first"
+        );
         if !self.constraints[cid.index()].active {
             return;
         }
         if self.enabled {
             let mut to_reset: Vec<VarId> = Vec::new();
-            for &arg in self.constraints[cid.index()].args.clone().iter() {
+            for i in 0..self.constraints[cid.index()].args.len() {
+                let arg = self.constraints[cid.index()].args[i];
                 if self.vars[arg.index()].justification.source_constraint() == Some(cid) {
                     for v in self.consequences(arg) {
                         if !to_reset.contains(&v) {
@@ -361,6 +456,10 @@ impl Network {
     /// Panics if called during an active propagation cycle.
     pub fn detach_arg(&mut self, cid: ConstraintId, var: VarId) -> Result<(), Violation> {
         assert!(self.state.is_none(), "cannot edit network mid-propagation");
+        assert!(
+            self.journal.is_none(),
+            "detach_arg is not journalable; commit or roll back first"
+        );
         if !self.constraints[cid.index()].args.contains(&var) {
             return Ok(());
         }
@@ -403,6 +502,10 @@ impl Network {
     /// Panics if called during an active propagation cycle.
     pub fn attach_arg(&mut self, cid: ConstraintId, var: VarId) -> Result<(), Violation> {
         assert!(self.state.is_none(), "cannot edit network mid-propagation");
+        assert!(
+            self.journal.is_none(),
+            "attach_arg is not journalable; commit or roll back first"
+        );
         assert!(self.constraints[cid.index()].active, "constraint removed");
         if self.constraints[cid.index()].args.contains(&var) {
             return Ok(());
@@ -548,6 +651,18 @@ impl Network {
         self.stats
     }
 
+    /// How many times [`Network::snapshot`] has run on this network (or an
+    /// ancestor it was cloned from) — lets rollback-path audits prove the
+    /// O(network) checkpoint was never taken.
+    pub fn snapshots_taken(&self) -> u64 {
+        self.snapshots_taken.get()
+    }
+
+    /// How many times this network (or an ancestor) was cloned.
+    pub fn clones_taken(&self) -> u64 {
+        self.clones_taken.get()
+    }
+
     /// Resets the engine counters.
     pub fn reset_stats(&mut self) {
         self.stats = Stats::default();
@@ -575,6 +690,12 @@ impl Network {
     /// Panics if called during an active propagation cycle.
     pub fn set_constraint_enabled(&mut self, cid: ConstraintId, enabled: bool) {
         assert!(self.state.is_none(), "cannot toggle mid-propagation");
+        let was = self.constraints[cid.index()].enabled;
+        if was != enabled {
+            if let Some(j) = &mut self.journal {
+                j.entries.push(JournalEntry::EnabledChanged { cid, was });
+            }
+        }
         self.constraints[cid.index()].enabled = enabled;
     }
 
@@ -589,8 +710,16 @@ impl Network {
     pub fn set_kind_enabled(&mut self, kind_name: &str, enabled: bool) -> usize {
         assert!(self.state.is_none(), "cannot toggle mid-propagation");
         let mut n = 0;
-        for d in &mut self.constraints {
+        for (ix, d) in self.constraints.iter_mut().enumerate() {
             if d.active && d.kind.kind_name() == kind_name {
+                if d.enabled != enabled {
+                    if let Some(j) = &mut self.journal {
+                        j.entries.push(JournalEntry::EnabledChanged {
+                            cid: ConstraintId(ix as u32),
+                            was: d.enabled,
+                        });
+                    }
+                }
                 d.enabled = enabled;
                 n += 1;
             }
@@ -609,6 +738,13 @@ impl Network {
     pub fn set_value_change_limit(&mut self, limit: u32) {
         assert!(limit >= 1, "the change limit must be at least 1");
         assert!(self.state.is_none(), "cannot change mid-propagation");
+        if self.value_change_limit != limit {
+            if let Some(j) = &mut self.journal {
+                j.entries.push(JournalEntry::LimitChanged {
+                    was: self.value_change_limit,
+                });
+            }
+        }
         self.value_change_limit = limit;
     }
 
@@ -650,6 +786,7 @@ impl Network {
             self.restore(&state);
             self.scheduler.clear();
             self.stats.violations += 1;
+            self.retire_state(state);
         }
     }
 
@@ -715,6 +852,7 @@ impl Network {
     /// Erases `var` to `Nil`/`Unset` without propagation — the dependency
     /// erasure primitive of Fig. 4.14.
     pub fn reset(&mut self, var: VarId) {
+        self.journal_record_value(var);
         let d = &mut self.vars[var.index()];
         d.value = Value::Nil;
         d.justification = Justification::Unset;
@@ -724,7 +862,12 @@ impl Network {
     /// for search procedures that tentatively commit whole candidate
     /// combinations (joint module selection) and for the editor's
     /// "restore all visited variables" function (§5.4) generalised.
+    ///
+    /// Cost is O(network); transactional callers that touch few variables
+    /// should prefer the change journal ([`Network::begin_journal`]),
+    /// whose cost is O(touched set).
     pub fn snapshot(&self) -> ValueSnapshot {
+        self.snapshots_taken.set(self.snapshots_taken.get() + 1);
         ValueSnapshot {
             entries: self
                 .vars
@@ -745,9 +888,142 @@ impl Network {
     pub fn restore_snapshot(&mut self, snapshot: &ValueSnapshot) {
         assert!(self.state.is_none(), "cannot restore mid-propagation");
         for (i, (value, justification)) in snapshot.entries.iter().enumerate() {
-            if let Some(d) = self.vars.get_mut(i) {
-                d.value = value.clone();
-                d.justification = justification.clone();
+            if i >= self.vars.len() {
+                break;
+            }
+            self.journal_record_value(VarId(i as u32));
+            let d = &mut self.vars[i];
+            d.value = value.clone();
+            d.justification = justification.clone();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Change journal
+    // ------------------------------------------------------------------
+
+    /// Opens a change journal. Until [`Network::commit_journal`] or
+    /// [`Network::rollback_journal`], every variable write records its
+    /// pre-image (value + justification) on first touch, and journalable
+    /// structural edits (variable/constraint additions, enable toggles,
+    /// change-limit updates) record undo entries. Rolling back replays the
+    /// journal in reverse — cost proportional to the touched set, not the
+    /// network, unlike [`Network::snapshot`]/[`Network::restore_snapshot`].
+    ///
+    /// Non-journalable edits ([`Network::remove_constraint`],
+    /// [`Network::detach_arg`], [`Network::attach_arg`]) panic while a
+    /// journal is open; callers needing them must fall back to a clone or
+    /// snapshot transaction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a journal is already open or a propagation cycle is
+    /// active.
+    pub fn begin_journal(&mut self) {
+        assert!(self.journal.is_none(), "a journal is already open");
+        assert!(
+            self.state.is_none(),
+            "cannot open a journal mid-propagation"
+        );
+        let j = std::mem::take(&mut self.spare_journal);
+        debug_assert!(j.entries.is_empty() && !j.seen.contains(&true));
+        self.journal = Some(j);
+    }
+
+    /// Whether a change journal is currently open.
+    pub fn is_journaling(&self) -> bool {
+        self.journal.is_some()
+    }
+
+    /// Number of undo entries in the open journal (0 when none is open).
+    /// Proportional to the touched set — the O(touched) guarantee is
+    /// testable through this.
+    pub fn journal_len(&self) -> usize {
+        self.journal.as_ref().map_or(0, |j| j.entries.len())
+    }
+
+    /// Closes the journal, keeping every change.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no journal is open.
+    pub fn commit_journal(&mut self) {
+        let mut j = self.journal.take().expect("no journal open");
+        j.recycle();
+        self.spare_journal = j;
+    }
+
+    /// Closes the journal, undoing every journaled change by replaying the
+    /// entries newest-first: variable pre-images are re-stored, added
+    /// variables and constraints are popped from the arenas (and unwired),
+    /// and toggles are reverted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no journal is open or a propagation cycle is active
+    /// (abort the cycle first — see [`Network::abort_cycle`]).
+    pub fn rollback_journal(&mut self) {
+        assert!(self.state.is_none(), "cannot roll back mid-propagation");
+        let mut j = self.journal.take().expect("no journal open");
+        let mut entries = std::mem::take(&mut j.entries);
+        for entry in entries.drain(..).rev() {
+            match entry {
+                JournalEntry::Value {
+                    var,
+                    value,
+                    justification,
+                } => {
+                    j.seen[var.index()] = false;
+                    let d = &mut self.vars[var.index()];
+                    d.value = value;
+                    d.justification = justification;
+                }
+                JournalEntry::VarAdded => {
+                    // Constraints wired to it were added later, hence
+                    // already popped by their own entries.
+                    self.vars.pop().expect("journal out of sync with arena");
+                }
+                JournalEntry::ConstraintAdded => {
+                    let d = self
+                        .constraints
+                        .pop()
+                        .expect("journal out of sync with arena");
+                    let cid = ConstraintId(self.constraints.len() as u32);
+                    // `d.args` is empty if the slot was already tombstoned
+                    // (e.g. by add_constraint's own violation cleanup).
+                    for a in d.args {
+                        self.vars[a.index()].constraints.retain(|&c| c != cid);
+                    }
+                }
+                JournalEntry::EnabledChanged { cid, was } => {
+                    self.constraints[cid.index()].enabled = was;
+                }
+                JournalEntry::LimitChanged { was } => {
+                    self.value_change_limit = was;
+                }
+            }
+        }
+        j.entries = entries;
+        self.spare_journal = j;
+    }
+
+    /// Records `var`'s pre-image in the open journal, once per variable.
+    /// Must run before the write. A single branch when no journal is open.
+    #[inline]
+    fn journal_record_value(&mut self, var: VarId) {
+        if let Some(j) = &mut self.journal {
+            let ix = var.index();
+            if j.seen.len() <= ix {
+                j.seen.resize(ix + 1, false);
+            }
+            if !j.seen[ix] {
+                j.seen[ix] = true;
+                let d = &self.vars[ix];
+                j.entries.push(JournalEntry::Value {
+                    var,
+                    value: d.value.clone(),
+                    justification: d.justification.clone(),
+                });
             }
         }
     }
@@ -824,6 +1100,7 @@ impl Network {
         let state = self.state.take().expect("cycle active");
         self.restore(&state);
         self.scheduler.clear();
+        self.retire_state(state);
         if result.is_err() {
             self.stats.violations += 1;
         }
@@ -922,6 +1199,7 @@ impl Network {
     // ------------------------------------------------------------------
 
     fn assign_raw(&mut self, var: VarId, value: Value, justification: Justification) {
+        self.journal_record_value(var);
         let d = &mut self.vars[var.index()];
         d.value = value;
         d.justification = justification;
@@ -952,16 +1230,22 @@ impl Network {
     }
 
     fn save_visited(&mut self, var: VarId) {
-        let saved = SavedVar {
-            value: self.vars[var.index()].value.clone(),
-            justification: self.vars[var.index()].justification.clone(),
-        };
-        self.state
-            .as_mut()
-            .expect("cycle active")
-            .visited_vars
-            .entry(var)
-            .or_insert(saved);
+        // Split borrow: the saved pre-image reads `vars` while the visited
+        // map lives in `state`; probing before building the entry keeps
+        // re-visits clone-free.
+        let Network { vars, state, .. } = self;
+        let st = state.as_mut().expect("cycle active");
+        if st.visited_vars.contains_key(&var) {
+            return;
+        }
+        let d = &vars[var.index()];
+        st.visited_vars.insert(
+            var,
+            SavedVar {
+                value: d.value.clone(),
+                justification: d.justification.clone(),
+            },
+        );
     }
 
     /// Pushes `(constraint, var)` activations for every constraint of
@@ -969,14 +1253,17 @@ impl Network {
     /// reverse list order so the stack pops them first-to-last — the
     /// depth-first traversal of §4.2.
     fn push_activations(&mut self, var: VarId, exclude: Option<ConstraintId>) {
-        let cids = self.vars[var.index()].constraints.clone();
-        let st = self.state.as_mut().expect("cycle active");
+        // Split borrow: read the variable's constraint list straight out of
+        // `vars` while pushing onto the stack in `state` — no clone of the
+        // list on this per-assignment path.
+        let Network { vars, state, .. } = self;
+        let st = state.as_mut().expect("cycle active");
         if st.compiled {
             // Straight-line compiled execution evaluates constraints in a
             // precomputed order; no discovery.
             return;
         }
-        for &cid in cids.iter().rev() {
+        for &cid in vars[var.index()].constraints.iter().rev() {
             if Some(cid) != exclude {
                 st.pending.push((cid, var));
             }
@@ -985,11 +1272,19 @@ impl Network {
 
     fn begin_cycle(&mut self, silent: bool) {
         debug_assert!(self.scheduler.is_empty(), "agendas leaked between cycles");
-        self.state = Some(PropState {
-            silent,
-            ..PropState::default()
-        });
+        // Reuse the previous cycle's (recycled) state so steady-state
+        // propagation never reallocates its hash maps and stacks.
+        let mut st = std::mem::take(&mut self.spare_state);
+        st.silent = silent;
+        self.state = Some(st);
         self.stats.cycles += 1;
+    }
+
+    /// Returns a finished cycle's state to the pool, dropping its contents
+    /// but keeping allocated capacity for the next cycle.
+    fn retire_state(&mut self, mut state: PropState) {
+        state.recycle();
+        self.spare_state = state;
     }
 
     /// Drains the depth-first stack, then the agendas by priority, until
@@ -1009,7 +1304,7 @@ impl Network {
                 self.charge_step()?;
                 self.stats.scheduled_runs += 1;
                 self.stats.inferences += 1;
-                let kind = self.constraints[cid.index()].kind.clone();
+                let kind = Rc::clone(&self.constraints[cid.index()].kind);
                 kind.infer(self, cid, var)?;
             } else {
                 return Ok(());
@@ -1033,7 +1328,10 @@ impl Network {
                 st.visited_constraints.push(cid);
             }
         }
-        let kind = self.constraints[cid.index()].kind.clone();
+        // `Rc::clone` of the kind handle: a refcount bump, not a clone of
+        // the kind object — it detaches the borrow so `infer` can take
+        // `&mut self`. The hot loop performs no allocating clones.
+        let kind = Rc::clone(&self.constraints[cid.index()].kind);
         if !kind.should_activate(self, cid, changed) {
             return Ok(());
         }
@@ -1056,7 +1354,7 @@ impl Network {
     fn finish_cycle(&mut self, result: Result<(), Violation>) -> Result<(), Violation> {
         let result = result.and_then(|()| self.final_check());
         let state = self.state.take().expect("cycle active");
-        match result {
+        let out = match result {
             Ok(()) => Ok(()),
             Err(v) => {
                 self.restore(&state);
@@ -1070,7 +1368,9 @@ impl Network {
                 }
                 Err(v)
             }
-        }
+        };
+        self.retire_state(state);
+        out
     }
 
     fn final_check(&self) -> Result<(), Violation> {
@@ -1087,6 +1387,10 @@ impl Network {
 
     fn restore(&mut self, state: &PropState) {
         for (&var, saved) in &state.visited_vars {
+            // Keep the journal coherent even for variables that were only
+            // seeded as visited, never written (no-op for written ones,
+            // whose pre-image is already recorded).
+            self.journal_record_value(var);
             let d = &mut self.vars[var.index()];
             d.value = saved.value.clone();
             d.justification = saved.justification.clone();
@@ -1100,18 +1404,23 @@ impl Network {
     /// precedence order.
     fn reinitialize(&mut self, cid: ConstraintId) -> Result<(), Violation> {
         self.begin_cycle(false);
-        let args = self.constraints[cid.index()].args.clone();
-        let mut user = Vec::new();
-        let mut dependents = Vec::new();
-        let mut others = Vec::new();
-        for a in args {
-            match self.vars[a.index()].justification {
-                Justification::User => user.push(a),
-                Justification::Propagated { .. } => dependents.push(a),
-                _ => others.push(a),
+        // Three precedence passes over the (stable: edits are barred
+        // mid-cycle) argument list, instead of cloning it and partitioning.
+        let nargs = self.constraints[cid.index()].args.len();
+        let mut ordered: Vec<VarId> = Vec::with_capacity(nargs);
+        for wanted in 0..3u8 {
+            for i in 0..nargs {
+                let a = self.constraints[cid.index()].args[i];
+                let class = match self.vars[a.index()].justification {
+                    Justification::User => 0,
+                    Justification::Propagated { .. } => 1,
+                    _ => 2,
+                };
+                if class == wanted {
+                    ordered.push(a);
+                }
             }
         }
-        let ordered: Vec<VarId> = user.into_iter().chain(dependents).chain(others).collect();
         let mut result = Ok(());
         for arg in ordered {
             let fresh = !self

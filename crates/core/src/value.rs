@@ -70,6 +70,17 @@ impl fmt::Display for TypeTag {
 /// ranges, strings, and lists. `Nil` is the distinguished "no value yet"
 /// used throughout chapter 4 (erased/propagatable state).
 ///
+/// # Cloning cost
+///
+/// `clone()` is cheap for every variant except [`Value::List`]: the scalar
+/// variants (`Nil`, `Bool`, `Int`, `Float`, `BitWidth`, [`Span`],
+/// [`TypeTag`], `Rect`) are plain `Copy`-shaped data, and `Str` holds an
+/// interned `Arc<str>` whose clone is a reference-count bump, not a string
+/// copy. Only `List` allocates (its `Vec` spine; elements clone
+/// recursively). The propagation hot path and the engine's change journal
+/// rely on this: saving or restoring a pre-image is O(1) for everything
+/// but lists.
+///
 /// ```
 /// use stem_core::Value;
 /// assert!(Value::Nil.is_nil());

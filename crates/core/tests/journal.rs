@@ -1,0 +1,263 @@
+//! Change-journal semantics: O(touched) rollback of values and journalable
+//! structure, equivalence with the whole-network snapshot, and the guard
+//! rails around non-journalable edits.
+
+use stem_core::kinds::{Equality, Predicate};
+use stem_core::prng::SplitMix64;
+use stem_core::{Justification, Network, Value, VarId};
+
+fn chain(net: &mut Network, n: usize) -> Vec<VarId> {
+    let vars: Vec<_> = (0..n).map(|i| net.add_variable(format!("v{i}"))).collect();
+    for w in vars.windows(2) {
+        net.add_constraint(Equality::new(), [w[0], w[1]]).unwrap();
+    }
+    vars
+}
+
+fn dump(net: &Network) -> String {
+    net.variables()
+        .map(|v| {
+            format!(
+                "{}={:?}/{:?};",
+                net.var_name(v),
+                net.value(v),
+                net.justification(v)
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn commit_keeps_changes_rollback_undoes_values() {
+    let mut net = Network::new();
+    let vars = chain(&mut net, 4);
+    net.set(vars[0], Value::Int(1), Justification::User)
+        .unwrap();
+    let before = dump(&net);
+
+    net.begin_journal();
+    net.set(vars[0], Value::Int(2), Justification::User)
+        .unwrap();
+    net.set(vars[0], Value::Int(9), Justification::Application)
+        .unwrap();
+    assert!(net.is_journaling());
+    net.rollback_journal();
+    assert!(!net.is_journaling());
+    assert_eq!(
+        dump(&net),
+        before,
+        "rollback restores values + justifications"
+    );
+
+    net.begin_journal();
+    net.set(vars[0], Value::Int(2), Justification::User)
+        .unwrap();
+    net.set(vars[0], Value::Int(9), Justification::Application)
+        .unwrap();
+    net.commit_journal();
+    assert_eq!(net.value(vars[0]), &Value::Int(9), "commit keeps changes");
+    assert_eq!(
+        net.value(vars[3]),
+        &Value::Int(9),
+        "propagation committed too"
+    );
+}
+
+#[test]
+fn rollback_pops_added_variables_and_constraints() {
+    let mut net = Network::new();
+    let a = net.add_variable("a");
+    let b = net.add_variable("b");
+    net.set(a, Value::Int(5), Justification::User).unwrap();
+    let before = dump(&net);
+    let n_slots = net.n_constraint_slots();
+
+    net.begin_journal();
+    let c = net.add_variable("c");
+    net.add_constraint(Equality::new(), [a, b]).unwrap();
+    net.add_constraint(Equality::new(), [b, c]).unwrap();
+    assert_eq!(net.value(c), &Value::Int(5), "chain propagated on wiring");
+    net.rollback_journal();
+
+    assert_eq!(net.n_variables(), 2, "added variable popped");
+    assert_eq!(
+        net.n_constraint_slots(),
+        n_slots,
+        "added constraints popped"
+    );
+    assert_eq!(dump(&net), before, "propagated values undone");
+    assert!(
+        net.constraints_of(a).is_empty() && net.constraints_of(b).is_empty(),
+        "constraint lists unwired"
+    );
+}
+
+#[test]
+fn rollback_reverts_toggles_and_limit() {
+    let mut net = Network::new();
+    let a = net.add_variable("a");
+    let b = net.add_variable("b");
+    let cid = net.add_constraint(Equality::new(), [a, b]).unwrap();
+
+    net.begin_journal();
+    net.set_constraint_enabled(cid, false);
+    net.set_kind_enabled("equality", true); // re-enable via kind toggle
+    net.set_value_change_limit(4);
+    assert!(net.is_constraint_enabled(cid));
+    assert_eq!(net.value_change_limit(), 4);
+    net.rollback_journal();
+    assert!(net.is_constraint_enabled(cid), "back to original enabled");
+    assert_eq!(net.value_change_limit(), 1, "limit reverted");
+}
+
+#[test]
+fn journal_cost_is_o_touched_not_o_network() {
+    let mut net = Network::new();
+    // 100_000 unconstrained variables plus one tiny equality pair.
+    for i in 0..100_000 {
+        net.add_variable(format!("pad{i}"));
+    }
+    let a = net.add_variable("a");
+    let b = net.add_variable("b");
+    net.add_constraint(Equality::new(), [a, b]).unwrap();
+
+    net.begin_journal();
+    net.set(a, Value::Int(3), Justification::User).unwrap();
+    // Touched set: a and b. The journal must not scale with the 100k pad.
+    assert!(
+        net.journal_len() <= 4,
+        "journal holds {} entries for a 2-variable touch",
+        net.journal_len()
+    );
+    net.rollback_journal();
+    assert!(net.value(a).is_nil() && net.value(b).is_nil());
+}
+
+#[test]
+fn first_write_wins_pre_image() {
+    let mut net = Network::new();
+    let a = net.add_variable("a");
+    net.set(a, Value::Int(1), Justification::User).unwrap();
+
+    net.begin_journal();
+    for i in 2..10 {
+        net.set(a, Value::Int(i), Justification::User).unwrap();
+    }
+    assert_eq!(net.journal_len(), 1, "one pre-image per variable");
+    net.rollback_journal();
+    assert_eq!(
+        net.value(a),
+        &Value::Int(1),
+        "rolled back to pre-journal value"
+    );
+}
+
+#[test]
+fn rollback_after_mid_propagation_violation_matches_snapshot() {
+    // Randomised differential check at the Network level: a journaled
+    // transaction and a snapshot transaction over identical operations
+    // leave byte-identical dumps, including operations that violate
+    // mid-propagation (the cycle restores, then the journal unwinds the
+    // earlier operations of the same transaction).
+    let mut rng = SplitMix64::new(0xA11CE);
+    for round in 0..25 {
+        let mut net = Network::new();
+        let vars = chain(&mut net, 8);
+        // A bound that mid-propagation values can violate.
+        net.add_constraint(Predicate::le_const(Value::Int(50)), [vars[5]])
+            .unwrap();
+
+        // Seed, then capture both checkpoint flavors.
+        net.set(
+            vars[0],
+            Value::Int((round % 40) as i64),
+            Justification::User,
+        )
+        .unwrap();
+        let snap = net.snapshot();
+        let reference = dump(&net);
+
+        net.begin_journal();
+        for _ in 0..12 {
+            let v = vars[rng.range_usize(0, vars.len() - 1)];
+            let val = Value::Int(rng.range_i64(0, 80));
+            let _ = net.set(v, val, Justification::Application);
+        }
+        let journaled_end = dump(&net);
+        net.rollback_journal();
+        let after_journal_rollback = dump(&net);
+
+        // The whole-network snapshot must agree with the journal about
+        // what "the seeded state" is.
+        net.restore_snapshot(&snap);
+        assert_eq!(
+            dump(&net),
+            reference,
+            "snapshot restore returns to the seeded state"
+        );
+        assert_eq!(
+            after_journal_rollback, reference,
+            "journal rollback returns to the seeded state (round {round}, end state {journaled_end})"
+        );
+    }
+}
+
+#[test]
+#[should_panic(expected = "not journalable")]
+fn remove_constraint_refuses_open_journal() {
+    let mut net = Network::new();
+    let a = net.add_variable("a");
+    let b = net.add_variable("b");
+    let cid = net.add_constraint(Equality::new(), [a, b]).unwrap();
+    net.begin_journal();
+    net.remove_constraint(cid);
+}
+
+#[test]
+#[should_panic(expected = "already open")]
+fn nested_journals_refused() {
+    let mut net = Network::new();
+    net.begin_journal();
+    net.begin_journal();
+}
+
+#[test]
+fn probe_under_journal_is_a_no_op_on_rollback() {
+    let mut net = Network::new();
+    let vars = chain(&mut net, 3);
+    net.set(vars[0], Value::Int(7), Justification::User)
+        .unwrap();
+    let before = dump(&net);
+
+    net.begin_journal();
+    // Compatible probe: 7 matches the propagated chain, so it succeeds.
+    assert!(net.can_be_set_to(vars[2], Value::Int(7)));
+    // Conflicting probe: 8 would overwrite the user-pinned root — denied.
+    assert!(!net.can_be_set_to(vars[2], Value::Int(8)));
+    assert_eq!(dump(&net), before, "probes restored everything themselves");
+    net.rollback_journal();
+    assert_eq!(
+        dump(&net),
+        before,
+        "journal replay of probe pre-images is inert"
+    );
+}
+
+#[test]
+fn add_constraint_violation_cleanup_is_journal_coherent() {
+    let mut net = Network::new();
+    let a = net.add_variable("a");
+    let b = net.add_variable("b");
+    net.set(a, Value::Int(1), Justification::User).unwrap();
+    net.set(b, Value::Int(2), Justification::User).unwrap();
+    let before = dump(&net);
+    let slots = net.n_constraint_slots();
+
+    net.begin_journal();
+    // Conflicting equality: add_constraint fails and tombstones its own
+    // slot; the journal entry for the add must still roll back cleanly.
+    net.add_constraint(Equality::new(), [a, b]).unwrap_err();
+    net.rollback_journal();
+    assert_eq!(net.n_constraint_slots(), slots, "tombstoned slot popped");
+    assert_eq!(dump(&net), before);
+}

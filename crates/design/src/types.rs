@@ -375,6 +375,7 @@ mod tests {
         let t = d.tag("WholeSignal").unwrap();
         let d2 = d.clone();
         assert_eq!(d2.name(t), "WholeSignal");
+        assert_eq!(d.name(t), "WholeSignal", "original unaffected");
     }
 
     #[test]

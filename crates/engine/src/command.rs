@@ -220,9 +220,9 @@ impl Command {
     }
 
     /// Whether the command edits network *structure* (not just values).
-    /// Structural batches are applied to a clone of the network and swapped
-    /// in on success, because structure cannot be rolled back by a value
-    /// snapshot.
+    /// Structure cannot be rolled back by a value snapshot; under the
+    /// legacy snapshot rollback strategy such batches run on a clone of
+    /// the network that is swapped in on success.
     pub fn is_structural(&self) -> bool {
         matches!(
             self,
@@ -233,6 +233,16 @@ impl Command {
                 | Command::SetKindEnabled { .. }
                 | Command::SetValueChangeLimit { .. }
         )
+    }
+
+    /// Whether the command's effects can be undone by the network's change
+    /// journal (`Network::begin_journal`). Everything journals — value
+    /// writes and structural additions/toggles alike — except
+    /// [`Command::RemoveConstraint`], whose erasure cascade genuinely
+    /// cannot be replayed backwards; a batch containing one falls back to
+    /// clone-and-swap rollback.
+    pub fn is_journalable(&self) -> bool {
+        !matches!(self, Command::RemoveConstraint { .. })
     }
 }
 

@@ -26,6 +26,23 @@ impl fmt::Display for SessionId {
     }
 }
 
+/// How a worker undoes a failed batch ([`EngineConfig::rollback`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RollbackStrategy {
+    /// Change-journal rollback (the default): the network records each
+    /// touched variable's pre-image and journalable structural edits, and
+    /// a failed batch replays the journal in reverse — O(touched set).
+    /// Batches containing a non-journalable command
+    /// ([`Command::is_journalable`]) still fall back to clone-and-swap.
+    #[default]
+    Journal,
+    /// Legacy whole-network checkpointing: value-only batches
+    /// `snapshot()`/`restore_snapshot()`, structural batches run on a
+    /// clone — both O(network size). Kept for differential testing and
+    /// benchmarking against the journal path.
+    Snapshot,
+}
+
 /// Engine construction parameters ([`Engine::with_config`]).
 #[derive(Debug, Clone, Copy)]
 pub struct EngineConfig {
@@ -40,6 +57,8 @@ pub struct EngineConfig {
     /// cleanly with `ViolationKind::BudgetExceeded` and rolls its batch
     /// back.
     pub step_budget: Option<u64>,
+    /// Batch rollback mechanism; see [`RollbackStrategy`].
+    pub rollback: RollbackStrategy,
 }
 
 impl Default for EngineConfig {
@@ -48,6 +67,7 @@ impl Default for EngineConfig {
             workers: thread::available_parallelism().map_or(4, |n| n.get().min(8)),
             queue_capacity: 128,
             step_budget: None,
+            rollback: RollbackStrategy::default(),
         }
     }
 }
@@ -168,6 +188,7 @@ impl Engine {
             let worker_depth = depth.clone();
             let worker_counters = counters.clone();
             let step_budget = config.step_budget;
+            let rollback = config.rollback;
             handles.push(
                 thread::Builder::new()
                     .name(format!("stem-engine-{ix}"))
@@ -179,6 +200,7 @@ impl Engine {
                             depth: worker_depth,
                             counters: worker_counters,
                             step_budget,
+                            rollback,
                             sessions: HashMap::new(),
                         }
                         .run()
@@ -338,6 +360,15 @@ impl Engine {
         self.counters.snapshot()
     }
 
+    /// [`Engine::stats`] that also resets the queue-depth high-water mark:
+    /// the returned snapshot reports the mark as of the read, and later
+    /// reads watermark from zero again. Lets repeated measurement runs
+    /// (e.g. the T-E20 throughput table) report per-epoch peaks instead of
+    /// a stale all-time maximum.
+    pub fn stats_and_reset_queue_hwm(&self) -> EngineStats {
+        self.counters.snapshot_and_reset_queue_hwm()
+    }
+
     /// Stops every worker after it drains its queue, then joins them.
     /// Also runs on drop.
     pub fn shutdown(mut self) {
@@ -376,6 +407,7 @@ struct Worker {
     depth: Arc<AtomicUsize>,
     counters: Arc<Counters>,
     step_budget: Option<u64>,
+    rollback: RollbackStrategy,
     sessions: HashMap<SessionId, Session>,
 }
 
@@ -400,6 +432,8 @@ impl Worker {
                     let mut stats = sess.stats;
                     stats.n_variables = sess.net.n_variables() as u64;
                     stats.n_constraints = sess.net.n_constraints() as u64;
+                    stats.net_snapshots = sess.net.snapshots_taken();
+                    stats.net_clones = sess.net.clones_taken();
                     stats.quarantined = sess.quarantined;
                     let _ = reply.send(stats);
                 }
@@ -439,6 +473,7 @@ impl Worker {
     ) -> Result<BatchOutcome, BatchError> {
         let counters = self.counters.clone();
         counters.batches.fetch_add(1, Ordering::Relaxed);
+        let rollback = self.rollback;
         let sess = self.session_entry(id);
         sess.stats.batches += 1;
 
@@ -447,13 +482,44 @@ impl Worker {
         }
         validate(&sess.net, &commands)?;
 
-        let structural = commands.iter().any(Command::is_structural);
+        let use_journal =
+            rollback == RollbackStrategy::Journal && commands.iter().all(Command::is_journalable);
         let before: Stats = sess.net.stats();
-        let result = if structural {
-            // Structure cannot be rolled back by a value snapshot: run the
-            // batch on a clone and swap it in only on success.
+        let result = if use_journal {
+            // Journaled transaction: the network records pre-images and
+            // structural undo entries as the batch runs; failure replays
+            // them in reverse. Cost is O(touched set) — no snapshot, no
+            // clone, regardless of network size.
+            sess.net.begin_journal();
+            let net = &mut sess.net;
+            match catch_unwind(AssertUnwindSafe(|| apply_all(net, commands))) {
+                Ok(Ok(outputs)) => {
+                    sess.net.commit_journal();
+                    let delta = delta(before, sess.net.stats());
+                    Ok((outputs, delta))
+                }
+                Ok(Err((index, violation))) => {
+                    sess.net.rollback_journal();
+                    Err(BatchError::Violation { index, violation })
+                }
+                Err(payload) => {
+                    // The panic may have unwound out of an active cycle;
+                    // finish its restoration (journal-coherently), then
+                    // undo the rest of the batch.
+                    sess.net.abort_cycle();
+                    sess.net.rollback_journal();
+                    Err(BatchError::Panicked {
+                        index: usize::MAX,
+                        message: panic_message(payload),
+                    })
+                }
+            }
+        } else if commands.iter().any(Command::is_structural) {
+            // Non-journalable structure (RemoveConstraint's erasure
+            // cascade) or the legacy snapshot strategy: run the batch on a
+            // clone and swap it in only on success.
             let mut work = sess.net.clone();
-            match catch_unwind(AssertUnwindSafe(|| apply_all(&mut work, &commands))) {
+            match catch_unwind(AssertUnwindSafe(|| apply_all(&mut work, commands))) {
                 Ok(Ok(outputs)) => {
                     let delta = delta(before, work.stats());
                     sess.net = work;
@@ -466,11 +532,10 @@ impl Worker {
                 }),
             }
         } else {
-            // Value-only batch: snapshot/restore is enough and avoids the
-            // clone.
+            // Legacy value-only path: whole-network snapshot/restore.
             let snap = sess.net.snapshot();
             let net = &mut sess.net;
-            match catch_unwind(AssertUnwindSafe(|| apply_all(net, &commands))) {
+            match catch_unwind(AssertUnwindSafe(|| apply_all(net, commands))) {
                 Ok(Ok(outputs)) => {
                     let delta = delta(before, sess.net.stats());
                     Ok((outputs, delta))
@@ -595,47 +660,52 @@ fn validate(net: &Network, commands: &[Command]) -> Result<(), BatchError> {
 
 type CommandFailure = (usize, stem_core::Violation);
 
-fn apply_all(net: &mut Network, commands: &[Command]) -> Result<Vec<Output>, CommandFailure> {
+/// Applies a batch in order, consuming the commands: payloads (`Value`s,
+/// names, argument vectors) move into the network instead of being cloned
+/// per command.
+fn apply_all(net: &mut Network, commands: Vec<Command>) -> Result<Vec<Output>, CommandFailure> {
     let mut outputs = Vec::with_capacity(commands.len());
-    for (ix, cmd) in commands.iter().enumerate() {
+    for (ix, cmd) in commands.into_iter().enumerate() {
         outputs.push(apply_one(net, cmd).map_err(|v| (ix, v))?);
     }
     Ok(outputs)
 }
 
-fn apply_one(net: &mut Network, cmd: &Command) -> Result<Output, stem_core::Violation> {
+fn apply_one(net: &mut Network, cmd: Command) -> Result<Output, stem_core::Violation> {
     use stem_core::Justification;
     Ok(match cmd {
-        Command::AddVariable { name } => Output::Var(net.add_variable(name.clone())),
+        Command::AddVariable { name } => Output::Var(net.add_variable(name)),
         Command::Set { var, value, source } => {
-            net.set(*var, value.clone(), Justification::from(*source))?;
+            net.set(var, value, Justification::from(source))?;
             Output::Unit
         }
         Command::Unset { var } => {
-            net.reset(*var);
+            net.reset(var);
             Output::Unit
         }
-        Command::Probe { var, value } => Output::Feasible(net.can_be_set_to(*var, value.clone())),
-        Command::Get { var } => Output::Value(net.value(*var).clone()),
+        Command::Probe { var, value } => Output::Feasible(net.can_be_set_to(var, value)),
+        // The clone here builds the reply's owned copy — O(1) for every
+        // value shape but `List` (see the cheap-clone contract on `Value`).
+        Command::Get { var } => Output::Value(net.value(var).clone()),
         Command::AddConstraint { spec, args } => {
-            Output::Constraint(net.add_constraint_rc(spec.build(), args.iter().copied())?)
+            Output::Constraint(net.add_constraint_rc(spec.build(), args)?)
         }
         Command::RemoveConstraint { constraint } => {
-            net.remove_constraint(*constraint);
+            net.remove_constraint(constraint);
             Output::Unit
         }
         Command::EnableConstraint {
             constraint,
             enabled,
         } => {
-            net.set_constraint_enabled(*constraint, *enabled);
+            net.set_constraint_enabled(constraint, enabled);
             Output::Unit
         }
         Command::SetKindEnabled { kind_name, enabled } => {
-            Output::Count(net.set_kind_enabled(kind_name, *enabled))
+            Output::Count(net.set_kind_enabled(&kind_name, enabled))
         }
         Command::SetValueChangeLimit { limit } => {
-            net.set_value_change_limit(*limit);
+            net.set_value_change_limit(limit);
             Output::Unit
         }
         Command::DumpValues => Output::Dump(

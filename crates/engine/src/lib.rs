@@ -45,5 +45,5 @@ mod engine;
 mod stats;
 
 pub use command::{BatchError, BatchOutcome, Command, ConstraintSpec, KindFactory, Output, Source};
-pub use engine::{BatchTicket, Engine, EngineConfig, SessionId};
+pub use engine::{BatchTicket, Engine, EngineConfig, RollbackStrategy, SessionId};
 pub use stats::{EngineStats, SessionStats, LATENCY_BUCKET_BOUNDS_US, N_LATENCY_BUCKETS};

@@ -48,6 +48,17 @@ impl Counters {
         self.latency_buckets[ix].fetch_add(1, Ordering::Relaxed);
     }
 
+    /// [`Counters::snapshot`] that also resets the queue-depth high-water
+    /// mark: the returned snapshot carries the mark as of the read, and
+    /// subsequent observations rebuild it from zero. Atomic (`swap`), so
+    /// depths observed concurrently with the reset are never lost — they
+    /// either land in this snapshot or seed the next epoch.
+    pub fn snapshot_and_reset_queue_hwm(&self) -> EngineStats {
+        let mut s = self.snapshot();
+        s.queue_depth_hwm = self.queue_depth_hwm.swap(0, Ordering::Relaxed);
+        s
+    }
+
     pub fn snapshot(&self) -> EngineStats {
         let mut latency_buckets = [0u64; N_LATENCY_BUCKETS];
         for (out, bucket) in latency_buckets.iter_mut().zip(&self.latency_buckets) {
@@ -123,6 +134,13 @@ pub struct SessionStats {
     pub n_variables: u64,
     /// Active constraints currently in the session's network.
     pub n_constraints: u64,
+    /// Times the session's network took a full `snapshot()` — stays 0 as
+    /// long as every batch rolls back through the change journal.
+    pub net_snapshots: u64,
+    /// Times the session's network was cloned (clone-and-swap rollback
+    /// path; only batches with non-journalable commands take it under the
+    /// default strategy).
+    pub net_clones: u64,
     /// Whether the session is quarantined.
     pub quarantined: bool,
 }

@@ -237,6 +237,7 @@ fn step_budget_aborts_runaway_propagation() {
         workers: 1,
         queue_capacity: 8,
         step_budget: Some(3),
+        ..EngineConfig::default()
     });
     let s = engine.create_session();
     // A 10-deep equality chain: flooding it costs far more than 3 steps.
@@ -265,6 +266,7 @@ fn try_submit_reports_backpressure() {
         workers: 1,
         queue_capacity: 1,
         step_budget: None,
+        ..EngineConfig::default()
     });
     let s = engine.create_session();
     // The Custom factory runs worker-side, so this batch pins the worker
@@ -432,4 +434,45 @@ fn results_are_identical_for_any_worker_count() {
     let eight = run_scripted(8, 8);
     assert_eq!(one, four);
     assert_eq!(one, eight);
+}
+
+#[test]
+fn stats_and_reset_queue_hwm_starts_a_fresh_epoch() {
+    let engine = Engine::with_config(EngineConfig {
+        workers: 1,
+        queue_capacity: 64,
+        ..EngineConfig::default()
+    });
+    let session = engine.create_session();
+    setup_session(&engine, session, 1);
+
+    // Pile up async submissions so the queue visibly deepens.
+    let tickets: Vec<_> = (0..32)
+        .map(|i| engine.submit(session, vec![set(0, i)]))
+        .collect();
+    for t in tickets {
+        t.wait().expect("batch commits");
+    }
+    let first = engine.stats_and_reset_queue_hwm();
+    assert!(first.queue_depth_hwm > 0, "burst never showed in the HWM");
+    // Every other counter matches a plain snapshot taken right after.
+    let plain = engine.stats();
+    assert_eq!(plain.batches, first.batches);
+    assert_eq!(
+        plain.queue_depth_hwm, 0,
+        "reset variant re-arms the mark at zero"
+    );
+
+    // The next epoch rebuilds the mark from its own traffic only.
+    engine
+        .apply(session, vec![set(0, 99)])
+        .expect("quiet batch");
+    let second = engine.stats_and_reset_queue_hwm();
+    assert!(
+        second.queue_depth_hwm <= 2,
+        "old epoch's depth ({}) leaked into the new mark ({})",
+        first.queue_depth_hwm,
+        second.queue_depth_hwm
+    );
+    engine.shutdown();
 }

@@ -18,6 +18,7 @@ fn main() {
         workers: 4,
         queue_capacity: 64,
         step_budget: Some(10_000),
+        ..EngineConfig::default()
     });
 
     // Two independent design sessions — different networks, possibly
