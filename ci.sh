@@ -1,8 +1,20 @@
 #!/usr/bin/env bash
 # Tier-1 CI gate: formatting, lints, release build, full test suite.
 # The workspace is hermetic — everything runs with --offline.
+#
+# Flags:
+#   --bench-compare   additionally diff the smoke-bench JSON against
+#                     BENCH_baseline.json and fail on a >25% ops/s drop
 set -euo pipefail
 cd "$(dirname "$0")"
+
+BENCH_COMPARE=0
+for arg in "$@"; do
+  case "$arg" in
+    --bench-compare) BENCH_COMPARE=1 ;;
+    *) echo "unknown flag: $arg" >&2; exit 2 ;;
+  esac
+done
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
@@ -18,8 +30,15 @@ cargo test --workspace -q --offline
 
 echo "==> cargo bench --smoke (regression JSON)"
 cargo bench -p stem-bench --bench propagation --offline -- --smoke
+cargo bench -p stem-bench --bench propagation_planned --offline -- --smoke
 cargo bench -p stem-bench --bench engine --offline -- --smoke
 test -s BENCH_propagation.json || { echo "missing BENCH_propagation.json"; exit 1; }
+test -s BENCH_propagation_planned.json || { echo "missing BENCH_propagation_planned.json"; exit 1; }
 test -s BENCH_engine.json || { echo "missing BENCH_engine.json"; exit 1; }
+
+if [[ "$BENCH_COMPARE" == 1 ]]; then
+  echo "==> bench-compare vs BENCH_baseline.json"
+  python3 tools/bench_compare.py
+fi
 
 echo "CI OK"

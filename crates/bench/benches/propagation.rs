@@ -171,6 +171,31 @@ fn compiled_vs_interpreted(c: &mut Criterion) {
     g.finish();
 }
 
+/// E22 — steady-state `set`s served by the propagation plan cache vs.
+/// the agenda interpreter on the dense-fanout cone. The full sweep lives
+/// in the `propagation_planned` bench; these two entries keep the
+/// headline comparison in `BENCH_propagation.json` for regression
+/// tracking.
+fn planned_dense_fanout(c: &mut Criterion) {
+    let mut g = c.benchmark_group("propagation/planned_dense_fanout");
+    for planned in [false, true] {
+        let path = if planned { "planned" } else { "agenda" };
+        let (mut net, src) = workloads::dense_fanout(64);
+        net.set_plan_caching(planned);
+        for i in 0..16 {
+            net.set(src, Value::Int(i), Justification::User).unwrap();
+        }
+        let mut i = 100i64;
+        g.bench_function(format!("{path}/64"), |b| {
+            b.iter(|| {
+                i += 1;
+                net.set(src, Value::Int(i), Justification::User).unwrap();
+            })
+        });
+    }
+    g.finish();
+}
+
 /// Quick profile so `cargo bench --workspace` finishes in minutes; pass
 /// `-- --sample-size 100` etc. on the command line for precision runs.
 fn quick() -> Criterion {
@@ -188,6 +213,7 @@ criterion_group!(
     cycle_detect,
     complexity_scaling,
     agenda_batching,
-    compiled_vs_interpreted
+    compiled_vs_interpreted,
+    planned_dense_fanout
 );
 criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! Bench E22: plan-cached vs. agenda propagation (§9.2.3's "precompiled
+//! topological sorts" applied to the dynamic `set` path).
+//!
+//! Unlike the construction-heavy benches, these measure *steady state*:
+//! the network is built and warmed outside the timed region (the first
+//! `set` compiles the plan), and each iteration is one `set` on the
+//! source with a fresh value, so every cycle rewrites the whole cone and
+//! the planned arm replays its cached plan.
+
+use stem_bench::harness::Criterion;
+use stem_bench::workloads;
+use stem_bench::{criterion_group, criterion_main};
+use stem_core::{Justification, PlanStatus, Value};
+
+/// Steady-state `set` throughput on the dense-fanout cone, planned vs.
+/// agenda, across fanout widths.
+fn dense_fanout(c: &mut Criterion) {
+    let mut g = c.benchmark_group("propagation_planned/dense_fanout");
+    for fan in [16usize, 64, 256] {
+        for planned in [false, true] {
+            let path = if planned { "planned" } else { "agenda" };
+            let (mut net, src) = workloads::dense_fanout(fan);
+            net.set_plan_caching(planned);
+            for i in 0..16 {
+                net.set(src, Value::Int(i), Justification::User).unwrap();
+            }
+            assert_eq!(
+                matches!(net.plan_status(src), PlanStatus::Ready { .. }),
+                planned,
+                "warm-up must leave the cache in the arm's configuration"
+            );
+            let mut i = 100i64;
+            g.bench_function(format!("{path}/{fan}"), |b| {
+                b.iter(|| {
+                    i += 1;
+                    net.set(src, Value::Int(i), Justification::User).unwrap();
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+/// Same comparison on a pairwise equality star (every spoke its own
+/// constraint — maximal dispatch count per cycle).
+fn equality_star(c: &mut Criterion) {
+    let mut g = c.benchmark_group("propagation_planned/equality_star");
+    for n in [64usize, 256] {
+        for planned in [false, true] {
+            let path = if planned { "planned" } else { "agenda" };
+            let (mut net, hub) = workloads::equality_star(n);
+            net.set_plan_caching(planned);
+            for i in 0..16 {
+                net.set(hub, Value::Int(i), Justification::User).unwrap();
+            }
+            let mut i = 100i64;
+            g.bench_function(format!("{path}/{n}"), |b| {
+                b.iter(|| {
+                    i += 1;
+                    net.set(hub, Value::Int(i), Justification::User).unwrap();
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+/// Invalidate-and-recompile cost: a structural toggle between sets forces
+/// a recompilation every iteration — the worst case for the cache, which
+/// must still stay within sight of the pure agenda path.
+fn recompile_churn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("propagation_planned/recompile_churn");
+    for fan in [64usize] {
+        let (mut net, src) = workloads::dense_fanout(fan);
+        let probe = {
+            use stem_core::kinds::Predicate;
+            let v = net.add_variable("probe_guard");
+            net.add_constraint(Predicate::le_const(Value::Int(i64::MAX)), [v])
+                .unwrap()
+        };
+        for i in 0..16 {
+            net.set(src, Value::Int(i), Justification::User).unwrap();
+        }
+        let mut i = 100i64;
+        let mut on = true;
+        g.bench_function(format!("toggle_between_sets/{fan}"), |b| {
+            b.iter(|| {
+                i += 1;
+                on = !on;
+                net.set_constraint_enabled(probe, on);
+                net.set(src, Value::Int(i), Justification::User).unwrap();
+            })
+        });
+    }
+    g.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+        .sample_size(15)
+}
+
+criterion_group!(
+    name = benches;
+    config = quick();
+    targets = dense_fanout, equality_star, recompile_churn
+);
+criterion_main!(benches);

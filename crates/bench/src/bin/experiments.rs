@@ -214,4 +214,22 @@ fn main() {
             &experiments::t_e21_rollback_strategies(),
         )
     );
+
+    print!(
+        "{}",
+        render_table(
+            "T-E22 — plan-cached vs. agenda propagation: dense-fanout steady-state sets",
+            &[
+                "fanout",
+                "path",
+                "sets",
+                "assignments",
+                "ms",
+                "sets/s",
+                "speedup",
+                "plan hits"
+            ],
+            &experiments::t_e22_planned_propagation(&[16, 64, 256]),
+        )
+    );
 }

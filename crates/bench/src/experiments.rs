@@ -822,3 +822,63 @@ pub fn t_e21_rollback_strategies() -> Vec<Vec<String>> {
     }
     rows
 }
+
+/// T-E22 — plan-cached vs. agenda propagation on the dense-fanout
+/// workload (§9.2.3's "precompiled topological sorts", applied to the
+/// dynamic path).
+///
+/// Steady state: the network is built once, the first `set` compiles the
+/// plan (planned arm) or warms the pooled agenda state (agenda arm), and
+/// the measured loop re-sets the source with fresh values so every cycle
+/// rewrites the whole cone. The agenda arm runs with plan caching
+/// disabled — the interpreter ground truth — so the speedup column is the
+/// tentpole claim: ≥2× `set` ops/s at dense fanout.
+pub fn t_e22_planned_propagation(fans: &[usize]) -> Vec<Vec<String>> {
+    use stem_core::Justification;
+
+    const ROUNDS: i64 = 2_000;
+
+    let mut rows = Vec::new();
+    for &fan in fans {
+        let mut agenda_ops = 0.0;
+        for planned in [false, true] {
+            let (mut net, src) = workloads::dense_fanout(fan);
+            net.set_plan_caching(planned);
+            // Warm-up: compile the plan / size the pooled cycle state.
+            for i in 0..16 {
+                net.set(src, Value::Int(i), Justification::User).unwrap();
+            }
+            net.reset_stats();
+            let t0 = Instant::now();
+            for i in 0..ROUNDS {
+                net.set(src, Value::Int(100 + i), Justification::User)
+                    .unwrap();
+            }
+            let dt = t0.elapsed();
+            let stats = net.stats();
+            assert_eq!(
+                stats.plan_cache_hits,
+                if planned { ROUNDS as u64 } else { 0 },
+                "planned arm must serve every measured set from the cache"
+            );
+            let ops = ROUNDS as f64 / dt.as_secs_f64();
+            let speedup = if planned {
+                format!("{:.2}×", ops / agenda_ops)
+            } else {
+                agenda_ops = ops;
+                "1.00×".to_string()
+            };
+            rows.push(vec![
+                fan.to_string(),
+                if planned { "planned" } else { "agenda" }.to_string(),
+                ROUNDS.to_string(),
+                stats.assignments.to_string(),
+                ms(dt),
+                format!("{ops:.0}"),
+                speedup,
+                stats.plan_cache_hits.to_string(),
+            ]);
+        }
+    }
+    rows
+}

@@ -157,6 +157,16 @@ pub fn fan_in_sum(fan: usize, scheduled: bool) -> (Network, VarId, VarId) {
     (net, src, out)
 }
 
+/// The dense-fanout workload of E22: one source equality-linked to `fan`
+/// mirrors, all feeding a scheduled sum — every `set` on the source
+/// rewrites the whole cone, which is exactly the shape the propagation
+/// plan cache accelerates (statically single-writer, wide dispatch).
+/// Returns the network and the source variable.
+pub fn dense_fanout(fan: usize) -> (Network, VarId) {
+    let (net, src, _) = fan_in_sum(fan, true);
+    (net, src)
+}
+
 /// The two-level hierarchy of thesis Fig. 5.1 (E3), at the constraint
 /// level: one shared internal chain of `internal_len` +1 stages computing
 /// a "class characteristic", fanned out to `n_instances` external

@@ -1,5 +1,5 @@
 use crate::ids::{ConstraintId, VarId};
-use std::collections::{HashSet, VecDeque};
+use std::collections::VecDeque;
 
 /// Name of the agenda functional constraints schedule on (thesis Fig. 4.7,
 /// `#functionalConstraints`).
@@ -21,12 +21,29 @@ type Entry = (ConstraintId, Option<VarId>);
 
 /// One agenda: a first-in-first-out queue without duplicate entries
 /// (thesis §4.2.1).
+///
+/// Duplicate detection is hash-free: a dense `marks` vector indexed by
+/// constraint id carries an epoch stamp per constraint. A stale stamp
+/// (`marks[cid] != epoch`) proves in O(1) that no entry with that
+/// constraint is queued — the overwhelmingly common case on the hot path.
+/// Only when the same constraint is already queued (stamp current,
+/// `queued[cid] > 0`) does a short linear scan decide whether the exact
+/// `(cid, var)` pair is a duplicate; such collisions are rare and the
+/// queue is short-lived by construction. Clearing bumps the epoch instead
+/// of touching the marks at all.
 #[derive(Debug, Clone)]
 struct Agenda {
     name: &'static str,
     priority: i32,
     queue: VecDeque<Entry>,
-    members: HashSet<Entry>,
+    /// Epoch stamp per constraint id; `marks[cid] == epoch` ⇔ the stamp is
+    /// current and `queued[cid]` is meaningful.
+    marks: Vec<u32>,
+    /// Entries currently queued per constraint id (valid only under a
+    /// current stamp).
+    queued: Vec<u32>,
+    /// Current epoch; starts at 1 so zero-initialised marks are stale.
+    epoch: u32,
 }
 
 impl Agenda {
@@ -35,23 +52,49 @@ impl Agenda {
             name,
             priority,
             queue: VecDeque::new(),
-            members: HashSet::new(),
+            marks: Vec::new(),
+            queued: Vec::new(),
+            epoch: 1,
         }
     }
 
     fn push(&mut self, entry: Entry) -> bool {
-        if self.members.insert(entry) {
-            self.queue.push_back(entry);
-            true
-        } else {
-            false
+        let ix = entry.0.index();
+        if ix >= self.marks.len() {
+            self.marks.resize(ix + 1, 0);
+            self.queued.resize(ix + 1, 0);
         }
+        if self.marks[ix] == self.epoch && self.queued[ix] > 0 {
+            // Same constraint already queued: only now compare the full
+            // entry (the variable component distinguishes entries).
+            if self.queue.contains(&entry) {
+                return false;
+            }
+            self.queued[ix] += 1;
+        } else {
+            self.marks[ix] = self.epoch;
+            self.queued[ix] = 1;
+        }
+        self.queue.push_back(entry);
+        true
     }
 
     fn pop(&mut self) -> Option<Entry> {
         let entry = self.queue.pop_front()?;
-        self.members.remove(&entry);
+        self.queued[entry.0.index()] -= 1;
         Some(entry)
+    }
+
+    fn clear(&mut self) {
+        self.queue.clear();
+        // Bumping the epoch invalidates every stamp in O(1). On the (never
+        // in practice) wrap back to 0, all marks read as stale anyway
+        // because the epoch restarts at 1.
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.marks.iter_mut().for_each(|m| *m = 0);
+            self.epoch = 1;
+        }
     }
 }
 
@@ -143,11 +186,11 @@ impl AgendaScheduler {
         self.agendas.iter().map(|a| a.queue.len()).sum()
     }
 
-    /// Discards all queued entries (used when a cycle aborts).
+    /// Discards all queued entries (used when a cycle aborts). O(#agendas):
+    /// membership stamps are invalidated by an epoch bump, not a sweep.
     pub fn clear(&mut self) {
         for a in &mut self.agendas {
-            a.queue.clear();
-            a.members.clear();
+            a.clear();
         }
     }
 }
@@ -236,5 +279,29 @@ mod tests {
         assert_eq!(s.len(), 0);
         // After clear, previously queued entries can be scheduled again.
         assert!(s.schedule(FUNCTIONAL_AGENDA, c(1), None));
+    }
+
+    #[test]
+    fn pop_then_repush_same_constraint() {
+        // Regression for the epoch-stamp scheme: after popping the only
+        // entry for a constraint its stamp is still current but its queued
+        // count is zero — a re-push must be accepted without a scan.
+        let mut s = AgendaScheduler::new();
+        assert!(s.schedule(FUNCTIONAL_AGENDA, c(4), Some(v(1))));
+        assert_eq!(s.pop_highest(), Some((c(4), Some(v(1)))));
+        assert!(s.schedule(FUNCTIONAL_AGENDA, c(4), Some(v(1))));
+        assert!(!s.schedule(FUNCTIONAL_AGENDA, c(4), Some(v(1))));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn epoch_survives_many_clears() {
+        let mut s = AgendaScheduler::new();
+        for round in 0..1000u32 {
+            assert!(s.schedule(FUNCTIONAL_AGENDA, c(round % 3), None));
+            assert!(!s.schedule(FUNCTIONAL_AGENDA, c(round % 3), None));
+            s.clear();
+        }
+        assert!(s.is_empty());
     }
 }

@@ -99,6 +99,30 @@ pub trait ConstraintKind: fmt::Debug {
         net.args(cid).to_vec()
     }
 
+    /// The exact set of arguments this kind writes when `changed` changes,
+    /// *if that set is statically known* — the opt-in contract behind
+    /// propagation-plan compilation (`network::plan`). Returning
+    /// `Some(writes)` promises that `infer` on a change of `changed`
+    /// assigns (at most) the listed variables, via `propagate_set`, and
+    /// reads nothing the plan compiler cannot see. Kinds whose write-set
+    /// depends on runtime values must keep the default `None`, which
+    /// excludes any cone containing them from plan compilation and leaves
+    /// them on the agenda path.
+    ///
+    /// `changed` is the variable whose change triggers the constraint —
+    /// `None` for agenda entries that carry no variable
+    /// (`schedules_with_variable() == false`), whose write-set must hold
+    /// for the batched run as well.
+    fn planned_writes(
+        &self,
+        net: &Network,
+        cid: ConstraintId,
+        changed: Option<VarId>,
+    ) -> Option<Vec<VarId>> {
+        let _ = (net, cid, changed);
+        None
+    }
+
     /// Dependency-record membership test (`testMembershipOf:inDependency:`,
     /// Fig. 4.11): does a value carrying `record` — formulated by this kind
     /// — depend on argument `arg`? The default interprets the built-in

@@ -30,7 +30,8 @@ impl<'n> NetworkInspector<'n> {
     }
 
     /// One-line description of a variable: path, kind, value,
-    /// justification, and its constraint fan-out.
+    /// justification, its constraint fan-out, and — when the plan cache
+    /// has an entry for it as a root — the compiled-plan status.
     pub fn describe_variable(&self, var: VarId) -> String {
         let n = self.net;
         let cons: Vec<String> = n
@@ -38,8 +39,15 @@ impl<'n> NetworkInspector<'n> {
             .iter()
             .map(|c| c.to_string())
             .collect();
+        let plan = match n.plan_status(var) {
+            crate::PlanStatus::NotCompiled => String::new(),
+            crate::PlanStatus::Uncompilable => "  plan(uncompilable)".to_string(),
+            crate::PlanStatus::Ready { steps, checks } => {
+                format!("  plan({steps} steps, {checks} checks)")
+            }
+        };
         format!(
-            "{var} {path} : {kind} = {value}  lastSetBy {just}  constraints [{cons}]",
+            "{var} {path} : {kind} = {value}  lastSetBy {just}  constraints [{cons}]{plan}",
             path = n.var_path(var),
             kind = n.var_kind_name(var),
             value = n.value(var),
@@ -272,6 +280,17 @@ mod tests {
         let text = insp.describe_violation(&err);
         assert!(text.contains("unsatisfied"), "{text}");
         assert!(text.contains(&limit.to_string()), "{text}");
+    }
+
+    #[test]
+    fn variable_description_shows_plan_status() {
+        let (mut net, a, ..) = sample();
+        // A second set on the same root compiles and caches its plan.
+        net.set(a, Value::Int(3), Justification::User).unwrap();
+        let insp = NetworkInspector::new(&net);
+        let da = insp.describe_variable(a);
+        assert!(da.contains("plan("), "{da}");
+        assert!(da.contains("steps"), "{da}");
     }
 
     #[test]

@@ -74,6 +74,27 @@ impl ConstraintKind for Equality {
         Ok(())
     }
 
+    fn planned_writes(
+        &self,
+        net: &Network,
+        cid: ConstraintId,
+        changed: Option<VarId>,
+    ) -> Option<Vec<VarId>> {
+        // Statically, a change of one argument writes every other argument.
+        // (A `Nil` change writes nothing at runtime; the plan only needs a
+        // superset.) Without a changed variable, `infer` is a no-op.
+        let Some(changed) = changed else {
+            return Some(Vec::new());
+        };
+        Some(
+            net.args(cid)
+                .iter()
+                .copied()
+                .filter(|&a| a != changed)
+                .collect(),
+        )
+    }
+
     fn is_satisfied(&self, net: &Network, cid: ConstraintId) -> bool {
         let mut seen: Option<&Value> = None;
         for &arg in net.args(cid) {

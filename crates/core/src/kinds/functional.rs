@@ -214,6 +214,21 @@ impl ConstraintKind for Functional {
         }
     }
 
+    fn planned_writes(
+        &self,
+        net: &Network,
+        cid: ConstraintId,
+        changed: Option<VarId>,
+    ) -> Option<Vec<VarId>> {
+        // An input change (or a batched agenda run, `changed == None`)
+        // writes the result; a result change never activates the
+        // constraint at all (`should_activate`).
+        match self.split(net, cid) {
+            Some((_, result)) if changed != Some(result) => Some(vec![result]),
+            _ => Some(Vec::new()),
+        }
+    }
+
     fn is_satisfied(&self, net: &Network, cid: ConstraintId) -> bool {
         let Some((_, result)) = self.split(net, cid) else {
             return true;

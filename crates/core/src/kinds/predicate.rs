@@ -129,6 +129,15 @@ impl ConstraintKind for Predicate {
         Vec::new() // pure check: assigns nothing
     }
 
+    fn planned_writes(
+        &self,
+        _net: &Network,
+        _cid: ConstraintId,
+        _changed: Option<VarId>,
+    ) -> Option<Vec<VarId>> {
+        Some(Vec::new()) // check-only: statically writes nothing
+    }
+
     fn is_satisfied(&self, net: &Network, cid: ConstraintId) -> bool {
         use std::cmp::Ordering;
         // Custom tests take a contiguous `&[Value]`, the one form that must

@@ -170,11 +170,11 @@ mod tests {
         });
         net.set(src, Value::Int(21), Justification::User).unwrap();
         assert!(net.value(derived).is_nil());
-        assert_eq!(net.value_or_recalc(derived), Value::Int(42));
+        assert_eq!(net.value_or_recalc(derived), &Value::Int(42));
         // Now change the source; derived is erased and recalculated fresh.
         net.set(src, Value::Int(5), Justification::User).unwrap();
         assert!(net.value(derived).is_nil());
-        assert_eq!(net.value_or_recalc(derived), Value::Int(10));
+        assert_eq!(net.value_or_recalc(derived), &Value::Int(10));
     }
 
     #[test]

@@ -64,6 +64,7 @@ mod inspect;
 mod justification;
 pub mod kinds;
 mod network;
+mod plan;
 pub mod prng;
 mod value;
 mod variable;
@@ -78,6 +79,7 @@ pub use ids::{ConstraintId, Entity, VarId};
 pub use inspect::NetworkInspector;
 pub use justification::{DependencyRecord, Justification};
 pub use network::{Network, SetStatus, Stats, ValueSnapshot, ViolationHandler};
+pub use plan::PlanStatus;
 pub use value::{Span, TypeTag, Value};
 pub use variable::{Overwrite, PlainKind, PropertyKind, RecalcFn, VariableKind};
 pub use violation::{Violation, ViolationKind};

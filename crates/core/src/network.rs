@@ -2,6 +2,7 @@ use crate::agenda::AgendaScheduler;
 use crate::constraint::{Activation, ConstraintData, ConstraintKind};
 use crate::ids::{ConstraintId, VarId};
 use crate::justification::{DependencyRecord, Justification};
+use crate::plan::{PlanOp, PlanSlot, PlanStatus, PropPlan};
 use crate::value::Value;
 use crate::variable::{Overwrite, PlainKind, VariableData, VariableKind};
 use crate::violation::Violation;
@@ -42,6 +43,15 @@ pub struct Stats {
     pub scheduled_runs: u64,
     /// Violations raised.
     pub violations: u64,
+    /// Propagation plans compiled ([`Network::plan_status`]), including
+    /// compilations that concluded the cone is uncompilable.
+    pub plan_compiles: u64,
+    /// `set` calls served by a cached propagation plan instead of the
+    /// agenda engine.
+    pub plan_cache_hits: u64,
+    /// Cached plan entries discarded because a structural edit bumped the
+    /// network's generation.
+    pub plan_cache_invalidations: u64,
 }
 
 /// Saved pre-propagation state of a visited variable, for restoration on
@@ -72,6 +82,28 @@ struct PropState {
     /// Compiled straight-line execution: activations are not queued
     /// (`run_compiled`).
     compiled: bool,
+    /// Plan-driven execution: the cone is statically single-writer, so
+    /// `propagate_set` records visited pre-images in the flat
+    /// `visited_list` and skips the revisit/change-count bookkeeping.
+    planned: bool,
+    /// Visited pre-images for plan-driven cycles. Single-writer plans
+    /// guarantee each variable appears at most once, so a flat vector
+    /// (pushed in write order, no hashing) replaces `visited_vars`.
+    visited_list: Vec<(VarId, SavedVar)>,
+    /// Epoch for the planned-cycle mark tables below; bumped once per
+    /// planned cycle, so "clearing" them is a counter increment.
+    mark_epoch: u32,
+    /// Per-variable: epoch of the planned cycle in which the variable
+    /// last actually changed. Plan replay skips any step whose trigger
+    /// variable is unmarked — the interpreter's value pruning, statically
+    /// unrolled.
+    var_marks: Vec<u32>,
+    /// Per-constraint: epoch of the first live dispatch this planned
+    /// cycle, deduplicating `visited_constraints` without hashing.
+    cid_marks: Vec<u32>,
+    /// Per plan agenda entry: epoch of the first live schedule sighting,
+    /// gating the matching drain-phase run.
+    entry_marks: Vec<u32>,
 }
 
 impl PropState {
@@ -87,6 +119,8 @@ impl PropState {
         self.steps = 0;
         self.silent = false;
         self.compiled = false;
+        self.planned = false;
+        self.visited_list.clear();
     }
 }
 
@@ -108,6 +142,16 @@ enum JournalEntry {
     EnabledChanged { cid: ConstraintId, was: bool },
     /// The per-cycle value-change limit changed.
     LimitChanged { was: u32 },
+    /// A constraint was removed (undo: re-wire it). `positions[i]` is the
+    /// index `cid` held in `args[i]`'s constraint list — `retain` preserves
+    /// order, so re-inserting at the recorded index reconstructs the exact
+    /// pre-removal wiring (activation order depends on it). The erasure
+    /// cascade's value changes are journaled separately as `Value` entries.
+    ConstraintRemoved {
+        cid: ConstraintId,
+        args: Vec<VarId>,
+        positions: Vec<u32>,
+    },
 }
 
 /// The change journal: variable pre-images (first write wins) plus
@@ -204,6 +248,17 @@ pub struct Network {
     step_limit: Option<u64>,
     handlers: Vec<Rc<ViolationHandler>>,
     stats: Stats,
+    /// Compiled propagation plans, dense-indexed by root variable; grown
+    /// on demand by [`Network::set`]. Negative results are cached too
+    /// ([`PlanSlot::Uncompilable`]).
+    plans: Vec<PlanSlot>,
+    /// Bumped by every structural edit (constraint add/remove/toggle, arg
+    /// attach/detach, agenda redefinition, structural journal rollback);
+    /// a cached plan is valid only while its recorded generation matches.
+    structure_generation: u64,
+    /// Master switch for plan-cached propagation
+    /// ([`Network::set_plan_caching`]); on by default.
+    plan_caching: bool,
     /// Times `snapshot()` was taken — observability for rollback-path
     /// audits (the engine's journal path must never take one).
     snapshots_taken: std::cell::Cell<u64>,
@@ -254,6 +309,11 @@ impl Clone for Network {
             step_limit: self.step_limit,
             handlers: self.handlers.clone(),
             stats: self.stats,
+            // Plans survive the fork: their step kinds are shared `Rc`
+            // handles, so this is connectivity-sized, not value-sized.
+            plans: self.plans.clone(),
+            structure_generation: self.structure_generation,
+            plan_caching: self.plan_caching,
             snapshots_taken: self.snapshots_taken.clone(),
             clones_taken: self.clones_taken.clone(),
         }
@@ -277,6 +337,9 @@ impl Network {
             step_limit: None,
             handlers: Vec::new(),
             stats: Stats::default(),
+            plans: Vec::new(),
+            structure_generation: 0,
+            plan_caching: true,
             snapshots_taken: std::cell::Cell::new(0),
             clones_taken: std::cell::Cell::new(0),
         }
@@ -395,6 +458,7 @@ impl Network {
         if let Some(j) = &mut self.journal {
             j.entries.push(JournalEntry::ConstraintAdded);
         }
+        self.structure_generation += 1;
         cid
     }
 
@@ -402,15 +466,17 @@ impl Network {
     /// constraint): every value propagated by it — and every consequence of
     /// those values — is erased to `Nil`, then the constraint is unwired.
     ///
+    /// Journalable: with a journal open, the erasure cascade records value
+    /// pre-images as usual and the unwiring records a
+    /// [`JournalEntry::ConstraintRemoved`] undo entry, so a rollback
+    /// re-wires the constraint in its exact pre-removal position — still
+    /// O(touched set).
+    ///
     /// # Panics
     ///
     /// Panics if called during an active propagation cycle.
     pub fn remove_constraint(&mut self, cid: ConstraintId) {
         assert!(self.state.is_none(), "cannot edit network mid-propagation");
-        assert!(
-            self.journal.is_none(),
-            "remove_constraint is not journalable; commit or roll back first"
-        );
         if !self.constraints[cid.index()].active {
             return;
         }
@@ -430,6 +496,32 @@ impl Network {
                 self.reset(v);
             }
         }
+        if self.journal.is_some() {
+            let args = self.constraints[cid.index()].args.clone();
+            let mut positions = Vec::with_capacity(args.len());
+            for (i, &a) in args.iter().enumerate() {
+                // `args` may list a variable twice; match the i-th
+                // occurrence of `cid` in its constraint list so rollback
+                // re-inserts each wire where it came from.
+                let occurrence = args[..i].iter().filter(|&&p| p == a).count();
+                let pos = self.vars[a.index()]
+                    .constraints
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &c)| c == cid)
+                    .nth(occurrence)
+                    .map(|(ix, _)| ix as u32)
+                    .expect("constraint wired to its argument");
+                positions.push(pos);
+            }
+            if let Some(j) = &mut self.journal {
+                j.entries.push(JournalEntry::ConstraintRemoved {
+                    cid,
+                    args,
+                    positions,
+                });
+            }
+        }
         self.remove_constraint_quiet(cid);
     }
 
@@ -440,6 +532,7 @@ impl Network {
             self.vars[a.index()].constraints.retain(|&c| c != cid);
         }
         self.constraints[cid.index()].active = false;
+        self.structure_generation += 1;
     }
 
     /// Detaches one argument from a constraint (`removeConstraint:` on a
@@ -482,6 +575,7 @@ impl Network {
         }
         self.constraints[cid.index()].args.retain(|&a| a != var);
         self.vars[var.index()].constraints.retain(|&c| c != cid);
+        self.structure_generation += 1;
         if self.enabled && !self.constraints[cid.index()].args.is_empty() {
             self.reinitialize(cid)
         } else {
@@ -512,6 +606,7 @@ impl Network {
         }
         self.constraints[cid.index()].args.push(var);
         self.vars[var.index()].constraints.push(cid);
+        self.structure_generation += 1;
         if !self.enabled {
             return Ok(());
         }
@@ -535,8 +630,10 @@ impl Network {
     }
 
     /// Current value, running the lazy recalculation hook first when the
-    /// value is `Nil` (implicit invocation, Fig. 6.1).
-    pub fn value_or_recalc(&mut self, var: VarId) -> Value {
+    /// value is `Nil` (implicit invocation, Fig. 6.1). Returns a borrow —
+    /// the recalc hook (if any) has already finished by then, so no clone
+    /// is needed; callers that must own the value clone at the call site.
+    pub fn value_or_recalc(&mut self, var: VarId) -> &Value {
         let d = &self.vars[var.index()];
         if d.value.is_nil() && !d.evaluating {
             if let Some(f) = d.recalc.clone() {
@@ -545,7 +642,7 @@ impl Network {
                 self.vars[var.index()].evaluating = false;
             }
         }
-        self.vars[var.index()].value.clone()
+        &self.vars[var.index()].value
     }
 
     /// Justification of `var`'s current value (`lastSetBy`).
@@ -695,6 +792,7 @@ impl Network {
             if let Some(j) = &mut self.journal {
                 j.entries.push(JournalEntry::EnabledChanged { cid, was });
             }
+            self.structure_generation += 1;
         }
         self.constraints[cid.index()].enabled = enabled;
     }
@@ -710,9 +808,11 @@ impl Network {
     pub fn set_kind_enabled(&mut self, kind_name: &str, enabled: bool) -> usize {
         assert!(self.state.is_none(), "cannot toggle mid-propagation");
         let mut n = 0;
+        let mut toggled = false;
         for (ix, d) in self.constraints.iter_mut().enumerate() {
             if d.active && d.kind.kind_name() == kind_name {
                 if d.enabled != enabled {
+                    toggled = true;
                     if let Some(j) = &mut self.journal {
                         j.entries.push(JournalEntry::EnabledChanged {
                             cid: ConstraintId(ix as u32),
@@ -723,6 +823,9 @@ impl Network {
                 d.enabled = enabled;
                 n += 1;
             }
+        }
+        if toggled {
+            self.structure_generation += 1;
         }
         n
     }
@@ -843,6 +946,8 @@ impl Network {
     /// Declares (or re-prioritises) a scheduling agenda (§4.2.1).
     pub fn define_agenda(&mut self, name: &'static str, priority: i32) {
         self.scheduler.define(name, priority);
+        // Priorities reorder the drain phase, which compiled plans bake in.
+        self.structure_generation += 1;
     }
 
     // ------------------------------------------------------------------
@@ -910,9 +1015,10 @@ impl Network {
     /// journal in reverse — cost proportional to the touched set, not the
     /// network, unlike [`Network::snapshot`]/[`Network::restore_snapshot`].
     ///
-    /// Non-journalable edits ([`Network::remove_constraint`],
-    /// [`Network::detach_arg`], [`Network::attach_arg`]) panic while a
-    /// journal is open; callers needing them must fall back to a clone or
+    /// Constraint removals are journalable too
+    /// ([`JournalEntry::ConstraintRemoved`]). The remaining non-journalable
+    /// edits ([`Network::detach_arg`], [`Network::attach_arg`]) panic while
+    /// a journal is open; callers needing them must fall back to a clone or
     /// snapshot transaction.
     ///
     /// # Panics
@@ -956,7 +1062,7 @@ impl Network {
     /// Closes the journal, undoing every journaled change by replaying the
     /// entries newest-first: variable pre-images are re-stored, added
     /// variables and constraints are popped from the arenas (and unwired),
-    /// and toggles are reverted.
+    /// removed constraints are re-wired, and toggles are reverted.
     ///
     /// # Panics
     ///
@@ -966,6 +1072,7 @@ impl Network {
         assert!(self.state.is_none(), "cannot roll back mid-propagation");
         let mut j = self.journal.take().expect("no journal open");
         let mut entries = std::mem::take(&mut j.entries);
+        let mut structural = false;
         for entry in entries.drain(..).rev() {
             match entry {
                 JournalEntry::Value {
@@ -980,8 +1087,10 @@ impl Network {
                 }
                 JournalEntry::VarAdded => {
                     // Constraints wired to it were added later, hence
-                    // already popped by their own entries.
+                    // already popped by their own entries. Popping recycles
+                    // the id, so any plan cache keyed on it is stale.
                     self.vars.pop().expect("journal out of sync with arena");
+                    structural = true;
                 }
                 JournalEntry::ConstraintAdded => {
                     let d = self
@@ -994,14 +1103,35 @@ impl Network {
                     for a in d.args {
                         self.vars[a.index()].constraints.retain(|&c| c != cid);
                     }
+                    structural = true;
+                }
+                JournalEntry::ConstraintRemoved {
+                    cid,
+                    args,
+                    positions,
+                } => {
+                    // Re-wire in argument order: recorded positions are
+                    // ascending per variable, so earlier insertions leave
+                    // later recorded indices exact.
+                    for (&a, &pos) in args.iter().zip(positions.iter()) {
+                        self.vars[a.index()].constraints.insert(pos as usize, cid);
+                    }
+                    let d = &mut self.constraints[cid.index()];
+                    d.args = args;
+                    d.active = true;
+                    structural = true;
                 }
                 JournalEntry::EnabledChanged { cid, was } => {
                     self.constraints[cid.index()].enabled = was;
+                    structural = true;
                 }
                 JournalEntry::LimitChanged { was } => {
                     self.value_change_limit = was;
                 }
             }
+        }
+        if structural {
+            self.structure_generation += 1;
         }
         j.entries = entries;
         self.spare_journal = j;
@@ -1067,6 +1197,14 @@ impl Network {
             self.assign_raw(var, value, justification);
             return Ok(());
         }
+        // Fast path: replay this root's compiled propagation plan instead of
+        // pumping the agenda machinery. A step budget forces the agenda path
+        // (budget accounting is a per-step interpreter concern).
+        if self.plan_caching && self.step_limit.is_none() {
+            if let Some(plan) = self.plan_for(var) {
+                return self.run_plan(var, value, justification, plan);
+            }
+        }
         self.begin_cycle(false);
         self.save_visited(var);
         self.pin_root(var);
@@ -1107,6 +1245,20 @@ impl Network {
         result.is_ok()
     }
 
+    /// Overwrite arbitration for one propagated write. Variables carrying
+    /// the default behaviour take a statically dispatched fast path (the
+    /// cached `plain_kind` verdict); custom kinds go through the virtual
+    /// call — without cloning the kind handle, since `overwrite` only
+    /// needs a shared borrow.
+    fn overwrite_decision(&self, var: VarId, value: &Value, source: ConstraintId) -> Overwrite {
+        let d = &self.vars[var.index()];
+        if d.plain_kind {
+            PlainKind.overwrite(self, var, value, Some(source))
+        } else {
+            d.kind.overwrite(self, var, value, Some(source))
+        }
+    }
+
     /// Propagated assignment (`setTo:constraint:justification:`, Fig. 4.3),
     /// called by constraint kinds from `infer`. Applies the termination
     /// criteria of §4.2.2:
@@ -1135,10 +1287,11 @@ impl Network {
         source: ConstraintId,
         record: DependencyRecord,
     ) -> Result<SetStatus, Violation> {
-        assert!(
-            self.state.is_some(),
-            "propagate_set outside a propagation cycle"
-        );
+        let planned = self
+            .state
+            .as_ref()
+            .expect("propagate_set outside a propagation cycle")
+            .planned;
         let current_is_nil = {
             let current = &self.vars[var.index()].value;
             if *current == value {
@@ -1146,6 +1299,66 @@ impl Network {
             }
             current.is_nil()
         };
+        if planned {
+            // Plan-driven cycle: the cone is statically single-writer and
+            // the root is never a write target, so the revisit rule cannot
+            // trigger — skip its hash-map bookkeeping. Overwrite arbitration
+            // still applies (it guards justification strength, not
+            // revisits).
+            if !current_is_nil {
+                match self.overwrite_decision(var, &value, source) {
+                    Overwrite::Deny => {
+                        return Err(Violation::overwrite_denied(var, Some(source), value))
+                    }
+                    Overwrite::Ignore => return Ok(SetStatus::Ignored),
+                    Overwrite::Allow => {}
+                }
+            }
+            // Single split borrow for the whole write: pre-image save,
+            // journal record, assignment, and the change mark that makes
+            // downstream plan steps live. (Unchanged/Ignored outcomes
+            // return above and leave the mark unset — that is the value
+            // pruning.) No discovery: the plan already fixed the
+            // activation order.
+            let Network {
+                vars,
+                state,
+                journal,
+                stats,
+                ..
+            } = self;
+            let st = state.as_mut().expect("cycle active");
+            let d = &mut vars[var.index()];
+            st.visited_list.push((
+                var,
+                SavedVar {
+                    value: d.value.clone(),
+                    justification: d.justification.clone(),
+                },
+            ));
+            st.var_marks[var.index()] = st.mark_epoch;
+            if let Some(j) = journal {
+                let ix = var.index();
+                if j.seen.len() <= ix {
+                    j.seen.resize(ix + 1, false);
+                }
+                if !j.seen[ix] {
+                    j.seen[ix] = true;
+                    j.entries.push(JournalEntry::Value {
+                        var,
+                        value: d.value.clone(),
+                        justification: d.justification.clone(),
+                    });
+                }
+            }
+            d.value = value;
+            d.justification = Justification::Propagated {
+                constraint: source,
+                record,
+            };
+            stats.assignments += 1;
+            return Ok(SetStatus::Changed);
+        }
         // One-value-change rule: a visited variable may not change its
         // (non-Nil) value again — or, when the limit is relaxed per §9.2.3,
         // not more than `value_change_limit` times. Filling in a Nil is a
@@ -1163,8 +1376,7 @@ impl Network {
             }
         }
         if !current_is_nil {
-            let kind = self.vars[var.index()].kind.clone();
-            match kind.overwrite(self, var, &value, Some(source)) {
+            match self.overwrite_decision(var, &value, source) {
                 Overwrite::Deny => {
                     return Err(Violation::overwrite_denied(var, Some(source), value))
                 }
@@ -1192,6 +1404,389 @@ impl Network {
         );
         self.push_activations(var, Some(source));
         Ok(SetStatus::Changed)
+    }
+
+    // ------------------------------------------------------------------
+    // Propagation plans (network compilation of the dynamic path, §9.3)
+    // ------------------------------------------------------------------
+
+    /// Enables or disables plan-cached propagation. Disabling also drops
+    /// every cached plan, so a re-enable starts cold — the knob the
+    /// differential tests use to force the agenda ground truth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called during an active propagation cycle.
+    pub fn set_plan_caching(&mut self, on: bool) {
+        assert!(self.state.is_none(), "cannot toggle mid-propagation");
+        self.plan_caching = on;
+        if !on {
+            self.plans.clear();
+        }
+    }
+
+    /// Whether plan-cached propagation is enabled.
+    pub fn is_plan_caching(&self) -> bool {
+        self.plan_caching
+    }
+
+    /// The plan-cache entry for `var`, accounting for staleness: a stale
+    /// entry (compiled under an older structure generation) reads as
+    /// [`PlanStatus::NotCompiled`].
+    pub fn plan_status(&self, var: VarId) -> PlanStatus {
+        match self.plans.get(var.index()) {
+            Some(PlanSlot::Ready(p)) if p.generation == self.structure_generation => {
+                PlanStatus::Ready {
+                    steps: p.ops.len(),
+                    checks: p.n_checks as usize,
+                }
+            }
+            Some(PlanSlot::Uncompilable(g)) if *g == self.structure_generation => {
+                PlanStatus::Uncompilable
+            }
+            _ => PlanStatus::NotCompiled,
+        }
+    }
+
+    /// Monotone counter of structural edits; a compiled plan is valid only
+    /// while this matches the generation it was compiled under. Exposed for
+    /// invalidation tests.
+    pub fn structure_generation(&self) -> u64 {
+        self.structure_generation
+    }
+
+    /// Looks up (or compiles) the propagation plan for `var`, moving a
+    /// ready plan out of its slot — [`Network::run_plan`] puts it back.
+    /// `None` means the cone is uncompilable: take the agenda path.
+    fn plan_for(&mut self, var: VarId) -> Option<Box<PropPlan>> {
+        let ix = var.index();
+        if ix >= self.plans.len() {
+            self.plans.resize_with(ix + 1, || PlanSlot::Absent);
+        }
+        match &self.plans[ix] {
+            PlanSlot::Uncompilable(g) if *g == self.structure_generation => return None,
+            PlanSlot::Ready(p) if p.generation == self.structure_generation => {
+                self.stats.plan_cache_hits += 1;
+                let PlanSlot::Ready(p) = std::mem::replace(&mut self.plans[ix], PlanSlot::Absent)
+                else {
+                    unreachable!("matched Ready above");
+                };
+                return Some(p);
+            }
+            PlanSlot::Absent => {}
+            _ => {
+                // A cached verdict from an older generation: discard it.
+                self.stats.plan_cache_invalidations += 1;
+                self.plans[ix] = PlanSlot::Absent;
+            }
+        }
+        self.stats.plan_compiles += 1;
+        match self.compile_plan(var) {
+            // A fresh compile is not a cache hit; the plan lands in the
+            // slot after this first execution.
+            Some(plan) => Some(Box::new(plan)),
+            None => {
+                self.plans[ix] = PlanSlot::Uncompilable(self.structure_generation);
+                None
+            }
+        }
+    }
+
+    /// Compiles the consequence-closure of `root` into a flat plan by
+    /// simulating the agenda interpreter's discovery under the all-change
+    /// assumption (every planned write is treated as a value change).
+    ///
+    /// Refuses (`None`) whenever replay could diverge from the interpreter:
+    ///
+    /// - a dispatched kind does not implement
+    ///   [`ConstraintKind::planned_writes`] (write-set unknown statically);
+    /// - a write targets the root or an already-written variable
+    ///   (multi-writer cones re-order under runtime value pruning, and the
+    ///   root pin / one-value-change rule needs per-step bookkeeping);
+    /// - a duplicate schedule attempt occurs after the drain phase has
+    ///   begun (cross-scheduled dataflow: runtime pruning could change
+    ///   which sighting wins the dedup, re-ordering the drain);
+    /// - the simulation exceeds a safety cap on steps.
+    fn compile_plan(&self, root: VarId) -> Option<PropPlan> {
+        let cap = 64 + 8 * self.constraints.len();
+        let mut ops: Vec<PlanOp> = Vec::new();
+        let mut cids: Vec<ConstraintId> = Vec::new();
+        let mut changed: Vec<Option<VarId>> = Vec::new();
+        let mut kinds: Vec<Rc<dyn ConstraintKind>> = Vec::new();
+        let mut entry_of: Vec<u32> = Vec::new();
+        // Simulated agenda entries, mirroring the scheduler's dedup domain:
+        // a sighting dedups only against a *queued* (un-popped) entry with
+        // the same `(constraint, variable)` key; once popped, a later
+        // sighting opens a fresh entry with its own liveness index.
+        let mut entries: Vec<((ConstraintId, Option<VarId>), bool)> = Vec::new();
+        let live_entry = |entries: &[((ConstraintId, Option<VarId>), bool)],
+                          key: (ConstraintId, Option<VarId>)| {
+            entries.iter().rposition(|(k, popped)| *k == key && !popped)
+        };
+        let mut checks_seen: std::collections::HashSet<ConstraintId> =
+            std::collections::HashSet::new();
+        let mut written: Vec<VarId> = vec![root];
+        let mut pending: Vec<(ConstraintId, VarId)> = Vec::new();
+        // The cloned scheduler is empty (agendas never leak between
+        // cycles) but keeps the declared priorities, so the simulated
+        // drain order matches the interpreter's exactly.
+        let mut sched = self.scheduler.clone();
+        let mut ran_scheduled = false;
+        for &cid in self.vars[root.index()].constraints.iter().rev() {
+            pending.push((cid, root));
+        }
+        loop {
+            if ops.len() > cap {
+                return None;
+            }
+            // Mirror `run_cycle`: drain the depth-first stack, then the
+            // agendas by priority.
+            if let Some((cid, cvar)) = pending.pop() {
+                // Mirror `dispatch`.
+                let d = &self.constraints[cid.index()];
+                if !d.active || !d.enabled {
+                    continue;
+                }
+                let kind = Rc::clone(&d.kind);
+                let writes = kind.planned_writes(self, cid, Some(cvar))?;
+                checks_seen.insert(cid);
+                if !kind.should_activate(self, cid, cvar) {
+                    ops.push(PlanOp::NoActivate);
+                    cids.push(cid);
+                    changed.push(Some(cvar));
+                    kinds.push(kind);
+                    entry_of.push(u32::MAX);
+                    continue;
+                }
+                match kind.activation() {
+                    Activation::Immediate => {
+                        ops.push(PlanOp::Immediate);
+                        cids.push(cid);
+                        changed.push(Some(cvar));
+                        kinds.push(Rc::clone(&kind));
+                        entry_of.push(u32::MAX);
+                        for &w in &writes {
+                            if w == root || written.contains(&w) {
+                                return None; // multi-writer cone
+                            }
+                            written.push(w);
+                            for &c2 in self.vars[w.index()].constraints.iter().rev() {
+                                if c2 != cid {
+                                    pending.push((c2, w));
+                                }
+                            }
+                        }
+                    }
+                    Activation::Scheduled(agenda) => {
+                        let entry_var = kind.schedules_with_variable().then_some(cvar);
+                        let key = (cid, entry_var);
+                        if sched.schedule(agenda, cid, entry_var) {
+                            ops.push(PlanOp::ScheduleNew);
+                            entries.push((key, false));
+                            entry_of.push((entries.len() - 1) as u32);
+                        } else {
+                            if ran_scheduled {
+                                return None; // cross-scheduled dataflow
+                            }
+                            ops.push(PlanOp::ScheduleDup);
+                            let e = live_entry(&entries, key).expect("dup implies queued entry");
+                            entry_of.push(e as u32);
+                        }
+                        cids.push(cid);
+                        changed.push(Some(cvar));
+                        kinds.push(kind);
+                    }
+                }
+            } else if let Some((cid, entry_var)) = sched.pop_highest() {
+                // Constraints stay active/enabled mid-simulation (edits are
+                // barred mid-cycle and invalidate the plan otherwise), so
+                // the interpreter's liveness re-check is vacuous here.
+                ran_scheduled = true;
+                let kind = Rc::clone(&self.constraints[cid.index()].kind);
+                let writes = kind.planned_writes(self, cid, entry_var)?;
+                let e = live_entry(&entries, (cid, entry_var)).expect("pop implies queued entry");
+                entries[e].1 = true;
+                ops.push(PlanOp::RunScheduled);
+                cids.push(cid);
+                changed.push(entry_var);
+                kinds.push(kind);
+                entry_of.push(e as u32);
+                for &w in &writes {
+                    if w == root || written.contains(&w) {
+                        return None;
+                    }
+                    written.push(w);
+                    for &c2 in self.vars[w.index()].constraints.iter().rev() {
+                        if c2 != cid {
+                            pending.push((c2, w));
+                        }
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+        Some(PropPlan {
+            generation: self.structure_generation,
+            ops,
+            cids,
+            changed,
+            kinds,
+            entry_of,
+            n_entries: entries.len() as u32,
+            n_checks: checks_seen.len() as u32,
+        })
+    }
+
+    /// Executes a compiled plan: assigns the root, replays the recorded
+    /// steps (no discovery, no queues, no hashing), sweeps the visited
+    /// constraints, and commits or restores — observationally equivalent
+    /// to the agenda path on plannable cones, including the statistics.
+    ///
+    /// The plan is the *all-change* superset of the interpreter's work;
+    /// replay recovers the interpreter's value pruning exactly through the
+    /// epoch-stamped change marks: a step runs only if its trigger
+    /// variable actually changed this cycle (for drain-phase runs, only if
+    /// some schedule sighting of its agenda entry was live). A region the
+    /// interpreter would never have reached — e.g. one holding a
+    /// pre-existing inconsistency behind an unchanged variable — is
+    /// skipped here too, neither re-propagated nor swept.
+    fn run_plan(
+        &mut self,
+        var: VarId,
+        value: Value,
+        justification: Justification,
+        plan: Box<PropPlan>,
+    ) -> Result<(), Violation> {
+        self.begin_cycle(false);
+        let epoch = {
+            // `planned` routes `propagate_set` to the flat bookkeeping;
+            // `compiled` suppresses activation discovery.
+            let n_vars = self.vars.len();
+            let n_cids = self.constraints.len();
+            let st = self.state.as_mut().expect("cycle active");
+            st.planned = true;
+            st.compiled = true;
+            st.mark_epoch = st.mark_epoch.wrapping_add(1);
+            if st.mark_epoch == 0 {
+                // Epoch wrapped: stale stamps could read as current, so
+                // reset the tables once every 2^32 planned cycles.
+                st.var_marks.iter_mut().for_each(|m| *m = 0);
+                st.cid_marks.iter_mut().for_each(|m| *m = 0);
+                st.entry_marks.iter_mut().for_each(|m| *m = 0);
+                st.mark_epoch = 1;
+            }
+            // Growth-only resizes: allocation happens while the tables
+            // warm up to the network's size, then never again.
+            if st.var_marks.len() < n_vars {
+                st.var_marks.resize(n_vars, 0);
+            }
+            if st.cid_marks.len() < n_cids {
+                st.cid_marks.resize(n_cids, 0);
+            }
+            if st.entry_marks.len() < plan.n_entries as usize {
+                st.entry_marks.resize(plan.n_entries as usize, 0);
+            }
+            st.mark_epoch
+        };
+        self.save_visited_planned(var);
+        self.assign_raw(var, value, justification);
+        {
+            // The externally assigned root always dispatches its cone
+            // (`set` pushes activations unconditionally, equal value or
+            // not), so it is live by fiat.
+            let st = self.state.as_mut().expect("cycle active");
+            st.var_marks[var.index()] = epoch;
+        }
+        let mut result = Ok(());
+        // Zipped slice walk: the plan is owned (moved out of its slot), so
+        // iterating it borrows nothing from `self` and the per-step
+        // arena-style indexing — and its bounds checks — disappears.
+        let steps = plan
+            .ops
+            .iter()
+            .zip(&plan.cids)
+            .zip(&plan.changed)
+            .zip(&plan.kinds)
+            .zip(&plan.entry_of);
+        for ((((&op, &cid), &chg), kind), &entry) in steps {
+            if op == PlanOp::RunScheduled {
+                let st = self.state.as_mut().expect("cycle active");
+                if st.entry_marks[entry as usize] != epoch {
+                    continue; // never actually scheduled this cycle
+                }
+                self.stats.scheduled_runs += 1;
+                self.stats.inferences += 1;
+                result = kind.infer(self, cid, chg);
+            } else {
+                let trigger = chg.expect("activation steps carry their trigger");
+                let st = self.state.as_mut().expect("cycle active");
+                if st.var_marks[trigger.index()] != epoch {
+                    continue; // value-pruned: the interpreter never dispatches
+                }
+                let cix = cid.index();
+                if st.cid_marks[cix] != epoch {
+                    st.cid_marks[cix] = epoch;
+                    st.visited_constraints.push(cid);
+                }
+                self.stats.activations += 1;
+                match op {
+                    PlanOp::Immediate => {
+                        self.stats.inferences += 1;
+                        result = kind.infer(self, cid, Some(trigger));
+                    }
+                    PlanOp::NoActivate => {}
+                    _ => {
+                        // Schedule sighting: the first live one per agenda
+                        // entry is the enqueue (and unlocks the entry's
+                        // drain-phase run); later live ones are dedups.
+                        if st.entry_marks[entry as usize] != epoch {
+                            st.entry_marks[entry as usize] = epoch;
+                            self.stats.schedules += 1;
+                        }
+                    }
+                }
+            }
+            if result.is_err() {
+                break;
+            }
+        }
+        let result = result.and_then(|()| self.final_check());
+        let state = self.state.take().expect("cycle active");
+        let out = match result {
+            Ok(()) => Ok(()),
+            Err(v) => {
+                self.restore(&state);
+                // Nothing was queued, so the agendas need no clearing.
+                self.stats.violations += 1;
+                if !state.silent {
+                    let handlers = self.handlers.clone();
+                    for h in &handlers {
+                        h(self, &v);
+                    }
+                }
+                Err(v)
+            }
+        };
+        self.retire_state(state);
+        self.plans[var.index()] = PlanSlot::Ready(plan);
+        out
+    }
+
+    /// Records `var`'s pre-image on the flat planned-cycle list. Plans are
+    /// single-writer, so each variable is pushed at most once — no probe,
+    /// no hashing.
+    fn save_visited_planned(&mut self, var: VarId) {
+        let Network { vars, state, .. } = self;
+        let st = state.as_mut().expect("cycle active");
+        let d = &vars[var.index()];
+        st.visited_list.push((
+            var,
+            SavedVar {
+                value: d.value.clone(),
+                justification: d.justification.clone(),
+            },
+        ));
     }
 
     // ------------------------------------------------------------------
@@ -1391,6 +1986,14 @@ impl Network {
             // seeded as visited, never written (no-op for written ones,
             // whose pre-image is already recorded).
             self.journal_record_value(var);
+            let d = &mut self.vars[var.index()];
+            d.value = saved.value.clone();
+            d.justification = saved.justification.clone();
+        }
+        // Plan-driven cycles record pre-images on the flat list instead
+        // (each variable at most once, so order is irrelevant).
+        for (var, saved) in &state.visited_list {
+            self.journal_record_value(*var);
             let d = &mut self.vars[var.index()];
             d.value = saved.value.clone();
             d.justification = saved.justification.clone();

@@ -64,13 +64,25 @@ pub trait VariableKind: fmt::Debug {
             _ => Overwrite::Allow,
         }
     }
+
+    /// Whether this kind is [`PlainKind`] (the default behaviour). The
+    /// network caches the answer per variable so the hot write path can
+    /// run the default overwrite rule statically dispatched — one virtual
+    /// call per *variable construction* instead of one per *write*.
+    fn is_plain(&self) -> bool {
+        false
+    }
 }
 
 /// The default variable behaviour (plain overwrite rule).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct PlainKind;
 
-impl VariableKind for PlainKind {}
+impl VariableKind for PlainKind {
+    fn is_plain(&self) -> bool {
+        true
+    }
+}
 
 /// Behaviour for lazily recalculated property variables (thesis Fig. 6.1).
 ///
@@ -122,6 +134,9 @@ pub(crate) struct VariableData {
     pub(crate) justification: Justification,
     pub(crate) constraints: Vec<ConstraintId>,
     pub(crate) kind: Rc<dyn VariableKind>,
+    /// Cached [`VariableKind::is_plain`] verdict, letting `propagate_set`
+    /// dispatch the default overwrite rule statically.
+    pub(crate) plain_kind: bool,
     pub(crate) recalc: Option<Rc<RecalcFn>>,
     /// Guards against infinite recalculation loops (`evalFlag`, Fig. 6.1).
     pub(crate) evaluating: bool,
@@ -143,6 +158,7 @@ impl fmt::Debug for VariableData {
 
 impl VariableData {
     pub(crate) fn new(name: String, owner: Option<Arc<str>>, kind: Rc<dyn VariableKind>) -> Self {
+        let plain_kind = kind.is_plain();
         VariableData {
             name,
             owner,
@@ -150,6 +166,7 @@ impl VariableData {
             justification: Justification::Unset,
             constraints: Vec::new(),
             kind,
+            plain_kind,
             recalc: None,
             evaluating: false,
         }

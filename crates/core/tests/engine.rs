@@ -332,7 +332,7 @@ fn update_constraint_and_recalc_roundtrip_with_inspection() {
             .unwrap();
     });
     net.set(src, Value::Int(1), Justification::User).unwrap();
-    assert_eq!(net.value_or_recalc(view), Value::str("deck-v2"));
+    assert_eq!(net.value_or_recalc(view), &Value::str("deck-v2"));
 
     let insp = NetworkInspector::new(&net);
     let d = insp.describe_variable(view);

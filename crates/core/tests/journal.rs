@@ -203,14 +203,38 @@ fn rollback_after_mid_propagation_violation_matches_snapshot() {
 }
 
 #[test]
-#[should_panic(expected = "not journalable")]
-fn remove_constraint_refuses_open_journal() {
+fn remove_constraint_rolls_back_to_exact_wiring() {
     let mut net = Network::new();
     let a = net.add_variable("a");
     let b = net.add_variable("b");
+    let c = net.add_variable("c");
+    // Two constraints on `b` so the rollback has to restore `cid`'s exact
+    // position in b's constraint list (activation order depends on it).
     let cid = net.add_constraint(Equality::new(), [a, b]).unwrap();
+    let other = net.add_constraint(Equality::new(), [b, c]).unwrap();
+    net.set(a, Value::Int(7), Justification::User).unwrap();
+    let before = dump(&net);
+    let wiring_b = net.constraints_of(b).to_vec();
+
     net.begin_journal();
     net.remove_constraint(cid);
+    // The erasure cascade reset b and c; a (User) survives.
+    assert!(net.value(b).is_nil() && net.value(c).is_nil());
+    assert!(!net.is_active(cid));
+    net.rollback_journal();
+
+    assert!(net.is_active(cid), "constraint re-wired");
+    assert_eq!(net.constraints_of(b), wiring_b, "exact list position");
+    assert_eq!(net.args(cid), [a, b]);
+    assert_eq!(dump(&net), before, "erased values restored");
+    let _ = other;
+
+    // And a committed removal stays removed.
+    net.begin_journal();
+    net.remove_constraint(cid);
+    net.commit_journal();
+    assert!(!net.is_active(cid));
+    assert!(net.value(b).is_nil());
 }
 
 #[test]

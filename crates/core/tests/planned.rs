@@ -1,0 +1,283 @@
+//! Propagation-plan cache semantics: compile-once/replay-many, hit and
+//! invalidation accounting, conservative refusal of cones the compiler
+//! cannot prove single-writer, and violation restoration on the planned
+//! path.
+
+use stem_core::kinds::{Equality, Functional, Predicate};
+use stem_core::{Justification, Network, PlanStatus, Value, VarId};
+
+fn dump(net: &Network) -> String {
+    net.variables()
+        .map(|v| {
+            format!(
+                "{}={:?}/{:?};",
+                net.var_name(v),
+                net.value(v),
+                net.justification(v)
+            )
+        })
+        .collect()
+}
+
+/// Star: `hub` equality-linked to `n` spokes, each spoke feeding a
+/// functional sum — a dense single-writer cone, the plannable case.
+fn star(net: &mut Network, n: usize) -> (VarId, Vec<VarId>) {
+    let hub = net.add_variable("hub");
+    let spokes: Vec<_> = (0..n).map(|i| net.add_variable(format!("s{i}"))).collect();
+    let mut eq_args = vec![hub];
+    eq_args.extend(&spokes);
+    net.add_constraint(Equality::new(), eq_args).unwrap();
+    let total = net.add_variable("total");
+    let mut sum_args = spokes.clone();
+    sum_args.push(total);
+    net.add_constraint(Functional::uni_addition(), sum_args)
+        .unwrap();
+    (hub, spokes)
+}
+
+#[test]
+fn compile_once_then_hit() {
+    let mut net = Network::new();
+    let (hub, _) = star(&mut net, 8);
+
+    assert_eq!(net.plan_status(hub), PlanStatus::NotCompiled);
+    net.set(hub, Value::Int(1), Justification::User).unwrap();
+    let s = net.stats();
+    assert_eq!(s.plan_compiles, 1, "first set compiles");
+    assert_eq!(s.plan_cache_hits, 0, "a fresh compile is not a hit");
+    assert!(matches!(net.plan_status(hub), PlanStatus::Ready { .. }));
+
+    for i in 2..10 {
+        net.set(hub, Value::Int(i), Justification::User).unwrap();
+    }
+    let s = net.stats();
+    assert_eq!(s.plan_compiles, 1, "no recompiles while structure holds");
+    assert_eq!(s.plan_cache_hits, 8, "every later set replays the plan");
+    assert_eq!(s.plan_cache_invalidations, 0);
+}
+
+#[test]
+fn planned_and_agenda_agree_on_a_star() {
+    let mut planned = Network::new();
+    let mut agenda = Network::new();
+    let (hp, _) = star(&mut planned, 6);
+    let (ha, _) = star(&mut agenda, 6);
+    agenda.set_plan_caching(false);
+
+    for i in 0..5 {
+        planned
+            .set(hp, Value::Int(i * 3), Justification::User)
+            .unwrap();
+        agenda
+            .set(ha, Value::Int(i * 3), Justification::User)
+            .unwrap();
+        assert_eq!(dump(&planned), dump(&agenda), "iteration {i}");
+    }
+    // Identical interpreter statistics, modulo the plan counters.
+    let (sp, sa) = (planned.stats(), agenda.stats());
+    assert_eq!(sp.activations, sa.activations);
+    assert_eq!(sp.inferences, sa.inferences);
+    assert_eq!(sp.schedules, sa.schedules);
+    assert_eq!(sp.scheduled_runs, sa.scheduled_runs);
+    assert_eq!(sp.assignments, sa.assignments);
+    assert!(sp.plan_cache_hits > 0 && sa.plan_cache_hits == 0);
+}
+
+#[test]
+fn structural_edit_invalidates() {
+    let mut net = Network::new();
+    let (hub, spokes) = star(&mut net, 4);
+    net.set(hub, Value::Int(1), Justification::User).unwrap();
+    net.set(hub, Value::Int(2), Justification::User).unwrap();
+    assert_eq!(net.stats().plan_cache_hits, 1);
+    let gen_before = net.structure_generation();
+
+    // Adding a constraint reshapes the cone: stale plan must be dropped.
+    let probe = net.add_variable("probe");
+    net.add_constraint(Equality::new(), [spokes[0], probe])
+        .unwrap();
+    assert!(net.structure_generation() > gen_before);
+    assert_eq!(
+        net.plan_status(hub),
+        PlanStatus::NotCompiled,
+        "stale entry reads as not compiled"
+    );
+
+    net.set(hub, Value::Int(3), Justification::User).unwrap();
+    let s = net.stats();
+    assert_eq!(s.plan_cache_invalidations, 1, "stale plan discarded");
+    assert_eq!(s.plan_compiles, 2, "recompiled under the new generation");
+    assert_eq!(net.value(probe), &Value::Int(3), "new edge is in the plan");
+}
+
+#[test]
+fn toggles_and_removal_invalidate_too() {
+    let mut net = Network::new();
+    let a = net.add_variable("a");
+    let b = net.add_variable("b");
+    let c = net.add_variable("c");
+    let ab = net.add_constraint(Equality::new(), [a, b]).unwrap();
+    let bc = net.add_constraint(Equality::new(), [b, c]).unwrap();
+
+    net.set(a, Value::Int(1), Justification::User).unwrap();
+    assert_eq!(net.value(c), &Value::Int(1));
+
+    net.set_constraint_enabled(bc, false);
+    net.set(a, Value::Int(2), Justification::User).unwrap();
+    assert_eq!(net.value(b), &Value::Int(2));
+    assert_eq!(net.value(c), &Value::Int(1), "disabled edge skipped");
+
+    net.set_constraint_enabled(bc, true);
+    net.remove_constraint(ab);
+    assert!(net.value(b).is_nil(), "removal erased its propagation");
+    net.set(a, Value::Int(3), Justification::User).unwrap();
+    assert!(net.value(b).is_nil(), "removed edge inert");
+    let s = net.stats();
+    assert!(
+        s.plan_cache_invalidations >= 2,
+        "each reshape dropped the cached plan (got {})",
+        s.plan_cache_invalidations
+    );
+}
+
+#[test]
+fn multi_writer_cone_is_uncompilable_and_falls_back() {
+    let mut net = Network::new();
+    // Reconvergent diamond: a=b, a=c, then b=d and c=d — d has two
+    // writers, which the compiler must refuse (runtime value pruning
+    // decides who wins; the agenda is the ground truth there).
+    let a = net.add_variable("a");
+    let b = net.add_variable("b");
+    let c = net.add_variable("c");
+    let d = net.add_variable("d");
+    net.add_constraint(Equality::new(), [a, b]).unwrap();
+    net.add_constraint(Equality::new(), [a, c]).unwrap();
+    net.add_constraint(Equality::new(), [b, d]).unwrap();
+    net.add_constraint(Equality::new(), [c, d]).unwrap();
+    net.set_value_change_limit(4); // let the reconvergence through
+
+    net.set(a, Value::Int(5), Justification::User).unwrap();
+    assert_eq!(net.plan_status(a), PlanStatus::Uncompilable);
+    assert_eq!(net.value(d), &Value::Int(5), "agenda path still works");
+    let s = net.stats();
+    assert_eq!(s.plan_compiles, 1, "the refusal was cached");
+    net.set(a, Value::Int(6), Justification::User).unwrap();
+    assert_eq!(
+        net.stats().plan_compiles,
+        1,
+        "no recompile attempt while the structure holds"
+    );
+    assert_eq!(net.stats().plan_cache_hits, 0);
+}
+
+#[test]
+fn equality_cycle_is_uncompilable() {
+    let mut net = Network::new();
+    let a = net.add_variable("a");
+    let b = net.add_variable("b");
+    let c = net.add_variable("c");
+    net.add_constraint(Equality::new(), [a, b]).unwrap();
+    net.add_constraint(Equality::new(), [b, c]).unwrap();
+    net.add_constraint(Equality::new(), [c, a]).unwrap();
+
+    // The ring writes back into the root — statically refused; the agenda
+    // terminates on the equal-value rule as always.
+    net.set(a, Value::Int(9), Justification::User).unwrap();
+    assert_eq!(net.plan_status(a), PlanStatus::Uncompilable);
+    assert_eq!(net.value(b), &Value::Int(9));
+    assert_eq!(net.value(c), &Value::Int(9));
+}
+
+#[test]
+fn step_budget_forces_agenda_path() {
+    let mut net = Network::new();
+    let (hub, _) = star(&mut net, 4);
+    net.set_step_limit(Some(1_000));
+    net.set(hub, Value::Int(1), Justification::User).unwrap();
+    assert_eq!(net.plan_status(hub), PlanStatus::NotCompiled);
+    assert_eq!(net.stats().plan_compiles, 0, "budgeted cycles never plan");
+
+    net.set_step_limit(None);
+    net.set(hub, Value::Int(2), Justification::User).unwrap();
+    assert_eq!(net.stats().plan_compiles, 1, "unbudgeted set plans again");
+}
+
+#[test]
+fn disabling_plan_caching_drops_plans() {
+    let mut net = Network::new();
+    let (hub, _) = star(&mut net, 4);
+    net.set(hub, Value::Int(1), Justification::User).unwrap();
+    assert!(matches!(net.plan_status(hub), PlanStatus::Ready { .. }));
+
+    net.set_plan_caching(false);
+    assert!(!net.is_plan_caching());
+    assert_eq!(net.plan_status(hub), PlanStatus::NotCompiled);
+    net.set(hub, Value::Int(2), Justification::User).unwrap();
+    assert_eq!(net.stats().plan_compiles, 1, "no compiles while off");
+
+    net.set_plan_caching(true);
+    net.set(hub, Value::Int(3), Justification::User).unwrap();
+    assert_eq!(net.stats().plan_compiles, 2, "re-enable starts cold");
+}
+
+#[test]
+fn planned_violation_restores_exactly() {
+    let mut net = Network::new();
+    let (hub, spokes) = star(&mut net, 4);
+    net.add_constraint(Predicate::le_const(Value::Int(10)), [spokes[2]])
+        .unwrap();
+    let mut seen: Vec<String> = Vec::new();
+    {
+        // Handler sees the violation after restoration.
+        net.add_violation_handler(move |_net, v| {
+            let _ = v;
+        });
+    }
+    net.set(hub, Value::Int(7), Justification::User).unwrap();
+    let before = dump(&net);
+    assert!(matches!(net.plan_status(hub), PlanStatus::Ready { .. }));
+
+    // The planned replay trips the predicate in the final sweep.
+    let err = net
+        .set(hub, Value::Int(11), Justification::User)
+        .unwrap_err();
+    assert!(err.constraint.is_some());
+    assert_eq!(dump(&net), before, "planned violation restored everything");
+    assert!(
+        matches!(net.plan_status(hub), PlanStatus::Ready { .. }),
+        "plan survives a violation"
+    );
+    seen.clear();
+}
+
+#[test]
+fn planned_sets_journal_coherently() {
+    let mut net = Network::new();
+    let (hub, _) = star(&mut net, 4);
+    net.set(hub, Value::Int(1), Justification::User).unwrap();
+    let before = dump(&net);
+
+    net.begin_journal();
+    net.set(hub, Value::Int(2), Justification::User).unwrap();
+    net.set(hub, Value::Int(3), Justification::User).unwrap();
+    assert!(net.stats().plan_cache_hits >= 2);
+    net.rollback_journal();
+    assert_eq!(dump(&net), before, "journal undoes planned writes");
+}
+
+#[test]
+fn plan_survives_clone() {
+    let mut net = Network::new();
+    let (hub, _) = star(&mut net, 4);
+    net.set(hub, Value::Int(1), Justification::User).unwrap();
+
+    let mut fork = net.clone();
+    assert!(matches!(fork.plan_status(hub), PlanStatus::Ready { .. }));
+    fork.set(hub, Value::Int(2), Justification::User).unwrap();
+    assert_eq!(
+        fork.stats().plan_compiles,
+        1,
+        "the fork reuses the inherited plan"
+    );
+    assert_eq!(net.value(hub), &Value::Int(1), "original untouched");
+}

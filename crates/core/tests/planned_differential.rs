@@ -1,0 +1,180 @@
+//! Randomized differential check of the plan-cached propagation path:
+//! 1 000 SplitMix64-derived networks, each mirrored into a twin with plan
+//! caching disabled, fed the identical op stream — value sets interleaved
+//! with structural edits (constraint adds, enable toggles, removals,
+//! change-limit tweaks) that force plan invalidation mid-run. After every
+//! op the two networks must agree byte-for-byte on values, justifications
+//! and outcomes; the planned side must additionally have exercised the
+//! cache (hits), the invalidation path, and the uncompilable fallback.
+
+use stem_core::kinds::{Equality, Functional, Predicate};
+use stem_core::prng::SplitMix64;
+use stem_core::{ConstraintId, Justification, Network, PlanStatus, Value, VarId};
+
+/// Canonical rendering of the full observable state.
+fn dump(net: &Network) -> String {
+    net.variables()
+        .map(|v| {
+            format!(
+                "{}={:?}/{:?};",
+                net.var_name(v),
+                net.value(v),
+                net.justification(v)
+            )
+        })
+        .collect()
+}
+
+/// A constraint recipe, drawn once and instantiated on both twins so the
+/// pair stays structurally identical.
+enum Spec {
+    Equality(Vec<VarId>),
+    Sum(Vec<VarId>),
+    Max(Vec<VarId>),
+    LeConst(VarId, i64),
+}
+
+impl Spec {
+    fn draw(rng: &mut SplitMix64, n_vars: usize) -> Spec {
+        let var = |rng: &mut SplitMix64| VarId::from_index(rng.range_usize(0, n_vars));
+        match rng.range_usize(0, 10) {
+            // Equality chains dominate: they are the plannable fabric.
+            0..=4 => {
+                let n = rng.range_usize(2, 4);
+                Spec::Equality((0..n).map(|_| var(rng)).collect())
+            }
+            5..=6 => {
+                let n = rng.range_usize(2, 4);
+                Spec::Sum((0..n).map(|_| var(rng)).collect())
+            }
+            7 => {
+                let n = rng.range_usize(2, 4);
+                Spec::Max((0..n).map(|_| var(rng)).collect())
+            }
+            // Tripwires: bounds low enough that random sets violate often.
+            _ => Spec::LeConst(var(rng), rng.range_i64(5, 30)),
+        }
+    }
+
+    fn apply(&self, net: &mut Network) -> String {
+        let r = match self {
+            Spec::Equality(args) => net.add_constraint(Equality::new(), args.clone()),
+            Spec::Sum(args) => net.add_constraint(Functional::uni_addition(), args.clone()),
+            Spec::Max(args) => net.add_constraint(Functional::uni_maximum(), args.clone()),
+            Spec::LeConst(v, k) => net.add_constraint(Predicate::le_const(Value::Int(*k)), [*v]),
+        };
+        format!("{r:?}")
+    }
+}
+
+/// Ids of constraints that are still active (removable/toggleable).
+fn active_cids(net: &Network) -> Vec<ConstraintId> {
+    (0..net.n_constraints())
+        .map(ConstraintId::from_index)
+        .filter(|&c| net.is_active(c))
+        .collect()
+}
+
+#[test]
+fn planned_path_is_byte_identical_to_agenda_on_random_networks() {
+    let mut total_hits = 0u64;
+    let mut total_invalidations = 0u64;
+    let mut total_compiles = 0u64;
+    let mut total_violations = 0u64;
+    let mut saw_uncompilable = false;
+
+    for round in 0u64..1_000 {
+        let mut rng = SplitMix64::new(0x9E1D_F00D ^ (round.wrapping_mul(0x2545_F491)));
+        let mut planned = Network::new();
+        let mut agenda = Network::new();
+        agenda.set_plan_caching(false);
+        assert!(planned.is_plan_caching());
+
+        let n_vars = rng.range_usize(3, 10);
+        for i in 0..n_vars {
+            planned.add_variable(format!("v{i}"));
+            agenda.add_variable(format!("v{i}"));
+        }
+        for _ in 0..rng.range_usize(1, n_vars) {
+            let spec = Spec::draw(&mut rng, n_vars);
+            let (rp, ra) = (spec.apply(&mut planned), spec.apply(&mut agenda));
+            assert_eq!(rp, ra, "constraint add diverged in round {round}");
+        }
+        assert_eq!(dump(&planned), dump(&agenda), "setup diverged in {round}");
+
+        for op in 0..rng.range_usize(8, 20) {
+            match rng.range_usize(0, 100) {
+                0..=64 => {
+                    let v = VarId::from_index(rng.range_usize(0, n_vars));
+                    let val = Value::Int(rng.range_i64(0, 40));
+                    let rp = planned.set(v, val.clone(), Justification::User);
+                    let ra = agenda.set(v, val, Justification::User);
+                    if rp.is_err() {
+                        total_violations += 1;
+                    }
+                    assert_eq!(
+                        format!("{rp:?}"),
+                        format!("{ra:?}"),
+                        "set outcome diverged at round {round} op {op}"
+                    );
+                }
+                65..=74 => {
+                    let spec = Spec::draw(&mut rng, n_vars);
+                    let (rp, ra) = (spec.apply(&mut planned), spec.apply(&mut agenda));
+                    assert_eq!(rp, ra, "mid-run add diverged at round {round} op {op}");
+                }
+                75..=84 => {
+                    let cids = active_cids(&planned);
+                    if !cids.is_empty() {
+                        let c = cids[rng.range_usize(0, cids.len())];
+                        let on = rng.next_bool();
+                        planned.set_constraint_enabled(c, on);
+                        agenda.set_constraint_enabled(c, on);
+                    }
+                }
+                85..=91 => {
+                    let cids = active_cids(&planned);
+                    if !cids.is_empty() {
+                        let c = cids[rng.range_usize(0, cids.len())];
+                        planned.remove_constraint(c);
+                        agenda.remove_constraint(c);
+                    }
+                }
+                _ => {
+                    let limit = rng.range_i64(1, 4) as u32;
+                    planned.set_value_change_limit(limit);
+                    agenda.set_value_change_limit(limit);
+                }
+            }
+            assert_eq!(
+                dump(&planned),
+                dump(&agenda),
+                "state diverged at round {round} op {op}"
+            );
+        }
+
+        let s = planned.stats();
+        total_hits += s.plan_cache_hits;
+        total_invalidations += s.plan_cache_invalidations;
+        total_compiles += s.plan_compiles;
+        saw_uncompilable |= planned
+            .variables()
+            .any(|v| planned.plan_status(v) == PlanStatus::Uncompilable);
+        let sa = agenda.stats();
+        assert_eq!(sa.plan_compiles, 0, "agenda twin must never plan");
+        assert_eq!(sa.plan_cache_hits, 0);
+    }
+
+    // The workload must actually exercise every interesting regime.
+    assert!(total_compiles > 0, "no plan was ever compiled");
+    assert!(total_hits > 0, "no set was ever served from the cache");
+    assert!(
+        total_invalidations > 0,
+        "structural edits never invalidated a cached plan"
+    );
+    assert!(total_violations > 0, "tripwires never fired — too loose");
+    assert!(
+        saw_uncompilable,
+        "no multi-writer cone was ever refused — topology mix too tame"
+    );
+}

@@ -236,13 +236,13 @@ impl Command {
     }
 
     /// Whether the command's effects can be undone by the network's change
-    /// journal (`Network::begin_journal`). Everything journals — value
-    /// writes and structural additions/toggles alike — except
-    /// [`Command::RemoveConstraint`], whose erasure cascade genuinely
-    /// cannot be replayed backwards; a batch containing one falls back to
-    /// clone-and-swap rollback.
+    /// journal (`Network::begin_journal`). Every command journals — value
+    /// writes, structural additions/toggles, and removals alike
+    /// ([`Command::RemoveConstraint`]'s erasure cascade journals its value
+    /// pre-images and the unwiring records a re-insertion entry) — so the
+    /// default rollback strategy is O(touched) for every batch shape.
     pub fn is_journalable(&self) -> bool {
-        !matches!(self, Command::RemoveConstraint { .. })
+        true
     }
 }
 

@@ -434,6 +434,10 @@ impl Worker {
                     stats.n_constraints = sess.net.n_constraints() as u64;
                     stats.net_snapshots = sess.net.snapshots_taken();
                     stats.net_clones = sess.net.clones_taken();
+                    let net_stats = sess.net.stats();
+                    stats.plan_compiles = net_stats.plan_compiles;
+                    stats.plan_cache_hits = net_stats.plan_cache_hits;
+                    stats.plan_cache_invalidations = net_stats.plan_cache_invalidations;
                     stats.quarantined = sess.quarantined;
                     let _ = reply.send(stats);
                 }
@@ -515,9 +519,10 @@ impl Worker {
                 }
             }
         } else if commands.iter().any(Command::is_structural) {
-            // Non-journalable structure (RemoveConstraint's erasure
-            // cascade) or the legacy snapshot strategy: run the batch on a
-            // clone and swap it in only on success.
+            // Legacy snapshot strategy with structural commands: run the
+            // batch on a clone and swap it in only on success. (Under the
+            // default journal strategy every command is journalable, so
+            // this path is never taken there.)
             let mut work = sess.net.clone();
             match catch_unwind(AssertUnwindSafe(|| apply_all(&mut work, commands))) {
                 Ok(Ok(outputs)) => {
@@ -559,19 +564,28 @@ impl Worker {
         };
 
         match result {
-            Ok((outputs, (waves, assignments))) => {
+            Ok((outputs, d)) => {
                 counters.batches_ok.fetch_add(1, Ordering::Relaxed);
-                counters.waves.fetch_add(waves, Ordering::Relaxed);
+                counters.waves.fetch_add(d.waves, Ordering::Relaxed);
                 counters
                     .assignments
-                    .fetch_add(assignments, Ordering::Relaxed);
+                    .fetch_add(d.assignments, Ordering::Relaxed);
+                counters
+                    .plan_compiles
+                    .fetch_add(d.plan_compiles, Ordering::Relaxed);
+                counters
+                    .plan_cache_hits
+                    .fetch_add(d.plan_cache_hits, Ordering::Relaxed);
+                counters
+                    .plan_cache_invalidations
+                    .fetch_add(d.plan_cache_invalidations, Ordering::Relaxed);
                 sess.stats.batches_ok += 1;
-                sess.stats.waves += waves;
-                sess.stats.assignments += assignments;
+                sess.stats.waves += d.waves;
+                sess.stats.assignments += d.assignments;
                 Ok(BatchOutcome {
                     outputs,
-                    waves,
-                    assignments,
+                    waves: d.waves,
+                    assignments: d.assignments,
                 })
             }
             Err(err) => {
@@ -598,11 +612,25 @@ impl Worker {
     }
 }
 
-fn delta(before: Stats, after: Stats) -> (u64, u64) {
-    (
-        after.cycles.saturating_sub(before.cycles),
-        after.assignments.saturating_sub(before.assignments),
-    )
+/// Network-stat movement attributable to one committed batch.
+struct BatchDelta {
+    waves: u64,
+    assignments: u64,
+    plan_compiles: u64,
+    plan_cache_hits: u64,
+    plan_cache_invalidations: u64,
+}
+
+fn delta(before: Stats, after: Stats) -> BatchDelta {
+    BatchDelta {
+        waves: after.cycles.saturating_sub(before.cycles),
+        assignments: after.assignments.saturating_sub(before.assignments),
+        plan_compiles: after.plan_compiles.saturating_sub(before.plan_compiles),
+        plan_cache_hits: after.plan_cache_hits.saturating_sub(before.plan_cache_hits),
+        plan_cache_invalidations: after
+            .plan_cache_invalidations
+            .saturating_sub(before.plan_cache_invalidations),
+    }
 }
 
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {

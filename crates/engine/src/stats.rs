@@ -30,6 +30,9 @@ pub(crate) struct Counters {
     pub sessions_quarantined: AtomicU64,
     pub backpressure_rejections: AtomicU64,
     pub queue_depth_hwm: AtomicU64,
+    pub plan_compiles: AtomicU64,
+    pub plan_cache_hits: AtomicU64,
+    pub plan_cache_invalidations: AtomicU64,
     pub latency_buckets: [AtomicU64; N_LATENCY_BUCKETS],
 }
 
@@ -76,6 +79,9 @@ impl Counters {
             sessions_quarantined: self.sessions_quarantined.load(Ordering::Relaxed),
             backpressure_rejections: self.backpressure_rejections.load(Ordering::Relaxed),
             queue_depth_hwm: self.queue_depth_hwm.load(Ordering::Relaxed),
+            plan_compiles: self.plan_compiles.load(Ordering::Relaxed),
+            plan_cache_hits: self.plan_cache_hits.load(Ordering::Relaxed),
+            plan_cache_invalidations: self.plan_cache_invalidations.load(Ordering::Relaxed),
             latency_buckets,
         }
     }
@@ -108,6 +114,13 @@ pub struct EngineStats {
     pub backpressure_rejections: u64,
     /// Highest observed per-worker queue depth (queued + being submitted).
     pub queue_depth_hwm: u64,
+    /// Propagation plans compiled across all sessions (including
+    /// uncompilable verdicts).
+    pub plan_compiles: u64,
+    /// `set`s served by a cached propagation plan across all sessions.
+    pub plan_cache_hits: u64,
+    /// Cached plans discarded after structural edits, across all sessions.
+    pub plan_cache_invalidations: u64,
     /// Batch latency histogram; bucket `i` counts batches with
     /// enqueue-to-reply latency under [`LATENCY_BUCKET_BOUNDS_US`]`[i]` µs
     /// (last bucket: everything slower).
@@ -138,9 +151,16 @@ pub struct SessionStats {
     /// long as every batch rolls back through the change journal.
     pub net_snapshots: u64,
     /// Times the session's network was cloned (clone-and-swap rollback
-    /// path; only batches with non-journalable commands take it under the
-    /// default strategy).
+    /// path; stays 0 under the default journal strategy now that every
+    /// command — including constraint removal — is journalable).
     pub net_clones: u64,
+    /// Propagation plans this session's network has compiled (including
+    /// uncompilable verdicts).
+    pub plan_compiles: u64,
+    /// `set`s this session served from a cached propagation plan.
+    pub plan_cache_hits: u64,
+    /// Cached plans this session discarded after structural edits.
+    pub plan_cache_invalidations: u64,
     /// Whether the session is quarantined.
     pub quarantined: bool,
 }

@@ -22,7 +22,7 @@ fn engine(rollback: RollbackStrategy) -> Engine {
 /// One deterministic batch drawn from the rng. `n_vars` is the session's
 /// variable count before the batch; `structural` additionally mixes in
 /// journalable structure edits; `removals` allows `RemoveConstraint`
-/// (which forces the journal engine onto its clone-and-swap path).
+/// (journalable too: erasure pre-images plus a re-wiring undo entry).
 fn gen_batch(
     rng: &mut SplitMix64,
     n_vars: usize,
@@ -186,15 +186,18 @@ fn journal_and_snapshot_rollback_agree_on_random_workloads() {
         "journalable structural batches must not clone"
     );
 
-    // Phase 3: RemoveConstraint is not journalable — the journal engine
-    // falls back to clone-and-swap for exactly those batches, and the two
-    // engines still agree.
-    let mut cloned_batches = 0usize;
+    // Phase 3: RemoveConstraint journals too (erasure pre-images plus a
+    // re-wiring undo entry), so even removal batches stay on the
+    // O(touched) journal path — and the two engines still agree.
+    let mut removal_batches = 0usize;
     for round in 0..30 {
         let bj = gen_batch(&mut rng_j, n_vars, n_constraints, true, true);
         let bs = gen_batch(&mut rng_s, n_vars, n_constraints, true, true);
-        if bj.iter().any(|c| !c.is_journalable()) {
-            cloned_batches += 1;
+        if bj
+            .iter()
+            .any(|c| matches!(c, Command::RemoveConstraint { .. }))
+        {
+            removal_batches += 1;
         }
         let rj = journal_eng.apply(js, bj);
         let rs = snapshot_eng.apply(ss, bs);
@@ -209,12 +212,12 @@ fn journal_and_snapshot_rollback_agree_on_random_workloads() {
             "removal state diverged after round {round}"
         );
     }
-    assert!(cloned_batches > 0, "workload never removed a constraint");
+    assert!(removal_batches > 0, "workload never removed a constraint");
     let jstats = journal_eng.session_stats(js);
     assert_eq!(jstats.net_snapshots, 0, "still no snapshots under journal");
-    assert!(
-        jstats.net_clones > 0,
-        "RemoveConstraint batches take the clone-and-swap path"
+    assert_eq!(
+        jstats.net_clones, 0,
+        "removal batches must journal, not clone-and-swap"
     );
 
     journal_eng.shutdown();

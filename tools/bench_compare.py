@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Compare smoke-bench JSON output against the checked-in baseline.
+
+Usage:
+  tools/bench_compare.py                 # compare BENCH_*.json vs BENCH_baseline.json
+  tools/bench_compare.py --update        # rewrite BENCH_baseline.json from current JSONs
+  tools/bench_compare.py --threshold 0.4 # custom allowed fractional ops/s drop
+
+Exit status 1 if any benchmark id present in both current output and the
+baseline regressed by more than the threshold (default 25% ops/s drop).
+Smoke runs are short (5 samples), so the comparison uses median-derived
+ops/s and a generous threshold: this is a tripwire for order-of-magnitude
+mistakes (accidental debug profile, quadratic blowup, plan cache silently
+disabled), not a micro-benchmark referee. New ids are reported and pass;
+ids that vanished from the current run fail, since a silently dropped
+benchmark is exactly what a regression gate must notice.
+
+Stdlib only — the repo is hermetic and this must run offline.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BASELINE = os.path.join(ROOT, "BENCH_baseline.json")
+
+
+def load_current():
+    """Merge every BENCH_<bench>.json (except the baseline) into id -> ops/s.
+
+    Throughput is derived from `min_ns` (best sampled iteration), not the
+    median: on a loaded single-CPU builder the median of a 5-sample smoke
+    run swings ±40% with background load, while the best case — which a
+    real regression cannot fake — stays within a few percent.
+    """
+    merged = {}
+    for path in sorted(glob.glob(os.path.join(ROOT, "BENCH_*.json"))):
+        if os.path.basename(path) == os.path.basename(BASELINE):
+            continue
+        with open(path) as f:
+            doc = json.load(f)
+        for r in doc.get("results", []):
+            ops = 1e9 / r["min_ns"] if r.get("min_ns") else r["ops_per_sec"]
+            merged[r["id"]] = ops
+    return merged
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--update", action="store_true", help="rewrite the baseline")
+    ap.add_argument("--merge-min", action="store_true",
+                    help="like --update, but keep the elementwise min with any existing "
+                         "baseline — run the smoke benches several times with this to "
+                         "record a conservative floor that background load cannot dip under")
+    ap.add_argument("--threshold", type=float, default=0.25,
+                    help="allowed fractional ops/s drop (default 0.25)")
+    args = ap.parse_args()
+
+    current = load_current()
+    if not current:
+        print("bench-compare: no BENCH_*.json results found — run the smoke benches first")
+        return 1
+
+    if args.update or args.merge_min:
+        if args.merge_min and os.path.exists(BASELINE):
+            with open(BASELINE) as f:
+                prior = json.load(f)["results"]
+            for k, v in prior.items():
+                current[k] = min(v, current.get(k, v))
+        doc = {
+            "comment": "ops/s floor for ci.sh --bench-compare; regenerate with tools/bench_compare.py --update, then tighten with repeated smoke runs + --merge-min",
+            "results": {k: round(v, 2) for k, v in sorted(current.items())},
+        }
+        with open(BASELINE, "w") as f:
+            json.dump(doc, f, indent=2)
+            f.write("\n")
+        print(f"bench-compare: wrote {len(current)} baseline entries to {BASELINE}")
+        return 0
+
+    if not os.path.exists(BASELINE):
+        print(f"bench-compare: missing {BASELINE} (run with --update to create it)")
+        return 1
+    with open(BASELINE) as f:
+        baseline = json.load(f)["results"]
+
+    failures, missing = [], []
+    for bid, base_ops in sorted(baseline.items()):
+        cur_ops = current.get(bid)
+        if cur_ops is None:
+            missing.append(bid)
+            continue
+        ratio = cur_ops / base_ops if base_ops else float("inf")
+        mark = "FAIL" if ratio < 1.0 - args.threshold else "ok"
+        print(f"  [{mark:>4}] {bid}: {cur_ops:>12.0f} ops/s vs baseline {base_ops:>12.0f} ({ratio:.2f}x)")
+        if mark == "FAIL":
+            failures.append(bid)
+    for bid in sorted(set(current) - set(baseline)):
+        print(f"  [ new] {bid}: {current[bid]:.0f} ops/s (not in baseline)")
+
+    if missing:
+        print(f"bench-compare: {len(missing)} baseline id(s) absent from current run: {', '.join(missing)}")
+    if failures:
+        print(f"bench-compare: {len(failures)} regression(s) beyond {args.threshold:.0%}: {', '.join(failures)}")
+    if failures or missing:
+        return 1
+    print(f"bench-compare: {len(baseline)} benchmarks within {args.threshold:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
