@@ -28,13 +28,24 @@ cargo build --workspace --release --offline
 echo "==> cargo test"
 cargo test --workspace -q --offline
 
+echo "==> recovery fault-injection matrix (crash at every WAL byte offset)"
+# Runs in release: the deterministic sweep opens an engine per possible
+# crash point and the randomized differential replays ~25 seeded
+# workloads. Also re-runs the persist store/fault suites at -O to catch
+# release-only ordering bugs in the recovery path.
+cargo test --release --offline -p stem-engine --test crash_matrix -q
+cargo test --release --offline -p stem-engine --test persist -q
+cargo test --release --offline -p stem-persist -q
+
 echo "==> cargo bench --smoke (regression JSON)"
 cargo bench -p stem-bench --bench propagation --offline -- --smoke
 cargo bench -p stem-bench --bench propagation_planned --offline -- --smoke
 cargo bench -p stem-bench --bench engine --offline -- --smoke
+cargo bench -p stem-bench --bench persist --offline -- --smoke
 test -s BENCH_propagation.json || { echo "missing BENCH_propagation.json"; exit 1; }
 test -s BENCH_propagation_planned.json || { echo "missing BENCH_propagation_planned.json"; exit 1; }
 test -s BENCH_engine.json || { echo "missing BENCH_engine.json"; exit 1; }
+test -s BENCH_persist.json || { echo "missing BENCH_persist.json"; exit 1; }
 
 if [[ "$BENCH_COMPARE" == 1 ]]; then
   echo "==> bench-compare vs BENCH_baseline.json"

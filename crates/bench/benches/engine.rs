@@ -4,7 +4,10 @@
 use stem_bench::harness::{smoke, BenchmarkId, Criterion};
 use stem_bench::{criterion_group, criterion_main};
 use stem_core::{Value, VarId};
-use stem_engine::{Command, ConstraintSpec, Engine, EngineConfig, RollbackStrategy, Source};
+use stem_engine::{
+    Command, ConstraintSpec, Durability, DurabilityOptions, Engine, EngineConfig, RollbackStrategy,
+    Source,
+};
 
 fn chain_session(engine: &Engine, len: usize) -> stem_engine::SessionId {
     let s = engine.create_session();
@@ -167,10 +170,73 @@ fn rollback_latency(c: &mut Criterion) {
     group.finish();
 }
 
+/// WAL overhead on the batch round trip: the same chain-100 `Set`
+/// workload as `batch_round_trip`, against a volatile engine, an
+/// interval-sync durable engine (append per commit, fsync on a 25 ms
+/// timer — group commit), and a commit-sync engine (fsync per batch).
+/// The regression gate holds `interval_sync` within 15% of `volatile`;
+/// `commit_sync` measures the price of an on-disk ack and is reported,
+/// not gated against the in-memory baseline.
+fn durability_overhead(c: &mut Criterion) {
+    let base = std::env::temp_dir().join(format!("stem-bench-durability-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let variants: &[(&str, Option<Durability>)] = &[
+        ("volatile", None),
+        (
+            "interval_sync",
+            Some(Durability::IntervalSync {
+                interval: std::time::Duration::from_millis(25),
+            }),
+        ),
+        ("commit_sync", Some(Durability::CommitSync)),
+    ];
+    let mut group = c.benchmark_group("engine/durability_chain100");
+    for &(label, mode) in variants {
+        let engine = match mode {
+            None => Engine::new(1),
+            Some(mode) => Engine::open_with_config(
+                base.join(label),
+                EngineConfig {
+                    workers: 1,
+                    ..EngineConfig::default()
+                },
+                DurabilityOptions {
+                    mode,
+                    checkpoint_bytes: 0, // no checkpoint jitter mid-measurement
+                    ..DurabilityOptions::default()
+                },
+            )
+            .expect("open durable bench engine"),
+        };
+        let session = chain_session(&engine, 100);
+        let head = VarId::from_index(0);
+        let mut tick = 0i64;
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                tick += 1;
+                engine
+                    .apply(
+                        session,
+                        vec![Command::Set {
+                            var: head,
+                            value: Value::Int(tick),
+                            source: Source::User,
+                        }],
+                    )
+                    .unwrap()
+            })
+        });
+        engine.shutdown();
+    }
+    group.finish();
+    let _ = std::fs::remove_dir_all(&base);
+}
+
 criterion_group!(
     benches,
     batch_round_trip,
     pipelined_throughput,
-    rollback_latency
+    rollback_latency,
+    durability_overhead
 );
 criterion_main!(benches);

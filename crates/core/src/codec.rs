@@ -1,0 +1,546 @@
+//! Stable binary encode/decode for core state — the wire substrate of the
+//! persistence subsystem (`stem-persist`).
+//!
+//! Every scalar is little-endian; strings and lists are length-prefixed.
+//! The format is *stable*: tags and field orders are append-only, so a log
+//! written by one build replays on the next. Nothing here depends on
+//! `serde` — the workspace is hermetic — and decoding is total: any byte
+//! sequence either decodes or returns a structured [`DecodeError`] (no
+//! panics), which is what lets the write-ahead log treat a torn tail as
+//! data-not-yet-written instead of a crash.
+
+use crate::ids::{ConstraintId, VarId};
+use crate::justification::{DependencyRecord, Justification};
+use crate::value::{Span, TypeTag, Value};
+use std::fmt;
+use stem_geom::{Point, Rect};
+
+/// Maximum nesting depth accepted when decoding [`Value::List`]; deeper
+/// input is rejected as corrupt rather than risking stack exhaustion.
+pub const MAX_LIST_DEPTH: u32 = 64;
+
+/// Maximum element/byte count accepted for any single length prefix.
+/// A torn or corrupt length would otherwise drive a pre-allocation of
+/// gigabytes before the checksum gets a chance to disagree.
+pub const MAX_LEN: u32 = 1 << 28;
+
+/// Why a byte sequence failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Input ended before the field at byte offset `at` was complete.
+    Eof {
+        /// Byte offset of the truncated field.
+        at: usize,
+    },
+    /// An enum tag byte had no meaning for the field being decoded.
+    Tag {
+        /// The offending tag.
+        tag: u8,
+        /// What was being decoded (e.g. `"Value"`).
+        what: &'static str,
+        /// Byte offset of the tag.
+        at: usize,
+    },
+    /// A string field held invalid UTF-8.
+    Utf8 {
+        /// Byte offset of the string payload.
+        at: usize,
+    },
+    /// A length prefix exceeded [`MAX_LEN`].
+    Oversize {
+        /// The decoded length.
+        len: u32,
+        /// Byte offset of the prefix.
+        at: usize,
+    },
+    /// Value lists nested deeper than [`MAX_LIST_DEPTH`].
+    TooDeep {
+        /// Byte offset where the limit was exceeded.
+        at: usize,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Eof { at } => write!(f, "input truncated at byte {at}"),
+            DecodeError::Tag { tag, what, at } => {
+                write!(f, "invalid {what} tag {tag:#04x} at byte {at}")
+            }
+            DecodeError::Utf8 { at } => write!(f, "invalid UTF-8 at byte {at}"),
+            DecodeError::Oversize { len, at } => {
+                write!(f, "length prefix {len} exceeds limit at byte {at}")
+            }
+            DecodeError::TooDeep { at } => write!(f, "value nesting too deep at byte {at}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+// ---------------------------------------------------------------------
+// Writer side: plain functions appending to a byte buffer.
+// ---------------------------------------------------------------------
+
+/// Appends one byte.
+pub fn put_u8(buf: &mut Vec<u8>, x: u8) {
+    buf.push(x);
+}
+
+/// Appends a bool as one byte (0/1).
+pub fn put_bool(buf: &mut Vec<u8>, x: bool) {
+    buf.push(u8::from(x));
+}
+
+/// Appends a `u32`, little-endian.
+pub fn put_u32(buf: &mut Vec<u8>, x: u32) {
+    buf.extend_from_slice(&x.to_le_bytes());
+}
+
+/// Appends a `u64`, little-endian.
+pub fn put_u64(buf: &mut Vec<u8>, x: u64) {
+    buf.extend_from_slice(&x.to_le_bytes());
+}
+
+/// Appends an `i64` as its two's-complement little-endian image.
+pub fn put_i64(buf: &mut Vec<u8>, x: i64) {
+    buf.extend_from_slice(&x.to_le_bytes());
+}
+
+/// Appends an `f64` as its IEEE-754 bit image — exact round trip, NaN
+/// payloads included.
+pub fn put_f64(buf: &mut Vec<u8>, x: f64) {
+    buf.extend_from_slice(&x.to_bits().to_le_bytes());
+}
+
+/// Appends a length-prefixed UTF-8 string.
+pub fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// Appends a [`VarId`].
+pub fn put_var(buf: &mut Vec<u8>, v: VarId) {
+    put_u32(buf, v.index() as u32);
+}
+
+/// Appends a [`ConstraintId`].
+pub fn put_cid(buf: &mut Vec<u8>, c: ConstraintId) {
+    put_u32(buf, c.index() as u32);
+}
+
+/// Appends a [`Value`] (tagged, recursive for lists).
+pub fn put_value(buf: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Nil => put_u8(buf, 0),
+        Value::Bool(b) => {
+            put_u8(buf, 1);
+            put_bool(buf, *b);
+        }
+        Value::Int(i) => {
+            put_u8(buf, 2);
+            put_i64(buf, *i);
+        }
+        Value::Float(x) => {
+            put_u8(buf, 3);
+            put_f64(buf, *x);
+        }
+        Value::Str(s) => {
+            put_u8(buf, 4);
+            put_str(buf, s);
+        }
+        Value::BitWidth(w) => {
+            put_u8(buf, 5);
+            put_u32(buf, *w);
+        }
+        Value::Span(s) => {
+            put_u8(buf, 6);
+            put_f64(buf, s.lo);
+            put_f64(buf, s.hi);
+        }
+        Value::TypeRef(t) => {
+            put_u8(buf, 7);
+            put_u32(buf, t.hierarchy);
+            put_u32(buf, t.node);
+        }
+        Value::Rect(r) => {
+            put_u8(buf, 8);
+            put_i64(buf, r.min().x);
+            put_i64(buf, r.min().y);
+            put_i64(buf, r.max().x);
+            put_i64(buf, r.max().y);
+        }
+        Value::List(vs) => {
+            put_u8(buf, 9);
+            put_u32(buf, vs.len() as u32);
+            for v in vs {
+                put_value(buf, v);
+            }
+        }
+    }
+}
+
+/// Appends a [`DependencyRecord`].
+pub fn put_record(buf: &mut Vec<u8>, r: &DependencyRecord) {
+    match r {
+        DependencyRecord::All => put_u8(buf, 0),
+        DependencyRecord::Single(v) => {
+            put_u8(buf, 1);
+            put_var(buf, *v);
+        }
+        DependencyRecord::Vars(vs) => {
+            put_u8(buf, 2);
+            put_u32(buf, vs.len() as u32);
+            for v in vs {
+                put_var(buf, *v);
+            }
+        }
+        DependencyRecord::Opaque(x) => {
+            put_u8(buf, 3);
+            put_u64(buf, *x);
+        }
+    }
+}
+
+/// Appends a [`Justification`].
+pub fn put_justification(buf: &mut Vec<u8>, j: &Justification) {
+    match j {
+        Justification::Unset => put_u8(buf, 0),
+        Justification::User => put_u8(buf, 1),
+        Justification::Application => put_u8(buf, 2),
+        Justification::Update => put_u8(buf, 3),
+        Justification::Tentative => put_u8(buf, 4),
+        Justification::DefaultValue => put_u8(buf, 5),
+        Justification::Propagated { constraint, record } => {
+            put_u8(buf, 6);
+            put_cid(buf, *constraint);
+            put_record(buf, record);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reader side: a cursor over a byte slice.
+// ---------------------------------------------------------------------
+
+/// Decoding cursor over a byte slice.
+#[derive(Debug, Clone)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a cursor at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Current byte offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        let at = self.pos;
+        let end = at.checked_add(n).ok_or(DecodeError::Eof { at })?;
+        if end > self.buf.len() {
+            return Err(DecodeError::Eof { at });
+        }
+        self.pos = end;
+        Ok(&self.buf[at..end])
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a bool; any nonzero byte is `true`.
+    pub fn bool(&mut self) -> Result<bool, DecodeError> {
+        Ok(self.u8()? != 0)
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn i64(&mut self) -> Result<i64, DecodeError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads an `f64` bit image.
+    pub fn f64(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a length prefix, enforcing [`MAX_LEN`].
+    pub fn len(&mut self) -> Result<usize, DecodeError> {
+        let at = self.pos;
+        let len = self.u32()?;
+        if len > MAX_LEN {
+            return Err(DecodeError::Oversize { len, at });
+        }
+        Ok(len as usize)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<&'a str, DecodeError> {
+        let n = self.len()?;
+        let at = self.pos;
+        std::str::from_utf8(self.take(n)?).map_err(|_| DecodeError::Utf8 { at })
+    }
+
+    /// Reads a [`VarId`].
+    pub fn var(&mut self) -> Result<VarId, DecodeError> {
+        Ok(VarId::from_index(self.u32()? as usize))
+    }
+
+    /// Reads a [`ConstraintId`].
+    pub fn cid(&mut self) -> Result<ConstraintId, DecodeError> {
+        Ok(ConstraintId::from_index(self.u32()? as usize))
+    }
+
+    /// Reads a [`Value`].
+    pub fn value(&mut self) -> Result<Value, DecodeError> {
+        self.value_at_depth(0)
+    }
+
+    fn value_at_depth(&mut self, depth: u32) -> Result<Value, DecodeError> {
+        let at = self.pos;
+        if depth > MAX_LIST_DEPTH {
+            return Err(DecodeError::TooDeep { at });
+        }
+        Ok(match self.u8()? {
+            0 => Value::Nil,
+            1 => Value::Bool(self.bool()?),
+            2 => Value::Int(self.i64()?),
+            3 => Value::Float(self.f64()?),
+            4 => Value::str(self.str()?),
+            5 => Value::BitWidth(self.u32()?),
+            6 => {
+                let (lo, hi) = (self.f64()?, self.f64()?);
+                // A corrupt span could violate the `lo <= hi` constructor
+                // invariant; build the struct directly to stay panic-free
+                // and let the caller's checksum layer reject the record.
+                Value::Span(Span { lo, hi })
+            }
+            7 => Value::TypeRef(TypeTag {
+                hierarchy: self.u32()?,
+                node: self.u32()?,
+            }),
+            8 => {
+                let (x0, y0) = (self.i64()?, self.i64()?);
+                let (x1, y1) = (self.i64()?, self.i64()?);
+                Value::Rect(Rect::new(Point::new(x0, y0), Point::new(x1, y1)))
+            }
+            9 => {
+                let n = self.len()?;
+                let mut vs = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    vs.push(self.value_at_depth(depth + 1)?);
+                }
+                Value::List(vs)
+            }
+            tag => {
+                return Err(DecodeError::Tag {
+                    tag,
+                    what: "Value",
+                    at,
+                })
+            }
+        })
+    }
+
+    /// Reads a [`DependencyRecord`].
+    pub fn record(&mut self) -> Result<DependencyRecord, DecodeError> {
+        let at = self.pos;
+        Ok(match self.u8()? {
+            0 => DependencyRecord::All,
+            1 => DependencyRecord::Single(self.var()?),
+            2 => {
+                let n = self.len()?;
+                let mut vs = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    vs.push(self.var()?);
+                }
+                DependencyRecord::Vars(vs)
+            }
+            3 => DependencyRecord::Opaque(self.u64()?),
+            tag => {
+                return Err(DecodeError::Tag {
+                    tag,
+                    what: "DependencyRecord",
+                    at,
+                })
+            }
+        })
+    }
+
+    /// Reads a [`Justification`].
+    pub fn justification(&mut self) -> Result<Justification, DecodeError> {
+        let at = self.pos;
+        Ok(match self.u8()? {
+            0 => Justification::Unset,
+            1 => Justification::User,
+            2 => Justification::Application,
+            3 => Justification::Update,
+            4 => Justification::Tentative,
+            5 => Justification::DefaultValue,
+            6 => Justification::Propagated {
+                constraint: self.cid()?,
+                record: self.record()?,
+            },
+            tag => {
+                return Err(DecodeError::Tag {
+                    tag,
+                    what: "Justification",
+                    at,
+                })
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_value(v: Value) {
+        let mut buf = Vec::new();
+        put_value(&mut buf, &v);
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.value().unwrap(), v);
+        assert!(r.is_empty(), "trailing bytes after {v}");
+    }
+
+    #[test]
+    fn values_round_trip() {
+        round_trip_value(Value::Nil);
+        round_trip_value(Value::Bool(true));
+        round_trip_value(Value::Int(-41));
+        round_trip_value(Value::Float(2.5e-300));
+        round_trip_value(Value::str("päth/with \"quotes\""));
+        round_trip_value(Value::BitWidth(32));
+        round_trip_value(Value::Span(Span::new(-1.0, 4.5)));
+        round_trip_value(Value::TypeRef(TypeTag {
+            hierarchy: 7,
+            node: 123,
+        }));
+        round_trip_value(Value::Rect(Rect::new(
+            Point::new(-3, 0),
+            Point::new(40, 20),
+        )));
+        round_trip_value(Value::List(vec![
+            Value::Int(1),
+            Value::List(vec![Value::str("x"), Value::Nil]),
+        ]));
+    }
+
+    #[test]
+    fn float_bits_survive() {
+        let mut buf = Vec::new();
+        put_value(&mut buf, &Value::Float(f64::NAN));
+        let mut r = Reader::new(&buf);
+        match r.value().unwrap() {
+            Value::Float(x) => assert!(x.is_nan()),
+            other => panic!("{other:?}"),
+        }
+        round_trip_value(Value::Float(-0.0));
+    }
+
+    #[test]
+    fn justifications_round_trip() {
+        for j in [
+            Justification::Unset,
+            Justification::User,
+            Justification::Application,
+            Justification::Update,
+            Justification::Tentative,
+            Justification::DefaultValue,
+            Justification::Propagated {
+                constraint: ConstraintId::from_index(9),
+                record: DependencyRecord::Single(VarId::from_index(4)),
+            },
+            Justification::Propagated {
+                constraint: ConstraintId::from_index(0),
+                record: DependencyRecord::Vars(vec![VarId::from_index(1), VarId::from_index(2)]),
+            },
+            Justification::Propagated {
+                constraint: ConstraintId::from_index(1),
+                record: DependencyRecord::Opaque(0xDEAD_BEEF),
+            },
+        ] {
+            let mut buf = Vec::new();
+            put_justification(&mut buf, &j);
+            let mut r = Reader::new(&buf);
+            assert_eq!(r.justification().unwrap(), j);
+            assert!(r.is_empty());
+        }
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut buf = Vec::new();
+        put_value(
+            &mut buf,
+            &Value::List(vec![Value::Int(5), Value::str("abc")]),
+        );
+        for cut in 0..buf.len() {
+            let err = Reader::new(&buf[..cut]).value();
+            assert!(err.is_err(), "prefix of {cut} bytes decoded");
+        }
+    }
+
+    #[test]
+    fn bad_tags_are_rejected() {
+        let mut r = Reader::new(&[0xFF]);
+        assert!(matches!(r.value(), Err(DecodeError::Tag { tag: 0xFF, .. })));
+        let mut r = Reader::new(&[0xFF]);
+        assert!(r.justification().is_err());
+        let mut r = Reader::new(&[0xFF]);
+        assert!(r.record().is_err());
+    }
+
+    #[test]
+    fn oversize_length_is_rejected() {
+        let mut buf = vec![4u8]; // Str tag
+        put_u32(&mut buf, MAX_LEN + 1);
+        assert!(matches!(
+            Reader::new(&buf).value(),
+            Err(DecodeError::Oversize { .. })
+        ));
+    }
+
+    #[test]
+    fn depth_limit_holds() {
+        // MAX_LIST_DEPTH + 2 nested single-element lists.
+        let mut buf = Vec::new();
+        for _ in 0..(MAX_LIST_DEPTH + 2) {
+            put_u8(&mut buf, 9);
+            put_u32(&mut buf, 1);
+        }
+        put_u8(&mut buf, 0);
+        assert!(matches!(
+            Reader::new(&buf).value(),
+            Err(DecodeError::TooDeep { .. })
+        ));
+    }
+}

@@ -89,6 +89,14 @@ impl<'n> NetworkInspector<'n> {
             self.net.n_variables(),
             self.net.n_constraints()
         );
+        // What a crash right now would cost: the durability regime, plus
+        // any still-open change journal (an uncommitted batch in flight).
+        let _ = writeln!(
+            out,
+            "  durability: {}; open journal entries: {}",
+            self.net.durability_label(),
+            self.net.journal_len(),
+        );
         for v in self.net.variables() {
             let _ = writeln!(out, "  {}", self.describe_variable(v));
         }
@@ -234,6 +242,27 @@ mod tests {
         assert!(text.contains("3 variables"));
         assert!(text.contains("equality"));
         assert!(text.contains("uniAddition"));
+    }
+
+    #[test]
+    fn dump_reports_durability_and_journal_depth() {
+        let (mut net, a, ..) = sample();
+        let text = NetworkInspector::new(&net).dump();
+        assert!(
+            text.contains("durability: volatile (in-memory only)"),
+            "{text}"
+        );
+        assert!(text.contains("open journal entries: 0"), "{text}");
+
+        net.set_durability_label("commit-sync (fsync per commit)");
+        net.begin_journal();
+        net.set(a, Value::Int(5), Justification::User).unwrap();
+        let text = NetworkInspector::new(&net).dump();
+        assert!(text.contains("durability: commit-sync"), "{text}");
+        // The open journal holds this batch's undo entries — exactly the
+        // in-flight work a crash would lose.
+        assert!(!text.contains("open journal entries: 0"), "{text}");
+        net.commit_journal();
     }
 
     #[test]

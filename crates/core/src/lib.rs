@@ -57,6 +57,7 @@
 
 #![warn(missing_docs)]
 mod agenda;
+pub mod codec;
 mod compile;
 mod constraint;
 mod ids;

@@ -264,6 +264,10 @@ pub struct Network {
     snapshots_taken: std::cell::Cell<u64>,
     /// Times this network (or an ancestor it was cloned from) was cloned.
     clones_taken: std::cell::Cell<u64>,
+    /// Owner-declared durability regime, for inspection only — the
+    /// network itself never touches disk. The engine stamps its sessions;
+    /// standalone networks keep the volatile default.
+    durability_label: &'static str,
 }
 
 impl std::fmt::Debug for Network {
@@ -316,6 +320,7 @@ impl Clone for Network {
             plan_caching: self.plan_caching,
             snapshots_taken: self.snapshots_taken.clone(),
             clones_taken: self.clones_taken.clone(),
+            durability_label: self.durability_label,
         }
     }
 }
@@ -342,6 +347,7 @@ impl Network {
             plan_caching: true,
             snapshots_taken: std::cell::Cell::new(0),
             clones_taken: std::cell::Cell::new(0),
+            durability_label: "volatile (in-memory only)",
         }
     }
 
@@ -1039,6 +1045,20 @@ impl Network {
     /// Whether a change journal is currently open.
     pub fn is_journaling(&self) -> bool {
         self.journal.is_some()
+    }
+
+    /// Declares the durability regime this network's owner runs it under;
+    /// purely informational — the network itself never touches disk. The
+    /// engine stamps its sessions' networks; the inspector's dump prints
+    /// the label ("what would be lost on crash").
+    pub fn set_durability_label(&mut self, label: &'static str) {
+        self.durability_label = label;
+    }
+
+    /// The owner-declared durability label; `"volatile (in-memory only)"`
+    /// unless [`Network::set_durability_label`] was called.
+    pub fn durability_label(&self) -> &'static str {
+        self.durability_label
     }
 
     /// Number of undo entries in the open journal (0 when none is open).

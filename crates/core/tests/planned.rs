@@ -281,3 +281,52 @@ fn plan_survives_clone() {
     );
     assert_eq!(net.value(hub), &Value::Int(1), "original untouched");
 }
+
+#[test]
+fn remove_then_readd_recompiles_instead_of_replaying_stale_plan() {
+    let mut net = Network::new();
+    let a = net.add_variable("a");
+    let b = net.add_variable("b");
+    let total = net.add_variable("total");
+    let ab = net.add_constraint(Equality::new(), [a, b]).unwrap();
+    net.add_constraint(Functional::uni_addition(), [a, b, total])
+        .unwrap();
+
+    // Compile a's plan, then replay it once: equality drives b, sum total.
+    net.set(a, Value::Int(1), Justification::User).unwrap();
+    net.set(a, Value::Int(2), Justification::User).unwrap();
+    let s = net.stats();
+    assert_eq!((s.plan_compiles, s.plan_cache_hits), (1, 1));
+    assert_eq!(net.value(total), &Value::Int(4));
+
+    // Tear the equality out and wire a fresh one over the SAME root. The
+    // new constraint occupies a new slot; a plan replaying the removed
+    // slot's steps would write through a dead constraint (or panic), and
+    // one replaying pre-removal justifications would resurrect values the
+    // removal erased.
+    net.remove_constraint(ab);
+    assert!(net.value(b).is_nil(), "removal erased its inference");
+    let ab2 = net.add_constraint(Equality::new(), [a, b]).unwrap();
+    assert_ne!(ab, ab2, "re-add lands in a fresh slot");
+    assert_eq!(
+        net.plan_status(a),
+        PlanStatus::NotCompiled,
+        "the stale plan must not be visible"
+    );
+
+    net.set(a, Value::Int(5), Justification::User).unwrap();
+    let s = net.stats();
+    assert!(
+        s.plan_cache_invalidations >= 1,
+        "remove/re-add dropped the cached plan (got {})",
+        s.plan_cache_invalidations
+    );
+    assert_eq!(s.plan_compiles, 2, "the set after re-add compiled fresh");
+    assert_eq!(net.value(b), &Value::Int(5), "the new equality propagates");
+    assert_eq!(net.value(total), &Value::Int(10));
+
+    // And the recompiled plan is itself replayable and correct.
+    net.set(a, Value::Int(7), Justification::User).unwrap();
+    assert_eq!(net.stats().plan_compiles, 2);
+    assert_eq!(net.value(total), &Value::Int(14));
+}

@@ -308,6 +308,14 @@ pub enum BatchError {
         /// Panic payload rendered to text.
         message: String,
     },
+    /// The batch applied cleanly but its write-ahead log record could not
+    /// be written (disk full, I/O error); the whole batch rolled back —
+    /// an error here means "not committed, not durable", never "committed
+    /// but unlogged".
+    Persist {
+        /// The underlying I/O error, rendered to text.
+        message: String,
+    },
     /// The session is quarantined after a panic; mutating batches are
     /// refused until the quarantine is lifted.
     Quarantined,
@@ -332,6 +340,9 @@ impl fmt::Display for BatchError {
                     f,
                     "command {index} panicked ({message}); session quarantined"
                 )
+            }
+            BatchError::Persist { message } => {
+                write!(f, "batch rolled back: WAL append failed ({message})")
             }
             BatchError::Quarantined => write!(f, "session is quarantined"),
             BatchError::Backpressure => write!(f, "worker queue is full"),

@@ -3,16 +3,22 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use stem_core::{Network, Stats};
+use stem_persist::{
+    PersistCommand, PersistSpec, SessionState, Snapshot, Store, StoreOptions, SyncPolicy, WalRecord,
+};
 
-use crate::command::{BatchError, BatchOutcome, Command, Output};
+use crate::command::{BatchError, BatchOutcome, Command, ConstraintSpec, Output};
+use crate::persist::{self, Durability, DurabilityOptions, RecoveredSession, RecoveryPlan};
 use crate::stats::{Counters, EngineStats, SessionStats};
 
 /// Identifies one design session — an independent constraint network owned
@@ -107,8 +113,17 @@ enum Job {
         session: SessionId,
         reply: mpsc::Sender<bool>,
     },
+    /// Gather every session's checkpoint image plus the worker's closed
+    /// ids (durable engines only; volatile workers reply empty).
+    Checkpoint {
+        reply: mpsc::Sender<GatherReply>,
+    },
     Shutdown,
 }
+
+/// One worker's contribution to a checkpoint: `(id, seq, state)` per live
+/// session, plus the worker's cumulative closed-session ids.
+type GatherReply = (Vec<(u64, u64, SessionState)>, Vec<u64>);
 
 /// A concurrent multi-session propagation service.
 ///
@@ -151,8 +166,31 @@ pub struct Engine {
     depths: Vec<Arc<AtomicUsize>>,
     counters: Arc<Counters>,
     handles: Vec<JoinHandle<()>>,
-    next_session: AtomicU64,
+    next_session: Arc<AtomicU64>,
     config: EngineConfig,
+    durable: Option<DurableCtx>,
+}
+
+/// Engine-side durability state, present when the engine was opened on a
+/// store ([`Engine::open`] / [`Engine::open_with_config`]).
+struct DurableCtx {
+    store: Arc<Mutex<Store>>,
+    mode: Durability,
+    /// Serialises checkpoints (manual and automatic): seal → gather →
+    /// write must not interleave with another checkpoint's.
+    checkpoint_lock: Arc<Mutex<()>>,
+    stop: Arc<StopSignal>,
+    /// Background interval-fsync / auto-checkpoint thread, when either is
+    /// configured.
+    flusher: Option<JoinHandle<()>>,
+}
+
+/// Pre-spawn durable state handed to [`Engine::build`].
+struct DurableSetup {
+    store: Store,
+    mode: Durability,
+    checkpoint_bytes: u64,
+    plan: RecoveryPlan,
 }
 
 impl fmt::Debug for Engine {
@@ -160,6 +198,7 @@ impl fmt::Debug for Engine {
         f.debug_struct("Engine")
             .field("workers", &self.senders.len())
             .field("config", &self.config)
+            .field("durability", &self.durable.as_ref().map(|d| d.mode))
             .finish()
     }
 }
@@ -176,9 +215,75 @@ impl Engine {
 
     /// Creates an engine from an explicit configuration.
     pub fn with_config(config: EngineConfig) -> Self {
+        Engine::build(config, None)
+    }
+
+    /// Opens (or creates) a durable engine rooted at `dir`: loads the
+    /// newest valid snapshot, replays the log tail, rebuilds every live
+    /// session in its worker, and logs new commits with commit-sync
+    /// durability. Equivalent to [`Engine::open_with_config`] with
+    /// defaults.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Engine> {
+        Engine::open_with_config(dir, EngineConfig::default(), DurabilityOptions::default())
+    }
+
+    /// [`Engine::open`] with explicit engine configuration and durability
+    /// options. With [`Durability::Off`] the store is still recovered but
+    /// nothing new is logged.
+    pub fn open_with_config(
+        dir: impl Into<PathBuf>,
+        config: EngineConfig,
+        opts: DurabilityOptions,
+    ) -> io::Result<Engine> {
+        let store_opts = StoreOptions {
+            segment_bytes: opts.segment_bytes,
+            sync: match opts.mode {
+                Durability::CommitSync => SyncPolicy::Always,
+                Durability::Off | Durability::IntervalSync { .. } => SyncPolicy::Deferred,
+            },
+            file_factory: opts
+                .file_factory
+                .unwrap_or_else(|| StoreOptions::default().file_factory),
+        };
+        let (store, recovered) = Store::open(dir, store_opts)?;
+        let plan = persist::plan_recovery(recovered);
+        Ok(Engine::build(
+            config,
+            Some(DurableSetup {
+                store,
+                mode: opts.mode,
+                checkpoint_bytes: opts.checkpoint_bytes,
+                plan,
+            }),
+        ))
+    }
+
+    fn build(config: EngineConfig, durable: Option<DurableSetup>) -> Self {
         let workers = config.workers.max(1);
         let queue = config.queue_capacity.max(1);
         let counters = Arc::new(Counters::default());
+
+        let mut recover_by_shard: Vec<Vec<RecoveredSession>> =
+            (0..workers).map(|_| Vec::new()).collect();
+        let mut closed_by_shard: Vec<Vec<u64>> = (0..workers).map(|_| Vec::new()).collect();
+        let (next0, mode, store, checkpoint_bytes) = match durable {
+            Some(setup) => {
+                for rs in setup.plan.sessions {
+                    recover_by_shard[(rs.id % workers as u64) as usize].push(rs);
+                }
+                for id in setup.plan.closed {
+                    closed_by_shard[(id % workers as u64) as usize].push(id);
+                }
+                (
+                    setup.plan.next_session,
+                    Some(setup.mode),
+                    Some(Arc::new(Mutex::new(setup.store))),
+                    setup.checkpoint_bytes,
+                )
+            }
+            None => (0, None, None, 0),
+        };
+
         let mut senders = Vec::with_capacity(workers);
         let mut depths = Vec::with_capacity(workers);
         let mut handles = Vec::with_capacity(workers);
@@ -189,6 +294,9 @@ impl Engine {
             let worker_counters = counters.clone();
             let step_budget = config.step_budget;
             let rollback = config.rollback;
+            let worker_store = store.clone();
+            let recover = std::mem::take(&mut recover_by_shard[ix]);
+            let closed = std::mem::take(&mut closed_by_shard[ix]);
             handles.push(
                 thread::Builder::new()
                     .name(format!("stem-engine-{ix}"))
@@ -202,6 +310,10 @@ impl Engine {
                             step_budget,
                             rollback,
                             sessions: HashMap::new(),
+                            mode,
+                            store: worker_store,
+                            closed,
+                            recover,
                         }
                         .run()
                     })
@@ -210,13 +322,39 @@ impl Engine {
             senders.push(tx);
             depths.push(depth);
         }
+        let next_session = Arc::new(AtomicU64::new(next0));
+        let durable = store.map(|store| {
+            let mode = mode.expect("store implies a durability mode");
+            let stop = Arc::new(StopSignal::default());
+            let checkpoint_lock = Arc::new(Mutex::new(()));
+            let flusher = spawn_flusher(
+                mode,
+                checkpoint_bytes,
+                CheckpointCtx {
+                    senders: senders.clone(),
+                    depths: depths.clone(),
+                    next_session: next_session.clone(),
+                    store: store.clone(),
+                    lock: checkpoint_lock.clone(),
+                },
+                stop.clone(),
+            );
+            DurableCtx {
+                store,
+                mode,
+                checkpoint_lock,
+                stop,
+                flusher,
+            }
+        });
         Engine {
             senders,
             depths,
             counters,
             handles,
-            next_session: AtomicU64::new(0),
+            next_session,
             config,
+            durable,
         }
     }
 
@@ -355,9 +493,58 @@ impl Engine {
         rx.recv().unwrap_or(false)
     }
 
+    /// The durability mode the engine was opened with; `None` for a
+    /// purely in-memory engine ([`Engine::new`] / [`Engine::with_config`]).
+    pub fn durability(&self) -> Option<Durability> {
+        self.durable.as_ref().map(|d| d.mode)
+    }
+
+    /// Forces any deferred log writes to disk (a no-op under commit-sync,
+    /// where every acknowledged commit is already synced). `Ok(false)` on
+    /// a non-durable engine.
+    pub fn sync_wal(&self) -> io::Result<bool> {
+        let Some(d) = &self.durable else {
+            return Ok(false);
+        };
+        d.store.lock().unwrap().sync()?;
+        Ok(true)
+    }
+
+    /// Writes a snapshot checkpoint now and compacts the log segments it
+    /// covers. `Ok(false)` (without touching disk) on a non-durable or
+    /// recover-only ([`Durability::Off`]) engine.
+    pub fn checkpoint(&self) -> io::Result<bool> {
+        let Some(d) = &self.durable else {
+            return Ok(false);
+        };
+        if d.mode == Durability::Off {
+            return Ok(false);
+        }
+        run_checkpoint(&CheckpointCtx {
+            senders: self.senders.clone(),
+            depths: self.depths.clone(),
+            next_session: self.next_session.clone(),
+            store: d.store.clone(),
+            lock: d.checkpoint_lock.clone(),
+        })?;
+        Ok(true)
+    }
+
+    /// Overlays the store-side counters (WAL appends/bytes, snapshots) on
+    /// an engine-stats snapshot.
+    fn overlay_store(&self, mut s: EngineStats) -> EngineStats {
+        if let Some(d) = &self.durable {
+            let st = d.store.lock().unwrap().stats();
+            s.wal_appends = st.appends;
+            s.wal_bytes = st.bytes;
+            s.snapshots_written = st.snapshots_written;
+        }
+        s
+    }
+
     /// Snapshot of the engine-wide counters.
     pub fn stats(&self) -> EngineStats {
-        self.counters.snapshot()
+        self.overlay_store(self.counters.snapshot())
     }
 
     /// [`Engine::stats`] that also resets the queue-depth high-water mark:
@@ -366,7 +553,7 @@ impl Engine {
     /// (e.g. the T-E20 throughput table) report per-epoch peaks instead of
     /// a stale all-time maximum.
     pub fn stats_and_reset_queue_hwm(&self) -> EngineStats {
-        self.counters.snapshot_and_reset_queue_hwm()
+        self.overlay_store(self.counters.snapshot_and_reset_queue_hwm())
     }
 
     /// Stops every worker after it drains its queue, then joins them.
@@ -376,12 +563,157 @@ impl Engine {
     }
 
     fn shutdown_in_place(&mut self) {
+        if let Some(d) = &mut self.durable {
+            d.stop.stop();
+            if let Some(h) = d.flusher.take() {
+                let _ = h.join();
+            }
+        }
         for tx in &self.senders {
             let _ = tx.send(Job::Shutdown);
         }
         self.senders.clear();
         for handle in self.handles.drain(..) {
             let _ = handle.join();
+        }
+        if let Some(d) = &self.durable {
+            // A clean shutdown loses nothing, even under interval sync.
+            let _ = d.store.lock().unwrap().sync();
+        }
+    }
+}
+
+/// Everything a checkpoint needs; [`Engine::checkpoint`] and the
+/// background flusher build the same context.
+struct CheckpointCtx {
+    senders: Vec<SyncSender<Job>>,
+    depths: Vec<Arc<AtomicUsize>>,
+    next_session: Arc<AtomicU64>,
+    store: Arc<Mutex<Store>>,
+    lock: Arc<Mutex<()>>,
+}
+
+/// Seal → gather → write. Rotating *before* the gather puts every record
+/// logged so far into sealed segments the gathered images fully cover, so
+/// deleting those segments after the snapshot is durable cannot drop an
+/// uncovered commit; records racing the gather land in the fresh active
+/// segment and replay on top of the snapshot (per-session sequence numbers
+/// make the overlap idempotent).
+fn run_checkpoint(ctx: &CheckpointCtx) -> io::Result<()> {
+    let _serialise = ctx.lock.lock().unwrap();
+    if ctx.senders.is_empty() {
+        return Err(io::Error::other("engine is shutting down"));
+    }
+    let covered = ctx.store.lock().unwrap().seal_for_checkpoint()?;
+    let mut replies = Vec::with_capacity(ctx.senders.len());
+    for (ix, tx) in ctx.senders.iter().enumerate() {
+        let (rtx, rrx) = mpsc::channel();
+        ctx.depths[ix].fetch_add(1, Ordering::Relaxed);
+        if tx.send(Job::Checkpoint { reply: rtx }).is_err() {
+            ctx.depths[ix].fetch_sub(1, Ordering::Relaxed);
+            return Err(io::Error::other("engine is shutting down"));
+        }
+        replies.push(rrx);
+    }
+    let mut sessions = Vec::new();
+    let mut closed = Vec::new();
+    for rrx in replies {
+        let (mut s, mut c) = rrx
+            .recv()
+            .map_err(|_| io::Error::other("engine is shutting down"))?;
+        sessions.append(&mut s);
+        closed.append(&mut c);
+    }
+    // Read after the gather so the id bound covers every session that
+    // could appear in the images.
+    let next_session = ctx.next_session.load(Ordering::Relaxed);
+    let snap = Snapshot {
+        next_session,
+        closed,
+        sessions,
+    };
+    ctx.store.lock().unwrap().write_snapshot(&snap, &covered)
+}
+
+/// Spawns the background thread driving interval fsyncs and automatic
+/// checkpoints; `None` when neither is configured.
+fn spawn_flusher(
+    mode: Durability,
+    checkpoint_bytes: u64,
+    ctx: CheckpointCtx,
+    stop: Arc<StopSignal>,
+) -> Option<JoinHandle<()>> {
+    let interval = match mode {
+        Durability::IntervalSync { interval } => Some(interval.max(Duration::from_millis(1))),
+        Durability::CommitSync => None,
+        // Recover-only engines neither sync nor checkpoint.
+        Durability::Off => return None,
+    };
+    if interval.is_none() && checkpoint_bytes == 0 {
+        return None;
+    }
+    let tick = interval
+        .unwrap_or(Duration::from_millis(50))
+        .min(Duration::from_millis(50));
+    let handle = thread::Builder::new()
+        .name("stem-engine-flush".into())
+        .spawn(move || {
+            let mut last_sync = Instant::now();
+            loop {
+                // Park on the stop signal: zero wakeups between ticks,
+                // and shutdown interrupts the wait instead of waiting
+                // out the remainder of a tick to join this thread.
+                if stop.wait_stop(tick) {
+                    break;
+                }
+                if let Some(iv) = interval {
+                    if last_sync.elapsed() >= iv {
+                        let _ = ctx.store.lock().unwrap().sync();
+                        last_sync = Instant::now();
+                    }
+                }
+                if checkpoint_bytes > 0 {
+                    let due = ctx.store.lock().unwrap().stats().bytes_since_checkpoint
+                        >= checkpoint_bytes;
+                    if due {
+                        let _ = run_checkpoint(&ctx);
+                    }
+                }
+            }
+        })
+        .expect("spawn engine flusher");
+    Some(handle)
+}
+
+/// Stop flag the background flusher parks on. `stop()` flips the flag
+/// and wakes the waiter immediately, so engine shutdown never idles for
+/// the rest of a flush tick.
+#[derive(Default)]
+struct StopSignal {
+    stopped: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl StopSignal {
+    fn stop(&self) {
+        *self.stopped.lock().unwrap() = true;
+        self.cv.notify_all();
+    }
+
+    /// Waits up to `timeout` (or until `stop()`); true once stopped.
+    fn wait_stop(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut guard = self.stopped.lock().unwrap();
+        loop {
+            if *guard {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (g, _) = self.cv.wait_timeout(guard, deadline - now).unwrap();
+            guard = g;
         }
     }
 }
@@ -400,6 +732,12 @@ struct Session {
     net: Network,
     stats: SessionStats,
     quarantined: bool,
+    /// Last logged commit sequence number (0 before the first log write).
+    seq: u64,
+    /// Spec shadow of the constraint arena: `specs[i]` is slot `i`'s
+    /// replayable description, `None` for tombstones. Maintained only on
+    /// durable engines (empty otherwise).
+    specs: Vec<Option<PersistSpec>>,
 }
 
 struct Worker {
@@ -409,10 +747,70 @@ struct Worker {
     step_budget: Option<u64>,
     rollback: RollbackStrategy,
     sessions: HashMap<SessionId, Session>,
+    /// Durability mode when the engine was opened on a store.
+    mode: Option<Durability>,
+    store: Option<Arc<Mutex<Store>>>,
+    /// Ids of sessions closed on this worker (including ones recovered as
+    /// closed); checkpoints persist them so recovery never resurrects a
+    /// closed session from pre-compaction records.
+    closed: Vec<u64>,
+    /// Sessions to rebuild before the first job is served.
+    recover: Vec<RecoveredSession>,
 }
 
 impl Worker {
+    /// Whether committed batches are logged (durable and not recover-only).
+    fn logging(&self) -> bool {
+        self.store.is_some() && !matches!(self.mode, Some(Durability::Off) | None)
+    }
+
+    /// Rebuilds one recovered session: checkpoint image first, then the
+    /// logged tail re-applied through the normal batch machinery (without
+    /// re-logging — the records are already in the log).
+    fn restore_session(&self, rs: RecoveredSession) -> Session {
+        let base_seq = rs.seq - rs.tail.len() as u64;
+        let (mut net, mut specs) = persist::restore_network(&rs.state, self.step_budget);
+        net.set_durability_label(persist::durability_label(self.mode));
+        let mut applied = 0u64;
+        for batch in &rs.tail {
+            let commands: Vec<Command> = batch
+                .iter()
+                .cloned()
+                .map(persist::command_from_persist)
+                .collect();
+            // Committed batches replay cleanly against the state they
+            // committed on; a failure means corruption the checksums
+            // could not see — keep the prefix that did replay.
+            if validate(&net, &commands, false).is_err() {
+                break;
+            }
+            if apply_all(&mut net, commands).is_err() {
+                break;
+            }
+            persist::absorb_committed(&mut specs, batch);
+            applied += 1;
+        }
+        self.counters
+            .sessions_created
+            .fetch_add(1, Ordering::Relaxed);
+        self.counters.recoveries.fetch_add(1, Ordering::Relaxed);
+        Session {
+            net,
+            stats: SessionStats::default(),
+            quarantined: false,
+            seq: base_seq + applied,
+            specs,
+        }
+    }
+
     fn run(mut self) {
+        // FIFO queues guarantee no job can observe a session before its
+        // rebuild: recovery runs to completion first.
+        for rs in std::mem::take(&mut self.recover) {
+            let id = SessionId(rs.id);
+            let sess = self.restore_session(rs);
+            self.sessions.insert(id, sess);
+        }
         while let Ok(job) = self.rx.recv() {
             self.depth.fetch_sub(1, Ordering::Relaxed);
             match job {
@@ -448,7 +846,40 @@ impl Worker {
                     let _ = reply.send(was);
                 }
                 Job::CloseSession { session, reply } => {
-                    let _ = reply.send(self.sessions.remove(&session).is_some());
+                    let existed = match self.sessions.remove(&session) {
+                        Some(sess) => {
+                            if self.logging() {
+                                // Best-effort: a lost Close record only
+                                // means the session resurrects on
+                                // recovery; no acknowledged data is at
+                                // stake.
+                                let record = WalRecord::Close {
+                                    session: session.0,
+                                    seq: sess.seq + 1,
+                                };
+                                if let Some(store) = &self.store {
+                                    let _ = store.lock().unwrap().append(&record);
+                                }
+                                self.closed.push(session.0);
+                            }
+                            true
+                        }
+                        None => false,
+                    };
+                    let _ = reply.send(existed);
+                }
+                Job::Checkpoint { reply } => {
+                    let mut sessions = Vec::with_capacity(self.sessions.len());
+                    if self.logging() {
+                        for (id, sess) in &self.sessions {
+                            sessions.push((
+                                id.0,
+                                sess.seq,
+                                persist::gather_state(&sess.net, &sess.specs),
+                            ));
+                        }
+                    }
+                    let _ = reply.send((sessions, self.closed.clone()));
                 }
                 Job::Shutdown => break,
             }
@@ -458,14 +889,18 @@ impl Worker {
     fn session_entry(&mut self, id: SessionId) -> &mut Session {
         let counters = &self.counters;
         let step_budget = self.step_budget;
+        let mode = self.mode;
         self.sessions.entry(id).or_insert_with(|| {
             counters.sessions_created.fetch_add(1, Ordering::Relaxed);
             let mut net = Network::new();
             net.set_step_limit(step_budget);
+            net.set_durability_label(persist::durability_label(mode));
             Session {
                 net,
                 stats: SessionStats::default(),
                 quarantined: false,
+                seq: 0,
+                specs: Vec::new(),
             }
         })
     }
@@ -478,13 +913,28 @@ impl Worker {
         let counters = self.counters.clone();
         counters.batches.fetch_add(1, Ordering::Relaxed);
         let rollback = self.rollback;
+        let logging = self.logging();
+        let store = self.store.clone();
         let sess = self.session_entry(id);
         sess.stats.batches += 1;
 
         if sess.quarantined && commands.iter().any(Command::is_mutating) {
             return Err(BatchError::Quarantined);
         }
-        validate(&sess.net, &commands)?;
+        validate(&sess.net, &commands, logging)?;
+
+        // The loggable mirror is built before `apply_all` consumes the
+        // commands; read-only batches log nothing. Validation already
+        // rejected unpersistable (custom-kind) commands.
+        let to_log: Option<Vec<PersistCommand>> =
+            if logging && commands.iter().any(Command::is_mutating) {
+                Some(
+                    persist::commands_to_persist(&commands)
+                        .expect("validated: no custom kinds on a durable engine"),
+                )
+            } else {
+                None
+            };
 
         let use_journal =
             rollback == RollbackStrategy::Journal && commands.iter().all(Command::is_journalable);
@@ -498,9 +948,23 @@ impl Worker {
             let net = &mut sess.net;
             match catch_unwind(AssertUnwindSafe(|| apply_all(net, commands))) {
                 Ok(Ok(outputs)) => {
-                    sess.net.commit_journal();
-                    let delta = delta(before, sess.net.stats());
-                    Ok((outputs, delta))
+                    // Log before acknowledging: the journal stays open so
+                    // a failed append rolls the whole batch back and the
+                    // client's error means "not committed, not durable".
+                    match append_commit(&store, id, sess.seq, to_log) {
+                        Ok(logged) => {
+                            sess.net.commit_journal();
+                            note_logged(sess, logged);
+                            let delta = delta(before, sess.net.stats());
+                            Ok((outputs, delta))
+                        }
+                        Err(err) => {
+                            sess.net.rollback_journal();
+                            Err(BatchError::Persist {
+                                message: err.to_string(),
+                            })
+                        }
+                    }
                 }
                 Ok(Err((index, violation))) => {
                     sess.net.rollback_journal();
@@ -525,11 +989,19 @@ impl Worker {
             // this path is never taken there.)
             let mut work = sess.net.clone();
             match catch_unwind(AssertUnwindSafe(|| apply_all(&mut work, commands))) {
-                Ok(Ok(outputs)) => {
-                    let delta = delta(before, work.stats());
-                    sess.net = work;
-                    Ok((outputs, delta))
-                }
+                Ok(Ok(outputs)) => match append_commit(&store, id, sess.seq, to_log) {
+                    Ok(logged) => {
+                        let delta = delta(before, work.stats());
+                        sess.net = work;
+                        note_logged(sess, logged);
+                        Ok((outputs, delta))
+                    }
+                    // `work` is dropped: the session keeps its pre-batch
+                    // state, matching what recovery would rebuild.
+                    Err(err) => Err(BatchError::Persist {
+                        message: err.to_string(),
+                    }),
+                },
                 Ok(Err((index, violation))) => Err(BatchError::Violation { index, violation }),
                 Err(payload) => Err(BatchError::Panicked {
                     index: usize::MAX,
@@ -541,10 +1013,19 @@ impl Worker {
             let snap = sess.net.snapshot();
             let net = &mut sess.net;
             match catch_unwind(AssertUnwindSafe(|| apply_all(net, commands))) {
-                Ok(Ok(outputs)) => {
-                    let delta = delta(before, sess.net.stats());
-                    Ok((outputs, delta))
-                }
+                Ok(Ok(outputs)) => match append_commit(&store, id, sess.seq, to_log) {
+                    Ok(logged) => {
+                        note_logged(sess, logged);
+                        let delta = delta(before, sess.net.stats());
+                        Ok((outputs, delta))
+                    }
+                    Err(err) => {
+                        sess.net.restore_snapshot(&snap);
+                        Err(BatchError::Persist {
+                            message: err.to_string(),
+                        })
+                    }
+                },
                 Ok(Err((index, violation))) => {
                     sess.net.restore_snapshot(&snap);
                     Err(BatchError::Violation { index, violation })
@@ -604,11 +1085,48 @@ impl Worker {
                         sess.stats.panics += 1;
                         sess.quarantined = true;
                     }
+                    BatchError::Persist { .. } => {
+                        counters.rollbacks.fetch_add(1, Ordering::Relaxed);
+                    }
                     _ => {}
                 }
                 Err(err)
             }
         }
+    }
+}
+
+/// Appends one committed batch's record (if the batch logs at all) and
+/// hands the logged commands back for spec-shadow absorption. Called with
+/// the session's state still revertible: an `Err` here must leave the
+/// session exactly as before the batch.
+fn append_commit(
+    store: &Option<Arc<Mutex<Store>>>,
+    id: SessionId,
+    seq: u64,
+    to_log: Option<Vec<PersistCommand>>,
+) -> io::Result<Option<Vec<PersistCommand>>> {
+    let Some(commands) = to_log else {
+        return Ok(None);
+    };
+    let record = WalRecord::Batch {
+        session: id.0,
+        seq: seq + 1,
+        commands,
+    };
+    let store = store.as_ref().expect("logging requires a store");
+    store.lock().unwrap().append(&record)?;
+    let WalRecord::Batch { commands, .. } = record else {
+        unreachable!()
+    };
+    Ok(Some(commands))
+}
+
+/// Advances the session's durable cursor after a logged commit.
+fn note_logged(sess: &mut Session, logged: Option<Vec<PersistCommand>>) {
+    if let Some(commands) = logged {
+        sess.seq += 1;
+        persist::absorb_committed(&mut sess.specs, &commands);
     }
 }
 
@@ -645,8 +1163,10 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 
 /// Pre-flight validation: every referenced id must exist, counting ids the
 /// batch itself will allocate before the referencing command runs. Runs
-/// before any command executes, so an invalid batch is a no-op.
-fn validate(net: &Network, commands: &[Command]) -> Result<(), BatchError> {
+/// before any command executes, so an invalid batch is a no-op. With
+/// `durable`, commands that cannot be persisted (custom constraint kinds)
+/// are rejected too — everything that reaches the log must replay.
+fn validate(net: &Network, commands: &[Command], durable: bool) -> Result<(), BatchError> {
     let mut n_vars = net.n_variables();
     let mut n_cons = net.n_constraint_slots();
     let invalid = |index: usize, reason: String| BatchError::InvalidCommand { index, reason };
@@ -661,7 +1181,13 @@ fn validate(net: &Network, commands: &[Command]) -> Result<(), BatchError> {
                     return Err(invalid(ix, format!("unknown variable {var}")));
                 }
             }
-            Command::AddConstraint { args, .. } => {
+            Command::AddConstraint { spec, args } => {
+                if durable && matches!(spec, ConstraintSpec::Custom(_)) {
+                    return Err(invalid(
+                        ix,
+                        "custom constraint kinds cannot be persisted on a durable engine".into(),
+                    ));
+                }
                 for arg in args {
                     if arg.index() >= n_vars {
                         return Err(invalid(ix, format!("unknown argument {arg}")));

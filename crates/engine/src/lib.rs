@@ -30,6 +30,13 @@
 //!   back, and the session quarantined — mutating batches are refused
 //!   (reads still work) until [`Engine::lift_quarantine`]. Other sessions,
 //!   including ones on the same worker, are unaffected.
+//! - **Durability (opt-in).** [`Engine::open`] roots the engine on a
+//!   `stem-persist` store: every committed batch is appended to a
+//!   segmented write-ahead log *before* it is acknowledged, snapshot
+//!   checkpoints bound replay time and compact the log, and reopening the
+//!   directory rebuilds every session exactly as of its last acknowledged
+//!   commit ([`Durability`] picks the fsync regime; [`DurabilityOptions`]
+//!   the segment/checkpoint thresholds).
 //! - **Observability.** Engine-wide lock-free counters
 //!   ([`Engine::stats`] → [`EngineStats`]: batches, waves, assignments,
 //!   violations, rollbacks, queue-depth high-water mark, coarse latency
@@ -42,8 +49,10 @@
 
 mod command;
 mod engine;
+mod persist;
 mod stats;
 
 pub use command::{BatchError, BatchOutcome, Command, ConstraintSpec, KindFactory, Output, Source};
 pub use engine::{BatchTicket, Engine, EngineConfig, RollbackStrategy, SessionId};
+pub use persist::{Durability, DurabilityOptions};
 pub use stats::{EngineStats, SessionStats, LATENCY_BUCKET_BOUNDS_US, N_LATENCY_BUCKETS};

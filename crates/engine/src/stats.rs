@@ -33,6 +33,7 @@ pub(crate) struct Counters {
     pub plan_compiles: AtomicU64,
     pub plan_cache_hits: AtomicU64,
     pub plan_cache_invalidations: AtomicU64,
+    pub recoveries: AtomicU64,
     pub latency_buckets: [AtomicU64; N_LATENCY_BUCKETS],
 }
 
@@ -82,6 +83,10 @@ impl Counters {
             plan_compiles: self.plan_compiles.load(Ordering::Relaxed),
             plan_cache_hits: self.plan_cache_hits.load(Ordering::Relaxed),
             plan_cache_invalidations: self.plan_cache_invalidations.load(Ordering::Relaxed),
+            recoveries: self.recoveries.load(Ordering::Relaxed),
+            wal_appends: 0,
+            wal_bytes: 0,
+            snapshots_written: 0,
             latency_buckets,
         }
     }
@@ -121,6 +126,17 @@ pub struct EngineStats {
     pub plan_cache_hits: u64,
     /// Cached plans discarded after structural edits, across all sessions.
     pub plan_cache_invalidations: u64,
+    /// Sessions reconstructed from the store at [`crate::Engine::open`]
+    /// (snapshot image + log-tail replay).
+    pub recoveries: u64,
+    /// Write-ahead log records appended since the store was opened
+    /// (filled from the store by [`crate::Engine::stats`]; 0 on a
+    /// non-durable engine).
+    pub wal_appends: u64,
+    /// Write-ahead log bytes appended since the store was opened.
+    pub wal_bytes: u64,
+    /// Snapshot checkpoints written since the store was opened.
+    pub snapshots_written: u64,
     /// Batch latency histogram; bucket `i` counts batches with
     /// enqueue-to-reply latency under [`LATENCY_BUCKET_BOUNDS_US`]`[i]` µs
     /// (last bucket: everything slower).

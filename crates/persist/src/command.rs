@@ -1,0 +1,306 @@
+//! The persisted command vocabulary: a `Send`, codec-stable mirror of the
+//! engine's batch commands.
+//!
+//! The engine's own `Command` cannot be logged directly — its
+//! `ConstraintSpec::Custom` variant carries an arbitrary closure, which has
+//! no byte representation. This mirror is the closed, replayable subset;
+//! the engine converts commands into it before applying a batch and
+//! refuses custom kinds when durability is on, so everything that reaches
+//! the log is guaranteed to replay.
+
+use stem_core::codec::{
+    put_bool, put_cid, put_f64, put_str, put_u32, put_u8, put_value, put_var, DecodeError, Reader,
+};
+use stem_core::{ConstraintId, Value, VarId};
+
+/// A `Send` + codec-stable constraint description (the closed subset of
+/// the engine's `ConstraintSpec`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PersistSpec {
+    /// All arguments equal.
+    Equality,
+    /// Last argument = sum of the others.
+    Sum,
+    /// Last argument = max of the others.
+    Max,
+    /// Last argument = min of the others.
+    Min,
+    /// Last argument = product of the others.
+    Product,
+    /// Last argument = `gain * first + offset`.
+    Scale {
+        /// Multiplier.
+        gain: f64,
+        /// Addend.
+        offset: f64,
+    },
+    /// Check-only predicate: every argument ≤ the bound.
+    LeConst(Value),
+    /// Check-only predicate: every argument ≥ the bound.
+    GeConst(Value),
+    /// Check-only predicate: every argument = the constant.
+    EqConst(Value),
+    /// Check-only predicate: `args[0] ≤ args[1]`.
+    Le,
+    /// Check-only predicate: `args[0] < args[1]`.
+    Lt,
+}
+
+impl PersistSpec {
+    /// Appends the spec to `buf`.
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            PersistSpec::Equality => put_u8(buf, 0),
+            PersistSpec::Sum => put_u8(buf, 1),
+            PersistSpec::Max => put_u8(buf, 2),
+            PersistSpec::Min => put_u8(buf, 3),
+            PersistSpec::Product => put_u8(buf, 4),
+            PersistSpec::Scale { gain, offset } => {
+                put_u8(buf, 5);
+                put_f64(buf, *gain);
+                put_f64(buf, *offset);
+            }
+            PersistSpec::LeConst(v) => {
+                put_u8(buf, 6);
+                put_value(buf, v);
+            }
+            PersistSpec::GeConst(v) => {
+                put_u8(buf, 7);
+                put_value(buf, v);
+            }
+            PersistSpec::EqConst(v) => {
+                put_u8(buf, 8);
+                put_value(buf, v);
+            }
+            PersistSpec::Le => put_u8(buf, 9),
+            PersistSpec::Lt => put_u8(buf, 10),
+        }
+    }
+
+    /// Reads a spec from `r`.
+    pub fn decode(r: &mut Reader<'_>) -> Result<PersistSpec, DecodeError> {
+        let at = r.position();
+        Ok(match r.u8()? {
+            0 => PersistSpec::Equality,
+            1 => PersistSpec::Sum,
+            2 => PersistSpec::Max,
+            3 => PersistSpec::Min,
+            4 => PersistSpec::Product,
+            5 => PersistSpec::Scale {
+                gain: r.f64()?,
+                offset: r.f64()?,
+            },
+            6 => PersistSpec::LeConst(r.value()?),
+            7 => PersistSpec::GeConst(r.value()?),
+            8 => PersistSpec::EqConst(r.value()?),
+            9 => PersistSpec::Le,
+            10 => PersistSpec::Lt,
+            tag => {
+                return Err(DecodeError::Tag {
+                    tag,
+                    what: "PersistSpec",
+                    at,
+                })
+            }
+        })
+    }
+}
+
+/// Claimed provenance of a persisted `Set` (mirrors the engine's `Source`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PersistSource {
+    /// A direct designer edit.
+    #[default]
+    User,
+    /// A tool/application computation.
+    Application,
+    /// Consistency-maintenance refresh.
+    Update,
+    /// A class-definition default.
+    DefaultValue,
+}
+
+impl PersistSource {
+    fn encode(self, buf: &mut Vec<u8>) {
+        put_u8(
+            buf,
+            match self {
+                PersistSource::User => 0,
+                PersistSource::Application => 1,
+                PersistSource::Update => 2,
+                PersistSource::DefaultValue => 3,
+            },
+        );
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<PersistSource, DecodeError> {
+        let at = r.position();
+        Ok(match r.u8()? {
+            0 => PersistSource::User,
+            1 => PersistSource::Application,
+            2 => PersistSource::Update,
+            3 => PersistSource::DefaultValue,
+            tag => {
+                return Err(DecodeError::Tag {
+                    tag,
+                    what: "PersistSource",
+                    at,
+                })
+            }
+        })
+    }
+}
+
+/// One mutating command of a committed batch, as stored in the log.
+///
+/// Read-only commands (`Get`, `Probe`, `DumpValues`, `CheckAll`) are never
+/// logged: replaying them would be a no-op, and a batch with no mutating
+/// command writes no record at all.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PersistCommand {
+    /// Adds a plain variable.
+    AddVariable {
+        /// Display name.
+        name: String,
+    },
+    /// Assigns a value with full propagation.
+    Set {
+        /// Target variable.
+        var: VarId,
+        /// New value.
+        value: Value,
+        /// Claimed provenance.
+        source: PersistSource,
+    },
+    /// Erases a variable to `Nil`/unset without propagation.
+    Unset {
+        /// Target variable.
+        var: VarId,
+    },
+    /// Installs a constraint over `args`.
+    AddConstraint {
+        /// What the constraint does.
+        spec: PersistSpec,
+        /// Its argument variables.
+        args: Vec<VarId>,
+    },
+    /// Removes a constraint.
+    RemoveConstraint {
+        /// Target constraint.
+        constraint: ConstraintId,
+    },
+    /// Enables or disables one constraint.
+    EnableConstraint {
+        /// Target constraint.
+        constraint: ConstraintId,
+        /// New enabled state.
+        enabled: bool,
+    },
+    /// Enables/disables every constraint of a kind.
+    SetKindEnabled {
+        /// Kind label, e.g. `"equality"`.
+        kind_name: String,
+        /// New enabled state.
+        enabled: bool,
+    },
+    /// Relaxes/tightens the per-cycle value-change rule.
+    SetValueChangeLimit {
+        /// New limit.
+        limit: u32,
+    },
+}
+
+impl PersistCommand {
+    /// Appends the command to `buf`.
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            PersistCommand::AddVariable { name } => {
+                put_u8(buf, 0);
+                put_str(buf, name);
+            }
+            PersistCommand::Set { var, value, source } => {
+                put_u8(buf, 1);
+                put_var(buf, *var);
+                put_value(buf, value);
+                source.encode(buf);
+            }
+            PersistCommand::Unset { var } => {
+                put_u8(buf, 2);
+                put_var(buf, *var);
+            }
+            PersistCommand::AddConstraint { spec, args } => {
+                put_u8(buf, 3);
+                spec.encode(buf);
+                put_u32(buf, args.len() as u32);
+                for a in args {
+                    put_var(buf, *a);
+                }
+            }
+            PersistCommand::RemoveConstraint { constraint } => {
+                put_u8(buf, 4);
+                put_cid(buf, *constraint);
+            }
+            PersistCommand::EnableConstraint {
+                constraint,
+                enabled,
+            } => {
+                put_u8(buf, 5);
+                put_cid(buf, *constraint);
+                put_bool(buf, *enabled);
+            }
+            PersistCommand::SetKindEnabled { kind_name, enabled } => {
+                put_u8(buf, 6);
+                put_str(buf, kind_name);
+                put_bool(buf, *enabled);
+            }
+            PersistCommand::SetValueChangeLimit { limit } => {
+                put_u8(buf, 7);
+                put_u32(buf, *limit);
+            }
+        }
+    }
+
+    /// Reads a command from `r`.
+    pub fn decode(r: &mut Reader<'_>) -> Result<PersistCommand, DecodeError> {
+        let at = r.position();
+        Ok(match r.u8()? {
+            0 => PersistCommand::AddVariable {
+                name: r.str()?.to_owned(),
+            },
+            1 => PersistCommand::Set {
+                var: r.var()?,
+                value: r.value()?,
+                source: PersistSource::decode(r)?,
+            },
+            2 => PersistCommand::Unset { var: r.var()? },
+            3 => {
+                let spec = PersistSpec::decode(r)?;
+                let n = r.len()?;
+                let mut args = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    args.push(r.var()?);
+                }
+                PersistCommand::AddConstraint { spec, args }
+            }
+            4 => PersistCommand::RemoveConstraint {
+                constraint: r.cid()?,
+            },
+            5 => PersistCommand::EnableConstraint {
+                constraint: r.cid()?,
+                enabled: r.bool()?,
+            },
+            6 => PersistCommand::SetKindEnabled {
+                kind_name: r.str()?.to_owned(),
+                enabled: r.bool()?,
+            },
+            7 => PersistCommand::SetValueChangeLimit { limit: r.u32()? },
+            tag => {
+                return Err(DecodeError::Tag {
+                    tag,
+                    what: "PersistCommand",
+                    at,
+                })
+            }
+        })
+    }
+}

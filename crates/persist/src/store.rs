@@ -1,0 +1,360 @@
+//! The on-disk store: a directory of WAL segments plus snapshot files.
+//!
+//! ```text
+//! <dir>/wal-00000000.log    sealed segment (header magic + frames)
+//! <dir>/wal-00000001.log    … more sealed segments …
+//! <dir>/wal-00000002.log    active segment (single writer appends)
+//! <dir>/snap-00000000.snap  checkpoint files; highest valid one wins
+//! ```
+//!
+//! ## Lifecycle
+//!
+//! Appends go to the active segment; once it passes the rotation
+//! threshold it is synced, sealed, and a fresh segment is opened. A
+//! checkpoint seals the active segment first ([`Store::seal_for_checkpoint`]),
+//! so every record written before the checkpoint's state gather lives in a
+//! sealed segment; after the snapshot file is durably in place
+//! ([`Store::write_snapshot`]) exactly those segments are deleted. Records
+//! appended *during* the gather land in the new active segment and remain
+//! — they are deduplicated at replay by the per-session sequence numbers,
+//! never by file bookkeeping.
+//!
+//! ## Recovery
+//!
+//! [`Store::open`] picks the newest snapshot that passes its checksum,
+//! then scans the remaining segments in order, stopping at the first
+//! invalid frame anywhere (crash-only fault model: bytes past a torn
+//! frame are garbage from the same interrupted write, and later segments
+//! cannot contain acknowledged data if an earlier one is torn, because
+//! appends are strictly ordered through one writer). New appends always
+//! open a fresh segment, so a truncated tail is abandoned, not overwritten.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+use crate::record::{scan_frame, FrameScan, WalRecord};
+use crate::snapshot::Snapshot;
+
+/// Magic prefix of a WAL segment file (8 bytes, version included).
+pub const SEGMENT_MAGIC: &[u8; 8] = b"STEMWAL1";
+
+/// Minimal file abstraction the store writes through — real files in
+/// production, [`FailingFile`](crate::fault::FailingFile) under fault
+/// injection. Reads always go through the real filesystem: the fault
+/// model is torn *writes*, and recovery must see exactly what a write
+/// left behind.
+pub trait StoreFile: Write + Send {
+    /// Durably flushes written bytes (fsync / `fdatasync`).
+    fn sync(&mut self) -> io::Result<()>;
+}
+
+impl StoreFile for fs::File {
+    fn sync(&mut self) -> io::Result<()> {
+        self.sync_data()
+    }
+}
+
+/// Opens (create + truncate) a writable store file at `path`.
+pub type FileFactory = Box<dyn Fn(&Path) -> io::Result<Box<dyn StoreFile>> + Send>;
+
+fn real_files() -> FileFactory {
+    Box::new(|path| {
+        let f = fs::OpenOptions::new()
+            .create(true)
+            .truncate(true)
+            .write(true)
+            .open(path)?;
+        Ok(Box::new(f) as Box<dyn StoreFile>)
+    })
+}
+
+/// When appended records are fsynced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SyncPolicy {
+    /// fsync inside every [`Store::append`] — nothing acknowledged is ever
+    /// lost, at ~one disk flush per commit.
+    #[default]
+    Always,
+    /// Never fsync from `append`; the owner calls [`Store::sync`] on its
+    /// own schedule (the engine's interval-sync mode). A crash loses at
+    /// most one interval of acknowledged commits — but never tears a
+    /// committed prefix, since the kernel writes the log back in order of
+    /// the page cache, and recovery truncates at the first bad record
+    /// regardless.
+    Deferred,
+}
+
+/// Store construction knobs.
+pub struct StoreOptions {
+    /// Active-segment size that triggers rotation.
+    pub segment_bytes: u64,
+    /// fsync policy for appends.
+    pub sync: SyncPolicy,
+    /// File opener — swap in a failing one for fault injection.
+    pub file_factory: FileFactory,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        StoreOptions {
+            segment_bytes: 1 << 20,
+            sync: SyncPolicy::Always,
+            file_factory: real_files(),
+        }
+    }
+}
+
+/// Counters the engine surfaces through `Engine::stats()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    /// Records appended over this store's lifetime (excludes recovery).
+    pub appends: u64,
+    /// Frame bytes appended.
+    pub bytes: u64,
+    /// Snapshot files durably written.
+    pub snapshots_written: u64,
+    /// Log bytes appended since the last snapshot (checkpoint trigger).
+    pub bytes_since_checkpoint: u64,
+    /// Segment files currently on disk (sealed + active).
+    pub segments: u64,
+}
+
+/// What [`Store::open`] found on disk.
+#[derive(Debug, Default)]
+pub struct Recovered {
+    /// Newest checksum-valid snapshot, if any.
+    pub snapshot: Option<Snapshot>,
+    /// Valid log records after (and not covered by) the snapshot, in
+    /// append order. Per-session sequence filtering is the caller's job.
+    pub tail: Vec<WalRecord>,
+    /// Whether a torn/corrupt frame was dropped during the scan.
+    pub truncated: bool,
+}
+
+/// A directory-backed segmented WAL + snapshot store. Single writer; the
+/// engine serialises access behind a mutex.
+pub struct Store {
+    dir: PathBuf,
+    opts: StoreOptions,
+    file: Box<dyn StoreFile>,
+    seg_index: u64,
+    seg_bytes: u64,
+    sealed: Vec<u64>,
+    next_snap: u64,
+    dirty: bool,
+    stats: StoreStats,
+}
+
+fn parse_index(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
+    name.strip_prefix(prefix)?
+        .strip_suffix(suffix)?
+        .parse()
+        .ok()
+}
+
+fn seg_path(dir: &Path, idx: u64) -> PathBuf {
+    dir.join(format!("wal-{idx:08}.log"))
+}
+
+fn snap_path(dir: &Path, idx: u64) -> PathBuf {
+    dir.join(format!("snap-{idx:08}.snap"))
+}
+
+fn sync_dir(dir: &Path) -> io::Result<()> {
+    // Make renames/creates durable. Directory fsync is a Unix notion;
+    // if the platform refuses, the data files themselves are still synced.
+    if let Ok(d) = fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+impl Store {
+    /// Opens (creating if needed) the store at `dir`, returning the store
+    /// positioned for appends plus everything recovered from disk.
+    pub fn open(dir: impl Into<PathBuf>, opts: StoreOptions) -> io::Result<(Store, Recovered)> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+
+        let mut seg_indexes = BTreeSet::new();
+        let mut snap_indexes = BTreeSet::new();
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if name.ends_with(".tmp") {
+                // Leftover from a crash mid-snapshot: never renamed into
+                // place, so it was never the truth. Discard.
+                let _ = fs::remove_file(entry.path());
+            } else if let Some(i) = parse_index(name, "wal-", ".log") {
+                seg_indexes.insert(i);
+            } else if let Some(i) = parse_index(name, "snap-", ".snap") {
+                snap_indexes.insert(i);
+            }
+        }
+
+        let mut recovered = Recovered::default();
+        for &i in snap_indexes.iter().rev() {
+            if let Ok(bytes) = fs::read(snap_path(&dir, i)) {
+                if let Some(snap) = Snapshot::decode_file(&bytes) {
+                    recovered.snapshot = Some(snap);
+                    break;
+                }
+                recovered.truncated = true;
+            }
+        }
+
+        'segments: for &i in &seg_indexes {
+            let bytes = fs::read(seg_path(&dir, i))?;
+            let Some(mut rest) = bytes.strip_prefix(SEGMENT_MAGIC.as_slice()) else {
+                recovered.truncated |= !bytes.is_empty();
+                break;
+            };
+            loop {
+                match scan_frame(rest) {
+                    FrameScan::Ok { payload, rest: r } => {
+                        match WalRecord::decode_payload(payload) {
+                            Ok(rec) => recovered.tail.push(rec),
+                            Err(_) => {
+                                recovered.truncated = true;
+                                break 'segments;
+                            }
+                        }
+                        rest = r;
+                    }
+                    FrameScan::End => {
+                        if !rest.is_empty() {
+                            recovered.truncated = true;
+                            break 'segments;
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Appends never touch an existing segment: a fresh one both avoids
+        // writing after a torn tail and keeps sealed files immutable.
+        let seg_index = seg_indexes.iter().next_back().map_or(0, |i| i + 1);
+        let mut file = (opts.file_factory)(&seg_path(&dir, seg_index))?;
+        file.write_all(SEGMENT_MAGIC)?;
+        file.sync()?;
+        sync_dir(&dir)?;
+
+        let sealed: Vec<u64> = seg_indexes.into_iter().collect();
+        let stats = StoreStats {
+            segments: sealed.len() as u64 + 1,
+            ..StoreStats::default()
+        };
+        let store = Store {
+            next_snap: snap_indexes.iter().next_back().map_or(0, |i| i + 1),
+            dir,
+            opts,
+            file,
+            seg_index,
+            seg_bytes: SEGMENT_MAGIC.len() as u64,
+            sealed,
+            dirty: false,
+            stats,
+        };
+        Ok((store, recovered))
+    }
+
+    /// Appends one record, rotating and fsyncing per policy. Returns the
+    /// frame size in bytes. On error the record must be treated as *not
+    /// logged*: the caller rolls the batch back and refuses to ack.
+    pub fn append(&mut self, rec: &WalRecord) -> io::Result<usize> {
+        let frame = rec.encode_frame();
+        self.file.write_all(&frame)?;
+        self.dirty = true;
+        self.seg_bytes += frame.len() as u64;
+        self.stats.appends += 1;
+        self.stats.bytes += frame.len() as u64;
+        self.stats.bytes_since_checkpoint += frame.len() as u64;
+        if self.opts.sync == SyncPolicy::Always {
+            self.sync()?;
+        }
+        if self.seg_bytes >= self.opts.segment_bytes {
+            self.rotate()?;
+        }
+        Ok(frame.len())
+    }
+
+    /// Durably flushes any unsynced appends (interval-sync driver).
+    pub fn sync(&mut self) -> io::Result<()> {
+        if self.dirty {
+            self.file.sync()?;
+            self.dirty = false;
+        }
+        Ok(())
+    }
+
+    fn rotate(&mut self) -> io::Result<()> {
+        self.sync()?;
+        self.sealed.push(self.seg_index);
+        self.seg_index += 1;
+        let mut file = (self.opts.file_factory)(&seg_path(&self.dir, self.seg_index))?;
+        file.write_all(SEGMENT_MAGIC)?;
+        self.file = file;
+        self.dirty = true;
+        self.seg_bytes = SEGMENT_MAGIC.len() as u64;
+        self.stats.segments += 1;
+        Ok(())
+    }
+
+    /// Seals the active segment (if it holds any records) and returns every
+    /// sealed segment index. Call *before* gathering checkpoint state:
+    /// all records already appended are then in sealed segments, so the
+    /// gathered state covers them, and only them may be deleted once the
+    /// snapshot lands ([`Store::write_snapshot`]).
+    pub fn seal_for_checkpoint(&mut self) -> io::Result<Vec<u64>> {
+        if self.seg_bytes > SEGMENT_MAGIC.len() as u64 {
+            self.rotate()?;
+        }
+        Ok(self.sealed.clone())
+    }
+
+    /// Durably writes `snap` (tmp + fsync + rename + dir fsync), then
+    /// retires the `covered` segments and all older snapshot files. A
+    /// crash before the rename leaves the previous snapshot authoritative;
+    /// a crash after it can only lose files the snapshot supersedes.
+    pub fn write_snapshot(&mut self, snap: &Snapshot, covered: &[u64]) -> io::Result<()> {
+        let idx = self.next_snap;
+        let final_path = snap_path(&self.dir, idx);
+        let tmp_path = final_path.with_extension("snap.tmp");
+        {
+            let mut f = (self.opts.file_factory)(&tmp_path)?;
+            f.write_all(&snap.encode_file())?;
+            f.sync()?;
+        }
+        fs::rename(&tmp_path, &final_path)?;
+        sync_dir(&self.dir)?;
+        self.next_snap = idx + 1;
+        self.stats.snapshots_written += 1;
+        self.stats.bytes_since_checkpoint = 0;
+
+        for old in 0..idx {
+            let _ = fs::remove_file(snap_path(&self.dir, old));
+        }
+        for &seg in covered {
+            if fs::remove_file(seg_path(&self.dir, seg)).is_ok() {
+                self.sealed.retain(|&s| s != seg);
+                self.stats.segments = self.stats.segments.saturating_sub(1);
+            }
+        }
+        sync_dir(&self.dir)?;
+        Ok(())
+    }
+
+    /// Running counters.
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+
+    /// The directory this store lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}

@@ -25,6 +25,10 @@
 //!   independent networks behind a transactional batch API, sharded across
 //!   a worker pool, with rollback, panic quarantine, step budgets,
 //!   backpressure and engine-level statistics.
+//! - [`persist`] — durable sessions for the engine: a segmented
+//!   write-ahead log of committed command batches, snapshot checkpoints,
+//!   and crash recovery (`Engine::open` rebuilds every session exactly as
+//!   of its last acknowledged commit).
 //!
 //! ## Quickstart
 //!
@@ -50,4 +54,5 @@ pub use stem_design as design;
 pub use stem_engine as engine;
 pub use stem_geom as geom;
 pub use stem_modsel as modsel;
+pub use stem_persist as persist;
 pub use stem_sim as sim;

@@ -35,6 +35,11 @@ def load_current():
     median: on a loaded single-CPU builder the median of a 5-sample smoke
     run swings ±40% with background load, while the best case — which a
     real regression cannot fake — stays within a few percent.
+
+    Records the benches emit that the baseline schema doesn't know about —
+    a missing `min_ns`/`ops_per_sec`, an id-less record from a newer bench
+    runner — are warned about and skipped, never a crash: the gate must
+    keep working while the bench suite grows ahead of the baseline.
     """
     merged = {}
     for path in sorted(glob.glob(os.path.join(ROOT, "BENCH_*.json"))):
@@ -43,8 +48,20 @@ def load_current():
         with open(path) as f:
             doc = json.load(f)
         for r in doc.get("results", []):
-            ops = 1e9 / r["min_ns"] if r.get("min_ns") else r["ops_per_sec"]
-            merged[r["id"]] = ops
+            bid = r.get("id")
+            if bid is None:
+                print(f"bench-compare: WARN {os.path.basename(path)}: "
+                      f"skipping record without an 'id': {r}")
+                continue
+            if r.get("min_ns"):
+                ops = 1e9 / r["min_ns"]
+            elif r.get("ops_per_sec"):
+                ops = r["ops_per_sec"]
+            else:
+                print(f"bench-compare: WARN {os.path.basename(path)}: {bid} has "
+                      f"neither 'min_ns' nor 'ops_per_sec'; skipping")
+                continue
+            merged[bid] = ops
     return merged
 
 
@@ -84,7 +101,7 @@ def main():
         print(f"bench-compare: missing {BASELINE} (run with --update to create it)")
         return 1
     with open(BASELINE) as f:
-        baseline = json.load(f)["results"]
+        baseline = json.load(f).get("results", {})
 
     failures, missing = [], []
     for bid, base_ops in sorted(baseline.items()):
@@ -97,8 +114,12 @@ def main():
         print(f"  [{mark:>4}] {bid}: {cur_ops:>12.0f} ops/s vs baseline {base_ops:>12.0f} ({ratio:.2f}x)")
         if mark == "FAIL":
             failures.append(bid)
-    for bid in sorted(set(current) - set(baseline)):
+    new_ids = sorted(set(current) - set(baseline))
+    for bid in new_ids:
         print(f"  [ new] {bid}: {current[bid]:.0f} ops/s (not in baseline)")
+    if new_ids:
+        print(f"bench-compare: WARN {len(new_ids)} id(s) not in baseline (pass, "
+              f"ungated): {', '.join(new_ids)} — refresh with --update/--merge-min")
 
     if missing:
         print(f"bench-compare: {len(missing)} baseline id(s) absent from current run: {', '.join(missing)}")
