@@ -1,7 +1,7 @@
 //! The engine proper: a fixed pool of worker threads, each owning the
 //! networks of the sessions sharded onto it.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -118,6 +118,13 @@ enum Job {
     Checkpoint {
         reply: mpsc::Sender<GatherReply>,
     },
+    /// Drop these ids from the worker's closed-session set: the
+    /// checkpoint machinery proved every log record that could mention
+    /// them has been compacted away, so recovery can never again meet a
+    /// record that needs them.
+    Forget {
+        ids: Arc<HashSet<u64>>,
+    },
     Shutdown,
 }
 
@@ -179,6 +186,10 @@ struct DurableCtx {
     /// Serialises checkpoints (manual and automatic): seal → gather →
     /// write must not interleave with another checkpoint's.
     checkpoint_lock: Arc<Mutex<()>>,
+    /// Closed-session ids carried by the most recent durable snapshot;
+    /// the next fully-compacting checkpoint may tell workers to forget
+    /// them (see [`run_checkpoint`]).
+    prev_closed: Arc<Mutex<HashSet<u64>>>,
     stop: Arc<StopSignal>,
     /// Background interval-fsync / auto-checkpoint thread, when either is
     /// configured.
@@ -215,7 +226,7 @@ impl Engine {
 
     /// Creates an engine from an explicit configuration.
     pub fn with_config(config: EngineConfig) -> Self {
-        Engine::build(config, None)
+        Engine::build(config, None).0
     }
 
     /// Opens (or creates) a durable engine rooted at `dir`: loads the
@@ -247,7 +258,7 @@ impl Engine {
         };
         let (store, recovered) = Store::open(dir, store_opts)?;
         let plan = persist::plan_recovery(recovered);
-        Ok(Engine::build(
+        let (engine, anomalies) = Engine::build(
             config,
             Some(DurableSetup {
                 store,
@@ -255,10 +266,25 @@ impl Engine {
                 checkpoint_bytes: opts.checkpoint_bytes,
                 plan,
             }),
-        ))
+        );
+        if anomalies > 0 {
+            // One or more sessions recovered from a corrupt log tail
+            // (sequence gap or a committed batch that no longer replays):
+            // their durable cursors were rewound, so the log still holds
+            // stale records at sequence numbers new commits would reuse.
+            // Fence immediately: a fresh snapshot captures the rewound
+            // state and compaction deletes the stale records, so they can
+            // never shadow new commits at the next recovery. (No-op under
+            // `Durability::Off`, which logs no new commits.)
+            engine.checkpoint()?;
+        }
+        Ok(engine)
     }
 
-    fn build(config: EngineConfig, durable: Option<DurableSetup>) -> Self {
+    /// Builds the engine and returns it along with the number of sessions
+    /// that recovered anomalously (quarantined); blocks until every
+    /// worker has finished rebuilding its recovered sessions.
+    fn build(config: EngineConfig, durable: Option<DurableSetup>) -> (Self, u64) {
         let workers = config.workers.max(1);
         let queue = config.queue_capacity.max(1);
         let counters = Arc::new(Counters::default());
@@ -266,11 +292,16 @@ impl Engine {
         let mut recover_by_shard: Vec<Vec<RecoveredSession>> =
             (0..workers).map(|_| Vec::new()).collect();
         let mut closed_by_shard: Vec<Vec<u64>> = (0..workers).map(|_| Vec::new()).collect();
+        let mut snapshot_closed = HashSet::new();
         let (next0, mode, store, checkpoint_bytes) = match durable {
             Some(setup) => {
                 for rs in setup.plan.sessions {
                     recover_by_shard[(rs.id % workers as u64) as usize].push(rs);
                 }
+                // Ids already in the recovered snapshot are candidates for
+                // forgetting at the next fully-compacting checkpoint: every
+                // record mentioning them predates that snapshot's seal.
+                snapshot_closed.extend(setup.plan.closed.iter().copied());
                 for id in setup.plan.closed {
                     closed_by_shard[(id % workers as u64) as usize].push(id);
                 }
@@ -283,6 +314,10 @@ impl Engine {
             }
             None => (0, None, None, 0),
         };
+
+        // Workers report how many of their sessions recovered anomalously
+        // (and are now quarantined) before they start serving jobs.
+        let (report_tx, report_rx) = mpsc::channel::<u64>();
 
         let mut senders = Vec::with_capacity(workers);
         let mut depths = Vec::with_capacity(workers);
@@ -297,6 +332,7 @@ impl Engine {
             let worker_store = store.clone();
             let recover = std::mem::take(&mut recover_by_shard[ix]);
             let closed = std::mem::take(&mut closed_by_shard[ix]);
+            let report = report_tx.clone();
             handles.push(
                 thread::Builder::new()
                     .name(format!("stem-engine-{ix}"))
@@ -314,6 +350,7 @@ impl Engine {
                             store: worker_store,
                             closed,
                             recover,
+                            report: Some(report),
                         }
                         .run()
                     })
@@ -322,7 +359,11 @@ impl Engine {
             senders.push(tx);
             depths.push(depth);
         }
+        drop(report_tx);
+        let anomalies: u64 = report_rx.iter().sum();
+
         let next_session = Arc::new(AtomicU64::new(next0));
+        let prev_closed = Arc::new(Mutex::new(snapshot_closed));
         let durable = store.map(|store| {
             let mode = mode.expect("store implies a durability mode");
             let stop = Arc::new(StopSignal::default());
@@ -336,6 +377,7 @@ impl Engine {
                     next_session: next_session.clone(),
                     store: store.clone(),
                     lock: checkpoint_lock.clone(),
+                    prev_closed: prev_closed.clone(),
                 },
                 stop.clone(),
             );
@@ -343,19 +385,23 @@ impl Engine {
                 store,
                 mode,
                 checkpoint_lock,
+                prev_closed,
                 stop,
                 flusher,
             }
         });
-        Engine {
-            senders,
-            depths,
-            counters,
-            handles,
-            next_session,
-            config,
-            durable,
-        }
+        (
+            Engine {
+                senders,
+                depths,
+                counters,
+                handles,
+                next_session,
+                config,
+                durable,
+            },
+            anomalies,
+        )
     }
 
     /// Number of worker threads.
@@ -526,6 +572,7 @@ impl Engine {
             next_session: self.next_session.clone(),
             store: d.store.clone(),
             lock: d.checkpoint_lock.clone(),
+            prev_closed: d.prev_closed.clone(),
         })?;
         Ok(true)
     }
@@ -591,6 +638,9 @@ struct CheckpointCtx {
     next_session: Arc<AtomicU64>,
     store: Arc<Mutex<Store>>,
     lock: Arc<Mutex<()>>,
+    /// Closed ids carried by the previous durable snapshot; see
+    /// [`run_checkpoint`]'s forget protocol.
+    prev_closed: Arc<Mutex<HashSet<u64>>>,
 }
 
 /// Seal → gather → write. Rotating *before* the gather puts every record
@@ -629,10 +679,42 @@ fn run_checkpoint(ctx: &CheckpointCtx) -> io::Result<()> {
     let next_session = ctx.next_session.load(Ordering::Relaxed);
     let snap = Snapshot {
         next_session,
-        closed,
+        closed: closed.clone(),
         sessions,
     };
-    ctx.store.lock().unwrap().write_snapshot(&snap, &covered)
+    let fully_compacted = ctx.store.lock().unwrap().write_snapshot(&snap, &covered)?;
+
+    // Forget protocol, two checkpoints behind: an id in the *previous*
+    // snapshot was closed before that snapshot sealed, so every record
+    // mentioning it sits in segments this checkpoint just covered. Once
+    // those segments are verifiably gone (`fully_compacted`), nothing on
+    // disk can resurrect the id and workers may drop it. The snapshot we
+    // just wrote still lists such ids — the belt stays on until the next
+    // round — and the id bound (`next_session`) keeps them unreusable.
+    {
+        let mut prev = ctx.prev_closed.lock().unwrap();
+        let forget = if fully_compacted {
+            std::mem::take(&mut *prev)
+        } else {
+            HashSet::new()
+        };
+        *prev = closed
+            .into_iter()
+            .filter(|id| !forget.contains(id))
+            .collect();
+        if !forget.is_empty() {
+            let ids = Arc::new(forget);
+            for (ix, tx) in ctx.senders.iter().enumerate() {
+                ctx.depths[ix].fetch_add(1, Ordering::Relaxed);
+                if tx.send(Job::Forget { ids: ids.clone() }).is_err() {
+                    // Shutdown race: the worker is gone, and so is its
+                    // closed list.
+                    ctx.depths[ix].fetch_sub(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Spawns the background thread driving interval fsyncs and automatic
@@ -756,6 +838,10 @@ struct Worker {
     closed: Vec<u64>,
     /// Sessions to rebuild before the first job is served.
     recover: Vec<RecoveredSession>,
+    /// One-shot channel for reporting how many recovered sessions came
+    /// back anomalous (quarantined); sent (and dropped) before the first
+    /// job is served so [`Engine::build`] can fence the store.
+    report: Option<mpsc::Sender<u64>>,
 }
 
 impl Worker {
@@ -794,10 +880,20 @@ impl Worker {
             .sessions_created
             .fetch_add(1, Ordering::Relaxed);
         self.counters.recoveries.fetch_add(1, Ordering::Relaxed);
+        // A short replay or a planner-detected gap means the log's tail
+        // diverged from acknowledged state: quarantine the session so a
+        // human (or test harness) must acknowledge the rewind via
+        // `lift_quarantine` before new mutations are accepted.
+        let quarantined = rs.corrupt || applied < rs.tail.len() as u64;
+        if quarantined {
+            self.counters
+                .sessions_quarantined
+                .fetch_add(1, Ordering::Relaxed);
+        }
         Session {
             net,
             stats: SessionStats::default(),
-            quarantined: false,
+            quarantined,
             seq: base_seq + applied,
             specs,
         }
@@ -806,10 +902,17 @@ impl Worker {
     fn run(mut self) {
         // FIFO queues guarantee no job can observe a session before its
         // rebuild: recovery runs to completion first.
+        let mut anomalies = 0u64;
         for rs in std::mem::take(&mut self.recover) {
             let id = SessionId(rs.id);
             let sess = self.restore_session(rs);
+            if sess.quarantined {
+                anomalies += 1;
+            }
             self.sessions.insert(id, sess);
+        }
+        if let Some(tx) = self.report.take() {
+            let _ = tx.send(anomalies);
         }
         while let Ok(job) = self.rx.recv() {
             self.depth.fetch_sub(1, Ordering::Relaxed);
@@ -880,6 +983,9 @@ impl Worker {
                         }
                     }
                     let _ = reply.send((sessions, self.closed.clone()));
+                }
+                Job::Forget { ids } => {
+                    self.closed.retain(|id| !ids.contains(id));
                 }
                 Job::Shutdown => break,
             }

@@ -374,6 +374,12 @@ pub(crate) struct RecoveredSession {
     pub seq: u64,
     pub state: SessionState,
     pub tail: Vec<Vec<PersistCommand>>,
+    /// A sequence gap was detected in this session's log — corruption the
+    /// checksums could not see. The session rebuilds from its pre-gap
+    /// prefix but must come up quarantined, and the engine must fence the
+    /// log with a fresh checkpoint before accepting new commits, or the
+    /// stale higher-seq records would shadow them at the next recovery.
+    pub corrupt: bool,
 }
 
 /// What [`crate::Engine::open_with_config`] distills from a reopened
@@ -416,6 +422,7 @@ pub(crate) fn plan_recovery(rec: Recovered) -> RecoveryPlan {
                 seq,
                 state,
                 tail: Vec::new(),
+                corrupt: false,
             },
         );
     }
@@ -436,6 +443,7 @@ pub(crate) fn plan_recovery(rec: Recovered) -> RecoveryPlan {
                     seq: 0,
                     state: SessionState::default(),
                     tail: Vec::new(),
+                    corrupt: false,
                 }
             });
             if seq <= entry.seq {
@@ -446,6 +454,7 @@ pub(crate) fn plan_recovery(rec: Recovered) -> RecoveryPlan {
                 entry.tail.push(commands);
             } else {
                 gapped.insert(id);
+                entry.corrupt = true;
             }
         }
     }
@@ -518,6 +527,18 @@ mod tests {
         let plan = plan_recovery(rec);
         assert_eq!(plan.sessions[0].seq, 2, "prefix before the gap survives");
         assert_eq!(plan.sessions[0].tail.len(), 2);
+        assert!(plan.sessions[0].corrupt, "gaps flag the session as corrupt");
+    }
+
+    #[test]
+    fn clean_plans_are_not_corrupt() {
+        let rec = Recovered {
+            snapshot: None,
+            tail: vec![batch(0, 1), batch(0, 2)],
+            truncated: false,
+        };
+        let plan = plan_recovery(rec);
+        assert!(!plan.sessions[0].corrupt);
     }
 
     #[test]

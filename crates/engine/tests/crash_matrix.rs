@@ -268,7 +268,34 @@ fn check_crash_point(tag: &str, budget_bytes: usize, make_workload: impl Fn() ->
     // exactly what the reference produces for a session with no batches.
     let engine = Engine::open_with_config(&dir, config(), opts()).unwrap();
     let recovered = observe_all(&engine);
+
+    // Continuation leg: commit new acknowledged data on top of the
+    // recovered state (it lands in a segment after any repaired tear),
+    // then reopen once more. The post-recovery commits must survive —
+    // the crash's damage is never allowed to shadow them.
+    for s in 0..SESSIONS {
+        engine
+            .apply(
+                SessionId(s),
+                vec![Command::AddVariable {
+                    name: format!("post{s}"),
+                }],
+            )
+            .expect("clean-tear recovery leaves sessions writable");
+    }
+    let after_append = observe_all(&engine);
     engine.shutdown();
+    let engine = Engine::open_with_config(&dir, config(), opts()).unwrap();
+    assert_eq!(
+        observe_all(&engine),
+        after_append,
+        "{tag}: budget {budget_bytes}: records acked after recovery were \
+         dropped by the next reopen"
+    );
+    engine.shutdown();
+
+    // The differential below compares the *recovered* observation (taken
+    // before the continuation commits) against the reference prefixes.
 
     let expect_acked = reference_after(make_workload(), result.acked)
         .expect("the acked count cannot exceed the committable batches");

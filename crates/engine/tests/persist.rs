@@ -10,7 +10,9 @@ use stem_engine::{
     BatchError, Command, ConstraintSpec, Durability, DurabilityOptions, Engine, EngineConfig,
     Output, SessionId, Source,
 };
-use stem_persist::{failing_factory, ByteBudget};
+use stem_persist::{
+    failing_factory, ByteBudget, PersistCommand, PersistSource, Store, StoreOptions, WalRecord,
+};
 
 fn temp_dir(tag: &str) -> PathBuf {
     let d = std::env::temp_dir().join(format!("stem-engine-persist-{tag}-{}", std::process::id()));
@@ -456,6 +458,107 @@ fn durability_off_recovers_but_does_not_log() {
         Value::Int(5),
         "the unlogged write is gone, as Off promises"
     );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// A sequence gap in the log (corruption the checksums could not see)
+/// must quarantine the session and fence the store with a checkpoint, so
+/// the stale higher-seq record can never shadow commits made after the
+/// quarantine is lifted.
+#[test]
+fn sequence_gap_quarantines_and_fences_stale_records() {
+    let dir = temp_dir("seqgap");
+    {
+        let (mut store, _) = Store::open(&dir, StoreOptions::default()).unwrap();
+        let set_rec = |seq: u64, v: i64| WalRecord::Batch {
+            session: 0,
+            seq,
+            commands: vec![PersistCommand::Set {
+                var: VarId::from_index(0),
+                value: Value::Int(v),
+                source: PersistSource::User,
+            }],
+        };
+        store
+            .append(&WalRecord::Batch {
+                session: 0,
+                seq: 1,
+                commands: vec![PersistCommand::AddVariable { name: "v".into() }],
+            })
+            .unwrap();
+        store.append(&set_rec(2, 1)).unwrap();
+        // seq 3 is missing: the record at seq 4 is stale garbage that a
+        // post-recovery commit would otherwise collide with.
+        store.append(&set_rec(4, 99)).unwrap();
+    }
+    {
+        let engine = Engine::open_with_config(&dir, config(), opts()).unwrap();
+        let s = SessionId(0);
+        assert!(engine.session_stats(s).quarantined);
+        assert_eq!(engine.stats().sessions_quarantined, 1);
+        assert!(
+            engine.stats().snapshots_written >= 1,
+            "open must fence the anomaly with a checkpoint"
+        );
+        let err = engine.apply(s, vec![set(0, 7)]).unwrap_err();
+        assert!(matches!(err, BatchError::Quarantined), "{err}");
+        assert_eq!(dump(&engine, s)[0].1, Value::Int(1), "pre-gap prefix");
+
+        assert!(engine.lift_quarantine(s));
+        // These land at seqs 3 and 4 — the latter the same number the
+        // stale record held before the fence compacted it away.
+        engine.apply(s, vec![set(0, 2)]).unwrap();
+        engine.apply(s, vec![set(0, 5)]).unwrap();
+        engine.shutdown();
+    }
+    let engine = Engine::open_with_config(&dir, config(), opts()).unwrap();
+    let s = SessionId(0);
+    assert!(!engine.session_stats(s).quarantined);
+    assert_eq!(
+        dump(&engine, s)[0].1,
+        Value::Int(5),
+        "post-quarantine commits win; the stale seq-4 record is gone"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Closed-session ids are forgotten two checkpoints after compaction has
+/// retired every record mentioning them, so snapshots do not grow without
+/// bound — while the session still never resurrects and its id is never
+/// recycled.
+#[test]
+fn closed_ids_are_pruned_after_compaction() {
+    let dir = temp_dir("prune");
+    {
+        let engine = Engine::open_with_config(&dir, config(), opts()).unwrap();
+        let s0 = engine.create_session();
+        let s1 = engine.create_session();
+        engine.apply(s0, vec![add("keep"), set(0, 1)]).unwrap();
+        engine.apply(s1, vec![add("gone"), set(0, 2)]).unwrap();
+        assert!(engine.close_session(s1));
+        // #1 compacts the segments holding s1's records (snapshot still
+        // lists the id), #2 sees the compaction verified and tells the
+        // workers to forget, #3 writes the first id-free snapshot.
+        for _ in 0..3 {
+            assert!(engine.checkpoint().unwrap());
+        }
+        engine.shutdown();
+    }
+    let (_, rec) = Store::open(&dir, StoreOptions::default()).unwrap();
+    let snap = rec.snapshot.expect("checkpoints wrote snapshots");
+    assert!(
+        snap.closed.is_empty(),
+        "pruned closed ids still in snapshot: {:?}",
+        snap.closed
+    );
+    assert_eq!(snap.next_session, 2, "the id bound still covers s1");
+
+    let engine = Engine::open_with_config(&dir, config(), opts()).unwrap();
+    assert!(
+        dump(&engine, SessionId(1)).is_empty(),
+        "closed session must not resurrect after its id is pruned"
+    );
+    assert_eq!(engine.create_session(), SessionId(2), "id not recycled");
     let _ = fs::remove_dir_all(&dir);
 }
 

@@ -7,9 +7,12 @@
 //! ```
 //!
 //! A record is valid only if the full frame is present *and* the checksum
-//! matches. Scanning stops at the first invalid frame: with appends going
-//! through a single writer and crashes being the only fault model, bytes
-//! after a torn frame can only be garbage from the same interrupted write.
+//! matches. Scanning stops at the first invalid frame *of a segment*:
+//! with appends going through a single writer and crashes being the only
+//! fault model, bytes after a torn frame in the same file can only be
+//! garbage from the same interrupted write. Later segment files are a
+//! different matter — they were written by later process generations —
+//! and the store keeps scanning them (see `store`'s recovery notes).
 
 use crate::command::PersistCommand;
 use crate::crc::crc32;

@@ -22,12 +22,28 @@
 //! ## Recovery
 //!
 //! [`Store::open`] picks the newest snapshot that passes its checksum,
-//! then scans the remaining segments in order, stopping at the first
-//! invalid frame anywhere (crash-only fault model: bytes past a torn
-//! frame are garbage from the same interrupted write, and later segments
-//! cannot contain acknowledged data if an earlier one is torn, because
-//! appends are strictly ordered through one writer). New appends always
-//! open a fresh segment, so a truncated tail is abandoned, not overwritten.
+//! then scans the remaining segments in order. Within one segment the
+//! scan stops at the first invalid frame (crash-only fault model: bytes
+//! past a torn frame in a file are garbage from the same interrupted
+//! write) — but the scan then *continues with the next segment*. A torn
+//! tail in segment `k` only proves the writer died while appending to
+//! `k`; any `k+1` on disk was created by a *later* process generation
+//! that already recovered the pre-tear prefix, so its records are
+//! acknowledged data that must not be dropped. Each torn segment is also
+//! repaired in place at open (truncated to its checksum-valid prefix and
+//! fsynced), and a segment whose header never made it to disk is renamed
+//! aside, so the damage is dealt with once instead of being re-judged on
+//! every open. New appends always go to a fresh segment, so a truncated
+//! tail is abandoned, never overwritten.
+//!
+//! ## Single writer
+//!
+//! The store directory is guarded by an advisory `LOCK` file held (via
+//! `File::try_lock`) for the store's lifetime. A second process opening
+//! the same directory fails fast instead of computing the same fresh
+//! active-segment index and clobbering the first writer's segment; the
+//! OS drops the lock when the holder exits, so a crash never wedges the
+//! store.
 
 use std::collections::BTreeSet;
 use std::fs;
@@ -39,6 +55,10 @@ use crate::snapshot::Snapshot;
 
 /// Magic prefix of a WAL segment file (8 bytes, version included).
 pub const SEGMENT_MAGIC: &[u8; 8] = b"STEMWAL1";
+
+/// Advisory lock file guarding the store directory against a second
+/// concurrent writer process.
+const LOCK_FILE: &str = "LOCK";
 
 /// Minimal file abstraction the store writes through — real files in
 /// production, [`FailingFile`](crate::fault::FailingFile) under fault
@@ -129,12 +149,15 @@ pub struct Recovered {
     /// Valid log records after (and not covered by) the snapshot, in
     /// append order. Per-session sequence filtering is the caller's job.
     pub tail: Vec<WalRecord>,
-    /// Whether a torn/corrupt frame was dropped during the scan.
+    /// Whether a torn/corrupt frame was dropped during the scan (the
+    /// damaged segment was also repaired or quarantined on disk, so the
+    /// flag does not reappear on later opens).
     pub truncated: bool,
 }
 
 /// A directory-backed segmented WAL + snapshot store. Single writer; the
-/// engine serialises access behind a mutex.
+/// engine serialises access behind a mutex, and the directory's `LOCK`
+/// file (held for the store's lifetime) excludes other processes.
 pub struct Store {
     dir: PathBuf,
     opts: StoreOptions,
@@ -145,6 +168,8 @@ pub struct Store {
     next_snap: u64,
     dirty: bool,
     stats: StoreStats,
+    /// Holds the directory's advisory lock; released on drop (or crash).
+    _lock: fs::File,
 }
 
 fn parse_index(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
@@ -171,15 +196,62 @@ fn sync_dir(dir: &Path) -> io::Result<()> {
     Ok(())
 }
 
+/// Acquires the store directory's advisory lock, failing fast if another
+/// live process holds it. The lock file stays empty; only the OS lock on
+/// it matters, and the OS releases that when the holder exits, so a
+/// crashed process never wedges the store.
+fn acquire_lock(dir: &Path) -> io::Result<fs::File> {
+    let lock = fs::OpenOptions::new()
+        .create(true)
+        .truncate(false)
+        .write(true)
+        .open(dir.join(LOCK_FILE))?;
+    lock.try_lock().map_err(|err| match err {
+        fs::TryLockError::Error(e) => e,
+        fs::TryLockError::WouldBlock => io::Error::new(
+            io::ErrorKind::WouldBlock,
+            format!("store at {} is locked by another process", dir.display()),
+        ),
+    })?;
+    Ok(lock)
+}
+
+/// Truncates a torn segment to its checksum-valid prefix, durably.
+/// `set_len` is a metadata operation: a crash mid-repair cannot tear the
+/// surviving records the way rewriting the file could.
+fn repair_segment(path: &Path, keep: u64) -> io::Result<()> {
+    let f = fs::OpenOptions::new().write(true).open(path)?;
+    f.set_len(keep)?;
+    f.sync_all()?;
+    Ok(())
+}
+
+/// Retires a segment whose header never made it to disk: an empty file
+/// (crash between create and magic write) is deleted, anything else is
+/// renamed out of the `wal-*.log` namespace so later opens ignore it
+/// without re-judging the corruption.
+fn quarantine_segment(path: &Path, empty: bool) -> io::Result<()> {
+    if empty {
+        fs::remove_file(path)
+    } else {
+        fs::rename(path, path.with_extension("log.corrupt"))
+    }
+}
+
 impl Store {
     /// Opens (creating if needed) the store at `dir`, returning the store
     /// positioned for appends plus everything recovered from disk.
     pub fn open(dir: impl Into<PathBuf>, opts: StoreOptions) -> io::Result<(Store, Recovered)> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
+        let lock = acquire_lock(&dir)?;
 
         let mut seg_indexes = BTreeSet::new();
         let mut snap_indexes = BTreeSet::new();
+        // Indexes burnt by quarantined (`.log.corrupt`) segments: never
+        // reused, so a fresh segment cannot collide with a quarantined
+        // name and the on-disk append order stays the index order.
+        let mut burnt = 0u64;
         for entry in fs::read_dir(&dir)? {
             let entry = entry?;
             let name = entry.file_name();
@@ -190,6 +262,8 @@ impl Store {
                 let _ = fs::remove_file(entry.path());
             } else if let Some(i) = parse_index(name, "wal-", ".log") {
                 seg_indexes.insert(i);
+            } else if let Some(i) = parse_index(name, "wal-", ".log.corrupt") {
+                burnt = burnt.max(i + 1);
             } else if let Some(i) = parse_index(name, "snap-", ".snap") {
                 snap_indexes.insert(i);
             }
@@ -206,28 +280,44 @@ impl Store {
             }
         }
 
-        'segments: for &i in &seg_indexes {
-            let bytes = fs::read(seg_path(&dir, i))?;
+        // Scan every segment in index (= append) order. A bad frame ends
+        // that *segment* — frame lengths chain, so resynchronising inside
+        // a file is impossible — but never the scan: later segments were
+        // written by later process generations on top of the recovered
+        // prefix and hold acknowledged records. Damaged segments are
+        // repaired (or quarantined) here, once, so the fault is not
+        // re-judged on every open.
+        let mut live_indexes = BTreeSet::new();
+        for &i in &seg_indexes {
+            let path = seg_path(&dir, i);
+            let bytes = fs::read(&path)?;
             let Some(mut rest) = bytes.strip_prefix(SEGMENT_MAGIC.as_slice()) else {
                 recovered.truncated |= !bytes.is_empty();
-                break;
+                quarantine_segment(&path, bytes.is_empty())?;
+                continue;
             };
+            live_indexes.insert(i);
+            let mut valid = SEGMENT_MAGIC.len() as u64;
             loop {
                 match scan_frame(rest) {
                     FrameScan::Ok { payload, rest: r } => {
                         match WalRecord::decode_payload(payload) {
-                            Ok(rec) => recovered.tail.push(rec),
+                            Ok(rec) => {
+                                recovered.tail.push(rec);
+                                valid += 8 + payload.len() as u64;
+                                rest = r;
+                            }
                             Err(_) => {
                                 recovered.truncated = true;
-                                break 'segments;
+                                repair_segment(&path, valid)?;
+                                break;
                             }
                         }
-                        rest = r;
                     }
                     FrameScan::End => {
                         if !rest.is_empty() {
                             recovered.truncated = true;
-                            break 'segments;
+                            repair_segment(&path, valid)?;
                         }
                         break;
                     }
@@ -237,7 +327,12 @@ impl Store {
 
         // Appends never touch an existing segment: a fresh one both avoids
         // writing after a torn tail and keeps sealed files immutable.
-        let seg_index = seg_indexes.iter().next_back().map_or(0, |i| i + 1);
+        let seg_index = seg_indexes
+            .iter()
+            .next_back()
+            .map_or(0, |i| i + 1)
+            .max(burnt);
+        let seg_indexes = live_indexes;
         let mut file = (opts.file_factory)(&seg_path(&dir, seg_index))?;
         file.write_all(SEGMENT_MAGIC)?;
         file.sync()?;
@@ -258,13 +353,21 @@ impl Store {
             sealed,
             dirty: false,
             stats,
+            _lock: lock,
         };
         Ok((store, recovered))
     }
 
-    /// Appends one record, rotating and fsyncing per policy. Returns the
-    /// frame size in bytes. On error the record must be treated as *not
-    /// logged*: the caller rolls the batch back and refuses to ack.
+    /// Appends one record, fsyncing per policy. Returns the frame size in
+    /// bytes. On error the record must be treated as *not logged*: the
+    /// caller rolls the batch back and refuses to ack. Conversely, `Ok`
+    /// means the record is committed (and, under [`SyncPolicy::Always`],
+    /// durable) — segment rotation happens *after* that commit point and
+    /// its failure is deliberately not surfaced here: the record is
+    /// already in the log and would replay on recovery, so reporting the
+    /// batch as failed would be a lie. A failed rotation simply leaves
+    /// the current segment active (oversized) and is retried when the
+    /// next append crosses the threshold again.
     pub fn append(&mut self, rec: &WalRecord) -> io::Result<usize> {
         let frame = rec.encode_frame();
         self.file.write_all(&frame)?;
@@ -277,7 +380,7 @@ impl Store {
             self.sync()?;
         }
         if self.seg_bytes >= self.opts.segment_bytes {
-            self.rotate()?;
+            let _ = self.rotate();
         }
         Ok(frame.len())
     }
@@ -291,12 +394,31 @@ impl Store {
         Ok(())
     }
 
+    /// Seals the active segment and opens its successor. The successor is
+    /// brought fully up (opened, magic written) *before* any store state
+    /// changes: a failure leaves the store exactly as it was, still
+    /// appending to the current segment, and in particular never leaves
+    /// the active segment's index in `sealed` where a checkpoint could
+    /// delete it out from under the writer.
     fn rotate(&mut self) -> io::Result<()> {
         self.sync()?;
+        let next = self.seg_index + 1;
+        let path = seg_path(&self.dir, next);
+        let result = (self.opts.file_factory)(&path).and_then(|mut file| {
+            file.write_all(SEGMENT_MAGIC)?;
+            Ok(file)
+        });
+        let file = match result {
+            Ok(file) => file,
+            Err(err) => {
+                // Drop the stillborn successor so a later open does not
+                // find a headerless segment to quarantine.
+                let _ = fs::remove_file(&path);
+                return Err(err);
+            }
+        };
         self.sealed.push(self.seg_index);
-        self.seg_index += 1;
-        let mut file = (self.opts.file_factory)(&seg_path(&self.dir, self.seg_index))?;
-        file.write_all(SEGMENT_MAGIC)?;
+        self.seg_index = next;
         self.file = file;
         self.dirty = true;
         self.seg_bytes = SEGMENT_MAGIC.len() as u64;
@@ -320,7 +442,11 @@ impl Store {
     /// retires the `covered` segments and all older snapshot files. A
     /// crash before the rename leaves the previous snapshot authoritative;
     /// a crash after it can only lose files the snapshot supersedes.
-    pub fn write_snapshot(&mut self, snap: &Snapshot, covered: &[u64]) -> io::Result<()> {
+    ///
+    /// Returns whether every covered segment is gone from disk — callers
+    /// that retire bookkeeping tied to those segments (the engine's
+    /// closed-session ids) must see `true` before forgetting anything.
+    pub fn write_snapshot(&mut self, snap: &Snapshot, covered: &[u64]) -> io::Result<bool> {
         let idx = self.next_snap;
         let final_path = snap_path(&self.dir, idx);
         let tmp_path = final_path.with_extension("snap.tmp");
@@ -338,14 +464,21 @@ impl Store {
         for old in 0..idx {
             let _ = fs::remove_file(snap_path(&self.dir, old));
         }
+        let mut all_removed = true;
         for &seg in covered {
-            if fs::remove_file(seg_path(&self.dir, seg)).is_ok() {
+            let gone = match fs::remove_file(seg_path(&self.dir, seg)) {
+                Ok(()) => true,
+                Err(err) => err.kind() == io::ErrorKind::NotFound,
+            };
+            if gone {
                 self.sealed.retain(|&s| s != seg);
                 self.stats.segments = self.stats.segments.saturating_sub(1);
+            } else {
+                all_removed = false;
             }
         }
         sync_dir(&self.dir)?;
-        Ok(())
+        Ok(all_removed)
     }
 
     /// Running counters.

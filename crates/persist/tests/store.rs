@@ -2,12 +2,13 @@
 //! truncation, checkpoint compaction, and snapshot fallback.
 
 use std::fs;
+use std::io;
 use std::path::PathBuf;
 
 use stem_core::{Value, VarId};
 use stem_persist::{
-    PersistCommand, PersistSource, SessionState, Snapshot, Store, StoreOptions, SyncPolicy,
-    WalRecord,
+    failing_factory, ByteBudget, PersistCommand, PersistSource, SessionState, Snapshot, Store,
+    StoreOptions, SyncPolicy, WalRecord,
 };
 
 fn temp_dir(tag: &str) -> PathBuf {
@@ -196,6 +197,130 @@ fn corrupt_newest_snapshot_falls_back_to_prior() {
     let (_, rec) = Store::open(&dir, StoreOptions::default()).unwrap();
     assert_eq!(rec.snapshot, Some(older), "fell back past the corrupt file");
     assert!(rec.truncated, "corruption was noticed");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// The crash→recover→append→reopen sequence: a torn tail left by crash
+/// #1 must be repaired at the first reopen, so records acknowledged
+/// *after* that recovery (which land in a later segment) survive every
+/// subsequent open instead of being dropped when the scan re-hits the
+/// tear.
+#[test]
+fn torn_tail_is_repaired_and_later_appends_survive_reopen() {
+    let dir = temp_dir("repair");
+    let records: Vec<_> = (1..=3).map(|q| batch(5, q, 2)).collect();
+    {
+        let (mut store, _) = Store::open(&dir, StoreOptions::default()).unwrap();
+        for r in &records {
+            store.append(r).unwrap();
+        }
+    }
+    // Crash #1: tear into the last record of the first segment.
+    let seg = dir.join("wal-00000000.log");
+    let full = fs::read(&seg).unwrap();
+    fs::write(&seg, &full[..full.len() - 3]).unwrap();
+
+    {
+        let (mut store, rec) = Store::open(&dir, StoreOptions::default()).unwrap();
+        assert_eq!(rec.tail, records[..2], "pre-tear prefix recovered");
+        assert!(rec.truncated);
+        // The post-recovery generation commits new acknowledged data; it
+        // lands in a later segment than the (now repaired) torn one.
+        store.append(&batch(5, 3, 1)).unwrap();
+    }
+    let (_, rec) = Store::open(&dir, StoreOptions::default()).unwrap();
+    assert_eq!(
+        rec.tail,
+        vec![records[0].clone(), records[1].clone(), batch(5, 3, 1)],
+        "acked post-recovery record must not be shadowed by the old tear"
+    );
+    assert!(!rec.truncated, "the tear was repaired at the previous open");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// A segment whose header is corrupt is quarantined aside; segments after
+/// it still replay, and later opens neither re-report the damage nor
+/// reuse the quarantined index.
+#[test]
+fn bad_magic_segment_is_quarantined_not_a_barrier() {
+    let dir = temp_dir("quarantine");
+    let records: Vec<_> = (1..=3).map(|q| batch(2, q, 2)).collect();
+    {
+        // segment_bytes: 1 rotates after every append → one record per
+        // sealed segment.
+        let opts = StoreOptions {
+            segment_bytes: 1,
+            ..StoreOptions::default()
+        };
+        let (mut store, _) = Store::open(&dir, opts).unwrap();
+        for r in &records {
+            store.append(r).unwrap();
+        }
+    }
+    let mid = dir.join("wal-00000001.log");
+    let mut bytes = fs::read(&mid).unwrap();
+    bytes[0] ^= 0xFF;
+    fs::write(&mid, bytes).unwrap();
+
+    let (_, rec) = Store::open(&dir, StoreOptions::default()).unwrap();
+    assert_eq!(
+        rec.tail,
+        vec![records[0].clone(), records[2].clone()],
+        "records on both sides of the bad segment recovered"
+    );
+    assert!(rec.truncated);
+    assert!(dir.join("wal-00000001.log.corrupt").exists());
+
+    let (_, rec) = Store::open(&dir, StoreOptions::default()).unwrap();
+    assert_eq!(rec.tail, vec![records[0].clone(), records[2].clone()]);
+    assert!(!rec.truncated, "quarantine is judged once, not per open");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Once a record's frame is written and fsynced it is committed; a
+/// rotation failure right after must not surface as an append error,
+/// because the record replays on recovery and the caller would otherwise
+/// report an un-failed batch as failed.
+#[test]
+fn append_commits_even_when_rotation_fails() {
+    let dir = temp_dir("rotfail");
+    let frame_len = batch(1, 1, 2).encode_frame().len() as u64;
+    // Enough for the open's segment magic (8) plus one full frame plus one
+    // spare byte (keeps the post-frame fsync alive); the successor's magic
+    // write then dies mid-rotation.
+    let budget = ByteBudget::new(8 + frame_len + 1);
+    {
+        let opts = StoreOptions {
+            segment_bytes: 1,
+            sync: SyncPolicy::Always,
+            file_factory: failing_factory(budget),
+        };
+        let (mut store, _) = Store::open(&dir, opts).unwrap();
+        store
+            .append(&batch(1, 1, 2))
+            .expect("committed record: rotation failure must stay internal");
+        store
+            .append(&batch(1, 2, 2))
+            .expect_err("budget exhausted: this record never hit the disk");
+    }
+    let (_, rec) = Store::open(&dir, StoreOptions::default()).unwrap();
+    assert_eq!(rec.tail, vec![batch(1, 1, 2)], "exactly the acked record");
+    assert!(!rec.truncated, "stillborn successor was cleaned up");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Two live processes must not share a store directory: the second open
+/// fails fast instead of clobbering the first writer's active segment.
+#[test]
+fn second_open_is_locked_out() {
+    let dir = temp_dir("lock");
+    let (store, _) = Store::open(&dir, StoreOptions::default()).unwrap();
+    let err = Store::open(&dir, StoreOptions::default())
+        .err()
+        .expect("second opener must be refused");
+    assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+    drop(store);
+    Store::open(&dir, StoreOptions::default()).expect("lock released with its holder");
     let _ = fs::remove_dir_all(&dir);
 }
 
