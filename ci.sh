@@ -36,16 +36,42 @@ echo "==> recovery fault-injection matrix (crash at every WAL byte offset)"
 cargo test --release --offline -p stem-engine --test crash_matrix -q
 cargo test --release --offline -p stem-engine --test persist -q
 cargo test --release --offline -p stem-persist -q
+# Kill-leader/promote-follower leg: byte-identical leader/follower state
+# across 25 seeded workloads (in-process shipping), then the same fleet
+# choreography over real loopback TCP through stem-server.
+cargo test --release --offline -p stem-engine --test replication -q
+cargo test --release --offline -p stem-server --test replication -q
+
+echo "==> server loopback smoke (ephemeral port, example client, clean shutdown)"
+# remote_session spawns a stem-server on 127.0.0.1:0, drives it with a
+# pipelined client, and exits 0 only after a clean client-requested
+# shutdown; the timeout turns a hung accept/reply loop into a failure.
+timeout 120 cargo run --release --offline --example remote_session > /dev/null
 
 echo "==> cargo bench --smoke (regression JSON)"
 cargo bench -p stem-bench --bench propagation --offline -- --smoke
 cargo bench -p stem-bench --bench propagation_planned --offline -- --smoke
 cargo bench -p stem-bench --bench engine --offline -- --smoke
 cargo bench -p stem-bench --bench persist --offline -- --smoke
+cargo bench -p stem-bench --bench server --offline -- --smoke
 test -s BENCH_propagation.json || { echo "missing BENCH_propagation.json"; exit 1; }
 test -s BENCH_propagation_planned.json || { echo "missing BENCH_propagation_planned.json"; exit 1; }
 test -s BENCH_engine.json || { echo "missing BENCH_engine.json"; exit 1; }
 test -s BENCH_persist.json || { echo "missing BENCH_persist.json"; exit 1; }
+test -s BENCH_server.json || { echo "missing BENCH_server.json"; exit 1; }
+
+echo "==> durability gap gate (interval_sync within 10% of volatile)"
+# The buffered-append + group-commit work closed the WAL gap; hold it
+# closed. Uses min_ns (best sample) for load tolerance, like the
+# baseline compare.
+python3 - << 'PY'
+import json
+r = {e["id"]: e["min_ns"] for e in json.load(open("BENCH_engine.json"))["results"]}
+vol = 1e9 / r["engine/durability_chain100/volatile"]
+ivl = 1e9 / r["engine/durability_chain100/interval_sync"]
+print(f"volatile {vol:.0f} ops/s, interval_sync {ivl:.0f} ops/s ({ivl/vol:.2%})")
+assert ivl >= 0.9 * vol, "interval_sync fell >10% below volatile"
+PY
 
 if [[ "$BENCH_COMPARE" == 1 ]]; then
   echo "==> bench-compare vs BENCH_baseline.json"

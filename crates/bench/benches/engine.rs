@@ -189,6 +189,11 @@ fn durability_overhead(c: &mut Criterion) {
             }),
         ),
         ("commit_sync", Some(Durability::CommitSync)),
+        // Single serial submitter: group commit still pays one fsync per
+        // batch (nobody to share with), so this leg prices the
+        // coordinator's overhead against commit_sync; the amortization
+        // curve lives in T-E23 and BENCH_server.json.
+        ("group_commit", Some(Durability::GroupCommit)),
     ];
     let mut group = c.benchmark_group("engine/durability_chain100");
     for &(label, mode) in variants {

@@ -232,4 +232,22 @@ fn main() {
             &experiments::t_e22_planned_propagation(&[16, 64, 256]),
         )
     );
+
+    print!(
+        "{}",
+        render_table(
+            "T-E23 — group-commit fsync amortization: concurrent sessions, durable single-Set batches",
+            &[
+                "sessions",
+                "batches",
+                "WAL appends",
+                "fsyncs",
+                "appends/fsync",
+                "ms",
+                "batches/s",
+                "speedup"
+            ],
+            &experiments::t_e23_group_commit(&[1, 2, 4, 8]),
+        )
+    );
 }

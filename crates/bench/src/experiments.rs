@@ -882,3 +882,112 @@ pub fn t_e22_planned_propagation(fans: &[usize]) -> Vec<Vec<String>> {
     }
     rows
 }
+
+/// T-E23 — group-commit fsync amortization: N sessions, each on its own
+/// thread, each committing `ROUNDS` single-`Set` chain batches against
+/// one durable engine in [`stem_engine::Durability::GroupCommit`] mode.
+///
+/// Every acknowledged batch is on disk before its `apply` returns (the
+/// commit-sync guarantee), but concurrent committers share fsyncs: the
+/// coordinator absorbs every append that arrives while the current
+/// flush is in flight and retires them with one `fsync`. The
+/// appends-per-fsync column is the amortization factor; with one session
+/// it degenerates to ~1 (commit-sync behaviour), and it climbs with
+/// concurrency while batches/s climbs with it.
+pub fn t_e23_group_commit(session_counts: &[usize]) -> Vec<Vec<String>> {
+    use stem_engine::{
+        Command, ConstraintSpec, Durability, DurabilityOptions, Engine, EngineConfig, Source,
+    };
+
+    const CHAIN: usize = 100;
+    const ROUNDS: i64 = 60;
+
+    let base = std::env::temp_dir().join(format!("stem-e23-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let mut rows = Vec::new();
+    let mut base_bps = None;
+    for &n_sessions in session_counts {
+        let engine = Engine::open_with_config(
+            base.join(format!("s{n_sessions}")),
+            EngineConfig {
+                // One worker per session: concurrent *committers* are what
+                // the coordinator amortizes over, and sessions shard onto
+                // workers — fewer workers would cap the curve, not the
+                // session count.
+                workers: n_sessions,
+                ..EngineConfig::default()
+            },
+            DurabilityOptions {
+                mode: Durability::GroupCommit,
+                checkpoint_bytes: 0,
+                ..DurabilityOptions::default()
+            },
+        )
+        .expect("open group-commit engine");
+        let sessions: Vec<_> = (0..n_sessions).map(|_| engine.create_session()).collect();
+        for &s in &sessions {
+            let mut cmds: Vec<Command> = (0..CHAIN)
+                .map(|i| Command::AddVariable {
+                    name: format!("v{i}"),
+                })
+                .collect();
+            for i in 0..CHAIN - 1 {
+                cmds.push(Command::AddConstraint {
+                    spec: ConstraintSpec::Equality,
+                    args: vec![
+                        stem_core::VarId::from_index(i),
+                        stem_core::VarId::from_index(i + 1),
+                    ],
+                });
+            }
+            engine.apply(s, cmds).unwrap();
+        }
+        let before = engine.stats();
+        let t0 = Instant::now();
+        std::thread::scope(|scope| {
+            for &s in &sessions {
+                let engine = &engine;
+                scope.spawn(move || {
+                    for round in 0..ROUNDS {
+                        engine
+                            .apply(
+                                s,
+                                vec![Command::Set {
+                                    var: stem_core::VarId::from_index(0),
+                                    value: Value::Int(round),
+                                    source: Source::User,
+                                }],
+                            )
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        let dt = t0.elapsed();
+        let stats = engine.stats();
+        let appends = stats.wal_appends - before.wal_appends;
+        let syncs = (stats.wal_group_syncs - before.wal_group_syncs).max(1);
+        let batches = n_sessions as u64 * ROUNDS as u64;
+        let bps = batches as f64 / dt.as_secs_f64();
+        let speedup = match base_bps {
+            None => {
+                base_bps = Some(bps);
+                "1.00×".to_string()
+            }
+            Some(b) => format!("{:.2}×", bps / b),
+        };
+        rows.push(vec![
+            n_sessions.to_string(),
+            batches.to_string(),
+            appends.to_string(),
+            syncs.to_string(),
+            format!("{:.2}", appends as f64 / syncs as f64),
+            ms(dt),
+            format!("{bps:.0}"),
+            speedup,
+        ]);
+        engine.shutdown();
+    }
+    let _ = std::fs::remove_dir_all(&base);
+    rows
+}

@@ -12,6 +12,7 @@
 use crate::ids::{ConstraintId, VarId};
 use crate::justification::{DependencyRecord, Justification};
 use crate::value::{Span, TypeTag, Value};
+use crate::violation::{Violation, ViolationKind};
 use std::fmt;
 use stem_geom::{Point, Rect};
 
@@ -119,6 +120,13 @@ pub fn put_str(buf: &mut Vec<u8>, s: &str) {
     buf.extend_from_slice(s.as_bytes());
 }
 
+/// Appends a length-prefixed raw byte blob (opaque payloads — shipped
+/// WAL segments, snapshots — that ride inside a larger message).
+pub fn put_bytes(buf: &mut Vec<u8>, bytes: &[u8]) {
+    put_u32(buf, bytes.len() as u32);
+    buf.extend_from_slice(bytes);
+}
+
 /// Appends a [`VarId`].
 pub fn put_var(buf: &mut Vec<u8>, v: VarId) {
     put_u32(buf, v.index() as u32);
@@ -219,6 +227,39 @@ pub fn put_justification(buf: &mut Vec<u8>, j: &Justification) {
     }
 }
 
+fn put_opt<T>(buf: &mut Vec<u8>, x: &Option<T>, put: impl FnOnce(&mut Vec<u8>, &T)) {
+    match x {
+        Some(x) => {
+            put_bool(buf, true);
+            put(buf, x);
+        }
+        None => put_bool(buf, false),
+    }
+}
+
+/// Appends a [`Violation`] — the wire protocol ships violation traces to
+/// remote clients, so the full structure (kind, site, rejected value,
+/// constraint-kind name) must round-trip.
+pub fn put_violation(buf: &mut Vec<u8>, v: &Violation) {
+    match &v.kind {
+        ViolationKind::Revisit => put_u8(buf, 0),
+        ViolationKind::OverwriteDenied => put_u8(buf, 1),
+        ViolationKind::Unsatisfied => put_u8(buf, 2),
+        ViolationKind::Custom(s) => {
+            put_u8(buf, 3);
+            put_str(buf, s);
+        }
+        ViolationKind::BudgetExceeded { limit } => {
+            put_u8(buf, 4);
+            put_u64(buf, *limit);
+        }
+    }
+    put_opt(buf, &v.variable, |b, x| put_var(b, *x));
+    put_opt(buf, &v.constraint, |b, x| put_cid(b, *x));
+    put_opt(buf, &v.rejected, put_value);
+    put_opt(buf, &v.kind_name, |b, x| put_str(b, x));
+}
+
 // ---------------------------------------------------------------------
 // Reader side: a cursor over a byte slice.
 // ---------------------------------------------------------------------
@@ -299,6 +340,12 @@ impl<'a> Reader<'a> {
             return Err(DecodeError::Oversize { len, at });
         }
         Ok(len as usize)
+    }
+
+    /// Reads a length-prefixed raw byte blob.
+    pub fn bytes(&mut self) -> Result<&'a [u8], DecodeError> {
+        let n = self.len()?;
+        self.take(n)
     }
 
     /// Reads a length-prefixed UTF-8 string.
@@ -417,6 +464,43 @@ impl<'a> Reader<'a> {
             }
         })
     }
+
+    fn opt<T>(
+        &mut self,
+        read: impl FnOnce(&mut Self) -> Result<T, DecodeError>,
+    ) -> Result<Option<T>, DecodeError> {
+        if self.bool()? {
+            Ok(Some(read(self)?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Reads a [`Violation`].
+    pub fn violation(&mut self) -> Result<Violation, DecodeError> {
+        let at = self.pos;
+        let kind = match self.u8()? {
+            0 => ViolationKind::Revisit,
+            1 => ViolationKind::OverwriteDenied,
+            2 => ViolationKind::Unsatisfied,
+            3 => ViolationKind::Custom(self.str()?.to_string()),
+            4 => ViolationKind::BudgetExceeded { limit: self.u64()? },
+            tag => {
+                return Err(DecodeError::Tag {
+                    tag,
+                    what: "ViolationKind",
+                    at,
+                })
+            }
+        };
+        Ok(Violation {
+            kind,
+            variable: self.opt(|r| r.var())?,
+            constraint: self.opt(|r| r.cid())?,
+            rejected: self.opt(|r| r.value())?,
+            kind_name: self.opt(|r| r.str().map(str::to_string))?,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -492,6 +576,32 @@ mod tests {
             put_justification(&mut buf, &j);
             let mut r = Reader::new(&buf);
             assert_eq!(r.justification().unwrap(), j);
+            assert!(r.is_empty());
+        }
+    }
+
+    #[test]
+    fn violations_round_trip() {
+        for v in [
+            Violation::revisit(
+                VarId::from_index(3),
+                ConstraintId::from_index(1),
+                Value::Int(9),
+            ),
+            Violation::overwrite_denied(
+                VarId::from_index(0),
+                Some(ConstraintId::from_index(2)),
+                Value::Int(7),
+            )
+            .with_kind_name("equality"),
+            Violation::unsatisfied(ConstraintId::from_index(5)),
+            Violation::budget_exceeded(64),
+            Violation::custom("drc spacing", None),
+        ] {
+            let mut buf = Vec::new();
+            put_violation(&mut buf, &v);
+            let mut r = Reader::new(&buf);
+            assert_eq!(r.violation().unwrap(), v);
             assert!(r.is_empty());
         }
     }

@@ -324,6 +324,10 @@ pub enum BatchError {
     Backpressure,
     /// The engine is shutting down; the batch was not applied.
     Shutdown,
+    /// The engine is a read-only replica ([`crate::Engine::replica`]):
+    /// mutating batches are refused until [`crate::Engine::promote`]
+    /// makes it a leader. Read-only batches are served normally.
+    ReadOnlyReplica,
 }
 
 impl fmt::Display for BatchError {
@@ -347,6 +351,9 @@ impl fmt::Display for BatchError {
             BatchError::Quarantined => write!(f, "session is quarantined"),
             BatchError::Backpressure => write!(f, "worker queue is full"),
             BatchError::Shutdown => write!(f, "engine is shutting down"),
+            BatchError::ReadOnlyReplica => {
+                write!(f, "engine is a read-only replica; mutating batch refused")
+            }
         }
     }
 }

@@ -6,7 +6,7 @@ use std::fmt;
 use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
@@ -14,7 +14,8 @@ use std::time::{Duration, Instant};
 
 use stem_core::{Network, Stats};
 use stem_persist::{
-    PersistCommand, PersistSpec, SessionState, Snapshot, Store, StoreOptions, SyncPolicy, WalRecord,
+    decode_segment, GroupCommit, PersistCommand, PersistSpec, SessionState, Snapshot, Store,
+    StoreOptions, SyncPolicy, WalRecord,
 };
 
 use crate::command::{BatchError, BatchOutcome, Command, ConstraintSpec, Output};
@@ -125,7 +126,35 @@ enum Job {
     Forget {
         ids: Arc<HashSet<u64>>,
     },
+    /// Replica bootstrap: install recovered snapshot sessions (and closed
+    /// ids) belonging to this worker's shard.
+    Install {
+        sessions: Vec<RecoveredSession>,
+        closed: Vec<u64>,
+        reply: mpsc::Sender<u64>,
+    },
+    /// Replica ingestion: replay this worker's share of a shipped WAL
+    /// segment, in segment order, deduplicated by per-session sequence.
+    Replay {
+        records: Vec<WalRecord>,
+        reply: mpsc::Sender<ReplayReport>,
+    },
     Shutdown,
+}
+
+/// What [`Engine::ingest_segment`] did with a shipped segment's records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReplayReport {
+    /// Records applied (batches replayed, closes honoured).
+    pub applied: u64,
+    /// Records skipped as duplicates (sequence already covered) or
+    /// addressed to closed sessions — expected when a segment is shipped
+    /// twice or overlaps a snapshot bootstrap.
+    pub skipped: u64,
+    /// Records that could not be applied: a sequence gap (a segment was
+    /// skipped in shipping) or a replay failure. Each anomaly quarantines
+    /// its session; a correct shipping pipeline never produces one.
+    pub anomalies: u64,
 }
 
 /// One worker's contribution to a checkpoint: `(id, seq, state)` per live
@@ -176,6 +205,11 @@ pub struct Engine {
     next_session: Arc<AtomicU64>,
     config: EngineConfig,
     durable: Option<DurableCtx>,
+    /// Read-only replica flag, shared with every worker; flipped off by
+    /// [`Engine::promote`].
+    replica: Arc<AtomicBool>,
+    /// Group-commit coordinator under [`Durability::GroupCommit`].
+    group: Option<Arc<GroupCommit>>,
 }
 
 /// Engine-side durability state, present when the engine was opened on a
@@ -226,7 +260,27 @@ impl Engine {
 
     /// Creates an engine from an explicit configuration.
     pub fn with_config(config: EngineConfig) -> Self {
-        Engine::build(config, None).0
+        Engine::build(config, None, false).0
+    }
+
+    /// Creates a read-only replica engine with `workers` threads: it
+    /// accepts shipped WAL segments ([`Engine::ingest_segment`]) and
+    /// snapshot bootstraps ([`Engine::ingest_snapshot`]), serves read-only
+    /// batches, and rejects mutating batches with
+    /// [`BatchError::ReadOnlyReplica`] until [`Engine::promote`].
+    pub fn replica(workers: usize) -> Self {
+        Engine::replica_with_config(EngineConfig {
+            workers,
+            ..EngineConfig::default()
+        })
+    }
+
+    /// [`Engine::replica`] with an explicit configuration. The replica is
+    /// volatile — it holds replayed state in memory only; a promoted
+    /// replica keeps serving in memory and can be checkpointed into a new
+    /// durable store by a higher layer re-submitting its state.
+    pub fn replica_with_config(config: EngineConfig) -> Self {
+        Engine::build(config, None, true).0
     }
 
     /// Opens (or creates) a durable engine rooted at `dir`: loads the
@@ -250,7 +304,11 @@ impl Engine {
             segment_bytes: opts.segment_bytes,
             sync: match opts.mode {
                 Durability::CommitSync => SyncPolicy::Always,
-                Durability::Off | Durability::IntervalSync { .. } => SyncPolicy::Deferred,
+                // Group commit defers store-level fsync: the coordinator
+                // issues shared flushes before any commit is acknowledged.
+                Durability::Off | Durability::IntervalSync { .. } | Durability::GroupCommit => {
+                    SyncPolicy::Deferred
+                }
             },
             file_factory: opts
                 .file_factory
@@ -266,6 +324,7 @@ impl Engine {
                 checkpoint_bytes: opts.checkpoint_bytes,
                 plan,
             }),
+            false,
         );
         if anomalies > 0 {
             // One or more sessions recovered from a corrupt log tail
@@ -284,10 +343,11 @@ impl Engine {
     /// Builds the engine and returns it along with the number of sessions
     /// that recovered anomalously (quarantined); blocks until every
     /// worker has finished rebuilding its recovered sessions.
-    fn build(config: EngineConfig, durable: Option<DurableSetup>) -> (Self, u64) {
+    fn build(config: EngineConfig, durable: Option<DurableSetup>, replica: bool) -> (Self, u64) {
         let workers = config.workers.max(1);
         let queue = config.queue_capacity.max(1);
         let counters = Arc::new(Counters::default());
+        let replica = Arc::new(AtomicBool::new(replica));
 
         let mut recover_by_shard: Vec<Vec<RecoveredSession>> =
             (0..workers).map(|_| Vec::new()).collect();
@@ -314,6 +374,11 @@ impl Engine {
             }
             None => (0, None, None, 0),
         };
+        let group = (mode == Some(Durability::GroupCommit)).then(|| {
+            Arc::new(GroupCommit::new(
+                store.clone().expect("mode implies a store"),
+            ))
+        });
 
         // Workers report how many of their sessions recovered anomalously
         // (and are now quarantined) before they start serving jobs.
@@ -330,6 +395,8 @@ impl Engine {
             let step_budget = config.step_budget;
             let rollback = config.rollback;
             let worker_store = store.clone();
+            let worker_group = group.clone();
+            let worker_replica = replica.clone();
             let recover = std::mem::take(&mut recover_by_shard[ix]);
             let closed = std::mem::take(&mut closed_by_shard[ix]);
             let report = report_tx.clone();
@@ -348,6 +415,8 @@ impl Engine {
                             sessions: HashMap::new(),
                             mode,
                             store: worker_store,
+                            group: worker_group,
+                            replica: worker_replica,
                             closed,
                             recover,
                             report: Some(report),
@@ -399,6 +468,8 @@ impl Engine {
                 next_session,
                 config,
                 durable,
+                replica,
+                group,
             },
             anomalies,
         )
@@ -577,6 +648,181 @@ impl Engine {
         Ok(true)
     }
 
+    // -----------------------------------------------------------------
+    // WAL segment shipping (leader side)
+    // -----------------------------------------------------------------
+
+    /// Seals the active WAL segment and returns every sealed segment
+    /// index — the shippable replication units. Errors on a non-durable
+    /// engine (there is no log to ship).
+    pub fn seal_wal(&self) -> io::Result<Vec<u64>> {
+        let Some(d) = &self.durable else {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "engine has no write-ahead log to seal",
+            ));
+        };
+        d.store.lock().unwrap().seal_for_checkpoint()
+    }
+
+    /// Reads a sealed segment's raw bytes for shipping to a replica.
+    pub fn read_wal_segment(&self, index: u64) -> io::Result<Vec<u8>> {
+        let Some(d) = &self.durable else {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "engine has no write-ahead log to read",
+            ));
+        };
+        d.store.lock().unwrap().read_segment(index)
+    }
+
+    /// Raw bytes of the newest checkpoint snapshot, if any — the bulk
+    /// bootstrap a replica ingests before replaying shipped segments.
+    pub fn wal_snapshot_bytes(&self) -> io::Result<Option<Vec<u8>>> {
+        let Some(d) = &self.durable else {
+            return Ok(None);
+        };
+        d.store.lock().unwrap().latest_snapshot_bytes()
+    }
+
+    // -----------------------------------------------------------------
+    // Replica mode (follower side)
+    // -----------------------------------------------------------------
+
+    /// Whether the engine is currently a read-only replica.
+    pub fn is_replica(&self) -> bool {
+        self.replica.load(Ordering::Relaxed)
+    }
+
+    /// Promotes a replica to a writable engine (failover): mutating
+    /// batches are accepted from the next submission on. Returns whether
+    /// the engine was a replica. Promotion is one-way and the promoted
+    /// engine stays volatile; per-session sequencing continues from the
+    /// replayed cursors, so a later re-ship into a fresh replica remains
+    /// well-ordered.
+    pub fn promote(&self) -> bool {
+        self.replica.swap(false, Ordering::SeqCst)
+    }
+
+    /// Bootstraps a replica from a leader checkpoint snapshot (as
+    /// returned by [`Engine::wal_snapshot_bytes`]): every session image
+    /// is installed in its shard worker, exactly like crash recovery.
+    /// Returns the number of sessions installed. Call once, before the
+    /// first [`Engine::ingest_segment`]; segments shipped afterwards
+    /// overlap-dedupe against the snapshot's per-session cursors.
+    pub fn ingest_snapshot(&self, bytes: &[u8]) -> io::Result<u64> {
+        if !self.is_replica() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "snapshot ingestion requires replica mode",
+            ));
+        }
+        let Some(snapshot) = Snapshot::decode_file(bytes) else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "shipped snapshot is torn or checksum-invalid",
+            ));
+        };
+        let plan = persist::plan_recovery(stem_persist::Recovered {
+            snapshot: Some(snapshot),
+            tail: Vec::new(),
+            truncated: false,
+        });
+        self.next_session
+            .fetch_max(plan.next_session, Ordering::Relaxed);
+        let workers = self.senders.len() as u64;
+        let mut sessions_by_shard: Vec<Vec<RecoveredSession>> =
+            (0..workers).map(|_| Vec::new()).collect();
+        let mut closed_by_shard: Vec<Vec<u64>> = (0..workers).map(|_| Vec::new()).collect();
+        for rs in plan.sessions {
+            sessions_by_shard[(rs.id % workers) as usize].push(rs);
+        }
+        for id in plan.closed {
+            closed_by_shard[(id % workers) as usize].push(id);
+        }
+        let mut replies = Vec::new();
+        for (ix, (sessions, closed)) in sessions_by_shard
+            .into_iter()
+            .zip(closed_by_shard)
+            .enumerate()
+        {
+            if sessions.is_empty() && closed.is_empty() {
+                continue;
+            }
+            let (tx, rx) = mpsc::channel();
+            self.note_enqueue(ix);
+            self.senders[ix]
+                .send(Job::Install {
+                    sessions,
+                    closed,
+                    reply: tx,
+                })
+                .map_err(|_| io::Error::other("engine is shutting down"))?;
+            replies.push(rx);
+        }
+        let mut installed = 0;
+        for rx in replies {
+            installed += rx
+                .recv()
+                .map_err(|_| io::Error::other("engine is shutting down"))?;
+        }
+        Ok(installed)
+    }
+
+    /// Ingests one shipped WAL segment (as returned by
+    /// [`Engine::read_wal_segment`]): records are routed to their shard
+    /// workers in segment order and replayed through the same validate +
+    /// apply machinery recovery uses, deduplicated by per-session
+    /// sequence numbers — re-shipping a segment is a harmless no-op.
+    /// Requires replica mode.
+    pub fn ingest_segment(&self, bytes: &[u8]) -> io::Result<ReplayReport> {
+        if !self.is_replica() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "segment ingestion requires replica mode",
+            ));
+        }
+        let records = decode_segment(bytes)?;
+        if let Some(max_id) = records.iter().map(WalRecord::session).max() {
+            // Keep the id allocator ahead of every replayed session so a
+            // promoted replica never hands out a replayed id.
+            self.next_session.fetch_max(max_id + 1, Ordering::Relaxed);
+        }
+        let workers = self.senders.len() as u64;
+        let mut by_shard: Vec<Vec<WalRecord>> = (0..workers).map(|_| Vec::new()).collect();
+        for rec in records {
+            by_shard[(rec.session() % workers) as usize].push(rec);
+        }
+        let mut replies = Vec::new();
+        for (ix, records) in by_shard.into_iter().enumerate() {
+            if records.is_empty() {
+                continue;
+            }
+            let (tx, rx) = mpsc::channel();
+            self.note_enqueue(ix);
+            self.senders[ix]
+                .send(Job::Replay { records, reply: tx })
+                .map_err(|_| io::Error::other("engine is shutting down"))?;
+            replies.push(rx);
+        }
+        let mut report = ReplayReport::default();
+        for rx in replies {
+            let r = rx
+                .recv()
+                .map_err(|_| io::Error::other("engine is shutting down"))?;
+            report.applied += r.applied;
+            report.skipped += r.skipped;
+            report.anomalies += r.anomalies;
+        }
+        self.counters
+            .segments_ingested
+            .fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .records_replayed
+            .fetch_add(report.applied, Ordering::Relaxed);
+        Ok(report)
+    }
+
     /// Overlays the store-side counters (WAL appends/bytes, snapshots) on
     /// an engine-stats snapshot.
     fn overlay_store(&self, mut s: EngineStats) -> EngineStats {
@@ -585,6 +831,9 @@ impl Engine {
             s.wal_appends = st.appends;
             s.wal_bytes = st.bytes;
             s.snapshots_written = st.snapshots_written;
+        }
+        if let Some(g) = &self.group {
+            s.wal_group_syncs = g.syncs();
         }
         s
     }
@@ -727,7 +976,9 @@ fn spawn_flusher(
 ) -> Option<JoinHandle<()>> {
     let interval = match mode {
         Durability::IntervalSync { interval } => Some(interval.max(Duration::from_millis(1))),
-        Durability::CommitSync => None,
+        // Group commit flushes before every ack; like commit-sync, only
+        // automatic checkpointing needs the background thread.
+        Durability::CommitSync | Durability::GroupCommit => None,
         // Recover-only engines neither sync nor checkpoint.
         Durability::Off => return None,
     };
@@ -832,6 +1083,10 @@ struct Worker {
     /// Durability mode when the engine was opened on a store.
     mode: Option<Durability>,
     store: Option<Arc<Mutex<Store>>>,
+    /// Shared-fsync coordinator under [`Durability::GroupCommit`].
+    group: Option<Arc<GroupCommit>>,
+    /// Engine-wide read-only-replica flag ([`Engine::promote`] clears it).
+    replica: Arc<AtomicBool>,
     /// Ids of sessions closed on this worker (including ones recovered as
     /// closed); checkpoints persist them so recovery never resurrects a
     /// closed session from pre-compaction records.
@@ -897,6 +1152,78 @@ impl Worker {
             seq: base_seq + applied,
             specs,
         }
+    }
+
+    /// Replays this worker's share of a shipped segment. The records are
+    /// the same committed batches crash recovery replays, and the same
+    /// machinery applies them (validate + `apply_all`); per-session
+    /// sequence numbers deduplicate overlap with the snapshot bootstrap
+    /// or re-shipped segments. A gap or a replay failure is an anomaly:
+    /// the session is quarantined, exactly like an anomalous recovery.
+    fn replay_records(&mut self, records: Vec<WalRecord>) -> ReplayReport {
+        let mut report = ReplayReport::default();
+        for rec in records {
+            match rec {
+                WalRecord::Close { session, seq } => {
+                    match self.sessions.remove(&SessionId(session)) {
+                        Some(sess) if seq > sess.seq => report.applied += 1,
+                        Some(_) | None => report.skipped += 1,
+                    }
+                    if !self.closed.contains(&session) {
+                        self.closed.push(session);
+                    }
+                }
+                WalRecord::Batch {
+                    session,
+                    seq,
+                    commands,
+                } => {
+                    if self.closed.contains(&session) {
+                        report.skipped += 1;
+                        continue;
+                    }
+                    let counters = self.counters.clone();
+                    let sess = self.session_entry(SessionId(session));
+                    if seq <= sess.seq {
+                        report.skipped += 1;
+                        continue;
+                    }
+                    if seq != sess.seq + 1 || sess.quarantined {
+                        report.anomalies += 1;
+                        if !sess.quarantined {
+                            sess.quarantined = true;
+                            counters
+                                .sessions_quarantined
+                                .fetch_add(1, Ordering::Relaxed);
+                        }
+                        continue;
+                    }
+                    let cmds: Vec<Command> = commands
+                        .into_iter()
+                        .map(persist::command_from_persist)
+                        .collect();
+                    let ok = validate(&sess.net, &cmds, false).is_ok()
+                        && apply_all(&mut sess.net, cmds).is_ok();
+                    if ok {
+                        sess.seq = seq;
+                        sess.stats.batches += 1;
+                        sess.stats.batches_ok += 1;
+                        report.applied += 1;
+                    } else {
+                        // A committed batch that no longer replays means
+                        // the shipped stream diverged from the leader's
+                        // history; serving more reads from this session
+                        // would serve wrong answers.
+                        report.anomalies += 1;
+                        sess.quarantined = true;
+                        counters
+                            .sessions_quarantined
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+        report
     }
 
     fn run(mut self) {
@@ -987,6 +1314,28 @@ impl Worker {
                 Job::Forget { ids } => {
                     self.closed.retain(|id| !ids.contains(id));
                 }
+                Job::Install {
+                    sessions,
+                    closed,
+                    reply,
+                } => {
+                    let installed = sessions.len() as u64;
+                    for rs in sessions {
+                        let id = SessionId(rs.id);
+                        let sess = self.restore_session(rs);
+                        self.sessions.insert(id, sess);
+                    }
+                    for id in closed {
+                        if !self.closed.contains(&id) {
+                            self.closed.push(id);
+                        }
+                    }
+                    let _ = reply.send(installed);
+                }
+                Job::Replay { records, reply } => {
+                    let report = self.replay_records(records);
+                    let _ = reply.send(report);
+                }
                 Job::Shutdown => break,
             }
         }
@@ -1021,6 +1370,10 @@ impl Worker {
         let rollback = self.rollback;
         let logging = self.logging();
         let store = self.store.clone();
+        let group = self.group.clone();
+        if self.replica.load(Ordering::SeqCst) && commands.iter().any(Command::is_mutating) {
+            return Err(BatchError::ReadOnlyReplica);
+        }
         let sess = self.session_entry(id);
         sess.stats.batches += 1;
 
@@ -1057,7 +1410,7 @@ impl Worker {
                     // Log before acknowledging: the journal stays open so
                     // a failed append rolls the whole batch back and the
                     // client's error means "not committed, not durable".
-                    match append_commit(&store, id, sess.seq, to_log) {
+                    match append_commit(&store, &group, id, sess.seq, to_log) {
                         Ok(logged) => {
                             sess.net.commit_journal();
                             note_logged(sess, logged);
@@ -1095,7 +1448,7 @@ impl Worker {
             // this path is never taken there.)
             let mut work = sess.net.clone();
             match catch_unwind(AssertUnwindSafe(|| apply_all(&mut work, commands))) {
-                Ok(Ok(outputs)) => match append_commit(&store, id, sess.seq, to_log) {
+                Ok(Ok(outputs)) => match append_commit(&store, &group, id, sess.seq, to_log) {
                     Ok(logged) => {
                         let delta = delta(before, work.stats());
                         sess.net = work;
@@ -1119,7 +1472,7 @@ impl Worker {
             let snap = sess.net.snapshot();
             let net = &mut sess.net;
             match catch_unwind(AssertUnwindSafe(|| apply_all(net, commands))) {
-                Ok(Ok(outputs)) => match append_commit(&store, id, sess.seq, to_log) {
+                Ok(Ok(outputs)) => match append_commit(&store, &group, id, sess.seq, to_log) {
                     Ok(logged) => {
                         note_logged(sess, logged);
                         let delta = delta(before, sess.net.stats());
@@ -1208,10 +1561,11 @@ impl Worker {
 /// session exactly as before the batch.
 fn append_commit(
     store: &Option<Arc<Mutex<Store>>>,
+    group: &Option<Arc<GroupCommit>>,
     id: SessionId,
     seq: u64,
     to_log: Option<Vec<PersistCommand>>,
-) -> io::Result<Option<Vec<PersistCommand>>> {
+) -> io::Result<Option<(Vec<PersistCommand>, u64)>> {
     let Some(commands) = to_log else {
         return Ok(None);
     };
@@ -1220,18 +1574,27 @@ fn append_commit(
         seq: seq + 1,
         commands,
     };
-    let store = store.as_ref().expect("logging requires a store");
-    store.lock().unwrap().append(&record)?;
+    let bytes = match group {
+        // Group commit: the coordinator appends under the store lock and
+        // parks this worker until some leader's fsync covers the record.
+        Some(group) => group.append_durable(&record)?,
+        None => {
+            let store = store.as_ref().expect("logging requires a store");
+            store.lock().unwrap().append(&record)?
+        }
+    };
     let WalRecord::Batch { commands, .. } = record else {
         unreachable!()
     };
-    Ok(Some(commands))
+    Ok(Some((commands, bytes as u64)))
 }
 
 /// Advances the session's durable cursor after a logged commit.
-fn note_logged(sess: &mut Session, logged: Option<Vec<PersistCommand>>) {
-    if let Some(commands) = logged {
+fn note_logged(sess: &mut Session, logged: Option<(Vec<PersistCommand>, u64)>) {
+    if let Some((commands, bytes)) = logged {
         sess.seq += 1;
+        sess.stats.wal_appends += 1;
+        sess.stats.wal_bytes += bytes;
         persist::absorb_committed(&mut sess.specs, &commands);
     }
 }

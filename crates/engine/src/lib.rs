@@ -53,6 +53,6 @@ mod persist;
 mod stats;
 
 pub use command::{BatchError, BatchOutcome, Command, ConstraintSpec, KindFactory, Output, Source};
-pub use engine::{BatchTicket, Engine, EngineConfig, RollbackStrategy, SessionId};
+pub use engine::{BatchTicket, Engine, EngineConfig, ReplayReport, RollbackStrategy, SessionId};
 pub use persist::{Durability, DurabilityOptions};
 pub use stats::{EngineStats, SessionStats, LATENCY_BUCKET_BOUNDS_US, N_LATENCY_BUCKETS};

@@ -48,6 +48,12 @@ pub enum Durability {
         /// OS page cache before an fsync covers it.
         interval: Duration,
     },
+    /// Commit-sync durability with shared fsyncs: every acknowledged
+    /// commit is on disk before the ack, but concurrent committers ride
+    /// the same flush through a [`stem_persist::GroupCommit`] coordinator
+    /// — one fsync covers every record appended while it was pending.
+    /// Same guarantee as [`Durability::CommitSync`], amortised cost.
+    GroupCommit,
 }
 
 /// Store construction knobs for [`crate::Engine::open_with_config`].
@@ -98,6 +104,7 @@ pub(crate) fn durability_label(mode: Option<Durability>) -> &'static str {
         Some(Durability::Off) => "recover-only (logging off)",
         Some(Durability::CommitSync) => "commit-sync (fsync per commit)",
         Some(Durability::IntervalSync { .. }) => "interval-sync (bounded loss window)",
+        Some(Durability::GroupCommit) => "group-commit (shared fsync per commit)",
     }
 }
 
@@ -161,6 +168,44 @@ fn source_from_persist(source: PersistSource) -> Source {
         PersistSource::Application => Source::Application,
         PersistSource::Update => Source::Update,
         PersistSource::DefaultValue => Source::DefaultValue,
+    }
+}
+
+// Public conversions for wire-protocol frontends (`stem-server`): the
+// network carries the persistable vocabulary, the engine speaks
+// `ConstraintSpec`/`Source`.
+
+impl From<PersistSpec> for ConstraintSpec {
+    fn from(spec: PersistSpec) -> ConstraintSpec {
+        spec_from_persist(&spec)
+    }
+}
+
+impl From<PersistSource> for Source {
+    fn from(source: PersistSource) -> Source {
+        source_from_persist(source)
+    }
+}
+
+impl From<Source> for PersistSource {
+    fn from(source: Source) -> PersistSource {
+        source_to_persist(source)
+    }
+}
+
+impl TryFrom<&ConstraintSpec> for PersistSpec {
+    /// The spec is a [`ConstraintSpec::Custom`] kind factory — process-local
+    /// code with no serialisable description.
+    type Error = ();
+
+    fn try_from(spec: &ConstraintSpec) -> Result<PersistSpec, ()> {
+        spec_to_persist(spec).ok_or(())
+    }
+}
+
+impl From<PersistCommand> for Command {
+    fn from(cmd: PersistCommand) -> Command {
+        command_from_persist(cmd)
     }
 }
 

@@ -34,6 +34,8 @@ pub(crate) struct Counters {
     pub plan_cache_hits: AtomicU64,
     pub plan_cache_invalidations: AtomicU64,
     pub recoveries: AtomicU64,
+    pub segments_ingested: AtomicU64,
+    pub records_replayed: AtomicU64,
     pub latency_buckets: [AtomicU64; N_LATENCY_BUCKETS],
 }
 
@@ -84,8 +86,11 @@ impl Counters {
             plan_cache_hits: self.plan_cache_hits.load(Ordering::Relaxed),
             plan_cache_invalidations: self.plan_cache_invalidations.load(Ordering::Relaxed),
             recoveries: self.recoveries.load(Ordering::Relaxed),
+            segments_ingested: self.segments_ingested.load(Ordering::Relaxed),
+            records_replayed: self.records_replayed.load(Ordering::Relaxed),
             wal_appends: 0,
             wal_bytes: 0,
+            wal_group_syncs: 0,
             snapshots_written: 0,
             latency_buckets,
         }
@@ -129,12 +134,21 @@ pub struct EngineStats {
     /// Sessions reconstructed from the store at [`crate::Engine::open`]
     /// (snapshot image + log-tail replay).
     pub recoveries: u64,
+    /// Shipped WAL segments ingested by this engine in replica mode
+    /// ([`crate::Engine::ingest_segment`]).
+    pub segments_ingested: u64,
+    /// WAL records applied during replica segment ingestion (skips and
+    /// anomalies not included).
+    pub records_replayed: u64,
     /// Write-ahead log records appended since the store was opened
     /// (filled from the store by [`crate::Engine::stats`]; 0 on a
     /// non-durable engine).
     pub wal_appends: u64,
     /// Write-ahead log bytes appended since the store was opened.
     pub wal_bytes: u64,
+    /// Group-commit flushes completed (each covering ≥1 commit); 0 unless
+    /// the engine runs [`crate::Durability::GroupCommit`].
+    pub wal_group_syncs: u64,
     /// Snapshot checkpoints written since the store was opened.
     pub snapshots_written: u64,
     /// Batch latency histogram; bucket `i` counts batches with
@@ -177,6 +191,14 @@ pub struct SessionStats {
     pub plan_cache_hits: u64,
     /// Cached plans this session discarded after structural edits.
     pub plan_cache_invalidations: u64,
+    /// WAL records this session's committed batches appended — the
+    /// per-session share of [`EngineStats::wal_appends`], counted by the
+    /// owning worker at commit time (0 on non-durable engines; replayed
+    /// recovery records are not re-counted).
+    pub wal_appends: u64,
+    /// Frame bytes this session's committed batches appended — the
+    /// per-session share of [`EngineStats::wal_bytes`].
+    pub wal_bytes: u64,
     /// Whether the session is quarantined.
     pub quarantined: bool,
 }

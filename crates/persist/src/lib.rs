@@ -36,6 +36,7 @@
 pub mod command;
 pub mod crc;
 pub mod fault;
+pub mod group;
 pub mod record;
 pub mod snapshot;
 pub mod state;
@@ -43,7 +44,10 @@ pub mod store;
 
 pub use command::{PersistCommand, PersistSource, PersistSpec};
 pub use fault::{failing_factory, ByteBudget, FailingFile};
+pub use group::GroupCommit;
 pub use record::WalRecord;
 pub use snapshot::Snapshot;
 pub use state::{SessionState, SlotState};
-pub use store::{FileFactory, Recovered, Store, StoreFile, StoreOptions, StoreStats, SyncPolicy};
+pub use store::{
+    decode_segment, FileFactory, Recovered, Store, StoreFile, StoreOptions, StoreStats, SyncPolicy,
+};

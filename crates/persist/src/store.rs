@@ -56,6 +56,11 @@ use crate::snapshot::Snapshot;
 /// Magic prefix of a WAL segment file (8 bytes, version included).
 pub const SEGMENT_MAGIC: &[u8; 8] = b"STEMWAL1";
 
+/// Deferred-mode appends accumulate in memory and hit the file in runs of
+/// this size (or at the next `sync`/rotation), so the per-commit cost of
+/// interval-sync durability is a memcpy rather than a `write` syscall.
+const WRITE_BUF_FLUSH: usize = 128 << 10;
+
 /// Advisory lock file guarding the store directory against a second
 /// concurrent writer process.
 const LOCK_FILE: &str = "LOCK";
@@ -167,6 +172,9 @@ pub struct Store {
     sealed: Vec<u64>,
     next_snap: u64,
     dirty: bool,
+    /// Deferred-mode write buffer for the active segment; always empty
+    /// under [`SyncPolicy::Always`] and after any `sync`/rotation.
+    buf: Vec<u8>,
     stats: StoreStats,
     /// Holds the directory's advisory lock; released on drop (or crash).
     _lock: fs::File,
@@ -352,6 +360,7 @@ impl Store {
             seg_bytes: SEGMENT_MAGIC.len() as u64,
             sealed,
             dirty: false,
+            buf: Vec::new(),
             stats,
             _lock: lock,
         };
@@ -370,7 +379,19 @@ impl Store {
     /// next append crosses the threshold again.
     pub fn append(&mut self, rec: &WalRecord) -> io::Result<usize> {
         let frame = rec.encode_frame();
-        self.file.write_all(&frame)?;
+        match self.opts.sync {
+            SyncPolicy::Always => self.file.write_all(&frame)?,
+            SyncPolicy::Deferred => {
+                // Buffer the frame; it reaches the file at the next flush
+                // threshold, explicit `sync`, rotation, or drop. The loss
+                // window is the same one Deferred already grants (un-synced
+                // page cache), just extended into user space.
+                self.buf.extend_from_slice(&frame);
+                if self.buf.len() >= WRITE_BUF_FLUSH {
+                    self.flush_buf()?;
+                }
+            }
+        }
         self.dirty = true;
         self.seg_bytes += frame.len() as u64;
         self.stats.appends += 1;
@@ -385,8 +406,22 @@ impl Store {
         Ok(frame.len())
     }
 
+    /// Writes the deferred-mode buffer through to the active segment file.
+    /// A failed flush is a Deferred-mode loss event (the records were
+    /// acknowledged against the buffer): the error surfaces to the sync
+    /// driver, and recovery truncates whatever torn tail the partial
+    /// write left behind.
+    fn flush_buf(&mut self) -> io::Result<()> {
+        if !self.buf.is_empty() {
+            self.file.write_all(&self.buf)?;
+            self.buf.clear();
+        }
+        Ok(())
+    }
+
     /// Durably flushes any unsynced appends (interval-sync driver).
     pub fn sync(&mut self) -> io::Result<()> {
+        self.flush_buf()?;
         if self.dirty {
             self.file.sync()?;
             self.dirty = false;
@@ -489,5 +524,80 @@ impl Store {
     /// The directory this store lives in.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// Sealed segment indexes currently on disk, in append order. These
+    /// are the shippable units: sealed files are immutable and were fully
+    /// synced by the rotation that sealed them.
+    pub fn sealed_segments(&self) -> Vec<u64> {
+        self.sealed.clone()
+    }
+
+    /// Reads the raw bytes of a *sealed* segment for shipping to a
+    /// replica. The active segment is refused: it is still being appended
+    /// to (and under deferred sync some of it may only exist in memory),
+    /// so its bytes are not yet a stable replication unit.
+    pub fn read_segment(&self, index: u64) -> io::Result<Vec<u8>> {
+        if index == self.seg_index {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("segment {index} is active; seal it before shipping"),
+            ));
+        }
+        fs::read(seg_path(&self.dir, index))
+    }
+
+    /// Raw bytes of the newest snapshot file, if one exists — the bulk
+    /// bootstrap a replica ingests before replaying shipped segments.
+    pub fn latest_snapshot_bytes(&self) -> io::Result<Option<Vec<u8>>> {
+        if self.next_snap == 0 {
+            return Ok(None);
+        }
+        match fs::read(snap_path(&self.dir, self.next_snap - 1)) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(err) if err.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(err) => Err(err),
+        }
+    }
+}
+
+impl Drop for Store {
+    /// Flush (without fsync) so records buffered under deferred sync are
+    /// visible to a clean-process reopen — dropping a store has always
+    /// meant "the process survived", and the crash fault model is
+    /// exercised by abandoning the directory, not by dropping.
+    fn drop(&mut self) {
+        let _ = self.flush_buf();
+    }
+}
+
+/// Decodes a shipped segment image (as returned by [`Store::read_segment`])
+/// into its records. Unlike crash recovery — which tolerates a torn tail
+/// because the writer may have died mid-append — a shipped segment was
+/// sealed and fully synced before it ever left the leader, so *anything*
+/// short of a perfect decode (bad magic, torn frame, trailing garbage,
+/// undecodable payload) is transport or software corruption and is
+/// reported as an error rather than silently truncated.
+pub fn decode_segment(bytes: &[u8]) -> io::Result<Vec<WalRecord>> {
+    let corrupt = |what: &str| io::Error::new(io::ErrorKind::InvalidData, what.to_string());
+    let Some(mut rest) = bytes.strip_prefix(SEGMENT_MAGIC.as_slice()) else {
+        return Err(corrupt("shipped segment missing STEMWAL1 header"));
+    };
+    let mut records = Vec::new();
+    loop {
+        match scan_frame(rest) {
+            FrameScan::Ok { payload, rest: r } => {
+                let rec = WalRecord::decode_payload(payload)
+                    .map_err(|e| corrupt(&format!("shipped segment payload: {e}")))?;
+                records.push(rec);
+                rest = r;
+            }
+            FrameScan::End => {
+                if !rest.is_empty() {
+                    return Err(corrupt("shipped segment has a torn or corrupt frame"));
+                }
+                return Ok(records);
+            }
+        }
     }
 }

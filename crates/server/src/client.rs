@@ -1,0 +1,283 @@
+//! A blocking client for the wire protocol, with explicit pipelining.
+//!
+//! Replies arrive in request order, so the client is a FIFO discipline
+//! over one socket: [`Client::submit`] queues a batch without waiting
+//! (pipelining), [`Client::drain`] collects the outstanding batch
+//! results, and [`Client::apply`] is the submit-and-wait convenience.
+//! Requests that expect an immediate reply ([`Client::stats`],
+//! [`Client::open`], …) require the pipeline to be drained first — the
+//! client enforces it rather than silently discarding batch results.
+
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use stem_core::codec::Reader;
+use stem_core::{Justification, Value, VarId, Violation};
+use stem_engine::{
+    BatchError, BatchOutcome, Command, EngineStats, Output, SessionId, SessionStats,
+};
+
+use crate::proto::{decode_error, read_frame, write_frame, Reply, Request};
+
+/// A connection to a [`crate::Server`].
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    /// Batch replies queued behind [`Client::submit`] and not yet read.
+    in_flight: usize,
+}
+
+fn unexpected(reply: &Reply) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("unexpected reply: {reply:?}"),
+    )
+}
+
+/// A server-side [`Reply::Err`] surfaces as `io::ErrorKind::Other`.
+fn server_err(message: String) -> io::Error {
+    io::Error::other(format!("server error: {message}"))
+}
+
+impl Client {
+    /// Connects (with `TCP_NODELAY`, pipelining makes its own batches).
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let write_half = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer: BufWriter::new(write_half),
+            in_flight: 0,
+        })
+    }
+
+    fn send(&mut self, request: &Request) -> io::Result<()> {
+        let mut buf = Vec::new();
+        request.encode(&mut buf)?;
+        write_frame(&mut self.writer, &buf)
+    }
+
+    fn recv(&mut self) -> io::Result<Reply> {
+        self.writer.flush()?;
+        let Some(payload) = read_frame(&mut self.reader)? else {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        };
+        let mut r = Reader::new(&payload);
+        let reply = Reply::decode(&mut r).map_err(decode_error)?;
+        if !r.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "trailing bytes after reply",
+            ));
+        }
+        Ok(reply)
+    }
+
+    /// One request, one reply. Refuses to run past queued batch replies.
+    pub fn call(&mut self, request: &Request) -> io::Result<Reply> {
+        if self.in_flight > 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "{} pipelined replies pending; drain() first",
+                    self.in_flight
+                ),
+            ));
+        }
+        self.send(request)?;
+        self.recv()
+    }
+
+    /// Round-trip liveness check.
+    pub fn ping(&mut self) -> io::Result<()> {
+        match self.call(&Request::Ping)? {
+            Reply::Pong => Ok(()),
+            reply => Err(unexpected(&reply)),
+        }
+    }
+
+    /// Creates a session on the server.
+    pub fn open(&mut self) -> io::Result<SessionId> {
+        match self.call(&Request::Open)? {
+            Reply::Session { id } => Ok(SessionId(id)),
+            reply => Err(unexpected(&reply)),
+        }
+    }
+
+    /// Closes a session; `Ok(true)` if it existed.
+    pub fn close_session(&mut self, session: SessionId) -> io::Result<bool> {
+        match self.call(&Request::Close { session: session.0 })? {
+            Reply::Closed { existed } => Ok(existed),
+            reply => Err(unexpected(&reply)),
+        }
+    }
+
+    /// Queues a batch without waiting for its result. The reply is owed
+    /// in order; collect it with [`Client::drain`] (or [`Client::apply`]
+    /// for the last batch of a burst).
+    pub fn submit(&mut self, session: SessionId, commands: &[Command]) -> io::Result<()> {
+        let mut buf = Vec::new();
+        crate::proto::put_submit(&mut buf, session.0, commands)?;
+        write_frame(&mut self.writer, &buf)?;
+        self.in_flight += 1;
+        Ok(())
+    }
+
+    /// Collects every outstanding pipelined batch result, in submission
+    /// order.
+    pub fn drain(&mut self) -> io::Result<Vec<Result<BatchOutcome, BatchError>>> {
+        let mut out = Vec::with_capacity(self.in_flight);
+        while self.in_flight > 0 {
+            let reply = self.recv()?;
+            self.in_flight -= 1;
+            match reply {
+                Reply::Batch(result) => out.push(result),
+                Reply::Err { message } => return Err(server_err(message)),
+                reply => return Err(unexpected(&reply)),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Submits one batch and waits for its result (drains any earlier
+    /// pipelined batches first, discarding nothing: their results are
+    /// folded into the returned error if one failed the transport).
+    pub fn apply(
+        &mut self,
+        session: SessionId,
+        commands: &[Command],
+    ) -> io::Result<Result<BatchOutcome, BatchError>> {
+        self.submit(session, commands)?;
+        let mut results = self.drain()?;
+        Ok(results.pop().expect("submit queued exactly one reply"))
+    }
+
+    /// Reads one variable's value.
+    pub fn value(
+        &mut self,
+        session: SessionId,
+        var: VarId,
+    ) -> io::Result<Result<Value, BatchError>> {
+        Ok(self
+            .apply(session, &[Command::Get { var }])?
+            .map(|mut out| match out.outputs.remove(0) {
+                Output::Value(v) => v,
+                other => unreachable!("Get replies Value, got {other:?}"),
+            }))
+    }
+
+    /// Dumps `(name, value, justification)` for every variable in the
+    /// session — the full queryable state, including provenance.
+    pub fn dump(&mut self, session: SessionId) -> io::Result<Vec<(String, Value, Justification)>> {
+        match self.apply(session, &[Command::DumpValues])? {
+            Ok(mut out) => match out.outputs.remove(0) {
+                Output::Dump(entries) => Ok(entries),
+                other => unreachable!("DumpValues replies Dump, got {other:?}"),
+            },
+            Err(err) => Err(io::Error::other(format!("dump refused: {err}"))),
+        }
+    }
+
+    /// Sweeps the session's constraints and returns current violations.
+    pub fn violations(&mut self, session: SessionId) -> io::Result<Vec<Violation>> {
+        match self.apply(session, &[Command::CheckAll])? {
+            Ok(mut out) => match out.outputs.remove(0) {
+                Output::Violations(vs) => Ok(vs),
+                other => unreachable!("CheckAll replies Violations, got {other:?}"),
+            },
+            Err(err) => Err(io::Error::other(format!("check refused: {err}"))),
+        }
+    }
+
+    /// Engine-wide counters.
+    pub fn stats(&mut self) -> io::Result<EngineStats> {
+        match self.call(&Request::Stats)? {
+            Reply::Stats(stats) => Ok(stats),
+            reply => Err(unexpected(&reply)),
+        }
+    }
+
+    /// One session's counters.
+    pub fn session_stats(&mut self, session: SessionId) -> io::Result<SessionStats> {
+        match self.call(&Request::SessionStats { session: session.0 })? {
+            Reply::SessionStats(stats) => Ok(stats),
+            reply => Err(unexpected(&reply)),
+        }
+    }
+
+    /// Seals the leader's active WAL segment; returns every shippable
+    /// segment index, ascending.
+    pub fn seal_wal(&mut self) -> io::Result<Vec<u64>> {
+        match self.call(&Request::SealWal)? {
+            Reply::Sealed { segments } => Ok(segments),
+            Reply::Err { message } => Err(server_err(message)),
+            reply => Err(unexpected(&reply)),
+        }
+    }
+
+    /// Fetches one sealed segment's bytes.
+    pub fn fetch_segment(&mut self, index: u64) -> io::Result<Vec<u8>> {
+        match self.call(&Request::FetchSegment { index })? {
+            Reply::Segment { bytes } => Ok(bytes),
+            Reply::Err { message } => Err(server_err(message)),
+            reply => Err(unexpected(&reply)),
+        }
+    }
+
+    /// Fetches the newest checkpoint snapshot, if any.
+    pub fn fetch_snapshot(&mut self) -> io::Result<Option<Vec<u8>>> {
+        match self.call(&Request::FetchSnapshot)? {
+            Reply::Snapshot { bytes } => Ok(bytes),
+            Reply::Err { message } => Err(server_err(message)),
+            reply => Err(unexpected(&reply)),
+        }
+    }
+
+    /// Ships a snapshot into a replica server; returns sessions installed.
+    pub fn ingest_snapshot(&mut self, bytes: &[u8]) -> io::Result<u64> {
+        match self.call(&Request::IngestSnapshot {
+            bytes: bytes.to_vec(),
+        })? {
+            Reply::Ingested { applied, .. } => Ok(applied),
+            Reply::Err { message } => Err(server_err(message)),
+            reply => Err(unexpected(&reply)),
+        }
+    }
+
+    /// Ships one sealed segment into a replica server; returns
+    /// `(applied, skipped, anomalies)`.
+    pub fn ingest_segment(&mut self, bytes: &[u8]) -> io::Result<(u64, u64, u64)> {
+        match self.call(&Request::IngestSegment {
+            bytes: bytes.to_vec(),
+        })? {
+            Reply::Ingested {
+                applied,
+                skipped,
+                anomalies,
+            } => Ok((applied, skipped, anomalies)),
+            Reply::Err { message } => Err(server_err(message)),
+            reply => Err(unexpected(&reply)),
+        }
+    }
+
+    /// Promotes the replica server to a writable leader; `Ok(true)` if
+    /// it was a replica.
+    pub fn promote(&mut self) -> io::Result<bool> {
+        match self.call(&Request::Promote)? {
+            Reply::Promoted { was_replica } => Ok(was_replica),
+            reply => Err(unexpected(&reply)),
+        }
+    }
+
+    /// Asks the server to shut down; resolves once acknowledged.
+    pub fn shutdown_server(&mut self) -> io::Result<()> {
+        match self.call(&Request::Shutdown)? {
+            Reply::ShuttingDown => Ok(()),
+            reply => Err(unexpected(&reply)),
+        }
+    }
+}

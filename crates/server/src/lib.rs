@@ -1,0 +1,41 @@
+//! # stem-server — networked session service for the STEM engine
+//!
+//! The thesis runs one designer against one constraint network in one
+//! image; `stem-engine` made that a concurrent multi-session service;
+//! this crate puts the service on a socket. A [`Server`] wraps an
+//! [`stem_engine::Engine`] — volatile, durable, or a read-only replica —
+//! behind a TCP frontend speaking an in-tree binary protocol
+//! ([`proto`]): `[len][crc32][payload]` frames (the WAL's framing,
+//! reused) carrying requests for the full engine command set — session
+//! open/close, transactional batch submission, value / justification /
+//! violation queries, stats — plus the replication verbs (seal, fetch
+//! segment/snapshot, ingest, promote).
+//!
+//! ## Pipelining
+//!
+//! Every request earns exactly one reply, in request order. A client may
+//! therefore keep many batches in flight ([`Client::submit`] …
+//! [`Client::drain`]); the server submits them to the engine in wire
+//! order — which is exactly what preserves per-session batch ordering,
+//! whether a session is driven from one connection or several — and a
+//! per-connection writer thread streams replies back, redeeming each
+//! batch ticket in turn and flushing only when the reply queue runs dry.
+//!
+//! ## Replication
+//!
+//! A leader server on a durable engine ships its sealed WAL segments
+//! (and optionally a checkpoint snapshot for bootstrap) to follower
+//! servers running replica engines, which replay them through the crash
+//! recovery machinery and serve read-only queries; on leader loss a
+//! follower is promoted in place ([`Client::promote`]) and starts
+//! accepting mutating batches. See `DESIGN.md` §5g for the consistency
+//! argument.
+
+#![warn(missing_docs)]
+
+mod client;
+pub mod proto;
+mod server;
+
+pub use client::Client;
+pub use server::Server;

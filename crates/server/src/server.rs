@@ -1,0 +1,311 @@
+//! The TCP frontend: accept loop, per-connection reader/writer pair,
+//! pipelined batch submission.
+//!
+//! Each connection gets two threads. The *reader* decodes frames and
+//! dispatches: a [`Request::Submit`] is handed to the engine immediately
+//! (returning a [`stem_engine::BatchTicket`]) and its pending reply is
+//! queued; every other request is served inline. The *writer* drains the
+//! pending queue in order, waiting on tickets as it reaches them — so a
+//! client can keep many batches in flight while replies still come back
+//! in request order, and the engine sees the submission order the client
+//! sent (which is what preserves per-session ordering, on one connection
+//! or across several: the engine serialises each session's batches in
+//! arrival order, and a connection's reader thread submits in wire
+//! order).
+//!
+//! Replies are written through a buffer that is flushed only when no
+//! further reply is immediately ready — the transmit mirror of group
+//! commit: consecutive pipelined replies share one syscall.
+
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, TryRecvError};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+
+use stem_core::codec::Reader;
+use stem_engine::{BatchTicket, Engine, SessionId};
+
+use crate::proto::{read_frame, write_frame, Reply, Request};
+
+/// A reply slot in a connection's in-order queue: either already
+/// computed, or a ticket the writer redeems when its turn comes.
+/// (Boxed reply: tickets are small and replies can carry whole dumps.)
+enum Pending {
+    Ready(Box<Reply>),
+    Ticket(BatchTicket),
+}
+
+impl Pending {
+    fn ready(reply: Reply) -> Pending {
+        Pending::Ready(Box::new(reply))
+    }
+}
+
+struct State {
+    /// The listener's bound address (to self-connect and unblock accept).
+    addr: SocketAddr,
+    stop: AtomicBool,
+    /// Set when a client sends [`Request::Shutdown`]; [`Server::wait`]
+    /// watches it.
+    shutdown_requested: Mutex<bool>,
+    cv: Condvar,
+    conns: Mutex<Vec<TcpStream>>,
+}
+
+impl State {
+    fn request_stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let mut requested = self.shutdown_requested.lock().unwrap();
+        *requested = true;
+        self.cv.notify_all();
+    }
+}
+
+/// A running TCP frontend over one [`Engine`].
+///
+/// The server owns the engine (shared with its connection threads) and a
+/// listening socket; it accepts until [`Server::stop`] or a client's
+/// [`Request::Shutdown`]. Dropping the server stops it.
+pub struct Server {
+    engine: Arc<Engine>,
+    addr: SocketAddr,
+    state: Arc<State>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts
+    /// accepting connections against `engine`.
+    pub fn spawn(engine: Engine, addr: impl ToSocketAddrs) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let engine = Arc::new(engine);
+        let state = Arc::new(State {
+            addr,
+            stop: AtomicBool::new(false),
+            shutdown_requested: Mutex::new(false),
+            cv: Condvar::new(),
+            conns: Mutex::new(Vec::new()),
+        });
+        let accept = {
+            let engine = Arc::clone(&engine);
+            let state = Arc::clone(&state);
+            thread::spawn(move || accept_loop(listener, engine, state))
+        };
+        Ok(Server {
+            engine,
+            addr,
+            state,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address — what clients connect to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The served engine (for in-process inspection and segment shipping
+    /// between co-hosted leader/follower servers).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Blocks until a client requests shutdown (or [`Server::stop`] is
+    /// called from another thread via a clone-free handle — in practice:
+    /// until shutdown).
+    pub fn wait(&self) {
+        let mut requested = self.state.shutdown_requested.lock().unwrap();
+        while !*requested {
+            requested = self.state.cv.wait(requested).unwrap();
+        }
+    }
+
+    /// Stops accepting, tears down live connections, and joins the
+    /// accept thread. Idempotent. In-flight batches finish (the engine
+    /// is not shut down — it is dropped with the server).
+    pub fn stop(&mut self) {
+        self.state.request_stop();
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        for conn in self.state.conns.lock().unwrap().drain(..) {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(listener: TcpListener, engine: Arc<Engine>, state: Arc<State>) {
+    for stream in listener.incoming() {
+        if state.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        if let Ok(clone) = stream.try_clone() {
+            state.conns.lock().unwrap().push(clone);
+        }
+        let engine = Arc::clone(&engine);
+        let state = Arc::clone(&state);
+        thread::spawn(move || handle_conn(stream, engine, state));
+    }
+}
+
+fn handle_conn(stream: TcpStream, engine: Arc<Engine>, state: Arc<State>) {
+    let _ = stream.set_nodelay(true);
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let (tx, rx) = mpsc::channel::<Pending>();
+    let writer = thread::spawn(move || write_loop(write_half, rx));
+    let mut reader = BufReader::new(stream);
+    // Clean EOF, torn frame, or reset all end the loop: either way this
+    // connection is done; pending replies still drain.
+    while let Ok(Some(payload)) = read_frame(&mut reader) {
+        let mut r = Reader::new(&payload);
+        let request = match Request::decode(&mut r) {
+            Ok(req) if r.is_empty() => req,
+            Ok(_) => {
+                let _ = tx.send(Pending::ready(Reply::Err {
+                    message: "trailing bytes after request".into(),
+                }));
+                break;
+            }
+            Err(err) => {
+                let _ = tx.send(Pending::ready(Reply::Err {
+                    message: format!("bad request: {err:?}"),
+                }));
+                break;
+            }
+        };
+        match request {
+            Request::Submit { session, commands } => {
+                // Hand the batch to the engine *now* (ordering is fixed
+                // at submission) and let the writer redeem the ticket in
+                // its turn.
+                let ticket = engine.submit(SessionId(session), commands);
+                if tx.send(Pending::Ticket(ticket)).is_err() {
+                    break;
+                }
+            }
+            Request::Shutdown => {
+                let _ = tx.send(Pending::ready(Reply::ShuttingDown));
+                state.request_stop();
+                // Wake the accept loop so it observes the stop flag.
+                let _ = TcpStream::connect(state.addr);
+                break;
+            }
+            other => {
+                if tx.send(Pending::ready(serve(&engine, other))).is_err() {
+                    break;
+                }
+            }
+        }
+    }
+    drop(tx);
+    let _ = writer.join();
+    // The accept loop keeps a clone of this socket (for teardown), so
+    // dropping our halves alone would not FIN the peer — shut it down
+    // explicitly now that every owed reply is flushed.
+    let _ = reader.get_ref().shutdown(Shutdown::Both);
+}
+
+/// Serves every non-submit, non-shutdown request inline.
+fn serve(engine: &Engine, request: Request) -> Reply {
+    let err = |e: io::Error| Reply::Err {
+        message: e.to_string(),
+    };
+    match request {
+        Request::Ping => Reply::Pong,
+        Request::Open => Reply::Session {
+            id: engine.create_session().0,
+        },
+        Request::Close { session } => Reply::Closed {
+            existed: engine.close_session(SessionId(session)),
+        },
+        Request::Stats => Reply::Stats(engine.stats()),
+        Request::SessionStats { session } => {
+            Reply::SessionStats(engine.session_stats(SessionId(session)))
+        }
+        Request::SealWal => match engine.seal_wal() {
+            Ok(mut segments) => {
+                segments.sort_unstable();
+                Reply::Sealed { segments }
+            }
+            Err(e) => err(e),
+        },
+        Request::FetchSegment { index } => match engine.read_wal_segment(index) {
+            Ok(bytes) => Reply::Segment { bytes },
+            Err(e) => err(e),
+        },
+        Request::FetchSnapshot => match engine.wal_snapshot_bytes() {
+            Ok(bytes) => Reply::Snapshot { bytes },
+            Err(e) => err(e),
+        },
+        Request::IngestSnapshot { bytes } => match engine.ingest_snapshot(&bytes) {
+            Ok(installed) => Reply::Ingested {
+                applied: installed,
+                skipped: 0,
+                anomalies: 0,
+            },
+            Err(e) => err(e),
+        },
+        Request::IngestSegment { bytes } => match engine.ingest_segment(&bytes) {
+            Ok(report) => Reply::Ingested {
+                applied: report.applied,
+                skipped: report.skipped,
+                anomalies: report.anomalies,
+            },
+            Err(e) => err(e),
+        },
+        Request::Promote => Reply::Promoted {
+            was_replica: engine.promote(),
+        },
+        Request::Submit { .. } | Request::Shutdown => unreachable!("handled by the reader loop"),
+    }
+}
+
+/// Writes replies in request order, redeeming batch tickets as it
+/// reaches them, flushing only when the queue runs dry.
+fn write_loop(stream: TcpStream, rx: Receiver<Pending>) {
+    let mut w = BufWriter::new(stream);
+    let mut buf = Vec::new();
+    let mut next: Option<Pending> = None;
+    loop {
+        let pending = match next.take() {
+            Some(p) => p,
+            None => match rx.recv() {
+                Ok(p) => p,
+                Err(_) => break,
+            },
+        };
+        let reply = match pending {
+            Pending::Ready(reply) => *reply,
+            Pending::Ticket(ticket) => Reply::Batch(ticket.wait()),
+        };
+        buf.clear();
+        reply.encode(&mut buf);
+        if write_frame(&mut w, &buf).is_err() {
+            break;
+        }
+        match rx.try_recv() {
+            Ok(p) => next = Some(p),
+            Err(TryRecvError::Empty) => {
+                if w.flush().is_err() {
+                    break;
+                }
+            }
+            Err(TryRecvError::Disconnected) => break,
+        }
+    }
+    let _ = w.flush();
+}

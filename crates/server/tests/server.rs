@@ -1,0 +1,250 @@
+//! Loopback end-to-end: a real [`Server`] on an ephemeral port, driven
+//! by [`Client`]s over TCP — session lifecycle, pipelined submission,
+//! queries, stats, cross-connection ordering, and shutdown.
+
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use stem_core::{Justification, Value, VarId};
+use stem_engine::{BatchError, Command, ConstraintSpec, Engine, SessionId, Source};
+use stem_server::{Client, Server};
+
+fn spawn_server() -> Server {
+    Server::spawn(Engine::new(2), "127.0.0.1:0").expect("bind ephemeral port")
+}
+
+fn set(ix: usize, v: i64) -> Command {
+    Command::Set {
+        var: VarId::from_index(ix),
+        value: Value::Int(v),
+        source: Source::User,
+    }
+}
+
+#[test]
+fn session_lifecycle_queries_and_stats_over_tcp() {
+    let server = spawn_server();
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    c.ping().unwrap();
+
+    let s = c.open().unwrap();
+    // a + b = c with a tripwire; then read values and provenance back.
+    c.apply(
+        s,
+        &[
+            Command::AddVariable { name: "a".into() },
+            Command::AddVariable { name: "b".into() },
+            Command::AddVariable { name: "c".into() },
+            Command::AddConstraint {
+                spec: ConstraintSpec::Sum,
+                args: vec![
+                    VarId::from_index(0),
+                    VarId::from_index(1),
+                    VarId::from_index(2),
+                ],
+            },
+        ],
+    )
+    .unwrap()
+    .expect("skeleton applies");
+    c.apply(s, &[set(0, 4), set(1, 38)]).unwrap().unwrap();
+
+    assert_eq!(
+        c.value(s, VarId::from_index(2)).unwrap().unwrap(),
+        Value::Int(42)
+    );
+    let dump = c.dump(s).unwrap();
+    assert_eq!(dump.len(), 3);
+    let (_, value, just) = dump.iter().find(|(name, _, _)| name == "c").unwrap();
+    assert_eq!(*value, Value::Int(42));
+    assert!(
+        matches!(just, Justification::Propagated { .. }),
+        "c must be justified by the sum constraint, got {just:?}"
+    );
+    assert!(c.violations(s).unwrap().is_empty());
+
+    // A violating batch reports the violation and rolls back.
+    let err = c
+        .apply(
+            s,
+            &[Command::AddConstraint {
+                spec: ConstraintSpec::LeConst(Value::Int(10)),
+                args: vec![VarId::from_index(2)],
+            }],
+        )
+        .unwrap()
+        .unwrap_err();
+    assert!(matches!(err, BatchError::Violation { .. }), "{err:?}");
+    assert_eq!(
+        c.value(s, VarId::from_index(2)).unwrap().unwrap(),
+        Value::Int(42),
+        "violating batch must roll back over the wire too"
+    );
+
+    let stats = c.stats().unwrap();
+    assert!(stats.batches >= 5);
+    assert_eq!(stats.violations, 1);
+    let ss = c.session_stats(s).unwrap();
+    assert_eq!(ss.violations, 1);
+    assert_eq!(ss.n_variables, 3);
+    assert!(!ss.quarantined);
+
+    // Untouched session ids materialise fresh (empty) sessions, so a
+    // set on one fails command validation — cleanly, not fatally.
+    assert!(matches!(
+        c.apply(SessionId(999), &[set(0, 1)]).unwrap(),
+        Err(BatchError::InvalidCommand { .. })
+    ));
+
+    assert!(c.close_session(s).unwrap());
+    assert!(!c.close_session(s).unwrap(), "second close reports absent");
+}
+
+#[test]
+fn pipelined_batches_come_back_in_order() {
+    let server = spawn_server();
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    let s = c.open().unwrap();
+    c.apply(s, &[Command::AddVariable { name: "v".into() }])
+        .unwrap()
+        .unwrap();
+
+    // 100 batches in flight before reading a single reply; the i-th
+    // reply must carry the i-th probe value.
+    const N: i64 = 100;
+    for i in 0..N {
+        c.submit(
+            s,
+            &[
+                set(0, i),
+                Command::Get {
+                    var: VarId::from_index(0),
+                },
+            ],
+        )
+        .unwrap();
+    }
+    // call() is refused while the pipeline is open.
+    assert!(c.stats().is_err());
+    let results = c.drain().unwrap();
+    assert_eq!(results.len(), N as usize);
+    for (i, result) in results.into_iter().enumerate() {
+        let out = result.unwrap_or_else(|e| panic!("batch {i}: {e}"));
+        assert_eq!(
+            format!("{:?}", out.outputs[1]),
+            format!("{:?}", stem_engine::Output::Value(Value::Int(i as i64))),
+            "reply {i} out of order"
+        );
+    }
+    // Drained: immediate calls work again.
+    assert!(c.stats().unwrap().batches >= N as u64);
+}
+
+#[test]
+fn one_session_driven_from_many_connections_stays_ordered() {
+    let server = spawn_server();
+    let addr = server.local_addr();
+    let mut admin = Client::connect(addr).unwrap();
+    let s = admin.open().unwrap();
+    admin
+        .apply(
+            s,
+            &[
+                Command::AddVariable {
+                    name: "slot".into(),
+                },
+                Command::SetValueChangeLimit { limit: 100_000 },
+            ],
+        )
+        .unwrap()
+        .unwrap();
+
+    // 4 connections race 50 batches each into one session. Every batch
+    // sets `slot` to a tagged value and reads it back in the same batch;
+    // per-session serialisation means each batch observes its *own*
+    // write, never a torn interleaving.
+    let applied = Arc::new(AtomicU64::new(0));
+    std::thread::scope(|scope| {
+        for conn in 0..4i64 {
+            let applied = Arc::clone(&applied);
+            scope.spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                for i in 0..50i64 {
+                    let tag = conn * 1000 + i;
+                    c.submit(
+                        s,
+                        &[
+                            set(0, tag),
+                            Command::Get {
+                                var: VarId::from_index(0),
+                            },
+                        ],
+                    )
+                    .unwrap();
+                }
+                for (i, result) in c.drain().unwrap().into_iter().enumerate() {
+                    let out = result.unwrap_or_else(|e| panic!("conn {conn} batch {i}: {e}"));
+                    let tag = conn * 1000 + i as i64;
+                    assert_eq!(
+                        format!("{:?}", out.outputs[1]),
+                        format!("{:?}", stem_engine::Output::Value(Value::Int(tag))),
+                        "conn {conn}: batch {i} saw someone else's write inside its own batch"
+                    );
+                    applied.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    assert_eq!(applied.load(Ordering::Relaxed), 200);
+    let ss = admin.session_stats(s).unwrap();
+    assert_eq!(ss.batches_ok, 201, "200 raced batches + the skeleton");
+}
+
+#[test]
+fn malformed_frames_get_an_error_reply_and_close_the_connection() {
+    let server = spawn_server();
+    let addr = server.local_addr();
+
+    // Garbage payload inside a valid frame: server replies Err, closes.
+    {
+        use stem_core::codec::Reader;
+        use stem_server::proto::{read_frame, write_frame, Reply};
+        let mut raw = TcpStream::connect(addr).unwrap();
+        write_frame(&mut raw, &[0xFFu8, 1, 2, 3]).unwrap();
+        let payload = read_frame(&mut raw).unwrap().expect("an error reply");
+        let reply = Reply::decode(&mut Reader::new(&payload)).unwrap();
+        assert!(matches!(reply, Reply::Err { .. }), "{reply:?}");
+        // ... and then the connection closes cleanly.
+        assert_eq!(read_frame(&mut raw).unwrap(), None);
+    }
+    // Corrupt frame header: connection just dies; server survives.
+    {
+        use std::io::Write;
+        let mut raw = TcpStream::connect(addr).unwrap();
+        raw.write_all(&[0xDE, 0xAD, 0xBE, 0xEF, 0, 0, 0, 0])
+            .unwrap();
+    }
+    // The server is still healthy for well-formed clients.
+    let mut c = Client::connect(addr).unwrap();
+    c.ping().unwrap();
+}
+
+#[test]
+fn shutdown_request_stops_the_server() {
+    let server = spawn_server();
+    let addr = server.local_addr();
+    let mut c = Client::connect(addr).unwrap();
+    let s = c.open().unwrap();
+    c.apply(s, &[Command::AddVariable { name: "v".into() }])
+        .unwrap()
+        .unwrap();
+    c.shutdown_server().unwrap();
+    server.wait(); // returns because the client asked for shutdown
+    drop(server);
+    assert!(
+        TcpStream::connect(addr).is_err()
+            || Client::connect(addr).and_then(|mut c| c.ping()).is_err(),
+        "listener must be gone after shutdown"
+    );
+}

@@ -1,0 +1,121 @@
+//! Remote sessions: the STEM engine behind a TCP socket.
+//!
+//! Demonstrates `stem-server` (DESIGN.md §5g): a [`stem::server::Server`]
+//! wraps an engine behind the in-tree binary protocol, and a
+//! [`stem::server::Client`] drives it like a local engine — session
+//! open, transactional batches, value and justification queries,
+//! violation traces — with explicit pipelining: many batches in flight
+//! on one connection, replies collected in order.
+//!
+//! Run with: `cargo run --example remote_session`
+
+use stem::core::{Value, VarId};
+use stem::engine::{BatchError, Command, ConstraintSpec, Engine, Source};
+use stem::server::{Client, Server};
+
+fn set(ix: usize, v: i64) -> Command {
+    Command::Set {
+        var: VarId::from_index(ix),
+        value: Value::Int(v),
+        source: Source::User,
+    }
+}
+
+fn main() {
+    // Spawn the service on an ephemeral loopback port. In a deployment
+    // this is its own process (possibly on a durable engine — any engine
+    // works: volatile, durable, or a read-only replica).
+    let server = Server::spawn(Engine::new(2), "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr();
+    println!("stem-server listening on {addr}");
+
+    let mut client = Client::connect(addr).expect("connect");
+    client.ping().expect("ping");
+
+    // A design fragment: sum = a + b, with a ceiling on the sum.
+    let session = client.open().expect("open session");
+    println!("opened remote session {session}");
+    client
+        .apply(
+            session,
+            &[
+                Command::AddVariable { name: "a".into() },
+                Command::AddVariable { name: "b".into() },
+                Command::AddVariable { name: "sum".into() },
+                Command::AddConstraint {
+                    spec: ConstraintSpec::Sum,
+                    args: vec![
+                        VarId::from_index(0),
+                        VarId::from_index(1),
+                        VarId::from_index(2),
+                    ],
+                },
+                Command::AddConstraint {
+                    spec: ConstraintSpec::LeConst(Value::Int(100)),
+                    args: vec![VarId::from_index(2)],
+                },
+            ],
+        )
+        .expect("transport")
+        .expect("skeleton applies");
+
+    // ------------------------------------------------------------------
+    // Pipelining: queue a burst of batches without waiting, then drain.
+    // Replies come back in submission order — one reply per batch.
+    // ------------------------------------------------------------------
+    for i in 0..10 {
+        client
+            .submit(session, &[set(0, i), set(1, 10 * i)])
+            .expect("queue batch");
+    }
+    let results = client.drain().expect("drain pipeline");
+    let ok = results.iter().filter(|r| r.is_ok()).count();
+    println!("pipelined 10 batches on one connection: {ok} committed");
+
+    // Query values and provenance over the wire.
+    let sum = client
+        .value(session, VarId::from_index(2))
+        .expect("transport")
+        .expect("sum is set");
+    println!("sum = {sum}");
+    for (name, value, just) in client.dump(session).expect("dump") {
+        println!("  {name} = {value}  ({just})");
+    }
+
+    // A violating batch rolls back atomically and reports the trace.
+    match client
+        .apply(session, &[set(0, 70), set(1, 70)])
+        .expect("transport")
+    {
+        Err(BatchError::Violation { index, violation }) => {
+            println!("command {index} refused: {violation}");
+        }
+        other => panic!("ceiling should have fired, got {other:?}"),
+    }
+    let violations = client.violations(session).expect("check");
+    println!(
+        "after rollback the session is consistent again ({} violations)",
+        violations.len()
+    );
+    assert_eq!(
+        client
+            .value(session, VarId::from_index(2))
+            .expect("transport")
+            .expect("sum survives"),
+        Value::Int(99),
+        "rolled-back batch must leave the last committed state"
+    );
+
+    // Server-side counters, fetched remotely.
+    let stats = client.stats().expect("stats");
+    println!(
+        "engine served {} batches ({} ok) across the socket",
+        stats.batches, stats.batches_ok
+    );
+
+    // A clean shutdown: the client asks, the server acknowledges and
+    // stops accepting; `wait()` unblocks whoever is hosting the server.
+    client.shutdown_server().expect("shutdown");
+    server.wait();
+    println!("server shut down on request");
+}

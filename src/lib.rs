@@ -29,6 +29,10 @@
 //!   write-ahead log of committed command batches, snapshot checkpoints,
 //!   and crash recovery (`Engine::open` rebuilds every session exactly as
 //!   of its last acknowledged commit).
+//! - [`server`] — a TCP frontend for the engine: a length-prefixed,
+//!   CRC-framed binary protocol with pipelined batch submission, plus
+//!   WAL segment shipping to read-only replica servers for query
+//!   offload and failover.
 //!
 //! ## Quickstart
 //!
@@ -55,4 +59,5 @@ pub use stem_engine as engine;
 pub use stem_geom as geom;
 pub use stem_modsel as modsel;
 pub use stem_persist as persist;
+pub use stem_server as server;
 pub use stem_sim as sim;

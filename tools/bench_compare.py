@@ -2,9 +2,10 @@
 """Compare smoke-bench JSON output against the checked-in baseline.
 
 Usage:
-  tools/bench_compare.py                 # compare BENCH_*.json vs BENCH_baseline.json
-  tools/bench_compare.py --update        # rewrite BENCH_baseline.json from current JSONs
-  tools/bench_compare.py --threshold 0.4 # custom allowed fractional ops/s drop
+  tools/bench_compare.py                  # compare BENCH_*.json vs BENCH_baseline.json
+  tools/bench_compare.py --update         # rewrite BENCH_baseline.json from current JSONs
+  tools/bench_compare.py --write-baseline # run every smoke bench fresh, then rewrite
+  tools/bench_compare.py --threshold 0.4  # custom allowed fractional ops/s drop
 
 Exit status 1 if any benchmark id present in both current output and the
 baseline regressed by more than the threshold (default 25% ops/s drop).
@@ -22,6 +23,8 @@ import argparse
 import glob
 import json
 import os
+import re
+import subprocess
 import sys
 
 ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
@@ -65,9 +68,40 @@ def load_current():
     return merged
 
 
+def bench_names():
+    """Every [[bench]] target declared by the bench crate, in file order."""
+    manifest = os.path.join(ROOT, "crates", "bench", "Cargo.toml")
+    with open(manifest) as f:
+        text = f.read()
+    return re.findall(r'\[\[bench\]\]\s*\nname = "([^"]+)"', text)
+
+
+def run_smoke_benches():
+    """Run every smoke bench fresh, regenerating each BENCH_<name>.json."""
+    names = bench_names()
+    if not names:
+        print("bench-compare: no [[bench]] targets found in crates/bench/Cargo.toml")
+        return False
+    for name in names:
+        print(f"bench-compare: running smoke bench '{name}'")
+        proc = subprocess.run(
+            ["cargo", "bench", "--offline", "-p", "stem-bench",
+             "--bench", name, "--", "--smoke"],
+            cwd=ROOT,
+        )
+        if proc.returncode != 0:
+            print(f"bench-compare: bench '{name}' failed (exit {proc.returncode})")
+            return False
+    return True
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("--update", action="store_true", help="rewrite the baseline")
+    ap.add_argument("--write-baseline", action="store_true",
+                    help="run every smoke bench fresh (cargo bench -- --smoke), then "
+                         "rewrite the baseline from the regenerated JSONs; combine with "
+                         "--merge-min to only lower existing floors")
     ap.add_argument("--merge-min", action="store_true",
                     help="like --update, but keep the elementwise min with any existing "
                          "baseline — run the smoke benches several times with this to "
@@ -76,12 +110,16 @@ def main():
                     help="allowed fractional ops/s drop (default 0.25)")
     args = ap.parse_args()
 
+    if args.write_baseline:
+        if not run_smoke_benches():
+            return 1
+
     current = load_current()
     if not current:
         print("bench-compare: no BENCH_*.json results found — run the smoke benches first")
         return 1
 
-    if args.update or args.merge_min:
+    if args.update or args.merge_min or args.write_baseline:
         if args.merge_min and os.path.exists(BASELINE):
             with open(BASELINE) as f:
                 prior = json.load(f)["results"]
