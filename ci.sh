@@ -3,15 +3,23 @@
 # The workspace is hermetic — everything runs with --offline.
 #
 # Flags:
-#   --bench-compare   additionally diff the smoke-bench JSON against
-#                     BENCH_baseline.json and fail on a >25% ops/s drop
+#   --bench-compare    additionally diff the smoke-bench JSON against
+#                      BENCH_baseline.json and fail on a >25% ops/s drop
+#   --par-differential additionally run the parallel-replay legs in
+#                      release: the 1000-network planned-vs-agenda
+#                      differential (thread sweep 1/2/4/8 is inside the
+#                      test), the core + engine parallel suites, and a
+#                      two-run same-seed byte-identical determinism check
+#                      on the 8-thread replay digest
 set -euo pipefail
 cd "$(dirname "$0")"
 
 BENCH_COMPARE=0
+PAR_DIFFERENTIAL=0
 for arg in "$@"; do
   case "$arg" in
     --bench-compare) BENCH_COMPARE=1 ;;
+    --par-differential) PAR_DIFFERENTIAL=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -72,6 +80,25 @@ ivl = 1e9 / r["engine/durability_chain100/interval_sync"]
 print(f"volatile {vol:.0f} ops/s, interval_sync {ivl:.0f} ops/s ({ivl/vol:.2%})")
 assert ivl >= 0.9 * vol, "interval_sync fell >10% below volatile"
 PY
+
+if [[ "$PAR_DIFFERENTIAL" == 1 ]]; then
+  echo "==> parallel replay differential (thread sweep 1/2/4/8, release)"
+  # The differential asserts byte-identical values, justifications,
+  # stats, violations, and final-check order between the agenda
+  # interpreter and planned replay at every swept thread count.
+  cargo test --release --offline -p stem-core --test planned_differential -q
+  cargo test --release --offline -p stem-core --test parallel -q
+  cargo test --release --offline -p stem-engine --test parallel -q
+
+  echo "==> parallel replay determinism (two same-seed runs, byte-identical)"
+  cargo run --release --offline -p stem-core --example par_replay_digest > /tmp/par_digest_1.txt 2>/dev/null
+  cargo run --release --offline -p stem-core --example par_replay_digest > /tmp/par_digest_2.txt 2>/dev/null
+  diff /tmp/par_digest_1.txt /tmp/par_digest_2.txt \
+    || { echo "parallel replay digest differs between same-seed runs"; exit 1; }
+  grep -q "plan_replays_parallel: [1-9]" /tmp/par_digest_1.txt \
+    || { echo "digest never exercised the parallel replay path"; exit 1; }
+  rm -f /tmp/par_digest_1.txt /tmp/par_digest_2.txt
+fi
 
 if [[ "$BENCH_COMPARE" == 1 ]]; then
   echo "==> bench-compare vs BENCH_baseline.json"

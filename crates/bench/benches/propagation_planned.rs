@@ -41,6 +41,44 @@ fn dense_fanout(c: &mut Criterion) {
     g.finish();
 }
 
+/// Parallel cone replay vs. the identical plan replayed sequentially, on
+/// the cone-partitionable fanout (8 independent cones per root write).
+/// The `par_seq` arm runs with a one-thread budget, `parallel` with
+/// eight. Below the default 256-step partition floor (fan 16, 144
+/// executing steps) the parallel arm falls back to sequential replay, so
+/// the two arms must stay within noise of each other there — the CI
+/// gate (`tools/bench_compare.py`) enforces parallel/par_seq ≥ 2.5× at
+/// fan 256 and ≥ 0.95× at fan 16 on machines with ≥ 8 cores.
+fn parallel_replay(c: &mut Criterion) {
+    let mut g = c.benchmark_group("propagation_planned/dense_fanout");
+    const CONES: usize = 8;
+    for fan in [16usize, 64, 256] {
+        for threads in [1usize, 8] {
+            let path = if threads == 1 { "par_seq" } else { "parallel" };
+            let (mut net, src) = workloads::par_fanout(CONES, fan);
+            net.set_parallel_threads(threads);
+            for i in 0..16 {
+                net.set(src, Value::Int(i), Justification::User).unwrap();
+            }
+            let partitioned = threads > 1 && CONES * (fan + 2) >= net.parallel_min_steps();
+            assert_eq!(
+                net.plan_parallel_cones(src),
+                partitioned.then_some(CONES),
+                "warm-up must leave the partition in the arm's configuration \
+                 (threads={threads}, fan={fan})"
+            );
+            let mut i = 100i64;
+            g.bench_function(format!("{path}/{fan}"), |b| {
+                b.iter(|| {
+                    i += 1;
+                    net.set(src, Value::Int(i), Justification::User).unwrap();
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
 /// Same comparison on a pairwise equality star (every spoke its own
 /// constraint — maximal dispatch count per cycle).
 fn equality_star(c: &mut Criterion) {
@@ -105,6 +143,6 @@ fn quick() -> Criterion {
 criterion_group!(
     name = benches;
     config = quick();
-    targets = dense_fanout, equality_star, recompile_churn
+    targets = dense_fanout, parallel_replay, equality_star, recompile_churn
 );
 criterion_main!(benches);

@@ -250,4 +250,22 @@ fn main() {
             &experiments::t_e23_group_commit(&[1, 2, 4, 8]),
         )
     );
+
+    print!(
+        "{}",
+        render_table(
+            "T-E24 — parallel cone replay: 8-cone dense fanout (fan 256), cached plan, thread sweep",
+            &[
+                "threads",
+                "sets",
+                "parallel replays",
+                "cones",
+                "fallbacks",
+                "ms",
+                "sets/s",
+                "speedup"
+            ],
+            &experiments::t_e24_parallel_replay(&[1, 2, 4, 8]),
+        )
+    );
 }

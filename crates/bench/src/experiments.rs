@@ -739,6 +739,7 @@ pub fn t_e21_rollback_strategies() -> Vec<Vec<String>> {
             queue_capacity: 64,
             step_budget: None,
             rollback,
+            propagation_threads: 1,
         });
         let s = engine.create_session();
         let mut cmds: Vec<Command> = (0..CHAIN)
@@ -989,5 +990,78 @@ pub fn t_e23_group_commit(session_counts: &[usize]) -> Vec<Vec<String>> {
         engine.shutdown();
     }
     let _ = std::fs::remove_dir_all(&base);
+    rows
+}
+
+/// T-E24 — parallel cone replay: the cached plan of an 8-cone dense
+/// fanout (fan 256 — 2 064 executing steps per root write) replayed with
+/// growing thread budgets (§9.3's network compilation extended with a
+/// partition into independent cones).
+///
+/// Every arm replays the *same* plan over the same value sequence; the
+/// agenda interpreter stays ground truth (the planned-vs-agenda
+/// differential sweeps the identical thread counts). Observable state is
+/// asserted equal across arms here, so the speedup column is wall-clock
+/// only; the replay/cone/fallback columns show whether the partition
+/// actually engaged. On a single-core container the curve stays ≈1×
+/// (the pool adds coordination it cannot buy back) — the shape claim
+/// needs ≥8 hardware threads.
+pub fn t_e24_parallel_replay(thread_counts: &[usize]) -> Vec<Vec<String>> {
+    use stem_core::Justification;
+
+    const CONES: usize = 8;
+    const FAN: usize = 256;
+    const ROUNDS: i64 = 2_000;
+
+    let mut rows = Vec::new();
+    let mut base_ops = 0.0;
+    let mut reference: Option<Vec<(String, Value)>> = None;
+    for &threads in thread_counts {
+        let (mut net, src) = workloads::par_fanout(CONES, FAN);
+        net.set_parallel_threads(threads);
+        // Warm-up: the first set compiles the plan (and, with threads,
+        // its cone partition).
+        for i in 0..16 {
+            net.set(src, Value::Int(i), Justification::User).unwrap();
+        }
+        net.reset_stats();
+        let t0 = Instant::now();
+        for i in 0..ROUNDS {
+            net.set(src, Value::Int(100 + i), Justification::User)
+                .unwrap();
+        }
+        let dt = t0.elapsed();
+        let stats = net.stats();
+        let par = net.par_stats();
+        assert_eq!(
+            stats.plan_cache_hits, ROUNDS as u64,
+            "every measured set must replay the cached plan"
+        );
+        let dump: Vec<(String, Value)> = net
+            .variables()
+            .map(|v| (net.var_name(v).to_string(), net.value(v).clone()))
+            .collect();
+        match &reference {
+            None => reference = Some(dump),
+            Some(r) => assert_eq!(r, &dump, "replay must be identical at every thread count"),
+        }
+        let ops = ROUNDS as f64 / dt.as_secs_f64();
+        let speedup = if base_ops == 0.0 {
+            base_ops = ops;
+            "1.00×".to_string()
+        } else {
+            format!("{:.2}×", ops / base_ops)
+        };
+        rows.push(vec![
+            threads.to_string(),
+            ROUNDS.to_string(),
+            par.plan_replays_parallel.to_string(),
+            par.cones_executed.to_string(),
+            par.parallel_fallbacks.to_string(),
+            ms(dt),
+            format!("{ops:.0}"),
+            speedup,
+        ]);
+    }
     rows
 }

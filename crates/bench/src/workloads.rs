@@ -167,6 +167,33 @@ pub fn dense_fanout(fan: usize) -> (Network, VarId) {
     (net, src)
 }
 
+/// The cone-partitionable workload of E24: one source equality-linked to
+/// `cones` heads, each head mirrored into `fan` variables that feed a
+/// scheduled per-cone sum. After the root write the propagation plan's
+/// step graph splits into `cones` independent components with disjoint
+/// write sets — the shape [`stem_core::Network::set_parallel_threads`]
+/// replays concurrently. Executing plan steps: `cones × (fan + 2)`.
+/// Returns the network and the source variable.
+pub fn par_fanout(cones: usize, fan: usize) -> (Network, VarId) {
+    let mut net = Network::new();
+    let src = net.add_variable("src");
+    for i in 0..cones {
+        let head = net.add_variable(format!("h{i}"));
+        net.add_constraint(Equality::new(), [src, head]).unwrap();
+        let mut args = Vec::with_capacity(fan + 1);
+        for j in 0..fan {
+            let m = net.add_variable(format!("m{i}_{j}"));
+            net.add_constraint(Equality::new(), [head, m]).unwrap();
+            args.push(m);
+        }
+        let out = net.add_variable(format!("o{i}"));
+        args.push(out);
+        net.add_constraint(Functional::uni_addition(), args)
+            .unwrap();
+    }
+    (net, src)
+}
+
 /// The two-level hierarchy of thesis Fig. 5.1 (E3), at the constraint
 /// level: one shared internal chain of `internal_len` +1 stages computing
 /// a "class characteristic", fanned out to `n_instances` external
@@ -274,6 +301,24 @@ mod tests {
             drive(&mut net, l, i as i64);
         }
         assert_eq!(net.value(root), &Value::Int(28));
+    }
+
+    #[test]
+    fn par_fanout_sums_per_cone_and_partitions() {
+        let (mut net, src) = par_fanout(4, 3);
+        net.set_parallel_threads(2);
+        net.set_parallel_min_steps(1);
+        drive(&mut net, src, 5);
+        // Each cone's output is fan × the source value.
+        let outs: Vec<_> = net
+            .variables()
+            .filter(|&v| net.var_name(v).starts_with('o'))
+            .collect();
+        assert_eq!(outs.len(), 4);
+        for v in outs {
+            assert_eq!(net.value(v), &Value::Int(15));
+        }
+        assert_eq!(net.plan_parallel_cones(src), Some(4));
     }
 
     #[test]

@@ -123,6 +123,26 @@ pub trait ConstraintKind: fmt::Debug {
         None
     }
 
+    /// A thread-safe kernel equivalent to `infer` on a change of `changed`,
+    /// *if one exists* — the opt-in contract behind parallel plan replay
+    /// ([`crate::par`]). Returning `Some(kernel)` promises that running the
+    /// kernel against a raw value view produces exactly the
+    /// `propagate_set` calls `infer` would make (same targets, same order,
+    /// same values, same dependency records). Kinds closing over
+    /// non-`Send` state (custom closures) or whose effect cannot be
+    /// described as a pure value computation must keep the default `None`,
+    /// which excludes any plan containing them from cone partitioning and
+    /// leaves them on the sequential replay path.
+    fn par_kernel(
+        &self,
+        net: &Network,
+        cid: ConstraintId,
+        changed: Option<VarId>,
+    ) -> Option<crate::par::ParKernel> {
+        let _ = (net, cid, changed);
+        None
+    }
+
     /// Dependency-record membership test (`testMembershipOf:inDependency:`,
     /// Fig. 4.11): does a value carrying `record` — formulated by this kind
     /// — depend on argument `arg`? The default interprets the built-in

@@ -95,6 +95,30 @@ impl ConstraintKind for Equality {
         )
     }
 
+    fn par_kernel(
+        &self,
+        net: &Network,
+        cid: ConstraintId,
+        changed: Option<VarId>,
+    ) -> Option<crate::par::ParKernel> {
+        // Mirrors `infer` exactly: the changed argument's value is copied
+        // to every other argument in argument order, each with a
+        // `Single(source)` record; a `Nil` source propagates nothing (the
+        // kernel checks at run time). No changed variable → `infer` is a
+        // no-op, which `planned_writes` already encodes — but replay still
+        // dispatches the step, so refuse rather than model it.
+        let source = changed?;
+        Some(crate::par::ParKernel::Copy {
+            source,
+            targets: net
+                .args(cid)
+                .iter()
+                .copied()
+                .filter(|&a| a != source)
+                .collect(),
+        })
+    }
+
     fn is_satisfied(&self, net: &Network, cid: ConstraintId) -> bool {
         let mut seen: Option<&Value> = None;
         for &arg in net.args(cid) {

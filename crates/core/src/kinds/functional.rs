@@ -229,6 +229,36 @@ impl ConstraintKind for Functional {
         }
     }
 
+    fn par_kernel(
+        &self,
+        net: &Network,
+        cid: ConstraintId,
+        changed: Option<VarId>,
+    ) -> Option<crate::par::ParKernel> {
+        // Built-in ops are pure value computations, safe to evaluate
+        // off-thread ([`crate::par::PureOp`] replicates `FunctionalOp`'s
+        // fold semantics bit for bit). `Custom` closes over an `Rc`'d
+        // closure and must stay on the sequential path.
+        let _ = changed; // write-set is changed-independent (planned_writes)
+        let op = match &self.op {
+            FunctionalOp::Sum => crate::par::PureOp::Sum,
+            FunctionalOp::Max => crate::par::PureOp::Max,
+            FunctionalOp::Min => crate::par::PureOp::Min,
+            FunctionalOp::Product => crate::par::PureOp::Product,
+            FunctionalOp::Scale { gain, offset } => crate::par::PureOp::Scale {
+                gain: *gain,
+                offset: *offset,
+            },
+            FunctionalOp::Custom(..) => return None,
+        };
+        let (inputs, result) = self.split(net, cid)?;
+        Some(crate::par::ParKernel::Apply {
+            op,
+            inputs: inputs.to_vec(),
+            result,
+        })
+    }
+
     fn is_satisfied(&self, net: &Network, cid: ConstraintId) -> bool {
         let Some((_, result)) = self.split(net, cid) else {
             return true;

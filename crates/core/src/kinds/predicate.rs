@@ -138,6 +138,19 @@ impl ConstraintKind for Predicate {
         Some(Vec::new()) // check-only: statically writes nothing
     }
 
+    fn par_kernel(
+        &self,
+        _net: &Network,
+        _cid: ConstraintId,
+        _changed: Option<VarId>,
+    ) -> Option<crate::par::ParKernel> {
+        // Check-only: `infer` assigns nothing, so the kernel is a no-op and
+        // the satisfaction test runs in the (sequential) final sweep. This
+        // holds for `Custom` too — its closure is only ever called from the
+        // main thread's `is_satisfied`.
+        Some(crate::par::ParKernel::Check)
+    }
+
     fn is_satisfied(&self, net: &Network, cid: ConstraintId) -> bool {
         use std::cmp::Ordering;
         // Custom tests take a contiguous `&[Value]`, the one form that must

@@ -65,6 +65,7 @@ mod inspect;
 mod justification;
 pub mod kinds;
 mod network;
+mod par;
 mod plan;
 pub mod prng;
 mod value;
@@ -80,6 +81,7 @@ pub use ids::{ConstraintId, Entity, VarId};
 pub use inspect::NetworkInspector;
 pub use justification::{DependencyRecord, Justification};
 pub use network::{Network, SetStatus, Stats, ValueSnapshot, ViolationHandler};
+pub use par::{ParKernel, ParStats, PureOp};
 pub use plan::PlanStatus;
 pub use value::{Span, TypeTag, Value};
 pub use variable::{Overwrite, PlainKind, PropertyKind, RecalcFn, VariableKind};

@@ -2,6 +2,7 @@ use crate::agenda::AgendaScheduler;
 use crate::constraint::{Activation, ConstraintData, ConstraintKind};
 use crate::ids::{ConstraintId, VarId};
 use crate::justification::{DependencyRecord, Justification};
+use crate::par::{self, ParStats, SlotsView};
 use crate::plan::{PlanOp, PlanSlot, PlanStatus, PropPlan};
 use crate::value::Value;
 use crate::variable::{Overwrite, PlainKind, VariableData, VariableKind};
@@ -9,6 +10,18 @@ use crate::violation::Violation;
 use std::collections::HashMap;
 use std::rc::Rc;
 use std::sync::Arc;
+
+/// A variable's current value and justification (`lastSetBy`), stored in a
+/// dense arena parallel to the variable arena. Kept separate from
+/// [`VariableData`] because this pair is `Send + Sync` (values use `Arc`,
+/// justifications carry no `Rc`), which lets the parallel replay path hand
+/// worker threads a raw view of exactly the state they write — and nothing
+/// of the `Rc`-laden variable/constraint metadata.
+#[derive(Debug, Clone)]
+pub(crate) struct ValueSlot {
+    pub(crate) value: Value,
+    pub(crate) justification: Justification,
+}
 
 /// Result of one propagated assignment ([`Network::propagate_set`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -228,6 +241,8 @@ impl ValueSnapshot {
 /// ```
 pub struct Network {
     vars: Vec<VariableData>,
+    /// Value + justification per variable, index-aligned with `vars`.
+    slots: Vec<ValueSlot>,
     constraints: Vec<ConstraintData>,
     scheduler: AgendaScheduler,
     state: Option<PropState>,
@@ -259,6 +274,18 @@ pub struct Network {
     /// Master switch for plan-cached propagation
     /// ([`Network::set_plan_caching`]); on by default.
     plan_caching: bool,
+    /// Worker count for parallel plan replay
+    /// ([`Network::set_parallel_threads`]); 1 (the default) keeps every
+    /// replay on the sequential path and compiles no partition metadata.
+    parallel_threads: usize,
+    /// Minimum executing plan steps (immediate + scheduled inferences)
+    /// before a plan is worth partitioning — small cones must not pay
+    /// pool hand-off latency ([`Network::set_parallel_min_steps`]).
+    par_min_exec_steps: usize,
+    /// Counters for the parallel replay path, kept separate from [`Stats`]
+    /// so core propagation statistics stay byte-identical across thread
+    /// counts (the differential test's invariant).
+    par_stats: ParStats,
     /// Times `snapshot()` was taken — observability for rollback-path
     /// audits (the engine's journal path must never take one).
     snapshots_taken: std::cell::Cell<u64>,
@@ -302,6 +329,7 @@ impl Clone for Network {
         self.clones_taken.set(self.clones_taken.get() + 1);
         Network {
             vars: self.vars.clone(),
+            slots: self.slots.clone(),
             constraints: self.constraints.clone(),
             scheduler: self.scheduler.clone(),
             state: None,
@@ -318,6 +346,9 @@ impl Clone for Network {
             plans: self.plans.clone(),
             structure_generation: self.structure_generation,
             plan_caching: self.plan_caching,
+            parallel_threads: self.parallel_threads,
+            par_min_exec_steps: self.par_min_exec_steps,
+            par_stats: self.par_stats,
             snapshots_taken: self.snapshots_taken.clone(),
             clones_taken: self.clones_taken.clone(),
             durability_label: self.durability_label,
@@ -331,6 +362,7 @@ impl Network {
     pub fn new() -> Self {
         Network {
             vars: Vec::new(),
+            slots: Vec::new(),
             constraints: Vec::new(),
             scheduler: AgendaScheduler::new(),
             state: None,
@@ -345,6 +377,9 @@ impl Network {
             plans: Vec::new(),
             structure_generation: 0,
             plan_caching: true,
+            parallel_threads: 1,
+            par_min_exec_steps: 256,
+            par_stats: ParStats::default(),
             snapshots_taken: std::cell::Cell::new(0),
             clones_taken: std::cell::Cell::new(0),
             durability_label: "volatile (in-memory only)",
@@ -370,6 +405,10 @@ impl Network {
     ) -> VarId {
         let id = VarId(self.vars.len() as u32);
         self.vars.push(VariableData::new(name.into(), owner, kind));
+        self.slots.push(ValueSlot {
+            value: Value::Nil,
+            justification: Justification::Unset,
+        });
         if let Some(j) = &mut self.journal {
             j.entries.push(JournalEntry::VarAdded);
         }
@@ -490,7 +529,7 @@ impl Network {
             let mut to_reset: Vec<VarId> = Vec::new();
             for i in 0..self.constraints[cid.index()].args.len() {
                 let arg = self.constraints[cid.index()].args[i];
-                if self.vars[arg.index()].justification.source_constraint() == Some(cid) {
+                if self.slots[arg.index()].justification.source_constraint() == Some(cid) {
                     for v in self.consequences(arg) {
                         if !to_reset.contains(&v) {
                             to_reset.push(v);
@@ -563,7 +602,7 @@ impl Network {
             return Ok(());
         }
         if self.enabled {
-            if self.vars[var.index()].justification.source_constraint() == Some(cid) {
+            if self.slots[var.index()].justification.source_constraint() == Some(cid) {
                 // My value was last set by this constraint: reset me and all
                 // my consequences.
                 for v in self.consequences(var) {
@@ -632,7 +671,7 @@ impl Network {
 
     /// Current value of `var`.
     pub fn value(&self, var: VarId) -> &Value {
-        &self.vars[var.index()].value
+        &self.slots[var.index()].value
     }
 
     /// Current value, running the lazy recalculation hook first when the
@@ -641,19 +680,19 @@ impl Network {
     /// is needed; callers that must own the value clone at the call site.
     pub fn value_or_recalc(&mut self, var: VarId) -> &Value {
         let d = &self.vars[var.index()];
-        if d.value.is_nil() && !d.evaluating {
+        if self.slots[var.index()].value.is_nil() && !d.evaluating {
             if let Some(f) = d.recalc.clone() {
                 self.vars[var.index()].evaluating = true;
                 f(self, var);
                 self.vars[var.index()].evaluating = false;
             }
         }
-        &self.vars[var.index()].value
+        &self.slots[var.index()].value
     }
 
     /// Justification of `var`'s current value (`lastSetBy`).
     pub fn justification(&self, var: VarId) -> &Justification {
-        &self.vars[var.index()].justification
+        &self.slots[var.index()].justification
     }
 
     /// Declared name of `var`.
@@ -700,6 +739,20 @@ impl Network {
     /// Whether `cid` is still installed.
     pub fn is_active(&self, cid: ConstraintId) -> bool {
         self.constraints[cid.index()].active
+    }
+
+    /// Whether `var` carries the default ([`PlainKind`]) behaviour —
+    /// cone partitioning admits only plain write targets, because the
+    /// off-thread overwrite rule is `PlainKind`'s.
+    pub(crate) fn var_is_plain(&self, var: VarId) -> bool {
+        self.vars[var.index()].plain_kind
+    }
+
+    /// Strength of every constraint slot (tombstoned included), indexed
+    /// by [`ConstraintId::index`] — snapshotted into cone partitions so
+    /// overwrite arbitration runs off-thread without the `Rc` kinds.
+    pub(crate) fn constraint_slot_strengths(&self) -> Vec<u8> {
+        self.constraints.iter().map(|c| c.kind.strength()).collect()
     }
 
     /// Whether `cid` is currently satisfied by its arguments' values.
@@ -766,9 +819,17 @@ impl Network {
         self.clones_taken.get()
     }
 
-    /// Resets the engine counters.
+    /// Resets the engine counters (including the parallel-replay
+    /// counters of [`Network::par_stats`]).
     pub fn reset_stats(&mut self) {
         self.stats = Stats::default();
+        self.par_stats = ParStats::default();
+    }
+
+    /// Accumulated parallel-replay counters ([`crate::par`]). Always
+    /// zero while [`Network::parallel_threads`] is 1.
+    pub fn par_stats(&self) -> ParStats {
+        self.par_stats
     }
 
     /// The `CPSwitch` (§5.3): enables or disables constraint propagation
@@ -964,9 +1025,9 @@ impl Network {
     /// erasure primitive of Fig. 4.14.
     pub fn reset(&mut self, var: VarId) {
         self.journal_record_value(var);
-        let d = &mut self.vars[var.index()];
-        d.value = Value::Nil;
-        d.justification = Justification::Unset;
+        let s = &mut self.slots[var.index()];
+        s.value = Value::Nil;
+        s.justification = Justification::Unset;
     }
 
     /// Captures every variable's value and justification — a checkpoint
@@ -981,9 +1042,9 @@ impl Network {
         self.snapshots_taken.set(self.snapshots_taken.get() + 1);
         ValueSnapshot {
             entries: self
-                .vars
+                .slots
                 .iter()
-                .map(|d| (d.value.clone(), d.justification.clone()))
+                .map(|s| (s.value.clone(), s.justification.clone()))
                 .collect(),
         }
     }
@@ -1003,9 +1064,9 @@ impl Network {
                 break;
             }
             self.journal_record_value(VarId(i as u32));
-            let d = &mut self.vars[i];
-            d.value = value.clone();
-            d.justification = justification.clone();
+            let s = &mut self.slots[i];
+            s.value = value.clone();
+            s.justification = justification.clone();
         }
     }
 
@@ -1101,15 +1162,16 @@ impl Network {
                     justification,
                 } => {
                     j.seen[var.index()] = false;
-                    let d = &mut self.vars[var.index()];
-                    d.value = value;
-                    d.justification = justification;
+                    let s = &mut self.slots[var.index()];
+                    s.value = value;
+                    s.justification = justification;
                 }
                 JournalEntry::VarAdded => {
                     // Constraints wired to it were added later, hence
                     // already popped by their own entries. Popping recycles
                     // the id, so any plan cache keyed on it is stale.
                     self.vars.pop().expect("journal out of sync with arena");
+                    self.slots.pop().expect("journal out of sync with arena");
                     structural = true;
                 }
                 JournalEntry::ConstraintAdded => {
@@ -1168,11 +1230,11 @@ impl Network {
             }
             if !j.seen[ix] {
                 j.seen[ix] = true;
-                let d = &self.vars[ix];
+                let s = &self.slots[ix];
                 j.entries.push(JournalEntry::Value {
                     var,
-                    value: d.value.clone(),
-                    justification: d.justification.clone(),
+                    value: s.value.clone(),
+                    justification: s.justification.clone(),
                 });
             }
         }
@@ -1221,7 +1283,20 @@ impl Network {
         // pumping the agenda machinery. A step budget forces the agenda path
         // (budget accounting is a per-step interpreter concern).
         if self.plan_caching && self.step_limit.is_none() {
-            if let Some(plan) = self.plan_for(var) {
+            if let Some(mut plan) = self.plan_for(var) {
+                if self.parallel_threads > 1 {
+                    if plan.par.is_some()
+                        && self.run_plan_parallel(var, &value, &justification, &mut plan)
+                    {
+                        self.plans[var.index()] = PlanSlot::Ready(plan);
+                        return Ok(());
+                    }
+                    // No partition was admitted at compile time, or the
+                    // parallel attempt aborted (overwrite denial, final-check
+                    // violation): the sequential replay below is the ground
+                    // truth and reproduces the exact outcome.
+                    self.par_stats.parallel_fallbacks += 1;
+                }
                 return self.run_plan(var, value, justification, plan);
             }
         }
@@ -1313,7 +1388,7 @@ impl Network {
             .expect("propagate_set outside a propagation cycle")
             .planned;
         let current_is_nil = {
-            let current = &self.vars[var.index()].value;
+            let current = &self.slots[var.index()].value;
             if *current == value {
                 return Ok(SetStatus::Unchanged);
             }
@@ -1341,19 +1416,19 @@ impl Network {
             // pruning.) No discovery: the plan already fixed the
             // activation order.
             let Network {
-                vars,
+                slots,
                 state,
                 journal,
                 stats,
                 ..
             } = self;
             let st = state.as_mut().expect("cycle active");
-            let d = &mut vars[var.index()];
+            let s = &mut slots[var.index()];
             st.visited_list.push((
                 var,
                 SavedVar {
-                    value: d.value.clone(),
-                    justification: d.justification.clone(),
+                    value: s.value.clone(),
+                    justification: s.justification.clone(),
                 },
             ));
             st.var_marks[var.index()] = st.mark_epoch;
@@ -1366,13 +1441,13 @@ impl Network {
                     j.seen[ix] = true;
                     j.entries.push(JournalEntry::Value {
                         var,
-                        value: d.value.clone(),
-                        justification: d.justification.clone(),
+                        value: s.value.clone(),
+                        justification: s.justification.clone(),
                     });
                 }
             }
-            d.value = value;
-            d.justification = Justification::Propagated {
+            s.value = value;
+            s.justification = Justification::Propagated {
                 constraint: source,
                 record,
             };
@@ -1448,6 +1523,65 @@ impl Network {
     /// Whether plan-cached propagation is enabled.
     pub fn is_plan_caching(&self) -> bool {
         self.plan_caching
+    }
+
+    /// Sets the replay thread budget. `1` (the default) keeps every
+    /// replay sequential; above 1, plan compilation additionally
+    /// partitions each plan into independent cones ([`crate::par`]) and
+    /// replay executes them on a shared worker pool when profitable.
+    /// Values are clamped to at least 1. Changing the budget drops all
+    /// cached plans so partitions are (re)built consistently.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called during an active propagation cycle.
+    pub fn set_parallel_threads(&mut self, threads: usize) {
+        assert!(self.state.is_none(), "cannot toggle mid-propagation");
+        let threads = threads.max(1);
+        if threads != self.parallel_threads {
+            self.parallel_threads = threads;
+            self.plans.clear();
+        }
+    }
+
+    /// The replay thread budget ([`Network::set_parallel_threads`]).
+    pub fn parallel_threads(&self) -> usize {
+        self.parallel_threads
+    }
+
+    /// Sets the minimum number of *executing* plan steps (immediate and
+    /// drain-phase inferences) below which a plan is never partitioned:
+    /// small cones replay sequentially faster than any pool handoff.
+    /// Changing the threshold drops all cached plans.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called during an active propagation cycle.
+    pub fn set_parallel_min_steps(&mut self, min_steps: usize) {
+        assert!(self.state.is_none(), "cannot toggle mid-propagation");
+        if min_steps != self.par_min_exec_steps {
+            self.par_min_exec_steps = min_steps;
+            self.plans.clear();
+        }
+    }
+
+    /// The partition size threshold ([`Network::set_parallel_min_steps`]).
+    pub fn parallel_min_steps(&self) -> usize {
+        self.par_min_exec_steps
+    }
+
+    /// Number of cones in `var`'s cached parallel partition: `None` if
+    /// there is no current plan or the plan has no partition (below the
+    /// size threshold, single connected component, or a kind without a
+    /// parallel kernel). Exposed for tests and benches to assert which
+    /// path a replay takes.
+    pub fn plan_parallel_cones(&self, var: VarId) -> Option<usize> {
+        match self.plans.get(var.index()) {
+            Some(PlanSlot::Ready(p)) if p.generation == self.structure_generation => {
+                p.par.as_ref().map(|pp| pp.cones.len())
+            }
+            _ => None,
+        }
     }
 
     /// The plan-cache entry for `var`, accounting for staleness: a stale
@@ -1646,7 +1780,7 @@ impl Network {
                 break;
             }
         }
-        Some(PropPlan {
+        let mut plan = PropPlan {
             generation: self.structure_generation,
             ops,
             cids,
@@ -1655,7 +1789,15 @@ impl Network {
             entry_of,
             n_entries: entries.len() as u32,
             n_checks: checks_seen.len() as u32,
-        })
+            par: None,
+        };
+        if self.parallel_threads > 1 {
+            // Cone partitioning is only worth the compile cost when a
+            // worker pool exists to exploit it; the sequential plan is
+            // complete without it.
+            plan.par = par::build_par(self, root, &plan, self.par_min_exec_steps);
+        }
+        Some(plan)
     }
 
     /// Executes a compiled plan: assigns the root, replays the recorded
@@ -1797,16 +1939,333 @@ impl Network {
     /// single-writer, so each variable is pushed at most once — no probe,
     /// no hashing.
     fn save_visited_planned(&mut self, var: VarId) {
-        let Network { vars, state, .. } = self;
+        let Network { slots, state, .. } = self;
         let st = state.as_mut().expect("cycle active");
-        let d = &vars[var.index()];
+        let s = &slots[var.index()];
         st.visited_list.push((
             var,
             SavedVar {
-                value: d.value.clone(),
-                justification: d.justification.clone(),
+                value: s.value.clone(),
+                justification: s.justification.clone(),
             },
         ));
+    }
+
+    /// Replays `plan`'s cone partition concurrently: writes the root,
+    /// launches every cone on the worker pool ([`crate::par`]), merges
+    /// the cones' final-check sets in sequential visit order, and
+    /// commits (journal entries, statistics) on success. Returns `false`
+    /// — with *every* write restored — whenever the replay would deviate
+    /// from the sequential outcome (an overwrite denial inside a cone,
+    /// or an unsatisfied visited constraint): the caller then falls back
+    /// to [`Network::run_plan`], which reproduces the violation, its
+    /// statistics and its handler calls exactly.
+    fn run_plan_parallel(
+        &mut self,
+        root: VarId,
+        value: &Value,
+        justification: &Justification,
+        plan: &mut PropPlan,
+    ) -> bool {
+        debug_assert!(self.state.is_none(), "parallel replay outside a cycle");
+        // Root pre-image and write, mirroring `assign_raw`'s journal-first
+        // order. The root entry is harmless if we abort: its pre-image is
+        // exact, and the sequential rerun's first-write dedup skips it.
+        self.journal_record_value(root);
+        let (root_pre_value, root_pre_just) = {
+            let s = &mut self.slots[root.index()];
+            (
+                std::mem::replace(&mut s.value, value.clone()),
+                std::mem::replace(&mut s.justification, justification.clone()),
+            )
+        };
+        let threads = self.parallel_threads;
+        let view = SlotsView::new(self.slots.as_mut_ptr(), self.slots.len());
+        let par_plan = plan.par.as_mut().expect("caller checked partition");
+        let par::ParPlan {
+            cones, strengths, ..
+        } = &mut **par_plan;
+        {
+            let strengths: &[u8] = strengths;
+            let tasks: Vec<par::ConeTask> = cones
+                .iter_mut()
+                .map(|c| par::ConeTask::new(c, strengths))
+                .collect();
+            // SAFETY: each task index runs exactly once; cones have
+            // disjoint write sets and the main thread stays out of the
+            // slot arena while the pool holds the view.
+            par::pool_run(tasks.len(), threads, &|t| unsafe { tasks[t].run(&view) });
+        }
+        let mut ok = !cones.iter().any(|c| c.scratch.failed);
+        if ok {
+            // Merged final check in the sequential replay's visit order
+            // (cones record each constraint's first live sighting with
+            // its plan index; the sort restores the global order).
+            let mut visited: Vec<(u32, ConstraintId)> = cones
+                .iter()
+                .flat_map(|c| c.scratch.visited.iter().copied())
+                .collect();
+            visited.sort_unstable_by_key(|&(ix, _)| ix);
+            ok = visited.iter().all(|&(_, cid)| {
+                let d = &self.constraints[cid.index()];
+                !d.active || !d.enabled || d.kind.is_satisfied(self, cid)
+            });
+        }
+        if !ok {
+            for cone in cones.iter_mut() {
+                for (wvar, wvalue, wjust) in cone.scratch.pre.drain(..) {
+                    let s = &mut self.slots[wvar.index()];
+                    s.value = wvalue;
+                    s.justification = wjust;
+                }
+            }
+            let s = &mut self.slots[root.index()];
+            s.value = root_pre_value;
+            s.justification = root_pre_just;
+            return false;
+        }
+        // Commit: drain each cone's pre-images into the journal (moves,
+        // first-write-wins — the same inline journaling `propagate_set`
+        // performs) and fold the cone counters into the statistics at
+        // the same totals the sequential replay would have produced.
+        let mut assignments = 1; // the root write
+        for cone in cones.iter_mut() {
+            let c = cone.scratch.counters;
+            self.stats.activations += c.activations;
+            self.stats.inferences += c.inferences;
+            self.stats.schedules += c.schedules;
+            self.stats.scheduled_runs += c.scheduled_runs;
+            assignments += c.assignments;
+            for (wvar, wvalue, wjust) in cone.scratch.pre.drain(..) {
+                if let Some(j) = &mut self.journal {
+                    let ix = wvar.index();
+                    if j.seen.len() <= ix {
+                        j.seen.resize(ix + 1, false);
+                    }
+                    if !j.seen[ix] {
+                        j.seen[ix] = true;
+                        j.entries.push(JournalEntry::Value {
+                            var: wvar,
+                            value: wvalue,
+                            justification: wjust,
+                        });
+                    }
+                }
+            }
+        }
+        self.stats.assignments += assignments;
+        self.stats.cycles += 1;
+        self.par_stats.plan_replays_parallel += 1;
+        self.par_stats.cones_executed += cones.len() as u64;
+        true
+    }
+
+    /// Applies a sequence of external assignments in order. With
+    /// parallel replay enabled ([`Network::set_parallel_threads`]),
+    /// *consecutive* roots whose cached partitioned plans touch
+    /// pairwise-disjoint variable sets are replayed overlapped — all
+    /// their cones interleave on one worker-pool job — which is
+    /// observationally identical to applying them one at a time
+    /// (disjointness leaves no write order to observe).
+    ///
+    /// # Errors
+    ///
+    /// On a violation, returns the index of the offending assignment
+    /// with the violation; assignments before it stay committed, exactly
+    /// as a sequential loop of [`Network::set`] calls would leave them.
+    pub fn set_all(
+        &mut self,
+        mut sets: Vec<(VarId, Value, Justification)>,
+    ) -> Result<(), (usize, Violation)> {
+        let mut i = 0;
+        while i < sets.len() {
+            if self.parallel_threads > 1 && sets.len() - i >= 2 {
+                let n = self.try_overlapped(&sets[i..]);
+                if n >= 2 {
+                    i += n;
+                    continue;
+                }
+            }
+            let (var, value, justification) =
+                std::mem::replace(&mut sets[i], (VarId(0), Value::Nil, Justification::Unset));
+            self.set(var, value, justification).map_err(|v| (i, v))?;
+            i += 1;
+        }
+        Ok(())
+    }
+
+    /// Admits a maximal prefix of `window` for overlapped replay and
+    /// runs it; returns how many assignments were committed (0 = the
+    /// group did not form or aborted — the caller's sequential loop
+    /// takes over and reproduces the exact per-root outcomes).
+    fn try_overlapped(&mut self, window: &[(VarId, Value, Justification)]) -> usize {
+        if !self.enabled || !self.plan_caching || self.step_limit.is_some() {
+            return 0;
+        }
+        debug_assert!(self.state.is_none(), "overlapped replay outside a cycle");
+        // Plans are *peeked*, not `plan_for`'d: cache-hit accounting
+        // happens only if the group commits (an aborted group's
+        // sequential rerun counts its own hits).
+        let mut group: Vec<(VarId, Box<PropPlan>)> = Vec::new();
+        let mut footprint: Vec<u32> = Vec::new();
+        for (var, _, justification) in window {
+            if matches!(justification, Justification::Propagated { .. }) {
+                break; // leave forged-record validation to the sequential path
+            }
+            let ix = var.index();
+            let ready = matches!(
+                self.plans.get(ix),
+                Some(PlanSlot::Ready(p))
+                    if p.generation == self.structure_generation && p.par.is_some()
+            );
+            if !ready {
+                break;
+            }
+            {
+                let PlanSlot::Ready(p) = &self.plans[ix] else {
+                    unreachable!("matched Ready above");
+                };
+                let refs = &p.par.as_ref().expect("matched partition above").refs;
+                // A duplicate root also fails here: every plan's refs
+                // include its root.
+                if !par::ParPlan::refs_disjoint(&footprint, refs) {
+                    break;
+                }
+                par::ParPlan::merge_refs(&mut footprint, refs);
+            }
+            let PlanSlot::Ready(p) = std::mem::replace(&mut self.plans[ix], PlanSlot::Absent)
+            else {
+                unreachable!("matched Ready above");
+            };
+            group.push((*var, p));
+        }
+        if group.len() < 2 {
+            for (var, p) in group {
+                self.plans[var.index()] = PlanSlot::Ready(p);
+            }
+            return 0;
+        }
+        let k = group.len();
+        // Root pre-images and writes (journal first, like `assign_raw`).
+        let mut root_pre: Vec<(Value, Justification)> = Vec::with_capacity(k);
+        for (j, (var, _)) in group.iter().enumerate() {
+            let (_, value, justification) = &window[j];
+            self.journal_record_value(*var);
+            let s = &mut self.slots[var.index()];
+            root_pre.push((
+                std::mem::replace(&mut s.value, value.clone()),
+                std::mem::replace(&mut s.justification, justification.clone()),
+            ));
+        }
+        let threads = self.parallel_threads;
+        let view = SlotsView::new(self.slots.as_mut_ptr(), self.slots.len());
+        {
+            let tasks: Vec<par::ConeTask> = group
+                .iter_mut()
+                .flat_map(|(_, plan)| {
+                    let par::ParPlan {
+                        cones, strengths, ..
+                    } = &mut **plan.par.as_mut().expect("admitted with partition");
+                    let strengths: &[u8] = strengths;
+                    cones
+                        .iter_mut()
+                        .map(move |c| par::ConeTask::new(c, strengths))
+                })
+                .collect();
+            // SAFETY: pairwise-disjoint refs extend the per-plan cone
+            // disjointness across the whole group.
+            par::pool_run(tasks.len(), threads, &|t| unsafe { tasks[t].run(&view) });
+        }
+        let mut ok = !group.iter().any(|(_, plan)| {
+            plan.par
+                .as_ref()
+                .expect("admitted with partition")
+                .cones
+                .iter()
+                .any(|c| c.scratch.failed)
+        });
+        if ok {
+            let mut visited: Vec<(u32, ConstraintId)> = Vec::new();
+            'plans: for (_, plan) in &group {
+                let p = plan.par.as_ref().expect("admitted with partition");
+                visited.clear();
+                for c in &p.cones {
+                    visited.extend(c.scratch.visited.iter().copied());
+                }
+                visited.sort_unstable_by_key(|&(ix, _)| ix);
+                for &(_, cid) in &visited {
+                    let d = &self.constraints[cid.index()];
+                    if d.active && d.enabled && !d.kind.is_satisfied(self, cid) {
+                        ok = false;
+                        break 'plans;
+                    }
+                }
+            }
+        }
+        if !ok {
+            // Unwind the whole group; the caller's sequential loop
+            // reproduces the exact per-root outcomes (statistics,
+            // violation index, handler calls). Non-violating roots will
+            // typically re-commit via the single-root parallel path.
+            for (_, plan) in group.iter_mut() {
+                let p = plan.par.as_mut().expect("admitted with partition");
+                for cone in p.cones.iter_mut() {
+                    for (wvar, wvalue, wjust) in cone.scratch.pre.drain(..) {
+                        let s = &mut self.slots[wvar.index()];
+                        s.value = wvalue;
+                        s.justification = wjust;
+                    }
+                }
+            }
+            for ((var, _), (value, justification)) in group.iter().zip(root_pre) {
+                let s = &mut self.slots[var.index()];
+                s.value = value;
+                s.justification = justification;
+            }
+            for (var, p) in group {
+                self.plans[var.index()] = PlanSlot::Ready(p);
+            }
+            return 0;
+        }
+        // Commit every root: same journal entries and statistics as k
+        // sequential cached replays.
+        for (_, plan) in group.iter_mut() {
+            let p = plan.par.as_mut().expect("admitted with partition");
+            let mut assignments = 1; // the root write
+            for cone in p.cones.iter_mut() {
+                let c = cone.scratch.counters;
+                self.stats.activations += c.activations;
+                self.stats.inferences += c.inferences;
+                self.stats.schedules += c.schedules;
+                self.stats.scheduled_runs += c.scheduled_runs;
+                assignments += c.assignments;
+                for (wvar, wvalue, wjust) in cone.scratch.pre.drain(..) {
+                    if let Some(j) = &mut self.journal {
+                        let ix = wvar.index();
+                        if j.seen.len() <= ix {
+                            j.seen.resize(ix + 1, false);
+                        }
+                        if !j.seen[ix] {
+                            j.seen[ix] = true;
+                            j.entries.push(JournalEntry::Value {
+                                var: wvar,
+                                value: wvalue,
+                                justification: wjust,
+                            });
+                        }
+                    }
+                }
+            }
+            self.stats.assignments += assignments;
+            self.stats.cycles += 1;
+            self.stats.plan_cache_hits += 1;
+            self.par_stats.plan_replays_parallel += 1;
+            self.par_stats.cones_executed += p.cones.len() as u64;
+        }
+        for (var, p) in group {
+            self.plans[var.index()] = PlanSlot::Ready(p);
+        }
+        k
     }
 
     // ------------------------------------------------------------------
@@ -1815,9 +2274,9 @@ impl Network {
 
     fn assign_raw(&mut self, var: VarId, value: Value, justification: Justification) {
         self.journal_record_value(var);
-        let d = &mut self.vars[var.index()];
-        d.value = value;
-        d.justification = justification;
+        let s = &mut self.slots[var.index()];
+        s.value = value;
+        s.justification = justification;
         self.stats.assignments += 1;
     }
 
@@ -1848,17 +2307,17 @@ impl Network {
         // Split borrow: the saved pre-image reads `vars` while the visited
         // map lives in `state`; probing before building the entry keeps
         // re-visits clone-free.
-        let Network { vars, state, .. } = self;
+        let Network { slots, state, .. } = self;
         let st = state.as_mut().expect("cycle active");
         if st.visited_vars.contains_key(&var) {
             return;
         }
-        let d = &vars[var.index()];
+        let s = &slots[var.index()];
         st.visited_vars.insert(
             var,
             SavedVar {
-                value: d.value.clone(),
-                justification: d.justification.clone(),
+                value: s.value.clone(),
+                justification: s.justification.clone(),
             },
         );
     }
@@ -2006,17 +2465,17 @@ impl Network {
             // seeded as visited, never written (no-op for written ones,
             // whose pre-image is already recorded).
             self.journal_record_value(var);
-            let d = &mut self.vars[var.index()];
-            d.value = saved.value.clone();
-            d.justification = saved.justification.clone();
+            let s = &mut self.slots[var.index()];
+            s.value = saved.value.clone();
+            s.justification = saved.justification.clone();
         }
         // Plan-driven cycles record pre-images on the flat list instead
         // (each variable at most once, so order is irrelevant).
         for (var, saved) in &state.visited_list {
             self.journal_record_value(*var);
-            let d = &mut self.vars[var.index()];
-            d.value = saved.value.clone();
-            d.justification = saved.justification.clone();
+            let s = &mut self.slots[var.index()];
+            s.value = saved.value.clone();
+            s.justification = saved.justification.clone();
         }
     }
 
@@ -2034,7 +2493,7 @@ impl Network {
         for wanted in 0..3u8 {
             for i in 0..nargs {
                 let a = self.constraints[cid.index()].args[i];
-                let class = match self.vars[a.index()].justification {
+                let class = match self.slots[a.index()].justification {
                     Justification::User => 0,
                     Justification::Propagated { .. } => 1,
                     _ => 2,
@@ -2083,7 +2542,7 @@ impl Network {
                 continue;
             }
             vars.push(var);
-            let just = &self.vars[var.index()].justification;
+            let just = &self.slots[var.index()].justification;
             if let Justification::Propagated { constraint, record } = just {
                 let cid = *constraint;
                 if seen_cons.insert(cid) {
@@ -2133,7 +2592,7 @@ impl Network {
                     if arg == var {
                         continue;
                     }
-                    let just = &self.vars[arg.index()].justification;
+                    let just = &self.slots[arg.index()].justification;
                     if let Justification::Propagated { constraint, record } = just {
                         if *constraint == cid && kind.depends_on(self, cid, record, var) {
                             work.push(arg);
@@ -2158,7 +2617,7 @@ impl Network {
             if arg == source {
                 continue;
             }
-            let just = &self.vars[arg.index()].justification;
+            let just = &self.slots[arg.index()].justification;
             if let Justification::Propagated { constraint, record } = just {
                 if *constraint == cid && kind.depends_on(self, cid, record, source) {
                     work.push(arg);

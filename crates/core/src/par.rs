@@ -1,0 +1,1103 @@
+//! Parallel plan replay — cone-partitioned execution of compiled
+//! propagation plans on an in-tree scoped worker pool.
+//!
+//! A compiled [`PropPlan`](crate::plan::PropPlan) is a straight-line
+//! recording of the agenda interpreter's work for one root change. After
+//! the root write, its steps form a dependency forest: steps sharing no
+//! variable (and hence no constraint) are *independent* — per Apt's
+//! chaotic-iteration result (PAPERS.md, "The Essence of Constraint
+//! Propagation"), any fair schedule of the same monotone inference
+//! functions reaches the same fixpoint, so the connected components
+//! ("cones") may run concurrently. This module
+//!
+//! 1. partitions a plan's steps into cones at compile time
+//!    ([`build_par`]), refusing whenever a step's effect cannot be
+//!    replicated off-thread (no [`ParKernel`], a non-plain write target,
+//!    fewer than two cones, or a plan below the size threshold);
+//! 2. executes cones on a lazily spawned global worker pool
+//!    ([`pool_run`]) against a raw, `Send + Sync` view of the value
+//!    slots ([`SlotsView`]) — safe because the compile-time partition
+//!    proves every variable is written by at most one cone and read
+//!    only by cones that also own it;
+//! 3. mirrors the sequential replay's statistics exactly
+//!    ([`run_cone`]), so a successful parallel replay is byte-identical
+//!    to [`run_plan`](crate::Network) — and any deviation (overwrite
+//!    denial, unsatisfied constraint) aborts the attempt, restores every
+//!    write, and falls back to the sequential path, which *is* the
+//!    ground truth.
+//!
+//! The pool is hermetic (std threads + `Mutex`/`Condvar`, no
+//! dependencies) and global: engine workers share it, submitting jobs
+//! whose tasks helpers and submitter drain cooperatively.
+
+use crate::ids::{ConstraintId, VarId};
+use crate::justification::{DependencyRecord, Justification};
+use crate::network::{Network, ValueSlot};
+use crate::plan::{PlanOp, PropPlan};
+use crate::value::Value;
+use std::cell::UnsafeCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+// The whole design rests on value state crossing threads; fail the build,
+// not the race detector, if that ever regresses.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Value>();
+    assert_send_sync::<Justification>();
+};
+
+/// Counters for the parallel replay path, kept separate from
+/// [`Stats`](crate::Stats) so the core propagation statistics stay
+/// byte-identical across thread counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ParStats {
+    /// Planned replays served by the parallel path (cones executed on the
+    /// worker pool, including overlapped batch replays).
+    pub plan_replays_parallel: u64,
+    /// Total cones executed across all parallel replays.
+    pub cones_executed: u64,
+    /// Planned replays that wanted the parallel path but ran sequentially:
+    /// the plan has no partition (single cone, below threshold, or an
+    /// unkernelable step), or the parallel attempt aborted (violation).
+    pub parallel_fallbacks: u64,
+}
+
+/// A pure value computation mirroring the built-in
+/// [`FunctionalOp`](crate::kinds::FunctionalOp) arms — the `Send`-safe
+/// subset a [`ParKernel::Apply`] may evaluate off-thread. The fold
+/// semantics replicate `FunctionalOp::apply` bit for bit (same `Nil`
+/// short-circuits, same numeric promotion), which the differential test
+/// pins.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PureOp {
+    /// Sum of inputs.
+    Sum,
+    /// Maximum of inputs.
+    Max,
+    /// Minimum of inputs.
+    Min,
+    /// Product of inputs (float).
+    Product,
+    /// Affine map of a single input: `gain * x + offset`.
+    Scale {
+        /// Multiplier.
+        gain: f64,
+        /// Addend.
+        offset: f64,
+    },
+}
+
+impl PureOp {
+    /// Applies the operation to the input values. `None` means "cannot
+    /// compute" (non-numeric input, wrong arity) — the constraint simply
+    /// does not fire, exactly like `FunctionalOp::apply`.
+    pub fn apply<'a, I: Iterator<Item = &'a Value>>(&self, mut inputs: I) -> Option<Value> {
+        match self {
+            PureOp::Sum => inputs.try_fold(Value::Int(0), |acc, v| acc.numeric_add(v)),
+            PureOp::Max => {
+                let first = inputs.next()?.clone();
+                inputs.try_fold(first, |acc, v| acc.numeric_max(v))
+            }
+            PureOp::Min => {
+                let first = inputs.next()?.clone();
+                inputs.try_fold(first, |acc, v| acc.numeric_min(v))
+            }
+            PureOp::Product => inputs
+                .try_fold(1.0_f64, |acc, v| v.as_f64().map(|x| acc * x))
+                .map(Value::Float),
+            PureOp::Scale { gain, offset } => {
+                let x = inputs.next()?.as_f64()?;
+                if inputs.next().is_some() {
+                    return None;
+                }
+                Some(Value::Float(gain * x + offset))
+            }
+        }
+    }
+}
+
+/// A thread-safe description of one constraint's `infer` effect, returned
+/// by [`ConstraintKind::par_kernel`](crate::ConstraintKind::par_kernel).
+/// The kernel must produce exactly the `propagate_set` calls `infer`
+/// would make — same targets, same order, same values, same dependency
+/// records.
+#[derive(Debug, Clone)]
+pub enum ParKernel {
+    /// `infer` assigns nothing (check-only kinds); the satisfaction test
+    /// still runs in the sequential final sweep.
+    Check,
+    /// Copy the source argument's value to every target, in order, each
+    /// with a [`DependencyRecord::Single`] record; a `Nil` source
+    /// propagates nothing (equality-style kinds).
+    Copy {
+        /// The changed argument whose value spreads.
+        source: VarId,
+        /// The other arguments, in argument order.
+        targets: Vec<VarId>,
+    },
+    /// Evaluate `op` over the inputs and assign the result with a
+    /// [`DependencyRecord::All`] record; any `Nil` input (or an
+    /// uncomputable op) propagates nothing (functional kinds).
+    Apply {
+        /// The pure computation.
+        op: PureOp,
+        /// Input arguments, in argument order.
+        inputs: Vec<VarId>,
+        /// The result argument.
+        result: VarId,
+    },
+}
+
+/// A write target resolved against a cone's local mark table: the global
+/// slot index plus the cone-local liveness index.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ParWrite {
+    pub(crate) var: VarId,
+    /// Index into the owning cone's `var_marks`.
+    pub(crate) local: u32,
+}
+
+/// A [`ParKernel`] with its write targets resolved to cone-local indices.
+#[derive(Debug, Clone)]
+pub(crate) enum ConeKernel {
+    Check,
+    Copy {
+        source: VarId,
+        targets: Vec<ParWrite>,
+    },
+    Apply {
+        op: PureOp,
+        inputs: Vec<VarId>,
+        result: ParWrite,
+    },
+}
+
+/// One plan step assigned to a cone. `plan_idx` preserves the step's
+/// position in the sequential plan so the final-check order can be
+/// reconstructed by merging cones.
+#[derive(Debug, Clone)]
+pub(crate) struct ParStep {
+    pub(crate) plan_idx: u32,
+    pub(crate) op: PlanOp,
+    pub(crate) cid: ConstraintId,
+    /// Cone-local index of the trigger variable for activation steps;
+    /// `u32::MAX` for [`PlanOp::RunScheduled`] (entry-gated instead).
+    pub(crate) trigger: u32,
+    /// Cone-local agenda-entry index for `Schedule*`/`RunScheduled`
+    /// steps; `u32::MAX` elsewhere.
+    pub(crate) entry: u32,
+    /// Cone-local constraint index, deduplicating the visited sweep.
+    pub(crate) cid_local: u32,
+    pub(crate) kernel: ConeKernel,
+}
+
+/// Per-replay counter deltas accumulated by one cone, merged into
+/// [`Stats`](crate::Stats) on commit so totals match the sequential
+/// replay exactly.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct ConeCounters {
+    pub(crate) activations: u64,
+    pub(crate) inferences: u64,
+    pub(crate) schedules: u64,
+    pub(crate) scheduled_runs: u64,
+    pub(crate) assignments: u64,
+}
+
+/// A cone's mutable replay state. Owned by the cone (inside the cached
+/// plan), so repeated replays reuse the allocations — the parallel
+/// analogue of the sequential path's pooled `PropState`.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ConeScratch {
+    /// Epoch for the mark tables below; bumped once per replay.
+    epoch: u32,
+    /// Per cone-local variable: epoch of the replay in which it last
+    /// changed (index 0 is the root, live by fiat).
+    var_marks: Vec<u32>,
+    /// Per cone-local constraint: epoch of its first live dispatch.
+    cid_marks: Vec<u32>,
+    /// Per cone-local agenda entry: epoch of its first live sighting.
+    entry_marks: Vec<u32>,
+    /// Pre-images of this replay's writes (each variable at most once:
+    /// plans are single-writer). Drained into the journal on commit,
+    /// written back on abort.
+    pub(crate) pre: Vec<(VarId, Value, Justification)>,
+    /// Constraints dispatched live this replay, tagged with the plan
+    /// index of their first sighting for cross-cone order recovery.
+    pub(crate) visited: Vec<(u32, ConstraintId)>,
+    pub(crate) counters: ConeCounters,
+    /// An overwrite was denied mid-cone: the sequential interpreter
+    /// would have raised a violation here, so the whole parallel attempt
+    /// must abort and fall back.
+    pub(crate) failed: bool,
+}
+
+/// One independent component of a plan's post-root dependency graph.
+#[derive(Debug, Clone)]
+pub(crate) struct ParCone {
+    pub(crate) steps: Vec<ParStep>,
+    pub(crate) scratch: ConeScratch,
+}
+
+/// The cone partition of one compiled plan, stored alongside the
+/// sequential step vectors inside [`PropPlan`] — so the plan's
+/// generation counter covers the partition metadata too, and a
+/// structural edit invalidates both at once.
+#[derive(Debug, Clone)]
+pub(crate) struct ParPlan {
+    /// Sorted, deduplicated indices of every variable any step touches
+    /// (arguments of every stepped constraint, plus the root). Two plans
+    /// with disjoint `refs` may replay concurrently.
+    pub(crate) refs: Vec<u32>,
+    /// Strength of every constraint slot (tombstoned included —
+    /// justifications may still reference them), indexed by
+    /// `ConstraintId::index`. Snapshotted at compile time so overwrite
+    /// arbitration runs off-thread without touching the `Rc` kinds.
+    pub(crate) strengths: Vec<u8>,
+    pub(crate) cones: Vec<ParCone>,
+}
+
+impl ParPlan {
+    /// Whether this plan's variable set is disjoint from `other` (both
+    /// sorted): the admission test for overlapping two roots' replays.
+    pub(crate) fn refs_disjoint(a: &[u32], b: &[u32]) -> bool {
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return false,
+            }
+        }
+        true
+    }
+
+    /// Merges sorted `src` into sorted `dst` (used to accumulate a
+    /// batch group's combined footprint).
+    pub(crate) fn merge_refs(dst: &mut Vec<u32>, src: &[u32]) {
+        let mut merged = Vec::with_capacity(dst.len() + src.len());
+        let (mut i, mut j) = (0, 0);
+        while i < dst.len() && j < src.len() {
+            match dst[i].cmp(&src[j]) {
+                std::cmp::Ordering::Less => {
+                    merged.push(dst[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    merged.push(src[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    merged.push(dst[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        merged.extend_from_slice(&dst[i..]);
+        merged.extend_from_slice(&src[j..]);
+        *dst = merged;
+    }
+}
+
+// ----------------------------------------------------------------------
+// Raw slot view
+// ----------------------------------------------------------------------
+
+/// A raw, thread-shareable view of the network's value-slot arena.
+///
+/// # Safety
+///
+/// Soundness comes entirely from the compile-time partition:
+///
+/// - every variable is *written* by at most one cone (plans are
+///   single-writer and cones partition the write set);
+/// - every variable a cone *reads* is either written by that same cone,
+///   the root (written by the main thread before launch, read-only
+///   during), or written by no cone at all — a variable read by cone A
+///   and written by cone B would be an argument of constraints in both,
+///   forcing A and B into the same component;
+/// - for overlapped roots, plans run together only when their `refs`
+///   sets are pairwise disjoint.
+///
+/// The view must not outlive the replay that created it, and the main
+/// thread must not touch the slot vector while workers hold the view.
+pub(crate) struct SlotsView {
+    ptr: *mut ValueSlot,
+    len: usize,
+}
+
+unsafe impl Send for SlotsView {}
+unsafe impl Sync for SlotsView {}
+
+impl SlotsView {
+    pub(crate) fn new(ptr: *mut ValueSlot, len: usize) -> Self {
+        SlotsView { ptr, len }
+    }
+
+    /// # Safety
+    ///
+    /// Caller must uphold the partition discipline documented on the
+    /// type: no other thread writes `ix` while the borrow lives.
+    unsafe fn get(&self, ix: usize) -> &ValueSlot {
+        debug_assert!(ix < self.len);
+        &*self.ptr.add(ix)
+    }
+
+    /// # Safety
+    ///
+    /// Caller must own `ix`'s write partition exclusively.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn get_mut(&self, ix: usize) -> &mut ValueSlot {
+        debug_assert!(ix < self.len);
+        &mut *self.ptr.add(ix)
+    }
+}
+
+/// One pool task: a cone paired with its plan's strength table. The
+/// `UnsafeCell` hands each worker exclusive `&mut` access to its cone —
+/// sound because [`pool_run`] dispatches every task index to exactly one
+/// executor.
+pub(crate) struct ConeTask<'a> {
+    cone: UnsafeCell<&'a mut ParCone>,
+    strengths: &'a [u8],
+}
+
+unsafe impl Sync for ConeTask<'_> {}
+
+impl<'a> ConeTask<'a> {
+    pub(crate) fn new(cone: &'a mut ParCone, strengths: &'a [u8]) -> Self {
+        ConeTask {
+            cone: UnsafeCell::new(cone),
+            strengths,
+        }
+    }
+
+    /// # Safety
+    ///
+    /// Must be called at most once per replay, by the one worker that
+    /// claimed this task index.
+    pub(crate) unsafe fn run(&self, slots: &SlotsView) {
+        let cone: &mut ParCone = &mut **self.cone.get();
+        run_cone(cone, slots, self.strengths);
+    }
+}
+
+// ----------------------------------------------------------------------
+// Cone execution
+// ----------------------------------------------------------------------
+
+/// One propagated write against the raw slot view, replicating the
+/// planned branch of `propagate_set` plus the [`PlainKind`] overwrite
+/// rule (build-time admission guarantees every target is plain):
+/// equal value → no-op (the value pruning); user-justified → deny
+/// (abort the attempt); weaker propagation → silently ignored; else
+/// write, saving the pre-image and marking the target live.
+///
+/// [`PlainKind`]: crate::PlainKind
+unsafe fn write_slot(
+    scratch: &mut ConeScratch,
+    slots: &SlotsView,
+    strengths: &[u8],
+    target: ParWrite,
+    value: Value,
+    source: ConstraintId,
+    record: DependencyRecord,
+) {
+    let s = slots.get_mut(target.var.index());
+    if s.value == value {
+        return; // Unchanged: downstream steps stay pruned
+    }
+    if !s.value.is_nil() {
+        match &s.justification {
+            j if j.is_user() => {
+                // The interpreter would raise `overwrite_denied` here;
+                // abort the parallel attempt and let the sequential
+                // fallback reproduce the violation exactly.
+                scratch.failed = true;
+                return;
+            }
+            Justification::Propagated { constraint, .. }
+                if strengths[source.index()] < strengths[constraint.index()] =>
+            {
+                return; // Ignored: weaker propagation yields
+            }
+            _ => {}
+        }
+    }
+    let pre_value = std::mem::replace(&mut s.value, value);
+    let pre_just = std::mem::replace(
+        &mut s.justification,
+        Justification::Propagated {
+            constraint: source,
+            record,
+        },
+    );
+    scratch.pre.push((target.var, pre_value, pre_just));
+    scratch.var_marks[target.local as usize] = scratch.epoch;
+    scratch.counters.assignments += 1;
+}
+
+/// Replays one cone against the slot view, mirroring the sequential
+/// `run_plan` walk: per-step liveness gating via the epoch marks, the
+/// same counter increments at the same sites, and the same first-live
+/// constraint visit order (recorded with plan indices for the merged
+/// final check).
+pub(crate) fn run_cone(cone: &mut ParCone, slots: &SlotsView, strengths: &[u8]) {
+    let scratch = &mut cone.scratch;
+    scratch.epoch = scratch.epoch.wrapping_add(1);
+    if scratch.epoch == 0 {
+        scratch.var_marks.iter_mut().for_each(|m| *m = 0);
+        scratch.cid_marks.iter_mut().for_each(|m| *m = 0);
+        scratch.entry_marks.iter_mut().for_each(|m| *m = 0);
+        scratch.epoch = 1;
+    }
+    scratch.pre.clear();
+    scratch.visited.clear();
+    scratch.counters = ConeCounters::default();
+    scratch.failed = false;
+    let epoch = scratch.epoch;
+    // The root (local index 0) is live by fiat: `set` dispatches its cone
+    // unconditionally, equal value or not.
+    scratch.var_marks[0] = epoch;
+    for step in &cone.steps {
+        if step.op == PlanOp::RunScheduled {
+            if scratch.entry_marks[step.entry as usize] != epoch {
+                continue; // never actually scheduled this replay
+            }
+            scratch.counters.scheduled_runs += 1;
+            scratch.counters.inferences += 1;
+            run_kernel(scratch, slots, strengths, step);
+        } else {
+            if scratch.var_marks[step.trigger as usize] != epoch {
+                continue; // value-pruned
+            }
+            if scratch.cid_marks[step.cid_local as usize] != epoch {
+                scratch.cid_marks[step.cid_local as usize] = epoch;
+                scratch.visited.push((step.plan_idx, step.cid));
+            }
+            scratch.counters.activations += 1;
+            match step.op {
+                PlanOp::Immediate => {
+                    scratch.counters.inferences += 1;
+                    run_kernel(scratch, slots, strengths, step);
+                }
+                PlanOp::NoActivate => {}
+                _ => {
+                    if scratch.entry_marks[step.entry as usize] != epoch {
+                        scratch.entry_marks[step.entry as usize] = epoch;
+                        scratch.counters.schedules += 1;
+                    }
+                }
+            }
+        }
+        if scratch.failed {
+            break;
+        }
+    }
+}
+
+fn run_kernel(scratch: &mut ConeScratch, slots: &SlotsView, strengths: &[u8], step: &ParStep) {
+    match &step.kernel {
+        ConeKernel::Check => {}
+        ConeKernel::Copy { source, targets } => {
+            // SAFETY: `source` is cone-owned or the root (read-only
+            // during replay); targets are this cone's exclusive writes.
+            let new_value = unsafe { slots.get(source.index()) }.value.clone();
+            if new_value.is_nil() {
+                return; // a Nil change propagates nothing
+            }
+            for &t in targets {
+                unsafe {
+                    write_slot(
+                        scratch,
+                        slots,
+                        strengths,
+                        t,
+                        new_value.clone(),
+                        step.cid,
+                        DependencyRecord::Single(*source),
+                    );
+                }
+                if scratch.failed {
+                    return;
+                }
+            }
+        }
+        ConeKernel::Apply { op, inputs, result } => {
+            // SAFETY: inputs are cone-owned, the root, or written by no
+            // cone; the result is this cone's exclusive write.
+            let computed = unsafe {
+                if inputs.iter().any(|&v| slots.get(v.index()).value.is_nil()) {
+                    None
+                } else {
+                    op.apply(inputs.iter().map(|&v| &slots.get(v.index()).value))
+                }
+            };
+            let Some(value) = computed else {
+                return; // no information: the constraint does not fire
+            };
+            unsafe {
+                write_slot(
+                    scratch,
+                    slots,
+                    strengths,
+                    *result,
+                    value,
+                    step.cid,
+                    DependencyRecord::All,
+                );
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Cone partitioning (compile time)
+// ----------------------------------------------------------------------
+
+fn uf_find(parent: &mut [u32], mut i: u32) -> u32 {
+    while parent[i as usize] != i {
+        let g = parent[parent[i as usize] as usize];
+        parent[i as usize] = g;
+        i = g;
+    }
+    i
+}
+
+fn uf_union(parent: &mut [u32], a: u32, b: u32) {
+    let (ra, rb) = (uf_find(parent, a), uf_find(parent, b));
+    if ra != rb {
+        // Deterministic: lower root wins, keeping component ids stable
+        // under the plan-order walk.
+        let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+        parent[hi as usize] = lo;
+    }
+}
+
+/// Partitions a compiled plan into independent cones, resolving each
+/// executing step's [`ParKernel`]. Returns `None` — leaving the plan on
+/// the sequential path — when:
+///
+/// - the plan has fewer executing steps than `min_exec_steps` (small
+///   plans must not pay pool hand-off latency);
+/// - any executing step's kind offers no kernel, or the kernel's write
+///   set disagrees with `planned_writes` (a buggy third-party kind);
+/// - any write target is not a plain-kind variable (the off-thread
+///   overwrite rule is `PlainKind`'s);
+/// - the steps form a single connected component (nothing to overlap).
+pub(crate) fn build_par(
+    net: &Network,
+    root: VarId,
+    plan: &PropPlan,
+    min_exec_steps: usize,
+) -> Option<Box<ParPlan>> {
+    let n = plan.ops.len();
+    if n == 0 {
+        return None;
+    }
+    let exec_steps = plan
+        .ops
+        .iter()
+        .filter(|&&op| matches!(op, PlanOp::Immediate | PlanOp::RunScheduled))
+        .count();
+    if exec_steps < min_exec_steps {
+        return None;
+    }
+    // Resolve kernels first (cheap bail before the union-find work).
+    let mut kernels: Vec<Option<ParKernel>> = Vec::with_capacity(n);
+    for i in 0..n {
+        let (op, cid, chg) = (plan.ops[i], plan.cids[i], plan.changed[i]);
+        if !matches!(op, PlanOp::Immediate | PlanOp::RunScheduled) {
+            kernels.push(None); // never runs `infer`; no kernel needed
+            continue;
+        }
+        let kernel = plan.kinds[i].par_kernel(net, cid, chg)?;
+        // The kernel's write set must match the write set the plan was
+        // simulated under, or liveness would flow differently.
+        let declared = plan.kinds[i].planned_writes(net, cid, chg)?;
+        let kernel_writes: Vec<VarId> = match &kernel {
+            ParKernel::Check => Vec::new(),
+            ParKernel::Copy { targets, .. } => targets.clone(),
+            ParKernel::Apply { result, .. } => vec![*result],
+        };
+        if kernel_writes != declared {
+            return None;
+        }
+        for &w in &kernel_writes {
+            if w == root || !net.var_is_plain(w) {
+                return None;
+            }
+        }
+        kernels.push(Some(kernel));
+    }
+    // Union steps sharing any argument variable (triggers, reads and
+    // writes are all arguments of the step's constraint). The root is
+    // excluded: it is what all cones hang off.
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    let mut var_owner: HashMap<VarId, u32> = HashMap::new();
+    for (i, &cid) in plan.cids.iter().enumerate() {
+        for &a in net.args(cid) {
+            if a == root {
+                continue;
+            }
+            match var_owner.entry(a) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    uf_union(&mut parent, *e.get(), i as u32);
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(i as u32);
+                }
+            }
+        }
+    }
+    // Group steps into cones in first-appearance order.
+    let mut cone_of_comp: HashMap<u32, usize> = HashMap::new();
+    let mut builds: Vec<ConeBuild> = Vec::new();
+    for (i, kernel) in kernels.iter_mut().enumerate() {
+        let comp = uf_find(&mut parent, i as u32);
+        let cix = *cone_of_comp.entry(comp).or_insert_with(|| {
+            builds.push(ConeBuild::new(root));
+            builds.len() - 1
+        });
+        builds[cix].push_step(plan, i, kernel.take())?;
+    }
+    if builds.len() < 2 {
+        return None;
+    }
+    // Combined variable footprint for batch-overlap admission.
+    let mut refs: Vec<u32> = Vec::with_capacity(var_owner.len() + 1);
+    refs.push(root.0);
+    refs.extend(var_owner.keys().map(|v| v.0));
+    refs.sort_unstable();
+    refs.dedup();
+    let strengths = net.constraint_slot_strengths();
+    Some(Box::new(ParPlan {
+        refs,
+        strengths,
+        cones: builds.into_iter().map(ConeBuild::finish).collect(),
+    }))
+}
+
+/// Accumulator for one cone during partitioning: step list plus the
+/// local index maps for variables, constraints and agenda entries.
+struct ConeBuild {
+    steps: Vec<ParStep>,
+    local_vars: HashMap<VarId, u32>,
+    local_cids: HashMap<ConstraintId, u32>,
+    local_entries: HashMap<u32, u32>,
+}
+
+impl ConeBuild {
+    fn new(root: VarId) -> Self {
+        let mut local_vars = HashMap::new();
+        local_vars.insert(root, 0); // the root is everyone's local 0
+        ConeBuild {
+            steps: Vec::new(),
+            local_vars,
+            local_cids: HashMap::new(),
+            local_entries: HashMap::new(),
+        }
+    }
+
+    fn push_step(&mut self, plan: &PropPlan, i: usize, kernel: Option<ParKernel>) -> Option<()> {
+        let op = plan.ops[i];
+        let cid = plan.cids[i];
+        let n_cids = self.local_cids.len() as u32;
+        let cid_local = *self.local_cids.entry(cid).or_insert(n_cids);
+        let trigger = if op == PlanOp::RunScheduled {
+            u32::MAX
+        } else {
+            // The trigger was written by an earlier step of this cone
+            // (or is the root): plan order respects dataflow. A miss
+            // means the kind lied about its writes — refuse.
+            let t = plan.changed[i].expect("activation steps carry their trigger");
+            *self.local_vars.get(&t)?
+        };
+        let entry = if plan.entry_of[i] == u32::MAX {
+            u32::MAX
+        } else {
+            let n_entries = self.local_entries.len() as u32;
+            *self
+                .local_entries
+                .entry(plan.entry_of[i])
+                .or_insert(n_entries)
+        };
+        let kernel = match kernel {
+            None => ConeKernel::Check, // non-executing step
+            Some(ParKernel::Check) => ConeKernel::Check,
+            Some(ParKernel::Copy { source, targets }) => ConeKernel::Copy {
+                source,
+                targets: targets
+                    .into_iter()
+                    .map(|v| self.add_write(v))
+                    .collect::<Option<Vec<_>>>()?,
+            },
+            Some(ParKernel::Apply { op, inputs, result }) => ConeKernel::Apply {
+                op,
+                inputs,
+                result: self.add_write(result)?,
+            },
+        };
+        self.steps.push(ParStep {
+            plan_idx: i as u32,
+            op,
+            cid,
+            trigger,
+            entry,
+            cid_local,
+            kernel,
+        });
+        Some(())
+    }
+
+    /// Assigns a fresh local index to a write target. Single-writer
+    /// plans guarantee each variable is written once; a duplicate means
+    /// a kind's kernel disagrees with the simulation — refuse.
+    fn add_write(&mut self, var: VarId) -> Option<ParWrite> {
+        let next = self.local_vars.len() as u32;
+        match self.local_vars.entry(var) {
+            std::collections::hash_map::Entry::Occupied(_) => None,
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(next);
+                Some(ParWrite { var, local: next })
+            }
+        }
+    }
+
+    fn finish(self) -> ParCone {
+        let scratch = ConeScratch {
+            epoch: 0,
+            var_marks: vec![0; self.local_vars.len()],
+            cid_marks: vec![0; self.local_cids.len()],
+            entry_marks: vec![0; self.local_entries.len()],
+            pre: Vec::new(),
+            visited: Vec::new(),
+            counters: ConeCounters::default(),
+            failed: false,
+        };
+        ParCone {
+            steps: self.steps,
+            scratch,
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Worker pool
+// ----------------------------------------------------------------------
+
+/// Hard cap on pool helper threads across the process.
+const MAX_POOL_WORKERS: usize = 64;
+
+/// Type-erased pointer to a submitter's task closure. The closure lives
+/// on the submitter's stack; [`pool_run`] guarantees it outlives the job
+/// (the job slot is removed before `pool_run` returns or unwinds, and
+/// workers only dereference the pointer while the slot is live).
+struct SendFnPtr(*const (dyn Fn(usize) + Sync));
+
+unsafe impl Send for SendFnPtr {}
+
+/// One submitted job: a closure plus a task cursor. Helpers and the
+/// submitter claim task indices under the pool lock and run them with
+/// the lock released.
+struct PoolJob {
+    f: SendFnPtr,
+    n_tasks: usize,
+    /// Next unclaimed task index.
+    next: usize,
+    /// Claimed-or-unclaimed tasks not yet completed; the submitter
+    /// returns only when this reaches zero.
+    outstanding: usize,
+    /// Maximum helpers that may join (submitter's `threads - 1`).
+    cap: usize,
+    /// Helpers currently inside the job.
+    joined: usize,
+    /// A task panicked (in a helper); the submitter re-raises.
+    panicked: bool,
+}
+
+#[derive(Default)]
+struct PoolState {
+    /// Stable-index job slots (`None` = free). Indices stay valid for a
+    /// job's whole lifetime; removal just clears the slot.
+    jobs: Vec<Option<PoolJob>>,
+}
+
+struct Pool {
+    state: Mutex<PoolState>,
+    /// Signalled when work arrives (helpers wait here).
+    work_cv: Condvar,
+    /// Signalled when a job's last task completes (submitters wait here).
+    done_cv: Condvar,
+    spawned: AtomicUsize,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+impl Pool {
+    fn new() -> Self {
+        Pool {
+            state: Mutex::new(PoolState::default()),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            spawned: AtomicUsize::new(0),
+        }
+    }
+
+    /// Lazily grows the helper set to `want` threads (process-capped).
+    /// Helpers never exit; they park on `work_cv` between jobs.
+    fn ensure_spawned(&'static self, want: usize) {
+        let want = want.min(MAX_POOL_WORKERS);
+        loop {
+            let cur = self.spawned.load(Ordering::Relaxed);
+            if cur >= want {
+                return;
+            }
+            if self
+                .spawned
+                .compare_exchange(cur, cur + 1, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                let spawned = std::thread::Builder::new()
+                    .name(format!("stem-par-{cur}"))
+                    .spawn(move || self.worker_loop());
+                if spawned.is_err() {
+                    // Thread exhaustion: run degraded (submitter still
+                    // drains every task itself).
+                    self.spawned.fetch_sub(1, Ordering::Relaxed);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn worker_loop(&self) {
+        let mut guard = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            // Find a job with unclaimed tasks and helper capacity.
+            let mut found = None;
+            for (ji, slot) in guard.jobs.iter_mut().enumerate() {
+                if let Some(j) = slot {
+                    if j.joined < j.cap && j.next < j.n_tasks {
+                        j.joined += 1;
+                        found = Some(ji);
+                        break;
+                    }
+                }
+            }
+            let Some(ji) = found else {
+                guard = self.work_cv.wait(guard).unwrap_or_else(|e| e.into_inner());
+                continue;
+            };
+            // Drain the job. The slot cannot be removed while we are
+            // inside: removal requires `outstanding == 0`, and every
+            // task we claim keeps `outstanding` positive until we mark
+            // it complete — which we do holding the same lock we then
+            // re-inspect the job under.
+            loop {
+                let j = guard.jobs[ji].as_mut().expect("job alive while joined");
+                if j.next >= j.n_tasks {
+                    j.joined -= 1;
+                    break;
+                }
+                let t = j.next;
+                j.next += 1;
+                let f = j.f.0;
+                drop(guard);
+                // SAFETY: the job slot is live (outstanding > 0), so the
+                // submitter is still inside `pool_run` and the closure
+                // is alive on its stack.
+                let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    (unsafe { &*f })(t);
+                }))
+                .is_err();
+                guard = self.state.lock().unwrap_or_else(|e| e.into_inner());
+                let j = guard.jobs[ji].as_mut().expect("job alive while running");
+                if panicked {
+                    j.panicked = true;
+                }
+                j.outstanding -= 1;
+                if j.outstanding == 0 {
+                    self.done_cv.notify_all();
+                }
+            }
+        }
+    }
+}
+
+/// Runs `f(0..n_tasks)` across up to `threads` executors (the calling
+/// thread plus pool helpers), returning when every task has completed.
+/// With `threads <= 1` or a single task, runs inline with no pool
+/// traffic. Panics in tasks propagate to the caller after all tasks
+/// finish or are accounted for.
+pub(crate) fn pool_run(n_tasks: usize, threads: usize, f: &(dyn Fn(usize) + Sync)) {
+    if threads <= 1 || n_tasks <= 1 {
+        for t in 0..n_tasks {
+            f(t);
+        }
+        return;
+    }
+    let pool = POOL.get_or_init(Pool::new);
+    let helpers = (threads - 1).min(n_tasks - 1).min(MAX_POOL_WORKERS);
+    pool.ensure_spawned(helpers);
+    // Erase the closure's lifetime for the job slot; see `SendFnPtr`.
+    let f_static: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(f) };
+    let ji = {
+        let mut guard = pool.state.lock().unwrap_or_else(|e| e.into_inner());
+        let job = PoolJob {
+            f: SendFnPtr(f_static as *const _),
+            n_tasks,
+            next: 0,
+            outstanding: n_tasks,
+            cap: helpers,
+            joined: 0,
+            panicked: false,
+        };
+        match guard.jobs.iter().position(|s| s.is_none()) {
+            Some(i) => {
+                guard.jobs[i] = Some(job);
+                i
+            }
+            None => {
+                guard.jobs.push(Some(job));
+                guard.jobs.len() - 1
+            }
+        }
+    };
+    pool.work_cv.notify_all();
+    // Participate: claim tasks alongside the helpers, then wait for the
+    // stragglers they still hold.
+    let mut local_panic: Option<Box<dyn std::any::Any + Send>> = None;
+    let mut guard = pool.state.lock().unwrap_or_else(|e| e.into_inner());
+    loop {
+        let j = guard.jobs[ji].as_mut().expect("own job alive");
+        if j.next < j.n_tasks {
+            let t = j.next;
+            j.next += 1;
+            drop(guard);
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(t)));
+            guard = pool.state.lock().unwrap_or_else(|e| e.into_inner());
+            if let Err(p) = result {
+                local_panic = Some(p);
+            }
+            let j = guard.jobs[ji].as_mut().expect("own job alive");
+            j.outstanding -= 1;
+            if j.outstanding == 0 {
+                pool.done_cv.notify_all();
+            }
+        } else if j.outstanding > 0 {
+            guard = pool.done_cv.wait(guard).unwrap_or_else(|e| e.into_inner());
+        } else {
+            break;
+        }
+    }
+    let helper_panicked = guard.jobs[ji].as_ref().map(|j| j.panicked).unwrap_or(false);
+    guard.jobs[ji] = None;
+    drop(guard);
+    if let Some(p) = local_panic {
+        std::panic::resume_unwind(p);
+    }
+    if helper_panicked {
+        panic!("parallel replay worker panicked");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn pool_runs_every_task_exactly_once() {
+        let hits: Vec<AtomicU64> = (0..100).map(|_| AtomicU64::new(0)).collect();
+        pool_run(100, 4, &|t| {
+            hits[t].fetch_add(1, Ordering::Relaxed);
+        });
+        for h in &hits {
+            assert_eq!(h.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn pool_inline_when_single_threaded() {
+        let hits = AtomicU64::new(0);
+        pool_run(7, 1, &|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 7);
+    }
+
+    #[test]
+    fn pool_handles_back_to_back_jobs() {
+        for round in 0..50 {
+            let sum = AtomicU64::new(0);
+            let n = 1 + (round % 9);
+            pool_run(n, 3, &|t| {
+                sum.fetch_add(t as u64 + 1, Ordering::Relaxed);
+            });
+            assert_eq!(sum.load(Ordering::Relaxed), (n * (n + 1) / 2) as u64);
+        }
+    }
+
+    #[test]
+    fn pool_propagates_task_panics() {
+        let caught = std::panic::catch_unwind(|| {
+            pool_run(8, 4, &|t| {
+                if t == 5 {
+                    panic!("boom");
+                }
+            });
+        });
+        assert!(caught.is_err());
+        // The pool survives a panicked job.
+        let hits = AtomicU64::new(0);
+        pool_run(8, 4, &|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn refs_disjoint_and_merge() {
+        assert!(ParPlan::refs_disjoint(&[1, 3, 5], &[2, 4, 6]));
+        assert!(!ParPlan::refs_disjoint(&[1, 3, 5], &[5, 9]));
+        assert!(ParPlan::refs_disjoint(&[], &[1]));
+        let mut acc = vec![1, 4];
+        ParPlan::merge_refs(&mut acc, &[2, 4, 7]);
+        assert_eq!(acc, vec![1, 2, 4, 7]);
+    }
+
+    #[test]
+    fn pure_op_matches_functional_semantics() {
+        let vals = [Value::Int(2), Value::Int(3)];
+        assert_eq!(PureOp::Sum.apply(vals.iter()), Some(Value::Int(5)));
+        assert_eq!(PureOp::Max.apply(vals.iter()), Some(Value::Int(3)));
+        assert_eq!(PureOp::Min.apply(vals.iter()), Some(Value::Int(2)));
+        assert_eq!(PureOp::Product.apply(vals.iter()), Some(Value::Float(6.0)));
+        let one = [Value::Float(3.0)];
+        assert_eq!(
+            PureOp::Scale {
+                gain: 2.0,
+                offset: 1.0
+            }
+            .apply(one.iter()),
+            Some(Value::Float(7.0))
+        );
+        // Scale refuses extra inputs, like FunctionalOp.
+        let two = [Value::Float(3.0), Value::Float(4.0)];
+        assert_eq!(
+            PureOp::Scale {
+                gain: 2.0,
+                offset: 1.0
+            }
+            .apply(two.iter()),
+            None
+        );
+        // Empty sums fold from the identity.
+        let empty: [Value; 0] = [];
+        assert_eq!(PureOp::Sum.apply(empty.iter()), Some(Value::Int(0)));
+        assert_eq!(PureOp::Max.apply(empty.iter()), None);
+    }
+}

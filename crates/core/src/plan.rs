@@ -19,6 +19,7 @@
 
 use crate::constraint::ConstraintKind;
 use crate::ids::{ConstraintId, VarId};
+use crate::par::ParPlan;
 use std::rc::Rc;
 
 /// One step of a compiled plan — mirrors the dispatch outcomes of the
@@ -75,6 +76,12 @@ pub(crate) struct PropPlan {
     /// Number of distinct constraints the plan can touch — the static
     /// upper bound on the final satisfaction sweep, for display.
     pub(crate) n_checks: u32,
+    /// Cone partition for parallel replay ([`crate::par`]), built only
+    /// when the network's thread knob exceeds 1 and the plan admits a
+    /// partition. Stored inside the plan so [`PropPlan::generation`]
+    /// covers the cone tables: a structural edit invalidates the
+    /// partition metadata together with the op vectors.
+    pub(crate) par: Option<Box<ParPlan>>,
 }
 
 /// Cache slot for one root variable's plan.

@@ -1,5 +1,4 @@
 use crate::ids::{ConstraintId, VarId};
-use crate::justification::Justification;
 use crate::network::Network;
 use crate::value::Value;
 use std::fmt;
@@ -122,7 +121,9 @@ impl VariableKind for PropertyKind {
 pub type RecalcFn = dyn Fn(&mut Network, VarId);
 
 /// Internal storage for one variable object (thesis Fig. 4.1: parent, name,
-/// value, constraints, lastSetBy).
+/// constraints). The value + justification pair (`lastSetBy`) lives in the
+/// network's separate slot arena so the parallel replay path can hand worker
+/// threads a raw view of just the `Send + Sync` value state.
 ///
 /// Cloning shares the behaviour kind and recalc hook (both immutable) and
 /// copies everything else — the basis of [`Network`]'s `Clone`.
@@ -130,8 +131,6 @@ pub type RecalcFn = dyn Fn(&mut Network, VarId);
 pub(crate) struct VariableData {
     pub(crate) name: String,
     pub(crate) owner: Option<Arc<str>>,
-    pub(crate) value: Value,
-    pub(crate) justification: Justification,
     pub(crate) constraints: Vec<ConstraintId>,
     pub(crate) kind: Rc<dyn VariableKind>,
     /// Cached [`VariableKind::is_plain`] verdict, letting `propagate_set`
@@ -147,8 +146,6 @@ impl fmt::Debug for VariableData {
         f.debug_struct("VariableData")
             .field("name", &self.name)
             .field("owner", &self.owner)
-            .field("value", &self.value)
-            .field("justification", &self.justification)
             .field("constraints", &self.constraints)
             .field("kind", &self.kind.kind_name())
             .field("has_recalc", &self.recalc.is_some())
@@ -162,8 +159,6 @@ impl VariableData {
         VariableData {
             name,
             owner,
-            value: Value::Nil,
-            justification: Justification::Unset,
             constraints: Vec::new(),
             kind,
             plain_kind,

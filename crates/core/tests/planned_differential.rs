@@ -1,15 +1,23 @@
 //! Randomized differential check of the plan-cached propagation path:
-//! 1 000 SplitMix64-derived networks, each mirrored into a twin with plan
-//! caching disabled, fed the identical op stream — value sets interleaved
-//! with structural edits (constraint adds, enable toggles, removals,
-//! change-limit tweaks) that force plan invalidation mid-run. After every
-//! op the two networks must agree byte-for-byte on values, justifications
-//! and outcomes; the planned side must additionally have exercised the
-//! cache (hits), the invalidation path, and the uncompilable fallback.
+//! 1 000 SplitMix64-derived networks, each mirrored into an agenda twin
+//! with plan caching disabled and into planned twins sweeping the
+//! parallel-replay budget over `threads ∈ {1, 2, 4, 8}`, all fed the
+//! identical op stream — value sets interleaved with structural edits
+//! (constraint adds, enable toggles, removals, change-limit tweaks)
+//! that force plan invalidation mid-run. After every op all networks
+//! must agree byte-for-byte on values, justifications and outcomes; the
+//! planned twins must additionally agree with *each other* on the core
+//! statistics block (the parallel path may not even perturb counters),
+//! and collectively exercise the cache (hits), the invalidation path,
+//! the uncompilable fallback, and real parallel replays.
 
 use stem_core::kinds::{Equality, Functional, Predicate};
 use stem_core::prng::SplitMix64;
 use stem_core::{ConstraintId, Justification, Network, PlanStatus, Value, VarId};
+
+/// Replay thread budgets swept by every round. Index 0 must stay `1`:
+/// it is the sequential reference the others are compared against.
+const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
 
 /// Canonical rendering of the full observable state.
 fn dump(net: &Network) -> String {
@@ -25,8 +33,8 @@ fn dump(net: &Network) -> String {
         .collect()
 }
 
-/// A constraint recipe, drawn once and instantiated on both twins so the
-/// pair stays structurally identical.
+/// A constraint recipe, drawn once and instantiated on every twin so the
+/// set stays structurally identical.
 enum Spec {
     Equality(Vec<VarId>),
     Sum(Vec<VarId>),
@@ -81,85 +89,131 @@ fn planned_path_is_byte_identical_to_agenda_on_random_networks() {
     let mut total_invalidations = 0u64;
     let mut total_compiles = 0u64;
     let mut total_violations = 0u64;
+    let mut total_parallel_replays = 0u64;
+    let mut total_parallel_fallbacks = 0u64;
     let mut saw_uncompilable = false;
 
     for round in 0u64..1_000 {
         let mut rng = SplitMix64::new(0x9E1D_F00D ^ (round.wrapping_mul(0x2545_F491)));
-        let mut planned = Network::new();
         let mut agenda = Network::new();
         agenda.set_plan_caching(false);
-        assert!(planned.is_plan_caching());
+        let mut planned: Vec<Network> = THREAD_SWEEP
+            .iter()
+            .map(|&threads| {
+                let mut net = Network::new();
+                assert!(net.is_plan_caching());
+                net.set_parallel_threads(threads);
+                // Tiny random cones would never clear the production
+                // threshold; floor it so partitioning actually runs.
+                net.set_parallel_min_steps(1);
+                net
+            })
+            .collect();
+        let each = |planned: &mut Vec<Network>, agenda: &mut Network, f: &dyn Fn(&mut Network)| {
+            for net in planned.iter_mut() {
+                f(net);
+            }
+            f(agenda);
+        };
 
         let n_vars = rng.range_usize(3, 10);
         for i in 0..n_vars {
-            planned.add_variable(format!("v{i}"));
-            agenda.add_variable(format!("v{i}"));
+            each(&mut planned, &mut agenda, &|net| {
+                net.add_variable(format!("v{i}"));
+            });
         }
         for _ in 0..rng.range_usize(1, n_vars) {
             let spec = Spec::draw(&mut rng, n_vars);
-            let (rp, ra) = (spec.apply(&mut planned), spec.apply(&mut agenda));
-            assert_eq!(rp, ra, "constraint add diverged in round {round}");
+            let ra = spec.apply(&mut agenda);
+            for net in planned.iter_mut() {
+                assert_eq!(spec.apply(net), ra, "constraint add diverged in {round}");
+            }
         }
-        assert_eq!(dump(&planned), dump(&agenda), "setup diverged in {round}");
+        let da = dump(&agenda);
+        for net in &planned {
+            assert_eq!(dump(net), da, "setup diverged in {round}");
+        }
 
         for op in 0..rng.range_usize(8, 20) {
             match rng.range_usize(0, 100) {
                 0..=64 => {
                     let v = VarId::from_index(rng.range_usize(0, n_vars));
                     let val = Value::Int(rng.range_i64(0, 40));
-                    let rp = planned.set(v, val.clone(), Justification::User);
-                    let ra = agenda.set(v, val, Justification::User);
-                    if rp.is_err() {
+                    let ra = format!("{:?}", agenda.set(v, val.clone(), Justification::User));
+                    if ra.starts_with("Err") {
                         total_violations += 1;
                     }
-                    assert_eq!(
-                        format!("{rp:?}"),
-                        format!("{ra:?}"),
-                        "set outcome diverged at round {round} op {op}"
-                    );
+                    for (t, net) in THREAD_SWEEP.iter().zip(planned.iter_mut()) {
+                        let rp = format!("{:?}", net.set(v, val.clone(), Justification::User));
+                        assert_eq!(
+                            rp, ra,
+                            "set outcome diverged at round {round} op {op} threads {t}"
+                        );
+                    }
                 }
                 65..=74 => {
                     let spec = Spec::draw(&mut rng, n_vars);
-                    let (rp, ra) = (spec.apply(&mut planned), spec.apply(&mut agenda));
-                    assert_eq!(rp, ra, "mid-run add diverged at round {round} op {op}");
+                    let ra = spec.apply(&mut agenda);
+                    for net in planned.iter_mut() {
+                        assert_eq!(spec.apply(net), ra, "add diverged at {round} op {op}");
+                    }
                 }
                 75..=84 => {
-                    let cids = active_cids(&planned);
+                    let cids = active_cids(&agenda);
                     if !cids.is_empty() {
                         let c = cids[rng.range_usize(0, cids.len())];
                         let on = rng.next_bool();
-                        planned.set_constraint_enabled(c, on);
-                        agenda.set_constraint_enabled(c, on);
+                        each(&mut planned, &mut agenda, &|net| {
+                            net.set_constraint_enabled(c, on);
+                        });
                     }
                 }
                 85..=91 => {
-                    let cids = active_cids(&planned);
+                    let cids = active_cids(&agenda);
                     if !cids.is_empty() {
                         let c = cids[rng.range_usize(0, cids.len())];
-                        planned.remove_constraint(c);
-                        agenda.remove_constraint(c);
+                        each(&mut planned, &mut agenda, &|net| {
+                            net.remove_constraint(c);
+                        });
                     }
                 }
                 _ => {
                     let limit = rng.range_i64(1, 4) as u32;
-                    planned.set_value_change_limit(limit);
-                    agenda.set_value_change_limit(limit);
+                    each(&mut planned, &mut agenda, &|net| {
+                        net.set_value_change_limit(limit);
+                    });
                 }
             }
-            assert_eq!(
-                dump(&planned),
-                dump(&agenda),
-                "state diverged at round {round} op {op}"
-            );
+            let da = dump(&agenda);
+            for (t, net) in THREAD_SWEEP.iter().zip(planned.iter()) {
+                assert_eq!(
+                    dump(net),
+                    da,
+                    "state diverged at round {round} op {op} threads {t}"
+                );
+            }
         }
 
-        let s = planned.stats();
+        // The planned twins took thread-count-dependent execution paths
+        // but must land on the identical core statistics block.
+        let s = planned[0].stats();
+        for (t, net) in THREAD_SWEEP.iter().zip(planned.iter()).skip(1) {
+            assert_eq!(
+                format!("{:?}", net.stats()),
+                format!("{s:?}"),
+                "stats diverged at round {round} threads {t}"
+            );
+        }
         total_hits += s.plan_cache_hits;
         total_invalidations += s.plan_cache_invalidations;
         total_compiles += s.plan_compiles;
-        saw_uncompilable |= planned
+        let ps = planned.last().unwrap().par_stats();
+        total_parallel_replays += ps.plan_replays_parallel;
+        total_parallel_fallbacks += ps.parallel_fallbacks;
+        assert_eq!(planned[0].par_stats(), stem_core::ParStats::default());
+        saw_uncompilable |= planned[0]
             .variables()
-            .any(|v| planned.plan_status(v) == PlanStatus::Uncompilable);
+            .any(|v| planned[0].plan_status(v) == PlanStatus::Uncompilable);
         let sa = agenda.stats();
         assert_eq!(sa.plan_compiles, 0, "agenda twin must never plan");
         assert_eq!(sa.plan_cache_hits, 0);
@@ -176,5 +230,13 @@ fn planned_path_is_byte_identical_to_agenda_on_random_networks() {
     assert!(
         saw_uncompilable,
         "no multi-writer cone was ever refused — topology mix too tame"
+    );
+    assert!(
+        total_parallel_replays > 0,
+        "the 8-thread twin never replayed a partition — topology mix too tame"
+    );
+    assert!(
+        total_parallel_fallbacks > 0,
+        "the 8-thread twin never fell back — admission rules untested"
     );
 }

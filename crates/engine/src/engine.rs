@@ -12,7 +12,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-use stem_core::{Network, Stats};
+use stem_core::{Network, ParStats, Stats};
 use stem_persist::{
     decode_segment, GroupCommit, PersistCommand, PersistSpec, SessionState, Snapshot, Store,
     StoreOptions, SyncPolicy, WalRecord,
@@ -66,6 +66,14 @@ pub struct EngineConfig {
     pub step_budget: Option<u64>,
     /// Batch rollback mechanism; see [`RollbackStrategy`].
     pub rollback: RollbackStrategy,
+    /// Replay thread budget installed in every session network
+    /// ([`stem_core::Network::set_parallel_threads`]). At the default of
+    /// 1 every propagation is sequential; above 1, cached plans are
+    /// cone-partitioned and replayed on a shared worker pool, and
+    /// consecutive `Set` commands in one batch whose plans touch
+    /// disjoint variables replay overlapped. Observable behaviour is
+    /// identical at every setting — only wall-clock changes.
+    pub propagation_threads: usize,
 }
 
 impl Default for EngineConfig {
@@ -75,6 +83,7 @@ impl Default for EngineConfig {
             queue_capacity: 128,
             step_budget: None,
             rollback: RollbackStrategy::default(),
+            propagation_threads: 1,
         }
     }
 }
@@ -394,6 +403,7 @@ impl Engine {
             let worker_counters = counters.clone();
             let step_budget = config.step_budget;
             let rollback = config.rollback;
+            let propagation_threads = config.propagation_threads;
             let worker_store = store.clone();
             let worker_group = group.clone();
             let worker_replica = replica.clone();
@@ -412,6 +422,7 @@ impl Engine {
                             counters: worker_counters,
                             step_budget,
                             rollback,
+                            propagation_threads,
                             sessions: HashMap::new(),
                             mode,
                             store: worker_store,
@@ -1079,6 +1090,10 @@ struct Worker {
     counters: Arc<Counters>,
     step_budget: Option<u64>,
     rollback: RollbackStrategy,
+    /// Per-network replay thread budget
+    /// ([`EngineConfig::propagation_threads`]), stamped on every session
+    /// network at creation and recovery.
+    propagation_threads: usize,
     sessions: HashMap<SessionId, Session>,
     /// Durability mode when the engine was opened on a store.
     mode: Option<Durability>,
@@ -1112,6 +1127,7 @@ impl Worker {
         let base_seq = rs.seq - rs.tail.len() as u64;
         let (mut net, mut specs) = persist::restore_network(&rs.state, self.step_budget);
         net.set_durability_label(persist::durability_label(self.mode));
+        net.set_parallel_threads(self.propagation_threads);
         let mut applied = 0u64;
         for batch in &rs.tail {
             let commands: Vec<Command> = batch
@@ -1266,6 +1282,10 @@ impl Worker {
                     stats.plan_compiles = net_stats.plan_compiles;
                     stats.plan_cache_hits = net_stats.plan_cache_hits;
                     stats.plan_cache_invalidations = net_stats.plan_cache_invalidations;
+                    let par_stats = sess.net.par_stats();
+                    stats.plan_replays_parallel = par_stats.plan_replays_parallel;
+                    stats.cones_executed = par_stats.cones_executed;
+                    stats.parallel_fallbacks = par_stats.parallel_fallbacks;
                     stats.quarantined = sess.quarantined;
                     let _ = reply.send(stats);
                 }
@@ -1345,11 +1365,13 @@ impl Worker {
         let counters = &self.counters;
         let step_budget = self.step_budget;
         let mode = self.mode;
+        let propagation_threads = self.propagation_threads;
         self.sessions.entry(id).or_insert_with(|| {
             counters.sessions_created.fetch_add(1, Ordering::Relaxed);
             let mut net = Network::new();
             net.set_step_limit(step_budget);
             net.set_durability_label(persist::durability_label(mode));
+            net.set_parallel_threads(propagation_threads);
             Session {
                 net,
                 stats: SessionStats::default(),
@@ -1398,6 +1420,7 @@ impl Worker {
         let use_journal =
             rollback == RollbackStrategy::Journal && commands.iter().all(Command::is_journalable);
         let before: Stats = sess.net.stats();
+        let before_par: ParStats = sess.net.par_stats();
         let result = if use_journal {
             // Journaled transaction: the network records pre-images and
             // structural undo entries as the batch runs; failure replays
@@ -1414,7 +1437,8 @@ impl Worker {
                         Ok(logged) => {
                             sess.net.commit_journal();
                             note_logged(sess, logged);
-                            let delta = delta(before, sess.net.stats());
+                            let delta =
+                                delta(before, before_par, sess.net.stats(), sess.net.par_stats());
                             Ok((outputs, delta))
                         }
                         Err(err) => {
@@ -1450,7 +1474,7 @@ impl Worker {
             match catch_unwind(AssertUnwindSafe(|| apply_all(&mut work, commands))) {
                 Ok(Ok(outputs)) => match append_commit(&store, &group, id, sess.seq, to_log) {
                     Ok(logged) => {
-                        let delta = delta(before, work.stats());
+                        let delta = delta(before, before_par, work.stats(), work.par_stats());
                         sess.net = work;
                         note_logged(sess, logged);
                         Ok((outputs, delta))
@@ -1475,7 +1499,8 @@ impl Worker {
                 Ok(Ok(outputs)) => match append_commit(&store, &group, id, sess.seq, to_log) {
                     Ok(logged) => {
                         note_logged(sess, logged);
-                        let delta = delta(before, sess.net.stats());
+                        let delta =
+                            delta(before, before_par, sess.net.stats(), sess.net.par_stats());
                         Ok((outputs, delta))
                     }
                     Err(err) => {
@@ -1519,6 +1544,15 @@ impl Worker {
                 counters
                     .plan_cache_invalidations
                     .fetch_add(d.plan_cache_invalidations, Ordering::Relaxed);
+                counters
+                    .plan_replays_parallel
+                    .fetch_add(d.plan_replays_parallel, Ordering::Relaxed);
+                counters
+                    .cones_executed
+                    .fetch_add(d.cones_executed, Ordering::Relaxed);
+                counters
+                    .parallel_fallbacks
+                    .fetch_add(d.parallel_fallbacks, Ordering::Relaxed);
                 sess.stats.batches_ok += 1;
                 sess.stats.waves += d.waves;
                 sess.stats.assignments += d.assignments;
@@ -1606,9 +1640,12 @@ struct BatchDelta {
     plan_compiles: u64,
     plan_cache_hits: u64,
     plan_cache_invalidations: u64,
+    plan_replays_parallel: u64,
+    cones_executed: u64,
+    parallel_fallbacks: u64,
 }
 
-fn delta(before: Stats, after: Stats) -> BatchDelta {
+fn delta(before: Stats, before_par: ParStats, after: Stats, after_par: ParStats) -> BatchDelta {
     BatchDelta {
         waves: after.cycles.saturating_sub(before.cycles),
         assignments: after.assignments.saturating_sub(before.assignments),
@@ -1617,6 +1654,15 @@ fn delta(before: Stats, after: Stats) -> BatchDelta {
         plan_cache_invalidations: after
             .plan_cache_invalidations
             .saturating_sub(before.plan_cache_invalidations),
+        plan_replays_parallel: after_par
+            .plan_replays_parallel
+            .saturating_sub(before_par.plan_replays_parallel),
+        cones_executed: after_par
+            .cones_executed
+            .saturating_sub(before_par.cones_executed),
+        parallel_fallbacks: after_par
+            .parallel_fallbacks
+            .saturating_sub(before_par.parallel_fallbacks),
     }
 }
 
@@ -1686,9 +1732,34 @@ type CommandFailure = (usize, stem_core::Violation);
 /// Applies a batch in order, consuming the commands: payloads (`Value`s,
 /// names, argument vectors) move into the network instead of being cloned
 /// per command.
+///
+/// On a thread-enabled network, a run of consecutive `Set` commands is
+/// handed to [`Network::set_all`] as one group so replays of
+/// variable-disjoint roots can overlap on the worker pool. The grouping
+/// is semantically inert — `set_all` applies its assignments in order
+/// and reports the in-group index of a violation, which maps straight
+/// back to the failing command's batch index.
 fn apply_all(net: &mut Network, commands: Vec<Command>) -> Result<Vec<Output>, CommandFailure> {
+    use stem_core::Justification;
     let mut outputs = Vec::with_capacity(commands.len());
-    for (ix, cmd) in commands.into_iter().enumerate() {
+    let group_sets = net.parallel_threads() > 1;
+    let mut iter = commands.into_iter().enumerate().peekable();
+    while let Some((ix, cmd)) = iter.next() {
+        if group_sets {
+            if let Command::Set { var, value, source } = cmd {
+                let mut sets = vec![(var, value, Justification::from(source))];
+                while matches!(iter.peek(), Some((_, Command::Set { .. }))) {
+                    let Some((_, Command::Set { var, value, source })) = iter.next() else {
+                        unreachable!("peeked a Set");
+                    };
+                    sets.push((var, value, Justification::from(source)));
+                }
+                let n = sets.len();
+                net.set_all(sets).map_err(|(k, v)| (ix + k, v))?;
+                outputs.extend(std::iter::repeat_with(|| Output::Unit).take(n));
+                continue;
+            }
+        }
         outputs.push(apply_one(net, cmd).map_err(|v| (ix, v))?);
     }
     Ok(outputs)

@@ -33,6 +33,9 @@ pub(crate) struct Counters {
     pub plan_compiles: AtomicU64,
     pub plan_cache_hits: AtomicU64,
     pub plan_cache_invalidations: AtomicU64,
+    pub plan_replays_parallel: AtomicU64,
+    pub cones_executed: AtomicU64,
+    pub parallel_fallbacks: AtomicU64,
     pub recoveries: AtomicU64,
     pub segments_ingested: AtomicU64,
     pub records_replayed: AtomicU64,
@@ -85,6 +88,9 @@ impl Counters {
             plan_compiles: self.plan_compiles.load(Ordering::Relaxed),
             plan_cache_hits: self.plan_cache_hits.load(Ordering::Relaxed),
             plan_cache_invalidations: self.plan_cache_invalidations.load(Ordering::Relaxed),
+            plan_replays_parallel: self.plan_replays_parallel.load(Ordering::Relaxed),
+            cones_executed: self.cones_executed.load(Ordering::Relaxed),
+            parallel_fallbacks: self.parallel_fallbacks.load(Ordering::Relaxed),
             recoveries: self.recoveries.load(Ordering::Relaxed),
             segments_ingested: self.segments_ingested.load(Ordering::Relaxed),
             records_replayed: self.records_replayed.load(Ordering::Relaxed),
@@ -131,6 +137,19 @@ pub struct EngineStats {
     pub plan_cache_hits: u64,
     /// Cached plans discarded after structural edits, across all sessions.
     pub plan_cache_invalidations: u64,
+    /// Plan replays committed through the parallel cone path, across all
+    /// sessions (0 unless [`crate::EngineConfig::propagation_threads`]
+    /// exceeds 1). Every cache hit on a thread-enabled session lands in
+    /// exactly one of this counter or [`EngineStats::parallel_fallbacks`].
+    pub plan_replays_parallel: u64,
+    /// Cones executed by committed parallel replays, across all sessions
+    /// (≥ 2 × [`EngineStats::plan_replays_parallel`]).
+    pub cones_executed: u64,
+    /// Cached replays that ran sequentially despite an enabled worker
+    /// pool: plan below the partition threshold, single connected
+    /// component, kernel-less kind, or a parallel attempt that aborted
+    /// (overwrite denial / violation) into the sequential rerun.
+    pub parallel_fallbacks: u64,
     /// Sessions reconstructed from the store at [`crate::Engine::open`]
     /// (snapshot image + log-tail replay).
     pub recoveries: u64,
@@ -191,6 +210,17 @@ pub struct SessionStats {
     pub plan_cache_hits: u64,
     /// Cached plans this session discarded after structural edits.
     pub plan_cache_invalidations: u64,
+    /// Plan replays this session committed through the parallel cone
+    /// path. Reconciles with [`SessionStats::plan_cache_hits`]: on a
+    /// thread-enabled session every cached replay counts in exactly one
+    /// of this counter or [`SessionStats::parallel_fallbacks`].
+    pub plan_replays_parallel: u64,
+    /// Cones executed by this session's committed parallel replays.
+    pub cones_executed: u64,
+    /// Cached replays that ran sequentially despite the worker pool
+    /// (below-threshold plan, single cone, kernel-less kind, or an
+    /// aborted parallel attempt).
+    pub parallel_fallbacks: u64,
     /// WAL records this session's committed batches appended — the
     /// per-session share of [`EngineStats::wal_appends`], counted by the
     /// owning worker at commit time (0 on non-durable engines; replayed

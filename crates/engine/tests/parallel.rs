@@ -1,0 +1,300 @@
+//! Engine-level behaviour of parallel plan replay: the
+//! `propagation_threads` knob, overlapped disjoint-root `Set` runs
+//! inside one batch, partition invalidation by structural edits landing
+//! between overlapped groups, and the reconciliation of the split
+//! replay counters with the plan-cache counters.
+
+use stem_core::{Value, VarId};
+use stem_engine::{Command, ConstraintSpec, Engine, EngineConfig, Output, SessionId, Source};
+
+fn var(ix: usize) -> VarId {
+    VarId::from_index(ix)
+}
+
+fn set(ix: usize, v: i64) -> Command {
+    Command::Set {
+        var: var(ix),
+        value: Value::Int(v),
+        source: Source::User,
+    }
+}
+
+fn engine_with_threads(threads: usize) -> Engine {
+    Engine::with_config(EngineConfig {
+        workers: 1,
+        propagation_threads: threads,
+        ..EngineConfig::default()
+    })
+}
+
+/// Appends one fanout cluster (root, then `cones` × {head, `fan`
+/// mirrors, sum-out}) to `cmds`, returning the root's variable index.
+/// Clusters are variable-disjoint, so their plans overlap in a batch.
+fn push_cluster(cmds: &mut Vec<Command>, next_ix: &mut usize, cones: usize, fan: usize) -> usize {
+    let src = *next_ix;
+    cmds.push(Command::AddVariable {
+        name: format!("src{src}"),
+    });
+    *next_ix += 1;
+    for _ in 0..cones {
+        let head = *next_ix;
+        cmds.push(Command::AddVariable {
+            name: format!("h{head}"),
+        });
+        *next_ix += 1;
+        cmds.push(Command::AddConstraint {
+            spec: ConstraintSpec::Equality,
+            args: vec![var(src), var(head)],
+        });
+        let mut args = Vec::with_capacity(fan + 1);
+        for _ in 0..fan {
+            let m = *next_ix;
+            cmds.push(Command::AddVariable {
+                name: format!("m{m}"),
+            });
+            *next_ix += 1;
+            cmds.push(Command::AddConstraint {
+                spec: ConstraintSpec::Equality,
+                args: vec![var(head), var(m)],
+            });
+            args.push(var(m));
+        }
+        let out = *next_ix;
+        cmds.push(Command::AddVariable {
+            name: format!("o{out}"),
+        });
+        *next_ix += 1;
+        args.push(var(out));
+        cmds.push(Command::AddConstraint {
+            spec: ConstraintSpec::Sum,
+            args,
+        });
+    }
+    src
+}
+
+fn dump(engine: &Engine, session: SessionId) -> Vec<(String, Value, stem_core::Justification)> {
+    let out = engine
+        .apply(session, vec![Command::DumpValues])
+        .expect("dump batch");
+    match out.outputs.into_iter().next() {
+        Some(Output::Dump(d)) => d,
+        other => panic!("expected dump, got {other:?}"),
+    }
+}
+
+/// Three disjoint partition-sized clusters (8 cones × (1 + 31 + 1) = 264
+/// executing steps each, over the session default 256-step floor), built
+/// identically on a sequential and a thread-enabled engine.
+fn twin_engines(threads: usize) -> ([Engine; 2], [SessionId; 2], [usize; 3]) {
+    let engines = [engine_with_threads(1), engine_with_threads(threads)];
+    let mut roots = [0usize; 3];
+    let sessions = engines.each_ref().map(|e| {
+        let s = e.create_session();
+        let mut setup = Vec::new();
+        let mut ix = 0;
+        for root in &mut roots {
+            *root = push_cluster(&mut setup, &mut ix, 8, 31);
+        }
+        e.apply(s, setup).expect("setup batch");
+        s
+    });
+    (engines, sessions, roots)
+}
+
+#[test]
+fn overlapped_batch_sets_match_sequential_engine() {
+    let ([seq, par], [ss, sp], [a, b, c]) = twin_engines(8);
+    type BatchFn = fn(usize, usize, usize) -> Vec<Command>;
+    let batches: Vec<BatchFn> = vec![
+        |a, b, c| vec![set(a, 5), set(b, 6), set(c, 7)], // cold: individual replays
+        |a, _, c| vec![set(a, 8), set(c, 9)],            // warm: overlapped pair
+        |a, b, _| vec![set(b, 1), set(b, 2), set(a, 3)], // duplicate root splits the run
+    ];
+    for batch in batches {
+        let os = seq.apply(ss, batch(a, b, c)).expect("sequential batch");
+        let op = par.apply(sp, batch(a, b, c)).expect("parallel batch");
+        assert_eq!(os.outputs, op.outputs);
+        assert_eq!(os.waves, op.waves);
+        assert_eq!(os.assignments, op.assignments);
+    }
+    assert_eq!(dump(&seq, ss), dump(&par, sp));
+    // Same session work, same core counters — only the parallel split
+    // counters may differ (the sequential engine's stay zero).
+    let stats_seq = seq.session_stats(ss);
+    let stats_par = par.session_stats(sp);
+    assert_eq!(stats_seq.waves, stats_par.waves);
+    assert_eq!(stats_seq.assignments, stats_par.assignments);
+    assert_eq!(stats_seq.plan_cache_hits, stats_par.plan_cache_hits);
+    assert_eq!(stats_seq.plan_replays_parallel, 0);
+    assert_eq!(stats_seq.parallel_fallbacks, 0);
+    // Batches 2 and 3 each carried one overlapped pair plus the cold and
+    // sequential-remainder replays, so at least two overlapped-group
+    // replays committed in parallel.
+    assert!(
+        stats_par.plan_replays_parallel >= 2,
+        "warm disjoint-root sets must overlap: {stats_par:?}"
+    );
+    assert_eq!(stats_par.parallel_fallbacks, 0);
+}
+
+#[test]
+fn session_replay_counters_reconcile_with_cache_hits() {
+    // Cluster sized over the 256-step partition floor: 8 cones × (1 + 31
+    // + 1) = 264 executing steps.
+    let mut cmds = Vec::new();
+    let mut ix = 0;
+    let big = push_cluster(&mut cmds, &mut ix, 8, 31);
+    // And a two-variable chain that plans but never partitions.
+    let small = ix;
+    cmds.push(Command::AddVariable { name: "s0".into() });
+    cmds.push(Command::AddVariable { name: "s1".into() });
+    ix += 2;
+    cmds.push(Command::AddConstraint {
+        spec: ConstraintSpec::Equality,
+        args: vec![var(small), var(small + 1)],
+    });
+    let _ = ix;
+    let engine = engine_with_threads(8);
+    let session = engine.create_session();
+    engine.apply(session, cmds).expect("setup");
+    // Warm both plans (first replay runs off the fresh compile).
+    engine
+        .apply(session, vec![set(big, 1), set(small, 1)])
+        .expect("warm");
+    let base = engine.session_stats(session);
+    for round in 0..6i64 {
+        engine
+            .apply(session, vec![set(big, round + 2), set(small, round + 2)])
+            .expect("round");
+    }
+    let stats = engine.session_stats(session);
+    let hits = stats.plan_cache_hits - base.plan_cache_hits;
+    let replays = stats.plan_replays_parallel - base.plan_replays_parallel;
+    let fallbacks = stats.parallel_fallbacks - base.parallel_fallbacks;
+    // Every cached replay on a thread-enabled session lands in exactly
+    // one of the two split counters.
+    assert_eq!(hits, 12);
+    assert_eq!(replays + fallbacks, hits);
+    assert_eq!(replays, 6, "big-cluster sets must take the parallel path");
+    assert_eq!(fallbacks, 6, "small-chain sets must fall back");
+    let cones = stats.cones_executed - base.cones_executed;
+    assert_eq!(cones, 6 * 8);
+    // The engine-wide rollup carries the same counters.
+    let es = engine.stats();
+    assert_eq!(es.plan_replays_parallel, stats.plan_replays_parallel);
+    assert_eq!(es.cones_executed, stats.cones_executed);
+    assert_eq!(es.parallel_fallbacks, stats.parallel_fallbacks);
+}
+
+#[test]
+fn structural_edit_between_overlapped_groups_invalidates_partitions() {
+    // Two partition-sized clusters; sets on both roots overlap inside a
+    // batch once their plans are warm.
+    let build = |threads: usize| {
+        let mut cmds = Vec::new();
+        let mut ix = 0;
+        let a = push_cluster(&mut cmds, &mut ix, 8, 31);
+        let b = push_cluster(&mut cmds, &mut ix, 8, 31);
+        let engine = engine_with_threads(threads);
+        let session = engine.create_session();
+        engine.apply(session, cmds).expect("setup");
+        engine
+            .apply(session, vec![set(a, 1), set(b, 1)])
+            .expect("warm");
+        (engine, session, a, b, ix)
+    };
+    let (par, sp, a, b, next) = build(8);
+    let (seq, ss, _, _, _) = build(1);
+    let base = par.session_stats(sp);
+    // One batch: an overlapped group, then a structural edit rewiring
+    // cluster A's root into a fresh equality, then more sets. The edit
+    // bumps the structure generation, so the second group must not
+    // replay the stale cone tables (whose write ranges no longer cover
+    // the new constraint's target).
+    let batch = || {
+        vec![
+            set(a, 10),
+            set(b, 20),
+            Command::AddVariable {
+                name: "late".into(),
+            },
+            Command::AddConstraint {
+                spec: ConstraintSpec::Equality,
+                args: vec![var(a), var(next)],
+            },
+            set(a, 30),
+            set(b, 40),
+        ]
+    };
+    let op = par.apply(sp, batch()).expect("parallel batch");
+    let os = seq.apply(ss, batch()).expect("sequential batch");
+    assert_eq!(op.outputs, os.outputs);
+    assert_eq!(dump(&par, sp), dump(&seq, ss));
+    // The late variable received cluster A's post-edit value — the
+    // stale partition (which could never write it) was not replayed.
+    let late = dump(&par, sp)
+        .into_iter()
+        .find(|(name, _, _)| name == "late")
+        .expect("late variable");
+    assert_eq!(late.1, Value::Int(30));
+    let stats = par.session_stats(sp);
+    assert!(
+        stats.plan_cache_invalidations > base.plan_cache_invalidations,
+        "the structural edit must invalidate the cached plans"
+    );
+    // Post-edit replays recompiled and ran parallel again.
+    assert!(stats.plan_replays_parallel > base.plan_replays_parallel);
+}
+
+#[test]
+fn threads_knob_survives_durable_recovery() {
+    let dir = tempdir();
+    let config = EngineConfig {
+        workers: 1,
+        propagation_threads: 8,
+        ..EngineConfig::default()
+    };
+    let mut cmds = Vec::new();
+    let mut ix = 0;
+    let big = push_cluster(&mut cmds, &mut ix, 8, 31);
+    let before;
+    {
+        let engine = Engine::open_with_config(&dir, config, Default::default()).expect("open");
+        let session = engine.create_session();
+        engine.apply(session, cmds).expect("setup");
+        engine
+            .apply(session, vec![set(big, 1), set(big, 2)])
+            .expect("sets");
+        before = dump(&engine, session);
+        let stats = engine.session_stats(session);
+        assert!(stats.plan_replays_parallel > 0);
+        engine.shutdown();
+    }
+    // Recovery replays the logged batches on a network stamped with the
+    // same thread budget; state and parallel behaviour both survive.
+    let engine = Engine::open_with_config(&dir, config, Default::default()).expect("reopen");
+    let session = SessionId(0);
+    assert_eq!(dump(&engine, session), before);
+    engine
+        .apply(session, vec![set(big, 3), set(big, 4)])
+        .expect("post-recovery sets");
+    let stats = engine.session_stats(session);
+    assert!(
+        stats.plan_replays_parallel > 0,
+        "recovered sessions must keep the thread budget"
+    );
+    engine.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+fn tempdir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "stem-engine-parallel-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}

@@ -709,6 +709,9 @@ fn put_engine_stats(buf: &mut Vec<u8>, s: &EngineStats) {
         s.plan_compiles,
         s.plan_cache_hits,
         s.plan_cache_invalidations,
+        s.plan_replays_parallel,
+        s.cones_executed,
+        s.parallel_fallbacks,
         s.recoveries,
         s.segments_ingested,
         s.records_replayed,
@@ -740,6 +743,9 @@ fn read_engine_stats(r: &mut Reader<'_>) -> Result<EngineStats, DecodeError> {
         plan_compiles: r.u64()?,
         plan_cache_hits: r.u64()?,
         plan_cache_invalidations: r.u64()?,
+        plan_replays_parallel: r.u64()?,
+        cones_executed: r.u64()?,
+        parallel_fallbacks: r.u64()?,
         recoveries: r.u64()?,
         segments_ingested: r.u64()?,
         records_replayed: r.u64()?,
@@ -770,6 +776,9 @@ fn put_session_stats(buf: &mut Vec<u8>, s: &SessionStats) {
         s.plan_compiles,
         s.plan_cache_hits,
         s.plan_cache_invalidations,
+        s.plan_replays_parallel,
+        s.cones_executed,
+        s.parallel_fallbacks,
         s.wal_appends,
         s.wal_bytes,
     ] {
@@ -793,6 +802,9 @@ fn read_session_stats(r: &mut Reader<'_>) -> Result<SessionStats, DecodeError> {
         plan_compiles: r.u64()?,
         plan_cache_hits: r.u64()?,
         plan_cache_invalidations: r.u64()?,
+        plan_replays_parallel: r.u64()?,
+        cones_executed: r.u64()?,
+        parallel_fallbacks: r.u64()?,
         wal_appends: r.u64()?,
         wal_bytes: r.u64()?,
         quarantined: r.bool()?,

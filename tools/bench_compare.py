@@ -16,6 +16,11 @@ disabled), not a micro-benchmark referee. New ids are reported and pass;
 ids that vanished from the current run fail, since a silently dropped
 benchmark is exactly what a regression gate must notice.
 
+Besides the absolute floors, RATIO_GATES checks relative speedups between
+arms of the same run (e.g. parallel vs. sequential plan replay) — those
+cancel machine speed out, but are only enforced on hosts with enough CPUs
+to make thread scaling observable.
+
 Stdlib only — the repo is hermetic and this must run offline.
 """
 
@@ -29,6 +34,47 @@ import sys
 
 ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 BASELINE = os.path.join(ROOT, "BENCH_baseline.json")
+
+# Relative gates: (numerator id, denominator id, minimum ops/s ratio).
+# Unlike the absolute floors these compare two arms of the *same* run, so
+# machine speed cancels out — but thread-scaling ratios are only
+# meaningful with real cores behind the pool, so they are enforced only
+# when the host has at least MIN_CORES_FOR_RATIO CPUs (a 1-core CI
+# container cannot exhibit an 8-thread speedup) and warn-skipped below
+# that.
+MIN_CORES_FOR_RATIO = 8
+RATIO_GATES = [
+    # Parallel cone replay must buy ≥2.5× at wide fanout…
+    ("propagation_planned/dense_fanout/parallel/256",
+     "propagation_planned/dense_fanout/par_seq/256", 2.5),
+    # …and must not cost more than 5% where it falls back (below the
+    # 256-step partition floor the parallel arm replays sequentially).
+    ("propagation_planned/dense_fanout/parallel/16",
+     "propagation_planned/dense_fanout/par_seq/16", 0.95),
+]
+
+
+def check_ratio_gates(current):
+    """Enforce RATIO_GATES against the current run. Returns failed ids."""
+    cores = os.cpu_count() or 1
+    enforce = cores >= MIN_CORES_FOR_RATIO
+    if not enforce:
+        print(f"bench-compare: WARN host has {cores} CPU(s) < "
+              f"{MIN_CORES_FOR_RATIO}; ratio gates reported but not enforced")
+    failures = []
+    for num, den, min_ratio in RATIO_GATES:
+        if num not in current or den not in current:
+            missing = [i for i in (num, den) if i not in current]
+            print(f"bench-compare: WARN ratio gate skipped, id(s) absent "
+                  f"from current run: {', '.join(missing)}")
+            continue
+        ratio = current[num] / current[den] if current[den] else float("inf")
+        ok = ratio >= min_ratio
+        mark = "ok" if ok else ("FAIL" if enforce else "warn")
+        print(f"  [{mark:>4}] {num} / {den}: {ratio:.2f}x (need ≥ {min_ratio}x)")
+        if enforce and not ok:
+            failures.append(num)
+    return failures
 
 
 def load_current():
@@ -159,11 +205,15 @@ def main():
         print(f"bench-compare: WARN {len(new_ids)} id(s) not in baseline (pass, "
               f"ungated): {', '.join(new_ids)} — refresh with --update/--merge-min")
 
+    ratio_failures = check_ratio_gates(current)
+
     if missing:
         print(f"bench-compare: {len(missing)} baseline id(s) absent from current run: {', '.join(missing)}")
     if failures:
         print(f"bench-compare: {len(failures)} regression(s) beyond {args.threshold:.0%}: {', '.join(failures)}")
-    if failures or missing:
+    if ratio_failures:
+        print(f"bench-compare: {len(ratio_failures)} ratio gate(s) failed: {', '.join(ratio_failures)}")
+    if failures or missing or ratio_failures:
         return 1
     print(f"bench-compare: {len(baseline)} benchmarks within {args.threshold:.0%} of baseline")
     return 0
