@@ -11,15 +11,23 @@
 #                      test), the core + engine parallel suites, and a
 #                      two-run same-seed byte-identical determinism check
 #                      on the 8-thread replay digest
+#   --cluster-differential
+#                      additionally run the stem-cluster suite in
+#                      release: the 25-seed kill-leader-mid-pipeline
+#                      differential (no acked batch lost or duplicated
+#                      across lease-fenced failover) plus the router,
+#                      shipping, and client-failover robustness legs
 set -euo pipefail
 cd "$(dirname "$0")"
 
 BENCH_COMPARE=0
 PAR_DIFFERENTIAL=0
+CLUSTER_DIFFERENTIAL=0
 for arg in "$@"; do
   case "$arg" in
     --bench-compare) BENCH_COMPARE=1 ;;
     --par-differential) PAR_DIFFERENTIAL=1 ;;
+    --cluster-differential) CLUSTER_DIFFERENTIAL=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -98,6 +106,18 @@ if [[ "$PAR_DIFFERENTIAL" == 1 ]]; then
   grep -q "plan_replays_parallel: [1-9]" /tmp/par_digest_1.txt \
     || { echo "digest never exercised the parallel replay path"; exit 1; }
   rm -f /tmp/par_digest_1.txt /tmp/par_digest_2.txt
+fi
+
+if [[ "$CLUSTER_DIFFERENTIAL" == 1 ]]; then
+  echo "==> cluster differential (25-seed kill-leader, release)"
+  # The cluster suite's headline test feeds a durable 2-shard cluster
+  # and a volatile twin identical seeded workloads, kills a shard leader
+  # with batches still pipelined, and requires byte-identical per-batch
+  # results, dumps, and violation reports after promotion. The server
+  # suite rides along: timeout eviction, Busy caps, and the
+  # failover-client no-loss/no-double-apply check.
+  cargo test --release --offline -p stem-server --test cluster -q
+  cargo test --release --offline -p stem-server --test server -q
 fi
 
 if [[ "$BENCH_COMPARE" == 1 ]]; then

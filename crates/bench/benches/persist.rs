@@ -21,6 +21,7 @@ fn sample_record(seq: u64) -> WalRecord {
     WalRecord::Batch {
         session: 0,
         seq,
+        key: 0,
         commands: vec![
             PersistCommand::Set {
                 var: VarId::from_index(0),

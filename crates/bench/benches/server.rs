@@ -9,7 +9,7 @@ use stem_core::{Value, VarId};
 use stem_engine::{
     Command, ConstraintSpec, Durability, DurabilityOptions, Engine, EngineConfig, Source,
 };
-use stem_server::{Client, Server};
+use stem_server::{Client, Cluster, ClusterOptions, Server};
 
 fn set_head(tick: i64) -> Command {
     Command::Set {
@@ -47,6 +47,39 @@ fn loopback_pipeline(c: &mut Criterion) {
     let mut client = Client::connect(server.local_addr()).expect("connect");
     let session = chain_session(&mut client, 100);
     let mut group = c.benchmark_group("server/loopback_chain100");
+    let mut tick = 0i64;
+    for &depth in &[1usize, 32] {
+        group.bench_with_input(BenchmarkId::new("pipeline", depth), &depth, |b, &depth| {
+            b.iter(|| {
+                for _ in 0..depth {
+                    tick += 1;
+                    client.submit(session, &[set_head(tick)]).expect("submit");
+                }
+                let results = client.drain().expect("drain");
+                assert!(results.iter().all(Result::is_ok));
+                results.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The same pipelined loopback workload, but routed: the server fronts
+/// a two-shard volatile [`Cluster`] instead of a bare engine, so every
+/// batch pays the router's id translation and shard-roster read lock on
+/// top of the wire. Compared against `server/loopback_chain100` by the
+/// CI ratio gate — routing must stay within 15% of direct submission.
+fn routed_pipeline(c: &mut Criterion) {
+    let cluster = Cluster::volatile(ClusterOptions {
+        shards: 2,
+        workers_per_shard: 1,
+        ship_interval: None,
+        ..ClusterOptions::default()
+    });
+    let server = Server::spawn(cluster, "127.0.0.1:0").expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let session = chain_session(&mut client, 100);
+    let mut group = c.benchmark_group("server/routed_chain100");
     let mut tick = 0i64;
     for &depth in &[1usize, 32] {
         group.bench_with_input(BenchmarkId::new("pipeline", depth), &depth, |b, &depth| {
@@ -127,5 +160,5 @@ fn replication_lag(c: &mut Criterion) {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
-criterion_group!(benches, loopback_pipeline, replication_lag);
+criterion_group!(benches, loopback_pipeline, routed_pipeline, replication_lag);
 criterion_main!(benches);

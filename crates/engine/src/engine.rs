@@ -102,12 +102,25 @@ impl BatchTicket {
     pub fn wait(self) -> Result<BatchOutcome, BatchError> {
         self.reply.recv().unwrap_or(Err(BatchError::Shutdown))
     }
+
+    /// A ticket that is already redeemed: `wait` returns `result`
+    /// immediately. Lets a routing layer answer a batch without touching
+    /// an engine (e.g. refusing a submit during reconfiguration) through
+    /// the same handle type.
+    pub fn resolved(result: Result<BatchOutcome, BatchError>) -> BatchTicket {
+        let (tx, rx) = mpsc::channel();
+        let _ = tx.send(result);
+        BatchTicket { reply: rx }
+    }
 }
 
 enum Job {
     Batch {
         session: SessionId,
         commands: Vec<Command>,
+        /// Client idempotence key (0 = unkeyed); see
+        /// [`Engine::submit_keyed`].
+        key: u64,
         reply: mpsc::Sender<Result<BatchOutcome, BatchError>>,
         enqueued: Instant,
     },
@@ -219,6 +232,10 @@ pub struct Engine {
     replica: Arc<AtomicBool>,
     /// Group-commit coordinator under [`Durability::GroupCommit`].
     group: Option<Arc<GroupCommit>>,
+    /// `(epoch, holder)` of the lease installed by [`Engine::install_lease`]
+    /// (0/0 when none) — queryable observability for the fence the store
+    /// enforces.
+    lease: Arc<(AtomicU64, AtomicU64)>,
 }
 
 /// Engine-side durability state, present when the engine was opened on a
@@ -481,6 +498,7 @@ impl Engine {
                 durable,
                 replica,
                 group,
+                lease: Arc::new((AtomicU64::new(0), AtomicU64::new(0))),
             },
             anomalies,
         )
@@ -514,12 +532,30 @@ impl Engine {
     /// Enqueues a batch, blocking while the worker's queue is full
     /// (backpressure), and returns a ticket for the reply.
     pub fn submit(&self, session: SessionId, commands: Vec<Command>) -> BatchTicket {
+        self.submit_keyed(session, commands, 0)
+    }
+
+    /// [`Engine::submit`] with a client idempotence key. Keys are dense
+    /// per-session counters of *submitted mutating batches* assigned by
+    /// the (single) writing client; `0` means unkeyed. A keyed batch at
+    /// or below the session's high-water mark is a resubmit of something
+    /// already decided: it is skipped and acknowledged with an empty
+    /// [`BatchOutcome`] instead of being applied twice. Only successful
+    /// batches advance the mark — a violated batch re-runs and
+    /// deterministically re-violates against the identical state.
+    pub fn submit_keyed(
+        &self,
+        session: SessionId,
+        commands: Vec<Command>,
+        key: u64,
+    ) -> BatchTicket {
         let shard = self.shard(session);
         let (reply_tx, reply_rx) = mpsc::channel();
         self.note_enqueue(shard);
         let job = Job::Batch {
             session,
             commands,
+            key,
             reply: reply_tx,
             enqueued: Instant::now(),
         };
@@ -536,12 +572,24 @@ impl Engine {
         session: SessionId,
         commands: Vec<Command>,
     ) -> Result<BatchTicket, BatchError> {
+        self.try_submit_keyed(session, commands, 0)
+    }
+
+    /// [`Engine::try_submit`] with a client idempotence key (see
+    /// [`Engine::submit_keyed`]).
+    pub fn try_submit_keyed(
+        &self,
+        session: SessionId,
+        commands: Vec<Command>,
+        key: u64,
+    ) -> Result<BatchTicket, BatchError> {
         let shard = self.shard(session);
         let (reply_tx, reply_rx) = mpsc::channel();
         self.note_enqueue(shard);
         let job = Job::Batch {
             session,
             commands,
+            key,
             reply: reply_tx,
             enqueued: Instant::now(),
         };
@@ -694,6 +742,44 @@ impl Engine {
             return Ok(None);
         };
         d.store.lock().unwrap().latest_snapshot_bytes()
+    }
+
+    // -----------------------------------------------------------------
+    // Lease fencing (cluster tier)
+    // -----------------------------------------------------------------
+
+    /// Arms this engine's store with a lease fence: the engine holds
+    /// `epoch` (granted to `holder`), and `current` is the cluster's live
+    /// epoch cell. Once the coordinator bumps `current` past `epoch` —
+    /// after durably advancing the on-disk [`stem_persist::Lease`] — every
+    /// subsequent WAL append here fails, the owning batch rolls back, and
+    /// the client sees [`BatchError::Persist`] instead of a phantom ack.
+    /// Errors on a non-durable engine: with no log to guard there is
+    /// nothing to fence.
+    pub fn install_lease(
+        &self,
+        epoch: u64,
+        holder: u64,
+        current: Arc<AtomicU64>,
+    ) -> io::Result<()> {
+        let Some(d) = &self.durable else {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "lease fencing requires a durable engine",
+            ));
+        };
+        d.store.lock().unwrap().set_fence(epoch, current);
+        self.lease.0.store(epoch, Ordering::SeqCst);
+        self.lease.1.store(holder, Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// `(epoch, holder)` of the installed lease, `(0, 0)` if none.
+    pub fn lease(&self) -> (u64, u64) {
+        (
+            self.lease.0.load(Ordering::SeqCst),
+            self.lease.1.load(Ordering::SeqCst),
+        )
     }
 
     // -----------------------------------------------------------------
@@ -1078,6 +1164,10 @@ struct Session {
     quarantined: bool,
     /// Last logged commit sequence number (0 before the first log write).
     seq: u64,
+    /// Highest client idempotence key a successful batch carried (0 =
+    /// none). Keyed submits at or below this are resubmits and are
+    /// skipped; see [`Engine::submit_keyed`].
+    dedup: u64,
     /// Spec shadow of the constraint arena: `specs[i]` is slot `i`'s
     /// replayable description, `None` for tombstones. Maintained only on
     /// durable engines (empty otherwise).
@@ -1166,6 +1256,7 @@ impl Worker {
             stats: SessionStats::default(),
             quarantined,
             seq: base_seq + applied,
+            dedup: rs.dedup,
             specs,
         }
     }
@@ -1192,6 +1283,7 @@ impl Worker {
                 WalRecord::Batch {
                     session,
                     seq,
+                    key,
                     commands,
                 } => {
                     if self.closed.contains(&session) {
@@ -1222,6 +1314,7 @@ impl Worker {
                         && apply_all(&mut sess.net, cmds).is_ok();
                     if ok {
                         sess.seq = seq;
+                        sess.dedup = sess.dedup.max(key);
                         sess.stats.batches += 1;
                         sess.stats.batches_ok += 1;
                         report.applied += 1;
@@ -1263,10 +1356,11 @@ impl Worker {
                 Job::Batch {
                     session,
                     commands,
+                    key,
                     reply,
                     enqueued,
                 } => {
-                    let result = self.process_batch(session, commands);
+                    let result = self.process_batch(session, commands, key);
                     self.counters
                         .observe_latency_us(enqueued.elapsed().as_micros() as u64);
                     let _ = reply.send(result);
@@ -1322,11 +1416,9 @@ impl Worker {
                     let mut sessions = Vec::with_capacity(self.sessions.len());
                     if self.logging() {
                         for (id, sess) in &self.sessions {
-                            sessions.push((
-                                id.0,
-                                sess.seq,
-                                persist::gather_state(&sess.net, &sess.specs),
-                            ));
+                            let mut state = persist::gather_state(&sess.net, &sess.specs);
+                            state.dedup = sess.dedup;
+                            sessions.push((id.0, sess.seq, state));
                         }
                     }
                     let _ = reply.send((sessions, self.closed.clone()));
@@ -1377,6 +1469,7 @@ impl Worker {
                 stats: SessionStats::default(),
                 quarantined: false,
                 seq: 0,
+                dedup: 0,
                 specs: Vec::new(),
             }
         })
@@ -1386,6 +1479,7 @@ impl Worker {
         &mut self,
         id: SessionId,
         commands: Vec<Command>,
+        key: u64,
     ) -> Result<BatchOutcome, BatchError> {
         let counters = self.counters.clone();
         counters.batches.fetch_add(1, Ordering::Relaxed);
@@ -1398,6 +1492,20 @@ impl Worker {
         }
         let sess = self.session_entry(id);
         sess.stats.batches += 1;
+
+        // Keyed resubmit of an already-successful batch: acknowledge
+        // without re-applying. The empty outcome marks the skip — a real
+        // batch always produces one output per command. (A resubmitted
+        // *violated* batch has a key above the mark: it re-runs against
+        // byte-identical state and deterministically re-violates.)
+        if key != 0 && key <= sess.dedup {
+            counters.dedup_skips.fetch_add(1, Ordering::Relaxed);
+            return Ok(BatchOutcome {
+                outputs: Vec::new(),
+                waves: 0,
+                assignments: 0,
+            });
+        }
 
         if sess.quarantined && commands.iter().any(Command::is_mutating) {
             return Err(BatchError::Quarantined);
@@ -1433,7 +1541,7 @@ impl Worker {
                     // Log before acknowledging: the journal stays open so
                     // a failed append rolls the whole batch back and the
                     // client's error means "not committed, not durable".
-                    match append_commit(&store, &group, id, sess.seq, to_log) {
+                    match append_commit(&store, &group, id, sess.seq, key, to_log) {
                         Ok(logged) => {
                             sess.net.commit_journal();
                             note_logged(sess, logged);
@@ -1472,7 +1580,7 @@ impl Worker {
             // this path is never taken there.)
             let mut work = sess.net.clone();
             match catch_unwind(AssertUnwindSafe(|| apply_all(&mut work, commands))) {
-                Ok(Ok(outputs)) => match append_commit(&store, &group, id, sess.seq, to_log) {
+                Ok(Ok(outputs)) => match append_commit(&store, &group, id, sess.seq, key, to_log) {
                     Ok(logged) => {
                         let delta = delta(before, before_par, work.stats(), work.par_stats());
                         sess.net = work;
@@ -1496,7 +1604,7 @@ impl Worker {
             let snap = sess.net.snapshot();
             let net = &mut sess.net;
             match catch_unwind(AssertUnwindSafe(|| apply_all(net, commands))) {
-                Ok(Ok(outputs)) => match append_commit(&store, &group, id, sess.seq, to_log) {
+                Ok(Ok(outputs)) => match append_commit(&store, &group, id, sess.seq, key, to_log) {
                     Ok(logged) => {
                         note_logged(sess, logged);
                         let delta =
@@ -1556,6 +1664,9 @@ impl Worker {
                 sess.stats.batches_ok += 1;
                 sess.stats.waves += d.waves;
                 sess.stats.assignments += d.assignments;
+                if key != 0 {
+                    sess.dedup = sess.dedup.max(key);
+                }
                 Ok(BatchOutcome {
                     outputs,
                     waves: d.waves,
@@ -1598,6 +1709,7 @@ fn append_commit(
     group: &Option<Arc<GroupCommit>>,
     id: SessionId,
     seq: u64,
+    key: u64,
     to_log: Option<Vec<PersistCommand>>,
 ) -> io::Result<Option<(Vec<PersistCommand>, u64)>> {
     let Some(commands) = to_log else {
@@ -1606,6 +1718,7 @@ fn append_commit(
     let record = WalRecord::Batch {
         session: id.0,
         seq: seq + 1,
+        key,
         commands,
     };
     let bytes = match group {

@@ -348,6 +348,9 @@ pub(crate) fn gather_state(net: &Network, specs: &[Option<PersistSpec>]) -> Sess
         vars,
         slots,
         value_change_limit: net.value_change_limit(),
+        // The caller owns the idempotence watermark (it lives on the
+        // worker's session, not the network) and stamps it afterwards.
+        dedup: 0,
     }
 }
 
@@ -419,6 +422,10 @@ pub(crate) struct RecoveredSession {
     pub seq: u64,
     pub state: SessionState,
     pub tail: Vec<Vec<PersistCommand>>,
+    /// Highest client idempotence key among the checkpoint image and the
+    /// applied tail records — re-arms duplicate suppression so a client
+    /// resubmitting across a restart/failover cannot double-apply.
+    pub dedup: u64,
     /// A sequence gap was detected in this session's log — corruption the
     /// checksums could not see. The session rebuilds from its pre-gap
     /// prefix but must come up quarantined, and the engine must fence the
@@ -460,6 +467,7 @@ pub(crate) fn plan_recovery(rec: Recovered) -> RecoveryPlan {
             continue;
         }
         order.push(id);
+        let dedup = state.dedup;
         by_id.insert(
             id,
             RecoveredSession {
@@ -467,6 +475,7 @@ pub(crate) fn plan_recovery(rec: Recovered) -> RecoveryPlan {
                 seq,
                 state,
                 tail: Vec::new(),
+                dedup,
                 corrupt: false,
             },
         );
@@ -480,7 +489,10 @@ pub(crate) fn plan_recovery(rec: Recovered) -> RecoveryPlan {
         if closed.contains(&id) || gapped.contains(&id) {
             continue;
         }
-        if let WalRecord::Batch { seq, commands, .. } = r {
+        if let WalRecord::Batch {
+            seq, key, commands, ..
+        } = r
+        {
             let entry = by_id.entry(id).or_insert_with(|| {
                 order.push(id);
                 RecoveredSession {
@@ -488,6 +500,7 @@ pub(crate) fn plan_recovery(rec: Recovered) -> RecoveryPlan {
                     seq: 0,
                     state: SessionState::default(),
                     tail: Vec::new(),
+                    dedup: 0,
                     corrupt: false,
                 }
             });
@@ -496,6 +509,7 @@ pub(crate) fn plan_recovery(rec: Recovered) -> RecoveryPlan {
             }
             if seq == entry.seq + 1 {
                 entry.seq = seq;
+                entry.dedup = entry.dedup.max(key);
                 entry.tail.push(commands);
             } else {
                 gapped.insert(id);
@@ -529,6 +543,7 @@ mod tests {
         WalRecord::Batch {
             session,
             seq,
+            key: seq,
             commands: vec![set(0, seq as i64)],
         }
     }

@@ -39,6 +39,7 @@ pub(crate) struct Counters {
     pub recoveries: AtomicU64,
     pub segments_ingested: AtomicU64,
     pub records_replayed: AtomicU64,
+    pub dedup_skips: AtomicU64,
     pub latency_buckets: [AtomicU64; N_LATENCY_BUCKETS],
 }
 
@@ -94,6 +95,7 @@ impl Counters {
             recoveries: self.recoveries.load(Ordering::Relaxed),
             segments_ingested: self.segments_ingested.load(Ordering::Relaxed),
             records_replayed: self.records_replayed.load(Ordering::Relaxed),
+            dedup_skips: self.dedup_skips.load(Ordering::Relaxed),
             wal_appends: 0,
             wal_bytes: 0,
             wal_group_syncs: 0,
@@ -159,6 +161,11 @@ pub struct EngineStats {
     /// WAL records applied during replica segment ingestion (skips and
     /// anomalies not included).
     pub records_replayed: u64,
+    /// Keyed batches acknowledged without re-applying because their
+    /// idempotence key was at or below the session's high-water mark
+    /// ([`crate::Engine::submit_keyed`]) — each one is a client resubmit
+    /// that duplicate suppression absorbed.
+    pub dedup_skips: u64,
     /// Write-ahead log records appended since the store was opened
     /// (filled from the store by [`crate::Engine::stats`]; 0 on a
     /// non-durable engine).
@@ -231,4 +238,69 @@ pub struct SessionStats {
     pub wal_bytes: u64,
     /// Whether the session is quarantined.
     pub quarantined: bool,
+}
+
+impl EngineStats {
+    /// Folds another engine's snapshot into this one — the cluster tier's
+    /// per-shard roll-up. Counters add; the queue-depth high-water mark
+    /// takes the max (it is a mark, not a volume); latency buckets add
+    /// elementwise.
+    pub fn absorb(&mut self, other: &EngineStats) {
+        let EngineStats {
+            batches,
+            batches_ok,
+            violations,
+            rollbacks,
+            panics,
+            waves,
+            assignments,
+            sessions_created,
+            sessions_quarantined,
+            backpressure_rejections,
+            queue_depth_hwm,
+            plan_compiles,
+            plan_cache_hits,
+            plan_cache_invalidations,
+            plan_replays_parallel,
+            cones_executed,
+            parallel_fallbacks,
+            recoveries,
+            segments_ingested,
+            records_replayed,
+            dedup_skips,
+            wal_appends,
+            wal_bytes,
+            wal_group_syncs,
+            snapshots_written,
+            latency_buckets,
+        } = other;
+        self.batches += batches;
+        self.batches_ok += batches_ok;
+        self.violations += violations;
+        self.rollbacks += rollbacks;
+        self.panics += panics;
+        self.waves += waves;
+        self.assignments += assignments;
+        self.sessions_created += sessions_created;
+        self.sessions_quarantined += sessions_quarantined;
+        self.backpressure_rejections += backpressure_rejections;
+        self.queue_depth_hwm = self.queue_depth_hwm.max(*queue_depth_hwm);
+        self.plan_compiles += plan_compiles;
+        self.plan_cache_hits += plan_cache_hits;
+        self.plan_cache_invalidations += plan_cache_invalidations;
+        self.plan_replays_parallel += plan_replays_parallel;
+        self.cones_executed += cones_executed;
+        self.parallel_fallbacks += parallel_fallbacks;
+        self.recoveries += recoveries;
+        self.segments_ingested += segments_ingested;
+        self.records_replayed += records_replayed;
+        self.dedup_skips += dedup_skips;
+        self.wal_appends += wal_appends;
+        self.wal_bytes += wal_bytes;
+        self.wal_group_syncs += wal_group_syncs;
+        self.snapshots_written += snapshots_written;
+        for (mine, theirs) in self.latency_buckets.iter_mut().zip(latency_buckets) {
+            *mine += theirs;
+        }
+    }
 }

@@ -473,6 +473,7 @@ fn sequence_gap_quarantines_and_fences_stale_records() {
         let set_rec = |seq: u64, v: i64| WalRecord::Batch {
             session: 0,
             seq,
+            key: 0,
             commands: vec![PersistCommand::Set {
                 var: VarId::from_index(0),
                 value: Value::Int(v),
@@ -483,6 +484,7 @@ fn sequence_gap_quarantines_and_fences_stale_records() {
             .append(&WalRecord::Batch {
                 session: 0,
                 seq: 1,
+                key: 0,
                 commands: vec![PersistCommand::AddVariable { name: "v".into() }],
             })
             .unwrap();

@@ -176,6 +176,7 @@ mod tests {
         WalRecord::Batch {
             session,
             seq,
+            key: 0,
             commands: vec![crate::command::PersistCommand::SetValueChangeLimit {
                 limit: seq as u32,
             }],

@@ -18,6 +18,8 @@
 //!   checkpoint file format ([`SessionState`], [`Snapshot`]).
 //! - [`store`]: the directory of segments + snapshots ([`Store`]), with
 //!   rotation, compaction, fsync policy, and torn-write truncation.
+//! - [`lease`]: durable leadership leases ([`Lease`]) whose monotonic
+//!   epochs fence a deposed leader's late appends (`Store::set_fence`).
 //! - [`fault`]: byte-budget fault injection ([`FailingFile`]) proving the
 //!   recovery invariant at every possible crash point.
 //!
@@ -37,6 +39,7 @@ pub mod command;
 pub mod crc;
 pub mod fault;
 pub mod group;
+pub mod lease;
 pub mod record;
 pub mod snapshot;
 pub mod state;
@@ -45,6 +48,7 @@ pub mod store;
 pub use command::{PersistCommand, PersistSource, PersistSpec};
 pub use fault::{failing_factory, ByteBudget, FailingFile};
 pub use group::GroupCommit;
+pub use lease::Lease;
 pub use record::WalRecord;
 pub use snapshot::Snapshot;
 pub use state::{SessionState, SlotState};

@@ -30,6 +30,14 @@ pub enum WalRecord {
         session: u64,
         /// Per-session commit sequence number (1-based, dense).
         seq: u64,
+        /// Client-assigned idempotence key (0 = unkeyed). Unlike `seq`,
+        /// which counts *committed* batches densely, the key counts the
+        /// client's *submitted* mutating batches — a violated-and-rolled-
+        /// back batch consumes a key but never a seq. Recovery rebuilds
+        /// each session's dedup high-water mark from these so a client
+        /// resubmitting after failover cannot double-apply an already
+        /// committed batch.
+        key: u64,
         /// The batch's mutating commands, in order.
         commands: Vec<PersistCommand>,
     },
@@ -64,11 +72,13 @@ impl WalRecord {
             WalRecord::Batch {
                 session,
                 seq,
+                key,
                 commands,
             } => {
                 put_u8(&mut buf, 0);
                 put_u64(&mut buf, *session);
                 put_u64(&mut buf, *seq);
+                put_u64(&mut buf, *key);
                 put_u32(&mut buf, commands.len() as u32);
                 for c in commands {
                     c.encode(&mut buf);
@@ -90,6 +100,7 @@ impl WalRecord {
             0 => {
                 let session = r.u64()?;
                 let seq = r.u64()?;
+                let key = r.u64()?;
                 let n = r.len()?;
                 let mut commands = Vec::with_capacity(n.min(1024));
                 for _ in 0..n {
@@ -98,6 +109,7 @@ impl WalRecord {
                 WalRecord::Batch {
                     session,
                     seq,
+                    key,
                     commands,
                 }
             }
@@ -184,6 +196,7 @@ mod tests {
         WalRecord::Batch {
             session: 7,
             seq: 3,
+            key: 9,
             commands: vec![
                 PersistCommand::AddVariable {
                     name: "width".into(),
@@ -255,6 +268,7 @@ mod tests {
         let a = WalRecord::Batch {
             session: 1,
             seq: 1,
+            key: 0,
             commands: vec![PersistCommand::SetValueChangeLimit { limit: 4 }],
         };
         let b = WalRecord::Close { session: 1, seq: 2 };

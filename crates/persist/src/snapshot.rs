@@ -127,6 +127,7 @@ mod tests {
                             },
                         ],
                         value_change_limit: 2,
+                        dedup: 6,
                     },
                 ),
             ],

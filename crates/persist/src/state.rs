@@ -11,7 +11,8 @@
 
 use crate::command::PersistSpec;
 use stem_core::codec::{
-    put_bool, put_justification, put_str, put_u32, put_u8, put_value, put_var, DecodeError, Reader,
+    put_bool, put_justification, put_str, put_u32, put_u64, put_u8, put_value, put_var,
+    DecodeError, Reader,
 };
 use stem_core::{Justification, Value};
 
@@ -41,6 +42,11 @@ pub struct SessionState {
     pub slots: Vec<SlotState>,
     /// The session's value-change rule (thesis one-value-change rule when 1).
     pub value_change_limit: u32,
+    /// Highest client idempotence key a *successful* batch carried
+    /// (`WalRecord::Batch::key`; 0 = none seen). Checkpointing this with
+    /// the state lets recovery re-arm duplicate suppression without
+    /// replaying history from before the snapshot.
+    pub dedup: u64,
 }
 
 impl Default for SessionState {
@@ -53,6 +59,7 @@ impl Default for SessionState {
             vars: Vec::new(),
             slots: Vec::new(),
             value_change_limit: 1,
+            dedup: 0,
         }
     }
 }
@@ -86,6 +93,7 @@ impl SessionState {
             }
         }
         put_u32(buf, self.value_change_limit);
+        put_u64(buf, self.dedup);
     }
 
     /// Reads a state from `r`.
@@ -128,10 +136,12 @@ impl SessionState {
             });
         }
         let value_change_limit = r.u32()?;
+        let dedup = r.u64()?;
         Ok(SessionState {
             vars,
             slots,
             value_change_limit,
+            dedup,
         })
     }
 }

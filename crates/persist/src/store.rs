@@ -49,6 +49,8 @@ use std::collections::BTreeSet;
 use std::fs;
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use crate::record::{scan_frame, FrameScan, WalRecord};
 use crate::snapshot::Snapshot;
@@ -176,6 +178,10 @@ pub struct Store {
     /// under [`SyncPolicy::Always`] and after any `sync`/rotation.
     buf: Vec<u8>,
     stats: StoreStats,
+    /// Lease fence: `(my_epoch, cluster_epoch)`. When the shared cluster
+    /// epoch moves past this store's granted epoch, appends and snapshot
+    /// writes are refused ([`Store::set_fence`]).
+    fence: Option<(u64, Arc<AtomicU64>)>,
     /// Holds the directory's advisory lock; released on drop (or crash).
     _lock: fs::File,
 }
@@ -362,9 +368,37 @@ impl Store {
             dirty: false,
             buf: Vec::new(),
             stats,
+            fence: None,
             _lock: lock,
         };
         Ok((store, recovered))
+    }
+
+    /// Arms the lease fence: this store was granted `epoch`, and `current`
+    /// is the cluster's live epoch cell (bumped by the coordinator when it
+    /// re-grants the lease to someone else). Once `current` exceeds
+    /// `epoch`, [`Store::append`] and [`Store::write_snapshot`] refuse
+    /// with [`io::ErrorKind::PermissionDenied`] — the record is *not*
+    /// logged, so the owning engine rolls the batch back and never acks
+    /// it. That is the whole fencing contract: a deposed leader's late
+    /// write can fail, but it can never silently land in a log the new
+    /// leader has already caught up from.
+    pub fn set_fence(&mut self, epoch: u64, current: Arc<AtomicU64>) {
+        self.fence = Some((epoch, current));
+    }
+
+    /// Returns an error if the lease fence has been overtaken.
+    fn check_fence(&self) -> io::Result<()> {
+        if let Some((mine, current)) = &self.fence {
+            let now = current.load(Ordering::SeqCst);
+            if now > *mine {
+                return Err(io::Error::new(
+                    io::ErrorKind::PermissionDenied,
+                    format!("append fenced: lease epoch {mine} superseded by {now}"),
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// Appends one record, fsyncing per policy. Returns the frame size in
@@ -378,6 +412,7 @@ impl Store {
     /// the current segment active (oversized) and is retried when the
     /// next append crosses the threshold again.
     pub fn append(&mut self, rec: &WalRecord) -> io::Result<usize> {
+        self.check_fence()?;
         let frame = rec.encode_frame();
         match self.opts.sync {
             SyncPolicy::Always => self.file.write_all(&frame)?,
@@ -482,6 +517,7 @@ impl Store {
     /// that retire bookkeeping tied to those segments (the engine's
     /// closed-session ids) must see `true` before forgetting anything.
     pub fn write_snapshot(&mut self, snap: &Snapshot, covered: &[u64]) -> io::Result<bool> {
+        self.check_fence()?;
         let idx = self.next_snap;
         let final_path = snap_path(&self.dir, idx);
         let tmp_path = final_path.with_extension("snap.tmp");

@@ -21,6 +21,7 @@ fn batch(session: u64, seq: u64, n: usize) -> WalRecord {
     WalRecord::Batch {
         session,
         seq,
+        key: 0,
         commands: (0..n)
             .map(|i| PersistCommand::Set {
                 var: VarId::from_index(i),
@@ -337,5 +338,51 @@ fn close_records_round_trip() {
     let (_, rec) = Store::open(&dir, StoreOptions::default()).unwrap();
     assert_eq!(rec.tail.len(), 2);
     assert_eq!(rec.tail[1], WalRecord::Close { session: 3, seq: 2 });
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// The lease fence: once the cluster epoch moves past this store's
+/// granted epoch, appends and snapshot writes are refused *before*
+/// anything touches the log — the deposed writer's record never lands,
+/// so it is rolled back and never acknowledged.
+#[test]
+fn fenced_store_refuses_appends_and_snapshots() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    let dir = temp_dir("fence");
+    let (mut store, _) = Store::open(&dir, StoreOptions::default()).unwrap();
+    let epoch = Arc::new(AtomicU64::new(1));
+    store.set_fence(1, Arc::clone(&epoch));
+
+    // At its own epoch the store behaves normally.
+    store.append(&batch(0, 1, 1)).unwrap();
+
+    // Deposed: a newer lease exists somewhere else.
+    epoch.store(2, Ordering::SeqCst);
+    let err = store.append(&batch(0, 2, 1)).unwrap_err();
+    assert_eq!(err.kind(), io::ErrorKind::PermissionDenied);
+    let err = store.write_snapshot(&Snapshot::default(), &[]).unwrap_err();
+    assert_eq!(err.kind(), io::ErrorKind::PermissionDenied);
+    drop(store);
+
+    // Only the pre-fence record survives on disk.
+    let (_, rec) = Store::open(&dir, StoreOptions::default()).unwrap();
+    assert_eq!(rec.tail.len(), 1);
+    assert_eq!(rec.tail[0].seq(), 1);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Lease epochs persist and count up across grants, so a restarted
+/// coordinator can never hand out an epoch a fenced store already saw.
+#[test]
+fn lease_epochs_are_monotonic_on_disk() {
+    let dir = temp_dir("lease");
+    fs::create_dir_all(&dir).unwrap();
+    assert_eq!(stem_persist::Lease::load(&dir).unwrap(), None);
+    let a = stem_persist::Lease::advance(&dir, 7).unwrap();
+    let b = stem_persist::Lease::advance(&dir, 8).unwrap();
+    assert!(b.epoch > a.epoch);
+    assert_eq!(stem_persist::Lease::load(&dir).unwrap(), Some(b));
     let _ = fs::remove_dir_all(&dir);
 }

@@ -1,0 +1,447 @@
+//! stem-cluster: a session-sharded router with lease-based failover.
+//!
+//! One [`Cluster`] fronts N *shards*. Each shard is a leader
+//! [`Engine`] on its own durable directory plus a warm in-memory
+//! follower replica; sessions are pinned to shards (rendezvous choice at
+//! open, arithmetic thereafter), so a batch routes with one modulo and
+//! no cross-shard coordination — sessions share nothing, which is what
+//! made sharding free. The router is itself a [`Backend`], so a
+//! [`crate::Server`] puts the whole cluster behind one socket.
+//!
+//! ## Id translation
+//!
+//! Global session id = `local * shards + shard`. The shard index rides
+//! in the low bits (`global % shards`), so routing needs no table; each
+//! engine hands out dense local ids independently and they interleave
+//! into dense global ids.
+//!
+//! ## Replication and failover
+//!
+//! A background thread (or [`Cluster::ship_now`]) seals each leader's
+//! active WAL segment and replays unshipped sealed segments into the
+//! shard's follower. [`Cluster::fail_over`] kills a leader mid-flight:
+//! it gates new submissions (write lock), drains the leader's queued
+//! batches (dropping the engine runs its graceful shutdown, so every
+//! acknowledged batch is on disk), durably advances the shard's
+//! [`Lease`] and bumps the live epoch — fencing any straggler append the
+//! corpse could attempt — then reopens the dead leader's store
+//! *post-mortem*, ships every sealed segment the follower has not seen,
+//! and promotes the follower in place. No acknowledged batch is lost or
+//! duplicated: acked means durably logged, the post-mortem ship moves
+//! the whole log, and replay dedups by sequence number.
+//!
+//! The promoted leader runs without a disk of its own (a replica engine
+//! is volatile), so a shard fails over once; a second [`Cluster::fail_over`]
+//! on the same shard is refused rather than silently lossy.
+
+use std::collections::HashSet;
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use stem_engine::{
+    BatchTicket, Command, Durability, DurabilityOptions, Engine, EngineConfig, EngineStats,
+    SessionId,
+};
+use stem_persist::{Lease, Store, StoreOptions};
+
+use crate::proto::{Reply, Request};
+use crate::server::Backend;
+
+/// Construction knobs for [`Cluster::open`].
+#[derive(Debug, Clone)]
+pub struct ClusterOptions {
+    /// Number of shards (leader + follower pairs). Default 2.
+    pub shards: usize,
+    /// Worker threads per engine (leaders and followers). Default 1.
+    pub workers_per_shard: usize,
+    /// WAL segment rotation threshold per leader; small values ship
+    /// sooner. Default 1 MiB.
+    pub segment_bytes: u64,
+    /// Background shipping cadence; `None` ships only on
+    /// [`Cluster::ship_now`] (tests drive the schedule themselves).
+    /// Default 50ms.
+    pub ship_interval: Option<Duration>,
+}
+
+impl Default for ClusterOptions {
+    fn default() -> Self {
+        ClusterOptions {
+            shards: 2,
+            workers_per_shard: 1,
+            segment_bytes: 1 << 20,
+            ship_interval: Some(Duration::from_millis(50)),
+        }
+    }
+}
+
+/// A shard's current serving pair. Readers (submission, queries) hold
+/// the lock shared; failover holds it exclusively — the write gate that
+/// stops new batches while the leadership changes hands.
+struct Roster {
+    leader: Arc<Engine>,
+    /// Warm replica receiving shipped segments. `None` on a volatile
+    /// cluster (benchmarks) — nothing durable to replicate.
+    follower: Option<Arc<Engine>>,
+    /// 0 = the original disk-backed leader; bumped per failover. A
+    /// promoted leader is volatile, so generation > 0 refuses another
+    /// failover and stops the shipping schedule for the shard.
+    generation: u64,
+}
+
+struct Shard {
+    /// Durable home of the original leader (and the shard's lease file);
+    /// `None` on a volatile cluster.
+    dir: Option<PathBuf>,
+    /// The live lease epoch — the fence cell every leader of this shard
+    /// checks its granted epoch against on append.
+    epoch: Arc<AtomicU64>,
+    /// Last lease granted: `(epoch, holder)`.
+    lease: Mutex<(u64, u64)>,
+    active: RwLock<Roster>,
+    /// Sealed segment indexes already replayed into the follower.
+    shipped: Mutex<HashSet<u64>>,
+}
+
+struct Inner {
+    shards: Vec<Shard>,
+    /// Rendezvous ticket counter for shard choice at session open.
+    opens: AtomicU64,
+    stop: AtomicBool,
+}
+
+/// A session-sharded router over N leader engines with lease-based
+/// failover. See the module docs for the design.
+pub struct Cluster {
+    inner: Arc<Inner>,
+    shipper: Option<JoinHandle<()>>,
+}
+
+/// 64-bit avalanche (murmur3 finaliser) for rendezvous shard choice.
+fn fmix64(mut x: u64) -> u64 {
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    x ^= x >> 33;
+    x
+}
+
+impl Cluster {
+    /// Opens a durable cluster under `dir`: per shard, a leader engine
+    /// in `dir/shard-N` (fenced under a freshly advanced [`Lease`]) and
+    /// a warm in-memory follower. Leaders run with automatic checkpoints
+    /// off — segment shipping is the replication unit, and a checkpoint
+    /// that retired unshipped segments would starve the followers.
+    pub fn open(dir: impl Into<PathBuf>, options: ClusterOptions) -> io::Result<Cluster> {
+        let dir = dir.into();
+        let n = options.shards.max(1);
+        let mut shards = Vec::with_capacity(n);
+        for ix in 0..n {
+            let shard_dir = dir.join(format!("shard-{ix}"));
+            std::fs::create_dir_all(&shard_dir)?;
+            let lease = Lease::advance(&shard_dir, 1)?;
+            let epoch = Arc::new(AtomicU64::new(lease.epoch));
+            let leader = Engine::open_with_config(
+                &shard_dir,
+                EngineConfig {
+                    workers: options.workers_per_shard,
+                    ..EngineConfig::default()
+                },
+                DurabilityOptions {
+                    mode: Durability::CommitSync,
+                    segment_bytes: options.segment_bytes,
+                    checkpoint_bytes: 0,
+                    ..DurabilityOptions::default()
+                },
+            )?;
+            leader.install_lease(lease.epoch, lease.holder, Arc::clone(&epoch))?;
+            shards.push(Shard {
+                dir: Some(shard_dir),
+                epoch,
+                lease: Mutex::new((lease.epoch, lease.holder)),
+                active: RwLock::new(Roster {
+                    leader: Arc::new(leader),
+                    follower: Some(Arc::new(Engine::replica(options.workers_per_shard))),
+                    generation: 0,
+                }),
+                shipped: Mutex::new(HashSet::new()),
+            });
+        }
+        Ok(Self::finish(shards, options))
+    }
+
+    /// A disk-free cluster: volatile leaders, no followers, no leases.
+    /// The routing and sharding layer alone — what the routed-vs-direct
+    /// benchmark measures, and a harness for router-only tests.
+    pub fn volatile(options: ClusterOptions) -> Cluster {
+        let n = options.shards.max(1);
+        let shards = (0..n)
+            .map(|_| Shard {
+                dir: None,
+                epoch: Arc::new(AtomicU64::new(0)),
+                lease: Mutex::new((0, 0)),
+                active: RwLock::new(Roster {
+                    leader: Arc::new(Engine::new(options.workers_per_shard)),
+                    follower: None,
+                    generation: 0,
+                }),
+                shipped: Mutex::new(HashSet::new()),
+            })
+            .collect();
+        Self::finish(shards, options)
+    }
+
+    fn finish(shards: Vec<Shard>, options: ClusterOptions) -> Cluster {
+        let inner = Arc::new(Inner {
+            shards,
+            opens: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+        });
+        let shipper = options.ship_interval.map(|interval| {
+            let inner = Arc::clone(&inner);
+            thread::spawn(move || {
+                while !inner.stop.load(Ordering::SeqCst) {
+                    thread::sleep(interval);
+                    let _ = ship_all(&inner);
+                }
+            })
+        });
+        Cluster { inner, shipper }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.inner.shards.len()
+    }
+
+    /// The shard a (global) session id lives on.
+    pub fn shard_of(&self, session: SessionId) -> usize {
+        (session.0 % self.inner.shards.len() as u64) as usize
+    }
+
+    fn split(&self, global: u64) -> (usize, u64) {
+        let n = self.inner.shards.len() as u64;
+        ((global % n) as usize, global / n)
+    }
+
+    fn fuse(&self, shard: usize, local: u64) -> u64 {
+        local * self.inner.shards.len() as u64 + shard as u64
+    }
+
+    /// Creates a session, choosing its shard by rendezvous hash: every
+    /// shard scores the open ticket through an avalanche mix and the
+    /// argmax wins — uniform spread without a routing table, stable
+    /// under any future shard-count bump for already-placed ids.
+    pub fn open_session(&self) -> SessionId {
+        let ticket = self.inner.opens.fetch_add(1, Ordering::Relaxed);
+        let shard = (0..self.inner.shards.len())
+            .max_by_key(|&ix| fmix64(ticket ^ fmix64(ix as u64 + 1)))
+            .unwrap_or(0);
+        let local = self.inner.shards[shard]
+            .active
+            .read()
+            .unwrap()
+            .leader
+            .create_session()
+            .0;
+        SessionId(self.fuse(shard, local))
+    }
+
+    /// Closes a (global) session; `true` if it existed.
+    pub fn close_session(&self, session: SessionId) -> bool {
+        let (shard, local) = self.split(session.0);
+        let roster = self.inner.shards[shard].active.read().unwrap();
+        roster.leader.close_session(SessionId(local))
+    }
+
+    /// Engine-wide counters rolled up across every shard leader.
+    pub fn stats(&self) -> EngineStats {
+        let mut total = EngineStats::default();
+        for shard in &self.inner.shards {
+            total.absorb(&shard.active.read().unwrap().leader.stats());
+        }
+        total
+    }
+
+    /// `(epoch, holder)` of the shard's last granted lease.
+    pub fn lease_of(&self, shard: usize) -> (u64, u64) {
+        *self.inner.shards[shard].lease.lock().unwrap()
+    }
+
+    /// Ships every leader's unshipped sealed segments to its follower
+    /// now; returns segments shipped. The background thread runs the
+    /// same pass on its interval.
+    pub fn ship_now(&self) -> io::Result<u64> {
+        ship_all(&self.inner)
+    }
+
+    /// Kills shard `ix`'s leader and promotes its follower, losing no
+    /// acknowledged batch (see the module docs for the sequence). Errors
+    /// on a volatile cluster and on a shard already failed over — the
+    /// promoted leader has no disk, so a second failover would be lossy,
+    /// and refusing is the honest answer.
+    pub fn fail_over(&self, ix: usize) -> io::Result<()> {
+        let shard = &self.inner.shards[ix];
+        let Some(dir) = &shard.dir else {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "volatile cluster has no followers to fail over to",
+            ));
+        };
+        let mut roster = shard.active.write().unwrap();
+        if roster.generation > 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                format!("shard {ix} already failed over; its leader is volatile"),
+            ));
+        }
+        let follower = roster
+            .follower
+            .take()
+            .expect("durable generation-0 shard keeps a follower");
+
+        // 1. Gate + drain. The write lock stops new submissions; swapping
+        //    the roster's leader for the follower drops the last Arc to
+        //    the old leader, and Engine's drop path processes every
+        //    queued batch and syncs the store before returning. After
+        //    this line, "acked" and "on the dead leader's disk" coincide.
+        drop(std::mem::replace(&mut roster.leader, Arc::clone(&follower)));
+
+        // 2. Fence. Durably advance the lease, then publish the new
+        //    epoch: any straggler append against the old grant now fails
+        //    before acknowledgement. (In-process the drop above already
+        //    killed the leader; the fence is what makes the same
+        //    sequence safe when death is not so certain.)
+        let lease = Lease::advance(dir, roster.generation + 2)?;
+        *shard.lease.lock().unwrap() = (lease.epoch, lease.holder);
+        shard.epoch.store(lease.epoch, Ordering::SeqCst);
+
+        // 3. Post-mortem catch-up. Reopen the dead leader's store,
+        //    seal its final segment, and replay everything the shipping
+        //    schedule had not delivered yet.
+        {
+            let (mut store, _) = Store::open(
+                dir,
+                StoreOptions {
+                    sync: stem_persist::SyncPolicy::Deferred,
+                    ..StoreOptions::default()
+                },
+            )?;
+            let shipped = shard.shipped.lock().unwrap();
+            for seg in store.seal_for_checkpoint()? {
+                if shipped.contains(&seg) {
+                    continue;
+                }
+                let bytes = store.read_segment(seg)?;
+                follower.ingest_segment(&bytes)?;
+            }
+        }
+
+        // 4. Promote. The follower now owns every acknowledged batch;
+        //    flip it writable and give the shard a fresh (empty, unused
+        //    until a future bootstrap story) follower slot.
+        follower.promote();
+        roster.follower = None;
+        roster.generation += 1;
+        Ok(())
+    }
+
+    /// Stops the shipping thread and shuts the engines down cleanly.
+    pub fn shutdown(mut self) {
+        self.stop_shipper();
+    }
+
+    fn stop_shipper(&mut self) {
+        self.inner.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.shipper.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        self.stop_shipper();
+    }
+}
+
+/// One shipping pass: per durable generation-0 shard, seal the leader's
+/// active segment and replay unshipped sealed segments into the
+/// follower, in index order.
+fn ship_all(inner: &Inner) -> io::Result<u64> {
+    let mut moved = 0;
+    for shard in &inner.shards {
+        if shard.dir.is_none() {
+            continue;
+        }
+        let roster = shard.active.read().unwrap();
+        if roster.generation > 0 {
+            continue; // promoted leader is volatile: nothing to ship
+        }
+        let Some(follower) = &roster.follower else {
+            continue;
+        };
+        let mut segments = roster.leader.seal_wal()?;
+        segments.sort_unstable();
+        let mut shipped = shard.shipped.lock().unwrap();
+        for seg in segments {
+            if shipped.contains(&seg) {
+                continue;
+            }
+            let bytes = roster.leader.read_wal_segment(seg)?;
+            follower.ingest_segment(&bytes)?;
+            shipped.insert(seg);
+            moved += 1;
+        }
+    }
+    Ok(moved)
+}
+
+impl Backend for Cluster {
+    fn submit(&self, session: SessionId, key: u64, commands: Vec<Command>) -> BatchTicket {
+        let (shard, local) = self.split(session.0);
+        let roster = self.inner.shards[shard].active.read().unwrap();
+        roster.leader.submit_keyed(SessionId(local), commands, key)
+    }
+
+    fn serve(&self, request: Request) -> Reply {
+        match request {
+            Request::Ping => Reply::Pong,
+            Request::Open => Reply::Session {
+                id: self.open_session().0,
+            },
+            Request::Close { session } => Reply::Closed {
+                existed: self.close_session(SessionId(session)),
+            },
+            Request::Stats => Reply::Stats(self.stats()),
+            Request::SessionStats { session } => {
+                let (shard, local) = self.split(session);
+                let roster = self.inner.shards[shard].active.read().unwrap();
+                Reply::SessionStats(roster.leader.session_stats(SessionId(local)))
+            }
+            Request::Lease { session } => {
+                let (shard, _) = self.split(session);
+                let (epoch, holder) = self.lease_of(shard);
+                Reply::Lease { epoch, holder }
+            }
+            // Replication is the cluster's own schedule; hand-driving it
+            // from outside would race the shipping thread and failover.
+            Request::SealWal
+            | Request::FetchSegment { .. }
+            | Request::FetchSnapshot
+            | Request::IngestSnapshot { .. }
+            | Request::IngestSegment { .. }
+            | Request::Promote
+            | Request::CatchUp => Reply::Err {
+                message: "replication is managed by the cluster".into(),
+            },
+            Request::Submit { .. } | Request::SubmitSeq { .. } | Request::Shutdown => {
+                unreachable!("handled by the reader loop")
+            }
+        }
+    }
+}

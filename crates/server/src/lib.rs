@@ -30,12 +30,33 @@
 //! follower is promoted in place ([`Client::promote`]) and starts
 //! accepting mutating batches. See `DESIGN.md` §5g for the consistency
 //! argument.
+//!
+//! ## Clustering
+//!
+//! [`Cluster`] is the built-in coordinator over those pieces: a
+//! session-sharded router fronting N leader engines, with
+//! background-scheduled segment shipping to warm followers and
+//! lease-based failover (monotonic epochs persisted through
+//! `stem-persist`, fencing a deposed leader's late appends). It
+//! implements [`Backend`], so a [`Server`] serves a whole cluster on
+//! one socket. See `DESIGN.md` §5i.
+//!
+//! ## Robustness
+//!
+//! The frontend carries socket read/write timeouts, optional
+//! idle-connection reaping, and a max-connections cap answered with a
+//! structured [`proto::Reply::Busy`] ([`ServerOptions`]); the client
+//! side offers reconnect-with-resubmit under idempotence keys
+//! ([`Client::connect_failover`], [`RetryPolicy`]) so a batch acked
+//! just before a connection died is neither lost nor applied twice.
 
 #![warn(missing_docs)]
 
 mod client;
+mod cluster;
 pub mod proto;
 mod server;
 
-pub use client::Client;
-pub use server::Server;
+pub use client::{Client, RetryPolicy};
+pub use cluster::{Cluster, ClusterOptions};
+pub use server::{Backend, Server, ServerOptions};

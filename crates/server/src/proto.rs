@@ -154,6 +154,31 @@ pub enum Request {
     /// Ask the server process to shut down; replies
     /// [`Reply::ShuttingDown`], then the listener stops accepting.
     Shutdown,
+    /// Submit one command batch under an idempotence key; replies
+    /// [`Reply::Batch`]. Keys are a dense per-session counter of the
+    /// client's mutating batches: a resend of an already-applied key is
+    /// acknowledged with an empty outcome instead of applying twice,
+    /// which is what makes reconnect-and-resubmit safe across failover.
+    SubmitSeq {
+        /// Target session.
+        session: u64,
+        /// Idempotence key (1-based; 0 would mean "unkeyed").
+        key: u64,
+        /// The batch.
+        commands: Vec<Command>,
+    },
+    /// Ask who holds the write lease for the shard owning `session`;
+    /// replies [`Reply::Lease`]. Epoch 0 means no lease is installed
+    /// (a standalone, unfenced server).
+    Lease {
+        /// Any session id on the shard of interest (0 for shard 0).
+        session: u64,
+    },
+    /// Fetch everything a cold joiner needs in one conversation: the
+    /// newest snapshot (if any) plus every sealed WAL segment after it;
+    /// replies [`Reply::CatchUp`]. Seals the active segment first so the
+    /// tail is complete as of the request.
+    CatchUp,
 }
 
 impl Request {
@@ -188,6 +213,16 @@ impl Request {
             }
             Request::Promote => put_u8(buf, 11),
             Request::Shutdown => put_u8(buf, 12),
+            Request::SubmitSeq {
+                session,
+                key,
+                commands,
+            } => put_submit_keyed(buf, *session, *key, commands)?,
+            Request::Lease { session } => {
+                put_u8(buf, 14);
+                put_u64(buf, *session);
+            }
+            Request::CatchUp => put_u8(buf, 15),
         }
         Ok(())
     }
@@ -221,6 +256,22 @@ impl Request {
             },
             11 => Request::Promote,
             12 => Request::Shutdown,
+            13 => {
+                let session = r.u64()?;
+                let key = r.u64()?;
+                let n = r.len()?;
+                let mut commands = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    commands.push(read_command(r)?);
+                }
+                Request::SubmitSeq {
+                    session,
+                    key,
+                    commands,
+                }
+            }
+            14 => Request::Lease { session: r.u64()? },
+            15 => Request::CatchUp,
             tag => {
                 return Err(DecodeError::Tag {
                     tag,
@@ -237,6 +288,24 @@ impl Request {
 pub fn put_submit(buf: &mut Vec<u8>, session: u64, commands: &[Command]) -> io::Result<()> {
     put_u8(buf, 3);
     put_u64(buf, session);
+    put_u32(buf, commands.len() as u32);
+    for cmd in commands {
+        put_command(buf, cmd)?;
+    }
+    Ok(())
+}
+
+/// Encodes a [`Request::SubmitSeq`] from borrowed commands, for the
+/// retrying client's resend buffer.
+pub fn put_submit_keyed(
+    buf: &mut Vec<u8>,
+    session: u64,
+    key: u64,
+    commands: &[Command],
+) -> io::Result<()> {
+    put_u8(buf, 13);
+    put_u64(buf, session);
+    put_u64(buf, key);
     put_u32(buf, commands.len() as u32);
     for cmd in commands {
         put_command(buf, cmd)?;
@@ -401,6 +470,31 @@ pub enum Reply {
         /// Human-readable reason.
         message: String,
     },
+    /// The server refused the connection at its connection cap. Sent as
+    /// the only frame on an over-cap connection, before it is closed —
+    /// a structured refusal the client can back off on, never a silent
+    /// drop it would misread as a network fault.
+    Busy {
+        /// Connections the server is currently serving.
+        active: u64,
+        /// The configured cap those connections have filled.
+        max: u64,
+    },
+    /// [`Request::Lease`] answer.
+    Lease {
+        /// Monotonic lease epoch; 0 if no lease is installed.
+        epoch: u64,
+        /// Opaque holder id the coordinator assigned (0 if none).
+        holder: u64,
+    },
+    /// [`Request::CatchUp`] answer: a cold joiner ingests the snapshot
+    /// (when present), then the segments in order.
+    CatchUp {
+        /// Newest checkpoint snapshot image, if one exists.
+        snapshot: Option<Vec<u8>>,
+        /// Every sealed segment after that snapshot, ascending.
+        segments: Vec<Vec<u8>>,
+    },
 }
 
 impl Reply {
@@ -482,6 +576,30 @@ impl Reply {
                 put_u8(buf, 12);
                 put_str(buf, message);
             }
+            Reply::Busy { active, max } => {
+                put_u8(buf, 13);
+                put_u64(buf, *active);
+                put_u64(buf, *max);
+            }
+            Reply::Lease { epoch, holder } => {
+                put_u8(buf, 14);
+                put_u64(buf, *epoch);
+                put_u64(buf, *holder);
+            }
+            Reply::CatchUp { snapshot, segments } => {
+                put_u8(buf, 15);
+                match snapshot {
+                    Some(b) => {
+                        put_u8(buf, 1);
+                        put_bytes(buf, b);
+                    }
+                    None => put_u8(buf, 0),
+                }
+                put_u32(buf, segments.len() as u32);
+                for seg in segments {
+                    put_bytes(buf, seg);
+                }
+            }
         }
     }
 
@@ -542,6 +660,27 @@ impl Reply {
             12 => Reply::Err {
                 message: r.str()?.to_string(),
             },
+            13 => Reply::Busy {
+                active: r.u64()?,
+                max: r.u64()?,
+            },
+            14 => Reply::Lease {
+                epoch: r.u64()?,
+                holder: r.u64()?,
+            },
+            15 => {
+                let snapshot = if r.bool()? {
+                    Some(r.bytes()?.to_vec())
+                } else {
+                    None
+                };
+                let n = r.len()?;
+                let mut segments = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    segments.push(r.bytes()?.to_vec());
+                }
+                Reply::CatchUp { snapshot, segments }
+            }
             tag => {
                 return Err(DecodeError::Tag {
                     tag,
@@ -715,6 +854,7 @@ fn put_engine_stats(buf: &mut Vec<u8>, s: &EngineStats) {
         s.recoveries,
         s.segments_ingested,
         s.records_replayed,
+        s.dedup_skips,
         s.wal_appends,
         s.wal_bytes,
         s.wal_group_syncs,
@@ -749,6 +889,7 @@ fn read_engine_stats(r: &mut Reader<'_>) -> Result<EngineStats, DecodeError> {
         recoveries: r.u64()?,
         segments_ingested: r.u64()?,
         records_replayed: r.u64()?,
+        dedup_skips: r.u64()?,
         wal_appends: r.u64()?,
         wal_bytes: r.u64()?,
         wal_group_syncs: r.u64()?,

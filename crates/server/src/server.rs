@@ -2,32 +2,133 @@
 //! pipelined batch submission.
 //!
 //! Each connection gets two threads. The *reader* decodes frames and
-//! dispatches: a [`Request::Submit`] is handed to the engine immediately
-//! (returning a [`stem_engine::BatchTicket`]) and its pending reply is
-//! queued; every other request is served inline. The *writer* drains the
-//! pending queue in order, waiting on tickets as it reaches them — so a
-//! client can keep many batches in flight while replies still come back
-//! in request order, and the engine sees the submission order the client
-//! sent (which is what preserves per-session ordering, on one connection
-//! or across several: the engine serialises each session's batches in
-//! arrival order, and a connection's reader thread submits in wire
-//! order).
+//! dispatches: a [`Request::Submit`] / [`Request::SubmitSeq`] is handed
+//! to the backend immediately (returning a [`stem_engine::BatchTicket`])
+//! and its pending reply is queued; every other request is served inline.
+//! The *writer* drains the pending queue in order, waiting on tickets as
+//! it reaches them — so a client can keep many batches in flight while
+//! replies still come back in request order, and the backend sees the
+//! submission order the client sent (which is what preserves per-session
+//! ordering, on one connection or across several: the engine serialises
+//! each session's batches in arrival order, and a connection's reader
+//! thread submits in wire order).
 //!
 //! Replies are written through a buffer that is flushed only when no
 //! further reply is immediately ready — the transmit mirror of group
 //! commit: consecutive pipelined replies share one syscall.
+//!
+//! ## Robustness
+//!
+//! The frontend defends itself against misbehaving peers without hurting
+//! healthy ones ([`ServerOptions`]):
+//!
+//! - **Stall timeouts.** Socket reads run on a short `SO_RCVTIMEO` tick;
+//!   a peer that goes silent *mid-frame* past `read_timeout` (a half-open
+//!   connection, or a slow-loris dribbling header bytes) is evicted.
+//!   Writes carry `SO_SNDTIMEO`, so a peer that stops draining replies
+//!   cannot pin a writer thread forever — the write fails and the
+//!   connection is torn down both ways.
+//! - **Idle reaping.** With `idle_timeout` set, a connection holding no
+//!   partial frame and sending nothing for that long is closed. Off by
+//!   default: idling between frames is a legitimate client state.
+//! - **Connection cap.** With `max_connections` set, an over-cap
+//!   connection is answered with one structured [`Reply::Busy`] frame and
+//!   closed — a refusal the client can back off on, never a silent drop.
+//! - **Accept backoff.** Transient `accept()` failures (fd exhaustion,
+//!   aborted handshakes) retry under exponential backoff instead of
+//!   spinning the accept loop hot.
 
-use std::io::{self, BufReader, BufWriter, Write};
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, TryRecvError};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
 
 use stem_core::codec::Reader;
-use stem_engine::{BatchTicket, Engine, SessionId};
+use stem_engine::{BatchTicket, Command, Engine, SessionId};
 
-use crate::proto::{read_frame, write_frame, Reply, Request};
+use crate::proto::{write_frame, Reply, Request, MAX_FRAME_LEN};
+
+/// What a [`Server`] serves: anything that can take a batch and answer
+/// the non-batch verbs. [`Engine`] is the standalone backend; the
+/// cluster router ([`crate::Cluster`]) is the sharded one.
+pub trait Backend: Send + Sync + 'static {
+    /// Accepts one batch for `session` under idempotence key `key`
+    /// (0 = unkeyed) and returns its ticket. Ordering contract: batches
+    /// are applied to a session in the order they were submitted.
+    fn submit(&self, session: SessionId, key: u64, commands: Vec<Command>) -> BatchTicket;
+
+    /// Serves every request that is not a submit or a server shutdown.
+    fn serve(&self, request: Request) -> Reply;
+}
+
+impl Backend for Engine {
+    fn submit(&self, session: SessionId, key: u64, commands: Vec<Command>) -> BatchTicket {
+        self.submit_keyed(session, commands, key)
+    }
+
+    fn serve(&self, request: Request) -> Reply {
+        serve_engine(self, request)
+    }
+}
+
+/// A shared backend is a backend — two servers can front one engine
+/// (distinct addresses, one state), the harness failover clients
+/// exercise against.
+impl<B: Backend> Backend for Arc<B> {
+    fn submit(&self, session: SessionId, key: u64, commands: Vec<Command>) -> BatchTicket {
+        (**self).submit(session, key, commands)
+    }
+
+    fn serve(&self, request: Request) -> Reply {
+        (**self).serve(request)
+    }
+}
+
+/// Tunable robustness knobs for [`Server::spawn_with`].
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Eviction deadline for a peer that stalls *mid-frame* (header or
+    /// payload partially received). Default 30s.
+    pub read_timeout: Duration,
+    /// `SO_SNDTIMEO` on reply writes: a peer that stops draining replies
+    /// for this long is torn down. Default 30s.
+    pub write_timeout: Duration,
+    /// Eviction deadline for a connection sitting between frames with
+    /// nothing to say. `None` (default) never reaps idle connections.
+    pub idle_timeout: Option<Duration>,
+    /// Serve at most this many connections at once; excess connections
+    /// receive one [`Reply::Busy`] frame and are closed. `None`
+    /// (default) is unbounded.
+    pub max_connections: Option<usize>,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(30),
+            idle_timeout: None,
+            max_connections: None,
+        }
+    }
+}
+
+impl ServerOptions {
+    /// The `SO_RCVTIMEO` granularity: reads wake at least this often to
+    /// test deadlines and the stop flag. A quarter of the tightest
+    /// deadline, clamped so tests with millisecond timeouts stay sharp
+    /// and production configs don't busy-poll.
+    fn tick(&self) -> Duration {
+        let tightest = self
+            .idle_timeout
+            .map_or(self.read_timeout, |idle| self.read_timeout.min(idle));
+        (tightest / 4).clamp(Duration::from_millis(2), Duration::from_millis(250))
+    }
+}
 
 /// A reply slot in a connection's in-order queue: either already
 /// computed, or a ticket the writer redeems when its turn comes.
@@ -51,7 +152,13 @@ struct State {
     /// watches it.
     shutdown_requested: Mutex<bool>,
     cv: Condvar,
-    conns: Mutex<Vec<TcpStream>>,
+    /// Live connections by id — for teardown and the test-facing
+    /// [`Server::disconnect_all`]. Entries remove themselves on exit.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    next_conn: AtomicU64,
+    /// Connections currently being served (the cap's denominator).
+    active: AtomicUsize,
+    options: ServerOptions,
 }
 
 impl State {
@@ -63,39 +170,52 @@ impl State {
     }
 }
 
-/// A running TCP frontend over one [`Engine`].
+/// A running TCP frontend over one [`Backend`] (an [`Engine`] by
+/// default, a [`crate::Cluster`] for the sharded service).
 ///
-/// The server owns the engine (shared with its connection threads) and a
-/// listening socket; it accepts until [`Server::stop`] or a client's
+/// The server owns the backend (shared with its connection threads) and
+/// a listening socket; it accepts until [`Server::stop`] or a client's
 /// [`Request::Shutdown`]. Dropping the server stops it.
-pub struct Server {
-    engine: Arc<Engine>,
+pub struct Server<B: Backend = Engine> {
+    backend: Arc<B>,
     addr: SocketAddr,
     state: Arc<State>,
     accept: Option<JoinHandle<()>>,
 }
 
-impl Server {
+impl<B: Backend> Server<B> {
     /// Binds `addr` (use port 0 for an ephemeral port) and starts
-    /// accepting connections against `engine`.
-    pub fn spawn(engine: Engine, addr: impl ToSocketAddrs) -> io::Result<Server> {
+    /// accepting connections against `backend` with default options.
+    pub fn spawn(backend: B, addr: impl ToSocketAddrs) -> io::Result<Server<B>> {
+        Self::spawn_with(backend, addr, ServerOptions::default())
+    }
+
+    /// [`Server::spawn`] with explicit robustness options.
+    pub fn spawn_with(
+        backend: B,
+        addr: impl ToSocketAddrs,
+        options: ServerOptions,
+    ) -> io::Result<Server<B>> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        let engine = Arc::new(engine);
+        let backend = Arc::new(backend);
         let state = Arc::new(State {
             addr,
             stop: AtomicBool::new(false),
             shutdown_requested: Mutex::new(false),
             cv: Condvar::new(),
-            conns: Mutex::new(Vec::new()),
+            conns: Mutex::new(HashMap::new()),
+            next_conn: AtomicU64::new(0),
+            active: AtomicUsize::new(0),
+            options,
         });
         let accept = {
-            let engine = Arc::clone(&engine);
+            let backend = Arc::clone(&backend);
             let state = Arc::clone(&state);
-            thread::spawn(move || accept_loop(listener, engine, state))
+            thread::spawn(move || accept_loop(listener, backend, state))
         };
         Ok(Server {
-            engine,
+            backend,
             addr,
             state,
             accept: Some(accept),
@@ -107,10 +227,9 @@ impl Server {
         self.addr
     }
 
-    /// The served engine (for in-process inspection and segment shipping
-    /// between co-hosted leader/follower servers).
-    pub fn engine(&self) -> &Engine {
-        &self.engine
+    /// The served backend.
+    pub fn backend(&self) -> &B {
+        &self.backend
     }
 
     /// Blocks until a client requests shutdown (or [`Server::stop`] is
@@ -123,54 +242,195 @@ impl Server {
         }
     }
 
+    /// Severs every live connection without stopping the listener — a
+    /// fault injector for client-reconnect tests, and the bluntest of
+    /// admin tools otherwise. Clients may reconnect immediately.
+    pub fn disconnect_all(&self) {
+        for conn in self.state.conns.lock().unwrap().values() {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+    }
+
     /// Stops accepting, tears down live connections, and joins the
-    /// accept thread. Idempotent. In-flight batches finish (the engine
+    /// accept thread. Idempotent. In-flight batches finish (the backend
     /// is not shut down — it is dropped with the server).
     pub fn stop(&mut self) {
         self.state.request_stop();
         // Wake the blocking accept with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
-        for conn in self.state.conns.lock().unwrap().drain(..) {
-            let _ = conn.shutdown(Shutdown::Both);
-        }
+        self.disconnect_all();
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
     }
 }
 
-impl Drop for Server {
+impl Server<Engine> {
+    /// The served engine (for in-process inspection and segment shipping
+    /// between co-hosted leader/follower servers).
+    pub fn engine(&self) -> &Engine {
+        self.backend()
+    }
+}
+
+impl<B: Backend> Drop for Server<B> {
     fn drop(&mut self) {
         self.stop();
     }
 }
 
-fn accept_loop(listener: TcpListener, engine: Arc<Engine>, state: Arc<State>) {
-    for stream in listener.incoming() {
+fn accept_loop<B: Backend>(listener: TcpListener, backend: Arc<B>, state: Arc<State>) {
+    let mut backoff = Duration::from_millis(1);
+    loop {
         if state.stop.load(Ordering::SeqCst) {
             break;
         }
-        let Ok(stream) = stream else { continue };
-        if let Ok(clone) = stream.try_clone() {
-            state.conns.lock().unwrap().push(clone);
+        let stream = match listener.accept() {
+            Ok((stream, _)) => {
+                backoff = Duration::from_millis(1);
+                stream
+            }
+            Err(_) => {
+                // Transient accept failures (fd exhaustion, handshakes
+                // aborted under load) would otherwise spin this loop hot
+                // and starve the very connections that could recover it.
+                thread::sleep(backoff);
+                backoff = (backoff * 2).min(Duration::from_secs(1));
+                continue;
+            }
+        };
+        if state.stop.load(Ordering::SeqCst) {
+            break;
         }
-        let engine = Arc::clone(&engine);
+        if let Some(max) = state.options.max_connections {
+            let active = state.active.load(Ordering::SeqCst);
+            if active >= max {
+                refuse_busy(stream, active as u64, max as u64, &state.options);
+                continue;
+            }
+        }
+        state.active.fetch_add(1, Ordering::SeqCst);
+        let id = state.next_conn.fetch_add(1, Ordering::SeqCst);
+        if let Ok(clone) = stream.try_clone() {
+            state.conns.lock().unwrap().insert(id, clone);
+        }
+        let backend = Arc::clone(&backend);
         let state = Arc::clone(&state);
-        thread::spawn(move || handle_conn(stream, engine, state));
+        thread::spawn(move || {
+            handle_conn(stream, backend.as_ref(), &state);
+            state.conns.lock().unwrap().remove(&id);
+            state.active.fetch_sub(1, Ordering::SeqCst);
+        });
     }
 }
 
-fn handle_conn(stream: TcpStream, engine: Arc<Engine>, state: Arc<State>) {
+/// Tells an over-cap connection why it is being refused: one
+/// [`Reply::Busy`] frame, then close. Best-effort — the peer may already
+/// be gone — but bounded by the write timeout either way.
+fn refuse_busy(stream: TcpStream, active: u64, max: u64, options: &ServerOptions) {
+    let _ = stream.set_write_timeout(Some(options.write_timeout));
+    let mut buf = Vec::new();
+    Reply::Busy { active, max }.encode(&mut buf);
+    let mut w = &stream;
+    let _ = write_frame(&mut w, &buf).and_then(|()| w.flush());
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// Why a timed frame read ended without a frame.
+enum ReadEnd {
+    /// Peer closed cleanly between frames.
+    Eof,
+    /// Evicted: idle past the deadline, stalled mid-frame, stopping, or
+    /// a protocol/transport error. The connection is done either way.
+    Dead,
+}
+
+fn is_timeout(err: &io::Error) -> bool {
+    matches!(
+        err.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Reads exactly `buf.len()` bytes on the ticking socket. `deadline` is
+/// the whole-phase budget, counted from entry — progress does not renew
+/// it, so a peer dribbling one byte per tick still runs out. `started`
+/// says whether a frame is already underway (an empty read is then a
+/// torn frame, not a clean EOF).
+fn read_exact_ticked(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    deadline: Duration,
+    started: bool,
+    state: &State,
+) -> Result<(), ReadEnd> {
+    let mut got = 0;
+    let start = Instant::now();
+    while got < buf.len() {
+        if state.stop.load(Ordering::SeqCst) {
+            return Err(ReadEnd::Dead);
+        }
+        match stream.read(&mut buf[got..]) {
+            Ok(0) => {
+                return Err(if got == 0 && !started {
+                    ReadEnd::Eof
+                } else {
+                    ReadEnd::Dead // torn mid-frame, like a torn WAL record
+                });
+            }
+            Ok(n) => got += n,
+            Err(e) if is_timeout(&e) => {
+                if start.elapsed() >= deadline {
+                    return Err(ReadEnd::Dead);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return Err(ReadEnd::Dead),
+        }
+    }
+    Ok(())
+}
+
+/// Reads one frame under the eviction rules: between frames the (looser,
+/// optional) idle deadline applies; once the first header byte lands the
+/// (tight) mid-frame stall deadline takes over — and because each
+/// phase's budget runs from its start rather than renewing on progress,
+/// a slow-loris dribbling bytes cannot hold a slot past
+/// `read_timeout` per header/payload phase.
+fn read_frame_ticked(stream: &mut TcpStream, state: &State) -> Result<Vec<u8>, ReadEnd> {
+    let options = &state.options;
+    // Phase 1: first header byte — the only wait "idle" applies to.
+    let idle = options.idle_timeout.unwrap_or(Duration::MAX);
+    let mut first = [0u8; 1];
+    read_exact_ticked(stream, &mut first, idle, false, state)?;
+    // Phase 2: rest of the header, then payload — mid-frame budget.
+    let mut header = [0u8; 7];
+    read_exact_ticked(stream, &mut header, options.read_timeout, true, state)?;
+    let len = u32::from_le_bytes([first[0], header[0], header[1], header[2]]);
+    let crc = u32::from_le_bytes([header[3], header[4], header[5], header[6]]);
+    if len > MAX_FRAME_LEN {
+        return Err(ReadEnd::Dead);
+    }
+    let mut payload = vec![0u8; len as usize];
+    read_exact_ticked(stream, &mut payload, options.read_timeout, true, state)?;
+    if stem_persist::crc::crc32(&payload) != crc {
+        return Err(ReadEnd::Dead);
+    }
+    Ok(payload)
+}
+
+fn handle_conn<B: Backend>(mut stream: TcpStream, backend: &B, state: &State) {
     let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(state.options.tick()));
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
+    let _ = write_half.set_write_timeout(Some(state.options.write_timeout));
     let (tx, rx) = mpsc::channel::<Pending>();
     let writer = thread::spawn(move || write_loop(write_half, rx));
-    let mut reader = BufReader::new(stream);
-    // Clean EOF, torn frame, or reset all end the loop: either way this
-    // connection is done; pending replies still drain.
-    while let Ok(Some(payload)) = read_frame(&mut reader) {
+    // Clean EOF, torn frame, reset, or eviction all end the loop: either
+    // way this connection is done; pending replies still drain.
+    while let Ok(payload) = read_frame_ticked(&mut stream, state) {
         let mut r = Reader::new(&payload);
         let request = match Request::decode(&mut r) {
             Ok(req) if r.is_empty() => req,
@@ -189,10 +449,20 @@ fn handle_conn(stream: TcpStream, engine: Arc<Engine>, state: Arc<State>) {
         };
         match request {
             Request::Submit { session, commands } => {
-                // Hand the batch to the engine *now* (ordering is fixed
+                // Hand the batch to the backend *now* (ordering is fixed
                 // at submission) and let the writer redeem the ticket in
                 // its turn.
-                let ticket = engine.submit(SessionId(session), commands);
+                let ticket = backend.submit(SessionId(session), 0, commands);
+                if tx.send(Pending::Ticket(ticket)).is_err() {
+                    break;
+                }
+            }
+            Request::SubmitSeq {
+                session,
+                key,
+                commands,
+            } => {
+                let ticket = backend.submit(SessionId(session), key, commands);
                 if tx.send(Pending::Ticket(ticket)).is_err() {
                     break;
                 }
@@ -205,7 +475,7 @@ fn handle_conn(stream: TcpStream, engine: Arc<Engine>, state: Arc<State>) {
                 break;
             }
             other => {
-                if tx.send(Pending::ready(serve(&engine, other))).is_err() {
+                if tx.send(Pending::ready(backend.serve(other))).is_err() {
                     break;
                 }
             }
@@ -216,11 +486,12 @@ fn handle_conn(stream: TcpStream, engine: Arc<Engine>, state: Arc<State>) {
     // The accept loop keeps a clone of this socket (for teardown), so
     // dropping our halves alone would not FIN the peer — shut it down
     // explicitly now that every owed reply is flushed.
-    let _ = reader.get_ref().shutdown(Shutdown::Both);
+    let _ = stream.shutdown(Shutdown::Both);
 }
 
-/// Serves every non-submit, non-shutdown request inline.
-fn serve(engine: &Engine, request: Request) -> Reply {
+/// Serves every non-submit, non-shutdown request against a standalone
+/// [`Engine`] (the [`Backend`] impl; the cluster router has its own).
+fn serve_engine(engine: &Engine, request: Request) -> Reply {
     let err = |e: io::Error| Reply::Err {
         message: e.to_string(),
     };
@@ -270,14 +541,41 @@ fn serve(engine: &Engine, request: Request) -> Reply {
         Request::Promote => Reply::Promoted {
             was_replica: engine.promote(),
         },
-        Request::Submit { .. } | Request::Shutdown => unreachable!("handled by the reader loop"),
+        Request::Lease { .. } => {
+            let (epoch, holder) = engine.lease();
+            Reply::Lease { epoch, holder }
+        }
+        Request::CatchUp => match catch_up(engine) {
+            Ok(reply) => reply,
+            Err(e) => err(e),
+        },
+        Request::Submit { .. } | Request::SubmitSeq { .. } | Request::Shutdown => {
+            unreachable!("handled by the reader loop")
+        }
     }
 }
 
+/// One-conversation bootstrap for a cold joiner: seal the active
+/// segment so the tail is complete, then hand back the newest snapshot
+/// (if any) plus every sealed segment; replay-side dedup makes shipping
+/// pre-snapshot segments harmless.
+fn catch_up(engine: &Engine) -> io::Result<Reply> {
+    let mut indexes = engine.seal_wal()?;
+    indexes.sort_unstable();
+    let snapshot = engine.wal_snapshot_bytes()?;
+    let mut segments = Vec::with_capacity(indexes.len());
+    for ix in indexes {
+        segments.push(engine.read_wal_segment(ix)?);
+    }
+    Ok(Reply::CatchUp { snapshot, segments })
+}
+
 /// Writes replies in request order, redeeming batch tickets as it
-/// reaches them, flushing only when the queue runs dry.
+/// reaches them, flushing only when the queue runs dry. A write failure
+/// (including a `write_timeout` stall — the peer stopped draining)
+/// shuts the socket down both ways so the reader unblocks too.
 fn write_loop(stream: TcpStream, rx: Receiver<Pending>) {
-    let mut w = BufWriter::new(stream);
+    let mut w = io::BufWriter::new(&stream);
     let mut buf = Vec::new();
     let mut next: Option<Pending> = None;
     loop {
@@ -295,12 +593,14 @@ fn write_loop(stream: TcpStream, rx: Receiver<Pending>) {
         buf.clear();
         reply.encode(&mut buf);
         if write_frame(&mut w, &buf).is_err() {
+            let _ = stream.shutdown(Shutdown::Both);
             break;
         }
         match rx.try_recv() {
             Ok(p) => next = Some(p),
             Err(TryRecvError::Empty) => {
                 if w.flush().is_err() {
+                    let _ = stream.shutdown(Shutdown::Both);
                     break;
                 }
             }

@@ -113,6 +113,20 @@ fn sample_requests() -> Vec<Request> {
         },
         Request::Promote,
         Request::Shutdown,
+        Request::SubmitSeq {
+            session: 6,
+            key: 41,
+            commands: vec![
+                Command::AddVariable { name: "w".into() },
+                Command::Set {
+                    var: VarId::from_index(0),
+                    value: Value::Int(8),
+                    source: Source::User,
+                },
+            ],
+        },
+        Request::Lease { session: 5 },
+        Request::CatchUp,
     ]
 }
 
@@ -125,6 +139,7 @@ fn sample_replies() -> Vec<Reply> {
         wal_group_syncs: 3,
         segments_ingested: 2,
         records_replayed: 77,
+        dedup_skips: 6,
         ..EngineStats::default()
     };
     stats.latency_buckets[0] = 5;
@@ -205,6 +220,22 @@ fn sample_replies() -> Vec<Reply> {
         Reply::Err {
             message: "bad day".into(),
         },
+        Reply::Busy {
+            active: 64,
+            max: 64,
+        },
+        Reply::Lease {
+            epoch: 3,
+            holder: 1,
+        },
+        Reply::CatchUp {
+            snapshot: None,
+            segments: vec![],
+        },
+        Reply::CatchUp {
+            snapshot: Some(b"STEMSNP1opaque".to_vec()),
+            segments: vec![b"STEMWAL1one".to_vec(), b"STEMWAL1two".to_vec()],
+        },
     ]
 }
 
@@ -260,7 +291,7 @@ fn every_truncation_of_every_message_errors_cleanly() {
 #[test]
 fn unknown_tags_are_rejected() {
     use stem_core::codec::DecodeError;
-    for tag in [13u8, 0x80, 0xFF] {
+    for tag in [16u8, 0x80, 0xFF] {
         assert!(matches!(
             Request::decode(&mut Reader::new(&[tag])),
             Err(DecodeError::Tag { .. })

@@ -248,3 +248,201 @@ fn shutdown_request_stops_the_server() {
         "listener must be gone after shutdown"
     );
 }
+
+// ---------------------------------------------------------------------
+// Robustness: timeouts, idle reaping, connection caps, client failover.
+// ---------------------------------------------------------------------
+
+use std::io::{Read, Write};
+use std::time::{Duration, Instant};
+
+use stem_server::{RetryPolicy, ServerOptions};
+
+/// Reads until the server closes the connection (EOF or reset),
+/// panicking if it stays open past `within`.
+fn expect_eviction(stream: &mut TcpStream, within: Duration) {
+    stream
+        .set_read_timeout(Some(Duration::from_millis(50)))
+        .unwrap();
+    let start = Instant::now();
+    let mut buf = [0u8; 64];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => return, // clean close
+            Ok(_) => continue,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::ConnectionReset | std::io::ErrorKind::BrokenPipe
+                ) =>
+            {
+                return
+            }
+            Err(_) => {
+                assert!(
+                    start.elapsed() < within,
+                    "server kept the dead connection open past {within:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn half_open_and_idle_connections_are_reaped_without_hurting_others() {
+    let server = Server::spawn_with(
+        Engine::new(1),
+        "127.0.0.1:0",
+        ServerOptions {
+            read_timeout: Duration::from_millis(150),
+            idle_timeout: Some(Duration::from_millis(200)),
+            ..ServerOptions::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    // A half-open peer: three header bytes, then silence mid-frame.
+    let mut stalled = TcpStream::connect(addr).unwrap();
+    stalled.write_all(&[0x08, 0x00, 0x00]).unwrap();
+    // An idle peer: connected, never speaks.
+    let mut idle = TcpStream::connect(addr).unwrap();
+
+    // A healthy client keeps working the whole time the reaper runs.
+    let mut healthy = Client::connect(addr).unwrap();
+    let s = healthy.open().unwrap();
+    healthy
+        .apply(s, &[Command::AddVariable { name: "v".into() }])
+        .unwrap()
+        .unwrap();
+    for i in 0..8 {
+        healthy.apply(s, &[set(0, i)]).unwrap().unwrap();
+        std::thread::sleep(Duration::from_millis(60));
+    }
+
+    expect_eviction(&mut stalled, Duration::from_secs(3));
+    expect_eviction(&mut idle, Duration::from_secs(3));
+    // And the healthy connection survived both evictions.
+    healthy.ping().unwrap();
+    assert_eq!(
+        healthy.value(s, VarId::from_index(0)).unwrap().unwrap(),
+        Value::Int(7)
+    );
+}
+
+#[test]
+fn connection_cap_refuses_with_busy_and_frees_on_disconnect() {
+    let server = Server::spawn_with(
+        Engine::new(1),
+        "127.0.0.1:0",
+        ServerOptions {
+            max_connections: Some(1),
+            ..ServerOptions::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    let mut first = Client::connect(addr).unwrap();
+    first.ping().unwrap();
+
+    // The slot is taken: the next connection gets a structured refusal,
+    // not a silent drop.
+    let mut refused = Client::connect(addr).unwrap();
+    let err = refused.ping().unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::ConnectionRefused);
+    assert!(
+        err.to_string().contains("connection cap"),
+        "refusal must name the cause, got: {err}"
+    );
+    // The occupant never noticed.
+    first.ping().unwrap();
+
+    // Freeing the slot readmits new connections (the server needs a
+    // moment to observe the close).
+    drop(first);
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        if let Ok(mut c) = Client::connect(addr) {
+            if c.ping().is_ok() {
+                break;
+            }
+        }
+        assert!(Instant::now() < deadline, "slot never freed");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Two servers front one shared engine; the client pipelines keyed
+/// mutating batches while its connection is yanked mid-stream. The
+/// resubmit path must neither lose a batch nor apply one twice — the
+/// variable count is the witness.
+#[test]
+fn failover_client_resubmits_without_loss_or_double_apply() {
+    let engine = Arc::new(Engine::new(2));
+    let srv_a = Server::spawn(Arc::clone(&engine), "127.0.0.1:0").unwrap();
+    let srv_b = Server::spawn(Arc::clone(&engine), "127.0.0.1:0").unwrap();
+    let addrs = [srv_a.local_addr(), srv_b.local_addr()];
+
+    let mut c = Client::connect_failover(&addrs[..], RetryPolicy::default()).unwrap();
+    let s = c.open().unwrap();
+
+    const N: usize = 30;
+    for i in 0..N {
+        c.submit(
+            s,
+            &[Command::AddVariable {
+                name: format!("n{i}"),
+            }],
+        )
+        .unwrap();
+        if i == N / 2 {
+            // Yank every connection on both servers mid-pipeline; the
+            // client reconnects (either server — same engine) and
+            // resends its unanswered frames under their original keys.
+            srv_a.disconnect_all();
+            srv_b.disconnect_all();
+        }
+    }
+    let results = c.drain().unwrap();
+    assert_eq!(results.len(), N);
+    for (i, r) in results.iter().enumerate() {
+        assert!(r.is_ok(), "batch {i} failed: {r:?}");
+    }
+    // The proof: exactly N variables. A lost batch leaves fewer; a
+    // double-applied resend leaves more. (Dedup acks arrive as empty
+    // outcomes, so some Ok results carry no outputs — that's the
+    // resubmit guard working.)
+    let ss = c.session_stats(s).unwrap();
+    assert_eq!(ss.n_variables, N as u64, "lost or double-applied batches");
+    assert!(c.stats().unwrap().dedup_skips as usize <= N);
+}
+
+/// Busy refusals during failover are retryable: a capped server and a
+/// free one share an engine; the client lands on whichever accepts.
+#[test]
+fn failover_client_rides_past_a_busy_server() {
+    let engine = Arc::new(Engine::new(1));
+    let capped = Server::spawn_with(
+        Arc::clone(&engine),
+        "127.0.0.1:0",
+        ServerOptions {
+            max_connections: Some(0),
+            ..ServerOptions::default()
+        },
+    )
+    .unwrap();
+    let free = Server::spawn(Arc::clone(&engine), "127.0.0.1:0").unwrap();
+
+    let mut c = Client::connect_failover(
+        &[capped.local_addr(), free.local_addr()][..],
+        RetryPolicy::default(),
+    )
+    .unwrap();
+    c.ping().unwrap();
+    let s = c.open().unwrap();
+    c.apply(s, &[Command::AddVariable { name: "v".into() }])
+        .unwrap()
+        .unwrap();
+    assert_eq!(c.session_stats(s).unwrap().n_variables, 1);
+}
