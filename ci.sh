@@ -105,6 +105,8 @@ if [[ "$PAR_DIFFERENTIAL" == 1 ]]; then
     || { echo "parallel replay digest differs between same-seed runs"; exit 1; }
   grep -q "plan_replays_parallel: [1-9]" /tmp/par_digest_1.txt \
     || { echo "digest never exercised the parallel replay path"; exit 1; }
+  grep -q "plan_replays_wavefront: [1-9]" /tmp/par_digest_1.txt \
+    || { echo "digest never exercised the wavefront replay path"; exit 1; }
   rm -f /tmp/par_digest_1.txt /tmp/par_digest_2.txt
 fi
 

@@ -45,10 +45,13 @@ fn dense_fanout(c: &mut Criterion) {
 /// the cone-partitionable fanout (8 independent cones per root write).
 /// The `par_seq` arm runs with a one-thread budget, `parallel` with
 /// eight. Below the default 256-step partition floor (fan 16, 144
-/// executing steps) the parallel arm falls back to sequential replay, so
-/// the two arms must stay within noise of each other there — the CI
-/// gate (`tools/bench_compare.py`) enforces parallel/par_seq ≥ 2.5× at
-/// fan 256 and ≥ 0.95× at fan 16 on machines with ≥ 8 cores.
+/// executing steps) the parallel arm falls back to sequential replay.
+/// At fan 64 a partition compiles (528 steps) but every cone is only 66
+/// steps — below the default 128-step per-task cost floor
+/// (`set_parallel_cone_min_steps`) — so the replay takes the inline
+/// path instead of paying pool hand-off for sub-microsecond cones. The
+/// CI gate (`tools/bench_compare.py`) enforces parallel/par_seq ≥ 0.95×
+/// at every fan on any machine, and ≥ 2.5× at fan 256 with ≥ 8 cores.
 fn parallel_replay(c: &mut Criterion) {
     let mut g = c.benchmark_group("propagation_planned/dense_fanout");
     const CONES: usize = 8;
@@ -103,33 +106,116 @@ fn equality_star(c: &mut Criterion) {
     g.finish();
 }
 
-/// Invalidate-and-recompile cost: a structural toggle between sets forces
-/// a recompilation every iteration — the worst case for the cache, which
-/// must still stay within sight of the pure agenda path.
+/// Structural-edit churn: a constraint toggle between sets, swept over
+/// fanout widths in two shapes. `toggle_between_sets` flips a predicate
+/// on a standalone guard variable whose footprint is disjoint from the
+/// measured cone — under per-root dirty tracking the cone's plan
+/// survives the edit, so the arm runs at cache-hit speed (this is the
+/// O(touched) invalidation win; the old global generation bump
+/// recompiled the cone every iteration). `toggle_in_cone` flips a
+/// predicate directly on the source variable, so every iteration
+/// genuinely invalidates and recompiles the cone's plan — the honest
+/// worst case, which must still stay within sight of the agenda path.
 fn recompile_churn(c: &mut Criterion) {
     let mut g = c.benchmark_group("propagation_planned/recompile_churn");
-    for fan in [64usize] {
-        let (mut net, src) = workloads::dense_fanout(fan);
-        let probe = {
-            use stem_core::kinds::Predicate;
-            let v = net.add_variable("probe_guard");
-            net.add_constraint(Predicate::le_const(Value::Int(i64::MAX)), [v])
-                .unwrap()
-        };
+    for fan in [16usize, 64, 256] {
+        for in_cone in [false, true] {
+            let name = if in_cone {
+                "toggle_in_cone"
+            } else {
+                "toggle_between_sets"
+            };
+            let (mut net, src) = workloads::dense_fanout(fan);
+            let probe = {
+                use stem_core::kinds::Predicate;
+                let target = if in_cone {
+                    src
+                } else {
+                    net.add_variable("probe_guard")
+                };
+                net.add_constraint(Predicate::le_const(Value::Int(i64::MAX)), [target])
+                    .unwrap()
+            };
+            for i in 0..16 {
+                net.set(src, Value::Int(i), Justification::User).unwrap();
+            }
+            let mut i = 100i64;
+            let mut on = true;
+            g.bench_function(format!("{name}/{fan}"), |b| {
+                b.iter(|| {
+                    i += 1;
+                    on = !on;
+                    net.set_constraint_enabled(probe, on);
+                    net.set(src, Value::Int(i), Justification::User).unwrap();
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+/// Pool dispatch overhead on a plan too small to profit from it: four
+/// 6-step cones, with the partition floor dropped so a partition
+/// compiles anyway. Every cone sits far below the default 128-step
+/// per-task cost floor, so the `par` arm must take the inline replay
+/// path and stay within noise of `seq` — the regression this floor
+/// fixed was exactly this shape paying pool hand-off per replay.
+fn dispatch_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("propagation_planned/dispatch_overhead");
+    const CONES: usize = 4;
+    const FAN: usize = 4;
+    for threads in [1usize, 8] {
+        let path = if threads == 1 { "seq" } else { "par" };
+        let (mut net, src) = workloads::par_fanout(CONES, FAN);
+        net.set_parallel_threads(threads);
+        net.set_parallel_min_steps(1);
         for i in 0..16 {
             net.set(src, Value::Int(i), Justification::User).unwrap();
         }
+        assert_eq!(
+            net.plan_parallel_cones(src),
+            (threads > 1).then_some(CONES),
+            "warm-up must leave the partition in the arm's configuration"
+        );
         let mut i = 100i64;
-        let mut on = true;
-        g.bench_function(format!("toggle_between_sets/{fan}"), |b| {
+        g.bench_function(format!("{path}/{CONES}x{FAN}"), |b| {
             b.iter(|| {
                 i += 1;
-                on = !on;
-                net.set_constraint_enabled(probe, on);
                 net.set(src, Value::Int(i), Justification::User).unwrap();
             })
         });
     }
+    g.finish();
+}
+
+/// Intra-cone wavefront pipelining: the dense fanout is ONE giant cone
+/// (src → mirrors → a single shared sum), so cone partitioning finds
+/// nothing to split — with a thread budget the levelizer pipelines the
+/// cone's steps layer-by-layer across the pool instead. On a one-CPU
+/// host this measures pure pipelining overhead (the id is recorded for
+/// tracking, not ratio-gated below 8 cores).
+fn wavefront_replay(c: &mut Criterion) {
+    let mut g = c.benchmark_group("propagation_planned/dense_fanout");
+    let fan = 256usize;
+    let (mut net, src) = workloads::dense_fanout(fan);
+    net.set_parallel_threads(8);
+    for i in 0..16 {
+        net.set(src, Value::Int(i), Justification::User).unwrap();
+    }
+    // 258 executing steps clear the 256-step partition floor; the
+    // single cone levelizes (one cone, widest layer = the mirrors).
+    assert_eq!(
+        net.plan_parallel_cones(src),
+        Some(1),
+        "warm-up must leave a wavefront plan in the cache"
+    );
+    let mut i = 100i64;
+    g.bench_function(format!("wave/{fan}"), |b| {
+        b.iter(|| {
+            i += 1;
+            net.set(src, Value::Int(i), Justification::User).unwrap();
+        })
+    });
     g.finish();
 }
 
@@ -143,6 +229,7 @@ fn quick() -> Criterion {
 criterion_group!(
     name = benches;
     config = quick();
-    targets = dense_fanout, parallel_replay, equality_star, recompile_churn
+    targets = dense_fanout, parallel_replay, wavefront_replay, equality_star, recompile_churn,
+        dispatch_overhead
 );
 criterion_main!(benches);

@@ -19,11 +19,21 @@ fn main() {
         .unwrap_or(0xE24);
     let mut rng = SplitMix64::new(seed);
     for round in 0..16 {
-        let cones = rng.range_usize(2, 9);
+        // Every fifth round collapses to a single cone: the partitioner
+        // finds nothing to split, so the plan levelizes into a wavefront
+        // and the digest covers the pipelined path too.
+        let cones = if round % 5 == 0 {
+            1
+        } else {
+            rng.range_usize(2, 9)
+        };
         let fan = rng.range_usize(2, 24);
         let mut net = Network::new();
         net.set_parallel_threads(8);
         net.set_parallel_min_steps(1);
+        // Drop the per-task cost floor so these small cones really cross
+        // the work-stealing pool instead of the inline below-cost path.
+        net.set_parallel_cone_min_steps(1);
         let src = net.add_variable("src");
         let mut outs: Vec<VarId> = Vec::new();
         for i in 0..cones {
@@ -55,6 +65,17 @@ fn main() {
             );
         }
         println!("  stats: {:?}", net.stats());
-        println!("  par: {:?}", net.par_stats());
+        // Printed field by field, deliberately omitting `cones_stolen`:
+        // steal counts are schedule-dependent and would break the
+        // two-run byte-identical diff this digest exists to enforce.
+        let ps = net.par_stats();
+        println!(
+            "  par: plan_replays_parallel: {} plan_replays_wavefront: {} \
+             cones_executed: {} parallel_fallbacks: {}",
+            ps.plan_replays_parallel,
+            ps.plan_replays_wavefront,
+            ps.cones_executed,
+            ps.parallel_fallbacks
+        );
     }
 }

@@ -43,7 +43,19 @@ impl<'n> NetworkInspector<'n> {
             crate::PlanStatus::NotCompiled => String::new(),
             crate::PlanStatus::Uncompilable => "  plan(uncompilable)".to_string(),
             crate::PlanStatus::Ready { steps, checks } => {
-                format!("  plan({steps} steps, {checks} checks)")
+                let mut s = format!("  plan({steps} steps, {checks} checks)");
+                // Parallel shape and skew diagnostics: cone count, layer
+                // depth, costliest task, and the last committed replay's
+                // steal count — enough to see an unbalanced partition
+                // without a profiler.
+                if let Some(d) = n.plan_par_detail(var) {
+                    let _ = write!(
+                        s,
+                        "  par({} cones, {} layers, max task {}, last stolen {})",
+                        d.cones, d.layers, d.max_task_exec, d.last_stolen
+                    );
+                }
+                s
             }
         };
         format!(
@@ -320,6 +332,25 @@ mod tests {
         let da = insp.describe_variable(a);
         assert!(da.contains("plan("), "{da}");
         assert!(da.contains("steps"), "{da}");
+        // No parallel budget, no partition — the par diagnostics stay out.
+        assert!(!da.contains("par("), "{da}");
+    }
+
+    #[test]
+    fn variable_description_shows_parallel_shape() {
+        let mut net = Network::new();
+        net.set_parallel_threads(4);
+        net.set_parallel_min_steps(1);
+        let root = net.add_variable("root");
+        for i in 0..3 {
+            let leaf = net.add_variable(format!("leaf{i}"));
+            net.add_constraint(Equality::new(), [root, leaf]).unwrap();
+        }
+        net.set(root, Value::Int(1), Justification::User).unwrap();
+        let insp = NetworkInspector::new(&net);
+        let da = insp.describe_variable(root);
+        assert!(da.contains("par(3 cones, 1 layers"), "{da}");
+        assert!(da.contains("last stolen"), "{da}");
     }
 
     #[test]

@@ -82,7 +82,7 @@ pub use inspect::NetworkInspector;
 pub use justification::{DependencyRecord, Justification};
 pub use network::{Network, SetStatus, Stats, ValueSnapshot, ViolationHandler};
 pub use par::{ParKernel, ParStats, PureOp};
-pub use plan::PlanStatus;
+pub use plan::{PlanParDetail, PlanStatus};
 pub use value::{Span, TypeTag, Value};
 pub use variable::{Overwrite, PlainKind, PropertyKind, RecalcFn, VariableKind};
 pub use violation::{Violation, ViolationKind};

@@ -3,7 +3,7 @@ use crate::constraint::{Activation, ConstraintData, ConstraintKind};
 use crate::ids::{ConstraintId, VarId};
 use crate::justification::{DependencyRecord, Justification};
 use crate::par::{self, ParStats, SlotsView};
-use crate::plan::{PlanOp, PlanSlot, PlanStatus, PropPlan};
+use crate::plan::{PlanOp, PlanParDetail, PlanSlot, PlanStatus, PropPlan};
 use crate::value::Value;
 use crate::variable::{Overwrite, PlainKind, VariableData, VariableKind};
 use crate::violation::Violation;
@@ -282,6 +282,22 @@ pub struct Network {
     /// before a plan is worth partitioning — small cones must not pay
     /// pool hand-off latency ([`Network::set_parallel_min_steps`]).
     par_min_exec_steps: usize,
+    /// Minimum executing steps in a partitioned plan's costliest pool
+    /// task before a replay engages the worker pool; below the floor the
+    /// kernels run inline on the calling thread
+    /// ([`Network::set_parallel_cone_min_steps`]).
+    par_cone_min_steps: usize,
+    /// Per variable: `(root index, token)` plan subscriptions — the
+    /// compiled (or refused) plans whose footprint includes the
+    /// variable. A structural edit evicts exactly the subscribed roots
+    /// of its touched variables ([`Network::invalidate_plans_touching`]),
+    /// making recompilation O(touched) instead of global.
+    plan_subs: Vec<Vec<(u32, u64)>>,
+    /// Per root: token of its live subscription (0 = none). A stale
+    /// token in `plan_subs` is ignored and dropped lazily.
+    plan_tokens: Vec<u64>,
+    /// Token generator for `plan_tokens`; starts at 1 so 0 means "none".
+    next_plan_token: u64,
     /// Counters for the parallel replay path, kept separate from [`Stats`]
     /// so core propagation statistics stay byte-identical across thread
     /// counts (the differential test's invariant).
@@ -348,6 +364,10 @@ impl Clone for Network {
             plan_caching: self.plan_caching,
             parallel_threads: self.parallel_threads,
             par_min_exec_steps: self.par_min_exec_steps,
+            par_cone_min_steps: self.par_cone_min_steps,
+            plan_subs: self.plan_subs.clone(),
+            plan_tokens: self.plan_tokens.clone(),
+            next_plan_token: self.next_plan_token,
             par_stats: self.par_stats,
             snapshots_taken: self.snapshots_taken.clone(),
             clones_taken: self.clones_taken.clone(),
@@ -379,6 +399,10 @@ impl Network {
             plan_caching: true,
             parallel_threads: 1,
             par_min_exec_steps: 256,
+            par_cone_min_steps: 128,
+            plan_subs: Vec::new(),
+            plan_tokens: Vec::new(),
+            next_plan_token: 1,
             par_stats: ParStats::default(),
             snapshots_taken: std::cell::Cell::new(0),
             clones_taken: std::cell::Cell::new(0),
@@ -494,6 +518,9 @@ impl Network {
         for &a in &args {
             self.vars[a.index()].constraints.push(cid);
         }
+        // O(touched) invalidation: only plans whose footprint includes an
+        // argument of the new constraint can change shape.
+        self.invalidate_plans_touching(&args);
         self.constraints.push(ConstraintData {
             kind,
             args,
@@ -503,7 +530,6 @@ impl Network {
         if let Some(j) = &mut self.journal {
             j.entries.push(JournalEntry::ConstraintAdded);
         }
-        self.structure_generation += 1;
         cid
     }
 
@@ -573,11 +599,11 @@ impl Network {
     /// Unwires and tombstones a constraint without any erasure.
     fn remove_constraint_quiet(&mut self, cid: ConstraintId) {
         let args = std::mem::take(&mut self.constraints[cid.index()].args);
-        for a in args {
+        for &a in &args {
             self.vars[a.index()].constraints.retain(|&c| c != cid);
         }
         self.constraints[cid.index()].active = false;
-        self.structure_generation += 1;
+        self.invalidate_plans_touching(&args);
     }
 
     /// Detaches one argument from a constraint (`removeConstraint:` on a
@@ -618,9 +644,11 @@ impl Network {
                 }
             }
         }
+        // `var` is still among the args here, so the clone covers it.
+        let touched = self.constraints[cid.index()].args.clone();
         self.constraints[cid.index()].args.retain(|&a| a != var);
         self.vars[var.index()].constraints.retain(|&c| c != cid);
-        self.structure_generation += 1;
+        self.invalidate_plans_touching(&touched);
         if self.enabled && !self.constraints[cid.index()].args.is_empty() {
             self.reinitialize(cid)
         } else {
@@ -651,7 +679,8 @@ impl Network {
         }
         self.constraints[cid.index()].args.push(var);
         self.vars[var.index()].constraints.push(cid);
-        self.structure_generation += 1;
+        let touched = self.constraints[cid.index()].args.clone();
+        self.invalidate_plans_touching(&touched);
         if !self.enabled {
             return Ok(());
         }
@@ -859,7 +888,8 @@ impl Network {
             if let Some(j) = &mut self.journal {
                 j.entries.push(JournalEntry::EnabledChanged { cid, was });
             }
-            self.structure_generation += 1;
+            let touched = self.constraints[cid.index()].args.clone();
+            self.invalidate_plans_touching(&touched);
         }
         self.constraints[cid.index()].enabled = enabled;
     }
@@ -875,11 +905,11 @@ impl Network {
     pub fn set_kind_enabled(&mut self, kind_name: &str, enabled: bool) -> usize {
         assert!(self.state.is_none(), "cannot toggle mid-propagation");
         let mut n = 0;
-        let mut toggled = false;
+        let mut touched: Vec<VarId> = Vec::new();
         for (ix, d) in self.constraints.iter_mut().enumerate() {
             if d.active && d.kind.kind_name() == kind_name {
                 if d.enabled != enabled {
-                    toggled = true;
+                    touched.extend_from_slice(&d.args);
                     if let Some(j) = &mut self.journal {
                         j.entries.push(JournalEntry::EnabledChanged {
                             cid: ConstraintId(ix as u32),
@@ -891,8 +921,8 @@ impl Network {
                 n += 1;
             }
         }
-        if toggled {
-            self.structure_generation += 1;
+        if !touched.is_empty() {
+            self.invalidate_plans_touching(&touched);
         }
         n
     }
@@ -1516,7 +1546,7 @@ impl Network {
         assert!(self.state.is_none(), "cannot toggle mid-propagation");
         self.plan_caching = on;
         if !on {
-            self.plans.clear();
+            self.drop_all_plans();
         }
     }
 
@@ -1540,7 +1570,7 @@ impl Network {
         let threads = threads.max(1);
         if threads != self.parallel_threads {
             self.parallel_threads = threads;
-            self.plans.clear();
+            self.drop_all_plans();
         }
     }
 
@@ -1561,13 +1591,36 @@ impl Network {
         assert!(self.state.is_none(), "cannot toggle mid-propagation");
         if min_steps != self.par_min_exec_steps {
             self.par_min_exec_steps = min_steps;
-            self.plans.clear();
+            self.drop_all_plans();
         }
     }
 
     /// The partition size threshold ([`Network::set_parallel_min_steps`]).
     pub fn parallel_min_steps(&self) -> usize {
         self.par_min_exec_steps
+    }
+
+    /// Sets the per-task cost floor for the replay-time pool admission:
+    /// a partitioned plan whose costliest single task (biggest cone, or
+    /// widest wavefront layer) has fewer executing steps than this runs
+    /// its kernels inline on the calling thread instead of paying pool
+    /// hand-off — the shape where `parallel/64` used to lose to
+    /// `par_seq/64`. The partition itself is kept (inline replay still
+    /// uses the kernelized cones, which beat interpreted dispatch), so
+    /// changing the floor does not drop cached plans. Default 128.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called during an active propagation cycle.
+    pub fn set_parallel_cone_min_steps(&mut self, min_steps: usize) {
+        assert!(self.state.is_none(), "cannot toggle mid-propagation");
+        self.par_cone_min_steps = min_steps;
+    }
+
+    /// The per-task pool admission floor
+    /// ([`Network::set_parallel_cone_min_steps`]).
+    pub fn parallel_cone_min_steps(&self) -> usize {
+        self.par_cone_min_steps
     }
 
     /// Number of cones in `var`'s cached parallel partition: `None` if
@@ -1578,7 +1631,36 @@ impl Network {
     pub fn plan_parallel_cones(&self, var: VarId) -> Option<usize> {
         match self.plans.get(var.index()) {
             Some(PlanSlot::Ready(p)) if p.generation == self.structure_generation => {
-                p.par.as_ref().map(|pp| pp.cones.len())
+                p.par.as_ref().map(|pp| match &pp.exec {
+                    crate::par::ParExec::Cones(cones) => cones.len(),
+                    // A wavefront is one cone, pipelined.
+                    crate::par::ParExec::Wave(_) => 1,
+                })
+            }
+            _ => None,
+        }
+    }
+
+    /// Diagnostic detail for `var`'s cached parallel partition, for the
+    /// inspector: cone count, wavefront layer depth (1 for independent
+    /// cones), the executing-step width of the costliest pool task, and
+    /// how many tasks were stolen during the most recent committed
+    /// parallel replay. `None` when there is no current partitioned plan.
+    pub fn plan_par_detail(&self, var: VarId) -> Option<PlanParDetail> {
+        match self.plans.get(var.index()) {
+            Some(PlanSlot::Ready(p)) if p.generation == self.structure_generation => {
+                p.par.as_ref().map(|pp| {
+                    let (cones, layers) = match &pp.exec {
+                        crate::par::ParExec::Cones(cones) => (cones.len(), 1),
+                        crate::par::ParExec::Wave(w) => (1, w.layers.len()),
+                    };
+                    PlanParDetail {
+                        cones,
+                        layers,
+                        max_task_exec: pp.max_task_exec as usize,
+                        last_stolen: pp.last_stolen,
+                    }
+                })
             }
             _ => None,
         }
@@ -1609,6 +1691,72 @@ impl Network {
         self.structure_generation
     }
 
+    /// Drops every cached plan and subscription without counting
+    /// invalidations — the knob-change path (thread budget, size floor,
+    /// caching off), where the drop is a reconfiguration, not a
+    /// structural edit.
+    fn drop_all_plans(&mut self) {
+        self.plans.clear();
+        self.plan_subs.clear();
+        self.plan_tokens.clear();
+    }
+
+    /// Evicts the cached plan (or `Uncompilable` memo) of every root
+    /// subscribed to any of `touched` — the O(touched) replacement for
+    /// the global generation bump on structural edits. The whole
+    /// subscription list of a touched variable drains: every live
+    /// subscriber must die, and stale tokens are garbage to drop anyway.
+    fn invalidate_plans_touching(&mut self, touched: &[VarId]) {
+        if !self.plan_caching {
+            return;
+        }
+        for &v in touched {
+            let Some(list) = self.plan_subs.get_mut(v.index()) else {
+                continue;
+            };
+            for (root, token) in std::mem::take(list) {
+                let rix = root as usize;
+                if self.plan_tokens.get(rix).copied() != Some(token) {
+                    continue; // stale subscription from an evicted plan
+                }
+                self.plan_tokens[rix] = 0;
+                if let Some(slot @ (PlanSlot::Ready(_) | PlanSlot::Uncompilable(_))) =
+                    self.plans.get_mut(rix)
+                {
+                    *slot = PlanSlot::Absent;
+                    self.stats.plan_cache_invalidations += 1;
+                }
+            }
+        }
+    }
+
+    /// Registers `root`'s freshly compiled (or refused) plan against its
+    /// footprint, so a structural edit touching any footprint variable
+    /// evicts it. Per-variable lists dedup by root, bounding their length
+    /// by the number of live subscribing roots.
+    fn subscribe_plan(&mut self, root: VarId, footprint: &mut Vec<VarId>) {
+        let token = self.next_plan_token;
+        self.next_plan_token += 1;
+        let rix = root.index();
+        if self.plan_tokens.len() <= rix {
+            self.plan_tokens.resize(rix + 1, 0);
+        }
+        self.plan_tokens[rix] = token;
+        footprint.sort_unstable();
+        footprint.dedup();
+        for &v in footprint.iter() {
+            let ix = v.index();
+            if self.plan_subs.len() <= ix {
+                self.plan_subs.resize_with(ix + 1, Vec::new);
+            }
+            let list = &mut self.plan_subs[ix];
+            match list.iter_mut().find(|(r, _)| *r as usize == rix) {
+                Some(e) => e.1 = token,
+                None => list.push((rix as u32, token)),
+            }
+        }
+    }
+
     /// Looks up (or compiles) the propagation plan for `var`, moving a
     /// ready plan out of its slot — [`Network::run_plan`] puts it back.
     /// `None` means the cone is uncompilable: take the agenda path.
@@ -1629,13 +1777,22 @@ impl Network {
             }
             PlanSlot::Absent => {}
             _ => {
-                // A cached verdict from an older generation: discard it.
+                // A cached verdict from an older generation (an agenda
+                // redefinition or structural rollback bumped the global
+                // counter): discard it.
                 self.stats.plan_cache_invalidations += 1;
                 self.plans[ix] = PlanSlot::Absent;
+                if let Some(t) = self.plan_tokens.get_mut(ix) {
+                    *t = 0;
+                }
             }
         }
         self.stats.plan_compiles += 1;
-        match self.compile_plan(var) {
+        let (plan, mut footprint) = self.compile_plan(var);
+        // Subscribe even a refusal: an edit touching what the simulation
+        // dispatched may flip the verdict, so the memo must die with it.
+        self.subscribe_plan(var, &mut footprint);
+        match plan {
             // A fresh compile is not a cache hit; the plan lands in the
             // slot after this first execution.
             Some(plan) => Some(Box::new(plan)),
@@ -1661,7 +1818,23 @@ impl Network {
     ///   begun (cross-scheduled dataflow: runtime pruning could change
     ///   which sighting wins the dedup, re-ordering the drain);
     /// - the simulation exceeds a safety cap on steps.
-    fn compile_plan(&self, root: VarId) -> Option<PropPlan> {
+    ///
+    /// Alongside the verdict, returns the *footprint*: the root plus the
+    /// arguments of every constraint the simulation dispatched — the
+    /// variables a structural edit must touch to change this plan's
+    /// shape. Collected on refusals too (the partial footprint covers
+    /// everything the refusal depended on), with one conservative gap:
+    /// a cap-exceeded refusal can also be flipped by *growing* the
+    /// network elsewhere (the cap scales with constraint count), which
+    /// no footprint captures; such a memo persists until a footprint
+    /// edit or a global bump — a missed optimization, never an error.
+    fn compile_plan(&self, root: VarId) -> (Option<PropPlan>, Vec<VarId>) {
+        let mut footprint = vec![root];
+        let plan = self.compile_plan_inner(root, &mut footprint);
+        (plan, footprint)
+    }
+
+    fn compile_plan_inner(&self, root: VarId, footprint: &mut Vec<VarId>) -> Option<PropPlan> {
         let cap = 64 + 8 * self.constraints.len();
         let mut ops: Vec<PlanOp> = Vec::new();
         let mut cids: Vec<ConstraintId> = Vec::new();
@@ -1679,6 +1852,10 @@ impl Network {
         };
         let mut checks_seen: std::collections::HashSet<ConstraintId> =
             std::collections::HashSet::new();
+        // Footprint dedup: a constraint's args enter the footprint once,
+        // on its first sighting — a fan-in hub is encountered once per
+        // input, and extending per encounter would cost O(fan²) pushes.
+        let mut fp_seen = vec![false; self.constraints.len()];
         let mut written: Vec<VarId> = vec![root];
         let mut pending: Vec<(ConstraintId, VarId)> = Vec::new();
         // The cloned scheduler is empty (agendas never leak between
@@ -1700,6 +1877,9 @@ impl Network {
                 let d = &self.constraints[cid.index()];
                 if !d.active || !d.enabled {
                     continue;
+                }
+                if !std::mem::replace(&mut fp_seen[cid.index()], true) {
+                    footprint.extend_from_slice(&d.args);
                 }
                 let kind = Rc::clone(&d.kind);
                 let writes = kind.planned_writes(self, cid, Some(cvar))?;
@@ -1756,6 +1936,9 @@ impl Network {
                 // barred mid-cycle and invalidate the plan otherwise), so
                 // the interpreter's liveness re-check is vacuous here.
                 ran_scheduled = true;
+                if !std::mem::replace(&mut fp_seen[cid.index()], true) {
+                    footprint.extend_from_slice(&self.constraints[cid.index()].args);
+                }
                 let kind = Rc::clone(&self.constraints[cid.index()].kind);
                 let writes = kind.planned_writes(self, cid, entry_var)?;
                 let e = live_entry(&entries, (cid, entry_var)).expect("pop implies queued entry");
@@ -1951,15 +2134,20 @@ impl Network {
         ));
     }
 
-    /// Replays `plan`'s cone partition concurrently: writes the root,
-    /// launches every cone on the worker pool ([`crate::par`]), merges
-    /// the cones' final-check sets in sequential visit order, and
-    /// commits (journal entries, statistics) on success. Returns `false`
-    /// — with *every* write restored — whenever the replay would deviate
-    /// from the sequential outcome (an overwrite denial inside a cone,
-    /// or an unsatisfied visited constraint): the caller then falls back
-    /// to [`Network::run_plan`], which reproduces the violation, its
-    /// statistics and its handler calls exactly.
+    /// Replays `plan`'s parallel body concurrently: writes the root,
+    /// launches its cones (or its wavefront layers) on the worker pool
+    /// ([`crate::par`]), merges the final-check sets in sequential visit
+    /// order, and commits (journal entries, statistics) on success.
+    /// Returns `false` — with *every* write restored — whenever the
+    /// replay would deviate from the sequential outcome (an overwrite
+    /// denial inside a cone, or an unsatisfied visited constraint): the
+    /// caller then falls back to [`Network::run_plan`], which reproduces
+    /// the violation, its statistics and its handler calls exactly.
+    ///
+    /// Replay-time cost gate: when the plan's costliest pool task
+    /// executes fewer steps than [`Network::set_parallel_cone_min_steps`],
+    /// the kernels run inline on this thread (`threads = 1` to the pool)
+    /// — same code path, same counters, no hand-off latency.
     fn run_plan_parallel(
         &mut self,
         root: VarId,
@@ -1979,64 +2167,93 @@ impl Network {
                 std::mem::replace(&mut s.justification, justification.clone()),
             )
         };
-        let threads = self.parallel_threads;
-        let view = SlotsView::new(self.slots.as_mut_ptr(), self.slots.len());
         let par_plan = plan.par.as_mut().expect("caller checked partition");
-        let par::ParPlan {
-            cones, strengths, ..
-        } = &mut **par_plan;
-        {
-            let strengths: &[u8] = strengths;
-            let tasks: Vec<par::ConeTask> = cones
-                .iter_mut()
-                .map(|c| par::ConeTask::new(c, strengths))
-                .collect();
-            // SAFETY: each task index runs exactly once; cones have
-            // disjoint write sets and the main thread stays out of the
-            // slot arena while the pool holds the view.
-            par::pool_run(tasks.len(), threads, &|t| unsafe { tasks[t].run(&view) });
+        let threads = if (par_plan.max_task_exec as usize) < self.par_cone_min_steps {
+            1
+        } else {
+            self.parallel_threads
+        };
+        let view = SlotsView::new(self.slots.as_mut_ptr(), self.slots.len());
+        let strengths: &[u8] = &par_plan.strengths;
+        let is_wave;
+        let n_cones;
+        let stolen;
+        let failed;
+        let mut visited: Vec<(u32, ConstraintId)> = Vec::new();
+        match &mut par_plan.exec {
+            par::ParExec::Cones(cones) => {
+                is_wave = false;
+                n_cones = cones.len() as u64;
+                {
+                    let tasks: Vec<par::ConeTask> = cones
+                        .iter_mut()
+                        .map(|c| par::ConeTask::new(c, strengths))
+                        .collect();
+                    // SAFETY: each task index runs exactly once; cones
+                    // have disjoint write sets and the main thread stays
+                    // out of the slot arena while the pool holds the view.
+                    stolen =
+                        par::pool_run(tasks.len(), threads, &|t| unsafe { tasks[t].run(&view) });
+                }
+                failed = cones.iter().any(|c| c.scratch.failed);
+                if !failed {
+                    // Merged final check in the sequential replay's visit
+                    // order (cones record each constraint's first live
+                    // sighting with its plan index; the sort restores the
+                    // global order).
+                    visited.extend(cones.iter().flat_map(|c| c.scratch.visited.iter().copied()));
+                }
+            }
+            par::ParExec::Wave(wave) => {
+                is_wave = true;
+                n_cones = 1;
+                // SAFETY: layer barriers inside `run_wave` order the
+                // chunks; the main thread stays out of the slot arena.
+                stolen = par::run_wave(wave, &view, strengths, threads);
+                failed = wave.failed();
+                if !failed {
+                    wave.collect_visited(&mut visited);
+                }
+            }
         }
-        let mut ok = !cones.iter().any(|c| c.scratch.failed);
+        let mut ok = !failed;
         if ok {
-            // Merged final check in the sequential replay's visit order
-            // (cones record each constraint's first live sighting with
-            // its plan index; the sort restores the global order).
-            let mut visited: Vec<(u32, ConstraintId)> = cones
-                .iter()
-                .flat_map(|c| c.scratch.visited.iter().copied())
-                .collect();
             visited.sort_unstable_by_key(|&(ix, _)| ix);
             ok = visited.iter().all(|&(_, cid)| {
                 let d = &self.constraints[cid.index()];
                 !d.active || !d.enabled || d.kind.is_satisfied(self, cid)
             });
         }
+        let par_plan = plan.par.as_mut().expect("checked above");
         if !ok {
-            for cone in cones.iter_mut() {
-                for (wvar, wvalue, wjust) in cone.scratch.pre.drain(..) {
-                    let s = &mut self.slots[wvar.index()];
+            let slots = &mut self.slots;
+            for (_, pre) in par_plan.tasks_mut() {
+                for (wvar, wvalue, wjust) in pre.drain(..) {
+                    let s = &mut slots[wvar.index()];
                     s.value = wvalue;
                     s.justification = wjust;
                 }
             }
-            let s = &mut self.slots[root.index()];
+            let s = &mut slots[root.index()];
             s.value = root_pre_value;
             s.justification = root_pre_just;
             return false;
         }
-        // Commit: drain each cone's pre-images into the journal (moves,
-        // first-write-wins — the same inline journaling `propagate_set`
-        // performs) and fold the cone counters into the statistics at
-        // the same totals the sequential replay would have produced.
+        // Commit: drain the pre-images into the journal in plan order
+        // (cone order for a partition, chunk order for a wavefront —
+        // both are plan order; first-write-wins, the same inline
+        // journaling `propagate_set` performs) and fold the counters
+        // into the statistics at the same totals the sequential replay
+        // would have produced.
         let mut assignments = 1; // the root write
-        for cone in cones.iter_mut() {
-            let c = cone.scratch.counters;
-            self.stats.activations += c.activations;
-            self.stats.inferences += c.inferences;
-            self.stats.schedules += c.schedules;
-            self.stats.scheduled_runs += c.scheduled_runs;
+        let mut counters = crate::par::ConeCounters::default();
+        for (c, pre) in par_plan.tasks_mut() {
+            counters.activations += c.activations;
+            counters.inferences += c.inferences;
+            counters.schedules += c.schedules;
+            counters.scheduled_runs += c.scheduled_runs;
             assignments += c.assignments;
-            for (wvar, wvalue, wjust) in cone.scratch.pre.drain(..) {
+            for (wvar, wvalue, wjust) in pre.drain(..) {
                 if let Some(j) = &mut self.journal {
                     let ix = wvar.index();
                     if j.seen.len() <= ix {
@@ -2053,10 +2270,19 @@ impl Network {
                 }
             }
         }
+        self.stats.activations += counters.activations;
+        self.stats.inferences += counters.inferences;
+        self.stats.schedules += counters.schedules;
+        self.stats.scheduled_runs += counters.scheduled_runs;
         self.stats.assignments += assignments;
         self.stats.cycles += 1;
         self.par_stats.plan_replays_parallel += 1;
-        self.par_stats.cones_executed += cones.len() as u64;
+        self.par_stats.cones_executed += n_cones;
+        if is_wave {
+            self.par_stats.plan_replays_wavefront += 1;
+        }
+        self.par_stats.cones_stolen += stolen;
+        par_plan.last_stolen = stolen;
         true
     }
 
@@ -2113,10 +2339,17 @@ impl Network {
                 break; // leave forged-record validation to the sequential path
             }
             let ix = var.index();
+            // Only cone partitions overlap: a wavefront plan's layer
+            // barriers would serialize the whole group, so its root
+            // replays alone via the single-root path.
             let ready = matches!(
                 self.plans.get(ix),
                 Some(PlanSlot::Ready(p))
-                    if p.generation == self.structure_generation && p.par.is_some()
+                    if p.generation == self.structure_generation
+                        && matches!(
+                            p.par.as_deref(),
+                            Some(par::ParPlan { exec: par::ParExec::Cones(_), .. })
+                        )
             );
             if !ready {
                 break;
@@ -2157,15 +2390,36 @@ impl Network {
                 std::mem::replace(&mut s.justification, justification.clone()),
             ));
         }
-        let threads = self.parallel_threads;
+        // Replay-time cost gate over the whole group: if even the
+        // costliest task in the group is below the floor, run the
+        // merged job inline (the group still commits as one batch).
+        let group_max_exec = group
+            .iter()
+            .map(|(_, p)| {
+                p.par
+                    .as_ref()
+                    .expect("admitted with partition")
+                    .max_task_exec
+            })
+            .max()
+            .unwrap_or(0);
+        let threads = if (group_max_exec as usize) < self.par_cone_min_steps {
+            1
+        } else {
+            self.parallel_threads
+        };
         let view = SlotsView::new(self.slots.as_mut_ptr(), self.slots.len());
+        let stolen;
         {
             let tasks: Vec<par::ConeTask> = group
                 .iter_mut()
                 .flat_map(|(_, plan)| {
                     let par::ParPlan {
-                        cones, strengths, ..
+                        exec, strengths, ..
                     } = &mut **plan.par.as_mut().expect("admitted with partition");
+                    let par::ParExec::Cones(cones) = exec else {
+                        unreachable!("admitted cone partitions only");
+                    };
                     let strengths: &[u8] = strengths;
                     cones
                         .iter_mut()
@@ -2174,22 +2428,24 @@ impl Network {
                 .collect();
             // SAFETY: pairwise-disjoint refs extend the per-plan cone
             // disjointness across the whole group.
-            par::pool_run(tasks.len(), threads, &|t| unsafe { tasks[t].run(&view) });
+            stolen = par::pool_run(tasks.len(), threads, &|t| unsafe { tasks[t].run(&view) });
         }
-        let mut ok = !group.iter().any(|(_, plan)| {
-            plan.par
-                .as_ref()
-                .expect("admitted with partition")
-                .cones
-                .iter()
-                .any(|c| c.scratch.failed)
-        });
+        fn group_cones(plan: &PropPlan) -> &Vec<par::ParCone> {
+            let par::ParExec::Cones(cones) =
+                &plan.par.as_ref().expect("admitted with partition").exec
+            else {
+                unreachable!("admitted cone partitions only");
+            };
+            cones
+        }
+        let mut ok = !group
+            .iter()
+            .any(|(_, plan)| group_cones(plan).iter().any(|c| c.scratch.failed));
         if ok {
             let mut visited: Vec<(u32, ConstraintId)> = Vec::new();
             'plans: for (_, plan) in &group {
-                let p = plan.par.as_ref().expect("admitted with partition");
                 visited.clear();
-                for c in &p.cones {
+                for c in group_cones(plan) {
                     visited.extend(c.scratch.visited.iter().copied());
                 }
                 visited.sort_unstable_by_key(|&(ix, _)| ix);
@@ -2209,8 +2465,8 @@ impl Network {
             // typically re-commit via the single-root parallel path.
             for (_, plan) in group.iter_mut() {
                 let p = plan.par.as_mut().expect("admitted with partition");
-                for cone in p.cones.iter_mut() {
-                    for (wvar, wvalue, wjust) in cone.scratch.pre.drain(..) {
+                for (_, pre) in p.tasks_mut() {
+                    for (wvar, wvalue, wjust) in pre.drain(..) {
                         let s = &mut self.slots[wvar.index()];
                         s.value = wvalue;
                         s.justification = wjust;
@@ -2230,16 +2486,18 @@ impl Network {
         // Commit every root: same journal entries and statistics as k
         // sequential cached replays.
         for (_, plan) in group.iter_mut() {
+            let n_cones = group_cones(plan).len() as u64;
             let p = plan.par.as_mut().expect("admitted with partition");
+            p.last_stolen = stolen; // group total: the job was merged
             let mut assignments = 1; // the root write
-            for cone in p.cones.iter_mut() {
-                let c = cone.scratch.counters;
-                self.stats.activations += c.activations;
-                self.stats.inferences += c.inferences;
-                self.stats.schedules += c.schedules;
-                self.stats.scheduled_runs += c.scheduled_runs;
+            let mut counters = crate::par::ConeCounters::default();
+            for (c, pre) in p.tasks_mut() {
+                counters.activations += c.activations;
+                counters.inferences += c.inferences;
+                counters.schedules += c.schedules;
+                counters.scheduled_runs += c.scheduled_runs;
                 assignments += c.assignments;
-                for (wvar, wvalue, wjust) in cone.scratch.pre.drain(..) {
+                for (wvar, wvalue, wjust) in pre.drain(..) {
                     if let Some(j) = &mut self.journal {
                         let ix = wvar.index();
                         if j.seen.len() <= ix {
@@ -2256,12 +2514,17 @@ impl Network {
                     }
                 }
             }
+            self.stats.activations += counters.activations;
+            self.stats.inferences += counters.inferences;
+            self.stats.schedules += counters.schedules;
+            self.stats.scheduled_runs += counters.scheduled_runs;
             self.stats.assignments += assignments;
             self.stats.cycles += 1;
             self.stats.plan_cache_hits += 1;
             self.par_stats.plan_replays_parallel += 1;
-            self.par_stats.cones_executed += p.cones.len() as u64;
+            self.par_stats.cones_executed += n_cones;
         }
+        self.par_stats.cones_stolen += stolen;
         for (var, p) in group {
             self.plans[var.index()] = PlanSlot::Ready(p);
         }

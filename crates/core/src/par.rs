@@ -13,12 +13,19 @@
 //! 1. partitions a plan's steps into cones at compile time
 //!    ([`build_par`]), refusing whenever a step's effect cannot be
 //!    replicated off-thread (no [`ParKernel`], a non-plain write target,
-//!    fewer than two cones, or a plan below the size threshold);
+//!    or a plan below the size threshold); a plan that collapses into a
+//!    *single* cone is levelized instead ([`build_wave`]): its steps are
+//!    sorted into dependency layers (writer-before-reader, including
+//!    write-after-read anti-dependencies) so one giant cone executes
+//!    layer by layer across workers — the wavefront pipeline;
 //! 2. executes cones on a lazily spawned global worker pool
 //!    ([`pool_run`]) against a raw, `Send + Sync` view of the value
 //!    slots ([`SlotsView`]) — safe because the compile-time partition
 //!    proves every variable is written by at most one cone and read
-//!    only by cones that also own it;
+//!    only by cones that also own it. The pool schedules by work
+//!    stealing: each executor owns a deque filled at submit time, pops
+//!    it LIFO, and steals FIFO from the others when it runs dry, so one
+//!    unbalanced cone no longer serializes the replay;
 //! 3. mirrors the sequential replay's statistics exactly
 //!    ([`run_cone`]), so a successful parallel replay is byte-identical
 //!    to [`run_plan`](crate::Network) — and any deviation (overwrite
@@ -36,8 +43,8 @@ use crate::network::{Network, ValueSlot};
 use crate::plan::{PlanOp, PropPlan};
 use crate::value::Value;
 use std::cell::UnsafeCell;
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, OnceLock};
 
 // The whole design rests on value state crossing threads; fail the build,
@@ -59,9 +66,19 @@ pub struct ParStats {
     /// Total cones executed across all parallel replays.
     pub cones_executed: u64,
     /// Planned replays that wanted the parallel path but ran sequentially:
-    /// the plan has no partition (single cone, below threshold, or an
-    /// unkernelable step), or the parallel attempt aborted (violation).
+    /// the plan has no partition (single unlayerable cone, below
+    /// threshold, or an unkernelable step), or the parallel attempt
+    /// aborted (violation).
     pub parallel_fallbacks: u64,
+    /// Committed parallel replays that executed as a levelized wavefront
+    /// (one giant cone pipelined layer-by-layer) rather than as
+    /// independent cones. Deterministic for a fixed op sequence.
+    pub plan_replays_wavefront: u64,
+    /// Pool tasks (cones or wavefront chunks) claimed by an executor
+    /// other than the owner of their deque, summed over committed
+    /// replays. Schedule-dependent: this counter varies run to run and
+    /// is excluded from determinism digests and differential stats.
+    pub cones_stolen: u64,
 }
 
 /// A pure value computation mirroring the built-in
@@ -240,6 +257,17 @@ pub(crate) struct ParCone {
     pub(crate) scratch: ConeScratch,
 }
 
+/// How a plan's parallel body executes: as independent cones, or as one
+/// levelized cone pipelined layer-by-layer.
+#[derive(Debug, Clone)]
+pub(crate) enum ParExec {
+    /// Two or more independent cones, one pool task each.
+    Cones(Vec<ParCone>),
+    /// A single connected cone whose steps were levelized into
+    /// dependency layers; each layer fans out across chunk tasks.
+    Wave(WavePlan),
+}
+
 /// The cone partition of one compiled plan, stored alongside the
 /// sequential step vectors inside [`PropPlan`] — so the plan's
 /// generation counter covers the partition metadata too, and a
@@ -255,8 +283,22 @@ pub(crate) struct ParPlan {
     /// `ConstraintId::index`. Snapshotted at compile time so overwrite
     /// arbitration runs off-thread without touching the `Rc` kinds.
     pub(crate) strengths: Vec<u8>,
-    pub(crate) cones: Vec<ParCone>,
+    /// Executing-step count of the costliest single pool task (the
+    /// biggest cone, or the widest wavefront layer). The replay-time
+    /// admission heuristic compares this against
+    /// `Network::set_parallel_cone_min_steps`: when every task is below
+    /// the floor, pool hand-off costs more than it buys and the replay
+    /// runs the kernels inline on one thread instead.
+    pub(crate) max_task_exec: u32,
+    /// Pool tasks stolen during the most recent committed replay of
+    /// this plan (diagnostic only — surfaced by the inspector).
+    pub(crate) last_stolen: u64,
+    pub(crate) exec: ParExec,
 }
+
+/// One task's committed scratch: its counter block plus the pre-image
+/// buffer the commit/abort paths drain.
+pub(crate) type TaskScratchRef<'a> = (ConeCounters, &'a mut Vec<(VarId, Value, Justification)>);
 
 impl ParPlan {
     /// Whether this plan's variable set is disjoint from `other` (both
@@ -298,6 +340,25 @@ impl ParPlan {
         merged.extend_from_slice(&dst[i..]);
         merged.extend_from_slice(&src[j..]);
         *dst = merged;
+    }
+
+    /// Per-task `(counters, pre-image buffer)` pairs in plan order —
+    /// cone order for a partition, chunk order for a wavefront; both
+    /// orders are plan order, so a first-write-wins drain over them
+    /// journals exactly what the sequential replay would.
+    pub(crate) fn tasks_mut(&mut self) -> Box<dyn Iterator<Item = TaskScratchRef<'_>> + '_> {
+        match &mut self.exec {
+            ParExec::Cones(cones) => Box::new(
+                cones
+                    .iter_mut()
+                    .map(|c| (c.scratch.counters, &mut c.scratch.pre)),
+            ),
+            ParExec::Wave(w) => Box::new(
+                w.chunks
+                    .iter_mut()
+                    .map(|c| (c.scratch.counters, &mut c.scratch.pre)),
+            ),
+        }
     }
 }
 
@@ -388,14 +449,59 @@ impl<'a> ConeTask<'a> {
 // Cone execution
 // ----------------------------------------------------------------------
 
-/// One propagated write against the raw slot view, replicating the
-/// planned branch of `propagate_set` plus the [`PlainKind`] overwrite
-/// rule (build-time admission guarantees every target is plain):
-/// equal value → no-op (the value pruning); user-justified → deny
-/// (abort the attempt); weaker propagation → silently ignored; else
-/// write, saving the pre-image and marking the target live.
+/// Outcome of the overwrite arbitration a propagated write must pass.
+enum WriteGate {
+    /// Perform the write.
+    Proceed,
+    /// Silently keep the existing value (equal value, or a stronger
+    /// propagation already holds the slot).
+    Skip,
+    /// The sequential interpreter would raise `overwrite_denied` (or the
+    /// slot's state is outside this plan's compile-time snapshot): abort
+    /// the parallel attempt and let the sequential fallback reproduce
+    /// the outcome exactly.
+    Deny,
+}
+
+/// The planned branch of `propagate_set` plus the [`PlainKind`]
+/// overwrite rule (build-time admission guarantees every target is
+/// plain): equal value → skip (the value pruning); user-justified →
+/// deny; weaker propagation → skip; else proceed. A justification whose
+/// constraint lies outside the compile-time strength snapshot denies
+/// too — per-root invalidation makes that unreachable (any edit
+/// touching a plan's footprint evicts it), but the fallback is always
+/// correct, so refuse rather than trust the index.
 ///
 /// [`PlainKind`]: crate::PlainKind
+fn arbitrate_write(
+    s: &ValueSlot,
+    value: &Value,
+    strengths: &[u8],
+    source: ConstraintId,
+) -> WriteGate {
+    if s.value == *value {
+        return WriteGate::Skip; // Unchanged: downstream steps stay pruned
+    }
+    if !s.value.is_nil() {
+        match &s.justification {
+            j if j.is_user() => return WriteGate::Deny,
+            Justification::Propagated { constraint, .. } => {
+                match strengths.get(constraint.index()) {
+                    Some(&held) if strengths[source.index()] < held => {
+                        return WriteGate::Skip; // Ignored: weaker propagation yields
+                    }
+                    Some(_) => {}
+                    None => return WriteGate::Deny,
+                }
+            }
+            _ => {}
+        }
+    }
+    WriteGate::Proceed
+}
+
+/// One propagated write against the raw slot view: arbitrate, then
+/// write, saving the pre-image and marking the target live.
 unsafe fn write_slot(
     scratch: &mut ConeScratch,
     slots: &SlotsView,
@@ -406,25 +512,13 @@ unsafe fn write_slot(
     record: DependencyRecord,
 ) {
     let s = slots.get_mut(target.var.index());
-    if s.value == value {
-        return; // Unchanged: downstream steps stay pruned
-    }
-    if !s.value.is_nil() {
-        match &s.justification {
-            j if j.is_user() => {
-                // The interpreter would raise `overwrite_denied` here;
-                // abort the parallel attempt and let the sequential
-                // fallback reproduce the violation exactly.
-                scratch.failed = true;
-                return;
-            }
-            Justification::Propagated { constraint, .. }
-                if strengths[source.index()] < strengths[constraint.index()] =>
-            {
-                return; // Ignored: weaker propagation yields
-            }
-            _ => {}
+    match arbitrate_write(s, &value, strengths, source) {
+        WriteGate::Skip => return,
+        WriteGate::Deny => {
+            scratch.failed = true;
+            return;
         }
+        WriteGate::Proceed => {}
     }
     let pre_value = std::mem::replace(&mut s.value, value);
     let pre_just = std::mem::replace(
@@ -554,6 +648,338 @@ fn run_kernel(scratch: &mut ConeScratch, slots: &SlotsView, strengths: &[u8], st
 }
 
 // ----------------------------------------------------------------------
+// Wavefront execution (one giant cone, pipelined layer-by-layer)
+// ----------------------------------------------------------------------
+
+/// Minimum executing steps per wavefront chunk — below this, splitting a
+/// layer finer only adds hand-off latency.
+const WAVE_CHUNK_MIN_EXEC: usize = 4;
+
+/// Maximum chunks one layer fans out into.
+const MAX_WAVE_CHUNKS: usize = 8;
+
+/// Replay state shared by every chunk of a wavefront: the liveness mark
+/// tables become atomic because chunks of the *same* layer race on them
+/// (value slots never race — levelization separates a variable's writer
+/// from all of its readers, in both directions).
+#[derive(Debug, Default)]
+pub(crate) struct WaveMarks {
+    /// Epoch for the mark tables; bumped once per replay.
+    epoch: u32,
+    /// Per cone-local variable: epoch of the replay in which it last
+    /// changed (index 0 is the root, live by fiat). Written by the
+    /// variable's single writer step, read by strictly later layers.
+    var_marks: Vec<AtomicU32>,
+    /// Per cone-local agenda entry: epoch of its first live sighting.
+    /// `swap` makes the schedules counter exactly-once across chunks.
+    entry_marks: Vec<AtomicU32>,
+    /// Per cone-local constraint: minimum plan index of a live dispatch
+    /// this replay (`u32::MAX` = none). `fetch_min` makes the merged
+    /// visited order deterministic — the minimum is the first dispatch
+    /// in plan order, exactly what the sequential replay records —
+    /// regardless of which chunk got there first in wall time.
+    cid_first: Vec<AtomicU32>,
+    /// An overwrite was denied somewhere: stop dispatching layers and
+    /// abort the attempt.
+    failed: AtomicBool,
+}
+
+impl Clone for WaveMarks {
+    fn clone(&self) -> Self {
+        let load = |v: &[AtomicU32]| {
+            v.iter()
+                .map(|m| AtomicU32::new(m.load(Ordering::Relaxed)))
+                .collect()
+        };
+        WaveMarks {
+            epoch: self.epoch,
+            var_marks: load(&self.var_marks),
+            entry_marks: load(&self.entry_marks),
+            cid_first: load(&self.cid_first),
+            failed: AtomicBool::new(self.failed.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// A chunk's private replay state: pre-images of its writes and its
+/// share of the counter deltas.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ChunkScratch {
+    pub(crate) pre: Vec<(VarId, Value, Justification)>,
+    pub(crate) counters: ConeCounters,
+}
+
+/// A contiguous plan-order slice of one dependency layer, executed as
+/// one pool task. Static chunking keeps the journal drain order (chunk
+/// order = plan order) deterministic under any steal schedule.
+#[derive(Debug, Clone)]
+pub(crate) struct WaveChunk {
+    steps: Vec<ParStep>,
+    pub(crate) scratch: ChunkScratch,
+}
+
+/// A levelized single-cone plan: `chunks` grouped into `layers`, each
+/// layer a barrier — layer `k+1` launches only after every chunk of
+/// layer `k` completed (the pool join provides the happens-before).
+#[derive(Debug, Clone)]
+pub(crate) struct WavePlan {
+    pub(crate) chunks: Vec<WaveChunk>,
+    /// Half-open chunk index ranges, one per layer.
+    pub(crate) layers: Vec<(u32, u32)>,
+    pub(crate) marks: WaveMarks,
+    /// Cone-local constraint index → global id, for reconstructing the
+    /// visited list from `cid_first` on commit.
+    cid_of: Vec<ConstraintId>,
+}
+
+impl WavePlan {
+    pub(crate) fn failed(&self) -> bool {
+        self.marks.failed.load(Ordering::Relaxed)
+    }
+
+    /// Reconstructs the first-live-dispatch list in plan order.
+    pub(crate) fn collect_visited(&self, out: &mut Vec<(u32, ConstraintId)>) {
+        for (local, first) in self.marks.cid_first.iter().enumerate() {
+            let first = first.load(Ordering::Relaxed);
+            if first != u32::MAX {
+                out.push((first, self.cid_of[local]));
+            }
+        }
+    }
+}
+
+/// One wavefront pool task: a chunk plus the shared mark tables.
+pub(crate) struct WaveTask<'a> {
+    chunk: UnsafeCell<&'a mut WaveChunk>,
+    marks: &'a WaveMarks,
+    strengths: &'a [u8],
+}
+
+unsafe impl Sync for WaveTask<'_> {}
+
+impl<'a> WaveTask<'a> {
+    pub(crate) fn new(chunk: &'a mut WaveChunk, marks: &'a WaveMarks, strengths: &'a [u8]) -> Self {
+        WaveTask {
+            chunk: UnsafeCell::new(chunk),
+            marks,
+            strengths,
+        }
+    }
+
+    /// # Safety
+    ///
+    /// Must be called at most once per layer launch, by the one worker
+    /// that claimed this task index.
+    pub(crate) unsafe fn run(&self, slots: &SlotsView, epoch: u32) {
+        let chunk: &mut WaveChunk = &mut **self.chunk.get();
+        run_wave_chunk(chunk, self.marks, slots, self.strengths, epoch);
+    }
+}
+
+/// Replays a levelized cone: reset the shared marks, then run each layer
+/// across the pool with a join barrier between layers. Returns the steal
+/// count accumulated over all layers.
+pub(crate) fn run_wave(
+    wave: &mut WavePlan,
+    slots: &SlotsView,
+    strengths: &[u8],
+    threads: usize,
+) -> u64 {
+    let WavePlan {
+        chunks,
+        layers,
+        marks,
+        ..
+    } = wave;
+    marks.epoch = marks.epoch.wrapping_add(1);
+    if marks.epoch == 0 {
+        for m in &marks.var_marks {
+            m.store(0, Ordering::Relaxed);
+        }
+        for m in &marks.entry_marks {
+            m.store(0, Ordering::Relaxed);
+        }
+        marks.epoch = 1;
+    }
+    for m in &marks.cid_first {
+        m.store(u32::MAX, Ordering::Relaxed);
+    }
+    marks.failed.store(false, Ordering::Relaxed);
+    let epoch = marks.epoch;
+    // The root (local index 0) is live by fiat, as in `run_cone`.
+    marks.var_marks[0].store(epoch, Ordering::Relaxed);
+    for chunk in chunks.iter_mut() {
+        chunk.scratch.pre.clear();
+        chunk.scratch.counters = ConeCounters::default();
+    }
+    let marks: &WaveMarks = marks;
+    let mut stolen = 0;
+    for &(start, end) in layers.iter() {
+        if marks.failed.load(Ordering::Relaxed) {
+            break;
+        }
+        let layer = &mut chunks[start as usize..end as usize];
+        let tasks: Vec<WaveTask> = layer
+            .iter_mut()
+            .map(|c| WaveTask::new(c, marks, strengths))
+            .collect();
+        // SAFETY: pool_run dispatches each task index exactly once; the
+        // join before returning gives layer k's writes a happens-before
+        // edge to layer k+1's reads.
+        stolen += pool_run(tasks.len(), threads, &|t| unsafe {
+            tasks[t].run(slots, epoch)
+        });
+    }
+    stolen
+}
+
+/// Executes one chunk's steps, mirroring `run_cone` step-for-step but
+/// against the shared atomic mark tables.
+fn run_wave_chunk(
+    chunk: &mut WaveChunk,
+    marks: &WaveMarks,
+    slots: &SlotsView,
+    strengths: &[u8],
+    epoch: u32,
+) {
+    let scratch = &mut chunk.scratch;
+    for step in &chunk.steps {
+        if marks.failed.load(Ordering::Relaxed) {
+            return;
+        }
+        if step.op == PlanOp::RunScheduled {
+            if marks.entry_marks[step.entry as usize].load(Ordering::Relaxed) != epoch {
+                continue; // never actually scheduled this replay
+            }
+            scratch.counters.scheduled_runs += 1;
+            scratch.counters.inferences += 1;
+            run_wave_kernel(scratch, marks, slots, strengths, step, epoch);
+        } else {
+            if marks.var_marks[step.trigger as usize].load(Ordering::Relaxed) != epoch {
+                continue; // value-pruned
+            }
+            marks.cid_first[step.cid_local as usize].fetch_min(step.plan_idx, Ordering::Relaxed);
+            scratch.counters.activations += 1;
+            match step.op {
+                PlanOp::Immediate => {
+                    scratch.counters.inferences += 1;
+                    run_wave_kernel(scratch, marks, slots, strengths, step, epoch);
+                }
+                PlanOp::NoActivate => {}
+                _ => {
+                    if marks.entry_marks[step.entry as usize].swap(epoch, Ordering::Relaxed)
+                        != epoch
+                    {
+                        scratch.counters.schedules += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn run_wave_kernel(
+    scratch: &mut ChunkScratch,
+    marks: &WaveMarks,
+    slots: &SlotsView,
+    strengths: &[u8],
+    step: &ParStep,
+    epoch: u32,
+) {
+    match &step.kernel {
+        ConeKernel::Check => {}
+        ConeKernel::Copy { source, targets } => {
+            // SAFETY: levelization puts this read strictly after the
+            // source's writer layer (or the source is the root/ambient,
+            // written before launch); targets are this step's exclusive
+            // writes.
+            let new_value = unsafe { slots.get(source.index()) }.value.clone();
+            if new_value.is_nil() {
+                return; // a Nil change propagates nothing
+            }
+            for &t in targets {
+                unsafe {
+                    wave_write_slot(
+                        scratch,
+                        marks,
+                        slots,
+                        strengths,
+                        t,
+                        new_value.clone(),
+                        step.cid,
+                        DependencyRecord::Single(*source),
+                        epoch,
+                    );
+                }
+            }
+        }
+        ConeKernel::Apply { op, inputs, result } => {
+            // SAFETY: as above — every cone-written input is in an
+            // earlier layer; the result is this step's exclusive write.
+            let computed = unsafe {
+                if inputs.iter().any(|&v| slots.get(v.index()).value.is_nil()) {
+                    None
+                } else {
+                    op.apply(inputs.iter().map(|&v| &slots.get(v.index()).value))
+                }
+            };
+            let Some(value) = computed else {
+                return; // no information: the constraint does not fire
+            };
+            unsafe {
+                wave_write_slot(
+                    scratch,
+                    marks,
+                    slots,
+                    strengths,
+                    *result,
+                    value,
+                    step.cid,
+                    DependencyRecord::All,
+                    epoch,
+                );
+            }
+        }
+    }
+}
+
+/// The wavefront twin of [`write_slot`]: same arbitration, pre-image to
+/// the chunk's scratch, liveness mark through the shared atomic table.
+#[allow(clippy::too_many_arguments)]
+unsafe fn wave_write_slot(
+    scratch: &mut ChunkScratch,
+    marks: &WaveMarks,
+    slots: &SlotsView,
+    strengths: &[u8],
+    target: ParWrite,
+    value: Value,
+    source: ConstraintId,
+    record: DependencyRecord,
+    epoch: u32,
+) {
+    let s = slots.get_mut(target.var.index());
+    match arbitrate_write(s, &value, strengths, source) {
+        WriteGate::Skip => return,
+        WriteGate::Deny => {
+            marks.failed.store(true, Ordering::Relaxed);
+            return;
+        }
+        WriteGate::Proceed => {}
+    }
+    let pre_value = std::mem::replace(&mut s.value, value);
+    let pre_just = std::mem::replace(
+        &mut s.justification,
+        Justification::Propagated {
+            constraint: source,
+            record,
+        },
+    );
+    scratch.pre.push((target.var, pre_value, pre_just));
+    marks.var_marks[target.local as usize].store(epoch, Ordering::Relaxed);
+    scratch.counters.assignments += 1;
+}
+
+// ----------------------------------------------------------------------
 // Cone partitioning (compile time)
 // ----------------------------------------------------------------------
 
@@ -586,7 +1012,8 @@ fn uf_union(parent: &mut [u32], a: u32, b: u32) {
 ///   set disagrees with `planned_writes` (a buggy third-party kind);
 /// - any write target is not a plain-kind variable (the off-thread
 ///   overwrite rule is `PlainKind`'s);
-/// - the steps form a single connected component (nothing to overlap).
+/// - the steps form a single connected component whose dependency
+///   layers are all single-file ([`build_wave`] refuses a pure chain).
 pub(crate) fn build_par(
     net: &Network,
     root: VarId,
@@ -663,9 +1090,6 @@ pub(crate) fn build_par(
         });
         builds[cix].push_step(plan, i, kernel.take())?;
     }
-    if builds.len() < 2 {
-        return None;
-    }
     // Combined variable footprint for batch-overlap admission.
     let mut refs: Vec<u32> = Vec::with_capacity(var_owner.len() + 1);
     refs.push(root.0);
@@ -673,11 +1097,171 @@ pub(crate) fn build_par(
     refs.sort_unstable();
     refs.dedup();
     let strengths = net.constraint_slot_strengths();
+    if builds.len() < 2 {
+        // A single connected component has no cones to overlap, but it
+        // may still pipeline across its dependency layers.
+        let build = builds.pop()?;
+        let (wave, widest) = build_wave(build)?;
+        return Some(Box::new(ParPlan {
+            refs,
+            strengths,
+            max_task_exec: widest,
+            last_stolen: 0,
+            exec: ParExec::Wave(wave),
+        }));
+    }
+    let max_task_exec = builds.iter().map(ConeBuild::exec_steps).max().unwrap_or(0);
     Some(Box::new(ParPlan {
         refs,
         strengths,
-        cones: builds.into_iter().map(ConeBuild::finish).collect(),
+        max_task_exec,
+        last_stolen: 0,
+        exec: ParExec::Cones(builds.into_iter().map(ConeBuild::finish).collect()),
     }))
+}
+
+/// Levelizes a single connected cone into dependency layers for
+/// wavefront execution. A step's layer is one past the deepest layer it
+/// depends on: the writer of its activation trigger, the schedulers of
+/// its agenda entry, the writers of every cone-local variable its kernel
+/// reads (read-after-write), and the readers of every variable it writes
+/// (write-after-read — the sequential replay may read a pre-write value
+/// that a same-layer write would clobber). Returns `None` when no layer
+/// holds two executing steps — a pure chain gains nothing from the
+/// pipeline and stays on the sequential path.
+fn build_wave(build: ConeBuild) -> Option<(WavePlan, u32)> {
+    const NONE: u32 = u32::MAX;
+    fn after(lvl: &mut u32, dep: u32) {
+        if dep != NONE {
+            *lvl = (*lvl).max(dep + 1);
+        }
+    }
+    fn raise(slot: &mut u32, lvl: u32) {
+        if *slot == NONE || *slot < lvl {
+            *slot = lvl;
+        }
+    }
+    let ConeBuild {
+        steps,
+        local_vars,
+        local_cids,
+        local_entries,
+    } = build;
+    let mut writer_level = vec![NONE; local_vars.len()];
+    let mut reader_level = vec![NONE; local_vars.len()];
+    let mut entry_level = vec![NONE; local_entries.len()];
+    let mut level_of: Vec<u32> = Vec::with_capacity(steps.len());
+    for step in &steps {
+        let mut lvl = 0u32;
+        if step.op == PlanOp::RunScheduled {
+            after(&mut lvl, entry_level[step.entry as usize]);
+        } else if step.trigger != 0 {
+            // The liveness gate reads the trigger's mark, stamped by its
+            // single writer step (the root, local 0, is pre-stamped).
+            after(&mut lvl, writer_level[step.trigger as usize]);
+        }
+        match &step.kernel {
+            ConeKernel::Check => {}
+            ConeKernel::Copy { source, targets } => {
+                if let Some(&l) = local_vars.get(source) {
+                    after(&mut lvl, writer_level[l as usize]);
+                }
+                for t in targets {
+                    after(&mut lvl, reader_level[t.local as usize]);
+                }
+            }
+            ConeKernel::Apply { inputs, result, .. } => {
+                for v in inputs {
+                    if let Some(&l) = local_vars.get(v) {
+                        after(&mut lvl, writer_level[l as usize]);
+                    }
+                }
+                after(&mut lvl, reader_level[result.local as usize]);
+            }
+        }
+        match &step.kernel {
+            ConeKernel::Check => {}
+            ConeKernel::Copy { source, targets } => {
+                if let Some(&l) = local_vars.get(source) {
+                    raise(&mut reader_level[l as usize], lvl);
+                }
+                for t in targets {
+                    writer_level[t.local as usize] = lvl;
+                }
+            }
+            ConeKernel::Apply { inputs, result, .. } => {
+                for v in inputs {
+                    if let Some(&l) = local_vars.get(v) {
+                        raise(&mut reader_level[l as usize], lvl);
+                    }
+                }
+                writer_level[result.local as usize] = lvl;
+            }
+        }
+        if !matches!(
+            step.op,
+            PlanOp::RunScheduled | PlanOp::Immediate | PlanOp::NoActivate
+        ) {
+            raise(&mut entry_level[step.entry as usize], lvl);
+        }
+        level_of.push(lvl);
+    }
+    let n_levels = level_of.iter().copied().max().map_or(0, |m| m as usize + 1);
+    let mut per_level: Vec<Vec<ParStep>> = Vec::new();
+    per_level.resize_with(n_levels, Vec::new);
+    for (step, &lvl) in steps.into_iter().zip(&level_of) {
+        per_level[lvl as usize].push(step);
+    }
+    let layer_exec = |lvl_steps: &[ParStep]| {
+        lvl_steps
+            .iter()
+            .filter(|s| matches!(s.op, PlanOp::Immediate | PlanOp::RunScheduled))
+            .count()
+    };
+    let widest = per_level.iter().map(|l| layer_exec(l)).max().unwrap_or(0) as u32;
+    if widest < 2 {
+        return None;
+    }
+    let mut chunks: Vec<WaveChunk> = Vec::new();
+    let mut layers: Vec<(u32, u32)> = Vec::with_capacity(per_level.len());
+    for lvl_steps in per_level {
+        let n_chunks = (layer_exec(&lvl_steps) / WAVE_CHUNK_MIN_EXEC)
+            .clamp(1, MAX_WAVE_CHUNKS)
+            .min(lvl_steps.len());
+        let start = chunks.len() as u32;
+        let m = lvl_steps.len();
+        let (base, extra) = (m / n_chunks, m % n_chunks);
+        let mut it = lvl_steps.into_iter();
+        for i in 0..n_chunks {
+            let take = base + usize::from(i < extra);
+            chunks.push(WaveChunk {
+                steps: it.by_ref().take(take).collect(),
+                scratch: ChunkScratch::default(),
+            });
+        }
+        layers.push((start, chunks.len() as u32));
+    }
+    let mut pairs: Vec<(u32, ConstraintId)> = local_cids.iter().map(|(&c, &l)| (l, c)).collect();
+    pairs.sort_unstable_by_key(|p| p.0);
+    let cid_of: Vec<ConstraintId> = pairs.into_iter().map(|p| p.1).collect();
+    let marks = WaveMarks {
+        epoch: 0,
+        var_marks: (0..local_vars.len()).map(|_| AtomicU32::new(0)).collect(),
+        entry_marks: (0..local_entries.len())
+            .map(|_| AtomicU32::new(0))
+            .collect(),
+        cid_first: (0..cid_of.len()).map(|_| AtomicU32::new(NONE)).collect(),
+        failed: AtomicBool::new(false),
+    };
+    Some((
+        WavePlan {
+            chunks,
+            layers,
+            marks,
+            cid_of,
+        },
+        widest,
+    ))
 }
 
 /// Accumulator for one cone during partitioning: step list plus the
@@ -766,6 +1350,15 @@ impl ConeBuild {
         }
     }
 
+    /// Executing-step count: the per-task cost input to the replay-time
+    /// admission heuristic.
+    fn exec_steps(&self) -> u32 {
+        self.steps
+            .iter()
+            .filter(|s| matches!(s.op, PlanOp::Immediate | PlanOp::RunScheduled))
+            .count() as u32
+    }
+
     fn finish(self) -> ParCone {
         let scratch = ConeScratch {
             epoch: 0,
@@ -799,14 +1392,20 @@ struct SendFnPtr(*const (dyn Fn(usize) + Sync));
 
 unsafe impl Send for SendFnPtr {}
 
-/// One submitted job: a closure plus a task cursor. Helpers and the
-/// submitter claim task indices under the pool lock and run them with
-/// the lock released.
+/// One submitted job: a closure plus per-executor work-stealing deques.
+/// Executor 0 is the submitter; helpers take slots 1.. as they join.
+/// Each executor pops its own deque from the back (LIFO — the task it
+/// was just handed, still cache-warm) and, when dry, sweeps the other
+/// deques from the front (FIFO — the oldest, least-contended work).
+/// Claims happen under the pool lock: on the hermetic target the lock is
+/// the synchronization point anyway, and it doubles as the
+/// happens-before barrier wavefront layers rely on.
 struct PoolJob {
     f: SendFnPtr,
-    n_tasks: usize,
-    /// Next unclaimed task index.
-    next: usize,
+    /// Per-executor deques, filled contiguously at submit time.
+    queues: Vec<VecDeque<usize>>,
+    /// Tasks not yet claimed by any executor.
+    unclaimed: usize,
     /// Claimed-or-unclaimed tasks not yet completed; the submitter
     /// returns only when this reaches zero.
     outstanding: usize,
@@ -814,8 +1413,34 @@ struct PoolJob {
     cap: usize,
     /// Helpers currently inside the job.
     joined: usize,
+    /// Next executor slot to hand a joining helper (wraps over 1..).
+    next_exec: usize,
+    /// Tasks claimed by an executor other than their deque's owner.
+    stolen: u64,
     /// A task panicked (in a helper); the submitter re-raises.
     panicked: bool,
+}
+
+impl PoolJob {
+    /// Claims a task for executor `me`: own deque LIFO, then steal FIFO.
+    fn claim(&mut self, me: usize) -> Option<usize> {
+        if self.unclaimed == 0 {
+            return None;
+        }
+        if let Some(t) = self.queues[me].pop_back() {
+            self.unclaimed -= 1;
+            return Some(t);
+        }
+        let nq = self.queues.len();
+        for d in 1..nq {
+            if let Some(t) = self.queues[(me + d) % nq].pop_front() {
+                self.unclaimed -= 1;
+                self.stolen += 1;
+                return Some(t);
+            }
+        }
+        None
+    }
 }
 
 #[derive(Default)]
@@ -876,18 +1501,24 @@ impl Pool {
     fn worker_loop(&self) {
         let mut guard = self.state.lock().unwrap_or_else(|e| e.into_inner());
         loop {
-            // Find a job with unclaimed tasks and helper capacity.
+            // Find a job with unclaimed tasks and helper capacity, and
+            // take an executor slot in it (owning one of its deques).
             let mut found = None;
             for (ji, slot) in guard.jobs.iter_mut().enumerate() {
                 if let Some(j) = slot {
-                    if j.joined < j.cap && j.next < j.n_tasks {
+                    if j.joined < j.cap && j.unclaimed > 0 {
                         j.joined += 1;
-                        found = Some(ji);
+                        let me = j.next_exec;
+                        j.next_exec += 1;
+                        if j.next_exec >= j.queues.len() {
+                            j.next_exec = 1;
+                        }
+                        found = Some((ji, me));
                         break;
                     }
                 }
             }
-            let Some(ji) = found else {
+            let Some((ji, me)) = found else {
                 guard = self.work_cv.wait(guard).unwrap_or_else(|e| e.into_inner());
                 continue;
             };
@@ -898,12 +1529,10 @@ impl Pool {
             // re-inspect the job under.
             loop {
                 let j = guard.jobs[ji].as_mut().expect("job alive while joined");
-                if j.next >= j.n_tasks {
+                let Some(t) = j.claim(me) else {
                     j.joined -= 1;
                     break;
-                }
-                let t = j.next;
-                j.next += 1;
+                };
                 let f = j.f.0;
                 drop(guard);
                 // SAFETY: the job slot is live (outstanding > 0), so the
@@ -928,31 +1557,44 @@ impl Pool {
 }
 
 /// Runs `f(0..n_tasks)` across up to `threads` executors (the calling
-/// thread plus pool helpers), returning when every task has completed.
-/// With `threads <= 1` or a single task, runs inline with no pool
-/// traffic. Panics in tasks propagate to the caller after all tasks
-/// finish or are accounted for.
-pub(crate) fn pool_run(n_tasks: usize, threads: usize, f: &(dyn Fn(usize) + Sync)) {
+/// thread plus pool helpers), returning the number of tasks stolen —
+/// claimed by an executor other than the owner of the deque they were
+/// dealt to — once every task has completed. With `threads <= 1` or a
+/// single task, runs inline with no pool traffic (and no steals).
+/// Panics in tasks propagate to the caller after all tasks finish or
+/// are accounted for.
+pub(crate) fn pool_run(n_tasks: usize, threads: usize, f: &(dyn Fn(usize) + Sync)) -> u64 {
     if threads <= 1 || n_tasks <= 1 {
         for t in 0..n_tasks {
             f(t);
         }
-        return;
+        return 0;
     }
     let pool = POOL.get_or_init(Pool::new);
     let helpers = (threads - 1).min(n_tasks - 1).min(MAX_POOL_WORKERS);
     pool.ensure_spawned(helpers);
+    // Deal tasks to the executor deques in contiguous blocks, in task
+    // order: executor 0 (the submitter) gets the first block, helper
+    // slots the rest. Stealing rebalances whatever the owners leave.
+    let n_queues = helpers + 1;
+    let mut queues: Vec<VecDeque<usize>> = Vec::with_capacity(n_queues);
+    queues.resize_with(n_queues, VecDeque::new);
+    for t in 0..n_tasks {
+        queues[t * n_queues / n_tasks].push_back(t);
+    }
     // Erase the closure's lifetime for the job slot; see `SendFnPtr`.
     let f_static: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(f) };
     let ji = {
         let mut guard = pool.state.lock().unwrap_or_else(|e| e.into_inner());
         let job = PoolJob {
             f: SendFnPtr(f_static as *const _),
-            n_tasks,
-            next: 0,
+            queues,
+            unclaimed: n_tasks,
             outstanding: n_tasks,
             cap: helpers,
             joined: 0,
+            next_exec: 1,
+            stolen: 0,
             panicked: false,
         };
         match guard.jobs.iter().position(|s| s.is_none()) {
@@ -967,15 +1609,13 @@ pub(crate) fn pool_run(n_tasks: usize, threads: usize, f: &(dyn Fn(usize) + Sync
         }
     };
     pool.work_cv.notify_all();
-    // Participate: claim tasks alongside the helpers, then wait for the
-    // stragglers they still hold.
+    // Participate as executor 0: claim tasks alongside the helpers, then
+    // wait for the stragglers they still hold.
     let mut local_panic: Option<Box<dyn std::any::Any + Send>> = None;
     let mut guard = pool.state.lock().unwrap_or_else(|e| e.into_inner());
     loop {
         let j = guard.jobs[ji].as_mut().expect("own job alive");
-        if j.next < j.n_tasks {
-            let t = j.next;
-            j.next += 1;
+        if let Some(t) = j.claim(0) {
             drop(guard);
             let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(t)));
             guard = pool.state.lock().unwrap_or_else(|e| e.into_inner());
@@ -993,7 +1633,10 @@ pub(crate) fn pool_run(n_tasks: usize, threads: usize, f: &(dyn Fn(usize) + Sync
             break;
         }
     }
-    let helper_panicked = guard.jobs[ji].as_ref().map(|j| j.panicked).unwrap_or(false);
+    let (helper_panicked, stolen) = guard.jobs[ji]
+        .as_ref()
+        .map(|j| (j.panicked, j.stolen))
+        .unwrap_or((false, 0));
     guard.jobs[ji] = None;
     drop(guard);
     if let Some(p) = local_panic {
@@ -1002,6 +1645,7 @@ pub(crate) fn pool_run(n_tasks: usize, threads: usize, f: &(dyn Fn(usize) + Sync
     if helper_panicked {
         panic!("parallel replay worker panicked");
     }
+    stolen
 }
 
 #[cfg(test)]
@@ -1012,12 +1656,48 @@ mod tests {
     #[test]
     fn pool_runs_every_task_exactly_once() {
         let hits: Vec<AtomicU64> = (0..100).map(|_| AtomicU64::new(0)).collect();
-        pool_run(100, 4, &|t| {
+        let stolen = pool_run(100, 4, &|t| {
             hits[t].fetch_add(1, Ordering::Relaxed);
         });
         for h in &hits {
             assert_eq!(h.load(Ordering::Relaxed), 1);
         }
+        assert!(stolen <= 100);
+    }
+
+    #[test]
+    fn pool_claims_own_deque_lifo_then_steals_fifo() {
+        let noop: &(dyn Fn(usize) + Sync) = &|_| {};
+        let mut job = PoolJob {
+            f: SendFnPtr(noop as *const _),
+            queues: vec![VecDeque::from(vec![0, 1, 2]), VecDeque::from(vec![3, 4, 5])],
+            unclaimed: 6,
+            outstanding: 6,
+            cap: 1,
+            joined: 0,
+            next_exec: 1,
+            stolen: 0,
+            panicked: false,
+        };
+        // Owners pop their own deques from the back.
+        assert_eq!(job.claim(0), Some(2));
+        assert_eq!(job.claim(1), Some(5));
+        assert_eq!(job.claim(0), Some(1));
+        assert_eq!(job.claim(0), Some(0));
+        assert_eq!(job.stolen, 0);
+        // Executor 0's deque is dry: it steals the oldest task from 1.
+        assert_eq!(job.claim(0), Some(3));
+        assert_eq!(job.stolen, 1);
+        assert_eq!(job.claim(1), Some(4));
+        assert_eq!(job.stolen, 1);
+        assert_eq!(job.claim(0), None);
+        assert_eq!(job.unclaimed, 0);
+    }
+
+    #[test]
+    fn pool_inline_paths_never_steal() {
+        assert_eq!(pool_run(1, 8, &|_| {}), 0);
+        assert_eq!(pool_run(5, 1, &|_| {}), 0);
     }
 
     #[test]

@@ -97,6 +97,25 @@ pub(crate) enum PlanSlot {
     Ready(Box<PropPlan>),
 }
 
+/// Diagnostic view of a root variable's parallel partition
+/// ([`crate::Network::plan_par_detail`]): enough to see replay shape and
+/// skew without a profiler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanParDetail {
+    /// Independent cones in the partition (1 for a wavefront plan).
+    pub cones: usize,
+    /// Wavefront layer depth (1 for independent cones — a single
+    /// barrier-free launch).
+    pub layers: usize,
+    /// Executing steps in the costliest single pool task (largest cone
+    /// or widest layer) — what the pool-admission floor compares
+    /// against.
+    pub max_task_exec: usize,
+    /// Pool tasks stolen during the most recent committed parallel
+    /// replay of this plan. Schedule-dependent; diagnostic only.
+    pub last_stolen: u64,
+}
+
 /// Public view of a root variable's plan-cache entry
 /// ([`crate::Network::plan_status`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

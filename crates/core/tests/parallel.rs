@@ -216,8 +216,8 @@ fn structural_edit_invalidates_partition_with_plan() {
     let (mut net, src, _) = parallel_net(4, 8, 4);
     net.set(src, Value::Int(1), Justification::User).unwrap();
     assert_eq!(net.plan_parallel_cones(src), Some(8));
-    // Any structural edit bumps the generation; the stale plan's cone
-    // tables must go unreadable with it.
+    // The edit touches `src`, which is in the plan's footprint: the
+    // subscription index must evict the stale cone tables eagerly.
     let extra = net.add_variable("extra");
     net.add_constraint(Equality::new(), [src, extra]).unwrap();
     assert_eq!(net.plan_parallel_cones(src), None);
@@ -312,6 +312,121 @@ fn repeated_runs_are_deterministic() {
         )
     };
     assert_eq!(run(), run());
+}
+
+#[test]
+fn wavefront_pipelines_single_giant_cone_and_matches_sequential() {
+    // One connected cone: src —eq→ head, head —eq→ 12 mirrors, sum into
+    // out. PR 7's partitioner found a single component here and fell
+    // back; the wavefront path must levelize it (mirrors form one wide
+    // layer) and stay byte-identical at every thread count.
+    let mut reference: Option<(String, String)> = None;
+    for threads in [1usize, 2, 4, 8] {
+        let mut net = Network::new();
+        net.set_parallel_threads(threads);
+        net.set_parallel_min_steps(1);
+        net.set_parallel_cone_min_steps(1); // force real pool dispatch
+        let (src, outs) = fanout(&mut net, "", 1, 12);
+        for round in 0..5i64 {
+            net.set(src, Value::Int(round + 2), Justification::User)
+                .unwrap();
+        }
+        assert_eq!(net.value(outs[0]), &Value::Int(6 * 12));
+        if threads > 1 {
+            assert_eq!(net.plan_parallel_cones(src), Some(1), "one wave cone");
+            let detail = net.plan_par_detail(src).unwrap();
+            assert_eq!(detail.cones, 1);
+            assert!(detail.layers >= 2, "mirrors form a later layer");
+            assert_eq!(detail.max_task_exec, 12, "widest layer: the mirrors");
+            let ps = net.par_stats();
+            assert_eq!(ps.plan_replays_parallel, 5);
+            assert_eq!(ps.plan_replays_wavefront, 5);
+            assert_eq!(ps.cones_executed, 5);
+            assert_eq!(ps.parallel_fallbacks, 0);
+        } else {
+            assert_eq!(net.plan_parallel_cones(src), None);
+        }
+        let state = (dump(&net), format!("{:?}", net.stats()));
+        match &reference {
+            None => reference = Some(state),
+            Some(r) => assert_eq!(r, &state, "diverged at {threads} threads"),
+        }
+    }
+}
+
+#[test]
+fn wavefront_violation_aborts_and_matches_sequential() {
+    let run = |threads: usize| {
+        let mut net = Network::new();
+        net.set_parallel_threads(threads);
+        net.set_parallel_min_steps(1);
+        net.set_parallel_cone_min_steps(1);
+        let (src, outs) = fanout(&mut net, "", 1, 10);
+        net.add_constraint(Predicate::le_const(Value::Int(40)), [outs[0]])
+            .unwrap();
+        net.set(src, Value::Int(3), Justification::User).unwrap();
+        let err = net
+            .set(src, Value::Int(9), Justification::User) // 9·10 > 40
+            .unwrap_err();
+        assert_eq!(net.value(outs[0]), &Value::Int(30), "restored");
+        (dump(&net), format!("{err:?}"), format!("{:?}", net.stats()))
+    };
+    let sequential = run(1);
+    for threads in [2, 8] {
+        assert_eq!(run(threads), sequential, "diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn stealing_pool_replay_is_deterministic_modulo_steal_count() {
+    // With the per-task floor lowered, replays really cross the pool, so
+    // thieves can claim cones. Everything observable must still be
+    // byte-identical run to run; only `cones_stolen` (and the
+    // per-plan `last_stolen` diagnostic) may vary with the schedule.
+    let run = || {
+        let (mut net, src, _) = parallel_net(8, 8, 8);
+        net.set_parallel_cone_min_steps(1);
+        for round in 0..10i64 {
+            net.set(src, Value::Int(round), Justification::User)
+                .unwrap();
+        }
+        let mut ps = net.par_stats();
+        ps.cones_stolen = 0;
+        (dump(&net), format!("{:?} {ps:?}", net.stats()))
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn disjoint_structural_edit_keeps_unrelated_plans() {
+    let mut net = Network::new();
+    net.set_parallel_threads(4);
+    net.set_parallel_min_steps(1);
+    let (a, _) = fanout(&mut net, "a", 4, 4);
+    let (b, _) = fanout(&mut net, "b", 4, 4);
+    net.set(a, Value::Int(1), Justification::User).unwrap();
+    net.set(b, Value::Int(2), Justification::User).unwrap();
+    let compiles_before = net.stats().plan_compiles;
+    // Edit inside b's cone only: a's plan footprint is disjoint, so it
+    // must survive — this is the O(touched) invalidation contract.
+    let extra = net.add_variable("extra");
+    net.add_constraint(Equality::new(), [b, extra]).unwrap();
+    assert_eq!(net.plan_parallel_cones(a), Some(4), "a's plan survives");
+    assert_eq!(net.plan_parallel_cones(b), None, "b's plan evicted");
+    assert_eq!(net.stats().plan_cache_invalidations, 1);
+    net.set(a, Value::Int(3), Justification::User).unwrap();
+    assert_eq!(
+        net.stats().plan_compiles,
+        compiles_before,
+        "replaying a recompiled nothing"
+    );
+    net.set(b, Value::Int(4), Justification::User).unwrap();
+    assert_eq!(
+        net.value(extra),
+        &Value::Int(4),
+        "b recompiled with the edge"
+    );
+    assert_eq!(net.stats().plan_compiles, compiles_before + 1);
 }
 
 #[test]

@@ -92,11 +92,13 @@ fn structural_edit_invalidates() {
     assert_eq!(net.stats().plan_cache_hits, 1);
     let gen_before = net.structure_generation();
 
-    // Adding a constraint reshapes the cone: stale plan must be dropped.
+    // Adding a constraint reshapes the cone: the stale plan is evicted
+    // eagerly via the touched-variable subscription index — the global
+    // structure generation no longer moves on ordinary edits.
     let probe = net.add_variable("probe");
     net.add_constraint(Equality::new(), [spokes[0], probe])
         .unwrap();
-    assert!(net.structure_generation() > gen_before);
+    assert_eq!(net.structure_generation(), gen_before);
     assert_eq!(
         net.plan_status(hub),
         PlanStatus::NotCompiled,

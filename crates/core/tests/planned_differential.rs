@@ -90,6 +90,8 @@ fn planned_path_is_byte_identical_to_agenda_on_random_networks() {
     let mut total_compiles = 0u64;
     let mut total_violations = 0u64;
     let mut total_parallel_replays = 0u64;
+    let mut total_parallel_wavefronts = 0u64;
+    let mut total_parallel_steals = 0u64;
     let mut total_parallel_fallbacks = 0u64;
     let mut saw_uncompilable = false;
 
@@ -104,8 +106,11 @@ fn planned_path_is_byte_identical_to_agenda_on_random_networks() {
                 assert!(net.is_plan_caching());
                 net.set_parallel_threads(threads);
                 // Tiny random cones would never clear the production
-                // threshold; floor it so partitioning actually runs.
+                // thresholds; floor both so partitioning actually runs
+                // and replays really cross the work-stealing pool
+                // (instead of the inline below-cost path).
                 net.set_parallel_min_steps(1);
+                net.set_parallel_cone_min_steps(1);
                 net
             })
             .collect();
@@ -209,7 +214,21 @@ fn planned_path_is_byte_identical_to_agenda_on_random_networks() {
         total_compiles += s.plan_compiles;
         let ps = planned.last().unwrap().par_stats();
         total_parallel_replays += ps.plan_replays_parallel;
+        total_parallel_wavefronts += ps.plan_replays_wavefront;
+        total_parallel_steals += ps.cones_stolen;
         total_parallel_fallbacks += ps.parallel_fallbacks;
+        // The deterministic parallel counters must agree across the
+        // pooled twins; only `cones_stolen` is schedule-dependent.
+        for (t, net) in THREAD_SWEEP.iter().zip(planned.iter()).skip(1) {
+            let mut other = net.par_stats();
+            let mut want = ps;
+            other.cones_stolen = 0;
+            want.cones_stolen = 0;
+            assert_eq!(
+                other, want,
+                "par stats diverged at round {round} threads {t}"
+            );
+        }
         assert_eq!(planned[0].par_stats(), stem_core::ParStats::default());
         saw_uncompilable |= planned[0]
             .variables()
@@ -239,4 +258,12 @@ fn planned_path_is_byte_identical_to_agenda_on_random_networks() {
         total_parallel_fallbacks > 0,
         "the 8-thread twin never fell back — admission rules untested"
     );
+    assert!(
+        total_parallel_wavefronts > 0,
+        "no single-cone plan ever ran as a wavefront — levelizer untested"
+    );
+    // Not asserted > 0: steal counts are schedule-dependent and may
+    // legitimately be 0 on a quiet machine. Folded in so the sweep
+    // exercises the accounting without constraining it.
+    let _ = total_parallel_steals;
 }

@@ -1378,7 +1378,9 @@ impl Worker {
                     stats.plan_cache_invalidations = net_stats.plan_cache_invalidations;
                     let par_stats = sess.net.par_stats();
                     stats.plan_replays_parallel = par_stats.plan_replays_parallel;
+                    stats.plan_replays_wavefront = par_stats.plan_replays_wavefront;
                     stats.cones_executed = par_stats.cones_executed;
+                    stats.cones_stolen = par_stats.cones_stolen;
                     stats.parallel_fallbacks = par_stats.parallel_fallbacks;
                     stats.quarantined = sess.quarantined;
                     let _ = reply.send(stats);
@@ -1656,8 +1658,14 @@ impl Worker {
                     .plan_replays_parallel
                     .fetch_add(d.plan_replays_parallel, Ordering::Relaxed);
                 counters
+                    .plan_replays_wavefront
+                    .fetch_add(d.plan_replays_wavefront, Ordering::Relaxed);
+                counters
                     .cones_executed
                     .fetch_add(d.cones_executed, Ordering::Relaxed);
+                counters
+                    .cones_stolen
+                    .fetch_add(d.cones_stolen, Ordering::Relaxed);
                 counters
                     .parallel_fallbacks
                     .fetch_add(d.parallel_fallbacks, Ordering::Relaxed);
@@ -1754,7 +1762,9 @@ struct BatchDelta {
     plan_cache_hits: u64,
     plan_cache_invalidations: u64,
     plan_replays_parallel: u64,
+    plan_replays_wavefront: u64,
     cones_executed: u64,
+    cones_stolen: u64,
     parallel_fallbacks: u64,
 }
 
@@ -1770,9 +1780,15 @@ fn delta(before: Stats, before_par: ParStats, after: Stats, after_par: ParStats)
         plan_replays_parallel: after_par
             .plan_replays_parallel
             .saturating_sub(before_par.plan_replays_parallel),
+        plan_replays_wavefront: after_par
+            .plan_replays_wavefront
+            .saturating_sub(before_par.plan_replays_wavefront),
         cones_executed: after_par
             .cones_executed
             .saturating_sub(before_par.cones_executed),
+        cones_stolen: after_par
+            .cones_stolen
+            .saturating_sub(before_par.cones_stolen),
         parallel_fallbacks: after_par
             .parallel_fallbacks
             .saturating_sub(before_par.parallel_fallbacks),

@@ -34,7 +34,9 @@ pub(crate) struct Counters {
     pub plan_cache_hits: AtomicU64,
     pub plan_cache_invalidations: AtomicU64,
     pub plan_replays_parallel: AtomicU64,
+    pub plan_replays_wavefront: AtomicU64,
     pub cones_executed: AtomicU64,
+    pub cones_stolen: AtomicU64,
     pub parallel_fallbacks: AtomicU64,
     pub recoveries: AtomicU64,
     pub segments_ingested: AtomicU64,
@@ -90,7 +92,9 @@ impl Counters {
             plan_cache_hits: self.plan_cache_hits.load(Ordering::Relaxed),
             plan_cache_invalidations: self.plan_cache_invalidations.load(Ordering::Relaxed),
             plan_replays_parallel: self.plan_replays_parallel.load(Ordering::Relaxed),
+            plan_replays_wavefront: self.plan_replays_wavefront.load(Ordering::Relaxed),
             cones_executed: self.cones_executed.load(Ordering::Relaxed),
+            cones_stolen: self.cones_stolen.load(Ordering::Relaxed),
             parallel_fallbacks: self.parallel_fallbacks.load(Ordering::Relaxed),
             recoveries: self.recoveries.load(Ordering::Relaxed),
             segments_ingested: self.segments_ingested.load(Ordering::Relaxed),
@@ -144,9 +148,18 @@ pub struct EngineStats {
     /// exceeds 1). Every cache hit on a thread-enabled session lands in
     /// exactly one of this counter or [`EngineStats::parallel_fallbacks`].
     pub plan_replays_parallel: u64,
+    /// Committed parallel replays that executed as a levelized wavefront
+    /// (one giant cone pipelined layer-by-layer) rather than independent
+    /// cones — a subset of [`EngineStats::plan_replays_parallel`].
+    pub plan_replays_wavefront: u64,
     /// Cones executed by committed parallel replays, across all sessions
-    /// (≥ 2 × [`EngineStats::plan_replays_parallel`]).
+    /// (a wavefront replay counts as one cone; a cone-partition replay
+    /// counts ≥ 2).
     pub cones_executed: u64,
+    /// Pool tasks claimed by a worker other than the one they were dealt
+    /// to (work stealing), summed over committed parallel replays.
+    /// Schedule-dependent — excluded from determinism digests.
+    pub cones_stolen: u64,
     /// Cached replays that ran sequentially despite an enabled worker
     /// pool: plan below the partition threshold, single connected
     /// component, kernel-less kind, or a parallel attempt that aborted
@@ -222,8 +235,15 @@ pub struct SessionStats {
     /// thread-enabled session every cached replay counts in exactly one
     /// of this counter or [`SessionStats::parallel_fallbacks`].
     pub plan_replays_parallel: u64,
-    /// Cones executed by this session's committed parallel replays.
+    /// Committed parallel replays that ran as a levelized wavefront — a
+    /// subset of [`SessionStats::plan_replays_parallel`].
+    pub plan_replays_wavefront: u64,
+    /// Cones executed by this session's committed parallel replays (a
+    /// wavefront replay counts as one).
     pub cones_executed: u64,
+    /// Pool tasks stolen during this session's committed parallel
+    /// replays. Schedule-dependent; diagnostic only.
+    pub cones_stolen: u64,
     /// Cached replays that ran sequentially despite the worker pool
     /// (below-threshold plan, single cone, kernel-less kind, or an
     /// aborted parallel attempt).
@@ -262,7 +282,9 @@ impl EngineStats {
             plan_cache_hits,
             plan_cache_invalidations,
             plan_replays_parallel,
+            plan_replays_wavefront,
             cones_executed,
+            cones_stolen,
             parallel_fallbacks,
             recoveries,
             segments_ingested,
@@ -289,7 +311,9 @@ impl EngineStats {
         self.plan_cache_hits += plan_cache_hits;
         self.plan_cache_invalidations += plan_cache_invalidations;
         self.plan_replays_parallel += plan_replays_parallel;
+        self.plan_replays_wavefront += plan_replays_wavefront;
         self.cones_executed += cones_executed;
+        self.cones_stolen += cones_stolen;
         self.parallel_fallbacks += parallel_fallbacks;
         self.recoveries += recoveries;
         self.segments_ingested += segments_ingested;

@@ -180,11 +180,54 @@ fn session_replay_counters_reconcile_with_cache_hits() {
     assert_eq!(fallbacks, 6, "small-chain sets must fall back");
     let cones = stats.cones_executed - base.cones_executed;
     assert_eq!(cones, 6 * 8);
-    // The engine-wide rollup carries the same counters.
+    // The engine-wide rollup carries the same counters — including the
+    // schedule-dependent steal count, which both tiers read from the
+    // same committed replays and must therefore agree on exactly.
     let es = engine.stats();
     assert_eq!(es.plan_replays_parallel, stats.plan_replays_parallel);
+    assert_eq!(es.plan_replays_wavefront, stats.plan_replays_wavefront);
     assert_eq!(es.cones_executed, stats.cones_executed);
+    assert_eq!(es.cones_stolen, stats.cones_stolen);
     assert_eq!(es.parallel_fallbacks, stats.parallel_fallbacks);
+}
+
+#[test]
+fn wavefront_counters_flow_through_engine_stats() {
+    // One giant single-cone cluster: 1 + 300 + 1 = 302 executing steps
+    // clears both the 256-step partition floor and the 128-step
+    // per-task pool floor, so the session replays it as a pooled
+    // wavefront (PR 7 could only fall back on this shape).
+    let build = |threads: usize| {
+        let mut cmds = Vec::new();
+        let mut ix = 0;
+        let giant = push_cluster(&mut cmds, &mut ix, 1, 300);
+        let engine = engine_with_threads(threads);
+        let session = engine.create_session();
+        engine.apply(session, cmds).expect("setup");
+        (engine, session, giant)
+    };
+    let (par, sp, giant) = build(4);
+    let (seq, ss, _) = build(1);
+    for round in 0..4i64 {
+        let op = par.apply(sp, vec![set(giant, round + 1)]).expect("par");
+        let os = seq.apply(ss, vec![set(giant, round + 1)]).expect("seq");
+        assert_eq!(op.outputs, os.outputs);
+        assert_eq!(op.assignments, os.assignments);
+    }
+    assert_eq!(dump(&par, sp), dump(&seq, ss));
+    let stats = par.session_stats(sp);
+    assert!(stats.plan_replays_wavefront > 0, "giant cone must wave");
+    assert_eq!(stats.plan_replays_wavefront, stats.plan_replays_parallel);
+    assert_eq!(stats.cones_executed, stats.plan_replays_parallel);
+    assert_eq!(stats.parallel_fallbacks, 0);
+    let es = par.stats();
+    assert_eq!(es.plan_replays_wavefront, stats.plan_replays_wavefront);
+    assert_eq!(es.cones_stolen, stats.cones_stolen);
+    // The sequential twin kept every parallel counter at zero.
+    let stats_seq = seq.session_stats(ss);
+    assert_eq!(stats_seq.plan_replays_parallel, 0);
+    assert_eq!(stats_seq.plan_replays_wavefront, 0);
+    assert_eq!(stats_seq.cones_stolen, 0);
 }
 
 #[test]

@@ -46,10 +46,39 @@ RATIO_GATES = [
     # Parallel cone replay must buy ≥2.5× at wide fanout…
     ("propagation_planned/dense_fanout/parallel/256",
      "propagation_planned/dense_fanout/par_seq/256", 2.5, 8),
-    # …and must not cost more than 5% where it falls back (below the
-    # 256-step partition floor the parallel arm replays sequentially).
+    # …and must never cost more than noise at ANY fanout, on any host.
+    # Fan 16 falls back below the 256-step partition floor; fan 64
+    # partitions but each 66-step cone sits below the 128-step per-task
+    # cost floor, so the replay inlines instead of paying pool hand-off
+    # (this gate caught the regression that floor fixed — it ran 0.73×
+    # when every 66-step cone crossed the pool); fan 256 pools for real.
+    # The 1-core thresholds carry heavy slack: on a single-CPU builder
+    # identical-code arms swing ±30% run to run, so these are tripwires
+    # for the order-of-magnitude dispatch regression, and the honest
+    # ≥0.95× claims move to the 8-core tier where noise is observable.
     ("propagation_planned/dense_fanout/parallel/16",
      "propagation_planned/dense_fanout/par_seq/16", 0.95, 8),
+    ("propagation_planned/dense_fanout/parallel/16",
+     "propagation_planned/dense_fanout/par_seq/16", 0.65, 1),
+    ("propagation_planned/dense_fanout/parallel/64",
+     "propagation_planned/dense_fanout/par_seq/64", 0.95, 8),
+    ("propagation_planned/dense_fanout/parallel/64",
+     "propagation_planned/dense_fanout/par_seq/64", 0.9, 1),
+    ("propagation_planned/dense_fanout/parallel/256",
+     "propagation_planned/dense_fanout/par_seq/256", 0.95, 8),
+    ("propagation_planned/dense_fanout/parallel/256",
+     "propagation_planned/dense_fanout/par_seq/256", 0.75, 1),
+    # A partition of sub-floor cones must take the inline path: the par
+    # arm of the dispatch-overhead micro-bench may not pay pool tax
+    # (pooled, this shape measured 0.1-0.3×; inline it sits at ~1.0×).
+    ("propagation_planned/dispatch_overhead/par/4x4",
+     "propagation_planned/dispatch_overhead/seq/4x4", 0.8, 1),
+    # Per-root dirty tracking: a structural toggle whose footprint is
+    # disjoint from the measured cone must leave its plan alive, so the
+    # churn arm runs within 2× of pure cache-hit replay (the old global
+    # generation bump recompiled every iteration, ~5-6× slower).
+    ("propagation_planned/recompile_churn/toggle_between_sets/64",
+     "propagation_planned/dense_fanout/planned/64", 0.5, 1),
     # The cluster router's tax on a pipelined submit (id translation plus
     # the shard-roster read lock) must stay within 15% of hitting the
     # engine directly — enforced everywhere, it measures overhead, not
