@@ -17,17 +17,26 @@
 #                      differential (no acked batch lost or duplicated
 #                      across lease-fenced failover) plus the router,
 #                      shipping, and client-failover robustness legs
+#   --domain-differential
+#                      additionally run the domain-propagation legs in
+#                      release: the 1000-network mixed
+#                      interval/finite-set/single differential (agenda
+#                      vs planned twins, byte-identical values and
+#                      domain counters, subsumption-mark parity) plus
+#                      the core domain-kind unit suite
 set -euo pipefail
 cd "$(dirname "$0")"
 
 BENCH_COMPARE=0
 PAR_DIFFERENTIAL=0
 CLUSTER_DIFFERENTIAL=0
+DOMAIN_DIFFERENTIAL=0
 for arg in "$@"; do
   case "$arg" in
     --bench-compare) BENCH_COMPARE=1 ;;
     --par-differential) PAR_DIFFERENTIAL=1 ;;
     --cluster-differential) CLUSTER_DIFFERENTIAL=1 ;;
+    --domain-differential) DOMAIN_DIFFERENTIAL=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -67,11 +76,13 @@ timeout 120 cargo run --release --offline --example remote_session > /dev/null
 echo "==> cargo bench --smoke (regression JSON)"
 cargo bench -p stem-bench --bench propagation --offline -- --smoke
 cargo bench -p stem-bench --bench propagation_planned --offline -- --smoke
+cargo bench -p stem-bench --bench domains --offline -- --smoke
 cargo bench -p stem-bench --bench engine --offline -- --smoke
 cargo bench -p stem-bench --bench persist --offline -- --smoke
 cargo bench -p stem-bench --bench server --offline -- --smoke
 test -s BENCH_propagation.json || { echo "missing BENCH_propagation.json"; exit 1; }
 test -s BENCH_propagation_planned.json || { echo "missing BENCH_propagation_planned.json"; exit 1; }
+test -s BENCH_domains.json || { echo "missing BENCH_domains.json"; exit 1; }
 test -s BENCH_engine.json || { echo "missing BENCH_engine.json"; exit 1; }
 test -s BENCH_persist.json || { echo "missing BENCH_persist.json"; exit 1; }
 test -s BENCH_server.json || { echo "missing BENCH_server.json"; exit 1; }
@@ -120,6 +131,17 @@ if [[ "$CLUSTER_DIFFERENTIAL" == 1 ]]; then
   # failover-client no-loss/no-double-apply check.
   cargo test --release --offline -p stem-server --test cluster -q
   cargo test --release --offline -p stem-server --test server -q
+fi
+
+if [[ "$DOMAIN_DIFFERENTIAL" == 1 ]]; then
+  echo "==> domain propagation differential (1000 mixed-domain networks, release)"
+  # Byte-identical values/justifications/outcomes between the agenda
+  # interpreter and every planned twin, identical domain counters
+  # (tightenings, subsumed prunes, wipeouts), and identical live
+  # subsumption marks — under mid-run structural edits and
+  # set_subsumption toggles.
+  cargo test --release --offline -p stem-core --test domain_differential -q
+  cargo test --release --offline -p stem-core --lib kinds::domain -q
 fi
 
 if [[ "$BENCH_COMPARE" == 1 ]]; then

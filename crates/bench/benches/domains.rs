@@ -1,0 +1,99 @@
+//! Domain-propagation benchmarks (DESIGN.md §5j): propagator fixpoint
+//! throughput across fanout widths, and the runtime-subsumption pruning
+//! win on compiled plan replay.
+//!
+//! `fixpoint` measures one journaled tighten-then-rollback round trip on
+//! the multi-writer `x ≤ yᵢ` fan: the set narrows every target through
+//! the agenda fixpoint loop and the rollback restores the whole touched
+//! set, so each iteration performs identical work. `subsumed_prune`
+//! measures a root write replayed through a 256-step compiled plan whose
+//! every propagator has proved itself entailed: the `pruned` arm skips
+//! each step at the liveness check, the `unpruned` twin (subsumption
+//! switched off) runs the full interval math every time. The CI gate
+//! (`tools/bench_compare.py`) holds pruned/unpruned ≥ 1.3× on any host.
+
+use stem_bench::harness::Criterion;
+use stem_bench::workloads;
+use stem_bench::{criterion_group, criterion_main};
+use stem_core::{Interval, Justification, PlanStatus, Value};
+
+fn iv(lo: i64, hi: i64) -> Value {
+    Value::Interval(Interval::new(lo, hi))
+}
+
+/// Fixpoint throughput: tighten the root, let `fan` inequalities narrow
+/// their targets, roll the journal back to the seeded state.
+fn fixpoint(c: &mut Criterion) {
+    let mut g = c.benchmark_group("domains/fixpoint");
+    for fan in [16usize, 64, 256] {
+        let (mut net, x) = workloads::domain_fanout(fan);
+        let tightenings_before = net.stats().domain_tightenings;
+        for _ in 0..4 {
+            net.begin_journal();
+            net.set(x, iv(10, 90), Justification::User).unwrap();
+            net.rollback_journal();
+        }
+        assert!(
+            net.stats().domain_tightenings >= tightenings_before + 4 * fan as u64,
+            "warm-up must narrow every fan target each round"
+        );
+        g.bench_function(format!("{fan}"), |b| {
+            b.iter(|| {
+                net.begin_journal();
+                net.set(x, iv(10, 90), Justification::User).unwrap();
+                net.rollback_journal();
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Entailed-constraint pruning on plan replay, vs. the identical network
+/// with runtime subsumption disabled. The sawtooth keeps every write a
+/// real change (63 refinements, then one widening that revalidates the
+/// marks) while staying inside the entailment witness.
+fn subsumed_prune(c: &mut Criterion) {
+    let mut g = c.benchmark_group("domains/subsumed_prune");
+    const N: usize = 256;
+    for pruned in [true, false] {
+        let path = if pruned { "pruned" } else { "unpruned" };
+        let (mut net, x) = workloads::subsumed_fanout(N);
+        net.set_subsumption(pruned);
+        let mut i = 0u64;
+        let sawtooth = |net: &mut stem_core::Network, i: &mut u64| {
+            *i += 1;
+            let hi = 4096 - 64 * ((*i % 64) as i64);
+            net.set(x, iv(0, hi), Justification::User).unwrap();
+        };
+        for _ in 0..16 {
+            sawtooth(&mut net, &mut i);
+        }
+        assert!(
+            matches!(net.plan_status(x), PlanStatus::Ready { .. }),
+            "warm-up must compile the root's plan"
+        );
+        assert_eq!(
+            net.subsumed_count(),
+            if pruned { N } else { 0 },
+            "warm-up must leave the marks in the arm's configuration"
+        );
+        g.bench_function(format!("{path}/{N}"), |b| {
+            b.iter(|| sawtooth(&mut net, &mut i))
+        });
+    }
+    g.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+        .sample_size(15)
+}
+
+criterion_group!(
+    name = benches;
+    config = quick();
+    targets = fixpoint, subsumed_prune
+);
+criterion_main!(benches);

@@ -3,10 +3,10 @@
 
 use std::rc::Rc;
 
-use stem_core::kinds::{EqualLink, Equality, Functional, ImplicitLink};
+use stem_core::kinds::{DomLe, DomainConstraint, EqualLink, Equality, Functional, ImplicitLink};
 use stem_core::{
-    Activation, ConstraintId, ConstraintKind, DependencyRecord, Justification, Network, Value,
-    VarId, Violation,
+    Activation, ConstraintId, ConstraintKind, DependencyRecord, Interval, Justification, Network,
+    Value, VarId, Violation,
 };
 
 /// A chain of equality constraints: `v0 = v1 = … = v(n-1)`, linked
@@ -245,6 +245,67 @@ pub fn flat_replication(internal_len: usize, n_instances: usize) -> (Network, Va
         outs.push(out);
     }
     (net, input, outs)
+}
+
+/// The domain fixpoint workload: a root interval variable with `fan`
+/// bidirectional `x ≤ yᵢ` propagators, every variable seeded `[0, 100]`.
+/// Tightening the root re-narrows every target's lower bound, so one
+/// `set` runs a `fan`-wide propagator fixpoint; both sides of each
+/// inequality can write, so the cone is multi-writer and the run stays
+/// on the agenda interpreter. Returns the network and the root.
+pub fn domain_fanout(fan: usize) -> (Network, VarId) {
+    let mut net = Network::new();
+    let x = net.add_variable("x");
+    net.set(
+        x,
+        Value::Interval(Interval::new(0, 100)),
+        Justification::User,
+    )
+    .unwrap();
+    for i in 0..fan {
+        let y = net.add_variable(format!("y{i}"));
+        net.set(
+            y,
+            Value::Interval(Interval::new(0, 100)),
+            Justification::User,
+        )
+        .unwrap();
+        net.add_constraint(DomainConstraint::new(DomLe::le(0)), [x, y])
+            .unwrap();
+    }
+    (net, x)
+}
+
+/// The subsumption workload: a root `x ∈ [0, 4096]` watched by `n`
+/// *directional* `x ≤ yᵢ` propagators whose targets sit far above the
+/// root's reach (`yᵢ ∈ [5000, 10000]`), so every propagator proves
+/// itself entailed on first contact — a root-independent witness
+/// (`x.hi ≤ yᵢ.lo`) that survives any in-range root write. Directional
+/// propagators are plannable, so the root's cone compiles and the
+/// pruned arm measures the plan-replay subsumption skip against a twin
+/// with [`stem_core::Network::set_subsumption`] off. Returns the
+/// network and the root.
+pub fn subsumed_fanout(n: usize) -> (Network, VarId) {
+    let mut net = Network::new();
+    let x = net.add_variable("x");
+    net.set(
+        x,
+        Value::Interval(Interval::new(0, 4096)),
+        Justification::User,
+    )
+    .unwrap();
+    for i in 0..n {
+        let y = net.add_variable(format!("y{i}"));
+        net.set(
+            y,
+            Value::Interval(Interval::new(5000, 10_000)),
+            Justification::User,
+        )
+        .unwrap();
+        net.add_constraint(DomainConstraint::new(DomLe::directional(0, 1)), [x, y])
+            .unwrap();
+    }
+    (net, x)
 }
 
 fn plus_one() -> Functional {

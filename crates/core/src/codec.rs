@@ -9,6 +9,7 @@
 //! panics), which is what lets the write-ahead log treat a torn tail as
 //! data-not-yet-written instead of a crash.
 
+use crate::domain::{FinSet, Interval};
 use crate::ids::{ConstraintId, VarId};
 use crate::justification::{DependencyRecord, Justification};
 use crate::value::{Span, TypeTag, Value};
@@ -184,6 +185,15 @@ pub fn put_value(buf: &mut Vec<u8>, v: &Value) {
             for v in vs {
                 put_value(buf, v);
             }
+        }
+        Value::Interval(iv) => {
+            put_u8(buf, 10);
+            put_i64(buf, iv.lo);
+            put_i64(buf, iv.hi);
+        }
+        Value::FinSet(s) => {
+            put_u8(buf, 11);
+            put_u64(buf, s.bits);
         }
     }
 }
@@ -406,6 +416,18 @@ impl<'a> Reader<'a> {
                 }
                 Value::List(vs)
             }
+            10 => {
+                let (lo, hi) = (self.i64()?, self.i64()?);
+                // A corrupt interval could violate the `lo <= hi`
+                // constructor invariant; build the struct directly (as with
+                // Span above) and let the checksum layer reject the record.
+                Value::Interval(Interval { lo, hi })
+            }
+            11 => {
+                // Likewise: bits == 0 (the empty domain) is corrupt but
+                // must decode without panicking.
+                Value::FinSet(FinSet { bits: self.u64()? })
+            }
             tag => {
                 return Err(DecodeError::Tag {
                     tag,
@@ -536,6 +558,34 @@ mod tests {
             Value::Int(1),
             Value::List(vec![Value::str("x"), Value::Nil]),
         ]));
+        round_trip_value(Value::Interval(Interval::new(-9, 41)));
+        round_trip_value(Value::Interval(Interval::new(i64::MIN, i64::MAX)));
+        round_trip_value(Value::FinSet(FinSet::new(0b1011)));
+        round_trip_value(Value::FinSet(FinSet::new(u64::MAX)));
+        round_trip_value(Value::List(vec![
+            Value::Interval(Interval::new(0, 3)),
+            Value::FinSet(FinSet::new(1)),
+        ]));
+    }
+
+    #[test]
+    fn corrupt_domain_payloads_decode_without_panicking() {
+        // Inverted interval bounds and an empty finite set violate the
+        // constructor invariants but must decode structurally — rejection
+        // belongs to the checksum layer, not the codec.
+        let mut buf = vec![10u8];
+        put_i64(&mut buf, 5);
+        put_i64(&mut buf, -5);
+        assert_eq!(
+            Reader::new(&buf).value().unwrap(),
+            Value::Interval(Interval { lo: 5, hi: -5 })
+        );
+        let mut buf = vec![11u8];
+        put_u64(&mut buf, 0);
+        assert_eq!(
+            Reader::new(&buf).value().unwrap(),
+            Value::FinSet(FinSet { bits: 0 })
+        );
     }
 
     #[test]

@@ -143,6 +143,19 @@ pub trait ConstraintKind: fmt::Debug {
         None
     }
 
+    /// Re-checks a runtime subsumption mark after a watched variable
+    /// changed *non-monotonically* (its domain widened, e.g. a snapshot
+    /// restore or a user re-set). A constraint that marked itself subsumed
+    /// via [`Network::mark_subsumed`] is pruned from agenda dispatch and
+    /// plan replay; when a watched variable widens, the network asks this
+    /// hook whether entailment still holds and clears the mark when it
+    /// returns `false`. The conservative default — never still subsumed —
+    /// merely costs a re-dispatch, never correctness.
+    fn still_subsumed(&self, net: &Network, cid: ConstraintId) -> bool {
+        let _ = (net, cid);
+        false
+    }
+
     /// Dependency-record membership test (`testMembershipOf:inDependency:`,
     /// Fig. 4.11): does a value carrying `record` — formulated by this kind
     /// — depend on argument `arg`? The default interprets the built-in

@@ -1,0 +1,608 @@
+//! Interval and finite-domain values plus the propagator fixpoint protocol.
+//!
+//! STEM variables hold one value; real CSP workloads filter *domains*
+//! (ROADMAP item 3, thesis ch. 8 module selection). This module adds the
+//! vocabulary: integer intervals `[lo, hi]` ([`Interval`]), small finite
+//! domains as 64-bit sets ([`FinSet`]), affine [`View`]s for deriving
+//! scaled/negated propagators from one base implementation (*Perfect
+//! Derived Propagators*), and the [`PropagateOutcome`] protocol
+//! (`FixPoint` / `Subsumed` / `NoChange` / `DomainWipeout`) every domain
+//! propagator returns.
+//!
+//! Domain values are ordinary [`Value`] variants held by plain variables:
+//! a propagator write always *intersects* with the current domain, so
+//! writes are monotone narrowings and the variable-kind arbitration lets
+//! them refine even user-justified values (see [`refines`]). `Subsumed`
+//! marks the constraint entailed — the network prunes it from agenda
+//! dispatch and compiled-plan replay until a watched variable widens.
+//! `DomainWipeout` (an empty intersection) aborts the batch as a
+//! [`Violation`](crate::Violation) with O(touched) journal rollback.
+
+use std::fmt;
+
+use crate::value::Value;
+
+/// Hard cap on domain-constraint arity: inference snapshots argument
+/// domains into stack buffers of this size to stay allocation-free.
+pub const MAX_DOM_ARITY: usize = 16;
+
+/// A closed integer interval `[lo, hi]`, the bounds-consistency domain
+/// representation. Always non-empty (`lo <= hi`); an empty intersection is
+/// reported as wipeout instead of being constructed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Interval {
+    /// Inclusive lower bound.
+    pub lo: i64,
+    /// Inclusive upper bound.
+    pub hi: i64,
+}
+
+impl Interval {
+    /// Creates an interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn new(lo: i64, hi: i64) -> Self {
+        assert!(lo <= hi, "interval bounds out of order: {lo} > {hi}");
+        Interval { lo, hi }
+    }
+
+    /// The one-point interval `[k, k]`.
+    pub fn singleton(k: i64) -> Self {
+        Interval { lo: k, hi: k }
+    }
+
+    /// Whether the interval holds exactly one value.
+    pub fn is_singleton(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// Whether `k` lies in the interval.
+    pub fn contains(&self, k: i64) -> bool {
+        self.lo <= k && k <= self.hi
+    }
+
+    /// Whether `other` is entirely inside `self`.
+    pub fn contains_interval(&self, other: Interval) -> bool {
+        self.lo <= other.lo && other.hi <= self.hi
+    }
+
+    /// Intersection, or `None` when the intervals are disjoint (wipeout).
+    pub fn intersect(&self, other: Interval) -> Option<Interval> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        (lo <= hi).then_some(Interval { lo, hi })
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}..{}]", self.lo, self.hi)
+    }
+}
+
+/// A small finite domain over `0..=63`, stored as a 64-bit set. Always
+/// non-empty when constructed through [`FinSet::new`]; codec decoding
+/// builds the raw struct and leaves rejection to the checksum layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FinSet {
+    /// Membership bitmask: bit `k` set means `k` is in the domain.
+    pub bits: u64,
+}
+
+impl FinSet {
+    /// Creates a finite domain from a membership mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero (the empty domain is wipeout, not a value).
+    pub fn new(bits: u64) -> Self {
+        assert!(bits != 0, "finite domain must be non-empty");
+        FinSet { bits }
+    }
+
+    /// The domain `{lo, lo+1, .., hi}`; bounds are clamped to `0..=63`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clamped range is empty.
+    pub fn from_range(lo: i64, hi: i64) -> Self {
+        FinSet::new(range_mask(lo, hi))
+    }
+
+    /// The one-element domain `{k}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= k <= 63`.
+    pub fn singleton(k: i64) -> Self {
+        assert!(
+            (0..64).contains(&k),
+            "finite-domain element out of range: {k}"
+        );
+        FinSet { bits: 1u64 << k }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> u32 {
+        self.bits.count_ones()
+    }
+
+    /// Whether the set holds exactly one element.
+    pub fn is_singleton(&self) -> bool {
+        self.bits.count_ones() == 1
+    }
+
+    /// `true` only for a corrupt (decoded) empty set; constructed sets are
+    /// never empty.
+    pub fn is_empty(&self) -> bool {
+        self.bits == 0
+    }
+
+    /// Whether `k` is a member.
+    pub fn contains(&self, k: i64) -> bool {
+        (0..64).contains(&k) && self.bits & (1u64 << k) != 0
+    }
+
+    /// Smallest member (meaningless for a corrupt empty set).
+    pub fn min(&self) -> i64 {
+        self.bits.trailing_zeros() as i64
+    }
+
+    /// Largest member (meaningless for a corrupt empty set).
+    pub fn max(&self) -> i64 {
+        63 - self.bits.leading_zeros() as i64
+    }
+
+    /// Intersection, or `None` when disjoint (wipeout).
+    pub fn intersect(&self, other: FinSet) -> Option<FinSet> {
+        let bits = self.bits & other.bits;
+        (bits != 0).then_some(FinSet { bits })
+    }
+}
+
+impl fmt::Display for FinSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for k in 0..64 {
+            if self.bits & (1u64 << k) != 0 {
+                if !first {
+                    write!(f, ",")?;
+                }
+                write!(f, "{k}")?;
+                first = false;
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Bitmask of `lo..=hi` clamped to `0..=63`; zero when the clamp empties it.
+fn range_mask(lo: i64, hi: i64) -> u64 {
+    let lo = lo.max(0);
+    let hi = hi.min(63);
+    if lo > hi {
+        return 0;
+    }
+    let span = (hi - lo) as u32 + 1;
+    let ones = if span >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << span) - 1
+    };
+    ones << lo
+}
+
+/// `floor(n / d)` over i128 (bound math never overflows for i64 inputs).
+fn floor_div(n: i128, d: i128) -> i128 {
+    let q = n / d;
+    if n % d != 0 && (n < 0) != (d < 0) {
+        q - 1
+    } else {
+        q
+    }
+}
+
+/// `ceil(n / d)` over i128.
+fn ceil_div(n: i128, d: i128) -> i128 {
+    let q = n / d;
+    if n % d != 0 && (n < 0) == (d < 0) {
+        q + 1
+    } else {
+        q
+    }
+}
+
+fn clamp_i64(x: i128) -> i64 {
+    x.clamp(i64::MIN as i128, i64::MAX as i128) as i64
+}
+
+/// An affine view `x ↦ a·x + b` with `a ≠ 0`, the derivation mechanism of
+/// *Perfect Derived Propagators*: a base propagator over views is the
+/// scaled/shifted/negated variant of the identity-view propagator, with no
+/// loss of bounds-propagation strength. Bound arithmetic runs in i128 and
+/// clamps to the i64 edges, so derived propagators degrade to weaker
+/// (still sound) pruning near overflow instead of wrapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct View {
+    /// Multiplier (non-zero).
+    pub a: i64,
+    /// Offset.
+    pub b: i64,
+}
+
+impl View {
+    /// The identity view `x ↦ x`.
+    pub const IDENT: View = View { a: 1, b: 0 };
+
+    /// Creates a view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == 0` (a constant view propagates nothing).
+    pub fn new(a: i64, b: i64) -> Self {
+        assert!(a != 0, "view multiplier must be non-zero");
+        View { a, b }
+    }
+
+    /// The negation view `x ↦ -x`.
+    pub fn negated() -> Self {
+        View { a: -1, b: 0 }
+    }
+
+    /// The scaling view `x ↦ a·x`.
+    pub fn scaled(a: i64) -> Self {
+        View::new(a, 0)
+    }
+
+    /// The shift view `x ↦ x + b`.
+    pub fn shifted(b: i64) -> Self {
+        View { a: 1, b }
+    }
+
+    /// Image of the interval `[lo, hi]` under the view (clamped to i64).
+    pub fn image(&self, lo: i64, hi: i64) -> (i64, i64) {
+        let a = self.a as i128;
+        let b = self.b as i128;
+        let p = a * lo as i128 + b;
+        let q = a * hi as i128 + b;
+        if p <= q {
+            (clamp_i64(p), clamp_i64(q))
+        } else {
+            (clamp_i64(q), clamp_i64(p))
+        }
+    }
+
+    /// Largest interval whose image lies inside `[lo, hi]`, or `None` when
+    /// no integer maps in (an empty preimage — wipeout for the caller).
+    pub fn preimage(&self, lo: i64, hi: i64) -> Option<(i64, i64)> {
+        let a = self.a as i128;
+        let lo = lo as i128 - self.b as i128;
+        let hi = hi as i128 - self.b as i128;
+        // a·x ∈ [lo, hi] ⇔ x between the rounded-inward quotients; a < 0
+        // swaps which endpoint ceils and which floors.
+        let (l, h) = if a > 0 {
+            (ceil_div(lo, a), floor_div(hi, a))
+        } else {
+            (ceil_div(hi, a), floor_div(lo, a))
+        };
+        (l <= h).then_some((clamp_i64(l), clamp_i64(h)))
+    }
+}
+
+/// Result protocol of a domain propagator run — the vocabulary fixed by
+/// the crusp / choco3 snippets in SNIPPETS.md.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PropagateOutcome {
+    /// At least one domain narrowed and the propagator reached a local
+    /// fixpoint (re-running it immediately would change nothing).
+    FixPoint,
+    /// The constraint is entailed by the current domains: every remaining
+    /// assignment satisfies it, so the network may prune it from dispatch
+    /// and plan replay until a watched domain widens.
+    Subsumed,
+    /// Nothing narrowed.
+    NoChange,
+    /// Some domain became empty — the constraint is unsatisfiable under
+    /// the current domains and the batch must abort.
+    DomainWipeout,
+}
+
+/// Uniform bounds-reasoning view of one argument's current [`Value`],
+/// used inside propagators so interval, finite-set, and fixed scalar
+/// arguments share one narrowing code path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dom {
+    /// `Nil`: unconstrained; narrows into a fresh interval.
+    Top,
+    /// An interval `[lo, hi]` (also fixed `Int`/`Bool` as singletons).
+    Range(i64, i64),
+    /// A finite set (membership mask).
+    Bits(u64),
+    /// A non-domain value the propagator must leave untouched.
+    Opaque,
+}
+
+impl Dom {
+    /// Classifies a variable's current value for bounds reasoning.
+    pub fn from_value(v: &Value) -> Dom {
+        match v {
+            Value::Nil => Dom::Top,
+            Value::Interval(iv) => Dom::Range(iv.lo, iv.hi),
+            Value::FinSet(s) => Dom::Bits(s.bits),
+            Value::Int(k) => Dom::Range(*k, *k),
+            Value::Bool(b) => {
+                let k = i64::from(*b);
+                Dom::Range(k, k)
+            }
+            _ => Dom::Opaque,
+        }
+    }
+
+    /// Bounds of the domain, when it has any.
+    pub fn bounds(&self) -> Option<(i64, i64)> {
+        match *self {
+            Dom::Range(l, h) => Some((l, h)),
+            Dom::Bits(b) => {
+                if b == 0 {
+                    None
+                } else {
+                    Some((b.trailing_zeros() as i64, 63 - b.leading_zeros() as i64))
+                }
+            }
+            Dom::Top | Dom::Opaque => None,
+        }
+    }
+
+    /// Whether the domain is pinned to exactly one value.
+    pub fn singleton(&self) -> Option<i64> {
+        match self.bounds() {
+            Some((l, h)) if l == h => Some(l),
+            _ => None,
+        }
+    }
+
+    /// Intersects with `[lo, hi]`, preserving representation (`Bits` stays
+    /// `Bits`, `Top` materialises a `Range`). `None` means wipeout;
+    /// `Opaque` passes through untouched.
+    pub fn meet_range(self, lo: i64, hi: i64) -> Option<Dom> {
+        if lo > hi {
+            return None;
+        }
+        match self {
+            Dom::Top => Some(Dom::Range(lo, hi)),
+            Dom::Range(l, h) => {
+                let nl = l.max(lo);
+                let nh = h.min(hi);
+                (nl <= nh).then_some(Dom::Range(nl, nh))
+            }
+            Dom::Bits(b) => {
+                let nb = b & range_mask(lo, hi);
+                (nb != 0).then_some(Dom::Bits(nb))
+            }
+            Dom::Opaque => Some(Dom::Opaque),
+        }
+    }
+
+    /// Removes one element (used by `all_different`): interior removal
+    /// from a `Range` keeps bounds consistency by only trimming at the
+    /// edges. `None` means wipeout.
+    pub fn remove(self, k: i64) -> Option<Dom> {
+        match self {
+            Dom::Bits(b) => {
+                let nb = if (0..64).contains(&k) {
+                    b & !(1u64 << k)
+                } else {
+                    b
+                };
+                (nb != 0).then_some(Dom::Bits(nb))
+            }
+            Dom::Range(l, h) => {
+                if l == k && h == k {
+                    None
+                } else if l == k {
+                    Some(Dom::Range(l + 1, h))
+                } else if h == k {
+                    Some(Dom::Range(l, h - 1))
+                } else {
+                    Some(Dom::Range(l, h))
+                }
+            }
+            d => Some(d),
+        }
+    }
+}
+
+/// Whether writing `new` over `old` is a pure refinement: a domain value
+/// narrowing (or equalling) the current domain of the same representation.
+///
+/// The default [`VariableKind`](crate::VariableKind) arbitration allows a
+/// refinement unconditionally — narrowing a user-set domain is the point
+/// of domain propagation, not a competing claim on the variable — while
+/// every non-domain value keeps the thesis's strength rules untouched.
+pub fn refines(old: &Value, new: &Value) -> bool {
+    match (old, new) {
+        (Value::Interval(a), Value::Interval(b)) => a.contains_interval(*b),
+        (Value::FinSet(a), Value::FinSet(b)) => b.bits & !a.bits == 0 && b.bits != 0,
+        _ => false,
+    }
+}
+
+/// A bounds-consistent domain propagator over argument domains.
+///
+/// Implementations are pure functions over [`Dom`] slices; the
+/// [`DomainConstraint`](crate::kinds::DomainConstraint) adapter snapshots
+/// variable values into `Dom`s, runs [`propagate`](Self::propagate), and
+/// writes back only the arguments whose domain changed — preserving each
+/// argument's representation. Compose with [`View`]s to derive scaled,
+/// negated, and shifted variants from the same implementation.
+pub trait DomainPropagator: fmt::Debug {
+    /// Short name used for violation reports and the inspector.
+    fn name(&self) -> &str;
+
+    /// The single argument index inference writes, when the propagator is
+    /// directional (plannable by the compiled-plan path); `None` means it
+    /// may narrow several arguments and stays on the agenda interpreter.
+    fn output(&self) -> Option<usize> {
+        None
+    }
+
+    /// Whether argument `ix` is boolean-valued: singleton writes to it are
+    /// represented as `Value::Bool` instead of a one-point interval.
+    fn bool_arg(&self, ix: usize) -> bool {
+        let _ = ix;
+        false
+    }
+
+    /// Narrows `doms` in place toward the constraint and reports the
+    /// outcome. Must be monotone (only ever shrink a domain) and must
+    /// return [`PropagateOutcome::DomainWipeout`] instead of leaving an
+    /// empty domain behind.
+    fn propagate(&self, doms: &mut [Dom]) -> PropagateOutcome;
+
+    /// Lenient satisfaction: `false` only when the current domains
+    /// provably admit no satisfying assignment.
+    fn satisfied(&self, doms: &[Dom]) -> bool;
+
+    /// Re-checks entailment against current domains after a watched
+    /// variable changed non-monotonically (widened). A conservative
+    /// `false` merely costs re-dispatch.
+    fn entailed(&self, doms: &[Dom]) -> bool {
+        let _ = doms;
+        false
+    }
+}
+
+/// Shared epilogue for propagators: classify the run given whether any
+/// domain changed and whether the relation is now entailed.
+pub(crate) fn outcome(changed: bool, entailed: bool) -> PropagateOutcome {
+    if entailed {
+        PropagateOutcome::Subsumed
+    } else if changed {
+        PropagateOutcome::FixPoint
+    } else {
+        PropagateOutcome::NoChange
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_ops() {
+        let a = Interval::new(1, 5);
+        assert!(a.contains(1) && a.contains(5) && !a.contains(6));
+        assert!(a.contains_interval(Interval::new(2, 4)));
+        assert!(!a.contains_interval(Interval::new(0, 4)));
+        assert_eq!(a.intersect(Interval::new(4, 9)), Some(Interval::new(4, 5)));
+        assert_eq!(a.intersect(Interval::new(6, 9)), None);
+        assert!(Interval::singleton(3).is_singleton());
+        assert_eq!(Interval::new(-2, 3).to_string(), "[-2..3]");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn interval_rejects_inverted_bounds() {
+        let _ = Interval::new(2, 1);
+    }
+
+    #[test]
+    fn finset_ops() {
+        let s = FinSet::from_range(2, 5);
+        assert_eq!(s.len(), 4);
+        assert_eq!((s.min(), s.max()), (2, 5));
+        assert!(s.contains(3) && !s.contains(6) && !s.contains(-1));
+        assert_eq!(
+            s.intersect(FinSet::from_range(4, 9)),
+            Some(FinSet::from_range(4, 5))
+        );
+        assert_eq!(s.intersect(FinSet::from_range(8, 9)), None);
+        assert!(FinSet::singleton(63).is_singleton());
+        assert_eq!(FinSet::new(0b101).to_string(), "{0,2}");
+        assert_eq!(FinSet::from_range(-10, 100).len(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn finset_rejects_empty() {
+        let _ = FinSet::new(0);
+    }
+
+    #[test]
+    fn view_image_and_preimage() {
+        let v = View::new(3, 1); // x ↦ 3x + 1
+        assert_eq!(v.image(-2, 4), (-5, 13));
+        // preimage of [0, 10]: 3x+1 ∈ [0,10] ⇔ x ∈ [0, 3]
+        assert_eq!(v.preimage(0, 10), Some((0, 3)));
+        // negative multiplier flips and still floors/ceils correctly
+        let n = View::new(-2, 0);
+        assert_eq!(n.image(1, 3), (-6, -2));
+        assert_eq!(n.preimage(-5, -1), Some((1, 2)));
+        // empty preimage: no integer x has 3x+1 ∈ [5, 6]
+        assert_eq!(View::new(3, 1).preimage(5, 6), None);
+        // identity round-trips
+        assert_eq!(View::IDENT.preimage(-7, 9), Some((-7, 9)));
+        // clamping stays sound (degrades to wide, never wraps)
+        let big = View::new(i64::MAX, 0);
+        let (lo, hi) = big.image(i64::MIN, i64::MAX);
+        assert!(lo <= hi);
+        // negated view over a half-open bound does not false-wipeout
+        assert_eq!(View::negated().preimage(i64::MIN, 5), Some((-5, i64::MAX)));
+    }
+
+    #[test]
+    fn dom_meet_preserves_representation() {
+        assert_eq!(Dom::Top.meet_range(1, 4), Some(Dom::Range(1, 4)));
+        assert_eq!(Dom::Range(0, 9).meet_range(5, 20), Some(Dom::Range(5, 9)));
+        assert_eq!(Dom::Range(0, 3).meet_range(5, 9), None);
+        assert_eq!(Dom::Bits(0b1111).meet_range(2, 9), Some(Dom::Bits(0b1100)));
+        assert_eq!(Dom::Bits(0b11).meet_range(5, 9), None);
+        assert_eq!(Dom::Opaque.meet_range(1, 2), Some(Dom::Opaque));
+        assert_eq!(Dom::Range(3, 3).singleton(), Some(3));
+        assert_eq!(Dom::Bits(0b1000).singleton(), Some(3));
+    }
+
+    #[test]
+    fn dom_remove_trims_edges_only() {
+        assert_eq!(Dom::Range(1, 4).remove(1), Some(Dom::Range(2, 4)));
+        assert_eq!(Dom::Range(1, 4).remove(4), Some(Dom::Range(1, 3)));
+        assert_eq!(Dom::Range(1, 4).remove(2), Some(Dom::Range(1, 4)));
+        assert_eq!(Dom::Range(2, 2).remove(2), None);
+        assert_eq!(Dom::Bits(0b110).remove(1), Some(Dom::Bits(0b100)));
+        assert_eq!(Dom::Bits(0b010).remove(1), None);
+    }
+
+    #[test]
+    fn refinement_rule() {
+        let wide = Value::Interval(Interval::new(0, 10));
+        let narrow = Value::Interval(Interval::new(2, 5));
+        assert!(refines(&wide, &narrow));
+        assert!(refines(&wide, &wide));
+        assert!(!refines(&narrow, &wide));
+        let s = Value::FinSet(FinSet::new(0b111));
+        let t = Value::FinSet(FinSet::new(0b101));
+        assert!(refines(&s, &t));
+        assert!(!refines(&t, &s));
+        // cross-representation and scalar writes are never refinements
+        assert!(!refines(&wide, &s));
+        assert!(!refines(&Value::Int(3), &Value::Int(3)));
+        assert!(!refines(&Value::Nil, &narrow));
+    }
+
+    #[test]
+    fn rounded_division() {
+        assert_eq!(ceil_div(7, 2), 4);
+        assert_eq!(ceil_div(-7, 2), -3);
+        assert_eq!(ceil_div(7, -2), -3);
+        assert_eq!(ceil_div(-7, -2), 4);
+        assert_eq!(floor_div(7, 2), 3);
+        assert_eq!(floor_div(-7, 2), -4);
+        assert_eq!(floor_div(7, -2), -4);
+        assert_eq!(floor_div(-7, -2), 3);
+        assert_eq!(ceil_div(6, 3), 2);
+        assert_eq!(floor_div(6, 3), 2);
+    }
+}

@@ -81,12 +81,17 @@ impl<'n> NetworkInspector<'n> {
             .map(|&v| format!("{v}={}", n.value(v)))
             .collect();
         format!(
-            "{cid} {kind} [{sat}] args({args})",
+            "{cid} {kind} [{sat}]{subsumed} args({args})",
             kind = n.constraint_kind_name(cid),
             sat = if n.is_satisfied(cid) {
                 "ok"
             } else {
                 "VIOLATED"
+            },
+            subsumed = if n.is_subsumed(cid) {
+                " [subsumed]"
+            } else {
+                ""
             },
             args = args.join(", "),
         )
@@ -108,6 +113,17 @@ impl<'n> NetworkInspector<'n> {
             "  durability: {}; open journal entries: {}",
             self.net.durability_label(),
             self.net.journal_len(),
+        );
+        // Domain-propagation health: how much narrowing landed, how much
+        // work subsumption marks saved, and how often a domain emptied.
+        let s = self.net.stats();
+        let _ = writeln!(
+            out,
+            "  domains: {} tightenings, {} pruned ({} marked subsumed), {} wipeouts",
+            s.domain_tightenings,
+            s.subsumed_pruned,
+            self.net.subsumed_count(),
+            s.wipeouts,
         );
         for v in self.net.variables() {
             let _ = writeln!(out, "  {}", self.describe_variable(v));

@@ -1,0 +1,970 @@
+//! Domain propagators and their [`ConstraintKind`] adapter (DESIGN.md §5j).
+//!
+//! The starter library fixed by ROADMAP item 3: bounds-consistent
+//! arithmetic `x + y = z` ([`DomAdd`]), the ordering `x ≤ y + c`
+//! ([`DomLe`]), `all_different` via bounds reasoning ([`AllDiff`]), and the
+//! reified ordering `b ⇔ x ≤ y + c` ([`DomReifLe`]). Scaled, negated, and
+//! shifted variants are *derived* from the same base implementations by
+//! composing affine [`View`]s, per *Perfect Derived Propagators* — no
+//! propagation strength is lost, and no variant duplicates bound math.
+//!
+//! [`DomainConstraint`] adapts any [`DomainPropagator`] to the network's
+//! [`ConstraintKind`] protocol: it snapshots argument values into [`Dom`]s
+//! on the stack, runs the propagator, writes back only the domains that
+//! narrowed (preserving each argument's representation), translates
+//! [`PropagateOutcome::DomainWipeout`] into a batch-aborting
+//! [`Violation`], and reports [`PropagateOutcome::Subsumed`] to
+//! [`Network::mark_subsumed`] so both execution paths prune the entailed
+//! constraint until a watched domain widens.
+
+use crate::constraint::ConstraintKind;
+use crate::domain::{
+    outcome, Dom, DomainPropagator, FinSet, Interval, PropagateOutcome, View, MAX_DOM_ARITY,
+};
+use crate::ids::{ConstraintId, VarId};
+use crate::justification::DependencyRecord;
+use crate::network::{Network, SetStatus};
+use crate::value::Value;
+use crate::violation::Violation;
+
+/// Sentinel for "narrow every argument" in the directional selectors.
+const OUT_ALL: u8 = u8::MAX;
+
+/// Result of one bound-narrowing step.
+enum Narrow {
+    Changed,
+    Same,
+    Wipeout,
+}
+
+/// Meets `d` with the preimage of `[lo, hi]` under `view`. `Opaque`
+/// domains pass through untouched (the propagator cannot reason about
+/// them); an empty preimage or empty meet is wipeout.
+fn narrow(d: &mut Dom, view: View, lo: i64, hi: i64) -> Narrow {
+    if matches!(d, Dom::Opaque) {
+        return Narrow::Same;
+    }
+    let Some((pl, ph)) = view.preimage(lo, hi) else {
+        return Narrow::Wipeout;
+    };
+    match d.meet_range(pl, ph) {
+        None => Narrow::Wipeout,
+        Some(nd) if nd != *d => {
+            *d = nd;
+            Narrow::Changed
+        }
+        Some(_) => Narrow::Same,
+    }
+}
+
+/// Keeps only values whose view image is ≤ `max`.
+fn narrow_below(d: &mut Dom, view: View, max: i64) -> Narrow {
+    narrow(d, view, i64::MIN, max)
+}
+
+/// Keeps only values whose view image is ≥ `min`.
+fn narrow_above(d: &mut Dom, view: View, min: i64) -> Narrow {
+    narrow(d, view, min, i64::MAX)
+}
+
+/// Viewed bounds of one argument domain, when it has bounds.
+fn viewed(doms: &[Dom], views: &[View], i: usize) -> Option<(i64, i64)> {
+    doms[i].bounds().map(|(l, h)| views[i].image(l, h))
+}
+
+macro_rules! try_narrow {
+    ($changed:ident, $e:expr) => {
+        match $e {
+            Narrow::Wipeout => return PropagateOutcome::DomainWipeout,
+            Narrow::Changed => $changed = true,
+            Narrow::Same => {}
+        }
+    };
+}
+
+// ---------------------------------------------------------------------
+// DomAdd — bounds-consistent ternary sum over views.
+// ---------------------------------------------------------------------
+
+/// Bounds-consistent `v0(x) + v1(y) = v2(z)` over affine views.
+///
+/// With identity views this is plain `x + y = z`; composing views derives
+/// difference (`z = x − y` via a negated middle view), scaled sums, and
+/// shifted variants from the same bound math. The forward form (narrow `z`
+/// only) is directional and plannable; [`DomAdd::all`] narrows every
+/// argument and stays on the agenda interpreter.
+#[derive(Debug, Clone, Copy)]
+pub struct DomAdd {
+    views: [View; 3],
+    out: u8,
+}
+
+impl DomAdd {
+    /// Forward `x + y = z`: narrows `z` from `x` and `y` (plannable).
+    pub fn forward() -> Self {
+        DomAdd {
+            views: [View::IDENT; 3],
+            out: 2,
+        }
+    }
+
+    /// Bidirectional `x + y = z`: narrows all three arguments.
+    pub fn all() -> Self {
+        DomAdd {
+            views: [View::IDENT; 3],
+            out: OUT_ALL,
+        }
+    }
+
+    /// Forward difference `x − y = z`, derived by negating the middle
+    /// view: `x + (−y) = z`.
+    pub fn difference() -> Self {
+        DomAdd {
+            views: [View::IDENT, View::negated(), View::IDENT],
+            out: 2,
+        }
+    }
+
+    /// Derived variant over explicit views; `out` is the argument index to
+    /// narrow, or pass [`DomAdd::all_views`] for the bidirectional form.
+    pub fn with_views(views: [View; 3], out: usize) -> Self {
+        assert!(out < 3, "DomAdd output index out of range: {out}");
+        DomAdd {
+            views,
+            out: out as u8,
+        }
+    }
+
+    /// Bidirectional derived variant over explicit views.
+    pub fn all_views(views: [View; 3]) -> Self {
+        DomAdd {
+            views,
+            out: OUT_ALL,
+        }
+    }
+
+    fn writes(&self, t: usize) -> bool {
+        self.out == OUT_ALL || usize::from(self.out) == t
+    }
+
+    fn entailed_inner(&self, doms: &[Dom]) -> bool {
+        let sing = |i: usize| doms[i].singleton().map(|k| self.views[i].image(k, k).0);
+        match (sing(0), sing(1), sing(2)) {
+            (Some(a), Some(b), Some(c)) => a.checked_add(b) == Some(c),
+            _ => false,
+        }
+    }
+}
+
+impl DomainPropagator for DomAdd {
+    fn name(&self) -> &str {
+        "domAdd"
+    }
+
+    fn output(&self) -> Option<usize> {
+        (self.out != OUT_ALL).then_some(usize::from(self.out))
+    }
+
+    fn propagate(&self, doms: &mut [Dom]) -> PropagateOutcome {
+        debug_assert_eq!(doms.len(), 3);
+        let mut changed = false;
+        for t in 0..3 {
+            if !self.writes(t) {
+                continue;
+            }
+            // The other two arguments determine target t's viewed range:
+            // z = x + y, x = z − y, y = z − x.
+            let (i, j) = match t {
+                0 => (2, 1),
+                1 => (2, 0),
+                _ => (0, 1),
+            };
+            let (Some((li, hi)), Some((lj, hj))) =
+                (viewed(doms, &self.views, i), viewed(doms, &self.views, j))
+            else {
+                continue;
+            };
+            let (lo, hi) = if t == 2 {
+                (li.saturating_add(lj), hi.saturating_add(hj))
+            } else {
+                (li.saturating_sub(hj), hi.saturating_sub(lj))
+            };
+            try_narrow!(changed, narrow(&mut doms[t], self.views[t], lo, hi));
+        }
+        outcome(changed, self.entailed_inner(doms))
+    }
+
+    fn satisfied(&self, doms: &[Dom]) -> bool {
+        let (Some((l0, h0)), Some((l1, h1)), Some((l2, h2))) = (
+            viewed(doms, &self.views, 0),
+            viewed(doms, &self.views, 1),
+            viewed(doms, &self.views, 2),
+        ) else {
+            return true;
+        };
+        l0.saturating_add(l1) <= h2 && l2 <= h0.saturating_add(h1)
+    }
+
+    fn entailed(&self, doms: &[Dom]) -> bool {
+        self.entailed_inner(doms)
+    }
+}
+
+// ---------------------------------------------------------------------
+// DomLe — bounds-consistent ordering over views.
+// ---------------------------------------------------------------------
+
+/// Bounds-consistent `v0(x) ≤ v1(y) + c` over affine views.
+///
+/// The base implementation carries every derived comparison: `x ≥ y + c`
+/// negates both views (and `c`), strict forms shift `c` by one, and scaled
+/// comparisons compose a scaling view. Entailment (`max v0(x) ≤ min
+/// v1(y) + c`) is detected and reported as
+/// [`PropagateOutcome::Subsumed`], which is what drives runtime plan
+/// pruning: once entailed, the constraint can never act again until a
+/// watched domain widens.
+#[derive(Debug, Clone, Copy)]
+pub struct DomLe {
+    c: i64,
+    views: [View; 2],
+    out: u8,
+}
+
+impl DomLe {
+    /// `x ≤ y + c`, narrowing both sides.
+    pub fn le(c: i64) -> Self {
+        DomLe {
+            c,
+            views: [View::IDENT; 2],
+            out: OUT_ALL,
+        }
+    }
+
+    /// `x < y + c` ≡ `x ≤ y + (c − 1)` on integers.
+    pub fn lt(c: i64) -> Self {
+        DomLe::le(c.saturating_sub(1))
+    }
+
+    /// Derived `x ≥ y + c`: negate both views and the offset.
+    pub fn ge(c: i64) -> Self {
+        DomLe {
+            c: c.saturating_neg(),
+            views: [View::negated(), View::negated()],
+            out: OUT_ALL,
+        }
+    }
+
+    /// Derived `x > y + c` ≡ `x ≥ y + (c + 1)`.
+    pub fn gt(c: i64) -> Self {
+        DomLe::ge(c.saturating_add(1))
+    }
+
+    /// Directional form narrowing only argument `out` (0 = tighten `x`'s
+    /// upper bound, 1 = raise `y`'s lower bound) — plannable.
+    pub fn directional(c: i64, out: usize) -> Self {
+        assert!(out < 2, "DomLe output index out of range: {out}");
+        DomLe {
+            c,
+            views: [View::IDENT; 2],
+            out: out as u8,
+        }
+    }
+
+    /// Fully derived variant over explicit views; `out` of `None` narrows
+    /// both sides.
+    pub fn with_views(c: i64, views: [View; 2], out: Option<usize>) -> Self {
+        let out = match out {
+            Some(ix) => {
+                assert!(ix < 2, "DomLe output index out of range: {ix}");
+                ix as u8
+            }
+            None => OUT_ALL,
+        };
+        DomLe { c, views, out }
+    }
+
+    fn entailed_inner(&self, doms: &[Dom]) -> bool {
+        match (viewed(doms, &self.views, 0), viewed(doms, &self.views, 1)) {
+            (Some((_, xh)), Some((yl, _))) => xh <= yl.saturating_add(self.c),
+            _ => false,
+        }
+    }
+}
+
+impl DomainPropagator for DomLe {
+    fn name(&self) -> &str {
+        "domLe"
+    }
+
+    fn output(&self) -> Option<usize> {
+        (self.out != OUT_ALL).then_some(usize::from(self.out))
+    }
+
+    fn propagate(&self, doms: &mut [Dom]) -> PropagateOutcome {
+        debug_assert_eq!(doms.len(), 2);
+        let vx = viewed(doms, &self.views, 0);
+        let vy = viewed(doms, &self.views, 1);
+        let mut changed = false;
+        if self.out != 1 {
+            if let Some((_, yh)) = vy {
+                try_narrow!(
+                    changed,
+                    narrow_below(&mut doms[0], self.views[0], yh.saturating_add(self.c))
+                );
+            }
+        }
+        if self.out != 0 {
+            if let Some((xl, _)) = vx {
+                try_narrow!(
+                    changed,
+                    narrow_above(&mut doms[1], self.views[1], xl.saturating_sub(self.c))
+                );
+            }
+        }
+        outcome(changed, self.entailed_inner(doms))
+    }
+
+    fn satisfied(&self, doms: &[Dom]) -> bool {
+        match (viewed(doms, &self.views, 0), viewed(doms, &self.views, 1)) {
+            (Some((xl, _)), Some((_, yh))) => xl <= yh.saturating_add(self.c),
+            _ => true,
+        }
+    }
+
+    fn entailed(&self, doms: &[Dom]) -> bool {
+        self.entailed_inner(doms)
+    }
+}
+
+// ---------------------------------------------------------------------
+// AllDiff — pairwise distinctness via singleton removal + pigeonhole.
+// ---------------------------------------------------------------------
+
+/// `all_different` over bounds reasoning: fixed arguments are removed
+/// from the other domains (finite sets lose the member; intervals trim at
+/// the edges only, preserving bounds consistency), iterated to a local
+/// fixpoint, plus a pigeonhole wipeout over the union of finite-set
+/// domains. Multi-output, so agenda-interpreted.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AllDiff;
+
+impl AllDiff {
+    /// Creates the propagator.
+    pub fn new() -> Self {
+        AllDiff
+    }
+
+    fn entailed_inner(&self, doms: &[Dom]) -> bool {
+        for i in 0..doms.len() {
+            let Some(a) = doms[i].singleton() else {
+                return false;
+            };
+            for d in doms.iter().take(i) {
+                if d.singleton() == Some(a) {
+                    return false;
+                }
+            }
+        }
+        !doms.is_empty()
+    }
+}
+
+impl DomainPropagator for AllDiff {
+    fn name(&self) -> &str {
+        "allDifferent"
+    }
+
+    fn propagate(&self, doms: &mut [Dom]) -> PropagateOutcome {
+        let n = doms.len();
+        let mut changed = false;
+        // Singleton removal to a local fixpoint: each pass removes every
+        // fixed value from the other domains; removals can pin new
+        // singletons, so iterate until stable (domains only shrink).
+        loop {
+            let mut pass_changed = false;
+            for i in 0..n {
+                let Some(k) = doms[i].singleton() else {
+                    continue;
+                };
+                for (j, dj) in doms.iter_mut().enumerate() {
+                    if j == i {
+                        continue;
+                    }
+                    if dj.singleton() == Some(k) {
+                        return PropagateOutcome::DomainWipeout;
+                    }
+                    match dj.remove(k) {
+                        None => return PropagateOutcome::DomainWipeout,
+                        Some(nd) => {
+                            if nd != *dj {
+                                *dj = nd;
+                                pass_changed = true;
+                            }
+                        }
+                    }
+                }
+            }
+            if !pass_changed {
+                break;
+            }
+            changed = true;
+        }
+        // Pigeonhole over the finite-set arguments: more variables than
+        // values in their union cannot all be distinct.
+        let mut union = 0u64;
+        let mut bits_args = 0u32;
+        for d in doms.iter() {
+            if let Dom::Bits(b) = d {
+                union |= b;
+                bits_args += 1;
+            }
+        }
+        if bits_args > union.count_ones() {
+            return PropagateOutcome::DomainWipeout;
+        }
+        outcome(changed, self.entailed_inner(doms))
+    }
+
+    fn satisfied(&self, doms: &[Dom]) -> bool {
+        for i in 0..doms.len() {
+            let Some(a) = doms[i].singleton() else {
+                continue;
+            };
+            for d in doms.iter().take(i) {
+                if d.singleton() == Some(a) {
+                    return false;
+                }
+            }
+        }
+        let mut union = 0u64;
+        let mut bits_args = 0u32;
+        for d in doms.iter() {
+            if let Dom::Bits(b) = d {
+                union |= b;
+                bits_args += 1;
+            }
+        }
+        bits_args <= union.count_ones()
+    }
+
+    fn entailed(&self, doms: &[Dom]) -> bool {
+        self.entailed_inner(doms)
+    }
+}
+
+// ---------------------------------------------------------------------
+// DomReifLe — reified ordering derived from the DomLe bound math.
+// ---------------------------------------------------------------------
+
+/// Reified ordering `b ⇔ v0(x) ≤ v1(y) + c` over arguments `[b, x, y]`.
+///
+/// The classic derived propagator: the bound math is [`DomLe`]'s, run
+/// forward when `b` is decided (`b = true` imposes ≤, `b = false` imposes
+/// the negated >) and backward when the ordering is decided (entailment
+/// fixes `b = true`, disentailment `b = false`). Singleton writes to `b`
+/// are represented as [`Value::Bool`].
+#[derive(Debug, Clone, Copy)]
+pub struct DomReifLe {
+    c: i64,
+    views: [View; 2],
+}
+
+/// Viewed `(lo, hi)` of one comparison side; `None` when unbounded/opaque.
+type SideBounds = Option<(i64, i64)>;
+
+impl DomReifLe {
+    /// `b ⇔ x ≤ y + c` with identity views.
+    pub fn le(c: i64) -> Self {
+        DomReifLe {
+            c,
+            views: [View::IDENT; 2],
+        }
+    }
+
+    /// Derived variant over explicit views.
+    pub fn with_views(c: i64, views: [View; 2]) -> Self {
+        DomReifLe { c, views }
+    }
+
+    /// Viewed bounds of `x` and `y` (arguments 1 and 2).
+    fn sides(&self, doms: &[Dom]) -> (SideBounds, SideBounds) {
+        let vx = doms[1].bounds().map(|(l, h)| self.views[0].image(l, h));
+        let vy = doms[2].bounds().map(|(l, h)| self.views[1].image(l, h));
+        (vx, vy)
+    }
+
+    fn entailed_inner(&self, doms: &[Dom]) -> bool {
+        let (vx, vy) = self.sides(doms);
+        let le_holds =
+            matches!((vx, vy), (Some((_, xh)), Some((yl, _))) if xh <= yl.saturating_add(self.c));
+        let le_impossible =
+            matches!((vx, vy), (Some((xl, _)), Some((_, yh))) if xl > yh.saturating_add(self.c));
+        match doms[0].singleton() {
+            Some(1) => le_holds,
+            Some(0) => le_impossible,
+            _ => false,
+        }
+    }
+}
+
+impl DomainPropagator for DomReifLe {
+    fn name(&self) -> &str {
+        "domReifLe"
+    }
+
+    fn bool_arg(&self, ix: usize) -> bool {
+        ix == 0
+    }
+
+    fn propagate(&self, doms: &mut [Dom]) -> PropagateOutcome {
+        debug_assert_eq!(doms.len(), 3);
+        let mut changed = false;
+        // b is boolean: clamp a bounded control domain to {0, 1} first.
+        if doms[0].bounds().is_some() {
+            try_narrow!(changed, narrow(&mut doms[0], View::IDENT, 0, 1));
+        }
+        let (vx, vy) = self.sides(doms);
+        match doms[0].singleton() {
+            Some(1) => {
+                // Impose x ≤ y + c — DomLe's narrowing, both directions.
+                if let Some((_, yh)) = vy {
+                    try_narrow!(
+                        changed,
+                        narrow_below(&mut doms[1], self.views[0], yh.saturating_add(self.c))
+                    );
+                }
+                if let Some((xl, _)) = vx {
+                    try_narrow!(
+                        changed,
+                        narrow_above(&mut doms[2], self.views[1], xl.saturating_sub(self.c))
+                    );
+                }
+            }
+            Some(0) => {
+                // Impose the negation x > y + c ≡ x ≥ y + c + 1.
+                if let Some((yl, _)) = vy {
+                    try_narrow!(
+                        changed,
+                        narrow_above(
+                            &mut doms[1],
+                            self.views[0],
+                            yl.saturating_add(self.c).saturating_add(1)
+                        )
+                    );
+                }
+                if let Some((_, xh)) = vx {
+                    try_narrow!(
+                        changed,
+                        narrow_below(
+                            &mut doms[2],
+                            self.views[1],
+                            xh.saturating_sub(self.c).saturating_sub(1)
+                        )
+                    );
+                }
+            }
+            _ => {
+                // b undecided: decide it when the ordering already is.
+                let le_holds = matches!((vx, vy), (Some((_, xh)), Some((yl, _))) if xh <= yl.saturating_add(self.c));
+                let le_impossible = matches!((vx, vy), (Some((xl, _)), Some((_, yh))) if xl > yh.saturating_add(self.c));
+                if le_holds {
+                    try_narrow!(changed, narrow(&mut doms[0], View::IDENT, 1, 1));
+                } else if le_impossible {
+                    try_narrow!(changed, narrow(&mut doms[0], View::IDENT, 0, 0));
+                }
+            }
+        }
+        outcome(changed, self.entailed_inner(doms))
+    }
+
+    fn satisfied(&self, doms: &[Dom]) -> bool {
+        let (vx, vy) = self.sides(doms);
+        match doms[0].singleton() {
+            Some(1) => match (vx, vy) {
+                (Some((xl, _)), Some((_, yh))) => xl <= yh.saturating_add(self.c),
+                _ => true,
+            },
+            Some(0) => match (vx, vy) {
+                (Some((_, xh)), Some((yl, _))) => xh > yl.saturating_add(self.c),
+                _ => true,
+            },
+            _ => true,
+        }
+    }
+
+    fn entailed(&self, doms: &[Dom]) -> bool {
+        self.entailed_inner(doms)
+    }
+}
+
+// ---------------------------------------------------------------------
+// DomainConstraint — the ConstraintKind adapter.
+// ---------------------------------------------------------------------
+
+/// Adapts a [`DomainPropagator`] to the network's [`ConstraintKind`]
+/// protocol.
+///
+/// Inference snapshots argument values into stack-allocated [`Dom`]s,
+/// runs the propagator, and writes back only the arguments whose domain
+/// narrowed — preserving each argument's representation (intervals stay
+/// intervals, finite sets stay finite sets, `Nil` materialises a fresh
+/// interval, fixed scalars are never rewritten). Every write is a pure
+/// refinement, so the journal/rollback and one-value-change machinery
+/// apply unchanged. Outcome wiring:
+///
+/// - [`PropagateOutcome::DomainWipeout`] → a custom [`Violation`]; the
+///   network aborts the batch and rolls back O(touched) state.
+/// - [`PropagateOutcome::Subsumed`] → [`Network::mark_subsumed`]; both
+///   the agenda dispatcher and compiled-plan replay skip the constraint
+///   until a watched variable widens
+///   ([`ConstraintKind::still_subsumed`] re-checks entailment then).
+///
+/// Directional propagators ([`DomainPropagator::output`]) declare
+/// [`ConstraintKind::planned_writes`] and participate in compiled plans;
+/// multi-output propagators stay on the agenda interpreter.
+#[derive(Debug)]
+pub struct DomainConstraint<P: DomainPropagator> {
+    prop: P,
+}
+
+impl<P: DomainPropagator> DomainConstraint<P> {
+    /// Wraps a propagator.
+    pub fn new(prop: P) -> Self {
+        DomainConstraint { prop }
+    }
+
+    fn snapshot(&self, net: &Network, cid: ConstraintId) -> ([Dom; MAX_DOM_ARITY], usize) {
+        let args = net.args(cid);
+        let n = args.len().min(MAX_DOM_ARITY);
+        let mut doms = [Dom::Top; MAX_DOM_ARITY];
+        for (d, &v) in doms.iter_mut().zip(args.iter().take(n)) {
+            *d = Dom::from_value(net.value(v));
+        }
+        (doms, n)
+    }
+}
+
+/// Converts a narrowed domain back to a value in the argument's
+/// representation. `None` for shapes that must never be written.
+fn dom_to_value(d: Dom, boolish: bool) -> Option<Value> {
+    match d {
+        Dom::Range(l, h) if boolish && l == h && (l == 0 || l == 1) => Some(Value::Bool(l == 1)),
+        Dom::Range(l, h) => Some(Value::Interval(Interval { lo: l, hi: h })),
+        Dom::Bits(b) if b != 0 => Some(Value::FinSet(FinSet { bits: b })),
+        _ => None,
+    }
+}
+
+impl<P: DomainPropagator> ConstraintKind for DomainConstraint<P> {
+    fn kind_name(&self) -> &str {
+        self.prop.name()
+    }
+
+    fn should_activate(&self, net: &Network, cid: ConstraintId, changed: VarId) -> bool {
+        match self.prop.output() {
+            Some(ix) => net.args(cid).get(ix) != Some(&changed),
+            None => true,
+        }
+    }
+
+    fn infer(
+        &self,
+        net: &mut Network,
+        cid: ConstraintId,
+        _changed: Option<VarId>,
+    ) -> Result<(), Violation> {
+        let args = net.args(cid);
+        let n = args.len();
+        if n == 0 || n > MAX_DOM_ARITY {
+            return Ok(());
+        }
+        let mut ids = [VarId::from_index(0); MAX_DOM_ARITY];
+        ids[..n].copy_from_slice(args);
+        let (orig, _) = self.snapshot(net, cid);
+        let mut doms = orig;
+        match self.prop.propagate(&mut doms[..n]) {
+            PropagateOutcome::DomainWipeout => {
+                net.count_wipeout();
+                Err(
+                    Violation::custom(format!("domain wipeout in {}", self.prop.name()), Some(cid))
+                        .with_kind_name(self.prop.name()),
+                )
+            }
+            oc => {
+                // A write the variable kind ignores (kept its value) breaks
+                // the entailment witness, so it blocks the subsumption mark.
+                let mut all_landed = true;
+                for i in 0..n {
+                    if doms[i] == orig[i] {
+                        continue;
+                    }
+                    let Some(v) = dom_to_value(doms[i], self.prop.bool_arg(i)) else {
+                        continue;
+                    };
+                    match net.propagate_set(ids[i], v, cid, DependencyRecord::All)? {
+                        SetStatus::Changed => net.count_domain_tightening(),
+                        SetStatus::Unchanged => {}
+                        SetStatus::Ignored => all_landed = false,
+                    }
+                }
+                if oc == PropagateOutcome::Subsumed && all_landed {
+                    net.mark_subsumed(cid);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn is_satisfied(&self, net: &Network, cid: ConstraintId) -> bool {
+        let (doms, n) = self.snapshot(net, cid);
+        self.prop.satisfied(&doms[..n])
+    }
+
+    fn outputs(&self, net: &Network, cid: ConstraintId) -> Vec<VarId> {
+        match self.prop.output() {
+            Some(ix) => net.args(cid).get(ix).copied().into_iter().collect(),
+            None => net.args(cid).to_vec(),
+        }
+    }
+
+    fn planned_writes(
+        &self,
+        net: &Network,
+        cid: ConstraintId,
+        changed: Option<VarId>,
+    ) -> Option<Vec<VarId>> {
+        let ix = self.prop.output()?;
+        let out = net.args(cid).get(ix).copied()?;
+        if changed == Some(out) {
+            Some(Vec::new())
+        } else {
+            Some(vec![out])
+        }
+    }
+
+    fn still_subsumed(&self, net: &Network, cid: ConstraintId) -> bool {
+        let (doms, n) = self.snapshot(net, cid);
+        self.prop.entailed(&doms[..n])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::justification::Justification;
+    use crate::value::Value;
+
+    fn iv(lo: i64, hi: i64) -> Value {
+        Value::Interval(Interval::new(lo, hi))
+    }
+
+    fn fs(bits: u64) -> Value {
+        Value::FinSet(FinSet::new(bits))
+    }
+
+    #[test]
+    fn add_forward_narrows_result() {
+        let mut net = Network::new();
+        let x = net.add_variable("x");
+        let y = net.add_variable("y");
+        let z = net.add_variable("z");
+        net.add_constraint(DomainConstraint::new(DomAdd::forward()), [x, y, z])
+            .unwrap();
+        net.set(x, iv(1, 3), Justification::User).unwrap();
+        net.set(y, iv(10, 20), Justification::User).unwrap();
+        assert_eq!(net.value(z), &iv(11, 23));
+        // narrowing an input narrows the materialised result
+        net.set(y, iv(10, 12), Justification::User).unwrap();
+        assert_eq!(net.value(z), &iv(11, 15));
+    }
+
+    #[test]
+    fn add_bidirectional_narrows_inputs() {
+        let mut net = Network::new();
+        let x = net.add_variable("x");
+        let y = net.add_variable("y");
+        let z = net.add_variable("z");
+        net.add_constraint(DomainConstraint::new(DomAdd::all()), [x, y, z])
+            .unwrap();
+        net.set(x, iv(0, 10), Justification::User).unwrap();
+        net.set(y, iv(0, 10), Justification::User).unwrap();
+        net.set(z, iv(15, 30), Justification::User).unwrap();
+        // z ≤ 20 from x+y; x ≥ 5 from z − y; y ≥ 5 from z − x
+        assert_eq!(net.value(z), &iv(15, 20));
+        assert_eq!(net.value(x), &iv(5, 10));
+        assert_eq!(net.value(y), &iv(5, 10));
+    }
+
+    #[test]
+    fn wipeout_aborts_and_rolls_back() {
+        let mut net = Network::new();
+        let x = net.add_variable("x");
+        let y = net.add_variable("y");
+        net.add_constraint(DomainConstraint::new(DomLe::le(0)), [x, y])
+            .unwrap();
+        net.set(x, iv(10, 20), Justification::User).unwrap();
+        // x ≤ y already materialised y's half-open lower bound
+        assert_eq!(net.value(y), &iv(10, i64::MAX));
+        let err = net.set(y, iv(0, 5), Justification::User).unwrap_err();
+        assert!(err.to_string().contains("wipeout"), "{err}");
+        // the failed batch rolled back: y kept its pre-batch value
+        assert_eq!(net.value(y), &iv(10, i64::MAX));
+        assert_eq!(net.value(x), &iv(10, 20));
+        assert_eq!(net.stats().wipeouts, 1);
+    }
+
+    #[test]
+    fn le_subsumes_and_prunes() {
+        let mut net = Network::new();
+        let x = net.add_variable("x");
+        let y = net.add_variable("y");
+        let cid = net
+            .add_constraint(DomainConstraint::new(DomLe::le(0)), [x, y])
+            .unwrap();
+        net.set(x, iv(0, 5), Justification::User).unwrap();
+        net.set(y, iv(10, 20), Justification::User).unwrap();
+        // max x ≤ min y: entailed, marked subsumed
+        assert!(net.is_subsumed(cid));
+        let before = net.stats().subsumed_pruned;
+        net.set(y, iv(10, 15), Justification::User).unwrap();
+        assert!(net.stats().subsumed_pruned > before);
+        assert!(net.is_subsumed(cid));
+        // widening y below max x breaks entailment: the mark is dropped
+        // and propagation resumes.
+        net.set(y, iv(3, 15), Justification::User).unwrap();
+        assert!(!net.is_subsumed(cid));
+        assert_eq!(net.value(x), &iv(0, 5));
+        net.set(y, iv(3, 4), Justification::User).unwrap();
+        assert_eq!(net.value(x), &iv(0, 4));
+    }
+
+    #[test]
+    fn derived_ge_narrows_like_negated_le() {
+        let mut net = Network::new();
+        let x = net.add_variable("x");
+        let y = net.add_variable("y");
+        net.add_constraint(DomainConstraint::new(DomLe::ge(2)), [x, y])
+            .unwrap();
+        net.set(y, iv(5, 9), Justification::User).unwrap();
+        net.set(x, iv(0, 20), Justification::User).unwrap();
+        // x ≥ y + 2 ⇒ x ≥ 7, y ≤ 18
+        assert_eq!(net.value(x), &iv(7, 20));
+        assert_eq!(net.value(y), &iv(5, 9));
+    }
+
+    #[test]
+    fn finite_sets_narrow_in_place() {
+        let mut net = Network::new();
+        let x = net.add_variable("x");
+        let y = net.add_variable("y");
+        net.add_constraint(DomainConstraint::new(DomLe::le(0)), [x, y])
+            .unwrap();
+        net.set(x, fs(0b11110), Justification::User).unwrap(); // {1,2,3,4}
+        net.set(y, fs(0b00111), Justification::User).unwrap(); // {0,1,2}
+                                                               // x ≤ max y = 2 ⇒ x ∈ {1,2}; y ≥ min x = 1 ⇒ y ∈ {1,2}
+        assert_eq!(net.value(x), &fs(0b00110));
+        assert_eq!(net.value(y), &fs(0b00110));
+    }
+
+    #[test]
+    fn all_different_prunes_and_wipes() {
+        let mut net = Network::new();
+        let a = net.add_variable("a");
+        let b = net.add_variable("b");
+        let c = net.add_variable("c");
+        net.add_constraint(DomainConstraint::new(AllDiff::new()), [a, b, c])
+            .unwrap();
+        net.set(a, fs(0b011), Justification::User).unwrap(); // {0,1}
+        net.set(b, fs(0b011), Justification::User).unwrap(); // {0,1}
+        net.set(c, fs(0b111), Justification::User).unwrap(); // {0,1,2}
+                                                             // pigeonhole doesn't fire (3 vars, 3 values); now pin a = 0:
+        net.set(a, fs(0b001), Justification::User).unwrap();
+        assert_eq!(net.value(b), &fs(0b010)); // b = 1
+        assert_eq!(net.value(c), &fs(0b100)); // c = 2 (cascaded removal)
+                                              // wiping: forcing c back into {0,1} contradicts a and b
+        let err = net.set(c, fs(0b011), Justification::User);
+        assert!(err.is_err());
+        assert_eq!(net.value(c), &fs(0b100));
+    }
+
+    #[test]
+    fn all_different_interval_edges() {
+        let mut net = Network::new();
+        let a = net.add_variable("a");
+        let b = net.add_variable("b");
+        net.add_constraint(DomainConstraint::new(AllDiff::new()), [a, b])
+            .unwrap();
+        net.set(a, iv(3, 3), Justification::User).unwrap();
+        net.set(b, iv(3, 7), Justification::User).unwrap();
+        assert_eq!(net.value(b), &iv(4, 7));
+    }
+
+    #[test]
+    fn reified_le_decides_and_imposes() {
+        // backward: ordering decided ⇒ b decided
+        let mut net = Network::new();
+        let b = net.add_variable("b");
+        let x = net.add_variable("x");
+        let y = net.add_variable("y");
+        net.add_constraint(DomainConstraint::new(DomReifLe::le(0)), [b, x, y])
+            .unwrap();
+        net.set(x, iv(0, 3), Justification::User).unwrap();
+        net.set(y, iv(5, 9), Justification::User).unwrap();
+        assert_eq!(net.value(b), &Value::Bool(true));
+
+        // forward: b = false imposes the negated ordering
+        let mut net = Network::new();
+        let b = net.add_variable("b");
+        let x = net.add_variable("x");
+        let y = net.add_variable("y");
+        net.add_constraint(DomainConstraint::new(DomReifLe::le(0)), [b, x, y])
+            .unwrap();
+        net.set(b, Value::Bool(false), Justification::User).unwrap();
+        net.set(y, iv(5, 9), Justification::User).unwrap();
+        net.set(x, iv(0, 20), Justification::User).unwrap();
+        // ¬(x ≤ y) ⇒ x > y ⇒ x ≥ 6, y ≤ 19
+        assert_eq!(net.value(x), &iv(6, 20));
+    }
+
+    #[test]
+    fn fixed_scalars_participate_without_rewrite() {
+        let mut net = Network::new();
+        let x = net.add_variable("x");
+        let y = net.add_variable("y");
+        net.add_constraint(DomainConstraint::new(DomLe::le(0)), [x, y])
+            .unwrap();
+        net.set(x, Value::Int(7), Justification::User).unwrap();
+        net.set(y, iv(0, 30), Justification::User).unwrap();
+        // the fixed Int is never rewritten; y's lower bound rises to 7
+        assert_eq!(net.value(x), &Value::Int(7));
+        assert_eq!(net.value(y), &iv(7, 30));
+    }
+
+    #[test]
+    fn opaque_values_are_left_alone() {
+        let mut net = Network::new();
+        let x = net.add_variable("x");
+        let y = net.add_variable("y");
+        net.add_constraint(DomainConstraint::new(DomLe::le(0)), [x, y])
+            .unwrap();
+        net.set(x, Value::str("not a domain"), Justification::User)
+            .unwrap();
+        net.set(y, iv(0, 5), Justification::User).unwrap();
+        assert_eq!(net.value(x), &Value::str("not a domain"));
+        assert_eq!(net.value(y), &iv(0, 5));
+    }
+
+    #[test]
+    fn tightenings_are_counted() {
+        let mut net = Network::new();
+        let x = net.add_variable("x");
+        let y = net.add_variable("y");
+        net.add_constraint(DomainConstraint::new(DomLe::le(0)), [x, y])
+            .unwrap();
+        assert_eq!(net.stats().domain_tightenings, 0);
+        net.set(x, iv(0, 50), Justification::User).unwrap();
+        net.set(y, iv(0, 10), Justification::User).unwrap();
+        assert_eq!(net.value(x), &iv(0, 10));
+        assert!(net.stats().domain_tightenings >= 1);
+    }
+}

@@ -15,13 +15,19 @@
 //! - [`ImplicitLink`] — the class↔instance dual-variable link driving
 //!   hierarchical propagation (§5.1), scheduled on the lowest-priority
 //!   `implicit` agenda.
+//! - [`DomainConstraint`] + the domain propagators ([`DomAdd`], [`DomLe`],
+//!   [`AllDiff`], [`DomReifLe`]) — bounds-consistent filtering over
+//!   interval/finite-domain values with the `FixPoint` / `Subsumed` /
+//!   `NoChange` / `DomainWipeout` outcome protocol (DESIGN.md §5j).
 
+mod domain;
 mod equality;
 mod functional;
 mod link;
 mod predicate;
 mod update;
 
+pub use domain::{AllDiff, DomAdd, DomLe, DomReifLe, DomainConstraint};
 pub use equality::Equality;
 pub use functional::{Functional, FunctionalOp};
 pub use link::{EqualLink, ImplicitLink, LinkSemantics};

@@ -60,6 +60,7 @@ mod agenda;
 pub mod codec;
 mod compile;
 mod constraint;
+pub mod domain;
 mod ids;
 mod inspect;
 mod justification;
@@ -77,6 +78,7 @@ pub use agenda::{
 };
 pub use compile::{compile_functional, CompileCycle, CompiledPlan};
 pub use constraint::{Activation, ConstraintKind};
+pub use domain::{Dom, DomainPropagator, FinSet, Interval, PropagateOutcome, View};
 pub use ids::{ConstraintId, Entity, VarId};
 pub use inspect::NetworkInspector;
 pub use justification::{DependencyRecord, Justification};

@@ -65,6 +65,15 @@ pub struct Stats {
     /// Cached plan entries discarded because a structural edit bumped the
     /// network's generation.
     pub plan_cache_invalidations: u64,
+    /// Domain narrowings that landed: a domain propagator's write that
+    /// actually shrank an interval or finite-set value.
+    pub domain_tightenings: u64,
+    /// Dispatches (agenda or plan replay) skipped because the constraint
+    /// was runtime-marked subsumed ([`Network::mark_subsumed`]).
+    pub subsumed_pruned: u64,
+    /// Domain wipeouts raised (`PropagateOutcome::DomainWipeout` → batch
+    /// abort with journal rollback).
+    pub wipeouts: u64,
 }
 
 /// Saved pre-propagation state of a visited variable, for restoration on
@@ -165,6 +174,9 @@ enum JournalEntry {
         args: Vec<VarId>,
         positions: Vec<u32>,
     },
+    /// A constraint's runtime subsumption mark flipped (undo: restore
+    /// `was`). Non-structural: marks gate dispatch, not connectivity.
+    SubsumedChanged { cid: ConstraintId, was: bool },
 }
 
 /// The change journal: variable pre-images (first write wins) plus
@@ -311,6 +323,21 @@ pub struct Network {
     /// network itself never touches disk. The engine stamps its sessions;
     /// standalone networks keep the volatile default.
     durability_label: &'static str,
+    /// Runtime subsumption mark per constraint index: a marked constraint
+    /// is entailed by current domains, so dispatch and plan replay skip
+    /// it ([`Network::mark_subsumed`]). Grown lazily on first mark.
+    subsumed: Vec<bool>,
+    /// Count of set bits in `subsumed` — the hot paths' fast gate: zero
+    /// means every subsumption branch short-circuits.
+    n_subsumed: usize,
+    /// Marks flipped inside the current cycle, replayed in reverse by
+    /// `restore()` on violation (the journal handles batch rollback).
+    subsumed_flips: Vec<(ConstraintId, bool)>,
+    /// Pooled scratch for `revalidate_subsumed_watchers`.
+    subsumed_scratch: Vec<ConstraintId>,
+    /// Master switch for subsumption pruning
+    /// ([`Network::set_subsumption`]); on by default.
+    subsumption_enabled: bool,
 }
 
 impl std::fmt::Debug for Network {
@@ -372,6 +399,11 @@ impl Clone for Network {
             snapshots_taken: self.snapshots_taken.clone(),
             clones_taken: self.clones_taken.clone(),
             durability_label: self.durability_label,
+            subsumed: self.subsumed.clone(),
+            n_subsumed: self.n_subsumed,
+            subsumed_flips: Vec::new(),
+            subsumed_scratch: Vec::new(),
+            subsumption_enabled: self.subsumption_enabled,
         }
     }
 }
@@ -407,6 +439,11 @@ impl Network {
             snapshots_taken: std::cell::Cell::new(0),
             clones_taken: std::cell::Cell::new(0),
             durability_label: "volatile (in-memory only)",
+            subsumed: Vec::new(),
+            n_subsumed: 0,
+            subsumed_flips: Vec::new(),
+            subsumed_scratch: Vec::new(),
+            subsumption_enabled: true,
         }
     }
 
@@ -551,6 +588,10 @@ impl Network {
         if !self.constraints[cid.index()].active {
             return;
         }
+        // Clear any subsumption mark first (journaled): rollback replays in
+        // reverse, so the re-wire entry pushed below restores connectivity
+        // before this entry restores the mark.
+        self.set_subsumed_bit(cid, false);
         if self.enabled {
             let mut to_reset: Vec<VarId> = Vec::new();
             for i in 0..self.constraints[cid.index()].args.len() {
@@ -598,6 +639,12 @@ impl Network {
 
     /// Unwires and tombstones a constraint without any erasure.
     fn remove_constraint_quiet(&mut self, cid: ConstraintId) {
+        // Safety net for unjournaled callers: a tombstoned slot must not
+        // keep a stale subsumption mark.
+        if self.subsumed.get(cid.index()) == Some(&true) {
+            self.subsumed[cid.index()] = false;
+            self.n_subsumed -= 1;
+        }
         let args = std::mem::take(&mut self.constraints[cid.index()].args);
         for &a in &args {
             self.vars[a.index()].constraints.retain(|&c| c != cid);
@@ -1058,6 +1105,11 @@ impl Network {
         let s = &mut self.slots[var.index()];
         s.value = Value::Nil;
         s.justification = Justification::Unset;
+        // Nil is the widest domain: entailment witnesses watching this
+        // variable no longer hold.
+        if self.n_subsumed != 0 {
+            self.revalidate_subsumed_watchers(var);
+        }
     }
 
     /// Captures every variable's value and justification — a checkpoint
@@ -1097,6 +1149,16 @@ impl Network {
             let s = &mut self.slots[i];
             s.value = value.clone();
             s.justification = justification.clone();
+        }
+        // Values reverted wholesale to an older state, under which a
+        // runtime subsumption mark's entailment witness may no longer
+        // hold. Wipe every mark (journaled); absence is always correct.
+        if self.n_subsumed != 0 {
+            for ix in 0..self.subsumed.len() {
+                if self.subsumed[ix] {
+                    self.set_subsumed_bit(ConstraintId(ix as u32), false);
+                }
+            }
         }
     }
 
@@ -1215,6 +1277,14 @@ impl Network {
                     for a in d.args {
                         self.vars[a.index()].constraints.retain(|&c| c != cid);
                     }
+                    // Any mark the popped constraint still held: its
+                    // SubsumedChanged entries replayed before this pop (they
+                    // were journaled later), so a remaining set bit can only
+                    // come from an unjournaled flip — drop it with the slot.
+                    if self.subsumed.get(cid.index()) == Some(&true) {
+                        self.subsumed[cid.index()] = false;
+                        self.n_subsumed -= 1;
+                    }
                     structural = true;
                 }
                 JournalEntry::ConstraintRemoved {
@@ -1239,6 +1309,19 @@ impl Network {
                 }
                 JournalEntry::LimitChanged { was } => {
                     self.value_change_limit = was;
+                }
+                JournalEntry::SubsumedChanged { cid, was } => {
+                    // Idempotent under double-replay with the cycle-level
+                    // flip log: only adjust when the bit actually differs.
+                    let ix = cid.index();
+                    if self.subsumed.get(ix).copied().unwrap_or(false) != was {
+                        self.subsumed[ix] = was;
+                        if was {
+                            self.n_subsumed += 1;
+                        } else {
+                            self.n_subsumed -= 1;
+                        }
+                    }
                 }
             }
         }
@@ -1439,6 +1522,11 @@ impl Network {
                     Overwrite::Allow => {}
                 }
             }
+            // A non-refining (widening) write may break the entailment
+            // witness of a subsumption mark watching this variable; decide
+            // before the borrow below takes `slots`.
+            let must_revalidate = self.n_subsumed != 0
+                && !crate::domain::refines(&self.slots[var.index()].value, &value);
             // Single split borrow for the whole write: pre-image save,
             // journal record, assignment, and the change mark that makes
             // downstream plan steps live. (Unchanged/Ignored outcomes
@@ -1482,8 +1570,16 @@ impl Network {
                 record,
             };
             stats.assignments += 1;
+            if must_revalidate {
+                self.revalidate_subsumed_watchers(var);
+            }
             return Ok(SetStatus::Changed);
         }
+        // Domain refinement is exempt from the one-value-change rule: a
+        // fixpoint propagator narrows a variable many times per cycle, and
+        // termination holds anyway because every refining write strictly
+        // shrinks a finite domain (equal values return `Unchanged` above).
+        let refining = crate::domain::refines(&self.slots[var.index()].value, &value);
         // One-value-change rule: a visited variable may not change its
         // (non-Nil) value again — or, when the limit is relaxed per §9.2.3,
         // not more than `value_change_limit` times. Filling in a Nil is a
@@ -1491,7 +1587,7 @@ impl Network {
         // or from NIL freely" (Fig. 7.4), which is also what lets
         // re-initialisation (Fig. 4.13) seed all arguments as visited
         // before propagating them.
-        if !current_is_nil {
+        if !current_is_nil && !refining {
             let st = self.state.as_ref().expect("cycle active");
             if st.visited_vars.contains_key(&var) {
                 let changes = st.change_counts.get(&var).copied().unwrap_or(0);
@@ -1510,7 +1606,7 @@ impl Network {
             }
         }
         self.save_visited(var);
-        if !current_is_nil {
+        if !current_is_nil && !refining {
             *self
                 .state
                 .as_mut()
@@ -2060,6 +2156,13 @@ impl Network {
                 if st.entry_marks[entry as usize] != epoch {
                     continue; // never actually scheduled this cycle
                 }
+                // Marked subsumed after its schedule sighting: prune at
+                // drain time, mirroring the agenda pop-arm skip.
+                if self.n_subsumed != 0 && self.subsumed.get(cid.index()).copied().unwrap_or(false)
+                {
+                    self.stats.subsumed_pruned += 1;
+                    continue;
+                }
                 self.stats.scheduled_runs += 1;
                 self.stats.inferences += 1;
                 result = kind.infer(self, cid, chg);
@@ -2069,6 +2172,14 @@ impl Network {
                 if st.var_marks[trigger.index()] != epoch {
                     continue; // value-pruned: the interpreter never dispatches
                 }
+                // Runtime-subsumed: prune before the visited record and
+                // activation count, exactly where `dispatch` prunes.
+                if self.n_subsumed != 0 && self.subsumed.get(cid.index()).copied().unwrap_or(false)
+                {
+                    self.stats.subsumed_pruned += 1;
+                    continue;
+                }
+                let st = self.state.as_mut().expect("cycle active");
                 let cix = cid.index();
                 if st.cid_marks[cix] != epoch {
                     st.cid_marks[cix] = epoch;
@@ -2537,10 +2648,17 @@ impl Network {
 
     fn assign_raw(&mut self, var: VarId, value: Value, justification: Justification) {
         self.journal_record_value(var);
+        // A non-refining (widening) write may break the entailment witness
+        // of a subsumption mark watching this variable.
+        let widened =
+            self.n_subsumed != 0 && !crate::domain::refines(&self.slots[var.index()].value, &value);
         let s = &mut self.slots[var.index()];
         s.value = value;
         s.justification = justification;
         self.stats.assignments += 1;
+        if widened {
+            self.revalidate_subsumed_watchers(var);
+        }
     }
 
     /// Marks the externally assigned root of a cycle as having consumed
@@ -2614,6 +2732,9 @@ impl Network {
         let mut st = std::mem::take(&mut self.spare_state);
         st.silent = silent;
         self.state = Some(st);
+        // The flip log is cycle-scoped: `restore` un-flips exactly the
+        // subsumption marks this cycle records.
+        self.subsumed_flips.clear();
         self.stats.cycles += 1;
     }
 
@@ -2638,6 +2759,13 @@ impl Network {
                         continue;
                     }
                 }
+                // Subsumed after being scheduled: prune at pop time, the
+                // same point the planned drain phase prunes.
+                if self.n_subsumed != 0 && self.subsumed.get(cid.index()).copied().unwrap_or(false)
+                {
+                    self.stats.subsumed_pruned += 1;
+                    continue;
+                }
                 self.charge_step()?;
                 self.stats.scheduled_runs += 1;
                 self.stats.inferences += 1;
@@ -2656,6 +2784,13 @@ impl Network {
             if !d.active || !d.enabled {
                 return Ok(());
             }
+        }
+        // Runtime-subsumed constraints are entailed: skip before any
+        // step/activation accounting so planned replay (which prunes at
+        // the same point) reports byte-identical statistics.
+        if self.n_subsumed != 0 && self.subsumed.get(cid.index()).copied().unwrap_or(false) {
+            self.stats.subsumed_pruned += 1;
+            return Ok(());
         }
         self.charge_step()?;
         self.stats.activations += 1;
@@ -2740,6 +2875,127 @@ impl Network {
             s.value = saved.value.clone();
             s.justification = saved.justification.clone();
         }
+        // Un-flip every subsumption mark the failed cycle recorded, newest
+        // first. `set_subsumed_bit` journals the restoration and skips
+        // already-correct bits, so double replay (here and in batch
+        // rollback) stays coherent.
+        if !self.subsumed_flips.is_empty() {
+            let mut flips = std::mem::take(&mut self.subsumed_flips);
+            for &(cid, was) in flips.iter().rev() {
+                self.set_subsumed_bit(cid, was);
+            }
+            flips.clear();
+            self.subsumed_flips = flips;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Runtime subsumption (domain propagators, DESIGN.md §5j)
+    // ------------------------------------------------------------------
+
+    /// Marks `cid` as runtime-subsumed: its propagator reported
+    /// [`PropagateOutcome::Subsumed`](crate::PropagateOutcome), meaning the
+    /// constraint is entailed by the current domains and can neither
+    /// propagate nor fail again while they hold. Agenda dispatch and
+    /// compiled-plan replay prune marked constraints (counted in
+    /// [`Stats::subsumed_pruned`]); any watched variable widening clears
+    /// the mark via [`ConstraintKind::still_subsumed`]. A no-op while
+    /// subsumption is disabled ([`Network::set_subsumption`]).
+    pub fn mark_subsumed(&mut self, cid: ConstraintId) {
+        if !self.subsumption_enabled {
+            return;
+        }
+        self.set_subsumed_bit(cid, true);
+    }
+
+    /// Whether `cid` currently carries a runtime subsumption mark.
+    pub fn is_subsumed(&self, cid: ConstraintId) -> bool {
+        self.subsumed.get(cid.index()).copied().unwrap_or(false)
+    }
+
+    /// Number of constraints currently marked subsumed.
+    pub fn subsumed_count(&self) -> usize {
+        self.n_subsumed
+    }
+
+    /// Enables or disables the runtime-subsumption machinery (enabled by
+    /// default). Disabling clears every existing mark — journaled, so a
+    /// batch rollback restores them — and makes later
+    /// [`Network::mark_subsumed`] calls no-ops; benchmark twins use this
+    /// to measure replay without pruning.
+    pub fn set_subsumption(&mut self, on: bool) {
+        self.subsumption_enabled = on;
+        if !on && self.n_subsumed != 0 {
+            for ix in 0..self.subsumed.len() {
+                if self.subsumed[ix] {
+                    self.set_subsumed_bit(ConstraintId(ix as u32), false);
+                }
+            }
+        }
+    }
+
+    /// Flips one subsumption bit: lazily grows the bit table, maintains
+    /// the population count, records the flip on the cycle-scoped log
+    /// (for [`Network::restore`]) and in the open journal (for batch
+    /// rollback). Idempotent: already-correct bits are left untouched.
+    fn set_subsumed_bit(&mut self, cid: ConstraintId, to: bool) {
+        let ix = cid.index();
+        if ix >= self.subsumed.len() {
+            if !to {
+                return;
+            }
+            self.subsumed.resize(ix + 1, false);
+        }
+        let was = self.subsumed[ix];
+        if was == to {
+            return;
+        }
+        self.subsumed[ix] = to;
+        if to {
+            self.n_subsumed += 1;
+        } else {
+            self.n_subsumed -= 1;
+        }
+        self.subsumed_flips.push((cid, was));
+        if let Some(j) = &mut self.journal {
+            j.entries.push(JournalEntry::SubsumedChanged { cid, was });
+        }
+    }
+
+    /// Re-checks every subsumed watcher of `var` after a non-refining
+    /// (widening) write: each marked, active constraint is asked
+    /// [`ConstraintKind::still_subsumed`] and unmarked when entailment no
+    /// longer holds. Runs only when marks exist, on the pooled scratch
+    /// list so the hot path never allocates in steady state.
+    fn revalidate_subsumed_watchers(&mut self, var: VarId) {
+        let mut scratch = std::mem::take(&mut self.subsumed_scratch);
+        scratch.clear();
+        scratch.extend(
+            self.vars[var.index()]
+                .constraints
+                .iter()
+                .copied()
+                .filter(|&cid| self.is_subsumed(cid) && self.constraints[cid.index()].active),
+        );
+        for &cid in &scratch {
+            let kind = Rc::clone(&self.constraints[cid.index()].kind);
+            if !kind.still_subsumed(self, cid) {
+                self.set_subsumed_bit(cid, false);
+            }
+        }
+        self.subsumed_scratch = scratch;
+    }
+
+    /// Statistics hook for domain propagators: one successful domain
+    /// tightening landed ([`Stats::domain_tightenings`]).
+    pub(crate) fn count_domain_tightening(&mut self) {
+        self.stats.domain_tightenings += 1;
+    }
+
+    /// Statistics hook for domain propagators: one domain wiped out to
+    /// empty ([`Stats::wipeouts`]).
+    pub(crate) fn count_wipeout(&mut self) {
+        self.stats.wipeouts += 1;
     }
 
     /// Re-initialises an edited constraint (`reInitializeVariables` /

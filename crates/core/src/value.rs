@@ -3,6 +3,8 @@ use std::sync::Arc;
 
 use stem_geom::Rect;
 
+use crate::domain::{FinSet, Interval};
+
 /// A closed interval of reals, used for parameter ranges: the class-side
 /// variable of a parameter "characterizes the range of the parameter values
 /// that can be handled by the cell" (thesis §5.1.1).
@@ -111,6 +113,11 @@ pub enum Value {
     Rect(Rect),
     /// Ordered list of values.
     List(Vec<Value>),
+    /// Integer interval domain `[lo, hi]` (ROADMAP item 3): the variable
+    /// is known to lie in the range; propagators narrow it monotonically.
+    Interval(Interval),
+    /// Small finite domain over `0..=63` as a 64-bit membership set.
+    FinSet(FinSet),
 }
 
 impl Value {
@@ -184,6 +191,22 @@ impl Value {
         }
     }
 
+    /// Interval-domain view.
+    pub fn as_interval(&self) -> Option<Interval> {
+        match self {
+            Value::Interval(iv) => Some(*iv),
+            _ => None,
+        }
+    }
+
+    /// Finite-domain view.
+    pub fn as_fin_set(&self) -> Option<FinSet> {
+        match self {
+            Value::FinSet(s) => Some(*s),
+            _ => None,
+        }
+    }
+
     /// Numeric comparison between two values, when both are numeric.
     pub fn numeric_cmp(&self, other: &Value) -> Option<std::cmp::Ordering> {
         match (self.as_f64(), other.as_f64()) {
@@ -225,6 +248,8 @@ impl Value {
             Value::TypeRef(_) => "type",
             Value::Rect(_) => "rect",
             Value::List(_) => "list",
+            Value::Interval(_) => "interval",
+            Value::FinSet(_) => "finSet",
         }
     }
 }
@@ -251,7 +276,21 @@ impl fmt::Display for Value {
                 }
                 write!(f, ")")
             }
+            Value::Interval(iv) => write!(f, "{iv}"),
+            Value::FinSet(s) => write!(f, "{s}"),
         }
+    }
+}
+
+impl From<Interval> for Value {
+    fn from(iv: Interval) -> Self {
+        Value::Interval(iv)
+    }
+}
+
+impl From<FinSet> for Value {
+    fn from(s: FinSet) -> Self {
+        Value::FinSet(s)
     }
 }
 

@@ -38,7 +38,11 @@ pub trait VariableKind: fmt::Debug {
     /// variable still has change budget this cycle. The default rule:
     /// user-specified values are protected (§4.2.4), and a propagated
     /// value only yields to a source of equal or greater
-    /// [strength](crate::ConstraintKind::strength).
+    /// [strength](crate::ConstraintKind::strength). One exception: a
+    /// domain *refinement* — an interval or finite set narrowing the
+    /// variable's current domain of the same representation — is always
+    /// accepted, because narrowing a user-set domain is the point of
+    /// domain propagation, not a competing claim on the variable.
     fn overwrite(
         &self,
         net: &Network,
@@ -46,7 +50,9 @@ pub trait VariableKind: fmt::Debug {
         new: &Value,
         source: Option<ConstraintId>,
     ) -> Overwrite {
-        let _ = new;
+        if crate::domain::refines(net.value(var), new) {
+            return Overwrite::Allow;
+        }
         match net.justification(var) {
             j if j.is_user() => Overwrite::Deny,
             crate::Justification::Propagated { constraint, .. } => {

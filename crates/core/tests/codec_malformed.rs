@@ -12,7 +12,9 @@ use stem_core::codec::{
     put_justification, put_record, put_str, put_u32, put_u8, put_value, put_violation, Reader,
     MAX_LEN, MAX_LIST_DEPTH,
 };
-use stem_core::{ConstraintId, DependencyRecord, Justification, Value, VarId, Violation};
+use stem_core::{
+    ConstraintId, DependencyRecord, FinSet, Interval, Justification, Value, VarId, Violation,
+};
 
 /// A deterministic SplitMix64 for garbage generation (no rand crate).
 struct Rng(u64);
@@ -58,6 +60,16 @@ fn sample_values() -> Vec<Value> {
             Value::Int(1),
             Value::List(vec![Value::str("nested"), Value::Nil]),
             Value::Float(0.5),
+        ]),
+        // Domain values ride through the same sweep: every truncation
+        // of their fixed-width payloads must error, every corruption
+        // must stay in-grammar.
+        Value::Interval(Interval::new(-40, 4096)),
+        Value::Interval(Interval::new(i64::MIN, i64::MAX)),
+        Value::FinSet(FinSet::new(0x8000_0000_0000_0001)),
+        Value::List(vec![
+            Value::Interval(Interval::new(0, 63)),
+            Value::FinSet(FinSet::new(u64::MAX)),
         ]),
     ]
 }
@@ -245,7 +257,8 @@ fn hostile_nesting_is_depth_limited() {
 #[test]
 fn bad_tags_in_every_grammar_are_tag_errors() {
     use stem_core::codec::DecodeError;
-    for bad in [10u8, 0x20, 0xFE, 0xFF] {
+    // 12 is the first unassigned value tag (10/11 are Interval/FinSet).
+    for bad in [12u8, 0x20, 0xFE, 0xFF] {
         assert!(matches!(
             Reader::new(&[bad]).value(),
             Err(DecodeError::Tag { .. })

@@ -11,8 +11,11 @@
 use std::fmt;
 use std::rc::Rc;
 
-use stem_core::kinds::{Equality, Functional, FunctionalOp, PredOp, Predicate};
-use stem_core::{ConstraintId, ConstraintKind, Justification, Value, VarId, Violation};
+use stem_core::kinds::{
+    AllDiff, DomAdd, DomLe, DomReifLe, DomainConstraint, Equality, Functional, FunctionalOp,
+    PredOp, Predicate,
+};
+use stem_core::{ConstraintId, ConstraintKind, Justification, Value, VarId, View, Violation};
 
 /// Factory producing a constraint kind inside the worker thread that owns
 /// the target network. The closure must be `Send`; the kind it builds need
@@ -50,8 +53,43 @@ pub enum ConstraintSpec {
     Le,
     /// Check-only predicate: `args[0] < args[1]`.
     Lt,
+    /// Bounds-consistent domain relation `v0(x) + v1(y) = v2(z)` over
+    /// affine views `(a, b) ↦ a·x + b` ([`DomAdd`]); `out == None`
+    /// propagates all three ways, `Some(i)` only narrows argument `i`.
+    DomAdd {
+        /// Per-argument affine views `(a, b)`; `a == 0` is sanitised to 1.
+        views: [(i64, i64); 3],
+        /// Directional output argument, when restricted.
+        out: Option<u8>,
+    },
+    /// Bounds-consistent domain relation `v0(x) ≤ v1(y) + c` ([`DomLe`]).
+    DomLe {
+        /// The offset `c`.
+        c: i64,
+        /// Per-argument affine views `(a, b)`; `a == 0` is sanitised to 1.
+        views: [(i64, i64); 2],
+        /// Directional output argument, when restricted.
+        out: Option<u8>,
+    },
+    /// All arguments pairwise distinct ([`AllDiff`], bounds reasoning).
+    DomAllDiff,
+    /// Reified inequality `args[0] ⇔ (v0(args[1]) ≤ v1(args[2]) + c)`
+    /// ([`DomReifLe`]).
+    DomReifLe {
+        /// The offset `c`.
+        c: i64,
+        /// Affine views over `args[1]`/`args[2]`.
+        views: [(i64, i64); 2],
+    },
     /// Any other kind, built worker-side by the factory.
     Custom(KindFactory),
+}
+
+/// Converts wire-level view pairs into [`View`]s, sanitising the (never
+/// legitimately produced, but representable in corrupt or hostile bytes)
+/// zero coefficient to the identity scale instead of panicking worker-side.
+fn views<const N: usize>(pairs: &[(i64, i64); N]) -> [View; N] {
+    pairs.map(|(a, b)| View::new(if a == 0 { 1 } else { a }, b))
 }
 
 impl ConstraintSpec {
@@ -74,6 +112,17 @@ impl ConstraintSpec {
             ConstraintSpec::EqConst(v) => Rc::new(Predicate::new(PredOp::EqConst(v.clone()))),
             ConstraintSpec::Le => Rc::new(Predicate::new(PredOp::Le)),
             ConstraintSpec::Lt => Rc::new(Predicate::new(PredOp::Lt)),
+            ConstraintSpec::DomAdd { views: v, out } => Rc::new(DomainConstraint::new(match out {
+                Some(o) => DomAdd::with_views(views(v), usize::from(*o)),
+                None => DomAdd::all_views(views(v)),
+            })),
+            ConstraintSpec::DomLe { c, views: v, out } => Rc::new(DomainConstraint::new(
+                DomLe::with_views(*c, views(v), out.map(usize::from)),
+            )),
+            ConstraintSpec::DomAllDiff => Rc::new(DomainConstraint::new(AllDiff::new())),
+            ConstraintSpec::DomReifLe { c, views: v } => {
+                Rc::new(DomainConstraint::new(DomReifLe::with_views(*c, views(v))))
+            }
             ConstraintSpec::Custom(f) => f(),
         }
     }
@@ -93,6 +142,12 @@ impl fmt::Debug for ConstraintSpec {
             ConstraintSpec::EqConst(v) => write!(f, "EqConst({v})"),
             ConstraintSpec::Le => write!(f, "Le"),
             ConstraintSpec::Lt => write!(f, "Lt"),
+            ConstraintSpec::DomAdd { views, out } => write!(f, "DomAdd({views:?}, {out:?})"),
+            ConstraintSpec::DomLe { c, views, out } => {
+                write!(f, "DomLe({c}, {views:?}, {out:?})")
+            }
+            ConstraintSpec::DomAllDiff => write!(f, "DomAllDiff"),
+            ConstraintSpec::DomReifLe { c, views } => write!(f, "DomReifLe({c}, {views:?})"),
             ConstraintSpec::Custom(_) => write!(f, "Custom(..)"),
         }
     }

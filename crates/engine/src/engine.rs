@@ -1376,6 +1376,9 @@ impl Worker {
                     stats.plan_compiles = net_stats.plan_compiles;
                     stats.plan_cache_hits = net_stats.plan_cache_hits;
                     stats.plan_cache_invalidations = net_stats.plan_cache_invalidations;
+                    stats.domain_tightenings = net_stats.domain_tightenings;
+                    stats.subsumed_pruned = net_stats.subsumed_pruned;
+                    stats.wipeouts = net_stats.wipeouts;
                     let par_stats = sess.net.par_stats();
                     stats.plan_replays_parallel = par_stats.plan_replays_parallel;
                     stats.plan_replays_wavefront = par_stats.plan_replays_wavefront;
@@ -1669,6 +1672,13 @@ impl Worker {
                 counters
                     .parallel_fallbacks
                     .fetch_add(d.parallel_fallbacks, Ordering::Relaxed);
+                counters
+                    .domain_tightenings
+                    .fetch_add(d.domain_tightenings, Ordering::Relaxed);
+                counters
+                    .subsumed_pruned
+                    .fetch_add(d.subsumed_pruned, Ordering::Relaxed);
+                counters.wipeouts.fetch_add(d.wipeouts, Ordering::Relaxed);
                 sess.stats.batches_ok += 1;
                 sess.stats.waves += d.waves;
                 sess.stats.assignments += d.assignments;
@@ -1766,6 +1776,9 @@ struct BatchDelta {
     cones_executed: u64,
     cones_stolen: u64,
     parallel_fallbacks: u64,
+    domain_tightenings: u64,
+    subsumed_pruned: u64,
+    wipeouts: u64,
 }
 
 fn delta(before: Stats, before_par: ParStats, after: Stats, after_par: ParStats) -> BatchDelta {
@@ -1792,6 +1805,11 @@ fn delta(before: Stats, before_par: ParStats, after: Stats, after_par: ParStats)
         parallel_fallbacks: after_par
             .parallel_fallbacks
             .saturating_sub(before_par.parallel_fallbacks),
+        domain_tightenings: after
+            .domain_tightenings
+            .saturating_sub(before.domain_tightenings),
+        subsumed_pruned: after.subsumed_pruned.saturating_sub(before.subsumed_pruned),
+        wipeouts: after.wipeouts.saturating_sub(before.wipeouts),
     }
 }
 

@@ -130,6 +130,20 @@ pub(crate) fn spec_to_persist(spec: &ConstraintSpec) -> Option<PersistSpec> {
         ConstraintSpec::EqConst(v) => PersistSpec::EqConst(v.clone()),
         ConstraintSpec::Le => PersistSpec::Le,
         ConstraintSpec::Lt => PersistSpec::Lt,
+        ConstraintSpec::DomAdd { views, out } => PersistSpec::DomAdd {
+            views: *views,
+            out: *out,
+        },
+        ConstraintSpec::DomLe { c, views, out } => PersistSpec::DomLe {
+            c: *c,
+            views: *views,
+            out: *out,
+        },
+        ConstraintSpec::DomAllDiff => PersistSpec::DomAllDiff,
+        ConstraintSpec::DomReifLe { c, views } => PersistSpec::DomReifLe {
+            c: *c,
+            views: *views,
+        },
         ConstraintSpec::Custom(_) => return None,
     })
 }
@@ -150,6 +164,20 @@ pub(crate) fn spec_from_persist(spec: &PersistSpec) -> ConstraintSpec {
         PersistSpec::EqConst(v) => ConstraintSpec::EqConst(v.clone()),
         PersistSpec::Le => ConstraintSpec::Le,
         PersistSpec::Lt => ConstraintSpec::Lt,
+        PersistSpec::DomAdd { views, out } => ConstraintSpec::DomAdd {
+            views: *views,
+            out: *out,
+        },
+        PersistSpec::DomLe { c, views, out } => ConstraintSpec::DomLe {
+            c: *c,
+            views: *views,
+            out: *out,
+        },
+        PersistSpec::DomAllDiff => ConstraintSpec::DomAllDiff,
+        PersistSpec::DomReifLe { c, views } => ConstraintSpec::DomReifLe {
+            c: *c,
+            views: *views,
+        },
     }
 }
 

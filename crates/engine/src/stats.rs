@@ -42,6 +42,9 @@ pub(crate) struct Counters {
     pub segments_ingested: AtomicU64,
     pub records_replayed: AtomicU64,
     pub dedup_skips: AtomicU64,
+    pub domain_tightenings: AtomicU64,
+    pub subsumed_pruned: AtomicU64,
+    pub wipeouts: AtomicU64,
     pub latency_buckets: [AtomicU64; N_LATENCY_BUCKETS],
 }
 
@@ -100,6 +103,9 @@ impl Counters {
             segments_ingested: self.segments_ingested.load(Ordering::Relaxed),
             records_replayed: self.records_replayed.load(Ordering::Relaxed),
             dedup_skips: self.dedup_skips.load(Ordering::Relaxed),
+            domain_tightenings: self.domain_tightenings.load(Ordering::Relaxed),
+            subsumed_pruned: self.subsumed_pruned.load(Ordering::Relaxed),
+            wipeouts: self.wipeouts.load(Ordering::Relaxed),
             wal_appends: 0,
             wal_bytes: 0,
             wal_group_syncs: 0,
@@ -179,6 +185,17 @@ pub struct EngineStats {
     /// ([`crate::Engine::submit_keyed`]) — each one is a client resubmit
     /// that duplicate suppression absorbed.
     pub dedup_skips: u64,
+    /// Domain tightenings landed by domain propagators across all
+    /// sessions: interval/finite-set writes that strictly narrowed a
+    /// variable's domain.
+    pub domain_tightenings: u64,
+    /// Constraint activations pruned because the constraint was
+    /// runtime-marked subsumed (entailed) at the time, across all
+    /// sessions — agenda dispatch and compiled-plan replay alike.
+    pub subsumed_pruned: u64,
+    /// Domain wipeouts (a propagator emptied a domain, aborting and
+    /// rolling back its batch) across all sessions.
+    pub wipeouts: u64,
     /// Write-ahead log records appended since the store was opened
     /// (filled from the store by [`crate::Engine::stats`]; 0 on a
     /// non-durable engine).
@@ -248,6 +265,13 @@ pub struct SessionStats {
     /// (below-threshold plan, single cone, kernel-less kind, or an
     /// aborted parallel attempt).
     pub parallel_fallbacks: u64,
+    /// Domain tightenings this session's propagators landed (cumulative,
+    /// mirroring the network's counter).
+    pub domain_tightenings: u64,
+    /// Activations this session pruned via runtime subsumption marks.
+    pub subsumed_pruned: u64,
+    /// Domain wipeouts this session's propagators raised.
+    pub wipeouts: u64,
     /// WAL records this session's committed batches appended — the
     /// per-session share of [`EngineStats::wal_appends`], counted by the
     /// owning worker at commit time (0 on non-durable engines; replayed
@@ -290,6 +314,9 @@ impl EngineStats {
             segments_ingested,
             records_replayed,
             dedup_skips,
+            domain_tightenings,
+            subsumed_pruned,
+            wipeouts,
             wal_appends,
             wal_bytes,
             wal_group_syncs,
@@ -319,6 +346,9 @@ impl EngineStats {
         self.segments_ingested += segments_ingested;
         self.records_replayed += records_replayed;
         self.dedup_skips += dedup_skips;
+        self.domain_tightenings += domain_tightenings;
+        self.subsumed_pruned += subsumed_pruned;
+        self.wipeouts += wipeouts;
         self.wal_appends += wal_appends;
         self.wal_bytes += wal_bytes;
         self.wal_group_syncs += wal_group_syncs;

@@ -342,6 +342,137 @@ fn every_crash_point_recovers_a_whole_batch_prefix() {
     }
 }
 
+/// A domain session: interval/finite-set values narrowed by domain
+/// propagators, a wipeout batch that must never be logged, and a
+/// mid-run structural edit — all riding the same WAL machinery.
+fn domain_workload() -> Workload {
+    use stem_core::domain::{FinSet, Interval};
+    let v = VarId::from_index;
+    vec![
+        (
+            0,
+            vec![
+                Command::AddVariable { name: "x".into() },
+                Command::AddVariable { name: "y".into() },
+                Command::AddVariable { name: "z".into() },
+            ],
+        ),
+        (
+            1,
+            vec![
+                Command::AddVariable { name: "p".into() },
+                Command::AddVariable { name: "q".into() },
+            ],
+        ),
+        (
+            0,
+            vec![
+                Command::Set {
+                    var: v(0),
+                    value: Value::Interval(Interval::new(0, 40)),
+                    source: Source::User,
+                },
+                Command::Set {
+                    var: v(1),
+                    value: Value::Interval(Interval::new(5, 25)),
+                    source: Source::User,
+                },
+                Command::Set {
+                    var: v(2),
+                    value: Value::Interval(Interval::new(0, 100)),
+                    source: Source::User,
+                },
+            ],
+        ),
+        (
+            1,
+            vec![
+                Command::Set {
+                    var: v(0),
+                    value: Value::FinSet(FinSet::new(0b1111_0110)),
+                    source: Source::User,
+                },
+                Command::Set {
+                    var: v(1),
+                    value: Value::FinSet(FinSet::new(0b0011_1100)),
+                    source: Source::Application,
+                },
+            ],
+        ),
+        // x + y = z narrows z to [5, 65] on installation.
+        (
+            0,
+            vec![Command::AddConstraint {
+                spec: ConstraintSpec::DomAdd {
+                    views: [(1, 0), (1, 0), (1, 0)],
+                    out: None,
+                },
+                args: vec![v(0), v(1), v(2)],
+            }],
+        ),
+        (
+            1,
+            vec![Command::AddConstraint {
+                spec: ConstraintSpec::DomAllDiff,
+                args: vec![v(0), v(1)],
+            }],
+        ),
+        // Tighten x: propagates through the adder into z.
+        (
+            0,
+            vec![Command::Set {
+                var: v(0),
+                value: Value::Interval(Interval::new(10, 20)),
+                source: Source::User,
+            }],
+        ),
+        // A wipeout batch: z cannot hold [0, 10] under x + y = z with
+        // x ∈ [10, 20], y ∈ [5, 25]. Rejected, rolled back, never logged.
+        (
+            0,
+            vec![Command::Set {
+                var: v(2),
+                value: Value::Interval(Interval::new(0, 10)),
+                source: Source::User,
+            }],
+        ),
+        (
+            1,
+            vec![Command::AddConstraint {
+                spec: ConstraintSpec::DomLe {
+                    c: 3,
+                    views: [(1, 0), (1, 0)],
+                    out: None,
+                },
+                args: vec![v(0), v(1)],
+            }],
+        ),
+        (
+            0,
+            vec![Command::RemoveConstraint {
+                constraint: stem_core::ConstraintId::from_index(0),
+            }],
+        ),
+        (
+            0,
+            vec![Command::Set {
+                var: v(2),
+                value: Value::Interval(Interval::new(30, 45)),
+                source: Source::Application,
+            }],
+        ),
+    ]
+}
+
+#[test]
+fn every_crash_point_recovers_a_domain_session_prefix() {
+    let total = full_run_bytes(domain_workload);
+    assert!(total > 0);
+    for budget in 0..=total {
+        check_crash_point("domain", budget, domain_workload);
+    }
+}
+
 // ---------------------------------------------------------------------
 // Randomized differential
 // ---------------------------------------------------------------------

@@ -9,7 +9,8 @@
 //! the log is guaranteed to replay.
 
 use stem_core::codec::{
-    put_bool, put_cid, put_f64, put_str, put_u32, put_u8, put_value, put_var, DecodeError, Reader,
+    put_bool, put_cid, put_f64, put_i64, put_str, put_u32, put_u8, put_value, put_var, DecodeError,
+    Reader,
 };
 use stem_core::{ConstraintId, Value, VarId};
 
@@ -44,6 +45,33 @@ pub enum PersistSpec {
     Le,
     /// Check-only predicate: `args[0] < args[1]`.
     Lt,
+    /// Bounds-consistent domain relation `v0(x) + v1(y) = v2(z)` over
+    /// affine views `(a, b) ↦ a·x + b`; `out == None` propagates all
+    /// three ways, `Some(i)` only narrows argument `i`.
+    DomAdd {
+        /// Per-argument affine views `(a, b)`.
+        views: [(i64, i64); 3],
+        /// Directional output argument, when restricted.
+        out: Option<u8>,
+    },
+    /// Bounds-consistent domain relation `v0(x) ≤ v1(y) + c`.
+    DomLe {
+        /// The offset `c`.
+        c: i64,
+        /// Per-argument affine views `(a, b)`.
+        views: [(i64, i64); 2],
+        /// Directional output argument, when restricted.
+        out: Option<u8>,
+    },
+    /// All arguments pairwise distinct (bounds reasoning).
+    DomAllDiff,
+    /// Reified inequality: `args[0] ⇔ (v0(args[1]) ≤ v1(args[2]) + c)`.
+    DomReifLe {
+        /// The offset `c`.
+        c: i64,
+        /// Affine views over `args[1]`/`args[2]`.
+        views: [(i64, i64); 2],
+    },
 }
 
 impl PersistSpec {
@@ -74,6 +102,34 @@ impl PersistSpec {
             }
             PersistSpec::Le => put_u8(buf, 9),
             PersistSpec::Lt => put_u8(buf, 10),
+            PersistSpec::DomAdd { views, out } => {
+                put_u8(buf, 11);
+                for (a, b) in views {
+                    put_i64(buf, *a);
+                    put_i64(buf, *b);
+                }
+                // 255 = non-directional, mirroring the kind's `OUT_ALL`
+                // (arity is bounded well below it).
+                put_u8(buf, out.unwrap_or(u8::MAX));
+            }
+            PersistSpec::DomLe { c, views, out } => {
+                put_u8(buf, 12);
+                put_i64(buf, *c);
+                for (a, b) in views {
+                    put_i64(buf, *a);
+                    put_i64(buf, *b);
+                }
+                put_u8(buf, out.unwrap_or(u8::MAX));
+            }
+            PersistSpec::DomAllDiff => put_u8(buf, 13),
+            PersistSpec::DomReifLe { c, views } => {
+                put_u8(buf, 14);
+                put_i64(buf, *c);
+                for (a, b) in views {
+                    put_i64(buf, *a);
+                    put_i64(buf, *b);
+                }
+            }
         }
     }
 
@@ -95,6 +151,30 @@ impl PersistSpec {
             8 => PersistSpec::EqConst(r.value()?),
             9 => PersistSpec::Le,
             10 => PersistSpec::Lt,
+            11 => PersistSpec::DomAdd {
+                views: [
+                    (r.i64()?, r.i64()?),
+                    (r.i64()?, r.i64()?),
+                    (r.i64()?, r.i64()?),
+                ],
+                out: match r.u8()? {
+                    u8::MAX => None,
+                    o => Some(o),
+                },
+            },
+            12 => PersistSpec::DomLe {
+                c: r.i64()?,
+                views: [(r.i64()?, r.i64()?), (r.i64()?, r.i64()?)],
+                out: match r.u8()? {
+                    u8::MAX => None,
+                    o => Some(o),
+                },
+            },
+            13 => PersistSpec::DomAllDiff,
+            14 => PersistSpec::DomReifLe {
+                c: r.i64()?,
+                views: [(r.i64()?, r.i64()?), (r.i64()?, r.i64()?)],
+            },
             tag => {
                 return Err(DecodeError::Tag {
                     tag,

@@ -287,4 +287,102 @@ mod tests {
         assert_eq!(b.session(), 1);
         assert_eq!(b.seq(), 2);
     }
+
+    /// A batch exercising every domain-flavored spec and value kind.
+    fn domain_sample() -> WalRecord {
+        use stem_core::{FinSet, Interval};
+        WalRecord::Batch {
+            session: 11,
+            seq: 5,
+            key: 2,
+            commands: vec![
+                PersistCommand::Set {
+                    var: VarId::from_index(0),
+                    value: Value::Interval(Interval::new(-3, 4096)),
+                    source: PersistSource::User,
+                },
+                PersistCommand::Set {
+                    var: VarId::from_index(1),
+                    value: Value::FinSet(FinSet::new(0x8000_0000_0000_0101)),
+                    source: PersistSource::Update,
+                },
+                PersistCommand::AddConstraint {
+                    spec: PersistSpec::DomAdd {
+                        views: [(1, 0), (-1, 7), (1, -2)],
+                        out: Some(2),
+                    },
+                    args: vec![
+                        VarId::from_index(0),
+                        VarId::from_index(1),
+                        VarId::from_index(2),
+                    ],
+                },
+                PersistCommand::AddConstraint {
+                    spec: PersistSpec::DomLe {
+                        c: -4,
+                        views: [(-1, 0), (-1, 0)],
+                        out: None,
+                    },
+                    args: vec![VarId::from_index(0), VarId::from_index(1)],
+                },
+                PersistCommand::AddConstraint {
+                    spec: PersistSpec::DomAllDiff,
+                    args: vec![VarId::from_index(1), VarId::from_index(2)],
+                },
+                PersistCommand::AddConstraint {
+                    spec: PersistSpec::DomReifLe {
+                        c: 9,
+                        views: [(1, 1), (1, -1)],
+                    },
+                    args: vec![
+                        VarId::from_index(3),
+                        VarId::from_index(0),
+                        VarId::from_index(1),
+                    ],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn domain_record_round_trips() {
+        let rec = domain_sample();
+        let bytes = rec.encode_frame();
+        let FrameScan::Ok { payload, rest } = scan_frame(&bytes) else {
+            panic!("domain frame did not scan")
+        };
+        assert!(rest.is_empty());
+        assert_eq!(WalRecord::decode_payload(payload).unwrap(), rec);
+    }
+
+    #[test]
+    fn every_truncation_of_domain_record_reads_as_end() {
+        let bytes = domain_sample().encode_frame();
+        for cut in 0..bytes.len() {
+            assert!(
+                matches!(scan_frame(&bytes[..cut]), FrameScan::End),
+                "torn domain frame of {cut} bytes scanned as valid"
+            );
+        }
+    }
+
+    #[test]
+    fn every_bitflip_of_domain_record_reads_as_end_or_original() {
+        let rec = domain_sample();
+        let bytes = rec.encode_frame();
+        for i in 0..bytes.len() * 8 {
+            let mut bad = bytes.clone();
+            bad[i / 8] ^= 1 << (i % 8);
+            match scan_frame(&bad) {
+                FrameScan::End => {}
+                FrameScan::Ok { payload, .. } => {
+                    assert_eq!(
+                        WalRecord::decode_payload(payload).unwrap(),
+                        rec,
+                        "bit {i} flip produced a different valid domain record"
+                    );
+                }
+            }
+        }
+    }
 }

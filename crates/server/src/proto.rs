@@ -857,6 +857,9 @@ fn put_engine_stats(buf: &mut Vec<u8>, s: &EngineStats) {
         s.segments_ingested,
         s.records_replayed,
         s.dedup_skips,
+        s.domain_tightenings,
+        s.subsumed_pruned,
+        s.wipeouts,
         s.wal_appends,
         s.wal_bytes,
         s.wal_group_syncs,
@@ -894,6 +897,9 @@ fn read_engine_stats(r: &mut Reader<'_>) -> Result<EngineStats, DecodeError> {
         segments_ingested: r.u64()?,
         records_replayed: r.u64()?,
         dedup_skips: r.u64()?,
+        domain_tightenings: r.u64()?,
+        subsumed_pruned: r.u64()?,
+        wipeouts: r.u64()?,
         wal_appends: r.u64()?,
         wal_bytes: r.u64()?,
         wal_group_syncs: r.u64()?,
@@ -926,6 +932,9 @@ fn put_session_stats(buf: &mut Vec<u8>, s: &SessionStats) {
         s.cones_executed,
         s.cones_stolen,
         s.parallel_fallbacks,
+        s.domain_tightenings,
+        s.subsumed_pruned,
+        s.wipeouts,
         s.wal_appends,
         s.wal_bytes,
     ] {
@@ -954,6 +963,9 @@ fn read_session_stats(r: &mut Reader<'_>) -> Result<SessionStats, DecodeError> {
         cones_executed: r.u64()?,
         cones_stolen: r.u64()?,
         parallel_fallbacks: r.u64()?,
+        domain_tightenings: r.u64()?,
+        subsumed_pruned: r.u64()?,
+        wipeouts: r.u64()?,
         wal_appends: r.u64()?,
         wal_bytes: r.u64()?,
         quarantined: r.bool()?,

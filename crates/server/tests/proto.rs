@@ -5,7 +5,7 @@
 use std::io::Cursor;
 
 use stem_core::codec::Reader;
-use stem_core::{ConstraintId, Justification, Value, VarId, Violation};
+use stem_core::{ConstraintId, FinSet, Interval, Justification, Value, VarId, Violation};
 use stem_engine::{
     BatchError, BatchOutcome, Command, ConstraintSpec, EngineStats, Output, SessionStats, Source,
 };
@@ -127,6 +127,61 @@ fn sample_requests() -> Vec<Request> {
         },
         Request::Lease { session: 5 },
         Request::CatchUp,
+        // A domain session over the wire: interval/finite-set values and
+        // every domain constraint spec must survive the round trip.
+        Request::Submit {
+            session: 9,
+            commands: vec![
+                Command::Set {
+                    var: VarId::from_index(0),
+                    value: Value::Interval(Interval::new(-5, 4096)),
+                    source: Source::User,
+                },
+                Command::Set {
+                    var: VarId::from_index(1),
+                    value: Value::FinSet(FinSet::new(0x8000_0000_0000_0011)),
+                    source: Source::Update,
+                },
+                Command::AddConstraint {
+                    spec: ConstraintSpec::DomAdd {
+                        views: [(1, 0), (-1, 3), (1, 0)],
+                        out: Some(2),
+                    },
+                    args: vec![
+                        VarId::from_index(0),
+                        VarId::from_index(1),
+                        VarId::from_index(2),
+                    ],
+                },
+                Command::AddConstraint {
+                    spec: ConstraintSpec::DomLe {
+                        c: -7,
+                        views: [(-1, 0), (-1, 0)],
+                        out: None,
+                    },
+                    args: vec![VarId::from_index(0), VarId::from_index(1)],
+                },
+                Command::AddConstraint {
+                    spec: ConstraintSpec::DomAllDiff,
+                    args: vec![VarId::from_index(0), VarId::from_index(1)],
+                },
+                Command::AddConstraint {
+                    spec: ConstraintSpec::DomReifLe {
+                        c: 2,
+                        views: [(1, 0), (1, 0)],
+                    },
+                    args: vec![
+                        VarId::from_index(3),
+                        VarId::from_index(0),
+                        VarId::from_index(1),
+                    ],
+                },
+                Command::Probe {
+                    var: VarId::from_index(2),
+                    value: Value::Interval(Interval::new(i64::MIN, i64::MAX)),
+                },
+            ],
+        },
     ]
 }
 
@@ -140,6 +195,9 @@ fn sample_replies() -> Vec<Reply> {
         segments_ingested: 2,
         records_replayed: 77,
         dedup_skips: 6,
+        domain_tightenings: 31,
+        subsumed_pruned: 12,
+        wipeouts: 2,
         ..EngineStats::default()
     };
     stats.latency_buckets[0] = 5;
@@ -198,8 +256,24 @@ fn sample_replies() -> Vec<Reply> {
             wal_appends: 4,
             wal_bytes: 512,
             quarantined: true,
+            domain_tightenings: 17,
+            subsumed_pruned: 3,
+            wipeouts: 1,
             ..SessionStats::default()
         }),
+        // Domain values inside a dump reply (the inspector path).
+        Reply::Batch(Ok(BatchOutcome {
+            outputs: vec![
+                Output::Value(Value::Interval(Interval::new(10, 20))),
+                Output::Dump(vec![(
+                    "dom".into(),
+                    Value::FinSet(FinSet::new(0b1010_0001)),
+                    Justification::User,
+                )]),
+            ],
+            waves: 1,
+            assignments: 2,
+        })),
         Reply::Sealed {
             segments: vec![0, 1, 5],
         },

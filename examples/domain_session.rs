@@ -1,0 +1,128 @@
+//! Domain propagation: intervals, finite sets, and the fixpoint protocol.
+//!
+//! Walks the DESIGN.md §5j subsystem end to end: bounds-consistent
+//! narrowing through `x + y = z`, finite-set `all_different`, a domain
+//! wipeout rejected and rolled back like any other violation, and
+//! runtime subsumption pruning entailed constraints out of the hot path.
+//!
+//! Run with: `cargo run --example domain_session`
+
+use stem::core::kinds::{AllDiff, DomAdd, DomLe, DomainConstraint};
+use stem::core::{FinSet, Interval, Justification, Network, Value};
+
+fn iv(lo: i64, hi: i64) -> Value {
+    Value::Interval(Interval::new(lo, hi))
+}
+
+fn main() {
+    // ------------------------------------------------------------------
+    // Bounds-consistent arithmetic: x + y = z over interval domains.
+    // ------------------------------------------------------------------
+    let mut net = Network::new();
+    let x = net.add_variable("x");
+    let y = net.add_variable("y");
+    let z = net.add_variable("z");
+    net.set(x, iv(0, 100), Justification::User).unwrap();
+    net.set(y, iv(0, 100), Justification::User).unwrap();
+    net.set(z, iv(0, 100), Justification::User).unwrap();
+    net.add_constraint(DomainConstraint::new(DomAdd::all()), [x, y, z])
+        .unwrap();
+
+    println!("x + y = z, all three seeded to [0, 100]:");
+    println!(
+        "  x = {}  y = {}  z = {}",
+        net.value(x),
+        net.value(y),
+        net.value(z)
+    );
+
+    // Tightening z squeezes both addends; tightening x squeezes z back.
+    net.set(z, iv(0, 30), Justification::User).unwrap();
+    net.set(x, iv(10, 100), Justification::User).unwrap();
+    println!("after z := [0,30], x := [10,100] — the fixpoint narrows everything:");
+    println!(
+        "  x = {}  y = {}  z = {}",
+        net.value(x),
+        net.value(y),
+        net.value(z)
+    );
+
+    // ------------------------------------------------------------------
+    // Finite sets: all_different over bit-set domains.
+    // ------------------------------------------------------------------
+    println!("\nthree slots over the value set {{0,1,2}}, all different:");
+    let mut alloc = Network::new();
+    let slots: Vec<_> = (0..3)
+        .map(|i| {
+            let v = alloc.add_variable(format!("slot{i}"));
+            alloc
+                .set(v, Value::FinSet(FinSet::new(0b111)), Justification::User)
+                .unwrap();
+            v
+        })
+        .collect();
+    alloc
+        .add_constraint(DomainConstraint::new(AllDiff::new()), slots.clone())
+        .unwrap();
+
+    // Pinning slot0 removes its value everywhere; pinning slot1 leaves
+    // slot2 a singleton by elimination.
+    alloc
+        .set(
+            slots[0],
+            Value::FinSet(FinSet::new(0b001)),
+            Justification::User,
+        )
+        .unwrap();
+    alloc
+        .set(
+            slots[1],
+            Value::FinSet(FinSet::new(0b010)),
+            Justification::User,
+        )
+        .unwrap();
+    for (i, &s) in slots.iter().enumerate() {
+        println!("  slot{i} = {}", alloc.value(s));
+    }
+
+    // ------------------------------------------------------------------
+    // Wipeout: an over-constrained write is a violation, and the journal
+    // restores every narrowed domain — same contract as thesis cycles.
+    // ------------------------------------------------------------------
+    println!("\nforcing z below x's reach empties a domain:");
+    match net.set(z, iv(0, 5), Justification::User) {
+        Err(v) => println!("  rejected, state restored: {v}"),
+        Ok(()) => unreachable!("x ≥ 10 makes z ≤ 5 unsatisfiable"),
+    }
+    println!(
+        "  x = {}  y = {}  z = {}",
+        net.value(x),
+        net.value(y),
+        net.value(z)
+    );
+
+    // ------------------------------------------------------------------
+    // Runtime subsumption: an entailed inequality proves it can never
+    // act again and compiled replays skip it until something widens.
+    // ------------------------------------------------------------------
+    println!("\na ≤ b with a in [0,10], b in [50,60] — entailed on first contact:");
+    let mut sub = Network::new();
+    let a = sub.add_variable("a");
+    let b = sub.add_variable("b");
+    sub.set(a, iv(0, 10), Justification::User).unwrap();
+    sub.set(b, iv(50, 60), Justification::User).unwrap();
+    sub.add_constraint(DomainConstraint::new(DomLe::directional(0, 0)), [a, b])
+        .unwrap();
+    sub.set(a, iv(0, 9), Justification::User).unwrap();
+    println!("  subsumed constraints: {}", sub.subsumed_count());
+
+    // Widening a watched variable revalidates the mark conservatively.
+    sub.set(b, iv(0, 60), Justification::User).unwrap();
+    println!("  after b widens to [0,60]: {}", sub.subsumed_count());
+
+    let stats = net.stats();
+    println!(
+        "\narithmetic network counters: {} tightenings, {} wipeouts, {} subsumed prunes",
+        stats.domain_tightenings, stats.wipeouts, stats.subsumed_pruned
+    );
+}
